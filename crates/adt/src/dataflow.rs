@@ -1,0 +1,374 @@
+//! Compound operators as data-flow networks (paper §2.1.3, Figure 4).
+//!
+//! "It is observed that the operator `pca()` is a compound operator. It is
+//! composed of a network of intercommunicating operators [...] This network
+//! can be seen as a data flow network of functional operators that are
+//! applied on primitive classes."
+//!
+//! A [`DataflowGraph`] is an append-only DAG: node *i* may consume graph
+//! inputs and the outputs of nodes *< i* only, which makes cycles
+//! unrepresentable and execution a single left-to-right pass. The graph is
+//! type-checked against an [`OperatorRegistry`] before registration, so a
+//! registered compound operator is statically well-formed.
+
+use crate::error::{AdtError, AdtResult};
+use crate::operator::OperatorRegistry;
+use crate::types::TypeTag;
+use crate::value::Value;
+use std::fmt;
+
+/// Where a node input comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// The i-th graph input.
+    Input(usize),
+    /// The output of the i-th node.
+    Node(usize),
+}
+
+/// One operator invocation inside the network.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Operator name (resolved in the registry at validation time).
+    pub op: String,
+    /// Argument sources, in operator-parameter order.
+    pub inputs: Vec<Source>,
+}
+
+/// A compound operator: a named, typed dataflow network.
+#[derive(Debug, Clone)]
+pub struct DataflowGraph {
+    name: String,
+    inputs: Vec<(String, TypeTag)>,
+    nodes: Vec<Node>,
+    output: Source,
+}
+
+impl DataflowGraph {
+    /// Graph name (becomes the operator name on registration).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared graph inputs.
+    pub fn inputs(&self) -> &[(String, TypeTag)] {
+        &self.inputs
+    }
+
+    /// Nodes in execution order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The source producing the graph result.
+    pub fn output(&self) -> Source {
+        self.output
+    }
+
+    /// Validate structure and types; returns the graph's output type.
+    ///
+    /// Checks: every source refers to an existing input or an *earlier* node
+    /// (DAG by construction); every operator exists; every node application
+    /// type-checks; the output source is valid.
+    pub fn validate(&self, registry: &OperatorRegistry) -> AdtResult<TypeTag> {
+        let mut node_types: Vec<TypeTag> = Vec::with_capacity(self.nodes.len());
+        let resolve = |src: Source, upto: usize, node_types: &[TypeTag]| -> AdtResult<TypeTag> {
+            match src {
+                Source::Input(i) => self
+                    .inputs
+                    .get(i)
+                    .map(|(_, t)| t.clone())
+                    .ok_or_else(|| {
+                        AdtError::MalformedDataflow(format!(
+                            "{}: reference to missing graph input {i}",
+                            self.name
+                        ))
+                    }),
+                Source::Node(i) => {
+                    if i >= upto {
+                        Err(AdtError::MalformedDataflow(format!(
+                            "{}: node reference {i} is not earlier in the network (forward edges/cycles are not allowed)",
+                            self.name
+                        )))
+                    } else {
+                        Ok(node_types[i].clone())
+                    }
+                }
+            }
+        };
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let def = registry.get(&node.op)?;
+            let mut arg_types = Vec::with_capacity(node.inputs.len());
+            for src in &node.inputs {
+                arg_types.push(resolve(*src, idx, &node_types)?);
+            }
+            def.sig
+                .check(&format!("{}::{}", self.name, node.op), &arg_types)?;
+            // A node's static type is the declared output of its operator;
+            // `Any`-returning ops (e.g. anyof) stay `Any` and are accepted
+            // anywhere downstream.
+            node_types.push(def.sig.output.clone());
+        }
+        resolve(self.output, self.nodes.len(), &node_types)
+    }
+
+    /// Execute the network on `args`.
+    pub fn execute(&self, registry: &OperatorRegistry, args: &[Value]) -> AdtResult<Value> {
+        if args.len() != self.inputs.len() {
+            return Err(AdtError::ArityMismatch {
+                op: self.name.clone(),
+                expected: self.inputs.len(),
+                found: args.len(),
+            });
+        }
+        let mut results: Vec<Value> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let mut node_args = Vec::with_capacity(node.inputs.len());
+            for src in &node.inputs {
+                node_args.push(match src {
+                    Source::Input(i) => args[*i].clone(),
+                    Source::Node(i) => results[*i].clone(),
+                });
+            }
+            results.push(registry.invoke(&node.op, &node_args)?);
+        }
+        Ok(match self.output {
+            Source::Input(i) => args[i].clone(),
+            Source::Node(i) => results[i].clone(),
+        })
+    }
+
+    /// Number of operator invocations per application.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl fmt::Display for DataflowGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "compound operator {} {{", self.name)?;
+        for (i, (name, tag)) in self.inputs.iter().enumerate() {
+            writeln!(f, "  in{i}: {name}: {tag}")?;
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            write!(f, "  n{i} = {}(", node.op)?;
+            for (j, src) in node.inputs.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                match src {
+                    Source::Input(k) => write!(f, "in{k}")?,
+                    Source::Node(k) => write!(f, "n{k}")?,
+                }
+            }
+            writeln!(f, ")")?;
+        }
+        match self.output {
+            Source::Input(i) => writeln!(f, "  out = in{i}")?,
+            Source::Node(i) => writeln!(f, "  out = n{i}")?,
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Fluent constructor for [`DataflowGraph`].
+///
+/// ```
+/// use gaea_adt::{DataflowBuilder, OperatorRegistry, TypeTag, Value};
+/// let mut b = DataflowBuilder::new("add3");
+/// let x = b.input("x", TypeTag::Float8);
+/// let y = b.input("y", TypeTag::Float8);
+/// let z = b.input("z", TypeTag::Float8);
+/// let xy = b.node("add", vec![x, y]);
+/// let xyz = b.node("add", vec![xy, z]);
+/// let graph = b.finish(xyz);
+/// let reg = OperatorRegistry::with_builtins();
+/// assert_eq!(
+///     graph.execute(&reg, &[1.0.into(), 2.0.into(), 3.0.into()]).unwrap(),
+///     Value::Float8(6.0),
+/// );
+/// ```
+#[derive(Debug)]
+pub struct DataflowBuilder {
+    name: String,
+    inputs: Vec<(String, TypeTag)>,
+    nodes: Vec<Node>,
+}
+
+impl DataflowBuilder {
+    /// Start a new graph.
+    pub fn new(name: &str) -> DataflowBuilder {
+        DataflowBuilder {
+            name: name.into(),
+            inputs: Vec::new(),
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Declare a graph input; returns its source handle.
+    pub fn input(&mut self, name: &str, tag: TypeTag) -> Source {
+        self.inputs.push((name.into(), tag));
+        Source::Input(self.inputs.len() - 1)
+    }
+
+    /// Append an operator invocation; returns its output handle.
+    pub fn node(&mut self, op: &str, inputs: Vec<Source>) -> Source {
+        self.nodes.push(Node {
+            op: op.into(),
+            inputs,
+        });
+        Source::Node(self.nodes.len() - 1)
+    }
+
+    /// Finish with the node (or input) that carries the result.
+    pub fn finish(self, output: Source) -> DataflowGraph {
+        DataflowGraph {
+            name: self.name,
+            inputs: self.inputs,
+            nodes: self.nodes,
+            output,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> OperatorRegistry {
+        OperatorRegistry::with_builtins()
+    }
+
+    fn add3() -> DataflowGraph {
+        let mut b = DataflowBuilder::new("add3");
+        let x = b.input("x", TypeTag::Float8);
+        let y = b.input("y", TypeTag::Float8);
+        let z = b.input("z", TypeTag::Float8);
+        let xy = b.node("add", vec![x, y]);
+        let xyz = b.node("add", vec![xy, z]);
+        b.finish(xyz)
+    }
+
+    #[test]
+    fn executes_in_topological_order() {
+        let g = add3();
+        let r = registry();
+        assert_eq!(g.validate(&r).unwrap(), TypeTag::Float8);
+        assert_eq!(
+            g.execute(&r, &[1.0.into(), 2.0.into(), 3.0.into()]).unwrap(),
+            Value::Float8(6.0)
+        );
+    }
+
+    #[test]
+    fn registered_compound_behaves_like_primitive() {
+        // Paper: a compound operator "can be applied as a primitive mapping
+        // function between two primitive classes".
+        let mut r = registry();
+        r.register_compound(add3(), "ternary addition").unwrap();
+        assert!(r.get("add3").unwrap().is_compound());
+        assert_eq!(
+            r.invoke("add3", &[1.0.into(), 2.0.into(), 4.0.into()]).unwrap(),
+            Value::Float8(7.0)
+        );
+    }
+
+    #[test]
+    fn nested_compounds_compose() {
+        let mut r = registry();
+        r.register_compound(add3(), "ternary addition").unwrap();
+        // add5(x1..x5) = add(add3(x1,x2,x3), add(x4,x5))
+        let mut b = DataflowBuilder::new("add5");
+        let xs: Vec<Source> = (0..5).map(|i| b.input(&format!("x{i}"), TypeTag::Float8)).collect();
+        let left = b.node("add3", vec![xs[0], xs[1], xs[2]]);
+        let right = b.node("add", vec![xs[3], xs[4]]);
+        let all = b.node("add", vec![left, right]);
+        let g = b.finish(all);
+        r.register_compound(g, "five-way addition").unwrap();
+        let args: Vec<Value> = (1..=5).map(|i| Value::Float8(i as f64)).collect();
+        assert_eq!(r.invoke("add5", &args).unwrap(), Value::Float8(15.0));
+    }
+
+    #[test]
+    fn forward_reference_rejected() {
+        // Build by hand to express a forward edge (cycle-equivalent).
+        let g = DataflowGraph {
+            name: "bad".into(),
+            inputs: vec![("x".into(), TypeTag::Float8)],
+            nodes: vec![Node {
+                op: "add".into(),
+                inputs: vec![Source::Input(0), Source::Node(0)], // self-reference
+            }],
+            output: Source::Node(0),
+        };
+        let err = g.validate(&registry()).unwrap_err();
+        assert!(matches!(err, AdtError::MalformedDataflow(_)));
+    }
+
+    #[test]
+    fn missing_input_rejected() {
+        let g = DataflowGraph {
+            name: "bad".into(),
+            inputs: vec![],
+            nodes: vec![Node {
+                op: "add".into(),
+                inputs: vec![Source::Input(0), Source::Input(1)],
+            }],
+            output: Source::Node(0),
+        };
+        assert!(matches!(
+            g.validate(&registry()),
+            Err(AdtError::MalformedDataflow(_))
+        ));
+    }
+
+    #[test]
+    fn type_errors_detected_statically() {
+        let mut b = DataflowBuilder::new("bad_types");
+        let img = b.input("img", TypeTag::Image);
+        let n = b.node("add", vec![img, img]);
+        let g = b.finish(n);
+        assert!(matches!(
+            g.validate(&registry()),
+            Err(AdtError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_operator_detected() {
+        let mut b = DataflowBuilder::new("bad_op");
+        let x = b.input("x", TypeTag::Float8);
+        let n = b.node("no_such_op", vec![x]);
+        let g = b.finish(n);
+        assert!(matches!(
+            g.validate(&registry()),
+            Err(AdtError::UnknownOperator(_))
+        ));
+    }
+
+    #[test]
+    fn identity_graph_passes_input_through() {
+        let mut b = DataflowBuilder::new("ident");
+        let x = b.input("x", TypeTag::Float8);
+        let g = b.finish(x);
+        let r = registry();
+        assert_eq!(g.validate(&r).unwrap(), TypeTag::Float8);
+        assert_eq!(g.execute(&r, &[9.0.into()]).unwrap(), Value::Float8(9.0));
+    }
+
+    #[test]
+    fn execute_checks_arity() {
+        let g = add3();
+        assert!(matches!(
+            g.execute(&registry(), &[1.0.into()]),
+            Err(AdtError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn display_renders_network() {
+        let s = add3().to_string();
+        assert!(s.contains("compound operator add3"));
+        assert!(s.contains("n1 = add(n0, in2)"));
+    }
+}

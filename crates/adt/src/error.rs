@@ -1,0 +1,103 @@
+//! Error type for the ADT layer.
+
+use std::fmt;
+
+/// Errors raised by the system-level semantics layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdtError {
+    /// An operator received a value of the wrong primitive class.
+    TypeMismatch {
+        /// Context (operator or graph name).
+        context: String,
+        /// The expected type.
+        expected: String,
+        /// The type actually supplied.
+        found: String,
+    },
+    /// An operator received the wrong number of arguments.
+    ArityMismatch {
+        /// Operator name.
+        op: String,
+        /// Number of declared parameters.
+        expected: usize,
+        /// Number of supplied arguments.
+        found: usize,
+    },
+    /// Lookup of an operator that was never registered.
+    UnknownOperator(String),
+    /// Attempt to register a second operator under an existing name.
+    DuplicateOperator(String),
+    /// Matrix / image dimensions do not line up.
+    ShapeMismatch(String),
+    /// A structurally invalid argument (e.g. empty band set, k = 0).
+    InvalidArgument(String),
+    /// A compound-operator graph contains a cycle or dangling reference.
+    MalformedDataflow(String),
+    /// Numeric failure (e.g. eigen solver did not converge).
+    Numeric(String),
+    /// Parse failure of an external representation string.
+    Parse(String),
+}
+
+impl fmt::Display for AdtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdtError::TypeMismatch {
+                context,
+                expected,
+                found,
+            } => write!(f, "{context}: type mismatch, expected {expected}, found {found}"),
+            AdtError::ArityMismatch {
+                op,
+                expected,
+                found,
+            } => write!(f, "operator {op}: expected {expected} argument(s), found {found}"),
+            AdtError::UnknownOperator(name) => write!(f, "unknown operator: {name}"),
+            AdtError::DuplicateOperator(name) => write!(f, "operator already registered: {name}"),
+            AdtError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            AdtError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            AdtError::MalformedDataflow(msg) => write!(f, "malformed dataflow graph: {msg}"),
+            AdtError::Numeric(msg) => write!(f, "numeric error: {msg}"),
+            AdtError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AdtError {}
+
+/// Convenience alias used across the ADT layer.
+pub type AdtResult<T> = Result<T, AdtError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AdtError::TypeMismatch {
+            context: "img_add".into(),
+            expected: "image".into(),
+            found: "int4".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("img_add"));
+        assert!(s.contains("image"));
+        assert!(s.contains("int4"));
+    }
+
+    #[test]
+    fn arity_display() {
+        let e = AdtError::ArityMismatch {
+            op: "composite".into(),
+            expected: 1,
+            found: 3,
+        };
+        assert_eq!(e.to_string(), "operator composite: expected 1 argument(s), found 3");
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(AdtError::UnknownOperator("pca".into()));
+        assert!(e.to_string().contains("pca"));
+    }
+}

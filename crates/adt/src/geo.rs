@@ -1,0 +1,319 @@
+//! Spatial extents (paper §2.1.2).
+//!
+//! Every non-primitive class in Gaea carries a `SPATIAL EXTENT` attribute of
+//! type `box` — a bounding box in some reference system (`long/lat`, `UTM`,
+//! ...) and unit (`meter`, `degree`, ...). Process assertions use the
+//! `common()` guard: "the spatio-temporal extents of the input classes are
+//! the same or overlap".
+
+use crate::error::{AdtError, AdtResult};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Spatial reference system (`ref_system = char16` in the class listings).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RefSystem {
+    /// Geographic longitude/latitude.
+    LongLat,
+    /// Universal Transverse Mercator, with zone.
+    Utm(u8),
+    /// Anything else, by name.
+    Named(String),
+}
+
+impl RefSystem {
+    /// Parse the `char16` spellings used in the paper ("long/lat", "UTM").
+    pub fn parse(s: &str) -> RefSystem {
+        let t = s.trim();
+        if t.eq_ignore_ascii_case("long/lat") || t.eq_ignore_ascii_case("longlat") {
+            RefSystem::LongLat
+        } else if let Some(zone) = t
+            .strip_prefix("UTM")
+            .or_else(|| t.strip_prefix("utm"))
+            .map(str::trim)
+        {
+            match zone.parse::<u8>() {
+                Ok(z) => RefSystem::Utm(z),
+                Err(_) => {
+                    if zone.is_empty() {
+                        RefSystem::Utm(0)
+                    } else {
+                        RefSystem::Named(t.to_string())
+                    }
+                }
+            }
+        } else {
+            RefSystem::Named(t.to_string())
+        }
+    }
+}
+
+impl fmt::Display for RefSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefSystem::LongLat => write!(f, "long/lat"),
+            RefSystem::Utm(0) => write!(f, "UTM"),
+            RefSystem::Utm(z) => write!(f, "UTM {z}"),
+            RefSystem::Named(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Measurement unit (`ref_unit = char16`: "meter", "degree", ...).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RefUnit {
+    /// Metres.
+    Meter,
+    /// Degrees.
+    Degree,
+    /// Anything else, by name.
+    Named(String),
+}
+
+impl RefUnit {
+    /// Parse a unit name.
+    pub fn parse(s: &str) -> RefUnit {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "meter" | "metre" | "m" => RefUnit::Meter,
+            "degree" | "deg" => RefUnit::Degree,
+            other => RefUnit::Named(other.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for RefUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefUnit::Meter => write!(f, "meter"),
+            RefUnit::Degree => write!(f, "degree"),
+            RefUnit::Named(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Axis-aligned bounding box: the `box` primitive class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoBox {
+    /// Minimum x (west).
+    pub xmin: f64,
+    /// Minimum y (south).
+    pub ymin: f64,
+    /// Maximum x (east).
+    pub xmax: f64,
+    /// Maximum y (north).
+    pub ymax: f64,
+}
+
+impl GeoBox {
+    /// Build, normalizing so min ≤ max on both axes.
+    pub fn new(xmin: f64, ymin: f64, xmax: f64, ymax: f64) -> GeoBox {
+        GeoBox {
+            xmin: xmin.min(xmax),
+            ymin: ymin.min(ymax),
+            xmax: xmin.max(xmax),
+            ymax: ymin.max(ymax),
+        }
+    }
+
+    /// Width along x.
+    pub fn width(&self) -> f64 {
+        self.xmax - self.xmin
+    }
+
+    /// Height along y.
+    pub fn height(&self) -> f64 {
+        self.ymax - self.ymin
+    }
+
+    /// Area.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// True if the boxes share any point (closed boxes: touching counts).
+    pub fn intersects(&self, other: &GeoBox) -> bool {
+        self.xmin <= other.xmax
+            && other.xmin <= self.xmax
+            && self.ymin <= other.ymax
+            && other.ymin <= self.ymax
+    }
+
+    /// Intersection box, if any.
+    pub fn intersection(&self, other: &GeoBox) -> Option<GeoBox> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(GeoBox {
+            xmin: self.xmin.max(other.xmin),
+            ymin: self.ymin.max(other.ymin),
+            xmax: self.xmax.min(other.xmax),
+            ymax: self.ymax.min(other.ymax),
+        })
+    }
+
+    /// Smallest box covering both.
+    pub fn union(&self, other: &GeoBox) -> GeoBox {
+        GeoBox {
+            xmin: self.xmin.min(other.xmin),
+            ymin: self.ymin.min(other.ymin),
+            xmax: self.xmax.max(other.xmax),
+            ymax: self.ymax.max(other.ymax),
+        }
+    }
+
+    /// True if `other` lies fully inside `self`.
+    pub fn contains(&self, other: &GeoBox) -> bool {
+        self.xmin <= other.xmin
+            && self.ymin <= other.ymin
+            && self.xmax >= other.xmax
+            && self.ymax >= other.ymax
+    }
+
+    /// True if the point is inside (closed).
+    pub fn contains_point(&self, x: f64, y: f64) -> bool {
+        x >= self.xmin && x <= self.xmax && y >= self.ymin && y <= self.ymax
+    }
+
+    /// The paper's `common()` assertion over a set of extents: all pairwise
+    /// "the same or overlap". Empty and singleton sets are trivially common.
+    pub fn common(extents: &[GeoBox]) -> bool {
+        for i in 0..extents.len() {
+            for j in (i + 1)..extents.len() {
+                if !extents[i].intersects(&extents[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Total ordering for value identity.
+    pub fn total_cmp(&self, other: &GeoBox) -> std::cmp::Ordering {
+        self.xmin
+            .total_cmp(&other.xmin)
+            .then(self.ymin.total_cmp(&other.ymin))
+            .then(self.xmax.total_cmp(&other.xmax))
+            .then(self.ymax.total_cmp(&other.ymax))
+    }
+
+    /// External representation `"(xmin, ymin, xmax, ymax)"`.
+    pub fn external_repr(&self) -> String {
+        format!("({}, {}, {}, {})", self.xmin, self.ymin, self.xmax, self.ymax)
+    }
+
+    /// Parse the external representation.
+    pub fn parse_external(s: &str) -> AdtResult<GeoBox> {
+        let inner = s
+            .trim()
+            .strip_prefix('(')
+            .and_then(|t| t.strip_suffix(')'))
+            .ok_or_else(|| AdtError::Parse(format!("box must be parenthesized: {s:?}")))?;
+        let parts: Vec<f64> = inner
+            .split(',')
+            .map(|p| {
+                p.trim()
+                    .parse::<f64>()
+                    .map_err(|_| AdtError::Parse(format!("bad box field {p:?}")))
+            })
+            .collect::<AdtResult<_>>()?;
+        if parts.len() != 4 {
+            return Err(AdtError::Parse(format!(
+                "box needs 4 fields, got {}",
+                parts.len()
+            )));
+        }
+        Ok(GeoBox::new(parts[0], parts[1], parts[2], parts[3]))
+    }
+}
+
+impl fmt::Display for GeoBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.external_repr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(x0: f64, y0: f64, x1: f64, y1: f64) -> GeoBox {
+        GeoBox::new(x0, y0, x1, y1)
+    }
+
+    #[test]
+    fn construction_normalizes() {
+        let g = b(10.0, 5.0, -10.0, -5.0);
+        assert_eq!((g.xmin, g.ymin, g.xmax, g.ymax), (-10.0, -5.0, 10.0, 5.0));
+        assert_eq!(g.area(), 200.0);
+    }
+
+    #[test]
+    fn intersection_union() {
+        let a = b(0.0, 0.0, 10.0, 10.0);
+        let c = b(5.0, 5.0, 15.0, 15.0);
+        let i = a.intersection(&c).unwrap();
+        assert_eq!((i.xmin, i.ymin, i.xmax, i.ymax), (5.0, 5.0, 10.0, 10.0));
+        let u = a.union(&c);
+        assert_eq!((u.xmin, u.ymin, u.xmax, u.ymax), (0.0, 0.0, 15.0, 15.0));
+        let far = b(20.0, 20.0, 30.0, 30.0);
+        assert!(a.intersection(&far).is_none());
+    }
+
+    #[test]
+    fn touching_boxes_intersect() {
+        let a = b(0.0, 0.0, 1.0, 1.0);
+        let c = b(1.0, 0.0, 2.0, 1.0);
+        assert!(a.intersects(&c));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = b(0.0, 0.0, 10.0, 10.0);
+        let inner = b(2.0, 2.0, 3.0, 3.0);
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        assert!(outer.contains_point(0.0, 10.0));
+        assert!(!outer.contains_point(-0.1, 5.0));
+    }
+
+    #[test]
+    fn common_assertion_semantics() {
+        // Paper Figure 3: common(bands.spatialextent) guards P20.
+        let africa = b(-20.0, -35.0, 55.0, 38.0);
+        let sahara = b(-15.0, 15.0, 35.0, 32.0);
+        let amazon = b(-75.0, -15.0, -50.0, 5.0);
+        assert!(GeoBox::common(&[africa, sahara]));
+        assert!(!GeoBox::common(&[africa, sahara, amazon]));
+        assert!(GeoBox::common(&[]));
+        assert!(GeoBox::common(&[africa]));
+    }
+
+    #[test]
+    fn external_repr_round_trip() {
+        let g = b(-1.5, 2.0, 3.25, 4.0);
+        let back = GeoBox::parse_external(&g.external_repr()).unwrap();
+        assert_eq!(g, back);
+        assert!(GeoBox::parse_external("(1, 2, 3)").is_err());
+        assert!(GeoBox::parse_external("1, 2, 3, 4").is_err());
+        assert!(GeoBox::parse_external("(a, 2, 3, 4)").is_err());
+    }
+
+    #[test]
+    fn ref_system_parsing() {
+        assert_eq!(RefSystem::parse("long/lat"), RefSystem::LongLat);
+        assert_eq!(RefSystem::parse("UTM 33"), RefSystem::Utm(33));
+        assert_eq!(RefSystem::parse("UTM"), RefSystem::Utm(0));
+        assert_eq!(
+            RefSystem::parse("Lambert"),
+            RefSystem::Named("Lambert".into())
+        );
+        assert_eq!(RefSystem::parse("UTM 33").to_string(), "UTM 33");
+    }
+
+    #[test]
+    fn ref_unit_parsing() {
+        assert_eq!(RefUnit::parse("meter"), RefUnit::Meter);
+        assert_eq!(RefUnit::parse("Degree"), RefUnit::Degree);
+        assert_eq!(RefUnit::parse("feet"), RefUnit::Named("feet".into()));
+    }
+}

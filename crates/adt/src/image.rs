@@ -1,0 +1,523 @@
+//! The `image` primitive class (paper §2.1.3).
+//!
+//! The paper defines the class with an external representation
+//! `"(nrows, ncols, pixtype, filepath)"` and an internal struct carrying the
+//! row/column counts, the pixel type (`char`, `int2`, `int4`, `float4`,
+//! `float8`) and the path of the file holding the raster payload. In this
+//! reproduction the payload lives in memory (a typed [`PixelBuffer`]); the
+//! external-representation string still parses and prints for fidelity with
+//! the paper, and `gaea-store` persists payloads to files on snapshot.
+
+use crate::error::{AdtError, AdtResult};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Pixel data types supported by the paper's `image` ADT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PixType {
+    /// 8-bit unsigned ("char" in the paper).
+    Char,
+    /// 16-bit signed.
+    Int2,
+    /// 32-bit signed.
+    Int4,
+    /// 32-bit float.
+    Float4,
+    /// 64-bit float.
+    Float8,
+}
+
+impl PixType {
+    /// Name used in the external representation.
+    pub fn name(self) -> &'static str {
+        match self {
+            PixType::Char => "char",
+            PixType::Int2 => "int2",
+            PixType::Int4 => "int4",
+            PixType::Float4 => "float4",
+            PixType::Float8 => "float8",
+        }
+    }
+
+    /// Parse an external-representation pixel type name.
+    pub fn parse(s: &str) -> AdtResult<PixType> {
+        Ok(match s.trim() {
+            "char" => PixType::Char,
+            "int2" => PixType::Int2,
+            "int4" => PixType::Int4,
+            "float4" => PixType::Float4,
+            "float8" => PixType::Float8,
+            other => return Err(AdtError::Parse(format!("unknown pixtype {other:?}"))),
+        })
+    }
+
+    /// Bytes per pixel.
+    pub fn width(self) -> usize {
+        match self {
+            PixType::Char => 1,
+            PixType::Int2 => 2,
+            PixType::Int4 | PixType::Float4 => 4,
+            PixType::Float8 => 8,
+        }
+    }
+}
+
+impl fmt::Display for PixType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Typed raster payload. Values are stored natively and read/written through
+/// `f64` accessors with saturating conversion, mirroring how a GIS reads
+/// heterogeneous rasters through one arithmetic interface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PixelBuffer {
+    /// `char` payload.
+    U8(Vec<u8>),
+    /// `int2` payload.
+    I16(Vec<i16>),
+    /// `int4` payload.
+    I32(Vec<i32>),
+    /// `float4` payload.
+    F32(Vec<f32>),
+    /// `float8` payload.
+    F64(Vec<f64>),
+}
+
+impl PixelBuffer {
+    /// Allocate a zero-filled buffer of `len` pixels of type `pt`.
+    pub fn zeros(pt: PixType, len: usize) -> PixelBuffer {
+        match pt {
+            PixType::Char => PixelBuffer::U8(vec![0; len]),
+            PixType::Int2 => PixelBuffer::I16(vec![0; len]),
+            PixType::Int4 => PixelBuffer::I32(vec![0; len]),
+            PixType::Float4 => PixelBuffer::F32(vec![0.0; len]),
+            PixType::Float8 => PixelBuffer::F64(vec![0.0; len]),
+        }
+    }
+
+    /// Pixel type of this buffer.
+    pub fn pixtype(&self) -> PixType {
+        match self {
+            PixelBuffer::U8(_) => PixType::Char,
+            PixelBuffer::I16(_) => PixType::Int2,
+            PixelBuffer::I32(_) => PixType::Int4,
+            PixelBuffer::F32(_) => PixType::Float4,
+            PixelBuffer::F64(_) => PixType::Float8,
+        }
+    }
+
+    /// Number of pixels.
+    pub fn len(&self) -> usize {
+        match self {
+            PixelBuffer::U8(v) => v.len(),
+            PixelBuffer::I16(v) => v.len(),
+            PixelBuffer::I32(v) => v.len(),
+            PixelBuffer::F32(v) => v.len(),
+            PixelBuffer::F64(v) => v.len(),
+        }
+    }
+
+    /// True if there are no pixels.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read pixel `i` as `f64`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        match self {
+            PixelBuffer::U8(v) => v[i] as f64,
+            PixelBuffer::I16(v) => v[i] as f64,
+            PixelBuffer::I32(v) => v[i] as f64,
+            PixelBuffer::F32(v) => v[i] as f64,
+            PixelBuffer::F64(v) => v[i],
+        }
+    }
+
+    /// Write pixel `i`, saturating/rounding to the native type.
+    #[inline]
+    pub fn set(&mut self, i: usize, val: f64) {
+        match self {
+            PixelBuffer::U8(v) => v[i] = val.round().clamp(0.0, u8::MAX as f64) as u8,
+            PixelBuffer::I16(v) => v[i] = val.round().clamp(i16::MIN as f64, i16::MAX as f64) as i16,
+            PixelBuffer::I32(v) => v[i] = val.round().clamp(i32::MIN as f64, i32::MAX as f64) as i32,
+            PixelBuffer::F32(v) => v[i] = val as f32,
+            PixelBuffer::F64(v) => v[i] = val,
+        }
+    }
+
+    /// Raw little-endian byte serialization of the payload (for blob files).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            PixelBuffer::U8(v) => v.clone(),
+            PixelBuffer::I16(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
+            PixelBuffer::I32(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
+            PixelBuffer::F32(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
+            PixelBuffer::F64(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
+        }
+    }
+
+    /// Inverse of [`PixelBuffer::to_bytes`].
+    pub fn from_bytes(pt: PixType, bytes: &[u8]) -> AdtResult<PixelBuffer> {
+        let w = pt.width();
+        if bytes.len() % w != 0 {
+            return Err(AdtError::Parse(format!(
+                "payload of {} bytes is not a multiple of {w} ({pt})",
+                bytes.len()
+            )));
+        }
+        let chunks = bytes.chunks_exact(w);
+        Ok(match pt {
+            PixType::Char => PixelBuffer::U8(bytes.to_vec()),
+            PixType::Int2 => {
+                PixelBuffer::I16(chunks.map(|c| i16::from_le_bytes([c[0], c[1]])).collect())
+            }
+            PixType::Int4 => PixelBuffer::I32(
+                chunks
+                    .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect(),
+            ),
+            PixType::Float4 => PixelBuffer::F32(
+                chunks
+                    .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect(),
+            ),
+            PixType::Float8 => PixelBuffer::F64(
+                chunks
+                    .map(|c| {
+                        f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]])
+                    })
+                    .collect(),
+            ),
+        })
+    }
+}
+
+/// A raster image: the paper's `image` primitive class.
+///
+/// Images are immutable once built (value identity: editing pixels produces
+/// a *new* object); construction goes through [`Image::new`] or the builder
+/// helpers, and bulk edits through [`Image::map`] / [`Image::zip_map`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Image {
+    nrow: u32,
+    ncol: u32,
+    buf: PixelBuffer,
+}
+
+impl Image {
+    /// Build an image from a payload buffer. Errors if `nrow * ncol` does not
+    /// match the buffer length.
+    pub fn new(nrow: u32, ncol: u32, buf: PixelBuffer) -> AdtResult<Image> {
+        let expect = nrow as usize * ncol as usize;
+        if buf.len() != expect {
+            return Err(AdtError::ShapeMismatch(format!(
+                "image {nrow}x{ncol} needs {expect} pixels, buffer has {}",
+                buf.len()
+            )));
+        }
+        Ok(Image { nrow, ncol, buf })
+    }
+
+    /// Zero-filled image of the given shape and pixel type.
+    pub fn zeros(nrow: u32, ncol: u32, pt: PixType) -> Image {
+        Image {
+            nrow,
+            ncol,
+            buf: PixelBuffer::zeros(pt, nrow as usize * ncol as usize),
+        }
+    }
+
+    /// Constant-filled image.
+    pub fn filled(nrow: u32, ncol: u32, pt: PixType, val: f64) -> Image {
+        let mut img = Image::zeros(nrow, ncol, pt);
+        for i in 0..img.len() {
+            img.buf.set(i, val);
+        }
+        img
+    }
+
+    /// Build a `float8` image from row-major samples.
+    pub fn from_f64(nrow: u32, ncol: u32, data: Vec<f64>) -> AdtResult<Image> {
+        Image::new(nrow, ncol, PixelBuffer::F64(data))
+    }
+
+    /// Number of rows (`img_nrow` operator).
+    pub fn nrow(&self) -> u32 {
+        self.nrow
+    }
+
+    /// Number of columns (`img_ncol` operator).
+    pub fn ncol(&self) -> u32 {
+        self.ncol
+    }
+
+    /// Pixel type (`img_type` operator).
+    pub fn pixtype(&self) -> PixType {
+        self.buf.pixtype()
+    }
+
+    /// Total pixel count.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if the image has no pixels.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Payload access.
+    pub fn buffer(&self) -> &PixelBuffer {
+        &self.buf
+    }
+
+    /// Read pixel (r, c) as `f64`.
+    #[inline]
+    pub fn get(&self, r: u32, c: u32) -> f64 {
+        debug_assert!(r < self.nrow && c < self.ncol);
+        self.buf.get(r as usize * self.ncol as usize + c as usize)
+    }
+
+    /// Read pixel by flat row-major index.
+    #[inline]
+    pub fn get_flat(&self, i: usize) -> f64 {
+        self.buf.get(i)
+    }
+
+    /// Same shape (rows and columns) as another image (`img_size_eq`).
+    pub fn size_eq(&self, other: &Image) -> bool {
+        self.nrow == other.nrow && self.ncol == other.ncol
+    }
+
+    /// Apply `f` to every pixel, producing a new image of pixel type `pt`.
+    pub fn map(&self, pt: PixType, mut f: impl FnMut(f64) -> f64) -> Image {
+        let mut out = Image::zeros(self.nrow, self.ncol, pt);
+        for i in 0..self.len() {
+            out.buf.set(i, f(self.buf.get(i)));
+        }
+        out
+    }
+
+    /// Combine two same-shaped images pixel-wise.
+    pub fn zip_map(
+        &self,
+        other: &Image,
+        pt: PixType,
+        mut f: impl FnMut(f64, f64) -> f64,
+    ) -> AdtResult<Image> {
+        if !self.size_eq(other) {
+            return Err(AdtError::ShapeMismatch(format!(
+                "zip_map on {}x{} vs {}x{}",
+                self.nrow, self.ncol, other.nrow, other.ncol
+            )));
+        }
+        let mut out = Image::zeros(self.nrow, self.ncol, pt);
+        for i in 0..self.len() {
+            out.buf.set(i, f(self.buf.get(i), other.buf.get(i)));
+        }
+        Ok(out)
+    }
+
+    /// Row-major samples as `f64`.
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.buf.get(i)).collect()
+    }
+
+    /// Build a new image of the same shape from `f64` samples.
+    pub fn with_samples(&self, pt: PixType, data: &[f64]) -> AdtResult<Image> {
+        if data.len() != self.len() {
+            return Err(AdtError::ShapeMismatch(format!(
+                "expected {} samples, got {}",
+                self.len(),
+                data.len()
+            )));
+        }
+        let mut out = Image::zeros(self.nrow, self.ncol, pt);
+        for (i, v) in data.iter().enumerate() {
+            out.buf.set(i, *v);
+        }
+        Ok(out)
+    }
+
+    /// The paper's external representation: `"(nrows, ncols, pixtype, filepath)"`.
+    ///
+    /// The in-memory reproduction has no intrinsic file path, so callers pass
+    /// the path the payload is (or will be) stored at.
+    pub fn external_repr(&self, filepath: &str) -> String {
+        format!("({}, {}, {}, {})", self.nrow, self.ncol, self.pixtype(), filepath)
+    }
+
+    /// Parse the external representation, returning the header fields.
+    /// The payload itself is loaded separately (it lives behind `filepath`).
+    pub fn parse_external(s: &str) -> AdtResult<(u32, u32, PixType, String)> {
+        let inner = s
+            .trim()
+            .strip_prefix('(')
+            .and_then(|t| t.strip_suffix(')'))
+            .ok_or_else(|| AdtError::Parse(format!("image external repr must be parenthesized: {s:?}")))?;
+        let parts: Vec<&str> = inner.splitn(4, ',').map(str::trim).collect();
+        if parts.len() != 4 {
+            return Err(AdtError::Parse(format!(
+                "image external repr needs 4 fields, got {}",
+                parts.len()
+            )));
+        }
+        let nrow: u32 = parts[0]
+            .parse()
+            .map_err(|_| AdtError::Parse(format!("bad nrows {:?}", parts[0])))?;
+        let ncol: u32 = parts[1]
+            .parse()
+            .map_err(|_| AdtError::Parse(format!("bad ncols {:?}", parts[1])))?;
+        let pt = PixType::parse(parts[2])?;
+        Ok((nrow, ncol, pt, parts[3].to_string()))
+    }
+
+    /// Total ordering for value identity: shape, then pixel type, then
+    /// payload bytes. Used by [`crate::Value`]'s `Ord`.
+    pub fn total_cmp(&self, other: &Image) -> std::cmp::Ordering {
+        self.nrow
+            .cmp(&other.nrow)
+            .then(self.ncol.cmp(&other.ncol))
+            .then(self.pixtype().cmp(&other.pixtype()))
+            .then_with(|| {
+                for i in 0..self.len() {
+                    let o = self.buf.get(i).total_cmp(&other.buf.get(i));
+                    if o != std::cmp::Ordering::Equal {
+                        return o;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            })
+    }
+}
+
+/// Shared, cheaply clonable image handle used inside [`crate::Value`].
+pub type ImageRef = Arc<Image>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_checked_construction() {
+        assert!(Image::new(2, 3, PixelBuffer::zeros(PixType::Char, 6)).is_ok());
+        assert!(Image::new(2, 3, PixelBuffer::zeros(PixType::Char, 5)).is_err());
+    }
+
+    #[test]
+    fn get_set_round_trip_all_pixtypes() {
+        for pt in [
+            PixType::Char,
+            PixType::Int2,
+            PixType::Int4,
+            PixType::Float4,
+            PixType::Float8,
+        ] {
+            let mut buf = PixelBuffer::zeros(pt, 4);
+            buf.set(2, 7.0);
+            assert_eq!(buf.get(2), 7.0, "pixtype {pt}");
+            assert_eq!(buf.get(0), 0.0);
+        }
+    }
+
+    #[test]
+    fn char_pixels_saturate() {
+        let mut buf = PixelBuffer::zeros(PixType::Char, 2);
+        buf.set(0, -5.0);
+        buf.set(1, 300.0);
+        assert_eq!(buf.get(0), 0.0);
+        assert_eq!(buf.get(1), 255.0);
+    }
+
+    #[test]
+    fn int_pixels_round() {
+        let mut buf = PixelBuffer::zeros(PixType::Int2, 2);
+        buf.set(0, 2.6);
+        buf.set(1, -2.6);
+        assert_eq!(buf.get(0), 3.0);
+        assert_eq!(buf.get(1), -3.0);
+    }
+
+    #[test]
+    fn map_changes_pixtype() {
+        let img = Image::filled(2, 2, PixType::Char, 10.0);
+        let scaled = img.map(PixType::Float8, |v| v * 1.5);
+        assert_eq!(scaled.pixtype(), PixType::Float8);
+        assert_eq!(scaled.get(1, 1), 15.0);
+    }
+
+    #[test]
+    fn zip_map_requires_same_shape() {
+        let a = Image::filled(2, 2, PixType::Float8, 4.0);
+        let b = Image::filled(2, 3, PixType::Float8, 4.0);
+        assert!(a.zip_map(&b, PixType::Float8, |x, y| x + y).is_err());
+        let c = Image::filled(2, 2, PixType::Float8, 1.0);
+        let sum = a.zip_map(&c, PixType::Float8, |x, y| x + y).unwrap();
+        assert_eq!(sum.get(0, 0), 5.0);
+    }
+
+    #[test]
+    fn external_repr_round_trip() {
+        let img = Image::zeros(120, 80, PixType::Int2);
+        let s = img.external_repr("/data/ndvi_1988.img");
+        assert_eq!(s, "(120, 80, int2, /data/ndvi_1988.img)");
+        let (r, c, pt, path) = Image::parse_external(&s).unwrap();
+        assert_eq!((r, c, pt, path.as_str()), (120, 80, PixType::Int2, "/data/ndvi_1988.img"));
+    }
+
+    #[test]
+    fn parse_external_rejects_malformed() {
+        assert!(Image::parse_external("120, 80, int2, f").is_err());
+        assert!(Image::parse_external("(120, 80, int2)").is_err());
+        assert!(Image::parse_external("(x, 80, int2, f)").is_err());
+        assert!(Image::parse_external("(120, 80, int9, f)").is_err());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        for pt in [
+            PixType::Char,
+            PixType::Int2,
+            PixType::Int4,
+            PixType::Float4,
+            PixType::Float8,
+        ] {
+            let mut buf = PixelBuffer::zeros(pt, 5);
+            for i in 0..5 {
+                buf.set(i, (i as f64) - 2.0);
+            }
+            let bytes = buf.to_bytes();
+            assert_eq!(bytes.len(), 5 * pt.width());
+            let back = PixelBuffer::from_bytes(pt, &bytes).unwrap();
+            assert_eq!(back, buf);
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_ragged_payload() {
+        assert!(PixelBuffer::from_bytes(PixType::Int4, &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn total_cmp_orders_by_content() {
+        let a = Image::filled(1, 2, PixType::Float8, 1.0);
+        let b = Image::filled(1, 2, PixType::Float8, 2.0);
+        assert_eq!(a.total_cmp(&b), std::cmp::Ordering::Less);
+        assert_eq!(a.total_cmp(&a.clone()), std::cmp::Ordering::Equal);
+        let c = Image::filled(2, 2, PixType::Float8, 0.0);
+        assert_eq!(a.total_cmp(&c), std::cmp::Ordering::Less); // fewer rows
+    }
+
+    #[test]
+    fn value_identity_map_produces_new_object() {
+        // Paper: "Changing the value of an object in a primitive class will
+        // always lead to another object."
+        let img = Image::filled(2, 2, PixType::Float8, 1.0);
+        let edited = img.map(PixType::Float8, |v| v + 1.0);
+        assert_ne!(img, edited);
+    }
+}

@@ -1,0 +1,41 @@
+//! # gaea-adt — system-level semantics (paper §2.1.3)
+//!
+//! The lowest of Gaea's three semantic layers. It provides:
+//!
+//! * **Primitive classes**: value-identified abstract data types. "In
+//!   primitive classes, data objects are value identified, i.e., the object
+//!   identifier for a data object is its value. Changing the value of an
+//!   object in a primitive class will always lead to another object."
+//!   [`Value`] therefore implements *total* equality, ordering and hashing
+//!   (floats compare by IEEE total order / bit pattern).
+//! * **The `image` primitive class** from the paper's listing (nrows, ncols,
+//!   pixtype, payload), plus `matrix` and `vector` used by the PCA network
+//!   of Figure 4.
+//! * **Spatial and temporal extents** ([`geo::GeoBox`], [`time::AbsTime`])
+//!   with the `common()` overlap predicate used in process assertions.
+//! * **Operators**: functions encapsulated with primitive classes, managed in
+//!   a browsable [`operator::OperatorRegistry`] (§4.2 item 1).
+//! * **Compound operators**: "operators can be combined into a self-contained
+//!   compound operator that can be applied as a primitive mapping function"
+//!   — [`dataflow::DataflowGraph`], a typed DAG of operator invocations
+//!   executed topologically (Figure 4's PCA network).
+
+pub mod dataflow;
+pub mod error;
+pub mod geo;
+pub mod image;
+pub mod matrix;
+pub mod operator;
+pub mod time;
+pub mod types;
+pub mod value;
+
+pub use dataflow::{DataflowBuilder, DataflowGraph, Source};
+pub use error::{AdtError, AdtResult};
+pub use geo::{GeoBox, RefSystem, RefUnit};
+pub use image::{Image, PixType, PixelBuffer};
+pub use matrix::{Matrix, VectorD};
+pub use operator::{OpDef, OpKind, OperatorRegistry, Signature};
+pub use time::{AbsTime, TimeRange};
+pub use types::TypeTag;
+pub use value::Value;

@@ -1,0 +1,394 @@
+//! Dense `matrix` and `vector` primitive classes (Figure 4).
+//!
+//! The PCA compound operator of Figure 4 flows `SET OF image → SET OF matrix
+//! → matrix → vector → SET OF image`; these are the intermediate carriers.
+//! Numerically we only need real symmetric matrices (covariance) and plain
+//! dense algebra, so everything is `f64` row-major.
+
+use crate::error::{AdtError, AdtResult};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build from row-major data.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> AdtResult<Matrix> {
+        if data.len() != rows * cols {
+            return Err(AdtError::ShapeMismatch(format!(
+                "matrix {rows}x{cols} needs {} entries, got {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Read entry (r, c).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Write entry (r, c).
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Copy of row `r`.
+    pub fn row(&self, r: usize) -> Vec<f64> {
+        self.data[r * self.cols..(r + 1) * self.cols].to_vec()
+    }
+
+    /// Copy of column `c`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    pub fn matmul(&self, other: &Matrix) -> AdtResult<Matrix> {
+        if self.cols != other.rows {
+            return Err(AdtError::ShapeMismatch(format!(
+                "matmul {}x{} * {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..other.cols {
+                    out.data[r * other.cols + c] += a * other.get(k, c);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product.
+    pub fn matvec(&self, v: &VectorD) -> AdtResult<VectorD> {
+        if self.cols != v.len() {
+            return Err(AdtError::ShapeMismatch(format!(
+                "matvec {}x{} * len-{}",
+                self.rows,
+                self.cols,
+                v.len()
+            )));
+        }
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for c in 0..self.cols {
+                acc += self.get(r, c) * v.data()[c];
+            }
+            out[r] = acc;
+        }
+        Ok(VectorD::new(out))
+    }
+
+    /// Element-wise scale.
+    pub fn scale(&self, k: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * k).collect(),
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &Matrix) -> AdtResult<Matrix> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(AdtError::ShapeMismatch("matrix add".into()));
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        })
+    }
+
+    /// Symmetry check with tolerance.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                if (self.get(r, c) - self.get(c, r)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute off-diagonal entry (used by the Jacobi solver).
+    pub fn max_off_diagonal(&self) -> f64 {
+        let mut m = 0.0f64;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if r != c {
+                    m = m.max(self.get(r, c).abs());
+                }
+            }
+        }
+        m
+    }
+
+    /// Total ordering for value identity.
+    pub fn total_cmp(&self, other: &Matrix) -> std::cmp::Ordering {
+        self.rows
+            .cmp(&other.rows)
+            .then(self.cols.cmp(&other.cols))
+            .then_with(|| {
+                for (a, b) in self.data.iter().zip(&other.data) {
+                    let o = a.total_cmp(b);
+                    if o != std::cmp::Ordering::Equal {
+                        return o;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            })
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:>10.4} ", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Dense `f64` vector primitive class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VectorD {
+    data: Vec<f64>,
+}
+
+impl VectorD {
+    /// Wrap samples.
+    pub fn new(data: Vec<f64>) -> VectorD {
+        VectorD { data }
+    }
+
+    /// Zero vector.
+    pub fn zeros(n: usize) -> VectorD {
+        VectorD { data: vec![0.0; n] }
+    }
+
+    /// Length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow samples.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Dot product.
+    pub fn dot(&self, other: &VectorD) -> AdtResult<f64> {
+        if self.len() != other.len() {
+            return Err(AdtError::ShapeMismatch("vector dot".into()));
+        }
+        Ok(self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum())
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Unit-normalized copy (zero vectors pass through unchanged).
+    pub fn normalized(&self) -> VectorD {
+        let n = self.norm();
+        if n == 0.0 {
+            self.clone()
+        } else {
+            VectorD {
+                data: self.data.iter().map(|x| x / n).collect(),
+            }
+        }
+    }
+
+    /// Element-wise scale.
+    pub fn scale(&self, k: f64) -> VectorD {
+        VectorD {
+            data: self.data.iter().map(|x| x * k).collect(),
+        }
+    }
+
+    /// Total ordering for value identity.
+    pub fn total_cmp(&self, other: &VectorD) -> std::cmp::Ordering {
+        self.data
+            .len()
+            .cmp(&other.data.len())
+            .then_with(|| {
+                for (a, b) in self.data.iter().zip(&other.data) {
+                    let o = a.total_cmp(b);
+                    if o != std::cmp::Ordering::Equal {
+                        return o;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Matrix::from_rows(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let s = Matrix::from_rows(2, 2, vec![1.0, 0.5, 0.5, 2.0]).unwrap();
+        assert!(s.is_symmetric(1e-12));
+        let a = Matrix::from_rows(2, 2, vec![1.0, 0.5, 0.4, 2.0]).unwrap();
+        assert!(!a.is_symmetric(1e-12));
+        assert!(!Matrix::zeros(2, 3).is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn matvec_works() {
+        let a = Matrix::from_rows(2, 2, vec![2.0, 0.0, 0.0, 3.0]).unwrap();
+        let v = VectorD::new(vec![1.0, 1.0]);
+        assert_eq!(a.matvec(&v).unwrap().data(), &[2.0, 3.0]);
+        assert!(a.matvec(&VectorD::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn vector_norms() {
+        let v = VectorD::new(vec![3.0, 4.0]);
+        assert_eq!(v.norm(), 5.0);
+        let u = v.normalized();
+        assert!((u.norm() - 1.0).abs() < 1e-12);
+        assert_eq!(VectorD::zeros(2).normalized().norm(), 0.0);
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = VectorD::new(vec![1.0, 2.0, 3.0]);
+        let b = VectorD::new(vec![4.0, 5.0, 6.0]);
+        assert_eq!(a.dot(&b).unwrap(), 32.0);
+        assert!(a.dot(&VectorD::zeros(2)).is_err());
+    }
+
+    #[test]
+    fn off_diagonal_max() {
+        let m = Matrix::from_rows(2, 2, vec![9.0, -3.0, 2.0, 9.0]).unwrap();
+        assert_eq!(m.max_off_diagonal(), 3.0);
+    }
+
+    #[test]
+    fn from_rows_validates_len() {
+        assert!(Matrix::from_rows(2, 2, vec![1.0; 3]).is_err());
+    }
+}

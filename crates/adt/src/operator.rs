@@ -1,0 +1,552 @@
+//! Operators: the methods encapsulated with primitive classes (paper §2.1.3).
+//!
+//! "Following Postgres, functions on primitive classes are called operators."
+//! The registry is the browsable structure of §4.2: "All the primitive
+//! classes and their operators are managed in a hierarchical structure.
+//! Users can browse the hierarchy, look up appropriate operators for
+//! specific primitive classes, or find the primitive classes that have a
+//! specific operator. Users are allowed to define new primitive classes
+//! and/or new operators."
+//!
+//! Operators are either **primitive** (a Rust closure) or **compound** (a
+//! [`crate::dataflow::DataflowGraph`] of other operators, Figure 4) — a
+//! compound operator "can be applied as a primitive mapping function".
+
+use crate::dataflow::DataflowGraph;
+use crate::error::{AdtError, AdtResult};
+use crate::geo::GeoBox;
+use crate::time::AbsTime;
+use crate::types::TypeTag;
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Declared parameter/return types of an operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    /// Parameter types, in order.
+    pub inputs: Vec<TypeTag>,
+    /// Return type.
+    pub output: TypeTag,
+    /// If true, the final parameter type may repeat zero or more times.
+    pub variadic: bool,
+}
+
+impl Signature {
+    /// Fixed-arity signature.
+    pub fn new(inputs: Vec<TypeTag>, output: TypeTag) -> Signature {
+        Signature {
+            inputs,
+            output,
+            variadic: false,
+        }
+    }
+
+    /// Variadic signature (last declared parameter repeats).
+    pub fn variadic(inputs: Vec<TypeTag>, output: TypeTag) -> Signature {
+        Signature {
+            inputs,
+            output,
+            variadic: true,
+        }
+    }
+
+    /// Check an argument type list against this signature.
+    pub fn check(&self, op: &str, args: &[TypeTag]) -> AdtResult<()> {
+        if self.variadic {
+            if args.len() + 1 < self.inputs.len() {
+                return Err(AdtError::ArityMismatch {
+                    op: op.into(),
+                    expected: self.inputs.len(),
+                    found: args.len(),
+                });
+            }
+        } else if args.len() != self.inputs.len() {
+            return Err(AdtError::ArityMismatch {
+                op: op.into(),
+                expected: self.inputs.len(),
+                found: args.len(),
+            });
+        }
+        for (i, arg) in args.iter().enumerate() {
+            let slot = if i < self.inputs.len() {
+                &self.inputs[i]
+            } else {
+                // variadic tail
+                self.inputs.last().expect("variadic signature has a tail")
+            };
+            if !slot.accepts(arg) {
+                return Err(AdtError::TypeMismatch {
+                    context: format!("{op} argument {i}"),
+                    expected: slot.to_string(),
+                    found: arg.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, t) in self.inputs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        if self.variadic {
+            write!(f, ", ...")?;
+        }
+        write!(f, ") -> {}", self.output)
+    }
+}
+
+/// Body of an operator.
+#[derive(Clone)]
+pub enum OpKind {
+    /// Native implementation.
+    Primitive(Arc<dyn Fn(&[Value]) -> AdtResult<Value> + Send + Sync>),
+    /// Network of other operators (Figure 4).
+    Compound(Arc<DataflowGraph>),
+}
+
+impl fmt::Debug for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Primitive(_) => write!(f, "Primitive(<native>)"),
+            OpKind::Compound(g) => write!(f, "Compound({})", g.name()),
+        }
+    }
+}
+
+/// A registered operator.
+#[derive(Debug, Clone)]
+pub struct OpDef {
+    /// Unique name.
+    pub name: String,
+    /// Declared signature.
+    pub sig: Signature,
+    /// Implementation.
+    pub kind: OpKind,
+    /// Human documentation shown when browsing.
+    pub doc: String,
+}
+
+impl OpDef {
+    /// True if this operator was built as a dataflow network.
+    pub fn is_compound(&self) -> bool {
+        matches!(self.kind, OpKind::Compound(_))
+    }
+}
+
+/// The browsable operator catalog of the system-level semantics layer.
+#[derive(Debug, Clone, Default)]
+pub struct OperatorRegistry {
+    ops: BTreeMap<String, OpDef>,
+}
+
+impl OperatorRegistry {
+    /// Empty registry (no builtins).
+    pub fn empty() -> OperatorRegistry {
+        OperatorRegistry::default()
+    }
+
+    /// Registry preloaded with the generic builtins (arithmetic, comparisons,
+    /// the `img_*` family from §2.1.3, extent guards, set helpers).
+    /// Raster-analysis operators are contributed by `gaea-raster`.
+    pub fn with_builtins() -> OperatorRegistry {
+        let mut r = OperatorRegistry::empty();
+        register_builtins(&mut r).expect("builtins are internally consistent");
+        r
+    }
+
+    /// Register an operator; duplicate names are rejected ("In no case is the
+    /// old process overwritten" — the same conservatism applies to operators).
+    pub fn register(&mut self, def: OpDef) -> AdtResult<()> {
+        if self.ops.contains_key(&def.name) {
+            return Err(AdtError::DuplicateOperator(def.name.clone()));
+        }
+        self.ops.insert(def.name.clone(), def);
+        Ok(())
+    }
+
+    /// Convenience: register a primitive operator from a closure.
+    pub fn register_fn(
+        &mut self,
+        name: &str,
+        sig: Signature,
+        doc: &str,
+        f: impl Fn(&[Value]) -> AdtResult<Value> + Send + Sync + 'static,
+    ) -> AdtResult<()> {
+        self.register(OpDef {
+            name: name.into(),
+            sig,
+            kind: OpKind::Primitive(Arc::new(f)),
+            doc: doc.into(),
+        })
+    }
+
+    /// Register a compound operator (validates its network first).
+    pub fn register_compound(&mut self, graph: DataflowGraph, doc: &str) -> AdtResult<()> {
+        let output = graph.validate(self)?;
+        let sig = Signature::new(
+            graph.inputs().iter().map(|(_, t)| t.clone()).collect(),
+            output,
+        );
+        self.register(OpDef {
+            name: graph.name().to_string(),
+            sig,
+            kind: OpKind::Compound(Arc::new(graph)),
+            doc: doc.into(),
+        })
+    }
+
+    /// Look up by name.
+    pub fn get(&self, name: &str) -> AdtResult<&OpDef> {
+        self.ops
+            .get(name)
+            .ok_or_else(|| AdtError::UnknownOperator(name.into()))
+    }
+
+    /// True if registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.ops.contains_key(name)
+    }
+
+    /// All operators, sorted by name.
+    pub fn list(&self) -> impl Iterator<Item = &OpDef> {
+        self.ops.values()
+    }
+
+    /// Number of registered operators.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if no operators are registered.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Browse: operators applicable to a value of type `tag`
+    /// (§4.2: "look up appropriate operators for specific primitive classes").
+    pub fn ops_for_input(&self, tag: &TypeTag) -> Vec<&OpDef> {
+        self.ops
+            .values()
+            .filter(|d| d.sig.inputs.iter().any(|slot| slot.accepts(tag)))
+            .collect()
+    }
+
+    /// Browse: the primitive classes that have a specific operator (§4.2).
+    pub fn input_classes_of(&self, name: &str) -> AdtResult<Vec<TypeTag>> {
+        Ok(self.get(name)?.sig.inputs.clone())
+    }
+
+    /// Type-check and apply an operator.
+    pub fn invoke(&self, name: &str, args: &[Value]) -> AdtResult<Value> {
+        let def = self.get(name)?;
+        let arg_tags: Vec<TypeTag> = args.iter().map(Value::type_tag).collect();
+        def.sig.check(name, &arg_tags)?;
+        match &def.kind {
+            OpKind::Primitive(f) => f(args),
+            OpKind::Compound(graph) => graph.execute(self, args),
+        }
+    }
+}
+
+/// Binary float helper.
+fn binop(
+    r: &mut OperatorRegistry,
+    name: &str,
+    doc: &str,
+    f: fn(f64, f64) -> AdtResult<f64>,
+) -> AdtResult<()> {
+    r.register_fn(
+        name,
+        Signature::new(vec![TypeTag::Float8, TypeTag::Float8], TypeTag::Float8),
+        doc,
+        move |args| {
+            let a = args[0].expect_f64("lhs")?;
+            let b = args[1].expect_f64("rhs")?;
+            Ok(Value::Float8(f(a, b)?))
+        },
+    )
+}
+
+/// Install the generic builtins.
+pub fn register_builtins(r: &mut OperatorRegistry) -> AdtResult<()> {
+    binop(r, "add", "float8 addition", |a, b| Ok(a + b))?;
+    binop(r, "sub", "float8 subtraction", |a, b| Ok(a - b))?;
+    binop(r, "mul", "float8 multiplication", |a, b| Ok(a * b))?;
+    binop(r, "div", "float8 division (errors on zero divisor)", |a, b| {
+        if b == 0.0 {
+            Err(AdtError::Numeric("division by zero".into()))
+        } else {
+            Ok(a / b)
+        }
+    })?;
+    binop(r, "min", "float8 minimum", |a, b| Ok(a.min(b)))?;
+    binop(r, "max", "float8 maximum", |a, b| Ok(a.max(b)))?;
+
+    r.register_fn(
+        "eq",
+        Signature::new(vec![TypeTag::Any, TypeTag::Any], TypeTag::Bool),
+        "value-identity equality on any primitive class",
+        |args| Ok(Value::Bool(args[0] == args[1])),
+    )?;
+    r.register_fn(
+        "lt",
+        Signature::new(vec![TypeTag::Float8, TypeTag::Float8], TypeTag::Bool),
+        "numeric less-than",
+        |args| Ok(Value::Bool(args[0].expect_f64("lt")? < args[1].expect_f64("lt")?)),
+    )?;
+    r.register_fn(
+        "gt",
+        Signature::new(vec![TypeTag::Float8, TypeTag::Float8], TypeTag::Bool),
+        "numeric greater-than",
+        |args| Ok(Value::Bool(args[0].expect_f64("gt")? > args[1].expect_f64("gt")?)),
+    )?;
+
+    // Set helpers used by process templates (Figure 3).
+    r.register_fn(
+        "card",
+        Signature::new(vec![TypeTag::Any.set_of()], TypeTag::Int4),
+        "cardinality of a set (assertion builtin, Figure 3)",
+        |args| Ok(Value::Int4(args[0].card()? as i32)),
+    )?;
+    r.register_fn(
+        "anyof",
+        Signature::new(vec![TypeTag::Any.set_of()], TypeTag::Any),
+        "pick a representative member of a set (ANYOF mapping, Figure 3)",
+        |args| {
+            let set = args[0].expect_set("anyof")?;
+            set.first()
+                .cloned()
+                .ok_or_else(|| AdtError::InvalidArgument("anyof over empty set".into()))
+        },
+    )?;
+
+    // The paper's image operators (§2.1.3 listing).
+    r.register_fn(
+        "img_nrow",
+        Signature::new(vec![TypeTag::Image], TypeTag::Int4),
+        "return # of rows",
+        |args| Ok(Value::Int4(args[0].expect_image("img_nrow")?.nrow() as i32)),
+    )?;
+    r.register_fn(
+        "img_ncol",
+        Signature::new(vec![TypeTag::Image], TypeTag::Int4),
+        "return # of columns",
+        |args| Ok(Value::Int4(args[0].expect_image("img_ncol")?.ncol() as i32)),
+    )?;
+    r.register_fn(
+        "img_type",
+        Signature::new(vec![TypeTag::Image], TypeTag::Text),
+        "return a pixel's data type",
+        |args| {
+            Ok(Value::Text(
+                args[0].expect_image("img_type")?.pixtype().name().to_string(),
+            ))
+        },
+    )?;
+    r.register_fn(
+        "img_size_eq",
+        Signature::new(vec![TypeTag::Image, TypeTag::Image], TypeTag::Bool),
+        "check if 2 image sizes are equal",
+        |args| {
+            let a = args[0].expect_image("img_size_eq")?;
+            let b = args[1].expect_image("img_size_eq")?;
+            Ok(Value::Bool(a.size_eq(b)))
+        },
+    )?;
+
+    // Extent guards (`common()` in assertions, Figure 3).
+    r.register_fn(
+        "common_box",
+        Signature::new(vec![TypeTag::GeoBox.set_of()], TypeTag::Bool),
+        "all spatial extents the same or overlapping (assertion guard)",
+        |args| {
+            let set = args[0].expect_set("common_box")?;
+            let boxes: AdtResult<Vec<GeoBox>> = set
+                .iter()
+                .map(|v| {
+                    v.as_geobox().ok_or_else(|| AdtError::TypeMismatch {
+                        context: "common_box".into(),
+                        expected: "box".into(),
+                        found: v.type_tag().to_string(),
+                    })
+                })
+                .collect();
+            Ok(Value::Bool(GeoBox::common(&boxes?)))
+        },
+    )?;
+    r.register_fn(
+        "common_time",
+        Signature::new(vec![TypeTag::AbsTime.set_of()], TypeTag::Bool),
+        "all timestamps equal (point-extent form of the common() guard)",
+        |args| {
+            let set = args[0].expect_set("common_time")?;
+            let times: AdtResult<Vec<AbsTime>> = set
+                .iter()
+                .map(|v| {
+                    v.as_abstime().ok_or_else(|| AdtError::TypeMismatch {
+                        context: "common_time".into(),
+                        expected: "abstime".into(),
+                        found: v.type_tag().to_string(),
+                    })
+                })
+                .collect();
+            let times = times?;
+            Ok(Value::Bool(times.windows(2).all(|w| w[0] == w[1])))
+        },
+    )?;
+    r.register_fn(
+        "box_area",
+        Signature::new(vec![TypeTag::GeoBox], TypeTag::Float8),
+        "area of a bounding box",
+        |args| {
+            let b = args[0]
+                .as_geobox()
+                .ok_or_else(|| AdtError::TypeMismatch {
+                    context: "box_area".into(),
+                    expected: "box".into(),
+                    found: args[0].type_tag().to_string(),
+                })?;
+            Ok(Value::Float8(b.area()))
+        },
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{Image, PixType};
+
+    #[test]
+    fn builtins_present_and_invocable() {
+        let r = OperatorRegistry::with_builtins();
+        assert!(r.len() >= 15);
+        assert_eq!(
+            r.invoke("add", &[Value::Float8(2.0), Value::Float8(3.0)]).unwrap(),
+            Value::Float8(5.0)
+        );
+        assert_eq!(
+            r.invoke("div", &[Value::Float8(6.0), Value::Float8(3.0)]).unwrap(),
+            Value::Float8(2.0)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let r = OperatorRegistry::with_builtins();
+        assert!(r
+            .invoke("div", &[Value::Float8(1.0), Value::Float8(0.0)])
+            .is_err());
+    }
+
+    #[test]
+    fn arity_and_type_checked() {
+        let r = OperatorRegistry::with_builtins();
+        assert!(matches!(
+            r.invoke("add", &[Value::Float8(1.0)]),
+            Err(AdtError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            r.invoke("img_nrow", &[Value::Int4(3)]),
+            Err(AdtError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            r.invoke("no_such_op", &[]),
+            Err(AdtError::UnknownOperator(_))
+        ));
+    }
+
+    #[test]
+    fn img_operators_match_paper_listing() {
+        let r = OperatorRegistry::with_builtins();
+        let img = Value::image(Image::zeros(10, 20, PixType::Int2));
+        assert_eq!(r.invoke("img_nrow", &[img.clone()]).unwrap(), Value::Int4(10));
+        assert_eq!(r.invoke("img_ncol", &[img.clone()]).unwrap(), Value::Int4(20));
+        assert_eq!(
+            r.invoke("img_type", &[img.clone()]).unwrap(),
+            Value::Text("int2".into())
+        );
+        let other = Value::image(Image::zeros(10, 20, PixType::Float4));
+        assert_eq!(
+            r.invoke("img_size_eq", &[img, other]).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn card_and_anyof() {
+        let r = OperatorRegistry::with_builtins();
+        let set = Value::Set(vec![Value::Int4(7), Value::Int4(8)]);
+        assert_eq!(r.invoke("card", &[set.clone()]).unwrap(), Value::Int4(2));
+        assert_eq!(r.invoke("anyof", &[set]).unwrap(), Value::Int4(7));
+        assert!(r.invoke("anyof", &[Value::Set(vec![])]).is_err());
+    }
+
+    #[test]
+    fn common_box_guard() {
+        let r = OperatorRegistry::with_builtins();
+        let a = Value::GeoBox(GeoBox::new(0.0, 0.0, 10.0, 10.0));
+        let b = Value::GeoBox(GeoBox::new(5.0, 5.0, 15.0, 15.0));
+        let c = Value::GeoBox(GeoBox::new(20.0, 20.0, 30.0, 30.0));
+        assert_eq!(
+            r.invoke("common_box", &[Value::Set(vec![a.clone(), b.clone()])]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            r.invoke("common_box", &[Value::Set(vec![a, b, c])]).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut r = OperatorRegistry::with_builtins();
+        let err = r
+            .register_fn(
+                "add",
+                Signature::new(vec![], TypeTag::Int4),
+                "dup",
+                |_| Ok(Value::Int4(0)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, AdtError::DuplicateOperator(_)));
+    }
+
+    #[test]
+    fn browsing_by_input_class() {
+        let r = OperatorRegistry::with_builtins();
+        let for_images = r.ops_for_input(&TypeTag::Image);
+        let names: Vec<&str> = for_images.iter().map(|d| d.name.as_str()).collect();
+        assert!(names.contains(&"img_nrow"));
+        assert!(names.contains(&"img_size_eq"));
+        // `eq` takes Any so it also applies to images.
+        assert!(names.contains(&"eq"));
+        assert!(!names.contains(&"add"));
+    }
+
+    #[test]
+    fn variadic_signature_check() {
+        let sig = Signature::variadic(vec![TypeTag::Float8], TypeTag::Float8);
+        assert!(sig.check("sum", &[]).is_ok());
+        assert!(sig
+            .check("sum", &[TypeTag::Float8, TypeTag::Float8, TypeTag::Float8])
+            .is_ok());
+        assert!(sig.check("sum", &[TypeTag::Float8, TypeTag::Image]).is_err());
+        assert_eq!(sig.to_string(), "(float8, ...) -> float8");
+    }
+
+    #[test]
+    fn signature_display() {
+        let sig = Signature::new(vec![TypeTag::Image.set_of(), TypeTag::Int4], TypeTag::Image);
+        assert_eq!(sig.to_string(), "(setof image, int4) -> image");
+    }
+}

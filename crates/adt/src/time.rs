@@ -1,0 +1,332 @@
+//! Temporal extents (paper §2.1.2).
+//!
+//! Non-primitive classes carry a `TEMPORAL EXTENT` attribute of type
+//! `abstime` (absolute time). Gaea's companion temporal work (Qiu et al.,
+//! SSDM '92) models timestamps and intervals; here we provide an absolute
+//! timestamp with calendar helpers plus a closed interval type, and the
+//! `common()` overlap guard used in process assertions.
+
+use crate::error::{AdtError, AdtResult};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Absolute time: seconds since the Unix epoch (may be negative).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct AbsTime(pub i64);
+
+const DAYS_PER_400Y: i64 = 146_097;
+
+fn is_leap(y: i64) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+fn days_in_month(y: i64, m: u32) -> i64 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(y) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+impl AbsTime {
+    /// Construct from a calendar date (proleptic Gregorian, UTC midnight).
+    pub fn from_ymd(year: i64, month: u32, day: u32) -> AdtResult<AbsTime> {
+        if !(1..=12).contains(&month) {
+            return Err(AdtError::InvalidArgument(format!("month {month}")));
+        }
+        if day == 0 || (day as i64) > days_in_month(year, month) {
+            return Err(AdtError::InvalidArgument(format!(
+                "day {day} of {year}-{month:02}"
+            )));
+        }
+        // Days from 1970-01-01 to year-01-01.
+        let mut days: i64 = 0;
+        if year >= 1970 {
+            for y in 1970..year {
+                days += if is_leap(y) { 366 } else { 365 };
+            }
+        } else {
+            for y in year..1970 {
+                days -= if is_leap(y) { 366 } else { 365 };
+            }
+        }
+        for m in 1..month {
+            days += days_in_month(year, m);
+        }
+        days += day as i64 - 1;
+        Ok(AbsTime(days * 86_400))
+    }
+
+    /// Calendar date (year, month, day) of this timestamp (UTC).
+    pub fn ymd(self) -> (i64, u32, u32) {
+        let mut days = self.0.div_euclid(86_400);
+        // Work in 400-year cycles to keep the loop bounded for huge values.
+        let mut year = 1970i64;
+        year += 400 * days.div_euclid(DAYS_PER_400Y);
+        days = days.rem_euclid(DAYS_PER_400Y);
+        loop {
+            let ylen = if is_leap(year) { 366 } else { 365 };
+            if days >= ylen {
+                days -= ylen;
+                year += 1;
+            } else {
+                break;
+            }
+        }
+        let mut month = 1u32;
+        loop {
+            let mlen = days_in_month(year, month);
+            if days >= mlen {
+                days -= mlen;
+                month += 1;
+            } else {
+                break;
+            }
+        }
+        (year, month, days as u32 + 1)
+    }
+
+    /// Seconds since epoch.
+    pub fn seconds(self) -> i64 {
+        self.0
+    }
+
+    /// Timestamp offset by whole days.
+    pub fn plus_days(self, days: i64) -> AbsTime {
+        AbsTime(self.0 + days * 86_400)
+    }
+
+    /// ISO-8601-ish rendering (date only if midnight-aligned).
+    pub fn render(self) -> String {
+        let (y, m, d) = self.ymd();
+        let rem = self.0.rem_euclid(86_400);
+        if rem == 0 {
+            format!("{y:04}-{m:02}-{d:02}")
+        } else {
+            let h = rem / 3600;
+            let mi = (rem % 3600) / 60;
+            let s = rem % 60;
+            format!("{y:04}-{m:02}-{d:02}T{h:02}:{mi:02}:{s:02}")
+        }
+    }
+
+    /// Parse `YYYY-MM-DD` (optionally with `THH:MM:SS`).
+    pub fn parse(s: &str) -> AdtResult<AbsTime> {
+        let s = s.trim();
+        let (date, time) = match s.split_once('T') {
+            Some((d, t)) => (d, Some(t)),
+            None => (s, None),
+        };
+        let parts: Vec<&str> = date.split('-').collect();
+        // A leading '-' means negative year; keep it simple: require y-m-d.
+        if parts.len() != 3 {
+            return Err(AdtError::Parse(format!("bad date {s:?}")));
+        }
+        let year: i64 = parts[0]
+            .parse()
+            .map_err(|_| AdtError::Parse(format!("bad year in {s:?}")))?;
+        let month: u32 = parts[1]
+            .parse()
+            .map_err(|_| AdtError::Parse(format!("bad month in {s:?}")))?;
+        let day: u32 = parts[2]
+            .parse()
+            .map_err(|_| AdtError::Parse(format!("bad day in {s:?}")))?;
+        let mut t = AbsTime::from_ymd(year, month, day)?;
+        if let Some(hms) = time {
+            let tp: Vec<&str> = hms.split(':').collect();
+            if tp.len() != 3 {
+                return Err(AdtError::Parse(format!("bad time in {s:?}")));
+            }
+            let h: i64 = tp[0]
+                .parse()
+                .map_err(|_| AdtError::Parse(format!("bad hour in {s:?}")))?;
+            let mi: i64 = tp[1]
+                .parse()
+                .map_err(|_| AdtError::Parse(format!("bad minute in {s:?}")))?;
+            let sec: i64 = tp[2]
+                .parse()
+                .map_err(|_| AdtError::Parse(format!("bad second in {s:?}")))?;
+            if !(0..24).contains(&h) || !(0..60).contains(&mi) || !(0..60).contains(&sec) {
+                return Err(AdtError::Parse(format!("time out of range in {s:?}")));
+            }
+            t = AbsTime(t.0 + h * 3600 + mi * 60 + sec);
+        }
+        Ok(t)
+    }
+}
+
+impl fmt::Display for AbsTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Closed time interval `[start, end]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TimeRange {
+    /// Inclusive start.
+    pub start: AbsTime,
+    /// Inclusive end.
+    pub end: AbsTime,
+}
+
+impl TimeRange {
+    /// Build, normalizing order.
+    pub fn new(a: AbsTime, b: AbsTime) -> TimeRange {
+        if a <= b {
+            TimeRange { start: a, end: b }
+        } else {
+            TimeRange { start: b, end: a }
+        }
+    }
+
+    /// Degenerate instant.
+    pub fn instant(t: AbsTime) -> TimeRange {
+        TimeRange { start: t, end: t }
+    }
+
+    /// Duration in seconds.
+    pub fn duration(&self) -> i64 {
+        self.end.0 - self.start.0
+    }
+
+    /// True if `t` lies inside (closed).
+    pub fn contains(&self, t: AbsTime) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// Overlap check (closed intervals: touching counts).
+    pub fn intersects(&self, other: &TimeRange) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Intersection, if any.
+    pub fn intersection(&self, other: &TimeRange) -> Option<TimeRange> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(TimeRange {
+            start: self.start.max(other.start),
+            end: self.end.min(other.end),
+        })
+    }
+
+    /// The `common()` assertion over timestamps/intervals.
+    pub fn common(ranges: &[TimeRange]) -> bool {
+        for i in 0..ranges.len() {
+            for j in (i + 1)..ranges.len() {
+                if !ranges[i].intersects(&ranges[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for TimeRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970() {
+        assert_eq!(AbsTime(0).ymd(), (1970, 1, 1));
+        assert_eq!(AbsTime::from_ymd(1970, 1, 1).unwrap(), AbsTime(0));
+    }
+
+    #[test]
+    fn ymd_round_trip_sample_dates() {
+        for (y, m, d) in [
+            (1970, 1, 1),
+            (1986, 1, 31),   // the paper's "January 1986 for Africa" task
+            (1988, 2, 29),   // leap year in the NDVI scenario window
+            (1989, 12, 31),
+            (2000, 2, 29),
+            (1900, 3, 1),
+            (2026, 6, 11),
+        ] {
+            let t = AbsTime::from_ymd(y, m, d).unwrap();
+            assert_eq!(t.ymd(), (y, m, d), "{y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn pre_epoch_dates() {
+        let t = AbsTime::from_ymd(1969, 12, 31).unwrap();
+        assert_eq!(t.0, -86_400);
+        assert_eq!(t.ymd(), (1969, 12, 31));
+    }
+
+    #[test]
+    fn rejects_bad_calendar_input() {
+        assert!(AbsTime::from_ymd(1989, 2, 29).is_err()); // not a leap year
+        assert!(AbsTime::from_ymd(1989, 13, 1).is_err());
+        assert!(AbsTime::from_ymd(1989, 0, 1).is_err());
+        assert!(AbsTime::from_ymd(1989, 6, 31).is_err());
+    }
+
+    #[test]
+    fn parse_and_render() {
+        let t = AbsTime::parse("1988-06-15").unwrap();
+        assert_eq!(t.render(), "1988-06-15");
+        let t2 = AbsTime::parse("1988-06-15T12:30:05").unwrap();
+        assert_eq!(t2.render(), "1988-06-15T12:30:05");
+        assert_eq!(t2.0 - t.0, 12 * 3600 + 30 * 60 + 5);
+        assert!(AbsTime::parse("1988/06/15").is_err());
+        assert!(AbsTime::parse("1988-06-15T25:00:00").is_err());
+    }
+
+    #[test]
+    fn range_overlap_semantics() {
+        let y1988 = TimeRange::new(
+            AbsTime::from_ymd(1988, 1, 1).unwrap(),
+            AbsTime::from_ymd(1988, 12, 31).unwrap(),
+        );
+        let y1989 = TimeRange::new(
+            AbsTime::from_ymd(1989, 1, 1).unwrap(),
+            AbsTime::from_ymd(1989, 12, 31).unwrap(),
+        );
+        let h2_1988 = TimeRange::new(
+            AbsTime::from_ymd(1988, 7, 1).unwrap(),
+            AbsTime::from_ymd(1989, 6, 30).unwrap(),
+        );
+        assert!(!y1988.intersects(&y1989));
+        assert!(y1988.intersects(&h2_1988));
+        assert!(y1989.intersects(&h2_1988));
+        assert!(!TimeRange::common(&[y1988, y1989, h2_1988]));
+        assert!(TimeRange::common(&[y1988, h2_1988]));
+    }
+
+    #[test]
+    fn range_normalizes_and_contains() {
+        let a = AbsTime::from_ymd(1990, 1, 1).unwrap();
+        let b = AbsTime::from_ymd(1989, 1, 1).unwrap();
+        let r = TimeRange::new(a, b);
+        assert_eq!(r.start, b);
+        assert!(r.contains(AbsTime::from_ymd(1989, 6, 1).unwrap()));
+        assert!(!r.contains(AbsTime::from_ymd(1991, 1, 1).unwrap()));
+        assert_eq!(TimeRange::instant(a).duration(), 0);
+    }
+
+    #[test]
+    fn plus_days() {
+        let t = AbsTime::from_ymd(1988, 2, 28).unwrap();
+        assert_eq!(t.plus_days(1).ymd(), (1988, 2, 29));
+        assert_eq!(t.plus_days(2).ymd(), (1988, 3, 1));
+    }
+}

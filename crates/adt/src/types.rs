@@ -1,0 +1,198 @@
+//! Type tags for primitive classes.
+//!
+//! The paper's prototype inherited its primitive classes from the Postgres
+//! ADT facility ("Examples of primitive classes are the integer, float,
+//! string and boolean class"), extended with the `image` class and the
+//! `matrix` / `vector` classes appearing in the PCA network of Figure 4,
+//! plus the extent types `box` (spatial) and `abstime` (temporal) used in
+//! the `landcover` class listing of §2.1.2.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The type of a [`crate::Value`]: one tag per primitive class.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TypeTag {
+    /// Boolean class.
+    Bool,
+    /// 16-bit integer (`int2` in the paper's pixel/attribute types).
+    Int2,
+    /// 32-bit integer (`int4`).
+    Int4,
+    /// 32-bit float (`float4`).
+    Float4,
+    /// 64-bit float (`float8`).
+    Float8,
+    /// Fixed-width string (`char16` in the `landcover` listing).
+    Char16,
+    /// Unbounded string (file paths, names).
+    Text,
+    /// Absolute time (`abstime`), the temporal extent type.
+    AbsTime,
+    /// Bounding box (`box`), the spatial extent type.
+    GeoBox,
+    /// Raster image primitive class (§2.1.3 listing).
+    Image,
+    /// Dense 2-D matrix (Figure 4).
+    Matrix,
+    /// Dense vector (Figure 4).
+    Vector,
+    /// Reference to an object of a non-primitive class (the §4.3 extension
+    /// lifting limitation 1: "non-primitive classes can only be composed of
+    /// primitive classes"). The *referenced class* is declared on the
+    /// attribute definition in the kernel schema; at this level a reference
+    /// is just a typed object identifier.
+    ObjRef,
+    /// Homogeneous set of another type (`SETOF bands` in Figure 3).
+    Set(Box<TypeTag>),
+    /// Wildcard used by generic operators (`card`, `anyof`).
+    Any,
+}
+
+impl TypeTag {
+    /// A set of this type.
+    pub fn set_of(self) -> TypeTag {
+        TypeTag::Set(Box::new(self))
+    }
+
+    /// True if a value of type `other` may be bound to a slot of this type.
+    ///
+    /// `Any` is compatible in *both* directions: an `Any` slot takes
+    /// everything, and an `Any`-typed producer (e.g. the `anyof` operator,
+    /// whose static type is unknown) may feed any slot — the concrete type
+    /// is re-checked at invocation time with the actual value. Numeric slots
+    /// are otherwise exact (Gaea, like Postgres, requires explicit casts).
+    pub fn accepts(&self, other: &TypeTag) -> bool {
+        match (self, other) {
+            (TypeTag::Any, _) | (_, TypeTag::Any) => true,
+            (TypeTag::Set(a), TypeTag::Set(b)) => a.accepts(b),
+            (a, b) => a == b,
+        }
+    }
+
+    /// True for the numeric primitive classes.
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            TypeTag::Int2 | TypeTag::Int4 | TypeTag::Float4 | TypeTag::Float8
+        )
+    }
+
+    /// Element type if this is a set.
+    pub fn element(&self) -> Option<&TypeTag> {
+        match self {
+            TypeTag::Set(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Parse the textual names used in the paper's DDL listings
+    /// (`char16`, `float4`, `image`, `box`, `abstime`, ...).
+    pub fn parse(name: &str) -> Option<TypeTag> {
+        let name = name.trim();
+        if let Some(inner) = name
+            .strip_prefix("setof ")
+            .or_else(|| name.strip_prefix("SETOF "))
+        {
+            return TypeTag::parse(inner).map(|t| t.set_of());
+        }
+        Some(match name {
+            "bool" | "boolean" => TypeTag::Bool,
+            "int2" => TypeTag::Int2,
+            "int4" | "int" | "integer" => TypeTag::Int4,
+            "float4" => TypeTag::Float4,
+            "float8" | "float" => TypeTag::Float8,
+            "char16" => TypeTag::Char16,
+            "text" | "string" => TypeTag::Text,
+            "abstime" => TypeTag::AbsTime,
+            "box" => TypeTag::GeoBox,
+            "image" => TypeTag::Image,
+            "matrix" => TypeTag::Matrix,
+            "vector" => TypeTag::Vector,
+            "objref" | "ref" => TypeTag::ObjRef,
+            "any" => TypeTag::Any,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TypeTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeTag::Bool => write!(f, "bool"),
+            TypeTag::Int2 => write!(f, "int2"),
+            TypeTag::Int4 => write!(f, "int4"),
+            TypeTag::Float4 => write!(f, "float4"),
+            TypeTag::Float8 => write!(f, "float8"),
+            TypeTag::Char16 => write!(f, "char16"),
+            TypeTag::Text => write!(f, "text"),
+            TypeTag::AbsTime => write!(f, "abstime"),
+            TypeTag::GeoBox => write!(f, "box"),
+            TypeTag::Image => write!(f, "image"),
+            TypeTag::Matrix => write!(f, "matrix"),
+            TypeTag::Vector => write!(f, "vector"),
+            TypeTag::ObjRef => write!(f, "objref"),
+            TypeTag::Set(e) => write!(f, "setof {e}"),
+            TypeTag::Any => write!(f, "any"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_display() {
+        for t in [
+            TypeTag::Bool,
+            TypeTag::Int2,
+            TypeTag::Int4,
+            TypeTag::Float4,
+            TypeTag::Float8,
+            TypeTag::Char16,
+            TypeTag::Text,
+            TypeTag::AbsTime,
+            TypeTag::GeoBox,
+            TypeTag::Image,
+            TypeTag::Matrix,
+            TypeTag::Vector,
+            TypeTag::ObjRef,
+            TypeTag::Image.set_of(),
+            TypeTag::Any,
+        ] {
+            assert_eq!(TypeTag::parse(&t.to_string()), Some(t));
+        }
+    }
+
+    #[test]
+    fn nested_sets_parse() {
+        assert_eq!(
+            TypeTag::parse("setof setof image"),
+            Some(TypeTag::Image.set_of().set_of())
+        );
+    }
+
+    #[test]
+    fn accepts_any() {
+        assert!(TypeTag::Any.accepts(&TypeTag::Image));
+        assert!(TypeTag::Image.accepts(&TypeTag::Any)); // gradual: unknown producer
+        assert!(TypeTag::Set(Box::new(TypeTag::Any)).accepts(&TypeTag::Image.set_of()));
+        assert!(TypeTag::Image.set_of().accepts(&TypeTag::Any.set_of()));
+        assert!(!TypeTag::Image.accepts(&TypeTag::Matrix));
+        assert!(!TypeTag::Image.set_of().accepts(&TypeTag::Image));
+    }
+
+    #[test]
+    fn numeric_classification() {
+        assert!(TypeTag::Int2.is_numeric());
+        assert!(TypeTag::Float8.is_numeric());
+        assert!(!TypeTag::Image.is_numeric());
+        assert!(!TypeTag::Text.is_numeric());
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert_eq!(TypeTag::parse("raster"), None);
+    }
+}

@@ -1,0 +1,585 @@
+//! Value-identified objects of primitive classes (paper §2.1.3).
+//!
+//! "In primitive classes, data objects are value identified, i.e., the
+//! object identifier for a data object is its value." [`Value`] therefore
+//! implements *total* `Eq`, `Ord` and `Hash` — floats compare and hash by
+//! IEEE total order / bit pattern, so every value is its own stable
+//! identity, NaNs included.
+
+use crate::error::{AdtError, AdtResult};
+use crate::geo::GeoBox;
+use crate::image::Image;
+use crate::matrix::{Matrix, VectorD};
+use crate::time::AbsTime;
+use crate::types::TypeTag;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A value of some primitive class.
+///
+/// Large payloads (`Image`, `Matrix`, `Vector`) are held behind [`Arc`] so
+/// values stay cheap to clone as they move through operator networks,
+/// heap relations and task records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL-ish null; absent attribute.
+    Null,
+    /// Boolean class.
+    Bool(bool),
+    /// 16-bit integer class.
+    Int2(i16),
+    /// 32-bit integer class.
+    Int4(i32),
+    /// 32-bit float class.
+    Float4(f32),
+    /// 64-bit float class.
+    Float8(f64),
+    /// Fixed-width string class (`char16`); stored as a string, length
+    /// enforced at class-definition time, not here.
+    Char16(String),
+    /// Unbounded string.
+    Text(String),
+    /// Absolute time.
+    AbsTime(AbsTime),
+    /// Spatial bounding box.
+    GeoBox(GeoBox),
+    /// Raster image.
+    Image(Arc<Image>),
+    /// Dense matrix.
+    Matrix(Arc<Matrix>),
+    /// Dense vector.
+    Vector(Arc<VectorD>),
+    /// Reference to a non-primitive object by OID (the §4.3 extension:
+    /// attributes may point at objects of other non-primitive classes; the
+    /// kernel validates the target class at insert time).
+    ObjRef(u64),
+    /// Homogeneous set (`SETOF`). Order is preserved (sets in the paper's
+    /// templates are argument collections, not mathematical sets).
+    Set(Vec<Value>),
+}
+
+impl Value {
+    /// Build an image value.
+    pub fn image(img: Image) -> Value {
+        Value::Image(Arc::new(img))
+    }
+
+    /// Build a matrix value.
+    pub fn matrix(m: Matrix) -> Value {
+        Value::Matrix(Arc::new(m))
+    }
+
+    /// Build a vector value.
+    pub fn vector(v: VectorD) -> Value {
+        Value::Vector(Arc::new(v))
+    }
+
+    /// The type tag of this value. Sets report their element type from the
+    /// first member (empty sets are `Set(Any)`).
+    pub fn type_tag(&self) -> TypeTag {
+        match self {
+            Value::Null => TypeTag::Any,
+            Value::Bool(_) => TypeTag::Bool,
+            Value::Int2(_) => TypeTag::Int2,
+            Value::Int4(_) => TypeTag::Int4,
+            Value::Float4(_) => TypeTag::Float4,
+            Value::Float8(_) => TypeTag::Float8,
+            Value::Char16(_) => TypeTag::Char16,
+            Value::Text(_) => TypeTag::Text,
+            Value::AbsTime(_) => TypeTag::AbsTime,
+            Value::GeoBox(_) => TypeTag::GeoBox,
+            Value::Image(_) => TypeTag::Image,
+            Value::Matrix(_) => TypeTag::Matrix,
+            Value::Vector(_) => TypeTag::Vector,
+            Value::ObjRef(_) => TypeTag::ObjRef,
+            Value::Set(items) => items
+                .first()
+                .map(|v| v.type_tag().set_of())
+                .unwrap_or(TypeTag::Any.set_of()),
+        }
+    }
+
+    /// True for `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (`int2`/`int4`/`float4`/`float8`), if applicable.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int2(v) => Some(*v as f64),
+            Value::Int4(v) => Some(*v as f64),
+            Value::Float4(v) => Some(*v as f64),
+            Value::Float8(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Integer view, if integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int2(v) => Some(*v as i64),
+            Value::Int4(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// String view (both string classes).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Char16(s) | Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Image view.
+    pub fn as_image(&self) -> Option<&Arc<Image>> {
+        match self {
+            Value::Image(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Matrix view.
+    pub fn as_matrix(&self) -> Option<&Arc<Matrix>> {
+        match self {
+            Value::Matrix(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Vector view.
+    pub fn as_vector(&self) -> Option<&Arc<VectorD>> {
+        match self {
+            Value::Vector(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Set view.
+    pub fn as_set(&self) -> Option<&[Value]> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Object-reference view.
+    pub fn as_objref(&self) -> Option<u64> {
+        match self {
+            Value::ObjRef(o) => Some(*o),
+            _ => None,
+        }
+    }
+
+    /// GeoBox view.
+    pub fn as_geobox(&self) -> Option<GeoBox> {
+        match self {
+            Value::GeoBox(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// AbsTime view.
+    pub fn as_abstime(&self) -> Option<AbsTime> {
+        match self {
+            Value::AbsTime(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Typed extraction with a descriptive error, for operator bodies.
+    pub fn expect_image(&self, ctx: &str) -> AdtResult<&Arc<Image>> {
+        self.as_image().ok_or_else(|| AdtError::TypeMismatch {
+            context: ctx.into(),
+            expected: "image".into(),
+            found: self.type_tag().to_string(),
+        })
+    }
+
+    /// Typed extraction with a descriptive error.
+    pub fn expect_matrix(&self, ctx: &str) -> AdtResult<&Arc<Matrix>> {
+        self.as_matrix().ok_or_else(|| AdtError::TypeMismatch {
+            context: ctx.into(),
+            expected: "matrix".into(),
+            found: self.type_tag().to_string(),
+        })
+    }
+
+    /// Typed extraction with a descriptive error.
+    pub fn expect_set(&self, ctx: &str) -> AdtResult<&[Value]> {
+        self.as_set().ok_or_else(|| AdtError::TypeMismatch {
+            context: ctx.into(),
+            expected: "setof _".into(),
+            found: self.type_tag().to_string(),
+        })
+    }
+
+    /// Typed extraction with a descriptive error.
+    pub fn expect_f64(&self, ctx: &str) -> AdtResult<f64> {
+        self.as_f64().ok_or_else(|| AdtError::TypeMismatch {
+            context: ctx.into(),
+            expected: "numeric".into(),
+            found: self.type_tag().to_string(),
+        })
+    }
+
+    /// Cardinality of a set value (the `card()` builtin of Figure 3).
+    pub fn card(&self) -> AdtResult<usize> {
+        Ok(self.expect_set("card")?.len())
+    }
+
+    /// Discriminant rank for cross-variant ordering.
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int2(_) => 2,
+            Value::Int4(_) => 3,
+            Value::Float4(_) => 4,
+            Value::Float8(_) => 5,
+            Value::Char16(_) => 6,
+            Value::Text(_) => 7,
+            Value::AbsTime(_) => 8,
+            Value::GeoBox(_) => 9,
+            Value::Image(_) => 10,
+            Value::Matrix(_) => 11,
+            Value::Vector(_) => 12,
+            Value::ObjRef(_) => 13,
+            Value::Set(_) => 14,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Value) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int2(a), Int2(b)) => a.cmp(b),
+            (Int4(a), Int4(b)) => a.cmp(b),
+            (Float4(a), Float4(b)) => a.total_cmp(b),
+            (Float8(a), Float8(b)) => a.total_cmp(b),
+            (Char16(a), Char16(b)) => a.cmp(b),
+            (Text(a), Text(b)) => a.cmp(b),
+            (AbsTime(a), AbsTime(b)) => a.cmp(b),
+            (GeoBox(a), GeoBox(b)) => a.total_cmp(b),
+            (Image(a), Image(b)) => a.total_cmp(b),
+            (Matrix(a), Matrix(b)) => a.total_cmp(b),
+            (Vector(a), Vector(b)) => a.total_cmp(b),
+            (ObjRef(a), ObjRef(b)) => a.cmp(b),
+            (Set(a), Set(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let o = x.cmp(y);
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (a, b) => a.rank().cmp(&b.rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.rank().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int2(v) => v.hash(state),
+            Value::Int4(v) => v.hash(state),
+            Value::Float4(v) => v.to_bits().hash(state),
+            Value::Float8(v) => v.to_bits().hash(state),
+            Value::Char16(s) | Value::Text(s) => s.hash(state),
+            Value::AbsTime(t) => t.hash(state),
+            Value::GeoBox(b) => {
+                b.xmin.to_bits().hash(state);
+                b.ymin.to_bits().hash(state);
+                b.xmax.to_bits().hash(state);
+                b.ymax.to_bits().hash(state);
+            }
+            Value::Image(img) => {
+                img.nrow().hash(state);
+                img.ncol().hash(state);
+                img.pixtype().hash(state);
+                for i in 0..img.len() {
+                    img.get_flat(i).to_bits().hash(state);
+                }
+            }
+            Value::Matrix(m) => {
+                m.rows().hash(state);
+                m.cols().hash(state);
+                for v in m.data() {
+                    v.to_bits().hash(state);
+                }
+            }
+            Value::Vector(v) => {
+                v.len().hash(state);
+                for x in v.data() {
+                    x.to_bits().hash(state);
+                }
+            }
+            Value::ObjRef(o) => o.hash(state),
+            Value::Set(items) => {
+                items.len().hash(state);
+                for v in items {
+                    v.hash(state);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int2(v) => write!(f, "{v}"),
+            Value::Int4(v) => write!(f, "{v}"),
+            Value::Float4(v) => write!(f, "{v}"),
+            Value::Float8(v) => write!(f, "{v}"),
+            Value::Char16(s) | Value::Text(s) => write!(f, "{s:?}"),
+            Value::AbsTime(t) => write!(f, "{t}"),
+            Value::GeoBox(b) => write!(f, "{b}"),
+            Value::Image(img) => write!(
+                f,
+                "image({}x{}, {})",
+                img.nrow(),
+                img.ncol(),
+                img.pixtype()
+            ),
+            Value::Matrix(m) => write!(f, "matrix({}x{})", m.rows(), m.cols()),
+            Value::Vector(v) => write!(f, "vector(len {})", v.len()),
+            Value::ObjRef(o) => write!(f, "ref(obj:{o})"),
+            Value::Set(items) => {
+                write!(f, "{{")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+impl From<i16> for Value {
+    fn from(v: i16) -> Value {
+        Value::Int2(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::Int4(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Float4(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float8(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Text(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Text(s)
+    }
+}
+impl From<AbsTime> for Value {
+    fn from(t: AbsTime) -> Value {
+        Value::AbsTime(t)
+    }
+}
+impl From<GeoBox> for Value {
+    fn from(b: GeoBox) -> Value {
+        Value::GeoBox(b)
+    }
+}
+impl From<Image> for Value {
+    fn from(i: Image) -> Value {
+        Value::image(i)
+    }
+}
+impl From<Matrix> for Value {
+    fn from(m: Matrix) -> Value {
+        Value::matrix(m)
+    }
+}
+impl From<VectorD> for Value {
+    fn from(v: VectorD) -> Value {
+        Value::vector(v)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(items: Vec<Value>) -> Value {
+        Value::Set(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::PixType;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn value_identity_floats_total() {
+        // NaN equals itself under value identity (bit-pattern semantics).
+        let nan1 = Value::Float8(f64::NAN);
+        let nan2 = Value::Float8(f64::NAN);
+        assert_eq!(nan1, nan2);
+        assert_eq!(hash_of(&nan1), hash_of(&nan2));
+        // -0.0 and +0.0 are distinct objects (different bit patterns).
+        assert_ne!(Value::Float8(-0.0), Value::Float8(0.0));
+    }
+
+    #[test]
+    fn cross_variant_ordering_is_stable() {
+        let mut vals = vec![
+            Value::Text("b".into()),
+            Value::Int4(3),
+            Value::Bool(true),
+            Value::Null,
+        ];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![
+                Value::Null,
+                Value::Bool(true),
+                Value::Int4(3),
+                Value::Text("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn set_ordering_lexicographic() {
+        let a = Value::Set(vec![Value::Int4(1), Value::Int4(2)]);
+        let b = Value::Set(vec![Value::Int4(1), Value::Int4(3)]);
+        let c = Value::Set(vec![Value::Int4(1)]);
+        assert!(a < b);
+        assert!(c < a);
+    }
+
+    #[test]
+    fn image_values_compare_by_content() {
+        let i1 = Value::image(Image::filled(2, 2, PixType::Char, 5.0));
+        let i2 = Value::image(Image::filled(2, 2, PixType::Char, 5.0));
+        let i3 = Value::image(Image::filled(2, 2, PixType::Char, 6.0));
+        assert_eq!(i1, i2);
+        assert_eq!(hash_of(&i1), hash_of(&i2));
+        assert_ne!(i1, i3);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int2(4).as_f64(), Some(4.0));
+        assert_eq!(Value::Float4(0.5).as_f64(), Some(0.5));
+        assert_eq!(Value::Text("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Int4(1).as_i64(), Some(1));
+        assert_eq!(Value::Float8(1.0).as_i64(), None);
+    }
+
+    #[test]
+    fn card_builtin() {
+        let s = Value::Set(vec![Value::Int4(1), Value::Int4(2), Value::Int4(3)]);
+        assert_eq!(s.card().unwrap(), 3);
+        assert!(Value::Int4(1).card().is_err());
+    }
+
+    #[test]
+    fn type_tags() {
+        assert_eq!(Value::Int4(1).type_tag(), TypeTag::Int4);
+        assert_eq!(
+            Value::Set(vec![Value::Float8(1.0)]).type_tag(),
+            TypeTag::Float8.set_of()
+        );
+        assert_eq!(Value::Set(vec![]).type_tag(), TypeTag::Any.set_of());
+    }
+
+    #[test]
+    fn expect_helpers_report_context() {
+        let err = Value::Int4(1).expect_image("composite").unwrap_err();
+        assert!(err.to_string().contains("composite"));
+        assert!(Value::Int4(1).expect_f64("scale").is_ok());
+        assert!(Value::Text("x".into()).expect_f64("scale").is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Set(vec![Value::Int4(1), Value::Int4(2)]).to_string(), "{1, 2}");
+        let img = Value::image(Image::zeros(3, 4, PixType::Int2));
+        assert_eq!(img.to_string(), "image(3x4, int2)");
+    }
+
+    #[test]
+    fn objref_identity_ordering_and_views() {
+        let a = Value::ObjRef(41);
+        let b = Value::ObjRef(42);
+        assert_ne!(a, b);
+        assert_eq!(a, Value::ObjRef(41));
+        assert_eq!(hash_of(&a), hash_of(&Value::ObjRef(41)));
+        assert!(a < b);
+        assert_eq!(a.as_objref(), Some(41));
+        assert_eq!(Value::Int4(41).as_objref(), None);
+        assert_eq!(a.type_tag(), TypeTag::ObjRef);
+        assert_eq!(a.to_string(), "ref(obj:41)");
+        // Serde round trip preserves identity.
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

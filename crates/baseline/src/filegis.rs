@@ -1,0 +1,486 @@
+//! The file-based GIS emulation.
+//!
+//! Commands mirror the IDRISI working loop: read rasters from input files,
+//! run one operation, write the result to an output file, append a line to
+//! `transcript.log`. All weaknesses are faithful: names are the only
+//! identity, overwrites clobber silently (§4.1: "inadvertent file overwrite
+//! by other users"), and provenance is a text scan.
+
+use gaea_adt::{AdtError, Image, PixelBuffer, PixType};
+use gaea_raster::{img_diff, img_ratio, kmeans_classify, min_distance_classify, ndvi};
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Errors from the file-based workflow.
+#[derive(Debug)]
+pub enum FileGisError {
+    /// I/O failure.
+    Io(std::io::Error),
+    /// Raster decode failure.
+    Codec(String),
+    /// Unknown command in a transcript.
+    UnknownCommand(String),
+    /// Referenced file does not exist.
+    NoSuchFile(String),
+    /// Underlying algorithm failure.
+    Adt(AdtError),
+}
+
+impl fmt::Display for FileGisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FileGisError::Io(e) => write!(f, "io: {e}"),
+            FileGisError::Codec(m) => write!(f, "codec: {m}"),
+            FileGisError::UnknownCommand(c) => write!(f, "unknown command: {c}"),
+            FileGisError::NoSuchFile(p) => write!(f, "no such file: {p}"),
+            FileGisError::Adt(e) => write!(f, "algorithm: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FileGisError {}
+
+impl From<std::io::Error> for FileGisError {
+    fn from(e: std::io::Error) -> FileGisError {
+        FileGisError::Io(e)
+    }
+}
+
+impl From<AdtError> for FileGisError {
+    fn from(e: AdtError) -> FileGisError {
+        FileGisError::Adt(e)
+    }
+}
+
+/// A parsed transcript line: `output = command(input, ...)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranscriptEntry {
+    /// Output file stem.
+    pub output: String,
+    /// Command name.
+    pub command: String,
+    /// Input file stems / literal arguments.
+    pub inputs: Vec<String>,
+}
+
+impl TranscriptEntry {
+    fn render(&self) -> String {
+        format!("{} = {}({})", self.output, self.command, self.inputs.join(", "))
+    }
+
+    fn parse(line: &str) -> Option<TranscriptEntry> {
+        let (output, rest) = line.split_once('=')?;
+        let rest = rest.trim();
+        let open = rest.find('(')?;
+        let close = rest.rfind(')')?;
+        let command = rest[..open].trim().to_string();
+        let args = rest[open + 1..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        Some(TranscriptEntry {
+            output: output.trim().to_string(),
+            command,
+            inputs: args,
+        })
+    }
+}
+
+/// A directory-backed, transcript-logged GIS session.
+pub struct FileGis {
+    root: PathBuf,
+}
+
+impl FileGis {
+    /// Open (creating) a working directory.
+    pub fn open(root: &Path) -> Result<FileGis, FileGisError> {
+        fs::create_dir_all(root)?;
+        Ok(FileGis { root: root.into() })
+    }
+
+    /// The working directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn raster_path(&self, name: &str) -> PathBuf {
+        self.root.join(format!("{name}.img"))
+    }
+
+    /// Store a raster under a name. Overwrites silently — the §4.1 hazard.
+    pub fn put_raster(&self, name: &str, img: &Image) -> Result<(), FileGisError> {
+        let header = format!("{} {} {}\n", img.nrow(), img.ncol(), img.pixtype().name());
+        let mut bytes = header.into_bytes();
+        bytes.extend_from_slice(&img.buffer().to_bytes());
+        fs::write(self.raster_path(name), bytes)?;
+        Ok(())
+    }
+
+    /// Load a raster by name — the *only* retrieval the baseline offers.
+    pub fn get_raster(&self, name: &str) -> Result<Image, FileGisError> {
+        let path = self.raster_path(name);
+        let bytes = fs::read(&path)
+            .map_err(|_| FileGisError::NoSuchFile(path.display().to_string()))?;
+        let newline = bytes
+            .iter()
+            .position(|b| *b == b'\n')
+            .ok_or_else(|| FileGisError::Codec("missing raster header".into()))?;
+        let header = std::str::from_utf8(&bytes[..newline])
+            .map_err(|_| FileGisError::Codec("bad raster header".into()))?;
+        let mut parts = header.split_whitespace();
+        let nrow: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| FileGisError::Codec("bad nrow".into()))?;
+        let ncol: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| FileGisError::Codec("bad ncol".into()))?;
+        let pt = PixType::parse(
+            parts
+                .next()
+                .ok_or_else(|| FileGisError::Codec("missing pixtype".into()))?,
+        )
+        .map_err(|e| FileGisError::Codec(e.to_string()))?;
+        let buf = PixelBuffer::from_bytes(pt, &bytes[newline + 1..])
+            .map_err(|e| FileGisError::Codec(e.to_string()))?;
+        Image::new(nrow, ncol, buf).map_err(|e| FileGisError::Codec(e.to_string()))
+    }
+
+    /// List stored raster names.
+    pub fn list(&self) -> Result<Vec<String>, FileGisError> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().to_string();
+            if let Some(stem) = name.strip_suffix(".img") {
+                names.push(stem.to_string());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn log(&self, entry: &TranscriptEntry) -> Result<(), FileGisError> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.root.join("transcript.log"))?;
+        writeln!(f, "{}", entry.render())?;
+        Ok(())
+    }
+
+    /// The transcript, oldest first.
+    pub fn transcript(&self) -> Result<Vec<TranscriptEntry>, FileGisError> {
+        let path = self.root.join("transcript.log");
+        if !path.exists() {
+            return Ok(vec![]);
+        }
+        let text = fs::read_to_string(path)?;
+        Ok(text.lines().filter_map(TranscriptEntry::parse).collect())
+    }
+
+    /// Run one command: read inputs, compute, write `output`, log.
+    ///
+    /// Commands: `ndvi(nir, red)`, `diff(a, b)`, `ratio(a, b)`,
+    /// `classify(b1, b2, b3, k)`, `copy(a)`.
+    pub fn run(
+        &self,
+        command: &str,
+        inputs: &[&str],
+        output: &str,
+    ) -> Result<(), FileGisError> {
+        let result = match command {
+            "ndvi" => {
+                let nir = self.get_raster(inputs[0])?;
+                let red = self.get_raster(inputs[1])?;
+                ndvi(&nir, &red)?
+            }
+            "diff" => {
+                let a = self.get_raster(inputs[0])?;
+                let b = self.get_raster(inputs[1])?;
+                img_diff(&a, &b)?
+            }
+            "ratio" => {
+                let a = self.get_raster(inputs[0])?;
+                let b = self.get_raster(inputs[1])?;
+                img_ratio(&a, &b)?
+            }
+            "classify" => {
+                let k: usize = inputs
+                    .last()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| FileGisError::Codec("classify needs trailing k".into()))?;
+                let bands: Result<Vec<Image>, FileGisError> = inputs[..inputs.len() - 1]
+                    .iter()
+                    .map(|n| self.get_raster(n))
+                    .collect();
+                let bands = bands?;
+                let refs: Vec<&Image> = bands.iter().collect();
+                let stack = gaea_raster::composite(&refs)?;
+                kmeans_classify(&stack, k, 100, 0x6AEA)?.labels
+            }
+            "copy" => self.get_raster(inputs[0])?,
+            // Supervised classification, file-GIS style: the signature
+            // file is just another raster (k rows x bands cols). How it
+            // was digitized — the scientist's interaction — is invisible
+            // to the transcript; contrast with Gaea's interactive tasks,
+            // which record the answers (§4.3 extension).
+            "superclassify" => {
+                let sig_img = self.get_raster(
+                    inputs
+                        .last()
+                        .ok_or_else(|| FileGisError::Codec("superclassify needs a signature file".into()))?,
+                )?;
+                let bands: Result<Vec<Image>, FileGisError> = inputs[..inputs.len() - 1]
+                    .iter()
+                    .map(|n| self.get_raster(n))
+                    .collect();
+                let bands = bands?;
+                let refs: Vec<&Image> = bands.iter().collect();
+                let stack = gaea_raster::composite(&refs)?;
+                let mut sig =
+                    gaea_adt::Matrix::zeros(sig_img.nrow() as usize, sig_img.ncol() as usize);
+                for r in 0..sig_img.nrow() {
+                    for c in 0..sig_img.ncol() {
+                        sig.set(r as usize, c as usize, sig_img.get(r, c));
+                    }
+                }
+                min_distance_classify(&stack, &sig)?.labels
+            }
+            other => return Err(FileGisError::UnknownCommand(other.into())),
+        };
+        self.put_raster(output, &result)?;
+        self.log(&TranscriptEntry {
+            output: output.into(),
+            command: command.into(),
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+        })?;
+        Ok(())
+    }
+
+    /// Provenance lookup, baseline style: scan the transcript backwards for
+    /// the last line that wrote `name`. O(transcript length) — the cost the
+    /// paper contrasts with Gaea's task records. Returns `None` for files
+    /// that were `put` directly (base data) or never logged.
+    pub fn provenance(&self, name: &str) -> Result<Option<TranscriptEntry>, FileGisError> {
+        Ok(self
+            .transcript()?
+            .into_iter()
+            .rev()
+            .find(|e| e.output == name))
+    }
+
+    /// Recursive provenance: the full command tree behind `name`, scanning
+    /// the transcript once per node.
+    pub fn provenance_tree(&self, name: &str) -> Result<Vec<TranscriptEntry>, FileGisError> {
+        let mut out = Vec::new();
+        let mut stack = vec![name.to_string()];
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n.clone()) {
+                continue;
+            }
+            if let Some(entry) = self.provenance(&n)? {
+                for input in &entry.inputs {
+                    if input.parse::<f64>().is_err() {
+                        stack.push(input.clone());
+                    }
+                }
+                out.push(entry);
+            }
+        }
+        Ok(out)
+    }
+
+    /// "Reproduce the analysis": replay every transcript line in order —
+    /// the baseline has no better granularity (§4.1 item 4: the same steps
+    /// must be repeated manually). Returns the number of commands re-run.
+    pub fn replay(&self, into: &FileGis) -> Result<usize, FileGisError> {
+        // Copy base rasters (those never produced by a command).
+        let produced: std::collections::BTreeSet<String> = self
+            .transcript()?
+            .into_iter()
+            .map(|e| e.output)
+            .collect();
+        for name in self.list()? {
+            if !produced.contains(&name) {
+                into.put_raster(&name, &self.get_raster(&name)?)?;
+            }
+        }
+        let mut count = 0;
+        for entry in self.transcript()? {
+            let inputs: Vec<&str> = entry.inputs.iter().map(String::as_str).collect();
+            into.run(&entry.command, &inputs, &entry.output)?;
+            count += 1;
+        }
+        Ok(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_gis(tag: &str) -> FileGis {
+        let dir = std::env::temp_dir().join(format!("gaea-filegis-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        FileGis::open(&dir).unwrap()
+    }
+
+    fn img(vals: &[f64]) -> Image {
+        Image::from_f64(1, vals.len() as u32, vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn raster_round_trip() {
+        let gis = temp_gis("rt");
+        let a = Image::filled(3, 4, PixType::Int2, 42.0);
+        gis.put_raster("tm_b3", &a).unwrap();
+        let back = gis.get_raster("tm_b3").unwrap();
+        assert_eq!(back, a);
+        assert_eq!(gis.list().unwrap(), vec!["tm_b3"]);
+        assert!(matches!(
+            gis.get_raster("missing"),
+            Err(FileGisError::NoSuchFile(_))
+        ));
+        fs::remove_dir_all(gis.root()).unwrap();
+    }
+
+    #[test]
+    fn silent_overwrite_hazard() {
+        // §4.1: "inadvertent file overwrite by other users".
+        let gis = temp_gis("ow");
+        gis.put_raster("result", &img(&[1.0])).unwrap();
+        gis.put_raster("result", &img(&[2.0])).unwrap(); // clobbered, no error
+        assert_eq!(gis.get_raster("result").unwrap().get(0, 0), 2.0);
+        fs::remove_dir_all(gis.root()).unwrap();
+    }
+
+    #[test]
+    fn commands_log_transcript() {
+        let gis = temp_gis("cmd");
+        gis.put_raster("nir88", &img(&[100.0, 60.0])).unwrap();
+        gis.put_raster("red88", &img(&[20.0, 50.0])).unwrap();
+        gis.run("ndvi", &["nir88", "red88"], "ndvi88").unwrap();
+        let v = gis.get_raster("ndvi88").unwrap();
+        assert!((v.get(0, 0) - 80.0 / 120.0).abs() < 1e-12);
+        let t = gis.transcript().unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].output, "ndvi88");
+        assert_eq!(t[0].command, "ndvi");
+        assert_eq!(t[0].inputs, vec!["nir88", "red88"]);
+        fs::remove_dir_all(gis.root()).unwrap();
+    }
+
+    #[test]
+    fn provenance_is_a_transcript_scan() {
+        let gis = temp_gis("prov");
+        gis.put_raster("nir88", &img(&[100.0])).unwrap();
+        gis.put_raster("red88", &img(&[20.0])).unwrap();
+        gis.put_raster("nir89", &img(&[90.0])).unwrap();
+        gis.put_raster("red89", &img(&[30.0])).unwrap();
+        gis.run("ndvi", &["nir88", "red88"], "ndvi88").unwrap();
+        gis.run("ndvi", &["nir89", "red89"], "ndvi89").unwrap();
+        gis.run("diff", &["ndvi89", "ndvi88"], "change").unwrap();
+        let p = gis.provenance("change").unwrap().unwrap();
+        assert_eq!(p.command, "diff");
+        // Base data has no provenance line.
+        assert!(gis.provenance("nir88").unwrap().is_none());
+        // The recursive tree finds all three commands.
+        let tree = gis.provenance_tree("change").unwrap();
+        assert_eq!(tree.len(), 3);
+        fs::remove_dir_all(gis.root()).unwrap();
+    }
+
+    #[test]
+    fn the_shared_data_ambiguity() {
+        // The paper's §1 scenario as the baseline experiences it: two
+        // scientists produce "change" maps with different methods; from the
+        // files alone the products are indistinguishable in kind.
+        let gis = temp_gis("amb");
+        gis.put_raster("ndvi88", &img(&[0.2, 0.4])).unwrap();
+        gis.put_raster("ndvi89", &img(&[0.4, 0.2])).unwrap();
+        gis.run("diff", &["ndvi89", "ndvi88"], "change_a").unwrap();
+        gis.run("ratio", &["ndvi89", "ndvi88"], "change_b").unwrap();
+        // Both exist; nothing in the *data model* distinguishes their
+        // semantics — only the transcript text does.
+        let names = gis.list().unwrap();
+        assert!(names.contains(&"change_a".to_string()));
+        assert!(names.contains(&"change_b".to_string()));
+        let pa = gis.provenance("change_a").unwrap().unwrap();
+        let pb = gis.provenance("change_b").unwrap().unwrap();
+        assert_ne!(pa.command, pb.command);
+        fs::remove_dir_all(gis.root()).unwrap();
+    }
+
+    #[test]
+    fn replay_reproduces_outputs() {
+        let src = temp_gis("replay-src");
+        src.put_raster("b1", &img(&[1.0, 5.0, 9.0])).unwrap();
+        src.put_raster("b2", &img(&[2.0, 6.0, 8.0])).unwrap();
+        src.run("diff", &["b1", "b2"], "d").unwrap();
+        src.run("ratio", &["b1", "b2"], "r").unwrap();
+        let dst = temp_gis("replay-dst");
+        let n = src.replay(&dst).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(dst.get_raster("d").unwrap(), src.get_raster("d").unwrap());
+        assert_eq!(dst.get_raster("r").unwrap(), src.get_raster("r").unwrap());
+        fs::remove_dir_all(src.root()).unwrap();
+        fs::remove_dir_all(dst.root()).unwrap();
+    }
+
+    #[test]
+    fn classify_command() {
+        let gis = temp_gis("cls");
+        gis.put_raster("b1", &img(&[1.0, 2.0, 100.0, 101.0])).unwrap();
+        gis.put_raster("b2", &img(&[5.0, 6.0, 200.0, 201.0])).unwrap();
+        gis.run("classify", &["b1", "b2", "2"], "lc").unwrap();
+        let lc = gis.get_raster("lc").unwrap();
+        assert_ne!(lc.get(0, 0), lc.get(0, 2)); // two clusters separated
+        assert!(matches!(
+            gis.run("warp", &["b1"], "x"),
+            Err(FileGisError::UnknownCommand(_))
+        ));
+        fs::remove_dir_all(gis.root()).unwrap();
+    }
+
+    #[test]
+    fn superclassify_provenance_bottoms_out_at_an_untracked_signature_file() {
+        // The §4.3 contrast: the baseline *can* run supervised
+        // classification, but the transcript's provenance for the result
+        // ends at `sig` — a file that was `put` directly, whose derivation
+        // (the scientist's training-site digitization) is unrecorded and
+        // unrecoverable. Gaea's interactive tasks record those answers.
+        let gis = temp_gis("superclassify");
+        gis.put_raster("b1", &img(&[1.0, 2.0, 100.0, 101.0])).unwrap();
+        gis.put_raster("b2", &img(&[5.0, 6.0, 200.0, 201.0])).unwrap();
+        // 2 classes x 2 bands signature raster, digitized who-knows-how.
+        let sig = Image::from_f64(2, 2, vec![1.5, 5.5, 100.5, 200.5]).unwrap();
+        gis.put_raster("sig", &sig).unwrap();
+        gis.run("superclassify", &["b1", "b2", "sig"], "lc").unwrap();
+        let lc = gis.get_raster("lc").unwrap();
+        assert_eq!(lc.get(0, 0), 0.0);
+        assert_eq!(lc.get(0, 3), 1.0);
+        // The class map's provenance names sig as an input...
+        let p = gis.provenance("lc").unwrap().unwrap();
+        assert!(p.inputs.contains(&"sig".to_string()));
+        // ...but sig itself has none: the interaction is lost.
+        assert_eq!(gis.provenance("sig").unwrap(), None);
+        fs::remove_dir_all(gis.root()).unwrap();
+    }
+
+    #[test]
+    fn transcript_parse_round_trip() {
+        let e = TranscriptEntry {
+            output: "lc".into(),
+            command: "classify".into(),
+            inputs: vec!["b1".into(), "b2".into(), "12".into()],
+        };
+        assert_eq!(TranscriptEntry::parse(&e.render()), Some(e));
+        assert_eq!(TranscriptEntry::parse("garbage"), None);
+    }
+}

@@ -1,0 +1,20 @@
+//! # gaea-baseline — the IDRISI/GRASS-style file-based comparator (§4.1)
+//!
+//! The paper's critique of 1990s GIS practice, reproduced as a working
+//! system so the costs can be measured:
+//!
+//! 1. "A file name is the only identifier for stored data" — rasters live
+//!    in a directory; identity is the file name the user chose.
+//! 2. "Data sharing is almost impossible because there is not enough meta
+//!    information to describe how the data are generated" — the only
+//!    derivation record is an append-only transcript of commands.
+//! 3. "Scientists have to manage the analysis process on their own [...]
+//!    this often takes the form of awkward transcript files" — provenance
+//!    queries are linear scans of the transcript.
+//! 4. "It is hard to create abstractions of the analysis process" —
+//!    repeating an analysis means replaying transcript lines by hand
+//!    ([`FileGis::replay`]).
+
+pub mod filegis;
+
+pub use filegis::{FileGis, FileGisError, TranscriptEntry};

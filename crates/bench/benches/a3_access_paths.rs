@@ -1,0 +1,78 @@
+//! Ablation A3 — store access paths: predicate scan vs ordered index.
+//!
+//! The paper leans on Postgres for "standard database management
+//! features" (§4.1 criticizes file-based GIS for lacking them). The
+//! substitute store provides both full-relation predicate scans and
+//! ordered secondary indexes; this ablation shows the crossover that
+//! justifies maintaining indexes on catalog-queried columns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaea_adt::{TypeTag, Value};
+use gaea_bench::configure;
+use gaea_store::{Database, Field, Predicate, Schema, Tuple};
+use std::hint::black_box;
+
+fn filled_db(n: i32) -> Database {
+    let mut db = Database::new();
+    let schema = Schema::new(vec![
+        Field::required("seq", TypeTag::Int4),
+        Field::required("name", TypeTag::Text),
+    ])
+    .expect("schema");
+    db.create_relation("objects", schema).expect("relation");
+    for i in 0..n {
+        db.insert(
+            "objects",
+            Tuple::new(vec![Value::Int4(i), Value::Text(format!("obj{i}"))]),
+        )
+        .expect("insert");
+    }
+    db.relation_mut("objects")
+        .expect("relation")
+        .create_index("seq")
+        .expect("index");
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a3_access_paths");
+    configure(&mut group);
+    for n in [100i32, 1_000, 10_000] {
+        let db = filled_db(n);
+        let key = n / 2;
+        // Point lookup: scan vs index.
+        group.bench_with_input(BenchmarkId::new("scan_eq", n), &n, |b, _| {
+            b.iter(|| {
+                let pred = Predicate::Eq("seq".into(), Value::Int4(key));
+                black_box(db.scan("objects", &pred).expect("scan"))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("index_eq", n), &n, |b, _| {
+            let rel = db.relation("objects").expect("relation");
+            b.iter(|| black_box(rel.index_lookup("seq", &Value::Int4(key)).expect("lookup")))
+        });
+        // 1% range: scan with And-predicate vs index range.
+        let lo = key;
+        let hi = key + n / 100;
+        group.bench_with_input(BenchmarkId::new("scan_range", n), &n, |b, _| {
+            b.iter(|| {
+                let pred = Predicate::Gt("seq".into(), Value::Int4(lo - 1))
+                    .and(Predicate::Lt("seq".into(), Value::Int4(hi)));
+                black_box(db.scan("objects", &pred).expect("scan"))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("index_range", n), &n, |b, _| {
+            let rel = db.relation("objects").expect("relation");
+            b.iter(|| {
+                black_box(
+                    rel.index_range("seq", Some(&Value::Int4(lo)), Some(&Value::Int4(hi - 1)))
+                        .expect("range"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

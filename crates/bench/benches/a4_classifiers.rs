@@ -1,0 +1,61 @@
+//! Ablation A4 — supervised vs unsupervised classification cost.
+//!
+//! Backing the §4.3 interactive-process extension: supervised
+//! classification needs a scientist (training signatures) but is a single
+//! pass over the pixels, while unsupervised k-means needs nobody but
+//! iterates to convergence. The sweep quantifies that trade so the
+//! EXPERIMENTS.md discussion of "what the interaction buys" has numbers:
+//! the interactive path's *computation* is cheaper; its cost is the
+//! scientist, which is exactly why the answers must be recorded for
+//! reproduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaea_bench::configure;
+use gaea_raster::classify::kmeans_classify;
+use gaea_raster::composite::composite;
+use gaea_raster::supervised::{
+    min_distance_classify, parallelepiped_classify, signatures_from_training, training_boxes,
+    TrainingSite,
+};
+use gaea_workload::{SceneSpec, SyntheticScene};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a4_classifiers");
+    configure(&mut group);
+    for side in [32u32, 64, 128] {
+        let scene = SyntheticScene::generate(SceneSpec::small(4).sized(side, side));
+        let refs: Vec<&gaea_adt::Image> = scene.bands.iter().collect();
+        let stack = composite(&refs).expect("co-registered bands");
+        let k = scene.spec.classes;
+        // Training sites: 16 pixels per true class.
+        let mut sites: Vec<TrainingSite> =
+            (0..k).map(|c| TrainingSite::new(c, vec![])).collect();
+        for (p, label) in scene.truth.iter().enumerate() {
+            if sites[*label as usize].pixels.len() < 16 {
+                sites[*label as usize].pixels.push(p);
+            }
+        }
+        let signatures = signatures_from_training(&stack, k, &sites).expect("signatures");
+        let (lo, hi) = training_boxes(&stack, k, &sites, 3.0).expect("boxes");
+
+        group.bench_with_input(BenchmarkId::new("unsupervised_kmeans", side), &side, |b, _| {
+            b.iter(|| black_box(kmeans_classify(&stack, k, 100, 0x6AEA).expect("kmeans")))
+        });
+        group.bench_with_input(BenchmarkId::new("supervised_mindist", side), &side, |b, _| {
+            b.iter(|| black_box(min_distance_classify(&stack, &signatures).expect("mindist")))
+        });
+        group.bench_with_input(BenchmarkId::new("supervised_piped", side), &side, |b, _| {
+            b.iter(|| black_box(parallelepiped_classify(&stack, &lo, &hi).expect("piped")))
+        });
+        // The signature-extraction step itself (the scientist's answer
+        // turned into numbers) is trivial next to any classification.
+        group.bench_with_input(BenchmarkId::new("signature_extraction", side), &side, |b, _| {
+            b.iter(|| black_box(signatures_from_training(&stack, k, &sites).expect("sig")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

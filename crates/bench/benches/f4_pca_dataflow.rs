@@ -1,0 +1,72 @@
+//! Experiment F4 — Figure 4's PCA compound-operator network.
+//!
+//! Compares the dataflow-network execution of `pca` against the fused
+//! library implementation (network overhead should be a small constant),
+//! sweeps band count and raster size, and measures SPCA alongside.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaea_adt::{Image, OperatorRegistry, Value};
+use gaea_bench::configure;
+use gaea_raster::{pca, register_raster_ops, spca};
+use gaea_workload::{SceneSpec, SyntheticScene};
+use std::hint::black_box;
+
+fn registry() -> OperatorRegistry {
+    let mut r = OperatorRegistry::with_builtins();
+    register_raster_ops(&mut r).expect("ok");
+    r
+}
+
+fn scene_value(bands: usize, side: u32, seed: u64) -> (SyntheticScene, Value) {
+    let scene = SyntheticScene::generate(SceneSpec::small(seed).sized(side, side).with_bands(bands));
+    let v = Value::Set(scene.bands.iter().cloned().map(Value::image).collect());
+    (scene, v)
+}
+
+fn bench(c: &mut Criterion) {
+    let r = registry();
+    let mut group = c.benchmark_group("f4_pca_dataflow");
+    configure(&mut group);
+    // Size sweep at 3 bands: network vs fused.
+    for side in [16u32, 32, 64] {
+        let (scene, input) = scene_value(3, side, 5);
+        group.bench_with_input(
+            BenchmarkId::new("network_pca_3band", side * side),
+            &input,
+            |b, input| b.iter(|| black_box(r.invoke("pca", &[input.clone()]).expect("ok"))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fused_pca_3band", side * side),
+            &scene,
+            |b, scene| {
+                b.iter(|| {
+                    let refs: Vec<&Image> = scene.bands.iter().collect();
+                    black_box(pca(&refs).expect("ok"))
+                })
+            },
+        );
+    }
+    // Band sweep at 32x32.
+    for bands in [2usize, 4, 6] {
+        let (scene, input) = scene_value(bands, 32, 11);
+        group.bench_with_input(
+            BenchmarkId::new("network_pca_32x32", bands),
+            &input,
+            |b, input| b.iter(|| black_box(r.invoke("pca", &[input.clone()]).expect("ok"))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fused_spca_32x32", bands),
+            &scene,
+            |b, scene| {
+                b.iter(|| {
+                    let refs: Vec<&Image> = scene.bands.iter().collect();
+                    black_box(spca(&refs).expect("ok"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Experiment Q1 — the §2.1.5 three-step query mechanism.
+//!
+//! Measures the latency of each answer path on the same schema and
+//! comparable data: step 1 retrieval (stored hit), step 2 interpolation
+//! (bracketed instant), step 3 derivation (P20 firing). Expected shape:
+//! retrieval ≪ interpolation ≪ derivation, the gap between 2 and 3
+//! widening with raster size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaea_adt::AbsTime;
+use gaea_bench::{africa, configure, figure2_kernel, jan86, store_scene};
+use gaea_core::{Query, QueryMethod, QueryStrategy};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("q1_query_three_step");
+    configure(&mut group);
+    for side in [32u32, 64] {
+        // Step 1: retrieval of a stored band.
+        group.bench_with_input(BenchmarkId::new("step1_retrieve", side * side), &side, |b, side| {
+            let mut g = figure2_kernel();
+            store_scene(&mut g, "rectified_tm", 1, *side, jan86());
+            let q = Query::class("rectified_tm").over(africa()).at(jan86());
+            b.iter(|| {
+                let out = g.query(&q).expect("hit");
+                debug_assert_eq!(out.method, QueryMethod::Retrieved);
+                black_box(out)
+            })
+        });
+        // Step 2: interpolation between two epochs (fresh kernel per
+        // iteration: interpolation materializes its output).
+        group.bench_with_input(
+            BenchmarkId::new("step2_interpolate", side * side),
+            &side,
+            |b, side| {
+                b.iter_batched(
+                    || {
+                        let mut g = figure2_kernel();
+                        let t1 = jan86();
+                        let t2 = AbsTime(t1.0 + 60 * 86_400);
+                        store_scene(&mut g, "rectified_tm", 2, *side, t1);
+                        store_scene(&mut g, "rectified_tm", 3, *side, t2);
+                        let q = Query::class("rectified_tm")
+                            .over(africa())
+                            .at(AbsTime(t1.0 + 30 * 86_400));
+                        (g, q)
+                    },
+                    |(mut g, q)| {
+                        let out = g.query(&q).expect("interpolates");
+                        debug_assert_eq!(out.method, QueryMethod::Interpolated);
+                        black_box(out)
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+        // Step 3: derivation through P20.
+        group.bench_with_input(
+            BenchmarkId::new("step3_derive", side * side),
+            &side,
+            |b, side| {
+                b.iter_batched(
+                    || {
+                        let mut g = figure2_kernel();
+                        store_scene(&mut g, "rectified_tm", 4, *side, jan86());
+                        let q = Query::class("land_cover")
+                            .over(africa())
+                            .at(jan86())
+                            .with_strategy(QueryStrategy::PreferDerivation);
+                        (g, q)
+                    },
+                    |(mut g, q)| {
+                        let out = g.query(&q).expect("derives");
+                        debug_assert_eq!(out.method, QueryMethod::Derived);
+                        black_box(out)
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    // Retrieval scaling with stored-object count (the hit-ratio axis).
+    for n in [10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::new("retrieval_vs_population", n), &n, |b, n| {
+            let mut g = figure2_kernel();
+            for i in 0..*n {
+                let t = AbsTime(jan86().0 + i as i64 * 86_400);
+                store_scene(&mut g, "rectified_tm", i as u64, 8, t);
+            }
+            let q = Query::class("rectified_tm").over(africa()).at(jan86());
+            b.iter(|| black_box(g.query(&q).expect("hit")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

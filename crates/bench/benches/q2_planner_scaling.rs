@@ -1,0 +1,94 @@
+//! Experiment Q2 — §2.1.6 backward-chaining planner scaling.
+//!
+//! Sweeps derivation-net depth, width and alternative-producer fan-in on
+//! random layered DAGs. Expected shape: planning cost grows with net size
+//! but stays well inside interactive budgets (µs–ms) at schema scales far
+//! beyond Figure 2; failure diagnosis costs about as much as success.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaea_bench::configure;
+use gaea_petri::backward::plan_derivation;
+use gaea_petri::reachability::{derivable, saturate};
+use gaea_petri::Marking;
+use gaea_workload::{random_derivation_catalog, RandDagSpec};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("q2_planner_scaling");
+    configure(&mut group);
+    // Depth sweep.
+    for depth in [2usize, 4, 8, 16] {
+        let rd = random_derivation_catalog(RandDagSpec {
+            depth,
+            width: 4,
+            alternatives: 2,
+            fan_in: 3,
+            threshold_max: 2,
+            seed: 42,
+        });
+        let marking = rd.base_marking(8);
+        group.bench_with_input(BenchmarkId::new("plan_by_depth", depth), &depth, |b, _| {
+            b.iter(|| black_box(plan_derivation(&rd.net, &marking, rd.goal, 1).expect("ok")))
+        });
+    }
+    // Width sweep.
+    for width in [2usize, 8, 16, 32] {
+        let rd = random_derivation_catalog(RandDagSpec {
+            depth: 4,
+            width,
+            alternatives: 2,
+            fan_in: 3,
+            threshold_max: 2,
+            seed: 43,
+        });
+        let marking = rd.base_marking(8);
+        group.bench_with_input(BenchmarkId::new("plan_by_width", width), &width, |b, _| {
+            b.iter(|| black_box(plan_derivation(&rd.net, &marking, rd.goal, 1).expect("ok")))
+        });
+    }
+    // Alternatives sweep (how many competing processes per class).
+    for alts in [1usize, 2, 4] {
+        let rd = random_derivation_catalog(RandDagSpec {
+            depth: 4,
+            width: 4,
+            alternatives: alts,
+            fan_in: 3,
+            threshold_max: 2,
+            seed: 44,
+        });
+        let marking = rd.base_marking(8);
+        group.bench_with_input(
+            BenchmarkId::new("plan_by_alternatives", alts),
+            &alts,
+            |b, _| {
+                b.iter(|| black_box(plan_derivation(&rd.net, &marking, rd.goal, 1).expect("ok")))
+            },
+        );
+    }
+    // Failure diagnosis (empty database).
+    let rd = random_derivation_catalog(RandDagSpec {
+        depth: 8,
+        width: 4,
+        alternatives: 2,
+        fan_in: 3,
+        threshold_max: 2,
+        seed: 45,
+    });
+    let empty = rd.base_marking(0);
+    group.bench_function("diagnose_failure_depth8", |b| {
+        b.iter(|| black_box(plan_derivation(&rd.net, &empty, rd.goal, 1).expect_err("fails")))
+    });
+    // Pure reachability (the decision problem without plan extraction).
+    let marking = rd.base_marking(8);
+    let want = Marking::from_counts(&rd.net, &[(rd.goal, 1)]);
+    group.bench_function("reachability_only_depth8", |b| {
+        b.iter(|| black_box(derivable(&rd.net, &marking, &want)))
+    });
+    group.bench_function("saturation_depth8", |b| {
+        b.iter(|| black_box(saturate(&rd.net, &marking, 4)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

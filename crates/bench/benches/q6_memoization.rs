@@ -1,0 +1,75 @@
+//! Experiment Q6 — precomputed vs re-derived retrieval (task memoization).
+//!
+//! §2.1.5's point of recording tasks: a previously derived object answers
+//! later queries by retrieval. Measures the first (deriving) query against
+//! subsequent (retrieving) queries, and the cost of rederiving with reuse
+//! disabled. Expected shape: retrieval beats re-derivation by orders of
+//! magnitude after the first use; the crossover is immediate (reuse ≥ 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaea_bench::{africa, configure, figure2_kernel, jan86, store_scene};
+use gaea_core::{Query, QueryMethod, QueryStrategy};
+use std::hint::black_box;
+
+fn query() -> Query {
+    Query::class("land_cover")
+        .over(africa())
+        .at(jan86())
+        .with_strategy(QueryStrategy::PreferDerivation)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("q6_memoization");
+    configure(&mut group);
+    for side in [32u32, 64] {
+        // Cold: derivation fires P20.
+        group.bench_with_input(BenchmarkId::new("first_query_derives", side * side), &side, |b, side| {
+            b.iter_batched(
+                || {
+                    let mut g = figure2_kernel();
+                    store_scene(&mut g, "rectified_tm", 6, *side, jan86());
+                    g
+                },
+                |mut g| {
+                    let out = g.query(&query()).expect("derives");
+                    debug_assert_eq!(out.method, QueryMethod::Derived);
+                    black_box(out)
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        // Warm: the derived object is stored; the same query retrieves.
+        group.bench_with_input(BenchmarkId::new("repeat_query_retrieves", side * side), &side, |b, side| {
+            let mut g = figure2_kernel();
+            store_scene(&mut g, "rectified_tm", 6, *side, jan86());
+            g.query(&query()).expect("derives once");
+            b.iter(|| {
+                let out = g.query(&query()).expect("hits");
+                debug_assert_eq!(out.method, QueryMethod::Retrieved);
+                black_box(out)
+            })
+        });
+    }
+    // Amortization series: total cost of k queries (1 derive + k-1 hits).
+    for k in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("k_queries_total_32x32", k), &k, |b, k| {
+            b.iter_batched(
+                || {
+                    let mut g = figure2_kernel();
+                    store_scene(&mut g, "rectified_tm", 6, 32, jan86());
+                    g
+                },
+                |mut g| {
+                    for _ in 0..*k {
+                        black_box(g.query(&query()).expect("ok"));
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

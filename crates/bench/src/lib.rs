@@ -1,0 +1,58 @@
+//! Shared benchmark fixtures.
+//!
+//! Every bench target draws its workloads from here so parameter sweeps
+//! stay comparable across experiments. Criterion groups are configured
+//! short (≈1 s measurement, 10 samples): the quantities of interest are
+//! relative shapes — who wins, by what factor, where crossovers sit — not
+//! absolute wall-clock precision.
+
+use gaea_adt::{AbsTime, GeoBox, Value};
+use gaea_core::kernel::Gaea;
+use gaea_core::ObjectId;
+use gaea_workload::{build_figure2_schema, SceneSpec, SyntheticScene};
+
+/// The Africa window used throughout the paper's examples.
+pub fn africa() -> GeoBox {
+    GeoBox::new(-20.0, -35.0, 55.0, 38.0)
+}
+
+/// January 1986 (the paper's running task).
+pub fn jan86() -> AbsTime {
+    AbsTime::from_ymd(1986, 1, 15).expect("valid date")
+}
+
+/// A kernel with the Figure 2 schema registered.
+pub fn figure2_kernel() -> Gaea {
+    let mut g = Gaea::in_memory().with_user("bench");
+    build_figure2_schema(&mut g).expect("figure 2 schema registers");
+    g
+}
+
+/// Store one synthetic 3-band scene into `class` at `t`; returns band ids.
+pub fn store_scene(g: &mut Gaea, class: &str, seed: u64, side: u32, t: AbsTime) -> Vec<ObjectId> {
+    let scene = SyntheticScene::generate(SceneSpec::small(seed).sized(side, side));
+    scene
+        .bands
+        .iter()
+        .map(|band| {
+            g.insert_object(
+                class,
+                vec![
+                    ("data", Value::image(band.clone())),
+                    ("spatialextent", Value::GeoBox(africa())),
+                    ("timestamp", Value::AbsTime(t)),
+                ],
+            )
+            .expect("insert scene band")
+        })
+        .collect()
+}
+
+/// Apply the shared short-run configuration to a Criterion group.
+pub fn configure<M: criterion::measurement::Measurement>(
+    group: &mut criterion::BenchmarkGroup<'_, M>,
+) {
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+}

@@ -1,0 +1,349 @@
+//! The kernel catalog: definitions, tasks, experiments and the object
+//! directory.
+//!
+//! All catalog entities are kept in ordered maps (deterministic iteration)
+//! and serialized as one JSON document into the store snapshot, alongside
+//! the per-class object relations. Definitions are immutable once
+//! registered — the paper's "in no case is the old process overwritten"
+//! generalized to every catalog kind.
+
+use crate::error::{KernelError, KernelResult};
+use crate::experiment::Experiment;
+use crate::ids::{ClassId, ConceptId, ExperimentId, ObjectId, ProcessId, TaskId};
+use crate::schema::{ClassDef, Concept, ProcessDef};
+use crate::task::Task;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The catalog body.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    /// Non-primitive classes.
+    pub classes: BTreeMap<ClassId, ClassDef>,
+    /// Concepts.
+    pub concepts: BTreeMap<ConceptId, Concept>,
+    /// Processes.
+    pub processes: BTreeMap<ProcessId, ProcessDef>,
+    /// Tasks (append-only).
+    pub tasks: BTreeMap<TaskId, Task>,
+    /// Experiments.
+    pub experiments: BTreeMap<ExperimentId, Experiment>,
+    /// Object directory: which class each stored object belongs to.
+    pub object_class: BTreeMap<ObjectId, ClassId>,
+    /// Name indexes.
+    class_names: BTreeMap<String, ClassId>,
+    concept_names: BTreeMap<String, ConceptId>,
+    process_names: BTreeMap<String, ProcessId>,
+    experiment_names: BTreeMap<String, ExperimentId>,
+    /// Logical clock for task ordering.
+    pub next_seq: u64,
+}
+
+impl Catalog {
+    /// Register a class (name must be fresh).
+    pub fn add_class(&mut self, def: ClassDef) -> KernelResult<()> {
+        if self.class_names.contains_key(&def.name) {
+            return Err(KernelError::Duplicate {
+                kind: "class",
+                name: def.name,
+            });
+        }
+        self.class_names.insert(def.name.clone(), def.id);
+        self.classes.insert(def.id, def);
+        Ok(())
+    }
+
+    /// Register a concept.
+    pub fn add_concept(&mut self, def: Concept) -> KernelResult<()> {
+        if self.concept_names.contains_key(&def.name) {
+            return Err(KernelError::Duplicate {
+                kind: "concept",
+                name: def.name,
+            });
+        }
+        self.concept_names.insert(def.name.clone(), def.id);
+        self.concepts.insert(def.id, def);
+        Ok(())
+    }
+
+    /// Register a process and link it into its output class's DERIVED BY.
+    pub fn add_process(&mut self, def: ProcessDef) -> KernelResult<()> {
+        if self.process_names.contains_key(&def.name) {
+            return Err(KernelError::Duplicate {
+                kind: "process",
+                name: def.name,
+            });
+        }
+        let out = def.output;
+        self.process_names.insert(def.name.clone(), def.id);
+        let id = def.id;
+        self.processes.insert(def.id, def);
+        if let Some(class) = self.classes.get_mut(&out) {
+            class.derived_by.push(id);
+        }
+        Ok(())
+    }
+
+    /// Register an experiment.
+    pub fn add_experiment(&mut self, def: Experiment) -> KernelResult<()> {
+        if self.experiment_names.contains_key(&def.name) {
+            return Err(KernelError::Duplicate {
+                kind: "experiment",
+                name: def.name,
+            });
+        }
+        self.experiment_names.insert(def.name.clone(), def.id);
+        self.experiments.insert(def.id, def);
+        Ok(())
+    }
+
+    /// Append a task and bump the logical clock.
+    pub fn add_task(&mut self, task: Task) {
+        self.next_seq = self.next_seq.max(task.seq + 1);
+        self.tasks.insert(task.id, task);
+    }
+
+    /// Allocate the next task sequence number.
+    pub fn next_task_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Class by id.
+    pub fn class(&self, id: ClassId) -> KernelResult<&ClassDef> {
+        self.classes.get(&id).ok_or(KernelError::NoSuchId {
+            kind: "class",
+            id: id.raw(),
+        })
+    }
+
+    /// Class by name.
+    pub fn class_by_name(&self, name: &str) -> KernelResult<&ClassDef> {
+        let id = self.class_names.get(name).ok_or_else(|| KernelError::NotFound {
+            kind: "class",
+            name: name.into(),
+        })?;
+        self.class(*id)
+    }
+
+    /// Concept by id.
+    pub fn concept(&self, id: ConceptId) -> KernelResult<&Concept> {
+        self.concepts.get(&id).ok_or(KernelError::NoSuchId {
+            kind: "concept",
+            id: id.raw(),
+        })
+    }
+
+    /// Concept by name.
+    pub fn concept_by_name(&self, name: &str) -> KernelResult<&Concept> {
+        let id = self
+            .concept_names
+            .get(name)
+            .ok_or_else(|| KernelError::NotFound {
+                kind: "concept",
+                name: name.into(),
+            })?;
+        self.concept(*id)
+    }
+
+    /// Process by id.
+    pub fn process(&self, id: ProcessId) -> KernelResult<&ProcessDef> {
+        self.processes.get(&id).ok_or(KernelError::NoSuchId {
+            kind: "process",
+            id: id.raw(),
+        })
+    }
+
+    /// Process by name.
+    pub fn process_by_name(&self, name: &str) -> KernelResult<&ProcessDef> {
+        let id = self
+            .process_names
+            .get(name)
+            .ok_or_else(|| KernelError::NotFound {
+                kind: "process",
+                name: name.into(),
+            })?;
+        self.process(*id)
+    }
+
+    /// Experiment by name.
+    pub fn experiment_by_name(&self, name: &str) -> KernelResult<&Experiment> {
+        let id = self
+            .experiment_names
+            .get(name)
+            .ok_or_else(|| KernelError::NotFound {
+                kind: "experiment",
+                name: name.into(),
+            })?;
+        self.experiments.get(id).ok_or(KernelError::NoSuchId {
+            kind: "experiment",
+            id: id.raw(),
+        })
+    }
+
+    /// Task by id.
+    pub fn task(&self, id: TaskId) -> KernelResult<&Task> {
+        self.tasks.get(&id).ok_or(KernelError::NoSuchId {
+            kind: "task",
+            id: id.raw(),
+        })
+    }
+
+    /// Owning class of a stored object.
+    pub fn class_of_object(&self, obj: ObjectId) -> KernelResult<ClassId> {
+        self.object_class
+            .get(&obj)
+            .copied()
+            .ok_or(KernelError::NoSuchId {
+                kind: "object",
+                id: obj.raw(),
+            })
+    }
+
+    /// The task that produced an object, if it was derived (base objects
+    /// have none).
+    pub fn producing_task(&self, obj: ObjectId) -> Option<&Task> {
+        // Tasks are few relative to objects in our workloads; a reverse map
+        // could be added if this ever profiles hot.
+        self.tasks.values().find(|t| t.produced(obj))
+    }
+
+    /// All member classes of a concept, including those inherited from
+    /// specializations is NOT done — the paper maps a concept to its own
+    /// class set; ISA links are for browsing generalization.
+    pub fn concept_member_classes(&self, name: &str) -> KernelResult<Vec<&ClassDef>> {
+        let c = self.concept_by_name(name)?;
+        c.members.iter().map(|id| self.class(*id)).collect()
+    }
+
+    /// Concepts reachable upward through ISA links (generalizations).
+    pub fn concept_ancestors(&self, name: &str) -> KernelResult<Vec<&Concept>> {
+        let start = self.concept_by_name(name)?;
+        let mut out = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stack: Vec<ConceptId> = start.parents.clone();
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            let c = self.concept(id)?;
+            stack.extend(c.parents.iter().copied());
+            out.push(c);
+        }
+        Ok(out)
+    }
+
+    /// Concepts that specialize the named one (ISA children).
+    pub fn concept_children(&self, id: ConceptId) -> Vec<&Concept> {
+        self.concepts
+            .values()
+            .filter(|c| c.parents.contains(&id))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrDef, ClassKind};
+    use gaea_adt::TypeTag;
+    use gaea_store::Oid;
+
+    fn class(id: u64, name: &str) -> ClassDef {
+        ClassDef {
+            id: ClassId(Oid(id)),
+            name: name.into(),
+            kind: ClassKind::Derived,
+            attrs: vec![AttrDef::new("data", TypeTag::Image)],
+            has_spatial: true,
+            has_temporal: true,
+            derived_by: vec![],
+            doc: String::new(),
+        }
+    }
+
+    #[test]
+    fn duplicate_names_rejected_everywhere() {
+        let mut cat = Catalog::default();
+        cat.add_class(class(1, "ndvi")).unwrap();
+        assert!(matches!(
+            cat.add_class(class(2, "ndvi")),
+            Err(KernelError::Duplicate { kind: "class", .. })
+        ));
+    }
+
+    #[test]
+    fn process_registration_links_derived_by() {
+        use crate::schema::{ProcessArg, ProcessKind};
+        use crate::template::Template;
+        let mut cat = Catalog::default();
+        cat.add_class(class(1, "tm")).unwrap();
+        cat.add_class(class(2, "landcover")).unwrap();
+        let p = ProcessDef {
+            id: ProcessId(Oid(10)),
+            name: "P20".into(),
+            output: ClassId(Oid(2)),
+            args: vec![ProcessArg::set("bands", ClassId(Oid(1)), 3)],
+            template: Template::default(),
+            kind: ProcessKind::Primitive,
+            interactions: vec![],
+            doc: String::new(),
+        };
+        cat.add_process(p).unwrap();
+        assert_eq!(
+            cat.class_by_name("landcover").unwrap().derived_by,
+            vec![ProcessId(Oid(10))]
+        );
+        assert_eq!(cat.process_by_name("P20").unwrap().id, ProcessId(Oid(10)));
+        assert!(cat.process_by_name("P99").is_err());
+    }
+
+    #[test]
+    fn concept_isa_traversal() {
+        let mut cat = Catalog::default();
+        cat.add_class(class(1, "c1")).unwrap();
+        let desert = Concept {
+            id: ConceptId(Oid(100)),
+            name: "desert".into(),
+            members: Default::default(),
+            parents: vec![],
+            doc: String::new(),
+        };
+        let hot = Concept {
+            id: ConceptId(Oid(101)),
+            name: "hot_trade_wind_desert".into(),
+            members: [ClassId(Oid(1))].into_iter().collect(),
+            parents: vec![ConceptId(Oid(100))],
+            doc: String::new(),
+        };
+        cat.add_concept(desert).unwrap();
+        cat.add_concept(hot).unwrap();
+        let ancestors = cat.concept_ancestors("hot_trade_wind_desert").unwrap();
+        assert_eq!(ancestors.len(), 1);
+        assert_eq!(ancestors[0].name, "desert");
+        let children = cat.concept_children(ConceptId(Oid(100)));
+        assert_eq!(children.len(), 1);
+        assert_eq!(children[0].name, "hot_trade_wind_desert");
+        let members = cat.concept_member_classes("hot_trade_wind_desert").unwrap();
+        assert_eq!(members[0].name, "c1");
+    }
+
+    #[test]
+    fn task_seq_monotone() {
+        let mut cat = Catalog::default();
+        assert_eq!(cat.next_task_seq(), 0);
+        assert_eq!(cat.next_task_seq(), 1);
+    }
+
+    #[test]
+    fn object_directory() {
+        let mut cat = Catalog::default();
+        cat.object_class.insert(ObjectId(Oid(5)), ClassId(Oid(1)));
+        assert_eq!(
+            cat.class_of_object(ObjectId(Oid(5))).unwrap(),
+            ClassId(Oid(1))
+        );
+        assert!(cat.class_of_object(ObjectId(Oid(6))).is_err());
+    }
+}

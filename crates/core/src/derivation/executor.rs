@@ -1,0 +1,490 @@
+//! The derivation executor: fires processes, creates objects, records tasks.
+//!
+//! Execution is atomic: a primitive firing validates bindings and checks
+//! every assertion *before* materializing anything, so a failing guard or
+//! template error leaves no partial objects behind; a compound firing
+//! (expanded into its primitive steps, §2.1.4) compensates on a failing
+//! step by undoing the objects and task records of the steps already run.
+//! External processes (§5 extension) check their guard assertions locally,
+//! then dispatch the loaded inputs to their registered site;
+//! non-applicative processes and interactive processes refuse automatic
+//! firing (the former are recorded via manual tasks, the latter driven
+//! through interactive sessions).
+
+use crate::catalog::Catalog;
+use crate::error::{KernelError, KernelResult};
+use crate::external::{ExternalInputs, ExternalRegistry};
+use crate::ids::{ObjectId, ProcessId, TaskId};
+use crate::object::DataObject;
+use crate::schema::{ClassDef, ProcessDef, ProcessKind, StepSource};
+use crate::task::{Task, TaskKind};
+use crate::template::{Binding, EvalContext, NO_PARAMS};
+use gaea_adt::{OperatorRegistry, Value};
+use gaea_store::{Database, Tuple};
+use std::collections::BTreeMap;
+
+/// Result of firing a process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskRun {
+    /// The recorded task.
+    pub task: TaskId,
+    /// Objects generated for the output class.
+    pub outputs: Vec<ObjectId>,
+}
+
+/// Load a stored object into its attribute-map form. `Null` columns are
+/// dropped (absent attributes).
+pub fn load_object(db: &Database, catalog: &Catalog, oid: ObjectId) -> KernelResult<DataObject> {
+    let class_id = catalog.class_of_object(oid)?;
+    let class = catalog.class(class_id)?;
+    let tuple = db.get(&class.relation_name(), oid.0)?;
+    let names = class.attr_names();
+    let mut attrs = BTreeMap::new();
+    for (i, name) in names.iter().enumerate() {
+        let v = tuple.get(i);
+        if !v.is_null() {
+            attrs.insert(name.clone(), v.clone());
+        }
+    }
+    Ok(DataObject {
+        id: oid,
+        class: class_id,
+        attrs,
+    })
+}
+
+/// Insert an object of `class` from an attribute map; unknown attribute
+/// names are rejected, missing ones stored as nulls. Reference attributes
+/// (§4.3 extension) are checked to point at live objects of the declared
+/// class.
+pub fn insert_object(
+    db: &mut Database,
+    catalog: &mut Catalog,
+    class: &ClassDef,
+    attrs: &BTreeMap<String, Value>,
+) -> KernelResult<ObjectId> {
+    let names = class.attr_names();
+    for (key, value) in attrs {
+        if !names.iter().any(|n| n == key) {
+            return Err(KernelError::Schema(format!(
+                "class {} has no attribute {key:?}",
+                class.name
+            )));
+        }
+        let def = class.attr(key).expect("checked against attr_names");
+        if let Some(target_class) = def.ref_class {
+            if value.is_null() {
+                continue;
+            }
+            let oid = value.as_objref().ok_or_else(|| {
+                KernelError::Schema(format!(
+                    "class {}: attribute {key:?} is a reference, got {value}",
+                    class.name
+                ))
+            })?;
+            let actual = catalog.class_of_object(ObjectId(gaea_store::Oid(oid)))?;
+            if actual != target_class {
+                return Err(KernelError::Schema(format!(
+                    "class {}: attribute {key:?} must reference class {}, object {oid} is of class {}",
+                    class.name,
+                    catalog.class(target_class)?.name,
+                    catalog.class(actual)?.name
+                )));
+            }
+        }
+    }
+    let values: Vec<Value> = names
+        .iter()
+        .map(|n| attrs.get(n).cloned().unwrap_or(Value::Null))
+        .collect();
+    let oid = db.insert(&class.relation_name(), Tuple::new(values))?;
+    let obj = ObjectId(oid);
+    catalog.object_class.insert(obj, class.id);
+    Ok(obj)
+}
+
+/// Fire a process on explicit object bindings, recording the task.
+///
+/// `bindings` pairs argument names with the chosen input objects, in the
+/// process's declared argument order (extra/missing arguments are errors).
+/// Interactive and non-applicative processes refuse automatic firing —
+/// they are driven through `Gaea::begin_interactive` and
+/// `Gaea::record_manual_task` respectively.
+pub fn run_process(
+    db: &mut Database,
+    catalog: &mut Catalog,
+    registry: &OperatorRegistry,
+    externals: &ExternalRegistry,
+    pid: ProcessId,
+    bindings: &[(String, Vec<ObjectId>)],
+    user: &str,
+) -> KernelResult<TaskRun> {
+    let def = catalog.process(pid)?.clone();
+    match &def.kind {
+        ProcessKind::Primitive => {
+            if def.is_interactive() {
+                return Err(KernelError::NotAutoFirable {
+                    process: def.name.clone(),
+                    reason: format!(
+                        "declares {} interaction point(s); drive it through an interactive session",
+                        def.interactions.len()
+                    ),
+                });
+            }
+            run_primitive(
+                db,
+                catalog,
+                registry,
+                &def,
+                bindings,
+                user,
+                &NO_PARAMS,
+                TaskKind::Primitive,
+            )
+        }
+        ProcessKind::Compound(_) => {
+            run_compound(db, catalog, registry, externals, &def, bindings, user)
+        }
+        ProcessKind::External { site } => {
+            run_external(db, catalog, registry, externals, &def, site, bindings, user)
+        }
+        ProcessKind::NonApplicative { procedure } => Err(KernelError::NotAutoFirable {
+            process: def.name.clone(),
+            reason: format!(
+                "non-applicative procedure ({procedure}); record its tasks manually"
+            ),
+        }),
+    }
+}
+
+pub(crate) fn validate_bindings(
+    catalog: &Catalog,
+    def: &crate::schema::ProcessDef,
+    bindings: &[(String, Vec<ObjectId>)],
+) -> KernelResult<()> {
+    if bindings.len() != def.args.len() {
+        return Err(KernelError::Template(format!(
+            "process {} takes {} argument(s), got {}",
+            def.name,
+            def.args.len(),
+            bindings.len()
+        )));
+    }
+    for (arg, (bname, objs)) in def.args.iter().zip(bindings) {
+        if &arg.name != bname {
+            return Err(KernelError::Template(format!(
+                "process {}: expected argument {:?} at this position, got {:?}",
+                def.name, arg.name, bname
+            )));
+        }
+        if arg.setof {
+            if (objs.len() as u64) < arg.min_card {
+                return Err(KernelError::Template(format!(
+                    "process {}: SETOF argument {:?} needs at least {} object(s), got {}",
+                    def.name,
+                    arg.name,
+                    arg.min_card,
+                    objs.len()
+                )));
+            }
+        } else if objs.len() != 1 {
+            return Err(KernelError::Template(format!(
+                "process {}: scalar argument {:?} needs exactly 1 object, got {}",
+                def.name,
+                arg.name,
+                objs.len()
+            )));
+        }
+        for o in objs {
+            let actual = catalog.class_of_object(*o)?;
+            if actual != arg.class {
+                let expected = catalog.class(arg.class)?.name.clone();
+                let got = catalog.class(actual)?.name.clone();
+                return Err(KernelError::Template(format!(
+                    "process {}: argument {:?} expects class {expected}, object {} is of class {got}",
+                    def.name, arg.name, o
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Load the declared bindings into template form.
+pub(crate) fn load_bindings(
+    db: &Database,
+    catalog: &Catalog,
+    def: &ProcessDef,
+    bindings: &[(String, Vec<ObjectId>)],
+) -> KernelResult<BTreeMap<String, Binding>> {
+    let mut bound: BTreeMap<String, Binding> = BTreeMap::new();
+    for (arg, (name, objs)) in def.args.iter().zip(bindings) {
+        let loaded: KernelResult<Vec<DataObject>> = objs
+            .iter()
+            .map(|o| load_object(db, catalog, *o))
+            .collect();
+        let loaded = loaded?;
+        bound.insert(
+            name.clone(),
+            if arg.setof {
+                Binding::Many(loaded)
+            } else {
+                Binding::One(loaded.into_iter().next().expect("validated arity"))
+            },
+        );
+    }
+    Ok(bound)
+}
+
+/// Validate computed output attributes and materialize the object + task.
+#[allow(clippy::too_many_arguments)]
+fn materialize_output(
+    db: &mut Database,
+    catalog: &mut Catalog,
+    def: &ProcessDef,
+    bindings: &[(String, Vec<ObjectId>)],
+    attrs: &BTreeMap<String, Value>,
+    user: &str,
+    params: &BTreeMap<String, Value>,
+    kind: TaskKind,
+) -> KernelResult<TaskRun> {
+    let out_class = catalog.class(def.output)?.clone();
+    for key in attrs.keys() {
+        if out_class.attr(key).is_none() {
+            return Err(KernelError::Schema(format!(
+                "process {}: mapping writes {key:?} which class {} does not declare",
+                def.name, out_class.name
+            )));
+        }
+    }
+    let obj = insert_object(db, catalog, &out_class, attrs)?;
+    let task_id = TaskId(db.allocate_oid());
+    let seq = catalog.next_task_seq();
+    let task = Task {
+        id: task_id,
+        process: def.id,
+        process_name: def.name.clone(),
+        inputs: bindings
+            .iter()
+            .map(|(n, objs)| (n.clone(), objs.clone()))
+            .collect(),
+        outputs: vec![obj],
+        params: params.clone(),
+        seq,
+        user: user.into(),
+        kind,
+        children: vec![],
+    };
+    catalog.add_task(task);
+    Ok(TaskRun {
+        task: task_id,
+        outputs: vec![obj],
+    })
+}
+
+/// Fire a primitive process's template. `params` carries the scientist's
+/// interaction answers (empty for plain primitives); `kind` distinguishes
+/// plain from interactive firings on the recorded task.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_primitive(
+    db: &mut Database,
+    catalog: &mut Catalog,
+    registry: &OperatorRegistry,
+    def: &ProcessDef,
+    bindings: &[(String, Vec<ObjectId>)],
+    user: &str,
+    params: &BTreeMap<String, Value>,
+    kind: TaskKind,
+) -> KernelResult<TaskRun> {
+    validate_bindings(catalog, def, bindings)?;
+    let bound = load_bindings(db, catalog, def, bindings)?;
+    // Evaluate the template (guards first — Figure 3's assertions).
+    let ctx = EvalContext {
+        bindings: &bound,
+        registry,
+        params,
+    };
+    ctx.check_assertions(&def.name, &def.template)?;
+    let attrs = ctx.eval_mappings(&def.template)?;
+    materialize_output(db, catalog, def, bindings, &attrs, user, params, kind)
+}
+
+/// Fire an external process: local guards, remote mapping (§5 extension).
+#[allow(clippy::too_many_arguments)]
+fn run_external(
+    db: &mut Database,
+    catalog: &mut Catalog,
+    registry: &OperatorRegistry,
+    externals: &ExternalRegistry,
+    def: &ProcessDef,
+    site_name: &str,
+    bindings: &[(String, Vec<ObjectId>)],
+    user: &str,
+) -> KernelResult<TaskRun> {
+    validate_bindings(catalog, def, bindings)?;
+    let bound = load_bindings(db, catalog, def, bindings)?;
+    // Guard rules are metadata constraints on the inputs; they are always
+    // evaluated locally, before anything is shipped.
+    let ctx = EvalContext {
+        bindings: &bound,
+        registry,
+        params: &NO_PARAMS,
+    };
+    ctx.check_assertions(&def.name, &def.template)?;
+    let site = externals
+        .reachable_site(site_name)
+        .ok_or_else(|| KernelError::SiteUnavailable {
+            site: site_name.to_string(),
+            process: def.name.clone(),
+        })?;
+    let mut inputs: ExternalInputs = BTreeMap::new();
+    for (name, binding) in &bound {
+        inputs.insert(
+            name.clone(),
+            binding.objects().into_iter().cloned().collect(),
+        );
+    }
+    let attrs = site.execute(def, &inputs)?;
+    let mut params = BTreeMap::new();
+    params.insert("site".to_string(), Value::Text(site_name.to_string()));
+    materialize_output(
+        db,
+        catalog,
+        def,
+        bindings,
+        &attrs,
+        user,
+        &params,
+        TaskKind::External,
+    )
+}
+
+/// Undo a recorded task: delete its output objects and drop the record
+/// (children first — compound steps may themselves be compounds). Used to
+/// keep compound execution atomic when a later step fails.
+fn undo_task(db: &mut Database, catalog: &mut Catalog, task_id: TaskId) {
+    let Some(task) = catalog.tasks.remove(&task_id) else {
+        return;
+    };
+    for child in &task.children {
+        undo_task(db, catalog, *child);
+    }
+    for out in &task.outputs {
+        if let Some(class_id) = catalog.object_class.remove(out) {
+            if let Ok(class) = catalog.class(class_id) {
+                let rel = class.relation_name();
+                let _ = db.delete(&rel, out.0);
+            }
+        }
+    }
+}
+
+fn run_compound(
+    db: &mut Database,
+    catalog: &mut Catalog,
+    registry: &OperatorRegistry,
+    externals: &ExternalRegistry,
+    def: &crate::schema::ProcessDef,
+    bindings: &[(String, Vec<ObjectId>)],
+    user: &str,
+) -> KernelResult<TaskRun> {
+    validate_bindings(catalog, def, bindings)?;
+    let steps = def.steps().expect("compound kind").to_vec();
+    let mut step_outputs: Vec<Vec<ObjectId>> = Vec::with_capacity(steps.len());
+    let mut children: Vec<TaskId> = Vec::with_capacity(steps.len());
+    // A failing step must not leave earlier steps' objects/tasks behind:
+    // compound firing is atomic (a compound is "merely an abstraction" —
+    // its observable effect is the whole network's effect or nothing).
+    let undo_all = |db: &mut Database, catalog: &mut Catalog, children: &[TaskId]| {
+        for t in children.iter().rev() {
+            undo_task(db, catalog, *t);
+        }
+    };
+    for (i, step) in steps.iter().enumerate() {
+        let child_def = match catalog.process(step.process) {
+            Ok(d) => d.clone(),
+            Err(e) => {
+                undo_all(db, catalog, &children);
+                return Err(e);
+            }
+        };
+        if step.inputs.len() != child_def.args.len() {
+            undo_all(db, catalog, &children);
+            return Err(KernelError::Schema(format!(
+                "compound {}: step {i} wires {} input(s) into {} which takes {}",
+                def.name,
+                step.inputs.len(),
+                child_def.name,
+                child_def.args.len()
+            )));
+        }
+        let mut child_bindings: Vec<(String, Vec<ObjectId>)> = Vec::new();
+        for (arg, src) in child_def.args.iter().zip(&step.inputs) {
+            let objs = match src {
+                StepSource::OuterArg(k) => {
+                    match bindings.get(*k) {
+                        Some(b) => b.1.clone(),
+                        None => {
+                            undo_all(db, catalog, &children);
+                            return Err(KernelError::Schema(format!(
+                                "compound {}: step {i} references outer arg {k} of {}",
+                                def.name,
+                                bindings.len()
+                            )));
+                        }
+                    }
+                }
+                StepSource::StepOutput(k) => {
+                    if *k >= i {
+                        undo_all(db, catalog, &children);
+                        return Err(KernelError::Schema(format!(
+                            "compound {}: step {i} references later/own step {k}",
+                            def.name
+                        )));
+                    }
+                    step_outputs[*k].clone()
+                }
+            };
+            child_bindings.push((arg.name.clone(), objs));
+        }
+        let run = match run_process(
+            db,
+            catalog,
+            registry,
+            externals,
+            step.process,
+            &child_bindings,
+            user,
+        ) {
+            Ok(run) => run,
+            Err(e) => {
+                undo_all(db, catalog, &children);
+                return Err(e);
+            }
+        };
+        children.push(run.task);
+        step_outputs.push(run.outputs);
+    }
+    let outputs = step_outputs.last().cloned().unwrap_or_default();
+    let task_id = TaskId(db.allocate_oid());
+    let seq = catalog.next_task_seq();
+    catalog.add_task(Task {
+        id: task_id,
+        process: def.id,
+        process_name: def.name.clone(),
+        inputs: bindings
+            .iter()
+            .map(|(n, objs)| (n.clone(), objs.clone()))
+            .collect(),
+        outputs: outputs.clone(),
+        params: BTreeMap::new(),
+        seq,
+        user: user.into(),
+        kind: TaskKind::Compound,
+        children,
+    });
+    Ok(TaskRun {
+        task: task_id,
+        outputs,
+    })
+}

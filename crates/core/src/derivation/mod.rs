@@ -1,0 +1,7 @@
+//! The derivation manager: catalog→Petri-net mapping, planning, execution.
+
+pub mod executor;
+pub mod net;
+
+pub use executor::{run_process, TaskRun};
+pub use net::DerivationNet;

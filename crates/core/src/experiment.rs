@@ -1,0 +1,117 @@
+//! Experiments: the high-level semantics layer's unit of work (§2.1.1).
+//!
+//! "Experiment management also helps avoid unnecessary duplication of
+//! experiments and may encourage the reuse of aspects of previously
+//! performed experiments [...] Experiments can be reproduced, allowing
+//! rapid and reliable confirmation of results."
+//!
+//! An experiment is a named, attributed group of tasks. Reproduction
+//! re-fires every recorded task against its recorded inputs and verifies
+//! the outputs by value identity (see `kernel::Gaea::reproduce_experiment`).
+
+use crate::ids::{ExperimentId, TaskId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A recorded experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Experiment {
+    /// Identifier.
+    pub id: ExperimentId,
+    /// Name (unique).
+    pub name: String,
+    /// What the scientist was after.
+    pub description: String,
+    /// Who ran it.
+    pub user: String,
+    /// Member tasks, in execution order.
+    pub tasks: Vec<TaskId>,
+}
+
+impl fmt::Display for Experiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EXPERIMENT {} by {}: {} task(s) — {}",
+            self.name,
+            self.user,
+            self.tasks.len(),
+            self.description
+        )
+    }
+}
+
+/// Outcome of reproducing an experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reproduction {
+    /// Tasks re-executed.
+    pub tasks_rerun: usize,
+    /// Tasks whose regenerated outputs matched the stored objects exactly
+    /// (value identity).
+    pub matching: usize,
+    /// Human-readable notes on any divergence.
+    pub divergences: Vec<String>,
+    /// Tasks that cannot be re-executed by construction: manual records of
+    /// non-applicative procedures, and external tasks whose site is down.
+    /// These are audit notes, not divergences — the derivation *history*
+    /// is intact even where the computation cannot be repeated.
+    pub not_replayable: Vec<String>,
+}
+
+impl Reproduction {
+    /// True if every rerun reproduced its recorded outputs. Tasks in
+    /// [`Reproduction::not_replayable`] do not affect faithfulness.
+    pub fn is_faithful(&self) -> bool {
+        self.matching == self.tasks_rerun && self.divergences.is_empty()
+    }
+
+    /// True if some recorded work could not be re-executed at all.
+    pub fn has_unreplayable(&self) -> bool {
+        !self.not_replayable.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaea_store::Oid;
+
+    #[test]
+    fn display_and_faithfulness() {
+        let e = Experiment {
+            id: ExperimentId(Oid(1)),
+            name: "veg_change_88_89".into(),
+            description: "NDVI change Africa 1988-1989".into(),
+            user: "hachem".into(),
+            tasks: vec![TaskId(Oid(5)), TaskId(Oid(6))],
+        };
+        let s = e.to_string();
+        assert!(s.contains("veg_change_88_89"));
+        assert!(s.contains("2 task(s)"));
+        let r = Reproduction {
+            tasks_rerun: 2,
+            matching: 2,
+            divergences: vec![],
+            not_replayable: vec![],
+        };
+        assert!(r.is_faithful());
+        assert!(!r.has_unreplayable());
+        let bad = Reproduction {
+            tasks_rerun: 2,
+            matching: 1,
+            divergences: vec!["task:6 output differs".into()],
+            not_replayable: vec![],
+        };
+        assert!(!bad.is_faithful());
+        // Manual/external-down tasks do not break faithfulness, but they
+        // are visible.
+        let partial = Reproduction {
+            tasks_rerun: 1,
+            matching: 1,
+            divergences: vec![],
+            not_replayable: vec!["task:7: non-applicative".into()],
+        };
+        assert!(partial.is_faithful());
+        assert!(partial.has_unreplayable());
+    }
+}

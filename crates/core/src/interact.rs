@@ -1,0 +1,214 @@
+//! Interactive derivation sessions (paper §4.3 limitation 2).
+//!
+//! "There are many situations in global change analysis that require the
+//! user to conduct the analysis process based on the intermediate result
+//! [...] A typical example is supervised classification. This process
+//! requires interaction with the scientist before a task completes the
+//! derivation of the output land cover classification data. We have not
+//! yet developed methods to express such interactions in a process."
+//!
+//! This module develops that method. A process may declare
+//! [`InteractionPoint`]s; the template refers to the scientist's answers
+//! as `PARAM name` expressions. Firing such a process goes through an
+//! [`InteractiveSession`]:
+//!
+//! 1. `Gaea::begin_interactive` validates the input bindings and opens
+//!    the session;
+//! 2. for each pending point, `Gaea::interaction_preview` renders the
+//!    "temporary result visualized on the screen" (an expression over the
+//!    bound inputs and earlier answers) and
+//!    [`InteractiveSession::supply`] records the scientist's answer;
+//! 3. `Gaea::finish_interactive` checks assertions, evaluates the
+//!    mappings with the answers bound, and records a task of kind
+//!    [`TaskKind::Interactive`] whose `params` are the answers —
+//!    so the interaction is *part of the derivation history* and the task
+//!    replays faithfully without the scientist present.
+//!
+//! [`TaskKind::Interactive`]: crate::task::TaskKind::Interactive
+
+use crate::error::{KernelError, KernelResult};
+use crate::ids::ObjectId;
+use crate::schema::{InteractionPoint, ProcessDef};
+use gaea_adt::Value;
+use std::collections::BTreeMap;
+
+/// An in-flight interactive derivation.
+///
+/// The session owns a clone of the (immutable) process definition and the
+/// chosen bindings; it does not borrow the kernel, so the scientist can
+/// interleave queries and browsing while a session is open.
+#[derive(Debug, Clone)]
+pub struct InteractiveSession {
+    pub(crate) def: ProcessDef,
+    pub(crate) bindings: Vec<(String, Vec<ObjectId>)>,
+    pub(crate) supplied: BTreeMap<String, Value>,
+    pub(crate) next: usize,
+}
+
+impl InteractiveSession {
+    pub(crate) fn new(
+        def: ProcessDef,
+        bindings: Vec<(String, Vec<ObjectId>)>,
+    ) -> InteractiveSession {
+        InteractiveSession {
+            def,
+            bindings,
+            supplied: BTreeMap::new(),
+            next: 0,
+        }
+    }
+
+    /// The process being instantiated.
+    pub fn process(&self) -> &ProcessDef {
+        &self.def
+    }
+
+    /// The chosen input bindings.
+    pub fn bindings(&self) -> &[(String, Vec<ObjectId>)] {
+        &self.bindings
+    }
+
+    /// The interaction point awaiting an answer, if any.
+    pub fn pending(&self) -> Option<&InteractionPoint> {
+        self.def.interactions.get(self.next)
+    }
+
+    /// Number of answered interaction points.
+    pub fn answered(&self) -> usize {
+        self.next
+    }
+
+    /// Number of interaction points still awaiting answers.
+    pub fn remaining(&self) -> usize {
+        self.def.interactions.len() - self.next
+    }
+
+    /// True once every declared interaction has an answer.
+    pub fn is_ready(&self) -> bool {
+        self.next == self.def.interactions.len()
+    }
+
+    /// Answers supplied so far, by parameter name.
+    pub fn supplied(&self) -> &BTreeMap<String, Value> {
+        &self.supplied
+    }
+
+    /// Answer the pending interaction point. The value must match the
+    /// point's declared type; points are answered in declaration order
+    /// (later previews may depend on earlier answers).
+    pub fn supply(&mut self, value: Value) -> KernelResult<()> {
+        let point = self.pending().ok_or_else(|| {
+            KernelError::Template(format!(
+                "process {}: every interaction is already answered",
+                self.def.name
+            ))
+        })?;
+        if !point.expected.accepts(&value.type_tag()) {
+            return Err(KernelError::Template(format!(
+                "process {}: interaction {:?} expects {}, got {}",
+                self.def.name,
+                point.param,
+                point.expected,
+                value.type_tag()
+            )));
+        }
+        self.supplied.insert(point.param.clone(), value);
+        self.next += 1;
+        Ok(())
+    }
+
+    /// Withdraw the most recent answer ("modification of input parameters
+    /// based on some temporary result": the scientist may reconsider).
+    pub fn retract(&mut self) -> Option<Value> {
+        if self.next == 0 {
+            return None;
+        }
+        self.next -= 1;
+        let param = self.def.interactions[self.next].param.clone();
+        self.supplied.remove(&param)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ClassId, ProcessId};
+    use crate::schema::{ProcessArg, ProcessKind};
+    use crate::template::{Expr, Template};
+    use gaea_adt::{Matrix, TypeTag};
+    use gaea_store::Oid;
+
+    fn interactive_def() -> ProcessDef {
+        ProcessDef {
+            id: ProcessId(Oid(1)),
+            name: "P_super".into(),
+            output: ClassId(Oid(3)),
+            args: vec![ProcessArg::set("bands", ClassId(Oid(2)), 3)],
+            template: Template::default(),
+            kind: ProcessKind::Primitive,
+            interactions: vec![
+                InteractionPoint {
+                    param: "signatures".into(),
+                    prompt: "digitize training sites on the composite".into(),
+                    preview: Some(Expr::apply("composite", vec![Expr::Arg("bands".into())])),
+                    expected: TypeTag::Matrix,
+                },
+                InteractionPoint {
+                    param: "confidence".into(),
+                    prompt: "rate the training quality".into(),
+                    preview: None,
+                    expected: TypeTag::Float8,
+                },
+            ],
+            doc: String::new(),
+        }
+    }
+
+    fn session() -> InteractiveSession {
+        InteractiveSession::new(
+            interactive_def(),
+            vec![("bands".into(), vec![ObjectId(Oid(10)), ObjectId(Oid(11)), ObjectId(Oid(12))])],
+        )
+    }
+
+    #[test]
+    fn walks_points_in_order() {
+        let mut s = session();
+        assert_eq!(s.remaining(), 2);
+        assert!(!s.is_ready());
+        assert_eq!(s.pending().unwrap().param, "signatures");
+        s.supply(Value::matrix(Matrix::zeros(2, 3))).unwrap();
+        assert_eq!(s.pending().unwrap().param, "confidence");
+        s.supply(Value::Float8(0.9)).unwrap();
+        assert!(s.is_ready());
+        assert!(s.pending().is_none());
+        assert_eq!(s.supplied().len(), 2);
+        // Supplying past the end errors.
+        assert!(s.supply(Value::Int4(1)).is_err());
+    }
+
+    #[test]
+    fn type_checks_answers() {
+        let mut s = session();
+        let err = s.supply(Value::Int4(5)).unwrap_err();
+        assert!(err.to_string().contains("expects matrix"), "{err}");
+        // Session state is unchanged after a rejected answer.
+        assert_eq!(s.answered(), 0);
+        assert_eq!(s.pending().unwrap().param, "signatures");
+    }
+
+    #[test]
+    fn retract_reopens_the_last_point() {
+        let mut s = session();
+        assert!(s.retract().is_none());
+        s.supply(Value::matrix(Matrix::zeros(2, 3))).unwrap();
+        s.supply(Value::Float8(0.5)).unwrap();
+        assert!(s.is_ready());
+        let back = s.retract().unwrap();
+        assert_eq!(back, Value::Float8(0.5));
+        assert_eq!(s.pending().unwrap().param, "confidence");
+        // Reconsidered answer replaces the old one.
+        s.supply(Value::Float8(0.99)).unwrap();
+        assert_eq!(s.supplied()["confidence"], Value::Float8(0.99));
+    }
+}

@@ -1,0 +1,221 @@
+//! Lineage: browsing, comparing and deduplicating derivations (§4.2).
+//!
+//! "Derivation diagrams can be used to 1) browse data following their
+//! derivation relationships, 2) compare derivation procedures and their
+//! resulting data classes, and 3) derive data not stored in the database."
+//!
+//! This module covers (1) and (2) at the *object* level: each stored object
+//! roots a derivation tree built from task records; trees canonicalize to
+//! signatures that compare derivations structurally — the paper's §1
+//! scenario (NDVI subtraction vs division) reduces to a signature
+//! inequality.
+
+use crate::catalog::Catalog;
+use crate::error::KernelResult;
+use crate::ids::{ObjectId, TaskId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One node of an object's derivation tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DerivationNode {
+    /// The object at this node.
+    pub object: ObjectId,
+    /// Its class name.
+    pub class_name: String,
+    /// The producing task and process name; `None` for base data.
+    pub via: Option<(TaskId, String)>,
+    /// Derivation parameters recorded on the task.
+    pub params: Vec<(String, String)>,
+    /// Input subtrees, in argument order.
+    pub inputs: Vec<DerivationNode>,
+}
+
+impl DerivationNode {
+    /// Canonical signature: process names + class names, with object
+    /// identities erased. Two objects with equal signatures were derived
+    /// the same way from the same kinds of data.
+    pub fn signature(&self) -> String {
+        let mut s = String::new();
+        self.write_signature(&mut s);
+        s
+    }
+
+    fn write_signature(&self, s: &mut String) {
+        match &self.via {
+            None => {
+                s.push_str("base:");
+                s.push_str(&self.class_name);
+            }
+            Some((_, process)) => {
+                s.push_str(process);
+                if !self.params.is_empty() {
+                    s.push('[');
+                    for (i, (k, v)) in self.params.iter().enumerate() {
+                        if i > 0 {
+                            s.push(',');
+                        }
+                        s.push_str(k);
+                        s.push('=');
+                        s.push_str(v);
+                    }
+                    s.push(']');
+                }
+                s.push('(');
+                for (i, input) in self.inputs.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    input.write_signature(s);
+                }
+                s.push(')');
+            }
+        }
+    }
+
+    /// Indented rendering for task logs and examples.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&format!("{} : {}", self.object, self.class_name));
+        match &self.via {
+            None => out.push_str("  [base data]\n"),
+            Some((task, process)) => {
+                out.push_str(&format!("  <- {process} ({task})\n"));
+                for input in &self.inputs {
+                    input.render_into(out, depth + 1);
+                }
+            }
+        }
+    }
+
+    /// Total number of nodes.
+    pub fn size(&self) -> usize {
+        1 + self.inputs.iter().map(DerivationNode::size).sum::<usize>()
+    }
+
+    /// Depth of the tree (a base object has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.inputs.iter().map(DerivationNode::depth).max().unwrap_or(0)
+    }
+}
+
+/// Build the derivation tree of an object by walking task records backward.
+/// `max_depth` guards against pathological task graphs.
+pub fn derivation_tree(
+    catalog: &Catalog,
+    obj: ObjectId,
+    max_depth: usize,
+) -> KernelResult<DerivationNode> {
+    let class_id = catalog.class_of_object(obj)?;
+    let class_name = catalog.class(class_id)?.name.clone();
+    if max_depth == 0 {
+        return Ok(DerivationNode {
+            object: obj,
+            class_name,
+            via: None,
+            params: vec![],
+            inputs: vec![],
+        });
+    }
+    match catalog.producing_task(obj) {
+        None => Ok(DerivationNode {
+            object: obj,
+            class_name,
+            via: None,
+            params: vec![],
+            inputs: vec![],
+        }),
+        Some(task) => {
+            let mut inputs = Vec::new();
+            for (_arg, objs) in &task.inputs {
+                for o in objs {
+                    inputs.push(derivation_tree(catalog, *o, max_depth - 1)?);
+                }
+            }
+            Ok(DerivationNode {
+                object: obj,
+                class_name,
+                via: Some((task.id, task.process_name.clone())),
+                params: task
+                    .params
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_string()))
+                    .collect(),
+                inputs,
+            })
+        }
+    }
+}
+
+/// True if two objects share the same derivation *procedure* (signatures
+/// equal). The §1 scenario: diff-derived and ratio-derived vegetation
+/// change maps compare unequal even when built from identical inputs.
+pub fn same_derivation(catalog: &Catalog, a: ObjectId, b: ObjectId) -> KernelResult<bool> {
+    let ta = derivation_tree(catalog, a, 64)?;
+    let tb = derivation_tree(catalog, b, 64)?;
+    Ok(ta.signature() == tb.signature())
+}
+
+/// All transitive input objects (derivation ancestors).
+pub fn ancestors(catalog: &Catalog, obj: ObjectId) -> KernelResult<Vec<ObjectId>> {
+    let mut out = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut stack = vec![obj];
+    while let Some(o) = stack.pop() {
+        if let Some(task) = catalog.producing_task(o) {
+            for input in task.all_inputs() {
+                if seen.insert(input) {
+                    out.push(input);
+                    stack.push(input);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// All objects transitively derived *from* `obj` (descendants) — the
+/// impact set when a base object is corrected.
+pub fn descendants(catalog: &Catalog, obj: ObjectId) -> Vec<ObjectId> {
+    let mut out = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut stack = vec![obj];
+    while let Some(o) = stack.pop() {
+        for task in catalog.tasks.values() {
+            if task.all_inputs().contains(&o) {
+                for produced in &task.outputs {
+                    if seen.insert(*produced) {
+                        out.push(*produced);
+                        stack.push(*produced);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Groups of tasks that performed the identical derivation (same process,
+/// inputs, parameters) — the duplicated work that experiment management is
+/// meant to avoid. Only groups of ≥ 2 are returned.
+pub fn duplicate_tasks(catalog: &Catalog) -> Vec<Vec<TaskId>> {
+    let mut groups: BTreeMap<String, Vec<TaskId>> = BTreeMap::new();
+    for task in catalog.tasks.values() {
+        groups.entry(task.dedup_key()).or_default().push(task.id);
+    }
+    groups
+        .into_values()
+        .filter(|g| g.len() >= 2)
+        .collect()
+}
+
+// Tests live in the kernel integration tests (tests require a full kernel
+// to create objects and tasks); `kernel.rs` exercises every function here.

@@ -1,0 +1,113 @@
+//! Data objects: instances of non-primitive classes.
+//!
+//! A data object is a tuple of attribute values plus the two extents every
+//! Gaea class carries (paper §2.1.2: `SPATIAL EXTENT` / `TEMPORAL EXTENT`).
+//! The "automatically defined retrieval functions" of the paper
+//! (`area(landcover)`, `timestamp(landcover)`) correspond to [`DataObject::attr`]
+//! and the typed extent accessors.
+
+use crate::ids::{ClassId, ObjectId};
+use gaea_adt::{AbsTime, GeoBox, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Reserved attribute name for the spatial extent.
+pub const SPATIAL_ATTR: &str = "spatialextent";
+/// Reserved attribute name for the temporal extent.
+pub const TEMPORAL_ATTR: &str = "timestamp";
+
+/// An instance of a non-primitive class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataObject {
+    /// Object identifier.
+    pub id: ObjectId,
+    /// Owning class.
+    pub class: ClassId,
+    /// Attribute values, including the extents under their reserved names.
+    pub attrs: BTreeMap<String, Value>,
+}
+
+impl DataObject {
+    /// Attribute lookup (the auto-defined retrieval function).
+    pub fn attr(&self, name: &str) -> Option<&Value> {
+        self.attrs.get(name)
+    }
+
+    /// Spatial extent, if the object carries one.
+    pub fn spatial_extent(&self) -> Option<GeoBox> {
+        self.attrs.get(SPATIAL_ATTR).and_then(Value::as_geobox)
+    }
+
+    /// Temporal extent, if the object carries one.
+    pub fn timestamp(&self) -> Option<AbsTime> {
+        self.attrs.get(TEMPORAL_ATTR).and_then(Value::as_abstime)
+    }
+}
+
+impl fmt::Display for DataObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} of {} {{", self.id, self.class)?;
+        for (i, (k, v)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}: {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaea_store::Oid;
+
+    fn obj() -> DataObject {
+        let mut attrs = BTreeMap::new();
+        attrs.insert("area".into(), Value::Char16("africa".into()));
+        attrs.insert(
+            SPATIAL_ATTR.into(),
+            Value::GeoBox(GeoBox::new(-20.0, -35.0, 55.0, 38.0)),
+        );
+        attrs.insert(
+            TEMPORAL_ATTR.into(),
+            Value::AbsTime(AbsTime::from_ymd(1986, 1, 15).unwrap()),
+        );
+        DataObject {
+            id: ObjectId(Oid(7)),
+            class: ClassId(Oid(3)),
+            attrs,
+        }
+    }
+
+    #[test]
+    fn retrieval_functions() {
+        let o = obj();
+        assert_eq!(o.attr("area"), Some(&Value::Char16("africa".into())));
+        assert_eq!(o.attr("missing"), None);
+        assert_eq!(
+            o.spatial_extent().unwrap(),
+            GeoBox::new(-20.0, -35.0, 55.0, 38.0)
+        );
+        assert_eq!(o.timestamp().unwrap(), AbsTime::from_ymd(1986, 1, 15).unwrap());
+    }
+
+    #[test]
+    fn extents_absent_when_not_set() {
+        let o = DataObject {
+            id: ObjectId(Oid(1)),
+            class: ClassId(Oid(2)),
+            attrs: BTreeMap::new(),
+        };
+        assert!(o.spatial_extent().is_none());
+        assert!(o.timestamp().is_none());
+    }
+
+    #[test]
+    fn display_lists_attrs() {
+        let s = obj().to_string();
+        assert!(s.contains("object:7"));
+        assert!(s.contains("area"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Queries and the three-step retrieval mechanism (paper §2.1.5).
+//!
+//! "The execution of a database query which involves the retrieval of a
+//! derived spatio-temporal concept is performed according to the following
+//! sequence: 1. Direct data retrieval [...] 2. Data interpolation (temporal
+//! or spatial) [...] 3. Data are computed, based on a derivation
+//! relationship. Steps 2 and 3 are prioritized according to the user's
+//! needs."
+
+use crate::ids::TaskId;
+use crate::object::DataObject;
+use gaea_adt::{AbsTime, GeoBox, TimeRange};
+use serde::{Deserialize, Serialize};
+
+/// What the query targets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryTarget {
+    /// One non-primitive class by name.
+    Class(String),
+    /// A concept by name — fans out over its member classes (§2.1.5 item 1:
+    /// "queries on concepts [...] are handled through the high level
+    /// semantics layer").
+    Concept(String),
+}
+
+/// Temporal selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimeSel {
+    /// Exact instant — interpolation may synthesize it (step 2).
+    At(AbsTime),
+    /// A window — satisfied by any stored timestamp inside it.
+    In(TimeRange),
+}
+
+/// Step ordering (the paper's "prioritized according to the user's needs").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum QueryStrategy {
+    /// Retrieval only; fail rather than compute.
+    RetrieveOnly,
+    /// Retrieval → interpolation → derivation (the paper's default order).
+    #[default]
+    PreferInterpolation,
+    /// Retrieval → derivation → interpolation.
+    PreferDerivation,
+}
+
+/// A spatio-temporal query against a class or concept.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// Target class or concept.
+    pub target: QueryTarget,
+    /// Spatial window (objects must overlap it).
+    pub spatial: Option<GeoBox>,
+    /// Temporal selection.
+    pub time: Option<TimeSel>,
+    /// Step ordering.
+    pub strategy: QueryStrategy,
+}
+
+impl Query {
+    /// Query a class by name, unconstrained.
+    pub fn class(name: &str) -> Query {
+        Query {
+            target: QueryTarget::Class(name.into()),
+            spatial: None,
+            time: None,
+            strategy: QueryStrategy::default(),
+        }
+    }
+
+    /// Query a concept by name, unconstrained.
+    pub fn concept(name: &str) -> Query {
+        Query {
+            target: QueryTarget::Concept(name.into()),
+            spatial: None,
+            time: None,
+            strategy: QueryStrategy::default(),
+        }
+    }
+
+    /// Constrain to a spatial window.
+    pub fn over(mut self, bbox: GeoBox) -> Query {
+        self.spatial = Some(bbox);
+        self
+    }
+
+    /// Constrain to an instant.
+    pub fn at(mut self, t: AbsTime) -> Query {
+        self.time = Some(TimeSel::At(t));
+        self
+    }
+
+    /// Constrain to a window.
+    pub fn during(mut self, r: TimeRange) -> Query {
+        self.time = Some(TimeSel::In(r));
+        self
+    }
+
+    /// Choose the step ordering.
+    pub fn with_strategy(mut self, s: QueryStrategy) -> Query {
+        self.strategy = s;
+        self
+    }
+}
+
+/// Which of the three steps ultimately answered the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryMethod {
+    /// Step 1: the data were stored.
+    Retrieved,
+    /// Step 2: synthesized by interpolation.
+    Interpolated,
+    /// Step 3: computed through a derivation plan.
+    Derived,
+}
+
+/// Query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// Matching (possibly freshly created) objects.
+    pub objects: Vec<DataObject>,
+    /// The step that produced them.
+    pub method: QueryMethod,
+    /// Tasks recorded while answering (empty for plain retrieval).
+    pub tasks: Vec<TaskId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes() {
+        let q = Query::class("landcover")
+            .over(GeoBox::new(-20.0, -35.0, 55.0, 38.0))
+            .at(AbsTime::from_ymd(1986, 1, 15).unwrap())
+            .with_strategy(QueryStrategy::PreferDerivation);
+        assert_eq!(q.target, QueryTarget::Class("landcover".into()));
+        assert!(q.spatial.is_some());
+        assert!(matches!(q.time, Some(TimeSel::At(_))));
+        assert_eq!(q.strategy, QueryStrategy::PreferDerivation);
+    }
+
+    #[test]
+    fn default_strategy_is_papers_order() {
+        assert_eq!(
+            Query::concept("ndvi").strategy,
+            QueryStrategy::PreferInterpolation
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! Catalog browsing and reporting (§4.2: users can browse the hierarchy;
+//! §2.1.5: users "select and query reproducible or precomputed instances
+//! of experiments").
+//!
+//! * [`schema_ddl`] — the whole catalog rendered back as Gaea DDL (the
+//!   shareable schema description).
+//! * [`lineage_dot`] — an object's derivation tree as Graphviz.
+//! * [`compare_experiments`] — structural diff of two experiments' task
+//!   signatures (which derivations they share, where they diverge).
+//! * [`experiments_using_process`] — find prior experiments that applied a
+//!   process, the reuse query experiment management exists for.
+
+use crate::catalog::Catalog;
+use crate::error::KernelResult;
+use crate::ids::{ExperimentId, ObjectId, ProcessId};
+use crate::lineage::{derivation_tree, DerivationNode};
+use std::fmt::Write as _;
+
+/// Render every class, process and concept as DDL-style text, in catalog
+/// order. Processes and classes use their faithful `Display` forms.
+pub fn schema_ddl(catalog: &Catalog) -> String {
+    let mut out = String::new();
+    for class in catalog.classes.values() {
+        writeln!(out, "{class}\n").expect("write to string");
+    }
+    for process in catalog.processes.values() {
+        writeln!(out, "{process}\n").expect("write to string");
+    }
+    for concept in catalog.concepts.values() {
+        writeln!(out, "{concept}\n").expect("write to string");
+    }
+    out
+}
+
+/// An object's derivation tree as a DOT digraph (objects as ellipses,
+/// tasks as boxes).
+pub fn lineage_dot(catalog: &Catalog, obj: ObjectId) -> KernelResult<String> {
+    let tree = derivation_tree(catalog, obj, 64)?;
+    let mut out = String::from("digraph lineage {\n  rankdir=BT;\n");
+    fn walk(node: &DerivationNode, out: &mut String) {
+        let obj_id = node.object.raw();
+        let fill = if node.via.is_none() {
+            ", style=filled, fillcolor=lightgray"
+        } else {
+            ""
+        };
+        writeln!(
+            out,
+            "  o{obj_id} [label=\"{} : {}\", shape=ellipse{fill}];",
+            node.object, node.class_name
+        )
+        .expect("write to string");
+        if let Some((task, process)) = &node.via {
+            let task_id = task.raw();
+            writeln!(out, "  k{task_id} [label=\"{process}\", shape=box];")
+                .expect("write to string");
+            writeln!(out, "  k{task_id} -> o{obj_id};").expect("write to string");
+            for input in &node.inputs {
+                writeln!(out, "  o{} -> k{task_id};", input.object.raw())
+                    .expect("write to string");
+                walk(input, out);
+            }
+        }
+    }
+    walk(&tree, &mut out);
+    out.push_str("}\n");
+    Ok(out)
+}
+
+/// Result of comparing two experiments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentDiff {
+    /// Task signatures present in both.
+    pub shared: Vec<String>,
+    /// Signatures only in the first.
+    pub only_first: Vec<String>,
+    /// Signatures only in the second.
+    pub only_second: Vec<String>,
+}
+
+impl ExperimentDiff {
+    /// True if the experiments performed exactly the same derivations.
+    pub fn equivalent(&self) -> bool {
+        self.only_first.is_empty() && self.only_second.is_empty()
+    }
+}
+
+/// Compare two experiments by the derivation signatures of their tasks'
+/// outputs — the §3.3 ambition ("compare derivation procedures and their
+/// resulting data classes") lifted to whole experiments.
+pub fn compare_experiments(
+    catalog: &Catalog,
+    a: ExperimentId,
+    b: ExperimentId,
+) -> KernelResult<ExperimentDiff> {
+    let sigs = |id: ExperimentId| -> KernelResult<Vec<String>> {
+        let exp = catalog.experiments.get(&id).ok_or(crate::error::KernelError::NoSuchId {
+            kind: "experiment",
+            id: id.raw(),
+        })?;
+        let mut out = Vec::new();
+        for task_id in &exp.tasks {
+            let task = catalog.task(*task_id)?;
+            for obj in &task.outputs {
+                out.push(derivation_tree(catalog, *obj, 64)?.signature());
+            }
+        }
+        out.sort();
+        Ok(out)
+    };
+    let sa = sigs(a)?;
+    let sb = sigs(b)?;
+    let mut shared = Vec::new();
+    let mut only_first = Vec::new();
+    let mut only_second: Vec<String> = sb.clone();
+    for s in sa {
+        if let Some(pos) = only_second.iter().position(|t| *t == s) {
+            only_second.remove(pos);
+            shared.push(s);
+        } else {
+            only_first.push(s);
+        }
+    }
+    Ok(ExperimentDiff {
+        shared,
+        only_first,
+        only_second,
+    })
+}
+
+/// Experiments containing at least one task of the given process — the
+/// reuse lookup ("has anyone already classified this?").
+pub fn experiments_using_process(catalog: &Catalog, process: ProcessId) -> Vec<ExperimentId> {
+    catalog
+        .experiments
+        .values()
+        .filter(|exp| {
+            exp.tasks.iter().any(|t| {
+                catalog
+                    .task(*t)
+                    .map(|task| task.process == process)
+                    .unwrap_or(false)
+            })
+        })
+        .map(|exp| exp.id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{ClassSpec, Gaea, ProcessSpec};
+    use crate::template::{Expr, Mapping, Template};
+    use gaea_adt::{Image, TypeTag, Value};
+
+    fn kernel_with_history() -> (Gaea, ObjectId, ObjectId) {
+        let mut g = Gaea::in_memory().with_user("report");
+        g.define_class(ClassSpec::base("src").attr("data", TypeTag::Image).no_extents())
+            .unwrap();
+        g.define_class(ClassSpec::derived("dst").attr("data", TypeTag::Image).no_extents())
+            .unwrap();
+        for (name, op) in [("by_diff", "img_diff"), ("by_ratio", "img_ratio")] {
+            g.define_process(
+                ProcessSpec::new(name, "dst")
+                    .arg("a", "src")
+                    .arg("b", "src")
+                    .template(Template {
+                        assertions: vec![],
+                        mappings: vec![Mapping {
+                            attr: "data".into(),
+                            expr: Expr::apply(
+                                op,
+                                vec![Expr::proj("a", "data"), Expr::proj("b", "data")],
+                            ),
+                        }],
+                    }),
+            )
+            .unwrap();
+        }
+        let a = g
+            .insert_object(
+                "src",
+                vec![("data", Value::image(Image::from_f64(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap()))],
+            )
+            .unwrap();
+        let b = g
+            .insert_object(
+                "src",
+                vec![("data", Value::image(Image::from_f64(2, 2, vec![4.0, 3.0, 2.0, 1.0]).unwrap()))],
+            )
+            .unwrap();
+        (g, a, b)
+    }
+
+    #[test]
+    fn schema_ddl_renders_everything() {
+        let (g, ..) = kernel_with_history();
+        let ddl = schema_ddl(g.catalog());
+        assert!(ddl.contains("CLASS src"));
+        assert!(ddl.contains("CLASS dst"));
+        assert!(ddl.contains("DEFINE PROCESS by_diff"));
+        assert!(ddl.contains("img_ratio(a.data, b.data)"));
+    }
+
+    #[test]
+    fn lineage_dot_draws_tasks_and_objects() {
+        let (mut g, a, b) = kernel_with_history();
+        let run = g
+            .run_process("by_diff", &[("a", vec![a]), ("b", vec![b])])
+            .unwrap();
+        let dot = lineage_dot(g.catalog(), run.outputs[0]).unwrap();
+        assert!(dot.contains("digraph lineage"));
+        assert!(dot.contains("by_diff"));
+        assert!(dot.contains("lightgray"), "base objects shaded");
+        // Two base objects feed the task node.
+        assert_eq!(dot.matches("-> k").count(), 2);
+    }
+
+    #[test]
+    fn experiment_comparison() {
+        let (mut g, a, b) = kernel_with_history();
+        let r1 = g
+            .run_process("by_diff", &[("a", vec![a]), ("b", vec![b])])
+            .unwrap();
+        let r2 = g
+            .run_process("by_ratio", &[("a", vec![a]), ("b", vec![b])])
+            .unwrap();
+        let e1 = g.record_experiment("e1", "diff", vec![r1.task]).unwrap();
+        let e2 = g.record_experiment("e2", "ratio", vec![r2.task]).unwrap();
+        let diff = compare_experiments(g.catalog(), e1, e2).unwrap();
+        assert!(!diff.equivalent());
+        assert_eq!(diff.shared.len(), 0);
+        assert_eq!(diff.only_first.len(), 1);
+        assert!(diff.only_first[0].contains("by_diff"));
+        assert!(diff.only_second[0].contains("by_ratio"));
+        // Self-comparison is equivalent.
+        let self_diff = compare_experiments(g.catalog(), e1, e1).unwrap();
+        assert!(self_diff.equivalent());
+        assert_eq!(self_diff.shared.len(), 1);
+    }
+
+    #[test]
+    fn process_reuse_lookup() {
+        let (mut g, a, b) = kernel_with_history();
+        let r1 = g
+            .run_process("by_diff", &[("a", vec![a]), ("b", vec![b])])
+            .unwrap();
+        let e1 = g.record_experiment("e1", "diff", vec![r1.task]).unwrap();
+        let diff_pid = g.catalog().process_by_name("by_diff").unwrap().id;
+        let ratio_pid = g.catalog().process_by_name("by_ratio").unwrap().id;
+        assert_eq!(
+            experiments_using_process(g.catalog(), diff_pid),
+            vec![e1]
+        );
+        assert!(experiments_using_process(g.catalog(), ratio_pid).is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! Attribute definitions for non-primitive classes.
+
+use crate::ids::ClassId;
+use gaea_adt::TypeTag;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One attribute of a non-primitive class (paper §2.1.2 `landcover`
+/// listing: `area = char16; ref_system = char16; ... data = image`).
+///
+/// The paper's prototype only allowed primitive-class attributes
+/// (§4.3 limitation 1); this implementation lifts that limitation with
+/// *reference attributes*: an attribute whose type is [`TypeTag::ObjRef`]
+/// and whose [`AttrDef::ref_class`] names the non-primitive class the
+/// reference must point into. The kernel validates the target's class at
+/// insert time and auto-defines the dereferencing retrieval function.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttrDef {
+    /// Attribute name.
+    pub name: String,
+    /// Primitive class of the attribute, or [`TypeTag::ObjRef`] for a
+    /// reference to another non-primitive class.
+    pub tag: TypeTag,
+    /// For `ObjRef` attributes: the class referenced objects must belong
+    /// to. `None` for primitive attributes.
+    #[serde(default)]
+    pub ref_class: Option<ClassId>,
+    /// Comment from the class definition.
+    pub doc: String,
+}
+
+impl AttrDef {
+    /// Shorthand constructor for a primitive attribute.
+    pub fn new(name: &str, tag: TypeTag) -> AttrDef {
+        AttrDef {
+            name: name.into(),
+            tag,
+            ref_class: None,
+            doc: String::new(),
+        }
+    }
+
+    /// Constructor with a doc comment.
+    pub fn with_doc(name: &str, tag: TypeTag, doc: &str) -> AttrDef {
+        AttrDef {
+            name: name.into(),
+            tag,
+            ref_class: None,
+            doc: doc.into(),
+        }
+    }
+
+    /// A reference attribute pointing into `class` (§4.3 extension).
+    pub fn reference(name: &str, class: ClassId) -> AttrDef {
+        AttrDef {
+            name: name.into(),
+            tag: TypeTag::ObjRef,
+            ref_class: Some(class),
+            doc: String::new(),
+        }
+    }
+
+    /// True for reference attributes.
+    pub fn is_reference(&self) -> bool {
+        self.ref_class.is_some()
+    }
+}
+
+impl fmt::Display for AttrDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.ref_class {
+            Some(c) => write!(f, "{} = ref {c}", self.name)?,
+            None => write!(f, "{} = {}", self.name, self.tag)?,
+        }
+        if !self.doc.is_empty() {
+            write!(f, "; // {}", self.doc)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaea_store::Oid;
+
+    #[test]
+    fn display_matches_paper_style() {
+        let a = AttrDef::with_doc("area", TypeTag::Char16, "area name");
+        assert_eq!(a.to_string(), "area = char16; // area name");
+        assert_eq!(AttrDef::new("data", TypeTag::Image).to_string(), "data = image");
+    }
+
+    #[test]
+    fn reference_attrs() {
+        let a = AttrDef::reference("source_scene", ClassId(Oid(7)));
+        assert!(a.is_reference());
+        assert_eq!(a.tag, TypeTag::ObjRef);
+        assert_eq!(a.ref_class, Some(ClassId(Oid(7))));
+        assert_eq!(a.to_string(), "source_scene = ref class:7");
+        assert!(!AttrDef::new("x", TypeTag::Int4).is_reference());
+    }
+
+    #[test]
+    fn serde_default_keeps_old_catalogs_loadable() {
+        // A catalog serialized before the ref_class field existed must
+        // still deserialize (ref_class defaults to None).
+        let json = r#"{"name":"area","tag":"Char16","doc":""}"#;
+        let a: AttrDef = serde_json::from_str(json).unwrap();
+        assert_eq!(a.ref_class, None);
+    }
+}

@@ -1,0 +1,195 @@
+//! Non-primitive class definitions (paper §2.1.2).
+//!
+//! "Once a full concept structure is developed within the high level
+//! semantic layer, the leaves of such a structure are mapped to a set of
+//! non-primitive classes in the derivation semantics layer." A class is
+//! either **base** ("obtained from well known sources outside the system")
+//! or **derived**, in which case it "is defined uniquely by the outcome of
+//! a process" recorded in its `DERIVED BY` clause.
+
+use crate::ids::{ClassId, ProcessId};
+use crate::object::{SPATIAL_ATTR, TEMPORAL_ATTR};
+use crate::schema::attr::AttrDef;
+use gaea_adt::TypeTag;
+use gaea_store::{Field, Schema};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Base vs derived (paper §1: the two categories of scientific data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClassKind {
+    /// Well-understood external data; back propagation stops here.
+    Base,
+    /// Data defined by a derivation process.
+    Derived,
+}
+
+/// A non-primitive class definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassDef {
+    /// Catalog identifier.
+    pub id: ClassId,
+    /// Class name (unique).
+    pub name: String,
+    /// Base or derived.
+    pub kind: ClassKind,
+    /// Ordinary attributes (the ATTRIBUTES section), excluding extents.
+    pub attrs: Vec<AttrDef>,
+    /// True if the class carries a SPATIAL EXTENT attribute.
+    pub has_spatial: bool,
+    /// True if the class carries a TEMPORAL EXTENT attribute.
+    pub has_temporal: bool,
+    /// Processes that derive this class (the DERIVED BY clause; several
+    /// alternatives may exist, e.g. PCA and SPCA both derive vegetation
+    /// change).
+    pub derived_by: Vec<ProcessId>,
+    /// Documentation.
+    pub doc: String,
+}
+
+impl ClassDef {
+    /// Attribute definition by name (extents included).
+    pub fn attr(&self, name: &str) -> Option<AttrDef> {
+        if name == SPATIAL_ATTR && self.has_spatial {
+            return Some(AttrDef::with_doc(SPATIAL_ATTR, TypeTag::GeoBox, "bounding box"));
+        }
+        if name == TEMPORAL_ATTR && self.has_temporal {
+            return Some(AttrDef::with_doc(TEMPORAL_ATTR, TypeTag::AbsTime, "absolute time"));
+        }
+        self.attrs.iter().find(|a| a.name == name).cloned()
+    }
+
+    /// All attribute names in storage order (attrs, then extents).
+    pub fn attr_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.attrs.iter().map(|a| a.name.clone()).collect();
+        if self.has_spatial {
+            names.push(SPATIAL_ATTR.into());
+        }
+        if self.has_temporal {
+            names.push(TEMPORAL_ATTR.into());
+        }
+        names
+    }
+
+    /// The store schema for this class's extension. All columns nullable:
+    /// scientific records are routinely partial, and process templates may
+    /// map only a subset of attributes.
+    pub fn storage_schema(&self) -> Schema {
+        let mut fields: Vec<Field> = self
+            .attrs
+            .iter()
+            .map(|a| Field::optional(&a.name, a.tag.clone()))
+            .collect();
+        if self.has_spatial {
+            fields.push(Field::optional(SPATIAL_ATTR, TypeTag::GeoBox));
+        }
+        if self.has_temporal {
+            fields.push(Field::optional(TEMPORAL_ATTR, TypeTag::AbsTime));
+        }
+        Schema::new(fields).expect("class attr names are unique by construction")
+    }
+
+    /// The store relation holding this class's objects.
+    pub fn relation_name(&self) -> String {
+        format!("cls_{}", self.id.raw())
+    }
+
+    /// True if this class is derived (has or may have producing processes).
+    pub fn is_derived(&self) -> bool {
+        self.kind == ClassKind::Derived
+    }
+}
+
+impl fmt::Display for ClassDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CLASS {} ( // {}", self.name, self.doc)?;
+        writeln!(f, "  ATTRIBUTES:")?;
+        for a in &self.attrs {
+            writeln!(f, "    {a};")?;
+        }
+        if self.has_spatial {
+            writeln!(f, "  SPATIAL EXTENT:\n    {SPATIAL_ATTR} = box;")?;
+        }
+        if self.has_temporal {
+            writeln!(f, "  TEMPORAL EXTENT:\n    {TEMPORAL_ATTR} = abstime;")?;
+        }
+        if !self.derived_by.is_empty() {
+            writeln!(
+                f,
+                "  DERIVED BY: {}",
+                self.derived_by
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaea_store::Oid;
+
+    /// The paper's `landcover` class.
+    fn landcover() -> ClassDef {
+        ClassDef {
+            id: ClassId(Oid(20)),
+            name: "landcover".into(),
+            kind: ClassKind::Derived,
+            attrs: vec![
+                AttrDef::with_doc("area", TypeTag::Char16, "area name"),
+                AttrDef::with_doc("ref_system", TypeTag::Char16, "long/lat, UTM ..."),
+                AttrDef::with_doc("ref_unit", TypeTag::Char16, "meter, degree ..."),
+                AttrDef::new("cell_x", TypeTag::Float4),
+                AttrDef::new("cell_y", TypeTag::Float4),
+                AttrDef::new("resolution", TypeTag::Float4),
+                AttrDef::with_doc("data", TypeTag::Image, "image data type"),
+                AttrDef::new("numclass", TypeTag::Int4),
+            ],
+            has_spatial: true,
+            has_temporal: true,
+            derived_by: vec![ProcessId(Oid(120))],
+            doc: "Land cover".into(),
+        }
+    }
+
+    #[test]
+    fn attr_lookup_includes_extents() {
+        let c = landcover();
+        assert_eq!(c.attr("area").unwrap().tag, TypeTag::Char16);
+        assert_eq!(c.attr(SPATIAL_ATTR).unwrap().tag, TypeTag::GeoBox);
+        assert_eq!(c.attr(TEMPORAL_ATTR).unwrap().tag, TypeTag::AbsTime);
+        assert!(c.attr("missing").is_none());
+    }
+
+    #[test]
+    fn storage_schema_shape() {
+        let c = landcover();
+        let s = c.storage_schema();
+        assert_eq!(s.arity(), 10); // 8 attrs + 2 extents
+        assert!(s.position(SPATIAL_ATTR).is_ok());
+        assert_eq!(c.attr_names().len(), 10);
+        assert_eq!(c.relation_name(), "cls_20");
+    }
+
+    #[test]
+    fn extent_free_class() {
+        let mut c = landcover();
+        c.has_spatial = false;
+        c.has_temporal = false;
+        assert!(c.attr(SPATIAL_ATTR).is_none());
+        assert_eq!(c.storage_schema().arity(), 8);
+    }
+
+    #[test]
+    fn display_is_ddl_like() {
+        let s = landcover().to_string();
+        assert!(s.contains("CLASS landcover"));
+        assert!(s.contains("area = char16; // area name"));
+        assert!(s.contains("SPATIAL EXTENT"));
+        assert!(s.contains("DERIVED BY: process:120"));
+    }
+}

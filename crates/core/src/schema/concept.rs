@@ -1,0 +1,87 @@
+//! Concepts: the experiment-layer construct (paper §2.1.1).
+//!
+//! "A general definition of a concept is a representation of a
+//! spatio-temporal entity set, extended with an imprecise definition. [...]
+//! each type of base data and each process for deriving data defines a
+//! unique class; a concept is simply a set of classes."
+//!
+//! Concepts form a specialization hierarchy (Figure 2's desert ISA DAG:
+//! hot trade-wind desert ISA desert, ice/snow desert ISA desert). The DAG
+//! is kept acyclic by construction: a concept's parents must already exist.
+
+use crate::ids::{ClassId, ConceptId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A concept definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Concept {
+    /// Catalog identifier.
+    pub id: ConceptId,
+    /// Concept name (unique).
+    pub name: String,
+    /// Member classes — the concept's alternative realizations
+    /// (Figure 2: "hot trade-wind desert" ↦ {C2, C3, C4, C5}).
+    pub members: BTreeSet<ClassId>,
+    /// ISA parents (generalizations).
+    pub parents: Vec<ConceptId>,
+    /// The imprecise, human definition.
+    pub doc: String,
+}
+
+impl Concept {
+    /// True if `class` realizes this concept directly.
+    pub fn has_member(&self, class: ClassId) -> bool {
+        self.members.contains(&class)
+    }
+}
+
+impl fmt::Display for Concept {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CONCEPT {} (", self.name)?;
+        write!(
+            f,
+            " MEMBERS: {}",
+            self.members
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )?;
+        if !self.parents.is_empty() {
+            write!(
+                f,
+                "; ISA: {}",
+                self.parents
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )?;
+        }
+        write!(f, " )")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaea_store::Oid;
+
+    #[test]
+    fn membership() {
+        let c = Concept {
+            id: ConceptId(Oid(1)),
+            name: "hot_trade_wind_desert".into(),
+            members: [ClassId(Oid(2)), ClassId(Oid(3))].into_iter().collect(),
+            parents: vec![ConceptId(Oid(9))],
+            doc: "areas of high pressure with rainfall < 250mm/year".into(),
+        };
+        assert!(c.has_member(ClassId(Oid(2))));
+        assert!(!c.has_member(ClassId(Oid(4))));
+        let s = c.to_string();
+        assert!(s.contains("CONCEPT hot_trade_wind_desert"));
+        assert!(s.contains("ISA: concept:9"));
+    }
+}

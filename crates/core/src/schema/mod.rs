@@ -1,0 +1,11 @@
+//! Schema constructs of the derivation and experiment layers.
+
+pub mod attr;
+pub mod class;
+pub mod concept;
+pub mod process;
+
+pub use attr::AttrDef;
+pub use class::{ClassDef, ClassKind};
+pub use concept::Concept;
+pub use process::{CompoundStep, InteractionPoint, ProcessArg, ProcessDef, ProcessKind, StepSource};

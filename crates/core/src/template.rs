@@ -1,0 +1,674 @@
+//! Process templates: ASSERTIONS and MAPPINGS (paper §2.1.2, Figure 3).
+//!
+//! "TEMPLATE: this is the part that defines the input to output mapping
+//! between the attributes of the classes involved in the process. It
+//! consists of a set of ASSERTIONS and the actual MAPPINGS. Assertions are
+//! conditions on the input classes [...] guard rules which need to hold
+//! before a process can be applied. Mappings are the transfer functions
+//! that are used to derive the attributes of the output class from the
+//! attributes of the input classes."
+//!
+//! The expression language is exactly what Figure 3 exercises: constants,
+//! argument-attribute projection (`bands.spatialextent`), `ANYOF` (the
+//! invariant-transfer idiom), `card`, `common`, operator application, and
+//! comparisons for assertions.
+
+use crate::error::{KernelError, KernelResult};
+use crate::object::DataObject;
+use gaea_adt::{GeoBox, OperatorRegistry, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Comparison operators usable in assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Value-identity equality.
+    Eq,
+    /// Numeric less-than.
+    Lt,
+    /// Numeric greater-than.
+    Gt,
+}
+
+/// A template expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Literal value.
+    Const(Value),
+    /// A whole argument. For image-bearing classes this resolves to the
+    /// object's `data` attribute (the Figure 3 idiom where `bands` denotes
+    /// the images themselves inside operator applications).
+    Arg(String),
+    /// Attribute projection: `bands.timestamp`. For `SETOF` arguments the
+    /// result is the set of attribute values.
+    ArgAttr {
+        /// Argument name.
+        arg: String,
+        /// Attribute to project.
+        attr: String,
+    },
+    /// `ANYOF expr` — pick a representative member of a set (invariant
+    /// transfer of extents).
+    AnyOf(Box<Expr>),
+    /// `card(expr)` — cardinality of a set.
+    Card(Box<Expr>),
+    /// `common(expr)` — the spatio-temporal compatibility guard.
+    Common(Box<Expr>),
+    /// Operator application resolved through the system-level registry.
+    Apply {
+        /// Operator name.
+        op: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Comparison (assertions like `card(bands) = 3`).
+    Cmp {
+        /// Comparison kind.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// A task-time parameter (`PARAM name`), supplied by the scientist at
+    /// an interaction point (§4.3 extension) and recorded on the task for
+    /// faithful reproduction.
+    Param(String),
+}
+
+impl Expr {
+    /// Shorthand: integer constant.
+    pub fn int(v: i32) -> Expr {
+        Expr::Const(Value::Int4(v))
+    }
+
+    /// Shorthand: float constant.
+    pub fn float(v: f64) -> Expr {
+        Expr::Const(Value::Float8(v))
+    }
+
+    /// Shorthand: projection.
+    pub fn proj(arg: &str, attr: &str) -> Expr {
+        Expr::ArgAttr {
+            arg: arg.into(),
+            attr: attr.into(),
+        }
+    }
+
+    /// Shorthand: application.
+    pub fn apply(op: &str, args: Vec<Expr>) -> Expr {
+        Expr::Apply {
+            op: op.into(),
+            args,
+        }
+    }
+
+    /// Shorthand: equality assertion.
+    pub fn eq(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Cmp {
+            op: CmpOp::Eq,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Shorthand: task-time parameter.
+    pub fn param(name: &str) -> Expr {
+        Expr::Param(name.into())
+    }
+
+    /// Names of arguments referenced anywhere in this expression.
+    pub fn referenced_args(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Const(_) | Expr::Param(_) => {}
+            Expr::Arg(a) => out.push(a.clone()),
+            Expr::ArgAttr { arg, .. } => out.push(arg.clone()),
+            Expr::AnyOf(e) | Expr::Card(e) | Expr::Common(e) => e.referenced_args(out),
+            Expr::Apply { args, .. } => {
+                for a in args {
+                    a.referenced_args(out);
+                }
+            }
+            Expr::Cmp { lhs, rhs, .. } => {
+                lhs.referenced_args(out);
+                rhs.referenced_args(out);
+            }
+        }
+    }
+
+    /// Names of task-time parameters referenced anywhere in this expression.
+    pub fn referenced_params(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Param(p) => out.push(p.clone()),
+            Expr::Const(_) | Expr::Arg(_) | Expr::ArgAttr { .. } => {}
+            Expr::AnyOf(e) | Expr::Card(e) | Expr::Common(e) => e.referenced_params(out),
+            Expr::Apply { args, .. } => {
+                for a in args {
+                    a.referenced_params(out);
+                }
+            }
+            Expr::Cmp { lhs, rhs, .. } => {
+                lhs.referenced_params(out);
+                rhs.referenced_params(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Arg(a) => write!(f, "{a}"),
+            Expr::ArgAttr { arg, attr } => write!(f, "{arg}.{attr}"),
+            Expr::AnyOf(e) => write!(f, "ANYOF {e}"),
+            Expr::Card(e) => write!(f, "card({e})"),
+            Expr::Common(e) => write!(f, "common({e})"),
+            Expr::Apply { op, args } => {
+                write!(f, "{op}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Cmp { op, lhs, rhs } => {
+                let sym = match op {
+                    CmpOp::Eq => "=",
+                    CmpOp::Lt => "<",
+                    CmpOp::Gt => ">",
+                };
+                write!(f, "{lhs} {sym} {rhs}")
+            }
+            Expr::Param(p) => write!(f, "PARAM {p}"),
+        }
+    }
+}
+
+/// One output-attribute mapping: `C20.data = ...`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mapping {
+    /// Output attribute name.
+    pub attr: String,
+    /// Transfer function.
+    pub expr: Expr,
+}
+
+/// The TEMPLATE of a process definition.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Template {
+    /// Guard rules, all of which must evaluate to `true`.
+    pub assertions: Vec<Expr>,
+    /// Transfer functions, one per output attribute.
+    pub mappings: Vec<Mapping>,
+}
+
+/// An argument binding at task-instantiation time.
+#[derive(Debug, Clone)]
+pub enum Binding {
+    /// Scalar argument: one object.
+    One(DataObject),
+    /// `SETOF` argument: several objects.
+    Many(Vec<DataObject>),
+}
+
+impl Binding {
+    /// The bound objects as a slice.
+    pub fn objects(&self) -> Vec<&DataObject> {
+        match self {
+            Binding::One(o) => vec![o],
+            Binding::Many(os) => os.iter().collect(),
+        }
+    }
+}
+
+/// Empty parameter map for non-interactive evaluation contexts.
+pub static NO_PARAMS: BTreeMap<String, Value> = BTreeMap::new();
+
+/// Evaluation context: argument bindings + the operator registry, plus any
+/// task-time parameters (scientist-supplied at interaction points, or
+/// recorded on a task being replayed).
+pub struct EvalContext<'a> {
+    /// Bindings by argument name.
+    pub bindings: &'a BTreeMap<String, Binding>,
+    /// System-level operator registry.
+    pub registry: &'a OperatorRegistry,
+    /// Task-time parameters for `PARAM name` expressions.
+    pub params: &'a BTreeMap<String, Value>,
+}
+
+impl EvalContext<'_> {
+    fn binding(&self, name: &str) -> KernelResult<&Binding> {
+        self.bindings.get(name).ok_or_else(|| {
+            KernelError::Template(format!("unbound argument {name:?} in template"))
+        })
+    }
+
+    fn project(&self, obj: &DataObject, attr: &str) -> KernelResult<Value> {
+        obj.attr(attr).cloned().ok_or_else(|| {
+            KernelError::Template(format!(
+                "object {} has no attribute {attr:?}",
+                obj.id
+            ))
+        })
+    }
+
+    /// Evaluate an expression.
+    pub fn eval(&self, expr: &Expr) -> KernelResult<Value> {
+        Ok(match expr {
+            Expr::Const(v) => v.clone(),
+            Expr::Arg(name) => {
+                // The Figure 3 idiom: a bare argument inside an operator
+                // application denotes the objects' payload (`data` attr).
+                match self.binding(name)? {
+                    Binding::One(o) => self.project(o, "data")?,
+                    Binding::Many(os) => Value::Set(
+                        os.iter()
+                            .map(|o| self.project(o, "data"))
+                            .collect::<KernelResult<Vec<Value>>>()?,
+                    ),
+                }
+            }
+            Expr::ArgAttr { arg, attr } => match self.binding(arg)? {
+                Binding::One(o) => self.project(o, attr)?,
+                Binding::Many(os) => Value::Set(
+                    os.iter()
+                        .map(|o| self.project(o, attr))
+                        .collect::<KernelResult<Vec<Value>>>()?,
+                ),
+            },
+            Expr::AnyOf(e) => {
+                let v = self.eval(e)?;
+                match v {
+                    Value::Set(items) => items.into_iter().next().ok_or_else(|| {
+                        KernelError::Template("ANYOF over an empty set".into())
+                    })?,
+                    other => other, // ANYOF of a scalar is the scalar
+                }
+            }
+            Expr::Card(e) => {
+                let v = self.eval(e)?;
+                let set = v.as_set().ok_or_else(|| {
+                    KernelError::Template(format!("card() of non-set expression {e}"))
+                })?;
+                Value::Int4(set.len() as i32)
+            }
+            Expr::Common(e) => {
+                let v = self.eval(e)?;
+                let set = v.as_set().ok_or_else(|| {
+                    KernelError::Template(format!("common() of non-set expression {e}"))
+                })?;
+                Value::Bool(eval_common(set)?)
+            }
+            Expr::Apply { op, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a)?);
+                }
+                self.registry.invoke(op, &vals)?
+            }
+            Expr::Param(name) => self.params.get(name).cloned().ok_or_else(|| {
+                KernelError::Template(format!(
+                    "parameter {name:?} was not supplied (interactive processes \
+                     require every declared interaction to be answered)"
+                ))
+            })?,
+            Expr::Cmp { op, lhs, rhs } => {
+                let l = self.eval(lhs)?;
+                let r = self.eval(rhs)?;
+                let b = match op {
+                    CmpOp::Eq => {
+                        // Numeric comparison tolerates int/float width
+                        // differences (card() yields int4; literals may be
+                        // float8); everything else is value identity.
+                        match (l.as_f64(), r.as_f64()) {
+                            (Some(a), Some(b)) => a == b,
+                            _ => l == r,
+                        }
+                    }
+                    CmpOp::Lt => num_cmp(&l, &r, lhs, rhs)? == std::cmp::Ordering::Less,
+                    CmpOp::Gt => num_cmp(&l, &r, lhs, rhs)? == std::cmp::Ordering::Greater,
+                };
+                Value::Bool(b)
+            }
+        })
+    }
+
+    /// Evaluate all assertions; the first failure is reported with its
+    /// rendered source (for the task log).
+    pub fn check_assertions(&self, process: &str, template: &Template) -> KernelResult<()> {
+        for a in &template.assertions {
+            let v = self.eval(a)?;
+            match v {
+                Value::Bool(true) => {}
+                Value::Bool(false) => {
+                    return Err(KernelError::AssertionFailed {
+                        process: process.into(),
+                        assertion: a.to_string(),
+                    })
+                }
+                other => {
+                    return Err(KernelError::Template(format!(
+                        "assertion {a} evaluated to non-boolean {other}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate all mappings into output attribute values.
+    pub fn eval_mappings(&self, template: &Template) -> KernelResult<BTreeMap<String, Value>> {
+        let mut out = BTreeMap::new();
+        for m in &template.mappings {
+            let v = self.eval(&m.expr)?;
+            out.insert(m.attr.clone(), v);
+        }
+        Ok(out)
+    }
+}
+
+/// `common()` over a set of extents: boxes must pairwise overlap,
+/// timestamps must be pairwise equal. Empty/singleton sets pass.
+fn eval_common(set: &[Value]) -> KernelResult<bool> {
+    if set.len() < 2 {
+        return Ok(true);
+    }
+    if set.iter().all(|v| v.as_geobox().is_some()) {
+        let boxes: Vec<GeoBox> = set.iter().map(|v| v.as_geobox().expect("checked")).collect();
+        return Ok(GeoBox::common(&boxes));
+    }
+    if set.iter().all(|v| v.as_abstime().is_some()) {
+        return Ok(set.windows(2).all(|w| w[0] == w[1]));
+    }
+    Err(KernelError::Template(
+        "common() requires a homogeneous set of boxes or timestamps".into(),
+    ))
+}
+
+fn num_cmp(
+    l: &Value,
+    r: &Value,
+    le: &Expr,
+    re: &Expr,
+) -> KernelResult<std::cmp::Ordering> {
+    match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => Ok(a.total_cmp(&b)),
+        _ => Err(KernelError::Template(format!(
+            "numeric comparison of non-numeric operands: {le} vs {re}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ClassId, ObjectId};
+    use gaea_adt::{AbsTime, Image, PixType};
+    use gaea_store::Oid;
+
+    fn band(id: u64, fill: f64, bbox: GeoBox, t: AbsTime) -> DataObject {
+        let mut attrs = BTreeMap::new();
+        attrs.insert(
+            "data".into(),
+            Value::image(Image::filled(4, 4, PixType::Float8, fill)),
+        );
+        attrs.insert("spatialextent".into(), Value::GeoBox(bbox));
+        attrs.insert("timestamp".into(), Value::AbsTime(t));
+        DataObject {
+            id: ObjectId(Oid(id)),
+            class: ClassId(Oid(100)),
+            attrs,
+        }
+    }
+
+    fn ctx_with_bands(
+        bands: Vec<DataObject>,
+    ) -> (BTreeMap<String, Binding>, OperatorRegistry) {
+        let mut bindings = BTreeMap::new();
+        bindings.insert("bands".to_string(), Binding::Many(bands));
+        let mut reg = OperatorRegistry::with_builtins();
+        gaea_raster::register_raster_ops(&mut reg).unwrap();
+        (bindings, reg)
+    }
+
+    fn figure3_template() -> Template {
+        Template {
+            assertions: vec![
+                Expr::eq(Expr::Card(Box::new(Expr::Arg("bands".into()))), Expr::int(3)),
+                Expr::Common(Box::new(Expr::proj("bands", "spatialextent"))),
+                Expr::Common(Box::new(Expr::proj("bands", "timestamp"))),
+            ],
+            mappings: vec![
+                Mapping {
+                    attr: "data".into(),
+                    expr: Expr::apply(
+                        "unsuperclassify",
+                        vec![
+                            Expr::apply("composite", vec![Expr::Arg("bands".into())]),
+                            Expr::int(12),
+                        ],
+                    ),
+                },
+                Mapping {
+                    attr: "numclass".into(),
+                    expr: Expr::int(12),
+                },
+                Mapping {
+                    attr: "spatialextent".into(),
+                    expr: Expr::AnyOf(Box::new(Expr::proj("bands", "spatialextent"))),
+                },
+                Mapping {
+                    attr: "timestamp".into(),
+                    expr: Expr::AnyOf(Box::new(Expr::proj("bands", "timestamp"))),
+                },
+            ],
+        }
+    }
+
+    fn africa() -> GeoBox {
+        GeoBox::new(-20.0, -35.0, 55.0, 38.0)
+    }
+
+    #[test]
+    fn figure3_template_end_to_end() {
+        let t0 = AbsTime::from_ymd(1986, 1, 15).unwrap();
+        let bands = vec![
+            band(1, 10.0, africa(), t0),
+            band(2, 60.0, africa(), t0),
+            band(3, 200.0, africa(), t0),
+        ];
+        let (bindings, reg) = ctx_with_bands(bands);
+        let ctx = EvalContext {
+            bindings: &bindings,
+            registry: &reg,
+            params: &NO_PARAMS,
+        };
+        let tpl = figure3_template();
+        ctx.check_assertions("P20", &tpl).unwrap();
+        let out = ctx.eval_mappings(&tpl).unwrap();
+        assert_eq!(out["numclass"], Value::Int4(12));
+        assert_eq!(out["spatialextent"], Value::GeoBox(africa()));
+        assert_eq!(out["timestamp"], Value::AbsTime(t0));
+        let img = out["data"].as_image().unwrap();
+        assert_eq!((img.nrow(), img.ncol()), (4, 4));
+    }
+
+    #[test]
+    fn card_assertion_fails_with_two_bands() {
+        let t0 = AbsTime::from_ymd(1986, 1, 15).unwrap();
+        let bands = vec![band(1, 1.0, africa(), t0), band(2, 2.0, africa(), t0)];
+        let (bindings, reg) = ctx_with_bands(bands);
+        let ctx = EvalContext {
+            bindings: &bindings,
+            registry: &reg,
+            params: &NO_PARAMS,
+        };
+        let err = ctx
+            .check_assertions("P20", &figure3_template())
+            .unwrap_err();
+        match err {
+            KernelError::AssertionFailed { process, assertion } => {
+                assert_eq!(process, "P20");
+                assert_eq!(assertion, "card(bands) = 3");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn common_assertion_fails_on_disjoint_extents() {
+        let t0 = AbsTime::from_ymd(1986, 1, 15).unwrap();
+        let amazon = GeoBox::new(-75.0, -15.0, -50.0, 5.0);
+        let bands = vec![
+            band(1, 1.0, africa(), t0),
+            band(2, 2.0, africa(), t0),
+            band(3, 3.0, amazon, t0),
+        ];
+        let (bindings, reg) = ctx_with_bands(bands);
+        let ctx = EvalContext {
+            bindings: &bindings,
+            registry: &reg,
+            params: &NO_PARAMS,
+        };
+        let err = ctx
+            .check_assertions("P20", &figure3_template())
+            .unwrap_err();
+        assert!(err.to_string().contains("common(bands.spatialextent)"));
+    }
+
+    #[test]
+    fn common_assertion_fails_on_mixed_timestamps() {
+        let t0 = AbsTime::from_ymd(1986, 1, 15).unwrap();
+        let t1 = AbsTime::from_ymd(1987, 1, 15).unwrap();
+        let bands = vec![
+            band(1, 1.0, africa(), t0),
+            band(2, 2.0, africa(), t0),
+            band(3, 3.0, africa(), t1),
+        ];
+        let (bindings, reg) = ctx_with_bands(bands);
+        let ctx = EvalContext {
+            bindings: &bindings,
+            registry: &reg,
+            params: &NO_PARAMS,
+        };
+        let err = ctx
+            .check_assertions("P20", &figure3_template())
+            .unwrap_err();
+        assert!(err.to_string().contains("common(bands.timestamp)"));
+    }
+
+    #[test]
+    fn anyof_scalar_and_empty() {
+        let (bindings, reg) = ctx_with_bands(vec![]);
+        let ctx = EvalContext {
+            bindings: &bindings,
+            registry: &reg,
+            params: &NO_PARAMS,
+        };
+        // ANYOF of a constant scalar passes through.
+        assert_eq!(
+            ctx.eval(&Expr::AnyOf(Box::new(Expr::int(5)))).unwrap(),
+            Value::Int4(5)
+        );
+        // ANYOF over the (empty) band set errors.
+        assert!(ctx
+            .eval(&Expr::AnyOf(Box::new(Expr::proj("bands", "timestamp"))))
+            .is_err());
+    }
+
+    #[test]
+    fn unbound_argument_and_missing_attr() {
+        let (bindings, reg) = ctx_with_bands(vec![band(
+            1,
+            1.0,
+            africa(),
+            AbsTime(0),
+        )]);
+        let ctx = EvalContext {
+            bindings: &bindings,
+            registry: &reg,
+            params: &NO_PARAMS,
+        };
+        assert!(ctx.eval(&Expr::Arg("nope".into())).is_err());
+        assert!(ctx.eval(&Expr::proj("bands", "nope")).is_err());
+    }
+
+    #[test]
+    fn comparison_semantics() {
+        let (bindings, reg) = ctx_with_bands(vec![]);
+        let ctx = EvalContext {
+            bindings: &bindings,
+            registry: &reg,
+            params: &NO_PARAMS,
+        };
+        // Mixed-width numeric equality.
+        assert_eq!(
+            ctx.eval(&Expr::eq(Expr::int(3), Expr::float(3.0))).unwrap(),
+            Value::Bool(true)
+        );
+        let lt = Expr::Cmp {
+            op: CmpOp::Lt,
+            lhs: Box::new(Expr::float(1.0)),
+            rhs: Box::new(Expr::float(2.0)),
+        };
+        assert_eq!(ctx.eval(&lt).unwrap(), Value::Bool(true));
+        // Non-numeric Lt errors.
+        let bad = Expr::Cmp {
+            op: CmpOp::Gt,
+            lhs: Box::new(Expr::Const(Value::Text("a".into()))),
+            rhs: Box::new(Expr::float(2.0)),
+        };
+        assert!(ctx.eval(&bad).is_err());
+    }
+
+    #[test]
+    fn display_round_trips_the_figure3_surface_syntax() {
+        let tpl = figure3_template();
+        assert_eq!(tpl.assertions[0].to_string(), "card(bands) = 3");
+        assert_eq!(tpl.assertions[1].to_string(), "common(bands.spatialextent)");
+        assert_eq!(
+            tpl.mappings[0].expr.to_string(),
+            "unsuperclassify(composite(bands), 12)"
+        );
+        assert_eq!(
+            tpl.mappings[2].expr.to_string(),
+            "ANYOF bands.spatialextent"
+        );
+    }
+
+    #[test]
+    fn referenced_args_collected() {
+        let tpl = figure3_template();
+        let mut args = Vec::new();
+        for a in &tpl.assertions {
+            a.referenced_args(&mut args);
+        }
+        for m in &tpl.mappings {
+            m.expr.referenced_args(&mut args);
+        }
+        assert!(args.iter().all(|a| a == "bands"));
+        assert!(args.len() >= 5);
+    }
+
+    #[test]
+    fn non_boolean_assertion_is_a_template_error() {
+        let (bindings, reg) = ctx_with_bands(vec![]);
+        let ctx = EvalContext {
+            bindings: &bindings,
+            registry: &reg,
+            params: &NO_PARAMS,
+        };
+        let tpl = Template {
+            assertions: vec![Expr::int(1)],
+            mappings: vec![],
+        };
+        assert!(matches!(
+            ctx.check_assertions("P", &tpl),
+            Err(KernelError::Template(_))
+        ));
+    }
+}

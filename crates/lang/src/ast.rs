@@ -1,0 +1,101 @@
+//! AST for the Gaea definition language.
+
+use gaea_core::template::Expr;
+
+/// A parsed program: a sequence of definitions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Items in source order.
+    pub items: Vec<Item>,
+}
+
+/// One top-level definition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `CLASS name ( ... )`
+    Class(ClassItem),
+    /// `DEFINE PROCESS name ( ... )`
+    Process(ProcessItem),
+    /// `DEFINE CONCEPT name ( ... )`
+    Concept(ConceptItem),
+}
+
+/// A class definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassItem {
+    /// Class name.
+    pub name: String,
+    /// Leading comment (the `// Land cover` after the header).
+    pub doc: String,
+    /// ATTRIBUTES entries: (name, type-name, trailing comment).
+    pub attrs: Vec<(String, String, String)>,
+    /// Reference attributes (`subject = ref scene;`): (name, class name,
+    /// trailing comment) — the §4.3 non-primitive-attribute extension.
+    pub ref_attrs: Vec<(String, String, String)>,
+    /// SPATIAL EXTENT present?
+    pub spatial: bool,
+    /// TEMPORAL EXTENT present?
+    pub temporal: bool,
+    /// DERIVED BY names (documentation links; presence ⇒ derived class).
+    pub derived_by: Vec<String>,
+}
+
+/// A process argument.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArgItem {
+    /// `SETOF`?
+    pub setof: bool,
+    /// Argument name.
+    pub name: String,
+    /// Input class name.
+    pub class: String,
+}
+
+/// One declared interaction point (§4.3 extension):
+/// `PARAM signatures : matrix PREVIEW composite(bands); // prompt`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InteractionItem {
+    /// Parameter name the template references as `PARAM name`.
+    pub param: String,
+    /// Declared type name (`matrix`, `float8`, ...).
+    pub type_name: String,
+    /// Optional preview expression shown to the scientist.
+    pub preview: Option<Expr>,
+    /// Prompt (the trailing comment).
+    pub prompt: String,
+}
+
+/// A process definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessItem {
+    /// Process name.
+    pub name: String,
+    /// Output class name.
+    pub output: String,
+    /// Arguments.
+    pub args: Vec<ArgItem>,
+    /// ASSERTIONS expressions.
+    pub assertions: Vec<Expr>,
+    /// MAPPINGS: (qualified-target, attr, expr). The qualifier must equal
+    /// the output class name (checked during lowering).
+    pub mappings: Vec<(String, String, Expr)>,
+    /// INTERACTIONS entries (§4.3 extension).
+    pub interactions: Vec<InteractionItem>,
+    /// `EXTERNAL AT "site"` (§5 extension: non-local process).
+    pub external_site: Option<String>,
+    /// `NONAPPLICATIVE "procedure"` (§5 extension).
+    pub nonapplicative: Option<String>,
+}
+
+/// A concept definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConceptItem {
+    /// Concept name.
+    pub name: String,
+    /// Member class names.
+    pub members: Vec<String>,
+    /// ISA parent concept names.
+    pub isa: Vec<String>,
+    /// Free-text definition.
+    pub doc: String,
+}

@@ -1,0 +1,325 @@
+//! Lexer for the Gaea definition language.
+
+use std::fmt;
+
+/// A token with its source line (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind + payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are recognized by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Double-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// A `// ...` comment's text (kept: the paper's listings carry
+    /// meaningful doc comments).
+    Comment(String),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier {s:?}"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Float(v) => write!(f, "float {v}"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::LParen => write!(f, "'('"),
+            TokenKind::RParen => write!(f, "')'"),
+            TokenKind::LBrace => write!(f, "'{{'"),
+            TokenKind::RBrace => write!(f, "'}}'"),
+            TokenKind::Colon => write!(f, "':'"),
+            TokenKind::Semi => write!(f, "';'"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::Dot => write!(f, "'.'"),
+            TokenKind::Eq => write!(f, "'='"),
+            TokenKind::Lt => write!(f, "'<'"),
+            TokenKind::Gt => write!(f, "'>'"),
+            TokenKind::Comment(_) => write!(f, "comment"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Lexing error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+/// Identifier continuation. Hyphens are allowed mid-identifier because the
+/// paper spells process names like `unsupervised-classification`.
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '/'
+}
+
+/// Tokenize a source string.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, line });
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token { kind: TokenKind::LBrace, line });
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token { kind: TokenKind::RBrace, line });
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token { kind: TokenKind::Colon, line });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semi, line });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, line });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, line });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, line });
+                i += 1;
+            }
+            '<' => {
+                tokens.push(Token { kind: TokenKind::Lt, line });
+                i += 1;
+            }
+            '>' => {
+                tokens.push(Token { kind: TokenKind::Gt, line });
+                i += 1;
+            }
+            '/' if i + 1 < chars.len() && chars[i + 1] == '/' => {
+                let mut text = String::new();
+                i += 2;
+                while i < chars.len() && chars[i] != '\n' {
+                    text.push(chars[i]);
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Comment(text.trim().to_string()),
+                    line,
+                });
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= chars.len() {
+                        return Err(LexError {
+                            message: "unterminated string literal".into(),
+                            line,
+                        });
+                    }
+                    if chars[i] == '"' {
+                        i += 1;
+                        break;
+                    }
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), line });
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit()) =>
+            {
+                let start = i;
+                i += 1; // sign or first digit
+                let mut is_float = false;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit()
+                        || (chars[i] == '.'
+                            && i + 1 < chars.len()
+                            && chars[i + 1].is_ascii_digit()))
+                {
+                    if chars[i] == '.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| LexError {
+                        message: format!("bad float literal {text:?}"),
+                        line,
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| LexError {
+                        message: format!("bad integer literal {text:?}"),
+                        line,
+                    })?)
+                };
+                tokens.push(Token { kind, line });
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                tokens.push(Token {
+                    kind: TokenKind::Ident(text),
+                    line,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    line,
+                })
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn punctuation_and_idents() {
+        let ks = kinds("CLASS landcover ( area = char16; )");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("CLASS".into()),
+                TokenKind::Ident("landcover".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("area".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("char16".into()),
+                TokenKind::Semi,
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn hyphenated_process_names() {
+        let ks = kinds("unsupervised-classification long/lat");
+        assert_eq!(
+            ks[0],
+            TokenKind::Ident("unsupervised-classification".into())
+        );
+        assert_eq!(ks[1], TokenKind::Ident("long/lat".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("12 -3 2.5 -0.5"),
+            vec![
+                TokenKind::Int(12),
+                TokenKind::Int(-3),
+                TokenKind::Float(2.5),
+                TokenKind::Float(-0.5),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_preserved() {
+        let ks = kinds("area = char16; // area name\n");
+        assert!(matches!(&ks[3], TokenKind::Semi));
+        assert_eq!(ks[4], TokenKind::Comment("area name".into()));
+    }
+
+    #[test]
+    fn strings_and_line_tracking() {
+        let toks = lex("x\n\"hello world\"\ny").unwrap();
+        assert_eq!(toks[1].kind, TokenKind::Str("hello world".into()));
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("@").is_err());
+    }
+}

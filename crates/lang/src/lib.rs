@@ -1,0 +1,55 @@
+//! # gaea-lang — the Gaea definition language
+//!
+//! The paper presents class and process definitions in a textual DDL
+//! (§2.1.2 `CLASS landcover (...)`, Figure 3 `DEFINE PROCESS ...
+//! TEMPLATE { ASSERTIONS: ... MAPPINGS: ... }`). This crate parses that
+//! surface syntax and lowers it onto the kernel catalog:
+//!
+//! ```text
+//! CLASS landcover (            // Land cover
+//!   ATTRIBUTES:
+//!     area = char16;           // area name
+//!     data = image;            // image data type
+//!   SPATIAL EXTENT:
+//!     spatialextent = box;
+//!   TEMPORAL EXTENT:
+//!     timestamp = abstime;
+//!   DERIVED BY: unsupervised-classification
+//! )
+//!
+//! DEFINE PROCESS P20 (
+//!   OUTPUT landcover
+//!   ARGUMENT ( SETOF bands tm )
+//!   TEMPLATE {
+//!     ASSERTIONS:
+//!       card(bands) = 3;
+//!       common(bands.spatialextent);
+//!       common(bands.timestamp);
+//!     MAPPINGS:
+//!       landcover.data = unsuperclassify(composite(bands), 12);
+//!       landcover.numclass = 12;
+//!       landcover.spatialextent = ANYOF bands.spatialextent;
+//!       landcover.timestamp = ANYOF bands.timestamp;
+//!   }
+//! )
+//!
+//! DEFINE CONCEPT vegetation_change (
+//!   MEMBERS: change_pca, change_spca;
+//!   ISA: remote_sensing_product;
+//! )
+//! ```
+//!
+//! [`parse`] produces an AST; [`lower::lower_program`] registers it into a
+//! [`gaea_core::Gaea`] kernel; [`pretty::pretty_program`] round-trips the
+//! AST back to text.
+
+pub mod ast;
+pub mod lex;
+pub mod lower;
+pub mod parser;
+pub mod pretty;
+
+pub use ast::{ClassItem, ConceptItem, Item, ProcessItem, Program};
+pub use lower::lower_program;
+pub use parser::{parse, ParseError};
+pub use pretty::pretty_program;

@@ -1,0 +1,312 @@
+//! Lowering: register a parsed program into the kernel catalog.
+//!
+//! Classes are registered first (processes reference output classes), then
+//! processes, then concepts (which reference classes). A `SETOF` argument's
+//! minimum cardinality is recovered from `card(arg) = N` / `card(arg) > N`
+//! assertions, defaulting to 1 — exactly how Figure 3's `card(bands) = 3`
+//! induces the Petri-net threshold of 3.
+
+use crate::ast::{ClassItem, ConceptItem, Item, ProcessItem, Program};
+use gaea_core::kernel::{ClassSpec, Gaea, ProcessSpec};
+use gaea_core::schema::ClassKind;
+use gaea_core::template::{CmpOp, Expr, Mapping, Template};
+use gaea_core::{ClassId, ConceptId, KernelError, KernelResult, ProcessId};
+use gaea_adt::TypeTag;
+
+/// Everything a lowering registered.
+#[derive(Debug, Default)]
+pub struct Lowered {
+    /// Classes in definition order.
+    pub classes: Vec<ClassId>,
+    /// Processes in definition order.
+    pub processes: Vec<ProcessId>,
+    /// Concepts in definition order.
+    pub concepts: Vec<ConceptId>,
+}
+
+/// Lower a whole program into the kernel.
+pub fn lower_program(gaea: &mut Gaea, program: &Program) -> KernelResult<Lowered> {
+    let mut out = Lowered::default();
+    // Pass 1: classes.
+    for item in &program.items {
+        if let Item::Class(c) = item {
+            out.classes.push(lower_class(gaea, c)?);
+        }
+    }
+    // Pass 2: processes.
+    for item in &program.items {
+        if let Item::Process(p) = item {
+            out.processes.push(lower_process(gaea, p)?);
+        }
+    }
+    // Pass 3: concepts.
+    for item in &program.items {
+        if let Item::Concept(c) = item {
+            out.concepts.push(lower_concept(gaea, c)?);
+        }
+    }
+    Ok(out)
+}
+
+fn lower_class(gaea: &mut Gaea, item: &ClassItem) -> KernelResult<ClassId> {
+    let kind = if item.derived_by.is_empty() {
+        ClassKind::Base
+    } else {
+        ClassKind::Derived
+    };
+    let mut spec = ClassSpec {
+        name: item.name.clone(),
+        kind,
+        attrs: vec![],
+        ref_attrs: vec![],
+        spatial: item.spatial,
+        temporal: item.temporal,
+        doc: item.doc.clone(),
+    };
+    for (name, type_name, comment) in &item.attrs {
+        let tag = TypeTag::parse(type_name).ok_or_else(|| {
+            KernelError::Schema(format!(
+                "class {}: unknown attribute type {type_name:?} for {name:?}",
+                item.name
+            ))
+        })?;
+        spec.attrs
+            .push(gaea_core::schema::AttrDef::with_doc(name, tag, comment));
+    }
+    for (name, class, _comment) in &item.ref_attrs {
+        spec.ref_attrs.push((name.clone(), class.clone()));
+    }
+    gaea.define_class(spec)
+}
+
+/// Extract `card(arg) = N` (or `> N`) thresholds from assertions.
+fn min_card_of(arg: &str, assertions: &[Expr]) -> u64 {
+    for a in assertions {
+        if let Expr::Cmp { op, lhs, rhs } = a {
+            if let Expr::Card(inner) = lhs.as_ref() {
+                if let Expr::Arg(name) = inner.as_ref() {
+                    if name == arg {
+                        if let Expr::Const(v) = rhs.as_ref() {
+                            if let Some(n) = v.as_f64() {
+                                let n = n.max(0.0) as u64;
+                                return match op {
+                                    CmpOp::Eq => n,
+                                    CmpOp::Gt => n + 1,
+                                    CmpOp::Lt => 1,
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    1
+}
+
+fn lower_process(gaea: &mut Gaea, item: &ProcessItem) -> KernelResult<ProcessId> {
+    // NONAPPLICATIVE processes carry no template at all (§5 extension).
+    if let Some(procedure) = &item.nonapplicative {
+        if !item.assertions.is_empty()
+            || !item.mappings.is_empty()
+            || !item.interactions.is_empty()
+            || item.external_site.is_some()
+        {
+            return Err(KernelError::Schema(format!(
+                "process {}: NONAPPLICATIVE excludes TEMPLATE/INTERACTIONS/EXTERNAL",
+                item.name
+            )));
+        }
+        let args: Vec<(String, String, bool, u64)> = item
+            .args
+            .iter()
+            .map(|a| (a.name.clone(), a.class.clone(), a.setof, 1))
+            .collect();
+        return gaea.define_nonapplicative_process(
+            &item.name,
+            &item.output,
+            &args,
+            procedure,
+            "",
+        );
+    }
+    let mut spec = ProcessSpec::new(&item.name, &item.output);
+    for arg in &item.args {
+        if arg.setof {
+            let min = min_card_of(&arg.name, &item.assertions);
+            spec = spec.setof_arg(&arg.name, &arg.class, min);
+        } else {
+            spec = spec.arg(&arg.name, &arg.class);
+        }
+    }
+    let mut mappings = Vec::new();
+    for (target, attr, expr) in &item.mappings {
+        if target != &item.output {
+            return Err(KernelError::Schema(format!(
+                "process {}: mapping target {target}.{attr} does not name the output class {}",
+                item.name, item.output
+            )));
+        }
+        mappings.push(Mapping {
+            attr: attr.clone(),
+            expr: expr.clone(),
+        });
+    }
+    spec = spec.template(Template {
+        assertions: item.assertions.clone(),
+        mappings,
+    });
+    for i in &item.interactions {
+        let expected = TypeTag::parse(&i.type_name).ok_or_else(|| {
+            KernelError::Schema(format!(
+                "process {}: unknown interaction type {:?} for PARAM {:?}",
+                item.name, i.type_name, i.param
+            ))
+        })?;
+        spec.interactions.push(gaea_core::schema::InteractionPoint {
+            param: i.param.clone(),
+            prompt: i.prompt.clone(),
+            preview: i.preview.clone(),
+            expected,
+        });
+    }
+    // EXTERNAL AT routes the definition through the §5 path.
+    if let Some(site) = &item.external_site {
+        return gaea.define_external_process(spec, site);
+    }
+    gaea.define_process(spec)
+}
+
+fn lower_concept(gaea: &mut Gaea, item: &ConceptItem) -> KernelResult<ConceptId> {
+    let members: Vec<&str> = item.members.iter().map(String::as_str).collect();
+    let parents: Vec<&str> = item.isa.iter().map(String::as_str).collect();
+    gaea.define_concept(&item.name, &members, &parents, &item.doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use gaea_adt::{AbsTime, GeoBox, Image, PixType, Value};
+    use gaea_core::{Query, QueryMethod, QueryStrategy};
+
+    const SCHEMA: &str = r#"
+CLASS tm ( // Rectified Landsat TM
+  ATTRIBUTES:
+    data = image;
+  SPATIAL EXTENT:
+    spatialextent = box;
+  TEMPORAL EXTENT:
+    timestamp = abstime;
+)
+
+CLASS landcover ( // Land cover
+  ATTRIBUTES:
+    data = image;
+    numclass = int4;
+  SPATIAL EXTENT:
+    spatialextent = box;
+  TEMPORAL EXTENT:
+    timestamp = abstime;
+  DERIVED BY: P20
+)
+
+DEFINE PROCESS P20 (
+  OUTPUT landcover
+  ARGUMENT ( SETOF bands tm )
+  TEMPLATE {
+    ASSERTIONS:
+      card(bands) = 3;
+      common(bands.spatialextent);
+      common(bands.timestamp);
+    MAPPINGS:
+      landcover.data = unsuperclassify(composite(bands), 12);
+      landcover.numclass = 12;
+      landcover.spatialextent = ANYOF bands.spatialextent;
+      landcover.timestamp = ANYOF bands.timestamp;
+  }
+)
+
+DEFINE CONCEPT land_cover_concept (
+  MEMBERS: landcover;
+  DOC: "land cover classification however derived";
+)
+"#;
+
+    #[test]
+    fn lowers_figure3_schema_and_derives_through_it() {
+        let mut g = Gaea::in_memory();
+        let prog = parse(SCHEMA).unwrap();
+        let lowered = lower_program(&mut g, &prog).unwrap();
+        assert_eq!(lowered.classes.len(), 2);
+        assert_eq!(lowered.processes.len(), 1);
+        assert_eq!(lowered.concepts.len(), 1);
+        // The card(bands)=3 assertion induced min_card 3.
+        let p20 = g.catalog().process_by_name("P20").unwrap();
+        assert_eq!(p20.args[0].min_card, 3);
+        assert!(p20.args[0].setof);
+        // End to end: insert bands, query the concept, get a derivation.
+        let africa = GeoBox::new(-20.0, -35.0, 55.0, 38.0);
+        let t0 = AbsTime::from_ymd(1986, 1, 15).unwrap();
+        for i in 0..3 {
+            g.insert_object(
+                "tm",
+                vec![
+                    (
+                        "data",
+                        Value::image(Image::filled(8, 8, PixType::Float8, 10.0 + i as f64 * 30.0)),
+                    ),
+                    ("spatialextent", Value::GeoBox(africa)),
+                    ("timestamp", Value::AbsTime(t0)),
+                ],
+            )
+            .unwrap();
+        }
+        let out = g
+            .query(
+                &Query::concept("land_cover_concept")
+                    .at(t0)
+                    .with_strategy(QueryStrategy::PreferDerivation),
+            )
+            .unwrap();
+        assert_eq!(out.method, QueryMethod::Derived);
+        assert_eq!(out.objects[0].attr("numclass"), Some(&Value::Int4(12)));
+    }
+
+    #[test]
+    fn unknown_attr_type_rejected() {
+        let mut g = Gaea::in_memory();
+        let prog = parse("CLASS x ( ATTRIBUTES: a = raster; )").unwrap();
+        assert!(lower_program(&mut g, &prog).is_err());
+    }
+
+    #[test]
+    fn mapping_target_must_name_output() {
+        let mut g = Gaea::in_memory();
+        let src = r#"
+CLASS a ( ATTRIBUTES: data = image; )
+CLASS b ( ATTRIBUTES: data = image; DERIVED BY: p )
+DEFINE PROCESS p (
+  OUTPUT b
+  ARGUMENT ( x a )
+  TEMPLATE { MAPPINGS: wrong.data = x.data; }
+)
+"#;
+        let prog = parse(src).unwrap();
+        let err = lower_program(&mut g, &prog).unwrap_err();
+        assert!(err.to_string().contains("wrong.data"));
+    }
+
+    #[test]
+    fn min_card_variants() {
+        let assertions = vec![
+            Expr::Cmp {
+                op: CmpOp::Gt,
+                lhs: Box::new(Expr::Card(Box::new(Expr::Arg("xs".into())))),
+                rhs: Box::new(Expr::int(2)),
+            },
+        ];
+        assert_eq!(min_card_of("xs", &assertions), 3); // > 2 means at least 3
+        assert_eq!(min_card_of("ys", &assertions), 1); // unconstrained
+    }
+}

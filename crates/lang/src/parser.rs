@@ -1,0 +1,698 @@
+//! Recursive-descent parser for the Gaea definition language.
+
+use crate::ast::{ArgItem, ClassItem, ConceptItem, Item, ProcessItem, Program};
+use crate::lex::{lex, LexError, Token, TokenKind};
+use gaea_core::template::{CmpOp, Expr};
+use gaea_adt::Value;
+use std::fmt;
+
+/// Parse error with line information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    /// Peek skipping comments.
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_comments(&mut self) -> String {
+        let mut doc = String::new();
+        while let TokenKind::Comment(text) = &self.peek().kind {
+            if !doc.is_empty() {
+                doc.push(' ');
+            }
+            doc.push_str(text);
+            self.bump();
+        }
+        doc
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: msg.into(),
+            line: self.peek().line,
+        })
+    }
+
+    fn expect_kind(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        self.skip_comments();
+        if self.peek_kind() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {kind}, found {}", self.peek_kind()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        self.skip_comments();
+        match self.peek_kind().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let id = self.expect_ident()?;
+        if id == kw {
+            Ok(())
+        } else {
+            self.err(format!("expected keyword {kw}, found {id:?}"))
+        }
+    }
+
+    fn at_keyword(&mut self, kw: &str) -> bool {
+        self.skip_comments();
+        matches!(self.peek_kind(), TokenKind::Ident(s) if s == kw)
+    }
+
+    // ------------------------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            self.skip_comments();
+            match self.peek_kind() {
+                TokenKind::Eof => break,
+                TokenKind::Ident(s) if s == "CLASS" => {
+                    self.bump();
+                    items.push(Item::Class(self.class_item()?));
+                }
+                TokenKind::Ident(s) if s == "DEFINE" => {
+                    self.bump();
+                    if self.at_keyword("PROCESS") {
+                        self.bump();
+                        items.push(Item::Process(self.process_item()?));
+                    } else if self.at_keyword("CONCEPT") {
+                        self.bump();
+                        items.push(Item::Concept(self.concept_item()?));
+                    } else {
+                        return self.err("expected PROCESS or CONCEPT after DEFINE");
+                    }
+                }
+                other => {
+                    return self.err(format!(
+                        "expected CLASS or DEFINE at top level, found {other}"
+                    ))
+                }
+            }
+        }
+        Ok(Program { items })
+    }
+
+    fn class_item(&mut self) -> Result<ClassItem, ParseError> {
+        let name = self.expect_ident()?;
+        self.expect_kind(&TokenKind::LParen)?;
+        let doc = self.skip_comments();
+        let mut item = ClassItem {
+            name,
+            doc,
+            attrs: vec![],
+            ref_attrs: vec![],
+            spatial: false,
+            temporal: false,
+            derived_by: vec![],
+        };
+        loop {
+            self.skip_comments();
+            if matches!(self.peek_kind(), TokenKind::RParen) {
+                self.bump();
+                break;
+            }
+            let section = self.expect_ident()?;
+            match section.as_str() {
+                "ATTRIBUTES" => {
+                    self.expect_kind(&TokenKind::Colon)?;
+                    // attr = type ; // comment
+                    loop {
+                        self.skip_comments();
+                        match self.peek_kind() {
+                            TokenKind::Ident(s)
+                                if [
+                                    "SPATIAL", "TEMPORAL", "DERIVED", "ATTRIBUTES",
+                                ]
+                                .contains(&s.as_str()) =>
+                            {
+                                break
+                            }
+                            TokenKind::RParen => break,
+                            _ => {}
+                        }
+                        let attr_name = self.expect_ident()?;
+                        self.expect_kind(&TokenKind::Eq)?;
+                        let type_name = self.expect_ident()?;
+                        // `name = ref class;` declares a reference attribute
+                        // (§4.3 extension: non-primitive attribute types).
+                        let ref_class = if type_name == "ref" {
+                            Some(self.expect_ident()?)
+                        } else {
+                            None
+                        };
+                        self.expect_kind(&TokenKind::Semi)?;
+                        // A trailing comment on the same construct documents
+                        // the attribute.
+                        let comment = self.skip_comments();
+                        match ref_class {
+                            Some(class) => item.ref_attrs.push((attr_name, class, comment)),
+                            None => item.attrs.push((attr_name, type_name, comment)),
+                        }
+                    }
+                }
+                "SPATIAL" => {
+                    self.expect_keyword("EXTENT")?;
+                    self.expect_kind(&TokenKind::Colon)?;
+                    let _name = self.expect_ident()?;
+                    self.expect_kind(&TokenKind::Eq)?;
+                    self.expect_keyword("box")?;
+                    self.expect_kind(&TokenKind::Semi)?;
+                    self.skip_comments();
+                    item.spatial = true;
+                }
+                "TEMPORAL" => {
+                    self.expect_keyword("EXTENT")?;
+                    self.expect_kind(&TokenKind::Colon)?;
+                    let _name = self.expect_ident()?;
+                    self.expect_kind(&TokenKind::Eq)?;
+                    self.expect_keyword("abstime")?;
+                    self.expect_kind(&TokenKind::Semi)?;
+                    self.skip_comments();
+                    item.temporal = true;
+                }
+                "DERIVED" => {
+                    self.expect_keyword("BY")?;
+                    self.expect_kind(&TokenKind::Colon)?;
+                    item.derived_by.push(self.expect_ident()?);
+                    while matches!(self.peek_kind(), TokenKind::Comma) {
+                        self.bump();
+                        item.derived_by.push(self.expect_ident()?);
+                    }
+                    self.skip_comments();
+                }
+                other => return self.err(format!("unknown class section {other:?}")),
+            }
+        }
+        Ok(item)
+    }
+
+    fn process_item(&mut self) -> Result<ProcessItem, ParseError> {
+        let name = self.expect_ident()?;
+        self.expect_kind(&TokenKind::LParen)?;
+        self.expect_keyword("OUTPUT")?;
+        let output = self.expect_ident()?;
+        self.expect_keyword("ARGUMENT")?;
+        self.expect_kind(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        loop {
+            self.skip_comments();
+            if matches!(self.peek_kind(), TokenKind::RParen) {
+                self.bump();
+                break;
+            }
+            if !args.is_empty() {
+                self.expect_kind(&TokenKind::Comma)?;
+            }
+            let setof = if self.at_keyword("SETOF") {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            let arg_name = self.expect_ident()?;
+            let class = self.expect_ident()?;
+            args.push(ArgItem {
+                setof,
+                name: arg_name,
+                class,
+            });
+        }
+        // Optional body sections, in any order: TEMPLATE, INTERACTIONS
+        // (§4.3 extension), EXTERNAL AT (§5), NONAPPLICATIVE (§5).
+        let mut assertions = Vec::new();
+        let mut mappings = Vec::new();
+        let mut interactions = Vec::new();
+        let mut external_site = None;
+        let mut nonapplicative = None;
+        loop {
+            self.skip_comments();
+            if matches!(self.peek_kind(), TokenKind::RParen) {
+                self.bump();
+                break;
+            }
+            let section = self.expect_ident()?;
+            match section.as_str() {
+                "TEMPLATE" => {
+                    self.expect_kind(&TokenKind::LBrace)?;
+                    self.template_body(&mut assertions, &mut mappings)?;
+                }
+                "INTERACTIONS" => {
+                    self.expect_kind(&TokenKind::LBrace)?;
+                    loop {
+                        self.skip_comments();
+                        if matches!(self.peek_kind(), TokenKind::RBrace) {
+                            self.bump();
+                            break;
+                        }
+                        self.expect_keyword("PARAM")?;
+                        let param = self.expect_ident()?;
+                        self.expect_kind(&TokenKind::Colon)?;
+                        let type_name = self.expect_ident()?;
+                        let preview = if self.at_keyword("PREVIEW") {
+                            self.bump();
+                            Some(self.expr()?)
+                        } else {
+                            None
+                        };
+                        self.expect_kind(&TokenKind::Semi)?;
+                        let prompt = self.skip_comments();
+                        interactions.push(crate::ast::InteractionItem {
+                            param,
+                            type_name,
+                            preview,
+                            prompt,
+                        });
+                    }
+                }
+                "EXTERNAL" => {
+                    self.expect_keyword("AT")?;
+                    match self.peek_kind().clone() {
+                        TokenKind::Str(s) => {
+                            self.bump();
+                            external_site = Some(s);
+                        }
+                        other => {
+                            return self.err(format!(
+                                "expected quoted site name after EXTERNAL AT, found {other}"
+                            ))
+                        }
+                    }
+                }
+                "NONAPPLICATIVE" => match self.peek_kind().clone() {
+                    TokenKind::Str(s) => {
+                        self.bump();
+                        nonapplicative = Some(s);
+                    }
+                    other => {
+                        return self.err(format!(
+                            "expected quoted procedure after NONAPPLICATIVE, found {other}"
+                        ))
+                    }
+                },
+                other => return self.err(format!("unknown process section {other:?}")),
+            }
+        }
+        Ok(ProcessItem {
+            name,
+            output,
+            args,
+            assertions,
+            mappings,
+            interactions,
+            external_site,
+            nonapplicative,
+        })
+    }
+
+    /// The `{ ASSERTIONS: ... MAPPINGS: ... }` body (brace already eaten).
+    fn template_body(
+        &mut self,
+        assertions: &mut Vec<Expr>,
+        mappings: &mut Vec<(String, String, Expr)>,
+    ) -> Result<(), ParseError> {
+        loop {
+            self.skip_comments();
+            if matches!(self.peek_kind(), TokenKind::RBrace) {
+                self.bump();
+                return Ok(());
+            }
+            let section = self.expect_ident()?;
+            self.expect_kind(&TokenKind::Colon)?;
+            match section.as_str() {
+                "ASSERTIONS" => loop {
+                    self.skip_comments();
+                    match self.peek_kind() {
+                        TokenKind::RBrace => break,
+                        TokenKind::Ident(s) if s == "MAPPINGS" || s == "ASSERTIONS" => break,
+                        _ => {}
+                    }
+                    let e = self.expr()?;
+                    self.expect_kind(&TokenKind::Semi)?;
+                    assertions.push(e);
+                },
+                "MAPPINGS" => loop {
+                    self.skip_comments();
+                    match self.peek_kind() {
+                        TokenKind::RBrace => break,
+                        TokenKind::Ident(s) if s == "MAPPINGS" || s == "ASSERTIONS" => break,
+                        _ => {}
+                    }
+                    let target = self.expect_ident()?;
+                    self.expect_kind(&TokenKind::Dot)?;
+                    let attr = self.expect_ident()?;
+                    self.expect_kind(&TokenKind::Eq)?;
+                    let e = self.expr()?;
+                    self.expect_kind(&TokenKind::Semi)?;
+                    mappings.push((target, attr, e));
+                },
+                other => return self.err(format!("unknown template section {other:?}")),
+            }
+        }
+    }
+
+    fn concept_item(&mut self) -> Result<ConceptItem, ParseError> {
+        let name = self.expect_ident()?;
+        self.expect_kind(&TokenKind::LParen)?;
+        let mut item = ConceptItem {
+            name,
+            members: vec![],
+            isa: vec![],
+            doc: String::new(),
+        };
+        loop {
+            self.skip_comments();
+            if matches!(self.peek_kind(), TokenKind::RParen) {
+                self.bump();
+                break;
+            }
+            let section = self.expect_ident()?;
+            self.expect_kind(&TokenKind::Colon)?;
+            match section.as_str() {
+                "MEMBERS" => {
+                    item.members.push(self.expect_ident()?);
+                    while matches!(self.peek_kind(), TokenKind::Comma) {
+                        self.bump();
+                        item.members.push(self.expect_ident()?);
+                    }
+                    self.expect_kind(&TokenKind::Semi)?;
+                }
+                "ISA" => {
+                    item.isa.push(self.expect_ident()?);
+                    while matches!(self.peek_kind(), TokenKind::Comma) {
+                        self.bump();
+                        item.isa.push(self.expect_ident()?);
+                    }
+                    self.expect_kind(&TokenKind::Semi)?;
+                }
+                "DOC" => {
+                    self.skip_comments();
+                    match self.peek_kind().clone() {
+                        TokenKind::Str(s) => {
+                            self.bump();
+                            item.doc = s;
+                        }
+                        other => return self.err(format!("expected string after DOC:, found {other}")),
+                    }
+                    self.expect_kind(&TokenKind::Semi)?;
+                }
+                other => return self.err(format!("unknown concept section {other:?}")),
+            }
+        }
+        Ok(item)
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    /// expr := term (('=' | '<' | '>') term)?
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.term()?;
+        self.skip_comments();
+        let op = match self.peek_kind() {
+            TokenKind::Eq => Some(CmpOp::Eq),
+            TokenKind::Lt => Some(CmpOp::Lt),
+            TokenKind::Gt => Some(CmpOp::Gt),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.term()?;
+            Ok(Expr::Cmp {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    /// term := ANYOF term | literal | call | projection | ident
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        self.skip_comments();
+        match self.peek_kind().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Const(Value::Int4(v as i32)))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(Expr::Const(Value::Float8(v)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Const(Value::Text(s)))
+            }
+            TokenKind::Ident(id) if id == "ANYOF" => {
+                self.bump();
+                let inner = self.term()?;
+                Ok(Expr::AnyOf(Box::new(inner)))
+            }
+            TokenKind::Ident(id) if id == "PARAM" => {
+                self.bump();
+                let name = self.expect_ident()?;
+                Ok(Expr::Param(name))
+            }
+            TokenKind::Ident(id) => {
+                self.bump();
+                self.skip_comments();
+                match self.peek_kind() {
+                    TokenKind::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        loop {
+                            self.skip_comments();
+                            if matches!(self.peek_kind(), TokenKind::RParen) {
+                                self.bump();
+                                break;
+                            }
+                            if !args.is_empty() {
+                                self.expect_kind(&TokenKind::Comma)?;
+                            }
+                            args.push(self.expr()?);
+                        }
+                        // card/common are builtins of the template language.
+                        match id.as_str() {
+                            "card" if args.len() == 1 => {
+                                Ok(Expr::Card(Box::new(args.into_iter().next().expect("len 1"))))
+                            }
+                            "common" if args.len() == 1 => {
+                                Ok(Expr::Common(Box::new(args.into_iter().next().expect("len 1"))))
+                            }
+                            _ => Ok(Expr::Apply { op: id, args }),
+                        }
+                    }
+                    TokenKind::Dot => {
+                        self.bump();
+                        let attr = self.expect_ident()?;
+                        Ok(Expr::ArgAttr { arg: id, attr })
+                    }
+                    _ => Ok(Expr::Arg(id)),
+                }
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+}
+
+/// Parse a program source.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's landcover class, verbatim modulo attribute subset.
+    const LANDCOVER: &str = r#"
+CLASS landcover ( // Land cover
+  ATTRIBUTES:
+    area = char16;       // area name
+    ref_system = char16; // long/lat, UTM ...
+    data = image;        // image data type
+    numclass = int4;
+  SPATIAL EXTENT:
+    spatialextent = box; // bounding box
+  TEMPORAL EXTENT:
+    timestamp = abstime; // absolute time
+  DERIVED BY: unsupervised-classification
+)
+"#;
+
+    const P20: &str = r#"
+DEFINE PROCESS P20 (
+  OUTPUT landcover
+  ARGUMENT ( SETOF bands tm )
+  TEMPLATE {
+    ASSERTIONS:
+      card(bands) = 3;  // need three bands
+      common(bands.spatialextent);
+      common(bands.timestamp);
+    MAPPINGS:
+      landcover.data = unsuperclassify(composite(bands), 12);
+      landcover.numclass = 12;
+      landcover.spatialextent = ANYOF bands.spatialextent;
+      landcover.timestamp = ANYOF bands.timestamp;
+  }
+)
+"#;
+
+    #[test]
+    fn parses_the_landcover_class() {
+        let prog = parse(LANDCOVER).unwrap();
+        assert_eq!(prog.items.len(), 1);
+        let Item::Class(c) = &prog.items[0] else {
+            panic!("expected class");
+        };
+        assert_eq!(c.name, "landcover");
+        assert_eq!(c.doc, "Land cover");
+        assert_eq!(c.attrs.len(), 4);
+        assert_eq!(c.attrs[0], ("area".into(), "char16".into(), "area name".into()));
+        assert!(c.spatial && c.temporal);
+        assert_eq!(c.derived_by, vec!["unsupervised-classification"]);
+    }
+
+    #[test]
+    fn parses_figure3_process() {
+        let prog = parse(P20).unwrap();
+        let Item::Process(p) = &prog.items[0] else {
+            panic!("expected process");
+        };
+        assert_eq!(p.name, "P20");
+        assert_eq!(p.output, "landcover");
+        assert_eq!(p.args.len(), 1);
+        assert!(p.args[0].setof);
+        assert_eq!(p.args[0].name, "bands");
+        assert_eq!(p.args[0].class, "tm");
+        assert_eq!(p.assertions.len(), 3);
+        assert_eq!(p.assertions[0].to_string(), "card(bands) = 3");
+        assert_eq!(p.assertions[1].to_string(), "common(bands.spatialextent)");
+        assert_eq!(p.mappings.len(), 4);
+        assert_eq!(p.mappings[0].0, "landcover");
+        assert_eq!(p.mappings[0].1, "data");
+        assert_eq!(
+            p.mappings[0].2.to_string(),
+            "unsuperclassify(composite(bands), 12)"
+        );
+        assert_eq!(p.mappings[2].2.to_string(), "ANYOF bands.spatialextent");
+    }
+
+    #[test]
+    fn parses_concepts() {
+        let src = r#"
+DEFINE CONCEPT vegetation_change (
+  MEMBERS: change_pca, change_spca;
+  ISA: remote_sensing_product;
+  DOC: "vegetation change however derived";
+)
+"#;
+        let prog = parse(src).unwrap();
+        let Item::Concept(c) = &prog.items[0] else {
+            panic!("expected concept");
+        };
+        assert_eq!(c.name, "vegetation_change");
+        assert_eq!(c.members, vec!["change_pca", "change_spca"]);
+        assert_eq!(c.isa, vec!["remote_sensing_product"]);
+        assert_eq!(c.doc, "vegetation change however derived");
+    }
+
+    #[test]
+    fn multiple_items() {
+        let src = format!("{LANDCOVER}\n{P20}");
+        let prog = parse(&src).unwrap();
+        assert_eq!(prog.items.len(), 2);
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse("CLASS x ( BOGUS: )").unwrap_err();
+        assert!(err.message.contains("BOGUS"));
+        let err = parse("DEFINE WIDGET w ()").unwrap_err();
+        assert!(err.message.contains("PROCESS or CONCEPT"));
+        let err = parse("42").unwrap_err();
+        assert!(err.message.contains("top level"));
+        // Lex-level failures surface too ('+' is not a token).
+        let err = parse("1 + 2").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn comparison_expressions() {
+        let src = r#"
+DEFINE PROCESS desert (
+  OUTPUT desert_map
+  ARGUMENT ( rain rainfall )
+  TEMPLATE {
+    ASSERTIONS:
+      img_mean(rain.data) < 250;
+    MAPPINGS:
+      desert_map.data = threshold_below(rain.data, 250.0);
+  }
+)
+"#;
+        let prog = parse(src).unwrap();
+        let Item::Process(p) = &prog.items[0] else {
+            panic!()
+        };
+        assert_eq!(p.assertions[0].to_string(), "img_mean(rain.data) < 250");
+        assert_eq!(
+            p.mappings[0].2.to_string(),
+            "threshold_below(rain.data, 250)"
+        );
+    }
+}

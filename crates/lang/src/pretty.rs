@@ -1,0 +1,185 @@
+//! Pretty-printer: AST back to DDL text.
+//!
+//! `parse(pretty_program(parse(src))) == parse(src)` — the round-trip
+//! property tested below and in the property suite.
+
+use crate::ast::{ClassItem, ConceptItem, Item, ProcessItem, Program};
+use std::fmt::Write as _;
+
+/// Render a program.
+pub fn pretty_program(prog: &Program) -> String {
+    let mut out = String::new();
+    for (i, item) in prog.items.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        match item {
+            Item::Class(c) => pretty_class(&mut out, c),
+            Item::Process(p) => pretty_process(&mut out, p),
+            Item::Concept(c) => pretty_concept(&mut out, c),
+        }
+    }
+    out
+}
+
+fn pretty_class(out: &mut String, c: &ClassItem) {
+    write!(out, "CLASS {} (", c.name).expect("write to string");
+    if !c.doc.is_empty() {
+        write!(out, " // {}", c.doc).expect("write to string");
+    }
+    out.push('\n');
+    if !c.attrs.is_empty() || !c.ref_attrs.is_empty() {
+        out.push_str("  ATTRIBUTES:\n");
+        for (name, ty, comment) in &c.attrs {
+            write!(out, "    {name} = {ty};").expect("write to string");
+            if !comment.is_empty() {
+                write!(out, " // {comment}").expect("write to string");
+            }
+            out.push('\n');
+        }
+        for (name, class, comment) in &c.ref_attrs {
+            write!(out, "    {name} = ref {class};").expect("write to string");
+            if !comment.is_empty() {
+                write!(out, " // {comment}").expect("write to string");
+            }
+            out.push('\n');
+        }
+    }
+    if c.spatial {
+        out.push_str("  SPATIAL EXTENT:\n    spatialextent = box;\n");
+    }
+    if c.temporal {
+        out.push_str("  TEMPORAL EXTENT:\n    timestamp = abstime;\n");
+    }
+    if !c.derived_by.is_empty() {
+        writeln!(out, "  DERIVED BY: {}", c.derived_by.join(", ")).expect("write to string");
+    }
+    out.push_str(")\n");
+}
+
+fn pretty_process(out: &mut String, p: &ProcessItem) {
+    writeln!(out, "DEFINE PROCESS {} (", p.name).expect("write to string");
+    writeln!(out, "  OUTPUT {}", p.output).expect("write to string");
+    out.push_str("  ARGUMENT ( ");
+    for (i, a) in p.args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        if a.setof {
+            write!(out, "SETOF {} {}", a.name, a.class).expect("write to string");
+        } else {
+            write!(out, "{} {}", a.name, a.class).expect("write to string");
+        }
+    }
+    out.push_str(" )\n");
+    if !p.interactions.is_empty() {
+        out.push_str("  INTERACTIONS {\n");
+        for i in &p.interactions {
+            write!(out, "    PARAM {} : {}", i.param, i.type_name).expect("write to string");
+            if let Some(preview) = &i.preview {
+                write!(out, " PREVIEW {preview}").expect("write to string");
+            }
+            out.push(';');
+            if !i.prompt.is_empty() {
+                write!(out, " // {}", i.prompt).expect("write to string");
+            }
+            out.push('\n');
+        }
+        out.push_str("  }\n");
+    }
+    if let Some(site) = &p.external_site {
+        writeln!(out, "  EXTERNAL AT {site:?}").expect("write to string");
+    }
+    if let Some(procedure) = &p.nonapplicative {
+        writeln!(out, "  NONAPPLICATIVE {procedure:?}").expect("write to string");
+    }
+    if !p.assertions.is_empty() || !p.mappings.is_empty() {
+        out.push_str("  TEMPLATE {\n");
+        if !p.assertions.is_empty() {
+            out.push_str("    ASSERTIONS:\n");
+            for a in &p.assertions {
+                writeln!(out, "      {a};").expect("write to string");
+            }
+        }
+        if !p.mappings.is_empty() {
+            out.push_str("    MAPPINGS:\n");
+            for (target, attr, e) in &p.mappings {
+                writeln!(out, "      {target}.{attr} = {e};").expect("write to string");
+            }
+        }
+        out.push_str("  }\n");
+    }
+    out.push_str(")\n");
+}
+
+fn pretty_concept(out: &mut String, c: &ConceptItem) {
+    writeln!(out, "DEFINE CONCEPT {} (", c.name).expect("write to string");
+    if !c.members.is_empty() {
+        writeln!(out, "  MEMBERS: {};", c.members.join(", ")).expect("write to string");
+    }
+    if !c.isa.is_empty() {
+        writeln!(out, "  ISA: {};", c.isa.join(", ")).expect("write to string");
+    }
+    if !c.doc.is_empty() {
+        writeln!(out, "  DOC: \"{}\";", c.doc).expect("write to string");
+    }
+    out.push_str(")\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const SRC: &str = r#"
+CLASS landcover ( // Land cover
+  ATTRIBUTES:
+    area = char16; // area name
+    data = image;
+  SPATIAL EXTENT:
+    spatialextent = box;
+  TEMPORAL EXTENT:
+    timestamp = abstime;
+  DERIVED BY: P20
+)
+
+DEFINE PROCESS P20 (
+  OUTPUT landcover
+  ARGUMENT ( SETOF bands tm, reference aux )
+  TEMPLATE {
+    ASSERTIONS:
+      card(bands) = 3;
+      common(bands.spatialextent);
+    MAPPINGS:
+      landcover.data = unsuperclassify(composite(bands), 12);
+      landcover.spatialextent = ANYOF bands.spatialextent;
+  }
+)
+
+DEFINE CONCEPT veg (
+  MEMBERS: landcover;
+  DOC: "whatever";
+)
+"#;
+
+    #[test]
+    fn round_trip_is_stable() {
+        let ast1 = parse(SRC).unwrap();
+        let printed = pretty_program(&ast1);
+        let ast2 = parse(&printed).unwrap();
+        assert_eq!(ast1, ast2, "pretty-printed program re-parses identically");
+        // And printing again is a fixpoint.
+        assert_eq!(printed, pretty_program(&ast2));
+    }
+
+    #[test]
+    fn renders_expected_surface() {
+        let ast = parse(SRC).unwrap();
+        let printed = pretty_program(&ast);
+        assert!(printed.contains("CLASS landcover ( // Land cover"));
+        assert!(printed.contains("SETOF bands tm, reference aux"));
+        assert!(printed.contains("card(bands) = 3;"));
+        assert!(printed.contains("landcover.spatialextent = ANYOF bands.spatialextent;"));
+        assert!(printed.contains("DOC: \"whatever\";"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Structural analysis of derivation diagrams.
+//!
+//! §4.2: "Derivation diagrams can be used to 1) browse data following their
+//! derivation relationships, 2) compare derivation procedures [...]". The
+//! helpers here support browsing and schema sanity checks: dead processes,
+//! underivable classes, cyclic derivation structures (legal — interpolation
+//! is self-cyclic — but worth surfacing), and ancestor/descendant closures.
+
+use crate::marking::Marking;
+use crate::net::{PetriNet, PlaceId, TransitionId};
+use crate::reachability::saturate;
+use std::collections::BTreeSet;
+
+/// Transitions that can never fire from `initial` (their guards aside).
+pub fn dead_transitions(net: &PetriNet, initial: &Marking) -> Vec<TransitionId> {
+    let cap = net
+        .transition_ids()
+        .flat_map(|t| {
+            net.transition(t)
+                .expect("valid id")
+                .inputs
+                .iter()
+                .map(|a| a.threshold)
+                .collect::<Vec<_>>()
+        })
+        .max()
+        .unwrap_or(1);
+    let sat = saturate(net, initial, cap);
+    let fired: BTreeSet<usize> = sat.fired.iter().map(|t| t.0).collect();
+    net.transition_ids().filter(|t| !fired.contains(&t.0)).collect()
+}
+
+/// Derived (non-base) places that no reachable firing can populate.
+pub fn underivable_places(net: &PetriNet, initial: &Marking) -> Vec<PlaceId> {
+    let cap = 1;
+    let sat = saturate(net, initial, cap);
+    net.place_ids()
+        .filter(|p| !net.place(*p).expect("valid id").is_base)
+        .filter(|p| sat.marking.get(*p) == 0)
+        .collect()
+}
+
+/// All places from which `place` can be derived (transitive inputs of its
+/// producers): the "derivation ancestors" used for lineage browsing.
+pub fn ancestor_places(net: &PetriNet, place: PlaceId) -> Vec<PlaceId> {
+    let mut out: BTreeSet<usize> = BTreeSet::new();
+    let mut stack = vec![place];
+    while let Some(p) = stack.pop() {
+        for t in net.producers_of(p) {
+            for arc in &net.transition(t).expect("valid id").inputs {
+                if arc.place != place && out.insert(arc.place.0) {
+                    stack.push(arc.place);
+                }
+            }
+        }
+    }
+    out.into_iter().map(PlaceId).collect()
+}
+
+/// All places derivable (transitively) from `place`: the "derivation
+/// descendants".
+pub fn descendant_places(net: &PetriNet, place: PlaceId) -> Vec<PlaceId> {
+    let mut out: BTreeSet<usize> = BTreeSet::new();
+    let mut stack = vec![place];
+    while let Some(p) = stack.pop() {
+        for t in net.consumers_of(p) {
+            for o in &net.transition(t).expect("valid id").outputs {
+                if *o != place && out.insert(o.0) {
+                    stack.push(*o);
+                }
+            }
+        }
+    }
+    out.into_iter().map(PlaceId).collect()
+}
+
+/// True if the derivation structure contains a place-level cycle (a class
+/// transitively derivable from itself, like interpolation's P5).
+pub fn has_derivation_cycle(net: &PetriNet) -> bool {
+    // DFS over the place → place edges induced by transitions.
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Unseen,
+        Active,
+        Done,
+    }
+    let n = net.place_count();
+    let mut state = vec![State::Unseen; n];
+    fn dfs(net: &PetriNet, p: usize, state: &mut Vec<State>) -> bool {
+        state[p] = State::Active;
+        for t in net.consumers_of(PlaceId(p)) {
+            for o in &net.transition(t).expect("valid id").outputs {
+                match state[o.0] {
+                    State::Active => return true,
+                    State::Unseen => {
+                        if dfs(net, o.0, state) {
+                            return true;
+                        }
+                    }
+                    State::Done => {}
+                }
+            }
+        }
+        state[p] = State::Done;
+        false
+    }
+    for p in 0..n {
+        if state[p] == State::Unseen && dfs(net, p, &mut state) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> (PetriNet, [PlaceId; 4]) {
+        let mut net = PetriNet::new();
+        let base = net.add_base_place("base");
+        let a = net.add_place("a");
+        let b = net.add_place("b");
+        let orphan = net.add_place("orphan");
+        net.add_transition("t1", &[(base, 1)], &[a]).unwrap();
+        net.add_transition("t2", &[(a, 1)], &[b]).unwrap();
+        net.add_transition("t3", &[(orphan, 1)], &[b]).unwrap();
+        (net, [base, a, b, orphan])
+    }
+
+    #[test]
+    fn dead_and_underivable() {
+        let (net, [base, _, _, orphan]) = chain();
+        let init = Marking::from_counts(&net, &[(base, 1)]);
+        let dead = dead_transitions(&net, &init);
+        assert_eq!(dead.len(), 1); // t3: orphan never marked
+        assert_eq!(net.transition(dead[0]).unwrap().name, "t3");
+        let und = underivable_places(&net, &init);
+        assert_eq!(und, vec![orphan]);
+        // With nothing stored, everything derived is underivable.
+        let empty = Marking::empty(&net);
+        assert_eq!(underivable_places(&net, &empty).len(), 3);
+    }
+
+    #[test]
+    fn ancestors_and_descendants() {
+        let (net, [base, a, b, orphan]) = chain();
+        assert_eq!(ancestor_places(&net, b), vec![base, a, orphan]);
+        assert_eq!(ancestor_places(&net, a), vec![base]);
+        assert!(ancestor_places(&net, base).is_empty());
+        assert_eq!(descendant_places(&net, base), vec![a, b]);
+        assert_eq!(descendant_places(&net, orphan), vec![b]);
+        assert!(descendant_places(&net, b).is_empty());
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let (net, _) = chain();
+        assert!(!has_derivation_cycle(&net));
+        // Interpolation-style self-derivation.
+        let mut cyclic = PetriNet::new();
+        let ndvi = cyclic.add_place("ndvi");
+        cyclic.add_transition("P5", &[(ndvi, 2)], &[ndvi]).unwrap();
+        assert!(has_derivation_cycle(&cyclic));
+        // Two-step cycle.
+        let mut two = PetriNet::new();
+        let x = two.add_place("x");
+        let y = two.add_place("y");
+        two.add_transition("f", &[(x, 1)], &[y]).unwrap();
+        two.add_transition("g", &[(y, 1)], &[x]).unwrap();
+        assert!(has_derivation_cycle(&two));
+    }
+}

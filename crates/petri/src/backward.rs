@@ -1,0 +1,539 @@
+//! Backward chaining: the derivation planner (paper §2.1.6).
+//!
+//! "Using PNs, the above procedure can be formulated as: given a final
+//! marking, try to find the initial marking which can lead to this marking.
+//! This initial marking will identify the specific data objects that can be
+//! retrieved directly from the database."
+//!
+//! ## The distinct-binding refinement
+//!
+//! The paper's count-level net (see [`crate::reachability`]) allows a
+//! transition to fire repeatedly from the same tokens. But Gaea's *object*
+//! semantics make processes deterministic: the same process applied to the
+//! same input objects derives the same object (§2.1.2's parameter rule and
+//! the experiment-deduplication goal). A plan that fires P20 twice must
+//! therefore feed each firing a **disjoint token set**. The planner models
+//! this with transition *capacities*:
+//!
+//! ```text
+//! capacity(t) = min over input arcs  ⌊ achievable(place) / threshold ⌋
+//! achievable(p) = available(p) + Σ capacity(t) over producers t of p
+//! ```
+//!
+//! computed as a Kleene fixpoint (monotone, bounded), followed by a
+//! backward need-distribution pass that assigns firing counts to producers
+//! in enabling-round order. Cyclic derivation structures (the paper's P5
+//! derives a concept from itself) converge because capacities are bounded.
+//!
+//! On failure the planner reports where "back propagation stops at some
+//! base class": base places with insufficient tokens, and derived places
+//! with no producer at all.
+
+use crate::marking::Marking;
+use crate::net::{PetriNet, PlaceId, TransitionId};
+use std::collections::{BTreeMap, HashMap};
+
+/// Safety bound on per-transition firing capacity (guards unbounded
+/// self-feeding cycles with threshold 1).
+const CAPACITY_BOUND: u64 = 1 << 20;
+
+/// A successful derivation plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerivationPlan {
+    /// Firings in execution order; `(transition, repetitions)`.
+    pub firings: Vec<(TransitionId, u64)>,
+}
+
+impl DerivationPlan {
+    /// Total number of individual firings.
+    pub fn cost(&self) -> u64 {
+        self.firings.iter().map(|(_, n)| n).sum()
+    }
+
+    /// True if the goal is already satisfied by stored data.
+    pub fn is_empty(&self) -> bool {
+        self.firings.is_empty()
+    }
+
+    /// Execute the plan against a marking (Gaea mode), returning the final
+    /// marking. Panics if the plan is invalid for the marking — plans
+    /// produced by [`plan_derivation`] against the same marking always
+    /// execute (tested property).
+    pub fn execute(&self, net: &PetriNet, initial: &Marking) -> Marking {
+        let mut m = initial.clone();
+        for (t, times) in &self.firings {
+            for _ in 0..*times {
+                m = crate::firing::fire(net, &m, *t, crate::firing::FiringMode::GaeaPreserving)
+                    .expect("plan firing must be enabled");
+            }
+        }
+        m
+    }
+}
+
+/// Why planning failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanFailure {
+    /// Base places whose stored tokens fall short ("back propagation stops
+    /// at some base class and we fail to find the needed data").
+    pub missing_base: Vec<PlaceId>,
+    /// Derived places on the failure frontier with no producer.
+    pub underivable: Vec<PlaceId>,
+}
+
+/// Forward capacity fixpoint.
+struct Layers {
+    /// First fixpoint round at which the transition gained capacity.
+    round_of: HashMap<usize, usize>,
+    /// Firing capacity under distinct-binding semantics.
+    capacity: HashMap<usize, u64>,
+    /// Achievable token counts (available + producible).
+    achievable: Marking,
+}
+
+fn layered_saturation(net: &PetriNet, available: &Marking) -> Layers {
+    let mut achievable = available.clone();
+    let mut capacity: HashMap<usize, u64> =
+        net.transition_ids().map(|t| (t.0, 0u64)).collect();
+    let mut round_of: HashMap<usize, usize> = HashMap::new();
+    let mut round = 0usize;
+    loop {
+        let mut changed = false;
+        // Capacities from current achievable counts.
+        for t in net.transition_ids() {
+            let tr = net.transition(t).expect("valid id");
+            let f = tr
+                .inputs
+                .iter()
+                .map(|arc| achievable.get(arc.place) / arc.threshold)
+                .min()
+                .unwrap_or(CAPACITY_BOUND)
+                .min(CAPACITY_BOUND);
+            let entry = capacity.get_mut(&t.0).expect("prefilled");
+            if f > *entry {
+                *entry = f;
+                changed = true;
+                round_of.entry(t.0).or_insert(round);
+            }
+        }
+        // Achievable counts from capacities.
+        for p in net.place_ids() {
+            let add: u64 = net
+                .producers_of(p)
+                .iter()
+                .map(|t| capacity[&t.0])
+                .fold(0u64, u64::saturating_add);
+            let new = available.get(p).saturating_add(add.min(CAPACITY_BOUND));
+            if new > achievable.get(p) {
+                achievable.set(p, new);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        round += 1;
+    }
+    Layers {
+        round_of,
+        capacity,
+        achievable,
+    }
+}
+
+/// Plan the derivation of `need` tokens in `goal` from `available`.
+pub fn plan_derivation(
+    net: &PetriNet,
+    available: &Marking,
+    goal: PlaceId,
+    need: u64,
+) -> Result<DerivationPlan, PlanFailure> {
+    plan_derivation_multi(net, available, &[(goal, need)])
+}
+
+/// Plan several goals at once; shared sub-derivations are merged (a
+/// producer fired for two goals is planned once with the combined count).
+pub fn plan_derivation_multi(
+    net: &PetriNet,
+    available: &Marking,
+    goals: &[(PlaceId, u64)],
+) -> Result<DerivationPlan, PlanFailure> {
+    let layers = layered_saturation(net, available);
+
+    // Feasibility.
+    let unreachable: Vec<PlaceId> = goals
+        .iter()
+        .filter(|(p, n)| layers.achievable.get(*p) < *n)
+        .map(|(p, _)| *p)
+        .collect();
+    if !unreachable.is_empty() {
+        return Err(diagnose_failure(net, available, &layers, &unreachable, goals));
+    }
+
+    // Backward need distribution (iterative fixpoint; monotone, bounded by
+    // the capacities, which feasibility has already validated).
+    let mut needed: HashMap<usize, u64> = HashMap::new();
+    for (p, n) in goals {
+        let e = needed.entry(p.0).or_insert(0);
+        *e = (*e).max(*n);
+    }
+    let mut planned: BTreeMap<usize, u64> = BTreeMap::new();
+    loop {
+        let mut changed = false;
+        // (1) Cover each place's deficit with producer firings, cheapest
+        //     (earliest-enabled) producers first.
+        let snapshot: Vec<(usize, u64)> = needed.iter().map(|(p, n)| (*p, *n)).collect();
+        for (p, n) in snapshot {
+            let place = PlaceId(p);
+            let have = available.get(place);
+            let deficit = n.saturating_sub(have);
+            if deficit == 0 {
+                continue;
+            }
+            let mut producers: Vec<(usize, TransitionId)> = net
+                .producers_of(place)
+                .into_iter()
+                .filter_map(|t| layers.round_of.get(&t.0).map(|r| (*r, t)))
+                .collect();
+            producers.sort_by_key(|(r, t)| (*r, t.0));
+            let produced: u64 = producers
+                .iter()
+                .map(|(_, t)| planned.get(&t.0).copied().unwrap_or(0))
+                .sum();
+            if produced >= deficit {
+                continue;
+            }
+            let mut remaining = deficit - produced;
+            for (_, t) in producers {
+                let cur = planned.entry(t.0).or_insert(0);
+                let headroom = layers.capacity[&t.0].saturating_sub(*cur);
+                let take = headroom.min(remaining);
+                if take > 0 {
+                    *cur += take;
+                    remaining -= take;
+                    changed = true;
+                }
+                if remaining == 0 {
+                    break;
+                }
+            }
+            debug_assert_eq!(
+                remaining, 0,
+                "feasibility check guarantees coverable deficits"
+            );
+        }
+        // (2) Planned firings induce input-token requirements. Distinct
+        //     firings of one transition need disjoint sets (threshold × f);
+        //     different transitions share tokens freely (max, not sum).
+        for (t, f) in &planned {
+            let tr = net.transition(TransitionId(*t)).expect("valid id");
+            for arc in &tr.inputs {
+                let req = arc.threshold.saturating_mul(*f);
+                let e = needed.entry(arc.place.0).or_insert(0);
+                if req > *e {
+                    *e = req;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Execution order: by enabling round, then id.
+    let mut firings: Vec<(TransitionId, u64)> = planned
+        .into_iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(t, n)| (TransitionId(t), n))
+        .collect();
+    firings.sort_by_key(|(t, _)| (layers.round_of[&t.0], t.0));
+    Ok(DerivationPlan { firings })
+}
+
+/// Walk backward from unreachable goals, collecting the failure frontier.
+fn diagnose_failure(
+    net: &PetriNet,
+    available: &Marking,
+    layers: &Layers,
+    unreachable_goals: &[PlaceId],
+    goals: &[(PlaceId, u64)],
+) -> PlanFailure {
+    use std::collections::BTreeSet;
+    let mut missing_base: BTreeSet<usize> = BTreeSet::new();
+    let mut underivable: BTreeSet<usize> = BTreeSet::new();
+    let mut visited: BTreeSet<usize> = BTreeSet::new();
+    // (place, tokens still wanted there)
+    let mut stack: Vec<(PlaceId, u64)> = unreachable_goals
+        .iter()
+        .map(|p| {
+            let n = goals
+                .iter()
+                .find(|(g, _)| g == p)
+                .map(|(_, n)| *n)
+                .unwrap_or(1);
+            (*p, n)
+        })
+        .collect();
+    while let Some((p, want)) = stack.pop() {
+        if !visited.insert(p.0) {
+            continue;
+        }
+        if layers.achievable.get(p) >= want {
+            continue; // satisfiable here; shortage lies elsewhere
+        }
+        let place = net.place(p).expect("valid id");
+        if place.is_base {
+            missing_base.insert(p.0);
+            continue;
+        }
+        let producers = net.producers_of(p);
+        if producers.is_empty() {
+            underivable.insert(p.0);
+            continue;
+        }
+        let deficit = want.saturating_sub(available.get(p)).max(1);
+        for t in producers {
+            let tr = net.transition(t).expect("valid id");
+            for arc in &tr.inputs {
+                // The producer would need `threshold × deficit` distinct
+                // tokens here to close the gap alone; anything short of
+                // that makes the input part of the frontier.
+                let req = arc.threshold.saturating_mul(deficit);
+                if layers.achievable.get(arc.place) < req {
+                    stack.push((arc.place, req));
+                }
+            }
+        }
+    }
+    PlanFailure {
+        missing_base: missing_base.into_iter().map(PlaceId).collect(),
+        underivable: underivable.into_iter().map(PlaceId).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reachability::derivable;
+
+    /// Figure-2-like net:
+    ///   tm (base) --P20(≥3)--> land_cover
+    ///   land_cover x2 --P_change--> change
+    ///   tm (base) --P_ndvi(≥2)--> ndvi
+    ///   ndvi (≥2) --P5(interp, self-concept)--> ndvi   (cycle)
+    fn figure_net() -> (PetriNet, [PlaceId; 4], [TransitionId; 4]) {
+        let mut net = PetriNet::new();
+        let tm = net.add_base_place("tm");
+        let lc = net.add_place("land_cover");
+        let change = net.add_place("change");
+        let ndvi = net.add_place("ndvi");
+        let p20 = net.add_transition("P20", &[(tm, 3)], &[lc]).unwrap();
+        let pch = net.add_transition("P_change", &[(lc, 2)], &[change]).unwrap();
+        let pnd = net.add_transition("P_ndvi", &[(tm, 2)], &[ndvi]).unwrap();
+        let p5 = net.add_transition("P5_interp", &[(ndvi, 2)], &[ndvi]).unwrap();
+        (net, [tm, lc, change, ndvi], [p20, pch, pnd, p5])
+    }
+
+    #[test]
+    fn empty_plan_when_stored() {
+        let (net, [_, lc, ..], _) = figure_net();
+        let avail = Marking::from_counts(&net, &[(lc, 1)]);
+        let plan = plan_derivation(&net, &avail, lc, 1).unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan.cost(), 0);
+    }
+
+    #[test]
+    fn single_step_plan() {
+        let (net, [tm, lc, ..], [p20, ..]) = figure_net();
+        let avail = Marking::from_counts(&net, &[(tm, 3)]);
+        let plan = plan_derivation(&net, &avail, lc, 1).unwrap();
+        assert_eq!(plan.firings, vec![(p20, 1)]);
+        let end = plan.execute(&net, &avail);
+        assert_eq!(end.get(lc), 1);
+        assert_eq!(end.get(tm), 3, "token preservation");
+    }
+
+    #[test]
+    fn distinct_binding_rule_requires_disjoint_inputs() {
+        // change needs 2 land_cover objects. With only 3 tm scenes, P20 can
+        // realize ONE distinct classification — firing it twice on the same
+        // bands would derive the same object, so the plan must fail.
+        let (net, [tm, _, change, _], _) = figure_net();
+        let avail = Marking::from_counts(&net, &[(tm, 3)]);
+        let err = plan_derivation(&net, &avail, change, 1).unwrap_err();
+        assert_eq!(err.missing_base, vec![tm]);
+        // Six scenes (two epochs) make it feasible: P20 ×2, P_change ×1.
+        let avail6 = Marking::from_counts(&net, &[(tm, 6)]);
+        let plan = plan_derivation(&net, &avail6, change, 1).unwrap();
+        let (p20, pch) = (TransitionId(0), TransitionId(1));
+        assert_eq!(plan.firings, vec![(p20, 2), (pch, 1)]);
+        assert_eq!(plan.cost(), 3);
+        let end = plan.execute(&net, &avail6);
+        assert_eq!(end.get(change), 1);
+    }
+
+    #[test]
+    fn stored_partials_reduce_the_plan() {
+        // One land_cover stored: P20 fires once, not twice.
+        let (net, [tm, lc, change, _], [p20, pch, ..]) = figure_net();
+        let avail = Marking::from_counts(&net, &[(tm, 3), (lc, 1)]);
+        let plan = plan_derivation(&net, &avail, change, 1).unwrap();
+        assert_eq!(plan.firings, vec![(p20, 1), (pch, 1)]);
+        let end = plan.execute(&net, &avail);
+        assert_eq!(end.get(change), 1);
+    }
+
+    #[test]
+    fn failure_reports_missing_base() {
+        let (net, [tm, _, change, _], _) = figure_net();
+        let avail = Marking::from_counts(&net, &[(tm, 2)]); // P20 needs 3
+        let err = plan_derivation(&net, &avail, change, 1).unwrap_err();
+        assert_eq!(err.missing_base, vec![tm]);
+        assert!(err.underivable.is_empty());
+    }
+
+    #[test]
+    fn failure_reports_underivable_orphan() {
+        let mut net = PetriNet::new();
+        let orphan = net.add_place("orphan");
+        let avail = Marking::empty(&net);
+        let err = plan_derivation(&net, &avail, orphan, 1).unwrap_err();
+        assert!(err.missing_base.is_empty());
+        assert_eq!(err.underivable, vec![orphan]);
+    }
+
+    #[test]
+    fn self_cycle_interpolation_terminates() {
+        // P5 derives ndvi from ndvi (threshold 2): with 2 stored ndvi
+        // objects a third is derivable via the cycle.
+        let (net, [_, _, _, ndvi], [_, _, _, p5]) = figure_net();
+        let avail = Marking::from_counts(&net, &[(ndvi, 2)]);
+        let plan = plan_derivation(&net, &avail, ndvi, 3).unwrap();
+        assert_eq!(plan.firings, vec![(p5, 1)]);
+        let end = plan.execute(&net, &avail);
+        assert_eq!(end.get(ndvi), 3);
+        // But with only 1 stored object the cycle cannot bootstrap itself.
+        let short = Marking::from_counts(&net, &[(ndvi, 1)]);
+        assert!(plan_derivation(&net, &short, ndvi, 3).is_err());
+    }
+
+    #[test]
+    fn threshold_one_self_cycle_is_bounded() {
+        // f(x) = x self-feeding loop: capacities are clamped, planning a
+        // large-but-finite need still terminates and succeeds.
+        let mut net = PetriNet::new();
+        let x = net.add_place("x");
+        let t = net.add_transition("dup", &[(x, 1)], &[x]).unwrap();
+        let avail = Marking::from_counts(&net, &[(x, 1)]);
+        let plan = plan_derivation(&net, &avail, x, 100).unwrap();
+        assert_eq!(plan.firings, vec![(t, 99)]);
+    }
+
+    #[test]
+    fn alternative_producers_earliest_round_wins() {
+        let mut net = PetriNet::new();
+        let b1 = net.add_base_place("b1");
+        let b2 = net.add_base_place("b2");
+        let mid = net.add_place("mid");
+        let goal = net.add_place("goal");
+        // Long path: b1 -> mid -> goal ; short path: b2 -> goal
+        net.add_transition("t_long1", &[(b1, 1)], &[mid]).unwrap();
+        let t_long2 = net.add_transition("t_long2", &[(mid, 1)], &[goal]).unwrap();
+        let t_short = net.add_transition("t_short", &[(b2, 1)], &[goal]).unwrap();
+        // Both available: planner picks a round-0 producer (t_short).
+        let avail = Marking::from_counts(&net, &[(b1, 1), (b2, 1)]);
+        let plan = plan_derivation(&net, &avail, goal, 1).unwrap();
+        assert_eq!(plan.firings, vec![(t_short, 1)]);
+        // Only the long path available: planner uses it.
+        let only_long = Marking::from_counts(&net, &[(b1, 1)]);
+        let plan2 = plan_derivation(&net, &only_long, goal, 1).unwrap();
+        assert_eq!(plan2.firings.last().unwrap().0, t_long2);
+        assert_eq!(plan2.cost(), 2);
+    }
+
+    #[test]
+    fn alternatives_combine_capacities() {
+        // Two producers each capable of one firing jointly cover a need of
+        // 2 + 1 stored = 3.
+        let mut net = PetriNet::new();
+        let b1 = net.add_base_place("b1");
+        let b2 = net.add_base_place("b2");
+        let goal = net.add_place("goal");
+        let ta = net.add_transition("ta", &[(b1, 1)], &[goal]).unwrap();
+        let tb = net.add_transition("tb", &[(b2, 1)], &[goal]).unwrap();
+        let avail = Marking::from_counts(&net, &[(b1, 1), (b2, 1), (goal, 1)]);
+        let plan = plan_derivation(&net, &avail, goal, 3).unwrap();
+        assert_eq!(plan.cost(), 2);
+        assert!(plan.firings.contains(&(ta, 1)));
+        assert!(plan.firings.contains(&(tb, 1)));
+        // Need 4: infeasible.
+        assert!(plan_derivation(&net, &avail, goal, 4).is_err());
+    }
+
+    #[test]
+    fn multi_goal_plans_share_subderivations() {
+        let (net, [tm, lc, change, ndvi], [p20, pch, pnd, _]) = figure_net();
+        let avail = Marking::from_counts(&net, &[(tm, 6)]);
+        let plan =
+            plan_derivation_multi(&net, &avail, &[(change, 1), (ndvi, 1), (lc, 2)]).unwrap();
+        // P20 fired exactly twice (shared between the change goal and the
+        // explicit lc goal), not four times.
+        let p20_times = plan
+            .firings
+            .iter()
+            .find(|(t, _)| *t == p20)
+            .map(|(_, n)| *n)
+            .unwrap();
+        assert_eq!(p20_times, 2);
+        let end = plan.execute(&net, &avail);
+        assert_eq!(end.get(change), 1);
+        assert!(end.get(ndvi) >= 1);
+        assert!(end.get(lc) >= 2);
+        assert!(plan.firings.iter().any(|(t, _)| *t == pch));
+        assert!(plan.firings.iter().any(|(t, _)| *t == pnd));
+    }
+
+    #[test]
+    fn planner_is_sound_wrt_reachability() {
+        // The distinct-binding refinement only *restricts* the paper's
+        // count semantics: whenever the planner succeeds, count-level
+        // reachability must agree, and the plan must execute to the goal.
+        let (net, [tm, lc, change, ndvi], _) = figure_net();
+        for counts in [
+            vec![],
+            vec![(tm, 1)],
+            vec![(tm, 3)],
+            vec![(tm, 6)],
+            vec![(lc, 2)],
+            vec![(ndvi, 2)],
+            vec![(tm, 2), (lc, 1)],
+        ] {
+            let avail = Marking::from_counts(&net, &counts);
+            for goal in [lc, change, ndvi] {
+                if let Ok(plan) = plan_derivation(&net, &avail, goal, 1) {
+                    let want = Marking::from_counts(&net, &[(goal, 1)]);
+                    assert!(
+                        derivable(&net, &avail, &want),
+                        "planner accepted an underivable goal: {counts:?} -> {goal:?}"
+                    );
+                    let end = plan.execute(&net, &avail);
+                    assert!(end.get(goal) >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantitative_shortage_diagnosed_to_base() {
+        // change needs 2 distinct land_cover; 3 tm scenes support only one
+        // P20 firing. The diagnosis should point at tm (quantitative), not
+        // claim underivability.
+        let (net, [tm, _, change, _], _) = figure_net();
+        let avail = Marking::from_counts(&net, &[(tm, 3)]);
+        let err = plan_derivation(&net, &avail, change, 1).unwrap_err();
+        assert_eq!(err.missing_base, vec![tm]);
+        assert!(err.underivable.is_empty());
+    }
+}

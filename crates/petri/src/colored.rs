@@ -1,0 +1,303 @@
+//! Colored derivation nets: tokens carry data-object attributes and
+//! transitions carry guard predicates (paper §2.1.6, modification 3).
+//!
+//! "In order to guarantee the integrity of data derivation, some form of
+//! relationship may be required among the input data objects (tokens). For
+//! example, the same or overlapping spatial coverage may be necessary. [...]
+//! Only when such relationships are satisfied, will the transition be
+//! enabled and fired."
+//!
+//! The token payload is generic: the kernel instantiates `T` with
+//! spatio-temporal object descriptors and installs guards compiled from
+//! process ASSERTIONS.
+
+use crate::error::{PetriError, PetriResult};
+use crate::net::{PetriNet, PlaceId, TransitionId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Guard over a candidate binding (the chosen input tokens, concatenated in
+/// input-arc order).
+pub type Guard<T> = Arc<dyn Fn(&[&T]) -> bool + Send + Sync>;
+
+/// A binding: for each input arc, the indices of the chosen tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binding {
+    /// Chosen token indices per input arc, parallel to the arc list.
+    pub chosen: Vec<Vec<usize>>,
+}
+
+/// A Petri net whose places hold typed tokens and whose transitions may
+/// carry guards. Firing is always token-preserving (Gaea mode).
+pub struct ColoredNet<T> {
+    net: PetriNet,
+    tokens: Vec<Vec<T>>,
+    guards: HashMap<usize, Guard<T>>,
+    /// Cap on candidate bindings examined per enabling check.
+    pub binding_budget: usize,
+}
+
+impl<T: Clone> ColoredNet<T> {
+    /// Wrap a structural net; all places start empty.
+    pub fn new(net: PetriNet) -> ColoredNet<T> {
+        let places = net.place_count();
+        ColoredNet {
+            net,
+            tokens: vec![Vec::new(); places],
+            guards: HashMap::new(),
+            binding_budget: 10_000,
+        }
+    }
+
+    /// The structural net.
+    pub fn net(&self) -> &PetriNet {
+        &self.net
+    }
+
+    /// Install a guard on a transition.
+    pub fn set_guard(&mut self, t: TransitionId, guard: Guard<T>) -> PetriResult<()> {
+        self.net.transition(t)?;
+        self.guards.insert(t.0, guard);
+        Ok(())
+    }
+
+    /// Deposit a token (a data object) in a place.
+    pub fn put(&mut self, p: PlaceId, token: T) -> PetriResult<()> {
+        self.net.place(p)?;
+        self.tokens[p.0].push(token);
+        Ok(())
+    }
+
+    /// Tokens currently at a place.
+    pub fn tokens_at(&self, p: PlaceId) -> &[T] {
+        &self.tokens[p.0]
+    }
+
+    /// Search for a binding enabling `t`: for each input arc pick exactly
+    /// `threshold` tokens (the minimum — the paper allows more, the kernel
+    /// passes extra objects explicitly when it wants them) such that the
+    /// guard accepts the combined selection.
+    pub fn find_binding(&self, t: TransitionId) -> PetriResult<Option<Binding>> {
+        let tr = self.net.transition(t)?;
+        // Quick threshold check.
+        for arc in &tr.inputs {
+            if self.tokens[arc.place.0].len() < arc.threshold as usize {
+                return Ok(None);
+            }
+        }
+        let guard = self.guards.get(&t.0);
+        let mut budget = self.binding_budget;
+        let mut chosen: Vec<Vec<usize>> = Vec::with_capacity(tr.inputs.len());
+        if self.search_arcs(tr, 0, &mut chosen, guard, &mut budget) {
+            Ok(Some(Binding { chosen }))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn search_arcs(
+        &self,
+        tr: &crate::net::Transition,
+        arc_idx: usize,
+        chosen: &mut Vec<Vec<usize>>,
+        guard: Option<&Guard<T>>,
+        budget: &mut usize,
+    ) -> bool {
+        if arc_idx == tr.inputs.len() {
+            *budget = budget.saturating_sub(1);
+            return match guard {
+                None => true,
+                Some(g) => {
+                    let mut flat: Vec<&T> = Vec::new();
+                    for (i, arc) in tr.inputs.iter().enumerate() {
+                        for idx in &chosen[i] {
+                            flat.push(&self.tokens[arc.place.0][*idx]);
+                        }
+                    }
+                    g(&flat)
+                }
+            };
+        }
+        if *budget == 0 {
+            return false;
+        }
+        let arc = &tr.inputs[arc_idx];
+        let pool = self.tokens[arc.place.0].len();
+        let k = arc.threshold as usize;
+        // Enumerate k-combinations of [0, pool).
+        let mut combo: Vec<usize> = (0..k).collect();
+        loop {
+            chosen.push(combo.clone());
+            if self.search_arcs(tr, arc_idx + 1, chosen, guard, budget) {
+                return true;
+            }
+            chosen.pop();
+            if *budget == 0 {
+                return false;
+            }
+            // Next combination.
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    return false;
+                }
+                i -= 1;
+                if combo[i] != i + pool - k {
+                    combo[i] += 1;
+                    for j in (i + 1)..k {
+                        combo[j] = combo[j - 1] + 1;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// True if a guard-satisfying binding exists.
+    pub fn enabled(&self, t: TransitionId) -> PetriResult<bool> {
+        Ok(self.find_binding(t)?.is_some())
+    }
+
+    /// Fire `t` with the first satisfying binding; `produce` computes the
+    /// new token from the bound inputs (e.g. intersect extents). Inputs are
+    /// preserved; the produced token lands in every output place.
+    pub fn fire(
+        &mut self,
+        t: TransitionId,
+        produce: impl Fn(&[&T]) -> T,
+    ) -> PetriResult<Binding> {
+        let binding = self
+            .find_binding(t)?
+            .ok_or_else(|| PetriError::NotEnabled(self.net.transition(t).map(|tr| tr.name.clone()).unwrap_or_default()))?;
+        let tr = self.net.transition(t)?.clone();
+        let mut flat: Vec<&T> = Vec::new();
+        for (i, arc) in tr.inputs.iter().enumerate() {
+            for idx in &binding.chosen[i] {
+                flat.push(&self.tokens[arc.place.0][*idx]);
+            }
+        }
+        let new_token = produce(&flat);
+        for out in &tr.outputs {
+            self.tokens[out.0].push(new_token.clone());
+        }
+        Ok(binding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Token = (object id, spatial interval [lo, hi]).
+    type Tok = (u32, (f64, f64));
+
+    fn overlap_guard() -> Guard<Tok> {
+        Arc::new(|toks: &[&Tok]| {
+            for i in 0..toks.len() {
+                for j in (i + 1)..toks.len() {
+                    let (a, b) = (toks[i].1, toks[j].1);
+                    if a.0 > b.1 || b.0 > a.1 {
+                        return false;
+                    }
+                }
+            }
+            true
+        })
+    }
+
+    fn scene_net() -> (PetriNet, PlaceId, PlaceId, TransitionId) {
+        let mut net = PetriNet::new();
+        let scenes = net.add_base_place("scenes");
+        let change = net.add_place("change");
+        let t = net.add_transition("P_change", &[(scenes, 2)], &[change]).unwrap();
+        (net, scenes, change, t)
+    }
+
+    #[test]
+    fn guard_blocks_disjoint_extents() {
+        let (net, scenes, _, t) = scene_net();
+        let mut cn: ColoredNet<Tok> = ColoredNet::new(net);
+        cn.set_guard(t, overlap_guard()).unwrap();
+        cn.put(scenes, (1, (0.0, 10.0))).unwrap();
+        cn.put(scenes, (2, (20.0, 30.0))).unwrap();
+        // Two tokens exist (threshold met) but extents are disjoint.
+        assert!(!cn.enabled(t).unwrap());
+        // Add an overlapping scene: now a binding exists.
+        cn.put(scenes, (3, (5.0, 25.0))).unwrap();
+        assert!(cn.enabled(t).unwrap());
+        let binding = cn.find_binding(t).unwrap().unwrap();
+        // The found pair must actually overlap: (1,3) or (2,3).
+        let pair = &binding.chosen[0];
+        assert!(pair.contains(&2), "the bridging scene participates: {pair:?}");
+    }
+
+    #[test]
+    fn fire_preserves_inputs_and_produces_output() {
+        let (net, scenes, change, t) = scene_net();
+        let mut cn: ColoredNet<Tok> = ColoredNet::new(net);
+        cn.set_guard(t, overlap_guard()).unwrap();
+        cn.put(scenes, (1, (0.0, 10.0))).unwrap();
+        cn.put(scenes, (2, (5.0, 15.0))).unwrap();
+        cn.fire(t, |toks| {
+            // Intersection of extents, fresh id.
+            let lo = toks.iter().map(|t| t.1 .0).fold(f64::NEG_INFINITY, f64::max);
+            let hi = toks.iter().map(|t| t.1 .1).fold(f64::INFINITY, f64::min);
+            (100, (lo, hi))
+        })
+        .unwrap();
+        assert_eq!(cn.tokens_at(scenes).len(), 2, "inputs preserved");
+        assert_eq!(cn.tokens_at(change), &[(100, (5.0, 10.0))]);
+    }
+
+    #[test]
+    fn fire_disabled_errors() {
+        let (net, scenes, _, t) = scene_net();
+        let mut cn: ColoredNet<Tok> = ColoredNet::new(net);
+        cn.put(scenes, (1, (0.0, 1.0))).unwrap();
+        let err = cn.fire(t, |_| (0, (0.0, 0.0))).unwrap_err();
+        assert!(matches!(err, PetriError::NotEnabled(_)));
+    }
+
+    #[test]
+    fn unguarded_transition_uses_first_combination() {
+        let (net, scenes, change, t) = scene_net();
+        let mut cn: ColoredNet<Tok> = ColoredNet::new(net);
+        cn.put(scenes, (1, (0.0, 1.0))).unwrap();
+        cn.put(scenes, (2, (100.0, 101.0))).unwrap(); // disjoint, no guard
+        let b = cn.fire(t, |toks| (toks[0].0 * 10 + toks[1].0, (0.0, 0.0))).unwrap();
+        assert_eq!(b.chosen, vec![vec![0, 1]]);
+        assert_eq!(cn.tokens_at(change)[0].0, 12);
+    }
+
+    #[test]
+    fn binding_budget_bounds_search() {
+        let (net, scenes, _, t) = scene_net();
+        let mut cn: ColoredNet<Tok> = ColoredNet::new(net);
+        cn.binding_budget = 3;
+        // Many tokens, impossible guard: search stops at the budget.
+        for i in 0..30 {
+            cn.put(scenes, (i, (i as f64 * 100.0, i as f64 * 100.0 + 1.0)))
+                .unwrap();
+        }
+        cn.set_guard(t, overlap_guard()).unwrap();
+        assert!(!cn.enabled(t).unwrap());
+    }
+
+    #[test]
+    fn multi_arc_binding() {
+        let mut net = PetriNet::new();
+        let a = net.add_base_place("a");
+        let b = net.add_base_place("b");
+        let out = net.add_place("out");
+        let t = net.add_transition("t", &[(a, 1), (b, 1)], &[out]).unwrap();
+        let mut cn: ColoredNet<Tok> = ColoredNet::new(net);
+        cn.set_guard(t, overlap_guard()).unwrap();
+        cn.put(a, (1, (0.0, 10.0))).unwrap();
+        cn.put(b, (2, (50.0, 60.0))).unwrap();
+        assert!(!cn.enabled(t).unwrap());
+        cn.put(b, (3, (8.0, 12.0))).unwrap();
+        let binding = cn.find_binding(t).unwrap().unwrap();
+        assert_eq!(binding.chosen[0], vec![0]);
+        assert_eq!(binding.chosen[1], vec![1]); // the overlapping b-token
+    }
+}

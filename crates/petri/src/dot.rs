@@ -1,0 +1,113 @@
+//! Graphviz (DOT) export of derivation diagrams.
+//!
+//! §5: "Derivation diagrams provide a knowledge acquisition environment
+//! that can be used for learning and automated derivation of scientific
+//! data" and §4.2: users "browse data following their derivation
+//! relationships". The visual environment of ref. \[40\] is out of scope (see
+//! DESIGN.md), but its data feed is this exporter: places render as
+//! ellipses (base data shaded), transitions as boxes, threshold arcs
+//! labelled, optionally annotated with a marking.
+
+use crate::marking::Marking;
+use crate::net::PetriNet;
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+/// Render the net as a DOT digraph. If `marking` is given, places show
+/// their token counts and marked places are emphasized.
+pub fn to_dot(net: &PetriNet, marking: Option<&Marking>) -> String {
+    let mut out = String::from("digraph derivation {\n  rankdir=LR;\n");
+    for p in net.place_ids() {
+        let place = net.place(p).expect("valid id");
+        let tokens = marking.map(|m| m.get(p)).unwrap_or(0);
+        let label = if marking.is_some() {
+            format!("{} ({tokens})", place.name)
+        } else {
+            place.name.clone()
+        };
+        let fill = if place.is_base {
+            ", style=filled, fillcolor=lightgray"
+        } else if tokens > 0 {
+            ", style=filled, fillcolor=palegreen"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "  p{} [label=\"{}\", shape=ellipse{}];\n",
+            p.0,
+            escape(&label),
+            fill
+        ));
+    }
+    for t in net.transition_ids() {
+        let tr = net.transition(t).expect("valid id");
+        out.push_str(&format!(
+            "  t{} [label=\"{}\", shape=box];\n",
+            t.0,
+            escape(&tr.name)
+        ));
+        for arc in &tr.inputs {
+            if arc.threshold > 1 {
+                out.push_str(&format!(
+                    "  p{} -> t{} [label=\"≥{}\"];\n",
+                    arc.place.0, t.0, arc.threshold
+                ));
+            } else {
+                out.push_str(&format!("  p{} -> t{};\n", arc.place.0, t.0));
+            }
+        }
+        for o in &tr.outputs {
+            out.push_str(&format!("  t{} -> p{};\n", t.0, o.0));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p20_net() -> (PetriNet, crate::net::PlaceId, crate::net::PlaceId) {
+        let mut net = PetriNet::new();
+        let tm = net.add_base_place("rectified_tm");
+        let lc = net.add_place("land_cover");
+        net.add_transition("P20", &[(tm, 3)], &[lc]).unwrap();
+        (net, tm, lc)
+    }
+
+    #[test]
+    fn renders_structure() {
+        let (net, ..) = p20_net();
+        let dot = to_dot(&net, None);
+        assert!(dot.starts_with("digraph derivation {"));
+        assert!(dot.contains("p0 [label=\"rectified_tm\", shape=ellipse, style=filled, fillcolor=lightgray];"));
+        assert!(dot.contains("p1 [label=\"land_cover\", shape=ellipse];"));
+        assert!(dot.contains("t0 [label=\"P20\", shape=box];"));
+        assert!(dot.contains("p0 -> t0 [label=\"≥3\"];"));
+        assert!(dot.contains("t0 -> p1;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn marking_annotations() {
+        let (net, tm, lc) = p20_net();
+        let m = Marking::from_counts(&net, &[(tm, 3), (lc, 1)]);
+        let dot = to_dot(&net, Some(&m));
+        assert!(dot.contains("rectified_tm (3)"));
+        assert!(dot.contains("land_cover (1)"));
+        assert!(dot.contains("palegreen"), "marked derived places highlighted");
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut net = PetriNet::new();
+        let a = net.add_base_place("weird\"name");
+        let b = net.add_place("out");
+        net.add_transition("t", &[(a, 1)], &[b]).unwrap();
+        let dot = to_dot(&net, None);
+        assert!(dot.contains("weird\\\"name"));
+    }
+}

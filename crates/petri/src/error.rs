@@ -1,0 +1,55 @@
+//! Error type for the Petri-net layer.
+
+use std::fmt;
+
+/// Errors raised by net construction and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PetriError {
+    /// Reference to a place that does not exist.
+    NoSuchPlace(usize),
+    /// Reference to a transition that does not exist.
+    NoSuchTransition(usize),
+    /// A transition was fired while not enabled.
+    NotEnabled(String),
+    /// State-space exploration exceeded its configured bound.
+    StateSpaceExceeded(usize),
+    /// Structurally invalid net (e.g. transition without inputs where
+    /// required, zero threshold).
+    Malformed(String),
+}
+
+impl fmt::Display for PetriError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PetriError::NoSuchPlace(i) => write!(f, "no such place: {i}"),
+            PetriError::NoSuchTransition(i) => write!(f, "no such transition: {i}"),
+            PetriError::NotEnabled(name) => write!(f, "transition not enabled: {name}"),
+            PetriError::StateSpaceExceeded(n) => {
+                write!(f, "state-space exploration exceeded {n} states")
+            }
+            PetriError::Malformed(msg) => write!(f, "malformed net: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PetriError {}
+
+/// Convenience alias.
+pub type PetriResult<T> = Result<T, PetriError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            PetriError::NotEnabled("P20".into()).to_string(),
+            "transition not enabled: P20"
+        );
+        assert_eq!(
+            PetriError::StateSpaceExceeded(10).to_string(),
+            "state-space exploration exceeded 10 states"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Markings: token counts per place.
+
+use crate::net::{PetriNet, PlaceId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Token counts, indexed by place.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Marking {
+    counts: Vec<u64>,
+}
+
+impl Marking {
+    /// Empty marking sized for a net.
+    pub fn empty(net: &PetriNet) -> Marking {
+        Marking {
+            counts: vec![0; net.place_count()],
+        }
+    }
+
+    /// Marking from explicit `(place, count)` pairs.
+    pub fn from_counts(net: &PetriNet, counts: &[(PlaceId, u64)]) -> Marking {
+        let mut m = Marking::empty(net);
+        for (p, c) in counts {
+            m.counts[p.0] = *c;
+        }
+        m
+    }
+
+    /// Tokens at a place.
+    pub fn get(&self, p: PlaceId) -> u64 {
+        self.counts.get(p.0).copied().unwrap_or(0)
+    }
+
+    /// Set tokens at a place.
+    pub fn set(&mut self, p: PlaceId, count: u64) {
+        self.counts[p.0] = count;
+    }
+
+    /// Add tokens at a place (saturating).
+    pub fn add(&mut self, p: PlaceId, delta: u64) {
+        self.counts[p.0] = self.counts[p.0].saturating_add(delta);
+    }
+
+    /// Remove tokens (panics on underflow — firing checks enabledness first).
+    pub fn remove(&mut self, p: PlaceId, delta: u64) {
+        self.counts[p.0] = self.counts[p.0]
+            .checked_sub(delta)
+            .expect("marking underflow: fired a non-enabled transition");
+    }
+
+    /// Total tokens.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// True if every place of `other` is covered (`self ≥ other` pointwise).
+    pub fn dominates(&self, other: &Marking) -> bool {
+        self.counts
+            .iter()
+            .zip(&other.counts)
+            .all(|(a, b)| a >= b)
+    }
+
+    /// Places currently holding tokens.
+    pub fn marked_places(&self) -> Vec<PlaceId> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, _)| PlaceId(i))
+            .collect()
+    }
+
+    /// Raw counts (for state-space hashing).
+    pub fn raw(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+impl fmt::Display for Marking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> (PetriNet, PlaceId, PlaceId) {
+        let mut n = PetriNet::new();
+        let a = n.add_base_place("a");
+        let b = n.add_place("b");
+        (n, a, b)
+    }
+
+    #[test]
+    fn counts_and_mutation() {
+        let (n, a, b) = net();
+        let mut m = Marking::from_counts(&n, &[(a, 3)]);
+        assert_eq!(m.get(a), 3);
+        assert_eq!(m.get(b), 0);
+        m.add(b, 2);
+        m.remove(a, 1);
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.marked_places(), vec![a, b]);
+    }
+
+    #[test]
+    fn domination() {
+        let (n, a, b) = net();
+        let big = Marking::from_counts(&n, &[(a, 3), (b, 1)]);
+        let small = Marking::from_counts(&n, &[(a, 2), (b, 1)]);
+        assert!(big.dominates(&small));
+        assert!(!small.dominates(&big));
+        assert!(big.dominates(&big));
+    }
+
+    #[test]
+    #[should_panic(expected = "marking underflow")]
+    fn underflow_is_a_bug() {
+        let (n, a, _) = net();
+        let mut m = Marking::empty(&n);
+        m.remove(a, 1);
+    }
+
+    #[test]
+    fn display() {
+        let (n, a, b) = net();
+        let m = Marking::from_counts(&n, &[(a, 2), (b, 5)]);
+        assert_eq!(m.to_string(), "[2 5]");
+    }
+}

@@ -1,0 +1,281 @@
+//! Net structure: places, transitions, threshold arcs.
+
+use crate::error::{PetriError, PetriResult};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a place (a non-primitive class in the derivation diagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PlaceId(pub usize);
+
+/// Index of a transition (a derivation process).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TransitionId(pub usize);
+
+/// A place.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Place {
+    /// Human-readable name (class name, e.g. "C20" / "land_cover").
+    pub name: String,
+    /// True if this place holds base data (cannot be derived; back
+    /// propagation stops here, §2.1.6 step 3).
+    pub is_base: bool,
+}
+
+/// An input arc with the paper's threshold semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InputArc {
+    /// Source place.
+    pub place: PlaceId,
+    /// Minimum number of tokens required to enable ("more tokens than the
+    /// threshold may be used").
+    pub threshold: u64,
+}
+
+/// A transition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Transition {
+    /// Human-readable name (process name, e.g. "P20").
+    pub name: String,
+    /// Input arcs.
+    pub inputs: Vec<InputArc>,
+    /// Output places (one token produced in each on firing).
+    pub outputs: Vec<PlaceId>,
+}
+
+/// A derivation diagram.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PetriNet {
+    places: Vec<Place>,
+    transitions: Vec<Transition>,
+}
+
+impl PetriNet {
+    /// Empty net.
+    pub fn new() -> PetriNet {
+        PetriNet::default()
+    }
+
+    /// Add a derivable (non-base) place.
+    pub fn add_place(&mut self, name: &str) -> PlaceId {
+        self.places.push(Place {
+            name: name.into(),
+            is_base: false,
+        });
+        PlaceId(self.places.len() - 1)
+    }
+
+    /// Add a base-data place.
+    pub fn add_base_place(&mut self, name: &str) -> PlaceId {
+        self.places.push(Place {
+            name: name.into(),
+            is_base: true,
+        });
+        PlaceId(self.places.len() - 1)
+    }
+
+    /// Add a transition; inputs are `(place, threshold)` pairs.
+    pub fn add_transition(
+        &mut self,
+        name: &str,
+        inputs: &[(PlaceId, u64)],
+        outputs: &[PlaceId],
+    ) -> PetriResult<TransitionId> {
+        for (p, thr) in inputs {
+            self.place(*p)?;
+            if *thr == 0 {
+                return Err(PetriError::Malformed(format!(
+                    "transition {name}: zero threshold on input {}",
+                    p.0
+                )));
+            }
+        }
+        if outputs.is_empty() {
+            return Err(PetriError::Malformed(format!(
+                "transition {name}: no outputs (a process derives something)"
+            )));
+        }
+        for p in outputs {
+            self.place(*p)?;
+            if self.places[p.0].is_base {
+                return Err(PetriError::Malformed(format!(
+                    "transition {name}: output to base place {}",
+                    self.places[p.0].name
+                )));
+            }
+        }
+        self.transitions.push(Transition {
+            name: name.into(),
+            inputs: inputs
+                .iter()
+                .map(|(place, threshold)| InputArc {
+                    place: *place,
+                    threshold: *threshold,
+                })
+                .collect(),
+            outputs: outputs.to_vec(),
+        });
+        Ok(TransitionId(self.transitions.len() - 1))
+    }
+
+    /// Place accessor.
+    pub fn place(&self, id: PlaceId) -> PetriResult<&Place> {
+        self.places.get(id.0).ok_or(PetriError::NoSuchPlace(id.0))
+    }
+
+    /// Transition accessor.
+    pub fn transition(&self, id: TransitionId) -> PetriResult<&Transition> {
+        self.transitions
+            .get(id.0)
+            .ok_or(PetriError::NoSuchTransition(id.0))
+    }
+
+    /// Number of places.
+    pub fn place_count(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// All place ids.
+    pub fn place_ids(&self) -> impl Iterator<Item = PlaceId> {
+        (0..self.places.len()).map(PlaceId)
+    }
+
+    /// All transition ids.
+    pub fn transition_ids(&self) -> impl Iterator<Item = TransitionId> {
+        (0..self.transitions.len()).map(TransitionId)
+    }
+
+    /// Transitions with `place` among their outputs (the alternative
+    /// derivation processes for a class).
+    pub fn producers_of(&self, place: PlaceId) -> Vec<TransitionId> {
+        self.transition_ids()
+            .filter(|t| self.transitions[t.0].outputs.contains(&place))
+            .collect()
+    }
+
+    /// Transitions with `place` among their inputs.
+    pub fn consumers_of(&self, place: PlaceId) -> Vec<TransitionId> {
+        self.transition_ids()
+            .filter(|t| self.transitions[t.0].inputs.iter().any(|a| a.place == place))
+            .collect()
+    }
+
+    /// Find a place by name.
+    pub fn place_by_name(&self, name: &str) -> Option<PlaceId> {
+        self.places.iter().position(|p| p.name == name).map(PlaceId)
+    }
+
+    /// Find a transition by name.
+    pub fn transition_by_name(&self, name: &str) -> Option<TransitionId> {
+        self.transitions
+            .iter()
+            .position(|t| t.name == name)
+            .map(TransitionId)
+    }
+}
+
+impl fmt::Display for PetriNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "petri net: {} places, {} transitions", self.places.len(), self.transitions.len())?;
+        for t in &self.transitions {
+            write!(f, "  {}: ", t.name)?;
+            for (i, arc) in t.inputs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " + ")?;
+                }
+                write!(f, "{}", self.places[arc.place.0].name)?;
+                if arc.threshold > 1 {
+                    write!(f, "(≥{})", arc.threshold)?;
+                }
+            }
+            write!(f, " -> ")?;
+            for (i, p) in t.outputs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.places[p.0].name)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example: Landsat TM (base) --P20--> land cover.
+    pub(crate) fn p20_net() -> (PetriNet, PlaceId, PlaceId, TransitionId) {
+        let mut net = PetriNet::new();
+        let tm = net.add_base_place("rectified_tm");
+        let lc = net.add_place("land_cover");
+        // card(bands) = 3: threshold 3 on the TM place.
+        let p20 = net
+            .add_transition("P20", &[(tm, 3)], &[lc])
+            .unwrap();
+        (net, tm, lc, p20)
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let (net, tm, lc, p20) = p20_net();
+        assert_eq!(net.place_count(), 2);
+        assert_eq!(net.transition_count(), 1);
+        assert!(net.place(tm).unwrap().is_base);
+        assert!(!net.place(lc).unwrap().is_base);
+        assert_eq!(net.transition(p20).unwrap().inputs[0].threshold, 3);
+        assert_eq!(net.place_by_name("land_cover"), Some(lc));
+        assert_eq!(net.transition_by_name("P20"), Some(p20));
+        assert_eq!(net.place_by_name("nope"), None);
+    }
+
+    #[test]
+    fn producers_and_consumers() {
+        let (net, tm, lc, p20) = p20_net();
+        assert_eq!(net.producers_of(lc), vec![p20]);
+        assert!(net.producers_of(tm).is_empty());
+        assert_eq!(net.consumers_of(tm), vec![p20]);
+        assert!(net.consumers_of(lc).is_empty());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let mut net = PetriNet::new();
+        let a = net.add_base_place("a");
+        let b = net.add_place("b");
+        // Zero threshold.
+        assert!(net.add_transition("t", &[(a, 0)], &[b]).is_err());
+        // No outputs.
+        assert!(net.add_transition("t", &[(a, 1)], &[]).is_err());
+        // Output into base data.
+        assert!(net.add_transition("t", &[(b, 1)], &[a]).is_err());
+        // Dangling place reference.
+        assert!(net.add_transition("t", &[(PlaceId(99), 1)], &[b]).is_err());
+    }
+
+    #[test]
+    fn display_shows_thresholds() {
+        let (net, ..) = p20_net();
+        let s = net.to_string();
+        assert!(s.contains("P20"));
+        assert!(s.contains("rectified_tm(≥3) -> land_cover"));
+    }
+
+    #[test]
+    fn alternative_producers_listed() {
+        // Figure 2: C7 by P7 (PCA), C8 by P8 (SPCA) — vegetation change has
+        // two derivations; and P5 derives C5 from C2 (same concept).
+        let mut net = PetriNet::new();
+        let tm = net.add_base_place("tm");
+        let veg = net.add_place("veg_change");
+        let p7 = net.add_transition("P7_pca", &[(tm, 2)], &[veg]).unwrap();
+        let p8 = net.add_transition("P8_spca", &[(tm, 2)], &[veg]).unwrap();
+        assert_eq!(net.producers_of(veg), vec![p7, p8]);
+    }
+}

@@ -1,0 +1,287 @@
+//! Reachability analysis (paper §2.1.6: "we can apply reachability analysis
+//! on the network to decide if a non-existing object could be derived from
+//! existing data").
+//!
+//! Two engines:
+//!
+//! * [`saturate`] — exploits the monotonicity of Gaea's token-preserving
+//!   mode: counts never decrease, so the set of fireable transitions only
+//!   grows and a least fixpoint answers derivability exactly, in
+//!   O(places · transitions) rounds. This is the production path.
+//! * [`coverable`] — bounded breadth-first search over explicit markings,
+//!   usable in *both* modes (classic semantics are not monotone). Used to
+//!   cross-check saturation and for classic-mode analyses.
+
+use crate::error::{PetriError, PetriResult};
+use crate::firing::{enabled, enabled_transitions, fire, FiringMode};
+use crate::marking::Marking;
+use crate::net::{PetriNet, TransitionId};
+use std::collections::{HashSet, VecDeque};
+
+/// Result of [`saturate`].
+#[derive(Debug, Clone)]
+pub struct Saturation {
+    /// The saturated marking: for each place, the maximum token count
+    /// obtainable (capped at `cap` to keep things finite — in Gaea mode any
+    /// repeatedly fireable producer can mint unboundedly many tokens).
+    pub marking: Marking,
+    /// Transitions that became fireable at some point.
+    pub fired: Vec<TransitionId>,
+    /// Number of fixpoint rounds.
+    pub rounds: usize,
+}
+
+/// Gaea-mode saturation fixpoint: starting from `initial`, repeatedly fire
+/// every enabled transition (token-preserving), accumulating output tokens,
+/// until nothing changes. Token counts are capped at `cap`.
+pub fn saturate(net: &PetriNet, initial: &Marking, cap: u64) -> Saturation {
+    let mut marking = initial.clone();
+    let mut fired_set: HashSet<usize> = HashSet::new();
+    let mut fired = Vec::new();
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        let mut changed = false;
+        for t in net.transition_ids() {
+            if enabled(net, &marking, t).unwrap_or(false) {
+                if fired_set.insert(t.0) {
+                    fired.push(t);
+                }
+                for out in &net.transition(t).expect("valid id").outputs {
+                    let cur = marking.get(*out);
+                    if cur < cap {
+                        // A transition enabled in Gaea mode can fire
+                        // arbitrarily often; jump straight to the cap.
+                        marking.set(*out, cap);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Saturation {
+        marking,
+        fired,
+        rounds,
+    }
+}
+
+/// True if `target` is coverable from `initial` in Gaea mode — i.e. the
+/// requested objects are derivable from the stored data.
+pub fn derivable(net: &PetriNet, initial: &Marking, target: &Marking) -> bool {
+    let t_max = target.raw().iter().copied().max().unwrap_or(1).max(1);
+    // The cap must also cover every arc threshold: a repeatedly fireable
+    // producer can mint arbitrarily many tokens, so a downstream consumer
+    // with a high threshold must be allowed to see enough of them.
+    let thr_max = net
+        .transition_ids()
+        .flat_map(|t| {
+            net.transition(t)
+                .expect("valid id")
+                .inputs
+                .iter()
+                .map(|a| a.threshold)
+                .collect::<Vec<_>>()
+        })
+        .max()
+        .unwrap_or(1);
+    let cap = t_max
+        .max(thr_max)
+        .max(initial.raw().iter().copied().max().unwrap_or(0));
+    let sat = saturate(net, initial, cap);
+    sat.marking.dominates(target)
+}
+
+/// Bounded BFS coverability: can some reachable marking dominate `target`?
+///
+/// Works for both firing modes; errors with
+/// [`PetriError::StateSpaceExceeded`] when more than `max_states` distinct
+/// markings are visited.
+pub fn coverable(
+    net: &PetriNet,
+    initial: &Marking,
+    target: &Marking,
+    mode: FiringMode,
+    max_states: usize,
+) -> PetriResult<bool> {
+    let mut seen: HashSet<Vec<u64>> = HashSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(initial.raw().to_vec());
+    queue.push_back(initial.clone());
+    while let Some(m) = queue.pop_front() {
+        if m.dominates(target) {
+            return Ok(true);
+        }
+        for t in enabled_transitions(net, &m) {
+            let mut next = fire(net, &m, t, mode)?;
+            // Cap counts at the largest target requirement + classic slack:
+            // anything above can be truncated without affecting coverability
+            // in Gaea mode; in classic mode the cap must leave room for
+            // consumption, so cap at target + total thresholds.
+            let cap = cap_for(net, target, mode);
+            for p in net.place_ids() {
+                if next.get(p) > cap {
+                    next.set(p, cap);
+                }
+            }
+            if seen.insert(next.raw().to_vec()) {
+                if seen.len() > max_states {
+                    return Err(PetriError::StateSpaceExceeded(max_states));
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+    Ok(false)
+}
+
+fn cap_for(net: &PetriNet, target: &Marking, mode: FiringMode) -> u64 {
+    let t_max = target.raw().iter().copied().max().unwrap_or(1);
+    match mode {
+        FiringMode::GaeaPreserving => t_max.max(
+            net.transition_ids()
+                .flat_map(|t| {
+                    net.transition(t)
+                        .expect("valid id")
+                        .inputs
+                        .iter()
+                        .map(|a| a.threshold)
+                        .collect::<Vec<_>>()
+                })
+                .max()
+                .unwrap_or(1),
+        ),
+        FiringMode::Classic => {
+            let thr_sum: u64 = net
+                .transition_ids()
+                .flat_map(|t| {
+                    net.transition(t)
+                        .expect("valid id")
+                        .inputs
+                        .iter()
+                        .map(|a| a.threshold)
+                        .collect::<Vec<_>>()
+                })
+                .sum();
+            t_max + thr_sum.max(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::PlaceId;
+
+    /// chain: base --t1--> mid --t2--> goal; alt: base2 --t3--> goal
+    fn chain_net() -> (PetriNet, PlaceId, PlaceId, PlaceId, PlaceId) {
+        let mut net = PetriNet::new();
+        let base = net.add_base_place("base");
+        let base2 = net.add_base_place("base2");
+        let mid = net.add_place("mid");
+        let goal = net.add_place("goal");
+        net.add_transition("t1", &[(base, 2)], &[mid]).unwrap();
+        net.add_transition("t2", &[(mid, 1)], &[goal]).unwrap();
+        net.add_transition("t3", &[(base2, 1)], &[goal]).unwrap();
+        (net, base, base2, mid, goal)
+    }
+
+    #[test]
+    fn saturation_reaches_chain_end() {
+        let (net, base, _, mid, goal) = chain_net();
+        let init = Marking::from_counts(&net, &[(base, 2)]);
+        let sat = saturate(&net, &init, 4);
+        assert_eq!(sat.marking.get(mid), 4);
+        assert_eq!(sat.marking.get(goal), 4);
+        assert_eq!(sat.fired.len(), 2); // t1 and t2; t3 never enabled
+    }
+
+    #[test]
+    fn saturation_blocked_below_threshold() {
+        let (net, base, _, mid, goal) = chain_net();
+        let init = Marking::from_counts(&net, &[(base, 1)]); // needs 2
+        let sat = saturate(&net, &init, 4);
+        assert_eq!(sat.marking.get(mid), 0);
+        assert_eq!(sat.marking.get(goal), 0);
+        assert!(sat.fired.is_empty());
+    }
+
+    #[test]
+    fn derivable_answers_goal_queries() {
+        let (net, base, base2, _, goal) = chain_net();
+        let want_goal = Marking::from_counts(&net, &[(goal, 1)]);
+        // Via the chain.
+        let with_base = Marking::from_counts(&net, &[(base, 2)]);
+        assert!(derivable(&net, &with_base, &want_goal));
+        // Via the alternative producer.
+        let with_base2 = Marking::from_counts(&net, &[(base2, 1)]);
+        assert!(derivable(&net, &with_base2, &want_goal));
+        // Insufficient base data.
+        let short = Marking::from_counts(&net, &[(base, 1)]);
+        assert!(!derivable(&net, &short, &want_goal));
+    }
+
+    #[test]
+    fn bfs_agrees_with_saturation_in_gaea_mode() {
+        let (net, base, base2, _, goal) = chain_net();
+        let want = Marking::from_counts(&net, &[(goal, 1)]);
+        for (init_counts, expect) in [
+            (vec![(base, 2)], true),
+            (vec![(base2, 1)], true),
+            (vec![(base, 1)], false),
+            (vec![], false),
+        ] {
+            let init = Marking::from_counts(&net, &init_counts);
+            let bfs = coverable(&net, &init, &want, FiringMode::GaeaPreserving, 10_000).unwrap();
+            assert_eq!(bfs, derivable(&net, &init, &want), "init {init_counts:?}");
+            assert_eq!(bfs, expect);
+        }
+    }
+
+    #[test]
+    fn classic_mode_differs_tokens_consumed() {
+        // base(2) --t1--> mid; t2: mid -> goal. In classic mode deriving
+        // mid consumes the 2 base tokens; goal still reachable. But a net
+        // where two consumers compete shows the difference:
+        let mut net = PetriNet::new();
+        let base = net.add_base_place("base");
+        let x = net.add_place("x");
+        let y = net.add_place("y");
+        let both = net.add_place("both");
+        net.add_transition("tx", &[(base, 1)], &[x]).unwrap();
+        net.add_transition("ty", &[(base, 1)], &[y]).unwrap();
+        net.add_transition("tb", &[(x, 1), (y, 1)], &[both]).unwrap();
+        let init = Marking::from_counts(&net, &[(base, 1)]);
+        let want = Marking::from_counts(&net, &[(both, 1)]);
+        // One base token: classic semantics must choose tx OR ty.
+        assert!(!coverable(&net, &init, &want, FiringMode::Classic, 10_000).unwrap());
+        // Gaea semantics reuse the token: both branches fire.
+        assert!(coverable(&net, &init, &want, FiringMode::GaeaPreserving, 10_000).unwrap());
+        assert!(derivable(&net, &init, &want));
+    }
+
+    #[test]
+    fn state_space_bound_enforced() {
+        let (net, base, ..) = chain_net();
+        let init = Marking::from_counts(&net, &[(base, 2)]);
+        let unreachable = {
+            let mut m = Marking::empty(&net);
+            m.set(PlaceId(3), 1_000); // far beyond any cap
+            m
+        };
+        let r = coverable(&net, &init, &unreachable, FiringMode::GaeaPreserving, 2);
+        assert!(matches!(r, Err(PetriError::StateSpaceExceeded(2))));
+    }
+
+    #[test]
+    fn multi_token_targets() {
+        let (net, base, base2, _, goal) = chain_net();
+        // Want two goal tokens: both producers can run.
+        let init = Marking::from_counts(&net, &[(base, 2), (base2, 1)]);
+        let want2 = Marking::from_counts(&net, &[(goal, 2)]);
+        assert!(derivable(&net, &init, &want2));
+    }
+}

@@ -1,0 +1,111 @@
+//! Change detection between epochs (paper §1: the two-scientists scenario).
+//!
+//! "One may subtract the NDVI of 1988 from that of 1989, while another
+//! divides the NDVI of 1989 by that of 1988." Both functions produce a
+//! 'vegetation change' image; only the recorded derivation distinguishes
+//! them — which is the paper's point.
+
+use gaea_adt::{AdtResult, Image, PixType};
+
+/// Differencing change detection: `later − earlier`.
+pub fn img_diff(later: &Image, earlier: &Image) -> AdtResult<Image> {
+    later.zip_map(earlier, PixType::Float8, |a, b| a - b)
+}
+
+/// Ratioing change detection: `later / earlier` (zero denominators map to
+/// 1.0 = "no change", the conventional GIS treatment).
+pub fn img_ratio(later: &Image, earlier: &Image) -> AdtResult<Image> {
+    later.zip_map(earlier, PixType::Float8, |a, b| {
+        if b == 0.0 {
+            1.0
+        } else {
+            a / b
+        }
+    })
+}
+
+/// Summary of a change image: fraction of pixels beyond a magnitude
+/// threshold, plus extrema. Used by the land-change example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChangeSummary {
+    /// Fraction of pixels with |value − neutral| > threshold.
+    pub changed_fraction: f64,
+    /// Minimum pixel value.
+    pub min: f64,
+    /// Maximum pixel value.
+    pub max: f64,
+}
+
+/// Summarize a change image around a neutral value (0 for differences,
+/// 1 for ratios).
+pub fn change_summary(change: &Image, neutral: f64, threshold: f64) -> ChangeSummary {
+    let mut changed = 0usize;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for i in 0..change.len() {
+        let v = change.get_flat(i);
+        if (v - neutral).abs() > threshold {
+            changed += 1;
+        }
+        min = min.min(v);
+        max = max.max(v);
+    }
+    ChangeSummary {
+        changed_fraction: if change.len() == 0 {
+            0.0
+        } else {
+            changed as f64 / change.len() as f64
+        },
+        min,
+        max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_and_ratio_agree_on_direction() {
+        let y1988 = Image::from_f64(1, 3, vec![0.2, 0.5, 0.8]).unwrap();
+        let y1989 = Image::from_f64(1, 3, vec![0.4, 0.5, 0.4]).unwrap();
+        let d = img_diff(&y1989, &y1988).unwrap();
+        let r = img_ratio(&y1989, &y1988).unwrap();
+        // Pixel 0 greened: positive difference, ratio > 1.
+        assert!(d.get(0, 0) > 0.0 && r.get(0, 0) > 1.0);
+        // Pixel 1 unchanged.
+        assert_eq!(d.get(0, 1), 0.0);
+        assert_eq!(r.get(0, 1), 1.0);
+        // Pixel 2 browned.
+        assert!(d.get(0, 2) < 0.0 && r.get(0, 2) < 1.0);
+    }
+
+    #[test]
+    fn the_two_results_are_different_objects() {
+        // The paper's scenario: same inputs, different derivations, different
+        // data — indistinguishable without derivation metadata.
+        let y1988 = Image::from_f64(1, 2, vec![0.2, 0.4]).unwrap();
+        let y1989 = Image::from_f64(1, 2, vec![0.4, 0.2]).unwrap();
+        let d = img_diff(&y1989, &y1988).unwrap();
+        let r = img_ratio(&y1989, &y1988).unwrap();
+        assert_ne!(d, r);
+    }
+
+    #[test]
+    fn ratio_guards_zero_denominator() {
+        let later = Image::from_f64(1, 2, vec![5.0, 0.0]).unwrap();
+        let earlier = Image::from_f64(1, 2, vec![0.0, 0.0]).unwrap();
+        let r = img_ratio(&later, &earlier).unwrap();
+        assert_eq!(r.get(0, 0), 1.0);
+        assert_eq!(r.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn summary_counts_changes() {
+        let change = Image::from_f64(1, 4, vec![0.0, 0.2, -0.3, 0.05]).unwrap();
+        let s = change_summary(&change, 0.0, 0.1);
+        assert_eq!(s.changed_fraction, 0.5);
+        assert_eq!(s.min, -0.3);
+        assert_eq!(s.max, 0.2);
+    }
+}

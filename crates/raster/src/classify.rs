@@ -1,0 +1,299 @@
+//! `unsuperclassify()` — unsupervised classification by k-means (Figure 3).
+//!
+//! P20 groups "remotely sensed data into land cover classes based on their
+//! similarity". The classic unsupervised classifier in IDRISI-era GIS is
+//! iterative k-means / ISODATA clustering of per-pixel spectral vectors.
+//! The implementation is fully deterministic for a given seed (k-means++
+//! initialization drawn from a seeded PRNG) so that tasks recorded by Gaea
+//! are *reproducible* — the paper's central requirement.
+
+use crate::composite::BandStack;
+use gaea_adt::{AdtError, AdtResult, Image, Matrix, PixType};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means classification.
+#[derive(Debug, Clone)]
+pub struct KMeansOutcome {
+    /// Per-pixel class labels in `[0, k)`, `char`-typed like an IDRISI map.
+    pub labels: Image,
+    /// k×bands centroid matrix.
+    pub centroids: Matrix,
+    /// Sum of squared distances of pixels to their centroid.
+    pub inertia: f64,
+    /// Iterations executed before convergence (or the cap).
+    pub iterations: usize,
+    /// True if the assignment reached a fixed point before the cap.
+    pub converged: bool,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// k-means++ initialization: spread the initial centroids out
+/// proportionally to squared distance from the chosen set.
+fn init_centroids(stack: &BandStack, k: usize, rng: &mut SmallRng) -> Vec<Vec<f64>> {
+    let npix = stack.pixels();
+    let mut feature = Vec::new();
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let first = rng.gen_range(0..npix);
+    stack.feature(first, &mut feature);
+    centroids.push(feature.clone());
+    let mut dist2: Vec<f64> = (0..npix)
+        .map(|p| {
+            stack.feature(p, &mut feature);
+            sq_dist(&feature, &centroids[0])
+        })
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = dist2.iter().sum();
+        let chosen = if total <= 0.0 {
+            // All remaining pixels coincide with a centroid; pick uniformly.
+            rng.gen_range(0..npix)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut idx = npix - 1;
+            for (p, d) in dist2.iter().enumerate() {
+                if target < *d {
+                    idx = p;
+                    break;
+                }
+                target -= *d;
+            }
+            idx
+        };
+        stack.feature(chosen, &mut feature);
+        centroids.push(feature.clone());
+        let newest = centroids.last().expect("just pushed");
+        for (p, d) in dist2.iter_mut().enumerate() {
+            stack.feature(p, &mut feature);
+            *d = d.min(sq_dist(&feature, newest));
+        }
+    }
+    centroids
+}
+
+/// Unsupervised classification of a band stack into `k` classes.
+///
+/// * `k` — number of land-cover classes (12 in Figure 3).
+/// * `max_iters` — Lloyd-iteration cap.
+/// * `seed` — PRNG seed; **part of the derivation parameters**, so two tasks
+///   with different seeds are different processes under the paper's rule
+///   that "the same derivation method with different parameters represents
+///   different processes".
+pub fn kmeans_classify(
+    stack: &BandStack,
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+) -> AdtResult<KMeansOutcome> {
+    let npix = stack.pixels();
+    if k == 0 {
+        return Err(AdtError::InvalidArgument("k must be positive".into()));
+    }
+    if npix == 0 {
+        return Err(AdtError::InvalidArgument("empty raster".into()));
+    }
+    if k > npix {
+        return Err(AdtError::InvalidArgument(format!(
+            "k={k} exceeds pixel count {npix}"
+        )));
+    }
+    if k > 255 {
+        return Err(AdtError::InvalidArgument(
+            "k must fit the char-typed class map (k <= 255)".into(),
+        ));
+    }
+    let nb = stack.depth();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut centroids = init_centroids(stack, k, &mut rng);
+    let mut labels = vec![0usize; npix];
+    let mut feature = Vec::new();
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < max_iters {
+        iterations += 1;
+        // Assignment step.
+        let mut changed = false;
+        for p in 0..npix {
+            stack.feature(p, &mut feature);
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, cent) in centroids.iter().enumerate() {
+                let d = sq_dist(&feature, cent);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if labels[p] != best {
+                labels[p] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0f64; nb]; k];
+        let mut counts = vec![0usize; k];
+        for p in 0..npix {
+            stack.feature(p, &mut feature);
+            let c = labels[p];
+            counts[c] += 1;
+            for (b, v) in feature.iter().enumerate() {
+                sums[c][b] += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the farthest pixel from its centroid.
+                let far = (0..npix)
+                    .max_by(|&a, &b| {
+                        let mut fa = Vec::new();
+                        let mut fb = Vec::new();
+                        stack.feature(a, &mut fa);
+                        stack.feature(b, &mut fb);
+                        sq_dist(&fa, &centroids[labels[a]])
+                            .total_cmp(&sq_dist(&fb, &centroids[labels[b]]))
+                    })
+                    .expect("npix > 0");
+                stack.feature(far, &mut feature);
+                centroids[c] = feature.clone();
+                changed = true;
+            } else {
+                for b in 0..nb {
+                    centroids[c][b] = sums[c][b] / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+    // Final inertia.
+    let mut inertia = 0.0;
+    for p in 0..npix {
+        stack.feature(p, &mut feature);
+        inertia += sq_dist(&feature, &centroids[labels[p]]);
+    }
+    let mut label_img = Image::zeros(stack.nrow(), stack.ncol(), PixType::Char);
+    let label_f64: Vec<f64> = labels.iter().map(|l| *l as f64).collect();
+    label_img = label_img.with_samples(PixType::Char, &label_f64)?;
+    let mut cm = Matrix::zeros(k, nb);
+    for (c, cent) in centroids.iter().enumerate() {
+        for (b, v) in cent.iter().enumerate() {
+            cm.set(c, b, *v);
+        }
+    }
+    Ok(KMeansOutcome {
+        labels: label_img,
+        centroids: cm,
+        inertia,
+        iterations,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composite::composite;
+
+    /// Two well-separated spectral clusters across two bands.
+    fn two_cluster_stack() -> BandStack {
+        // 4x4: left half ~ (10, 100), right half ~ (200, 20)
+        let mut b1 = vec![0.0; 16];
+        let mut b2 = vec![0.0; 16];
+        for r in 0..4 {
+            for c in 0..4 {
+                let i = r * 4 + c;
+                if c < 2 {
+                    b1[i] = 10.0 + (i % 3) as f64;
+                    b2[i] = 100.0 + (i % 2) as f64;
+                } else {
+                    b1[i] = 200.0 - (i % 3) as f64;
+                    b2[i] = 20.0 + (i % 2) as f64;
+                }
+            }
+        }
+        let i1 = Image::from_f64(4, 4, b1).unwrap();
+        let i2 = Image::from_f64(4, 4, b2).unwrap();
+        composite(&[&i1, &i2]).unwrap()
+    }
+
+    #[test]
+    fn separates_two_clusters() {
+        let stack = two_cluster_stack();
+        let out = kmeans_classify(&stack, 2, 50, 7).unwrap();
+        assert!(out.converged);
+        // All left pixels share a label; all right pixels share the other.
+        let l = out.labels.get(0, 0);
+        let r = out.labels.get(0, 3);
+        assert_ne!(l, r);
+        for row in 0..4 {
+            for col in 0..4 {
+                let expect = if col < 2 { l } else { r };
+                assert_eq!(out.labels.get(row, col), expect, "({row},{col})");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_bounded_by_k() {
+        let stack = two_cluster_stack();
+        let out = kmeans_classify(&stack, 5, 50, 3).unwrap();
+        for i in 0..16 {
+            assert!(out.labels.get_flat(i) < 5.0);
+        }
+        assert_eq!(out.centroids.rows(), 5);
+        assert_eq!(out.centroids.cols(), 2);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let stack = two_cluster_stack();
+        let a = kmeans_classify(&stack, 3, 50, 99).unwrap();
+        let b = kmeans_classify(&stack, 3, 50, 99).unwrap();
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.centroids.data(), b.centroids.data());
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn k_one_groups_everything() {
+        let stack = two_cluster_stack();
+        let out = kmeans_classify(&stack, 1, 50, 1).unwrap();
+        for i in 0..16 {
+            assert_eq!(out.labels.get_flat(i), 0.0);
+        }
+        // Centroid is the global band mean.
+        let mean_b1: f64 = (0..16).map(|i| stack.bands()[0].get_flat(i)).sum::<f64>() / 16.0;
+        assert!((out.centroids.get(0, 0) - mean_b1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let stack = two_cluster_stack();
+        assert!(kmeans_classify(&stack, 0, 50, 1).is_err());
+        assert!(kmeans_classify(&stack, 17, 50, 1).is_err()); // k > pixels
+        assert!(kmeans_classify(&stack, 256, 50, 1).is_err());
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let stack = two_cluster_stack();
+        let i1 = kmeans_classify(&stack, 1, 50, 5).unwrap().inertia;
+        let i2 = kmeans_classify(&stack, 2, 50, 5).unwrap().inertia;
+        let i4 = kmeans_classify(&stack, 4, 50, 5).unwrap().inertia;
+        assert!(i2 < i1);
+        assert!(i4 <= i2 + 1e-9);
+    }
+
+    #[test]
+    fn different_seed_may_differ_but_stays_valid() {
+        let stack = two_cluster_stack();
+        let out = kmeans_classify(&stack, 4, 50, 1234).unwrap();
+        assert!(out.inertia.is_finite());
+        assert!(out.iterations >= 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! `composite()` — band stacking (Figure 3).
+//!
+//! In P20 the image data of the output class is
+//! `unsuperclassify(composite(bands), 12)`: `composite` assembles the input
+//! band set into one multi-band stack that the classifier consumes. We
+//! represent the stack as a validated, ordered `Vec<Image>` (all bands
+//! co-registered, same shape); the classifier reads per-pixel feature
+//! vectors across it.
+
+use crate::stats::check_same_shape;
+use gaea_adt::{AdtResult, Image};
+
+/// Validated multi-band stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandStack {
+    bands: Vec<Image>,
+    nrow: u32,
+    ncol: u32,
+}
+
+impl BandStack {
+    /// Bands in stack order.
+    pub fn bands(&self) -> &[Image] {
+        &self.bands
+    }
+
+    /// Number of bands.
+    pub fn depth(&self) -> usize {
+        self.bands.len()
+    }
+
+    /// Raster rows.
+    pub fn nrow(&self) -> u32 {
+        self.nrow
+    }
+
+    /// Raster columns.
+    pub fn ncol(&self) -> u32 {
+        self.ncol
+    }
+
+    /// Pixels per band.
+    pub fn pixels(&self) -> usize {
+        self.nrow as usize * self.ncol as usize
+    }
+
+    /// The feature vector of pixel `p` (one sample per band).
+    pub fn feature(&self, p: usize, out: &mut Vec<f64>) {
+        out.clear();
+        for b in &self.bands {
+            out.push(b.get_flat(p));
+        }
+    }
+}
+
+/// Stack bands after validating co-registration (same shape).
+///
+/// The *order* of bands is preserved: composite(b1, b2, b3) and
+/// composite(b3, b2, b1) are different stacks — and under Gaea's rules,
+/// tasks recording them record different derivations.
+pub fn composite(bands: &[&Image]) -> AdtResult<BandStack> {
+    let (nrow, ncol) = check_same_shape(bands)?;
+    Ok(BandStack {
+        bands: bands.iter().map(|b| (*b).clone()).collect(),
+        nrow,
+        ncol,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaea_adt::PixType;
+
+    #[test]
+    fn composite_validates_and_stacks() {
+        let b1 = Image::filled(2, 3, PixType::Float8, 1.0);
+        let b2 = Image::filled(2, 3, PixType::Float8, 2.0);
+        let s = composite(&[&b1, &b2]).unwrap();
+        assert_eq!(s.depth(), 2);
+        assert_eq!((s.nrow(), s.ncol()), (2, 3));
+        assert_eq!(s.pixels(), 6);
+        let mut f = Vec::new();
+        s.feature(4, &mut f);
+        assert_eq!(f, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn composite_rejects_mismatched_bands() {
+        let b1 = Image::zeros(2, 3, PixType::Float8);
+        let b2 = Image::zeros(3, 2, PixType::Float8);
+        assert!(composite(&[&b1, &b2]).is_err());
+        assert!(composite(&[]).is_err());
+    }
+
+    #[test]
+    fn band_order_matters() {
+        let b1 = Image::filled(1, 1, PixType::Float8, 1.0);
+        let b2 = Image::filled(1, 1, PixType::Float8, 2.0);
+        let s12 = composite(&[&b1, &b2]).unwrap();
+        let s21 = composite(&[&b2, &b1]).unwrap();
+        assert_ne!(s12, s21);
+    }
+
+    #[test]
+    fn mixed_pixtypes_allowed() {
+        let b1 = Image::filled(2, 2, PixType::Char, 10.0);
+        let b2 = Image::filled(2, 2, PixType::Float4, 0.5);
+        let s = composite(&[&b1, &b2]).unwrap();
+        let mut f = Vec::new();
+        s.feature(0, &mut f);
+        assert_eq!(f, vec![10.0, 0.5]);
+    }
+}

@@ -1,0 +1,94 @@
+//! `convert-image-matrix` / `convert-matrix-image` (Figure 4).
+//!
+//! The PCA network's first and last stages move between the `image` and
+//! `matrix` primitive classes. An image converts to a 1×npixels row matrix
+//! (flattened row-major); a set of co-registered bands converts to a
+//! bands×npixels matrix. The inverse re-imposes the raster shape.
+
+use crate::stats::check_same_shape;
+use gaea_adt::{AdtError, AdtResult, Image, Matrix, PixType};
+
+/// Flatten one image into a 1×npixels matrix.
+pub fn image_to_matrix(img: &Image) -> Matrix {
+    Matrix::from_rows(1, img.len(), img.to_f64_vec()).expect("length matches by construction")
+}
+
+/// Stack co-registered bands into a bands×npixels matrix.
+pub fn images_to_matrix(bands: &[&Image]) -> AdtResult<Matrix> {
+    check_same_shape(bands)?;
+    let npix = bands[0].len();
+    let mut m = Matrix::zeros(bands.len(), npix);
+    for (b, img) in bands.iter().enumerate() {
+        for p in 0..npix {
+            m.set(b, p, img.get_flat(p));
+        }
+    }
+    Ok(m)
+}
+
+/// Re-impose a raster shape on one matrix row.
+pub fn matrix_row_to_image(m: &Matrix, row: usize, nrow: u32, ncol: u32, pt: PixType) -> AdtResult<Image> {
+    if row >= m.rows() {
+        return Err(AdtError::InvalidArgument(format!(
+            "row {row} of a {}-row matrix",
+            m.rows()
+        )));
+    }
+    if m.cols() != (nrow as usize) * (ncol as usize) {
+        return Err(AdtError::ShapeMismatch(format!(
+            "matrix row of {} entries vs image {nrow}x{ncol}",
+            m.cols()
+        )));
+    }
+    let template = Image::zeros(nrow, ncol, pt);
+    template.with_samples(pt, &m.row(row))
+}
+
+/// Convert every row of a matrix back into an image of the given shape.
+pub fn matrix_to_images(m: &Matrix, nrow: u32, ncol: u32, pt: PixType) -> AdtResult<Vec<Image>> {
+    (0..m.rows())
+        .map(|r| matrix_row_to_image(m, r, nrow, ncol, pt))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_matrix_round_trip() {
+        let img = Image::from_f64(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let m = image_to_matrix(&img);
+        assert_eq!((m.rows(), m.cols()), (1, 6));
+        let back = matrix_row_to_image(&m, 0, 2, 3, PixType::Float8).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn band_stack_round_trip() {
+        let b1 = Image::from_f64(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b2 = Image::from_f64(2, 2, vec![5.0, 6.0, 7.0, 8.0]).unwrap();
+        let m = images_to_matrix(&[&b1, &b2]).unwrap();
+        assert_eq!((m.rows(), m.cols()), (2, 4));
+        assert_eq!(m.get(1, 2), 7.0);
+        let back = matrix_to_images(&m, 2, 2, PixType::Float8).unwrap();
+        assert_eq!(back, vec![b1, b2]);
+    }
+
+    #[test]
+    fn shape_mismatches_rejected() {
+        let b1 = Image::zeros(2, 2, PixType::Float8);
+        let b2 = Image::zeros(2, 3, PixType::Float8);
+        assert!(images_to_matrix(&[&b1, &b2]).is_err());
+        let m = Matrix::zeros(1, 4);
+        assert!(matrix_row_to_image(&m, 0, 2, 3, PixType::Float8).is_err());
+        assert!(matrix_row_to_image(&m, 1, 2, 2, PixType::Float8).is_err());
+    }
+
+    #[test]
+    fn pixtype_conversion_applies() {
+        let m = Matrix::from_rows(1, 4, vec![1.4, 2.6, -3.0, 300.0]).unwrap();
+        let img = matrix_row_to_image(&m, 0, 2, 2, PixType::Char).unwrap();
+        assert_eq!(img.to_f64_vec(), vec![1.0, 3.0, 0.0, 255.0]); // rounded + saturated
+    }
+}

@@ -1,0 +1,258 @@
+//! Symmetric eigendecomposition by cyclic Jacobi rotations.
+//!
+//! `get-eigen-vector` in the Figure 4 PCA network. Covariance and
+//! correlation matrices are real symmetric, for which Jacobi is simple,
+//! numerically robust, and plenty fast at band counts (n ≤ 10).
+
+use gaea_adt::{AdtError, AdtResult, Matrix, VectorD};
+
+/// Result of [`jacobi_eigen`]: eigenvalues in descending order with matching
+/// eigenvector columns.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Column k of this matrix is the unit eigenvector for `values[k]`.
+    pub vectors: Matrix,
+    /// Number of Jacobi sweeps performed.
+    pub sweeps: usize,
+}
+
+impl EigenDecomposition {
+    /// Eigenvector k as a vector.
+    pub fn vector(&self, k: usize) -> VectorD {
+        VectorD::new(self.vectors.col(k))
+    }
+
+    /// Fraction of total variance carried by component k (eigenvalues must
+    /// be non-negative, as for covariance matrices).
+    pub fn explained(&self, k: usize) -> f64 {
+        let total: f64 = self.values.iter().map(|v| v.max(0.0)).sum();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.values[k].max(0.0) / total
+        }
+    }
+}
+
+/// Eigendecomposition of a symmetric matrix.
+///
+/// Errors if the matrix is not square/symmetric or the iteration fails to
+/// drive the off-diagonal below tolerance within `max_sweeps`.
+pub fn jacobi_eigen(a: &Matrix, max_sweeps: usize, tol: f64) -> AdtResult<EigenDecomposition> {
+    if a.rows() != a.cols() {
+        return Err(AdtError::ShapeMismatch(format!(
+            "eigen of non-square {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    if !a.is_symmetric(1e-9 * (1.0 + a.frobenius())) {
+        return Err(AdtError::InvalidArgument(
+            "jacobi_eigen requires a symmetric matrix".into(),
+        ));
+    }
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let mut sweeps = 0;
+    while m.max_off_diagonal() > tol {
+        if sweeps >= max_sweeps {
+            return Err(AdtError::Numeric(format!(
+                "jacobi_eigen: no convergence after {max_sweeps} sweeps (off-diag {:.3e})",
+                m.max_off_diagonal()
+            )));
+        }
+        sweeps += 1;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= tol {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = 0.5 * (aqq - app) / apq;
+                // Stable tangent of the rotation angle.
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation G(p, q, θ) on both sides of m.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+    // Extract and sort descending by eigenvalue.
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m.get(i, i), i)).collect();
+    pairs.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let values: Vec<f64> = pairs.iter().map(|(val, _)| *val).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, (_, old_col)) in pairs.iter().enumerate() {
+        // Canonical sign: make the largest-magnitude entry positive so that
+        // decompositions are reproducible across runs (the paper's
+        // reproducibility objective applies to numerics too).
+        let col = v.col(*old_col);
+        let flip = col
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.abs().total_cmp(&b.abs()))
+            .map(|m| if m < 0.0 { -1.0 } else { 1.0 })
+            .unwrap_or(1.0);
+        for r in 0..n {
+            vectors.set(r, new_col, col[r] * flip);
+        }
+    }
+    Ok(EigenDecomposition {
+        values,
+        vectors,
+        sweeps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, e: &EigenDecomposition, k: usize) -> f64 {
+        // ||A v - λ v||
+        let v = e.vector(k);
+        let av = a.matvec(&v).unwrap();
+        let lam = e.values[k];
+        av.data()
+            .iter()
+            .zip(v.data())
+            .map(|(x, y)| (x - lam * y).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn diagonal_matrix_eigen() {
+        let a = Matrix::from_rows(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]).unwrap();
+        let e = jacobi_eigen(&a, 50, 1e-12).unwrap();
+        assert_eq!(e.values, vec![3.0, 2.0, 1.0]);
+        // Eigenvectors are (canonically signed) unit axes.
+        for k in 0..3 {
+            assert!((e.vector(k).norm() - 1.0).abs() < 1e-12);
+            assert!(residual(&a, &e, k) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let e = jacobi_eigen(&a, 50, 1e-12).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // v0 ∝ (1,1)/√2
+        let v0 = e.vector(0);
+        assert!((v0.data()[0] - v0.data()[1]).abs() < 1e-10);
+        assert!(residual(&a, &e, 0) < 1e-10);
+        assert!(residual(&a, &e, 1) < 1e-10);
+    }
+
+    #[test]
+    fn residuals_small_on_random_symmetric() {
+        // Deterministic pseudo-random symmetric matrix.
+        let n = 6;
+        let mut a = Matrix::zeros(n, n);
+        let mut state = 42u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for r in 0..n {
+            for c in r..n {
+                let v = next();
+                a.set(r, c, v);
+                a.set(c, r, v);
+            }
+        }
+        let e = jacobi_eigen(&a, 100, 1e-12).unwrap();
+        for k in 0..n {
+            assert!(residual(&a, &e, k) < 1e-9, "component {k}");
+        }
+        // Eigenvalues descending.
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+        // Trace preserved.
+        let trace: f64 = (0..n).map(|i| a.get(i, i)).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(
+            3,
+            3,
+            vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 2.0],
+        )
+        .unwrap();
+        let e = jacobi_eigen(&a, 100, 1e-12).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let d = e.vector(i).dot(&e.vector(j)).unwrap();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-9, "({i},{j}) dot = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn explained_variance_sums_to_one() {
+        let a = Matrix::from_rows(2, 2, vec![2.0, 0.5, 0.5, 1.0]).unwrap();
+        let e = jacobi_eigen(&a, 50, 1e-12).unwrap();
+        let total: f64 = (0..2).map(|k| e.explained(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(e.explained(0) > e.explained(1));
+    }
+
+    #[test]
+    fn rejects_asymmetric_and_nonsquare() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!(jacobi_eigen(&a, 50, 1e-12).is_err());
+        let b = Matrix::zeros(2, 3);
+        assert!(jacobi_eigen(&b, 50, 1e-12).is_err());
+    }
+
+    #[test]
+    fn deterministic_sign_convention() {
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let e1 = jacobi_eigen(&a, 50, 1e-12).unwrap();
+        let e2 = jacobi_eigen(&a, 50, 1e-12).unwrap();
+        assert_eq!(e1.vectors.data(), e2.vectors.data());
+        // Largest-magnitude entry of each eigenvector is positive.
+        for k in 0..2 {
+            let col = e1.vector(k);
+            let max = col
+                .data()
+                .iter()
+                .cloned()
+                .max_by(|a, b| a.abs().total_cmp(&b.abs()))
+                .unwrap();
+            assert!(max > 0.0);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Temporal interpolation (paper §2.1.5, retrieval step 2).
+//!
+//! "Interpolation can be used in many situations where data are missing.
+//! It is a generic derivation process which is applicable to many data
+//! types in many domains." In Figure 2, process P5 "might be an
+//! interpolation process which derives the same concept from itself".
+//!
+//! Given snapshots of a class at times t₁ < t₂, linear interpolation
+//! estimates the raster at any t in between; nearest-neighbour covers
+//! extrapolation policies when allowed.
+
+use gaea_adt::{AbsTime, AdtError, AdtResult, Image, PixType};
+
+/// Per-pixel linear interpolation between two epochs.
+///
+/// Requires `t1 != t2` and `t` within `[min(t1,t2), max(t1,t2)]` (closed);
+/// interpolation never extrapolates — the query layer falls back to
+/// derivation instead, as §2.1.5 prescribes.
+pub fn temporal_interp(
+    img1: &Image,
+    t1: AbsTime,
+    img2: &Image,
+    t2: AbsTime,
+    t: AbsTime,
+) -> AdtResult<Image> {
+    if t1 == t2 {
+        return Err(AdtError::InvalidArgument(
+            "temporal_interp requires two distinct epochs".into(),
+        ));
+    }
+    let (lo, hi) = if t1 < t2 { (t1, t2) } else { (t2, t1) };
+    if t < lo || t > hi {
+        return Err(AdtError::InvalidArgument(format!(
+            "target time {t} outside bracketing window [{lo}, {hi}]"
+        )));
+    }
+    let w = (t.seconds() - t1.seconds()) as f64 / (t2.seconds() - t1.seconds()) as f64;
+    img1.zip_map(img2, PixType::Float8, |a, b| a * (1.0 - w) + b * w)
+}
+
+/// Pick the epoch closest to `t` from a set of (time, image) snapshots.
+pub fn nearest_snapshot<'a>(
+    snapshots: &'a [(AbsTime, Image)],
+    t: AbsTime,
+) -> AdtResult<&'a (AbsTime, Image)> {
+    snapshots
+        .iter()
+        .min_by_key(|(st, _)| (st.seconds() - t.seconds()).abs())
+        .ok_or_else(|| AdtError::InvalidArgument("no snapshots".into()))
+}
+
+/// Interpolate within a snapshot series: finds the tightest bracketing pair
+/// around `t` and interpolates linearly. Exact hits return a clone. Fails if
+/// `t` falls outside the series' span (no extrapolation).
+pub fn series_interp(snapshots: &[(AbsTime, Image)], t: AbsTime) -> AdtResult<Image> {
+    if snapshots.is_empty() {
+        return Err(AdtError::InvalidArgument("no snapshots".into()));
+    }
+    if let Some((_, img)) = snapshots.iter().find(|(st, _)| *st == t) {
+        return Ok(img.clone());
+    }
+    let mut before: Option<&(AbsTime, Image)> = None;
+    let mut after: Option<&(AbsTime, Image)> = None;
+    for snap in snapshots {
+        if snap.0 < t {
+            if before.map_or(true, |b| snap.0 > b.0) {
+                before = Some(snap);
+            }
+        } else if after.map_or(true, |a| snap.0 < a.0) {
+            after = Some(snap);
+        }
+    }
+    match (before, after) {
+        (Some(b), Some(a)) => temporal_interp(&b.1, b.0, &a.1, a.0, t),
+        _ => Err(AdtError::InvalidArgument(format!(
+            "time {t} is not bracketed by the stored series"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day(d: i64) -> AbsTime {
+        AbsTime(d * 86_400)
+    }
+
+    #[test]
+    fn midpoint_is_average() {
+        let a = Image::from_f64(1, 2, vec![0.0, 10.0]).unwrap();
+        let b = Image::from_f64(1, 2, vec![10.0, 30.0]).unwrap();
+        let m = temporal_interp(&a, day(0), &b, day(10), day(5)).unwrap();
+        assert_eq!(m.to_f64_vec(), vec![5.0, 20.0]);
+    }
+
+    #[test]
+    fn endpoint_weights() {
+        let a = Image::from_f64(1, 1, vec![2.0]).unwrap();
+        let b = Image::from_f64(1, 1, vec![8.0]).unwrap();
+        assert_eq!(
+            temporal_interp(&a, day(0), &b, day(4), day(0)).unwrap().get(0, 0),
+            2.0
+        );
+        assert_eq!(
+            temporal_interp(&a, day(0), &b, day(4), day(4)).unwrap().get(0, 0),
+            8.0
+        );
+        assert_eq!(
+            temporal_interp(&a, day(0), &b, day(4), day(1)).unwrap().get(0, 0),
+            3.5
+        );
+    }
+
+    #[test]
+    fn reversed_epoch_order_accepted() {
+        let a = Image::from_f64(1, 1, vec![2.0]).unwrap();
+        let b = Image::from_f64(1, 1, vec![8.0]).unwrap();
+        // img1 at the *later* time.
+        let v = temporal_interp(&b, day(4), &a, day(0), day(1)).unwrap();
+        assert_eq!(v.get(0, 0), 3.5);
+    }
+
+    #[test]
+    fn no_extrapolation() {
+        let a = Image::from_f64(1, 1, vec![2.0]).unwrap();
+        let b = Image::from_f64(1, 1, vec![8.0]).unwrap();
+        assert!(temporal_interp(&a, day(0), &b, day(4), day(5)).is_err());
+        assert!(temporal_interp(&a, day(0), &b, day(4), day(-1)).is_err());
+        assert!(temporal_interp(&a, day(0), &b, day(0), day(0)).is_err());
+    }
+
+    #[test]
+    fn series_interp_finds_tightest_bracket() {
+        let mk = |v: f64| Image::from_f64(1, 1, vec![v]).unwrap();
+        let series = vec![
+            (day(0), mk(0.0)),
+            (day(30), mk(30.0)),
+            (day(10), mk(10.0)), // unsorted on purpose
+            (day(20), mk(20.0)),
+        ];
+        let v = series_interp(&series, day(12)).unwrap();
+        assert_eq!(v.get(0, 0), 12.0); // brackets [10, 20], not [0, 30]
+    }
+
+    #[test]
+    fn series_interp_exact_hit_returns_snapshot() {
+        let mk = |v: f64| Image::from_f64(1, 1, vec![v]).unwrap();
+        let series = vec![(day(0), mk(1.0)), (day(10), mk(2.0))];
+        assert_eq!(series_interp(&series, day(10)).unwrap().get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn series_interp_rejects_out_of_span() {
+        let mk = |v: f64| Image::from_f64(1, 1, vec![v]).unwrap();
+        let series = vec![(day(0), mk(1.0)), (day(10), mk(2.0))];
+        assert!(series_interp(&series, day(11)).is_err());
+        assert!(series_interp(&[], day(5)).is_err());
+    }
+
+    #[test]
+    fn nearest_snapshot_picks_closest() {
+        let mk = |v: f64| Image::from_f64(1, 1, vec![v]).unwrap();
+        let series = vec![(day(0), mk(1.0)), (day(10), mk(2.0)), (day(21), mk(3.0))];
+        assert_eq!(nearest_snapshot(&series, day(14)).unwrap().1.get(0, 0), 2.0);
+        assert_eq!(nearest_snapshot(&series, day(19)).unwrap().1.get(0, 0), 3.0);
+        assert!(nearest_snapshot(&[], day(0)).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! # gaea-raster — the GIS analysis algorithms of the paper's examples
+//!
+//! Every worked example in the paper is a remote-sensing analysis:
+//!
+//! * Figure 3 — process P20, *unsupervised classification* of Landsat TM
+//!   bands: `unsuperclassify(composite(bands), 12)` → [`classify`].
+//! * Figure 4 — the *PCA* compound operator network
+//!   (`convert-image-matrix → compute-covariance → get-eigen-vector →
+//!   linear-combination → convert-matrix-image`) → [`pca`], [`eigen`],
+//!   [`convert`], plus *SPCA* (standardized PCA, Eastman 1992) for the
+//!   vegetation-change comparison of §2.1.3.
+//! * Figure 5 — *land-change detection*, a compound process chaining
+//!   rectification, classification and SPCA → [`rectify`], [`change`].
+//! * §1 — the two-scientists scenario: NDVI differencing vs ratioing →
+//!   [`ndvi`], [`change`].
+//! * §2.1.5 — *interpolation* as a generic derivation step → [`interp`].
+//! * §4.3 — *supervised classification*, the paper's example of a process
+//!   needing scientist interaction mid-task → [`supervised`] (the kernel's
+//!   interactive sessions supply the training signatures).
+//!
+//! [`ops::register_raster_ops`] contributes all of these to a
+//! `gaea_adt::OperatorRegistry` so that process templates and dataflow
+//! networks can call them by name; `pca`/`spca` are registered as *compound*
+//! operators built from the Figure 4 primitives.
+
+pub mod change;
+pub mod classify;
+pub mod composite;
+pub mod convert;
+pub mod eigen;
+pub mod interp;
+pub mod ndvi;
+pub mod ops;
+pub mod pca;
+pub mod rectify;
+pub mod stats;
+pub mod subset;
+pub mod supervised;
+
+pub use change::{img_diff, img_ratio};
+pub use classify::{kmeans_classify, KMeansOutcome};
+pub use composite::composite;
+pub use eigen::{jacobi_eigen, EigenDecomposition};
+pub use ndvi::ndvi;
+pub use ops::register_raster_ops;
+pub use pca::{pca, spca, PcaOutcome};
+pub use supervised::{
+    min_distance_classify, parallelepiped_classify, signatures_from_training, SupervisedOutcome,
+    TrainingSite,
+};

@@ -1,0 +1,63 @@
+//! NDVI — normalized difference vegetation index (paper §1, footnote 2).
+//!
+//! "NDVI is the normalized difference vegetation index. It is a qualitative
+//! measure of vegetation derived from AVHRR satellite imagery data."
+//! NDVI = (NIR − RED) / (NIR + RED), in [-1, 1] for non-negative radiances.
+
+use gaea_adt::{AdtResult, Image, PixType};
+
+/// Compute NDVI from near-infrared and red bands.
+///
+/// Pixels where `nir + red == 0` (no signal) yield 0.0, the conventional
+/// "no data / bare" value, rather than poisoning downstream statistics
+/// with NaN.
+pub fn ndvi(nir: &Image, red: &Image) -> AdtResult<Image> {
+    nir.zip_map(red, PixType::Float8, |n, r| {
+        let denom = n + r;
+        if denom == 0.0 {
+            0.0
+        } else {
+            (n - r) / denom
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        let nir = Image::from_f64(1, 4, vec![100.0, 50.0, 0.0, 80.0]).unwrap();
+        let red = Image::from_f64(1, 4, vec![20.0, 50.0, 0.0, 100.0]).unwrap();
+        let v = ndvi(&nir, &red).unwrap();
+        assert!((v.get(0, 0) - (80.0 / 120.0)).abs() < 1e-12); // vegetated
+        assert_eq!(v.get(0, 1), 0.0); // balanced
+        assert_eq!(v.get(0, 2), 0.0); // zero denominator guarded
+        assert!(v.get(0, 3) < 0.0); // red > nir: non-vegetated
+    }
+
+    #[test]
+    fn range_bound_for_nonnegative_radiance() {
+        let nir = Image::from_f64(2, 2, vec![5.0, 0.0, 300.0, 1.0]).unwrap();
+        let red = Image::from_f64(2, 2, vec![1.0, 10.0, 0.0, 1.0]).unwrap();
+        let v = ndvi(&nir, &red).unwrap();
+        for i in 0..4 {
+            assert!((-1.0..=1.0).contains(&v.get_flat(i)));
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let nir = Image::zeros(2, 2, PixType::Float8);
+        let red = Image::zeros(2, 3, PixType::Float8);
+        assert!(ndvi(&nir, &red).is_err());
+    }
+
+    #[test]
+    fn output_is_float8() {
+        let nir = Image::zeros(2, 2, PixType::Int2);
+        let red = Image::zeros(2, 2, PixType::Int2);
+        assert_eq!(ndvi(&nir, &red).unwrap().pixtype(), PixType::Float8);
+    }
+}

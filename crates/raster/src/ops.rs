@@ -1,0 +1,712 @@
+//! Operator registration: contributes every raster algorithm to the
+//! system-level operator catalog, and builds `pca`/`spca` literally as the
+//! Figure 4 compound-operator networks.
+//!
+//! The node inventory of Figure 4 is reproduced one-to-one:
+//!
+//! ```text
+//! SET OF image --convert-image-matrix--> SET OF matrix
+//! SET OF matrix --compute-covariance--> matrix
+//! matrix --get-eigen-vector--> matrix (eigenvector basis)
+//! (SET OF matrix, basis) --linear-combination--> SET OF matrix
+//! (SET OF matrix, template image) --convert-matrix-image--> SET OF image
+//! ```
+
+use crate::change::{img_diff, img_ratio};
+use crate::classify::kmeans_classify;
+use crate::composite::composite;
+use crate::supervised::min_distance_classify;
+use crate::convert::matrix_row_to_image;
+use crate::eigen::jacobi_eigen;
+use crate::interp::temporal_interp;
+use crate::ndvi::ndvi;
+use crate::rectify::{rectify, resample, Affine};
+use crate::stats::{mean, stddev};
+use gaea_adt::{
+    AdtError, AdtResult, DataflowBuilder, Image, Matrix, OperatorRegistry, PixType, Signature,
+    TypeTag, Value,
+};
+use std::sync::Arc;
+
+/// Default PRNG seed for the 2-argument `unsuperclassify(stack, k)` operator
+/// form used in the paper's P20 template. The seed is fixed so the operator
+/// is a *function* — identical inputs always derive the identical object,
+/// which is what makes tasks reproducible. Workflows wanting a different
+/// seed define a different process (paper §2.1.2: different parameters ⇒
+/// different process), via `unsuperclassify_seeded`.
+pub const DEFAULT_CLASSIFY_SEED: u64 = 0x6AEA;
+
+/// Default Lloyd-iteration cap for the operator forms.
+pub const DEFAULT_CLASSIFY_ITERS: usize = 100;
+
+fn images_from_set(set: &[Value], ctx: &str) -> AdtResult<Vec<Arc<Image>>> {
+    set.iter()
+        .map(|v| v.expect_image(ctx).cloned())
+        .collect()
+}
+
+fn matrices_from_set(set: &[Value], ctx: &str) -> AdtResult<Vec<Arc<Matrix>>> {
+    set.iter()
+        .map(|v| v.expect_matrix(ctx).cloned())
+        .collect()
+}
+
+/// Covariance across band rows stored as 1×npix matrices, with optional
+/// normalization to a correlation matrix.
+fn band_matrix_covariance(mats: &[Arc<Matrix>], correlation: bool) -> AdtResult<Matrix> {
+    let nb = mats.len();
+    if nb == 0 {
+        return Err(AdtError::InvalidArgument("empty matrix set".into()));
+    }
+    let npix = mats[0].cols();
+    for m in mats {
+        if m.rows() != 1 || m.cols() != npix {
+            return Err(AdtError::ShapeMismatch(
+                "compute_covariance expects 1xN band matrices of equal length".into(),
+            ));
+        }
+    }
+    if npix == 0 {
+        return Err(AdtError::InvalidArgument("zero-length band matrices".into()));
+    }
+    let means: Vec<f64> = mats
+        .iter()
+        .map(|m| m.data().iter().sum::<f64>() / npix as f64)
+        .collect();
+    let mut cov = Matrix::zeros(nb, nb);
+    for i in 0..nb {
+        for j in i..nb {
+            let mut acc = 0.0;
+            for p in 0..npix {
+                acc += (mats[i].data()[p] - means[i]) * (mats[j].data()[p] - means[j]);
+            }
+            let c = acc / npix as f64;
+            cov.set(i, j, c);
+            cov.set(j, i, c);
+        }
+    }
+    if !correlation {
+        return Ok(cov);
+    }
+    let sd: Vec<f64> = (0..nb).map(|i| cov.get(i, i).sqrt()).collect();
+    let mut cor = Matrix::zeros(nb, nb);
+    for i in 0..nb {
+        for j in 0..nb {
+            let denom = sd[i] * sd[j];
+            let v = if i == j {
+                1.0
+            } else if denom == 0.0 {
+                0.0
+            } else {
+                cov.get(i, j) / denom
+            };
+            cor.set(i, j, v);
+        }
+    }
+    Ok(cor)
+}
+
+/// Shared body for the `linear_combination` operators: project centered
+/// (optionally standardized) band rows through an eigenvector basis.
+fn linear_combination_impl(
+    mats: &[Arc<Matrix>],
+    basis: &Matrix,
+    standardized: bool,
+) -> AdtResult<Vec<Matrix>> {
+    let nb = mats.len();
+    if basis.rows() != nb || basis.cols() != nb {
+        return Err(AdtError::ShapeMismatch(format!(
+            "basis {}x{} vs {nb} bands",
+            basis.rows(),
+            basis.cols()
+        )));
+    }
+    if nb == 0 {
+        return Err(AdtError::InvalidArgument("empty matrix set".into()));
+    }
+    let npix = mats[0].cols();
+    let means: Vec<f64> = mats
+        .iter()
+        .map(|m| m.data().iter().sum::<f64>() / npix.max(1) as f64)
+        .collect();
+    let stds: Vec<f64> = if standardized {
+        mats.iter()
+            .zip(&means)
+            .map(|(m, mu)| {
+                let var =
+                    m.data().iter().map(|v| (v - mu) * (v - mu)).sum::<f64>() / npix.max(1) as f64;
+                let s = var.sqrt();
+                if s == 0.0 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect()
+    } else {
+        vec![1.0; nb]
+    };
+    let mut out = Vec::with_capacity(nb);
+    for k in 0..nb {
+        let mut row = vec![0.0f64; npix];
+        for b in 0..nb {
+            let w = basis.get(b, k);
+            if w == 0.0 {
+                continue;
+            }
+            for (p, o) in row.iter_mut().enumerate() {
+                *o += w * (mats[b].data()[p] - means[b]) / stds[b];
+            }
+        }
+        out.push(Matrix::from_rows(1, npix, row)?);
+    }
+    Ok(out)
+}
+
+/// Build the Figure 4 PCA network (or its SPCA variant) as a dataflow graph.
+pub fn build_pca_dataflow(name: &str, standardized: bool) -> gaea_adt::DataflowGraph {
+    let mut b = DataflowBuilder::new(name);
+    let bands = b.input("bands", TypeTag::Image.set_of());
+    let mats = b.node("convert_image_matrix", vec![bands]);
+    let cov = b.node(
+        if standardized {
+            "compute_correlation"
+        } else {
+            "compute_covariance"
+        },
+        vec![mats],
+    );
+    let basis = b.node("get_eigen_vectors", vec![cov]);
+    let comps = b.node(
+        if standardized {
+            "linear_combination_std"
+        } else {
+            "linear_combination"
+        },
+        vec![mats, basis],
+    );
+    let template = b.node("anyof", vec![bands]);
+    let images = b.node("convert_matrix_image", vec![comps, template]);
+    b.finish(images)
+}
+
+/// Register every raster operator (plus the compound `pca`/`spca`) into the
+/// given registry. Expects the generic builtins (`anyof`, ...) to already be
+/// present — i.e. call on `OperatorRegistry::with_builtins()`.
+pub fn register_raster_ops(r: &mut OperatorRegistry) -> AdtResult<()> {
+    // --- Figure 3 operators ------------------------------------------------
+    r.register_fn(
+        "composite",
+        Signature::new(vec![TypeTag::Image.set_of()], TypeTag::Image.set_of()),
+        "validate and stack co-registered bands (Figure 3)",
+        |args| {
+            let imgs = images_from_set(args[0].expect_set("composite")?, "composite")?;
+            let refs: Vec<&Image> = imgs.iter().map(|a| a.as_ref()).collect();
+            let stack = composite(&refs)?;
+            Ok(Value::Set(
+                stack.bands().iter().cloned().map(Value::image).collect(),
+            ))
+        },
+    )?;
+    r.register_fn(
+        "unsuperclassify",
+        Signature::new(
+            vec![TypeTag::Image.set_of(), TypeTag::Int4],
+            TypeTag::Image,
+        ),
+        "unsupervised classification into k classes (Figure 3, P20)",
+        |args| {
+            let imgs = images_from_set(args[0].expect_set("unsuperclassify")?, "unsuperclassify")?;
+            let refs: Vec<&Image> = imgs.iter().map(|a| a.as_ref()).collect();
+            let stack = composite(&refs)?;
+            let k = args[1].expect_f64("unsuperclassify k")? as usize;
+            let out = kmeans_classify(&stack, k, DEFAULT_CLASSIFY_ITERS, DEFAULT_CLASSIFY_SEED)?;
+            Ok(Value::image(out.labels))
+        },
+    )?;
+    r.register_fn(
+        "unsuperclassify_seeded",
+        Signature::new(
+            vec![TypeTag::Image.set_of(), TypeTag::Int4, TypeTag::Int4],
+            TypeTag::Image,
+        ),
+        "unsupervised classification with explicit PRNG seed (a different process under §2.1.2's parameter rule)",
+        |args| {
+            let imgs = images_from_set(args[0].expect_set("unsuperclassify_seeded")?, "unsuperclassify_seeded")?;
+            let refs: Vec<&Image> = imgs.iter().map(|a| a.as_ref()).collect();
+            let stack = composite(&refs)?;
+            let k = args[1].expect_f64("k")? as usize;
+            let seed = args[2].expect_f64("seed")? as u64;
+            let out = kmeans_classify(&stack, k, DEFAULT_CLASSIFY_ITERS, seed)?;
+            Ok(Value::image(out.labels))
+        },
+    )?;
+    r.register_fn(
+        "superclassify",
+        Signature::new(
+            vec![TypeTag::Image.set_of(), TypeTag::Matrix],
+            TypeTag::Image,
+        ),
+        "supervised minimum-distance classification from scientist-supplied \
+         training signatures (§4.3: the interactive-process example)",
+        |args| {
+            let imgs = images_from_set(args[0].expect_set("superclassify")?, "superclassify")?;
+            let refs: Vec<&Image> = imgs.iter().map(|a| a.as_ref()).collect();
+            let stack = composite(&refs)?;
+            let signatures = args[1].expect_matrix("superclassify signatures")?;
+            let out = min_distance_classify(&stack, signatures)?;
+            Ok(Value::image(out.labels))
+        },
+    )?;
+
+    // --- §1 vegetation-change operators ------------------------------------
+    r.register_fn(
+        "ndvi",
+        Signature::new(vec![TypeTag::Image, TypeTag::Image], TypeTag::Image),
+        "normalized difference vegetation index (NIR, RED)",
+        |args| {
+            Ok(Value::image(ndvi(
+                args[0].expect_image("ndvi nir")?,
+                args[1].expect_image("ndvi red")?,
+            )?))
+        },
+    )?;
+    r.register_fn(
+        "img_diff",
+        Signature::new(vec![TypeTag::Image, TypeTag::Image], TypeTag::Image),
+        "pixel-wise difference (scientist A's change detection)",
+        |args| {
+            Ok(Value::image(img_diff(
+                args[0].expect_image("img_diff")?,
+                args[1].expect_image("img_diff")?,
+            )?))
+        },
+    )?;
+    r.register_fn(
+        "img_ratio",
+        Signature::new(vec![TypeTag::Image, TypeTag::Image], TypeTag::Image),
+        "pixel-wise ratio (scientist B's change detection)",
+        |args| {
+            Ok(Value::image(img_ratio(
+                args[0].expect_image("img_ratio")?,
+                args[1].expect_image("img_ratio")?,
+            )?))
+        },
+    )?;
+    r.register_fn(
+        "img_add",
+        Signature::new(vec![TypeTag::Image, TypeTag::Image], TypeTag::Image),
+        "pixel-wise sum",
+        |args| {
+            let a = args[0].expect_image("img_add")?;
+            let b = args[1].expect_image("img_add")?;
+            Ok(Value::image(a.zip_map(b, PixType::Float8, |x, y| x + y)?))
+        },
+    )?;
+    r.register_fn(
+        "img_scale",
+        Signature::new(vec![TypeTag::Image, TypeTag::Float8], TypeTag::Image),
+        "multiply every pixel by a constant",
+        |args| {
+            let a = args[0].expect_image("img_scale")?;
+            let k = args[1].expect_f64("img_scale factor")?;
+            Ok(Value::image(a.map(PixType::Float8, |x| x * k)))
+        },
+    )?;
+    r.register_fn(
+        "img_mean",
+        Signature::new(vec![TypeTag::Image], TypeTag::Float8),
+        "mean pixel value",
+        |args| Ok(Value::Float8(mean(args[0].expect_image("img_mean")?))),
+    )?;
+    r.register_fn(
+        "img_stddev",
+        Signature::new(vec![TypeTag::Image], TypeTag::Float8),
+        "population standard deviation of pixel values",
+        |args| Ok(Value::Float8(stddev(args[0].expect_image("img_stddev")?))),
+    )?;
+    r.register_fn(
+        "threshold_below",
+        Signature::new(vec![TypeTag::Image, TypeTag::Float8], TypeTag::Image),
+        "binary mask: 1 where pixel < threshold (e.g. rainfall < 250mm for desert derivation)",
+        |args| {
+            let a = args[0].expect_image("threshold_below")?;
+            let t = args[1].expect_f64("threshold")?;
+            Ok(Value::image(a.map(PixType::Char, |x| if x < t { 1.0 } else { 0.0 })))
+        },
+    )?;
+    r.register_fn(
+        "img_and",
+        Signature::new(vec![TypeTag::Image, TypeTag::Image], TypeTag::Image),
+        "pixel-wise logical AND of binary masks",
+        |args| {
+            let a = args[0].expect_image("img_and")?;
+            let b = args[1].expect_image("img_and")?;
+            Ok(Value::image(a.zip_map(b, PixType::Char, |x, y| {
+                if x != 0.0 && y != 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })?))
+        },
+    )?;
+
+    // --- Figure 5 operators -------------------------------------------------
+    r.register_fn(
+        "rectify_shift",
+        Signature::new(
+            vec![TypeTag::Image, TypeTag::Float8, TypeTag::Float8],
+            TypeTag::Image,
+        ),
+        "first-order rectification: translate by (dx, dy) with bilinear resampling (Figure 5 'Rectified')",
+        |args| {
+            let img = args[0].expect_image("rectify_shift")?;
+            let dx = args[1].expect_f64("dx")?;
+            let dy = args[2].expect_f64("dy")?;
+            Ok(Value::image(rectify(
+                img,
+                &Affine::translation(dx, dy),
+                img.nrow(),
+                img.ncol(),
+                0.0,
+            )?))
+        },
+    )?;
+    r.register_fn(
+        "resample",
+        Signature::new(
+            vec![TypeTag::Image, TypeTag::Int4, TypeTag::Int4],
+            TypeTag::Image,
+        ),
+        "bilinear resample to a new grid (spatial interpolation, §2.1.5)",
+        |args| {
+            let img = args[0].expect_image("resample")?;
+            let rows = args[1].expect_f64("rows")? as u32;
+            let cols = args[2].expect_f64("cols")? as u32;
+            Ok(Value::image(resample(img, rows, cols)?))
+        },
+    )?;
+    r.register_fn(
+        "img_crop",
+        Signature::new(
+            vec![
+                TypeTag::Image,
+                TypeTag::Int4,
+                TypeTag::Int4,
+                TypeTag::Int4,
+                TypeTag::Int4,
+            ],
+            TypeTag::Image,
+        ),
+        "crop to a pixel window (r0, c0, height, width) — spatial subsetting",
+        |args| {
+            let img = args[0].expect_image("img_crop")?;
+            let r0 = args[1].expect_f64("r0")? as u32;
+            let c0 = args[2].expect_f64("c0")? as u32;
+            let h = args[3].expect_f64("h")? as u32;
+            let w = args[4].expect_f64("w")? as u32;
+            Ok(Value::image(crate::subset::crop(img, r0, c0, h, w)?))
+        },
+    )?;
+
+    // --- §2.1.5 temporal interpolation --------------------------------------
+    r.register_fn(
+        "temporal_interp",
+        Signature::new(
+            vec![
+                TypeTag::Image,
+                TypeTag::AbsTime,
+                TypeTag::Image,
+                TypeTag::AbsTime,
+                TypeTag::AbsTime,
+            ],
+            TypeTag::Image,
+        ),
+        "linear interpolation between two epochs (generic derivation, §2.1.5)",
+        |args| {
+            let i1 = args[0].expect_image("temporal_interp")?;
+            let t1 = args[1]
+                .as_abstime()
+                .ok_or_else(|| AdtError::InvalidArgument("t1 must be abstime".into()))?;
+            let i2 = args[2].expect_image("temporal_interp")?;
+            let t2 = args[3]
+                .as_abstime()
+                .ok_or_else(|| AdtError::InvalidArgument("t2 must be abstime".into()))?;
+            let t = args[4]
+                .as_abstime()
+                .ok_or_else(|| AdtError::InvalidArgument("t must be abstime".into()))?;
+            Ok(Value::image(temporal_interp(i1, t1, i2, t2, t)?))
+        },
+    )?;
+
+    // --- Figure 4 network primitives ----------------------------------------
+    r.register_fn(
+        "convert_image_matrix",
+        Signature::new(vec![TypeTag::Image.set_of()], TypeTag::Matrix.set_of()),
+        "flatten each band into a 1xN matrix (Figure 4 stage 1)",
+        |args| {
+            let imgs = images_from_set(args[0].expect_set("convert_image_matrix")?, "convert_image_matrix")?;
+            let refs: Vec<&Image> = imgs.iter().map(|a| a.as_ref()).collect();
+            crate::stats::check_same_shape(&refs)?;
+            Ok(Value::Set(
+                refs.iter()
+                    .map(|img| Value::matrix(crate::convert::image_to_matrix(img)))
+                    .collect(),
+            ))
+        },
+    )?;
+    r.register_fn(
+        "compute_covariance",
+        Signature::new(vec![TypeTag::Matrix.set_of()], TypeTag::Matrix),
+        "band covariance matrix (Figure 4 stage 2)",
+        |args| {
+            let mats = matrices_from_set(args[0].expect_set("compute_covariance")?, "compute_covariance")?;
+            Ok(Value::matrix(band_matrix_covariance(&mats, false)?))
+        },
+    )?;
+    r.register_fn(
+        "compute_correlation",
+        Signature::new(vec![TypeTag::Matrix.set_of()], TypeTag::Matrix),
+        "band correlation matrix (SPCA variant of Figure 4 stage 2)",
+        |args| {
+            let mats = matrices_from_set(args[0].expect_set("compute_correlation")?, "compute_correlation")?;
+            Ok(Value::matrix(band_matrix_covariance(&mats, true)?))
+        },
+    )?;
+    r.register_fn(
+        "get_eigen_vectors",
+        Signature::new(vec![TypeTag::Matrix], TypeTag::Matrix),
+        "eigenvector basis of a symmetric matrix, columns by descending eigenvalue (Figure 4 stage 3)",
+        |args| {
+            let m = args[0].expect_matrix("get_eigen_vectors")?;
+            let e = jacobi_eigen(m, 100, 1e-10)?;
+            Ok(Value::matrix(e.vectors))
+        },
+    )?;
+    r.register_fn(
+        "linear_combination",
+        Signature::new(
+            vec![TypeTag::Matrix.set_of(), TypeTag::Matrix],
+            TypeTag::Matrix.set_of(),
+        ),
+        "project centered band matrices through an eigenvector basis (Figure 4 stage 4)",
+        |args| {
+            let mats = matrices_from_set(args[0].expect_set("linear_combination")?, "linear_combination")?;
+            let basis = args[1].expect_matrix("linear_combination basis")?;
+            let out = linear_combination_impl(&mats, basis, false)?;
+            Ok(Value::Set(out.into_iter().map(Value::matrix).collect()))
+        },
+    )?;
+    r.register_fn(
+        "linear_combination_std",
+        Signature::new(
+            vec![TypeTag::Matrix.set_of(), TypeTag::Matrix],
+            TypeTag::Matrix.set_of(),
+        ),
+        "standardized projection (SPCA variant of Figure 4 stage 4)",
+        |args| {
+            let mats = matrices_from_set(args[0].expect_set("linear_combination_std")?, "linear_combination_std")?;
+            let basis = args[1].expect_matrix("linear_combination_std basis")?;
+            let out = linear_combination_impl(&mats, basis, true)?;
+            Ok(Value::Set(out.into_iter().map(Value::matrix).collect()))
+        },
+    )?;
+    r.register_fn(
+        "convert_matrix_image",
+        Signature::new(
+            vec![TypeTag::Matrix.set_of(), TypeTag::Image],
+            TypeTag::Image.set_of(),
+        ),
+        "re-impose a raster shape (from the template image) on each 1xN matrix (Figure 4 stage 5)",
+        |args| {
+            let mats = matrices_from_set(args[0].expect_set("convert_matrix_image")?, "convert_matrix_image")?;
+            let template = args[1].expect_image("convert_matrix_image template")?;
+            let out: AdtResult<Vec<Value>> = mats
+                .iter()
+                .map(|m| {
+                    matrix_row_to_image(m, 0, template.nrow(), template.ncol(), PixType::Float8)
+                        .map(Value::image)
+                })
+                .collect();
+            Ok(Value::Set(out?))
+        },
+    )?;
+
+    // --- the compound operators themselves -----------------------------------
+    r.register_compound(
+        build_pca_dataflow("pca", false),
+        "principal component analysis as the Figure 4 dataflow network",
+    )?;
+    r.register_compound(
+        build_pca_dataflow("spca", true),
+        "standardized PCA (Eastman 1992) as a Figure 4-style network over the correlation matrix",
+    )?;
+    Ok(())
+}
+
+/// A fully loaded registry: generic builtins + raster operators.
+pub fn full_registry() -> OperatorRegistry {
+    let mut r = OperatorRegistry::with_builtins();
+    register_raster_ops(&mut r).expect("raster ops are internally consistent");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn band_values(n: usize, f: impl Fn(usize) -> f64) -> Value {
+        let data: Vec<f64> = (0..n * n).map(f).collect();
+        Value::image(Image::from_f64(n as u32, n as u32, data).unwrap())
+    }
+
+    fn three_bands() -> Value {
+        Value::Set(vec![
+            band_values(8, |i| (i as f64 * 0.3).sin() * 40.0 + 100.0),
+            band_values(8, |i| (i as f64 * 0.3).sin() * 30.0 + 60.0),
+            band_values(8, |i| (i as f64 * 0.7).cos() * 20.0 + 80.0),
+        ])
+    }
+
+    #[test]
+    fn registry_loads_everything() {
+        let r = full_registry();
+        for name in [
+            "composite",
+            "unsuperclassify",
+            "ndvi",
+            "img_diff",
+            "img_ratio",
+            "pca",
+            "spca",
+            "convert_image_matrix",
+            "compute_covariance",
+            "get_eigen_vectors",
+            "linear_combination",
+            "convert_matrix_image",
+            "temporal_interp",
+            "rectify_shift",
+            "resample",
+            "threshold_below",
+        ] {
+            assert!(r.contains(name), "missing operator {name}");
+        }
+        assert!(r.get("pca").unwrap().is_compound());
+        assert!(r.get("spca").unwrap().is_compound());
+    }
+
+    #[test]
+    fn figure3_expression_evaluates() {
+        // C20.data = unsuperclassify(composite(bands), 12)
+        let r = full_registry();
+        let bands = three_bands();
+        let stack = r.invoke("composite", &[bands]).unwrap();
+        let classified = r
+            .invoke("unsuperclassify", &[stack, Value::Int4(12)])
+            .unwrap();
+        let img = classified.as_image().unwrap();
+        assert_eq!((img.nrow(), img.ncol()), (8, 8));
+        for i in 0..img.len() {
+            assert!(img.get_flat(i) < 12.0);
+        }
+    }
+
+    #[test]
+    fn pca_dataflow_matches_fused_implementation() {
+        let r = full_registry();
+        let bands_val = three_bands();
+        let out = r.invoke("pca", &[bands_val.clone()]).unwrap();
+        let comps = out.as_set().unwrap();
+        assert_eq!(comps.len(), 3);
+        // Compare against the fused library PCA.
+        let imgs: Vec<Arc<Image>> = bands_val
+            .as_set()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_image().unwrap().clone())
+            .collect();
+        let refs: Vec<&Image> = imgs.iter().map(|a| a.as_ref()).collect();
+        let fused = crate::pca::pca(&refs).unwrap();
+        for (k, comp) in comps.iter().enumerate() {
+            let net_img = comp.as_image().unwrap();
+            let fused_img = &fused.components[k];
+            for p in 0..net_img.len() {
+                assert!(
+                    (net_img.get_flat(p) - fused_img.get_flat(p)).abs() < 1e-6,
+                    "component {k} pixel {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spca_dataflow_differs_from_pca_on_scaled_bands() {
+        let r = full_registry();
+        let b1 = band_values(8, |i| (i as f64 * 0.3).sin() * 40.0 + 100.0);
+        let b2_raw = band_values(8, |i| (i as f64 * 0.9).cos() * 3.0 + 10.0);
+        let b2 = Value::image(
+            b2_raw
+                .as_image()
+                .unwrap()
+                .map(PixType::Float8, |v| v * 1000.0),
+        );
+        let bands = Value::Set(vec![b1, b2]);
+        let p = r.invoke("pca", &[bands.clone()]).unwrap();
+        let s = r.invoke("spca", &[bands]).unwrap();
+        assert_ne!(p, s);
+    }
+
+    #[test]
+    fn temporal_interp_operator() {
+        let r = full_registry();
+        let a = Value::image(Image::from_f64(1, 1, vec![0.0]).unwrap());
+        let b = Value::image(Image::from_f64(1, 1, vec![10.0]).unwrap());
+        use gaea_adt::AbsTime;
+        let v = r
+            .invoke(
+                "temporal_interp",
+                &[
+                    a,
+                    Value::AbsTime(AbsTime(0)),
+                    b,
+                    Value::AbsTime(AbsTime(100)),
+                    Value::AbsTime(AbsTime(25)),
+                ],
+            )
+            .unwrap();
+        assert_eq!(v.as_image().unwrap().get(0, 0), 2.5);
+    }
+
+    #[test]
+    fn desert_mask_operators() {
+        let r = full_registry();
+        let rainfall = Value::image(Image::from_f64(1, 4, vec![100.0, 251.0, 249.0, 500.0]).unwrap());
+        let mask = r
+            .invoke("threshold_below", &[rainfall, Value::Float8(250.0)])
+            .unwrap();
+        let m = mask.as_image().unwrap();
+        assert_eq!(m.to_f64_vec(), vec![1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn composite_operator_rejects_ragged_bands() {
+        let r = full_registry();
+        let bands = Value::Set(vec![
+            Value::image(Image::zeros(2, 2, PixType::Float8)),
+            Value::image(Image::zeros(3, 3, PixType::Float8)),
+        ]);
+        assert!(r.invoke("composite", &[bands]).is_err());
+    }
+
+    #[test]
+    fn unsuperclassify_is_deterministic() {
+        let r = full_registry();
+        let bands = three_bands();
+        let a = r
+            .invoke("unsuperclassify", &[bands.clone(), Value::Int4(4)])
+            .unwrap();
+        let b = r.invoke("unsuperclassify", &[bands, Value::Int4(4)]).unwrap();
+        assert_eq!(a, b);
+    }
+}

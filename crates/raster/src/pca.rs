@@ -1,0 +1,243 @@
+//! Principal component analysis — the compound operator of Figure 4 — and
+//! its standardized variant SPCA (Eastman 1992, cited in §2.1.3).
+//!
+//! The network: `convert-image-matrix → compute-covariance →
+//! get-eigen-vector → linear-combination → convert-matrix-image`.
+//! [`pca`] runs it fused (a direct implementation used for correctness
+//! baselines and benchmarking the dataflow overhead); the registered
+//! `pca` *operator* in [`crate::ops`] is built literally as that dataflow
+//! network.
+//!
+//! PCA diagonalizes the band **covariance** matrix; SPCA diagonalizes the
+//! band **correlation** matrix (equivalently: PCA on standardized bands).
+//! The paper uses the pair as its flagship example of two processes that
+//! derive "the same conceptual outcome" (vegetation change) by different
+//! derivations — exactly what the derivation semantics layer must keep
+//! distinguishable.
+
+use crate::eigen::{jacobi_eigen, EigenDecomposition};
+use crate::stats::{correlation_matrix, covariance_matrix, mean, stddev};
+use gaea_adt::{AdtError, AdtResult, Image, PixType};
+
+/// Result of a (S)PCA transform.
+#[derive(Debug, Clone)]
+pub struct PcaOutcome {
+    /// Component images, ordered by decreasing eigenvalue; same count as
+    /// input bands.
+    pub components: Vec<Image>,
+    /// The eigendecomposition (loadings + explained variance).
+    pub eigen: EigenDecomposition,
+    /// Band means (used to center; for SPCA also the standardization base).
+    pub band_means: Vec<f64>,
+    /// Band standard deviations (all 1.0 placeholders for plain PCA).
+    pub band_stds: Vec<f64>,
+    /// True if this was the standardized variant.
+    pub standardized: bool,
+}
+
+fn project(
+    bands: &[&Image],
+    means: &[f64],
+    stds: &[f64],
+    eigen: &EigenDecomposition,
+) -> Vec<Image> {
+    let nb = bands.len();
+    let npix = bands[0].len();
+    let nrow = bands[0].nrow();
+    let ncol = bands[0].ncol();
+    let mut components = Vec::with_capacity(nb);
+    for k in 0..nb {
+        let mut out = vec![0.0f64; npix];
+        for b in 0..nb {
+            let w = eigen.vectors.get(b, k);
+            if w == 0.0 {
+                continue;
+            }
+            for (p, o) in out.iter_mut().enumerate() {
+                *o += w * (bands[b].get_flat(p) - means[b]) / stds[b];
+            }
+        }
+        let template = Image::zeros(nrow, ncol, PixType::Float8);
+        components.push(
+            template
+                .with_samples(PixType::Float8, &out)
+                .expect("projection length matches raster"),
+        );
+    }
+    components
+}
+
+/// Plain PCA on the band covariance matrix.
+pub fn pca(bands: &[&Image]) -> AdtResult<PcaOutcome> {
+    if bands.len() < 2 {
+        return Err(AdtError::InvalidArgument(
+            "pca requires at least two bands".into(),
+        ));
+    }
+    let cov = covariance_matrix(bands)?;
+    let eigen = jacobi_eigen(&cov, 100, 1e-10)?;
+    let means: Vec<f64> = bands.iter().map(|b| mean(b)).collect();
+    let stds = vec![1.0; bands.len()];
+    let components = project(bands, &means, &stds, &eigen);
+    Ok(PcaOutcome {
+        components,
+        eigen,
+        band_means: means,
+        band_stds: stds,
+        standardized: false,
+    })
+}
+
+/// Standardized PCA (SPCA): PCA on the band correlation matrix, i.e. on
+/// z-scored bands. Zero-variance bands contribute zero (their std is
+/// replaced by 1 to avoid division by zero; centered values are all zero).
+pub fn spca(bands: &[&Image]) -> AdtResult<PcaOutcome> {
+    if bands.len() < 2 {
+        return Err(AdtError::InvalidArgument(
+            "spca requires at least two bands".into(),
+        ));
+    }
+    let cor = correlation_matrix(bands)?;
+    let eigen = jacobi_eigen(&cor, 100, 1e-10)?;
+    let means: Vec<f64> = bands.iter().map(|b| mean(b)).collect();
+    let stds: Vec<f64> = bands
+        .iter()
+        .map(|b| {
+            let s = stddev(b);
+            if s == 0.0 {
+                1.0
+            } else {
+                s
+            }
+        })
+        .collect();
+    let components = project(bands, &means, &stds, &eigen);
+    Ok(PcaOutcome {
+        components,
+        eigen,
+        band_means: means,
+        band_stds: stds,
+        standardized: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{covariance_matrix, stddev};
+
+    /// Synthetic bands with a dominant shared signal plus small noise.
+    fn correlated_bands() -> Vec<Image> {
+        let n = 64usize;
+        let mut b1 = vec![0.0; n];
+        let mut b2 = vec![0.0; n];
+        let mut b3 = vec![0.0; n];
+        for i in 0..n {
+            let t = i as f64 / n as f64;
+            let signal = (t * 12.0).sin() * 50.0 + 100.0;
+            b1[i] = signal + (i % 5) as f64;
+            b2[i] = 0.8 * signal + (i % 3) as f64;
+            b3[i] = -0.6 * signal + (i % 7) as f64 + 200.0;
+        }
+        vec![
+            Image::from_f64(8, 8, b1).unwrap(),
+            Image::from_f64(8, 8, b2).unwrap(),
+            Image::from_f64(8, 8, b3).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn first_component_carries_most_variance() {
+        let bands = correlated_bands();
+        let refs: Vec<&Image> = bands.iter().collect();
+        let out = pca(&refs).unwrap();
+        assert_eq!(out.components.len(), 3);
+        assert!(out.eigen.explained(0) > 0.9, "PC1 should dominate strongly correlated bands");
+        // Component variances decrease.
+        let v0 = stddev(&out.components[0]).powi(2);
+        let v1 = stddev(&out.components[1]).powi(2);
+        let v2 = stddev(&out.components[2]).powi(2);
+        assert!(v0 >= v1 && v1 >= v2);
+    }
+
+    #[test]
+    fn component_variances_match_eigenvalues() {
+        let bands = correlated_bands();
+        let refs: Vec<&Image> = bands.iter().collect();
+        let out = pca(&refs).unwrap();
+        for k in 0..3 {
+            let v = stddev(&out.components[k]).powi(2);
+            assert!(
+                (v - out.eigen.values[k].max(0.0)).abs() < 1e-6 * (1.0 + v),
+                "component {k}: var {v} vs eigenvalue {}",
+                out.eigen.values[k]
+            );
+        }
+    }
+
+    #[test]
+    fn components_are_uncorrelated() {
+        let bands = correlated_bands();
+        let refs: Vec<&Image> = bands.iter().collect();
+        let out = pca(&refs).unwrap();
+        let comp_refs: Vec<&Image> = out.components.iter().collect();
+        let cov = covariance_matrix(&comp_refs).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    assert!(
+                        cov.get(i, j).abs() < 1e-6 * (1.0 + cov.get(i, i).abs()),
+                        "components {i},{j} correlated: {}",
+                        cov.get(i, j)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spca_differs_from_pca_under_scaling() {
+        // Scale one band by 1000x: PCA is dominated by it, SPCA is not.
+        let bands = correlated_bands();
+        let scaled = bands[2].map(PixType::Float8, |v| v * 1000.0);
+        let refs = vec![&bands[0], &bands[1], &scaled];
+        let p = pca(&refs).unwrap();
+        let s = spca(&refs).unwrap();
+        // PCA's first loading is almost entirely on the scaled band.
+        let p_load = p.eigen.vectors.get(2, 0).abs();
+        assert!(p_load > 0.99, "PCA PC1 loading on scaled band = {p_load}");
+        // SPCA spreads loadings (scale-free).
+        let s_load = s.eigen.vectors.get(2, 0).abs();
+        assert!(s_load < 0.9, "SPCA PC1 loading on scaled band = {s_load}");
+        assert!(s.standardized && !p.standardized);
+    }
+
+    #[test]
+    fn spca_eigenvalues_sum_to_band_count() {
+        // trace of a correlation matrix = number of bands.
+        let bands = correlated_bands();
+        let refs: Vec<&Image> = bands.iter().collect();
+        let s = spca(&refs).unwrap();
+        let sum: f64 = s.eigen.values.iter().sum();
+        assert!((sum - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_single_band() {
+        let b = Image::zeros(4, 4, PixType::Float8);
+        assert!(pca(&[&b]).is_err());
+        assert!(spca(&[&b]).is_err());
+    }
+
+    #[test]
+    fn constant_band_is_tolerated_by_spca() {
+        let bands = correlated_bands();
+        let flat = Image::filled(8, 8, PixType::Float8, 3.0);
+        let refs = vec![&bands[0], &flat];
+        let s = spca(&refs).unwrap();
+        // The flat band projects to zero everywhere through any loading.
+        for img in &s.components {
+            assert!(img.to_f64_vec().iter().all(|v| v.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Band statistics: means, standard deviations, covariance and correlation
+//! matrices over a set of co-registered bands.
+//!
+//! `compute-covariance` is the second stage of the Figure 4 PCA network.
+//! The covariance is taken across *bands* (the classic remote-sensing
+//! formulation: an n-band image yields an n×n matrix whose (i, j) entry is
+//! the covariance of band i and band j over all pixels).
+
+use gaea_adt::{AdtError, AdtResult, Image, Matrix};
+
+/// Mean pixel value of one image.
+pub fn mean(img: &Image) -> f64 {
+    if img.is_empty() {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for i in 0..img.len() {
+        acc += img.get_flat(i);
+    }
+    acc / img.len() as f64
+}
+
+/// Population standard deviation of one image.
+pub fn stddev(img: &Image) -> f64 {
+    if img.is_empty() {
+        return 0.0;
+    }
+    let m = mean(img);
+    let mut acc = 0.0;
+    for i in 0..img.len() {
+        let d = img.get_flat(i) - m;
+        acc += d * d;
+    }
+    (acc / img.len() as f64).sqrt()
+}
+
+/// Check all bands share one shape; returns (nrow, ncol).
+pub fn check_same_shape(bands: &[&Image]) -> AdtResult<(u32, u32)> {
+    let first = bands
+        .first()
+        .ok_or_else(|| AdtError::InvalidArgument("empty band set".into()))?;
+    for b in &bands[1..] {
+        if !first.size_eq(b) {
+            return Err(AdtError::ShapeMismatch(format!(
+                "bands {}x{} vs {}x{}",
+                first.nrow(),
+                first.ncol(),
+                b.nrow(),
+                b.ncol()
+            )));
+        }
+    }
+    Ok((first.nrow(), first.ncol()))
+}
+
+/// n×n band covariance matrix (population covariance).
+pub fn covariance_matrix(bands: &[&Image]) -> AdtResult<Matrix> {
+    check_same_shape(bands)?;
+    let n = bands.len();
+    let npix = bands[0].len();
+    if npix == 0 {
+        return Err(AdtError::InvalidArgument("bands have zero pixels".into()));
+    }
+    let means: Vec<f64> = bands.iter().map(|b| mean(b)).collect();
+    let mut cov = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            let mut acc = 0.0;
+            for p in 0..npix {
+                acc += (bands[i].get_flat(p) - means[i]) * (bands[j].get_flat(p) - means[j]);
+            }
+            let c = acc / npix as f64;
+            cov.set(i, j, c);
+            cov.set(j, i, c);
+        }
+    }
+    Ok(cov)
+}
+
+/// n×n band correlation matrix. Bands with zero variance correlate 0 with
+/// everything and 1 with themselves. SPCA (Eastman 1992) is PCA on this
+/// matrix instead of the covariance matrix.
+pub fn correlation_matrix(bands: &[&Image]) -> AdtResult<Matrix> {
+    let cov = covariance_matrix(bands)?;
+    let n = bands.len();
+    let sd: Vec<f64> = (0..n).map(|i| cov.get(i, i).sqrt()).collect();
+    let mut cor = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let denom = sd[i] * sd[j];
+            let v = if i == j {
+                1.0
+            } else if denom == 0.0 {
+                0.0
+            } else {
+                cov.get(i, j) / denom
+            };
+            cor.set(i, j, v);
+        }
+    }
+    Ok(cor)
+}
+
+/// Fixed-width histogram of pixel values.
+pub fn histogram(img: &Image, bins: usize, lo: f64, hi: f64) -> AdtResult<Vec<u64>> {
+    if bins == 0 || hi <= lo {
+        return Err(AdtError::InvalidArgument(format!(
+            "histogram bins={bins} range=[{lo},{hi}]"
+        )));
+    }
+    let mut counts = vec![0u64; bins];
+    let w = (hi - lo) / bins as f64;
+    for i in 0..img.len() {
+        let v = img.get_flat(i);
+        if v < lo || v > hi {
+            continue;
+        }
+        let mut b = ((v - lo) / w) as usize;
+        if b >= bins {
+            b = bins - 1; // v == hi lands in the last bin
+        }
+        counts[b] += 1;
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaea_adt::PixType;
+
+    fn img(data: &[f64], rows: u32, cols: u32) -> Image {
+        Image::from_f64(rows, cols, data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn mean_and_stddev() {
+        let a = img(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        assert_eq!(mean(&a), 2.5);
+        assert!((stddev(&a) - (1.25f64).sqrt()).abs() < 1e-12);
+        let flat = Image::filled(4, 4, PixType::Float8, 7.0);
+        assert_eq!(mean(&flat), 7.0);
+        assert_eq!(stddev(&flat), 0.0);
+    }
+
+    #[test]
+    fn covariance_of_identical_bands_is_variance() {
+        let a = img(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        let cov = covariance_matrix(&[&a, &a]).unwrap();
+        let var = stddev(&a).powi(2);
+        for (r, c) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+            assert!((cov.get(r, c) - var).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn covariance_of_anticorrelated_bands() {
+        let a = img(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        let b = img(&[4.0, 3.0, 2.0, 1.0], 2, 2);
+        let cov = covariance_matrix(&[&a, &b]).unwrap();
+        assert!(cov.get(0, 1) < 0.0);
+        assert!((cov.get(0, 1) + cov.get(0, 0)).abs() < 1e-12); // perfectly anti-correlated
+        let cor = correlation_matrix(&[&a, &b]).unwrap();
+        assert!((cor.get(0, 1) + 1.0).abs() < 1e-12);
+        assert_eq!(cor.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn covariance_is_symmetric() {
+        let a = img(&[1.0, 5.0, 2.0, 8.0, 3.0, 9.0], 2, 3);
+        let b = img(&[2.0, 1.0, 7.0, 3.0, 5.0, 4.0], 2, 3);
+        let c = img(&[0.0, 2.0, 4.0, 6.0, 8.0, 10.0], 2, 3);
+        let cov = covariance_matrix(&[&a, &b, &c]).unwrap();
+        assert!(cov.is_symmetric(1e-12));
+        assert_eq!(cov.rows(), 3);
+    }
+
+    #[test]
+    fn zero_variance_band_correlation() {
+        let a = img(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        let flat = Image::filled(2, 2, PixType::Float8, 5.0);
+        let cor = correlation_matrix(&[&a, &flat]).unwrap();
+        assert_eq!(cor.get(0, 1), 0.0);
+        assert_eq!(cor.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = img(&[1.0, 2.0], 1, 2);
+        let b = img(&[1.0, 2.0, 3.0], 1, 3);
+        assert!(covariance_matrix(&[&a, &b]).is_err());
+        assert!(check_same_shape(&[]).is_err());
+    }
+
+    #[test]
+    fn histogram_bins() {
+        let a = img(&[0.0, 0.5, 1.0, 2.5, 9.9, 10.0, -1.0, 11.0], 2, 4);
+        let h = histogram(&a, 10, 0.0, 10.0).unwrap();
+        assert_eq!(h.iter().sum::<u64>(), 6); // -1 and 11 out of range
+        assert_eq!(h[0], 2); // 0.0 and 0.5
+        assert_eq!(h[9], 2); // 9.9, and 10.0 clamps into the last bin
+    }
+
+    #[test]
+    fn histogram_edges() {
+        let a = img(&[0.0, 1.0, 10.0], 1, 3);
+        let h = histogram(&a, 10, 0.0, 10.0).unwrap();
+        assert_eq!(h[0], 1);
+        assert_eq!(h[1], 1);
+        assert_eq!(h[9], 1); // hi lands in last bin
+        assert!(histogram(&a, 0, 0.0, 1.0).is_err());
+        assert!(histogram(&a, 4, 1.0, 1.0).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Spatial subsetting: crop a raster to a sub-window.
+//!
+//! §2.1.5 lists "data interpolation (temporal or spatial)" as the generic
+//! step-2 derivation. The spatial form used in GIS practice is windowing:
+//! a query over a region covered by a larger stored scene is answered by
+//! cropping (plus resampling when grids differ — see
+//! [`crate::rectify::resample`]).
+
+use gaea_adt::{AdtError, AdtResult, GeoBox, Image};
+
+/// Crop by pixel window: rows `[r0, r0+h)`, columns `[c0, c0+w)`.
+pub fn crop(img: &Image, r0: u32, c0: u32, h: u32, w: u32) -> AdtResult<Image> {
+    if h == 0 || w == 0 {
+        return Err(AdtError::InvalidArgument("empty crop window".into()));
+    }
+    if r0 + h > img.nrow() || c0 + w > img.ncol() {
+        return Err(AdtError::ShapeMismatch(format!(
+            "crop [{r0}+{h}, {c0}+{w}] exceeds raster {}x{}",
+            img.nrow(),
+            img.ncol()
+        )));
+    }
+    let mut data = Vec::with_capacity((h * w) as usize);
+    for r in r0..r0 + h {
+        for c in c0..c0 + w {
+            data.push(img.get(r, c));
+        }
+    }
+    Image::zeros(h, w, img.pixtype()).with_samples(img.pixtype(), &data)
+}
+
+/// Crop by geographic window: maps `window` into pixel space through the
+/// raster's `extent` (row 0 at the north edge) and crops to the covered
+/// pixels. Errors when the window misses the extent entirely.
+pub fn crop_to_window(img: &Image, extent: &GeoBox, window: &GeoBox) -> AdtResult<(Image, GeoBox)> {
+    let inter = extent.intersection(window).ok_or_else(|| {
+        AdtError::InvalidArgument(format!(
+            "window {window} does not intersect extent {extent}"
+        ))
+    })?;
+    if extent.width() <= 0.0 || extent.height() <= 0.0 {
+        return Err(AdtError::InvalidArgument("degenerate raster extent".into()));
+    }
+    let px_per_x = img.ncol() as f64 / extent.width();
+    let px_per_y = img.nrow() as f64 / extent.height();
+    let c0 = ((inter.xmin - extent.xmin) * px_per_x).floor().max(0.0) as u32;
+    let c1 = ((inter.xmax - extent.xmin) * px_per_x).ceil().min(img.ncol() as f64) as u32;
+    // Row 0 is the north (ymax) edge.
+    let r0 = ((extent.ymax - inter.ymax) * px_per_y).floor().max(0.0) as u32;
+    let r1 = ((extent.ymax - inter.ymin) * px_per_y).ceil().min(img.nrow() as f64) as u32;
+    let h = (r1 - r0).max(1);
+    let w = (c1 - c0).max(1);
+    let cropped = crop(img, r0, c0, h.min(img.nrow() - r0), w.min(img.ncol() - c0))?;
+    // The extent actually covered by the cropped pixels.
+    let covered = GeoBox::new(
+        extent.xmin + c0 as f64 / px_per_x,
+        extent.ymax - r1 as f64 / px_per_y,
+        extent.xmin + c1 as f64 / px_per_x,
+        extent.ymax - r0 as f64 / px_per_y,
+    );
+    Ok((cropped, covered))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaea_adt::PixType;
+
+    fn gradient(rows: u32, cols: u32) -> Image {
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|i| (i / cols) as f64 * 100.0 + (i % cols) as f64)
+            .collect();
+        Image::from_f64(rows, cols, data).unwrap()
+    }
+
+    #[test]
+    fn pixel_crop_extracts_window() {
+        let img = gradient(6, 8);
+        let c = crop(&img, 1, 2, 3, 4).unwrap();
+        assert_eq!((c.nrow(), c.ncol()), (3, 4));
+        assert_eq!(c.get(0, 0), img.get(1, 2));
+        assert_eq!(c.get(2, 3), img.get(3, 5));
+    }
+
+    #[test]
+    fn pixel_crop_bounds_checked() {
+        let img = gradient(4, 4);
+        assert!(crop(&img, 0, 0, 0, 1).is_err());
+        assert!(crop(&img, 2, 2, 3, 1).is_err());
+        assert!(crop(&img, 0, 3, 1, 2).is_err());
+        // Full-frame crop is identity.
+        assert_eq!(crop(&img, 0, 0, 4, 4).unwrap(), img);
+    }
+
+    #[test]
+    fn crop_preserves_pixtype() {
+        let img = Image::filled(4, 4, PixType::Int2, 7.0);
+        let c = crop(&img, 1, 1, 2, 2).unwrap();
+        assert_eq!(c.pixtype(), PixType::Int2);
+    }
+
+    #[test]
+    fn geographic_crop_covers_the_window() {
+        // Extent 0..8 east, 0..6 north on a 6x8 raster: 1 px per unit.
+        let img = gradient(6, 8);
+        let extent = GeoBox::new(0.0, 0.0, 8.0, 6.0);
+        let window = GeoBox::new(2.0, 1.0, 5.0, 4.0);
+        let (c, covered) = crop_to_window(&img, &extent, &window).unwrap();
+        assert_eq!((c.nrow(), c.ncol()), (3, 3));
+        assert!(covered.contains(&window));
+        // North-west pixel of the crop is row 2 (6-4), col 2 of the source.
+        assert_eq!(c.get(0, 0), img.get(2, 2));
+    }
+
+    #[test]
+    fn geographic_crop_clamps_partial_overlap() {
+        let img = gradient(6, 8);
+        let extent = GeoBox::new(0.0, 0.0, 8.0, 6.0);
+        let window = GeoBox::new(6.0, 4.0, 12.0, 9.0); // hangs off the NE corner
+        let (c, covered) = crop_to_window(&img, &extent, &window).unwrap();
+        assert_eq!((c.nrow(), c.ncol()), (2, 2));
+        assert!(extent.contains(&covered));
+        let miss = GeoBox::new(20.0, 20.0, 30.0, 30.0);
+        assert!(crop_to_window(&img, &extent, &miss).is_err());
+    }
+}

@@ -1,0 +1,430 @@
+//! Supervised classification — the paper's example of an *interactive*
+//! process (§4.3 limitation 2).
+//!
+//! "A typical example is supervised classification. This process requires
+//! interaction with the scientist before a task completes the derivation of
+//! the output land cover classification data." The interaction is the
+//! digitization of *training sites*: the scientist inspects a composite of
+//! the input bands, outlines regions of known cover, and the classifier
+//! assigns every remaining pixel to the spectrally nearest class.
+//!
+//! Two classic IDRISI-era supervised classifiers are provided:
+//!
+//! * [`min_distance_classify`] — minimum distance to class means (MINDIST),
+//! * [`parallelepiped_classify`] — per-band min/max boxes (PIPED), which
+//!   can leave pixels *unclassified* (label [`UNCLASSIFIED`]).
+//!
+//! [`signatures_from_training`] turns training sites into the spectral
+//! signature matrix the classifiers consume — this is the artifact the
+//! scientist supplies mid-task through the kernel's interactive sessions.
+
+use crate::composite::BandStack;
+use gaea_adt::{AdtError, AdtResult, Image, Matrix, PixType};
+
+/// Label written by [`parallelepiped_classify`] for pixels outside every
+/// class box (IDRISI writes 0; we use 255 so class 0 stays a real class).
+pub const UNCLASSIFIED: f64 = 255.0;
+
+/// Outcome of a supervised classification.
+#[derive(Debug, Clone)]
+pub struct SupervisedOutcome {
+    /// Per-pixel class labels in `[0, k)` (plus [`UNCLASSIFIED`] for PIPED),
+    /// `char`-typed like an IDRISI class map.
+    pub labels: Image,
+    /// Pixels assigned to each class.
+    pub class_counts: Vec<u64>,
+    /// Pixels assigned to no class (always 0 for MINDIST).
+    pub unclassified: u64,
+}
+
+/// One training site: the class it exemplifies and the flat pixel indices
+/// the scientist outlined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainingSite {
+    /// Class index in `[0, k)`.
+    pub class: usize,
+    /// Flat pixel indices (row-major) inside the site polygon.
+    pub pixels: Vec<usize>,
+}
+
+impl TrainingSite {
+    /// Shorthand constructor.
+    pub fn new(class: usize, pixels: Vec<usize>) -> TrainingSite {
+        TrainingSite { class, pixels }
+    }
+}
+
+/// Derive the k×bands signature (class-mean) matrix from training sites.
+///
+/// Multiple sites may exemplify the same class; their pixels pool. Every
+/// class in `[0, k)` must be exemplified by at least one pixel — a class
+/// the scientist forgot to train is an error, not a silent zero signature.
+pub fn signatures_from_training(
+    stack: &BandStack,
+    k: usize,
+    sites: &[TrainingSite],
+) -> AdtResult<Matrix> {
+    if k == 0 {
+        return Err(AdtError::InvalidArgument("k must be positive".into()));
+    }
+    let nb = stack.depth();
+    let npix = stack.pixels();
+    let mut sums = vec![vec![0.0f64; nb]; k];
+    let mut counts = vec![0u64; k];
+    let mut feature = Vec::new();
+    for site in sites {
+        if site.class >= k {
+            return Err(AdtError::InvalidArgument(format!(
+                "training site names class {} but k = {k}",
+                site.class
+            )));
+        }
+        for &p in &site.pixels {
+            if p >= npix {
+                return Err(AdtError::InvalidArgument(format!(
+                    "training pixel {p} outside raster of {npix} pixels"
+                )));
+            }
+            stack.feature(p, &mut feature);
+            for (b, v) in feature.iter().enumerate() {
+                sums[site.class][b] += v;
+            }
+            counts[site.class] += 1;
+        }
+    }
+    let mut data = Vec::with_capacity(k * nb);
+    for (c, (sum, n)) in sums.iter().zip(&counts).enumerate() {
+        if *n == 0 {
+            return Err(AdtError::InvalidArgument(format!(
+                "class {c} has no training pixels"
+            )));
+        }
+        for s in sum {
+            data.push(s / *n as f64);
+        }
+    }
+    Matrix::from_rows(k, nb, data)
+}
+
+fn check_signatures(stack: &BandStack, signatures: &Matrix) -> AdtResult<usize> {
+    let k = signatures.rows();
+    if k == 0 {
+        return Err(AdtError::InvalidArgument("empty signature matrix".into()));
+    }
+    if k > 254 {
+        return Err(AdtError::InvalidArgument(
+            "k must fit the char-typed class map below the UNCLASSIFIED label (k <= 254)".into(),
+        ));
+    }
+    if signatures.cols() != stack.depth() {
+        return Err(AdtError::ShapeMismatch(format!(
+            "signatures cover {} band(s), stack has {}",
+            signatures.cols(),
+            stack.depth()
+        )));
+    }
+    if stack.pixels() == 0 {
+        return Err(AdtError::InvalidArgument("empty raster".into()));
+    }
+    Ok(k)
+}
+
+/// Minimum-distance-to-means classification (IDRISI MINDIST).
+///
+/// `signatures` is the k×bands class-mean matrix, normally produced by
+/// [`signatures_from_training`] from scientist-digitized sites. Every pixel
+/// is assigned to the class whose signature is nearest in Euclidean
+/// spectral distance; ties break toward the lower class index, so the
+/// result is a pure function of its inputs (reproducible tasks).
+pub fn min_distance_classify(
+    stack: &BandStack,
+    signatures: &Matrix,
+) -> AdtResult<SupervisedOutcome> {
+    let k = check_signatures(stack, signatures)?;
+    let npix = stack.pixels();
+    let mut labels = vec![0.0f64; npix];
+    let mut class_counts = vec![0u64; k];
+    let mut feature = Vec::new();
+    for (p, label) in labels.iter_mut().enumerate() {
+        stack.feature(p, &mut feature);
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for c in 0..k {
+            let mut d = 0.0;
+            for (b, v) in feature.iter().enumerate() {
+                let diff = v - signatures.get(c, b);
+                d += diff * diff;
+            }
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        *label = best as f64;
+        class_counts[best] += 1;
+    }
+    let labels = Image::zeros(stack.nrow(), stack.ncol(), PixType::Char)
+        .with_samples(PixType::Char, &labels)?;
+    Ok(SupervisedOutcome {
+        labels,
+        class_counts,
+        unclassified: 0,
+    })
+}
+
+/// Parallelepiped classification (IDRISI PIPED).
+///
+/// `lo` and `hi` are k×bands per-class box bounds (e.g. mean ± z·stddev of
+/// the training pixels). A pixel inside several boxes goes to the first
+/// (lowest-index) class; a pixel inside none is [`UNCLASSIFIED`].
+pub fn parallelepiped_classify(
+    stack: &BandStack,
+    lo: &Matrix,
+    hi: &Matrix,
+) -> AdtResult<SupervisedOutcome> {
+    let k = check_signatures(stack, lo)?;
+    if hi.rows() != lo.rows() || hi.cols() != lo.cols() {
+        return Err(AdtError::ShapeMismatch(format!(
+            "box bounds disagree: lo {}x{}, hi {}x{}",
+            lo.rows(),
+            lo.cols(),
+            hi.rows(),
+            hi.cols()
+        )));
+    }
+    let npix = stack.pixels();
+    let mut labels = vec![0.0f64; npix];
+    let mut class_counts = vec![0u64; k];
+    let mut unclassified = 0u64;
+    let mut feature = Vec::new();
+    for (p, label) in labels.iter_mut().enumerate() {
+        stack.feature(p, &mut feature);
+        let hit = (0..k).find(|&c| {
+            feature
+                .iter()
+                .enumerate()
+                .all(|(b, v)| *v >= lo.get(c, b) && *v <= hi.get(c, b))
+        });
+        match hit {
+            Some(c) => {
+                *label = c as f64;
+                class_counts[c] += 1;
+            }
+            None => {
+                *label = UNCLASSIFIED;
+                unclassified += 1;
+            }
+        }
+    }
+    let labels = Image::zeros(stack.nrow(), stack.ncol(), PixType::Char)
+        .with_samples(PixType::Char, &labels)?;
+    Ok(SupervisedOutcome {
+        labels,
+        class_counts,
+        unclassified,
+    })
+}
+
+/// Box bounds for [`parallelepiped_classify`] from training sites:
+/// per-class, per-band `[mean - z·sd, mean + z·sd]`.
+pub fn training_boxes(
+    stack: &BandStack,
+    k: usize,
+    sites: &[TrainingSite],
+    z: f64,
+) -> AdtResult<(Matrix, Matrix)> {
+    if !(z > 0.0) {
+        return Err(AdtError::InvalidArgument(format!(
+            "z must be positive, got {z}"
+        )));
+    }
+    let means = signatures_from_training(stack, k, sites)?;
+    let nb = stack.depth();
+    // Second pass for the per-class variance.
+    let mut sq = vec![vec![0.0f64; nb]; k];
+    let mut counts = vec![0u64; k];
+    let mut feature = Vec::new();
+    for site in sites {
+        for &p in &site.pixels {
+            stack.feature(p, &mut feature);
+            for (b, v) in feature.iter().enumerate() {
+                let d = v - means.get(site.class, b);
+                sq[site.class][b] += d * d;
+            }
+            counts[site.class] += 1;
+        }
+    }
+    let mut lo = Matrix::zeros(k, nb);
+    let mut hi = Matrix::zeros(k, nb);
+    for c in 0..k {
+        for b in 0..nb {
+            let sd = (sq[c][b] / counts[c].max(1) as f64).sqrt();
+            lo.set(c, b, means.get(c, b) - z * sd);
+            hi.set(c, b, means.get(c, b) + z * sd);
+        }
+    }
+    Ok((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composite::composite;
+
+    /// Two well-separated spectral clusters across two bands: left half
+    /// ~ (10, 100), right half ~ (200, 20) — same scene as the k-means
+    /// tests so the two classifiers can be compared.
+    fn two_cluster_stack() -> BandStack {
+        let mut b1 = vec![0.0; 16];
+        let mut b2 = vec![0.0; 16];
+        for r in 0..4 {
+            for c in 0..4 {
+                let i = r * 4 + c;
+                if c < 2 {
+                    b1[i] = 10.0 + (i % 3) as f64;
+                    b2[i] = 100.0 + (i % 2) as f64;
+                } else {
+                    b1[i] = 200.0 - (i % 3) as f64;
+                    b2[i] = 20.0 + (i % 2) as f64;
+                }
+            }
+        }
+        let i1 = Image::from_f64(4, 4, b1).unwrap();
+        let i2 = Image::from_f64(4, 4, b2).unwrap();
+        composite(&[&i1, &i2]).unwrap()
+    }
+
+    /// One small training site per cluster: pixels (0,0),(1,0) for class 0
+    /// (left), (0,3),(1,3) for class 1 (right).
+    fn sites() -> Vec<TrainingSite> {
+        vec![
+            TrainingSite::new(0, vec![0, 4]),
+            TrainingSite::new(1, vec![3, 7]),
+        ]
+    }
+
+    #[test]
+    fn signatures_pool_training_pixels() {
+        let stack = two_cluster_stack();
+        let sig = signatures_from_training(&stack, 2, &sites()).unwrap();
+        assert_eq!((sig.rows(), sig.cols()), (2, 2));
+        // Class 0 is the low-band1 cluster, class 1 the high-band1 cluster.
+        assert!(sig.get(0, 0) < 20.0, "left mean b1 {}", sig.get(0, 0));
+        assert!(sig.get(1, 0) > 190.0, "right mean b1 {}", sig.get(1, 0));
+    }
+
+    #[test]
+    fn signatures_reject_bad_training() {
+        let stack = two_cluster_stack();
+        // Class with no pixels.
+        assert!(signatures_from_training(&stack, 3, &sites()).is_err());
+        // Class index out of range.
+        let bad = vec![TrainingSite::new(2, vec![0])];
+        assert!(signatures_from_training(&stack, 2, &bad).is_err());
+        // Pixel out of range.
+        let bad = vec![
+            TrainingSite::new(0, vec![99]),
+            TrainingSite::new(1, vec![3]),
+        ];
+        assert!(signatures_from_training(&stack, 2, &bad).is_err());
+        // k = 0.
+        assert!(signatures_from_training(&stack, 0, &[]).is_err());
+    }
+
+    #[test]
+    fn min_distance_recovers_the_clusters() {
+        let stack = two_cluster_stack();
+        let sig = signatures_from_training(&stack, 2, &sites()).unwrap();
+        let out = min_distance_classify(&stack, &sig).unwrap();
+        for r in 0..4u32 {
+            for c in 0..4u32 {
+                let expect = if c < 2 { 0.0 } else { 1.0 };
+                assert_eq!(out.labels.get(r, c), expect, "({r},{c})");
+            }
+        }
+        assert_eq!(out.class_counts, vec![8, 8]);
+        assert_eq!(out.unclassified, 0);
+    }
+
+    #[test]
+    fn min_distance_is_deterministic_and_supervision_matters() {
+        let stack = two_cluster_stack();
+        let sig = signatures_from_training(&stack, 2, &sites()).unwrap();
+        let a = min_distance_classify(&stack, &sig).unwrap();
+        let b = min_distance_classify(&stack, &sig).unwrap();
+        assert_eq!(a.labels, b.labels);
+        // Swapping the training classes swaps the labels: the scientist's
+        // interaction is part of the derivation.
+        let swapped = vec![
+            TrainingSite::new(1, vec![0, 4]),
+            TrainingSite::new(0, vec![3, 7]),
+        ];
+        let sig2 = signatures_from_training(&stack, 2, &swapped).unwrap();
+        let c = min_distance_classify(&stack, &sig2).unwrap();
+        assert_ne!(a.labels, c.labels);
+        assert_eq!(c.labels.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn min_distance_validates_shapes() {
+        let stack = two_cluster_stack();
+        // Signature band count mismatch.
+        let sig = Matrix::from_rows(2, 3, vec![0.0; 6]).unwrap();
+        assert!(min_distance_classify(&stack, &sig).is_err());
+        // Empty signatures.
+        let sig = Matrix::zeros(0, 2);
+        assert!(min_distance_classify(&stack, &sig).is_err());
+    }
+
+    #[test]
+    fn piped_boxes_classify_and_leave_outliers() {
+        let stack = two_cluster_stack();
+        let (lo, hi) = training_boxes(&stack, 2, &sites(), 3.0).unwrap();
+        let out = parallelepiped_classify(&stack, &lo, &hi).unwrap();
+        // Training pixels themselves are inside their class boxes.
+        assert_eq!(out.labels.get_flat(0), 0.0);
+        assert_eq!(out.labels.get_flat(3), 1.0);
+        // Tight boxes (z chosen small) leave non-training variation outside.
+        let (lo, hi) = training_boxes(&stack, 2, &sites(), 1e-6).unwrap();
+        let tight = parallelepiped_classify(&stack, &lo, &hi).unwrap();
+        assert!(tight.unclassified > 0, "{tight:?}");
+        assert_eq!(
+            tight.unclassified + tight.class_counts.iter().sum::<u64>(),
+            16
+        );
+        for p in 0..16 {
+            let l = tight.labels.get_flat(p);
+            assert!(l < 2.0 || l == UNCLASSIFIED);
+        }
+    }
+
+    #[test]
+    fn piped_validates_bounds() {
+        let stack = two_cluster_stack();
+        let lo = Matrix::zeros(2, 2);
+        let hi = Matrix::zeros(3, 2);
+        assert!(parallelepiped_classify(&stack, &lo, &hi).is_err());
+        assert!(training_boxes(&stack, 2, &sites(), 0.0).is_err());
+        assert!(training_boxes(&stack, 2, &sites(), -1.0).is_err());
+    }
+
+    #[test]
+    fn supervised_and_unsupervised_agree_on_separable_data() {
+        // On cleanly separable data the supervised map and the k-means map
+        // induce the same partition (up to label permutation).
+        let stack = two_cluster_stack();
+        let sig = signatures_from_training(&stack, 2, &sites()).unwrap();
+        let sup = min_distance_classify(&stack, &sig).unwrap();
+        let unsup = crate::classify::kmeans_classify(&stack, 2, 50, 7).unwrap();
+        let mut agree = 0;
+        let mut flipped = 0;
+        for p in 0..16 {
+            if sup.labels.get_flat(p) == unsup.labels.get_flat(p) {
+                agree += 1;
+            } else {
+                flipped += 1;
+            }
+        }
+        assert!(agree == 16 || flipped == 16, "agree={agree} flip={flipped}");
+    }
+}

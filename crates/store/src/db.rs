@@ -1,0 +1,429 @@
+//! The database: named relations plus a shared OID allocator.
+
+use crate::error::{StoreError, StoreResult};
+use crate::heap::Heap;
+use crate::index::OrderedIndex;
+use crate::oid::{Oid, OidAllocator};
+use crate::predicate::Predicate;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::txn::Txn;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One typed relation: schema + heap + eagerly maintained indexes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Relation {
+    schema: Schema,
+    heap: Heap,
+    indexes: Vec<OrderedIndex>,
+}
+
+impl Relation {
+    /// Empty relation with the given schema.
+    pub fn new(schema: Schema) -> Relation {
+        Relation {
+            schema,
+            heap: Heap::new(),
+            indexes: Vec::new(),
+        }
+    }
+
+    /// The relation schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Live tuple count.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Insert a validated tuple under `oid`.
+    pub(crate) fn insert(&mut self, oid: Oid, tuple: Tuple) -> StoreResult<()> {
+        self.schema.validate(&tuple)?;
+        for idx in &mut self.indexes {
+            idx.insert(tuple.get(idx.column).clone(), oid);
+        }
+        self.heap.insert(oid, tuple)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, oid: Oid) -> StoreResult<&Tuple> {
+        self.heap.get(oid)
+    }
+
+    /// True if the OID is live here.
+    pub fn contains(&self, oid: Oid) -> bool {
+        self.heap.contains(oid)
+    }
+
+    /// Delete, returning the old tuple.
+    pub(crate) fn delete(&mut self, oid: Oid) -> StoreResult<Tuple> {
+        let tuple = self.heap.delete(oid)?;
+        for idx in &mut self.indexes {
+            idx.remove(tuple.get(idx.column), oid);
+        }
+        Ok(tuple)
+    }
+
+    /// Update, returning the old tuple.
+    pub(crate) fn update(&mut self, oid: Oid, tuple: Tuple) -> StoreResult<Tuple> {
+        self.schema.validate(&tuple)?;
+        // Maintain indexes: remove old keys, insert new.
+        let old = self.heap.get(oid)?.clone();
+        for idx in &mut self.indexes {
+            idx.remove(old.get(idx.column), oid);
+            idx.insert(tuple.get(idx.column).clone(), oid);
+        }
+        self.heap.update(oid, tuple)
+    }
+
+    /// Predicate scan in storage order.
+    pub fn scan(&self, pred: &Predicate) -> StoreResult<Vec<(Oid, &Tuple)>> {
+        let mut out = Vec::new();
+        for (oid, tuple) in self.heap.iter() {
+            if pred.matches(&self.schema, tuple)? {
+                out.push((oid, tuple));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Full iteration.
+    pub fn iter(&self) -> impl Iterator<Item = (Oid, &Tuple)> {
+        self.heap.iter()
+    }
+
+    /// Create an ordered index on a column (backfills existing tuples).
+    pub fn create_index(&mut self, column: &str) -> StoreResult<()> {
+        let pos = self.schema.position(column)?;
+        if self.indexes.iter().any(|i| i.column == pos) {
+            return Err(StoreError::IndexError(format!(
+                "index on {column} already exists"
+            )));
+        }
+        let mut idx = OrderedIndex::new(pos);
+        for (oid, tuple) in self.heap.iter() {
+            idx.insert(tuple.get(pos).clone(), oid);
+        }
+        self.indexes.push(idx);
+        Ok(())
+    }
+
+    /// Exact-match lookup through an index, if one exists on the column.
+    pub fn index_lookup(&self, column: &str, key: &gaea_adt::Value) -> StoreResult<Vec<Oid>> {
+        let pos = self.schema.position(column)?;
+        let idx = self
+            .indexes
+            .iter()
+            .find(|i| i.column == pos)
+            .ok_or_else(|| StoreError::IndexError(format!("no index on {column}")))?;
+        Ok(idx.lookup(key).to_vec())
+    }
+
+    /// Inclusive range lookup through an index.
+    pub fn index_range(
+        &self,
+        column: &str,
+        lo: Option<&gaea_adt::Value>,
+        hi: Option<&gaea_adt::Value>,
+    ) -> StoreResult<Vec<Oid>> {
+        let pos = self.schema.position(column)?;
+        let idx = self
+            .indexes
+            .iter()
+            .find(|i| i.column == pos)
+            .ok_or_else(|| StoreError::IndexError(format!("no index on {column}")))?;
+        Ok(idx.range(lo, hi))
+    }
+
+    /// Rebuild heap OID map and all indexes (after snapshot load).
+    pub(crate) fn rebuild(&mut self) {
+        self.heap.rebuild_index();
+        let columns: Vec<usize> = self.indexes.iter().map(|i| i.column).collect();
+        self.indexes.clear();
+        for pos in columns {
+            let mut idx = OrderedIndex::new(pos);
+            for (oid, tuple) in self.heap.iter() {
+                idx.insert(tuple.get(pos).clone(), oid);
+            }
+            self.indexes.push(idx);
+        }
+    }
+}
+
+/// The embedded database: named relations + a shared OID allocator.
+#[derive(Debug)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+    allocator: OidAllocator,
+}
+
+impl Database {
+    /// Fresh, empty database.
+    pub fn new() -> Database {
+        Database {
+            relations: BTreeMap::new(),
+            allocator: OidAllocator::new(),
+        }
+    }
+
+    /// Create a relation.
+    pub fn create_relation(&mut self, name: &str, schema: Schema) -> StoreResult<()> {
+        if self.relations.contains_key(name) {
+            return Err(StoreError::DuplicateRelation(name.into()));
+        }
+        self.relations.insert(name.into(), Relation::new(schema));
+        Ok(())
+    }
+
+    /// Drop a relation and all its tuples.
+    pub fn drop_relation(&mut self, name: &str) -> StoreResult<()> {
+        self.relations
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| StoreError::NoSuchRelation(name.into()))
+    }
+
+    /// Borrow a relation.
+    pub fn relation(&self, name: &str) -> StoreResult<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| StoreError::NoSuchRelation(name.into()))
+    }
+
+    /// Mutably borrow a relation.
+    pub fn relation_mut(&mut self, name: &str) -> StoreResult<&mut Relation> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| StoreError::NoSuchRelation(name.into()))
+    }
+
+    /// Relation names in order.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.keys().map(String::as_str).collect()
+    }
+
+    /// Allocate a fresh OID.
+    pub fn allocate_oid(&self) -> Oid {
+        self.allocator.allocate()
+    }
+
+    /// Autocommit insert: allocates an OID, validates, inserts.
+    pub fn insert(&mut self, rel: &str, tuple: Tuple) -> StoreResult<Oid> {
+        let oid = self.allocator.allocate();
+        self.relation_mut(rel)?.insert(oid, tuple)?;
+        Ok(oid)
+    }
+
+    /// Insert under a pre-allocated OID (used by the kernel to give data
+    /// objects and their task records the same identifier space).
+    pub fn insert_with_oid(&mut self, rel: &str, oid: Oid, tuple: Tuple) -> StoreResult<()> {
+        self.relation_mut(rel)?.insert(oid, tuple)
+    }
+
+    /// Autocommit delete.
+    pub fn delete(&mut self, rel: &str, oid: Oid) -> StoreResult<Tuple> {
+        self.relation_mut(rel)?.delete(oid)
+    }
+
+    /// Autocommit update.
+    pub fn update(&mut self, rel: &str, oid: Oid, tuple: Tuple) -> StoreResult<Tuple> {
+        self.relation_mut(rel)?.update(oid, tuple)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, rel: &str, oid: Oid) -> StoreResult<&Tuple> {
+        self.relation(rel)?.get(oid)
+    }
+
+    /// Predicate scan.
+    pub fn scan(&self, rel: &str, pred: &Predicate) -> StoreResult<Vec<(Oid, Tuple)>> {
+        Ok(self
+            .relation(rel)?
+            .scan(pred)?
+            .into_iter()
+            .map(|(oid, t)| (oid, t.clone()))
+            .collect())
+    }
+
+    /// Begin an undo-logged transaction. Uncommitted transactions roll back
+    /// on drop.
+    pub fn begin(&mut self) -> Txn<'_> {
+        Txn::new(self)
+    }
+
+    /// Allocator state for snapshots.
+    pub(crate) fn allocator_peek(&self) -> u64 {
+        self.allocator.peek()
+    }
+
+    /// Restore from snapshot parts.
+    pub(crate) fn from_parts(relations: BTreeMap<String, Relation>, next_oid: u64) -> Database {
+        let mut db = Database {
+            relations,
+            allocator: OidAllocator::resume_after(next_oid.saturating_sub(1)),
+        };
+        for rel in db.relations.values_mut() {
+            rel.rebuild();
+        }
+        db
+    }
+
+    /// Snapshot parts (relation map).
+    pub(crate) fn relations(&self) -> &BTreeMap<String, Relation> {
+        &self.relations
+    }
+}
+
+impl Default for Database {
+    fn default() -> Database {
+        Database::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use gaea_adt::{TypeTag, Value};
+
+    fn db_with_rel() -> Database {
+        let mut db = Database::new();
+        db.create_relation(
+            "landcover",
+            Schema::new(vec![
+                Field::required("area", TypeTag::Char16),
+                Field::required("numclass", TypeTag::Int4),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn t(area: &str, n: i32) -> Tuple {
+        Tuple::new(vec![Value::Char16(area.into()), Value::Int4(n)])
+    }
+
+    #[test]
+    fn crud_cycle() {
+        let mut db = db_with_rel();
+        let oid = db.insert("landcover", t("africa", 12)).unwrap();
+        assert_eq!(db.get("landcover", oid).unwrap().get(1), &Value::Int4(12));
+        db.update("landcover", oid, t("africa", 10)).unwrap();
+        assert_eq!(db.get("landcover", oid).unwrap().get(1), &Value::Int4(10));
+        db.delete("landcover", oid).unwrap();
+        assert!(db.get("landcover", oid).is_err());
+    }
+
+    #[test]
+    fn schema_enforced_on_insert_and_update() {
+        let mut db = db_with_rel();
+        let bad = Tuple::new(vec![Value::Int4(1), Value::Int4(2)]);
+        assert!(db.insert("landcover", bad.clone()).is_err());
+        let oid = db.insert("landcover", t("africa", 1)).unwrap();
+        assert!(db.update("landcover", oid, bad).is_err());
+    }
+
+    #[test]
+    fn duplicate_and_missing_relations() {
+        let mut db = db_with_rel();
+        assert!(matches!(
+            db.create_relation("landcover", Schema::new(vec![]).unwrap()),
+            Err(StoreError::DuplicateRelation(_))
+        ));
+        assert!(matches!(
+            db.insert("nope", t("x", 1)),
+            Err(StoreError::NoSuchRelation(_))
+        ));
+        db.drop_relation("landcover").unwrap();
+        assert!(db.drop_relation("landcover").is_err());
+    }
+
+    #[test]
+    fn scan_with_predicate() {
+        let mut db = db_with_rel();
+        for (a, n) in [("africa", 12), ("asia", 8), ("africa", 6)] {
+            db.insert("landcover", t(a, n)).unwrap();
+        }
+        let hits = db
+            .scan(
+                "landcover",
+                &Predicate::Eq("area".into(), Value::Char16("africa".into())),
+            )
+            .unwrap();
+        assert_eq!(hits.len(), 2);
+        let high = db
+            .scan("landcover", &Predicate::Gt("numclass".into(), Value::Int4(7)))
+            .unwrap();
+        assert_eq!(high.len(), 2);
+    }
+
+    #[test]
+    fn index_maintenance_through_crud() {
+        let mut db = db_with_rel();
+        let o1 = db.insert("landcover", t("africa", 12)).unwrap();
+        db.relation_mut("landcover")
+            .unwrap()
+            .create_index("area")
+            .unwrap();
+        let o2 = db.insert("landcover", t("africa", 8)).unwrap();
+        let rel = db.relation("landcover").unwrap();
+        assert_eq!(
+            rel.index_lookup("area", &Value::Char16("africa".into())).unwrap(),
+            vec![o1, o2]
+        );
+        // Update moves the key.
+        db.update("landcover", o1, t("asia", 12)).unwrap();
+        let rel = db.relation("landcover").unwrap();
+        assert_eq!(
+            rel.index_lookup("area", &Value::Char16("africa".into())).unwrap(),
+            vec![o2]
+        );
+        assert_eq!(
+            rel.index_lookup("area", &Value::Char16("asia".into())).unwrap(),
+            vec![o1]
+        );
+        // Delete removes it.
+        db.delete("landcover", o2).unwrap();
+        let rel = db.relation("landcover").unwrap();
+        assert!(rel
+            .index_lookup("area", &Value::Char16("africa".into()))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn index_requires_existing_column_and_uniqueness() {
+        let mut db = db_with_rel();
+        let rel = db.relation_mut("landcover").unwrap();
+        assert!(rel.create_index("missing").is_err());
+        rel.create_index("numclass").unwrap();
+        assert!(rel.create_index("numclass").is_err());
+        assert!(rel.index_lookup("area", &Value::Int4(0)).is_err());
+    }
+
+    #[test]
+    fn index_range_queries() {
+        let mut db = db_with_rel();
+        db.relation_mut("landcover")
+            .unwrap()
+            .create_index("numclass")
+            .unwrap();
+        let oids: Vec<Oid> = (0..10)
+            .map(|i| db.insert("landcover", t("africa", i)).unwrap())
+            .collect();
+        let rel = db.relation("landcover").unwrap();
+        let mid = rel
+            .index_range("numclass", Some(&Value::Int4(3)), Some(&Value::Int4(5)))
+            .unwrap();
+        assert_eq!(mid, vec![oids[3], oids[4], oids[5]]);
+    }
+}

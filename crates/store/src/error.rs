@@ -1,0 +1,71 @@
+//! Error type for the storage substrate.
+
+use std::fmt;
+
+/// Errors raised by the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Relation lookup failure.
+    NoSuchRelation(String),
+    /// Relation already exists.
+    DuplicateRelation(String),
+    /// OID not present in the target relation.
+    NoSuchTuple(u64),
+    /// Tuple shape/types do not match the relation schema.
+    SchemaViolation(String),
+    /// Column name not in the schema.
+    NoSuchColumn(String),
+    /// Index already exists / missing.
+    IndexError(String),
+    /// Snapshot I/O failure.
+    Io(String),
+    /// Snapshot encode/decode failure.
+    Codec(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NoSuchRelation(n) => write!(f, "no such relation: {n}"),
+            StoreError::DuplicateRelation(n) => write!(f, "relation already exists: {n}"),
+            StoreError::NoSuchTuple(oid) => write!(f, "no tuple with oid {oid}"),
+            StoreError::SchemaViolation(msg) => write!(f, "schema violation: {msg}"),
+            StoreError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            StoreError::IndexError(msg) => write!(f, "index error: {msg}"),
+            StoreError::Io(msg) => write!(f, "io error: {msg}"),
+            StoreError::Codec(msg) => write!(f, "codec error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            StoreError::NoSuchRelation("tasks".into()).to_string(),
+            "no such relation: tasks"
+        );
+        assert_eq!(StoreError::NoSuchTuple(9).to_string(), "no tuple with oid 9");
+    }
+
+    #[test]
+    fn io_conversion() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: StoreError = io.into();
+        assert!(matches!(e, StoreError::Io(_)));
+    }
+}

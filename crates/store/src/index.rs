@@ -1,0 +1,132 @@
+//! Ordered secondary indexes.
+//!
+//! A B-tree-backed index over one column. Because [`gaea_adt::Value`] is
+//! totally ordered (value identity), any column type can be indexed,
+//! including extents. Indexes are maintained eagerly by
+//! [`crate::db::Relation`] on insert/update/delete.
+
+use crate::oid::Oid;
+use gaea_adt::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Ordered index: column value → OIDs of tuples carrying it.
+///
+/// The map itself is not serialized (JSON requires string keys); snapshots
+/// persist only the indexed column and rebuild the map from the heap on
+/// load — cheaper than a custom key codec and guaranteed consistent.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OrderedIndex {
+    /// Indexed column position in the relation schema.
+    pub column: usize,
+    #[serde(skip)]
+    map: BTreeMap<Value, Vec<Oid>>,
+}
+
+impl OrderedIndex {
+    /// Empty index on a column position.
+    pub fn new(column: usize) -> OrderedIndex {
+        OrderedIndex {
+            column,
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// Register a tuple's column value.
+    pub fn insert(&mut self, key: Value, oid: Oid) {
+        self.map.entry(key).or_default().push(oid);
+    }
+
+    /// Unregister.
+    pub fn remove(&mut self, key: &Value, oid: Oid) {
+        if let Some(oids) = self.map.get_mut(key) {
+            oids.retain(|o| *o != oid);
+            if oids.is_empty() {
+                self.map.remove(key);
+            }
+        }
+    }
+
+    /// Exact-match lookup.
+    pub fn lookup(&self, key: &Value) -> &[Oid] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Range lookup over the value order (inclusive bounds).
+    pub fn range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<Oid> {
+        let lower = lo.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+        let upper = hi.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+        self.map
+            .range((lower, upper))
+            .flat_map(|(_, oids)| oids.iter().copied())
+            .collect()
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total registered entries.
+    pub fn len(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut idx = OrderedIndex::new(0);
+        idx.insert(Value::Int4(5), Oid(1));
+        idx.insert(Value::Int4(5), Oid(2));
+        idx.insert(Value::Int4(7), Oid(3));
+        assert_eq!(idx.lookup(&Value::Int4(5)), &[Oid(1), Oid(2)]);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.distinct_keys(), 2);
+        idx.remove(&Value::Int4(5), Oid(1));
+        assert_eq!(idx.lookup(&Value::Int4(5)), &[Oid(2)]);
+        idx.remove(&Value::Int4(5), Oid(2));
+        assert!(idx.lookup(&Value::Int4(5)).is_empty());
+        assert_eq!(idx.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn range_scan_inclusive() {
+        let mut idx = OrderedIndex::new(0);
+        for i in 0..10 {
+            idx.insert(Value::Int4(i), Oid(100 + i as u64));
+        }
+        let mid = idx.range(Some(&Value::Int4(3)), Some(&Value::Int4(5)));
+        assert_eq!(mid, vec![Oid(103), Oid(104), Oid(105)]);
+        let tail = idx.range(Some(&Value::Int4(8)), None);
+        assert_eq!(tail, vec![Oid(108), Oid(109)]);
+        let all = idx.range(None, None);
+        assert_eq!(all.len(), 10);
+    }
+
+    #[test]
+    fn string_keys_order() {
+        let mut idx = OrderedIndex::new(1);
+        idx.insert(Value::Text("b".into()), Oid(2));
+        idx.insert(Value::Text("a".into()), Oid(1));
+        idx.insert(Value::Text("c".into()), Oid(3));
+        let r = idx.range(Some(&Value::Text("a".into())), Some(&Value::Text("b".into())));
+        assert_eq!(r, vec![Oid(1), Oid(2)]);
+    }
+
+    #[test]
+    fn removing_unknown_key_is_noop() {
+        let mut idx = OrderedIndex::new(0);
+        idx.remove(&Value::Int4(1), Oid(1));
+        assert!(idx.is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! # gaea-store — the storage substrate under the Gaea kernel
+//!
+//! The 1993 prototype sat on the Postgres 3rd-generation DBMS, using it for
+//! two things only: the ADT facility (covered here by `gaea-adt`) and
+//! catalog/heap relations for classes, processes, tasks and data objects.
+//! This crate is the substitution: an embedded, typed-relation store with
+//!
+//! * OID-identified tuples over declared [`schema::Schema`]s,
+//! * slotted [`heap::Heap`] pages with free-list reuse,
+//! * predicate scans ([`predicate::Predicate`]) including spatial/temporal
+//!   overlap — the retrieval primitives §2.1.5 step 1 needs,
+//! * ordered secondary [`index::OrderedIndex`]es,
+//! * undo-log [`txn::Txn`] transactions (rollback restores exactly the
+//!   pre-transaction state), and
+//! * whole-database [`snapshot`] persistence (JSON manifest; image payloads
+//!   ride along through serde).
+//!
+//! See DESIGN.md §1 for why this substitution preserves the paper's
+//! behaviour: the kernel only ever touches the store through these
+//! interfaces.
+
+pub mod db;
+pub mod error;
+pub mod heap;
+pub mod index;
+pub mod oid;
+pub mod predicate;
+pub mod schema;
+pub mod snapshot;
+pub mod tuple;
+pub mod txn;
+
+pub use db::{Database, Relation};
+pub use error::{StoreError, StoreResult};
+pub use oid::Oid;
+pub use predicate::Predicate;
+pub use schema::{Field, Schema};
+pub use tuple::Tuple;
+pub use txn::Txn;

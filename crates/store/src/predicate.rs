@@ -1,0 +1,204 @@
+//! Scan predicates.
+//!
+//! The retrieval step of the query mechanism (§2.1.5 step 1, "direct data
+//! retrieval from the non-primitive classes") filters class extensions on
+//! attribute values and on spatio-temporal overlap — "retrieval of the
+//! proper Landsat TM spatio-temporal objects" means an extent-overlap scan.
+
+use crate::error::StoreResult;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use gaea_adt::{GeoBox, TimeRange, Value};
+use serde::{Deserialize, Serialize};
+
+/// A predicate over tuples of one relation, resolved against its schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Always true (full scan).
+    True,
+    /// Column equals a constant (value identity).
+    Eq(String, Value),
+    /// Column is not null.
+    NotNull(String),
+    /// Numeric/orderable comparison: column < constant.
+    Lt(String, Value),
+    /// Numeric/orderable comparison: column > constant.
+    Gt(String, Value),
+    /// Spatial column (box) intersects the given box.
+    BoxOverlaps(String, GeoBox),
+    /// Temporal column (abstime) falls inside the given range.
+    TimeIn(String, TimeRange),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Conjunction helper.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation helper.
+    pub fn negate(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Evaluate against a tuple. Column resolution errors surface as
+    /// `Err`, never as silent false.
+    pub fn matches(&self, schema: &Schema, tuple: &Tuple) -> StoreResult<bool> {
+        Ok(match self {
+            Predicate::True => true,
+            Predicate::Eq(col, v) => tuple.get(schema.position(col)?) == v,
+            Predicate::NotNull(col) => !tuple.get(schema.position(col)?).is_null(),
+            Predicate::Lt(col, v) => {
+                let field = tuple.get(schema.position(col)?);
+                !field.is_null() && field < v
+            }
+            Predicate::Gt(col, v) => {
+                let field = tuple.get(schema.position(col)?);
+                !field.is_null() && field > v
+            }
+            Predicate::BoxOverlaps(col, query) => {
+                match tuple.get(schema.position(col)?).as_geobox() {
+                    Some(b) => b.intersects(query),
+                    None => false,
+                }
+            }
+            Predicate::TimeIn(col, range) => {
+                match tuple.get(schema.position(col)?).as_abstime() {
+                    Some(t) => range.contains(t),
+                    None => false,
+                }
+            }
+            Predicate::And(a, b) => a.matches(schema, tuple)? && b.matches(schema, tuple)?,
+            Predicate::Or(a, b) => a.matches(schema, tuple)? || b.matches(schema, tuple)?,
+            Predicate::Not(p) => !p.matches(schema, tuple)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use gaea_adt::{AbsTime, TypeTag};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::required("area", TypeTag::Char16),
+            Field::required("spatialextent", TypeTag::GeoBox),
+            Field::required("timestamp", TypeTag::AbsTime),
+            Field::optional("numclass", TypeTag::Int4),
+        ])
+        .unwrap()
+    }
+
+    fn tuple() -> Tuple {
+        Tuple::new(vec![
+            Value::Char16("africa".into()),
+            Value::GeoBox(GeoBox::new(-20.0, -35.0, 55.0, 38.0)),
+            Value::AbsTime(AbsTime::from_ymd(1986, 1, 15).unwrap()),
+            Value::Null,
+        ])
+    }
+
+    #[test]
+    fn eq_and_notnull() {
+        let s = schema();
+        let t = tuple();
+        assert!(Predicate::Eq("area".into(), Value::Char16("africa".into()))
+            .matches(&s, &t)
+            .unwrap());
+        assert!(!Predicate::Eq("area".into(), Value::Char16("asia".into()))
+            .matches(&s, &t)
+            .unwrap());
+        assert!(!Predicate::NotNull("numclass".into()).matches(&s, &t).unwrap());
+        assert!(Predicate::NotNull("area".into()).matches(&s, &t).unwrap());
+    }
+
+    #[test]
+    fn spatial_overlap() {
+        let s = schema();
+        let t = tuple();
+        // Sahara window overlaps Africa.
+        let sahara = GeoBox::new(-15.0, 15.0, 35.0, 32.0);
+        assert!(Predicate::BoxOverlaps("spatialextent".into(), sahara)
+            .matches(&s, &t)
+            .unwrap());
+        let amazon = GeoBox::new(-75.0, -15.0, -50.0, 5.0);
+        assert!(!Predicate::BoxOverlaps("spatialextent".into(), amazon)
+            .matches(&s, &t)
+            .unwrap());
+        // Non-box column never overlaps.
+        assert!(!Predicate::BoxOverlaps("area".into(), sahara)
+            .matches(&s, &t)
+            .unwrap());
+    }
+
+    #[test]
+    fn temporal_window() {
+        let s = schema();
+        let t = tuple();
+        let jan86 = TimeRange::new(
+            AbsTime::from_ymd(1986, 1, 1).unwrap(),
+            AbsTime::from_ymd(1986, 1, 31).unwrap(),
+        );
+        assert!(Predicate::TimeIn("timestamp".into(), jan86)
+            .matches(&s, &t)
+            .unwrap());
+        let y1987 = TimeRange::new(
+            AbsTime::from_ymd(1987, 1, 1).unwrap(),
+            AbsTime::from_ymd(1987, 12, 31).unwrap(),
+        );
+        assert!(!Predicate::TimeIn("timestamp".into(), y1987)
+            .matches(&s, &t)
+            .unwrap());
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let s = schema();
+        let t = tuple();
+        let p = Predicate::Eq("area".into(), Value::Char16("africa".into()))
+            .and(Predicate::NotNull("numclass".into()));
+        assert!(!p.matches(&s, &t).unwrap());
+        let q = Predicate::Eq("area".into(), Value::Char16("africa".into()))
+            .or(Predicate::NotNull("numclass".into()));
+        assert!(q.matches(&s, &t).unwrap());
+        assert!(!q.clone().negate().matches(&s, &t).unwrap());
+    }
+
+    #[test]
+    fn lt_gt_ignore_null() {
+        let s = schema();
+        let mut t = tuple();
+        assert!(!Predicate::Lt("numclass".into(), Value::Int4(100))
+            .matches(&s, &t)
+            .unwrap());
+        t.replace(3, Value::Int4(12));
+        assert!(Predicate::Lt("numclass".into(), Value::Int4(100))
+            .matches(&s, &t)
+            .unwrap());
+        assert!(Predicate::Gt("numclass".into(), Value::Int4(5))
+            .matches(&s, &t)
+            .unwrap());
+    }
+
+    #[test]
+    fn missing_column_is_error() {
+        let s = schema();
+        let t = tuple();
+        assert!(Predicate::Eq("no_such".into(), Value::Int4(0))
+            .matches(&s, &t)
+            .is_err());
+    }
+}

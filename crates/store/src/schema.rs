@@ -1,0 +1,211 @@
+//! Relation schemas.
+//!
+//! A schema is an ordered list of typed, named fields. It validates tuples
+//! at insert/update time — the store-level counterpart of Gaea's class
+//! attribute lists (which the kernel lowers onto relations).
+
+use crate::error::{StoreError, StoreResult};
+use crate::tuple::Tuple;
+use gaea_adt::TypeTag;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name (unique within the schema).
+    pub name: String,
+    /// Column type.
+    pub tag: TypeTag,
+    /// If false, `Value::Null` is rejected.
+    pub nullable: bool,
+}
+
+impl Field {
+    /// Non-nullable field.
+    pub fn required(name: &str, tag: TypeTag) -> Field {
+        Field {
+            name: name.into(),
+            tag,
+            nullable: false,
+        }
+    }
+
+    /// Nullable field.
+    pub fn optional(name: &str, tag: TypeTag) -> Field {
+        Field {
+            name: name.into(),
+            tag,
+            nullable: true,
+        }
+    }
+}
+
+/// An ordered field list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build, rejecting duplicate column names.
+    pub fn new(fields: Vec<Field>) -> StoreResult<Schema> {
+        for i in 0..fields.len() {
+            for j in (i + 1)..fields.len() {
+                if fields[i].name == fields[j].name {
+                    return Err(StoreError::SchemaViolation(format!(
+                        "duplicate column {}",
+                        fields[i].name
+                    )));
+                }
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Columns in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Position of a column by name.
+    pub fn position(&self, name: &str) -> StoreResult<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| StoreError::NoSuchColumn(name.into()))
+    }
+
+    /// Validate a tuple against this schema.
+    pub fn validate(&self, tuple: &Tuple) -> StoreResult<()> {
+        if tuple.arity() != self.arity() {
+            return Err(StoreError::SchemaViolation(format!(
+                "tuple arity {} vs schema arity {}",
+                tuple.arity(),
+                self.arity()
+            )));
+        }
+        for (i, field) in self.fields.iter().enumerate() {
+            let v = tuple.get(i);
+            if v.is_null() {
+                if !field.nullable {
+                    return Err(StoreError::SchemaViolation(format!(
+                        "null in non-nullable column {}",
+                        field.name
+                    )));
+                }
+                continue;
+            }
+            let tag = v.type_tag();
+            if !field.tag.accepts(&tag) {
+                return Err(StoreError::SchemaViolation(format!(
+                    "column {} expects {}, got {}",
+                    field.name, field.tag, tag
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.tag)?;
+            if field.nullable {
+                write!(f, "?")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaea_adt::Value;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::required("area", TypeTag::Char16),
+            Field::required("resolution", TypeTag::Float4),
+            Field::optional("numclass", TypeTag::Int4),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        assert!(Schema::new(vec![
+            Field::required("x", TypeTag::Int4),
+            Field::required("x", TypeTag::Int4),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn validates_matching_tuple() {
+        let s = schema();
+        let t = Tuple::new(vec![
+            Value::Char16("africa".into()),
+            Value::Float4(30.0),
+            Value::Int4(12),
+        ]);
+        assert!(s.validate(&t).is_ok());
+    }
+
+    #[test]
+    fn nullability_enforced() {
+        let s = schema();
+        let ok = Tuple::new(vec![
+            Value::Char16("africa".into()),
+            Value::Float4(30.0),
+            Value::Null,
+        ]);
+        assert!(s.validate(&ok).is_ok());
+        let bad = Tuple::new(vec![Value::Null, Value::Float4(30.0), Value::Null]);
+        assert!(s.validate(&bad).is_err());
+    }
+
+    #[test]
+    fn wrong_type_rejected() {
+        let s = schema();
+        let bad = Tuple::new(vec![
+            Value::Char16("africa".into()),
+            Value::Text("not a float".into()),
+            Value::Null,
+        ]);
+        let err = s.validate(&bad).unwrap_err();
+        assert!(err.to_string().contains("resolution"));
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let s = schema();
+        assert!(s.validate(&Tuple::new(vec![Value::Int4(1)])).is_err());
+    }
+
+    #[test]
+    fn position_lookup() {
+        let s = schema();
+        assert_eq!(s.position("numclass").unwrap(), 2);
+        assert!(s.position("missing").is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            schema().to_string(),
+            "(area: char16, resolution: float4, numclass: int4?)"
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! Whole-database snapshots.
+//!
+//! Persistence format: a single `manifest.json` holding relation schemas,
+//! heaps (tuples inline, including image payloads through serde) and index
+//! declarations, plus the OID high-water mark. Indexes and heap OID maps
+//! are rebuilt on load rather than persisted (see `index.rs`).
+//!
+//! The paper's `image` external representation stores payloads behind file
+//! paths; this snapshot keeps payloads inline for atomicity. The
+//! IDRISI-style file-per-raster layout lives in `gaea-baseline`, where its
+//! weaknesses are the point.
+
+use crate::db::{Database, Relation};
+use crate::error::{StoreError, StoreResult};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+/// Serialized snapshot body.
+#[derive(Debug, Serialize, Deserialize)]
+struct Manifest {
+    /// Format version for forward compatibility.
+    version: u32,
+    /// Next OID to allocate.
+    next_oid: u64,
+    /// All relations.
+    relations: BTreeMap<String, Relation>,
+}
+
+const SNAPSHOT_VERSION: u32 = 1;
+
+/// Write the database to `dir/manifest.json` (creates `dir` if needed).
+pub fn save(db: &Database, dir: &Path) -> StoreResult<()> {
+    fs::create_dir_all(dir)?;
+    let manifest = Manifest {
+        version: SNAPSHOT_VERSION,
+        next_oid: db.allocator_peek(),
+        relations: db.relations().clone(),
+    };
+    let json = serde_json::to_string(&manifest).map_err(|e| StoreError::Codec(e.to_string()))?;
+    // Write-then-rename for atomicity against torn writes.
+    let tmp = dir.join("manifest.json.tmp");
+    let fin = dir.join("manifest.json");
+    fs::write(&tmp, json)?;
+    fs::rename(&tmp, &fin)?;
+    Ok(())
+}
+
+/// Load a database from `dir/manifest.json`.
+pub fn load(dir: &Path) -> StoreResult<Database> {
+    let raw = fs::read_to_string(dir.join("manifest.json"))?;
+    let manifest: Manifest =
+        serde_json::from_str(&raw).map_err(|e| StoreError::Codec(e.to_string()))?;
+    if manifest.version != SNAPSHOT_VERSION {
+        return Err(StoreError::Codec(format!(
+            "snapshot version {} unsupported (expected {SNAPSHOT_VERSION})",
+            manifest.version
+        )));
+    }
+    Ok(Database::from_parts(manifest.relations, manifest.next_oid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use crate::schema::{Field, Schema};
+    use crate::tuple::Tuple;
+    use gaea_adt::{Image, PixType, TypeTag, Value};
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gaea-snap-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let mut db = Database::new();
+        db.create_relation(
+            "scenes",
+            Schema::new(vec![
+                Field::required("name", TypeTag::Text),
+                Field::required("data", TypeTag::Image),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        db.relation_mut("scenes").unwrap().create_index("name").unwrap();
+        let img = Image::filled(4, 4, PixType::Int2, 123.0);
+        let oid = db
+            .insert(
+                "scenes",
+                Tuple::new(vec![Value::Text("tm_b3".into()), Value::image(img.clone())]),
+            )
+            .unwrap();
+        let dir = tempdir("rt");
+        save(&db, &dir).unwrap();
+        let back = load(&dir).unwrap();
+        // Tuple content survived, payload included.
+        let t = back.get("scenes", oid).unwrap();
+        assert_eq!(t.get(0), &Value::Text("tm_b3".into()));
+        assert_eq!(t.get(1).as_image().unwrap().as_ref(), &img);
+        // Index was rebuilt and answers lookups.
+        let hits = back
+            .relation("scenes")
+            .unwrap()
+            .index_lookup("name", &Value::Text("tm_b3".into()))
+            .unwrap();
+        assert_eq!(hits, vec![oid]);
+        // OID allocation continues past the snapshot point.
+        let next = back.allocate_oid();
+        assert!(next > oid);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_missing_dir_fails() {
+        let dir = tempdir("missing");
+        assert!(matches!(load(&dir), Err(StoreError::Io(_))));
+    }
+
+    #[test]
+    fn version_mismatch_detected() {
+        let dir = tempdir("ver");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("manifest.json"),
+            r#"{"version":99,"next_oid":1,"relations":{}}"#,
+        )
+        .unwrap();
+        assert!(matches!(load(&dir), Err(StoreError::Codec(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_excludes_uncommitted_state_if_saved_after_rollback() {
+        let mut db = Database::new();
+        db.create_relation(
+            "objects",
+            Schema::new(vec![Field::required("v", TypeTag::Int4)]).unwrap(),
+        )
+        .unwrap();
+        {
+            let mut txn = db.begin();
+            txn.insert("objects", Tuple::new(vec![Value::Int4(1)])).unwrap();
+            txn.rollback();
+        }
+        let dir = tempdir("rb");
+        save(&db, &dir).unwrap();
+        let back = load(&dir).unwrap();
+        assert_eq!(
+            back.scan("objects", &Predicate::True).unwrap().len(),
+            0
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,90 @@
+//! Tuples: ordered value lists stored in heaps.
+
+use gaea_adt::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An ordered list of values; validated against a
+/// [`crate::schema::Schema`] on insert/update.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Wrap values.
+    pub fn new(values: Vec<Value>) -> Tuple {
+        Tuple { values }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Field by position (panics out of range, like slice indexing).
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Field by position, checked.
+    pub fn try_get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Replace field `i`, returning the old value.
+    pub fn replace(&mut self, i: usize, v: Value) -> Value {
+        std::mem::replace(&mut self.values[i], v)
+    }
+
+    /// Consume into values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Tuple {
+        Tuple::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_and_replace() {
+        let mut t = Tuple::new(vec![Value::Int4(1), Value::Text("x".into())]);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.get(0), &Value::Int4(1));
+        assert_eq!(t.try_get(5), None);
+        let old = t.replace(0, Value::Int4(9));
+        assert_eq!(old, Value::Int4(1));
+        assert_eq!(t.get(0), &Value::Int4(9));
+    }
+
+    #[test]
+    fn display() {
+        let t = Tuple::new(vec![Value::Int4(1), Value::Bool(true)]);
+        assert_eq!(t.to_string(), "(1, true)");
+    }
+}

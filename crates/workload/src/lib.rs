@@ -1,0 +1,19 @@
+//! # gaea-workload — synthetic data and schema generators
+//!
+//! The paper evaluates on Landsat TM / AVHRR imagery we cannot ship.
+//! This crate provides the substitution documented in DESIGN.md: seeded
+//! synthetic scenes whose spectral structure exercises the same code paths
+//! (per-pixel band vectors with class signatures + spatially correlated
+//! noise), NDVI time series with seasonal structure, rainfall grids for the
+//! desert examples, the full Figure 2 schema, and random derivation DAGs
+//! for planner scaling experiments.
+
+pub mod figure2;
+pub mod randdag;
+pub mod scene;
+pub mod series;
+
+pub use figure2::build_figure2_schema;
+pub use randdag::{random_derivation_catalog, RandDagSpec};
+pub use scene::{SceneSpec, SyntheticScene};
+pub use series::ndvi_series;

@@ -1,0 +1,178 @@
+//! Random derivation nets for planner scaling experiments (Exp Q2).
+//!
+//! Layered DAGs: layer 0 holds base places, each subsequent layer holds
+//! derived places produced by one or more alternative transitions drawing
+//! inputs (with thresholds) from the previous layer. Shapes are controlled
+//! by depth/width/alternatives so benchmarks can sweep the parameters the
+//! paper's schema would grow along (classes, processes per class, input
+//! fan-in).
+
+use gaea_petri::{Marking, PetriNet, PlaceId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape parameters for a random derivation net.
+#[derive(Debug, Clone, Copy)]
+pub struct RandDagSpec {
+    /// Number of derived layers (≥ 1).
+    pub depth: usize,
+    /// Places per layer.
+    pub width: usize,
+    /// Alternative producing transitions per derived place.
+    pub alternatives: usize,
+    /// Maximum inputs per transition (drawn 1..=fan_in).
+    pub fan_in: usize,
+    /// Maximum arc threshold (drawn 1..=threshold_max).
+    pub threshold_max: u64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandDagSpec {
+    fn default() -> RandDagSpec {
+        RandDagSpec {
+            depth: 4,
+            width: 4,
+            alternatives: 2,
+            fan_in: 3,
+            threshold_max: 2,
+            seed: 0x6AEA,
+        }
+    }
+}
+
+/// A generated net: base places, per-layer places, and the goal place
+/// (first place of the last layer).
+#[derive(Debug, Clone)]
+pub struct RandomDerivation {
+    /// The net.
+    pub net: PetriNet,
+    /// Base (layer 0) places.
+    pub base: Vec<PlaceId>,
+    /// All layers including layer 0.
+    pub layers: Vec<Vec<PlaceId>>,
+    /// The canonical goal.
+    pub goal: PlaceId,
+}
+
+impl RandomDerivation {
+    /// Marking with `tokens` objects in every base place.
+    pub fn base_marking(&self, tokens: u64) -> Marking {
+        let pairs: Vec<(PlaceId, u64)> = self.base.iter().map(|p| (*p, tokens)).collect();
+        Marking::from_counts(&self.net, &pairs)
+    }
+}
+
+/// Generate a random layered derivation net.
+pub fn random_derivation_catalog(spec: RandDagSpec) -> RandomDerivation {
+    assert!(spec.depth >= 1 && spec.width >= 1, "degenerate spec");
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut net = PetriNet::new();
+    let mut layers: Vec<Vec<PlaceId>> = Vec::with_capacity(spec.depth + 1);
+    let base: Vec<PlaceId> = (0..spec.width)
+        .map(|i| net.add_base_place(&format!("base_{i}")))
+        .collect();
+    layers.push(base.clone());
+    for layer in 1..=spec.depth {
+        let places: Vec<PlaceId> = (0..spec.width)
+            .map(|i| net.add_place(&format!("derived_{layer}_{i}")))
+            .collect();
+        for (i, place) in places.iter().enumerate() {
+            for alt in 0..spec.alternatives.max(1) {
+                let prev = &layers[layer - 1];
+                let n_inputs = rng.gen_range(1..=spec.fan_in.min(prev.len()));
+                // Sample distinct input places from the previous layer.
+                let mut pool: Vec<PlaceId> = prev.clone();
+                let mut inputs = Vec::with_capacity(n_inputs);
+                for _ in 0..n_inputs {
+                    let k = rng.gen_range(0..pool.len());
+                    let p = pool.swap_remove(k);
+                    let threshold = rng.gen_range(1..=spec.threshold_max.max(1));
+                    inputs.push((p, threshold));
+                }
+                net.add_transition(
+                    &format!("proc_{layer}_{i}_{alt}"),
+                    &inputs,
+                    &[*place],
+                )
+                .expect("layered construction is well-formed");
+            }
+        }
+        layers.push(places);
+    }
+    let goal = layers[spec.depth][0];
+    RandomDerivation {
+        net,
+        base,
+        layers,
+        goal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaea_petri::backward::plan_derivation;
+    use gaea_petri::reachability::derivable;
+
+    #[test]
+    fn generation_shape() {
+        let spec = RandDagSpec {
+            depth: 3,
+            width: 4,
+            alternatives: 2,
+            ..RandDagSpec::default()
+        };
+        let rd = random_derivation_catalog(spec);
+        assert_eq!(rd.net.place_count(), 4 * 4); // 3 derived layers + base
+        assert_eq!(rd.net.transition_count(), 3 * 4 * 2);
+        assert_eq!(rd.layers.len(), 4);
+        assert!(rd.net.place(rd.base[0]).unwrap().is_base);
+        assert!(!rd.net.place(rd.goal).unwrap().is_base);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = random_derivation_catalog(RandDagSpec::default());
+        let b = random_derivation_catalog(RandDagSpec::default());
+        assert_eq!(a.net.to_string(), b.net.to_string());
+    }
+
+    #[test]
+    fn fully_stocked_bases_make_goal_derivable() {
+        // With threshold_max tokens in every base place, every layer-1
+        // transition is enabled, hence by induction everything saturates.
+        let spec = RandDagSpec::default();
+        let rd = random_derivation_catalog(spec);
+        let marking = rd.base_marking(spec.threshold_max);
+        let target = Marking::from_counts(&rd.net, &[(rd.goal, 1)]);
+        assert!(derivable(&rd.net, &marking, &target));
+        let plan = plan_derivation(&rd.net, &marking, rd.goal, 1).unwrap();
+        assert!(plan.cost() >= 1);
+        let end = plan.execute(&rd.net, &marking);
+        assert!(end.get(rd.goal) >= 1);
+    }
+
+    #[test]
+    fn empty_bases_make_goal_underivable() {
+        let rd = random_derivation_catalog(RandDagSpec::default());
+        let marking = rd.base_marking(0);
+        let err = plan_derivation(&rd.net, &marking, rd.goal, 1).unwrap_err();
+        assert!(!err.missing_base.is_empty());
+    }
+
+    #[test]
+    fn plans_scale_with_depth() {
+        let shallow = random_derivation_catalog(RandDagSpec {
+            depth: 2,
+            ..RandDagSpec::default()
+        });
+        let deep = random_derivation_catalog(RandDagSpec {
+            depth: 8,
+            ..RandDagSpec::default()
+        });
+        let ps = plan_derivation(&shallow.net, &shallow.base_marking(2), shallow.goal, 1).unwrap();
+        let pd = plan_derivation(&deep.net, &deep.base_marking(2), deep.goal, 1).unwrap();
+        assert!(pd.cost() >= ps.cost(), "deeper nets need longer plans");
+    }
+}

@@ -1,0 +1,276 @@
+//! Synthetic multi-band satellite scenes with known ground truth.
+//!
+//! A scene is generated from a hidden land-cover map (spatially coherent
+//! patches produced by seeded Voronoi growth) plus per-class spectral
+//! signatures per band and additive noise. Because the ground truth is
+//! known, tests can *score* classification output rather than eyeball it.
+
+use gaea_adt::{GeoBox, Image, PixType};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic scene.
+#[derive(Debug, Clone)]
+pub struct SceneSpec {
+    /// Raster rows.
+    pub rows: u32,
+    /// Raster columns.
+    pub cols: u32,
+    /// Number of spectral bands (Landsat TM has 7; 3 suffices for P20).
+    pub bands: usize,
+    /// Number of latent land-cover classes.
+    pub classes: usize,
+    /// Noise standard deviation added to each signature.
+    pub noise: f64,
+    /// PRNG seed.
+    pub seed: u64,
+    /// Spatial extent attached to the scene.
+    pub extent: GeoBox,
+}
+
+impl SceneSpec {
+    /// A small default scene over the paper's Africa window.
+    pub fn small(seed: u64) -> SceneSpec {
+        SceneSpec {
+            rows: 32,
+            cols: 32,
+            bands: 3,
+            classes: 4,
+            noise: 2.0,
+            seed,
+            extent: GeoBox::new(-20.0, -35.0, 55.0, 38.0),
+        }
+    }
+
+    /// Scale rows/cols.
+    pub fn sized(mut self, rows: u32, cols: u32) -> SceneSpec {
+        self.rows = rows;
+        self.cols = cols;
+        self
+    }
+
+    /// Set band count.
+    pub fn with_bands(mut self, bands: usize) -> SceneSpec {
+        self.bands = bands;
+        self
+    }
+}
+
+/// A generated scene: bands plus the hidden truth map.
+#[derive(Debug, Clone)]
+pub struct SyntheticScene {
+    /// One image per band, co-registered.
+    pub bands: Vec<Image>,
+    /// Ground-truth class of each pixel.
+    pub truth: Vec<u8>,
+    /// The spec used.
+    pub spec: SceneSpec,
+}
+
+impl SyntheticScene {
+    /// Generate a scene deterministically from its spec.
+    pub fn generate(spec: SceneSpec) -> SyntheticScene {
+        let mut rng = SmallRng::seed_from_u64(spec.seed);
+        let npix = spec.rows as usize * spec.cols as usize;
+        // Spatially coherent truth map: nearest of `classes` seed points
+        // (a Voronoi tessellation), which mimics land-cover patchiness.
+        let seeds: Vec<(f64, f64, u8)> = (0..spec.classes)
+            .map(|c| {
+                (
+                    rng.gen::<f64>() * spec.rows as f64,
+                    rng.gen::<f64>() * spec.cols as f64,
+                    c as u8,
+                )
+            })
+            .collect();
+        let mut truth = vec![0u8; npix];
+        for r in 0..spec.rows {
+            for c in 0..spec.cols {
+                let mut best = 0u8;
+                let mut best_d = f64::INFINITY;
+                for (sr, sc, class) in &seeds {
+                    let d = (r as f64 - sr).powi(2) + (c as f64 - sc).powi(2);
+                    if d < best_d {
+                        best_d = d;
+                        best = *class;
+                    }
+                }
+                truth[r as usize * spec.cols as usize + c as usize] = best;
+            }
+        }
+        // Spectral signatures: class × band means, well separated.
+        let signatures: Vec<Vec<f64>> = (0..spec.classes)
+            .map(|class| {
+                (0..spec.bands)
+                    .map(|band| {
+                        40.0 + 35.0 * class as f64
+                            + 12.0 * band as f64
+                            + rng.gen::<f64>() * 6.0
+                    })
+                    .collect()
+            })
+            .collect();
+        // Bands: signature + Gaussian-ish noise (sum of uniforms).
+        let mut bands = Vec::with_capacity(spec.bands);
+        for band in 0..spec.bands {
+            let mut data = vec![0.0f64; npix];
+            for (p, d) in data.iter_mut().enumerate() {
+                let noise: f64 =
+                    (0..4).map(|_| rng.gen::<f64>() - 0.5).sum::<f64>() * spec.noise;
+                *d = signatures[truth[p] as usize][band] + noise;
+            }
+            bands.push(
+                Image::from_f64(spec.rows, spec.cols, data).expect("sized by construction"),
+            );
+        }
+        SyntheticScene { bands, truth, spec }
+    }
+
+    /// Score a classification against ground truth: best-case accuracy
+    /// under the optimal greedy label permutation (cluster labels are
+    /// arbitrary).
+    pub fn score(&self, labels: &Image) -> f64 {
+        let npix = self.truth.len();
+        assert_eq!(labels.len(), npix, "label map shape mismatch");
+        let k_pred = labels.to_f64_vec().iter().fold(0usize, |m, v| m.max(*v as usize)) + 1;
+        let k_true = self.spec.classes;
+        // Confusion counts.
+        let mut counts = vec![vec![0usize; k_true]; k_pred];
+        for p in 0..npix {
+            counts[labels.get_flat(p) as usize][self.truth[p] as usize] += 1;
+        }
+        // Greedy assignment of predicted label → true class.
+        let mut used = vec![false; k_true];
+        let mut correct = 0usize;
+        let mut order: Vec<usize> = (0..k_pred).collect();
+        order.sort_by_key(|p| std::cmp::Reverse(counts[*p].iter().sum::<usize>()));
+        for pred in order {
+            let mut best_class = None;
+            let mut best = 0usize;
+            for class in 0..k_true {
+                if !used[class] && counts[pred][class] > best {
+                    best = counts[pred][class];
+                    best_class = Some(class);
+                }
+            }
+            if let Some(class) = best_class {
+                used[class] = true;
+                correct += best;
+            }
+        }
+        correct as f64 / npix as f64
+    }
+
+    /// Cluster purity: each predicted label maps to its *majority* true
+    /// class (many-to-one). The right measure when the classifier is run
+    /// with more clusters than latent classes, as P20's k = 12 typically
+    /// is: over-segmentation is not an error, impurity is.
+    pub fn purity(&self, labels: &Image) -> f64 {
+        let npix = self.truth.len();
+        assert_eq!(labels.len(), npix, "label map shape mismatch");
+        let k_pred = labels.to_f64_vec().iter().fold(0usize, |m, v| m.max(*v as usize)) + 1;
+        let mut counts = vec![vec![0usize; self.spec.classes]; k_pred];
+        for p in 0..npix {
+            counts[labels.get_flat(p) as usize][self.truth[p] as usize] += 1;
+        }
+        let correct: usize = counts
+            .iter()
+            .map(|row| row.iter().copied().max().unwrap_or(0))
+            .sum();
+        correct as f64 / npix as f64
+    }
+
+    /// Convenience: a `PixType::Float8` image of the truth map.
+    pub fn truth_image(&self) -> Image {
+        let data: Vec<f64> = self.truth.iter().map(|c| *c as f64).collect();
+        Image::from_f64(self.spec.rows, self.spec.cols, data)
+            .expect("sized by construction")
+            .map(PixType::Char, |v| v)
+    }
+
+    /// The scripted scientist's training sites: up to `per_class` pixels of
+    /// each ground-truth class, in raster order. This is what a human
+    /// digitizing polygons over known terrain produces — the input to
+    /// supervised classification's signature extraction (§4.3 interactive
+    /// processes).
+    pub fn training_sites(&self, per_class: usize) -> Vec<gaea_raster::TrainingSite> {
+        let mut sites: Vec<gaea_raster::TrainingSite> = (0..self.spec.classes)
+            .map(|c| gaea_raster::TrainingSite::new(c, vec![]))
+            .collect();
+        for (p, label) in self.truth.iter().enumerate() {
+            let site = &mut sites[*label as usize];
+            if site.pixels.len() < per_class {
+                site.pixels.push(p);
+            }
+        }
+        sites
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaea_raster::{composite, kmeans_classify};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticScene::generate(SceneSpec::small(7));
+        let b = SyntheticScene::generate(SceneSpec::small(7));
+        assert_eq!(a.bands, b.bands);
+        assert_eq!(a.truth, b.truth);
+        let c = SyntheticScene::generate(SceneSpec::small(8));
+        assert_ne!(a.bands, c.bands);
+    }
+
+    #[test]
+    fn scene_shape_matches_spec() {
+        let s = SyntheticScene::generate(SceneSpec::small(1).sized(16, 24).with_bands(5));
+        assert_eq!(s.bands.len(), 5);
+        assert_eq!(s.bands[0].nrow(), 16);
+        assert_eq!(s.bands[0].ncol(), 24);
+        assert_eq!(s.truth.len(), 16 * 24);
+        assert!(s.truth.iter().all(|c| (*c as usize) < 4));
+    }
+
+    #[test]
+    fn kmeans_recovers_the_latent_classes() {
+        // The headline sanity check: unsupervised classification on the
+        // synthetic scene recovers the ground truth to high accuracy —
+        // evidence the substitution exercises the real algorithm.
+        let s = SyntheticScene::generate(SceneSpec::small(42));
+        let refs: Vec<&Image> = s.bands.iter().collect();
+        let stack = composite(&refs).unwrap();
+        let out = kmeans_classify(&stack, s.spec.classes, 100, 0x6AEA).unwrap();
+        let acc = s.score(&out.labels);
+        assert!(acc > 0.9, "classification accuracy {acc} too low");
+    }
+
+    #[test]
+    fn score_is_1_on_truth_itself() {
+        let s = SyntheticScene::generate(SceneSpec::small(3));
+        let acc = s.score(&s.truth_image());
+        assert!((acc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn training_sites_cover_every_class_and_respect_the_cap() {
+        let s = SyntheticScene::generate(SceneSpec::small(9).sized(16, 16));
+        let sites = s.training_sites(8);
+        assert_eq!(sites.len(), s.spec.classes);
+        for (c, site) in sites.iter().enumerate() {
+            assert_eq!(site.class, c);
+            assert!(!site.pixels.is_empty(), "class {c} untrained");
+            assert!(site.pixels.len() <= 8);
+            for &p in &site.pixels {
+                assert_eq!(s.truth[p] as usize, c, "pixel {p} mislabeled");
+            }
+        }
+        // Supervised classification from these sites recovers the truth.
+        let refs: Vec<&Image> = s.bands.iter().collect();
+        let stack = composite(&refs).unwrap();
+        let sig =
+            gaea_raster::signatures_from_training(&stack, s.spec.classes, &sites).unwrap();
+        let out = gaea_raster::min_distance_classify(&stack, &sig).unwrap();
+        assert!(s.score(&out.labels) > 0.9);
+    }
+}

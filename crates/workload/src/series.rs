@@ -1,0 +1,109 @@
+//! NDVI time series (the AVHRR substitution).
+//!
+//! Monthly NDVI composites with seasonal structure: per-pixel sinusoid with
+//! spatially varying amplitude/phase, a linear greening/browning trend and
+//! seeded noise. Used by the interpolation experiments (§2.1.5 step 2) and
+//! the vegetation-change scenario (§1).
+
+use gaea_adt::{AbsTime, Image};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate `months` monthly NDVI snapshots starting at `start`.
+///
+/// Returns `(timestamp, image)` pairs; values stay within [-1, 1].
+pub fn ndvi_series(
+    rows: u32,
+    cols: u32,
+    months: usize,
+    start: AbsTime,
+    trend_per_year: f64,
+    seed: u64,
+) -> Vec<(AbsTime, Image)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let npix = rows as usize * cols as usize;
+    // Per-pixel parameters.
+    let base: Vec<f64> = (0..npix).map(|_| 0.15 + rng.gen::<f64>() * 0.35).collect();
+    let amp: Vec<f64> = (0..npix).map(|_| 0.05 + rng.gen::<f64>() * 0.25).collect();
+    // Seasonality is spatially coherent (one growing season per region):
+    // a shared phase with small per-pixel jitter. Fully random phases
+    // would cancel in the spatial mean and erase the seasonal signal.
+    let common_phase = rng.gen::<f64>() * std::f64::consts::TAU;
+    let phase: Vec<f64> = (0..npix)
+        .map(|_| common_phase + (rng.gen::<f64>() - 0.5) * 0.6)
+        .collect();
+    let mut out = Vec::with_capacity(months);
+    for m in 0..months {
+        let t = AbsTime(start.0 + (m as i64) * 30 * 86_400);
+        let years = m as f64 / 12.0;
+        let season = (m as f64 / 12.0) * std::f64::consts::TAU;
+        let mut data = vec![0.0f64; npix];
+        for (p, d) in data.iter_mut().enumerate() {
+            let noise = (rng.gen::<f64>() - 0.5) * 0.02;
+            *d = (base[p] + amp[p] * (season + phase[p]).sin() + trend_per_year * years + noise)
+                .clamp(-1.0, 1.0);
+        }
+        out.push((
+            t,
+            Image::from_f64(rows, cols, data).expect("sized by construction"),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaea_raster::stats::mean;
+
+    fn start() -> AbsTime {
+        AbsTime::from_ymd(1988, 1, 1).unwrap()
+    }
+
+    #[test]
+    fn series_shape_and_determinism() {
+        let a = ndvi_series(8, 8, 24, start(), 0.0, 9);
+        assert_eq!(a.len(), 24);
+        assert_eq!(a[0].1.nrow(), 8);
+        // Monotone monthly timestamps.
+        for w in a.windows(2) {
+            assert!(w[1].0 > w[0].0);
+        }
+        let b = ndvi_series(8, 8, 24, start(), 0.0, 9);
+        assert_eq!(a[5].1, b[5].1);
+    }
+
+    #[test]
+    fn values_stay_in_ndvi_range() {
+        for (_, img) in ndvi_series(8, 8, 36, start(), 0.3, 2) {
+            for i in 0..img.len() {
+                let v = img.get_flat(i);
+                assert!((-1.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn greening_trend_raises_annual_mean() {
+        let series = ndvi_series(16, 16, 36, start(), 0.1, 4);
+        let year1: f64 = series[..12].iter().map(|(_, i)| mean(i)).sum::<f64>() / 12.0;
+        let year3: f64 = series[24..].iter().map(|(_, i)| mean(i)).sum::<f64>() / 12.0;
+        assert!(
+            year3 > year1 + 0.1,
+            "greening trend not visible: {year1} vs {year3}"
+        );
+    }
+
+    #[test]
+    fn seasonality_is_present() {
+        // Without trend, some months differ from others systematically.
+        let series = ndvi_series(16, 16, 12, start(), 0.0, 11);
+        let means: Vec<f64> = series.iter().map(|(_, i)| mean(i)).collect();
+        let spread = means
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            - means.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 0.01, "no seasonal spread: {spread}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Non-applicative processes: recording fieldwork (paper §5).
+//!
+//! "A process may be in general non-applicative, that is a process may
+//! consist of a mapping which is described by experimental procedures
+//! that do not follow a well known algorithm." Ground-truth collection is
+//! the GIS archetype: a scientist visits the footprint of a scene and
+//! samples vegetation in quadrats. No operator network can compute that —
+//! but the *derivation relationship* (survey derived from scene) is
+//! exactly what Gaea's metadata layers must capture, or the provenance of
+//! every validation statistic built on the survey is lost.
+//!
+//! ```sh
+//! cargo run --example field_survey
+//! ```
+
+use gaea::adt::{AbsTime, GeoBox, TypeTag, Value};
+use gaea::core::kernel::{ClassSpec, Gaea};
+use gaea::workload::{SceneSpec, SyntheticScene};
+
+const SPATIAL: &str = "spatialextent";
+const TEMPORAL: &str = "timestamp";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut g = Gaea::in_memory().with_user("qiu");
+
+    g.define_class(ClassSpec::base("tm").attr("data", TypeTag::Image))?;
+    // The survey references the scene it ground-truths — a non-primitive
+    // attribute (§4.3 extension) — alongside the observed values.
+    g.define_class(
+        ClassSpec::derived("site_survey")
+            .attr("vegetation_pct", TypeTag::Float8)
+            .attr("quadrats", TypeTag::Int4)
+            .attr("surveyor", TypeTag::Text)
+            .ref_attr("scene_ref", "tm"),
+    )?;
+    g.define_nonapplicative_process(
+        "P_field_survey",
+        "site_survey",
+        &[("scene".to_string(), "tm".to_string(), false, 1)],
+        "visit the scene footprint, sample 20 quadrats along two transects, \
+         record canopy cover per quadrat",
+        "ground-truthing for land-cover classifier validation",
+    )?;
+    println!("{}", g.catalog().process_by_name("P_field_survey")?);
+
+    // One TM scene of the study area.
+    let scene = SyntheticScene::generate(SceneSpec::small(7).sized(24, 24));
+    let bbox = GeoBox::new(33.0, -3.0, 37.0, 1.0); // around Lake Victoria
+    let t = AbsTime::from_ymd(1992, 2, 10)?;
+    let scene_obj = g.insert_object(
+        "tm",
+        vec![
+            ("data", Value::image(scene.bands[0].clone())),
+            (SPATIAL, Value::GeoBox(bbox)),
+            (TEMPORAL, Value::AbsTime(t)),
+        ],
+    )?;
+
+    // Automatic firing is refused — there is no algorithm to fire.
+    match g.run_process("P_field_survey", &[("scene", vec![scene_obj])]) {
+        Err(e) => println!("\nautomatic firing refused: {e}"),
+        Ok(_) => unreachable!("non-applicative processes cannot fire"),
+    }
+
+    // The scientist performs the procedure and records what was observed.
+    let run = g.record_manual_task(
+        "P_field_survey",
+        &[("scene", vec![scene_obj])],
+        vec![
+            ("vegetation_pct", Value::Float8(42.5)),
+            ("quadrats", Value::Int4(18)),
+            ("surveyor", Value::Text("qiu".into())),
+            ("scene_ref", Value::ObjRef(scene_obj.raw())),
+            (SPATIAL, Value::GeoBox(bbox)),
+            (TEMPORAL, Value::AbsTime(AbsTime::from_ymd(1992, 2, 17)?)),
+        ],
+        "two quadrats flooded and skipped; cover estimated visually",
+    )?;
+    let task = g.task(run.task)?.clone();
+    println!("\nrecorded {task}");
+    println!("procedure: {}", task.params["procedure"]);
+    println!("notes:     {}", task.params["notes"]);
+
+    // The observation has full lineage, like any computed object.
+    let survey = run.outputs[0];
+    println!("\nlineage of the survey object:");
+    println!("{}", g.lineage(survey)?.render());
+    let referenced = g.deref_attr(survey, "scene_ref")?;
+    println!(
+        "scene_ref dereferences to object {} at {}",
+        referenced.id,
+        referenced
+            .timestamp()
+            .map(|t| t.to_string())
+            .unwrap_or_default()
+    );
+
+    // Reproduction is an audit: nothing to recompute, nothing diverged,
+    // the unreplayable work is reported.
+    g.record_experiment("victoria_survey_92", "Feb 1992 ground truth", vec![run.task])?;
+    let rep = g.reproduce_experiment("victoria_survey_92")?;
+    println!(
+        "\nreproduction: faithful={}, rerun={}, audit notes={:?}",
+        rep.is_faithful(),
+        rep.tasks_rerun,
+        rep.not_replayable
+    );
+    Ok(())
+}

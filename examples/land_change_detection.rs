@@ -1,0 +1,112 @@
+//! Figure 5: the compound process `land-change-detection`.
+//!
+//! "A compound process is merely an abstraction [...] a compound process
+//! cannot be directly applied, but must be expanded into its primitive
+//! processes before actual derivation takes place."
+//!
+//! The pipeline: rectified TM at t₁ → unsupervised classification;
+//! rectified TM at t₂ → unsupervised classification; the two land-cover
+//! maps → change detection. One compound task records the umbrella, three
+//! child tasks record the expansion.
+//!
+//! ```sh
+//! cargo run --example land_change_detection
+//! ```
+
+use gaea::adt::{AbsTime, GeoBox, Value};
+use gaea::core::kernel::Gaea;
+use gaea::core::schema::StepSource;
+use gaea::workload::{build_figure2_schema, SceneSpec, SyntheticScene};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut g = Gaea::in_memory().with_user("gennert");
+    build_figure2_schema(&mut g)?;
+
+    // Define the Figure 5 compound over the already-registered primitives:
+    //   step0: P20(bands = outer arg 0)   → land_cover (t1)
+    //   step1: P20(bands = outer arg 1)   → land_cover (t2)
+    //   step2: P21(earlier = step0, later = step1) → land_cover_changes
+    g.define_compound_process(
+        "land_change_detection",
+        "land_cover_changes",
+        &[
+            ("tm_t1".into(), "rectified_tm".into(), true, 3),
+            ("tm_t2".into(), "rectified_tm".into(), true, 3),
+        ],
+        &[
+            (
+                "P20_unsupervised_classification".into(),
+                vec![StepSource::OuterArg(0)],
+            ),
+            (
+                "P20_unsupervised_classification".into(),
+                vec![StepSource::OuterArg(1)],
+            ),
+            (
+                "P21_change".into(),
+                vec![StepSource::StepOutput(0), StepSource::StepOutput(1)],
+            ),
+        ],
+        "Figure 5: land-change detection as a network of processes",
+    )?;
+
+    // Two epochs of the same scene, the second with a perturbed landscape.
+    let africa = GeoBox::new(-20.0, -35.0, 55.0, 38.0);
+    let t1 = AbsTime::from_ymd(1986, 1, 15)?;
+    let t2 = AbsTime::from_ymd(1991, 1, 15)?;
+    let scene1 = SyntheticScene::generate(SceneSpec::small(10).sized(48, 48));
+    let scene2 = SyntheticScene::generate(SceneSpec::small(11).sized(48, 48));
+    let mut bands_t1 = Vec::new();
+    let mut bands_t2 = Vec::new();
+    for (epoch, scene, t, out) in [
+        (1, &scene1, t1, &mut bands_t1),
+        (2, &scene2, t2, &mut bands_t2),
+    ] {
+        for band in &scene.bands {
+            out.push(g.insert_object(
+                "rectified_tm",
+                vec![
+                    ("data", Value::image(band.clone())),
+                    ("spatialextent", Value::GeoBox(africa)),
+                    ("timestamp", Value::AbsTime(t)),
+                ],
+            )?);
+        }
+        println!("epoch {epoch}: stored {} rectified bands", out.len());
+    }
+
+    // Fire the compound process.
+    let run = g.run_process(
+        "land_change_detection",
+        &[("tm_t1", bands_t1), ("tm_t2", bands_t2)],
+    )?;
+    let umbrella = g.task(run.task)?.clone();
+    println!(
+        "\ncompound task {} expanded into {} primitive task(s):",
+        umbrella.id,
+        umbrella.children.len()
+    );
+    for child in &umbrella.children {
+        println!("  {}", g.task(*child)?);
+    }
+
+    let change = g.object(run.outputs[0])?;
+    let img = change.attr("data").unwrap().as_image().unwrap().clone();
+    let changed = (0..img.len()).filter(|i| img.get_flat(*i) != 0.0).count();
+    println!(
+        "\nchange map: {}x{} px, {:.1}% classified differently",
+        img.nrow(),
+        img.ncol(),
+        100.0 * changed as f64 / img.len() as f64
+    );
+
+    // Lineage of the change map reaches all six TM bands through both
+    // classifications.
+    let tree = g.lineage(change.id)?;
+    println!("\nderivation tree ({} nodes, depth {}):", tree.size(), tree.depth());
+    println!("{}", tree.render());
+    assert_eq!(tree.depth(), 3); // change ← landcover ← tm
+    assert_eq!(g.ancestors(change.id)?.len(), 8); // 2 landcover + 6 bands
+    assert_eq!(umbrella.children.len(), 3);
+    Ok(())
+}

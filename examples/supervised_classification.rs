@@ -1,0 +1,157 @@
+//! Interactive processes: supervised classification (paper §4.3).
+//!
+//! The paper names supervised classification as the process it cannot
+//! express: "this process requires interaction with the scientist before
+//! a task completes the derivation of the output land cover
+//! classification data." This example drives the extension that expresses
+//! it — an interactive session in which the scientist inspects a composite
+//! preview, digitizes training sites, and supplies the spectral signatures
+//! the template consumes as `PARAM signatures`.
+//!
+//! ```sh
+//! cargo run --example supervised_classification
+//! ```
+
+use gaea::adt::{AbsTime, GeoBox, TypeTag, Value};
+use gaea::core::kernel::{ClassSpec, Gaea, ProcessSpec};
+use gaea::core::template::{Expr, Mapping, Template};
+use gaea::raster::composite;
+use gaea::raster::supervised::signatures_from_training;
+use gaea::workload::{SceneSpec, SyntheticScene};
+
+const SPATIAL: &str = "spatialextent";
+const TEMPORAL: &str = "timestamp";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut g = Gaea::in_memory().with_user("gennert");
+
+    // Schema: rectified TM scenes, and a land-cover class derived by the
+    // *interactive* process P_super.
+    g.define_class(ClassSpec::base("tm").attr("data", TypeTag::Image))?;
+    g.define_class(
+        ClassSpec::derived("landcover_sup")
+            .attr("data", TypeTag::Image)
+            .attr("numclass", TypeTag::Int4),
+    )?;
+    let template = Template {
+        assertions: vec![
+            Expr::eq(Expr::Card(Box::new(Expr::Arg("bands".into()))), Expr::int(3)),
+            Expr::Common(Box::new(Expr::proj("bands", TEMPORAL))),
+            Expr::Common(Box::new(Expr::proj("bands", SPATIAL))),
+        ],
+        mappings: vec![
+            Mapping {
+                attr: "data".into(),
+                expr: Expr::apply(
+                    "superclassify",
+                    vec![
+                        Expr::apply("composite", vec![Expr::Arg("bands".into())]),
+                        Expr::param("signatures"),
+                    ],
+                ),
+            },
+            Mapping { attr: "numclass".into(), expr: Expr::int(4) },
+            Mapping {
+                attr: SPATIAL.into(),
+                expr: Expr::AnyOf(Box::new(Expr::proj("bands", SPATIAL))),
+            },
+            Mapping {
+                attr: TEMPORAL.into(),
+                expr: Expr::AnyOf(Box::new(Expr::proj("bands", TEMPORAL))),
+            },
+        ],
+    };
+    g.define_process(
+        ProcessSpec::new("P_super", "landcover_sup")
+            .setof_arg("bands", "tm", 3)
+            .template(template)
+            .interact_preview(
+                "signatures",
+                "inspect the composite; digitize one training site per cover class",
+                TypeTag::Matrix,
+                Expr::apply("composite", vec![Expr::Arg("bands".into())]),
+            )
+            .doc("supervised min-distance classification (paper §4.3 example)"),
+    )?;
+    println!("{}", g.catalog().process_by_name("P_super")?);
+
+    // A synthetic 3-band scene with 4 known cover classes.
+    let scene = SyntheticScene::generate(SceneSpec::small(1993).sized(48, 48));
+    let bbox = GeoBox::new(-20.0, -35.0, 55.0, 38.0);
+    let t = AbsTime::from_ymd(1986, 1, 15)?;
+    let bands: Vec<_> = scene
+        .bands
+        .iter()
+        .map(|b| {
+            g.insert_object(
+                "tm",
+                vec![
+                    ("data", Value::image(b.clone())),
+                    (SPATIAL, Value::GeoBox(bbox)),
+                    (TEMPORAL, Value::AbsTime(t)),
+                ],
+            )
+        })
+        .collect::<Result<_, _>>()?;
+
+    // --- The interactive session -------------------------------------
+    let mut session = g.begin_interactive("P_super", &[("bands", bands)])?;
+    println!(
+        "\nsession opened: {} interaction(s) pending",
+        session.remaining()
+    );
+    let point = session.pending().expect("one point declared").clone();
+    println!("prompt: {}", point.prompt);
+
+    // The kernel renders the preview ("temporary result visualized on the
+    // screen"); the scripted scientist digitizes training sites from it.
+    let preview = g
+        .interaction_preview(&session)?
+        .expect("P_super declares a composite preview");
+    println!("preview: {preview}");
+    let imgs: Vec<_> = preview
+        .as_set()
+        .expect("composite band set")
+        .iter()
+        .map(|v| v.as_image().expect("band").as_ref().clone())
+        .collect();
+    let refs: Vec<&gaea::adt::Image> = imgs.iter().collect();
+    let stack = composite(&refs)?;
+    let k = scene.spec.classes;
+    let sites = scene.training_sites(16);
+    let signatures = signatures_from_training(&stack, k, &sites)?;
+    println!(
+        "scientist digitized {} training sites -> {}x{} signature matrix",
+        sites.len(),
+        signatures.rows(),
+        signatures.cols()
+    );
+    session.supply(Value::matrix(signatures))?;
+
+    // Completing the session fires the template with the answers bound.
+    let run = g.finish_interactive(session)?;
+    let task = g.task(run.task)?.clone();
+    println!("\nrecorded {task}");
+    let out = g.object(run.outputs[0])?;
+    let labels = out.attr("data").expect("class map").as_image().expect("image");
+    println!(
+        "classification purity vs ground truth: {:.3}",
+        scene.score(labels)
+    );
+
+    // The interaction is on record: the experiment replays without the
+    // scientist present.
+    g.record_experiment(
+        "supervised_jan86",
+        "supervised land cover, Africa Jan 1986",
+        vec![run.task],
+    )?;
+    let rep = g.reproduce_experiment("supervised_jan86")?;
+    println!(
+        "reproduction: {}/{} tasks match (faithful: {})",
+        rep.matching,
+        rep.tasks_rerun,
+        rep.is_faithful()
+    );
+    Ok(())
+}

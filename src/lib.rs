@@ -1,0 +1,47 @@
+//! # Gaea — a reproduction of the VLDB 1993 Gaea scientific DBMS
+//!
+//! This facade crate re-exports the whole workspace so that examples,
+//! integration tests, and downstream users can depend on a single crate.
+//!
+//! The system reproduces Hachem, Qiu, Gennert & Ward, *Managing Derived Data
+//! in the Gaea Scientific DBMS* (VLDB 1993):
+//!
+//! * [`adt`] — system-level semantics: primitive classes (value-identified
+//!   ADTs such as `image`), operators, and compound-operator dataflow
+//!   networks (paper §2.1.3, Figure 4).
+//! * [`raster`] — the GIS analysis algorithms used by every worked example:
+//!   unsupervised classification, PCA/SPCA, NDVI, change detection,
+//!   interpolation (Figures 3–5).
+//! * [`store`] — the Postgres-substitute storage substrate (catalog
+//!   relations, heaps, indexes, snapshots).
+//! * [`petri`] — derivation diagrams: Petri nets with the paper's modified
+//!   firing rules and backward-chaining derivation planning (§2.1.6).
+//! * [`core`] — the Gaea kernel itself: concepts, processes, tasks, the
+//!   three-layer metadata manager, the retrieve→interpolate→derive query
+//!   mechanism, lineage and experiment management (§2).
+//! * [`lang`] — the `CLASS` / `DEFINE PROCESS` definition language from the
+//!   paper's listings.
+//! * [`baseline`] — an IDRISI/GRASS-style file-based comparator (§4.1).
+//! * [`workload`] — synthetic Landsat-TM scenes, NDVI series, and the full
+//!   Figure 2 schema.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gaea::core::kernel::Gaea;
+//! let gaea = Gaea::in_memory();
+//! // See examples/quickstart.rs for a full worked session.
+//! let _ = gaea;
+//! ```
+
+pub use gaea_adt as adt;
+pub use gaea_baseline as baseline;
+pub use gaea_core as core;
+pub use gaea_lang as lang;
+pub use gaea_petri as petri;
+pub use gaea_raster as raster;
+pub use gaea_store as store;
+pub use gaea_workload as workload;
+
+/// Workspace version, shared by all crates.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,189 @@
+//! §4.3 extension — non-primitive classes as attribute types.
+//!
+//! The paper's limitation 1: "At this time, non-primitive classes can only
+//! be composed of primitive classes as provided within POSTGRES. [...]
+//! future applications may require this feature." These tests exercise
+//! the feature: reference attributes (`ObjRef`) whose target class is
+//! declared on the attribute, validated at insert time, and dereferenced
+//! through the auto-defined retrieval function.
+
+use gaea::adt::{AbsTime, GeoBox, Image, PixType, TypeTag, Value};
+use gaea::core::kernel::{ClassSpec, Gaea};
+use gaea::core::ObjectId;
+
+const SPATIAL: &str = "spatialextent";
+const TEMPORAL: &str = "timestamp";
+
+fn africa() -> GeoBox {
+    GeoBox::new(-20.0, -35.0, 55.0, 38.0)
+}
+
+/// Kernel with a scene class and a survey-report class that *references*
+/// the scene it documents (a non-primitive attribute), plus a revision
+/// chain: reports may reference a prior report of the same class.
+fn kernel() -> Gaea {
+    let mut g = Gaea::in_memory();
+    g.define_class(ClassSpec::base("scene").attr("data", TypeTag::Image))
+        .unwrap();
+    g.define_class(
+        ClassSpec::derived("report")
+            .attr("summary", TypeTag::Text)
+            .ref_attr("subject", "scene")
+            .ref_attr("supersedes", "report")
+            .no_extents(),
+    )
+    .unwrap();
+    g
+}
+
+fn insert_scene(g: &mut Gaea, fill: f64) -> ObjectId {
+    g.insert_object(
+        "scene",
+        vec![
+            (
+                "data",
+                Value::image(Image::filled(4, 4, PixType::Float8, fill)),
+            ),
+            (SPATIAL, Value::GeoBox(africa())),
+            (TEMPORAL, Value::AbsTime(AbsTime::from_ymd(1986, 1, 15).unwrap())),
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn reference_attributes_store_and_deref() {
+    let mut g = kernel();
+    let scene = insert_scene(&mut g, 7.0);
+    let report = g
+        .insert_object(
+            "report",
+            vec![
+                ("summary", Value::Text("mostly savanna".into())),
+                ("subject", Value::ObjRef(scene.raw())),
+            ],
+        )
+        .unwrap();
+    // The auto-defined retrieval function follows the reference.
+    let target = g.deref_attr(report, "subject").unwrap();
+    assert_eq!(target.id, scene);
+    assert_eq!(
+        target.attr("data").unwrap().as_image().unwrap().get(0, 0),
+        7.0
+    );
+    // Dereferencing a primitive attribute is a schema error.
+    assert!(g.deref_attr(report, "summary").is_err());
+    // Dereferencing a null reference reports no data.
+    assert!(g.deref_attr(report, "supersedes").is_err());
+}
+
+#[test]
+fn references_are_class_checked_at_insert() {
+    let mut g = kernel();
+    let scene = insert_scene(&mut g, 1.0);
+    let report = g
+        .insert_object(
+            "report",
+            vec![
+                ("summary", Value::Text("v1".into())),
+                ("subject", Value::ObjRef(scene.raw())),
+            ],
+        )
+        .unwrap();
+    // A report is not a scene: wrong-class reference rejected.
+    let err = g
+        .insert_object(
+            "report",
+            vec![
+                ("summary", Value::Text("v2".into())),
+                ("subject", Value::ObjRef(report.raw())),
+            ],
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("must reference class scene"), "{err}");
+    // A dangling OID is rejected.
+    let err = g
+        .insert_object(
+            "report",
+            vec![("subject", Value::ObjRef(999_999))],
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("999999") || err.to_string().contains("oid"), "{err}");
+    // A non-reference value in a reference slot is rejected.
+    let err = g
+        .insert_object("report", vec![("subject", Value::Int4(5))])
+        .unwrap_err();
+    assert!(err.to_string().contains("reference"), "{err}");
+    // Nothing partial was stored by the failures.
+    assert_eq!(g.count_objects("report").unwrap(), 1);
+}
+
+#[test]
+fn self_referencing_revision_chains() {
+    let mut g = kernel();
+    let scene = insert_scene(&mut g, 2.0);
+    let v1 = g
+        .insert_object(
+            "report",
+            vec![
+                ("summary", Value::Text("first pass".into())),
+                ("subject", Value::ObjRef(scene.raw())),
+            ],
+        )
+        .unwrap();
+    let v2 = g
+        .insert_object(
+            "report",
+            vec![
+                ("summary", Value::Text("corrected cloud mask".into())),
+                ("subject", Value::ObjRef(scene.raw())),
+                ("supersedes", Value::ObjRef(v1.raw())),
+            ],
+        )
+        .unwrap();
+    // Walk the chain.
+    let prev = g.deref_attr(v2, "supersedes").unwrap();
+    assert_eq!(prev.id, v1);
+    assert_eq!(prev.attr("summary"), Some(&Value::Text("first pass".into())));
+    // Both revisions document the same scene.
+    assert_eq!(g.deref_attr(v1, "subject").unwrap().id, scene);
+    assert_eq!(g.deref_attr(v2, "subject").unwrap().id, scene);
+}
+
+#[test]
+fn ref_attr_definitions_resolve_against_the_catalog() {
+    let mut g = Gaea::in_memory();
+    // Referencing an unknown class fails at definition time.
+    let err = g
+        .define_class(ClassSpec::derived("bad").ref_attr("x", "no_such_class"))
+        .unwrap_err();
+    assert!(err.to_string().contains("no_such_class"), "{err}");
+    // The failed definition left no class behind.
+    assert!(g.catalog().class_by_name("bad").is_err());
+}
+
+#[test]
+fn references_survive_save_load() {
+    let mut g = kernel();
+    let scene = insert_scene(&mut g, 3.5);
+    let report = g
+        .insert_object(
+            "report",
+            vec![
+                ("summary", Value::Text("persisted".into())),
+                ("subject", Value::ObjRef(scene.raw())),
+            ],
+        )
+        .unwrap();
+    let dir = std::env::temp_dir().join(format!("gaea-refs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    g.save(&dir).unwrap();
+    let loaded = Gaea::load(&dir).unwrap();
+    let target = loaded.deref_attr(report, "subject").unwrap();
+    assert_eq!(target.id, scene);
+    assert_eq!(
+        target.attr("data").unwrap().as_image().unwrap().get(0, 0),
+        3.5
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

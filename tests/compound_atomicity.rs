@@ -1,0 +1,204 @@
+//! Compound firing is atomic (§2.1.4: "a compound process is merely an
+//! abstraction") — a failing later step must undo the objects and task
+//! records of earlier steps, or the catalog fills with orphaned
+//! intermediate derivations the scientist never asked for.
+
+use gaea::adt::{AbsTime, GeoBox, Image, PixType, TypeTag, Value};
+use gaea::core::external::SimulatedSite;
+use gaea::core::kernel::{ClassSpec, Gaea, ProcessSpec};
+use gaea::core::schema::StepSource;
+use gaea::core::task::TaskKind;
+use gaea::core::template::{Expr, Mapping, Template};
+use gaea::core::{KernelError, ObjectId};
+use std::sync::Arc;
+
+const SPATIAL: &str = "spatialextent";
+const TEMPORAL: &str = "timestamp";
+
+fn africa() -> GeoBox {
+    GeoBox::new(-20.0, -35.0, 55.0, 38.0)
+}
+
+/// Schema: raw --P_ok--> mid --P_guarded--> final, where P_guarded's
+/// assertion rejects every input (`1 = 2`), plus the compound chaining
+/// them.
+fn kernel(guard_fails: bool) -> Gaea {
+    let mut g = Gaea::in_memory();
+    g.define_class(ClassSpec::base("raw").attr("data", TypeTag::Image))
+        .unwrap();
+    g.define_class(ClassSpec::derived("mid").attr("data", TypeTag::Image))
+        .unwrap();
+    g.define_class(ClassSpec::derived("final").attr("data", TypeTag::Image))
+        .unwrap();
+    let transfer = |arg: &str| Template {
+        assertions: if guard_fails && arg == "m" {
+            vec![Expr::eq(Expr::int(1), Expr::int(2))]
+        } else {
+            vec![]
+        },
+        mappings: vec![
+            Mapping {
+                attr: "data".into(),
+                expr: Expr::Arg(arg.into()),
+            },
+            Mapping {
+                attr: SPATIAL.into(),
+                expr: Expr::proj(arg, SPATIAL),
+            },
+            Mapping {
+                attr: TEMPORAL.into(),
+                expr: Expr::proj(arg, TEMPORAL),
+            },
+        ],
+    };
+    g.define_process(
+        ProcessSpec::new("P_ok", "mid")
+            .arg("r", "raw")
+            .template(transfer("r")),
+    )
+    .unwrap();
+    g.define_process(
+        ProcessSpec::new("P_guarded", "final")
+            .arg("m", "mid")
+            .template(transfer("m")),
+    )
+    .unwrap();
+    g.define_compound_process(
+        "P_chain",
+        "final",
+        &[("r".to_string(), "raw".to_string(), false, 1)],
+        &[
+            ("P_ok".to_string(), vec![StepSource::OuterArg(0)]),
+            ("P_guarded".to_string(), vec![StepSource::StepOutput(0)]),
+        ],
+        "two-step chain",
+    )
+    .unwrap();
+    g
+}
+
+fn insert_raw(g: &mut Gaea) -> ObjectId {
+    g.insert_object(
+        "raw",
+        vec![
+            ("data", Value::image(Image::filled(4, 4, PixType::Float8, 1.0))),
+            (SPATIAL, Value::GeoBox(africa())),
+            (TEMPORAL, Value::AbsTime(AbsTime::from_ymd(1986, 1, 15).unwrap())),
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn compound_success_leaves_full_record() {
+    let mut g = kernel(false);
+    let r = insert_raw(&mut g);
+    let run = g.run_process("P_chain", &[("r", vec![r])]).unwrap();
+    assert_eq!(g.count_objects("mid").unwrap(), 1);
+    assert_eq!(g.count_objects("final").unwrap(), 1);
+    // Umbrella + 2 children on record.
+    assert_eq!(g.catalog().tasks.len(), 3);
+    let umbrella = g.task(run.task).unwrap();
+    assert_eq!(umbrella.children.len(), 2);
+}
+
+#[test]
+fn failing_step_undoes_earlier_steps() {
+    let mut g = kernel(true);
+    let r = insert_raw(&mut g);
+    let err = g.run_process("P_chain", &[("r", vec![r])]).unwrap_err();
+    assert!(matches!(err, KernelError::AssertionFailed { .. }), "{err}");
+    // Atomicity: step 1's intermediate object and task are gone.
+    assert_eq!(g.count_objects("mid").unwrap(), 0, "orphaned intermediate");
+    assert_eq!(g.count_objects("final").unwrap(), 0);
+    assert!(g.catalog().tasks.is_empty(), "orphaned task records");
+    // The base object is untouched.
+    assert_eq!(g.count_objects("raw").unwrap(), 1);
+    assert!(g.object(r).is_ok());
+}
+
+/// Compound whose *second* step is external: local rectification feeds a
+/// remote classification. Exercises the §2.1.4 expansion crossing the §5
+/// site boundary, and atomic undo when the site is down.
+fn hybrid_kernel() -> (Gaea, Arc<SimulatedSite>) {
+    let mut g = kernel(false);
+    g.define_class(ClassSpec::derived("remote_final").attr("data", TypeTag::Image))
+        .unwrap();
+    g.define_external_process(
+        ProcessSpec::new("P_remote", "remote_final").arg("m", "mid"),
+        "hpc_center",
+    )
+    .unwrap();
+    g.define_compound_process(
+        "P_hybrid",
+        "remote_final",
+        &[("r".to_string(), "raw".to_string(), false, 1)],
+        &[
+            ("P_ok".to_string(), vec![StepSource::OuterArg(0)]),
+            ("P_remote".to_string(), vec![StepSource::StepOutput(0)]),
+        ],
+        "local preprocessing, remote analysis",
+    )
+    .unwrap();
+    let site = Arc::new(SimulatedSite::new("hpc_center", |_d, inputs| {
+        let m = &inputs["m"][0];
+        let mut out = std::collections::BTreeMap::new();
+        out.insert("data".to_string(), m.attr("data").cloned().unwrap());
+        out.insert(SPATIAL.to_string(), m.attr(SPATIAL).cloned().unwrap());
+        out.insert(TEMPORAL.to_string(), m.attr(TEMPORAL).cloned().unwrap());
+        Ok(out)
+    }));
+    g.register_site("hpc_center", site.clone());
+    (g, site)
+}
+
+#[test]
+fn compounds_cross_site_boundaries() {
+    let (mut g, _site) = hybrid_kernel();
+    let r = insert_raw(&mut g);
+    let run = g.run_process("P_hybrid", &[("r", vec![r])]).unwrap();
+    assert_eq!(g.count_objects("mid").unwrap(), 1);
+    assert_eq!(g.count_objects("remote_final").unwrap(), 1);
+    let umbrella = g.task(run.task).unwrap().clone();
+    assert_eq!(umbrella.kind, TaskKind::Compound);
+    assert_eq!(umbrella.children.len(), 2);
+    // The second child is an external task attributed to the site.
+    let second = g.task(umbrella.children[1]).unwrap();
+    assert_eq!(second.kind, TaskKind::External);
+    assert_eq!(second.params["site"], Value::Text("hpc_center".into()));
+    // Lineage spans the boundary: final ← mid ← raw.
+    assert_eq!(g.ancestors(run.outputs[0]).unwrap().len(), 2);
+}
+
+#[test]
+fn site_outage_mid_compound_undoes_local_steps() {
+    let (mut g, site) = hybrid_kernel();
+    let r = insert_raw(&mut g);
+    site.set_reachable(false);
+    let err = g.run_process("P_hybrid", &[("r", vec![r])]).unwrap_err();
+    assert!(matches!(err, KernelError::SiteUnavailable { .. }), "{err}");
+    // The local preprocessing of step 1 was rolled back with everything
+    // else: atomicity holds across the site boundary.
+    assert_eq!(g.count_objects("mid").unwrap(), 0);
+    assert_eq!(g.count_objects("remote_final").unwrap(), 0);
+    assert!(g.catalog().tasks.is_empty());
+    // Service restored: the identical firing succeeds.
+    site.set_reachable(true);
+    assert!(g.run_process("P_hybrid", &[("r", vec![r])]).is_ok());
+}
+
+#[test]
+fn retry_after_failure_succeeds_cleanly() {
+    // The failed compound must leave the kernel in a state where the same
+    // derivation (without the failing guard) runs normally — no leaked
+    // OIDs, names or sequence numbers that break a retry.
+    let mut g = kernel(true);
+    let r = insert_raw(&mut g);
+    assert!(g.run_process("P_chain", &[("r", vec![r])]).is_err());
+    // A direct P_ok firing still works and records the only task.
+    let run = g.run_process("P_ok", &[("r", vec![r])]).unwrap();
+    assert_eq!(g.catalog().tasks.len(), 1);
+    assert_eq!(g.count_objects("mid").unwrap(), 1);
+    let obj = g.object(run.outputs[0]).unwrap();
+    assert_eq!(obj.spatial_extent(), Some(africa()));
+}

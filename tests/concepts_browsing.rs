@@ -1,0 +1,121 @@
+//! Experiment Q5 and §4.2 browsing: parameter-distinct processes over one
+//! concept, catalog description, DOT exports, experiment comparison.
+
+use gaea::adt::{AbsTime, GeoBox, Image, Value};
+use gaea::core::kernel::Gaea;
+use gaea::workload::build_figure2_schema;
+
+fn kernel_with_rainfall() -> (Gaea, gaea::core::ObjectId) {
+    let mut g = Gaea::in_memory().with_user("q5");
+    build_figure2_schema(&mut g).unwrap();
+    let sahara = GeoBox::new(-15.0, 15.0, 35.0, 32.0);
+    let rows = 16u32;
+    let cols = 32u32;
+    let rainfall: Vec<f64> = (0..rows * cols)
+        .map(|i| {
+            let r = (i / cols) as f64 / rows as f64;
+            600.0 - 560.0 * r
+        })
+        .collect();
+    let oid = g
+        .insert_object(
+            "rainfall",
+            vec![
+                ("data", Value::image(Image::from_f64(rows, cols, rainfall).unwrap())),
+                ("spatialextent", Value::GeoBox(sahara)),
+                (
+                    "timestamp",
+                    Value::AbsTime(AbsTime::from_ymd(1986, 6, 1).unwrap()),
+                ),
+            ],
+        )
+        .unwrap();
+    (g, oid)
+}
+
+#[test]
+fn parameter_distinct_desert_processes() {
+    // §2.1.2: 250mm vs 200mm are different processes; their outputs are
+    // different classes realizing one concept.
+    let (mut g, rain) = kernel_with_rainfall();
+    let r250 = g.run_process("P2_desert_250", &[("rain", vec![rain])]).unwrap();
+    let r200 = g.run_process("P3_desert_200", &[("rain", vec![rain])]).unwrap();
+    let m250 = g.object(r250.outputs[0]).unwrap();
+    let m200 = g.object(r200.outputs[0]).unwrap();
+    // Different classes, different derivations, both members of the concept.
+    assert_ne!(m250.class, m200.class);
+    assert!(!g.same_derivation(m250.id, m200.id).unwrap());
+    let concept = g.catalog().concept_by_name("hot_trade_wind_desert").unwrap();
+    assert!(concept.has_member(m250.class) && concept.has_member(m200.class));
+    // The looser threshold admits at least as many desert pixels.
+    let area = |o: &gaea::core::DataObject| {
+        let img = o.attr("data").unwrap().as_image().unwrap().clone();
+        (0..img.len()).filter(|i| img.get_flat(*i) > 0.0).count()
+    };
+    assert!(area(&m250) >= area(&m200));
+    assert!(area(&m250) > 0);
+}
+
+#[test]
+fn describe_renders_the_whole_catalog() {
+    let (g, _) = kernel_with_rainfall();
+    let ddl = g.describe();
+    for needle in [
+        "CLASS rainfall",
+        "CLASS desert_rain_250",
+        "DEFINE PROCESS P2_desert_250",
+        "threshold_below(rain.data, 250)",
+        "threshold_below(rain.data, 200)",
+        "CONCEPT hot_trade_wind_desert",
+    ] {
+        assert!(ddl.contains(needle), "describe() missing {needle:?}");
+    }
+}
+
+#[test]
+fn derivation_dot_reflects_stored_counts() {
+    let (g, _) = kernel_with_rainfall();
+    let dot = g.derivation_dot().unwrap();
+    assert!(dot.contains("digraph derivation"));
+    assert!(dot.contains("rainfall (1)"), "one stored rainfall grid");
+    assert!(dot.contains("desert_rain_250 (0)"));
+    assert!(dot.contains("P2_desert_250"));
+}
+
+#[test]
+fn lineage_dot_for_derived_mask() {
+    let (mut g, rain) = kernel_with_rainfall();
+    let run = g.run_process("P2_desert_250", &[("rain", vec![rain])]).unwrap();
+    let dot = g.lineage_dot(run.outputs[0]).unwrap();
+    assert!(dot.contains("P2_desert_250"));
+    assert!(dot.contains("rainfall"));
+    assert!(dot.contains("lightgray"), "base rainfall shaded");
+}
+
+#[test]
+fn experiment_comparison_across_scientists() {
+    let (mut g, rain) = kernel_with_rainfall();
+    let r1 = g.run_process("P2_desert_250", &[("rain", vec![rain])]).unwrap();
+    g.record_experiment("sahara_250", "deserts at 250mm", vec![r1.task])
+        .unwrap();
+    g.set_user("zhang");
+    let r2 = g.run_process("P3_desert_200", &[("rain", vec![rain])]).unwrap();
+    g.record_experiment("sahara_200", "deserts at 200mm", vec![r2.task])
+        .unwrap();
+    let diff = g.compare_experiments("sahara_250", "sahara_200").unwrap();
+    assert!(!diff.equivalent());
+    assert!(diff.only_first[0].contains("P2_desert_250"));
+    assert!(diff.only_second[0].contains("P3_desert_200"));
+    // Reuse lookup: who has already run the 250mm derivation?
+    let pid = g.catalog().process_by_name("P2_desert_250").unwrap().id;
+    let users = gaea::core::report::experiments_using_process(g.catalog(), pid);
+    assert_eq!(users.len(), 1);
+}
+
+#[test]
+fn registry_browsing_surfaces_crop() {
+    let (g, _) = kernel_with_rainfall();
+    assert!(g.registry().contains("img_crop"));
+    let for_images = g.registry().ops_for_input(&gaea::adt::TypeTag::Image);
+    assert!(for_images.iter().any(|d| d.name == "img_crop"));
+}

@@ -1,0 +1,368 @@
+//! §5 extension — non-local and non-applicative processes.
+//!
+//! The paper's future work: "The need to deal with processes that are not
+//! locally available will be essential in the future. Furthermore, a
+//! process may be in general non-applicative, that is a process may
+//! consist of a mapping which is described by experimental procedures
+//! that do not follow a well known algorithm."
+//!
+//! These tests exercise both: an NDVI process whose mapping runs at a
+//! simulated remote site (with outage injection), and a ground-survey
+//! process whose tasks are recorded, not computed.
+
+use gaea::adt::{AbsTime, GeoBox, Image, PixType, TypeTag, Value};
+use gaea::core::external::SimulatedSite;
+use gaea::core::kernel::{ClassSpec, Gaea, ProcessSpec};
+use gaea::core::task::TaskKind;
+use gaea::core::template::{Expr, Template};
+use gaea::core::{KernelError, ObjectId, Query, QueryMethod, QueryStrategy};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const SPATIAL: &str = "spatialextent";
+const TEMPORAL: &str = "timestamp";
+
+fn africa() -> GeoBox {
+    GeoBox::new(-20.0, -35.0, 55.0, 38.0)
+}
+
+fn jun88() -> AbsTime {
+    AbsTime::from_ymd(1988, 6, 1).unwrap()
+}
+
+/// The remote service: computes NDVI from the shipped band objects and
+/// transfers the extents invariantly — the same contract a local template
+/// would implement.
+fn ndvi_site() -> Arc<SimulatedSite> {
+    Arc::new(SimulatedSite::new("nasa_eos", |_def, inputs| {
+        let nir = &inputs["nir"][0];
+        let red = &inputs["red"][0];
+        let img = gaea::raster::ndvi(
+            nir.attr("data").and_then(Value::as_image).expect("nir image"),
+            red.attr("data").and_then(Value::as_image).expect("red image"),
+        )
+        .map_err(gaea::core::KernelError::from)?;
+        let mut out = BTreeMap::new();
+        out.insert("data".to_string(), Value::image(img));
+        if let Some(b) = nir.attr(SPATIAL) {
+            out.insert(SPATIAL.to_string(), b.clone());
+        }
+        if let Some(t) = nir.attr(TEMPORAL) {
+            out.insert(TEMPORAL.to_string(), t.clone());
+        }
+        Ok(out)
+    }))
+}
+
+/// Kernel with `avhrr` (base) and `ndvi_map` derived by the *external*
+/// process `P_ndvi_remote` at site "nasa_eos". The local template carries
+/// only the guard assertion (`common(timestamps)`).
+fn external_kernel() -> Gaea {
+    let mut g = Gaea::in_memory();
+    g.define_class(ClassSpec::base("avhrr").attr("data", TypeTag::Image))
+        .unwrap();
+    g.define_class(ClassSpec::derived("ndvi_map").attr("data", TypeTag::Image))
+        .unwrap();
+    // Guard rule: both bands must be from the same instant. Checked
+    // *locally*, before anything is shipped to the site.
+    let guards = Template {
+        assertions: vec![Expr::eq(
+            Expr::proj("nir", TEMPORAL),
+            Expr::proj("red", TEMPORAL),
+        )],
+        mappings: vec![],
+    };
+    g.define_external_process(
+        ProcessSpec::new("P_ndvi_remote", "ndvi_map")
+            .arg("nir", "avhrr")
+            .arg("red", "avhrr")
+            .template(guards)
+            .doc("NDVI computed at the NASA EOS processing facility"),
+        "nasa_eos",
+    )
+    .unwrap();
+    g
+}
+
+fn insert_band(g: &mut Gaea, fill: f64) -> ObjectId {
+    g.insert_object(
+        "avhrr",
+        vec![
+            (
+                "data",
+                Value::image(Image::filled(8, 8, PixType::Float8, fill)),
+            ),
+            (SPATIAL, Value::GeoBox(africa())),
+            (TEMPORAL, Value::AbsTime(jun88())),
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn external_process_fires_through_its_site() {
+    let mut g = external_kernel();
+    g.register_site("nasa_eos", ndvi_site());
+    assert_eq!(g.sites(), vec!["nasa_eos"]);
+    let nir = insert_band(&mut g, 0.8);
+    let red = insert_band(&mut g, 0.2);
+    let run = g
+        .run_process("P_ndvi_remote", &[("nir", vec![nir]), ("red", vec![red])])
+        .unwrap();
+    let task = g.task(run.task).unwrap().clone();
+    assert_eq!(task.kind, TaskKind::External);
+    assert_eq!(task.params["site"], Value::Text("nasa_eos".into()));
+    // NDVI of (0.8, 0.2) = 0.6/1.0.
+    let out = g.object(run.outputs[0]).unwrap();
+    let img = out.attr("data").unwrap().as_image().unwrap();
+    assert!((img.get(0, 0) - 0.6).abs() < 1e-12);
+    assert_eq!(out.spatial_extent(), Some(africa()));
+    // Lineage does not care where the mapping ran.
+    assert_eq!(g.ancestors(run.outputs[0]).unwrap().len(), 2);
+}
+
+#[test]
+fn unregistered_or_down_sites_fail_cleanly() {
+    let mut g = external_kernel();
+    let nir = insert_band(&mut g, 0.8);
+    let red = insert_band(&mut g, 0.2);
+    // No site registered at all.
+    let err = g
+        .run_process("P_ndvi_remote", &[("nir", vec![nir]), ("red", vec![red])])
+        .unwrap_err();
+    assert!(matches!(err, KernelError::SiteUnavailable { .. }), "{err}");
+    // Registered but down (outage injection).
+    let site = ndvi_site();
+    g.register_site("nasa_eos", site.clone());
+    site.set_reachable(false);
+    let err = g
+        .run_process("P_ndvi_remote", &[("nir", vec![nir]), ("red", vec![red])])
+        .unwrap_err();
+    assert!(matches!(err, KernelError::SiteUnavailable { .. }), "{err}");
+    // Nothing was stored or recorded on either failure.
+    assert_eq!(g.count_objects("ndvi_map").unwrap(), 0);
+    assert!(g.catalog().tasks.is_empty());
+    // Service restored: the derivation goes through.
+    site.set_reachable(true);
+    assert!(g
+        .run_process("P_ndvi_remote", &[("nir", vec![nir]), ("red", vec![red])])
+        .is_ok());
+}
+
+#[test]
+fn guards_are_checked_locally_before_dispatch() {
+    let mut g = external_kernel();
+    // A site that panics if ever reached — the guard must fail first.
+    g.register_site(
+        "nasa_eos",
+        Arc::new(SimulatedSite::new("nasa_eos", |_, _| {
+            panic!("inputs must not be shipped when local guards fail")
+        })),
+    );
+    let nir = insert_band(&mut g, 0.8);
+    // red is from a different instant: the declared guard
+    // `nir.timestamp = red.timestamp` fails locally.
+    let red = g
+        .insert_object(
+            "avhrr",
+            vec![
+                ("data", Value::image(Image::filled(8, 8, PixType::Float8, 0.2))),
+                (SPATIAL, Value::GeoBox(africa())),
+                (TEMPORAL, Value::AbsTime(AbsTime::from_ymd(1989, 6, 1).unwrap())),
+            ],
+        )
+        .unwrap();
+    let err = g
+        .run_process("P_ndvi_remote", &[("nir", vec![nir]), ("red", vec![red])])
+        .unwrap_err();
+    // An AssertionFailed error (not a site panic) proves evaluation order.
+    assert!(matches!(err, KernelError::AssertionFailed { .. }), "{err}");
+    assert_eq!(g.count_objects("ndvi_map").unwrap(), 0);
+}
+
+#[test]
+fn queries_derive_through_reachable_external_sites_only() {
+    let mut g = external_kernel();
+    insert_band(&mut g, 0.9);
+    insert_band(&mut g, 0.3);
+    let q = Query::class("ndvi_map").with_strategy(QueryStrategy::PreferDerivation);
+    // Site absent: the planner must not route through the external process.
+    let err = g.query(&q).unwrap_err();
+    assert!(
+        matches!(err, KernelError::DerivationImpossible(_) | KernelError::NoData(_)),
+        "{err}"
+    );
+    // Site registered: automatic derivation crosses the site boundary.
+    g.register_site("nasa_eos", ndvi_site());
+    let out = g.query(&q).unwrap();
+    assert_eq!(out.method, QueryMethod::Derived);
+    assert_eq!(out.objects.len(), 1);
+    let task = g.task(out.tasks[0]).unwrap();
+    assert_eq!(task.kind, TaskKind::External);
+}
+
+#[test]
+fn external_reproduction_depends_on_the_site() {
+    let mut g = external_kernel();
+    let site = ndvi_site();
+    g.register_site("nasa_eos", site.clone());
+    let nir = insert_band(&mut g, 0.8);
+    let red = insert_band(&mut g, 0.2);
+    let run = g
+        .run_process("P_ndvi_remote", &[("nir", vec![nir]), ("red", vec![red])])
+        .unwrap();
+    g.record_experiment("remote_ndvi_88", "NDVI via EOS", vec![run.task])
+        .unwrap();
+    // Site up: replayed and matching.
+    let rep = g.reproduce_experiment("remote_ndvi_88").unwrap();
+    assert!(rep.is_faithful(), "{rep:?}");
+    assert_eq!(rep.tasks_rerun, 1);
+    assert!(!rep.has_unreplayable());
+    // Site down: the history stands, the computation cannot be repeated.
+    site.set_reachable(false);
+    let rep = g.reproduce_experiment("remote_ndvi_88").unwrap();
+    assert!(rep.is_faithful(), "down site is not a divergence: {rep:?}");
+    assert_eq!(rep.tasks_rerun, 0);
+    assert!(rep.has_unreplayable());
+    assert!(rep.not_replayable[0].contains("nasa_eos"), "{rep:?}");
+}
+
+#[test]
+fn external_definitions_are_validated() {
+    let mut g = external_kernel();
+    // Mappings are not allowed locally.
+    let bad = ProcessSpec::new("P_bad", "ndvi_map")
+        .arg("nir", "avhrr")
+        .template(Template {
+            assertions: vec![],
+            mappings: vec![gaea::core::template::Mapping {
+                attr: "data".into(),
+                expr: Expr::int(1),
+            }],
+        });
+    let err = g.define_external_process(bad, "x").unwrap_err();
+    assert!(err.to_string().contains("assertions"), "{err}");
+    // Interactions are not allowed remotely.
+    let bad = ProcessSpec::new("P_bad2", "ndvi_map")
+        .arg("nir", "avhrr")
+        .interact("k", "pick k", TypeTag::Int4);
+    assert!(g.define_external_process(bad, "x").is_err());
+    // The definition itself does not require the site to exist yet.
+    let ok = ProcessSpec::new("P_future", "ndvi_map").arg("nir", "avhrr");
+    let id = g.define_external_process(ok, "not_yet_built").unwrap();
+    assert_eq!(
+        g.catalog().process(id).unwrap().site(),
+        Some("not_yet_built")
+    );
+}
+
+// ---------------------------------------------------------------------
+// Non-applicative processes
+// ---------------------------------------------------------------------
+
+/// Kernel with a ground-truth survey: `site_survey` data is derived from
+/// `avhrr` scenes by *fieldwork*, not by an algorithm.
+fn survey_kernel() -> Gaea {
+    let mut g = external_kernel();
+    g.define_class(
+        ClassSpec::derived("site_survey")
+            .attr("vegetation_pct", TypeTag::Float8)
+            .attr("surveyor", TypeTag::Text),
+    )
+    .unwrap();
+    g.define_nonapplicative_process(
+        "P_field_survey",
+        "site_survey",
+        &[("scene".to_string(), "avhrr".to_string(), false, 1)],
+        "visit the scene's footprint, sample 20 quadrats, record canopy cover",
+        "ground-truthing for classifier validation",
+    )
+    .unwrap();
+    g
+}
+
+#[test]
+fn nonapplicative_tasks_are_recorded_not_computed() {
+    let mut g = survey_kernel();
+    let scene = insert_band(&mut g, 0.5);
+    // Firing is refused, with the procedure quoted.
+    let err = g.run_process("P_field_survey", &[("scene", vec![scene])]).unwrap_err();
+    match &err {
+        KernelError::NotAutoFirable { process, reason } => {
+            assert_eq!(process, "P_field_survey");
+            assert!(reason.contains("quadrats"), "{reason}");
+        }
+        other => panic!("unexpected {other}"),
+    }
+    // The scientist records the observed outcome instead.
+    let run = g
+        .record_manual_task(
+            "P_field_survey",
+            &[("scene", vec![scene])],
+            vec![
+                ("vegetation_pct", Value::Float8(37.5)),
+                ("surveyor", Value::Text("qiu".into())),
+                (SPATIAL, Value::GeoBox(africa())),
+                (TEMPORAL, Value::AbsTime(jun88())),
+            ],
+            "dry season; northern quadrats inaccessible",
+        )
+        .unwrap();
+    let task = g.task(run.task).unwrap().clone();
+    assert_eq!(task.kind, TaskKind::Manual);
+    assert!(task.params["procedure"].as_str().unwrap().contains("quadrats"));
+    assert!(task.params["notes"].as_str().unwrap().contains("dry season"));
+    // The observation is a first-class object with lineage.
+    let obj = g.object(run.outputs[0]).unwrap();
+    assert_eq!(obj.attr("vegetation_pct"), Some(&Value::Float8(37.5)));
+    assert_eq!(g.ancestors(run.outputs[0]).unwrap(), vec![scene]);
+    // Recording against a computable process is refused.
+    let nir = insert_band(&mut g, 0.8);
+    let red = insert_band(&mut g, 0.2);
+    assert!(g
+        .record_manual_task(
+            "P_ndvi_remote",
+            &[("nir", vec![nir]), ("red", vec![red])],
+            vec![],
+            ""
+        )
+        .is_err());
+}
+
+#[test]
+fn nonapplicative_processes_stay_out_of_automatic_derivation() {
+    let mut g = survey_kernel();
+    insert_band(&mut g, 0.5);
+    let q = Query::class("site_survey").with_strategy(QueryStrategy::PreferDerivation);
+    let err = g.query(&q).unwrap_err();
+    assert!(
+        matches!(err, KernelError::DerivationImpossible(_) | KernelError::NoData(_)),
+        "{err}"
+    );
+    // But the full derivation diagram shows the relationship (browsable).
+    let dnet = g.derivation_net();
+    let cat = g.catalog();
+    let pid = cat.process_by_name("P_field_survey").unwrap().id;
+    assert!(dnet.transition_of.contains_key(&pid));
+}
+
+#[test]
+fn manual_tasks_reproduce_as_audit_notes() {
+    let mut g = survey_kernel();
+    let scene = insert_band(&mut g, 0.5);
+    let run = g
+        .record_manual_task(
+            "P_field_survey",
+            &[("scene", vec![scene])],
+            vec![("vegetation_pct", Value::Float8(41.0))],
+            "",
+        )
+        .unwrap();
+    g.record_experiment("survey_88", "field validation", vec![run.task])
+        .unwrap();
+    let rep = g.reproduce_experiment("survey_88").unwrap();
+    assert!(rep.is_faithful(), "{rep:?}");
+    assert_eq!(rep.tasks_rerun, 0, "nothing computable to rerun");
+    assert!(rep.has_unreplayable());
+    assert!(rep.not_replayable[0].contains("non-applicative"), "{rep:?}");
+}

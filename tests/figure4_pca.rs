@@ -1,0 +1,121 @@
+//! Experiment F4 — Figure 4, the PCA compound-operator network.
+//!
+//! The network (`convert-image-matrix → compute-covariance →
+//! get-eigen-vector → linear-combination → convert-matrix-image`) is built
+//! literally as a dataflow graph and registered as the `pca` operator; the
+//! SPCA variant swaps the covariance stage for correlation. These tests
+//! verify the network against the fused implementation, the PCA/SPCA
+//! divergence (the §2.1.3 Eastman comparison), and the reproducibility
+//! claim: "such an experiment can be reproduced once the derivation
+//! procedures are captured".
+
+use gaea::adt::{Image, OperatorRegistry, Value};
+use gaea::raster::ops::build_pca_dataflow;
+use gaea::raster::{pca, register_raster_ops, spca};
+use gaea::workload::{SceneSpec, SyntheticScene};
+
+fn registry() -> OperatorRegistry {
+    let mut r = OperatorRegistry::with_builtins();
+    register_raster_ops(&mut r).unwrap();
+    r
+}
+
+fn bands_value(scene: &SyntheticScene) -> Value {
+    Value::Set(scene.bands.iter().cloned().map(Value::image).collect())
+}
+
+#[test]
+fn network_structure_matches_figure4() {
+    let g = build_pca_dataflow("pca_check", false);
+    let ops: Vec<&str> = g.nodes().iter().map(|n| n.op.as_str()).collect();
+    assert_eq!(
+        ops,
+        vec![
+            "convert_image_matrix",
+            "compute_covariance",
+            "get_eigen_vectors",
+            "linear_combination",
+            "anyof",
+            "convert_matrix_image",
+        ],
+        "node inventory mirrors the figure"
+    );
+    let r = registry();
+    assert!(g.validate(&r).is_ok());
+}
+
+#[test]
+fn network_equals_fused_pca() {
+    let r = registry();
+    let scene = SyntheticScene::generate(SceneSpec::small(4).sized(24, 24).with_bands(4));
+    let out = r.invoke("pca", &[bands_value(&scene)]).unwrap();
+    let comps = out.as_set().unwrap();
+    assert_eq!(comps.len(), 4);
+    let refs: Vec<&Image> = scene.bands.iter().collect();
+    let fused = pca(&refs).unwrap();
+    for (k, comp) in comps.iter().enumerate() {
+        let net_img = comp.as_image().unwrap();
+        for p in 0..net_img.len() {
+            let diff = (net_img.get_flat(p) - fused.components[k].get_flat(p)).abs();
+            assert!(diff < 1e-6, "component {k} pixel {p}: {diff}");
+        }
+    }
+}
+
+#[test]
+fn spca_network_equals_fused_spca() {
+    let r = registry();
+    let scene = SyntheticScene::generate(SceneSpec::small(6).sized(16, 16).with_bands(3));
+    let out = r.invoke("spca", &[bands_value(&scene)]).unwrap();
+    let comps = out.as_set().unwrap();
+    let refs: Vec<&Image> = scene.bands.iter().collect();
+    let fused = spca(&refs).unwrap();
+    for (k, comp) in comps.iter().enumerate() {
+        let net_img = comp.as_image().unwrap();
+        for p in 0..net_img.len() {
+            let diff = (net_img.get_flat(p) - fused.components[k].get_flat(p)).abs();
+            assert!(diff < 1e-6, "component {k} pixel {p}");
+        }
+    }
+}
+
+#[test]
+fn pca_and_spca_derive_different_objects_from_same_input() {
+    // §2.1.3: SPCA-derived vegetation change was "compared to the 'same
+    // conceptual outcome' provided by PCA" — different data, same concept.
+    let r = registry();
+    let scene = SyntheticScene::generate(SceneSpec::small(8).sized(16, 16).with_bands(3));
+    // Scale one band so the two transforms demonstrably diverge.
+    let mut bands = scene.bands.clone();
+    bands[2] = bands[2].map(gaea::adt::PixType::Float8, |v| v * 100.0);
+    let input = Value::Set(bands.into_iter().map(Value::image).collect());
+    let p = r.invoke("pca", &[input.clone()]).unwrap();
+    let s = r.invoke("spca", &[input]).unwrap();
+    assert_ne!(p, s, "value identity distinguishes the two derivations");
+}
+
+#[test]
+fn network_application_is_deterministic() {
+    // Reproducibility at the operator level: same input ⇒ identical output
+    // objects (value identity), so recorded tasks replay faithfully.
+    let r = registry();
+    let scene = SyntheticScene::generate(SceneSpec::small(12).sized(16, 16));
+    let a = r.invoke("pca", &[bands_value(&scene)]).unwrap();
+    let b = r.invoke("pca", &[bands_value(&scene)]).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn variance_ordering_and_explained_fraction() {
+    let scene = SyntheticScene::generate(SceneSpec::small(3).sized(32, 32).with_bands(5));
+    let refs: Vec<&Image> = scene.bands.iter().collect();
+    let out = pca(&refs).unwrap();
+    // Eigenvalues descending; explained fractions sum to 1.
+    for w in out.eigen.values.windows(2) {
+        assert!(w[0] >= w[1] - 1e-9);
+    }
+    let total: f64 = (0..5).map(|k| out.eigen.explained(k)).sum();
+    assert!((total - 1.0).abs() < 1e-9);
+    // The synthetic scene's class structure concentrates variance up front.
+    assert!(out.eigen.explained(0) > 0.5);
+}

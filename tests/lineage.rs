@@ -1,0 +1,170 @@
+//! Experiment Q3 — the §1 two-scientists scenario and the §4.2 lineage
+//! claims: browsing derivation relationships, comparing derivation
+//! procedures, and detecting duplicated work.
+
+use gaea::adt::{AbsTime, GeoBox, TypeTag, Value};
+use gaea::core::kernel::{ClassSpec, Gaea, ProcessSpec};
+use gaea::core::template::{Expr, Mapping, Template};
+use gaea::workload::ndvi_series;
+
+fn change_template(op: &str) -> Template {
+    Template {
+        assertions: vec![],
+        mappings: vec![
+            Mapping {
+                attr: "data".into(),
+                expr: Expr::apply(
+                    op,
+                    vec![Expr::proj("later", "data"), Expr::proj("earlier", "data")],
+                ),
+            },
+            Mapping {
+                attr: "spatialextent".into(),
+                expr: Expr::AnyOf(Box::new(Expr::proj("later", "spatialextent"))),
+            },
+            Mapping {
+                attr: "timestamp".into(),
+                expr: Expr::AnyOf(Box::new(Expr::proj("later", "timestamp"))),
+            },
+        ],
+    }
+}
+
+/// Kernel with ndvi + veg_change and the two scientists' processes.
+fn scenario() -> (Gaea, gaea::core::ObjectId, gaea::core::ObjectId) {
+    let mut g = Gaea::in_memory().with_user("hachem");
+    g.define_class(ClassSpec::base("ndvi").attr("data", TypeTag::Image))
+        .unwrap();
+    g.define_class(ClassSpec::derived("veg_change").attr("data", TypeTag::Image))
+        .unwrap();
+    g.define_process(
+        ProcessSpec::new("change_by_difference", "veg_change")
+            .arg("earlier", "ndvi")
+            .arg("later", "ndvi")
+            .template(change_template("img_diff")),
+    )
+    .unwrap();
+    g.define_process(
+        ProcessSpec::new("change_by_ratio", "veg_change")
+            .arg("earlier", "ndvi")
+            .arg("later", "ndvi")
+            .template(change_template("img_ratio")),
+    )
+    .unwrap();
+    let africa = GeoBox::new(-20.0, -35.0, 55.0, 38.0);
+    let series = ndvi_series(8, 8, 24, AbsTime::from_ymd(1988, 1, 1).unwrap(), -0.05, 7);
+    let mut ids = Vec::new();
+    for idx in [6usize, 18] {
+        let (t, img) = &series[idx];
+        ids.push(
+            g.insert_object(
+                "ndvi",
+                vec![
+                    ("data", Value::image(img.clone())),
+                    ("spatialextent", Value::GeoBox(africa)),
+                    ("timestamp", Value::AbsTime(*t)),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+    (g, ids[0], ids[1])
+}
+
+#[test]
+fn two_scientists_same_inputs_different_derivations() {
+    let (mut g, o88, o89) = scenario();
+    let a = g
+        .run_process("change_by_difference", &[("earlier", vec![o88]), ("later", vec![o89])])
+        .unwrap();
+    g.set_user("qiu");
+    let b = g
+        .run_process("change_by_ratio", &[("earlier", vec![o88]), ("later", vec![o89])])
+        .unwrap();
+    let (oa, ob) = (a.outputs[0], b.outputs[0]);
+    // Same ancestors, different derivation, different data.
+    assert_eq!(g.ancestors(oa).unwrap(), g.ancestors(ob).unwrap());
+    assert!(!g.same_derivation(oa, ob).unwrap());
+    assert_ne!(g.object(oa).unwrap().attr("data"), g.object(ob).unwrap().attr("data"));
+    // Signatures carry the process names, so sharing is meaningful.
+    let sig_a = g.lineage(oa).unwrap().signature();
+    let sig_b = g.lineage(ob).unwrap().signature();
+    assert!(sig_a.contains("change_by_difference"), "{sig_a}");
+    assert!(sig_b.contains("change_by_ratio"), "{sig_b}");
+    // Attribution survives.
+    let ta = g.catalog().producing_task(oa).unwrap();
+    let tb = g.catalog().producing_task(ob).unwrap();
+    assert_eq!(ta.user, "hachem");
+    assert_eq!(tb.user, "qiu");
+}
+
+#[test]
+fn identical_reruns_are_detected_as_duplicates() {
+    let (mut g, o88, o89) = scenario();
+    g.run_process("change_by_difference", &[("earlier", vec![o88]), ("later", vec![o89])])
+        .unwrap();
+    assert!(g.duplicate_tasks().is_empty());
+    // A second scientist repeats the exact derivation.
+    g.set_user("qiu");
+    g.run_process("change_by_difference", &[("earlier", vec![o88]), ("later", vec![o89])])
+        .unwrap();
+    let dups = g.duplicate_tasks();
+    assert_eq!(dups.len(), 1);
+    assert_eq!(dups[0].len(), 2);
+    // Swapped arguments are NOT a duplicate (different derivation).
+    g.run_process("change_by_difference", &[("earlier", vec![o89]), ("later", vec![o88])])
+        .unwrap();
+    assert_eq!(g.duplicate_tasks().len(), 1);
+}
+
+#[test]
+fn descendants_answer_impact_queries() {
+    // If a base NDVI composite is corrected, which products are affected?
+    let (mut g, o88, o89) = scenario();
+    let a = g
+        .run_process("change_by_difference", &[("earlier", vec![o88]), ("later", vec![o89])])
+        .unwrap();
+    let b = g
+        .run_process("change_by_ratio", &[("earlier", vec![o88]), ("later", vec![o89])])
+        .unwrap();
+    let mut impacted = g.descendants(o88);
+    impacted.sort();
+    let mut expect = vec![a.outputs[0], b.outputs[0]];
+    expect.sort();
+    assert_eq!(impacted, expect);
+    // Base objects have no producing task; derived ones do.
+    assert!(g.catalog().producing_task(o88).is_none());
+    assert!(g.catalog().producing_task(a.outputs[0]).is_some());
+}
+
+#[test]
+fn deep_lineage_chains() {
+    // change-of-change: derivations stack and the tree reports depth.
+    let (mut g, o88, o89) = scenario();
+    let a = g
+        .run_process("change_by_difference", &[("earlier", vec![o88]), ("later", vec![o89])])
+        .unwrap();
+    // Register a second-order process: difference of change maps.
+    g.define_process(
+        ProcessSpec::new("change_of_change", "veg_change")
+            .arg("earlier", "veg_change")
+            .arg("later", "veg_change")
+            .template(change_template("img_diff")),
+    )
+    .unwrap();
+    let b = g
+        .run_process("change_by_ratio", &[("earlier", vec![o88]), ("later", vec![o89])])
+        .unwrap();
+    let cc = g
+        .run_process(
+            "change_of_change",
+            &[("earlier", vec![a.outputs[0]]), ("later", vec![b.outputs[0]])],
+        )
+        .unwrap();
+    let tree = g.lineage(cc.outputs[0]).unwrap();
+    assert_eq!(tree.depth(), 3);
+    assert_eq!(tree.size(), 7); // cc + 2 changes + 4 ndvi leaf references
+    let rendered = tree.render();
+    assert!(rendered.contains("change_of_change"));
+    assert!(rendered.contains("[base data]"));
+}

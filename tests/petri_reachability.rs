@@ -1,0 +1,172 @@
+//! Experiment Q2 — §2.1.6 reachability and backward chaining at scale,
+//! with property-based invariants on random derivation structures.
+
+use gaea::petri::backward::{plan_derivation, plan_derivation_multi};
+use gaea::petri::reachability::{coverable, derivable};
+use gaea::petri::{FiringMode, Marking};
+use gaea::workload::{random_derivation_catalog, RandDagSpec};
+use proptest::prelude::*;
+
+#[test]
+fn planning_succeeds_across_shapes() {
+    for depth in [1usize, 3, 6, 10] {
+        for width in [2usize, 4, 8] {
+            let spec = RandDagSpec {
+                depth,
+                width,
+                alternatives: 2,
+                fan_in: 3,
+                threshold_max: 2,
+                seed: depth as u64 * 100 + width as u64,
+            };
+            let rd = random_derivation_catalog(spec);
+            // Plenty of base data: always plannable.
+            let marking = rd.base_marking(8);
+            let plan = plan_derivation(&rd.net, &marking, rd.goal, 1)
+                .unwrap_or_else(|e| panic!("depth {depth} width {width}: {e:?}"));
+            let end = plan.execute(&rd.net, &marking);
+            assert!(end.get(rd.goal) >= 1);
+        }
+    }
+}
+
+#[test]
+fn multi_goal_planning_covers_every_goal() {
+    let rd = random_derivation_catalog(RandDagSpec {
+        depth: 5,
+        width: 5,
+        ..RandDagSpec::default()
+    });
+    let marking = rd.base_marking(6);
+    let goals: Vec<(gaea::petri::PlaceId, u64)> = rd.layers[5]
+        .iter()
+        .map(|p| (*p, 1))
+        .collect();
+    let plan = plan_derivation_multi(&rd.net, &marking, &goals).unwrap();
+    let end = plan.execute(&rd.net, &marking);
+    for (goal, need) in goals {
+        assert!(end.get(goal) >= need);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness: whatever the planner claims is derivable, the count-level
+    /// reachability semantics agree and the plan executes to the goal.
+    #[test]
+    fn plan_implies_reachability(
+        depth in 1usize..5,
+        width in 1usize..4,
+        alternatives in 1usize..3,
+        threshold_max in 1u64..3,
+        base_tokens in 0u64..4,
+        seed in 0u64..500,
+    ) {
+        let spec = RandDagSpec {
+            depth,
+            width,
+            alternatives,
+            fan_in: 2,
+            threshold_max,
+            seed,
+        };
+        let rd = random_derivation_catalog(spec);
+        let marking = rd.base_marking(base_tokens);
+        if let Ok(plan) = plan_derivation(&rd.net, &marking, rd.goal, 1) {
+            let want = Marking::from_counts(&rd.net, &[(rd.goal, 1)]);
+            prop_assert!(derivable(&rd.net, &marking, &want));
+            let end = plan.execute(&rd.net, &marking);
+            prop_assert!(end.get(rd.goal) >= 1);
+            // Gaea firing preserved every base token.
+            for b in &rd.base {
+                prop_assert_eq!(end.get(*b), marking.get(*b));
+            }
+        }
+    }
+
+    /// Failure diagnosis always blames something real: a base place or an
+    /// orphan derived place.
+    #[test]
+    fn failures_carry_a_frontier(
+        depth in 1usize..4,
+        width in 1usize..4,
+        seed in 0u64..300,
+    ) {
+        let spec = RandDagSpec {
+            depth,
+            width,
+            alternatives: 1,
+            fan_in: 2,
+            threshold_max: 3,
+            seed,
+        };
+        let rd = random_derivation_catalog(spec);
+        let marking = rd.base_marking(0); // nothing stored
+        match plan_derivation(&rd.net, &marking, rd.goal, 1) {
+            Ok(plan) => prop_assert!(plan.is_empty(), "no tokens, yet a non-empty plan"),
+            Err(failure) => {
+                prop_assert!(
+                    !failure.missing_base.is_empty() || !failure.underivable.is_empty()
+                );
+                for p in &failure.missing_base {
+                    prop_assert!(rd.net.place(*p).unwrap().is_base);
+                }
+                for p in &failure.underivable {
+                    prop_assert!(!rd.net.place(*p).unwrap().is_base);
+                }
+            }
+        }
+    }
+
+    /// Gaea-mode coverability (token-preserving BFS) agrees with the
+    /// saturation-based `derivable` on small nets.
+    #[test]
+    fn bfs_and_saturation_agree(
+        depth in 1usize..3,
+        width in 1usize..3,
+        base_tokens in 0u64..3,
+        seed in 0u64..200,
+    ) {
+        let spec = RandDagSpec {
+            depth,
+            width,
+            alternatives: 1,
+            fan_in: 2,
+            threshold_max: 2,
+            seed,
+        };
+        let rd = random_derivation_catalog(spec);
+        let marking = rd.base_marking(base_tokens);
+        let want = Marking::from_counts(&rd.net, &[(rd.goal, 1)]);
+        let sat = derivable(&rd.net, &marking, &want);
+        let bfs = coverable(&rd.net, &marking, &want, FiringMode::GaeaPreserving, 200_000)
+            .expect("bounded nets stay within the state budget");
+        prop_assert_eq!(sat, bfs);
+    }
+
+    /// Monotonicity: adding base tokens never makes a derivable goal
+    /// underivable (the Gaea net is monotone).
+    #[test]
+    fn more_data_never_hurts(
+        depth in 1usize..4,
+        width in 1usize..4,
+        base_tokens in 0u64..3,
+        seed in 0u64..200,
+    ) {
+        let spec = RandDagSpec {
+            depth,
+            width,
+            alternatives: 2,
+            fan_in: 2,
+            threshold_max: 2,
+            seed,
+        };
+        let rd = random_derivation_catalog(spec);
+        let small = rd.base_marking(base_tokens);
+        let big = rd.base_marking(base_tokens + 2);
+        if plan_derivation(&rd.net, &small, rd.goal, 1).is_ok() {
+            prop_assert!(plan_derivation(&rd.net, &big, rd.goal, 1).is_ok());
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based tests on the system-level layer: value identity, raster
+//! codecs, extents, eigen decomposition, classification invariants.
+
+use gaea::adt::{GeoBox, Image, Matrix, PixType, PixelBuffer, TimeRange, AbsTime, Value};
+use gaea::raster::{composite, jacobi_eigen, kmeans_classify};
+use proptest::prelude::*;
+
+fn pixtype_strategy() -> impl Strategy<Value = PixType> {
+    prop_oneof![
+        Just(PixType::Char),
+        Just(PixType::Int2),
+        Just(PixType::Int4),
+        Just(PixType::Float4),
+        Just(PixType::Float8),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Value identity is a total equivalence: reflexive, symmetric with
+    /// consistent hashing, and Ord-total.
+    #[test]
+    fn value_identity_total_order(
+        a in prop_oneof![
+            any::<i32>().prop_map(Value::Int4),
+            any::<f64>().prop_map(Value::Float8),
+            any::<bool>().prop_map(Value::Bool),
+            ".*".prop_map(Value::Text),
+        ],
+        b in prop_oneof![
+            any::<i32>().prop_map(Value::Int4),
+            any::<f64>().prop_map(Value::Float8),
+            any::<bool>().prop_map(Value::Bool),
+            ".*".prop_map(Value::Text),
+        ],
+    ) {
+        prop_assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // Equal values hash equally.
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        if a == b {
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+
+    /// Pixel buffers survive the byte codec for every pixel type.
+    #[test]
+    fn pixel_buffer_codec_round_trip(
+        pt in pixtype_strategy(),
+        samples in prop::collection::vec(-1e6f64..1e6, 0..64),
+    ) {
+        let mut buf = PixelBuffer::zeros(pt, samples.len());
+        for (i, v) in samples.iter().enumerate() {
+            buf.set(i, *v);
+        }
+        let bytes = buf.to_bytes();
+        let back = PixelBuffer::from_bytes(pt, &bytes).unwrap();
+        prop_assert_eq!(&back, &buf);
+        // And through serde (the snapshot path).
+        let json = serde_json::to_string(&buf).unwrap();
+        let back2: PixelBuffer = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back2, buf);
+    }
+
+    /// Box algebra: intersection ⊆ both, union ⊇ both, commutativity.
+    #[test]
+    fn geobox_algebra(
+        ax in -180.0f64..180.0, ay in -90.0f64..90.0,
+        aw in 0.0f64..90.0, ah in 0.0f64..45.0,
+        bx in -180.0f64..180.0, by in -90.0f64..90.0,
+        bw in 0.0f64..90.0, bh in 0.0f64..45.0,
+    ) {
+        let a = GeoBox::new(ax, ay, ax + aw, ay + ah);
+        let b = GeoBox::new(bx, by, bx + bw, by + bh);
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains(&i));
+            prop_assert!(b.contains(&i));
+            prop_assert!(i.area() <= a.area() + 1e-9);
+        } else {
+            prop_assert!(!a.intersects(&b));
+        }
+        let u = a.union(&b);
+        prop_assert!(u.contains(&a));
+        prop_assert!(u.contains(&b));
+        // common() for two boxes is exactly intersects().
+        prop_assert_eq!(GeoBox::common(&[a, b]), a.intersects(&b));
+    }
+
+    /// Calendar round trip over a wide date range.
+    #[test]
+    fn abstime_calendar_round_trip(days in -200_000i64..200_000) {
+        let t = AbsTime(days * 86_400);
+        let (y, m, d) = t.ymd();
+        prop_assert_eq!(AbsTime::from_ymd(y, m, d).unwrap(), t);
+        // Parse/render round trip.
+        prop_assert_eq!(AbsTime::parse(&t.render()).unwrap(), t);
+    }
+
+    /// Time ranges: intersection is symmetric and contained.
+    #[test]
+    fn time_range_algebra(
+        s1 in -1_000_000i64..1_000_000, d1 in 0i64..1_000_000,
+        s2 in -1_000_000i64..1_000_000, d2 in 0i64..1_000_000,
+    ) {
+        let a = TimeRange::new(AbsTime(s1), AbsTime(s1 + d1));
+        let b = TimeRange::new(AbsTime(s2), AbsTime(s2 + d2));
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains(i.start) && a.contains(i.end));
+            prop_assert!(b.contains(i.start) && b.contains(i.end));
+        }
+    }
+
+    /// Jacobi eigen: A·v = λ·v residuals stay small; eigenvalue sum equals
+    /// the trace; eigenvectors are orthonormal.
+    #[test]
+    fn eigen_invariants(
+        n in 2usize..6,
+        entries in prop::collection::vec(-100.0f64..100.0, 36),
+    ) {
+        let mut a = Matrix::zeros(n, n);
+        for r in 0..n {
+            for c in r..n {
+                let v = entries[r * 6 + c];
+                a.set(r, c, v);
+                a.set(c, r, v);
+            }
+        }
+        let e = jacobi_eigen(&a, 200, 1e-10).unwrap();
+        let trace: f64 = (0..n).map(|i| a.get(i, i)).sum();
+        let sum: f64 = e.values.iter().sum();
+        let scale = 1.0 + a.frobenius();
+        prop_assert!((trace - sum).abs() < 1e-7 * scale);
+        for k in 0..n {
+            let v = e.vector(k);
+            let av = a.matvec(&v).unwrap();
+            let lam = e.values[k];
+            let resid: f64 = av
+                .data()
+                .iter()
+                .zip(v.data())
+                .map(|(x, y)| (x - lam * y).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            prop_assert!(resid < 1e-7 * scale, "component {k} residual {resid}");
+            prop_assert!((v.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// k-means invariants: labels bounded, deterministic under the seed,
+    /// inertia finite and non-negative.
+    #[test]
+    fn kmeans_invariants(
+        rows in 2u32..8,
+        cols in 2u32..8,
+        k in 1usize..5,
+        seed in 0u64..1000,
+        samples in prop::collection::vec(0.0f64..255.0, 64),
+    ) {
+        let npix = (rows * cols) as usize;
+        prop_assume!(k <= npix);
+        let band: Vec<f64> = (0..npix).map(|i| samples[i % samples.len()]).collect();
+        let img = Image::from_f64(rows, cols, band).unwrap();
+        let stack = composite(&[&img]).unwrap();
+        let a = kmeans_classify(&stack, k, 50, seed).unwrap();
+        let b = kmeans_classify(&stack, k, 50, seed).unwrap();
+        prop_assert_eq!(&a.labels, &b.labels);
+        prop_assert!(a.inertia >= 0.0 && a.inertia.is_finite());
+        for i in 0..npix {
+            prop_assert!((a.labels.get_flat(i) as usize) < k);
+        }
+    }
+
+    /// Image map/zip_map preserve shape and respect saturation bounds.
+    #[test]
+    fn image_map_invariants(
+        rows in 1u32..6,
+        cols in 1u32..6,
+        scale in -3.0f64..3.0,
+        samples in prop::collection::vec(-1000.0f64..1000.0, 36),
+    ) {
+        let npix = (rows * cols) as usize;
+        let data: Vec<f64> = (0..npix).map(|i| samples[i % samples.len()]).collect();
+        let img = Image::from_f64(rows, cols, data).unwrap();
+        let scaled = img.map(PixType::Char, |v| v * scale);
+        prop_assert!(img.size_eq(&scaled));
+        for i in 0..npix {
+            let v = scaled.get_flat(i);
+            prop_assert!((0.0..=255.0).contains(&v), "char saturation violated: {v}");
+        }
+        let sum = img.zip_map(&img, PixType::Float8, |x, y| x + y).unwrap();
+        for i in 0..npix {
+            prop_assert_eq!(sum.get_flat(i), 2.0 * img.get_flat(i));
+        }
+    }
+}

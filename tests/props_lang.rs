@@ -1,0 +1,201 @@
+//! Property-based tests on the definition language: the pretty-print /
+//! re-parse round trip over generated programs.
+
+use gaea::lang::ast::{ArgItem, ClassItem, ConceptItem, InteractionItem, Item, ProcessItem, Program};
+use gaea::lang::{parse, pretty_program};
+use gaea::core::template::{CmpOp, Expr};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| s)
+}
+
+/// Comment text that survives the lexer's trim (no leading/trailing space).
+fn prompt() -> impl Strategy<Value = String> {
+    prop_oneof![Just(String::new()), "[a-z][a-z0-9 ]{0,10}[a-z]".prop_map(|s| s)]
+}
+
+/// Site / procedure strings (quoted in the surface syntax).
+fn quoted_text() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_ ]{0,14}".prop_map(|s| s)
+}
+
+fn type_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("int4".to_string()),
+        Just("float8".to_string()),
+        Just("char16".to_string()),
+        Just("image".to_string()),
+        Just("text".to_string()),
+    ]
+}
+
+fn leaf_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (-1000i32..1000).prop_map(Expr::int),
+        ident().prop_map(Expr::Arg),
+        (ident(), ident()).prop_map(|(a, b)| Expr::ArgAttr { arg: a, attr: b }),
+        ident().prop_map(Expr::Param),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    leaf_expr().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::AnyOf(Box::new(e))),
+            ident().prop_filter("reserved words collide with builtins", |s| {
+                s != "card" && s != "common"
+            })
+            .prop_flat_map(move |op| {
+                prop::collection::vec(inner.clone(), 0..3)
+                    .prop_map(move |args| Expr::Apply { op: op.clone(), args })
+            }),
+        ]
+    })
+}
+
+fn assertion() -> impl Strategy<Value = Expr> {
+    (expr(), expr(), prop_oneof![Just(CmpOp::Eq), Just(CmpOp::Lt), Just(CmpOp::Gt)]).prop_map(
+        |(l, r, op)| Expr::Cmp {
+            op,
+            lhs: Box::new(l),
+            rhs: Box::new(r),
+        },
+    )
+}
+
+fn class_item() -> impl Strategy<Value = ClassItem> {
+    (
+        ident(),
+        prop::collection::vec((ident(), type_name()), 1..5),
+        prop::collection::vec((ident(), ident()), 0..3),
+        any::<bool>(),
+        any::<bool>(),
+        prop::collection::vec(ident(), 0..2),
+    )
+        .prop_map(|(name, attrs, refs, spatial, temporal, derived_by)| {
+            // Attribute names must be unique within the class (across both
+            // primitive and reference attributes).
+            let mut seen = std::collections::BTreeSet::new();
+            let attrs: Vec<(String, String, String)> = attrs
+                .into_iter()
+                .filter(|(n, _)| seen.insert(n.clone()))
+                .map(|(n, t)| (n, t, String::new()))
+                .collect();
+            let ref_attrs: Vec<(String, String, String)> = refs
+                .into_iter()
+                .filter(|(n, _)| seen.insert(n.clone()))
+                .map(|(n, c)| (n, c, String::new()))
+                .collect();
+            ClassItem {
+                name,
+                doc: String::new(),
+                attrs,
+                ref_attrs,
+                spatial,
+                temporal,
+                derived_by,
+            }
+        })
+        .prop_filter("need at least one attr", |c| !c.attrs.is_empty())
+}
+
+fn interaction_item() -> impl Strategy<Value = InteractionItem> {
+    (
+        ident(),
+        type_name(),
+        prop::option::of(expr()),
+        prompt(),
+    )
+        .prop_map(|(param, type_name, preview, prompt)| InteractionItem {
+            param,
+            type_name,
+            preview,
+            prompt,
+        })
+}
+
+fn process_item() -> impl Strategy<Value = ProcessItem> {
+    (
+        ident(),
+        ident(),
+        prop::collection::vec((any::<bool>(), ident(), ident()), 1..4),
+        prop::collection::vec(assertion(), 0..3),
+        prop::collection::vec((ident(), expr()), 0..4),
+        prop::collection::vec(interaction_item(), 0..3),
+        prop::option::of(quoted_text()),
+        prop::option::of(quoted_text()),
+    )
+        .prop_map(
+            |(name, output, args, assertions, raw_mappings, raw_interactions, site, nonapp)| {
+                let mut seen = std::collections::BTreeSet::new();
+                let args: Vec<ArgItem> = args
+                    .into_iter()
+                    .filter(|(_, n, _)| seen.insert(n.clone()))
+                    .map(|(setof, name, class)| ArgItem { setof, name, class })
+                    .collect();
+                let mappings = raw_mappings
+                    .into_iter()
+                    .map(|(attr, e)| (output.clone(), attr, e))
+                    .collect();
+                // Interaction params must be unique.
+                let mut seen_params = std::collections::BTreeSet::new();
+                let interactions = raw_interactions
+                    .into_iter()
+                    .filter(|i| seen_params.insert(i.param.clone()))
+                    .collect();
+                ProcessItem {
+                    name,
+                    output,
+                    args,
+                    assertions,
+                    mappings,
+                    interactions,
+                    external_site: site,
+                    nonapplicative: nonapp,
+                }
+            },
+        )
+        .prop_filter("need at least one arg", |p| !p.args.is_empty())
+}
+
+fn concept_item() -> impl Strategy<Value = ConceptItem> {
+    (
+        ident(),
+        prop::collection::vec(ident(), 1..4),
+        prop::collection::vec(ident(), 0..2),
+        "[a-zA-Z0-9 ]{0,20}",
+    )
+        .prop_map(|(name, members, isa, doc)| ConceptItem {
+            name,
+            members,
+            isa,
+            doc,
+        })
+}
+
+fn program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(
+        prop_oneof![
+            class_item().prop_map(Item::Class),
+            process_item().prop_map(Item::Process),
+            concept_item().prop_map(Item::Concept),
+        ],
+        1..5,
+    )
+    .prop_map(|items| Program { items })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// pretty → parse is the identity on ASTs, and pretty is a fixpoint.
+    #[test]
+    fn pretty_parse_round_trip(prog in program()) {
+        let printed = pretty_program(&prog);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{printed}"));
+        prop_assert_eq!(&reparsed, &prog);
+        prop_assert_eq!(pretty_program(&reparsed), printed);
+    }
+}

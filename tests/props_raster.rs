@@ -1,0 +1,245 @@
+//! Property-based tests on the raster analysis layer: supervised
+//! classification invariants, NDVI range, interpolation endpoints,
+//! change-detection algebra.
+
+use gaea::adt::{AbsTime, Image, Matrix};
+use gaea::raster::interp::temporal_interp;
+use gaea::raster::supervised::{
+    min_distance_classify, parallelepiped_classify, signatures_from_training, training_boxes,
+    TrainingSite, UNCLASSIFIED,
+};
+use gaea::raster::{composite, img_diff, img_ratio, ndvi};
+use proptest::prelude::*;
+
+/// A small multiband stack of bounded, finite samples.
+fn stack_strategy(
+    bands: usize,
+) -> impl Strategy<Value = (u32, u32, Vec<Vec<f64>>)> {
+    ((1u32..6, 1u32..6)).prop_flat_map(move |(r, c)| {
+        let n = (r * c) as usize;
+        (
+            Just(r),
+            Just(c),
+            prop::collection::vec(prop::collection::vec(-1e3f64..1e3, n..=n), bands..=bands),
+        )
+    })
+}
+
+fn build_stack(r: u32, c: u32, data: &[Vec<f64>]) -> gaea::raster::composite::BandStack {
+    let imgs: Vec<Image> = data
+        .iter()
+        .map(|b| Image::from_f64(r, c, b.clone()).expect("shape"))
+        .collect();
+    let refs: Vec<&Image> = imgs.iter().collect();
+    composite(&refs).expect("co-registered")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Supervised labels are always `< k`, class counts sum to the pixel
+    /// count, and training pixels classify to their own class when the
+    /// signatures come from singleton sites.
+    #[test]
+    fn mindist_labels_bounded_and_exhaustive(
+        (r, c, data) in stack_strategy(2),
+        k in 1usize..4,
+    ) {
+        let stack = build_stack(r, c, &data);
+        let npix = stack.pixels();
+        prop_assume!(npix >= k);
+        // One site per class: pixel i trains class i.
+        let sites: Vec<TrainingSite> =
+            (0..k).map(|cl| TrainingSite::new(cl, vec![cl])).collect();
+        let sig = signatures_from_training(&stack, k, &sites).expect("sites valid");
+        let out = min_distance_classify(&stack, &sig).expect("classify");
+        prop_assert_eq!(out.class_counts.iter().sum::<u64>(), npix as u64);
+        prop_assert_eq!(out.unclassified, 0);
+        for p in 0..npix {
+            prop_assert!((out.labels.get_flat(p) as usize) < k);
+        }
+    }
+
+    /// Determinism: identical stack + signatures ⇒ identical class maps
+    /// (tasks must be reproducible).
+    #[test]
+    fn mindist_is_deterministic((r, c, data) in stack_strategy(3)) {
+        let stack = build_stack(r, c, &data);
+        let sites = vec![TrainingSite::new(0, vec![0])];
+        let sig = signatures_from_training(&stack, 1, &sites).expect("sig");
+        let a = min_distance_classify(&stack, &sig).expect("a");
+        let b = min_distance_classify(&stack, &sig).expect("b");
+        prop_assert_eq!(a.labels, b.labels);
+        prop_assert_eq!(a.class_counts, b.class_counts);
+    }
+
+    /// PIPED partitions pixels: classified + unclassified = all, and only
+    /// valid labels (or UNCLASSIFIED) appear.
+    #[test]
+    fn piped_partitions_pixels(
+        (r, c, data) in stack_strategy(2),
+        z in 0.1f64..5.0,
+    ) {
+        let stack = build_stack(r, c, &data);
+        let npix = stack.pixels();
+        prop_assume!(npix >= 2);
+        let sites = vec![
+            TrainingSite::new(0, vec![0]),
+            TrainingSite::new(1, vec![npix - 1]),
+        ];
+        let (lo, hi) = training_boxes(&stack, 2, &sites, z).expect("boxes");
+        let out = parallelepiped_classify(&stack, &lo, &hi).expect("piped");
+        prop_assert_eq!(
+            out.class_counts.iter().sum::<u64>() + out.unclassified,
+            npix as u64
+        );
+        for p in 0..npix {
+            let l = out.labels.get_flat(p);
+            prop_assert!(l < 2.0 || l == UNCLASSIFIED, "label {l}");
+        }
+    }
+
+    /// Widening the PIPED boxes never *loses* classified pixels.
+    #[test]
+    fn piped_monotone_in_z((r, c, data) in stack_strategy(2)) {
+        let stack = build_stack(r, c, &data);
+        let npix = stack.pixels();
+        prop_assume!(npix >= 2);
+        let sites = vec![
+            TrainingSite::new(0, vec![0]),
+            TrainingSite::new(1, vec![npix - 1]),
+        ];
+        let (lo1, hi1) = training_boxes(&stack, 2, &sites, 1.0).expect("z=1");
+        let (lo3, hi3) = training_boxes(&stack, 2, &sites, 3.0).expect("z=3");
+        let tight = parallelepiped_classify(&stack, &lo1, &hi1).expect("tight");
+        let wide = parallelepiped_classify(&stack, &lo3, &hi3).expect("wide");
+        prop_assert!(wide.unclassified <= tight.unclassified);
+    }
+
+    /// NDVI stays within [-1, 1] for positive reflectances.
+    #[test]
+    fn ndvi_bounded(
+        (r, c, data) in stack_strategy(2),
+    ) {
+        let pos: Vec<Vec<f64>> = data
+            .iter()
+            .map(|b| b.iter().map(|v| v.abs() + 0.001).collect())
+            .collect();
+        let nir = Image::from_f64(r, c, pos[0].clone()).expect("nir");
+        let red = Image::from_f64(r, c, pos[1].clone()).expect("red");
+        let out = ndvi(&nir, &red).expect("ndvi");
+        for p in 0..out.len() {
+            let v = out.get_flat(p);
+            prop_assert!((-1.0..=1.0).contains(&v), "ndvi {v}");
+        }
+    }
+
+    /// Interpolation hits the endpoints exactly and stays within the
+    /// per-pixel bracket for interior instants.
+    #[test]
+    fn interpolation_endpoints_and_bounds(
+        (r, c, data) in stack_strategy(2),
+        frac in 0.0f64..=1.0,
+    ) {
+        let e = Image::from_f64(r, c, data[0].clone()).expect("earlier");
+        let l = Image::from_f64(r, c, data[1].clone()).expect("later");
+        let t0 = AbsTime(0);
+        let t1 = AbsTime(1_000);
+        let tq = AbsTime((1_000.0 * frac) as i64);
+        let out = temporal_interp(&e, t0, &l, t1, tq).expect("bracketed");
+        for p in 0..out.len() {
+            let a = e.get_flat(p);
+            let b = l.get_flat(p);
+            let v = out.get_flat(p);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo},{hi}]");
+        }
+        let at_start = temporal_interp(&e, t0, &l, t1, t0).expect("t0");
+        let at_end = temporal_interp(&e, t0, &l, t1, t1).expect("t1");
+        prop_assert_eq!(at_start, e);
+        prop_assert_eq!(at_end, l);
+    }
+
+    /// The two scientists' change maps (§1): diff is anti-symmetric,
+    /// ratio is multiplicative-inverse — structurally different results
+    /// from identical inputs.
+    #[test]
+    fn change_detection_algebra((r, c, data) in stack_strategy(2)) {
+        let pos: Vec<Vec<f64>> = data
+            .iter()
+            .map(|b| b.iter().map(|v| v.abs() + 1.0).collect())
+            .collect();
+        let y88 = Image::from_f64(r, c, pos[0].clone()).expect("1988");
+        let y89 = Image::from_f64(r, c, pos[1].clone()).expect("1989");
+        let d_ab = img_diff(&y89, &y88).expect("diff");
+        let d_ba = img_diff(&y88, &y89).expect("diff");
+        let q_ab = img_ratio(&y89, &y88).expect("ratio");
+        let q_ba = img_ratio(&y88, &y89).expect("ratio");
+        for p in 0..d_ab.len() {
+            prop_assert!((d_ab.get_flat(p) + d_ba.get_flat(p)).abs() < 1e-9);
+            let prod = q_ab.get_flat(p) * q_ba.get_flat(p);
+            prop_assert!((prod - 1.0).abs() < 1e-9, "ratio product {prod}");
+        }
+    }
+
+    /// Signature matrices have one row per class and one column per band,
+    /// and pooling a site's pixels twice doubles nothing (means are means).
+    #[test]
+    fn signatures_are_means((r, c, data) in stack_strategy(2)) {
+        let stack = build_stack(r, c, &data);
+        let npix = stack.pixels();
+        let sites = vec![TrainingSite::new(0, (0..npix).collect())];
+        let sig = signatures_from_training(&stack, 1, &sites).expect("sig");
+        prop_assert_eq!((sig.rows(), sig.cols()), (1, 2));
+        // Row 0 is the global mean per band.
+        for b in 0..2 {
+            let mean: f64 =
+                (0..npix).map(|p| stack.bands()[b].get_flat(p)).sum::<f64>() / npix as f64;
+            prop_assert!((sig.get(0, b) - mean).abs() < 1e-9);
+        }
+        // Doubled site pixels: same means.
+        let doubled = vec![TrainingSite::new(
+            0,
+            (0..npix).chain(0..npix).collect(),
+        )];
+        let sig2 = signatures_from_training(&stack, 1, &doubled).expect("sig2");
+        for b in 0..2 {
+            prop_assert!((sig.get(0, b) - sig2.get(0, b)).abs() < 1e-9);
+        }
+    }
+}
+
+/// Deterministic (non-proptest) check that `Matrix`-valued parameters are
+/// distinguished by content in task dedup keys — the regression caught by
+/// the interactive tests.
+#[test]
+fn matrix_params_distinguished_by_content() {
+    use gaea::core::ids::{ObjectId, ProcessId, TaskId};
+    use gaea::core::task::{Task, TaskKind};
+    use gaea::store::Oid;
+    use gaea::adt::Value;
+    use std::collections::BTreeMap;
+
+    let mk = |m: Matrix| {
+        let mut params = BTreeMap::new();
+        params.insert("signatures".to_string(), Value::matrix(m));
+        Task {
+            id: TaskId(Oid(1)),
+            process: ProcessId(Oid(2)),
+            process_name: "P_super".into(),
+            inputs: BTreeMap::new(),
+            outputs: vec![ObjectId(Oid(3))],
+            params,
+            seq: 1,
+            user: "t".into(),
+            kind: TaskKind::Interactive,
+            children: vec![],
+        }
+    };
+    let mut a = Matrix::zeros(2, 2);
+    a.set(0, 0, 1.0);
+    let mut b = Matrix::zeros(2, 2);
+    b.set(0, 0, 2.0);
+    assert_ne!(mk(a.clone()).dedup_key(), mk(b).dedup_key());
+    assert_eq!(mk(a.clone()).dedup_key(), mk(a).dedup_key());
+}

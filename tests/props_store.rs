@@ -1,0 +1,176 @@
+//! Property-based tests on the storage substrate: CRUD model checking,
+//! transaction rollback exactness, index/scan agreement.
+
+use gaea::adt::{TypeTag, Value};
+use gaea::store::{Database, Field, Oid, Predicate, Schema, Tuple};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i32),
+    Delete(usize),
+    Update(usize, i32),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<i32>().prop_map(Op::Insert),
+        (0usize..32).prop_map(Op::Delete),
+        ((0usize..32), any::<i32>()).prop_map(|(i, v)| Op::Update(i, v)),
+    ]
+}
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.create_relation(
+        "objects",
+        Schema::new(vec![Field::required("v", TypeTag::Int4)]).unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+fn tuple(v: i32) -> Tuple {
+    Tuple::new(vec![Value::Int4(v)])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The store agrees with a BTreeMap model under arbitrary CRUD
+    /// interleavings.
+    #[test]
+    fn crud_model_check(ops in prop::collection::vec(op_strategy(), 0..64)) {
+        let mut db = db();
+        let mut model: BTreeMap<Oid, i32> = BTreeMap::new();
+        let mut live: Vec<Oid> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert(v) => {
+                    let oid = db.insert("objects", tuple(v)).unwrap();
+                    model.insert(oid, v);
+                    live.push(oid);
+                }
+                Op::Delete(i) => {
+                    if live.is_empty() { continue; }
+                    let oid = live[i % live.len()];
+                    let stored = db.delete("objects", oid);
+                    if model.remove(&oid).is_some() {
+                        prop_assert!(stored.is_ok());
+                        live.retain(|o| *o != oid);
+                    } else {
+                        prop_assert!(stored.is_err());
+                    }
+                }
+                Op::Update(i, v) => {
+                    if live.is_empty() { continue; }
+                    let oid = live[i % live.len()];
+                    if model.contains_key(&oid) {
+                        db.update("objects", oid, tuple(v)).unwrap();
+                        model.insert(oid, v);
+                    }
+                }
+            }
+        }
+        // Full agreement.
+        let rel = db.relation("objects").unwrap();
+        prop_assert_eq!(rel.len(), model.len());
+        for (oid, v) in &model {
+            prop_assert_eq!(rel.get(*oid).unwrap().get(0), &Value::Int4(*v));
+        }
+    }
+
+    /// A rolled-back transaction leaves the store exactly as it found it,
+    /// whatever the interleaving.
+    #[test]
+    fn rollback_restores_exact_state(
+        committed in prop::collection::vec(any::<i32>(), 1..16),
+        txn_ops in prop::collection::vec(op_strategy(), 0..32),
+    ) {
+        let mut db = db();
+        let mut live = Vec::new();
+        for v in &committed {
+            live.push(db.insert("objects", tuple(*v)).unwrap());
+        }
+        let before: Vec<(Oid, Tuple)> = db.scan("objects", &Predicate::True).unwrap();
+        {
+            let mut txn = db.begin();
+            for op in txn_ops {
+                match op {
+                    Op::Insert(v) => { let _ = txn.insert("objects", tuple(v)); }
+                    Op::Delete(i) => {
+                        if !live.is_empty() {
+                            let _ = txn.delete("objects", live[i % live.len()]);
+                        }
+                    }
+                    Op::Update(i, v) => {
+                        if !live.is_empty() {
+                            let _ = txn.update("objects", live[i % live.len()], tuple(v));
+                        }
+                    }
+                }
+            }
+            txn.rollback();
+        }
+        let after: Vec<(Oid, Tuple)> = db.scan("objects", &Predicate::True).unwrap();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Index lookups agree with predicate scans for every stored key.
+    #[test]
+    fn index_agrees_with_scan(values in prop::collection::vec(-50i32..50, 1..64)) {
+        let mut db = db();
+        db.relation_mut("objects").unwrap().create_index("v").unwrap();
+        for v in &values {
+            db.insert("objects", tuple(*v)).unwrap();
+        }
+        for key in -50i32..50 {
+            let via_index = {
+                let mut oids = db
+                    .relation("objects")
+                    .unwrap()
+                    .index_lookup("v", &Value::Int4(key))
+                    .unwrap();
+                oids.sort();
+                oids
+            };
+            let via_scan = {
+                let mut oids: Vec<Oid> = db
+                    .scan("objects", &Predicate::Eq("v".into(), Value::Int4(key)))
+                    .unwrap()
+                    .into_iter()
+                    .map(|(oid, _)| oid)
+                    .collect();
+                oids.sort();
+                oids
+            };
+            prop_assert_eq!(via_index, via_scan);
+        }
+    }
+
+    /// Snapshot save/load preserves scans and continues OID allocation
+    /// without collisions.
+    #[test]
+    fn snapshot_round_trip(values in prop::collection::vec(any::<i32>(), 0..32)) {
+        let mut db = db();
+        let mut oids = Vec::new();
+        for v in &values {
+            oids.push(db.insert("objects", tuple(*v)).unwrap());
+        }
+        let dir = std::env::temp_dir().join(format!(
+            "gaea-prop-snap-{}-{}",
+            std::process::id(),
+            values.len()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        gaea::store::snapshot::save(&db, &dir).unwrap();
+        let mut back = gaea::store::snapshot::load(&dir).unwrap();
+        for (oid, v) in oids.iter().zip(&values) {
+            prop_assert_eq!(back.get("objects", *oid).unwrap().get(0), &Value::Int4(*v));
+        }
+        let fresh = back.insert("objects", tuple(0)).unwrap();
+        prop_assert!(!oids.contains(&fresh), "OID reuse after snapshot");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

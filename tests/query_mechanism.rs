@@ -1,0 +1,212 @@
+//! Experiments Q1 & Q8 — the §2.1.5 three-step query mechanism and
+//! interpolation as a generic derivation.
+//!
+//! "1. Direct data retrieval [...] 2. Data interpolation (temporal or
+//! spatial) [...] 3. Data are computed, based on a derivation relationship.
+//! Steps 2 and 3 are prioritized according to the user's needs."
+
+use gaea::adt::{AbsTime, GeoBox, TimeRange, TypeTag, Value};
+use gaea::core::kernel::{ClassSpec, Gaea, ProcessSpec};
+use gaea::core::template::{Expr, Mapping, Template};
+use gaea::core::{KernelError, Query, QueryMethod, QueryStrategy};
+use gaea::workload::ndvi_series;
+
+fn africa() -> GeoBox {
+    GeoBox::new(-20.0, -35.0, 55.0, 38.0)
+}
+
+/// Kernel with an `ndvi` class (base-ish: storable directly) and a derived
+/// smoothing class so both interpolation and derivation are available.
+fn kernel() -> Gaea {
+    let mut g = Gaea::in_memory().with_user("q1");
+    g.define_class(ClassSpec::base("ndvi").attr("data", TypeTag::Image))
+        .unwrap();
+    g.define_class(ClassSpec::derived("ndvi_smooth").attr("data", TypeTag::Image))
+        .unwrap();
+    g.define_process(
+        ProcessSpec::new("smooth", "ndvi_smooth")
+            .arg("src", "ndvi")
+            .template(Template {
+                assertions: vec![],
+                mappings: vec![
+                    Mapping {
+                        attr: "data".into(),
+                        expr: Expr::apply(
+                            "img_scale",
+                            vec![Expr::proj("src", "data"), Expr::float(1.0)],
+                        ),
+                    },
+                    Mapping {
+                        attr: "spatialextent".into(),
+                        expr: Expr::AnyOf(Box::new(Expr::proj("src", "spatialextent"))),
+                    },
+                    Mapping {
+                        attr: "timestamp".into(),
+                        expr: Expr::AnyOf(Box::new(Expr::proj("src", "timestamp"))),
+                    },
+                ],
+            }),
+    )
+    .unwrap();
+    g
+}
+
+fn store_series(g: &mut Gaea, months: usize) -> Vec<AbsTime> {
+    let series = ndvi_series(8, 8, months, AbsTime::from_ymd(1988, 1, 1).unwrap(), 0.0, 5);
+    let mut times = Vec::new();
+    for (t, img) in series {
+        g.insert_object(
+            "ndvi",
+            vec![
+                ("data", Value::image(img)),
+                ("spatialextent", Value::GeoBox(africa())),
+                ("timestamp", Value::AbsTime(t)),
+            ],
+        )
+        .unwrap();
+        times.push(t);
+    }
+    times
+}
+
+#[test]
+fn step1_exact_hit_retrieves() {
+    let mut g = kernel();
+    let times = store_series(&mut g, 6);
+    let out = g
+        .query(&Query::class("ndvi").over(africa()).at(times[2]))
+        .unwrap();
+    assert_eq!(out.method, QueryMethod::Retrieved);
+    assert!(out.tasks.is_empty(), "no computation recorded");
+}
+
+#[test]
+fn step2_interpolation_fills_missing_instant() {
+    let mut g = kernel();
+    let times = store_series(&mut g, 6);
+    // Halfway between two monthly snapshots.
+    let missing = AbsTime((times[2].0 + times[3].0) / 2);
+    let out = g
+        .query(&Query::class("ndvi").over(africa()).at(missing))
+        .unwrap();
+    assert_eq!(out.method, QueryMethod::Interpolated);
+    assert_eq!(out.objects.len(), 1);
+    assert_eq!(out.objects[0].timestamp(), Some(missing));
+    // The interpolation was recorded as a task with the target time.
+    let task = g.task(out.tasks[0]).unwrap();
+    assert_eq!(task.params["at"], Value::AbsTime(missing));
+    // Interpolated pixel values are bracketed by the neighbours.
+    let obj = &out.objects[0];
+    let img = obj.attr("data").unwrap().as_image().unwrap().clone();
+    let e = g.object(task.inputs["earlier"][0]).unwrap();
+    let l = g.object(task.inputs["later"][0]).unwrap();
+    let ei = e.attr("data").unwrap().as_image().unwrap().clone();
+    let li = l.attr("data").unwrap().as_image().unwrap().clone();
+    for p in 0..img.len() {
+        let lo = ei.get_flat(p).min(li.get_flat(p));
+        let hi = ei.get_flat(p).max(li.get_flat(p));
+        assert!(img.get_flat(p) >= lo - 1e-12 && img.get_flat(p) <= hi + 1e-12);
+    }
+}
+
+#[test]
+fn interpolation_never_extrapolates() {
+    let mut g = kernel();
+    let times = store_series(&mut g, 3);
+    let beyond = AbsTime(times[2].0 + 40 * 86_400);
+    let err = g
+        .query(&Query::class("ndvi").over(africa()).at(beyond))
+        .unwrap_err();
+    assert!(matches!(err, KernelError::NoData(_)), "{err}");
+}
+
+#[test]
+fn step3_derivation_when_interpolation_inapplicable() {
+    let mut g = kernel();
+    let times = store_series(&mut g, 3);
+    // ndvi_smooth has no stored objects and no bracketing snapshots —
+    // derivation must fire the smooth process.
+    let out = g
+        .query(
+            &Query::class("ndvi_smooth")
+                .over(africa())
+                .at(times[1])
+                .with_strategy(QueryStrategy::PreferInterpolation),
+        )
+        .unwrap();
+    assert_eq!(out.method, QueryMethod::Derived);
+    assert_eq!(g.task(out.tasks[0]).unwrap().process_name, "smooth");
+}
+
+#[test]
+fn strategy_orders_steps_2_and_3() {
+    // With snapshots bracketing the instant AND a derivation available,
+    // the strategy decides which runs.
+    let mut g = kernel();
+    let times = store_series(&mut g, 4);
+    // Make a derived ndvi_smooth snapshot at each stored time, so both
+    // interpolation (between smooth snapshots) and derivation (from ndvi)
+    // could answer an in-between query on ndvi_smooth.
+    for t in &times {
+        let out = g
+            .query(
+                &Query::class("ndvi_smooth")
+                    .over(africa())
+                    .at(*t)
+                    .with_strategy(QueryStrategy::PreferDerivation),
+            )
+            .unwrap();
+        assert_eq!(out.method, QueryMethod::Derived);
+    }
+    let missing = AbsTime((times[1].0 + times[2].0) / 2);
+    // Interpolation-first finds the bracket.
+    let interp = g
+        .query(
+            &Query::class("ndvi_smooth")
+                .over(africa())
+                .at(missing)
+                .with_strategy(QueryStrategy::PreferInterpolation),
+        )
+        .unwrap();
+    assert_eq!(interp.method, QueryMethod::Interpolated);
+}
+
+#[test]
+fn retrieve_only_never_computes() {
+    let mut g = kernel();
+    store_series(&mut g, 3);
+    let q = Query::class("ndvi_smooth").with_strategy(QueryStrategy::RetrieveOnly);
+    let err = g.query(&q).unwrap_err();
+    assert!(matches!(err, KernelError::NoData(_)));
+    assert_eq!(g.count_objects("ndvi_smooth").unwrap(), 0, "nothing materialized");
+}
+
+#[test]
+fn window_queries_skip_interpolation() {
+    let mut g = kernel();
+    let times = store_series(&mut g, 6);
+    // A window covering two snapshots retrieves both, no synthesis.
+    let window = TimeRange::new(times[1], times[2]);
+    let out = g
+        .query(&Query::class("ndvi").over(africa()).during(window))
+        .unwrap();
+    assert_eq!(out.method, QueryMethod::Retrieved);
+    assert_eq!(out.objects.len(), 2);
+}
+
+#[test]
+fn spatial_windows_filter_retrieval() {
+    let mut g = kernel();
+    store_series(&mut g, 2);
+    let amazon = GeoBox::new(-75.0, -15.0, -50.0, 5.0);
+    let err = g
+        .query(
+            &Query::class("ndvi")
+                .over(amazon)
+                .with_strategy(QueryStrategy::RetrieveOnly),
+        )
+        .unwrap_err();
+    assert!(matches!(err, KernelError::NoData(_)));
+    let hit = g.query(&Query::class("ndvi").over(africa())).unwrap();
+    assert_eq!(hit.objects.len(), 2);
+}
