@@ -74,16 +74,12 @@ impl DataflowGraph {
         let mut node_types: Vec<TypeTag> = Vec::with_capacity(self.nodes.len());
         let resolve = |src: Source, upto: usize, node_types: &[TypeTag]| -> AdtResult<TypeTag> {
             match src {
-                Source::Input(i) => self
-                    .inputs
-                    .get(i)
-                    .map(|(_, t)| t.clone())
-                    .ok_or_else(|| {
-                        AdtError::MalformedDataflow(format!(
-                            "{}: reference to missing graph input {i}",
-                            self.name
-                        ))
-                    }),
+                Source::Input(i) => self.inputs.get(i).map(|(_, t)| t.clone()).ok_or_else(|| {
+                    AdtError::MalformedDataflow(format!(
+                        "{}: reference to missing graph input {i}",
+                        self.name
+                    ))
+                }),
                 Source::Node(i) => {
                     if i >= upto {
                         Err(AdtError::MalformedDataflow(format!(
@@ -255,7 +251,8 @@ mod tests {
         let r = registry();
         assert_eq!(g.validate(&r).unwrap(), TypeTag::Float8);
         assert_eq!(
-            g.execute(&r, &[1.0.into(), 2.0.into(), 3.0.into()]).unwrap(),
+            g.execute(&r, &[1.0.into(), 2.0.into(), 3.0.into()])
+                .unwrap(),
             Value::Float8(6.0)
         );
     }
@@ -268,7 +265,8 @@ mod tests {
         r.register_compound(add3(), "ternary addition").unwrap();
         assert!(r.get("add3").unwrap().is_compound());
         assert_eq!(
-            r.invoke("add3", &[1.0.into(), 2.0.into(), 4.0.into()]).unwrap(),
+            r.invoke("add3", &[1.0.into(), 2.0.into(), 4.0.into()])
+                .unwrap(),
             Value::Float8(7.0)
         );
     }
@@ -279,7 +277,9 @@ mod tests {
         r.register_compound(add3(), "ternary addition").unwrap();
         // add5(x1..x5) = add(add3(x1,x2,x3), add(x4,x5))
         let mut b = DataflowBuilder::new("add5");
-        let xs: Vec<Source> = (0..5).map(|i| b.input(&format!("x{i}"), TypeTag::Float8)).collect();
+        let xs: Vec<Source> = (0..5)
+            .map(|i| b.input(&format!("x{i}"), TypeTag::Float8))
+            .collect();
         let left = b.node("add3", vec![xs[0], xs[1], xs[2]]);
         let right = b.node("add", vec![xs[3], xs[4]]);
         let all = b.node("add", vec![left, right]);

@@ -46,12 +46,18 @@ impl fmt::Display for AdtError {
                 context,
                 expected,
                 found,
-            } => write!(f, "{context}: type mismatch, expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "{context}: type mismatch, expected {expected}, found {found}"
+            ),
             AdtError::ArityMismatch {
                 op,
                 expected,
                 found,
-            } => write!(f, "operator {op}: expected {expected} argument(s), found {found}"),
+            } => write!(
+                f,
+                "operator {op}: expected {expected} argument(s), found {found}"
+            ),
             AdtError::UnknownOperator(name) => write!(f, "unknown operator: {name}"),
             AdtError::DuplicateOperator(name) => write!(f, "operator already registered: {name}"),
             AdtError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
@@ -92,7 +98,10 @@ mod tests {
             expected: 1,
             found: 3,
         };
-        assert_eq!(e.to_string(), "operator composite: expected 1 argument(s), found 3");
+        assert_eq!(
+            e.to_string(),
+            "operator composite: expected 1 argument(s), found 3"
+        );
     }
 
     #[test]

@@ -198,7 +198,10 @@ impl GeoBox {
 
     /// External representation `"(xmin, ymin, xmax, ymax)"`.
     pub fn external_repr(&self) -> String {
-        format!("({}, {}, {}, {})", self.xmin, self.ymin, self.xmax, self.ymax)
+        format!(
+            "({}, {}, {}, {})",
+            self.xmin, self.ymin, self.xmax, self.ymax
+        )
     }
 
     /// Parse the external representation.

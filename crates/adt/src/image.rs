@@ -142,8 +142,12 @@ impl PixelBuffer {
     pub fn set(&mut self, i: usize, val: f64) {
         match self {
             PixelBuffer::U8(v) => v[i] = val.round().clamp(0.0, u8::MAX as f64) as u8,
-            PixelBuffer::I16(v) => v[i] = val.round().clamp(i16::MIN as f64, i16::MAX as f64) as i16,
-            PixelBuffer::I32(v) => v[i] = val.round().clamp(i32::MIN as f64, i32::MAX as f64) as i32,
+            PixelBuffer::I16(v) => {
+                v[i] = val.round().clamp(i16::MIN as f64, i16::MAX as f64) as i16
+            }
+            PixelBuffer::I32(v) => {
+                v[i] = val.round().clamp(i32::MIN as f64, i32::MAX as f64) as i32
+            }
             PixelBuffer::F32(v) => v[i] = val as f32,
             PixelBuffer::F64(v) => v[i] = val,
         }
@@ -163,7 +167,7 @@ impl PixelBuffer {
     /// Inverse of [`PixelBuffer::to_bytes`].
     pub fn from_bytes(pt: PixType, bytes: &[u8]) -> AdtResult<PixelBuffer> {
         let w = pt.width();
-        if bytes.len() % w != 0 {
+        if !bytes.len().is_multiple_of(w) {
             return Err(AdtError::Parse(format!(
                 "payload of {} bytes is not a multiple of {w} ({pt})",
                 bytes.len()
@@ -187,9 +191,7 @@ impl PixelBuffer {
             ),
             PixType::Float8 => PixelBuffer::F64(
                 chunks
-                    .map(|c| {
-                        f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]])
-                    })
+                    .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
                     .collect(),
             ),
         })
@@ -348,7 +350,13 @@ impl Image {
     /// The in-memory reproduction has no intrinsic file path, so callers pass
     /// the path the payload is (or will be) stored at.
     pub fn external_repr(&self, filepath: &str) -> String {
-        format!("({}, {}, {}, {})", self.nrow, self.ncol, self.pixtype(), filepath)
+        format!(
+            "({}, {}, {}, {})",
+            self.nrow,
+            self.ncol,
+            self.pixtype(),
+            filepath
+        )
     }
 
     /// Parse the external representation, returning the header fields.
@@ -358,7 +366,9 @@ impl Image {
             .trim()
             .strip_prefix('(')
             .and_then(|t| t.strip_suffix(')'))
-            .ok_or_else(|| AdtError::Parse(format!("image external repr must be parenthesized: {s:?}")))?;
+            .ok_or_else(|| {
+                AdtError::Parse(format!("image external repr must be parenthesized: {s:?}"))
+            })?;
         let parts: Vec<&str> = inner.splitn(4, ',').map(str::trim).collect();
         if parts.len() != 4 {
             return Err(AdtError::Parse(format!(
@@ -466,7 +476,10 @@ mod tests {
         let s = img.external_repr("/data/ndvi_1988.img");
         assert_eq!(s, "(120, 80, int2, /data/ndvi_1988.img)");
         let (r, c, pt, path) = Image::parse_external(&s).unwrap();
-        assert_eq!((r, c, pt, path.as_str()), (120, 80, PixType::Int2, "/data/ndvi_1988.img"));
+        assert_eq!(
+            (r, c, pt, path.as_str()),
+            (120, 80, PixType::Int2, "/data/ndvi_1988.img")
+        );
     }
 
     #[test]

@@ -132,12 +132,12 @@ impl Matrix {
             )));
         }
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, slot) in out.iter_mut().enumerate() {
             let mut acc = 0.0;
             for c in 0..self.cols {
                 acc += self.get(r, c) * v.data()[c];
             }
-            out[r] = acc;
+            *slot = acc;
         }
         Ok(VectorD::new(out))
     }
@@ -298,18 +298,15 @@ impl VectorD {
 
     /// Total ordering for value identity.
     pub fn total_cmp(&self, other: &VectorD) -> std::cmp::Ordering {
-        self.data
-            .len()
-            .cmp(&other.data.len())
-            .then_with(|| {
-                for (a, b) in self.data.iter().zip(&other.data) {
-                    let o = a.total_cmp(b);
-                    if o != std::cmp::Ordering::Equal {
-                        return o;
-                    }
+        self.data.len().cmp(&other.data.len()).then_with(|| {
+            for (a, b) in self.data.iter().zip(&other.data) {
+                let o = a.total_cmp(b);
+                if o != std::cmp::Ordering::Equal {
+                    return o;
                 }
-                std::cmp::Ordering::Equal
-            })
+            }
+            std::cmp::Ordering::Equal
+        })
     }
 }
 

@@ -104,11 +104,14 @@ impl fmt::Display for Signature {
     }
 }
 
+/// Native operator body: a pure function over argument values.
+pub type PrimitiveFn = dyn Fn(&[Value]) -> AdtResult<Value> + Send + Sync;
+
 /// Body of an operator.
 #[derive(Clone)]
 pub enum OpKind {
     /// Native implementation.
-    Primitive(Arc<dyn Fn(&[Value]) -> AdtResult<Value> + Send + Sync>),
+    Primitive(Arc<PrimitiveFn>),
     /// Network of other operators (Figure 4).
     Compound(Arc<DataflowGraph>),
 }
@@ -281,13 +284,18 @@ pub fn register_builtins(r: &mut OperatorRegistry) -> AdtResult<()> {
     binop(r, "add", "float8 addition", |a, b| Ok(a + b))?;
     binop(r, "sub", "float8 subtraction", |a, b| Ok(a - b))?;
     binop(r, "mul", "float8 multiplication", |a, b| Ok(a * b))?;
-    binop(r, "div", "float8 division (errors on zero divisor)", |a, b| {
-        if b == 0.0 {
-            Err(AdtError::Numeric("division by zero".into()))
-        } else {
-            Ok(a / b)
-        }
-    })?;
+    binop(
+        r,
+        "div",
+        "float8 division (errors on zero divisor)",
+        |a, b| {
+            if b == 0.0 {
+                Err(AdtError::Numeric("division by zero".into()))
+            } else {
+                Ok(a / b)
+            }
+        },
+    )?;
     binop(r, "min", "float8 minimum", |a, b| Ok(a.min(b)))?;
     binop(r, "max", "float8 maximum", |a, b| Ok(a.max(b)))?;
 
@@ -301,13 +309,21 @@ pub fn register_builtins(r: &mut OperatorRegistry) -> AdtResult<()> {
         "lt",
         Signature::new(vec![TypeTag::Float8, TypeTag::Float8], TypeTag::Bool),
         "numeric less-than",
-        |args| Ok(Value::Bool(args[0].expect_f64("lt")? < args[1].expect_f64("lt")?)),
+        |args| {
+            Ok(Value::Bool(
+                args[0].expect_f64("lt")? < args[1].expect_f64("lt")?,
+            ))
+        },
     )?;
     r.register_fn(
         "gt",
         Signature::new(vec![TypeTag::Float8, TypeTag::Float8], TypeTag::Bool),
         "numeric greater-than",
-        |args| Ok(Value::Bool(args[0].expect_f64("gt")? > args[1].expect_f64("gt")?)),
+        |args| {
+            Ok(Value::Bool(
+                args[0].expect_f64("gt")? > args[1].expect_f64("gt")?,
+            ))
+        },
     )?;
 
     // Set helpers used by process templates (Figure 3).
@@ -348,7 +364,11 @@ pub fn register_builtins(r: &mut OperatorRegistry) -> AdtResult<()> {
         "return a pixel's data type",
         |args| {
             Ok(Value::Text(
-                args[0].expect_image("img_type")?.pixtype().name().to_string(),
+                args[0]
+                    .expect_image("img_type")?
+                    .pixtype()
+                    .name()
+                    .to_string(),
             ))
         },
     )?;
@@ -408,13 +428,11 @@ pub fn register_builtins(r: &mut OperatorRegistry) -> AdtResult<()> {
         Signature::new(vec![TypeTag::GeoBox], TypeTag::Float8),
         "area of a bounding box",
         |args| {
-            let b = args[0]
-                .as_geobox()
-                .ok_or_else(|| AdtError::TypeMismatch {
-                    context: "box_area".into(),
-                    expected: "box".into(),
-                    found: args[0].type_tag().to_string(),
-                })?;
+            let b = args[0].as_geobox().ok_or_else(|| AdtError::TypeMismatch {
+                context: "box_area".into(),
+                expected: "box".into(),
+                found: args[0].type_tag().to_string(),
+            })?;
             Ok(Value::Float8(b.area()))
         },
     )?;
@@ -431,11 +449,13 @@ mod tests {
         let r = OperatorRegistry::with_builtins();
         assert!(r.len() >= 15);
         assert_eq!(
-            r.invoke("add", &[Value::Float8(2.0), Value::Float8(3.0)]).unwrap(),
+            r.invoke("add", &[Value::Float8(2.0), Value::Float8(3.0)])
+                .unwrap(),
             Value::Float8(5.0)
         );
         assert_eq!(
-            r.invoke("div", &[Value::Float8(6.0), Value::Float8(3.0)]).unwrap(),
+            r.invoke("div", &[Value::Float8(6.0), Value::Float8(3.0)])
+                .unwrap(),
             Value::Float8(2.0)
         );
     }
@@ -469,10 +489,16 @@ mod tests {
     fn img_operators_match_paper_listing() {
         let r = OperatorRegistry::with_builtins();
         let img = Value::image(Image::zeros(10, 20, PixType::Int2));
-        assert_eq!(r.invoke("img_nrow", &[img.clone()]).unwrap(), Value::Int4(10));
-        assert_eq!(r.invoke("img_ncol", &[img.clone()]).unwrap(), Value::Int4(20));
         assert_eq!(
-            r.invoke("img_type", &[img.clone()]).unwrap(),
+            r.invoke("img_nrow", std::slice::from_ref(&img)).unwrap(),
+            Value::Int4(10)
+        );
+        assert_eq!(
+            r.invoke("img_ncol", std::slice::from_ref(&img)).unwrap(),
+            Value::Int4(20)
+        );
+        assert_eq!(
+            r.invoke("img_type", std::slice::from_ref(&img)).unwrap(),
             Value::Text("int2".into())
         );
         let other = Value::image(Image::zeros(10, 20, PixType::Float4));
@@ -486,7 +512,10 @@ mod tests {
     fn card_and_anyof() {
         let r = OperatorRegistry::with_builtins();
         let set = Value::Set(vec![Value::Int4(7), Value::Int4(8)]);
-        assert_eq!(r.invoke("card", &[set.clone()]).unwrap(), Value::Int4(2));
+        assert_eq!(
+            r.invoke("card", std::slice::from_ref(&set)).unwrap(),
+            Value::Int4(2)
+        );
         assert_eq!(r.invoke("anyof", &[set]).unwrap(), Value::Int4(7));
         assert!(r.invoke("anyof", &[Value::Set(vec![])]).is_err());
     }
@@ -498,11 +527,13 @@ mod tests {
         let b = Value::GeoBox(GeoBox::new(5.0, 5.0, 15.0, 15.0));
         let c = Value::GeoBox(GeoBox::new(20.0, 20.0, 30.0, 30.0));
         assert_eq!(
-            r.invoke("common_box", &[Value::Set(vec![a.clone(), b.clone()])]).unwrap(),
+            r.invoke("common_box", &[Value::Set(vec![a.clone(), b.clone()])])
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            r.invoke("common_box", &[Value::Set(vec![a, b, c])]).unwrap(),
+            r.invoke("common_box", &[Value::Set(vec![a, b, c])])
+                .unwrap(),
             Value::Bool(false)
         );
     }
@@ -511,12 +542,9 @@ mod tests {
     fn duplicate_registration_rejected() {
         let mut r = OperatorRegistry::with_builtins();
         let err = r
-            .register_fn(
-                "add",
-                Signature::new(vec![], TypeTag::Int4),
-                "dup",
-                |_| Ok(Value::Int4(0)),
-            )
+            .register_fn("add", Signature::new(vec![], TypeTag::Int4), "dup", |_| {
+                Ok(Value::Int4(0))
+            })
             .unwrap_err();
         assert!(matches!(err, AdtError::DuplicateOperator(_)));
     }
@@ -540,7 +568,9 @@ mod tests {
         assert!(sig
             .check("sum", &[TypeTag::Float8, TypeTag::Float8, TypeTag::Float8])
             .is_ok());
-        assert!(sig.check("sum", &[TypeTag::Float8, TypeTag::Image]).is_err());
+        assert!(sig
+            .check("sum", &[TypeTag::Float8, TypeTag::Image])
+            .is_err());
         assert_eq!(sig.to_string(), "(float8, ...) -> float8");
     }
 

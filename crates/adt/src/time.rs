@@ -253,8 +253,8 @@ mod tests {
     fn ymd_round_trip_sample_dates() {
         for (y, m, d) in [
             (1970, 1, 1),
-            (1986, 1, 31),   // the paper's "January 1986 for Africa" task
-            (1988, 2, 29),   // leap year in the NDVI scenario window
+            (1986, 1, 31), // the paper's "January 1986 for Africa" task
+            (1988, 2, 29), // leap year in the NDVI scenario window
             (1989, 12, 31),
             (2000, 2, 29),
             (1900, 3, 1),

@@ -370,13 +370,9 @@ impl fmt::Display for Value {
             Value::Char16(s) | Value::Text(s) => write!(f, "{s:?}"),
             Value::AbsTime(t) => write!(f, "{t}"),
             Value::GeoBox(b) => write!(f, "{b}"),
-            Value::Image(img) => write!(
-                f,
-                "image({}x{}, {})",
-                img.nrow(),
-                img.ncol(),
-                img.pixtype()
-            ),
+            Value::Image(img) => {
+                write!(f, "image({}x{}, {})", img.nrow(), img.ncol(), img.pixtype())
+            }
             Value::Matrix(m) => write!(f, "matrix({}x{})", m.rows(), m.cols()),
             Value::Vector(v) => write!(f, "vector(len {})", v.len()),
             Value::ObjRef(o) => write!(f, "ref(obj:{o})"),
@@ -560,7 +556,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(Value::Set(vec![Value::Int4(1), Value::Int4(2)]).to_string(), "{1, 2}");
+        assert_eq!(
+            Value::Set(vec![Value::Int4(1), Value::Int4(2)]).to_string(),
+            "{1, 2}"
+        );
         let img = Value::image(Image::zeros(3, 4, PixType::Int2));
         assert_eq!(img.to_string(), "image(3x4, int2)");
     }

@@ -6,7 +6,7 @@
 //! identity, overwrites clobber silently (§4.1: "inadvertent file overwrite
 //! by other users"), and provenance is a text scan.
 
-use gaea_adt::{AdtError, Image, PixelBuffer, PixType};
+use gaea_adt::{AdtError, Image, PixType, PixelBuffer};
 use gaea_raster::{img_diff, img_ratio, kmeans_classify, min_distance_classify, ndvi};
 use std::fmt;
 use std::fs;
@@ -67,7 +67,12 @@ pub struct TranscriptEntry {
 
 impl TranscriptEntry {
     fn render(&self) -> String {
-        format!("{} = {}({})", self.output, self.command, self.inputs.join(", "))
+        format!(
+            "{} = {}({})",
+            self.output,
+            self.command,
+            self.inputs.join(", ")
+        )
     }
 
     fn parse(line: &str) -> Option<TranscriptEntry> {
@@ -122,8 +127,8 @@ impl FileGis {
     /// Load a raster by name — the *only* retrieval the baseline offers.
     pub fn get_raster(&self, name: &str) -> Result<Image, FileGisError> {
         let path = self.raster_path(name);
-        let bytes = fs::read(&path)
-            .map_err(|_| FileGisError::NoSuchFile(path.display().to_string()))?;
+        let bytes =
+            fs::read(&path).map_err(|_| FileGisError::NoSuchFile(path.display().to_string()))?;
         let newline = bytes
             .iter()
             .position(|b| *b == b'\n')
@@ -187,12 +192,7 @@ impl FileGis {
     ///
     /// Commands: `ndvi(nir, red)`, `diff(a, b)`, `ratio(a, b)`,
     /// `classify(b1, b2, b3, k)`, `copy(a)`.
-    pub fn run(
-        &self,
-        command: &str,
-        inputs: &[&str],
-        output: &str,
-    ) -> Result<(), FileGisError> {
+    pub fn run(&self, command: &str, inputs: &[&str], output: &str) -> Result<(), FileGisError> {
         let result = match command {
             "ndvi" => {
                 let nir = self.get_raster(inputs[0])?;
@@ -230,11 +230,9 @@ impl FileGis {
             // to the transcript; contrast with Gaea's interactive tasks,
             // which record the answers (§4.3 extension).
             "superclassify" => {
-                let sig_img = self.get_raster(
-                    inputs
-                        .last()
-                        .ok_or_else(|| FileGisError::Codec("superclassify needs a signature file".into()))?,
-                )?;
+                let sig_img = self.get_raster(inputs.last().ok_or_else(|| {
+                    FileGisError::Codec("superclassify needs a signature file".into())
+                })?)?;
                 let bands: Result<Vec<Image>, FileGisError> = inputs[..inputs.len() - 1]
                     .iter()
                     .map(|n| self.get_raster(n))
@@ -301,11 +299,8 @@ impl FileGis {
     /// must be repeated manually). Returns the number of commands re-run.
     pub fn replay(&self, into: &FileGis) -> Result<usize, FileGisError> {
         // Copy base rasters (those never produced by a command).
-        let produced: std::collections::BTreeSet<String> = self
-            .transcript()?
-            .into_iter()
-            .map(|e| e.output)
-            .collect();
+        let produced: std::collections::BTreeSet<String> =
+            self.transcript()?.into_iter().map(|e| e.output).collect();
         for name in self.list()? {
             if !produced.contains(&name) {
                 into.put_raster(&name, &self.get_raster(&name)?)?;
@@ -436,8 +431,10 @@ mod tests {
     #[test]
     fn classify_command() {
         let gis = temp_gis("cls");
-        gis.put_raster("b1", &img(&[1.0, 2.0, 100.0, 101.0])).unwrap();
-        gis.put_raster("b2", &img(&[5.0, 6.0, 200.0, 201.0])).unwrap();
+        gis.put_raster("b1", &img(&[1.0, 2.0, 100.0, 101.0]))
+            .unwrap();
+        gis.put_raster("b2", &img(&[5.0, 6.0, 200.0, 201.0]))
+            .unwrap();
         gis.run("classify", &["b1", "b2", "2"], "lc").unwrap();
         let lc = gis.get_raster("lc").unwrap();
         assert_ne!(lc.get(0, 0), lc.get(0, 2)); // two clusters separated
@@ -456,12 +453,15 @@ mod tests {
         // (the scientist's training-site digitization) is unrecorded and
         // unrecoverable. Gaea's interactive tasks record those answers.
         let gis = temp_gis("superclassify");
-        gis.put_raster("b1", &img(&[1.0, 2.0, 100.0, 101.0])).unwrap();
-        gis.put_raster("b2", &img(&[5.0, 6.0, 200.0, 201.0])).unwrap();
+        gis.put_raster("b1", &img(&[1.0, 2.0, 100.0, 101.0]))
+            .unwrap();
+        gis.put_raster("b2", &img(&[5.0, 6.0, 200.0, 201.0]))
+            .unwrap();
         // 2 classes x 2 bands signature raster, digitized who-knows-how.
         let sig = Image::from_f64(2, 2, vec![1.5, 5.5, 100.5, 200.5]).unwrap();
         gis.put_raster("sig", &sig).unwrap();
-        gis.run("superclassify", &["b1", "b2", "sig"], "lc").unwrap();
+        gis.run("superclassify", &["b1", "b2", "sig"], "lc")
+            .unwrap();
         let lc = gis.get_raster("lc").unwrap();
         assert_eq!(lc.get(0, 0), 0.0);
         assert_eq!(lc.get(0, 3), 1.0);

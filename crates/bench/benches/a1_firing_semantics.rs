@@ -61,16 +61,12 @@ fn bench(c: &mut Criterion) {
             "depth {depth}: gaea fires {g_fired} (starved {g_starved}); \
              classic fires {c_fired} (starved {c_starved})"
         );
-        group.bench_with_input(
-            BenchmarkId::new("sweep_gaea", depth),
-            &depth,
-            |b, _| b.iter(|| black_box(sweep(&rd.net, &m0, FiringMode::GaeaPreserving))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("sweep_classic", depth),
-            &depth,
-            |b, _| b.iter(|| black_box(sweep(&rd.net, &m0, FiringMode::Classic))),
-        );
+        group.bench_with_input(BenchmarkId::new("sweep_gaea", depth), &depth, |b, _| {
+            b.iter(|| black_box(sweep(&rd.net, &m0, FiringMode::GaeaPreserving)))
+        });
+        group.bench_with_input(BenchmarkId::new("sweep_classic", depth), &depth, |b, _| {
+            b.iter(|| black_box(sweep(&rd.net, &m0, FiringMode::Classic)))
+        });
     }
 
     // (b) forward saturation (the reachability analysis §2.1.6 proposes)

@@ -9,12 +9,12 @@
 //! shows what headroom costs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaea_adt::TypeTag;
 use gaea_adt::{AbsTime, Image, PixType, Value};
 use gaea_bench::{africa, configure, jan86};
 use gaea_core::kernel::{ClassSpec, Gaea, ProcessSpec};
 use gaea_core::template::{Expr, Mapping, Template};
 use gaea_core::{Query, QueryStrategy};
-use gaea_adt::TypeTag;
 use std::hint::black_box;
 
 /// tm --P20--> landcover with `common(timestamp)` + `common(extent)`
@@ -32,7 +32,10 @@ fn kernel() -> Gaea {
     .expect("class");
     let template = Template {
         assertions: vec![
-            Expr::eq(Expr::Card(Box::new(Expr::Arg("bands".into()))), Expr::int(3)),
+            Expr::eq(
+                Expr::Card(Box::new(Expr::Arg("bands".into()))),
+                Expr::int(3),
+            ),
             Expr::Common(Box::new(Expr::proj("bands", "timestamp"))),
             Expr::Common(Box::new(Expr::proj("bands", "spatialextent"))),
         ],
@@ -41,7 +44,10 @@ fn kernel() -> Gaea {
                 attr: "data".into(),
                 expr: Expr::apply("anyof", vec![Expr::Arg("bands".into())]),
             },
-            Mapping { attr: "numclass".into(), expr: Expr::int(1) },
+            Mapping {
+                attr: "numclass".into(),
+                expr: Expr::int(1),
+            },
             Mapping {
                 attr: "spatialextent".into(),
                 expr: Expr::AnyOf(Box::new(Expr::proj("bands", "spatialextent"))),
@@ -70,7 +76,10 @@ fn contaminate(g: &mut Gaea, n_noise: usize) {
         g.insert_object(
             "tm",
             vec![
-                ("data", Value::image(Image::filled(4, 4, PixType::Float8, i as f64))),
+                (
+                    "data",
+                    Value::image(Image::filled(4, 4, PixType::Float8, i as f64)),
+                ),
                 ("spatialextent", Value::GeoBox(africa())),
                 ("timestamp", Value::AbsTime(t)),
             ],
@@ -81,7 +90,10 @@ fn contaminate(g: &mut Gaea, n_noise: usize) {
         g.insert_object(
             "tm",
             vec![
-                ("data", Value::image(Image::filled(4, 4, PixType::Float8, 100.0 + i as f64))),
+                (
+                    "data",
+                    Value::image(Image::filled(4, 4, PixType::Float8, 100.0 + i as f64)),
+                ),
                 ("spatialextent", Value::GeoBox(africa())),
                 ("timestamp", Value::AbsTime(t0)),
             ],

@@ -29,8 +29,7 @@ fn bench(c: &mut Criterion) {
         let stack = composite(&refs).expect("co-registered bands");
         let k = scene.spec.classes;
         // Training sites: 16 pixels per true class.
-        let mut sites: Vec<TrainingSite> =
-            (0..k).map(|c| TrainingSite::new(c, vec![])).collect();
+        let mut sites: Vec<TrainingSite> = (0..k).map(|c| TrainingSite::new(c, vec![])).collect();
         for (p, label) in scene.truth.iter().enumerate() {
             if sites[*label as usize].pixels.len() < 16 {
                 sites[*label as usize].pixels.push(p);
@@ -39,20 +38,28 @@ fn bench(c: &mut Criterion) {
         let signatures = signatures_from_training(&stack, k, &sites).expect("signatures");
         let (lo, hi) = training_boxes(&stack, k, &sites, 3.0).expect("boxes");
 
-        group.bench_with_input(BenchmarkId::new("unsupervised_kmeans", side), &side, |b, _| {
-            b.iter(|| black_box(kmeans_classify(&stack, k, 100, 0x6AEA).expect("kmeans")))
-        });
-        group.bench_with_input(BenchmarkId::new("supervised_mindist", side), &side, |b, _| {
-            b.iter(|| black_box(min_distance_classify(&stack, &signatures).expect("mindist")))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("unsupervised_kmeans", side),
+            &side,
+            |b, _| b.iter(|| black_box(kmeans_classify(&stack, k, 100, 0x6AEA).expect("kmeans"))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("supervised_mindist", side),
+            &side,
+            |b, _| {
+                b.iter(|| black_box(min_distance_classify(&stack, &signatures).expect("mindist")))
+            },
+        );
         group.bench_with_input(BenchmarkId::new("supervised_piped", side), &side, |b, _| {
             b.iter(|| black_box(parallelepiped_classify(&stack, &lo, &hi).expect("piped")))
         });
         // The signature-extraction step itself (the scientist's answer
         // turned into numbers) is trivial next to any classification.
-        group.bench_with_input(BenchmarkId::new("signature_extraction", side), &side, |b, _| {
-            b.iter(|| black_box(signatures_from_training(&stack, k, &sites).expect("sig")))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("signature_extraction", side),
+            &side,
+            |b, _| b.iter(|| black_box(signatures_from_training(&stack, k, &sites).expect("sig"))),
+        );
     }
     group.finish();
 }

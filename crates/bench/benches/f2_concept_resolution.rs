@@ -24,7 +24,13 @@ fn bench(c: &mut Criterion) {
         })
     });
     group.bench_function("isa_ancestors/hot_trade_wind_desert", |b| {
-        b.iter(|| black_box(g.catalog().concept_ancestors("hot_trade_wind_desert").expect("ok")))
+        b.iter(|| {
+            black_box(
+                g.catalog()
+                    .concept_ancestors("hot_trade_wind_desert")
+                    .expect("ok"),
+            )
+        })
     });
     group.bench_function("isa_children/desert", |b| {
         let id = g.catalog().concept_by_name("desert").expect("ok").id;

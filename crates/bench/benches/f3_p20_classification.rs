@@ -17,22 +17,26 @@ fn bench(c: &mut Criterion) {
     configure(&mut group);
     for side in [16u32, 32, 64, 96] {
         // Full kernel path: P20 as a recorded task.
-        group.bench_with_input(BenchmarkId::new("task_p20", side * side), &side, |b, side| {
-            b.iter_batched(
-                || {
-                    let mut g = figure2_kernel();
-                    let bands = store_scene(&mut g, "rectified_tm", 7, *side, jan86());
-                    (g, bands)
-                },
-                |(mut g, bands)| {
-                    black_box(
-                        g.run_process("P20_unsupervised_classification", &[("bands", bands)])
-                            .expect("p20 fires"),
-                    )
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("task_p20", side * side),
+            &side,
+            |b, side| {
+                b.iter_batched(
+                    || {
+                        let mut g = figure2_kernel();
+                        let bands = store_scene(&mut g, "rectified_tm", 7, *side, jan86());
+                        (g, bands)
+                    },
+                    |(mut g, bands)| {
+                        black_box(
+                            g.run_process("P20_unsupervised_classification", &[("bands", bands)])
+                                .expect("p20 fires"),
+                        )
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
         // Bare algorithm: the k-means kernel without any metadata
         // machinery (the overhead baseline).
         group.bench_with_input(
@@ -67,7 +71,9 @@ fn bench(c: &mut Criterion) {
                 registry: g.registry(),
                 params: &gaea_core::template::NO_PARAMS,
             };
-            black_box(ctx.check_assertions(&def.name, &def.template).expect("pass"))
+            ctx.check_assertions(&def.name, &def.template)
+                .expect("pass");
+            black_box(())
         })
     });
     // The k parameter from the paper's template (12) versus alternatives.

@@ -18,7 +18,8 @@ fn registry() -> OperatorRegistry {
 }
 
 fn scene_value(bands: usize, side: u32, seed: u64) -> (SyntheticScene, Value) {
-    let scene = SyntheticScene::generate(SceneSpec::small(seed).sized(side, side).with_bands(bands));
+    let scene =
+        SyntheticScene::generate(SceneSpec::small(seed).sized(side, side).with_bands(bands));
     let v = Value::Set(scene.bands.iter().cloned().map(Value::image).collect());
     (scene, v)
 }
@@ -33,7 +34,9 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("network_pca_3band", side * side),
             &input,
-            |b, input| b.iter(|| black_box(r.invoke("pca", &[input.clone()]).expect("ok"))),
+            |b, input| {
+                b.iter(|| black_box(r.invoke("pca", std::slice::from_ref(input)).expect("ok")))
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("fused_pca_3band", side * side),
@@ -52,7 +55,9 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("network_pca_32x32", bands),
             &input,
-            |b, input| b.iter(|| black_box(r.invoke("pca", &[input.clone()]).expect("ok"))),
+            |b, input| {
+                b.iter(|| black_box(r.invoke("pca", std::slice::from_ref(input)).expect("ok")))
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("fused_spca_32x32", bands),

@@ -6,11 +6,11 @@
 //! difference should be in the noise).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use gaea_adt::AbsTime;
 use gaea_bench::{configure, figure2_kernel, jan86, store_scene};
 use gaea_core::kernel::Gaea;
 use gaea_core::schema::StepSource;
 use gaea_core::ObjectId;
-use gaea_adt::AbsTime;
 use std::hint::black_box;
 
 fn kernel_with_compound() -> Gaea {

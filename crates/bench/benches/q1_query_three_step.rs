@@ -17,16 +17,20 @@ fn bench(c: &mut Criterion) {
     configure(&mut group);
     for side in [32u32, 64] {
         // Step 1: retrieval of a stored band.
-        group.bench_with_input(BenchmarkId::new("step1_retrieve", side * side), &side, |b, side| {
-            let mut g = figure2_kernel();
-            store_scene(&mut g, "rectified_tm", 1, *side, jan86());
-            let q = Query::class("rectified_tm").over(africa()).at(jan86());
-            b.iter(|| {
-                let out = g.query(&q).expect("hit");
-                debug_assert_eq!(out.method, QueryMethod::Retrieved);
-                black_box(out)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("step1_retrieve", side * side),
+            &side,
+            |b, side| {
+                let mut g = figure2_kernel();
+                store_scene(&mut g, "rectified_tm", 1, *side, jan86());
+                let q = Query::class("rectified_tm").over(africa()).at(jan86());
+                b.iter(|| {
+                    let out = g.query(&q).expect("hit");
+                    debug_assert_eq!(out.method, QueryMethod::Retrieved);
+                    black_box(out)
+                })
+            },
+        );
         // Step 2: interpolation between two epochs (fresh kernel per
         // iteration: interpolation materializes its output).
         group.bench_with_input(
@@ -81,15 +85,19 @@ fn bench(c: &mut Criterion) {
     }
     // Retrieval scaling with stored-object count (the hit-ratio axis).
     for n in [10usize, 100, 1000] {
-        group.bench_with_input(BenchmarkId::new("retrieval_vs_population", n), &n, |b, n| {
-            let mut g = figure2_kernel();
-            for i in 0..*n {
-                let t = AbsTime(jan86().0 + i as i64 * 86_400);
-                store_scene(&mut g, "rectified_tm", i as u64, 8, t);
-            }
-            let q = Query::class("rectified_tm").over(africa()).at(jan86());
-            b.iter(|| black_box(g.query(&q).expect("hit")))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("retrieval_vs_population", n),
+            &n,
+            |b, n| {
+                let mut g = figure2_kernel();
+                for i in 0..*n {
+                    let t = AbsTime(jan86().0 + i as i64 * 86_400);
+                    store_scene(&mut g, "rectified_tm", i as u64, 8, t);
+                }
+                let q = Query::class("rectified_tm").over(africa()).at(jan86());
+                b.iter(|| black_box(g.query(&q).expect("hit")))
+            },
+        );
     }
     group.finish();
 }

@@ -17,7 +17,9 @@ use gaea_core::ObjectId;
 use std::hint::black_box;
 
 fn raster(seed: u64) -> Image {
-    let data: Vec<f64> = (0..64).map(|i| ((i as u64 * 31 + seed * 17) % 251) as f64).collect();
+    let data: Vec<f64> = (0..64)
+        .map(|i| ((i as u64 * 31 + seed * 17) % 251) as f64)
+        .collect();
     Image::from_f64(8, 8, data).expect("sized")
 }
 
@@ -43,10 +45,18 @@ fn baseline_history(n: usize, tag: &str) -> FileGis {
 /// The same history in Gaea: n chained diff tasks.
 fn gaea_history(n: usize) -> (Gaea, ObjectId) {
     let mut g = Gaea::in_memory().with_user("q4");
-    g.define_class(ClassSpec::base("raster").attr("data", TypeTag::Image).no_extents())
-        .expect("class");
-    g.define_class(ClassSpec::derived("diffmap").attr("data", TypeTag::Image).no_extents())
-        .expect("class");
+    g.define_class(
+        ClassSpec::base("raster")
+            .attr("data", TypeTag::Image)
+            .no_extents(),
+    )
+    .expect("class");
+    g.define_class(
+        ClassSpec::derived("diffmap")
+            .attr("data", TypeTag::Image)
+            .no_extents(),
+    )
+    .expect("class");
     for (name, first_class) in [("diff_base", "raster"), ("diff_chain", "diffmap")] {
         g.define_process(
             ProcessSpec::new(name, "diffmap")
@@ -125,10 +135,8 @@ fn bench(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let src = baseline_history(n, "replay-src");
-                    let dst_dir = std::env::temp_dir().join(format!(
-                        "gaea-q4-replay-dst-{n}-{}",
-                        std::process::id()
-                    ));
+                    let dst_dir = std::env::temp_dir()
+                        .join(format!("gaea-q4-replay-dst-{n}-{}", std::process::id()));
                     let _ = std::fs::remove_dir_all(&dst_dir);
                     (src, FileGis::open(&dst_dir).expect("open"))
                 },

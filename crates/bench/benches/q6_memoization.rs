@@ -2,9 +2,11 @@
 //!
 //! §2.1.5's point of recording tasks: a previously derived object answers
 //! later queries by retrieval. Measures the first (deriving) query against
-//! subsequent (retrieving) queries, and the cost of rederiving with reuse
-//! disabled. Expected shape: retrieval beats re-derivation by orders of
-//! magnitude after the first use; the crossover is immediate (reuse ≥ 1).
+//! subsequent (retrieving) queries, the `DerivedCache` memo on repeated
+//! identical firings against from-scratch re-derivation, and the
+//! amortization over k queries. Expected shape: retrieval and the memo
+//! beat re-derivation by orders of magnitude after the first use; the
+//! crossover is immediate (reuse ≥ 1).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gaea_bench::{africa, configure, figure2_kernel, jan86, store_scene};
@@ -23,32 +25,94 @@ fn bench(c: &mut Criterion) {
     configure(&mut group);
     for side in [32u32, 64] {
         // Cold: derivation fires P20.
-        group.bench_with_input(BenchmarkId::new("first_query_derives", side * side), &side, |b, side| {
-            b.iter_batched(
-                || {
-                    let mut g = figure2_kernel();
-                    store_scene(&mut g, "rectified_tm", 6, *side, jan86());
-                    g
-                },
-                |mut g| {
-                    let out = g.query(&query()).expect("derives");
-                    debug_assert_eq!(out.method, QueryMethod::Derived);
-                    black_box(out)
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("first_query_derives", side * side),
+            &side,
+            |b, side| {
+                b.iter_batched(
+                    || {
+                        let mut g = figure2_kernel();
+                        store_scene(&mut g, "rectified_tm", 6, *side, jan86());
+                        g
+                    },
+                    |mut g| {
+                        let out = g.query(&query()).expect("derives");
+                        debug_assert_eq!(out.method, QueryMethod::Derived);
+                        black_box(out)
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
         // Warm: the derived object is stored; the same query retrieves.
-        group.bench_with_input(BenchmarkId::new("repeat_query_retrieves", side * side), &side, |b, side| {
-            let mut g = figure2_kernel();
-            store_scene(&mut g, "rectified_tm", 6, *side, jan86());
-            g.query(&query()).expect("derives once");
-            b.iter(|| {
-                let out = g.query(&query()).expect("hits");
-                debug_assert_eq!(out.method, QueryMethod::Retrieved);
-                black_box(out)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("repeat_query_retrieves", side * side),
+            &side,
+            |b, side| {
+                let mut g = figure2_kernel();
+                store_scene(&mut g, "rectified_tm", 6, *side, jan86());
+                g.query(&query()).expect("derives once");
+                b.iter(|| {
+                    let out = g.query(&query()).expect("hits");
+                    debug_assert_eq!(out.method, QueryMethod::Retrieved);
+                    black_box(out)
+                })
+            },
+        );
+    }
+    // DerivedCache: repeated identical firings answered from the memo vs
+    // executed from scratch. The memoized rerun skips binding validation,
+    // input loading, and template evaluation entirely.
+    for side in [32u32, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("rerun_process_memoized", side * side),
+            &side,
+            |b, side| {
+                let mut g = figure2_kernel();
+                g.enable_memoization(true);
+                let bands = store_scene(&mut g, "rectified_tm", 6, *side, jan86());
+                g.run_process(
+                    "P20_unsupervised_classification",
+                    &[("bands", bands.clone())],
+                )
+                .expect("first derivation populates the cache");
+                b.iter(|| {
+                    black_box(
+                        g.run_process(
+                            "P20_unsupervised_classification",
+                            &[("bands", bands.clone())],
+                        )
+                        .expect("cache hit"),
+                    )
+                });
+                debug_assert!(g.memoization_stats().hits > 0);
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rerun_process_unmemoized", side * side),
+            &side,
+            |b, side| {
+                b.iter_batched(
+                    || {
+                        let mut g = figure2_kernel();
+                        let bands = store_scene(&mut g, "rectified_tm", 6, *side, jan86());
+                        g.run_process(
+                            "P20_unsupervised_classification",
+                            &[("bands", bands.clone())],
+                        )
+                        .expect("first derivation");
+                        (g, bands)
+                    },
+                    |(mut g, bands)| {
+                        black_box(
+                            g.run_process("P20_unsupervised_classification", &[("bands", bands)])
+                                .expect("re-derives"),
+                        )
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
     }
     // Amortization series: total cost of k queries (1 derive + k-1 hits).
     for k in [1usize, 4, 16] {

@@ -16,10 +16,18 @@ use std::hint::black_box;
 
 fn kernel() -> Gaea {
     let mut g = Gaea::in_memory().with_user("q7");
-    g.define_class(ClassSpec::base("raster").attr("data", TypeTag::Image).no_extents())
-        .expect("class");
-    g.define_class(ClassSpec::derived("diffmap").attr("data", TypeTag::Image).no_extents())
-        .expect("class");
+    g.define_class(
+        ClassSpec::base("raster")
+            .attr("data", TypeTag::Image)
+            .no_extents(),
+    )
+    .expect("class");
+    g.define_class(
+        ClassSpec::derived("diffmap")
+            .attr("data", TypeTag::Image)
+            .no_extents(),
+    )
+    .expect("class");
     g.define_process(
         ProcessSpec::new("diff", "diffmap")
             .arg("a", "raster")
@@ -41,7 +49,9 @@ fn kernel() -> Gaea {
 
 fn image(side: u32, seed: u64) -> Image {
     let n = (side * side) as usize;
-    let data: Vec<f64> = (0..n).map(|i| ((i as u64 * 31 + seed) % 251) as f64).collect();
+    let data: Vec<f64> = (0..n)
+        .map(|i| ((i as u64 * 31 + seed) % 251) as f64)
+        .collect();
     Image::from_f64(side, side, data).expect("sized")
 }
 
@@ -81,6 +91,32 @@ fn bench(c: &mut Criterion) {
                     },
                     criterion::BatchSize::SmallInput,
                 )
+            },
+        );
+    }
+    // Memoized re-firing: the DerivedCache answers an identical firing
+    // from its memo — the floor on provenance-preserving deduplication.
+    for side in [8u32, 32, 128] {
+        group.bench_with_input(
+            BenchmarkId::new("task_img_diff_memoized", side * side),
+            &side,
+            |bch, side| {
+                let mut g = kernel();
+                g.enable_memoization(true);
+                let oa = g
+                    .insert_object("raster", vec![("data", Value::image(image(*side, 1)))])
+                    .expect("insert");
+                let ob = g
+                    .insert_object("raster", vec![("data", Value::image(image(*side, 2)))])
+                    .expect("insert");
+                g.run_process("diff", &[("a", vec![oa]), ("b", vec![ob])])
+                    .expect("first firing populates the cache");
+                bch.iter(|| {
+                    black_box(
+                        g.run_process("diff", &[("a", vec![oa]), ("b", vec![ob])])
+                            .expect("cache hit"),
+                    )
+                })
             },
         );
     }

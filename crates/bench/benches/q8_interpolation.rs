@@ -22,7 +22,14 @@ fn bench(c: &mut Criterion) {
     configure(&mut group);
     // Bare interpolation, size sweep.
     for side in [16u32, 64, 128] {
-        let series = ndvi_series(side, side, 2, AbsTime::from_ymd(1988, 1, 1).unwrap(), 0.0, 1);
+        let series = ndvi_series(
+            side,
+            side,
+            2,
+            AbsTime::from_ymd(1988, 1, 1).unwrap(),
+            0.0,
+            1,
+        );
         let (t1, i1) = &series[0];
         let (t2, i2) = &series[1];
         let mid = AbsTime((t1.0 + t2.0) / 2);
@@ -34,7 +41,14 @@ fn bench(c: &mut Criterion) {
     }
     // Bracket search over growing series.
     for months in [12usize, 60, 240] {
-        let series = ndvi_series(16, 16, months, AbsTime::from_ymd(1988, 1, 1).unwrap(), 0.0, 2);
+        let series = ndvi_series(
+            16,
+            16,
+            months,
+            AbsTime::from_ymd(1988, 1, 1).unwrap(),
+            0.0,
+            2,
+        );
         let target = AbsTime((series[months / 2].0 .0 + series[months / 2 + 1].0 .0) / 2);
         group.bench_with_input(
             BenchmarkId::new("series_bracket_search", months),
@@ -47,8 +61,7 @@ fn bench(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut g = figure2_kernel();
-                let series =
-                    ndvi_series(32, 32, 2, AbsTime::from_ymd(1988, 1, 1).unwrap(), 0.0, 3);
+                let series = ndvi_series(32, 32, 2, AbsTime::from_ymd(1988, 1, 1).unwrap(), 0.0, 3);
                 for (t, img) in &series {
                     g.insert_object(
                         "ndvi",
@@ -75,7 +88,14 @@ fn bench(c: &mut Criterion) {
 
     // Accuracy sweep (printed once; recorded in EXPERIMENTS.md).
     let months = 25usize;
-    let dense = ndvi_series(16, 16, months, AbsTime::from_ymd(1988, 1, 1).unwrap(), 0.05, 9);
+    let dense = ndvi_series(
+        16,
+        16,
+        months,
+        AbsTime::from_ymd(1988, 1, 1).unwrap(),
+        0.05,
+        9,
+    );
     println!("\nq8_interpolation accuracy: gap (months) vs mean abs error");
     for gap in [2usize, 4, 6, 12] {
         let mut total_err = 0.0;

@@ -120,10 +120,13 @@ impl Catalog {
 
     /// Class by name.
     pub fn class_by_name(&self, name: &str) -> KernelResult<&ClassDef> {
-        let id = self.class_names.get(name).ok_or_else(|| KernelError::NotFound {
-            kind: "class",
-            name: name.into(),
-        })?;
+        let id = self
+            .class_names
+            .get(name)
+            .ok_or_else(|| KernelError::NotFound {
+                kind: "class",
+                name: name.into(),
+            })?;
         self.class(*id)
     }
 

@@ -53,16 +53,15 @@ pub fn load_object(db: &Database, catalog: &Catalog, oid: ObjectId) -> KernelRes
     })
 }
 
-/// Insert an object of `class` from an attribute map; unknown attribute
-/// names are rejected, missing ones stored as nulls. Reference attributes
-/// (§4.3 extension) are checked to point at live objects of the declared
-/// class.
-pub fn insert_object(
-    db: &mut Database,
-    catalog: &mut Catalog,
+/// Shared write-path validation: unknown attribute names are rejected,
+/// and reference attributes (§4.3 extension) must point at live objects
+/// of the declared class. Returns the full tuple in schema column order,
+/// with missing attributes as nulls.
+fn validated_tuple(
+    catalog: &Catalog,
     class: &ClassDef,
     attrs: &BTreeMap<String, Value>,
-) -> KernelResult<ObjectId> {
+) -> KernelResult<Tuple> {
     let names = class.attr_names();
     for (key, value) in attrs {
         if !names.iter().any(|n| n == key) {
@@ -97,10 +96,39 @@ pub fn insert_object(
         .iter()
         .map(|n| attrs.get(n).cloned().unwrap_or(Value::Null))
         .collect();
-    let oid = db.insert(&class.relation_name(), Tuple::new(values))?;
+    Ok(Tuple::new(values))
+}
+
+/// Insert an object of `class` from an attribute map; unknown attribute
+/// names are rejected, missing ones stored as nulls. Reference attributes
+/// (§4.3 extension) are checked to point at live objects of the declared
+/// class.
+pub fn insert_object(
+    db: &mut Database,
+    catalog: &mut Catalog,
+    class: &ClassDef,
+    attrs: &BTreeMap<String, Value>,
+) -> KernelResult<ObjectId> {
+    let tuple = validated_tuple(catalog, class, attrs)?;
+    let oid = db.insert(&class.relation_name(), tuple)?;
     let obj = ObjectId(oid);
     catalog.object_class.insert(obj, class.id);
     Ok(obj)
+}
+
+/// Overwrite a stored object's tuple from a full attribute map, with the
+/// same unknown-attribute and reference checks as [`insert_object`]. The
+/// object keeps its oid and class; callers own cache invalidation.
+pub fn update_object(
+    db: &mut Database,
+    catalog: &Catalog,
+    class: &ClassDef,
+    oid: ObjectId,
+    attrs: &BTreeMap<String, Value>,
+) -> KernelResult<()> {
+    let tuple = validated_tuple(catalog, class, attrs)?;
+    db.update(&class.relation_name(), oid.0, tuple)?;
+    Ok(())
 }
 
 /// Fire a process on explicit object bindings, recording the task.
@@ -150,9 +178,7 @@ pub fn run_process(
         }
         ProcessKind::NonApplicative { procedure } => Err(KernelError::NotAutoFirable {
             process: def.name.clone(),
-            reason: format!(
-                "non-applicative procedure ({procedure}); record its tasks manually"
-            ),
+            reason: format!("non-applicative procedure ({procedure}); record its tasks manually"),
         }),
     }
 }
@@ -219,10 +245,8 @@ pub(crate) fn load_bindings(
 ) -> KernelResult<BTreeMap<String, Binding>> {
     let mut bound: BTreeMap<String, Binding> = BTreeMap::new();
     for (arg, (name, objs)) in def.args.iter().zip(bindings) {
-        let loaded: KernelResult<Vec<DataObject>> = objs
-            .iter()
-            .map(|o| load_object(db, catalog, *o))
-            .collect();
+        let loaded: KernelResult<Vec<DataObject>> =
+            objs.iter().map(|o| load_object(db, catalog, *o)).collect();
         let loaded = loaded?;
         bound.insert(
             name.clone(),
@@ -421,19 +445,17 @@ fn run_compound(
         let mut child_bindings: Vec<(String, Vec<ObjectId>)> = Vec::new();
         for (arg, src) in child_def.args.iter().zip(&step.inputs) {
             let objs = match src {
-                StepSource::OuterArg(k) => {
-                    match bindings.get(*k) {
-                        Some(b) => b.1.clone(),
-                        None => {
-                            undo_all(db, catalog, &children);
-                            return Err(KernelError::Schema(format!(
-                                "compound {}: step {i} references outer arg {k} of {}",
-                                def.name,
-                                bindings.len()
-                            )));
-                        }
+                StepSource::OuterArg(k) => match bindings.get(*k) {
+                    Some(b) => b.1.clone(),
+                    None => {
+                        undo_all(db, catalog, &children);
+                        return Err(KernelError::Schema(format!(
+                            "compound {}: step {i} references outer arg {k} of {}",
+                            def.name,
+                            bindings.len()
+                        )));
                     }
-                }
+                },
                 StepSource::StepOutput(k) => {
                     if *k >= i {
                         undo_all(db, catalog, &children);

@@ -70,10 +70,8 @@ impl DerivationNet {
             for arg in &def.args {
                 *needs.entry(arg.class).or_insert(0) += arg.min_card;
             }
-            let inputs: Vec<(PlaceId, u64)> = needs
-                .iter()
-                .map(|(c, n)| (place_of[c], *n))
-                .collect();
+            let inputs: Vec<(PlaceId, u64)> =
+                needs.iter().map(|(c, n)| (place_of[c], *n)).collect();
             let outputs = vec![place_of[&def.output]];
             let t = net
                 .add_transition(&def.name, &inputs, &outputs)

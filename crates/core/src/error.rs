@@ -53,7 +53,10 @@ impl fmt::Display for KernelError {
             KernelError::NotFound { kind, name } => write!(f, "no such {kind}: {name}"),
             KernelError::NoSuchId { kind, id } => write!(f, "no {kind} with oid {id}"),
             KernelError::Duplicate { kind, name } => {
-                write!(f, "{kind} already defined: {name} (definitions are never overwritten)")
+                write!(
+                    f,
+                    "{kind} already defined: {name} (definitions are never overwritten)"
+                )
             }
             KernelError::AssertionFailed { process, assertion } => {
                 write!(f, "process {process}: assertion failed: {assertion}")
@@ -71,7 +74,10 @@ impl fmt::Display for KernelError {
                 write!(f, "process {process}: site {site:?} is not available")
             }
             KernelError::NotAutoFirable { process, reason } => {
-                write!(f, "process {process} cannot be fired automatically: {reason}")
+                write!(
+                    f,
+                    "process {process} cannot be fired automatically: {reason}"
+                )
             }
             KernelError::InteractionPending { process, param } => {
                 write!(

@@ -167,7 +167,10 @@ mod tests {
     fn session() -> InteractiveSession {
         InteractiveSession::new(
             interactive_def(),
-            vec![("bands".into(), vec![ObjectId(Oid(10)), ObjectId(Oid(11)), ObjectId(Oid(12))])],
+            vec![(
+                "bands".into(),
+                vec![ObjectId(Oid(10)), ObjectId(Oid(11)), ObjectId(Oid(12))],
+            )],
         )
     }
 

@@ -1,0 +1,258 @@
+//! The derived-result cache: memoized `(process, bindings) → outputs`.
+//!
+//! §2.1.1's motivation — "avoid unnecessary duplication of experiments" —
+//! is served at two levels. The catalog's task records give *logical*
+//! deduplication (scanning every recorded task per firing); this cache
+//! adds a *physical* O(1) memo keyed by a canonical binding hash, so a
+//! repeated [`super::Gaea::run_process`] call returns the recorded task
+//! and outputs without re-validating bindings, re-loading inputs, or
+//! re-evaluating the template.
+//!
+//! Consistency follows the derivation net: when an input object is
+//! mutated (`Gaea::update_object`) or re-derived, every cache entry
+//! reachable from it through input→output edges — the instance-level
+//! projection of the class-level `DerivationNet` — is invalidated
+//! transitively, so no stale derived result is ever served.
+//!
+//! The cache is **off by default**: with it off, every `run_process`
+//! call records a fresh task, which the §4.2 duplicate-detection service
+//! is specifically designed to report. Benchmarks (`q6_memoization`) and
+//! long-running sessions opt in via [`super::Gaea::enable_memoization`].
+
+use crate::ids::{ObjectId, ProcessId, TaskId};
+use std::collections::{BTreeSet, HashMap};
+
+/// Counters describing cache effectiveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to execution.
+    pub misses: u64,
+    /// Entries removed by invalidation propagation.
+    pub invalidations: u64,
+    /// Live entries.
+    pub entries: usize,
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    /// Full canonical key, checked on lookup so hash collisions can
+    /// never alias two different bindings.
+    canonical: String,
+    task: TaskId,
+    inputs: Vec<ObjectId>,
+    outputs: Vec<ObjectId>,
+}
+
+/// Memo table for derivations. See the module docs for semantics.
+#[derive(Debug, Default)]
+pub struct DerivedCache {
+    enabled: bool,
+    entries: HashMap<u64, CacheEntry>,
+    /// Reverse index: input object → keys of entries consuming it.
+    by_input: HashMap<ObjectId, BTreeSet<u64>>,
+    /// Reverse index: output object → keys of entries that produced it
+    /// (a mutated output falsifies the memo that recorded it).
+    by_output: HashMap<ObjectId, BTreeSet<u64>>,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl DerivedCache {
+    /// A fresh, disabled cache.
+    pub fn new() -> DerivedCache {
+        DerivedCache::default()
+    }
+
+    /// Is the cache consulted at all?
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enable or disable. Disabling clears entries and the reverse index
+    /// (counters survive for post-hoc inspection).
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+        if !on {
+            self.entries.clear();
+            self.by_input.clear();
+            self.by_output.clear();
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            invalidations: self.invalidations,
+            entries: self.entries.len(),
+        }
+    }
+
+    /// Canonical form of a firing: process id plus each argument's object
+    /// set in sorted order (`SETOF` arguments are sets — the paper's
+    /// semantics — so binding order must not split the memo), and the
+    /// 64-bit FNV-1a hash the table is keyed by.
+    pub fn canonical_key(pid: ProcessId, bindings: &[(String, Vec<ObjectId>)]) -> (u64, String) {
+        let mut canonical = format!("p{}", pid.raw());
+        for (arg, objs) in bindings {
+            let mut ids: Vec<u64> = objs.iter().map(|o| o.raw()).collect();
+            ids.sort_unstable();
+            canonical.push(';');
+            canonical.push_str(arg);
+            canonical.push('=');
+            for (i, id) in ids.iter().enumerate() {
+                if i > 0 {
+                    canonical.push(',');
+                }
+                canonical.push_str(&id.to_string());
+            }
+        }
+        (fnv1a(canonical.as_bytes()), canonical)
+    }
+
+    /// Look up a memoized firing. Counts a hit or a miss.
+    pub(crate) fn lookup(&mut self, hash: u64, canonical: &str) -> Option<(TaskId, Vec<ObjectId>)> {
+        match self.entries.get(&hash) {
+            Some(e) if e.canonical == canonical => {
+                self.hits += 1;
+                Some((e.task, e.outputs.clone()))
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Record a firing's result.
+    pub(crate) fn insert(
+        &mut self,
+        hash: u64,
+        canonical: String,
+        task: TaskId,
+        inputs: Vec<ObjectId>,
+        outputs: Vec<ObjectId>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        for input in &inputs {
+            self.by_input.entry(*input).or_default().insert(hash);
+        }
+        for output in &outputs {
+            self.by_output.entry(*output).or_default().insert(hash);
+        }
+        self.entries.insert(
+            hash,
+            CacheEntry {
+                canonical,
+                task,
+                inputs,
+                outputs,
+            },
+        );
+    }
+
+    /// Invalidate every entry that consumed *or produced* `oid` (a
+    /// mutated input falsifies derivations downstream of it; a mutated
+    /// output falsifies the memo that recorded it), then propagate along
+    /// the instance-level derivation edges: the outputs of each dropped
+    /// entry are themselves dirty for anything derived from them.
+    /// Returns the number of entries removed.
+    pub(crate) fn invalidate_object(&mut self, oid: ObjectId) -> usize {
+        let mut removed = 0usize;
+        let mut queue: Vec<ObjectId> = vec![oid];
+        let mut seen: BTreeSet<ObjectId> = BTreeSet::new();
+        while let Some(dirty) = queue.pop() {
+            if !seen.insert(dirty) {
+                continue;
+            }
+            let mut keys: BTreeSet<u64> = self.by_input.remove(&dirty).unwrap_or_default();
+            keys.extend(self.by_output.remove(&dirty).unwrap_or_default());
+            for key in keys {
+                let Some(entry) = self.entries.remove(&key) else {
+                    continue;
+                };
+                removed += 1;
+                // Unlink from the other objects' index rows.
+                for input in &entry.inputs {
+                    if let Some(set) = self.by_input.get_mut(input) {
+                        set.remove(&key);
+                        if set.is_empty() {
+                            self.by_input.remove(input);
+                        }
+                    }
+                }
+                for output in &entry.outputs {
+                    if let Some(set) = self.by_output.get_mut(output) {
+                        set.remove(&key);
+                        if set.is_empty() {
+                            self.by_output.remove(output);
+                        }
+                    }
+                }
+                queue.extend(entry.outputs.iter().copied());
+            }
+        }
+        self.invalidations += removed as u64;
+        removed
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gaea_store::Oid;
+
+    fn oid(n: u64) -> ObjectId {
+        ObjectId(Oid(n))
+    }
+
+    #[test]
+    fn canonical_key_is_order_insensitive_within_an_argument() {
+        let pid = ProcessId(Oid(9));
+        let a = DerivedCache::canonical_key(pid, &[("bands".into(), vec![oid(3), oid(1), oid(2)])]);
+        let b = DerivedCache::canonical_key(pid, &[("bands".into(), vec![oid(1), oid(2), oid(3)])]);
+        assert_eq!(a, b);
+        let c = DerivedCache::canonical_key(pid, &[("bands".into(), vec![oid(1), oid(2)])]);
+        assert_ne!(a.1, c.1);
+    }
+
+    #[test]
+    fn invalidation_propagates_through_derivation_chains() {
+        let mut cache = DerivedCache::new();
+        cache.set_enabled(true);
+        // Entry 1: {1,2} → {10}; entry 2: {10} → {20}.
+        let (h1, c1) =
+            DerivedCache::canonical_key(ProcessId(Oid(100)), &[("x".into(), vec![oid(1), oid(2)])]);
+        cache.insert(
+            h1,
+            c1,
+            TaskId(Oid(500)),
+            vec![oid(1), oid(2)],
+            vec![oid(10)],
+        );
+        let (h2, c2) =
+            DerivedCache::canonical_key(ProcessId(Oid(101)), &[("y".into(), vec![oid(10)])]);
+        cache.insert(h2, c2, TaskId(Oid(501)), vec![oid(10)], vec![oid(20)]);
+        assert_eq!(cache.stats().entries, 2);
+        // Touching object 1 kills both entries (2 is downstream via 10).
+        let removed = cache.invalidate_object(oid(1));
+        assert_eq!(removed, 2);
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().invalidations, 2);
+    }
+}

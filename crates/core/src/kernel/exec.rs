@@ -1,0 +1,318 @@
+//! Execution semantics: objects, firings, manual tasks, interaction (§2.1.4, §4.3, §5).
+//!
+//! The object CRUD surface and every way a task enters the history:
+//! automatic firing ([`Gaea::run_process`]), manual recording of
+//! non-applicative procedures, and scientist-driven interactive sessions.
+//! Firing delegates to `derivation::executor` for atomic template
+//! evaluation; this layer adds the [`super::cache::DerivedCache`] memo in
+//! front of it — a repeated firing with identical canonical bindings
+//! returns the recorded task without re-deriving — and keeps the cache
+//! consistent by propagating invalidation through the derivation history
+//! when an object is updated in place ([`Gaea::update_object`]).
+
+use super::cache::DerivedCache;
+use super::Gaea;
+use crate::derivation::executor::{self, TaskRun};
+use crate::error::{KernelError, KernelResult};
+use crate::ids::{ObjectId, TaskId};
+use crate::interact::InteractiveSession;
+use crate::object::DataObject;
+use crate::schema::ProcessKind;
+use crate::task::{Task, TaskKind};
+use crate::template::EvalContext;
+use gaea_adt::Value;
+use std::collections::BTreeMap;
+
+impl Gaea {
+    // ------------------------------------------------------------------
+    // Objects
+    // ------------------------------------------------------------------
+
+    /// Store an object of a class from attribute pairs.
+    pub fn insert_object(
+        &mut self,
+        class: &str,
+        attrs: Vec<(&str, Value)>,
+    ) -> KernelResult<ObjectId> {
+        let def = self.catalog.class_by_name(class)?.clone();
+        let map: BTreeMap<String, Value> =
+            attrs.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        executor::insert_object(&mut self.db, &mut self.catalog, &def, &map)
+    }
+
+    /// Load a stored object.
+    pub fn object(&self, oid: ObjectId) -> KernelResult<DataObject> {
+        executor::load_object(&self.db, &self.catalog, oid)
+    }
+
+    /// All object ids of a class, in storage order.
+    pub fn objects_of(&self, class: &str) -> KernelResult<Vec<ObjectId>> {
+        let def = self.catalog.class_by_name(class)?;
+        Ok(self
+            .db
+            .relation(&def.relation_name())?
+            .iter()
+            .map(|(oid, _)| ObjectId(oid))
+            .collect())
+    }
+
+    /// Number of stored objects of a class.
+    pub fn count_objects(&self, class: &str) -> KernelResult<usize> {
+        let def = self.catalog.class_by_name(class)?;
+        Ok(self.db.relation(&def.relation_name())?.len())
+    }
+
+    /// Overwrite attributes of a stored object in place. Unknown attribute
+    /// names are rejected; reference attributes are checked like inserts.
+    ///
+    /// Mutating an input retroactively falsifies memoized derivations, so
+    /// every [`DerivedCache`] entry reachable from `oid` through the
+    /// derivation history — direct consumers, and transitively everything
+    /// derived from their outputs — is invalidated before the write
+    /// returns.
+    ///
+    /// Scope: only the *memo* is invalidated. Recorded tasks and stored
+    /// derived objects are §2.1.1 history — they faithfully describe the
+    /// derivation that happened — so step-1 retrieval can still return a
+    /// derived object computed from the pre-update value, and
+    /// [`Gaea::reuse_tasks`] can still reuse the recorded task. Making the
+    /// store itself staleness-aware (version counters per object, so
+    /// retrieval and task reuse can detect out-of-date derivations) is a
+    /// ROADMAP item; until then, callers who mutate base data and want
+    /// fresh derivations should query with reuse disabled or re-run the
+    /// process.
+    pub fn update_object(&mut self, oid: ObjectId, attrs: Vec<(&str, Value)>) -> KernelResult<()> {
+        let current = self.object(oid)?;
+        let class = self.catalog.class(current.class)?.clone();
+        let mut merged = current.attrs;
+        for (name, value) in attrs {
+            merged.insert(name.to_string(), value);
+        }
+        executor::update_object(&mut self.db, &self.catalog, &class, oid, &merged)?;
+        if self.cache.enabled() {
+            // Instance-level projection of the derivation net: the object
+            // itself plus everything transitively derived from it, from a
+            // single pass over the task history (one input→outputs
+            // adjacency build, not a catalog rescan per visited object).
+            let mut derived_from: BTreeMap<ObjectId, Vec<ObjectId>> = BTreeMap::new();
+            for task in self.catalog.tasks.values() {
+                for input in task.all_inputs() {
+                    derived_from
+                        .entry(input)
+                        .or_default()
+                        .extend(task.outputs.iter().copied());
+                }
+            }
+            let mut queue = vec![oid];
+            let mut seen = std::collections::BTreeSet::new();
+            while let Some(dirty) = queue.pop() {
+                if !seen.insert(dirty) {
+                    continue;
+                }
+                self.cache.invalidate_object(dirty);
+                if let Some(children) = derived_from.get(&dirty) {
+                    queue.extend(children.iter().copied());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Task execution
+    // ------------------------------------------------------------------
+
+    /// Fire a process by name on explicit bindings.
+    ///
+    /// With memoization enabled ([`Gaea::enable_memoization`]), a firing
+    /// whose canonical bindings match a live cache entry returns the
+    /// recorded task and outputs without re-deriving; otherwise the firing
+    /// executes and (on success) is memoized.
+    pub fn run_process(
+        &mut self,
+        process: &str,
+        bindings: &[(&str, Vec<ObjectId>)],
+    ) -> KernelResult<TaskRun> {
+        let pid = self.catalog.process_by_name(process)?.id;
+        let owned: Vec<(String, Vec<ObjectId>)> = bindings
+            .iter()
+            .map(|(n, o)| (n.to_string(), o.clone()))
+            .collect();
+        let key = if self.cache.enabled() {
+            let (hash, canonical) = DerivedCache::canonical_key(pid, &owned);
+            if let Some((task, outputs)) = self.cache.lookup(hash, &canonical) {
+                return Ok(TaskRun { task, outputs });
+            }
+            Some((hash, canonical))
+        } else {
+            None
+        };
+        let run = executor::run_process(
+            &mut self.db,
+            &mut self.catalog,
+            &self.registry,
+            &self.externals,
+            pid,
+            &owned,
+            &self.user.clone(),
+        )?;
+        if let Some((hash, canonical)) = key {
+            let inputs: Vec<ObjectId> = owned.iter().flat_map(|(_, o)| o.iter().copied()).collect();
+            self.cache
+                .insert(hash, canonical, run.task, inputs, run.outputs.clone());
+        }
+        Ok(run)
+    }
+
+    /// Record a manual task for a non-applicative process (§5 extension):
+    /// the scientist performed the experimental procedure outside the
+    /// system and reports the observed output attributes. The derivation
+    /// relationship enters the history like any other task; reproduction
+    /// reports it as not replayable.
+    pub fn record_manual_task(
+        &mut self,
+        process: &str,
+        bindings: &[(&str, Vec<ObjectId>)],
+        outputs: Vec<(&str, Value)>,
+        notes: &str,
+    ) -> KernelResult<TaskRun> {
+        let def = self.catalog.process_by_name(process)?.clone();
+        let procedure = match &def.kind {
+            ProcessKind::NonApplicative { procedure } => procedure.clone(),
+            _ => {
+                return Err(KernelError::Schema(format!(
+                    "process {process} is not non-applicative; fire it instead of recording it"
+                )))
+            }
+        };
+        let owned: Vec<(String, Vec<ObjectId>)> = bindings
+            .iter()
+            .map(|(n, o)| (n.to_string(), o.clone()))
+            .collect();
+        executor::validate_bindings(&self.catalog, &def, &owned)?;
+        let out_class = self.catalog.class(def.output)?.clone();
+        let attrs: BTreeMap<String, Value> = outputs
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        let obj = executor::insert_object(&mut self.db, &mut self.catalog, &out_class, &attrs)?;
+        let task_id = TaskId(self.db.allocate_oid());
+        let seq = self.catalog.next_task_seq();
+        let mut params = BTreeMap::new();
+        params.insert("notes".to_string(), Value::Text(notes.into()));
+        params.insert("procedure".to_string(), Value::Text(procedure));
+        self.catalog.add_task(Task {
+            id: task_id,
+            process: def.id,
+            process_name: def.name.clone(),
+            inputs: owned.into_iter().collect(),
+            outputs: vec![obj],
+            params,
+            seq,
+            user: self.user.clone(),
+            kind: TaskKind::Manual,
+            children: vec![],
+        });
+        Ok(TaskRun {
+            task: task_id,
+            outputs: vec![obj],
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Interactive sessions (§4.3 extension)
+    // ------------------------------------------------------------------
+
+    /// Open an interactive session for a process with interaction points.
+    /// Bindings are validated now; assertions and mappings run at
+    /// [`Gaea::finish_interactive`], once every answer is in.
+    pub fn begin_interactive(
+        &self,
+        process: &str,
+        bindings: &[(&str, Vec<ObjectId>)],
+    ) -> KernelResult<InteractiveSession> {
+        let def = self.catalog.process_by_name(process)?.clone();
+        if !def.is_interactive() {
+            return Err(KernelError::Schema(format!(
+                "process {process} declares no interactions; fire it directly"
+            )));
+        }
+        let owned: Vec<(String, Vec<ObjectId>)> = bindings
+            .iter()
+            .map(|(n, o)| (n.to_string(), o.clone()))
+            .collect();
+        executor::validate_bindings(&self.catalog, &def, &owned)?;
+        Ok(InteractiveSession::new(def, owned))
+    }
+
+    /// Render the pending interaction point's preview — "some temporary
+    /// result visualized on the screen" — over the session's bindings and
+    /// the answers supplied so far. `None` if the point declares no
+    /// preview or every point is answered.
+    pub fn interaction_preview(&self, session: &InteractiveSession) -> KernelResult<Option<Value>> {
+        let Some(point) = session.pending() else {
+            return Ok(None);
+        };
+        let Some(preview) = &point.preview else {
+            return Ok(None);
+        };
+        let bound =
+            executor::load_bindings(&self.db, &self.catalog, &session.def, &session.bindings)?;
+        let ctx = EvalContext {
+            bindings: &bound,
+            registry: &self.registry,
+            params: &session.supplied,
+        };
+        ctx.eval(preview).map(Some)
+    }
+
+    /// Complete an interactive session: every declared interaction must be
+    /// answered. Assertions are checked and mappings evaluated with the
+    /// answers bound as parameters; the recorded task carries the answers
+    /// in `params`, making the interaction reproducible without the
+    /// scientist.
+    pub fn finish_interactive(&mut self, session: InteractiveSession) -> KernelResult<TaskRun> {
+        if let Some(point) = session.pending() {
+            return Err(KernelError::InteractionPending {
+                process: session.def.name.clone(),
+                param: point.param.clone(),
+            });
+        }
+        executor::run_primitive(
+            &mut self.db,
+            &mut self.catalog,
+            &self.registry,
+            &session.def,
+            &session.bindings,
+            &self.user.clone(),
+            &session.supplied,
+            TaskKind::Interactive,
+        )
+    }
+
+    /// Task record by id.
+    pub fn task(&self, id: TaskId) -> KernelResult<&Task> {
+        self.catalog.task(id)
+    }
+
+    /// Dereference a reference attribute (§4.3 extension): the auto-defined
+    /// retrieval function for `ObjRef` attributes.
+    pub fn deref_attr(&self, obj: ObjectId, attr: &str) -> KernelResult<DataObject> {
+        let o = self.object(obj)?;
+        let class = self.catalog.class(o.class)?;
+        let def = class.attr(attr).ok_or_else(|| {
+            KernelError::Schema(format!("class {} has no attribute {attr:?}", class.name))
+        })?;
+        if !def.is_reference() {
+            return Err(KernelError::Schema(format!(
+                "attribute {attr:?} of class {} is not a reference",
+                class.name
+            )));
+        }
+        let target = o
+            .attr(attr)
+            .and_then(Value::as_objref)
+            .ok_or_else(|| KernelError::NoData(format!("{obj}.{attr} is null")))?;
+        self.object(ObjectId(gaea_store::Oid(target)))
+    }
+}

@@ -1,0 +1,178 @@
+//! The Gaea kernel facade, decomposed into the paper's semantic layers.
+//!
+//! [`Gaea`] owns the store, the catalog, the operator registry and the
+//! derived-result cache, and *delegates* everything else to one of four
+//! layer modules:
+//!
+//! * [`ddl`] — definition-time semantics (§2.1.2–§2.1.4): class, concept
+//!   and process definition with full template validation.
+//! * [`exec`] — execution semantics (§2.1.4, §4.3, §5): object CRUD,
+//!   process firing, manual tasks, interactive sessions, and the
+//!   memoized [`cache::DerivedCache`].
+//! * [`query`] — the §2.1.5 three-step query mechanism: direct retrieval
+//!   → temporal interpolation → planned derivation, staged as
+//!   plan / bind / fire / project.
+//! * [`provenance`] — the §2.1.1/§4.2 history services: lineage trees,
+//!   experiment recording and reproduction, duplicate detection, DOT
+//!   export.
+//!
+//! This file holds only the struct, its constructors/accessors, and
+//! catalog persistence; every behavioural method lives in its layer.
+
+pub mod cache;
+pub mod ddl;
+pub mod exec;
+pub mod provenance;
+pub mod query;
+
+#[cfg(test)]
+mod tests;
+
+pub use cache::{CacheStats, DerivedCache};
+pub use ddl::{ClassSpec, ProcessSpec};
+
+use crate::catalog::Catalog;
+use crate::error::{KernelError, KernelResult};
+use crate::external::{ExternalExecutor, ExternalRegistry};
+use gaea_adt::OperatorRegistry;
+use std::path::Path;
+use std::sync::Arc;
+
+/// The Gaea kernel.
+pub struct Gaea {
+    pub(crate) db: gaea_store::Database,
+    pub(crate) catalog: Catalog,
+    pub(crate) registry: OperatorRegistry,
+    pub(crate) externals: ExternalRegistry,
+    pub(crate) user: String,
+    /// Memoized `(process, bindings) → outputs` results (off by default;
+    /// see [`Gaea::enable_memoization`]).
+    pub(crate) cache: DerivedCache,
+    /// Reuse existing identical tasks instead of re-deriving (§2.1.1:
+    /// "avoid unnecessary duplication of experiments"). On by default;
+    /// benchmarks toggle it to measure the memoization effect.
+    pub reuse_tasks: bool,
+    /// Budget of alternative input bindings tried per process firing.
+    pub binding_budget: usize,
+}
+
+impl Gaea {
+    /// Fresh in-memory kernel with the full operator set (generic builtins
+    /// + the raster analysis operators, including compound `pca`/`spca`).
+    pub fn in_memory() -> Gaea {
+        let mut registry = OperatorRegistry::with_builtins();
+        gaea_raster::register_raster_ops(&mut registry)
+            .expect("raster operator registration is internally consistent");
+        Gaea {
+            db: gaea_store::Database::new(),
+            catalog: Catalog::default(),
+            registry,
+            externals: ExternalRegistry::new(),
+            user: "scientist".into(),
+            cache: DerivedCache::new(),
+            reuse_tasks: true,
+            binding_budget: 32,
+        }
+    }
+
+    /// Register (or replace) an external execution site (§5 extension).
+    /// Sites describe the *current environment*, not the catalog: they are
+    /// not persisted by [`Gaea::save`] and must be re-registered after
+    /// [`Gaea::load`].
+    pub fn register_site(&mut self, name: &str, site: Arc<dyn ExternalExecutor>) {
+        self.externals.register(name, site);
+    }
+
+    /// Remove an external site registration.
+    pub fn unregister_site(&mut self, name: &str) -> bool {
+        self.externals.unregister(name)
+    }
+
+    /// Names of the registered external sites.
+    pub fn sites(&self) -> Vec<&str> {
+        self.externals.names()
+    }
+
+    /// Set the current user (tasks and experiments are attributed).
+    pub fn with_user(mut self, user: &str) -> Gaea {
+        self.user = user.into();
+        self
+    }
+
+    /// Switch the current user in place.
+    pub fn set_user(&mut self, user: &str) {
+        self.user = user.into();
+    }
+
+    /// Current user.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// The operator registry (immutable view).
+    pub fn registry(&self) -> &OperatorRegistry {
+        &self.registry
+    }
+
+    /// The operator registry, mutable — §4.2: "users are allowed to define
+    /// new primitive classes and/or new operators".
+    pub fn registry_mut(&mut self) -> &mut OperatorRegistry {
+        &mut self.registry
+    }
+
+    /// The catalog (read-only).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Turn the derived-result cache on or off. Disabling clears it (a
+    /// re-enabled cache must not serve results recorded while consumers
+    /// could not observe invalidations).
+    pub fn enable_memoization(&mut self, on: bool) {
+        self.cache.set_enabled(on);
+    }
+
+    /// Is the derived-result cache active?
+    pub fn memoization_enabled(&self) -> bool {
+        self.cache.enabled()
+    }
+
+    /// Hit/miss/invalidation counters of the derived-result cache.
+    pub fn memoization_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Save the database and catalog under `dir`.
+    pub fn save(&self, dir: &Path) -> KernelResult<()> {
+        gaea_store::snapshot::save(&self.db, dir)?;
+        let json = serde_json::to_string(&self.catalog)
+            .map_err(|e| KernelError::Store(gaea_store::StoreError::Codec(e.to_string())))?;
+        std::fs::write(dir.join("catalog.json"), json)
+            .map_err(|e| KernelError::Store(gaea_store::StoreError::Io(e.to_string())))?;
+        Ok(())
+    }
+
+    /// Load a kernel saved by [`Gaea::save`].
+    pub fn load(dir: &Path) -> KernelResult<Gaea> {
+        let db = gaea_store::snapshot::load(dir)?;
+        let raw = std::fs::read_to_string(dir.join("catalog.json"))
+            .map_err(|e| KernelError::Store(gaea_store::StoreError::Io(e.to_string())))?;
+        let catalog: Catalog = serde_json::from_str(&raw)
+            .map_err(|e| KernelError::Store(gaea_store::StoreError::Codec(e.to_string())))?;
+        let mut registry = OperatorRegistry::with_builtins();
+        gaea_raster::register_raster_ops(&mut registry)
+            .expect("raster operator registration is internally consistent");
+        Ok(Gaea {
+            db,
+            catalog,
+            registry,
+            // Sites describe the environment, not the catalog: they are
+            // re-registered by the application after a load.
+            externals: ExternalRegistry::new(),
+            user: "scientist".into(),
+            cache: DerivedCache::new(),
+            reuse_tasks: true,
+            binding_budget: 32,
+        })
+    }
+}

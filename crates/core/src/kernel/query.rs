@@ -1,0 +1,622 @@
+//! The three-step query mechanism (§2.1.5), staged as plan → bind → fire → project.
+//!
+//! "Queries are executed through retrieval of existing data, retrieval
+//! plus interpolation, or retrieval plus derivation." Step 1 retrieves
+//! stored objects matching the spatio-temporal predicate; step 2
+//! interpolates between bracketing snapshots when the query pins an
+//! instant; step 3 derives:
+//!
+//! * **plan** — [`Gaea::derivation_plan`] builds the filtered Petri-net
+//!   view of the catalog and backward-chains from the goal class to a
+//!   firing plan;
+//! * **bind** — [`Gaea::binding_candidates`] enumerates admissible input
+//!   selections per argument (co-temporal `SETOF` groups first, exact
+//!   query-instant matches preferred);
+//! * **fire** — [`Gaea::fire_with_chosen_bindings`] walks the bounded
+//!   candidate product, reusing identical prior tasks when
+//!   [`Gaea::reuse_tasks`] allows and skipping derivations the current
+//!   plan already consumed;
+//! * **project** — [`Gaea::project_outcome`] re-retrieves the goal class
+//!   so the answer is served from the store exactly like step 1 would.
+
+use super::Gaea;
+use crate::derivation::executor::{self, TaskRun};
+use crate::derivation::net::DerivationNet;
+use crate::error::{KernelError, KernelResult};
+use crate::ids::{ClassId, ObjectId, ProcessId, TaskId};
+use crate::object::{DataObject, SPATIAL_ATTR, TEMPORAL_ATTR};
+use crate::query::{Query, QueryMethod, QueryOutcome, QueryStrategy, QueryTarget, TimeSel};
+use crate::schema::{ClassDef, ProcessArg, ProcessDef, ProcessKind};
+use crate::task::{Task, TaskKind};
+use crate::template::Template;
+use gaea_adt::{AbsTime, Value};
+use gaea_petri::backward::plan_derivation;
+use gaea_store::Predicate;
+use std::collections::{BTreeMap, BTreeSet};
+
+impl Gaea {
+    // ------------------------------------------------------------------
+    // The three-step query mechanism (§2.1.5)
+    // ------------------------------------------------------------------
+
+    /// Execute a query through retrieval → interpolation → derivation.
+    pub fn query(&mut self, q: &Query) -> KernelResult<QueryOutcome> {
+        let class_names = self.target_classes(q)?;
+        // Step 1: direct retrieval.
+        let hits = self.retrieve(&class_names, q)?;
+        if !hits.is_empty() {
+            return Ok(QueryOutcome {
+                objects: hits,
+                method: QueryMethod::Retrieved,
+                tasks: vec![],
+            });
+        }
+        let steps: &[QueryMethod] = match q.strategy {
+            QueryStrategy::RetrieveOnly => &[],
+            QueryStrategy::PreferInterpolation => {
+                &[QueryMethod::Interpolated, QueryMethod::Derived]
+            }
+            QueryStrategy::PreferDerivation => &[QueryMethod::Derived, QueryMethod::Interpolated],
+        };
+        let mut failures: Vec<String> = Vec::new();
+        for step in steps {
+            let attempt = match step {
+                QueryMethod::Interpolated => self.try_interpolate(&class_names, q),
+                QueryMethod::Derived => self.try_derive(&class_names, q),
+                QueryMethod::Retrieved => unreachable!("retrieval ran first"),
+            };
+            match attempt {
+                Ok(Some(outcome)) => return Ok(outcome),
+                Ok(None) => failures.push(format!("{step:?}: not applicable")),
+                Err(e) => failures.push(format!("{step:?}: {e}")),
+            }
+        }
+        Err(KernelError::NoData(format!(
+            "classes {class_names:?} hold no matching objects; {}",
+            if failures.is_empty() {
+                "strategy forbids computation".to_string()
+            } else {
+                failures.join("; ")
+            }
+        )))
+    }
+
+    fn target_classes(&self, q: &Query) -> KernelResult<Vec<String>> {
+        Ok(match &q.target {
+            QueryTarget::Class(name) => {
+                vec![self.catalog.class_by_name(name)?.name.clone()]
+            }
+            QueryTarget::Concept(name) => self
+                .catalog
+                .concept_member_classes(name)?
+                .iter()
+                .map(|c| c.name.clone())
+                .collect(),
+        })
+    }
+
+    fn retrieval_predicate(&self, class: &ClassDef, q: &Query) -> Predicate {
+        let mut pred = Predicate::True;
+        if let (Some(bbox), true) = (q.spatial, class.has_spatial) {
+            pred = pred.and(Predicate::BoxOverlaps(SPATIAL_ATTR.into(), bbox));
+        }
+        if class.has_temporal {
+            match q.time {
+                Some(TimeSel::At(t)) => {
+                    pred = pred.and(Predicate::Eq(TEMPORAL_ATTR.into(), Value::AbsTime(t)));
+                }
+                Some(TimeSel::In(r)) => {
+                    pred = pred.and(Predicate::TimeIn(TEMPORAL_ATTR.into(), r));
+                }
+                None => {}
+            }
+        }
+        pred
+    }
+
+    fn retrieve(&self, classes: &[String], q: &Query) -> KernelResult<Vec<DataObject>> {
+        let mut out = Vec::new();
+        for name in classes {
+            let def = self.catalog.class_by_name(name)?;
+            let pred = self.retrieval_predicate(def, q);
+            for (oid, _) in self.db.scan(&def.relation_name(), &pred)? {
+                out.push(self.object(ObjectId(oid))?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Step 2: temporal interpolation. Applicable when the query pins an
+    /// instant and a class stores bracketing image snapshots.
+    fn try_interpolate(
+        &mut self,
+        classes: &[String],
+        q: &Query,
+    ) -> KernelResult<Option<QueryOutcome>> {
+        let t = match q.time {
+            Some(TimeSel::At(t)) => t,
+            _ => return Ok(None),
+        };
+        for name in classes {
+            let def = self.catalog.class_by_name(name)?.clone();
+            if !def.has_temporal
+                || def.attr("data").map(|a| a.tag) != Some(gaea_adt::TypeTag::Image)
+            {
+                continue;
+            }
+            // Spatially compatible snapshots with data + timestamps.
+            let spatial_query = Query {
+                time: None,
+                ..q.clone()
+            };
+            let pred = self.retrieval_predicate(&def, &spatial_query);
+            let mut snaps: Vec<DataObject> = Vec::new();
+            for (oid, _) in self.db.scan(&def.relation_name(), &pred)? {
+                let obj = self.object(ObjectId(oid))?;
+                if obj.timestamp().is_some() && obj.attr("data").is_some() {
+                    snaps.push(obj);
+                }
+            }
+            let earlier = snaps
+                .iter()
+                .filter(|o| o.timestamp().expect("filtered") < t)
+                .max_by_key(|o| o.timestamp().expect("filtered"));
+            let later = snaps
+                .iter()
+                .filter(|o| o.timestamp().expect("filtered") > t)
+                .min_by_key(|o| o.timestamp().expect("filtered"));
+            let (earlier, later) = match (earlier, later) {
+                (Some(e), Some(l)) => (e.clone(), l.clone()),
+                _ => continue,
+            };
+            let img = gaea_raster::interp::temporal_interp(
+                earlier
+                    .attr("data")
+                    .expect("filtered")
+                    .as_image()
+                    .ok_or_else(|| {
+                        KernelError::Template("interpolation: data attr is not an image".into())
+                    })?,
+                earlier.timestamp().expect("filtered"),
+                later
+                    .attr("data")
+                    .expect("filtered")
+                    .as_image()
+                    .ok_or_else(|| {
+                        KernelError::Template("interpolation: data attr is not an image".into())
+                    })?,
+                later.timestamp().expect("filtered"),
+                t,
+            )?;
+            // New object: the earlier snapshot's attributes, re-timed.
+            let mut attrs = earlier.attrs.clone();
+            attrs.insert("data".into(), Value::image(img));
+            attrs.insert(TEMPORAL_ATTR.into(), Value::AbsTime(t));
+            let obj = executor::insert_object(&mut self.db, &mut self.catalog, &def, &attrs)?;
+            let pid = self.interpolation_process(&def)?;
+            let task_id = TaskId(self.db.allocate_oid());
+            let seq = self.catalog.next_task_seq();
+            let mut inputs = BTreeMap::new();
+            inputs.insert("earlier".to_string(), vec![earlier.id]);
+            inputs.insert("later".to_string(), vec![later.id]);
+            let mut params = BTreeMap::new();
+            params.insert("at".to_string(), Value::AbsTime(t));
+            self.catalog.add_task(Task {
+                id: task_id,
+                process: pid,
+                process_name: format!("interpolate_{}", def.name),
+                inputs,
+                outputs: vec![obj],
+                params,
+                seq,
+                user: self.user.clone(),
+                kind: TaskKind::Interpolation,
+                children: vec![],
+            });
+            return Ok(Some(QueryOutcome {
+                objects: vec![self.object(obj)?],
+                method: QueryMethod::Interpolated,
+                tasks: vec![task_id],
+            }));
+        }
+        Ok(None)
+    }
+
+    /// The generic interpolation process for a class, lazily registered
+    /// ("it is a generic derivation process which is applicable to many
+    /// data types", §2.1.5).
+    fn interpolation_process(&mut self, class: &ClassDef) -> KernelResult<ProcessId> {
+        let name = format!("interpolate_{}", class.name);
+        if let Ok(p) = self.catalog.process_by_name(&name) {
+            return Ok(p.id);
+        }
+        let id = ProcessId(self.db.allocate_oid());
+        self.catalog.add_process(ProcessDef {
+            id,
+            name,
+            output: class.id,
+            args: vec![
+                ProcessArg::one("earlier", class.id),
+                ProcessArg::one("later", class.id),
+            ],
+            template: Template::default(),
+            kind: ProcessKind::Primitive,
+            interactions: vec![],
+            doc: "built-in linear temporal interpolation (kernel §2.1.5 step 2); \
+                  the target instant is recorded as task parameter `at`"
+                .into(),
+        })?;
+        Ok(id)
+    }
+
+    /// Step 3: derivation — plan over the Petri net, fire the plan,
+    /// project the goal class back through retrieval.
+    fn try_derive(&mut self, classes: &[String], q: &Query) -> KernelResult<Option<QueryOutcome>> {
+        // Plan stage inputs: the net view and the stored-object marking.
+        let dnet = self.plannable_net();
+        let marking = self.planning_marking(&dnet, classes, q)?;
+        let mut all_tasks = Vec::new();
+        for name in classes {
+            let def = self.catalog.class_by_name(name)?.clone();
+            let plan = match self.derivation_plan(&dnet, &marking, &def)? {
+                Some(p) => p,
+                None if classes.len() == 1 => {
+                    return Err(KernelError::DerivationImpossible(format!(
+                        "class {name}: missing base data in {:?}",
+                        self.missing_base_classes(&dnet, &marking, &def)
+                    )))
+                }
+                // Try the next member class of the concept.
+                None => continue,
+            };
+            all_tasks.extend(self.fire_plan(&dnet, &plan, q)?);
+            // Project: step 1 again over the now-extended extension.
+            if let Some(outcome) = self.project_outcome(name, q, &all_tasks)? {
+                return Ok(Some(outcome));
+            }
+            // The derivation ran but extent transfer did not match the
+            // query exactly (e.g. requested instant between snapshots):
+            // fall through so interpolation can take over.
+        }
+        Ok(None)
+    }
+
+    /// Plan stage, part 1: the derivation net restricted to processes the
+    /// kernel can fire without a scientist — plain primitives and external
+    /// processes whose site is currently reachable.
+    fn plannable_net(&self) -> DerivationNet {
+        DerivationNet::build_filtered(&self.catalog, |def| match &def.kind {
+            ProcessKind::Primitive => !def.is_interactive(),
+            ProcessKind::External { site } => self.externals.reachable_site(site).is_some(),
+            ProcessKind::Compound(_) | ProcessKind::NonApplicative { .. } => false,
+        })
+    }
+
+    /// Plan stage, part 2: the marking — spatially compatible stored
+    /// objects per class. For the *target* classes the full query
+    /// predicate applies (an object at the wrong instant does not satisfy
+    /// the goal, so it must not make the planner believe the goal is
+    /// already stored).
+    fn planning_marking(
+        &self,
+        dnet: &DerivationNet,
+        targets: &[String],
+        q: &Query,
+    ) -> KernelResult<gaea_petri::marking::Marking> {
+        let mut counts: BTreeMap<ClassId, u64> = BTreeMap::new();
+        for (cid, def) in &self.catalog.classes {
+            let pred = if targets.contains(&def.name) {
+                self.retrieval_predicate(def, q)
+            } else {
+                match q.spatial {
+                    Some(bbox) if def.has_spatial => {
+                        Predicate::BoxOverlaps(SPATIAL_ATTR.into(), bbox)
+                    }
+                    _ => Predicate::True,
+                }
+            };
+            let n = self.db.scan(&def.relation_name(), &pred)?.len() as u64;
+            counts.insert(*cid, n);
+        }
+        Ok(dnet.marking(&counts))
+    }
+
+    /// Plan stage, part 3: backward-chain from the goal class to a firing
+    /// plan. `None` means the net cannot reach the goal from the marking.
+    fn derivation_plan(
+        &self,
+        dnet: &DerivationNet,
+        marking: &gaea_petri::marking::Marking,
+        goal: &ClassDef,
+    ) -> KernelResult<Option<gaea_petri::backward::DerivationPlan>> {
+        let place = match dnet.place_of.get(&goal.id) {
+            Some(p) => *p,
+            None => return Ok(None),
+        };
+        Ok(plan_derivation(&dnet.net, marking, place, 1).ok())
+    }
+
+    /// Diagnosis for a failed plan: which base classes lack data.
+    fn missing_base_classes(
+        &self,
+        dnet: &DerivationNet,
+        marking: &gaea_petri::marking::Marking,
+        goal: &ClassDef,
+    ) -> Vec<String> {
+        let Some(place) = dnet.place_of.get(&goal.id) else {
+            return vec![goal.name.clone()];
+        };
+        match plan_derivation(&dnet.net, marking, *place, 1) {
+            Ok(_) => vec![],
+            Err(failure) => failure
+                .missing_base
+                .iter()
+                .filter_map(|p| dnet.class_at(*p))
+                .filter_map(|c| self.catalog.class(c).ok().map(|d| d.name.clone()))
+                .collect(),
+        }
+    }
+
+    /// Fire stage: realize every firing of the plan. Each repetition of a
+    /// process must realize a *distinct* derivation (different inputs), so
+    /// the bindings of firings already used by this plan are excluded from
+    /// reuse.
+    fn fire_plan(
+        &mut self,
+        dnet: &DerivationNet,
+        plan: &gaea_petri::backward::DerivationPlan,
+        q: &Query,
+    ) -> KernelResult<Vec<TaskId>> {
+        let mut fired_keys: BTreeSet<String> = BTreeSet::new();
+        let mut tasks = Vec::new();
+        for (tid, times) in &plan.firings {
+            let pid = dnet
+                .process_at(*tid)
+                .expect("planner only uses catalog transitions");
+            for _rep in 0..*times {
+                let run = self.fire_with_chosen_bindings(pid, q, &fired_keys)?;
+                fired_keys.insert(self.catalog.task(run.task)?.dedup_key());
+                tasks.push(run.task);
+            }
+        }
+        Ok(tasks)
+    }
+
+    /// Project stage: serve the derived answer through retrieval, exactly
+    /// like step 1 would, so callers observe store-resident objects.
+    fn project_outcome(
+        &self,
+        class: &str,
+        q: &Query,
+        tasks: &[TaskId],
+    ) -> KernelResult<Option<QueryOutcome>> {
+        let hits = self.retrieve(&[class.to_string()], q)?;
+        if hits.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(QueryOutcome {
+            objects: hits,
+            method: QueryMethod::Derived,
+            tasks: tasks.to_vec(),
+        }))
+    }
+
+    /// Choose input objects for one firing of `pid`.
+    ///
+    /// Bindings whose dedup key is in `exclude` are skipped outright (the
+    /// current plan already consumed that derivation). A binding identical
+    /// to a *prior* (pre-plan) task is reused without re-deriving when
+    /// [`Gaea::reuse_tasks`] is on; otherwise it is skipped so the kernel
+    /// never silently duplicates a derivation.
+    /// Bind stage: enumerate candidate input selections per argument of
+    /// `def`, spatially filtered by the query window and deterministically
+    /// ordered — exact query-instant matches first, then by timestamp,
+    /// then id. `SETOF` arguments get co-temporal groups first (they
+    /// satisfy `common(timestamp)` guards), then a pool prefix.
+    fn binding_candidates(
+        &self,
+        def: &ProcessDef,
+        q: &Query,
+    ) -> KernelResult<Vec<Vec<Vec<ObjectId>>>> {
+        // The instant the query pins, if any: bindings matching it are
+        // preferred so that invariantly transferred timestamps land on the
+        // requested time.
+        let target_time = match q.time {
+            Some(TimeSel::At(t)) => Some(t),
+            _ => None,
+        };
+        // Candidate pools per argument.
+        let mut pools: Vec<Vec<DataObject>> = Vec::with_capacity(def.args.len());
+        for arg in &def.args {
+            let class = self.catalog.class(arg.class)?.clone();
+            let pred = match q.spatial {
+                Some(bbox) if class.has_spatial => {
+                    Predicate::BoxOverlaps(SPATIAL_ATTR.into(), bbox)
+                }
+                _ => Predicate::True,
+            };
+            let mut pool = Vec::new();
+            for (oid, _) in self.db.scan(&class.relation_name(), &pred)? {
+                pool.push(self.object(ObjectId(oid))?);
+            }
+            pool.sort_by_key(|o| {
+                (
+                    target_time.is_some() && o.timestamp() != target_time,
+                    o.timestamp(),
+                    o.id,
+                )
+            });
+            pools.push(pool);
+        }
+        // Candidate selections per argument.
+        let mut candidates: Vec<Vec<Vec<ObjectId>>> = Vec::with_capacity(def.args.len());
+        for (arg, pool) in def.args.iter().zip(&pools) {
+            let mut cands: Vec<Vec<ObjectId>> = Vec::new();
+            if arg.setof {
+                let mut groups: BTreeMap<Option<AbsTime>, Vec<ObjectId>> = BTreeMap::new();
+                for o in pool {
+                    groups.entry(o.timestamp()).or_default().push(o.id);
+                }
+                let mut grouped: Vec<(Option<AbsTime>, Vec<ObjectId>)> =
+                    groups.into_iter().collect();
+                // Exact-time groups lead.
+                grouped.sort_by_key(|(t, _)| (target_time.is_some() && *t != target_time, *t));
+                for (_, group) in &grouped {
+                    if group.len() as u64 >= arg.min_card {
+                        cands.push(group[..arg.min_card as usize].to_vec());
+                    }
+                }
+                if pool.len() as u64 >= arg.min_card {
+                    let prefix: Vec<ObjectId> =
+                        pool[..arg.min_card as usize].iter().map(|o| o.id).collect();
+                    if !cands.contains(&prefix) {
+                        cands.push(prefix);
+                    }
+                }
+            } else {
+                for o in pool {
+                    cands.push(vec![o.id]);
+                }
+            }
+            if cands.is_empty() {
+                return Err(KernelError::DerivationImpossible(format!(
+                    "process {}: no stored objects satisfy argument {:?} (need {} of class {})",
+                    def.name,
+                    arg.name,
+                    arg.min_card,
+                    self.catalog.class(arg.class)?.name
+                )));
+            }
+            candidates.push(cands);
+        }
+        Ok(candidates)
+    }
+
+    /// Fire stage for a single process: walk the bounded candidate
+    /// product, reusing identical prior tasks when [`Gaea::reuse_tasks`]
+    /// allows, skipping derivations in `exclude` (already consumed by the
+    /// current plan), and never silently duplicating a derivation.
+    pub(crate) fn fire_with_chosen_bindings(
+        &mut self,
+        pid: ProcessId,
+        q: &Query,
+        exclude: &BTreeSet<String>,
+    ) -> KernelResult<TaskRun> {
+        let def = self.catalog.process(pid)?.clone();
+        // Bind stage: admissible selections per argument.
+        let candidates = self.binding_candidates(&def, q)?;
+        // Keys of identical prior derivations.
+        let used_keys: BTreeSet<String> = self
+            .catalog
+            .tasks
+            .values()
+            .filter(|t| t.process == pid)
+            .map(|t| t.dedup_key())
+            .collect();
+        // Walk the (bounded) cartesian product.
+        let mut budget = self.binding_budget;
+        let mut indices = vec![0usize; candidates.len()];
+        let mut last_err: Option<KernelError> = None;
+        'combos: loop {
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            let bindings: Vec<(String, Vec<ObjectId>)> = def
+                .args
+                .iter()
+                .zip(&indices)
+                .zip(&candidates)
+                .map(|((arg, idx), cands)| (arg.name.clone(), cands[*idx].clone()))
+                .collect();
+            // Distinct scalar args of the same class should bind distinct
+            // objects (earlier/later must differ).
+            let mut scalar_seen: BTreeSet<ObjectId> = BTreeSet::new();
+            let mut degenerate = false;
+            for (arg, (_, objs)) in def.args.iter().zip(&bindings) {
+                if !arg.setof && !scalar_seen.insert(objs[0]) {
+                    degenerate = true;
+                }
+            }
+            if !degenerate {
+                let key = dedup_key_for(pid, &bindings);
+                if exclude.contains(&key) {
+                    // This derivation was already consumed by the current
+                    // plan; a repetition must find different inputs.
+                } else if used_keys.contains(&key) {
+                    if self.reuse_tasks {
+                        // Memoization: an identical task exists; reuse it.
+                        if let Some(prior) =
+                            self.catalog.tasks.values().find(|t| t.dedup_key() == key)
+                        {
+                            return Ok(TaskRun {
+                                task: prior.id,
+                                outputs: prior.outputs.clone(),
+                            });
+                        }
+                    }
+                    // Avoid repeating a derivation: try the next binding.
+                } else {
+                    let owned: Vec<(String, Vec<ObjectId>)> = bindings;
+                    match executor::run_process(
+                        &mut self.db,
+                        &mut self.catalog,
+                        &self.registry,
+                        &self.externals,
+                        pid,
+                        &owned,
+                        &self.user.clone(),
+                    ) {
+                        Ok(run) => return Ok(run),
+                        Err(e @ KernelError::AssertionFailed { .. }) => {
+                            last_err = Some(e); // guard rejected: next binding
+                        }
+                        Err(other) => return Err(other),
+                    }
+                }
+            }
+            // Advance the product.
+            for i in (0..indices.len()).rev() {
+                indices[i] += 1;
+                if indices[i] < candidates[i].len() {
+                    continue 'combos;
+                }
+                indices[i] = 0;
+                if i == 0 {
+                    break 'combos;
+                }
+            }
+            if indices.iter().all(|i| *i == 0) {
+                break;
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            KernelError::DerivationImpossible(format!(
+                "process {}: no admissible input binding found",
+                def.name
+            ))
+        }))
+    }
+}
+
+fn dedup_key_for(pid: ProcessId, bindings: &[(String, Vec<ObjectId>)]) -> String {
+    // Must agree byte-for-byte with `Task::dedup_key`, which iterates the
+    // recorded inputs in arg-name order with ids sorted (set semantics).
+    let mut by_arg: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+    for (arg, objs) in bindings {
+        let mut ids: Vec<u64> = objs.iter().map(|o| o.raw()).collect();
+        ids.sort_unstable();
+        by_arg.insert(arg.as_str(), ids);
+    }
+    let mut key = format!("p{}", pid.raw());
+    for (arg, ids) in by_arg {
+        key.push_str(&format!(
+            ";{arg}={}",
+            ids.iter()
+                .map(|id| id.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+    }
+    key
+}

@@ -1,0 +1,527 @@
+use super::*;
+use crate::error::KernelError;
+use crate::ids::ObjectId;
+use crate::object::{SPATIAL_ATTR, TEMPORAL_ATTR};
+use crate::query::{Query, QueryMethod, QueryStrategy};
+use crate::task::TaskKind;
+use crate::template::{Expr, Mapping, Template};
+use gaea_adt::{AbsTime, GeoBox, Image, PixType, TimeRange, TypeTag, Value};
+use std::collections::BTreeSet;
+
+fn africa() -> GeoBox {
+    GeoBox::new(-20.0, -35.0, 55.0, 38.0)
+}
+
+fn day(y: i64, m: u32, d: u32) -> AbsTime {
+    AbsTime::from_ymd(y, m, d).unwrap()
+}
+
+/// A kernel with the Figure 3 schema: tm (base) --P20--> landcover.
+fn p20_kernel() -> Gaea {
+    let mut g = Gaea::in_memory();
+    g.define_class(
+        ClassSpec::base("tm")
+            .attr("data", TypeTag::Image)
+            .doc("Rectified Landsat TM"),
+    )
+    .unwrap();
+    g.define_class(
+        ClassSpec::derived("landcover")
+            .attr("data", TypeTag::Image)
+            .attr("numclass", TypeTag::Int4)
+            .doc("Land cover"),
+    )
+    .unwrap();
+    let template = Template {
+        assertions: vec![
+            Expr::eq(
+                Expr::Card(Box::new(Expr::Arg("bands".into()))),
+                Expr::int(3),
+            ),
+            Expr::Common(Box::new(Expr::proj("bands", "spatialextent"))),
+            Expr::Common(Box::new(Expr::proj("bands", "timestamp"))),
+        ],
+        mappings: vec![
+            Mapping {
+                attr: "data".into(),
+                expr: Expr::apply(
+                    "unsuperclassify",
+                    vec![
+                        Expr::apply("composite", vec![Expr::Arg("bands".into())]),
+                        Expr::int(12),
+                    ],
+                ),
+            },
+            Mapping {
+                attr: "numclass".into(),
+                expr: Expr::int(12),
+            },
+            Mapping {
+                attr: SPATIAL_ATTR.into(),
+                expr: Expr::AnyOf(Box::new(Expr::proj("bands", "spatialextent"))),
+            },
+            Mapping {
+                attr: TEMPORAL_ATTR.into(),
+                expr: Expr::AnyOf(Box::new(Expr::proj("bands", "timestamp"))),
+            },
+        ],
+    };
+    g.define_process(
+        ProcessSpec::new("P20", "landcover")
+            .setof_arg("bands", "tm", 3)
+            .template(template)
+            .doc("unsupervised classification (Figure 3)"),
+    )
+    .unwrap();
+    g
+}
+
+fn insert_band(g: &mut Gaea, fill: f64, t: AbsTime) -> ObjectId {
+    g.insert_object(
+        "tm",
+        vec![
+            (
+                "data",
+                Value::image(Image::filled(8, 8, PixType::Float8, fill)),
+            ),
+            (SPATIAL_ATTR, Value::GeoBox(africa())),
+            (TEMPORAL_ATTR, Value::AbsTime(t)),
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn figure3_process_runs_and_records_task() {
+    let mut g = p20_kernel();
+    let t0 = day(1986, 1, 15);
+    let bands: Vec<ObjectId> = (0..3)
+        .map(|i| insert_band(&mut g, 10.0 + i as f64 * 50.0, t0))
+        .collect();
+    let run = g.run_process("P20", &[("bands", bands.clone())]).unwrap();
+    assert_eq!(run.outputs.len(), 1);
+    let out = g.object(run.outputs[0]).unwrap();
+    assert_eq!(out.attr("numclass"), Some(&Value::Int4(12)));
+    assert_eq!(out.spatial_extent(), Some(africa()));
+    assert_eq!(out.timestamp(), Some(t0));
+    let task = g.task(run.task).unwrap();
+    assert_eq!(task.process_name, "P20");
+    assert_eq!(task.inputs["bands"], bands);
+    assert_eq!(task.outputs, run.outputs);
+}
+
+#[test]
+fn assertions_guard_execution() {
+    let mut g = p20_kernel();
+    let t0 = day(1986, 1, 15);
+    let b1 = insert_band(&mut g, 1.0, t0);
+    let b2 = insert_band(&mut g, 2.0, t0);
+    // card(bands) = 3 fails with two bands (binding validation catches
+    // the min_card first).
+    assert!(g.run_process("P20", &[("bands", vec![b1, b2])]).is_err());
+    // Mixed timestamps fail the common(timestamp) guard.
+    let b3 = insert_band(&mut g, 3.0, day(1987, 1, 15));
+    let err = g
+        .run_process("P20", &[("bands", vec![b1, b2, b3])])
+        .unwrap_err();
+    assert!(matches!(err, KernelError::AssertionFailed { .. }), "{err}");
+}
+
+#[test]
+fn query_step1_retrieval() {
+    let mut g = p20_kernel();
+    let t0 = day(1986, 1, 15);
+    for i in 0..3 {
+        insert_band(&mut g, i as f64, t0);
+    }
+    let q = Query::class("tm").over(africa()).at(t0);
+    let out = g.query(&q).unwrap();
+    assert_eq!(out.method, QueryMethod::Retrieved);
+    assert_eq!(out.objects.len(), 3);
+    assert!(out.tasks.is_empty());
+}
+
+#[test]
+fn query_step3_derivation() {
+    // The paper's running example: "the derivation of the land use
+    // classification for January 1986 for Africa [...] translates into
+    // the retrieval of the proper Landsat TM spatio-temporal objects,
+    // followed by the application of the unsupervised classification
+    // process (P20)."
+    let mut g = p20_kernel();
+    let t0 = day(1986, 1, 15);
+    for i in 0..3 {
+        insert_band(&mut g, 10.0 + i as f64 * 40.0, t0);
+    }
+    let q = Query::class("landcover").over(africa()).at(t0);
+    let out = g.query(&q).unwrap();
+    assert_eq!(out.method, QueryMethod::Derived);
+    assert_eq!(out.objects.len(), 1);
+    assert_eq!(out.tasks.len(), 1);
+    assert_eq!(out.objects[0].attr("numclass"), Some(&Value::Int4(12)));
+    // The derived object is now stored: the same query is a retrieval.
+    let again = g.query(&q).unwrap();
+    assert_eq!(again.method, QueryMethod::Retrieved);
+}
+
+#[test]
+fn query_retrieve_only_strategy_fails_without_data() {
+    let mut g = p20_kernel();
+    let q = Query::class("landcover").with_strategy(QueryStrategy::RetrieveOnly);
+    assert!(matches!(g.query(&q), Err(KernelError::NoData(_))));
+}
+
+#[test]
+fn query_derivation_impossible_without_base_data() {
+    let mut g = p20_kernel();
+    let t0 = day(1986, 1, 15);
+    insert_band(&mut g, 1.0, t0); // only one band; P20 needs 3
+    let q = Query::class("landcover").with_strategy(QueryStrategy::PreferDerivation);
+    let err = g.query(&q).unwrap_err();
+    assert!(err.to_string().contains("tm"), "{err}");
+}
+
+#[test]
+fn query_step2_interpolation() {
+    let mut g = p20_kernel();
+    // Two tm snapshots at day 0 and day 10; ask for day 5.
+    let t1 = day(1988, 6, 1);
+    let t2 = AbsTime(t1.0 + 10 * 86_400);
+    let tq = AbsTime(t1.0 + 5 * 86_400);
+    insert_band(&mut g, 0.0, t1);
+    insert_band(&mut g, 10.0, t2);
+    let q = Query::class("tm").over(africa()).at(tq);
+    let out = g.query(&q).unwrap();
+    assert_eq!(out.method, QueryMethod::Interpolated);
+    let img = out.objects[0].attr("data").unwrap().as_image().unwrap();
+    assert_eq!(img.get(0, 0), 5.0);
+    assert_eq!(out.objects[0].timestamp(), Some(tq));
+    // The interpolation was recorded as a task.
+    assert_eq!(out.tasks.len(), 1);
+    let task = g.task(out.tasks[0]).unwrap();
+    assert_eq!(task.kind, TaskKind::Interpolation);
+    assert_eq!(task.params["at"], Value::AbsTime(tq));
+}
+
+#[test]
+fn lineage_tree_and_comparison() {
+    let mut g = p20_kernel();
+    let t0 = day(1986, 1, 15);
+    let bands: Vec<ObjectId> = (0..3)
+        .map(|i| insert_band(&mut g, 10.0 + i as f64 * 50.0, t0))
+        .collect();
+    let run = g.run_process("P20", &[("bands", bands.clone())]).unwrap();
+    let tree = g.lineage(run.outputs[0]).unwrap();
+    assert_eq!(tree.depth(), 2);
+    assert_eq!(tree.size(), 4); // output + 3 bands
+    assert_eq!(tree.via.as_ref().unwrap().1, "P20");
+    assert!(tree.inputs.iter().all(|n| n.via.is_none()));
+    let sig = tree.signature();
+    assert_eq!(sig, "P20(base:tm,base:tm,base:tm)");
+    // A base band's lineage is a leaf.
+    let leaf = g.lineage(bands[0]).unwrap();
+    assert_eq!(leaf.depth(), 1);
+    // Ancestors/descendants.
+    assert_eq!(g.ancestors(run.outputs[0]).unwrap().len(), 3);
+    assert_eq!(g.descendants(bands[0]), run.outputs);
+}
+
+#[test]
+fn memoization_reuses_identical_derivations() {
+    let mut g = p20_kernel();
+    let t0 = day(1986, 1, 15);
+    for i in 0..3 {
+        insert_band(&mut g, 10.0 + i as f64 * 40.0, t0);
+    }
+    let q = Query::class("landcover")
+        .at(t0)
+        .with_strategy(QueryStrategy::PreferDerivation);
+    let first = g.query(&q).unwrap();
+    assert_eq!(first.method, QueryMethod::Derived);
+    let tasks_before = g.catalog().tasks.len();
+    // Delete nothing; ask again — retrieval answers. Force derivation
+    // path by querying a fresh-but-identical binding via run-level API:
+    let no_exclude = BTreeSet::new();
+    let run1 = g
+        .fire_with_chosen_bindings(
+            g.catalog.process_by_name("P20").unwrap().id,
+            &q,
+            &no_exclude,
+        )
+        .unwrap();
+    // Reuse: no new task was created.
+    assert_eq!(g.catalog().tasks.len(), tasks_before);
+    assert_eq!(first.tasks[0], run1.task);
+    // A plan that already consumed this derivation (exclude set) cannot
+    // reuse it and finds no alternative binding.
+    let mut exclude = BTreeSet::new();
+    exclude.insert(g.catalog.task(run1.task).unwrap().dedup_key());
+    let err = g
+        .fire_with_chosen_bindings(g.catalog.process_by_name("P20").unwrap().id, &q, &exclude)
+        .unwrap_err();
+    assert!(matches!(err, KernelError::DerivationImpossible(_)));
+    // With reuse disabled the kernel refuses to duplicate silently —
+    // it looks for a *different* binding and reports there is none.
+    g.reuse_tasks = false;
+    let err = g
+        .fire_with_chosen_bindings(
+            g.catalog.process_by_name("P20").unwrap().id,
+            &q,
+            &no_exclude,
+        )
+        .unwrap_err();
+    assert!(matches!(err, KernelError::DerivationImpossible(_)));
+}
+
+#[test]
+fn duplicate_task_detection() {
+    let mut g = p20_kernel();
+    let t0 = day(1986, 1, 15);
+    let bands: Vec<ObjectId> = (0..3)
+        .map(|i| insert_band(&mut g, 10.0 + i as f64 * 50.0, t0))
+        .collect();
+    g.run_process("P20", &[("bands", bands.clone())]).unwrap();
+    assert!(g.duplicate_tasks().is_empty());
+    g.run_process("P20", &[("bands", bands)]).unwrap();
+    let dups = g.duplicate_tasks();
+    assert_eq!(dups.len(), 1);
+    assert_eq!(dups[0].len(), 2);
+}
+
+#[test]
+fn experiment_reproduction_is_faithful() {
+    let mut g = p20_kernel();
+    let t0 = day(1986, 1, 15);
+    let bands: Vec<ObjectId> = (0..3)
+        .map(|i| insert_band(&mut g, 10.0 + i as f64 * 50.0, t0))
+        .collect();
+    let run = g.run_process("P20", &[("bands", bands)]).unwrap();
+    g.record_experiment("jan86_africa", "land use Jan 1986", vec![run.task])
+        .unwrap();
+    let rep = g.reproduce_experiment("jan86_africa").unwrap();
+    assert!(rep.is_faithful(), "{rep:?}");
+    assert_eq!(rep.tasks_rerun, 1);
+    // Unknown experiment errors.
+    assert!(g.reproduce_experiment("nope").is_err());
+}
+
+#[test]
+fn concept_queries_fan_out_over_members() {
+    let mut g = p20_kernel();
+    g.define_concept(
+        "land_cover_concept",
+        &["landcover"],
+        &[],
+        "land cover classifications however derived",
+    )
+    .unwrap();
+    let t0 = day(1986, 1, 15);
+    for i in 0..3 {
+        insert_band(&mut g, 10.0 + i as f64 * 40.0, t0);
+    }
+    let q = Query::concept("land_cover_concept")
+        .at(t0)
+        .with_strategy(QueryStrategy::PreferDerivation);
+    let out = g.query(&q).unwrap();
+    assert_eq!(out.method, QueryMethod::Derived);
+    assert_eq!(out.objects.len(), 1);
+}
+
+#[test]
+fn definition_validation_errors() {
+    let mut g = p20_kernel();
+    // Unknown output class.
+    assert!(g
+        .define_process(ProcessSpec::new("bad", "nope").arg("x", "tm"))
+        .is_err());
+    // Deriving into a base class.
+    assert!(g
+        .define_process(ProcessSpec::new("bad", "tm").arg("x", "landcover"))
+        .is_err());
+    // Undeclared template argument.
+    let spec = ProcessSpec::new("bad", "landcover")
+        .arg("x", "tm")
+        .template(Template {
+            assertions: vec![],
+            mappings: vec![Mapping {
+                attr: "numclass".into(),
+                expr: Expr::Card(Box::new(Expr::Arg("ghost".into()))),
+            }],
+        });
+    assert!(g.define_process(spec).is_err());
+    // Unknown mapped attribute.
+    let spec = ProcessSpec::new("bad", "landcover")
+        .arg("x", "tm")
+        .template(Template {
+            assertions: vec![],
+            mappings: vec![Mapping {
+                attr: "ghost_attr".into(),
+                expr: Expr::int(1),
+            }],
+        });
+    assert!(g.define_process(spec).is_err());
+    // Duplicate process name.
+    assert!(g
+        .define_process(ProcessSpec::new("P20", "landcover").arg("x", "tm"))
+        .is_err());
+}
+
+#[test]
+fn interactive_definition_validation() {
+    let mut g = p20_kernel();
+    // Template references a parameter no interaction declares.
+    let spec = ProcessSpec::new("bad", "landcover")
+        .arg("x", "tm")
+        .template(Template {
+            assertions: vec![],
+            mappings: vec![Mapping {
+                attr: "numclass".into(),
+                expr: Expr::param("k"),
+            }],
+        });
+    let err = g.define_process(spec).unwrap_err();
+    assert!(err.to_string().contains("undeclared parameter"), "{err}");
+    // Duplicate interaction parameter names.
+    let spec = ProcessSpec::new("bad", "landcover")
+        .arg("x", "tm")
+        .interact("k", "pick k", gaea_adt::TypeTag::Int4)
+        .interact("k", "pick k again", gaea_adt::TypeTag::Int4);
+    let err = g.define_process(spec).unwrap_err();
+    assert!(err.to_string().contains("declared twice"), "{err}");
+    // Preview referencing an undeclared argument.
+    let spec = ProcessSpec::new("bad", "landcover")
+        .arg("x", "tm")
+        .interact_preview(
+            "k",
+            "pick",
+            gaea_adt::TypeTag::Int4,
+            Expr::Arg("ghost".into()),
+        );
+    let err = g.define_process(spec).unwrap_err();
+    assert!(err.to_string().contains("undeclared argument"), "{err}");
+    // Preview using a parameter answered only later.
+    let spec = ProcessSpec::new("bad", "landcover")
+        .arg("x", "tm")
+        .interact_preview(
+            "first",
+            "uses the second answer",
+            gaea_adt::TypeTag::Int4,
+            Expr::param("second"),
+        )
+        .interact("second", "too late", gaea_adt::TypeTag::Int4);
+    let err = g.define_process(spec).unwrap_err();
+    assert!(err.to_string().contains("not answered yet"), "{err}");
+    // A preview may use *earlier* answers.
+    let spec = ProcessSpec::new("ok_chain", "landcover")
+        .arg("x", "tm")
+        .interact("first", "a number", gaea_adt::TypeTag::Int4)
+        .interact_preview(
+            "second",
+            "shown the first answer",
+            gaea_adt::TypeTag::Int4,
+            Expr::param("first"),
+        )
+        .template(Template {
+            assertions: vec![],
+            mappings: vec![Mapping {
+                attr: "numclass".into(),
+                expr: Expr::param("second"),
+            }],
+        });
+    g.define_process(spec).unwrap();
+    // Declared-but-unreferenced interactions are allowed: the answer is
+    // recorded for reproduction even if no mapping consumes it.
+    let spec = ProcessSpec::new("ok_extra", "landcover")
+        .arg("x", "tm")
+        .interact("ack", "confirm visual check", gaea_adt::TypeTag::Bool)
+        .template(Template {
+            assertions: vec![],
+            mappings: vec![Mapping {
+                attr: "numclass".into(),
+                expr: Expr::int(1),
+            }],
+        });
+    g.define_process(spec).unwrap();
+}
+
+#[test]
+fn chained_interactions_preview_earlier_answers() {
+    let mut g = p20_kernel();
+    let spec = ProcessSpec::new("P_chain", "landcover")
+        .arg("x", "tm")
+        .interact("first", "a number", gaea_adt::TypeTag::Int4)
+        .interact_preview(
+            "second",
+            "shown the first answer",
+            gaea_adt::TypeTag::Int4,
+            Expr::param("first"),
+        )
+        .template(Template {
+            assertions: vec![],
+            mappings: vec![Mapping {
+                attr: "numclass".into(),
+                expr: Expr::param("second"),
+            }],
+        });
+    g.define_process(spec).unwrap();
+    let t0 = day(1986, 1, 15);
+    let b = insert_band(&mut g, 1.0, t0);
+    let mut session = g.begin_interactive("P_chain", &[("x", vec![b])]).unwrap();
+    // First point has no preview.
+    assert!(g.interaction_preview(&session).unwrap().is_none());
+    session.supply(Value::Int4(7)).unwrap();
+    // Second point previews the first answer.
+    assert_eq!(
+        g.interaction_preview(&session).unwrap(),
+        Some(Value::Int4(7))
+    );
+    session.supply(Value::Int4(9)).unwrap();
+    let run = g.finish_interactive(session).unwrap();
+    let out = g.object(run.outputs[0]).unwrap();
+    assert_eq!(out.attr("numclass"), Some(&Value::Int4(9)));
+    let task = g.task(run.task).unwrap();
+    assert_eq!(task.params["first"], Value::Int4(7));
+    assert_eq!(task.params["second"], Value::Int4(9));
+}
+
+#[test]
+fn save_load_round_trip() {
+    let mut g = p20_kernel();
+    let t0 = day(1986, 1, 15);
+    let bands: Vec<ObjectId> = (0..3)
+        .map(|i| insert_band(&mut g, 10.0 + i as f64 * 50.0, t0))
+        .collect();
+    let run = g.run_process("P20", &[("bands", bands)]).unwrap();
+    g.record_experiment("e1", "classification", vec![run.task])
+        .unwrap();
+    let dir = std::env::temp_dir().join(format!("gaea-kernel-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    g.save(&dir).unwrap();
+    let loaded = Gaea::load(&dir).unwrap();
+    // Catalog survived.
+    assert!(loaded.catalog().process_by_name("P20").is_ok());
+    assert_eq!(loaded.count_objects("tm").unwrap(), 3);
+    assert_eq!(loaded.count_objects("landcover").unwrap(), 1);
+    // Reproduction still works on the loaded kernel.
+    let rep = loaded.reproduce_experiment("e1").unwrap();
+    assert!(rep.is_faithful());
+    // Lineage survived.
+    let out = loaded.objects_of("landcover").unwrap()[0];
+    assert_eq!(loaded.lineage(out).unwrap().size(), 4);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn time_window_queries() {
+    let mut g = p20_kernel();
+    insert_band(&mut g, 1.0, day(1986, 1, 10));
+    insert_band(&mut g, 2.0, day(1986, 2, 10));
+    insert_band(&mut g, 3.0, day(1987, 1, 10));
+    let jan86 = TimeRange::new(day(1986, 1, 1), day(1986, 1, 31));
+    let q = Query::class("tm").during(jan86);
+    let out = g.query(&q).unwrap();
+    assert_eq!(out.objects.len(), 1);
+    let y86 = TimeRange::new(day(1986, 1, 1), day(1986, 12, 31));
+    let out = g.query(&Query::class("tm").during(y86)).unwrap();
+    assert_eq!(out.objects.len(), 2);
+}

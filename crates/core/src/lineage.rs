@@ -103,7 +103,12 @@ impl DerivationNode {
 
     /// Depth of the tree (a base object has depth 1).
     pub fn depth(&self) -> usize {
-        1 + self.inputs.iter().map(DerivationNode::depth).max().unwrap_or(0)
+        1 + self
+            .inputs
+            .iter()
+            .map(DerivationNode::depth)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -135,7 +140,7 @@ pub fn derivation_tree(
         }),
         Some(task) => {
             let mut inputs = Vec::new();
-            for (_arg, objs) in &task.inputs {
+            for objs in task.inputs.values() {
                 for o in objs {
                     inputs.push(derivation_tree(catalog, *o, max_depth - 1)?);
                 }
@@ -211,10 +216,7 @@ pub fn duplicate_tasks(catalog: &Catalog) -> Vec<Vec<TaskId>> {
     for task in catalog.tasks.values() {
         groups.entry(task.dedup_key()).or_default().push(task.id);
     }
-    groups
-        .into_values()
-        .filter(|g| g.len() >= 2)
-        .collect()
+    groups.into_values().filter(|g| g.len() >= 2).collect()
 }
 
 // Tests live in the kernel integration tests (tests require a full kernel

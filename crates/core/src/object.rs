@@ -90,7 +90,10 @@ mod tests {
             o.spatial_extent().unwrap(),
             GeoBox::new(-20.0, -35.0, 55.0, 38.0)
         );
-        assert_eq!(o.timestamp().unwrap(), AbsTime::from_ymd(1986, 1, 15).unwrap());
+        assert_eq!(
+            o.timestamp().unwrap(),
+            AbsTime::from_ymd(1986, 1, 15).unwrap()
+        );
     }
 
     #[test]

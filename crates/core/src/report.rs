@@ -56,8 +56,7 @@ pub fn lineage_dot(catalog: &Catalog, obj: ObjectId) -> KernelResult<String> {
                 .expect("write to string");
             writeln!(out, "  k{task_id} -> o{obj_id};").expect("write to string");
             for input in &node.inputs {
-                writeln!(out, "  o{} -> k{task_id};", input.object.raw())
-                    .expect("write to string");
+                writeln!(out, "  o{} -> k{task_id};", input.object.raw()).expect("write to string");
                 walk(input, out);
             }
         }
@@ -94,10 +93,13 @@ pub fn compare_experiments(
     b: ExperimentId,
 ) -> KernelResult<ExperimentDiff> {
     let sigs = |id: ExperimentId| -> KernelResult<Vec<String>> {
-        let exp = catalog.experiments.get(&id).ok_or(crate::error::KernelError::NoSuchId {
-            kind: "experiment",
-            id: id.raw(),
-        })?;
+        let exp = catalog
+            .experiments
+            .get(&id)
+            .ok_or(crate::error::KernelError::NoSuchId {
+                kind: "experiment",
+                id: id.raw(),
+            })?;
         let mut out = Vec::new();
         for task_id in &exp.tasks {
             let task = catalog.task(*task_id)?;
@@ -155,10 +157,18 @@ mod tests {
 
     fn kernel_with_history() -> (Gaea, ObjectId, ObjectId) {
         let mut g = Gaea::in_memory().with_user("report");
-        g.define_class(ClassSpec::base("src").attr("data", TypeTag::Image).no_extents())
-            .unwrap();
-        g.define_class(ClassSpec::derived("dst").attr("data", TypeTag::Image).no_extents())
-            .unwrap();
+        g.define_class(
+            ClassSpec::base("src")
+                .attr("data", TypeTag::Image)
+                .no_extents(),
+        )
+        .unwrap();
+        g.define_class(
+            ClassSpec::derived("dst")
+                .attr("data", TypeTag::Image)
+                .no_extents(),
+        )
+        .unwrap();
         for (name, op) in [("by_diff", "img_diff"), ("by_ratio", "img_ratio")] {
             g.define_process(
                 ProcessSpec::new(name, "dst")
@@ -180,13 +190,19 @@ mod tests {
         let a = g
             .insert_object(
                 "src",
-                vec![("data", Value::image(Image::from_f64(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap()))],
+                vec![(
+                    "data",
+                    Value::image(Image::from_f64(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap()),
+                )],
             )
             .unwrap();
         let b = g
             .insert_object(
                 "src",
-                vec![("data", Value::image(Image::from_f64(2, 2, vec![4.0, 3.0, 2.0, 1.0]).unwrap()))],
+                vec![(
+                    "data",
+                    Value::image(Image::from_f64(2, 2, vec![4.0, 3.0, 2.0, 1.0]).unwrap()),
+                )],
             )
             .unwrap();
         (g, a, b)
@@ -248,10 +264,7 @@ mod tests {
         let e1 = g.record_experiment("e1", "diff", vec![r1.task]).unwrap();
         let diff_pid = g.catalog().process_by_name("by_diff").unwrap().id;
         let ratio_pid = g.catalog().process_by_name("by_ratio").unwrap().id;
-        assert_eq!(
-            experiments_using_process(g.catalog(), diff_pid),
-            vec![e1]
-        );
+        assert_eq!(experiments_using_process(g.catalog(), diff_pid), vec![e1]);
         assert!(experiments_using_process(g.catalog(), ratio_pid).is_empty());
     }
 }

@@ -88,7 +88,10 @@ mod tests {
     fn display_matches_paper_style() {
         let a = AttrDef::with_doc("area", TypeTag::Char16, "area name");
         assert_eq!(a.to_string(), "area = char16; // area name");
-        assert_eq!(AttrDef::new("data", TypeTag::Image).to_string(), "data = image");
+        assert_eq!(
+            AttrDef::new("data", TypeTag::Image).to_string(),
+            "data = image"
+        );
     }
 
     #[test]

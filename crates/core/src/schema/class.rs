@@ -51,10 +51,18 @@ impl ClassDef {
     /// Attribute definition by name (extents included).
     pub fn attr(&self, name: &str) -> Option<AttrDef> {
         if name == SPATIAL_ATTR && self.has_spatial {
-            return Some(AttrDef::with_doc(SPATIAL_ATTR, TypeTag::GeoBox, "bounding box"));
+            return Some(AttrDef::with_doc(
+                SPATIAL_ATTR,
+                TypeTag::GeoBox,
+                "bounding box",
+            ));
         }
         if name == TEMPORAL_ATTR && self.has_temporal {
-            return Some(AttrDef::with_doc(TEMPORAL_ATTR, TypeTag::AbsTime, "absolute time"));
+            return Some(AttrDef::with_doc(
+                TEMPORAL_ATTR,
+                TypeTag::AbsTime,
+                "absolute time",
+            ));
         }
         self.attrs.iter().find(|a| a.name == name).cloned()
     }

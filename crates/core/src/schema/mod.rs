@@ -8,4 +8,6 @@ pub mod process;
 pub use attr::AttrDef;
 pub use class::{ClassDef, ClassKind};
 pub use concept::Concept;
-pub use process::{CompoundStep, InteractionPoint, ProcessArg, ProcessDef, ProcessKind, StepSource};
+pub use process::{
+    CompoundStep, InteractionPoint, ProcessArg, ProcessDef, ProcessKind, StepSource,
+};

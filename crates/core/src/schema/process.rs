@@ -366,7 +366,9 @@ mod tests {
             output: ClassId(Oid(30)),
             args: vec![ProcessArg::one("x", ClassId(Oid(1)))],
             template: Template::default(),
-            kind: ProcessKind::External { site: "eros".into() },
+            kind: ProcessKind::External {
+                site: "eros".into(),
+            },
             interactions: vec![],
             doc: String::new(),
         };
@@ -384,7 +386,9 @@ mod tests {
         };
         assert!(manual.is_non_applicative());
         assert_eq!(manual.site(), None);
-        assert!(manual.to_string().contains("NONAPPLICATIVE \"field survey\""));
+        assert!(manual
+            .to_string()
+            .contains("NONAPPLICATIVE \"field survey\""));
         // Interactive process: points render with type, preview, prompt.
         let interactive = ProcessDef {
             kind: ProcessKind::Primitive,
@@ -401,7 +405,10 @@ mod tests {
         assert!(interactive.interaction("signatures").is_some());
         assert!(interactive.interaction("nope").is_none());
         let s = interactive.to_string();
-        assert!(s.contains("PARAM signatures : matrix PREVIEW x; // digitize sites"), "{s}");
+        assert!(
+            s.contains("PARAM signatures : matrix PREVIEW x; // digitize sites"),
+            "{s}"
+        );
     }
 
     #[test]

@@ -86,10 +86,15 @@ impl Task {
         use std::hash::{Hash, Hasher};
         let mut key = format!("p{}", self.process.raw());
         for (arg, objs) in &self.inputs {
+            // `SETOF` bindings are sets, so the key sorts ids — the same
+            // canonical form `DerivedCache::canonical_key` uses, keeping
+            // every dedup layer's notion of derivation identity aligned.
+            let mut ids: Vec<u64> = objs.iter().map(|o| o.raw()).collect();
+            ids.sort_unstable();
             key.push_str(&format!(
                 ";{arg}={}",
-                objs.iter()
-                    .map(|o| o.raw().to_string())
+                ids.iter()
+                    .map(|id| id.to_string())
                     .collect::<Vec<_>>()
                     .join(",")
             ));

@@ -242,17 +242,14 @@ pub struct EvalContext<'a> {
 
 impl EvalContext<'_> {
     fn binding(&self, name: &str) -> KernelResult<&Binding> {
-        self.bindings.get(name).ok_or_else(|| {
-            KernelError::Template(format!("unbound argument {name:?} in template"))
-        })
+        self.bindings
+            .get(name)
+            .ok_or_else(|| KernelError::Template(format!("unbound argument {name:?} in template")))
     }
 
     fn project(&self, obj: &DataObject, attr: &str) -> KernelResult<Value> {
         obj.attr(attr).cloned().ok_or_else(|| {
-            KernelError::Template(format!(
-                "object {} has no attribute {attr:?}",
-                obj.id
-            ))
+            KernelError::Template(format!("object {} has no attribute {attr:?}", obj.id))
         })
     }
 
@@ -283,9 +280,10 @@ impl EvalContext<'_> {
             Expr::AnyOf(e) => {
                 let v = self.eval(e)?;
                 match v {
-                    Value::Set(items) => items.into_iter().next().ok_or_else(|| {
-                        KernelError::Template("ANYOF over an empty set".into())
-                    })?,
+                    Value::Set(items) => items
+                        .into_iter()
+                        .next()
+                        .ok_or_else(|| KernelError::Template("ANYOF over an empty set".into()))?,
                     other => other, // ANYOF of a scalar is the scalar
                 }
             }
@@ -378,7 +376,10 @@ fn eval_common(set: &[Value]) -> KernelResult<bool> {
         return Ok(true);
     }
     if set.iter().all(|v| v.as_geobox().is_some()) {
-        let boxes: Vec<GeoBox> = set.iter().map(|v| v.as_geobox().expect("checked")).collect();
+        let boxes: Vec<GeoBox> = set
+            .iter()
+            .map(|v| v.as_geobox().expect("checked"))
+            .collect();
         return Ok(GeoBox::common(&boxes));
     }
     if set.iter().all(|v| v.as_abstime().is_some()) {
@@ -389,12 +390,7 @@ fn eval_common(set: &[Value]) -> KernelResult<bool> {
     ))
 }
 
-fn num_cmp(
-    l: &Value,
-    r: &Value,
-    le: &Expr,
-    re: &Expr,
-) -> KernelResult<std::cmp::Ordering> {
+fn num_cmp(l: &Value, r: &Value, le: &Expr, re: &Expr) -> KernelResult<std::cmp::Ordering> {
     match (l.as_f64(), r.as_f64()) {
         (Some(a), Some(b)) => Ok(a.total_cmp(&b)),
         _ => Err(KernelError::Template(format!(
@@ -425,9 +421,7 @@ mod tests {
         }
     }
 
-    fn ctx_with_bands(
-        bands: Vec<DataObject>,
-    ) -> (BTreeMap<String, Binding>, OperatorRegistry) {
+    fn ctx_with_bands(bands: Vec<DataObject>) -> (BTreeMap<String, Binding>, OperatorRegistry) {
         let mut bindings = BTreeMap::new();
         bindings.insert("bands".to_string(), Binding::Many(bands));
         let mut reg = OperatorRegistry::with_builtins();
@@ -438,7 +432,10 @@ mod tests {
     fn figure3_template() -> Template {
         Template {
             assertions: vec![
-                Expr::eq(Expr::Card(Box::new(Expr::Arg("bands".into()))), Expr::int(3)),
+                Expr::eq(
+                    Expr::Card(Box::new(Expr::Arg("bands".into()))),
+                    Expr::int(3),
+                ),
                 Expr::Common(Box::new(Expr::proj("bands", "spatialextent"))),
                 Expr::Common(Box::new(Expr::proj("bands", "timestamp"))),
             ],
@@ -582,12 +579,7 @@ mod tests {
 
     #[test]
     fn unbound_argument_and_missing_attr() {
-        let (bindings, reg) = ctx_with_bands(vec![band(
-            1,
-            1.0,
-            africa(),
-            AbsTime(0),
-        )]);
+        let (bindings, reg) = ctx_with_bands(vec![band(1, 1.0, africa(), AbsTime(0))]);
         let ctx = EvalContext {
             bindings: &bindings,
             registry: &reg,

@@ -117,47 +117,80 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             }
             ' ' | '\t' | '\r' => i += 1,
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                });
                 i += 1;
             }
             '{' => {
-                tokens.push(Token { kind: TokenKind::LBrace, line });
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    line,
+                });
                 i += 1;
             }
             '}' => {
-                tokens.push(Token { kind: TokenKind::RBrace, line });
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    line,
+                });
                 i += 1;
             }
             ':' => {
-                tokens.push(Token { kind: TokenKind::Colon, line });
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    line,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semi, line });
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, line });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Dot, line });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    line,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Eq, line });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    line,
+                });
                 i += 1;
             }
             '<' => {
-                tokens.push(Token { kind: TokenKind::Lt, line });
+                tokens.push(Token {
+                    kind: TokenKind::Lt,
+                    line,
+                });
                 i += 1;
             }
             '>' => {
-                tokens.push(Token { kind: TokenKind::Gt, line });
+                tokens.push(Token {
+                    kind: TokenKind::Gt,
+                    line,
+                });
                 i += 1;
             }
             '/' if i + 1 < chars.len() && chars[i + 1] == '/' => {
@@ -192,7 +225,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     s.push(chars[i]);
                     i += 1;
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), line });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                });
             }
             c if c.is_ascii_digit()
                 || (c == '-' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit()) =>

@@ -7,11 +7,11 @@
 //! induces the Petri-net threshold of 3.
 
 use crate::ast::{ClassItem, ConceptItem, Item, ProcessItem, Program};
+use gaea_adt::TypeTag;
 use gaea_core::kernel::{ClassSpec, Gaea, ProcessSpec};
 use gaea_core::schema::ClassKind;
 use gaea_core::template::{CmpOp, Expr, Mapping, Template};
 use gaea_core::{ClassId, ConceptId, KernelError, KernelResult, ProcessId};
-use gaea_adt::TypeTag;
 
 /// Everything a lowering registered.
 #[derive(Debug, Default)]
@@ -122,13 +122,7 @@ fn lower_process(gaea: &mut Gaea, item: &ProcessItem) -> KernelResult<ProcessId>
             .iter()
             .map(|a| (a.name.clone(), a.class.clone(), a.setof, 1))
             .collect();
-        return gaea.define_nonapplicative_process(
-            &item.name,
-            &item.output,
-            &args,
-            procedure,
-            "",
-        );
+        return gaea.define_nonapplicative_process(&item.name, &item.output, &args, procedure, "");
     }
     let mut spec = ProcessSpec::new(&item.name, &item.output);
     for arg in &item.args {
@@ -299,13 +293,11 @@ DEFINE PROCESS p (
 
     #[test]
     fn min_card_variants() {
-        let assertions = vec![
-            Expr::Cmp {
-                op: CmpOp::Gt,
-                lhs: Box::new(Expr::Card(Box::new(Expr::Arg("xs".into())))),
-                rhs: Box::new(Expr::int(2)),
-            },
-        ];
+        let assertions = vec![Expr::Cmp {
+            op: CmpOp::Gt,
+            lhs: Box::new(Expr::Card(Box::new(Expr::Arg("xs".into())))),
+            rhs: Box::new(Expr::int(2)),
+        }];
         assert_eq!(min_card_of("xs", &assertions), 3); // > 2 means at least 3
         assert_eq!(min_card_of("ys", &assertions), 1); // unconstrained
     }

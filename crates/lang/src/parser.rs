@@ -2,8 +2,8 @@
 
 use crate::ast::{ArgItem, ClassItem, ConceptItem, Item, ProcessItem, Program};
 use crate::lex::{lex, LexError, Token, TokenKind};
-use gaea_core::template::{CmpOp, Expr};
 use gaea_adt::Value;
+use gaea_core::template::{CmpOp, Expr};
 use std::fmt;
 
 /// Parse error with line information.
@@ -171,10 +171,8 @@ impl Parser {
                         self.skip_comments();
                         match self.peek_kind() {
                             TokenKind::Ident(s)
-                                if [
-                                    "SPATIAL", "TEMPORAL", "DERIVED", "ATTRIBUTES",
-                                ]
-                                .contains(&s.as_str()) =>
+                                if ["SPATIAL", "TEMPORAL", "DERIVED", "ATTRIBUTES"]
+                                    .contains(&s.as_str()) =>
                             {
                                 break
                             }
@@ -442,7 +440,9 @@ impl Parser {
                             self.bump();
                             item.doc = s;
                         }
-                        other => return self.err(format!("expected string after DOC:, found {other}")),
+                        other => {
+                            return self.err(format!("expected string after DOC:, found {other}"))
+                        }
                     }
                     self.expect_kind(&TokenKind::Semi)?;
                 }
@@ -525,12 +525,12 @@ impl Parser {
                         }
                         // card/common are builtins of the template language.
                         match id.as_str() {
-                            "card" if args.len() == 1 => {
-                                Ok(Expr::Card(Box::new(args.into_iter().next().expect("len 1"))))
-                            }
-                            "common" if args.len() == 1 => {
-                                Ok(Expr::Common(Box::new(args.into_iter().next().expect("len 1"))))
-                            }
+                            "card" if args.len() == 1 => Ok(Expr::Card(Box::new(
+                                args.into_iter().next().expect("len 1"),
+                            ))),
+                            "common" if args.len() == 1 => Ok(Expr::Common(Box::new(
+                                args.into_iter().next().expect("len 1"),
+                            ))),
                             _ => Ok(Expr::Apply { op: id, args }),
                         }
                     }
@@ -602,7 +602,10 @@ DEFINE PROCESS P20 (
         assert_eq!(c.name, "landcover");
         assert_eq!(c.doc, "Land cover");
         assert_eq!(c.attrs.len(), 4);
-        assert_eq!(c.attrs[0], ("area".into(), "char16".into(), "area name".into()));
+        assert_eq!(
+            c.attrs[0],
+            ("area".into(), "char16".into(), "area name".into())
+        );
         assert!(c.spatial && c.temporal);
         assert_eq!(c.derived_by, vec!["unsupervised-classification"]);
     }

@@ -27,7 +27,9 @@ pub fn dead_transitions(net: &PetriNet, initial: &Marking) -> Vec<TransitionId> 
         .unwrap_or(1);
     let sat = saturate(net, initial, cap);
     let fired: BTreeSet<usize> = sat.fired.iter().map(|t| t.0).collect();
-    net.transition_ids().filter(|t| !fired.contains(&t.0)).collect()
+    net.transition_ids()
+        .filter(|t| !fired.contains(&t.0))
+        .collect()
 }
 
 /// Derived (non-base) places that no reachable firing can populate.

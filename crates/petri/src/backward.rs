@@ -93,8 +93,7 @@ struct Layers {
 
 fn layered_saturation(net: &PetriNet, available: &Marking) -> Layers {
     let mut achievable = available.clone();
-    let mut capacity: HashMap<usize, u64> =
-        net.transition_ids().map(|t| (t.0, 0u64)).collect();
+    let mut capacity: HashMap<usize, u64> = net.transition_ids().map(|t| (t.0, 0u64)).collect();
     let mut round_of: HashMap<usize, usize> = HashMap::new();
     let mut round = 0usize;
     loop {
@@ -167,7 +166,13 @@ pub fn plan_derivation_multi(
         .map(|(p, _)| *p)
         .collect();
     if !unreachable.is_empty() {
-        return Err(diagnose_failure(net, available, &layers, &unreachable, goals));
+        return Err(diagnose_failure(
+            net,
+            available,
+            &layers,
+            &unreachable,
+            goals,
+        ));
     }
 
     // Backward need distribution (iterative fixpoint; monotone, bounded by
@@ -329,9 +334,13 @@ mod tests {
         let change = net.add_place("change");
         let ndvi = net.add_place("ndvi");
         let p20 = net.add_transition("P20", &[(tm, 3)], &[lc]).unwrap();
-        let pch = net.add_transition("P_change", &[(lc, 2)], &[change]).unwrap();
+        let pch = net
+            .add_transition("P_change", &[(lc, 2)], &[change])
+            .unwrap();
         let pnd = net.add_transition("P_ndvi", &[(tm, 2)], &[ndvi]).unwrap();
-        let p5 = net.add_transition("P5_interp", &[(ndvi, 2)], &[ndvi]).unwrap();
+        let p5 = net
+            .add_transition("P5_interp", &[(ndvi, 2)], &[ndvi])
+            .unwrap();
         (net, [tm, lc, change, ndvi], [p20, pch, pnd, p5])
     }
 
@@ -476,8 +485,7 @@ mod tests {
     fn multi_goal_plans_share_subderivations() {
         let (net, [tm, lc, change, ndvi], [p20, pch, pnd, _]) = figure_net();
         let avail = Marking::from_counts(&net, &[(tm, 6)]);
-        let plan =
-            plan_derivation_multi(&net, &avail, &[(change, 1), (ndvi, 1), (lc, 2)]).unwrap();
+        let plan = plan_derivation_multi(&net, &avail, &[(change, 1), (ndvi, 1), (lc, 2)]).unwrap();
         // P20 fired exactly twice (shared between the change goal and the
         // explicit lc goal), not four times.
         let p20_times = plan

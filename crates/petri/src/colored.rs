@@ -161,14 +161,15 @@ impl<T: Clone> ColoredNet<T> {
     /// Fire `t` with the first satisfying binding; `produce` computes the
     /// new token from the bound inputs (e.g. intersect extents). Inputs are
     /// preserved; the produced token lands in every output place.
-    pub fn fire(
-        &mut self,
-        t: TransitionId,
-        produce: impl Fn(&[&T]) -> T,
-    ) -> PetriResult<Binding> {
-        let binding = self
-            .find_binding(t)?
-            .ok_or_else(|| PetriError::NotEnabled(self.net.transition(t).map(|tr| tr.name.clone()).unwrap_or_default()))?;
+    pub fn fire(&mut self, t: TransitionId, produce: impl Fn(&[&T]) -> T) -> PetriResult<Binding> {
+        let binding = self.find_binding(t)?.ok_or_else(|| {
+            PetriError::NotEnabled(
+                self.net
+                    .transition(t)
+                    .map(|tr| tr.name.clone())
+                    .unwrap_or_default(),
+            )
+        })?;
         let tr = self.net.transition(t)?.clone();
         let mut flat: Vec<&T> = Vec::new();
         for (i, arc) in tr.inputs.iter().enumerate() {
@@ -209,7 +210,9 @@ mod tests {
         let mut net = PetriNet::new();
         let scenes = net.add_base_place("scenes");
         let change = net.add_place("change");
-        let t = net.add_transition("P_change", &[(scenes, 2)], &[change]).unwrap();
+        let t = net
+            .add_transition("P_change", &[(scenes, 2)], &[change])
+            .unwrap();
         (net, scenes, change, t)
     }
 
@@ -228,7 +231,10 @@ mod tests {
         let binding = cn.find_binding(t).unwrap().unwrap();
         // The found pair must actually overlap: (1,3) or (2,3).
         let pair = &binding.chosen[0];
-        assert!(pair.contains(&2), "the bridging scene participates: {pair:?}");
+        assert!(
+            pair.contains(&2),
+            "the bridging scene participates: {pair:?}"
+        );
     }
 
     #[test]
@@ -240,7 +246,10 @@ mod tests {
         cn.put(scenes, (2, (5.0, 15.0))).unwrap();
         cn.fire(t, |toks| {
             // Intersection of extents, fresh id.
-            let lo = toks.iter().map(|t| t.1 .0).fold(f64::NEG_INFINITY, f64::max);
+            let lo = toks
+                .iter()
+                .map(|t| t.1 .0)
+                .fold(f64::NEG_INFINITY, f64::max);
             let hi = toks.iter().map(|t| t.1 .1).fold(f64::INFINITY, f64::min);
             (100, (lo, hi))
         })
@@ -264,7 +273,9 @@ mod tests {
         let mut cn: ColoredNet<Tok> = ColoredNet::new(net);
         cn.put(scenes, (1, (0.0, 1.0))).unwrap();
         cn.put(scenes, (2, (100.0, 101.0))).unwrap(); // disjoint, no guard
-        let b = cn.fire(t, |toks| (toks[0].0 * 10 + toks[1].0, (0.0, 0.0))).unwrap();
+        let b = cn
+            .fire(t, |toks| (toks[0].0 * 10 + toks[1].0, (0.0, 0.0)))
+            .unwrap();
         assert_eq!(b.chosen, vec![vec![0, 1]]);
         assert_eq!(cn.tokens_at(change)[0].0, 12);
     }

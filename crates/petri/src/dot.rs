@@ -83,7 +83,9 @@ mod tests {
         let (net, ..) = p20_net();
         let dot = to_dot(&net, None);
         assert!(dot.starts_with("digraph derivation {"));
-        assert!(dot.contains("p0 [label=\"rectified_tm\", shape=ellipse, style=filled, fillcolor=lightgray];"));
+        assert!(dot.contains(
+            "p0 [label=\"rectified_tm\", shape=ellipse, style=filled, fillcolor=lightgray];"
+        ));
         assert!(dot.contains("p1 [label=\"land_cover\", shape=ellipse];"));
         assert!(dot.contains("t0 [label=\"P20\", shape=box];"));
         assert!(dot.contains("p0 -> t0 [label=\"≥3\"];"));
@@ -98,7 +100,10 @@ mod tests {
         let dot = to_dot(&net, Some(&m));
         assert!(dot.contains("rectified_tm (3)"));
         assert!(dot.contains("land_cover (1)"));
-        assert!(dot.contains("palegreen"), "marked derived places highlighted");
+        assert!(
+            dot.contains("palegreen"),
+            "marked derived places highlighted"
+        );
     }
 
     #[test]

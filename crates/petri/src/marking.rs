@@ -56,10 +56,7 @@ impl Marking {
 
     /// True if every place of `other` is covered (`self ≥ other` pointwise).
     pub fn dominates(&self, other: &Marking) -> bool {
-        self.counts
-            .iter()
-            .zip(&other.counts)
-            .all(|(a, b)| a >= b)
+        self.counts.iter().zip(&other.counts).all(|(a, b)| a >= b)
     }
 
     /// Places currently holding tokens.

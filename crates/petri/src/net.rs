@@ -161,7 +161,12 @@ impl PetriNet {
     /// Transitions with `place` among their inputs.
     pub fn consumers_of(&self, place: PlaceId) -> Vec<TransitionId> {
         self.transition_ids()
-            .filter(|t| self.transitions[t.0].inputs.iter().any(|a| a.place == place))
+            .filter(|t| {
+                self.transitions[t.0]
+                    .inputs
+                    .iter()
+                    .any(|a| a.place == place)
+            })
             .collect()
     }
 
@@ -181,7 +186,12 @@ impl PetriNet {
 
 impl fmt::Display for PetriNet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "petri net: {} places, {} transitions", self.places.len(), self.transitions.len())?;
+        writeln!(
+            f,
+            "petri net: {} places, {} transitions",
+            self.places.len(),
+            self.transitions.len()
+        )?;
         for t in &self.transitions {
             write!(f, "  {}: ", t.name)?;
             for (i, arc) in t.inputs.iter().enumerate() {
@@ -216,9 +226,7 @@ mod tests {
         let tm = net.add_base_place("rectified_tm");
         let lc = net.add_place("land_cover");
         // card(bands) = 3: threshold 3 on the TM place.
-        let p20 = net
-            .add_transition("P20", &[(tm, 3)], &[lc])
-            .unwrap();
+        let p20 = net.add_transition("P20", &[(tm, 3)], &[lc]).unwrap();
         (net, tm, lc, p20)
     }
 

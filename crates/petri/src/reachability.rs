@@ -253,7 +253,8 @@ mod tests {
         let both = net.add_place("both");
         net.add_transition("tx", &[(base, 1)], &[x]).unwrap();
         net.add_transition("ty", &[(base, 1)], &[y]).unwrap();
-        net.add_transition("tb", &[(x, 1), (y, 1)], &[both]).unwrap();
+        net.add_transition("tb", &[(x, 1), (y, 1)], &[both])
+            .unwrap();
         let init = Marking::from_counts(&net, &[(base, 1)]);
         let want = Marking::from_counts(&net, &[(both, 1)]);
         // One base token: classic semantics must choose tx OR ty.

@@ -15,13 +15,17 @@ pub fn img_diff(later: &Image, earlier: &Image) -> AdtResult<Image> {
 /// Ratioing change detection: `later / earlier` (zero denominators map to
 /// 1.0 = "no change", the conventional GIS treatment).
 pub fn img_ratio(later: &Image, earlier: &Image) -> AdtResult<Image> {
-    later.zip_map(earlier, PixType::Float8, |a, b| {
-        if b == 0.0 {
-            1.0
-        } else {
-            a / b
-        }
-    })
+    later.zip_map(
+        earlier,
+        PixType::Float8,
+        |a, b| {
+            if b == 0.0 {
+                1.0
+            } else {
+                a / b
+            }
+        },
+    )
 }
 
 /// Summary of a change image: fraction of pixels beyond a magnitude
@@ -51,7 +55,7 @@ pub fn change_summary(change: &Image, neutral: f64, threshold: f64) -> ChangeSum
         max = max.max(v);
     }
     ChangeSummary {
-        changed_fraction: if change.len() == 0 {
+        changed_fraction: if change.is_empty() {
             0.0
         } else {
             changed as f64 / change.len() as f64

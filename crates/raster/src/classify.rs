@@ -116,7 +116,7 @@ pub fn kmeans_classify(
         iterations += 1;
         // Assignment step.
         let mut changed = false;
-        for p in 0..npix {
+        for (p, label) in labels.iter_mut().enumerate() {
             stack.feature(p, &mut feature);
             let mut best = 0usize;
             let mut best_d = f64::INFINITY;
@@ -127,17 +127,16 @@ pub fn kmeans_classify(
                     best = c;
                 }
             }
-            if labels[p] != best {
-                labels[p] = best;
+            if *label != best {
+                *label = best;
                 changed = true;
             }
         }
         // Update step.
         let mut sums = vec![vec![0.0f64; nb]; k];
         let mut counts = vec![0usize; k];
-        for p in 0..npix {
+        for (p, c) in labels.iter().copied().enumerate() {
             stack.feature(p, &mut feature);
-            let c = labels[p];
             counts[c] += 1;
             for (b, v) in feature.iter().enumerate() {
                 sums[c][b] += v;

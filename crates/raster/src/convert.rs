@@ -27,7 +27,13 @@ pub fn images_to_matrix(bands: &[&Image]) -> AdtResult<Matrix> {
 }
 
 /// Re-impose a raster shape on one matrix row.
-pub fn matrix_row_to_image(m: &Matrix, row: usize, nrow: u32, ncol: u32, pt: PixType) -> AdtResult<Image> {
+pub fn matrix_row_to_image(
+    m: &Matrix,
+    row: usize,
+    nrow: u32,
+    ncol: u32,
+    pt: PixType,
+) -> AdtResult<Image> {
     if row >= m.rows() {
         return Err(AdtError::InvalidArgument(format!(
             "row {row} of a {}-row matrix",

@@ -117,8 +117,8 @@ pub fn jacobi_eigen(a: &Matrix, max_sweeps: usize, tol: f64) -> AdtResult<EigenD
             .max_by(|a, b| a.abs().total_cmp(&b.abs()))
             .map(|m| if m < 0.0 { -1.0 } else { 1.0 })
             .unwrap_or(1.0);
-        for r in 0..n {
-            vectors.set(r, new_col, col[r] * flip);
+        for (r, value) in col.iter().enumerate().take(n) {
+            vectors.set(r, new_col, value * flip);
         }
     }
     Ok(EigenDecomposition {
@@ -178,7 +178,9 @@ mod tests {
         let mut a = Matrix::zeros(n, n);
         let mut state = 42u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for r in 0..n {
@@ -204,12 +206,7 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = Matrix::from_rows(
-            3,
-            3,
-            vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 2.0],
-        )
-        .unwrap();
+        let a = Matrix::from_rows(3, 3, vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 2.0]).unwrap();
         let e = jacobi_eigen(&a, 100, 1e-12).unwrap();
         for i in 0..3 {
             for j in 0..3 {

@@ -39,10 +39,10 @@ pub fn temporal_interp(
 }
 
 /// Pick the epoch closest to `t` from a set of (time, image) snapshots.
-pub fn nearest_snapshot<'a>(
-    snapshots: &'a [(AbsTime, Image)],
+pub fn nearest_snapshot(
+    snapshots: &[(AbsTime, Image)],
     t: AbsTime,
-) -> AdtResult<&'a (AbsTime, Image)> {
+) -> AdtResult<&(AbsTime, Image)> {
     snapshots
         .iter()
         .min_by_key(|(st, _)| (st.seconds() - t.seconds()).abs())
@@ -63,10 +63,10 @@ pub fn series_interp(snapshots: &[(AbsTime, Image)], t: AbsTime) -> AdtResult<Im
     let mut after: Option<&(AbsTime, Image)> = None;
     for snap in snapshots {
         if snap.0 < t {
-            if before.map_or(true, |b| snap.0 > b.0) {
+            if before.is_none_or(|b| snap.0 > b.0) {
                 before = Some(snap);
             }
-        } else if after.map_or(true, |a| snap.0 < a.0) {
+        } else if after.is_none_or(|a| snap.0 < a.0) {
             after = Some(snap);
         }
     }
@@ -99,15 +99,21 @@ mod tests {
         let a = Image::from_f64(1, 1, vec![2.0]).unwrap();
         let b = Image::from_f64(1, 1, vec![8.0]).unwrap();
         assert_eq!(
-            temporal_interp(&a, day(0), &b, day(4), day(0)).unwrap().get(0, 0),
+            temporal_interp(&a, day(0), &b, day(4), day(0))
+                .unwrap()
+                .get(0, 0),
             2.0
         );
         assert_eq!(
-            temporal_interp(&a, day(0), &b, day(4), day(4)).unwrap().get(0, 0),
+            temporal_interp(&a, day(0), &b, day(4), day(4))
+                .unwrap()
+                .get(0, 0),
             8.0
         );
         assert_eq!(
-            temporal_interp(&a, day(0), &b, day(4), day(1)).unwrap().get(0, 0),
+            temporal_interp(&a, day(0), &b, day(4), day(1))
+                .unwrap()
+                .get(0, 0),
             3.5
         );
     }

@@ -15,13 +15,13 @@
 use crate::change::{img_diff, img_ratio};
 use crate::classify::kmeans_classify;
 use crate::composite::composite;
-use crate::supervised::min_distance_classify;
 use crate::convert::matrix_row_to_image;
 use crate::eigen::jacobi_eigen;
 use crate::interp::temporal_interp;
 use crate::ndvi::ndvi;
 use crate::rectify::{rectify, resample, Affine};
 use crate::stats::{mean, stddev};
+use crate::supervised::min_distance_classify;
 use gaea_adt::{
     AdtError, AdtResult, DataflowBuilder, Image, Matrix, OperatorRegistry, PixType, Signature,
     TypeTag, Value,
@@ -40,15 +40,11 @@ pub const DEFAULT_CLASSIFY_SEED: u64 = 0x6AEA;
 pub const DEFAULT_CLASSIFY_ITERS: usize = 100;
 
 fn images_from_set(set: &[Value], ctx: &str) -> AdtResult<Vec<Arc<Image>>> {
-    set.iter()
-        .map(|v| v.expect_image(ctx).cloned())
-        .collect()
+    set.iter().map(|v| v.expect_image(ctx).cloned()).collect()
 }
 
 fn matrices_from_set(set: &[Value], ctx: &str) -> AdtResult<Vec<Arc<Matrix>>> {
-    set.iter()
-        .map(|v| v.expect_matrix(ctx).cloned())
-        .collect()
+    set.iter().map(|v| v.expect_matrix(ctx).cloned()).collect()
 }
 
 /// Covariance across band rows stored as 1×npix matrices, with optional
@@ -67,7 +63,9 @@ fn band_matrix_covariance(mats: &[Arc<Matrix>], correlation: bool) -> AdtResult<
         }
     }
     if npix == 0 {
-        return Err(AdtError::InvalidArgument("zero-length band matrices".into()));
+        return Err(AdtError::InvalidArgument(
+            "zero-length band matrices".into(),
+        ));
     }
     let means: Vec<f64> = mats
         .iter()
@@ -210,10 +208,7 @@ pub fn register_raster_ops(r: &mut OperatorRegistry) -> AdtResult<()> {
     )?;
     r.register_fn(
         "unsuperclassify",
-        Signature::new(
-            vec![TypeTag::Image.set_of(), TypeTag::Int4],
-            TypeTag::Image,
-        ),
+        Signature::new(vec![TypeTag::Image.set_of(), TypeTag::Int4], TypeTag::Image),
         "unsupervised classification into k classes (Figure 3, P20)",
         |args| {
             let imgs = images_from_set(args[0].expect_set("unsuperclassify")?, "unsuperclassify")?;
@@ -332,7 +327,13 @@ pub fn register_raster_ops(r: &mut OperatorRegistry) -> AdtResult<()> {
         |args| {
             let a = args[0].expect_image("threshold_below")?;
             let t = args[1].expect_f64("threshold")?;
-            Ok(Value::image(a.map(PixType::Char, |x| if x < t { 1.0 } else { 0.0 })))
+            Ok(Value::image(a.map(PixType::Char, |x| {
+                if x < t {
+                    1.0
+                } else {
+                    0.0
+                }
+            })))
         },
     )?;
     r.register_fn(
@@ -446,7 +447,10 @@ pub fn register_raster_ops(r: &mut OperatorRegistry) -> AdtResult<()> {
         Signature::new(vec![TypeTag::Image.set_of()], TypeTag::Matrix.set_of()),
         "flatten each band into a 1xN matrix (Figure 4 stage 1)",
         |args| {
-            let imgs = images_from_set(args[0].expect_set("convert_image_matrix")?, "convert_image_matrix")?;
+            let imgs = images_from_set(
+                args[0].expect_set("convert_image_matrix")?,
+                "convert_image_matrix",
+            )?;
             let refs: Vec<&Image> = imgs.iter().map(|a| a.as_ref()).collect();
             crate::stats::check_same_shape(&refs)?;
             Ok(Value::Set(
@@ -461,7 +465,10 @@ pub fn register_raster_ops(r: &mut OperatorRegistry) -> AdtResult<()> {
         Signature::new(vec![TypeTag::Matrix.set_of()], TypeTag::Matrix),
         "band covariance matrix (Figure 4 stage 2)",
         |args| {
-            let mats = matrices_from_set(args[0].expect_set("compute_covariance")?, "compute_covariance")?;
+            let mats = matrices_from_set(
+                args[0].expect_set("compute_covariance")?,
+                "compute_covariance",
+            )?;
             Ok(Value::matrix(band_matrix_covariance(&mats, false)?))
         },
     )?;
@@ -470,7 +477,10 @@ pub fn register_raster_ops(r: &mut OperatorRegistry) -> AdtResult<()> {
         Signature::new(vec![TypeTag::Matrix.set_of()], TypeTag::Matrix),
         "band correlation matrix (SPCA variant of Figure 4 stage 2)",
         |args| {
-            let mats = matrices_from_set(args[0].expect_set("compute_correlation")?, "compute_correlation")?;
+            let mats = matrices_from_set(
+                args[0].expect_set("compute_correlation")?,
+                "compute_correlation",
+            )?;
             Ok(Value::matrix(band_matrix_covariance(&mats, true)?))
         },
     )?;
@@ -492,7 +502,10 @@ pub fn register_raster_ops(r: &mut OperatorRegistry) -> AdtResult<()> {
         ),
         "project centered band matrices through an eigenvector basis (Figure 4 stage 4)",
         |args| {
-            let mats = matrices_from_set(args[0].expect_set("linear_combination")?, "linear_combination")?;
+            let mats = matrices_from_set(
+                args[0].expect_set("linear_combination")?,
+                "linear_combination",
+            )?;
             let basis = args[1].expect_matrix("linear_combination basis")?;
             let out = linear_combination_impl(&mats, basis, false)?;
             Ok(Value::Set(out.into_iter().map(Value::matrix).collect()))
@@ -506,7 +519,10 @@ pub fn register_raster_ops(r: &mut OperatorRegistry) -> AdtResult<()> {
         ),
         "standardized projection (SPCA variant of Figure 4 stage 4)",
         |args| {
-            let mats = matrices_from_set(args[0].expect_set("linear_combination_std")?, "linear_combination_std")?;
+            let mats = matrices_from_set(
+                args[0].expect_set("linear_combination_std")?,
+                "linear_combination_std",
+            )?;
             let basis = args[1].expect_matrix("linear_combination_std basis")?;
             let out = linear_combination_impl(&mats, basis, true)?;
             Ok(Value::Set(out.into_iter().map(Value::matrix).collect()))
@@ -520,7 +536,10 @@ pub fn register_raster_ops(r: &mut OperatorRegistry) -> AdtResult<()> {
         ),
         "re-impose a raster shape (from the template image) on each 1xN matrix (Figure 4 stage 5)",
         |args| {
-            let mats = matrices_from_set(args[0].expect_set("convert_matrix_image")?, "convert_matrix_image")?;
+            let mats = matrices_from_set(
+                args[0].expect_set("convert_matrix_image")?,
+                "convert_matrix_image",
+            )?;
             let template = args[1].expect_image("convert_matrix_image template")?;
             let out: AdtResult<Vec<Value>> = mats
                 .iter()
@@ -616,7 +635,7 @@ mod tests {
     fn pca_dataflow_matches_fused_implementation() {
         let r = full_registry();
         let bands_val = three_bands();
-        let out = r.invoke("pca", &[bands_val.clone()]).unwrap();
+        let out = r.invoke("pca", std::slice::from_ref(&bands_val)).unwrap();
         let comps = out.as_set().unwrap();
         assert_eq!(comps.len(), 3);
         // Compare against the fused library PCA.
@@ -652,7 +671,7 @@ mod tests {
                 .map(PixType::Float8, |v| v * 1000.0),
         );
         let bands = Value::Set(vec![b1, b2]);
-        let p = r.invoke("pca", &[bands.clone()]).unwrap();
+        let p = r.invoke("pca", std::slice::from_ref(&bands)).unwrap();
         let s = r.invoke("spca", &[bands]).unwrap();
         assert_ne!(p, s);
     }
@@ -681,7 +700,8 @@ mod tests {
     #[test]
     fn desert_mask_operators() {
         let r = full_registry();
-        let rainfall = Value::image(Image::from_f64(1, 4, vec![100.0, 251.0, 249.0, 500.0]).unwrap());
+        let rainfall =
+            Value::image(Image::from_f64(1, 4, vec![100.0, 251.0, 249.0, 500.0]).unwrap());
         let mask = r
             .invoke("threshold_below", &[rainfall, Value::Float8(250.0)])
             .unwrap();
@@ -706,7 +726,9 @@ mod tests {
         let a = r
             .invoke("unsuperclassify", &[bands.clone(), Value::Int4(4)])
             .unwrap();
-        let b = r.invoke("unsuperclassify", &[bands, Value::Int4(4)]).unwrap();
+        let b = r
+            .invoke("unsuperclassify", &[bands, Value::Int4(4)])
+            .unwrap();
         assert_eq!(a, b);
     }
 }

@@ -152,7 +152,10 @@ mod tests {
         let refs: Vec<&Image> = bands.iter().collect();
         let out = pca(&refs).unwrap();
         assert_eq!(out.components.len(), 3);
-        assert!(out.eigen.explained(0) > 0.9, "PC1 should dominate strongly correlated bands");
+        assert!(
+            out.eigen.explained(0) > 0.9,
+            "PC1 should dominate strongly correlated bands"
+        );
         // Component variances decrease.
         let v0 = stddev(&out.components[0]).powi(2);
         let v1 = stddev(&out.components[1]).powi(2);

@@ -44,10 +44,14 @@ pub fn crop_to_window(img: &Image, extent: &GeoBox, window: &GeoBox) -> AdtResul
     let px_per_x = img.ncol() as f64 / extent.width();
     let px_per_y = img.nrow() as f64 / extent.height();
     let c0 = ((inter.xmin - extent.xmin) * px_per_x).floor().max(0.0) as u32;
-    let c1 = ((inter.xmax - extent.xmin) * px_per_x).ceil().min(img.ncol() as f64) as u32;
+    let c1 = ((inter.xmax - extent.xmin) * px_per_x)
+        .ceil()
+        .min(img.ncol() as f64) as u32;
     // Row 0 is the north (ymax) edge.
     let r0 = ((extent.ymax - inter.ymax) * px_per_y).floor().max(0.0) as u32;
-    let r1 = ((extent.ymax - inter.ymin) * px_per_y).ceil().min(img.nrow() as f64) as u32;
+    let r1 = ((extent.ymax - inter.ymin) * px_per_y)
+        .ceil()
+        .min(img.nrow() as f64) as u32;
     let h = (r1 - r0).max(1);
     let w = (c1 - c0).max(1);
     let cropped = crop(img, r0, c0, h.min(img.nrow() - r0), w.min(img.ncol() - c0))?;

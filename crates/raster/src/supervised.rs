@@ -233,7 +233,7 @@ pub fn training_boxes(
     sites: &[TrainingSite],
     z: f64,
 ) -> AdtResult<(Matrix, Matrix)> {
-    if !(z > 0.0) {
+    if z <= 0.0 || z.is_nan() {
         return Err(AdtError::InvalidArgument(format!(
             "z must be positive, got {z}"
         )));
@@ -257,8 +257,8 @@ pub fn training_boxes(
     let mut lo = Matrix::zeros(k, nb);
     let mut hi = Matrix::zeros(k, nb);
     for c in 0..k {
-        for b in 0..nb {
-            let sd = (sq[c][b] / counts[c].max(1) as f64).sqrt();
+        for (b, sq_cb) in sq[c].iter().enumerate() {
+            let sd = (sq_cb / counts[c].max(1) as f64).sqrt();
             lo.set(c, b, means.get(c, b) - z * sd);
             hi.set(c, b, means.get(c, b) + z * sd);
         }

@@ -361,7 +361,10 @@ mod tests {
             .unwrap();
         assert_eq!(hits.len(), 2);
         let high = db
-            .scan("landcover", &Predicate::Gt("numclass".into(), Value::Int4(7)))
+            .scan(
+                "landcover",
+                &Predicate::Gt("numclass".into(), Value::Int4(7)),
+            )
             .unwrap();
         assert_eq!(high.len(), 2);
     }
@@ -377,18 +380,21 @@ mod tests {
         let o2 = db.insert("landcover", t("africa", 8)).unwrap();
         let rel = db.relation("landcover").unwrap();
         assert_eq!(
-            rel.index_lookup("area", &Value::Char16("africa".into())).unwrap(),
+            rel.index_lookup("area", &Value::Char16("africa".into()))
+                .unwrap(),
             vec![o1, o2]
         );
         // Update moves the key.
         db.update("landcover", o1, t("asia", 12)).unwrap();
         let rel = db.relation("landcover").unwrap();
         assert_eq!(
-            rel.index_lookup("area", &Value::Char16("africa".into())).unwrap(),
+            rel.index_lookup("area", &Value::Char16("africa".into()))
+                .unwrap(),
             vec![o2]
         );
         assert_eq!(
-            rel.index_lookup("area", &Value::Char16("asia".into())).unwrap(),
+            rel.index_lookup("area", &Value::Char16("asia".into()))
+                .unwrap(),
             vec![o1]
         );
         // Delete removes it.

@@ -59,7 +59,10 @@ mod tests {
             StoreError::NoSuchRelation("tasks".into()).to_string(),
             "no such relation: tasks"
         );
-        assert_eq!(StoreError::NoSuchTuple(9).to_string(), "no tuple with oid 9");
+        assert_eq!(
+            StoreError::NoSuchTuple(9).to_string(),
+            "no tuple with oid 9"
+        );
     }
 
     #[test]

@@ -119,7 +119,10 @@ mod tests {
         idx.insert(Value::Text("b".into()), Oid(2));
         idx.insert(Value::Text("a".into()), Oid(1));
         idx.insert(Value::Text("c".into()), Oid(3));
-        let r = idx.range(Some(&Value::Text("a".into())), Some(&Value::Text("b".into())));
+        let r = idx.range(
+            Some(&Value::Text("a".into())),
+            Some(&Value::Text("b".into())),
+        );
         assert_eq!(r, vec![Oid(1), Oid(2)]);
     }
 

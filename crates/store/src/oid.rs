@@ -101,7 +101,10 @@ mod tests {
                 (0..1000).map(|_| a.allocate().0).collect::<Vec<u64>>()
             }));
         }
-        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 4000);

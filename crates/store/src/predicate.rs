@@ -73,12 +73,10 @@ impl Predicate {
                     None => false,
                 }
             }
-            Predicate::TimeIn(col, range) => {
-                match tuple.get(schema.position(col)?).as_abstime() {
-                    Some(t) => range.contains(t),
-                    None => false,
-                }
-            }
+            Predicate::TimeIn(col, range) => match tuple.get(schema.position(col)?).as_abstime() {
+                Some(t) => range.contains(t),
+                None => false,
+            },
             Predicate::And(a, b) => a.matches(schema, tuple)? && b.matches(schema, tuple)?,
             Predicate::Or(a, b) => a.matches(schema, tuple)? || b.matches(schema, tuple)?,
             Predicate::Not(p) => !p.matches(schema, tuple)?,
@@ -121,7 +119,9 @@ mod tests {
         assert!(!Predicate::Eq("area".into(), Value::Char16("asia".into()))
             .matches(&s, &t)
             .unwrap());
-        assert!(!Predicate::NotNull("numclass".into()).matches(&s, &t).unwrap());
+        assert!(!Predicate::NotNull("numclass".into())
+            .matches(&s, &t)
+            .unwrap());
         assert!(Predicate::NotNull("area".into()).matches(&s, &t).unwrap());
     }
 

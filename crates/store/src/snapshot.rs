@@ -70,10 +70,7 @@ mod tests {
     use gaea_adt::{Image, PixType, TypeTag, Value};
 
     fn tempdir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "gaea-snap-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("gaea-snap-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -90,7 +87,10 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        db.relation_mut("scenes").unwrap().create_index("name").unwrap();
+        db.relation_mut("scenes")
+            .unwrap()
+            .create_index("name")
+            .unwrap();
         let img = Image::filled(4, 4, PixType::Int2, 123.0);
         let oid = db
             .insert(
@@ -147,16 +147,14 @@ mod tests {
         .unwrap();
         {
             let mut txn = db.begin();
-            txn.insert("objects", Tuple::new(vec![Value::Int4(1)])).unwrap();
+            txn.insert("objects", Tuple::new(vec![Value::Int4(1)]))
+                .unwrap();
             txn.rollback();
         }
         let dir = tempdir("rb");
         save(&db, &dir).unwrap();
         let back = load(&dir).unwrap();
-        assert_eq!(
-            back.scan("objects", &Predicate::True).unwrap().len(),
-            0
-        );
+        assert_eq!(back.scan("objects", &Predicate::True).unwrap().len(), 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,508 @@
+//! Offline, workspace-local substitute for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` content model — no `syn`/`quote`, since the build must
+//! work without the registry. The macro parses the item's token stream
+//! directly and emits impl source as text. Supported shape space (exactly
+//! what this workspace uses): non-generic named structs, tuple structs,
+//! unit structs, and enums with unit / tuple / struct variants; field
+//! attributes `#[serde(skip)]` and `#[serde(default)]`; serde's
+//! externally-tagged enum encoding.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (content-model flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+/// Derive `serde::Deserialize` (content-model flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok((name, data)) => {
+            let code = match mode {
+                Mode::Ser => gen_serialize(&name, &data),
+                Mode::De => gen_deserialize(&name, &data),
+            };
+            code.parse().expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Cursor {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    /// Consume leading attributes; return whether `#[serde(skip)]` /
+    /// `#[serde(default)]` were among them.
+    fn take_attrs(&mut self) -> (bool, bool) {
+        let (mut skip, mut default) = (false, false);
+        while self.at_punct('#') {
+            self.next();
+            // An inner attribute marker (`#!`) never occurs in item bodies
+            // we derive on; the bracket group follows directly.
+            if let Some(TokenTree::Group(g)) = self.next() {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(i)) = inner.first() {
+                    if i.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            for t in args.stream() {
+                                if let TokenTree::Ident(w) = t {
+                                    match w.to_string().as_str() {
+                                        "skip" => skip = true,
+                                        "default" => default = true,
+                                        _ => {}
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (skip, default)
+    }
+
+    /// Consume `pub`, `pub(crate)`, `pub(super)`, … if present.
+    fn take_visibility(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(
+                self.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                self.next();
+            }
+        }
+    }
+
+    /// Consume tokens of a type (or expression) until a comma at angle
+    /// depth zero; the comma itself is consumed too.
+    fn skip_to_field_end(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<(String, Data), String> {
+    let mut c = Cursor::new(input);
+    c.take_attrs();
+    c.take_visibility();
+    let kind = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("serde derive: expected struct/enum, got {other:?}")),
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("serde derive: expected type name, got {other:?}")),
+    };
+    if c.at_punct('<') {
+        return Err(format!(
+            "serde derive (vendored): generic type {name} is not supported"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Data::NamedStruct(parse_named_fields(g.stream()))))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Data::TupleStruct(count_tuple_fields(g.stream()))))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Data::UnitStruct)),
+            other => Err(format!("serde derive: unexpected struct body {other:?}")),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Data::Enum(parse_variants(g.stream())?)))
+            }
+            other => Err(format!("serde derive: unexpected enum body {other:?}")),
+        },
+        other => Err(format!("serde derive: cannot derive for `{other}`")),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let (skip, default) = c.take_attrs();
+        c.take_visibility();
+        let Some(TokenTree::Ident(name)) = c.next() else {
+            break;
+        };
+        // Skip the `:` then the type.
+        if c.at_punct(':') {
+            c.next();
+        }
+        c.skip_to_field_end();
+        fields.push(Field {
+            name: name.to_string(),
+            skip,
+            default,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    let mut n = 0usize;
+    let mut saw_tokens = false;
+    let mut depth = 0i32;
+    while let Some(t) = c.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                n += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        c.take_attrs();
+        let Some(TokenTree::Ident(name)) = c.next() else {
+            break;
+        };
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        if c.at_punct('=') {
+            return Err(format!(
+                "serde derive (vendored): explicit discriminant on variant {name} unsupported"
+            ));
+        }
+        if c.at_punct(',') {
+            c.next();
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            shape,
+        });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn gen_serialize(name: &str, data: &Data) -> String {
+    let body = match data {
+        Data::NamedStruct(fields) => {
+            let mut s =
+                String::from("let mut m: Vec<(serde::Content, serde::Content)> = Vec::new();\n");
+            for f in fields {
+                if f.skip {
+                    continue;
+                }
+                s.push_str(&format!(
+                    "m.push((serde::Content::Str(String::from({n:?})), \
+                     serde::Serialize::to_content(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("serde::Content::Map(m)");
+            s
+        }
+        Data::TupleStruct(1) => "serde::Serialize::to_content(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Data::UnitStruct => "serde::Content::Null".to_string(),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => serde::Content::Str(String::from({v:?})),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(f0) => serde::Content::Map(vec![\
+                         (serde::Content::Str(String::from({v:?})), \
+                         serde::Serialize::to_content(f0))]),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Serialize::to_content(f{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({b}) => serde::Content::Map(vec![\
+                             (serde::Content::Str(String::from({v:?})), \
+                             serde::Content::Seq(vec![{items}]))]),\n",
+                            v = v.name,
+                            b = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from(
+                            "let mut fm: Vec<(serde::Content, serde::Content)> = Vec::new();\n",
+                        );
+                        for f in fields {
+                            if f.skip {
+                                continue;
+                            }
+                            inner.push_str(&format!(
+                                "fm.push((serde::Content::Str(String::from({n:?})), \
+                                 serde::Serialize::to_content({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {b} }} => {{ {inner} \
+                             serde::Content::Map(vec![\
+                             (serde::Content::Str(String::from({v:?})), \
+                             serde::Content::Map(fm))]) }},\n",
+                            v = v.name,
+                            b = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// One named field's deserialization expression, reading from map binding `m`.
+fn de_field_expr(owner: &str, f: &Field) -> String {
+    if f.skip {
+        return "Default::default()".to_string();
+    }
+    if f.default {
+        format!(
+            "match serde::content_get({m}, {n:?}) {{\n\
+             Some(v) => serde::Deserialize::from_content(v)?,\n\
+             None => Default::default(),\n}}",
+            m = "m",
+            n = f.name
+        )
+    } else {
+        // A missing field falls back to deserializing `Null`, which
+        // succeeds for `Option` fields (serde's missing-means-None rule)
+        // and produces a missing-field error for everything else.
+        format!(
+            "{{ let r = match serde::content_get(m, {n:?}) {{\n\
+             Some(v) => serde::Deserialize::from_content(v),\n\
+             None => serde::Deserialize::from_content(&serde::Content::Null)\n\
+             .map_err(|_| serde::DeError::new(concat!({owner:?}, \": missing field `\", {n:?}, \"`\"))),\n\
+             }}; r? }}",
+            n = f.name
+        )
+    }
+}
+
+fn gen_deserialize(name: &str, data: &Data) -> String {
+    let body = match data {
+        Data::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{}: {}", f.name, de_field_expr(name, f)))
+                .collect();
+            format!(
+                "let m = c.as_map().ok_or_else(|| serde::DeError::new(\
+                 concat!(\"expected map for \", {name:?})))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(",\n")
+            )
+        }
+        Data::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::from_content(c)?))")
+        }
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_content(&s[{i}])?"))
+                .collect();
+            format!(
+                "let s = c.as_seq().ok_or_else(|| serde::DeError::new(\
+                 concat!(\"expected sequence for \", {name:?})))?;\n\
+                 if s.len() != {n} {{ return Err(serde::DeError::new(\
+                 concat!(\"wrong arity for \", {name:?}))); }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Data::UnitStruct => format!("let _ = c; Ok({name})"),
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("{n:?} => Ok({name}::{n}),\n", n = v.name))
+                    }
+                    VariantShape::Tuple(1) => data_arms.push_str(&format!(
+                        "{n:?} => Ok({name}::{n}(serde::Deserialize::from_content(v)?)),\n",
+                        n = v.name
+                    )),
+                    VariantShape::Tuple(k) => {
+                        let items: Vec<String> = (0..*k)
+                            .map(|i| format!("serde::Deserialize::from_content(&s[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{n:?} => {{\n\
+                             let s = v.as_seq().ok_or_else(|| serde::DeError::new(\
+                             concat!(\"expected sequence for variant \", {n:?})))?;\n\
+                             if s.len() != {k} {{ return Err(serde::DeError::new(\
+                             concat!(\"wrong arity for variant \", {n:?}))); }}\n\
+                             Ok({name}::{n}({items}))\n}},\n",
+                            n = v.name,
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{}: {}", f.name, de_field_expr(name, f)))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{n:?} => {{\n\
+                             let m = v.as_map().ok_or_else(|| serde::DeError::new(\
+                             concat!(\"expected map for variant \", {n:?})))?;\n\
+                             Ok({name}::{n} {{ {inits} }})\n}},\n",
+                            n = v.name,
+                            inits = inits.join(",\n")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match c {{\n\
+                 serde::Content::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => Err(serde::DeError::new(format!(\
+                 \"unknown variant {{other:?}} of {name}\"))),\n}},\n\
+                 serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                 let (k, v) = &entries[0];\n\
+                 let tag = k.as_str().ok_or_else(|| serde::DeError::new(\
+                 concat!(\"expected string tag for \", {name:?})))?;\n\
+                 match tag {{\n{data_arms}\
+                 other => Err(serde::DeError::new(format!(\
+                 \"unknown variant {{other:?}} of {name}\"))),\n}}\n}},\n\
+                 other => Err(serde::DeError::new(format!(\
+                 \"expected {name} variant, got {{}}\", other.kind()))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Deserialize for {name} {{\n\
+         fn from_content(c: &serde::Content) -> Result<Self, serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

@@ -45,7 +45,9 @@ fn image_class(name: &str, doc: &str) -> ClassSpec {
 }
 
 fn derived_image_class(name: &str, doc: &str) -> ClassSpec {
-    ClassSpec::derived(name).attr("data", TypeTag::Image).doc(doc)
+    ClassSpec::derived(name)
+        .attr("data", TypeTag::Image)
+        .doc(doc)
 }
 
 /// Register the Figure 2 schema into `gaea`.
@@ -53,7 +55,10 @@ pub fn build_figure2_schema(gaea: &mut Gaea) -> KernelResult<Figure2Names> {
     // ---------------- base classes (well-known external sources) ---------
     gaea.define_class(image_class("landsat_tm", "raw Landsat TM band (C0)"))?;
     gaea.define_class(image_class("rainfall", "annual rainfall grid, mm/year"))?;
-    gaea.define_class(image_class("temperature", "mean annual temperature grid, C"))?;
+    gaea.define_class(image_class(
+        "temperature",
+        "mean annual temperature grid, C",
+    ))?;
     gaea.define_class(image_class("avhrr_nir", "AVHRR near-infrared composite"))?;
     gaea.define_class(image_class("avhrr_red", "AVHRR visible-red composite"))?;
 
@@ -112,7 +117,11 @@ pub fn build_figure2_schema(gaea: &mut Gaea) -> KernelResult<Figure2Names> {
                         attr: "data".into(),
                         expr: Expr::apply(
                             "rectify_shift",
-                            vec![Expr::proj("raw", "data"), Expr::float(0.5), Expr::float(0.5)],
+                            vec![
+                                Expr::proj("raw", "data"),
+                                Expr::float(0.5),
+                                Expr::float(0.5),
+                            ],
                         ),
                     }];
                     m.extend(invariant_extents("raw"));
@@ -127,7 +136,10 @@ pub fn build_figure2_schema(gaea: &mut Gaea) -> KernelResult<Figure2Names> {
             .setof_arg("bands", "rectified_tm", 3)
             .template(Template {
                 assertions: vec![
-                    Expr::eq(Expr::Card(Box::new(Expr::Arg("bands".into()))), Expr::int(3)),
+                    Expr::eq(
+                        Expr::Card(Box::new(Expr::Arg("bands".into()))),
+                        Expr::int(3),
+                    ),
                     Expr::Common(Box::new(Expr::proj("bands", "spatialextent"))),
                     Expr::Common(Box::new(Expr::proj("bands", "timestamp"))),
                 ],
@@ -247,7 +259,10 @@ pub fn build_figure2_schema(gaea: &mut Gaea) -> KernelResult<Figure2Names> {
             .setof_arg("masks", "desert_rain_250", 2)
             .template(Template {
                 assertions: vec![
-                    Expr::eq(Expr::Card(Box::new(Expr::Arg("masks".into()))), Expr::int(2)),
+                    Expr::eq(
+                        Expr::Card(Box::new(Expr::Arg("masks".into()))),
+                        Expr::int(2),
+                    ),
                     Expr::Common(Box::new(Expr::proj("masks", "spatialextent"))),
                 ],
                 mappings: {
@@ -374,7 +389,12 @@ pub fn build_figure2_schema(gaea: &mut Gaea) -> KernelResult<Figure2Names> {
         &["desert"],
         "polar lands such as Greenland and Antarctica",
     )?;
-    gaea.define_concept("ndvi_concept", &["ndvi"], &[], "vegetation index however derived")?;
+    gaea.define_concept(
+        "ndvi_concept",
+        &["ndvi"],
+        &[],
+        "vegetation index however derived",
+    )?;
     gaea.define_concept(
         "vegetation_change",
         &["veg_change_pca", "veg_change_spca"],
@@ -461,7 +481,10 @@ mod tests {
     fn desert_isa_hierarchy() {
         let mut g = Gaea::in_memory();
         build_figure2_schema(&mut g).unwrap();
-        let parents = g.catalog().concept_ancestors("hot_trade_wind_desert").unwrap();
+        let parents = g
+            .catalog()
+            .concept_ancestors("hot_trade_wind_desert")
+            .unwrap();
         assert_eq!(parents.len(), 1);
         assert_eq!(parents[0].name, "desert");
         let desert_id = g.catalog().concept_by_name("desert").unwrap().id;

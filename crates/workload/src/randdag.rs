@@ -90,12 +90,8 @@ pub fn random_derivation_catalog(spec: RandDagSpec) -> RandomDerivation {
                     let threshold = rng.gen_range(1..=spec.threshold_max.max(1));
                     inputs.push((p, threshold));
                 }
-                net.add_transition(
-                    &format!("proc_{layer}_{i}_{alt}"),
-                    &inputs,
-                    &[*place],
-                )
-                .expect("layered construction is well-formed");
+                net.add_transition(&format!("proc_{layer}_{i}_{alt}"), &inputs, &[*place])
+                    .expect("layered construction is well-formed");
             }
         }
         layers.push(places);

@@ -103,25 +103,23 @@ impl SyntheticScene {
             .map(|class| {
                 (0..spec.bands)
                     .map(|band| {
-                        40.0 + 35.0 * class as f64
-                            + 12.0 * band as f64
-                            + rng.gen::<f64>() * 6.0
+                        40.0 + 35.0 * class as f64 + 12.0 * band as f64 + rng.gen::<f64>() * 6.0
                     })
                     .collect()
             })
             .collect();
         // Bands: signature + Gaussian-ish noise (sum of uniforms).
         let mut bands = Vec::with_capacity(spec.bands);
+        // `band` indexes the *inner* signature dimension while the outer
+        // index varies per pixel, so there is no container to iterate.
+        #[allow(clippy::needless_range_loop)]
         for band in 0..spec.bands {
             let mut data = vec![0.0f64; npix];
             for (p, d) in data.iter_mut().enumerate() {
-                let noise: f64 =
-                    (0..4).map(|_| rng.gen::<f64>() - 0.5).sum::<f64>() * spec.noise;
+                let noise: f64 = (0..4).map(|_| rng.gen::<f64>() - 0.5).sum::<f64>() * spec.noise;
                 *d = signatures[truth[p] as usize][band] + noise;
             }
-            bands.push(
-                Image::from_f64(spec.rows, spec.cols, data).expect("sized by construction"),
-            );
+            bands.push(Image::from_f64(spec.rows, spec.cols, data).expect("sized by construction"));
         }
         SyntheticScene { bands, truth, spec }
     }
@@ -132,7 +130,11 @@ impl SyntheticScene {
     pub fn score(&self, labels: &Image) -> f64 {
         let npix = self.truth.len();
         assert_eq!(labels.len(), npix, "label map shape mismatch");
-        let k_pred = labels.to_f64_vec().iter().fold(0usize, |m, v| m.max(*v as usize)) + 1;
+        let k_pred = labels
+            .to_f64_vec()
+            .iter()
+            .fold(0usize, |m, v| m.max(*v as usize))
+            + 1;
         let k_true = self.spec.classes;
         // Confusion counts.
         let mut counts = vec![vec![0usize; k_true]; k_pred];
@@ -168,7 +170,11 @@ impl SyntheticScene {
     pub fn purity(&self, labels: &Image) -> f64 {
         let npix = self.truth.len();
         assert_eq!(labels.len(), npix, "label map shape mismatch");
-        let k_pred = labels.to_f64_vec().iter().fold(0usize, |m, v| m.max(*v as usize)) + 1;
+        let k_pred = labels
+            .to_f64_vec()
+            .iter()
+            .fold(0usize, |m, v| m.max(*v as usize))
+            + 1;
         let mut counts = vec![vec![0usize; self.spec.classes]; k_pred];
         for p in 0..npix {
             counts[labels.get_flat(p) as usize][self.truth[p] as usize] += 1;
@@ -268,8 +274,7 @@ mod tests {
         // Supervised classification from these sites recovers the truth.
         let refs: Vec<&Image> = s.bands.iter().collect();
         let stack = composite(&refs).unwrap();
-        let sig =
-            gaea_raster::signatures_from_training(&stack, s.spec.classes, &sites).unwrap();
+        let sig = gaea_raster::signatures_from_training(&stack, s.spec.classes, &sites).unwrap();
         let out = gaea_raster::min_distance_classify(&stack, &sig).unwrap();
         assert!(s.score(&out.labels) > 0.9);
     }

@@ -99,10 +99,7 @@ mod tests {
         // Without trend, some months differ from others systematically.
         let series = ndvi_series(16, 16, 12, start(), 0.0, 11);
         let means: Vec<f64> = series.iter().map(|(_, i)| mean(i)).collect();
-        let spread = means
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max)
+        let spread = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             - means.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(spread > 0.01, "no seasonal spread: {spread}");
     }

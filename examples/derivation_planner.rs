@@ -48,16 +48,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tm_place = dnet.net.place_by_name("landsat_tm").expect("schema class");
     let stocked = Marking::from_counts(&dnet.net, &[(tm_place, 6)]);
     let plan = plan_derivation(&dnet.net, &stocked, goal, 1).expect("derivable from 6 scenes");
-    println!("\nwith 6 raw TM scenes, the planner proposes {} firing(s):", plan.cost());
+    println!(
+        "\nwith 6 raw TM scenes, the planner proposes {} firing(s):",
+        plan.cost()
+    );
     for (t, times) in &plan.firings {
-        println!(
-            "  fire {} ×{}",
-            dnet.net.transition(*t)?.name,
-            times
-        );
+        println!("  fire {} ×{}", dnet.net.transition(*t)?.name, times);
     }
     let end = plan.execute(&dnet.net, &stocked);
-    println!("after execution the goal place holds {} token(s)", end.get(goal));
+    println!(
+        "after execution the goal place holds {} token(s)",
+        end.get(goal)
+    );
 
     // Case 3: the same question asked through the kernel with real data —
     // the query machinery runs the plan with actual bindings, records

@@ -97,7 +97,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Reproduction is an audit: nothing to recompute, nothing diverged,
     // the unreplayable work is reported.
-    g.record_experiment("victoria_survey_92", "Feb 1992 ground truth", vec![run.task])?;
+    g.record_experiment(
+        "victoria_survey_92",
+        "Feb 1992 ground truth",
+        vec![run.task],
+    )?;
     let rep = g.reproduce_experiment("victoria_survey_92")?;
     println!(
         "\nreproduction: faithful={}, rerun={}, audit notes={:?}",

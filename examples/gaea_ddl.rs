@@ -60,7 +60,10 @@ DEFINE CONCEPT land_cover_concept (
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Parse & echo back (the pretty-printer round-trips the AST).
     let program = parse(SCHEMA)?;
-    println!("parsed {} definition(s); canonical form:\n", program.items.len());
+    println!(
+        "parsed {} definition(s); canonical form:\n",
+        program.items.len()
+    );
     println!("{}", pretty_program(&program));
 
     // Lower onto a fresh kernel.

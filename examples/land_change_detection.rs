@@ -103,7 +103,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Lineage of the change map reaches all six TM bands through both
     // classifications.
     let tree = g.lineage(change.id)?;
-    println!("\nderivation tree ({} nodes, depth {}):", tree.size(), tree.depth());
+    println!(
+        "\nderivation tree ({} nodes, depth {}):",
+        tree.size(),
+        tree.depth()
+    );
     println!("{}", tree.render());
     assert_eq!(tree.depth(), 3); // change ← landcover ← tm
     assert_eq!(g.ancestors(change.id)?.len(), 8); // 2 landcover + 6 bands

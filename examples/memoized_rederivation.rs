@@ -1,0 +1,120 @@
+//! The derived-result cache at work: memoized re-derivation and
+//! invalidation on input mutation.
+//!
+//! Builds the Figure 3 schema (tm --P20--> landcover), derives once,
+//! re-runs the identical derivation against the memo, then mutates an
+//! input band and shows the cache dropping the stale entry and the next
+//! firing deriving afresh.
+
+use gaea::adt::{AbsTime, GeoBox, Image, PixType, TypeTag, Value};
+use gaea::core::kernel::{ClassSpec, Gaea, ProcessSpec};
+use gaea::core::template::{Expr, Mapping, Template};
+use gaea::core::KernelError;
+
+fn main() -> Result<(), KernelError> {
+    let mut g = Gaea::in_memory();
+    g.define_class(ClassSpec::base("tm").attr("data", TypeTag::Image))?;
+    g.define_class(
+        ClassSpec::derived("landcover")
+            .attr("data", TypeTag::Image)
+            .attr("numclass", TypeTag::Int4),
+    )?;
+    g.define_process(
+        ProcessSpec::new("P20", "landcover")
+            .setof_arg("bands", "tm", 3)
+            .template(Template {
+                assertions: vec![Expr::Common(Box::new(Expr::proj("bands", "timestamp")))],
+                mappings: vec![
+                    Mapping {
+                        attr: "data".into(),
+                        expr: Expr::apply(
+                            "unsuperclassify",
+                            vec![
+                                Expr::apply("composite", vec![Expr::Arg("bands".into())]),
+                                Expr::int(12),
+                            ],
+                        ),
+                    },
+                    Mapping {
+                        attr: "numclass".into(),
+                        expr: Expr::int(12),
+                    },
+                    Mapping {
+                        attr: "spatialextent".into(),
+                        expr: Expr::AnyOf(Box::new(Expr::proj("bands", "spatialextent"))),
+                    },
+                    Mapping {
+                        attr: "timestamp".into(),
+                        expr: Expr::AnyOf(Box::new(Expr::proj("bands", "timestamp"))),
+                    },
+                ],
+            }),
+    )?;
+
+    g.enable_memoization(true);
+
+    let africa = GeoBox::new(-20.0, -35.0, 55.0, 38.0);
+    let jan86 = AbsTime::from_ymd(1986, 1, 15).expect("valid date");
+    let bands: Vec<_> = (0..3)
+        .map(|i| {
+            g.insert_object(
+                "tm",
+                vec![
+                    (
+                        "data",
+                        Value::image(Image::filled(16, 16, PixType::Float8, 10.0 * i as f64)),
+                    ),
+                    ("spatialextent", Value::GeoBox(africa)),
+                    ("timestamp", Value::AbsTime(jan86)),
+                ],
+            )
+            .expect("insert band")
+        })
+        .collect();
+
+    let first = g.run_process("P20", &[("bands", bands.clone())])?;
+    println!(
+        "first firing:  task {:?}, outputs {:?}  (stats {:?})",
+        first.task,
+        first.outputs,
+        g.memoization_stats()
+    );
+
+    let again = g.run_process("P20", &[("bands", bands.clone())])?;
+    println!(
+        "second firing: task {:?} — {}  (stats {:?})",
+        again.task,
+        if again.task == first.task {
+            "served from the DerivedCache"
+        } else {
+            "UNEXPECTED re-derivation"
+        },
+        g.memoization_stats()
+    );
+
+    // Mutate one input band: the memo must drop.
+    g.update_object(
+        bands[0],
+        vec![(
+            "data",
+            Value::image(Image::filled(16, 16, PixType::Float8, 99.0)),
+        )],
+    )?;
+    println!(
+        "after update_object(band 0): stats {:?}",
+        g.memoization_stats()
+    );
+
+    let fresh = g.run_process("P20", &[("bands", bands)])?;
+    println!(
+        "third firing:  task {:?} — {}  (stats {:?})",
+        fresh.task,
+        if fresh.task != first.task {
+            "derived afresh against the mutated input"
+        } else {
+            "UNEXPECTED stale reuse"
+        },
+        g.memoization_stats()
+    );
+    Ok(())
+}

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .setof_arg("bands", "tm", 3)
             .template(Template {
                 assertions: vec![
-                    Expr::eq(Expr::Card(Box::new(Expr::Arg("bands".into()))), Expr::int(3)),
+                    Expr::eq(
+                        Expr::Card(Box::new(Expr::Arg("bands".into()))),
+                        Expr::int(3),
+                    ),
                     Expr::Common(Box::new(Expr::proj("bands", "spatialextent"))),
                     Expr::Common(Box::new(Expr::proj("bands", "timestamp"))),
                 ],
@@ -47,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                             ],
                         ),
                     },
-                    Mapping { attr: "numclass".into(), expr: Expr::int(12) },
+                    Mapping {
+                        attr: "numclass".into(),
+                        expr: Expr::int(12),
+                    },
                     Mapping {
                         attr: "spatialextent".into(),
                         expr: Expr::AnyOf(Box::new(Expr::proj("bands", "spatialextent"))),

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let template = Template {
         assertions: vec![
-            Expr::eq(Expr::Card(Box::new(Expr::Arg("bands".into()))), Expr::int(3)),
+            Expr::eq(
+                Expr::Card(Box::new(Expr::Arg("bands".into()))),
+                Expr::int(3),
+            ),
             Expr::Common(Box::new(Expr::proj("bands", TEMPORAL))),
             Expr::Common(Box::new(Expr::proj("bands", SPATIAL))),
         ],
@@ -50,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     ],
                 ),
             },
-            Mapping { attr: "numclass".into(), expr: Expr::int(4) },
+            Mapping {
+                attr: "numclass".into(),
+                expr: Expr::int(4),
+            },
             Mapping {
                 attr: SPATIAL.into(),
                 expr: Expr::AnyOf(Box::new(Expr::proj("bands", SPATIAL))),
@@ -133,7 +139,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let task = g.task(run.task)?.clone();
     println!("\nrecorded {task}");
     let out = g.object(run.outputs[0])?;
-    let labels = out.attr("data").expect("class map").as_image().expect("image");
+    let labels = out
+        .attr("data")
+        .expect("class map")
+        .as_image()
+        .expect("image");
     println!(
         "classification purity vs ground truth: {:.3}",
         scene.score(labels)

@@ -43,12 +43,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          the only derivation record is the transcript:"
     );
     for entry in gis.transcript()? {
-        println!("  {} = {}({})", entry.output, entry.command, entry.inputs.join(", "));
+        println!(
+            "  {} = {}({})",
+            entry.output,
+            entry.command,
+            entry.inputs.join(", ")
+        );
     }
 
     // ---------------- the Gaea view ---------------------------------------
     let mut g = Gaea::in_memory().with_user("hachem");
-    g.define_class(ClassSpec::base("ndvi").attr("data", TypeTag::Image).doc("annual NDVI"))?;
+    g.define_class(
+        ClassSpec::base("ndvi")
+            .attr("data", TypeTag::Image)
+            .doc("annual NDVI"),
+    )?;
     g.define_class(
         ClassSpec::derived("veg_change")
             .attr("data", TypeTag::Image)
@@ -108,8 +117,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("signature A: {}", g.lineage(a)?.signature());
     println!("signature B: {}", g.lineage(b)?.signature());
 
-    assert!(!g.same_derivation(a, b)?, "the derivations must be distinguishable");
-    assert_eq!(g.ancestors(a)?, g.ancestors(b)?, "built from the same inputs");
+    assert!(
+        !g.same_derivation(a, b)?,
+        "the derivations must be distinguishable"
+    );
+    assert_eq!(
+        g.ancestors(a)?,
+        g.ancestors(b)?,
+        "built from the same inputs"
+    );
     std::fs::remove_dir_all(&dir).ok();
     Ok(())
 }

@@ -45,7 +45,10 @@ fn insert_scene(g: &mut Gaea, fill: f64) -> ObjectId {
                 Value::image(Image::filled(4, 4, PixType::Float8, fill)),
             ),
             (SPATIAL, Value::GeoBox(africa())),
-            (TEMPORAL, Value::AbsTime(AbsTime::from_ymd(1986, 1, 15).unwrap())),
+            (
+                TEMPORAL,
+                Value::AbsTime(AbsTime::from_ymd(1986, 1, 15).unwrap()),
+            ),
         ],
     )
     .unwrap()
@@ -100,15 +103,18 @@ fn references_are_class_checked_at_insert() {
             ],
         )
         .unwrap_err();
-    assert!(err.to_string().contains("must reference class scene"), "{err}");
+    assert!(
+        err.to_string().contains("must reference class scene"),
+        "{err}"
+    );
     // A dangling OID is rejected.
     let err = g
-        .insert_object(
-            "report",
-            vec![("subject", Value::ObjRef(999_999))],
-        )
+        .insert_object("report", vec![("subject", Value::ObjRef(999_999))])
         .unwrap_err();
-    assert!(err.to_string().contains("999999") || err.to_string().contains("oid"), "{err}");
+    assert!(
+        err.to_string().contains("999999") || err.to_string().contains("oid"),
+        "{err}"
+    );
     // A non-reference value in a reference slot is rejected.
     let err = g
         .insert_object("report", vec![("subject", Value::Int4(5))])
@@ -144,7 +150,10 @@ fn self_referencing_revision_chains() {
     // Walk the chain.
     let prev = g.deref_attr(v2, "supersedes").unwrap();
     assert_eq!(prev.id, v1);
-    assert_eq!(prev.attr("summary"), Some(&Value::Text("first pass".into())));
+    assert_eq!(
+        prev.attr("summary"),
+        Some(&Value::Text("first pass".into()))
+    );
     // Both revisions document the same scene.
     assert_eq!(g.deref_attr(v1, "subject").unwrap().id, scene);
     assert_eq!(g.deref_attr(v2, "subject").unwrap().id, scene);

@@ -81,9 +81,15 @@ fn insert_raw(g: &mut Gaea) -> ObjectId {
     g.insert_object(
         "raw",
         vec![
-            ("data", Value::image(Image::filled(4, 4, PixType::Float8, 1.0))),
+            (
+                "data",
+                Value::image(Image::filled(4, 4, PixType::Float8, 1.0)),
+            ),
             (SPATIAL, Value::GeoBox(africa())),
-            (TEMPORAL, Value::AbsTime(AbsTime::from_ymd(1986, 1, 15).unwrap())),
+            (
+                TEMPORAL,
+                Value::AbsTime(AbsTime::from_ymd(1986, 1, 15).unwrap()),
+            ),
         ],
     )
     .unwrap()

@@ -21,7 +21,10 @@ fn kernel_with_rainfall() -> (Gaea, gaea::core::ObjectId) {
         .insert_object(
             "rainfall",
             vec![
-                ("data", Value::image(Image::from_f64(rows, cols, rainfall).unwrap())),
+                (
+                    "data",
+                    Value::image(Image::from_f64(rows, cols, rainfall).unwrap()),
+                ),
                 ("spatialextent", Value::GeoBox(sahara)),
                 (
                     "timestamp",
@@ -38,14 +41,21 @@ fn parameter_distinct_desert_processes() {
     // §2.1.2: 250mm vs 200mm are different processes; their outputs are
     // different classes realizing one concept.
     let (mut g, rain) = kernel_with_rainfall();
-    let r250 = g.run_process("P2_desert_250", &[("rain", vec![rain])]).unwrap();
-    let r200 = g.run_process("P3_desert_200", &[("rain", vec![rain])]).unwrap();
+    let r250 = g
+        .run_process("P2_desert_250", &[("rain", vec![rain])])
+        .unwrap();
+    let r200 = g
+        .run_process("P3_desert_200", &[("rain", vec![rain])])
+        .unwrap();
     let m250 = g.object(r250.outputs[0]).unwrap();
     let m200 = g.object(r200.outputs[0]).unwrap();
     // Different classes, different derivations, both members of the concept.
     assert_ne!(m250.class, m200.class);
     assert!(!g.same_derivation(m250.id, m200.id).unwrap());
-    let concept = g.catalog().concept_by_name("hot_trade_wind_desert").unwrap();
+    let concept = g
+        .catalog()
+        .concept_by_name("hot_trade_wind_desert")
+        .unwrap();
     assert!(concept.has_member(m250.class) && concept.has_member(m200.class));
     // The looser threshold admits at least as many desert pixels.
     let area = |o: &gaea::core::DataObject| {
@@ -85,7 +95,9 @@ fn derivation_dot_reflects_stored_counts() {
 #[test]
 fn lineage_dot_for_derived_mask() {
     let (mut g, rain) = kernel_with_rainfall();
-    let run = g.run_process("P2_desert_250", &[("rain", vec![rain])]).unwrap();
+    let run = g
+        .run_process("P2_desert_250", &[("rain", vec![rain])])
+        .unwrap();
     let dot = g.lineage_dot(run.outputs[0]).unwrap();
     assert!(dot.contains("P2_desert_250"));
     assert!(dot.contains("rainfall"));
@@ -95,11 +107,15 @@ fn lineage_dot_for_derived_mask() {
 #[test]
 fn experiment_comparison_across_scientists() {
     let (mut g, rain) = kernel_with_rainfall();
-    let r1 = g.run_process("P2_desert_250", &[("rain", vec![rain])]).unwrap();
+    let r1 = g
+        .run_process("P2_desert_250", &[("rain", vec![rain])])
+        .unwrap();
     g.record_experiment("sahara_250", "deserts at 250mm", vec![r1.task])
         .unwrap();
     g.set_user("zhang");
-    let r2 = g.run_process("P3_desert_200", &[("rain", vec![rain])]).unwrap();
+    let r2 = g
+        .run_process("P3_desert_200", &[("rain", vec![rain])])
+        .unwrap();
     g.record_experiment("sahara_200", "deserts at 200mm", vec![r2.task])
         .unwrap();
     let diff = g.compare_experiments("sahara_250", "sahara_200").unwrap();

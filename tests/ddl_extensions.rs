@@ -162,8 +162,14 @@ fn lowered_external_process_fires_through_a_site() {
             .map_err(gaea::core::KernelError::from)?;
             let mut out = BTreeMap::new();
             out.insert("data".to_string(), Value::image(img));
-            out.insert("spatialextent".to_string(), nir.attr("spatialextent").cloned().unwrap());
-            out.insert("timestamp".to_string(), nir.attr("timestamp").cloned().unwrap());
+            out.insert(
+                "spatialextent".to_string(),
+                nir.attr("spatialextent").cloned().unwrap(),
+            );
+            out.insert(
+                "timestamp".to_string(),
+                nir.attr("timestamp").cloned().unwrap(),
+            );
             Ok(out)
         })),
     );
@@ -172,7 +178,10 @@ fn lowered_external_process_fires_through_a_site() {
         g.insert_object(
             "tm",
             vec![
-                ("data", Value::image(Image::filled(4, 4, PixType::Float8, fill))),
+                (
+                    "data",
+                    Value::image(Image::filled(4, 4, PixType::Float8, fill)),
+                ),
                 ("spatialextent", Value::GeoBox(africa())),
                 ("timestamp", Value::AbsTime(t)),
             ],

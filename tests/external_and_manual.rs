@@ -38,8 +38,12 @@ fn ndvi_site() -> Arc<SimulatedSite> {
         let nir = &inputs["nir"][0];
         let red = &inputs["red"][0];
         let img = gaea::raster::ndvi(
-            nir.attr("data").and_then(Value::as_image).expect("nir image"),
-            red.attr("data").and_then(Value::as_image).expect("red image"),
+            nir.attr("data")
+                .and_then(Value::as_image)
+                .expect("nir image"),
+            red.attr("data")
+                .and_then(Value::as_image)
+                .expect("red image"),
         )
         .map_err(gaea::core::KernelError::from)?;
         let mut out = BTreeMap::new();
@@ -166,9 +170,15 @@ fn guards_are_checked_locally_before_dispatch() {
         .insert_object(
             "avhrr",
             vec![
-                ("data", Value::image(Image::filled(8, 8, PixType::Float8, 0.2))),
+                (
+                    "data",
+                    Value::image(Image::filled(8, 8, PixType::Float8, 0.2)),
+                ),
                 (SPATIAL, Value::GeoBox(africa())),
-                (TEMPORAL, Value::AbsTime(AbsTime::from_ymd(1989, 6, 1).unwrap())),
+                (
+                    TEMPORAL,
+                    Value::AbsTime(AbsTime::from_ymd(1989, 6, 1).unwrap()),
+                ),
             ],
         )
         .unwrap();
@@ -189,7 +199,10 @@ fn queries_derive_through_reachable_external_sites_only() {
     // Site absent: the planner must not route through the external process.
     let err = g.query(&q).unwrap_err();
     assert!(
-        matches!(err, KernelError::DerivationImpossible(_) | KernelError::NoData(_)),
+        matches!(
+            err,
+            KernelError::DerivationImpossible(_) | KernelError::NoData(_)
+        ),
         "{err}"
     );
     // Site registered: automatic derivation crosses the site boundary.
@@ -286,7 +299,9 @@ fn nonapplicative_tasks_are_recorded_not_computed() {
     let mut g = survey_kernel();
     let scene = insert_band(&mut g, 0.5);
     // Firing is refused, with the procedure quoted.
-    let err = g.run_process("P_field_survey", &[("scene", vec![scene])]).unwrap_err();
+    let err = g
+        .run_process("P_field_survey", &[("scene", vec![scene])])
+        .unwrap_err();
     match &err {
         KernelError::NotAutoFirable { process, reason } => {
             assert_eq!(process, "P_field_survey");
@@ -310,8 +325,14 @@ fn nonapplicative_tasks_are_recorded_not_computed() {
         .unwrap();
     let task = g.task(run.task).unwrap().clone();
     assert_eq!(task.kind, TaskKind::Manual);
-    assert!(task.params["procedure"].as_str().unwrap().contains("quadrats"));
-    assert!(task.params["notes"].as_str().unwrap().contains("dry season"));
+    assert!(task.params["procedure"]
+        .as_str()
+        .unwrap()
+        .contains("quadrats"));
+    assert!(task.params["notes"]
+        .as_str()
+        .unwrap()
+        .contains("dry season"));
     // The observation is a first-class object with lineage.
     let obj = g.object(run.outputs[0]).unwrap();
     assert_eq!(obj.attr("vegetation_pct"), Some(&Value::Float8(37.5)));
@@ -336,7 +357,10 @@ fn nonapplicative_processes_stay_out_of_automatic_derivation() {
     let q = Query::class("site_survey").with_strategy(QueryStrategy::PreferDerivation);
     let err = g.query(&q).unwrap_err();
     assert!(
-        matches!(err, KernelError::DerivationImpossible(_) | KernelError::NoData(_)),
+        matches!(
+            err,
+            KernelError::DerivationImpossible(_) | KernelError::NoData(_)
+        ),
         "{err}"
     );
     // But the full derivation diagram shows the relationship (browsable).

@@ -35,7 +35,10 @@ fn high_level_layer_concept_dag() {
     assert_eq!(members.len(), 4);
     // NDVI maps to {C6} and vegetation change to {C7, C8}.
     assert_eq!(
-        g.catalog().concept_member_classes("ndvi_concept").unwrap().len(),
+        g.catalog()
+            .concept_member_classes("ndvi_concept")
+            .unwrap()
+            .len(),
         1
     );
     assert_eq!(
@@ -70,7 +73,11 @@ fn derivation_layer_links_classes_to_processes() {
     }
     producing.sort();
     producing.dedup();
-    assert_eq!(producing.len(), 4, "four distinct derivations: {producing:?}");
+    assert_eq!(
+        producing.len(),
+        4,
+        "four distinct derivations: {producing:?}"
+    );
 }
 
 #[test]
@@ -158,10 +165,6 @@ fn concept_query_falls_back_across_members() {
         .unwrap();
     assert_eq!(outcome.method, QueryMethod::Derived);
     assert!(!outcome.objects.is_empty());
-    let img: &Image = outcome.objects[0]
-        .attr("data")
-        .unwrap()
-        .as_image()
-        .unwrap();
+    let img: &Image = outcome.objects[0].attr("data").unwrap().as_image().unwrap();
     assert_eq!((img.nrow(), img.ncol()), (12, 12));
 }

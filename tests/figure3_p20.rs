@@ -100,15 +100,15 @@ fn p20_assertions_block_bad_bindings() {
             vec![
                 (
                     "data",
-                    Value::image(
-                        gaea::adt::Image::filled(32, 32, gaea::adt::PixType::Float8, 5.0),
-                    ),
+                    Value::image(gaea::adt::Image::filled(
+                        32,
+                        32,
+                        gaea::adt::PixType::Float8,
+                        5.0,
+                    )),
                 ),
                 ("spatialextent", Value::GeoBox(africa())),
-                (
-                    "timestamp",
-                    Value::AbsTime(AbsTime(t.0 + 86_400 * 90)),
-                ),
+                ("timestamp", Value::AbsTime(AbsTime(t.0 + 86_400 * 90))),
             ],
         )
         .unwrap();

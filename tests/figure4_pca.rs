@@ -89,7 +89,7 @@ fn pca_and_spca_derive_different_objects_from_same_input() {
     let mut bands = scene.bands.clone();
     bands[2] = bands[2].map(gaea::adt::PixType::Float8, |v| v * 100.0);
     let input = Value::Set(bands.into_iter().map(Value::image).collect());
-    let p = r.invoke("pca", &[input.clone()]).unwrap();
+    let p = r.invoke("pca", std::slice::from_ref(&input)).unwrap();
     let s = r.invoke("spca", &[input]).unwrap();
     assert_ne!(p, s, "value identity distinguishes the two derivations");
 }

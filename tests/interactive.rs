@@ -17,8 +17,8 @@ use gaea::core::kernel::{ClassSpec, Gaea, ProcessSpec};
 use gaea::core::task::TaskKind;
 use gaea::core::template::{Expr, Mapping, Template};
 use gaea::core::{KernelError, ObjectId, Query, QueryStrategy};
-use gaea::raster::supervised::{signatures_from_training, TrainingSite};
 use gaea::raster::composite;
+use gaea::raster::supervised::{signatures_from_training, TrainingSite};
 use gaea::workload::{SceneSpec, SyntheticScene};
 
 const SPATIAL: &str = "spatialextent";
@@ -61,7 +61,10 @@ fn supervised_kernel() -> Gaea {
     .unwrap();
     let template = Template {
         assertions: vec![
-            Expr::eq(Expr::Card(Box::new(Expr::Arg("bands".into()))), Expr::int(3)),
+            Expr::eq(
+                Expr::Card(Box::new(Expr::Arg("bands".into()))),
+                Expr::int(3),
+            ),
             Expr::Common(Box::new(Expr::proj("bands", TEMPORAL))),
         ],
         mappings: vec![
@@ -150,14 +153,19 @@ fn interactive_session_end_to_end() {
     let scene = SyntheticScene::generate(SceneSpec::small(42).sized(16, 16));
     let bands = insert_scene(&mut g, &scene);
 
-    let mut session = g.begin_interactive("P_super", &[("bands", bands.clone())]).unwrap();
+    let mut session = g
+        .begin_interactive("P_super", &[("bands", bands.clone())])
+        .unwrap();
     // One point pending, with the composite preview.
     assert_eq!(session.remaining(), 1);
     let point = session.pending().unwrap().clone();
     assert_eq!(point.param, "signatures");
     assert!(point.prompt.contains("training"));
     let preview = g.interaction_preview(&session).unwrap().unwrap();
-    assert!(preview.as_set().is_some(), "composite preview is a band set");
+    assert!(
+        preview.as_set().is_some(),
+        "composite preview is a band set"
+    );
 
     // The scientist answers from the preview.
     let signatures = digitize(&scene, &preview);
@@ -188,7 +196,9 @@ fn interactive_tasks_replay_without_the_scientist() {
     let bands = insert_scene(&mut g, &scene);
     let mut session = g.begin_interactive("P_super", &[("bands", bands)]).unwrap();
     let preview = g.interaction_preview(&session).unwrap().unwrap();
-    session.supply(Value::matrix(digitize(&scene, &preview))).unwrap();
+    session
+        .supply(Value::matrix(digitize(&scene, &preview)))
+        .unwrap();
     let run = g.finish_interactive(session).unwrap();
     g.record_experiment("supervised_jan86", "supervised landcover", vec![run.task])
         .unwrap();
@@ -207,17 +217,17 @@ fn interactive_processes_refuse_automatic_firing() {
     let bands = insert_scene(&mut g, &scene);
     // Direct firing is refused: the process declares interactions.
     let err = g.run_process("P_super", &[("bands", bands)]).unwrap_err();
-    assert!(
-        matches!(err, KernelError::NotAutoFirable { .. }),
-        "{err}"
-    );
+    assert!(matches!(err, KernelError::NotAutoFirable { .. }), "{err}");
     // The automatic query planner must not plan through it either: with
     // P_super the only process into landcover_sup, derivation fails
     // gracefully instead of silently skipping the scientist.
     let q = Query::class("landcover_sup").with_strategy(QueryStrategy::PreferDerivation);
     let err = g.query(&q).unwrap_err();
     assert!(
-        matches!(err, KernelError::DerivationImpossible(_) | KernelError::NoData(_)),
+        matches!(
+            err,
+            KernelError::DerivationImpossible(_) | KernelError::NoData(_)
+        ),
         "{err}"
     );
 }
@@ -227,7 +237,9 @@ fn session_validates_answers_and_completion() {
     let mut g = supervised_kernel();
     let scene = SyntheticScene::generate(SceneSpec::small(5).sized(8, 8));
     let bands = insert_scene(&mut g, &scene);
-    let mut session = g.begin_interactive("P_super", &[("bands", bands.clone())]).unwrap();
+    let mut session = g
+        .begin_interactive("P_super", &[("bands", bands.clone())])
+        .unwrap();
     // Wrong type is rejected, session state unharmed.
     assert!(session.supply(Value::Int4(3)).is_err());
     assert_eq!(session.answered(), 0);
@@ -257,7 +269,9 @@ fn different_answers_are_different_derivations() {
     let scene = SyntheticScene::generate(SceneSpec::small(11).sized(12, 12));
     let bands = insert_scene(&mut g, &scene);
 
-    let mut s1 = g.begin_interactive("P_super", &[("bands", bands.clone())]).unwrap();
+    let mut s1 = g
+        .begin_interactive("P_super", &[("bands", bands.clone())])
+        .unwrap();
     let preview = g.interaction_preview(&s1).unwrap().unwrap();
     let honest = digitize(&scene, &preview);
     s1.supply(Value::matrix(honest.clone())).unwrap();
@@ -266,7 +280,13 @@ fn different_answers_are_different_derivations() {
     // A second scientist mislabels the classes (swaps two signature rows).
     let mut swapped_rows = Matrix::zeros(honest.rows(), honest.cols());
     for r in 0..honest.rows() {
-        let src = if r == 0 { 1 } else if r == 1 { 0 } else { r };
+        let src = if r == 0 {
+            1
+        } else if r == 1 {
+            0
+        } else {
+            r
+        };
         for c in 0..honest.cols() {
             swapped_rows.set(r, c, honest.get(src, c));
         }

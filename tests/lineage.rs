@@ -75,17 +75,26 @@ fn scenario() -> (Gaea, gaea::core::ObjectId, gaea::core::ObjectId) {
 fn two_scientists_same_inputs_different_derivations() {
     let (mut g, o88, o89) = scenario();
     let a = g
-        .run_process("change_by_difference", &[("earlier", vec![o88]), ("later", vec![o89])])
+        .run_process(
+            "change_by_difference",
+            &[("earlier", vec![o88]), ("later", vec![o89])],
+        )
         .unwrap();
     g.set_user("qiu");
     let b = g
-        .run_process("change_by_ratio", &[("earlier", vec![o88]), ("later", vec![o89])])
+        .run_process(
+            "change_by_ratio",
+            &[("earlier", vec![o88]), ("later", vec![o89])],
+        )
         .unwrap();
     let (oa, ob) = (a.outputs[0], b.outputs[0]);
     // Same ancestors, different derivation, different data.
     assert_eq!(g.ancestors(oa).unwrap(), g.ancestors(ob).unwrap());
     assert!(!g.same_derivation(oa, ob).unwrap());
-    assert_ne!(g.object(oa).unwrap().attr("data"), g.object(ob).unwrap().attr("data"));
+    assert_ne!(
+        g.object(oa).unwrap().attr("data"),
+        g.object(ob).unwrap().attr("data")
+    );
     // Signatures carry the process names, so sharing is meaningful.
     let sig_a = g.lineage(oa).unwrap().signature();
     let sig_b = g.lineage(ob).unwrap().signature();
@@ -101,19 +110,28 @@ fn two_scientists_same_inputs_different_derivations() {
 #[test]
 fn identical_reruns_are_detected_as_duplicates() {
     let (mut g, o88, o89) = scenario();
-    g.run_process("change_by_difference", &[("earlier", vec![o88]), ("later", vec![o89])])
-        .unwrap();
+    g.run_process(
+        "change_by_difference",
+        &[("earlier", vec![o88]), ("later", vec![o89])],
+    )
+    .unwrap();
     assert!(g.duplicate_tasks().is_empty());
     // A second scientist repeats the exact derivation.
     g.set_user("qiu");
-    g.run_process("change_by_difference", &[("earlier", vec![o88]), ("later", vec![o89])])
-        .unwrap();
+    g.run_process(
+        "change_by_difference",
+        &[("earlier", vec![o88]), ("later", vec![o89])],
+    )
+    .unwrap();
     let dups = g.duplicate_tasks();
     assert_eq!(dups.len(), 1);
     assert_eq!(dups[0].len(), 2);
     // Swapped arguments are NOT a duplicate (different derivation).
-    g.run_process("change_by_difference", &[("earlier", vec![o89]), ("later", vec![o88])])
-        .unwrap();
+    g.run_process(
+        "change_by_difference",
+        &[("earlier", vec![o89]), ("later", vec![o88])],
+    )
+    .unwrap();
     assert_eq!(g.duplicate_tasks().len(), 1);
 }
 
@@ -122,10 +140,16 @@ fn descendants_answer_impact_queries() {
     // If a base NDVI composite is corrected, which products are affected?
     let (mut g, o88, o89) = scenario();
     let a = g
-        .run_process("change_by_difference", &[("earlier", vec![o88]), ("later", vec![o89])])
+        .run_process(
+            "change_by_difference",
+            &[("earlier", vec![o88]), ("later", vec![o89])],
+        )
         .unwrap();
     let b = g
-        .run_process("change_by_ratio", &[("earlier", vec![o88]), ("later", vec![o89])])
+        .run_process(
+            "change_by_ratio",
+            &[("earlier", vec![o88]), ("later", vec![o89])],
+        )
         .unwrap();
     let mut impacted = g.descendants(o88);
     impacted.sort();
@@ -142,7 +166,10 @@ fn deep_lineage_chains() {
     // change-of-change: derivations stack and the tree reports depth.
     let (mut g, o88, o89) = scenario();
     let a = g
-        .run_process("change_by_difference", &[("earlier", vec![o88]), ("later", vec![o89])])
+        .run_process(
+            "change_by_difference",
+            &[("earlier", vec![o88]), ("later", vec![o89])],
+        )
         .unwrap();
     // Register a second-order process: difference of change maps.
     g.define_process(
@@ -153,12 +180,18 @@ fn deep_lineage_chains() {
     )
     .unwrap();
     let b = g
-        .run_process("change_by_ratio", &[("earlier", vec![o88]), ("later", vec![o89])])
+        .run_process(
+            "change_by_ratio",
+            &[("earlier", vec![o88]), ("later", vec![o89])],
+        )
         .unwrap();
     let cc = g
         .run_process(
             "change_of_change",
-            &[("earlier", vec![a.outputs[0]]), ("later", vec![b.outputs[0]])],
+            &[
+                ("earlier", vec![a.outputs[0]]),
+                ("later", vec![b.outputs[0]]),
+            ],
         )
         .unwrap();
     let tree = g.lineage(cc.outputs[0]).unwrap();

@@ -38,10 +38,7 @@ fn multi_goal_planning_covers_every_goal() {
         ..RandDagSpec::default()
     });
     let marking = rd.base_marking(6);
-    let goals: Vec<(gaea::petri::PlaceId, u64)> = rd.layers[5]
-        .iter()
-        .map(|p| (*p, 1))
-        .collect();
+    let goals: Vec<(gaea::petri::PlaceId, u64)> = rd.layers[5].iter().map(|p| (*p, 1)).collect();
     let plan = plan_derivation_multi(&rd.net, &marking, &goals).unwrap();
     let end = plan.execute(&rd.net, &marking);
     for (goal, need) in goals {

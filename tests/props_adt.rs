@@ -1,7 +1,7 @@
 //! Property-based tests on the system-level layer: value identity, raster
 //! codecs, extents, eigen decomposition, classification invariants.
 
-use gaea::adt::{GeoBox, Image, Matrix, PixType, PixelBuffer, TimeRange, AbsTime, Value};
+use gaea::adt::{AbsTime, GeoBox, Image, Matrix, PixType, PixelBuffer, TimeRange, Value};
 use gaea::raster::{composite, jacobi_eigen, kmeans_classify};
 use proptest::prelude::*;
 

@@ -1,9 +1,11 @@
 //! Property-based tests on the definition language: the pretty-print /
 //! re-parse round trip over generated programs.
 
-use gaea::lang::ast::{ArgItem, ClassItem, ConceptItem, InteractionItem, Item, ProcessItem, Program};
-use gaea::lang::{parse, pretty_program};
 use gaea::core::template::{CmpOp, Expr};
+use gaea::lang::ast::{
+    ArgItem, ClassItem, ConceptItem, InteractionItem, Item, ProcessItem, Program,
+};
+use gaea::lang::{parse, pretty_program};
 use proptest::prelude::*;
 
 fn ident() -> impl Strategy<Value = String> {
@@ -12,7 +14,10 @@ fn ident() -> impl Strategy<Value = String> {
 
 /// Comment text that survives the lexer's trim (no leading/trailing space).
 fn prompt() -> impl Strategy<Value = String> {
-    prop_oneof![Just(String::new()), "[a-z][a-z0-9 ]{0,10}[a-z]".prop_map(|s| s)]
+    prop_oneof![
+        Just(String::new()),
+        "[a-z][a-z0-9 ]{0,10}[a-z]".prop_map(|s| s)
+    ]
 }
 
 /// Site / procedure strings (quoted in the surface syntax).
@@ -43,25 +48,31 @@ fn expr() -> impl Strategy<Value = Expr> {
     leaf_expr().prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
             inner.clone().prop_map(|e| Expr::AnyOf(Box::new(e))),
-            ident().prop_filter("reserved words collide with builtins", |s| {
-                s != "card" && s != "common"
-            })
-            .prop_flat_map(move |op| {
-                prop::collection::vec(inner.clone(), 0..3)
-                    .prop_map(move |args| Expr::Apply { op: op.clone(), args })
-            }),
+            ident()
+                .prop_filter("reserved words collide with builtins", |s| {
+                    s != "card" && s != "common"
+                })
+                .prop_flat_map(move |op| {
+                    prop::collection::vec(inner.clone(), 0..3).prop_map(move |args| Expr::Apply {
+                        op: op.clone(),
+                        args,
+                    })
+                }),
         ]
     })
 }
 
 fn assertion() -> impl Strategy<Value = Expr> {
-    (expr(), expr(), prop_oneof![Just(CmpOp::Eq), Just(CmpOp::Lt), Just(CmpOp::Gt)]).prop_map(
-        |(l, r, op)| Expr::Cmp {
+    (
+        expr(),
+        expr(),
+        prop_oneof![Just(CmpOp::Eq), Just(CmpOp::Lt), Just(CmpOp::Gt)],
+    )
+        .prop_map(|(l, r, op)| Expr::Cmp {
             op,
             lhs: Box::new(l),
             rhs: Box::new(r),
-        },
-    )
+        })
 }
 
 fn class_item() -> impl Strategy<Value = ClassItem> {
@@ -101,18 +112,14 @@ fn class_item() -> impl Strategy<Value = ClassItem> {
 }
 
 fn interaction_item() -> impl Strategy<Value = InteractionItem> {
-    (
-        ident(),
-        type_name(),
-        prop::option::of(expr()),
-        prompt(),
-    )
-        .prop_map(|(param, type_name, preview, prompt)| InteractionItem {
+    (ident(), type_name(), prop::option::of(expr()), prompt()).prop_map(
+        |(param, type_name, preview, prompt)| InteractionItem {
             param,
             type_name,
             preview,
             prompt,
-        })
+        },
+    )
 }
 
 fn process_item() -> impl Strategy<Value = ProcessItem> {

@@ -12,10 +12,8 @@ use gaea::raster::{composite, img_diff, img_ratio, ndvi};
 use proptest::prelude::*;
 
 /// A small multiband stack of bounded, finite samples.
-fn stack_strategy(
-    bands: usize,
-) -> impl Strategy<Value = (u32, u32, Vec<Vec<f64>>)> {
-    ((1u32..6, 1u32..6)).prop_flat_map(move |(r, c)| {
+fn stack_strategy(bands: usize) -> impl Strategy<Value = (u32, u32, Vec<Vec<f64>>)> {
+    (1u32..6, 1u32..6).prop_flat_map(move |(r, c)| {
         let n = (r * c) as usize;
         (
             Just(r),
@@ -214,10 +212,10 @@ proptest! {
 /// the interactive tests.
 #[test]
 fn matrix_params_distinguished_by_content() {
+    use gaea::adt::Value;
     use gaea::core::ids::{ObjectId, ProcessId, TaskId};
     use gaea::core::task::{Task, TaskKind};
     use gaea::store::Oid;
-    use gaea::adt::Value;
     use std::collections::BTreeMap;
 
     let mk = |m: Matrix| {

@@ -178,7 +178,11 @@ fn retrieve_only_never_computes() {
     let q = Query::class("ndvi_smooth").with_strategy(QueryStrategy::RetrieveOnly);
     let err = g.query(&q).unwrap_err();
     assert!(matches!(err, KernelError::NoData(_)));
-    assert_eq!(g.count_objects("ndvi_smooth").unwrap(), 0, "nothing materialized");
+    assert_eq!(
+        g.count_objects("ndvi_smooth").unwrap(),
+        0,
+        "nothing materialized"
+    );
 }
 
 #[test]
