@@ -7,11 +7,43 @@
 //! amortization over k queries. Expected shape: retrieval and the memo
 //! beat re-derivation by orders of magnitude after the first use; the
 //! crossover is immediate (reuse ≥ 1).
+//!
+//! The `invalidation_*` scenarios cover the write side of memoization:
+//! `update_object` cost as recorded history grows (MVCC version counters
+//! make it O(1) in the number of recorded tasks — the curve must stay
+//! flat from 4 to 256 tasks), the cached-hit cost after a long history,
+//! and the full invalidate-then-re-derive cycle. CI condenses these three
+//! into `BENCH_q6_invalidation.json` (see `scripts/bench_summary.sh`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaea_adt::{AbsTime, Image, PixType, Value};
 use gaea_bench::{africa, configure, figure2_kernel, jan86, store_scene};
-use gaea_core::{Query, QueryMethod, QueryStrategy};
+use gaea_core::kernel::Gaea;
+use gaea_core::{ObjectId, Query, QueryMethod, QueryStrategy};
 use std::hint::black_box;
+
+/// A kernel with `tasks` recorded P20 derivations (one per synthetic
+/// scene, each at its own instant) and a warm memo. Returns the first
+/// scene's bands: mutating one of them invalidates exactly one entry, so
+/// the dependent-entry count stays constant while history length varies.
+fn kernel_with_history(tasks: usize) -> (Gaea, Vec<ObjectId>) {
+    let mut g = figure2_kernel();
+    g.enable_memoization(true);
+    let mut first_bands = Vec::new();
+    for i in 0..tasks {
+        let t = AbsTime::from_ymd(1900 + i as i64, 1, 15).expect("valid date");
+        let bands = store_scene(&mut g, "rectified_tm", 6 + i as u64, 8, t);
+        g.run_process(
+            "P20_unsupervised_classification",
+            &[("bands", bands.clone())],
+        )
+        .expect("history derivation");
+        if i == 0 {
+            first_bands = bands;
+        }
+    }
+    (g, first_bands)
+}
 
 fn query() -> Query {
     Query::class("land_cover")
@@ -114,6 +146,60 @@ fn bench(c: &mut Criterion) {
             },
         );
     }
+    // Invalidation scaling: update_object cost against recorded-history
+    // length. One task depends on the touched band at every size, so a
+    // flat curve demonstrates invalidation is O(dependents), not
+    // O(recorded tasks) — the former implementation rebuilt an adjacency
+    // over the entire task history on every update.
+    for tasks in [4usize, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("invalidation_update_object", tasks),
+            &tasks,
+            |b, tasks| {
+                let (mut g, bands) = kernel_with_history(*tasks);
+                let patch = Value::image(Image::filled(8, 8, PixType::Float8, 1.5));
+                b.iter(|| {
+                    g.update_object(bands[0], vec![("data", patch.clone())])
+                        .expect("update");
+                });
+            },
+        );
+    }
+    // Cached hit with a long history behind it (the memo must not slow
+    // down as tasks accumulate).
+    group.bench_function("invalidation_cached_rerun", |b| {
+        let (mut g, bands) = kernel_with_history(64);
+        b.iter(|| {
+            black_box(
+                g.run_process(
+                    "P20_unsupervised_classification",
+                    &[("bands", bands.clone())],
+                )
+                .expect("cache hit"),
+            )
+        });
+        debug_assert!(g.memoization_stats().hits > 0);
+    });
+    // The full cycle: mutate an input (eviction), then re-fire (miss +
+    // re-derivation + re-memoization) — the price of freshness.
+    group.bench_function("invalidation_rederive", |b| {
+        let (mut g, bands) = kernel_with_history(64);
+        let mut fill = 2.0;
+        b.iter(|| {
+            fill += 1.0;
+            let patch = Value::image(Image::filled(8, 8, PixType::Float8, fill));
+            g.update_object(bands[0], vec![("data", patch)])
+                .expect("update");
+            black_box(
+                g.run_process(
+                    "P20_unsupervised_classification",
+                    &[("bands", bands.clone())],
+                )
+                .expect("re-derives"),
+            )
+        });
+    });
+
     // Amortization series: total cost of k queries (1 derive + k-1 hits).
     for k in [1usize, 4, 16] {
         group.bench_with_input(BenchmarkId::new("k_queries_total_32x32", k), &k, |b, k| {

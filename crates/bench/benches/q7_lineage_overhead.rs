@@ -161,6 +161,16 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("ancestors", depth), &depth, |bch, _| {
             bch.iter(|| black_box(g.ancestors(last).expect("set")))
         });
+        // Staleness classification over the same chain: one version
+        // comparison per ancestor task (the MVCC fingerprint check).
+        group.bench_with_input(BenchmarkId::new("is_stale", depth), &depth, |bch, _| {
+            bch.iter(|| black_box(g.is_stale(last)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("staleness_report", depth),
+            &depth,
+            |bch, _| bch.iter(|| black_box(g.staleness_report(last).expect("report"))),
+        );
     }
     group.finish();
 }

@@ -35,6 +35,12 @@ pub struct Catalog {
     concept_names: BTreeMap<String, ConceptId>,
     process_names: BTreeMap<String, ProcessId>,
     experiment_names: BTreeMap<String, ExperimentId>,
+    /// Reverse index object → earliest task that produced it (compound
+    /// umbrellas share outputs with their last step; the step keeps the
+    /// entry). Not serialized — rebuilt via [`Catalog::rebuild_task_index`]
+    /// after a load.
+    #[serde(skip)]
+    produced_by: BTreeMap<ObjectId, TaskId>,
     /// Logical clock for task ordering.
     pub next_seq: u64,
 }
@@ -100,7 +106,38 @@ impl Catalog {
     /// Append a task and bump the logical clock.
     pub fn add_task(&mut self, task: Task) {
         self.next_seq = self.next_seq.max(task.seq + 1);
+        for out in &task.outputs {
+            // First producer wins: a compound umbrella re-lists its last
+            // step's outputs, but the step (added first, lower id) is the
+            // object's real producer.
+            self.produced_by.entry(*out).or_insert(task.id);
+        }
         self.tasks.insert(task.id, task);
+    }
+
+    /// Remove a task record (compound compensation), unlinking it from the
+    /// producer index. Returns the removed task.
+    pub fn remove_task(&mut self, id: TaskId) -> Option<Task> {
+        let task = self.tasks.remove(&id)?;
+        for out in &task.outputs {
+            if self.produced_by.get(out) == Some(&id) {
+                self.produced_by.remove(out);
+            }
+        }
+        Some(task)
+    }
+
+    /// Rebuild the object → producing-task index from the task map. Called
+    /// after deserializing a catalog (the index is not persisted).
+    pub fn rebuild_task_index(&mut self) {
+        self.produced_by.clear();
+        // Iterate in id order so the earliest producer wins, exactly as
+        // incremental `add_task` maintenance would have left it.
+        for (id, task) in &self.tasks {
+            for out in &task.outputs {
+                self.produced_by.entry(*out).or_insert(*id);
+            }
+        }
     }
 
     /// Allocate the next task sequence number.
@@ -205,11 +242,10 @@ impl Catalog {
     }
 
     /// The task that produced an object, if it was derived (base objects
-    /// have none).
+    /// have none). O(log n) through the producer index — staleness
+    /// classification calls this once per ancestor on hot query paths.
     pub fn producing_task(&self, obj: ObjectId) -> Option<&Task> {
-        // Tasks are few relative to objects in our workloads; a reverse map
-        // could be added if this ever profiles hot.
-        self.tasks.values().find(|t| t.produced(obj))
+        self.produced_by.get(&obj).and_then(|id| self.tasks.get(id))
     }
 
     /// All member classes of a concept, including those inherited from

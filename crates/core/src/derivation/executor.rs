@@ -32,6 +32,23 @@ pub struct TaskRun {
     pub outputs: Vec<ObjectId>,
 }
 
+/// The MVCC fingerprint of a binding set: each distinct input object
+/// paired with its current store version. Recorded on the task so later
+/// reads can classify the derivation as current or stale with one integer
+/// comparison per input.
+pub(crate) fn input_versions_of(
+    db: &Database,
+    bindings: &[(String, Vec<ObjectId>)],
+) -> BTreeMap<ObjectId, u64> {
+    let mut out = BTreeMap::new();
+    for (_, objs) in bindings {
+        for o in objs {
+            out.entry(*o).or_insert_with(|| db.object_version(o.0));
+        }
+    }
+    out
+}
+
 /// Load a stored object into its attribute-map form. `Null` columns are
 /// dropped (absent attributes).
 pub fn load_object(db: &Database, catalog: &Catalog, oid: ObjectId) -> KernelResult<DataObject> {
@@ -281,6 +298,10 @@ fn materialize_output(
             )));
         }
     }
+    // Fingerprint the inputs *before* materializing the output: the
+    // output insert bumps the store clock, but the inputs' own versions
+    // are untouched by the firing, so order only matters for clarity.
+    let input_versions = input_versions_of(db, bindings);
     let obj = insert_object(db, catalog, &out_class, attrs)?;
     let task_id = TaskId(db.allocate_oid());
     let seq = catalog.next_task_seq();
@@ -292,6 +313,7 @@ fn materialize_output(
             .iter()
             .map(|(n, objs)| (n.clone(), objs.clone()))
             .collect(),
+        input_versions,
         outputs: vec![obj],
         params: params.clone(),
         seq,
@@ -387,7 +409,7 @@ fn run_external(
 /// (children first — compound steps may themselves be compounds). Used to
 /// keep compound execution atomic when a later step fails.
 fn undo_task(db: &mut Database, catalog: &mut Catalog, task_id: TaskId) {
-    let Some(task) = catalog.tasks.remove(&task_id) else {
+    let Some(task) = catalog.remove_task(task_id) else {
         return;
     };
     for child in &task.children {
@@ -498,6 +520,7 @@ fn run_compound(
             .iter()
             .map(|(n, objs)| (n.clone(), objs.clone()))
             .collect(),
+        input_versions: input_versions_of(db, bindings),
         outputs: outputs.clone(),
         params: BTreeMap::new(),
         seq,

@@ -8,11 +8,18 @@
 //! and outputs without re-validating bindings, re-loading inputs, or
 //! re-evaluating the template.
 //!
-//! Consistency follows the derivation net: when an input object is
-//! mutated (`Gaea::update_object`) or re-derived, every cache entry
-//! reachable from it through input→output edges — the instance-level
-//! projection of the class-level `DerivationNet` — is invalidated
-//! transitively, so no stale derived result is ever served.
+//! Consistency is version-based (MVCC): every entry records the store
+//! version of each input and output object observed at derivation time.
+//! A lookup validates those versions against the live counters —
+//! [`gaea_store::Database::object_version`] — in O(inputs + outputs); an
+//! entry falsified by any mismatch is evicted on the spot and the lookup
+//! misses. Writers therefore pay nothing beyond the store's own version
+//! bump: [`super::Gaea::update_object`] additionally drops the entries
+//! *linked to the written object through the cache's own derivation
+//! edges* (O(dependent entries) — independent of how many tasks the
+//! catalog has recorded), and the lazy version check catches every chain
+//! the eager pass cannot see, e.g. when an intermediate derivation
+//! predates the cache being enabled.
 //!
 //! The cache is **off by default**: with it off, every `run_process`
 //! call records a fresh task, which the §4.2 duplicate-detection service
@@ -29,7 +36,8 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that fell through to execution.
     pub misses: u64,
-    /// Entries removed by invalidation propagation.
+    /// Entries removed by invalidation (eager propagation or a failed
+    /// version check at lookup).
     pub invalidations: u64,
     /// Live entries.
     pub entries: usize,
@@ -41,8 +49,11 @@ struct CacheEntry {
     /// never alias two different bindings.
     canonical: String,
     task: TaskId,
-    inputs: Vec<ObjectId>,
-    outputs: Vec<ObjectId>,
+    /// Inputs with the store version observed when the entry was recorded.
+    inputs: Vec<(ObjectId, u64)>,
+    /// Outputs with the store version observed when the entry was recorded
+    /// (a mutated output falsifies the memo that recorded it).
+    outputs: Vec<(ObjectId, u64)>,
 }
 
 /// Memo table for derivations. See the module docs for semantics.
@@ -52,8 +63,7 @@ pub struct DerivedCache {
     entries: HashMap<u64, CacheEntry>,
     /// Reverse index: input object → keys of entries consuming it.
     by_input: HashMap<ObjectId, BTreeSet<u64>>,
-    /// Reverse index: output object → keys of entries that produced it
-    /// (a mutated output falsifies the memo that recorded it).
+    /// Reverse index: output object → keys of entries that produced it.
     by_output: HashMap<ObjectId, BTreeSet<u64>>,
     hits: u64,
     misses: u64,
@@ -114,12 +124,31 @@ impl DerivedCache {
         (fnv1a(canonical.as_bytes()), canonical)
     }
 
-    /// Look up a memoized firing. Counts a hit or a miss.
-    pub(crate) fn lookup(&mut self, hash: u64, canonical: &str) -> Option<(TaskId, Vec<ObjectId>)> {
+    /// Look up a memoized firing, validating it with `valid` (called with
+    /// the entry's recorded input and output versions). A hit returns the
+    /// recorded task and outputs; an entry the validator rejects is
+    /// evicted (counted as an invalidation) and the lookup misses.
+    pub(crate) fn lookup_where<F>(
+        &mut self,
+        hash: u64,
+        canonical: &str,
+        valid: F,
+    ) -> Option<(TaskId, Vec<ObjectId>)>
+    where
+        F: FnOnce(&[(ObjectId, u64)], &[(ObjectId, u64)]) -> bool,
+    {
         match self.entries.get(&hash) {
             Some(e) if e.canonical == canonical => {
-                self.hits += 1;
-                Some((e.task, e.outputs.clone()))
+                if valid(&e.inputs, &e.outputs) {
+                    self.hits += 1;
+                    Some((e.task, e.outputs.iter().map(|(o, _)| *o).collect()))
+                } else {
+                    // Falsified since it was recorded: drop it and miss.
+                    self.remove_entry(hash);
+                    self.invalidations += 1;
+                    self.misses += 1;
+                    None
+                }
             }
             _ => {
                 self.misses += 1;
@@ -128,22 +157,23 @@ impl DerivedCache {
         }
     }
 
-    /// Record a firing's result.
+    /// Record a firing's result with the input/output store versions
+    /// observed now.
     pub(crate) fn insert(
         &mut self,
         hash: u64,
         canonical: String,
         task: TaskId,
-        inputs: Vec<ObjectId>,
-        outputs: Vec<ObjectId>,
+        inputs: Vec<(ObjectId, u64)>,
+        outputs: Vec<(ObjectId, u64)>,
     ) {
         if !self.enabled {
             return;
         }
-        for input in &inputs {
+        for (input, _) in &inputs {
             self.by_input.entry(*input).or_default().insert(hash);
         }
-        for output in &outputs {
+        for (output, _) in &outputs {
             self.by_output.entry(*output).or_default().insert(hash);
         }
         self.entries.insert(
@@ -157,12 +187,38 @@ impl DerivedCache {
         );
     }
 
+    /// Remove one entry and unlink it from the reverse indexes.
+    fn remove_entry(&mut self, key: u64) -> Option<CacheEntry> {
+        let entry = self.entries.remove(&key)?;
+        for (input, _) in &entry.inputs {
+            if let Some(set) = self.by_input.get_mut(input) {
+                set.remove(&key);
+                if set.is_empty() {
+                    self.by_input.remove(input);
+                }
+            }
+        }
+        for (output, _) in &entry.outputs {
+            if let Some(set) = self.by_output.get_mut(output) {
+                set.remove(&key);
+                if set.is_empty() {
+                    self.by_output.remove(output);
+                }
+            }
+        }
+        Some(entry)
+    }
+
     /// Invalidate every entry that consumed *or produced* `oid` (a
     /// mutated input falsifies derivations downstream of it; a mutated
     /// output falsifies the memo that recorded it), then propagate along
-    /// the instance-level derivation edges: the outputs of each dropped
-    /// entry are themselves dirty for anything derived from them.
-    /// Returns the number of entries removed.
+    /// the cache's own instance-level derivation edges: the outputs of
+    /// each dropped entry are themselves dirty for anything derived from
+    /// them. Cost is proportional to the number of *dependent cache
+    /// entries*, never to the recorded task history; chains running
+    /// through objects the cache holds no entry for are caught lazily by
+    /// the version check in [`DerivedCache::lookup_where`]. Returns the
+    /// number of entries removed.
     pub(crate) fn invalidate_object(&mut self, oid: ObjectId) -> usize {
         let mut removed = 0usize;
         let mut queue: Vec<ObjectId> = vec![oid];
@@ -171,31 +227,14 @@ impl DerivedCache {
             if !seen.insert(dirty) {
                 continue;
             }
-            let mut keys: BTreeSet<u64> = self.by_input.remove(&dirty).unwrap_or_default();
-            keys.extend(self.by_output.remove(&dirty).unwrap_or_default());
+            let mut keys: BTreeSet<u64> = self.by_input.get(&dirty).cloned().unwrap_or_default();
+            keys.extend(self.by_output.get(&dirty).cloned().unwrap_or_default());
             for key in keys {
-                let Some(entry) = self.entries.remove(&key) else {
+                let Some(entry) = self.remove_entry(key) else {
                     continue;
                 };
                 removed += 1;
-                // Unlink from the other objects' index rows.
-                for input in &entry.inputs {
-                    if let Some(set) = self.by_input.get_mut(input) {
-                        set.remove(&key);
-                        if set.is_empty() {
-                            self.by_input.remove(input);
-                        }
-                    }
-                }
-                for output in &entry.outputs {
-                    if let Some(set) = self.by_output.get_mut(output) {
-                        set.remove(&key);
-                        if set.is_empty() {
-                            self.by_output.remove(output);
-                        }
-                    }
-                }
-                queue.extend(entry.outputs.iter().copied());
+                queue.extend(entry.outputs.iter().map(|(o, _)| *o));
             }
         }
         self.invalidations += removed as u64;
@@ -221,6 +260,10 @@ mod tests {
         ObjectId(Oid(n))
     }
 
+    fn versioned(ids: &[u64]) -> Vec<(ObjectId, u64)> {
+        ids.iter().map(|n| (oid(*n), 1)).collect()
+    }
+
     #[test]
     fn canonical_key_is_order_insensitive_within_an_argument() {
         let pid = ProcessId(Oid(9));
@@ -242,17 +285,65 @@ mod tests {
             h1,
             c1,
             TaskId(Oid(500)),
-            vec![oid(1), oid(2)],
-            vec![oid(10)],
+            versioned(&[1, 2]),
+            versioned(&[10]),
         );
         let (h2, c2) =
             DerivedCache::canonical_key(ProcessId(Oid(101)), &[("y".into(), vec![oid(10)])]);
-        cache.insert(h2, c2, TaskId(Oid(501)), vec![oid(10)], vec![oid(20)]);
+        cache.insert(h2, c2, TaskId(Oid(501)), versioned(&[10]), versioned(&[20]));
         assert_eq!(cache.stats().entries, 2);
         // Touching object 1 kills both entries (2 is downstream via 10).
         let removed = cache.invalidate_object(oid(1));
         assert_eq!(removed, 2);
         assert_eq!(cache.stats().entries, 0);
         assert_eq!(cache.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn lookup_evicts_entries_the_validator_rejects() {
+        let mut cache = DerivedCache::new();
+        cache.set_enabled(true);
+        let (h, c) =
+            DerivedCache::canonical_key(ProcessId(Oid(100)), &[("x".into(), vec![oid(1)])]);
+        cache.insert(
+            h,
+            c.clone(),
+            TaskId(Oid(500)),
+            versioned(&[1]),
+            versioned(&[10]),
+        );
+        // Validator accepts: hit.
+        assert!(cache.lookup_where(h, &c, |_, _| true).is_some());
+        assert_eq!(cache.stats().hits, 1);
+        // Validator rejects (as if object 1's version moved on): evicted.
+        assert!(cache.lookup_where(h, &c, |_, _| false).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!(stats.misses, 1);
+        // Gone for good: the next lookup is a plain miss.
+        assert!(cache.lookup_where(h, &c, |_, _| true).is_none());
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn lookup_passes_recorded_versions_to_the_validator() {
+        let mut cache = DerivedCache::new();
+        cache.set_enabled(true);
+        let (h, c) =
+            DerivedCache::canonical_key(ProcessId(Oid(100)), &[("x".into(), vec![oid(1)])]);
+        cache.insert(
+            h,
+            c.clone(),
+            TaskId(Oid(500)),
+            vec![(oid(1), 7)],
+            vec![(oid(10), 9)],
+        );
+        let seen = std::cell::RefCell::new((0u64, 0u64));
+        cache.lookup_where(h, &c, |ins, outs| {
+            *seen.borrow_mut() = (ins[0].1, outs[0].1);
+            true
+        });
+        assert_eq!(*seen.borrow(), (7, 9));
     }
 }

@@ -6,22 +6,82 @@
 //! Firing delegates to `derivation::executor` for atomic template
 //! evaluation; this layer adds the [`super::cache::DerivedCache`] memo in
 //! front of it — a repeated firing with identical canonical bindings
-//! returns the recorded task without re-deriving — and keeps the cache
-//! consistent by propagating invalidation through the derivation history
-//! when an object is updated in place ([`Gaea::update_object`]).
+//! returns the recorded task without re-deriving.
+//!
+//! Consistency between the store and everything derived from it rides on
+//! the store's MVCC version counters. Each task fingerprints the input
+//! versions it consumed; `object_is_stale`/`task_is_stale` classify a
+//! derivation as *current* (every fingerprint still matches the live
+//! counters, transitively) or *stale* (some input was mutated or deleted
+//! since). [`Gaea::update_object`] is O(1) in the recorded history — the
+//! store bump plus cache-edge eviction replace the old transitive walk
+//! over all task records — and [`Gaea::refresh_object`] re-fires a stale
+//! object's producing process to bring it current again.
 
 use super::cache::DerivedCache;
 use super::Gaea;
+use crate::catalog::Catalog;
 use crate::derivation::executor::{self, TaskRun};
 use crate::error::{KernelError, KernelResult};
-use crate::ids::{ObjectId, TaskId};
+use crate::ids::{ObjectId, ProcessId, TaskId};
 use crate::interact::InteractiveSession;
 use crate::object::DataObject;
 use crate::schema::ProcessKind;
 use crate::task::{Task, TaskKind};
 use crate::template::EvalContext;
 use gaea_adt::Value;
+use gaea_store::Database;
 use std::collections::BTreeMap;
+
+/// Staleness memo shared across the classification of many objects (one
+/// query may flag dozens of hits whose derivations share ancestors).
+pub(crate) type StaleMemo = BTreeMap<ObjectId, bool>;
+
+/// Is `obj` a stale derived object? Base objects (no producing task) are
+/// never stale — a mutated base object *is* the current truth. A derived
+/// object is stale when its producing task is ([`task_is_stale`]). Cost
+/// is O(derivation ancestors), independent of total history size.
+pub(crate) fn object_is_stale(
+    db: &Database,
+    catalog: &Catalog,
+    obj: ObjectId,
+    memo: &mut StaleMemo,
+) -> bool {
+    if let Some(&known) = memo.get(&obj) {
+        return known;
+    }
+    // Seed the memo before recursing: derivations are acyclic by
+    // construction, but a corrupted catalog must not hang us.
+    memo.insert(obj, false);
+    let stale = match catalog.producing_task(obj) {
+        None => false,
+        Some(task) => task_is_stale(db, catalog, task, memo),
+    };
+    memo.insert(obj, stale);
+    stale
+}
+
+/// Is this recorded derivation stale? True when any input's live store
+/// version differs from the fingerprint recorded at firing time, or when
+/// any input is itself a stale derived object (the chain case: mutating a
+/// base band falsifies the classification derived from it *and* anything
+/// refined from that classification). Tasks recorded before versioning
+/// existed carry no fingerprints and classify by their inputs alone.
+pub(crate) fn task_is_stale(
+    db: &Database,
+    catalog: &Catalog,
+    task: &Task,
+    memo: &mut StaleMemo,
+) -> bool {
+    for (input, recorded) in &task.input_versions {
+        if db.object_version(input.0) != *recorded {
+            return true;
+        }
+    }
+    task.all_inputs()
+        .into_iter()
+        .any(|input| object_is_stale(db, catalog, input, memo))
+}
 
 impl Gaea {
     // ------------------------------------------------------------------
@@ -65,22 +125,23 @@ impl Gaea {
     /// Overwrite attributes of a stored object in place. Unknown attribute
     /// names are rejected; reference attributes are checked like inserts.
     ///
-    /// Mutating an input retroactively falsifies memoized derivations, so
-    /// every [`DerivedCache`] entry reachable from `oid` through the
-    /// derivation history — direct consumers, and transitively everything
-    /// derived from their outputs — is invalidated before the write
-    /// returns.
+    /// Invalidation is O(1) in the recorded history. The store write bumps
+    /// `oid`'s MVCC version, which by itself falsifies every memoized
+    /// derivation and recorded task that fingerprinted the old version —
+    /// they fail their version check the next time anything consults them.
+    /// The only extra work done here is dropping the [`DerivedCache`]
+    /// entries linked to `oid` through the cache's own input→output edges
+    /// (cost proportional to dependent *cache entries*, never to the
+    /// number of recorded tasks — the old implementation walked the entire
+    /// task history on every update).
     ///
-    /// Scope: only the *memo* is invalidated. Recorded tasks and stored
-    /// derived objects are §2.1.1 history — they faithfully describe the
-    /// derivation that happened — so step-1 retrieval can still return a
-    /// derived object computed from the pre-update value, and
-    /// [`Gaea::reuse_tasks`] can still reuse the recorded task. Making the
-    /// store itself staleness-aware (version counters per object, so
-    /// retrieval and task reuse can detect out-of-date derivations) is a
-    /// ROADMAP item; until then, callers who mutate base data and want
-    /// fresh derivations should query with reuse disabled or re-run the
-    /// process.
+    /// Recorded tasks and stored derived objects are §2.1.1 history — they
+    /// faithfully describe the derivation that happened — so they survive
+    /// the update. But they are no longer silently servable as current:
+    /// step-1 retrieval flags them in [`crate::query::QueryOutcome::stale`],
+    /// [`Gaea::reuse_tasks`] dedup refuses to reuse a stale derivation
+    /// (it re-fires instead), and [`Gaea::refresh_object`] re-derives a
+    /// stale object on demand.
     pub fn update_object(&mut self, oid: ObjectId, attrs: Vec<(&str, Value)>) -> KernelResult<()> {
         let current = self.object(oid)?;
         let class = self.catalog.class(current.class)?.clone();
@@ -89,33 +150,173 @@ impl Gaea {
             merged.insert(name.to_string(), value);
         }
         executor::update_object(&mut self.db, &self.catalog, &class, oid, &merged)?;
-        if self.cache.enabled() {
-            // Instance-level projection of the derivation net: the object
-            // itself plus everything transitively derived from it, from a
-            // single pass over the task history (one input→outputs
-            // adjacency build, not a catalog rescan per visited object).
-            let mut derived_from: BTreeMap<ObjectId, Vec<ObjectId>> = BTreeMap::new();
-            for task in self.catalog.tasks.values() {
-                for input in task.all_inputs() {
-                    derived_from
-                        .entry(input)
-                        .or_default()
-                        .extend(task.outputs.iter().copied());
-                }
+        self.cache.invalidate_object(oid);
+        Ok(())
+    }
+
+    /// Delete a stored object, returning its last state. The store bump
+    /// on deletion advances the object's MVCC version (its counter
+    /// outlives it), so every recorded derivation that consumed it
+    /// classifies as stale from now on, and memo entries linked to it are
+    /// dropped. Task records are history and stay untouched.
+    ///
+    /// Deletion refuses to orphan references: insert and update guarantee
+    /// that reference attributes (§4.3) point at live objects, so an
+    /// object still referenced by a stored `Ref` attribute cannot be
+    /// deleted.
+    pub fn delete_object(&mut self, oid: ObjectId) -> KernelResult<DataObject> {
+        let obj = self.object(oid)?;
+        let class = self.catalog.class(obj.class)?.clone();
+        for other in self.catalog.classes.values() {
+            let ref_cols: Vec<usize> = other
+                .attrs
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.ref_class == Some(obj.class))
+                .map(|(i, _)| i)
+                .collect();
+            if ref_cols.is_empty() {
+                continue;
             }
-            let mut queue = vec![oid];
-            let mut seen = std::collections::BTreeSet::new();
-            while let Some(dirty) = queue.pop() {
-                if !seen.insert(dirty) {
-                    continue;
-                }
-                self.cache.invalidate_object(dirty);
-                if let Some(children) = derived_from.get(&dirty) {
-                    queue.extend(children.iter().copied());
+            let Ok(rel) = self.db.relation(&other.relation_name()) else {
+                continue;
+            };
+            for (holder, tuple) in rel.iter() {
+                for col in &ref_cols {
+                    if tuple.get(*col).as_objref() == Some(oid.raw()) {
+                        return Err(KernelError::Schema(format!(
+                            "cannot delete {oid}: object {} of class {} still references it",
+                            ObjectId(holder),
+                            other.name
+                        )));
+                    }
                 }
             }
         }
-        Ok(())
+        self.db.delete(&class.relation_name(), oid.0)?;
+        self.catalog.object_class.remove(&oid);
+        self.cache.invalidate_object(oid);
+        Ok(obj)
+    }
+
+    // ------------------------------------------------------------------
+    // Staleness classification (MVCC fingerprints)
+    // ------------------------------------------------------------------
+
+    /// Is `obj` a stale derived object — one whose recorded derivation no
+    /// longer matches the store, because an input (direct or transitive)
+    /// was mutated or deleted after the derivation ran? Base objects are
+    /// never stale. O(derivation ancestors).
+    pub fn is_stale(&self, obj: ObjectId) -> bool {
+        let mut memo = StaleMemo::new();
+        object_is_stale(&self.db, &self.catalog, obj, &mut memo)
+    }
+
+    /// Is the recorded derivation still current? `false` means some input
+    /// version drifted from the task's fingerprint (or an input is itself
+    /// stale): the task remains valid *history*, but its outputs no longer
+    /// reflect the store's present state.
+    pub fn task_is_current(&self, id: TaskId) -> KernelResult<bool> {
+        let task = self.catalog.task(id)?;
+        let mut memo = StaleMemo::new();
+        Ok(!task_is_stale(&self.db, &self.catalog, task, &mut memo))
+    }
+
+    /// Re-fire the producing process of a stale (or deleted) derived
+    /// object against the current store, recording a fresh task. Stale
+    /// *inputs* are refreshed first (recursively, each distinct input at
+    /// most once even when several arguments share it), so the new
+    /// derivation consumes current data end to end; inputs that are still
+    /// current are reused as they are. The freshly derived output is
+    /// current ([`Gaea::is_stale`] is `false` for it); the old object and
+    /// task remain on record as history. Calling this on an object that is
+    /// already current (and still stored) returns its recorded derivation
+    /// unchanged.
+    ///
+    /// Errors: base objects have no producing process; manual
+    /// (non-applicative) tasks cannot be re-fired by the system; and
+    /// interpolation tasks are query-driven — re-issue the query instead.
+    pub fn refresh_object(&mut self, obj: ObjectId) -> KernelResult<TaskRun> {
+        let mut refreshed = BTreeMap::new();
+        self.refresh_object_inner(obj, &mut refreshed)
+    }
+
+    /// [`Gaea::refresh_object`] with a per-call memo of already-refreshed
+    /// objects, so a stale input shared by several arguments (or several
+    /// chain levels) re-derives exactly once and every occurrence rebinds
+    /// to the same fresh object.
+    fn refresh_object_inner(
+        &mut self,
+        obj: ObjectId,
+        refreshed: &mut BTreeMap<ObjectId, TaskRun>,
+    ) -> KernelResult<TaskRun> {
+        if let Some(done) = refreshed.get(&obj) {
+            return Ok(done.clone());
+        }
+        let task = match self.catalog.producing_task(obj) {
+            Some(t) => t.clone(),
+            None => {
+                return Err(KernelError::Schema(format!(
+                    "object {obj} is base data; it has no producing process to re-fire"
+                )))
+            }
+        };
+        // No-op only while the object is both still stored and current; a
+        // deleted derived object re-materializes through a fresh firing.
+        let stored = self.catalog.class_of_object(obj).is_ok();
+        if stored && !self.is_stale(obj) {
+            return Ok(TaskRun {
+                task: task.id,
+                outputs: task.outputs.clone(),
+            });
+        }
+        match task.kind {
+            TaskKind::Manual => {
+                return Err(KernelError::NotAutoFirable {
+                    process: task.process_name.clone(),
+                    reason: "non-applicative procedure; record a fresh manual task instead".into(),
+                })
+            }
+            TaskKind::Interpolation => {
+                return Err(KernelError::NotAutoFirable {
+                    process: task.process_name.clone(),
+                    reason: "interpolation is query-driven; re-issue the query to re-interpolate"
+                        .into(),
+                })
+            }
+            _ => {}
+        }
+        // Rebuild the bindings in declared-argument order, refreshing any
+        // stale or deleted input first so the chain re-derives
+        // root-to-leaf.
+        let def = self.catalog.process(task.process)?.clone();
+        let mut owned: Vec<(String, Vec<ObjectId>)> = Vec::with_capacity(def.args.len());
+        for arg in &def.args {
+            let objs = task.inputs.get(&arg.name).cloned().ok_or_else(|| {
+                KernelError::Template(format!(
+                    "task {} lacks recorded input {:?}",
+                    task.id, arg.name
+                ))
+            })?;
+            let mut fresh = Vec::with_capacity(objs.len());
+            for o in objs {
+                let needs_refresh = self.catalog.class_of_object(o).is_err() || self.is_stale(o);
+                if needs_refresh {
+                    let run = self.refresh_object_inner(o, refreshed)?;
+                    fresh.push(*run.outputs.first().ok_or_else(|| {
+                        KernelError::Template(format!(
+                            "refresh of input {o} produced no output object"
+                        ))
+                    })?);
+                } else {
+                    fresh.push(o);
+                }
+            }
+            owned.push((arg.name.clone(), fresh));
+        }
+        let run = self.run_process_owned(task.process, owned)?;
+        refreshed.insert(obj, run.clone());
+        Ok(run)
     }
 
     // ------------------------------------------------------------------
@@ -125,9 +326,12 @@ impl Gaea {
     /// Fire a process by name on explicit bindings.
     ///
     /// With memoization enabled ([`Gaea::enable_memoization`]), a firing
-    /// whose canonical bindings match a live cache entry returns the
-    /// recorded task and outputs without re-deriving; otherwise the firing
-    /// executes and (on success) is memoized.
+    /// whose canonical bindings match a live *and still-valid* cache entry
+    /// returns the recorded task and outputs without re-deriving. Validity
+    /// is an O(inputs + outputs) MVCC check: every store version the entry
+    /// recorded must still match the live counters, and no input may be a
+    /// stale derived object. Otherwise the firing executes and (on
+    /// success) is memoized with the versions observed now.
     pub fn run_process(
         &mut self,
         process: &str,
@@ -138,9 +342,33 @@ impl Gaea {
             .iter()
             .map(|(n, o)| (n.to_string(), o.clone()))
             .collect();
+        self.run_process_owned(pid, owned)
+    }
+
+    /// [`Gaea::run_process`] over owned bindings and a resolved process id
+    /// (shared with [`Gaea::refresh_object`]).
+    pub(crate) fn run_process_owned(
+        &mut self,
+        pid: ProcessId,
+        owned: Vec<(String, Vec<ObjectId>)>,
+    ) -> KernelResult<TaskRun> {
         let key = if self.cache.enabled() {
             let (hash, canonical) = DerivedCache::canonical_key(pid, &owned);
-            if let Some((task, outputs)) = self.cache.lookup(hash, &canonical) {
+            let db = &self.db;
+            let catalog = &self.catalog;
+            let hit = self
+                .cache
+                .lookup_where(hash, &canonical, |inputs, outputs| {
+                    let mut memo = StaleMemo::new();
+                    inputs
+                        .iter()
+                        .chain(outputs)
+                        .all(|(o, v)| db.object_version(o.0) == *v)
+                        && !inputs
+                            .iter()
+                            .any(|(o, _)| object_is_stale(db, catalog, *o, &mut memo))
+                });
+            if let Some((task, outputs)) = hit {
                 return Ok(TaskRun { task, outputs });
             }
             Some((hash, canonical))
@@ -157,9 +385,18 @@ impl Gaea {
             &self.user.clone(),
         )?;
         if let Some((hash, canonical)) = key {
-            let inputs: Vec<ObjectId> = owned.iter().flat_map(|(_, o)| o.iter().copied()).collect();
+            let inputs: Vec<(ObjectId, u64)> = owned
+                .iter()
+                .flat_map(|(_, o)| o.iter().copied())
+                .map(|o| (o, self.db.object_version(o.0)))
+                .collect();
+            let outputs: Vec<(ObjectId, u64)> = run
+                .outputs
+                .iter()
+                .map(|o| (*o, self.db.object_version(o.0)))
+                .collect();
             self.cache
-                .insert(hash, canonical, run.task, inputs, run.outputs.clone());
+                .insert(hash, canonical, run.task, inputs, outputs);
         }
         Ok(run)
     }
@@ -201,11 +438,13 @@ impl Gaea {
         let mut params = BTreeMap::new();
         params.insert("notes".to_string(), Value::Text(notes.into()));
         params.insert("procedure".to_string(), Value::Text(procedure));
+        let input_versions = executor::input_versions_of(&self.db, &owned);
         self.catalog.add_task(Task {
             id: task_id,
             process: def.id,
             process_name: def.name.clone(),
             inputs: owned.into_iter().collect(),
+            input_versions,
             outputs: vec![obj],
             params,
             seq,

@@ -7,14 +7,17 @@
 //! * [`ddl`] — definition-time semantics (§2.1.2–§2.1.4): class, concept
 //!   and process definition with full template validation.
 //! * [`exec`] — execution semantics (§2.1.4, §4.3, §5): object CRUD,
-//!   process firing, manual tasks, interactive sessions, and the
-//!   memoized [`cache::DerivedCache`].
+//!   process firing, manual tasks, interactive sessions, the memoized
+//!   [`cache::DerivedCache`], and MVCC staleness classification
+//!   ([`Gaea::is_stale`] / [`Gaea::refresh_object`]) over the store's
+//!   version counters.
 //! * [`query`] — the §2.1.5 three-step query mechanism: direct retrieval
 //!   → temporal interpolation → planned derivation, staged as
-//!   plan / bind / fire / project.
+//!   plan / bind / fire / project; step-1 answers flag stale derived
+//!   objects rather than serving them silently.
 //! * [`provenance`] — the §2.1.1/§4.2 history services: lineage trees,
 //!   experiment recording and reproduction, duplicate detection, DOT
-//!   export.
+//!   export, and version-drift reports ([`Gaea::staleness_report`]).
 //!
 //! This file holds only the struct, its constructors/accessors, and
 //! catalog persistence; every behavioural method lives in its layer.
@@ -30,6 +33,7 @@ mod tests;
 
 pub use cache::{CacheStats, DerivedCache};
 pub use ddl::{ClassSpec, ProcessSpec};
+pub use provenance::{DriftedInput, StalenessReport, TaskCurrency};
 
 use crate::catalog::Catalog;
 use crate::error::{KernelError, KernelResult};
@@ -157,8 +161,11 @@ impl Gaea {
         let db = gaea_store::snapshot::load(dir)?;
         let raw = std::fs::read_to_string(dir.join("catalog.json"))
             .map_err(|e| KernelError::Store(gaea_store::StoreError::Io(e.to_string())))?;
-        let catalog: Catalog = serde_json::from_str(&raw)
+        let mut catalog: Catalog = serde_json::from_str(&raw)
             .map_err(|e| KernelError::Store(gaea_store::StoreError::Codec(e.to_string())))?;
+        // The object → producing-task index is not persisted; staleness
+        // classification and lineage depend on it.
+        catalog.rebuild_task_index();
         let mut registry = OperatorRegistry::with_builtins();
         gaea_raster::register_raster_ops(&mut registry)
             .expect("raster operator registration is internally consistent");

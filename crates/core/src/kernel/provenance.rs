@@ -11,6 +11,7 @@
 //! `lineage_dot`, `derivation_dot`, experiment comparison) also lives
 //! here, as the §4.2 browsing surface.
 
+use super::exec::{object_is_stale, task_is_stale, StaleMemo};
 use super::Gaea;
 use crate::derivation::executor;
 use crate::derivation::net::DerivationNet;
@@ -24,6 +25,46 @@ use crate::task::{Task, TaskKind};
 use crate::template::{Binding, EvalContext};
 use gaea_adt::Value;
 use std::collections::BTreeMap;
+
+/// One input of a recorded task whose store version no longer matches the
+/// version fingerprinted at derivation time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriftedInput {
+    /// The input object.
+    pub object: ObjectId,
+    /// Version recorded when the task fired.
+    pub recorded: u64,
+    /// The object's current store version.
+    pub current: u64,
+}
+
+/// Currency of one task in a derivation chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskCurrency {
+    /// The task.
+    pub task: TaskId,
+    /// Its process name (stable display handle).
+    pub process: String,
+    /// False if any input drifted here or upstream.
+    pub current: bool,
+    /// Inputs whose live version differs from the recorded fingerprint.
+    pub drifted_inputs: Vec<DriftedInput>,
+}
+
+/// The version-level staleness story of one derived object: its own
+/// classification plus the per-task drift along its derivation chain —
+/// the lineage report enriched with the MVCC metadata that explains *why*
+/// an object is (or is not) current.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StalenessReport {
+    /// The object under examination.
+    pub object: ObjectId,
+    /// True if the object's derivation no longer matches the store.
+    pub stale: bool,
+    /// Producing task of the object and of each derivation ancestor, in
+    /// discovery order (object's own task first). Empty for base data.
+    pub chain: Vec<TaskCurrency>,
+}
 
 impl Gaea {
     // ------------------------------------------------------------------
@@ -53,6 +94,74 @@ impl Gaea {
     /// Duplicate derivations on record.
     pub fn duplicate_tasks(&self) -> Vec<Vec<TaskId>> {
         lineage::duplicate_tasks(&self.catalog)
+    }
+
+    // ------------------------------------------------------------------
+    // Version metadata / staleness reporting
+    // ------------------------------------------------------------------
+
+    /// The staleness story of a derived object: walks its derivation
+    /// chain and compares every task's recorded input-version fingerprint
+    /// with the live store counters. Base objects report an empty chain
+    /// and `stale == false`.
+    pub fn staleness_report(&self, obj: ObjectId) -> KernelResult<StalenessReport> {
+        // Verify the object exists (errors over silently empty reports).
+        self.catalog.class_of_object(obj)?;
+        let mut memo = StaleMemo::new();
+        let mut chain = Vec::new();
+        let mut seen_tasks = std::collections::BTreeSet::new();
+        let mut queue = vec![obj];
+        while let Some(o) = queue.pop() {
+            let Some(task) = self.catalog.producing_task(o) else {
+                continue;
+            };
+            if !seen_tasks.insert(task.id) {
+                continue;
+            }
+            let drifted_inputs: Vec<DriftedInput> = task
+                .input_versions
+                .iter()
+                .filter_map(|(input, recorded)| {
+                    let current = self.db.object_version(input.0);
+                    (current != *recorded).then_some(DriftedInput {
+                        object: *input,
+                        recorded: *recorded,
+                        current,
+                    })
+                })
+                .collect();
+            let current = !task_is_stale(&self.db, &self.catalog, task, &mut memo);
+            chain.push(TaskCurrency {
+                task: task.id,
+                process: task.process_name.clone(),
+                current,
+                drifted_inputs,
+            });
+            queue.extend(task.all_inputs());
+        }
+        Ok(StalenessReport {
+            object: obj,
+            stale: object_is_stale(&self.db, &self.catalog, obj, &mut memo),
+            chain,
+        })
+    }
+
+    /// Every stored derived object that is currently stale — the impact
+    /// set of all mutations since the derivations ran. One pass over the
+    /// task records with a shared staleness memo; outputs repeated across
+    /// tasks (compound umbrellas re-list their last step's) dedup through
+    /// the set.
+    pub fn stale_objects(&self) -> Vec<ObjectId> {
+        let mut memo = StaleMemo::new();
+        let mut out = std::collections::BTreeSet::new();
+        for task in self.catalog.tasks.values() {
+            for output in &task.outputs {
+                if object_is_stale(&self.db, &self.catalog, *output, &mut memo) {
+                    out.insert(*output);
+                }
+            }
+        }
+        out.into_iter().collect()
     }
 
     // ------------------------------------------------------------------
@@ -301,9 +410,21 @@ impl Gaea {
         crate::report::schema_ddl(&self.catalog)
     }
 
-    /// An object's derivation tree as Graphviz DOT.
+    /// An object's derivation tree as Graphviz DOT, with stale derived
+    /// objects (MVCC version drift anywhere in their derivation chain)
+    /// highlighted.
     pub fn lineage_dot(&self, obj: ObjectId) -> KernelResult<String> {
-        crate::report::lineage_dot(&self.catalog, obj)
+        let mut memo = StaleMemo::new();
+        let mut stale = std::collections::BTreeSet::new();
+        if object_is_stale(&self.db, &self.catalog, obj, &mut memo) {
+            stale.insert(obj);
+        }
+        for ancestor in lineage::ancestors(&self.catalog, obj)? {
+            if object_is_stale(&self.db, &self.catalog, ancestor, &mut memo) {
+                stale.insert(ancestor);
+            }
+        }
+        crate::report::lineage_dot(&self.catalog, obj, &stale)
     }
 
     /// The derivation diagram as Graphviz DOT, annotated with current

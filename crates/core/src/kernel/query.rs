@@ -6,18 +6,20 @@
 //! interpolates between bracketing snapshots when the query pins an
 //! instant; step 3 derives:
 //!
-//! * **plan** — [`Gaea::derivation_plan`] builds the filtered Petri-net
+//! * **plan** — `Gaea::derivation_plan` builds the filtered Petri-net
 //!   view of the catalog and backward-chains from the goal class to a
 //!   firing plan;
-//! * **bind** — [`Gaea::binding_candidates`] enumerates admissible input
+//! * **bind** — `Gaea::binding_candidates` enumerates admissible input
 //!   selections per argument (co-temporal `SETOF` groups first, exact
 //!   query-instant matches preferred);
-//! * **fire** — [`Gaea::fire_with_chosen_bindings`] walks the bounded
-//!   candidate product, reusing identical prior tasks when
-//!   [`Gaea::reuse_tasks`] allows and skipping derivations the current
+//! * **fire** — `Gaea::fire_with_chosen_bindings` walks the bounded
+//!   candidate product, reusing identical *current* prior tasks when
+//!   [`Gaea::reuse_tasks`] allows, re-firing *stale* ones (their inputs
+//!   were mutated after derivation), and skipping derivations the current
 //!   plan already consumed;
-//! * **project** — [`Gaea::project_outcome`] re-retrieves the goal class
-//!   so the answer is served from the store exactly like step 1 would.
+//! * **project** — `Gaea::project_outcome` re-retrieves the goal class
+//!   so the answer is served from the store exactly like step 1 would,
+//!   staleness flags included.
 
 use super::Gaea;
 use crate::derivation::executor::{self, TaskRun};
@@ -40,15 +42,23 @@ impl Gaea {
     // ------------------------------------------------------------------
 
     /// Execute a query through retrieval → interpolation → derivation.
+    ///
+    /// Step-1 answers classify every hit against the store's MVCC version
+    /// counters: derived objects whose recorded inputs drifted since
+    /// derivation are still served (they are §2.1.1 history) but listed in
+    /// [`QueryOutcome::stale`] so the caller can
+    /// [`Gaea::refresh_object`](super::Gaea::refresh_object) them.
     pub fn query(&mut self, q: &Query) -> KernelResult<QueryOutcome> {
         let class_names = self.target_classes(q)?;
         // Step 1: direct retrieval.
         let hits = self.retrieve(&class_names, q)?;
         if !hits.is_empty() {
+            let stale = self.flag_stale(&hits);
             return Ok(QueryOutcome {
                 objects: hits,
                 method: QueryMethod::Retrieved,
                 tasks: vec![],
+                stale,
             });
         }
         let steps: &[QueryMethod] = match q.strategy {
@@ -126,6 +136,17 @@ impl Gaea {
         Ok(out)
     }
 
+    /// Classify retrieved objects against the store's version counters;
+    /// returns the stale subset. One staleness memo is shared across all
+    /// hits (their derivations typically share ancestors).
+    fn flag_stale(&self, hits: &[DataObject]) -> Vec<ObjectId> {
+        let mut memo = super::exec::StaleMemo::new();
+        hits.iter()
+            .filter(|o| super::exec::object_is_stale(&self.db, &self.catalog, o.id, &mut memo))
+            .map(|o| o.id)
+            .collect()
+    }
+
     /// Step 2: temporal interpolation. Applicable when the query pins an
     /// instant and a class stores bracketing image snapshots.
     fn try_interpolate(
@@ -199,6 +220,9 @@ impl Gaea {
             let mut inputs = BTreeMap::new();
             inputs.insert("earlier".to_string(), vec![earlier.id]);
             inputs.insert("later".to_string(), vec![later.id]);
+            let mut input_versions = BTreeMap::new();
+            input_versions.insert(earlier.id, self.db.object_version(earlier.id.0));
+            input_versions.insert(later.id, self.db.object_version(later.id.0));
             let mut params = BTreeMap::new();
             params.insert("at".to_string(), Value::AbsTime(t));
             self.catalog.add_task(Task {
@@ -206,6 +230,7 @@ impl Gaea {
                 process: pid,
                 process_name: format!("interpolate_{}", def.name),
                 inputs,
+                input_versions,
                 outputs: vec![obj],
                 params,
                 seq,
@@ -213,10 +238,16 @@ impl Gaea {
                 kind: TaskKind::Interpolation,
                 children: vec![],
             });
+            // The interpolation is fresh, but its bracketing snapshots may
+            // themselves be stale derivations — classify like step 1 does,
+            // so the same object answers consistently however it is served.
+            let objects = vec![self.object(obj)?];
+            let stale = self.flag_stale(&objects);
             return Ok(Some(QueryOutcome {
-                objects: vec![self.object(obj)?],
+                objects,
                 method: QueryMethod::Interpolated,
                 tasks: vec![task_id],
+                stale,
             }));
         }
         Ok(None)
@@ -383,7 +414,10 @@ impl Gaea {
     }
 
     /// Project stage: serve the derived answer through retrieval, exactly
-    /// like step 1 would, so callers observe store-resident objects.
+    /// like step 1 would, so callers observe store-resident objects —
+    /// including the staleness classification, since the projection can
+    /// pick up previously stored (possibly stale) objects alongside the
+    /// freshly derived ones.
     fn project_outcome(
         &self,
         class: &str,
@@ -394,10 +428,12 @@ impl Gaea {
         if hits.is_empty() {
             return Ok(None);
         }
+        let stale = self.flag_stale(&hits);
         Ok(Some(QueryOutcome {
             objects: hits,
             method: QueryMethod::Derived,
             tasks: tasks.to_vec(),
+            stale,
         }))
     }
 
@@ -543,35 +579,60 @@ impl Gaea {
                 if exclude.contains(&key) {
                     // This derivation was already consumed by the current
                     // plan; a repetition must find different inputs.
-                } else if used_keys.contains(&key) {
-                    if self.reuse_tasks {
-                        // Memoization: an identical task exists; reuse it.
-                        if let Some(prior) =
-                            self.catalog.tasks.values().find(|t| t.dedup_key() == key)
-                        {
-                            return Ok(TaskRun {
-                                task: prior.id,
-                                outputs: prior.outputs.clone(),
-                            });
-                        }
-                    }
-                    // Avoid repeating a derivation: try the next binding.
                 } else {
-                    let owned: Vec<(String, Vec<ObjectId>)> = bindings;
-                    match executor::run_process(
-                        &mut self.db,
-                        &mut self.catalog,
-                        &self.registry,
-                        &self.externals,
-                        pid,
-                        &owned,
-                        &self.user.clone(),
-                    ) {
-                        Ok(run) => return Ok(run),
-                        Err(e @ KernelError::AssertionFailed { .. }) => {
-                            last_err = Some(e); // guard rejected: next binding
+                    // Classify any identical prior task against the store's
+                    // version counters: a *current* one can be reused (or at
+                    // least must not be duplicated), a *stale* one is
+                    // history only — re-firing it is not duplication, it is
+                    // the refresh the mutated inputs call for.
+                    let prior_current: Option<(TaskId, Vec<ObjectId>, bool)> =
+                        if used_keys.contains(&key) {
+                            self.catalog
+                                .tasks
+                                .values()
+                                .find(|t| t.dedup_key() == key)
+                                .map(|t| {
+                                    let mut memo = super::exec::StaleMemo::new();
+                                    let stale = super::exec::task_is_stale(
+                                        &self.db,
+                                        &self.catalog,
+                                        t,
+                                        &mut memo,
+                                    );
+                                    (t.id, t.outputs.clone(), !stale)
+                                })
+                        } else {
+                            None
+                        };
+                    match prior_current {
+                        Some((task, outputs, true)) => {
+                            if self.reuse_tasks {
+                                // Memoization: an identical current task
+                                // exists; reuse it.
+                                return Ok(TaskRun { task, outputs });
+                            }
+                            // Reuse is off but the derivation exists and is
+                            // current: avoid repeating it; next binding.
                         }
-                        Err(other) => return Err(other),
+                        _ => {
+                            // No prior task, or the prior is stale.
+                            let owned: Vec<(String, Vec<ObjectId>)> = bindings;
+                            match executor::run_process(
+                                &mut self.db,
+                                &mut self.catalog,
+                                &self.registry,
+                                &self.externals,
+                                pid,
+                                &owned,
+                                &self.user.clone(),
+                            ) {
+                                Ok(run) => return Ok(run),
+                                Err(e @ KernelError::AssertionFailed { .. }) => {
+                                    last_err = Some(e); // guard rejected: next binding
+                                }
+                                Err(other) => return Err(other),
+                            }
+                        }
                     }
                 }
             }

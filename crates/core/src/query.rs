@@ -7,7 +7,7 @@
 //! relationship. Steps 2 and 3 are prioritized according to the user's
 //! needs."
 
-use crate::ids::TaskId;
+use crate::ids::{ObjectId, TaskId};
 use crate::object::DataObject;
 use gaea_adt::{AbsTime, GeoBox, TimeRange};
 use serde::{Deserialize, Serialize};
@@ -123,6 +123,25 @@ pub struct QueryOutcome {
     pub method: QueryMethod,
     /// Tasks recorded while answering (empty for plain retrieval).
     pub tasks: Vec<TaskId>,
+    /// The subset of `objects` that are *stale* derivations: their
+    /// recorded inputs were mutated after derivation (MVCC fingerprint
+    /// drift), so they describe history rather than the store's present
+    /// state. They are served — the paper's step-1 contract — but flagged,
+    /// so callers can decide to [`crate::kernel::Gaea::refresh_object`]
+    /// them. Always empty for freshly computed answers.
+    pub stale: Vec<ObjectId>,
+}
+
+impl QueryOutcome {
+    /// Did the query return any stale derived object?
+    pub fn any_stale(&self) -> bool {
+        !self.stale.is_empty()
+    }
+
+    /// Is a specific returned object flagged stale?
+    pub fn is_stale(&self, obj: ObjectId) -> bool {
+        self.stale.contains(&obj)
+    }
 }
 
 #[cfg(test)]

@@ -33,20 +33,34 @@ pub fn schema_ddl(catalog: &Catalog) -> String {
 }
 
 /// An object's derivation tree as a DOT digraph (objects as ellipses,
-/// tasks as boxes).
-pub fn lineage_dot(catalog: &Catalog, obj: ObjectId) -> KernelResult<String> {
+/// tasks as boxes). Objects in `stale` — derived objects whose recorded
+/// inputs drifted since derivation — render filled khaki with a `(stale)`
+/// label suffix, so version drift is visible right in the lineage
+/// diagram. Pass an empty set for a plain structural rendering.
+pub fn lineage_dot(
+    catalog: &Catalog,
+    obj: ObjectId,
+    stale: &std::collections::BTreeSet<ObjectId>,
+) -> KernelResult<String> {
     let tree = derivation_tree(catalog, obj, 64)?;
     let mut out = String::from("digraph lineage {\n  rankdir=BT;\n");
-    fn walk(node: &DerivationNode, out: &mut String) {
+    fn walk(node: &DerivationNode, stale: &std::collections::BTreeSet<ObjectId>, out: &mut String) {
         let obj_id = node.object.raw();
-        let fill = if node.via.is_none() {
+        let fill = if stale.contains(&node.object) {
+            ", style=filled, fillcolor=khaki"
+        } else if node.via.is_none() {
             ", style=filled, fillcolor=lightgray"
+        } else {
+            ""
+        };
+        let suffix = if stale.contains(&node.object) {
+            " (stale)"
         } else {
             ""
         };
         writeln!(
             out,
-            "  o{obj_id} [label=\"{} : {}\", shape=ellipse{fill}];",
+            "  o{obj_id} [label=\"{} : {}{suffix}\", shape=ellipse{fill}];",
             node.object, node.class_name
         )
         .expect("write to string");
@@ -57,11 +71,11 @@ pub fn lineage_dot(catalog: &Catalog, obj: ObjectId) -> KernelResult<String> {
             writeln!(out, "  k{task_id} -> o{obj_id};").expect("write to string");
             for input in &node.inputs {
                 writeln!(out, "  o{} -> k{task_id};", input.object.raw()).expect("write to string");
-                walk(input, out);
+                walk(input, stale, out);
             }
         }
     }
-    walk(&tree, &mut out);
+    walk(&tree, stale, &mut out);
     out.push_str("}\n");
     Ok(out)
 }
@@ -224,12 +238,25 @@ mod tests {
         let run = g
             .run_process("by_diff", &[("a", vec![a]), ("b", vec![b])])
             .unwrap();
-        let dot = lineage_dot(g.catalog(), run.outputs[0]).unwrap();
+        let dot = lineage_dot(g.catalog(), run.outputs[0], &Default::default()).unwrap();
         assert!(dot.contains("digraph lineage"));
         assert!(dot.contains("by_diff"));
         assert!(dot.contains("lightgray"), "base objects shaded");
+        assert!(!dot.contains("stale"), "nothing flagged without drift");
         // Two base objects feed the task node.
         assert_eq!(dot.matches("-> k").count(), 2);
+    }
+
+    #[test]
+    fn lineage_dot_highlights_stale_objects() {
+        let (mut g, a, b) = kernel_with_history();
+        let run = g
+            .run_process("by_diff", &[("a", vec![a]), ("b", vec![b])])
+            .unwrap();
+        let stale = [run.outputs[0]].into_iter().collect();
+        let dot = lineage_dot(g.catalog(), run.outputs[0], &stale).unwrap();
+        assert!(dot.contains("khaki"), "stale objects shaded khaki");
+        assert!(dot.contains("(stale)"), "stale objects labelled");
     }
 
     #[test]

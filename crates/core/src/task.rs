@@ -47,6 +47,15 @@ pub struct Task {
     pub process_name: String,
     /// Input objects per argument name, in binding order.
     pub inputs: BTreeMap<String, Vec<ObjectId>>,
+    /// Store version of each input object observed when the task fired —
+    /// the derivation's MVCC fingerprint. A recorded derivation is
+    /// *current* while every input's live version still equals its
+    /// fingerprinted one (and every input is itself current); it turns
+    /// *stale* the moment an input is mutated or deleted. Empty on tasks
+    /// recorded before versioning existed: such tasks classify as current
+    /// (nothing recorded to contradict them).
+    #[serde(default)]
+    pub input_versions: BTreeMap<ObjectId, u64>,
     /// Objects generated for the output class.
     pub outputs: Vec<ObjectId>,
     /// Extra parameters outside the template (e.g. the interpolation target
@@ -166,6 +175,7 @@ mod tests {
             process: ProcessId(Oid(7)),
             process_name: "P20".into(),
             inputs,
+            input_versions: BTreeMap::new(),
             outputs: vec![ObjectId(Oid(out))],
             params: BTreeMap::new(),
             seq,

@@ -6,13 +6,13 @@
 //!   bands: `unsuperclassify(composite(bands), 12)` → [`classify`].
 //! * Figure 4 — the *PCA* compound operator network
 //!   (`convert-image-matrix → compute-covariance → get-eigen-vector →
-//!   linear-combination → convert-matrix-image`) → [`pca`], [`eigen`],
+//!   linear-combination → convert-matrix-image`) → [`mod@pca`], [`eigen`],
 //!   [`convert`], plus *SPCA* (standardized PCA, Eastman 1992) for the
 //!   vegetation-change comparison of §2.1.3.
 //! * Figure 5 — *land-change detection*, a compound process chaining
 //!   rectification, classification and SPCA → [`rectify`], [`change`].
 //! * §1 — the two-scientists scenario: NDVI differencing vs ratioing →
-//!   [`ndvi`], [`change`].
+//!   [`mod@ndvi`], [`change`].
 //! * §2.1.5 — *interpolation* as a generic derivation step → [`interp`].
 //! * §4.3 — *supervised classification*, the paper's example of a process
 //!   needing scientist interaction mid-task → [`supervised`] (the kernel's

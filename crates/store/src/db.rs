@@ -8,6 +8,7 @@ use crate::predicate::Predicate;
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 use crate::txn::Txn;
+use crate::version::{StoreSnapshot, VersionMap};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -158,11 +159,13 @@ impl Relation {
     }
 }
 
-/// The embedded database: named relations + a shared OID allocator.
+/// The embedded database: named relations + a shared OID allocator +
+/// MVCC version counters ([`VersionMap`]) stamped on every mutation.
 #[derive(Debug)]
 pub struct Database {
     relations: BTreeMap<String, Relation>,
     allocator: OidAllocator,
+    versions: VersionMap,
 }
 
 impl Database {
@@ -171,6 +174,7 @@ impl Database {
         Database {
             relations: BTreeMap::new(),
             allocator: OidAllocator::new(),
+            versions: VersionMap::default(),
         }
     }
 
@@ -183,12 +187,16 @@ impl Database {
         Ok(())
     }
 
-    /// Drop a relation and all its tuples.
+    /// Drop a relation and all its tuples. Every live object in it gets a
+    /// final version bump — dropping data is a mutation observers of those
+    /// objects must be able to detect.
     pub fn drop_relation(&mut self, name: &str) -> StoreResult<()> {
-        self.relations
+        let rel = self
+            .relations
             .remove(name)
-            .map(|_| ())
-            .ok_or_else(|| StoreError::NoSuchRelation(name.into()))
+            .ok_or_else(|| StoreError::NoSuchRelation(name.into()))?;
+        self.versions.bump_all(name, rel.iter().map(|(oid, _)| oid));
+        Ok(())
     }
 
     /// Borrow a relation.
@@ -215,27 +223,57 @@ impl Database {
         self.allocator.allocate()
     }
 
-    /// Autocommit insert: allocates an OID, validates, inserts.
+    /// Autocommit insert: allocates an OID, validates, inserts, bumps
+    /// the object's and relation's version.
     pub fn insert(&mut self, rel: &str, tuple: Tuple) -> StoreResult<Oid> {
         let oid = self.allocator.allocate();
         self.relation_mut(rel)?.insert(oid, tuple)?;
+        self.versions.bump(rel, oid);
         Ok(oid)
     }
 
     /// Insert under a pre-allocated OID (used by the kernel to give data
     /// objects and their task records the same identifier space).
     pub fn insert_with_oid(&mut self, rel: &str, oid: Oid, tuple: Tuple) -> StoreResult<()> {
-        self.relation_mut(rel)?.insert(oid, tuple)
+        self.relation_mut(rel)?.insert(oid, tuple)?;
+        self.versions.bump(rel, oid);
+        Ok(())
     }
 
-    /// Autocommit delete.
+    /// Autocommit delete. The deleted object's version still advances —
+    /// its counter outlives it, so a validator holding the old version
+    /// sees the mismatch (and OID recycling can never alias versions).
     pub fn delete(&mut self, rel: &str, oid: Oid) -> StoreResult<Tuple> {
-        self.relation_mut(rel)?.delete(oid)
+        let tuple = self.relation_mut(rel)?.delete(oid)?;
+        self.versions.bump(rel, oid);
+        Ok(tuple)
     }
 
-    /// Autocommit update.
+    /// Autocommit update, bumping the object's and relation's version.
     pub fn update(&mut self, rel: &str, oid: Oid, tuple: Tuple) -> StoreResult<Tuple> {
-        self.relation_mut(rel)?.update(oid, tuple)
+        let old = self.relation_mut(rel)?.update(oid, tuple)?;
+        self.versions.bump(rel, oid);
+        Ok(old)
+    }
+
+    /// Current version of an object (0 = never written). O(log n).
+    pub fn object_version(&self, oid: Oid) -> u64 {
+        self.versions.object(oid)
+    }
+
+    /// Current version of a relation (0 = never mutated). O(log n).
+    pub fn relation_version(&self, rel: &str) -> u64 {
+        self.versions.relation(rel)
+    }
+
+    /// The store-wide logical clock (ticks once per mutation).
+    pub fn version_clock(&self) -> u64 {
+        self.versions.clock()
+    }
+
+    /// Capture a point-in-time [`StoreSnapshot`] of all version counters.
+    pub fn store_snapshot(&self) -> StoreSnapshot {
+        self.versions.snapshot()
     }
 
     /// Point lookup.
@@ -265,10 +303,15 @@ impl Database {
     }
 
     /// Restore from snapshot parts.
-    pub(crate) fn from_parts(relations: BTreeMap<String, Relation>, next_oid: u64) -> Database {
+    pub(crate) fn from_parts(
+        relations: BTreeMap<String, Relation>,
+        next_oid: u64,
+        versions: VersionMap,
+    ) -> Database {
         let mut db = Database {
             relations,
             allocator: OidAllocator::resume_after(next_oid.saturating_sub(1)),
+            versions,
         };
         for rel in db.relations.values_mut() {
             rel.rebuild();
@@ -279,6 +322,11 @@ impl Database {
     /// Snapshot parts (relation map).
     pub(crate) fn relations(&self) -> &BTreeMap<String, Relation> {
         &self.relations
+    }
+
+    /// Snapshot parts (version counters).
+    pub(crate) fn versions(&self) -> &VersionMap {
+        &self.versions
     }
 }
 
@@ -414,6 +462,67 @@ mod tests {
         rel.create_index("numclass").unwrap();
         assert!(rel.create_index("numclass").is_err());
         assert!(rel.index_lookup("area", &Value::Int4(0)).is_err());
+    }
+
+    #[test]
+    fn versions_bump_on_insert_update_delete() {
+        let mut db = db_with_rel();
+        assert_eq!(db.relation_version("landcover"), 0);
+        assert_eq!(db.version_clock(), 0);
+        let oid = db.insert("landcover", t("africa", 12)).unwrap();
+        let v_insert = db.object_version(oid);
+        assert!(v_insert > 0);
+        assert_eq!(db.relation_version("landcover"), v_insert);
+        db.update("landcover", oid, t("africa", 10)).unwrap();
+        let v_update = db.object_version(oid);
+        assert!(v_update > v_insert);
+        db.delete("landcover", oid).unwrap();
+        let v_delete = db.object_version(oid);
+        assert!(
+            v_delete > v_update,
+            "deletion must advance the object version"
+        );
+        assert_eq!(db.relation_version("landcover"), v_delete);
+        assert_eq!(db.version_clock(), 3);
+        // A failing write does not tick the clock.
+        assert!(db
+            .insert("landcover", Tuple::new(vec![Value::Int4(1)]))
+            .is_err());
+        assert_eq!(db.version_clock(), 3);
+    }
+
+    #[test]
+    fn untouched_objects_keep_their_version() {
+        let mut db = db_with_rel();
+        let a = db.insert("landcover", t("africa", 1)).unwrap();
+        let b = db.insert("landcover", t("asia", 2)).unwrap();
+        let va = db.object_version(a);
+        db.update("landcover", b, t("asia", 3)).unwrap();
+        assert_eq!(db.object_version(a), va, "a was not touched");
+        assert!(db.object_version(b) > va);
+    }
+
+    #[test]
+    fn store_snapshot_captures_and_freezes_counters() {
+        let mut db = db_with_rel();
+        let oid = db.insert("landcover", t("africa", 1)).unwrap();
+        let snap = db.store_snapshot();
+        db.update("landcover", oid, t("africa", 2)).unwrap();
+        assert_eq!(snap.object_version(oid), 1);
+        assert_eq!(db.object_version(oid), 2);
+        assert_eq!(snap.relation_version("landcover"), 1);
+        assert_eq!(db.relation_version("landcover"), 2);
+    }
+
+    #[test]
+    fn drop_relation_bumps_every_live_object() {
+        let mut db = db_with_rel();
+        let a = db.insert("landcover", t("africa", 1)).unwrap();
+        let b = db.insert("landcover", t("asia", 2)).unwrap();
+        let before = (db.object_version(a), db.object_version(b));
+        db.drop_relation("landcover").unwrap();
+        assert!(db.object_version(a) > before.0);
+        assert!(db.object_version(b) > before.1);
     }
 
     #[test]

@@ -11,9 +11,13 @@
 //!   overlap — the retrieval primitives §2.1.5 step 1 needs,
 //! * ordered secondary [`index::OrderedIndex`]es,
 //! * undo-log [`txn::Txn`] transactions (rollback restores exactly the
-//!   pre-transaction state), and
+//!   pre-transaction state),
 //! * whole-database [`snapshot`] persistence (JSON manifest; image payloads
-//!   ride along through serde).
+//!   ride along through serde), and
+//! * MVCC [`version`] counters: every mutation stamps the touched object
+//!   and relation with a fresh logical-clock value, so consumers can
+//!   validate memoized derived results in O(1) per input instead of
+//!   walking history ([`version::StoreSnapshot`]).
 //!
 //! See DESIGN.md §1 for why this substitution preserves the paper's
 //! behaviour: the kernel only ever touches the store through these
@@ -29,6 +33,7 @@ pub mod schema;
 pub mod snapshot;
 pub mod tuple;
 pub mod txn;
+pub mod version;
 
 pub use db::{Database, Relation};
 pub use error::{StoreError, StoreResult};
@@ -37,3 +42,4 @@ pub use predicate::Predicate;
 pub use schema::{Field, Schema};
 pub use tuple::Tuple;
 pub use txn::Txn;
+pub use version::StoreSnapshot;

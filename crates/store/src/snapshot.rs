@@ -12,6 +12,7 @@
 
 use crate::db::{Database, Relation};
 use crate::error::{StoreError, StoreResult};
+use crate::version::VersionMap;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fs;
@@ -26,9 +27,15 @@ struct Manifest {
     next_oid: u64,
     /// All relations.
     relations: BTreeMap<String, Relation>,
+    /// MVCC version counters (format v2; a v1 manifest loads with fresh
+    /// counters — conservative, since nothing recorded against them yet).
+    #[serde(default)]
+    versions: VersionMap,
 }
 
-const SNAPSHOT_VERSION: u32 = 1;
+/// Current format: 2 (v1 + persisted version counters). v1 manifests
+/// still load; their counters start fresh.
+const SNAPSHOT_VERSION: u32 = 2;
 
 /// Write the database to `dir/manifest.json` (creates `dir` if needed).
 pub fn save(db: &Database, dir: &Path) -> StoreResult<()> {
@@ -37,6 +44,7 @@ pub fn save(db: &Database, dir: &Path) -> StoreResult<()> {
         version: SNAPSHOT_VERSION,
         next_oid: db.allocator_peek(),
         relations: db.relations().clone(),
+        versions: db.versions().clone(),
     };
     let json = serde_json::to_string(&manifest).map_err(|e| StoreError::Codec(e.to_string()))?;
     // Write-then-rename for atomicity against torn writes.
@@ -52,13 +60,17 @@ pub fn load(dir: &Path) -> StoreResult<Database> {
     let raw = fs::read_to_string(dir.join("manifest.json"))?;
     let manifest: Manifest =
         serde_json::from_str(&raw).map_err(|e| StoreError::Codec(e.to_string()))?;
-    if manifest.version != SNAPSHOT_VERSION {
+    if manifest.version == 0 || manifest.version > SNAPSHOT_VERSION {
         return Err(StoreError::Codec(format!(
-            "snapshot version {} unsupported (expected {SNAPSHOT_VERSION})",
+            "snapshot version {} unsupported (expected 1..={SNAPSHOT_VERSION})",
             manifest.version
         )));
     }
-    Ok(Database::from_parts(manifest.relations, manifest.next_oid))
+    Ok(Database::from_parts(
+        manifest.relations,
+        manifest.next_oid,
+        manifest.versions,
+    ))
 }
 
 #[cfg(test)]
@@ -115,6 +127,55 @@ mod tests {
         // OID allocation continues past the snapshot point.
         let next = back.allocate_oid();
         assert!(next > oid);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_counters_survive_save_load() {
+        let mut db = Database::new();
+        db.create_relation(
+            "objects",
+            Schema::new(vec![Field::required("v", TypeTag::Int4)]).unwrap(),
+        )
+        .unwrap();
+        let a = db
+            .insert("objects", Tuple::new(vec![Value::Int4(1)]))
+            .unwrap();
+        let b = db
+            .insert("objects", Tuple::new(vec![Value::Int4(2)]))
+            .unwrap();
+        db.update("objects", a, Tuple::new(vec![Value::Int4(3)]))
+            .unwrap();
+        db.delete("objects", b).unwrap();
+        let dir = tempdir("vers");
+        save(&db, &dir).unwrap();
+        let mut back = load(&dir).unwrap();
+        // Exact counters survive — including the deleted object's.
+        assert_eq!(back.object_version(a), db.object_version(a));
+        assert_eq!(back.object_version(b), db.object_version(b));
+        assert_eq!(
+            back.relation_version("objects"),
+            db.relation_version("objects")
+        );
+        assert_eq!(back.version_clock(), db.version_clock());
+        // And the clock keeps moving forward after the reload.
+        back.update("objects", a, Tuple::new(vec![Value::Int4(4)]))
+            .unwrap();
+        assert!(back.object_version(a) > db.object_version(a));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_manifest_loads_with_fresh_counters() {
+        let dir = tempdir("v1");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("manifest.json"),
+            r#"{"version":1,"next_oid":1,"relations":{}}"#,
+        )
+        .unwrap();
+        let db = load(&dir).unwrap();
+        assert_eq!(db.version_clock(), 0);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -5,6 +5,13 @@
 //! nothing (a failing assertion mid-plan must not leave half-derived
 //! state). [`Txn`] records inverse operations and applies them in reverse
 //! on rollback; uncommitted transactions roll back automatically on drop.
+//!
+//! Every logged operation and every inverse applied on rollback goes
+//! through the [`Database`] write path, so MVCC version counters advance
+//! for both. A rolled-back object therefore carries a *newer* version
+//! than before the transaction even though its content is restored —
+//! conservative for validators (needless re-derivation at worst, never a
+//! stale result).
 
 use crate::db::Database;
 use crate::error::StoreResult;
@@ -236,6 +243,36 @@ mod tests {
         assert_eq!(db.get("objects", a).unwrap().get(0), &Value::Int4(10));
         assert_eq!(db.get("objects", b).unwrap().get(0), &Value::Int4(20));
         assert_eq!(db.relation("objects").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn committed_writes_bump_versions_once() {
+        let mut db = db();
+        let oid;
+        {
+            let mut txn = db.begin();
+            oid = txn.insert("objects", t(5)).unwrap();
+            txn.update("objects", oid, t(6)).unwrap();
+            txn.commit();
+        }
+        assert_eq!(db.object_version(oid), 2);
+        assert_eq!(db.relation_version("objects"), 2);
+    }
+
+    #[test]
+    fn rollback_advances_versions_despite_restoring_content() {
+        let mut db = db();
+        let keep = db.insert("objects", t(1)).unwrap();
+        let v_before = db.object_version(keep);
+        {
+            let mut txn = db.begin();
+            txn.update("objects", keep, t(99)).unwrap();
+            txn.rollback();
+        }
+        // Content is back, but the version only moved forward: a consumer
+        // that observed the mid-transaction value can never revalidate.
+        assert_eq!(db.get("objects", keep).unwrap().get(0), &Value::Int4(1));
+        assert!(db.object_version(keep) > v_before);
     }
 
     #[test]

@@ -295,6 +295,26 @@ impl Criterion {
             format_ns(mean),
             sorted.len()
         );
+        // Machine-readable trail for CI perf tracking: when
+        // GAEA_BENCH_JSON names a file, append one JSON object per
+        // benchmark (JSONL). Group/id strings come from source literals,
+        // so no escaping is needed.
+        if let Ok(path) = std::env::var("GAEA_BENCH_JSON") {
+            if !path.is_empty() {
+                use std::io::Write as _;
+                if let Ok(mut f) = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                {
+                    let _ = writeln!(
+                        f,
+                        "{{\"group\":\"{group}\",\"id\":\"{id}\",\"median_ns\":{median:.1},\"mean_ns\":{mean:.1},\"samples\":{}}}",
+                        sorted.len()
+                    );
+                }
+            }
+        }
     }
 }
 

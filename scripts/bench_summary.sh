@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Produce a machine-readable summary of the q6 invalidation benchmarks.
+#
+# Runs the q6_memoization bench once (the workspace-local criterion
+# harness is already configured for short runs: 10 samples, ~1 s windows)
+# with GAEA_BENCH_JSON pointed at a JSONL trail, then condenses the
+# `invalidation_*` scenarios — cached hit, update_object invalidation at
+# several recorded-history sizes, and the invalidate-then-re-derive cycle
+# — into a single JSON document for the CI artifact trail.
+#
+# Usage: scripts/bench_summary.sh [output.json]
+set -euo pipefail
+
+out="${1:-BENCH_q6_invalidation.json}"
+jsonl="$(mktemp)"
+trap 'rm -f "$jsonl"' EXIT
+
+GAEA_BENCH_JSON="$jsonl" cargo bench --bench q6_memoization >/dev/null
+
+scenarios="$(grep '"id":"invalidation' "$jsonl" | sed 's/^/    /' | sed '$!s/$/,/' || true)"
+if [ -z "$scenarios" ]; then
+    echo "bench_summary: no invalidation scenarios captured" >&2
+    exit 1
+fi
+
+{
+    echo '{'
+    echo '  "bench": "q6_memoization",'
+    echo "  \"commit\": \"${GITHUB_SHA:-unknown}\","
+    echo "  \"timestamp\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo '  "unit": "ns",'
+    echo '  "scenarios": ['
+    printf '%s\n' "$scenarios"
+    echo '  ]'
+    echo '}'
+} >"$out"
+
+echo "bench_summary: wrote $out ($(grep -c '"id"' "$out") scenarios)"

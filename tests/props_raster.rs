@@ -226,6 +226,7 @@ fn matrix_params_distinguished_by_content() {
             process: ProcessId(Oid(2)),
             process_name: "P_super".into(),
             inputs: BTreeMap::new(),
+            input_versions: BTreeMap::new(),
             outputs: vec![ObjectId(Oid(3))],
             params,
             seq: 1,
