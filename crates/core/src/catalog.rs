@@ -207,6 +207,15 @@ impl Catalog {
         self.process(*id)
     }
 
+    /// Declared cost hint of a process (`COST oldest` / `COST newest` on
+    /// its definition), consulted by the query mechanism's bind stage when
+    /// the query itself declares none. `None` for unknown processes and
+    /// processes without a declared hint alike — absence simply leaves the
+    /// bind stage on its heuristic.
+    pub fn cost_hint(&self, id: ProcessId) -> Option<crate::query::CostHint> {
+        self.processes.get(&id).and_then(|p| p.cost)
+    }
+
     /// Experiment by name.
     pub fn experiment_by_name(&self, name: &str) -> KernelResult<&Experiment> {
         let id = self
@@ -327,6 +336,7 @@ mod tests {
             template: Template::default(),
             kind: ProcessKind::Primitive,
             interactions: vec![],
+            cost: None,
             doc: String::new(),
         };
         cat.add_process(p).unwrap();

@@ -145,6 +145,7 @@ mod tests {
             template: Template::default(),
             kind: ProcessKind::Primitive,
             interactions: vec![],
+            cost: None,
             doc: String::new(),
         })
         .unwrap();
@@ -160,6 +161,7 @@ mod tests {
             template: Template::default(),
             kind: ProcessKind::Primitive,
             interactions: vec![],
+            cost: None,
             doc: String::new(),
         })
         .unwrap();
@@ -172,6 +174,7 @@ mod tests {
             template: Template::default(),
             kind: ProcessKind::Compound(vec![]),
             interactions: vec![],
+            cost: None,
             doc: String::new(),
         })
         .unwrap();

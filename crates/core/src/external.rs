@@ -178,6 +178,7 @@ mod tests {
             template: Template::default(),
             kind: ProcessKind::External { site: site.into() },
             interactions: vec![],
+            cost: None,
             doc: String::new(),
         }
     }

@@ -160,6 +160,7 @@ mod tests {
                     expected: TypeTag::Float8,
                 },
             ],
+            cost: None,
             doc: String::new(),
         }
     }

@@ -12,6 +12,7 @@
 use super::Gaea;
 use crate::error::{KernelError, KernelResult};
 use crate::ids::{ClassId, ConceptId, ProcessId};
+use crate::query::CostHint;
 use crate::schema::{
     AttrDef, ClassDef, ClassKind, CompoundStep, Concept, InteractionPoint, ProcessArg, ProcessDef,
     ProcessKind, StepSource,
@@ -101,6 +102,9 @@ pub struct ProcessSpec {
     pub template: Template,
     /// Interaction points (§4.3 extension), in consultation order.
     pub interactions: Vec<InteractionPoint>,
+    /// Declared cost hint for the bind stage (`COST oldest` / `COST
+    /// newest`); `None` keeps the built-in binding heuristic.
+    pub cost: Option<CostHint>,
     /// Documentation.
     pub doc: String,
 }
@@ -114,6 +118,7 @@ impl ProcessSpec {
             args: vec![],
             template: Template::default(),
             interactions: vec![],
+            cost: None,
             doc: String::new(),
         }
     }
@@ -164,6 +169,13 @@ impl ProcessSpec {
             preview: Some(preview),
             expected,
         });
+        self
+    }
+
+    /// Declare the bind-stage cost hint queries fall back to when they do
+    /// not carry a `DERIVE COST …` of their own.
+    pub fn cost_hint(mut self, hint: CostHint) -> ProcessSpec {
+        self.cost = Some(hint);
         self
     }
 
@@ -355,6 +367,7 @@ impl Gaea {
             template: spec.template,
             kind: ProcessKind::Primitive,
             interactions: spec.interactions,
+            cost: spec.cost,
             doc: spec.doc,
         })?;
         Ok(id)
@@ -436,6 +449,7 @@ impl Gaea {
                 procedure: procedure.into(),
             },
             interactions: vec![],
+            cost: None,
             doc: doc.into(),
         })?;
         Ok(id)
@@ -536,6 +550,7 @@ impl Gaea {
             template: Template::default(),
             kind: ProcessKind::Compound(step_defs),
             interactions: vec![],
+            cost: None,
             doc: doc.into(),
         })?;
         Ok(id)

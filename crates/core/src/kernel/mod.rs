@@ -14,7 +14,13 @@
 //! * [`query`] — the §2.1.5 three-step query mechanism: direct retrieval
 //!   → temporal interpolation → planned derivation, staged as
 //!   plan / bind / fire / project; step-1 answers flag stale derived
-//!   objects rather than serving them silently.
+//!   objects rather than serving them silently. The stages take their
+//!   parameters from the declarative [`crate::query::Query`] plan —
+//!   attribute predicates, projection, `USING` process pinning,
+//!   [`crate::query::CostHint`] binding order, and `FRESH` refusal of
+//!   stale answers — which `gaea-lang` compiles from the paper's
+//!   `RETRIEVE … FROM … WHERE …` surface syntax (the `Retrieve` extension
+//!   trait there puts a `retrieve(&str)` façade on [`Gaea`]).
 //! * [`provenance`] — the §2.1.1/§4.2 history services: lineage trees,
 //!   experiment recording and reproduction, duplicate detection, DOT
 //!   export, and version-drift reports ([`Gaea::staleness_report`]).

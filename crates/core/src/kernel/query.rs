@@ -20,6 +20,15 @@
 //! * **project** — `Gaea::project_outcome` re-retrieves the goal class
 //!   so the answer is served from the store exactly like step 1 would,
 //!   staleness flags included.
+//!
+//! The declarative `RETRIEVE … WHERE …` surface (`gaea-lang`) lowers onto
+//! these stages: WHERE attribute predicates join the step-1 retrieval
+//! filter (and the planner's goal marking), `DERIVE USING p` pins the
+//! goal's producer in the plan stage, `DERIVE COST oldest|newest`
+//! overrides the bind stage's candidate ordering (falling back to the
+//! fired process's declared `COST`, then to the heuristic), `FRESH`
+//! re-fires stale step-1 hits instead of serving flagged history, and the
+//! projection prunes returned attributes after every stage has run.
 
 use super::Gaea;
 use crate::derivation::executor::{self, TaskRun};
@@ -27,7 +36,9 @@ use crate::derivation::net::DerivationNet;
 use crate::error::{KernelError, KernelResult};
 use crate::ids::{ClassId, ObjectId, ProcessId, TaskId};
 use crate::object::{DataObject, SPATIAL_ATTR, TEMPORAL_ATTR};
-use crate::query::{Query, QueryMethod, QueryOutcome, QueryStrategy, QueryTarget, TimeSel};
+use crate::query::{
+    AttrCmp, Query, QueryMethod, QueryOutcome, QueryStrategy, QueryTarget, TimeSel,
+};
 use crate::schema::{ClassDef, ProcessArg, ProcessDef, ProcessKind};
 use crate::task::{Task, TaskKind};
 use crate::template::Template;
@@ -50,16 +61,20 @@ impl Gaea {
     /// [`Gaea::refresh_object`](super::Gaea::refresh_object) them.
     pub fn query(&mut self, q: &Query) -> KernelResult<QueryOutcome> {
         let class_names = self.target_classes(q)?;
+        self.validate_query(&class_names, q)?;
         // Step 1: direct retrieval.
         let hits = self.retrieve(&class_names, q)?;
         if !hits.is_empty() {
             let stale = self.flag_stale(&hits);
-            return Ok(QueryOutcome {
-                objects: hits,
-                method: QueryMethod::Retrieved,
-                tasks: vec![],
-                stale,
-            });
+            return self.finish_outcome(
+                QueryOutcome {
+                    objects: hits,
+                    method: QueryMethod::Retrieved,
+                    tasks: vec![],
+                    stale,
+                },
+                q,
+            );
         }
         let steps: &[QueryMethod] = match q.strategy {
             QueryStrategy::RetrieveOnly => &[],
@@ -76,7 +91,7 @@ impl Gaea {
                 QueryMethod::Retrieved => unreachable!("retrieval ran first"),
             };
             match attempt {
-                Ok(Some(outcome)) => return Ok(outcome),
+                Ok(Some(outcome)) => return self.finish_outcome(outcome, q),
                 Ok(None) => failures.push(format!("{step:?}: not applicable")),
                 Err(e) => failures.push(format!("{step:?}: {e}")),
             }
@@ -89,6 +104,124 @@ impl Gaea {
                 failures.join("; ")
             }
         )))
+    }
+
+    /// Validate the declarative parts of a query against the catalog
+    /// before any stage runs: attribute predicates must name attributes
+    /// every target class carries (extents included) *at the predicate
+    /// constant's own type* — a cross-type comparison would silently
+    /// match nothing — projections must name known attributes, and a
+    /// pinned `USING` process must exist and produce a target class.
+    fn validate_query(&self, classes: &[String], q: &Query) -> KernelResult<()> {
+        for name in classes {
+            let def = self.catalog.class_by_name(name)?;
+            for pred in &q.attr_preds {
+                let Some(attr) = def.attr(&pred.attr) else {
+                    return Err(KernelError::Schema(format!(
+                        "query predicate on unknown attribute {:?} of class {}",
+                        pred.attr, def.name
+                    )));
+                };
+                if attr.tag != pred.value.type_tag() {
+                    return Err(KernelError::Schema(format!(
+                        "query predicate compares attribute {:?} of class {} ({}) \
+                         against a {} constant",
+                        pred.attr,
+                        def.name,
+                        attr.tag,
+                        pred.value.type_tag()
+                    )));
+                }
+            }
+            for attr in &q.projection {
+                if def.attr(attr).is_none() {
+                    return Err(KernelError::Schema(format!(
+                        "query projects unknown attribute {attr:?} of class {}",
+                        def.name
+                    )));
+                }
+            }
+        }
+        if let Some(pname) = &q.using_process {
+            let pdef = self.catalog.process_by_name(pname)?;
+            let out = self.catalog.class(pdef.output)?;
+            if !classes.contains(&out.name) {
+                return Err(KernelError::Schema(format!(
+                    "USING process {pname} derives class {}, not the query target {classes:?}",
+                    out.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Final stage shared by every step: honour `FRESH`, then apply the
+    /// projection to the returned objects.
+    ///
+    /// `FRESH` is refuse-stale, not serve-history: every stale hit is
+    /// re-fired through [`Gaea::refresh_object`], and the answer is then
+    /// served from the store again, exactly like step 1 — so a
+    /// replacement only appears while it still satisfies the query's own
+    /// predicates (a re-derivation may well move the timestamp or an
+    /// attribute out of the queried window). Stale hits whose producer
+    /// cannot be re-fired automatically (manual procedures, query-driven
+    /// interpolations) are *excluded* from the answer rather than served
+    /// stale or allowed to fail the whole query. A query whose answer
+    /// empties out under those rules errors with [`KernelError::NoData`].
+    fn finish_outcome(
+        &mut self,
+        mut outcome: QueryOutcome,
+        q: &Query,
+    ) -> KernelResult<QueryOutcome> {
+        if q.fresh && !outcome.stale.is_empty() {
+            let class_names = self.target_classes(q)?;
+            // History that must not be served again: refreshed (replaced)
+            // and refused (not auto-firable) stale objects.
+            let mut excluded: BTreeSet<ObjectId> = BTreeSet::new();
+            let mut pending: BTreeSet<ObjectId> = outcome.stale.drain(..).collect();
+            let mut refused = 0usize;
+            // Each round moves `pending` into `excluded`, so the loop is
+            // bounded by the number of stored stale objects; replacements
+            // are current by construction (refresh re-fires stale inputs
+            // recursively).
+            while !pending.is_empty() {
+                for oid in std::mem::take(&mut pending) {
+                    match self.refresh_object(oid) {
+                        Ok(run) => outcome.tasks.push(run.task),
+                        Err(KernelError::NotAutoFirable { .. }) => refused += 1,
+                        Err(other) => return Err(other),
+                    }
+                    excluded.insert(oid);
+                }
+                let hits: Vec<DataObject> = self
+                    .retrieve(&class_names, q)?
+                    .into_iter()
+                    .filter(|o| !excluded.contains(&o.id))
+                    .collect();
+                // Re-retrieval can surface further stale objects the
+                // original answer did not include; refresh those too.
+                pending = self.flag_stale(&hits).into_iter().collect();
+                outcome.objects = hits;
+            }
+            if outcome.objects.is_empty() {
+                return Err(KernelError::NoData(format!(
+                    "FRESH refused {} stale hit(s){} and no current object satisfies \
+                     the query; re-issue without FRESH to inspect the flagged history",
+                    excluded.len(),
+                    if refused > 0 {
+                        format!(" ({refused} cannot be re-fired automatically)")
+                    } else {
+                        String::new()
+                    }
+                )));
+            }
+        }
+        if !q.projection.is_empty() {
+            for obj in &mut outcome.objects {
+                obj.attrs.retain(|name, _| q.projection.contains(name));
+            }
+        }
+        Ok(outcome)
     }
 
     fn target_classes(&self, q: &Query) -> KernelResult<Vec<String>> {
@@ -120,6 +253,17 @@ impl Gaea {
                 }
                 None => {}
             }
+        }
+        // Declarative WHERE predicates (validated against the class by
+        // `validate_query`) filter step-1 retrieval and, through
+        // `planning_marking`, keep the planner from counting goal objects
+        // that cannot satisfy the query.
+        for ap in &q.attr_preds {
+            pred = pred.and(match ap.cmp {
+                AttrCmp::Eq => Predicate::Eq(ap.attr.clone(), ap.value.clone()),
+                AttrCmp::Lt => Predicate::Lt(ap.attr.clone(), ap.value.clone()),
+                AttrCmp::Gt => Predicate::Gt(ap.attr.clone(), ap.value.clone()),
+            });
         }
         pred
     }
@@ -273,6 +417,7 @@ impl Gaea {
             template: Template::default(),
             kind: ProcessKind::Primitive,
             interactions: vec![],
+            cost: None,
             doc: "built-in linear temporal interpolation (kernel §2.1.5 step 2); \
                   the target instant is recorded as task parameter `at`"
                 .into(),
@@ -284,7 +429,7 @@ impl Gaea {
     /// project the goal class back through retrieval.
     fn try_derive(&mut self, classes: &[String], q: &Query) -> KernelResult<Option<QueryOutcome>> {
         // Plan stage inputs: the net view and the stored-object marking.
-        let dnet = self.plannable_net();
+        let dnet = self.plannable_net(q)?;
         let marking = self.planning_marking(&dnet, classes, q)?;
         let mut all_tasks = Vec::new();
         for name in classes {
@@ -314,13 +459,30 @@ impl Gaea {
 
     /// Plan stage, part 1: the derivation net restricted to processes the
     /// kernel can fire without a scientist — plain primitives and external
-    /// processes whose site is currently reachable.
-    fn plannable_net(&self) -> DerivationNet {
-        DerivationNet::build_filtered(&self.catalog, |def| match &def.kind {
-            ProcessKind::Primitive => !def.is_interactive(),
-            ProcessKind::External { site } => self.externals.reachable_site(site).is_some(),
-            ProcessKind::Compound(_) | ProcessKind::NonApplicative { .. } => false,
-        })
+    /// processes whose site is currently reachable. A `DERIVE USING p`
+    /// query additionally removes every *other* producer of `p`'s output
+    /// class, so the plan can only reach the goal through the pinned
+    /// process (intermediate derivations stay open).
+    fn plannable_net(&self, q: &Query) -> KernelResult<DerivationNet> {
+        let pinned: Option<(ClassId, ProcessId)> = match &q.using_process {
+            Some(name) => {
+                let def = self.catalog.process_by_name(name)?;
+                Some((def.output, def.id))
+            }
+            None => None,
+        };
+        Ok(DerivationNet::build_filtered(&self.catalog, |def| {
+            if let Some((goal, pid)) = pinned {
+                if def.output == goal && def.id != pid {
+                    return false;
+                }
+            }
+            match &def.kind {
+                ProcessKind::Primitive => !def.is_interactive(),
+                ProcessKind::External { site } => self.externals.reachable_site(site).is_some(),
+                ProcessKind::Compound(_) | ProcessKind::NonApplicative { .. } => false,
+            }
+        }))
     }
 
     /// Plan stage, part 2: the marking — spatially compatible stored
@@ -449,6 +611,11 @@ impl Gaea {
     /// ordered — exact query-instant matches first, then by timestamp,
     /// then id. `SETOF` arguments get co-temporal groups first (they
     /// satisfy `common(timestamp)` guards), then a pool prefix.
+    ///
+    /// A declared cost hint replaces the heuristic's timestamp order: the
+    /// query's `DERIVE COST …` wins over the fired process's own `COST`
+    /// declaration, and with neither the heuristic stands (`COST oldest`
+    /// pins the heuristic's order, `COST newest` reverses it).
     fn binding_candidates(
         &self,
         def: &ProcessDef,
@@ -460,6 +627,22 @@ impl Gaea {
         let target_time = match q.time {
             Some(TimeSel::At(t)) => Some(t),
             _ => None,
+        };
+        let hint = q.cost.or(self.catalog.cost_hint(def.id));
+        let newest_first = hint == Some(crate::query::CostHint::Newest);
+        // One shared ordering for pools and SETOF groups alike:
+        // exact-instant mismatches last, then the (possibly reversed)
+        // timestamp order — under `newest` the reversal also moves
+        // timestamp-less objects to the back, exactly like the old
+        // `cmp::Reverse` key did.
+        let mismatch = |t: Option<AbsTime>| target_time.is_some() && t != target_time;
+        let ts_order = |a: Option<AbsTime>, b: Option<AbsTime>| {
+            let ord = mismatch(a).cmp(&mismatch(b));
+            if newest_first {
+                ord.then(b.cmp(&a))
+            } else {
+                ord.then(a.cmp(&b))
+            }
         };
         // Candidate pools per argument.
         let mut pools: Vec<Vec<DataObject>> = Vec::with_capacity(def.args.len());
@@ -475,13 +658,7 @@ impl Gaea {
             for (oid, _) in self.db.scan(&class.relation_name(), &pred)? {
                 pool.push(self.object(ObjectId(oid))?);
             }
-            pool.sort_by_key(|o| {
-                (
-                    target_time.is_some() && o.timestamp() != target_time,
-                    o.timestamp(),
-                    o.id,
-                )
-            });
+            pool.sort_by(|x, y| ts_order(x.timestamp(), y.timestamp()).then(x.id.cmp(&y.id)));
             pools.push(pool);
         }
         // Candidate selections per argument.
@@ -495,8 +672,9 @@ impl Gaea {
                 }
                 let mut grouped: Vec<(Option<AbsTime>, Vec<ObjectId>)> =
                     groups.into_iter().collect();
-                // Exact-time groups lead.
-                grouped.sort_by_key(|(t, _)| (target_time.is_some() && *t != target_time, *t));
+                // Exact-time groups lead; within the rest, the hinted (or
+                // heuristic) timestamp order applies.
+                grouped.sort_by(|(ta, _), (tb, _)| ts_order(*ta, *tb));
                 for (_, group) in &grouped {
                     if group.len() as u64 >= arg.min_card {
                         cands.push(group[..arg.min_card as usize].to_vec());

@@ -41,4 +41,4 @@ pub use ids::{ClassId, ConceptId, ExperimentId, ObjectId, ProcessId, TaskId};
 pub use interact::InteractiveSession;
 pub use kernel::Gaea;
 pub use object::DataObject;
-pub use query::{Query, QueryMethod, QueryOutcome, QueryStrategy};
+pub use query::{AttrCmp, AttrPred, CostHint, Query, QueryMethod, QueryOutcome, QueryStrategy};

@@ -9,7 +9,7 @@
 
 use crate::ids::{ObjectId, TaskId};
 use crate::object::DataObject;
-use gaea_adt::{AbsTime, GeoBox, TimeRange};
+use gaea_adt::{AbsTime, GeoBox, TimeRange, Value};
 use serde::{Deserialize, Serialize};
 
 /// What the query targets.
@@ -30,6 +30,76 @@ pub enum TimeSel {
     At(AbsTime),
     /// A window — satisfied by any stored timestamp inside it.
     In(TimeRange),
+}
+
+/// Comparison operator of a declarative attribute predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttrCmp {
+    /// `attr = value`
+    Eq,
+    /// `attr < value`
+    Lt,
+    /// `attr > value`
+    Gt,
+}
+
+/// One attribute predicate of a `WHERE` clause (`numclass = 12`): the
+/// step-1 retrieval filter beyond the spatio-temporal extents. Predicates
+/// are conjunctive — every one must hold for an object to qualify.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttrPred {
+    /// Attribute name (extents included under their reserved names).
+    pub attr: String,
+    /// Comparison operator.
+    pub cmp: AttrCmp,
+    /// Constant the attribute is compared against.
+    pub value: Value,
+}
+
+impl AttrPred {
+    /// Build a predicate.
+    pub fn new(attr: &str, cmp: AttrCmp, value: Value) -> AttrPred {
+        AttrPred {
+            attr: attr.into(),
+            cmp,
+            value,
+        }
+    }
+}
+
+/// A declared cost hint: how the bind stage orders candidate input
+/// bindings for a step-3 derivation. The surface syntax is
+/// `DERIVE COST <hint>` on a query (overriding) or `COST <hint>` on a
+/// `DEFINE PROCESS` (the process's declared default); with neither, the
+/// kernel falls back to its built-in heuristic (exact query-instant
+/// matches first, then oldest timestamps, then object id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CostHint {
+    /// Prefer bindings over the earliest-timestamped objects — the
+    /// heuristic's own tie-break order, made explicit and pinnable.
+    Oldest,
+    /// Prefer bindings over the latest-timestamped objects (most recent
+    /// acquisitions are the cheapest to justify re-deriving from).
+    Newest,
+}
+
+impl CostHint {
+    /// Parse the surface keyword (`oldest` / `newest`).
+    pub fn parse(s: &str) -> Option<CostHint> {
+        match s {
+            "oldest" => Some(CostHint::Oldest),
+            "newest" => Some(CostHint::Newest),
+            _ => None,
+        }
+    }
+
+    /// The surface keyword this hint prints as.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            CostHint::Oldest => "oldest",
+            CostHint::Newest => "newest",
+        }
+    }
 }
 
 /// Step ordering (the paper's "prioritized according to the user's needs").
@@ -55,6 +125,29 @@ pub struct Query {
     pub time: Option<TimeSel>,
     /// Step ordering.
     pub strategy: QueryStrategy,
+    /// Conjunctive attribute predicates fed into the step-1 retrieval
+    /// filter (and into the planner's goal marking, so stored objects that
+    /// fail them cannot satisfy the goal).
+    #[serde(default)]
+    pub attr_preds: Vec<AttrPred>,
+    /// Attribute names to keep on returned objects; empty keeps all
+    /// (the `RETRIEVE *` projection).
+    #[serde(default)]
+    pub projection: Vec<String>,
+    /// Pin step-3 derivation of the target class to this process
+    /// (`DERIVE USING p`): other producers of the goal class are removed
+    /// from the plannable net. Intermediate derivations stay open.
+    #[serde(default)]
+    pub using_process: Option<String>,
+    /// Cost hint for the bind stage, overriding any hint declared on the
+    /// fired process (`DERIVE COST <hint>`).
+    #[serde(default)]
+    pub cost: Option<CostHint>,
+    /// Refuse stale step-1 answers (`FRESH`): stale hits are re-fired via
+    /// the refresh machinery and the fresh outputs served in their place,
+    /// instead of being served as history with a staleness flag.
+    #[serde(default)]
+    pub fresh: bool,
 }
 
 impl Query {
@@ -65,6 +158,11 @@ impl Query {
             spatial: None,
             time: None,
             strategy: QueryStrategy::default(),
+            attr_preds: vec![],
+            projection: vec![],
+            using_process: None,
+            cost: None,
+            fresh: false,
         }
     }
 
@@ -72,9 +170,7 @@ impl Query {
     pub fn concept(name: &str) -> Query {
         Query {
             target: QueryTarget::Concept(name.into()),
-            spatial: None,
-            time: None,
-            strategy: QueryStrategy::default(),
+            ..Query::class(name)
         }
     }
 
@@ -101,6 +197,37 @@ impl Query {
         self.strategy = s;
         self
     }
+
+    /// Add a conjunctive attribute predicate (`WHERE attr cmp value`).
+    pub fn filter(mut self, attr: &str, cmp: AttrCmp, value: Value) -> Query {
+        self.attr_preds.push(AttrPred::new(attr, cmp, value));
+        self
+    }
+
+    /// Keep only the named attributes on returned objects.
+    pub fn project(mut self, attrs: &[&str]) -> Query {
+        self.projection = attrs.iter().map(|a| a.to_string()).collect();
+        self
+    }
+
+    /// Pin step-3 derivation of the target class to one process.
+    pub fn using(mut self, process: &str) -> Query {
+        self.using_process = Some(process.into());
+        self
+    }
+
+    /// Declare the bind-stage cost hint.
+    pub fn with_cost(mut self, hint: CostHint) -> Query {
+        self.cost = Some(hint);
+        self
+    }
+
+    /// Refuse stale answers: re-fire stale step-1 hits instead of serving
+    /// them as flagged history.
+    pub fn fresh(mut self) -> Query {
+        self.fresh = true;
+        self
+    }
 }
 
 /// Which of the three steps ultimately answered the query.
@@ -121,7 +248,8 @@ pub struct QueryOutcome {
     pub objects: Vec<DataObject>,
     /// The step that produced them.
     pub method: QueryMethod,
-    /// Tasks recorded while answering (empty for plain retrieval).
+    /// Tasks recorded while answering (empty for plain retrieval, unless
+    /// a `FRESH` query re-fired stale hits).
     pub tasks: Vec<TaskId>,
     /// The subset of `objects` that are *stale* derivations: their
     /// recorded inputs were mutated after derivation (MVCC fingerprint
@@ -166,5 +294,42 @@ mod tests {
             Query::concept("ndvi").strategy,
             QueryStrategy::PreferInterpolation
         );
+    }
+
+    #[test]
+    fn declarative_builders_compose() {
+        let q = Query::class("landcover")
+            .filter("numclass", AttrCmp::Eq, Value::Int4(12))
+            .filter("area", AttrCmp::Gt, Value::Char16("a".into()))
+            .project(&["data", "numclass"])
+            .using("P20")
+            .with_cost(CostHint::Newest)
+            .fresh();
+        assert_eq!(q.attr_preds.len(), 2);
+        assert_eq!(q.attr_preds[0].attr, "numclass");
+        assert_eq!(q.attr_preds[0].cmp, AttrCmp::Eq);
+        assert_eq!(q.projection, vec!["data".to_string(), "numclass".into()]);
+        assert_eq!(q.using_process.as_deref(), Some("P20"));
+        assert_eq!(q.cost, Some(CostHint::Newest));
+        assert!(q.fresh);
+    }
+
+    #[test]
+    fn cost_hint_keywords_round_trip() {
+        for h in [CostHint::Oldest, CostHint::Newest] {
+            assert_eq!(CostHint::parse(h.keyword()), Some(h));
+        }
+        assert_eq!(CostHint::parse("cheapest"), None);
+    }
+
+    #[test]
+    fn old_serialized_queries_still_load() {
+        // Queries serialized before the declarative surface existed lack
+        // the new fields; serde defaults must fill them in.
+        let json = r#"{"target":{"Class":"ndvi"},"spatial":null,"time":null,
+                       "strategy":"RetrieveOnly"}"#;
+        let q: Query = serde_json::from_str(json).unwrap();
+        assert!(q.attr_preds.is_empty() && q.projection.is_empty());
+        assert!(q.using_process.is_none() && q.cost.is_none() && !q.fresh);
     }
 }

@@ -30,6 +30,7 @@
 //!   follow a well known algorithm"; tasks are *recorded*, never computed.
 
 use crate::ids::{ClassId, ProcessId};
+use crate::query::CostHint;
 use crate::template::Template;
 use gaea_adt::TypeTag;
 use serde::{Deserialize, Serialize};
@@ -154,6 +155,12 @@ pub struct ProcessDef {
     /// (non-empty only for interactive primitive processes).
     #[serde(default)]
     pub interactions: Vec<InteractionPoint>,
+    /// Declared cost hint (`COST oldest` / `COST newest`): how the query
+    /// mechanism's bind stage orders candidate input bindings when firing
+    /// this process, unless the query itself declares `DERIVE COST …`.
+    /// `None` leaves the bind stage on its built-in heuristic.
+    #[serde(default)]
+    pub cost: Option<CostHint>,
     /// Human description of the scientific procedure.
     pub doc: String,
 }
@@ -228,6 +235,9 @@ impl fmt::Display for ProcessDef {
             }
             writeln!(f, "  }}")?;
         }
+        if let Some(hint) = &self.cost {
+            writeln!(f, "  COST {}", hint.keyword())?;
+        }
         match &self.kind {
             ProcessKind::Primitive | ProcessKind::External { .. } => {
                 if let ProcessKind::External { site } = &self.kind {
@@ -297,6 +307,7 @@ mod tests {
             },
             kind: ProcessKind::Primitive,
             interactions: vec![],
+            cost: None,
             doc: "grouping of remotely sensed data into land cover classes".into(),
         }
     }
@@ -346,6 +357,7 @@ mod tests {
                 },
             ]),
             interactions: vec![],
+            cost: None,
             doc: "Figure 5".into(),
         };
         assert!(c.is_compound());
@@ -370,6 +382,7 @@ mod tests {
                 site: "eros".into(),
             },
             interactions: vec![],
+            cost: None,
             doc: String::new(),
         };
         assert_eq!(ext.site(), Some("eros"));
@@ -422,5 +435,6 @@ mod tests {
         let p: ProcessDef = serde_json::from_str(json).unwrap();
         assert!(p.interactions.is_empty());
         assert!(!p.is_interactive());
+        assert!(p.cost.is_none(), "pre-cost-hint records default to None");
     }
 }

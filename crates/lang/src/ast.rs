@@ -1,15 +1,16 @@
-//! AST for the Gaea definition language.
+//! AST for the Gaea definition and query language.
 
+use gaea_core::query::AttrCmp;
 use gaea_core::template::Expr;
 
-/// A parsed program: a sequence of definitions.
+/// A parsed program: a sequence of definitions and queries.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Program {
     /// Items in source order.
     pub items: Vec<Item>,
 }
 
-/// One top-level definition.
+/// One top-level item.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Item {
     /// `CLASS name ( ... )`
@@ -18,6 +19,9 @@ pub enum Item {
     Process(ProcessItem),
     /// `DEFINE CONCEPT name ( ... )`
     Concept(ConceptItem),
+    /// `RETRIEVE ... FROM ... [WHERE ...]` — a query, not a definition;
+    /// executed through `Gaea::retrieve`, never lowered into the catalog.
+    Retrieve(RetrieveItem),
 }
 
 /// A class definition.
@@ -85,6 +89,9 @@ pub struct ProcessItem {
     pub external_site: Option<String>,
     /// `NONAPPLICATIVE "procedure"` (§5 extension).
     pub nonapplicative: Option<String>,
+    /// `COST oldest|newest` — the declared bind-stage cost hint, kept as
+    /// the raw keyword (validated during lowering).
+    pub cost: Option<String>,
 }
 
 /// A concept definition.
@@ -98,4 +105,89 @@ pub struct ConceptItem {
     pub isa: Vec<String>,
     /// Free-text definition.
     pub doc: String,
+}
+
+/// A literal constant in a `WHERE` predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LitValue {
+    /// Integer literal (coerced to the attribute's integer/float/abstime
+    /// type during lowering).
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Quoted string literal.
+    Str(String),
+}
+
+/// A time literal: an epoch-second integer or a quoted `"YYYY-MM-DD"`
+/// calendar date (validated during lowering).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimeLit {
+    /// Seconds since the epoch.
+    Epoch(i64),
+    /// `"YYYY-MM-DD"`, kept raw for faithful pretty-printing.
+    Date(String),
+}
+
+/// One conjunct of a `WHERE` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WhereItem {
+    /// `attr = lit`, `attr < lit`, `attr > lit`.
+    Attr {
+        /// Attribute name (extents included under their reserved names).
+        attr: String,
+        /// Comparison operator.
+        cmp: AttrCmp,
+        /// Right-hand constant.
+        value: LitValue,
+    },
+    /// `WITHIN (xmin, ymin, xmax, ymax)` — the spatial window.
+    Within {
+        /// West edge.
+        xmin: f64,
+        /// South edge.
+        ymin: f64,
+        /// East edge.
+        xmax: f64,
+        /// North edge.
+        ymax: f64,
+    },
+    /// `AT t` — pin an instant (interpolation may synthesize it).
+    At(TimeLit),
+    /// `BETWEEN t1 AND t2` — a temporal window.
+    Between(TimeLit, TimeLit),
+}
+
+/// The optional `DERIVE` clause: permit step-3 computation, optionally
+/// pinning the goal's producing process and/or the bind-stage cost hint.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DeriveClause {
+    /// `USING process` — pin the producer of the goal class.
+    pub using: Option<String>,
+    /// `COST oldest|newest`, kept as the raw keyword (validated during
+    /// lowering against [`gaea_core::query::CostHint::parse`]).
+    pub cost: Option<String>,
+}
+
+/// A `RETRIEVE` statement:
+///
+/// ```text
+/// RETRIEVE <projection> FROM <class-or-concept>
+///   [WHERE <clause> [AND <clause>]*]
+///   [DERIVE [USING <process>] [COST <hint>]]
+///   [FRESH]
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrieveItem {
+    /// Projected attribute names; empty means `*` (all attributes).
+    pub projection: Vec<String>,
+    /// Target class or concept name (resolved during lowering; classes
+    /// shadow concepts of the same name).
+    pub target: String,
+    /// Conjunctive `WHERE` clauses in source order.
+    pub where_clauses: Vec<WhereItem>,
+    /// The `DERIVE` clause, if computation is permitted.
+    pub derive: Option<DeriveClause>,
+    /// `FRESH` — refuse stale answers; re-fire them instead.
+    pub fresh: bool,
 }

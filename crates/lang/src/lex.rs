@@ -1,14 +1,22 @@
-//! Lexer for the Gaea definition language.
+//! Lexer for the Gaea definition and query language.
+//!
+//! Every token carries its **byte span** in the source alongside the
+//! 1-based line, so parse errors can underline the offending token rather
+//! than pointing at a bare line number.
 
 use std::fmt;
+use std::ops::Range;
 
-/// A token with its source line (for error messages).
+/// A token with its source position.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Token {
     /// Kind + payload.
     pub kind: TokenKind,
     /// 1-based source line.
     pub line: usize,
+    /// Byte range of the lexeme in the source text (`src[span]` is the
+    /// exact text the token was read from; empty only for [`TokenKind::Eof`]).
+    pub span: Range<usize>,
 }
 
 /// Token kinds.
@@ -44,6 +52,8 @@ pub enum TokenKind {
     Lt,
     /// `>`
     Gt,
+    /// `*` (the `RETRIEVE *` projection).
+    Star,
     /// A `// ...` comment's text (kept: the paper's listings carry
     /// meaningful doc comments).
     Comment(String),
@@ -69,6 +79,7 @@ impl fmt::Display for TokenKind {
             TokenKind::Eq => write!(f, "'='"),
             TokenKind::Lt => write!(f, "'<'"),
             TokenKind::Gt => write!(f, "'>'"),
+            TokenKind::Star => write!(f, "'*'"),
             TokenKind::Comment(_) => write!(f, "comment"),
             TokenKind::Eof => write!(f, "end of input"),
         }
@@ -82,6 +93,8 @@ pub struct LexError {
     pub message: String,
     /// 1-based source line.
     pub line: usize,
+    /// Byte range of the offending text.
+    pub span: Range<usize>,
 }
 
 impl fmt::Display for LexError {
@@ -106,176 +119,135 @@ fn is_ident_continue(c: char) -> bool {
 pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
     let mut tokens = Vec::new();
     let mut line = 1usize;
-    let chars: Vec<char> = src.chars().collect();
+    // (byte offset, char) pairs; `i` indexes this vector, spans use the
+    // byte offsets so they slice `src` directly.
+    let chars: Vec<(usize, char)> = src.char_indices().collect();
+    let byte_at = |i: usize| {
+        if i < chars.len() {
+            chars[i].0
+        } else {
+            src.len()
+        }
+    };
     let mut i = 0usize;
     while i < chars.len() {
-        let c = chars[i];
+        let (start, c) = chars[i];
+        let push1 = |kind: TokenKind, i: &mut usize, tokens: &mut Vec<Token>| {
+            *i += 1;
+            tokens.push(Token {
+                kind,
+                line,
+                span: start..byte_at(*i),
+            });
+        };
         match c {
             '\n' => {
                 line += 1;
                 i += 1;
             }
             ' ' | '\t' | '\r' => i += 1,
-            '(' => {
-                tokens.push(Token {
-                    kind: TokenKind::LParen,
-                    line,
-                });
-                i += 1;
-            }
-            ')' => {
-                tokens.push(Token {
-                    kind: TokenKind::RParen,
-                    line,
-                });
-                i += 1;
-            }
-            '{' => {
-                tokens.push(Token {
-                    kind: TokenKind::LBrace,
-                    line,
-                });
-                i += 1;
-            }
-            '}' => {
-                tokens.push(Token {
-                    kind: TokenKind::RBrace,
-                    line,
-                });
-                i += 1;
-            }
-            ':' => {
-                tokens.push(Token {
-                    kind: TokenKind::Colon,
-                    line,
-                });
-                i += 1;
-            }
-            ';' => {
-                tokens.push(Token {
-                    kind: TokenKind::Semi,
-                    line,
-                });
-                i += 1;
-            }
-            ',' => {
-                tokens.push(Token {
-                    kind: TokenKind::Comma,
-                    line,
-                });
-                i += 1;
-            }
-            '.' => {
-                tokens.push(Token {
-                    kind: TokenKind::Dot,
-                    line,
-                });
-                i += 1;
-            }
-            '=' => {
-                tokens.push(Token {
-                    kind: TokenKind::Eq,
-                    line,
-                });
-                i += 1;
-            }
-            '<' => {
-                tokens.push(Token {
-                    kind: TokenKind::Lt,
-                    line,
-                });
-                i += 1;
-            }
-            '>' => {
-                tokens.push(Token {
-                    kind: TokenKind::Gt,
-                    line,
-                });
-                i += 1;
-            }
-            '/' if i + 1 < chars.len() && chars[i + 1] == '/' => {
+            '(' => push1(TokenKind::LParen, &mut i, &mut tokens),
+            ')' => push1(TokenKind::RParen, &mut i, &mut tokens),
+            '{' => push1(TokenKind::LBrace, &mut i, &mut tokens),
+            '}' => push1(TokenKind::RBrace, &mut i, &mut tokens),
+            ':' => push1(TokenKind::Colon, &mut i, &mut tokens),
+            ';' => push1(TokenKind::Semi, &mut i, &mut tokens),
+            ',' => push1(TokenKind::Comma, &mut i, &mut tokens),
+            '.' => push1(TokenKind::Dot, &mut i, &mut tokens),
+            '=' => push1(TokenKind::Eq, &mut i, &mut tokens),
+            '<' => push1(TokenKind::Lt, &mut i, &mut tokens),
+            '>' => push1(TokenKind::Gt, &mut i, &mut tokens),
+            '*' => push1(TokenKind::Star, &mut i, &mut tokens),
+            '/' if i + 1 < chars.len() && chars[i + 1].1 == '/' => {
                 let mut text = String::new();
                 i += 2;
-                while i < chars.len() && chars[i] != '\n' {
-                    text.push(chars[i]);
+                while i < chars.len() && chars[i].1 != '\n' {
+                    text.push(chars[i].1);
                     i += 1;
                 }
                 tokens.push(Token {
                     kind: TokenKind::Comment(text.trim().to_string()),
                     line,
+                    span: start..byte_at(i),
                 });
             }
             '"' => {
+                let start_line = line;
                 let mut s = String::new();
                 i += 1;
                 loop {
                     if i >= chars.len() {
                         return Err(LexError {
                             message: "unterminated string literal".into(),
-                            line,
+                            line: start_line,
+                            span: start..src.len(),
                         });
                     }
-                    if chars[i] == '"' {
+                    if chars[i].1 == '"' {
                         i += 1;
                         break;
                     }
-                    if chars[i] == '\n' {
+                    if chars[i].1 == '\n' {
                         line += 1;
                     }
-                    s.push(chars[i]);
+                    s.push(chars[i].1);
                     i += 1;
                 }
                 tokens.push(Token {
                     kind: TokenKind::Str(s),
-                    line,
+                    line: start_line,
+                    span: start..byte_at(i),
                 });
             }
             c if c.is_ascii_digit()
-                || (c == '-' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit()) =>
+                || (c == '-' && i + 1 < chars.len() && chars[i + 1].1.is_ascii_digit()) =>
             {
-                let start = i;
                 i += 1; // sign or first digit
                 let mut is_float = false;
                 while i < chars.len()
-                    && (chars[i].is_ascii_digit()
-                        || (chars[i] == '.'
+                    && (chars[i].1.is_ascii_digit()
+                        || (chars[i].1 == '.'
                             && i + 1 < chars.len()
-                            && chars[i + 1].is_ascii_digit()))
+                            && chars[i + 1].1.is_ascii_digit()))
                 {
-                    if chars[i] == '.' {
+                    if chars[i].1 == '.' {
                         is_float = true;
                     }
                     i += 1;
                 }
-                let text: String = chars[start..i].iter().collect();
+                let span = start..byte_at(i);
+                let text = &src[span.clone()];
                 let kind = if is_float {
                     TokenKind::Float(text.parse().map_err(|_| LexError {
                         message: format!("bad float literal {text:?}"),
                         line,
+                        span: span.clone(),
                     })?)
                 } else {
                     TokenKind::Int(text.parse().map_err(|_| LexError {
                         message: format!("bad integer literal {text:?}"),
                         line,
+                        span: span.clone(),
                     })?)
                 };
-                tokens.push(Token { kind, line });
+                tokens.push(Token { kind, line, span });
             }
             c if is_ident_start(c) => {
-                let start = i;
-                while i < chars.len() && is_ident_continue(chars[i]) {
+                while i < chars.len() && is_ident_continue(chars[i].1) {
                     i += 1;
                 }
-                let text: String = chars[start..i].iter().collect();
+                let span = start..byte_at(i);
                 tokens.push(Token {
-                    kind: TokenKind::Ident(text),
+                    kind: TokenKind::Ident(src[span.clone()].to_string()),
                     line,
+                    span,
                 });
             }
             other => {
                 return Err(LexError {
                     message: format!("unexpected character {other:?}"),
                     line,
+                    span: start..byte_at(i + 1),
                 })
             }
         }
@@ -283,6 +255,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
     tokens.push(Token {
         kind: TokenKind::Eof,
         line,
+        span: src.len()..src.len(),
     });
     Ok(tokens)
 }
@@ -339,6 +312,18 @@ mod tests {
     }
 
     #[test]
+    fn star_token() {
+        assert_eq!(
+            kinds("RETRIEVE *"),
+            vec![
+                TokenKind::Ident("RETRIEVE".into()),
+                TokenKind::Star,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
     fn comments_preserved() {
         let ks = kinds("area = char16; // area name\n");
         assert!(matches!(&ks[3], TokenKind::Semi));
@@ -354,8 +339,35 @@ mod tests {
     }
 
     #[test]
-    fn errors() {
-        assert!(lex("\"unterminated").is_err());
-        assert!(lex("@").is_err());
+    fn spans_slice_the_source_exactly() {
+        let src = "CLASS landcover ( area = char16; ) // done\n12 -3 2.5 \"str\"";
+        let toks = lex(src).unwrap();
+        for t in &toks {
+            let text = &src[t.span.clone()];
+            match &t.kind {
+                TokenKind::Ident(s) => assert_eq!(text, s),
+                TokenKind::Int(_) | TokenKind::Float(_) => {
+                    assert!(text.parse::<f64>().is_ok(), "{text:?}")
+                }
+                TokenKind::Str(s) => assert_eq!(text, format!("{s:?}")),
+                TokenKind::Comment(c) => {
+                    assert!(text.starts_with("//") && text.contains(c.as_str()))
+                }
+                TokenKind::Eof => assert!(text.is_empty()),
+                _ => assert_eq!(text.chars().count(), 1, "{text:?}"),
+            }
+        }
+        // Spot checks: the exact byte ranges of a few tokens.
+        assert_eq!(&src[toks[1].span.clone()], "landcover");
+        assert_eq!(&src[toks[5].span.clone()], "char16");
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let err = lex("\"unterminated").unwrap_err();
+        assert_eq!(err.span, 0..13);
+        let err = lex("ok @").unwrap_err();
+        assert_eq!(err.span, 3..4);
+        assert_eq!(&"ok @"[err.span.clone()], "@");
     }
 }

@@ -42,6 +42,29 @@
 //! [`parse`] produces an AST; [`lower::lower_program`] registers it into a
 //! [`gaea_core::Gaea`] kernel; [`pretty::pretty_program`] round-trips the
 //! AST back to text.
+//!
+//! ## The query surface
+//!
+//! Beyond the DDL, the crate implements the paper's declarative query
+//! statement and lowers it onto the kernel's plan/bind/fire/project
+//! query pipeline (§2.1.5):
+//!
+//! ```text
+//! RETRIEVE data, numclass FROM landcover
+//!   WHERE numclass = 12 AND WITHIN(-20, -35, 55, 38) AND AT "1986-01-15"
+//!   DERIVE USING P20 COST newest
+//!   FRESH
+//! ```
+//!
+//! [`parser::parse_query`] parses one statement, [`lower::lower_query`]
+//! compiles it to a [`gaea_core::Query`] plan, and the [`Retrieve`]
+//! extension trait packages both as `gaea.retrieve("RETRIEVE …")`.
+//! Without a `DERIVE` clause a statement only retrieves; `DERIVE` permits
+//! computation (derivation preferred), `USING` pins the goal's producing
+//! process, `COST oldest|newest` overrides the bind stage's candidate
+//! ordering (processes may declare their own default with a `COST`
+//! section), and `FRESH` re-fires stale answers instead of serving them
+//! as flagged history.
 
 pub mod ast;
 pub mod lex;
@@ -49,7 +72,10 @@ pub mod lower;
 pub mod parser;
 pub mod pretty;
 
-pub use ast::{ClassItem, ConceptItem, Item, ProcessItem, Program};
-pub use lower::lower_program;
-pub use parser::{parse, ParseError};
-pub use pretty::pretty_program;
+pub use ast::{
+    ClassItem, ConceptItem, DeriveClause, Item, LitValue, ProcessItem, Program, RetrieveItem,
+    TimeLit, WhereItem,
+};
+pub use lower::{lower_program, lower_query, Retrieve};
+pub use parser::{parse, parse_query, ParseError};
+pub use pretty::{pretty_program, pretty_retrieve};

@@ -1,15 +1,29 @@
-//! Lowering: register a parsed program into the kernel catalog.
+//! Lowering: register a parsed program into the kernel catalog, and
+//! compile `RETRIEVE` statements onto the kernel's query plan.
 //!
 //! Classes are registered first (processes reference output classes), then
 //! processes, then concepts (which reference classes). A `SETOF` argument's
 //! minimum cardinality is recovered from `card(arg) = N` / `card(arg) > N`
 //! assertions, defaulting to 1 — exactly how Figure 3's `card(bands) = 3`
 //! induces the Petri-net threshold of 3.
+//!
+//! [`lower_query`] is the query half: it resolves the `FROM` target
+//! against the catalog (class first, concept second), coerces `WHERE`
+//! literals to the attributes' declared types, and maps the `DERIVE` /
+//! `COST` / `FRESH` clauses onto the plan/bind/fire/project pipeline's
+//! parameters. The [`Retrieve`] extension trait packages the whole chain
+//! as `gaea.retrieve("RETRIEVE … WHERE …")`.
 
-use crate::ast::{ClassItem, ConceptItem, Item, ProcessItem, Program};
-use gaea_adt::TypeTag;
+use crate::ast::{
+    ClassItem, ConceptItem, Item, LitValue, ProcessItem, Program, RetrieveItem, TimeLit, WhereItem,
+};
+use crate::parser::parse_query;
+use gaea_adt::{AbsTime, GeoBox, TimeRange, TypeTag, Value};
 use gaea_core::kernel::{ClassSpec, Gaea, ProcessSpec};
-use gaea_core::schema::ClassKind;
+use gaea_core::query::{
+    AttrPred, CostHint, Query, QueryOutcome, QueryStrategy, QueryTarget, TimeSel,
+};
+use gaea_core::schema::{ClassDef, ClassKind};
 use gaea_core::template::{CmpOp, Expr, Mapping, Template};
 use gaea_core::{ClassId, ConceptId, KernelError, KernelResult, ProcessId};
 
@@ -24,9 +38,21 @@ pub struct Lowered {
     pub concepts: Vec<ConceptId>,
 }
 
-/// Lower a whole program into the kernel.
+/// Lower a whole program into the kernel. Programs are definitions;
+/// `RETRIEVE` statements are queries and are rejected here — execute them
+/// with [`Retrieve::retrieve`] instead.
 pub fn lower_program(gaea: &mut Gaea, program: &Program) -> KernelResult<Lowered> {
     let mut out = Lowered::default();
+    if let Some(Item::Retrieve(r)) = program
+        .items
+        .iter()
+        .find(|i| matches!(i, Item::Retrieve(_)))
+    {
+        return Err(KernelError::Schema(format!(
+            "RETRIEVE FROM {} is a query, not a definition; run it with Gaea::retrieve",
+            r.target
+        )));
+    }
     // Pass 1: classes.
     for item in &program.items {
         if let Item::Class(c) = item {
@@ -105,15 +131,17 @@ fn min_card_of(arg: &str, assertions: &[Expr]) -> u64 {
 }
 
 fn lower_process(gaea: &mut Gaea, item: &ProcessItem) -> KernelResult<ProcessId> {
-    // NONAPPLICATIVE processes carry no template at all (§5 extension).
+    // NONAPPLICATIVE processes carry no template at all (§5 extension),
+    // and never fire automatically — a bind-stage COST hint is meaningless.
     if let Some(procedure) = &item.nonapplicative {
         if !item.assertions.is_empty()
             || !item.mappings.is_empty()
             || !item.interactions.is_empty()
             || item.external_site.is_some()
+            || item.cost.is_some()
         {
             return Err(KernelError::Schema(format!(
-                "process {}: NONAPPLICATIVE excludes TEMPLATE/INTERACTIONS/EXTERNAL",
+                "process {}: NONAPPLICATIVE excludes TEMPLATE/INTERACTIONS/EXTERNAL/COST",
                 item.name
             )));
         }
@@ -125,6 +153,9 @@ fn lower_process(gaea: &mut Gaea, item: &ProcessItem) -> KernelResult<ProcessId>
         return gaea.define_nonapplicative_process(&item.name, &item.output, &args, procedure, "");
     }
     let mut spec = ProcessSpec::new(&item.name, &item.output);
+    if let Some(cost) = &item.cost {
+        spec = spec.cost_hint(parse_cost_hint(cost)?);
+    }
     for arg in &item.args {
         if arg.setof {
             let min = min_card_of(&arg.name, &item.assertions);
@@ -175,6 +206,212 @@ fn lower_concept(gaea: &mut Gaea, item: &ConceptItem) -> KernelResult<ConceptId>
     let members: Vec<&str> = item.members.iter().map(String::as_str).collect();
     let parents: Vec<&str> = item.isa.iter().map(String::as_str).collect();
     gaea.define_concept(&item.name, &members, &parents, &item.doc)
+}
+
+// ----------------------------------------------------------------------
+// Query lowering: RETRIEVE → the kernel's Query plan
+// ----------------------------------------------------------------------
+
+fn parse_cost_hint(raw: &str) -> KernelResult<CostHint> {
+    CostHint::parse(raw).ok_or_else(|| {
+        KernelError::Schema(format!(
+            "unknown COST hint {raw:?}; expected `oldest` or `newest`"
+        ))
+    })
+}
+
+fn parse_date(raw: &str) -> KernelResult<AbsTime> {
+    let bad = || KernelError::Schema(format!("bad date literal {raw:?}; expected \"YYYY-MM-DD\""));
+    let mut parts = raw.splitn(3, '-');
+    // A leading '-' (negative year) would split wrong; the paper's data is
+    // firmly CE, so reject it as malformed rather than guessing.
+    let y: i64 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let m: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let d: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    AbsTime::from_ymd(y, m, d).map_err(|e| KernelError::Schema(format!("bad date {raw:?}: {e}")))
+}
+
+fn time_of(lit: &TimeLit) -> KernelResult<AbsTime> {
+    match lit {
+        TimeLit::Epoch(e) => Ok(AbsTime(*e)),
+        TimeLit::Date(d) => parse_date(d),
+    }
+}
+
+/// Coerce a surface literal to the declared type of the attribute it is
+/// compared against, so store-level comparisons are exact (a bare `12`
+/// must become `Int4(12)` against an `int4` column but `Float8(12.0)`
+/// against a `float8` one).
+fn coerce_literal(class: &str, attr: &str, tag: &TypeTag, lit: &LitValue) -> KernelResult<Value> {
+    let mismatch = || {
+        KernelError::Schema(format!(
+            "predicate literal {lit:?} does not fit attribute {attr:?} of class {class} ({tag})"
+        ))
+    };
+    Ok(match (tag, lit) {
+        (TypeTag::Int2, LitValue::Int(v)) => {
+            Value::Int2(i16::try_from(*v).map_err(|_| mismatch())?)
+        }
+        (TypeTag::Int4, LitValue::Int(v)) => {
+            Value::Int4(i32::try_from(*v).map_err(|_| mismatch())?)
+        }
+        (TypeTag::Float4, LitValue::Int(v)) => Value::Float4(*v as f32),
+        (TypeTag::Float4, LitValue::Float(v)) => Value::Float4(*v as f32),
+        (TypeTag::Float8, LitValue::Int(v)) => Value::Float8(*v as f64),
+        (TypeTag::Float8, LitValue::Float(v)) => Value::Float8(*v),
+        (TypeTag::Char16, LitValue::Str(s)) => Value::Char16(s.clone()),
+        (TypeTag::Text, LitValue::Str(s)) => Value::Text(s.clone()),
+        (TypeTag::Bool, LitValue::Int(v)) if *v == 0 || *v == 1 => Value::Bool(*v == 1),
+        (TypeTag::AbsTime, LitValue::Int(v)) => Value::AbsTime(AbsTime(*v)),
+        (TypeTag::AbsTime, LitValue::Str(s)) => Value::AbsTime(parse_date(s)?),
+        _ => return Err(mismatch()),
+    })
+}
+
+/// Compile one parsed `RETRIEVE` statement onto the kernel's query plan.
+///
+/// * the `FROM` target resolves to a class, or failing that a concept
+///   (classes shadow concepts of the same name);
+/// * `WHERE` clauses split into the spatial window, the temporal
+///   selection, and attribute predicates with type-coerced literals;
+/// * no `DERIVE` clause means retrieval only — the statement never
+///   computes; `DERIVE` permits step-2/3 with derivation preferred,
+///   `USING` pins the goal's producer, `COST` overrides the bind order;
+/// * `FRESH` refuses stale answers (stale hits are re-fired).
+pub fn lower_query(gaea: &Gaea, item: &RetrieveItem) -> KernelResult<Query> {
+    let catalog = gaea.catalog();
+    let (target, classes): (QueryTarget, Vec<&ClassDef>) =
+        if let Ok(def) = catalog.class_by_name(&item.target) {
+            (QueryTarget::Class(item.target.clone()), vec![def])
+        } else if catalog.concept_by_name(&item.target).is_ok() {
+            (
+                QueryTarget::Concept(item.target.clone()),
+                catalog.concept_member_classes(&item.target)?,
+            )
+        } else {
+            return Err(KernelError::NotFound {
+                kind: "class or concept",
+                name: item.target.clone(),
+            });
+        };
+    let mut q = match &target {
+        QueryTarget::Class(name) => Query::class(name),
+        QueryTarget::Concept(name) => Query::concept(name),
+    };
+    q.strategy = QueryStrategy::RetrieveOnly;
+    for clause in &item.where_clauses {
+        match clause {
+            WhereItem::Within {
+                xmin,
+                ymin,
+                xmax,
+                ymax,
+            } => {
+                if q.spatial.is_some() {
+                    return Err(KernelError::Schema(
+                        "duplicate WITHIN clause in RETRIEVE".into(),
+                    ));
+                }
+                q.spatial = Some(GeoBox::new(*xmin, *ymin, *xmax, *ymax));
+            }
+            WhereItem::At(t) => {
+                if q.time.is_some() {
+                    return Err(KernelError::Schema(
+                        "duplicate temporal clause in RETRIEVE (AT/BETWEEN)".into(),
+                    ));
+                }
+                q.time = Some(TimeSel::At(time_of(t)?));
+            }
+            WhereItem::Between(a, b) => {
+                if q.time.is_some() {
+                    return Err(KernelError::Schema(
+                        "duplicate temporal clause in RETRIEVE (AT/BETWEEN)".into(),
+                    ));
+                }
+                q.time = Some(TimeSel::In(TimeRange::new(time_of(a)?, time_of(b)?)));
+            }
+            WhereItem::Attr { attr, cmp, value } => {
+                // Coerce against the first target class carrying the
+                // attribute (the kernel validates that every member class
+                // carries it before any stage runs) — but only after
+                // checking that every member class agrees on its type:
+                // one coerced constant must compare exactly against every
+                // member extension, and a cross-type comparison would
+                // silently match nothing rather than error.
+                let (cname, def) = classes
+                    .iter()
+                    .find_map(|c| c.attr(attr).map(|a| (c.name.as_str(), a)))
+                    .ok_or_else(|| {
+                        KernelError::Schema(format!(
+                            "query predicate on unknown attribute {attr:?} of {}",
+                            item.target
+                        ))
+                    })?;
+                for other in &classes {
+                    if let Some(a) = other.attr(attr) {
+                        if a.tag != def.tag {
+                            return Err(KernelError::Schema(format!(
+                                "attribute {attr:?} is {} in class {cname} but {} in class {}; \
+                                 a concept-wide predicate needs agreeing types",
+                                def.tag, a.tag, other.name
+                            )));
+                        }
+                    }
+                }
+                q.attr_preds.push(AttrPred {
+                    attr: attr.clone(),
+                    cmp: *cmp,
+                    value: coerce_literal(cname, attr, &def.tag, value)?,
+                });
+            }
+        }
+    }
+    q.projection = item.projection.clone();
+    if let Some(derive) = &item.derive {
+        q.strategy = QueryStrategy::PreferDerivation;
+        q.using_process = derive.using.clone();
+        if let Some(cost) = &derive.cost {
+            q.cost = Some(parse_cost_hint(cost)?);
+        }
+    }
+    q.fresh = item.fresh;
+    Ok(q)
+}
+
+/// The `RETRIEVE … WHERE …` façade on [`Gaea`].
+///
+/// Defined here (rather than on the kernel directly) because the parser
+/// lives above the kernel in the crate graph; bringing the trait into
+/// scope gives the kernel the paper's declarative query surface:
+///
+/// ```
+/// use gaea_core::kernel::Gaea;
+/// use gaea_lang::Retrieve as _;
+/// let mut g = Gaea::in_memory();
+/// let err = g.retrieve("RETRIEVE * FROM nowhere").unwrap_err();
+/// assert!(err.to_string().contains("nowhere"));
+/// ```
+pub trait Retrieve {
+    /// Parse and lower a `RETRIEVE` statement to the query plan it would
+    /// execute, without running it.
+    fn compile_retrieve(&self, src: &str) -> KernelResult<Query>;
+
+    /// Parse, lower and execute a `RETRIEVE` statement through the
+    /// three-step query mechanism (plan / bind / fire / project).
+    fn retrieve(&mut self, src: &str) -> KernelResult<QueryOutcome>;
+}
+
+impl Retrieve for Gaea {
+    fn compile_retrieve(&self, src: &str) -> KernelResult<Query> {
+        let item = parse_query(src)
+            .map_err(|e| KernelError::Schema(format!("RETRIEVE syntax: {}", e.underline(src))))?;
+        lower_query(self, &item)
+    }
+
+    fn retrieve(&mut self, src: &str) -> KernelResult<QueryOutcome> {
+        let q = self.compile_retrieve(src)?;
+        self.query(&q)
+    }
 }
 
 #[cfg(test)]

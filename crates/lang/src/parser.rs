@@ -1,18 +1,59 @@
-//! Recursive-descent parser for the Gaea definition language.
+//! Recursive-descent parser for the Gaea definition and query language.
 
-use crate::ast::{ArgItem, ClassItem, ConceptItem, Item, ProcessItem, Program};
+use crate::ast::{
+    ArgItem, ClassItem, ConceptItem, DeriveClause, Item, LitValue, ProcessItem, Program,
+    RetrieveItem, TimeLit, WhereItem,
+};
 use crate::lex::{lex, LexError, Token, TokenKind};
 use gaea_adt::Value;
+use gaea_core::query::AttrCmp;
 use gaea_core::template::{CmpOp, Expr};
 use std::fmt;
+use std::ops::Range;
 
-/// Parse error with line information.
+/// Parse error with position information: the 1-based line plus the byte
+/// span of the offending token, so callers can underline it in the source.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
     /// Description.
     pub message: String,
     /// 1-based line.
     pub line: usize,
+    /// Byte range of the offending token in the source text.
+    pub span: Range<usize>,
+}
+
+impl ParseError {
+    /// Render the offending source line with the token underlined:
+    ///
+    /// ```text
+    /// line 1: expected identifier, found keyword "WHERE"
+    ///   RETRIEVE data FROM WHERE x = 1
+    ///                      ^^^^^
+    /// ```
+    ///
+    /// `src` must be the text the error was produced from; a span that
+    /// does not fall inside it yields the bare message.
+    pub fn underline(&self, src: &str) -> String {
+        if self.span.start > src.len() || self.span.end > src.len() {
+            return self.to_string();
+        }
+        let line_start = src[..self.span.start].rfind('\n').map_or(0, |p| p + 1);
+        let line_end = src[self.span.start..]
+            .find('\n')
+            .map_or(src.len(), |p| self.span.start + p);
+        let line_text = &src[line_start..line_end];
+        let caret_pad = src[line_start..self.span.start].chars().count();
+        let caret_len = src[self.span.start..self.span.end.min(line_end)]
+            .chars()
+            .count()
+            .max(1);
+        format!(
+            "{self}\n  {line_text}\n  {}{}",
+            " ".repeat(caret_pad),
+            "^".repeat(caret_len)
+        )
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -28,6 +69,7 @@ impl From<LexError> for ParseError {
         ParseError {
             message: e.message,
             line: e.line,
+            span: e.span,
         }
     }
 }
@@ -71,6 +113,19 @@ impl Parser {
         Err(ParseError {
             message: msg.into(),
             line: self.peek().line,
+            span: self.peek().span.clone(),
+        })
+    }
+
+    /// Error pointing at the token just consumed — for rejections raised
+    /// *after* reading a token (unknown section names, bad keywords), so
+    /// the span underlines the offender rather than its successor.
+    fn err_prev<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        let tok = &self.tokens[self.pos.saturating_sub(1)];
+        Err(ParseError {
+            message: msg.into(),
+            line: tok.line,
+            span: tok.span.clone(),
         })
     }
 
@@ -100,7 +155,7 @@ impl Parser {
         if id == kw {
             Ok(())
         } else {
-            self.err(format!("expected keyword {kw}, found {id:?}"))
+            self.err_prev(format!("expected keyword {kw}, found {id:?}"))
         }
     }
 
@@ -133,9 +188,13 @@ impl Parser {
                         return self.err("expected PROCESS or CONCEPT after DEFINE");
                     }
                 }
+                TokenKind::Ident(s) if s == "RETRIEVE" => {
+                    self.bump();
+                    items.push(Item::Retrieve(self.retrieve_item()?));
+                }
                 other => {
                     return self.err(format!(
-                        "expected CLASS or DEFINE at top level, found {other}"
+                        "expected CLASS, DEFINE or RETRIEVE at top level, found {other}"
                     ))
                 }
             }
@@ -229,7 +288,7 @@ impl Parser {
                     }
                     self.skip_comments();
                 }
-                other => return self.err(format!("unknown class section {other:?}")),
+                other => return self.err_prev(format!("unknown class section {other:?}")),
             }
         }
         Ok(item)
@@ -267,12 +326,14 @@ impl Parser {
             });
         }
         // Optional body sections, in any order: TEMPLATE, INTERACTIONS
-        // (§4.3 extension), EXTERNAL AT (§5), NONAPPLICATIVE (§5).
+        // (§4.3 extension), EXTERNAL AT (§5), NONAPPLICATIVE (§5),
+        // COST (bind-stage hint).
         let mut assertions = Vec::new();
         let mut mappings = Vec::new();
         let mut interactions = Vec::new();
         let mut external_site = None;
         let mut nonapplicative = None;
+        let mut cost = None;
         loop {
             self.skip_comments();
             if matches!(self.peek_kind(), TokenKind::RParen) {
@@ -338,7 +399,10 @@ impl Parser {
                         ))
                     }
                 },
-                other => return self.err(format!("unknown process section {other:?}")),
+                "COST" => {
+                    cost = Some(self.expect_ident()?);
+                }
+                other => return self.err_prev(format!("unknown process section {other:?}")),
             }
         }
         Ok(ProcessItem {
@@ -350,6 +414,7 @@ impl Parser {
             interactions,
             external_site,
             nonapplicative,
+            cost,
         })
     }
 
@@ -394,7 +459,7 @@ impl Parser {
                     self.expect_kind(&TokenKind::Semi)?;
                     mappings.push((target, attr, e));
                 },
-                other => return self.err(format!("unknown template section {other:?}")),
+                other => return self.err_prev(format!("unknown template section {other:?}")),
             }
         }
     }
@@ -446,10 +511,177 @@ impl Parser {
                     }
                     self.expect_kind(&TokenKind::Semi)?;
                 }
-                other => return self.err(format!("unknown concept section {other:?}")),
+                other => return self.err_prev(format!("unknown concept section {other:?}")),
             }
         }
         Ok(item)
+    }
+
+    // ------------------------------------------------------------------
+    // Queries (`RETRIEVE`, keyword already eaten)
+    // ------------------------------------------------------------------
+
+    fn retrieve_item(&mut self) -> Result<RetrieveItem, ParseError> {
+        // Projection: `*` or a comma-separated attribute list.
+        let mut projection = Vec::new();
+        self.skip_comments();
+        if matches!(self.peek_kind(), TokenKind::Star) {
+            self.bump();
+        } else {
+            projection.push(self.expect_ident()?);
+            loop {
+                self.skip_comments();
+                if matches!(self.peek_kind(), TokenKind::Comma) {
+                    self.bump();
+                    projection.push(self.expect_ident()?);
+                } else {
+                    break;
+                }
+            }
+            if projection.len() == 1 && projection[0] == "FROM" {
+                return self.err("projection must name attributes or be `*`");
+            }
+        }
+        self.expect_keyword("FROM")?;
+        let target = self.expect_ident()?;
+        let mut where_clauses = Vec::new();
+        if self.at_keyword("WHERE") {
+            self.bump();
+            where_clauses.push(self.where_clause()?);
+            while self.at_keyword("AND") {
+                self.bump();
+                where_clauses.push(self.where_clause()?);
+            }
+        }
+        let derive = if self.at_keyword("DERIVE") {
+            self.bump();
+            let using = if self.at_keyword("USING") {
+                self.bump();
+                Some(self.expect_ident()?)
+            } else {
+                None
+            };
+            let cost = if self.at_keyword("COST") {
+                self.bump();
+                Some(self.expect_ident()?)
+            } else {
+                None
+            };
+            Some(DeriveClause { using, cost })
+        } else {
+            None
+        };
+        let fresh = if self.at_keyword("FRESH") {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        Ok(RetrieveItem {
+            projection,
+            target,
+            where_clauses,
+            derive,
+            fresh,
+        })
+    }
+
+    fn where_clause(&mut self) -> Result<WhereItem, ParseError> {
+        if self.at_keyword("WITHIN") {
+            self.bump();
+            self.expect_kind(&TokenKind::LParen)?;
+            let xmin = self.number()?;
+            self.expect_kind(&TokenKind::Comma)?;
+            let ymin = self.number()?;
+            self.expect_kind(&TokenKind::Comma)?;
+            let xmax = self.number()?;
+            self.expect_kind(&TokenKind::Comma)?;
+            let ymax = self.number()?;
+            self.expect_kind(&TokenKind::RParen)?;
+            return Ok(WhereItem::Within {
+                xmin,
+                ymin,
+                xmax,
+                ymax,
+            });
+        }
+        if self.at_keyword("AT") {
+            self.bump();
+            return Ok(WhereItem::At(self.time_lit()?));
+        }
+        if self.at_keyword("BETWEEN") {
+            self.bump();
+            let a = self.time_lit()?;
+            self.expect_keyword("AND")?;
+            let b = self.time_lit()?;
+            return Ok(WhereItem::Between(a, b));
+        }
+        let attr = self.expect_ident()?;
+        self.skip_comments();
+        let cmp = match self.peek_kind() {
+            TokenKind::Eq => AttrCmp::Eq,
+            TokenKind::Lt => AttrCmp::Lt,
+            TokenKind::Gt => AttrCmp::Gt,
+            other => {
+                return self.err(format!(
+                    "expected '=', '<' or '>' after attribute {attr:?}, found {other}"
+                ))
+            }
+        };
+        self.bump();
+        let value = self.literal()?;
+        Ok(WhereItem::Attr { attr, cmp, value })
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        self.skip_comments();
+        match *self.peek_kind() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(v as f64)
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(v)
+            }
+            ref other => self.err(format!("expected a number, found {other}")),
+        }
+    }
+
+    fn literal(&mut self) -> Result<LitValue, ParseError> {
+        self.skip_comments();
+        match self.peek_kind().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(LitValue::Int(v))
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                Ok(LitValue::Float(v))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(LitValue::Str(s))
+            }
+            other => self.err(format!("expected a literal constant, found {other}")),
+        }
+    }
+
+    fn time_lit(&mut self) -> Result<TimeLit, ParseError> {
+        self.skip_comments();
+        match self.peek_kind().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(TimeLit::Epoch(v))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(TimeLit::Date(s))
+            }
+            other => self.err(format!(
+                "expected an epoch integer or \"YYYY-MM-DD\" date, found {other}"
+            )),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -552,6 +784,22 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
     let tokens = lex(src)?;
     let mut p = Parser { tokens, pos: 0 };
     p.program()
+}
+
+/// Parse exactly one `RETRIEVE` statement (the `Gaea::retrieve` surface).
+pub fn parse_query(src: &str) -> Result<RetrieveItem, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.expect_keyword("RETRIEVE")?;
+    let item = p.retrieve_item()?;
+    p.skip_comments();
+    if !matches!(p.peek_kind(), TokenKind::Eof) {
+        return p.err(format!(
+            "expected end of query, found {}",
+            p.peek_kind().clone()
+        ));
+    }
+    Ok(item)
 }
 
 #[cfg(test)]
@@ -672,6 +920,131 @@ DEFINE CONCEPT vegetation_change (
         // Lex-level failures surface too ('+' is not a token).
         let err = parse("1 + 2").unwrap_err();
         assert!(err.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn error_spans_select_the_offending_token() {
+        // The span must slice exactly the token the parser choked on.
+        let src = "CLASS x ( BOGUS: )";
+        let err = parse(src).unwrap_err();
+        assert_eq!(&src[err.span.clone()], "BOGUS");
+        let src = "DEFINE WIDGET w ()";
+        let err = parse(src).unwrap_err();
+        assert_eq!(&src[err.span.clone()], "WIDGET");
+        // Lex errors carry spans through the From conversion.
+        let src = "1 + 2";
+        let err = parse(src).unwrap_err();
+        assert_eq!(&src[err.span.clone()], "+");
+    }
+
+    #[test]
+    fn underline_renders_a_caret_line() {
+        let src = "RETRIEVE data FROM landcover WHERE numclass ; 12";
+        let err = parse_query(src).unwrap_err();
+        assert_eq!(&src[err.span.clone()], ";");
+        let rendered = err.underline(src);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3, "{rendered}");
+        assert_eq!(lines[1].trim_end(), format!("  {src}"));
+        assert_eq!(lines[2].find('^'), Some(2 + src.find(';').unwrap()));
+        // Out-of-range spans degrade to the bare message.
+        let stale = ParseError {
+            message: "m".into(),
+            line: 1,
+            span: 900..901,
+        };
+        assert_eq!(stale.underline("short"), stale.to_string());
+    }
+
+    #[test]
+    fn parses_full_retrieve_statement() {
+        let src = r#"RETRIEVE data, numclass FROM landcover
+  WHERE numclass = 12 AND WITHIN(-20, -35, 55, 38)
+    AND AT "1986-01-15"
+  DERIVE USING P20 COST newest
+  FRESH"#;
+        let item = parse_query(src).unwrap();
+        assert_eq!(item.projection, vec!["data".to_string(), "numclass".into()]);
+        assert_eq!(item.target, "landcover");
+        assert_eq!(item.where_clauses.len(), 3);
+        assert_eq!(
+            item.where_clauses[0],
+            WhereItem::Attr {
+                attr: "numclass".into(),
+                cmp: AttrCmp::Eq,
+                value: LitValue::Int(12),
+            }
+        );
+        assert!(matches!(
+            item.where_clauses[1],
+            WhereItem::Within {
+                xmin,
+                ymin,
+                xmax,
+                ymax,
+            } if (xmin, ymin, xmax, ymax) == (-20.0, -35.0, 55.0, 38.0)
+        ));
+        assert_eq!(
+            item.where_clauses[2],
+            WhereItem::At(TimeLit::Date("1986-01-15".into()))
+        );
+        let derive = item.derive.unwrap();
+        assert_eq!(derive.using.as_deref(), Some("P20"));
+        assert_eq!(derive.cost.as_deref(), Some("newest"));
+        assert!(item.fresh);
+    }
+
+    #[test]
+    fn retrieve_star_between_and_defaults() {
+        let item = parse_query("RETRIEVE * FROM ndvi WHERE BETWEEN 100 AND 200").unwrap();
+        assert!(item.projection.is_empty(), "star keeps all attributes");
+        assert_eq!(
+            item.where_clauses,
+            vec![WhereItem::Between(TimeLit::Epoch(100), TimeLit::Epoch(200))]
+        );
+        assert!(item.derive.is_none() && !item.fresh);
+        // BETWEEN's AND does not swallow a following conjunct.
+        let item = parse_query("RETRIEVE * FROM ndvi WHERE BETWEEN 100 AND 200 AND val > 3 DERIVE")
+            .unwrap();
+        assert_eq!(item.where_clauses.len(), 2);
+        assert_eq!(item.derive, Some(DeriveClause::default()));
+    }
+
+    #[test]
+    fn retrieve_rejects_malformed_statements() {
+        for bad in [
+            "RETRIEVE FROM x",
+            "RETRIEVE * x",
+            "RETRIEVE * FROM x WHERE",
+            "RETRIEVE * FROM x WHERE a ? 3",
+            "RETRIEVE * FROM x WHERE AT noquote",
+            "RETRIEVE * FROM x trailing",
+            "RETRIEVE * FROM x DERIVE COST",
+        ] {
+            assert!(parse_query(bad).is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn retrieve_allowed_in_programs_and_process_cost_parses() {
+        let src = format!("{LANDCOVER}\nRETRIEVE * FROM landcover\n{P20}");
+        let prog = parse(&src).unwrap();
+        assert_eq!(prog.items.len(), 3);
+        assert!(matches!(&prog.items[1], Item::Retrieve(r) if r.target == "landcover"));
+        // DDL-declared bind-stage hint.
+        let src = r#"
+DEFINE PROCESS P21 (
+  OUTPUT landcover
+  ARGUMENT ( SETOF bands tm )
+  COST newest
+  TEMPLATE { MAPPINGS: landcover.numclass = 12; }
+)
+"#;
+        let prog = parse(src).unwrap();
+        let Item::Process(p) = &prog.items[0] else {
+            panic!("expected process");
+        };
+        assert_eq!(p.cost.as_deref(), Some("newest"));
     }
 
     #[test]

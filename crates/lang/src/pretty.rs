@@ -1,9 +1,13 @@
-//! Pretty-printer: AST back to DDL text.
+//! Pretty-printer: AST back to surface text.
 //!
 //! `parse(pretty_program(parse(src))) == parse(src)` — the round-trip
-//! property tested below and in the property suite.
+//! property tested below and in the property suite, for definitions and
+//! `RETRIEVE` statements alike.
 
-use crate::ast::{ClassItem, ConceptItem, Item, ProcessItem, Program};
+use crate::ast::{
+    ClassItem, ConceptItem, Item, LitValue, ProcessItem, Program, RetrieveItem, TimeLit, WhereItem,
+};
+use gaea_core::query::AttrCmp;
 use std::fmt::Write as _;
 
 /// Render a program.
@@ -17,9 +21,83 @@ pub fn pretty_program(prog: &Program) -> String {
             Item::Class(c) => pretty_class(&mut out, c),
             Item::Process(p) => pretty_process(&mut out, p),
             Item::Concept(c) => pretty_concept(&mut out, c),
+            Item::Retrieve(r) => {
+                out.push_str(&pretty_retrieve(r));
+                out.push('\n');
+            }
         }
     }
     out
+}
+
+/// Render one `RETRIEVE` statement (no trailing newline).
+pub fn pretty_retrieve(r: &RetrieveItem) -> String {
+    let mut out = String::new();
+    out.push_str("RETRIEVE ");
+    if r.projection.is_empty() {
+        out.push('*');
+    } else {
+        out.push_str(&r.projection.join(", "));
+    }
+    write!(out, " FROM {}", r.target).expect("write to string");
+    for (i, w) in r.where_clauses.iter().enumerate() {
+        out.push_str(if i == 0 { " WHERE " } else { " AND " });
+        match w {
+            WhereItem::Attr { attr, cmp, value } => {
+                let op = match cmp {
+                    AttrCmp::Eq => "=",
+                    AttrCmp::Lt => "<",
+                    AttrCmp::Gt => ">",
+                };
+                write!(out, "{attr} {op} {}", pretty_lit(value)).expect("write to string");
+            }
+            WhereItem::Within {
+                xmin,
+                ymin,
+                xmax,
+                ymax,
+            } => {
+                write!(out, "WITHIN({xmin}, {ymin}, {xmax}, {ymax})").expect("write to string");
+            }
+            WhereItem::At(t) => write!(out, "AT {}", pretty_time(t)).expect("write to string"),
+            WhereItem::Between(a, b) => {
+                write!(out, "BETWEEN {} AND {}", pretty_time(a), pretty_time(b))
+                    .expect("write to string");
+            }
+        }
+    }
+    if let Some(derive) = &r.derive {
+        out.push_str(" DERIVE");
+        if let Some(using) = &derive.using {
+            write!(out, " USING {using}").expect("write to string");
+        }
+        if let Some(cost) = &derive.cost {
+            write!(out, " COST {cost}").expect("write to string");
+        }
+    }
+    if r.fresh {
+        out.push_str(" FRESH");
+    }
+    out
+}
+
+/// Render a literal so it re-lexes to the same [`LitValue`]: floats with
+/// no fractional part gain an explicit `.0` (a bare `2` would come back
+/// as an integer token).
+fn pretty_lit(v: &LitValue) -> String {
+    match v {
+        LitValue::Int(i) => i.to_string(),
+        LitValue::Float(f) if f.fract() == 0.0 => format!("{f:.1}"),
+        LitValue::Float(f) => f.to_string(),
+        LitValue::Str(s) => format!("\"{s}\""),
+    }
+}
+
+fn pretty_time(t: &TimeLit) -> String {
+    match t {
+        TimeLit::Epoch(e) => e.to_string(),
+        TimeLit::Date(d) => format!("\"{d}\""),
+    }
 }
 
 fn pretty_class(out: &mut String, c: &ClassItem) {
@@ -92,6 +170,9 @@ fn pretty_process(out: &mut String, p: &ProcessItem) {
     }
     if let Some(procedure) = &p.nonapplicative {
         writeln!(out, "  NONAPPLICATIVE {procedure:?}").expect("write to string");
+    }
+    if let Some(cost) = &p.cost {
+        writeln!(out, "  COST {cost}").expect("write to string");
     }
     if !p.assertions.is_empty() || !p.mappings.is_empty() {
         out.push_str("  TEMPLATE {\n");
@@ -170,6 +251,31 @@ DEFINE CONCEPT veg (
         assert_eq!(ast1, ast2, "pretty-printed program re-parses identically");
         // And printing again is a fixpoint.
         assert_eq!(printed, pretty_program(&ast2));
+    }
+
+    #[test]
+    fn retrieve_round_trips_byte_identically() {
+        let src = "RETRIEVE data, numclass FROM landcover WHERE numclass = 12 \
+                   AND WITHIN(-20, -35, 55, 38) AND AT \"1986-01-15\" \
+                   DERIVE USING P20 COST newest FRESH";
+        let item = crate::parser::parse_query(src).unwrap();
+        let printed = pretty_retrieve(&item);
+        assert_eq!(printed, src, "canonical text is a pretty fixpoint");
+        assert_eq!(crate::parser::parse_query(&printed).unwrap(), item);
+        // Whole-float literals re-lex as floats, not integers.
+        let item = crate::parser::parse_query("RETRIEVE * FROM x WHERE v > 2.0").unwrap();
+        let printed = pretty_retrieve(&item);
+        assert!(printed.contains("2.0"), "{printed}");
+        assert_eq!(crate::parser::parse_query(&printed).unwrap(), item);
+    }
+
+    #[test]
+    fn process_cost_round_trips() {
+        let src = "DEFINE PROCESS p (\n  OUTPUT lc\n  ARGUMENT ( x tm )\n  COST oldest\n)\n";
+        let ast = parse(src).unwrap();
+        let printed = pretty_program(&ast);
+        assert!(printed.contains("COST oldest"), "{printed}");
+        assert_eq!(parse(&printed).unwrap(), ast);
     }
 
     #[test]

@@ -23,16 +23,27 @@ pub mod test_runner {
         pub cases: u32,
     }
 
+    /// The `PROPTEST_CASES` environment override, like real proptest's
+    /// `--cfg`-free knob. Unlike upstream it also overrides explicit
+    /// `with_cases(..)` configs: CI raises the whole suite to a known
+    /// count (e.g. 256) with one variable, and because generation is
+    /// seeded from the test name the raised run is still deterministic.
+    fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+    }
+
     impl ProptestConfig {
-        /// A config running `cases` cases.
+        /// A config running `cases` cases (or `PROPTEST_CASES`, when set).
         pub fn with_cases(cases: u32) -> ProptestConfig {
-            ProptestConfig { cases }
+            ProptestConfig {
+                cases: env_cases().unwrap_or(cases),
+            }
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> ProptestConfig {
-            ProptestConfig { cases: 64 }
+            ProptestConfig::with_cases(64)
         }
     }
 

@@ -1,11 +1,14 @@
-//! Property-based tests on the definition language: the pretty-print /
-//! re-parse round trip over generated programs.
+//! Property-based tests on the definition and query language: the
+//! pretty-print / re-parse round trip over generated programs and over
+//! generated `RETRIEVE` statements.
 
+use gaea::core::query::AttrCmp;
 use gaea::core::template::{CmpOp, Expr};
 use gaea::lang::ast::{
-    ArgItem, ClassItem, ConceptItem, InteractionItem, Item, ProcessItem, Program,
+    ArgItem, ClassItem, ConceptItem, DeriveClause, InteractionItem, Item, LitValue, ProcessItem,
+    Program, RetrieveItem, TimeLit, WhereItem,
 };
-use gaea::lang::{parse, pretty_program};
+use gaea::lang::{parse, parse_query, pretty_program, pretty_retrieve};
 use proptest::prelude::*;
 
 fn ident() -> impl Strategy<Value = String> {
@@ -122,6 +125,16 @@ fn interaction_item() -> impl Strategy<Value = InteractionItem> {
     )
 }
 
+/// A bind-stage cost hint keyword (any identifier round-trips; the real
+/// vocabulary is validated at lowering, not parsing).
+fn cost_keyword() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("oldest".to_string()),
+        Just("newest".to_string()),
+        ident(),
+    ]
+}
+
 fn process_item() -> impl Strategy<Value = ProcessItem> {
     (
         ident(),
@@ -132,9 +145,20 @@ fn process_item() -> impl Strategy<Value = ProcessItem> {
         prop::collection::vec(interaction_item(), 0..3),
         prop::option::of(quoted_text()),
         prop::option::of(quoted_text()),
+        prop::option::of(cost_keyword()),
     )
         .prop_map(
-            |(name, output, args, assertions, raw_mappings, raw_interactions, site, nonapp)| {
+            |(
+                name,
+                output,
+                args,
+                assertions,
+                raw_mappings,
+                raw_interactions,
+                site,
+                nonapp,
+                cost,
+            )| {
                 let mut seen = std::collections::BTreeSet::new();
                 let args: Vec<ArgItem> = args
                     .into_iter()
@@ -160,6 +184,7 @@ fn process_item() -> impl Strategy<Value = ProcessItem> {
                     interactions,
                     external_site: site,
                     nonapplicative: nonapp,
+                    cost,
                 }
             },
         )
@@ -181,12 +206,85 @@ fn concept_item() -> impl Strategy<Value = ConceptItem> {
         })
 }
 
+// ----------------------------------------------------------------------
+// RETRIEVE statements
+// ----------------------------------------------------------------------
+
+fn lit_value() -> impl Strategy<Value = LitValue> {
+    prop_oneof![
+        (-1_000_000i64..1_000_000).prop_map(LitValue::Int),
+        (-1.0e6f64..1.0e6).prop_map(LitValue::Float),
+        "[a-z][a-z0-9 ]{0,10}".prop_map(LitValue::Str),
+    ]
+}
+
+fn time_lit() -> impl Strategy<Value = TimeLit> {
+    prop_oneof![
+        (-4_000_000_000i64..4_000_000_000).prop_map(TimeLit::Epoch),
+        (1900i64..2100, 1u32..13, 1u32..29)
+            .prop_map(|(y, m, d)| TimeLit::Date(format!("{y:04}-{m:02}-{d:02}"))),
+    ]
+}
+
+fn attr_cmp() -> impl Strategy<Value = AttrCmp> {
+    prop_oneof![Just(AttrCmp::Eq), Just(AttrCmp::Lt), Just(AttrCmp::Gt)]
+}
+
+fn where_item() -> impl Strategy<Value = WhereItem> {
+    prop_oneof![
+        (ident(), attr_cmp(), lit_value()).prop_map(|(attr, cmp, value)| WhereItem::Attr {
+            attr,
+            cmp,
+            value
+        }),
+        (
+            -180.0f64..180.0,
+            -90.0f64..90.0,
+            -180.0f64..180.0,
+            -90.0f64..90.0,
+        )
+            .prop_map(|(xmin, ymin, xmax, ymax)| WhereItem::Within {
+                xmin,
+                ymin,
+                xmax,
+                ymax,
+            }),
+        time_lit().prop_map(WhereItem::At),
+        (time_lit(), time_lit()).prop_map(|(a, b)| WhereItem::Between(a, b)),
+    ]
+}
+
+fn derive_clause() -> impl Strategy<Value = DeriveClause> {
+    (prop::option::of(ident()), prop::option::of(cost_keyword()))
+        .prop_map(|(using, cost)| DeriveClause { using, cost })
+}
+
+fn retrieve_item() -> impl Strategy<Value = RetrieveItem> {
+    (
+        prop::collection::vec(ident(), 0..4), // empty renders as `*`
+        ident(),
+        prop::collection::vec(where_item(), 0..4),
+        prop::option::of(derive_clause()),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(projection, target, where_clauses, derive, fresh)| RetrieveItem {
+                projection,
+                target,
+                where_clauses,
+                derive,
+                fresh,
+            },
+        )
+}
+
 fn program() -> impl Strategy<Value = Program> {
     prop::collection::vec(
         prop_oneof![
             class_item().prop_map(Item::Class),
             process_item().prop_map(Item::Process),
             concept_item().prop_map(Item::Concept),
+            retrieve_item().prop_map(Item::Retrieve),
         ],
         1..5,
     )
@@ -204,5 +302,33 @@ proptest! {
             .unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{printed}"));
         prop_assert_eq!(&reparsed, &prog);
         prop_assert_eq!(pretty_program(&reparsed), printed);
+    }
+
+    /// The same round trip over bare RETRIEVE statements through the
+    /// dedicated single-statement entry point (`Gaea::retrieve`'s parser).
+    #[test]
+    fn retrieve_round_trip(item in retrieve_item()) {
+        let printed = pretty_retrieve(&item);
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{printed}"));
+        prop_assert_eq!(&reparsed, &item);
+        prop_assert_eq!(pretty_retrieve(&reparsed), printed);
+    }
+
+    /// Parse errors over mangled RETRIEVE text always carry a span that
+    /// lies inside the source (so `underline` can render it).
+    #[test]
+    fn retrieve_error_spans_stay_in_bounds(item in retrieve_item(), cut in 0usize..40) {
+        let printed = pretty_retrieve(&item);
+        // Truncate mid-statement to provoke errors at arbitrary points
+        // (generated surface text is pure ASCII, so any cut is valid).
+        let cut = printed.len().saturating_sub(cut);
+        let truncated = &printed[..cut];
+        if let Err(e) = parse_query(truncated) {
+            prop_assert!(e.span.start <= e.span.end);
+            prop_assert!(e.span.end <= truncated.len());
+            // Underlining must never panic.
+            let _ = e.underline(truncated);
+        }
     }
 }

@@ -1,0 +1,628 @@
+//! The declarative query surface end to end: `RETRIEVE … WHERE …` lowered
+//! onto the kernel's plan/bind/fire/project pipeline.
+//!
+//! * an equivalence property: for generated predicates, `Gaea::retrieve`
+//!   over the rendered text answers exactly like the hand-built
+//!   `kernel/query` plan it lowers to;
+//! * the cost-hint acceptance scenario: `DERIVE COST …` reverses the
+//!   bind-stage heuristic's choice (and a process-declared `COST` supplies
+//!   the default the query-level hint overrides);
+//! * `USING`, `FRESH`, projection and the lowering error surface.
+
+use gaea::adt::{AbsTime, GeoBox, Image, PixType, TimeRange, Value};
+use gaea::core::kernel::Gaea;
+use gaea::core::query::{AttrCmp, CostHint};
+use gaea::core::{KernelError, ObjectId, Query, QueryMethod, QueryOutcome};
+use gaea::lang::{lower_program, parse, Retrieve as _};
+use proptest::prelude::*;
+
+// ----------------------------------------------------------------------
+// Equivalence property
+// ----------------------------------------------------------------------
+
+const TAGS: [&str; 3] = ["alpha", "beta", "gamma"];
+
+fn instant(k: usize) -> AbsTime {
+    AbsTime(AbsTime::from_ymd(1988, 1, 1).unwrap().0 + k as i64 * 2_592_000)
+}
+
+/// Stored extents: disjoint 8°-wide grid cells.
+fn cell(i: usize) -> GeoBox {
+    let x = i as f64 * 10.0;
+    GeoBox::new(x, 0.0, x + 8.0, 8.0)
+}
+
+/// Query windows: straddle cell `j` fully and clip into cell `j + 1`.
+fn window(j: usize) -> GeoBox {
+    let x = j as f64 * 10.0;
+    GeoBox::new(x - 5.0, -2.0, x + 12.0, 10.0)
+}
+
+/// One stored object: (val, tag index, cell index, instant index).
+type ObjSpec = (i32, usize, usize, usize);
+
+/// One generated query: spatial window, AT-vs-BETWEEN temporal pick,
+/// value predicate, tag predicate.
+#[derive(Debug, Clone)]
+struct QuerySpec {
+    within: Option<usize>,
+    at: Option<usize>,
+    between: Option<(usize, usize)>,
+    val: Option<(AttrCmp, i32)>,
+    tag: Option<usize>,
+}
+
+fn obs_kernel(objs: &[ObjSpec]) -> Gaea {
+    let mut g = Gaea::in_memory();
+    let prog = parse(
+        r#"
+CLASS obs ( // synthetic observations
+  ATTRIBUTES:
+    val = int4;
+    tag = char16;
+  SPATIAL EXTENT:
+    spatialextent = box;
+  TEMPORAL EXTENT:
+    timestamp = abstime;
+)
+"#,
+    )
+    .unwrap();
+    lower_program(&mut g, &prog).unwrap();
+    for (val, tag, cell_i, time_i) in objs {
+        g.insert_object(
+            "obs",
+            vec![
+                ("val", Value::Int4(*val)),
+                ("tag", Value::Char16(TAGS[*tag % TAGS.len()].into())),
+                ("spatialextent", Value::GeoBox(cell(*cell_i))),
+                ("timestamp", Value::AbsTime(instant(*time_i))),
+            ],
+        )
+        .unwrap();
+    }
+    g
+}
+
+/// Render the spec as surface text (one path) …
+fn spec_text(spec: &QuerySpec) -> String {
+    let mut clauses: Vec<String> = Vec::new();
+    if let Some((cmp, v)) = &spec.val {
+        let op = match cmp {
+            AttrCmp::Eq => "=",
+            AttrCmp::Lt => "<",
+            AttrCmp::Gt => ">",
+        };
+        clauses.push(format!("val {op} {v}"));
+    }
+    if let Some(t) = spec.tag {
+        clauses.push(format!("tag = \"{}\"", TAGS[t % TAGS.len()]));
+    }
+    if let Some(j) = spec.within {
+        let w = window(j);
+        clauses.push(format!(
+            "WITHIN({}, {}, {}, {})",
+            w.xmin, w.ymin, w.xmax, w.ymax
+        ));
+    }
+    if let Some(k) = spec.at {
+        clauses.push(format!("AT {}", instant(k).0));
+    } else if let Some((a, b)) = spec.between {
+        clauses.push(format!("BETWEEN {} AND {}", instant(a).0, instant(b).0));
+    }
+    let mut text = "RETRIEVE * FROM obs".to_string();
+    for (i, c) in clauses.iter().enumerate() {
+        text.push_str(if i == 0 { " WHERE " } else { " AND " });
+        text.push_str(c);
+    }
+    text
+}
+
+/// … and as a hand-built kernel query plan (the independent path).
+fn spec_query(spec: &QuerySpec) -> Query {
+    let mut q = Query::class("obs").with_strategy(gaea::core::QueryStrategy::RetrieveOnly);
+    if let Some((cmp, v)) = &spec.val {
+        q = q.filter("val", *cmp, Value::Int4(*v));
+    }
+    if let Some(t) = spec.tag {
+        q = q.filter(
+            "tag",
+            AttrCmp::Eq,
+            Value::Char16(TAGS[t % TAGS.len()].into()),
+        );
+    }
+    if let Some(j) = spec.within {
+        q = q.over(window(j));
+    }
+    if let Some(k) = spec.at {
+        q = q.at(instant(k));
+    } else if let Some((a, b)) = spec.between {
+        q = q.during(TimeRange::new(instant(a), instant(b)));
+    }
+    q
+}
+
+fn ids(outcome: &QueryOutcome) -> Vec<u64> {
+    let mut ids: Vec<u64> = outcome.objects.iter().map(|o| o.id.raw()).collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn attr_cmp() -> impl Strategy<Value = AttrCmp> {
+    prop_oneof![Just(AttrCmp::Eq), Just(AttrCmp::Lt), Just(AttrCmp::Gt)]
+}
+
+fn query_spec() -> impl Strategy<Value = QuerySpec> {
+    (
+        prop::option::of(0usize..4),
+        prop::option::of(0usize..5),
+        prop::option::of((0usize..5, 0usize..5)),
+        prop::option::of((attr_cmp(), 0i32..20)),
+        prop::option::of(0usize..3),
+    )
+        .prop_map(|(within, at, between, val, tag)| QuerySpec {
+            within,
+            at,
+            between,
+            val,
+            tag,
+        })
+}
+
+fn obj_specs() -> impl Strategy<Value = Vec<ObjSpec>> {
+    prop::collection::vec((0i32..20, 0usize..3, 0usize..4, 0usize..5), 0..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `Gaea::retrieve(text)` returns exactly the object set of the
+    /// hand-built plan it lowers to — hit for hit, error for error.
+    #[test]
+    fn retrieve_text_equals_hand_built_plan(objs in obj_specs(), spec in query_spec()) {
+        let mut g = obs_kernel(&objs);
+        let text = spec_text(&spec);
+        let by_plan = g.query(&spec_query(&spec));
+        let by_text = g.retrieve(&text);
+        match (by_plan, by_text) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(ids(&a), ids(&b), "{}", text);
+                prop_assert_eq!(a.method, QueryMethod::Retrieved);
+                prop_assert_eq!(b.method, QueryMethod::Retrieved);
+            }
+            (Err(KernelError::NoData(_)), Err(KernelError::NoData(_))) => {}
+            (a, b) => prop_assert!(false, "diverged on {}: {:?} vs {:?}", text, a, b),
+        }
+    }
+
+    /// Projection through the text surface keeps exactly the named
+    /// attributes on every returned object.
+    #[test]
+    fn retrieve_projection_prunes_attrs(objs in obj_specs(), project_val in any::<bool>()) {
+        prop_assume!(!objs.is_empty());
+        let mut g = obs_kernel(&objs);
+        let proj = if project_val { "val" } else { "tag, timestamp" };
+        let out = g.retrieve(&format!("RETRIEVE {proj} FROM obs")).unwrap();
+        let want: Vec<&str> = proj.split(", ").collect();
+        for obj in &out.objects {
+            let keys: Vec<&str> = obj.attrs.keys().map(String::as_str).collect();
+            prop_assert_eq!(&keys, &want, "projection {} leaked attrs", proj);
+        }
+        // The unprojected query still serves every attribute.
+        let full = g.retrieve("RETRIEVE * FROM obs").unwrap();
+        prop_assert!(full.objects.iter().all(|o| o.attrs.len() == 4));
+    }
+}
+
+// ----------------------------------------------------------------------
+// Cost hints, USING, FRESH (directed scenarios)
+// ----------------------------------------------------------------------
+
+/// An ndvi → ndvi_smooth schema defined entirely through the language,
+/// with two stored ndvi snapshots at distinct instants.
+const SMOOTH_DDL: &str = r#"
+CLASS ndvi (
+  ATTRIBUTES:
+    data = image;
+  SPATIAL EXTENT:
+    spatialextent = box;
+  TEMPORAL EXTENT:
+    timestamp = abstime;
+)
+
+CLASS ndvi_smooth (
+  ATTRIBUTES:
+    data = image;
+  SPATIAL EXTENT:
+    spatialextent = box;
+  TEMPORAL EXTENT:
+    timestamp = abstime;
+  DERIVED BY: smooth
+)
+
+DEFINE PROCESS smooth (
+  OUTPUT ndvi_smooth
+  ARGUMENT ( src ndvi )
+  TEMPLATE {
+    MAPPINGS:
+      ndvi_smooth.data = img_scale(src.data, 1.0);
+      ndvi_smooth.spatialextent = ANYOF src.spatialextent;
+      ndvi_smooth.timestamp = ANYOF src.timestamp;
+  }
+)
+"#;
+
+fn africa() -> GeoBox {
+    GeoBox::new(-20.0, -35.0, 55.0, 38.0)
+}
+
+/// Returns (kernel, early object, late object).
+fn smooth_kernel(extra_ddl: &str) -> (Gaea, ObjectId, ObjectId) {
+    let mut g = Gaea::in_memory();
+    let prog = parse(&format!("{SMOOTH_DDL}\n{extra_ddl}")).unwrap();
+    lower_program(&mut g, &prog).unwrap();
+    let mut stored = Vec::new();
+    for k in [0usize, 3] {
+        stored.push(
+            g.insert_object(
+                "ndvi",
+                vec![
+                    (
+                        "data",
+                        Value::image(Image::filled(4, 4, PixType::Float8, 1.0 + k as f64)),
+                    ),
+                    ("spatialextent", Value::GeoBox(africa())),
+                    ("timestamp", Value::AbsTime(instant(k))),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+    (g, stored[0], stored[1])
+}
+
+fn fired_input(g: &Gaea, out: &QueryOutcome) -> ObjectId {
+    let task = g.task(*out.tasks.last().unwrap()).unwrap();
+    task.inputs["src"][0]
+}
+
+/// The acceptance scenario: with two admissible bindings, the bare
+/// heuristic binds the earliest snapshot; `DERIVE COST newest` reverses
+/// that choice — same store, same process, opposite binding.
+#[test]
+fn cost_hint_reverses_the_heuristic_choice() {
+    let (mut g, early, _late) = smooth_kernel("");
+    let out = g.retrieve("RETRIEVE * FROM ndvi_smooth DERIVE").unwrap();
+    assert_eq!(out.method, QueryMethod::Derived);
+    assert_eq!(fired_input(&g, &out), early, "heuristic binds oldest-first");
+
+    let (mut g, _early, late) = smooth_kernel("");
+    let out = g
+        .retrieve("RETRIEVE * FROM ndvi_smooth DERIVE COST newest")
+        .unwrap();
+    assert_eq!(out.method, QueryMethod::Derived);
+    assert_eq!(fired_input(&g, &out), late, "COST newest reverses it");
+}
+
+/// The same reversal through the compiled plan — `compile_retrieve`
+/// exposes what the text lowers to.
+#[test]
+fn cost_hint_compiles_onto_the_plan() {
+    let (g, _, _) = smooth_kernel("");
+    let q = g
+        .compile_retrieve("RETRIEVE data FROM ndvi_smooth DERIVE USING smooth COST newest FRESH")
+        .unwrap();
+    assert_eq!(q.cost, Some(CostHint::Newest));
+    assert_eq!(q.using_process.as_deref(), Some("smooth"));
+    assert_eq!(q.strategy, gaea::core::QueryStrategy::PreferDerivation);
+    assert_eq!(q.projection, vec!["data".to_string()]);
+    assert!(q.fresh);
+    // No DERIVE clause ⇒ retrieval only.
+    let q = g.compile_retrieve("RETRIEVE * FROM ndvi_smooth").unwrap();
+    assert_eq!(q.strategy, gaea::core::QueryStrategy::RetrieveOnly);
+}
+
+/// A process-declared `COST newest` flips the default; the query-level
+/// hint still overrides the declaration.
+#[test]
+fn process_declared_cost_is_the_default_and_query_overrides() {
+    const HINTED: &str = r#"
+CLASS smooth2 (
+  ATTRIBUTES:
+    data = image;
+  SPATIAL EXTENT:
+    spatialextent = box;
+  TEMPORAL EXTENT:
+    timestamp = abstime;
+  DERIVED BY: resmooth
+)
+
+DEFINE PROCESS resmooth (
+  OUTPUT smooth2
+  ARGUMENT ( src ndvi )
+  COST newest
+  TEMPLATE {
+    MAPPINGS:
+      smooth2.data = img_scale(src.data, 2.0);
+      smooth2.spatialextent = ANYOF src.spatialextent;
+      smooth2.timestamp = ANYOF src.timestamp;
+  }
+)
+"#;
+    let (mut g, _early, late) = smooth_kernel(HINTED);
+    assert_eq!(
+        g.catalog().process_by_name("resmooth").unwrap().cost,
+        Some(CostHint::Newest),
+        "DDL COST lowers onto the definition"
+    );
+    let out = g.retrieve("RETRIEVE * FROM smooth2 DERIVE").unwrap();
+    assert_eq!(fired_input(&g, &out), late, "declared hint is the default");
+
+    let (mut g, early, _late) = smooth_kernel(HINTED);
+    let out = g
+        .retrieve("RETRIEVE * FROM smooth2 DERIVE COST oldest")
+        .unwrap();
+    assert_eq!(fired_input(&g, &out), early, "query hint overrides");
+}
+
+/// `DERIVE USING p` pins the goal's producer among alternatives.
+#[test]
+fn using_pins_the_producing_process() {
+    const ALT: &str = r#"
+DEFINE PROCESS smooth_alt (
+  OUTPUT ndvi_smooth
+  ARGUMENT ( src ndvi )
+  TEMPLATE {
+    MAPPINGS:
+      ndvi_smooth.data = img_scale(src.data, 3.0);
+      ndvi_smooth.spatialextent = ANYOF src.spatialextent;
+      ndvi_smooth.timestamp = ANYOF src.timestamp;
+  }
+)
+"#;
+    let (mut g, _, _) = smooth_kernel(ALT);
+    let out = g
+        .retrieve("RETRIEVE * FROM ndvi_smooth DERIVE USING smooth_alt")
+        .unwrap();
+    let task = g.task(out.tasks[0]).unwrap();
+    assert_eq!(task.process_name, "smooth_alt");
+    // USING a process that does not derive the target is rejected cleanly.
+    let err = g
+        .retrieve("RETRIEVE * FROM ndvi DERIVE USING smooth_alt")
+        .unwrap_err();
+    assert!(err.to_string().contains("derives class"), "{err}");
+}
+
+/// `FRESH` refuses stale hits: the stale derivation is re-fired and the
+/// fresh output served; without `FRESH` the flagged history is served.
+#[test]
+fn fresh_refires_stale_hits_and_plain_retrieve_serves_history() {
+    let (mut g, early, _late) = smooth_kernel("");
+    let derived = g.retrieve("RETRIEVE * FROM ndvi_smooth DERIVE").unwrap();
+    let stale_obj = derived.objects[0].id;
+    // Mutate the consumed input: the derivation is now stale.
+    g.update_object(
+        early,
+        vec![(
+            "data",
+            Value::image(Image::filled(4, 4, PixType::Float8, 9.0)),
+        )],
+    )
+    .unwrap();
+    assert!(g.is_stale(stale_obj));
+
+    // Without FRESH: history is served, flagged.
+    let history = g.retrieve("RETRIEVE * FROM ndvi_smooth").unwrap();
+    assert_eq!(history.method, QueryMethod::Retrieved);
+    assert_eq!(history.objects[0].id, stale_obj);
+    assert!(history.is_stale(stale_obj));
+    assert!(history.tasks.is_empty());
+
+    // With FRESH: the stale hit is re-fired and replaced.
+    let fresh = g.retrieve("RETRIEVE * FROM ndvi_smooth FRESH").unwrap();
+    assert_eq!(fresh.method, QueryMethod::Retrieved);
+    assert!(!fresh.tasks.is_empty(), "a refresh firing was recorded");
+    assert!(!fresh.any_stale());
+    let served: Vec<ObjectId> = fresh.objects.iter().map(|o| o.id).collect();
+    assert!(!served.contains(&stale_obj), "stale history not served");
+    assert!(served.iter().all(|o| !g.is_stale(*o)));
+}
+
+/// A refreshed replacement must still satisfy the query's own predicates:
+/// when re-derivation moves the timestamp out of the queried instant, the
+/// replacement is not served — FRESH refuses, it does not misanswer.
+#[test]
+fn fresh_replacement_must_still_match_the_query() {
+    let (mut g, early, _late) = smooth_kernel("");
+    let t0 = instant(0);
+    let derived = g
+        .retrieve(&format!(
+            "RETRIEVE * FROM ndvi_smooth WHERE AT {} DERIVE",
+            t0.0
+        ))
+        .unwrap();
+    let stale_obj = derived.objects[0].id;
+    // Move the source snapshot to a different instant: the derivation is
+    // stale, and any re-derivation lands on the new timestamp.
+    let moved = instant(7);
+    g.update_object(early, vec![("timestamp", Value::AbsTime(moved))])
+        .unwrap();
+    assert!(g.is_stale(stale_obj));
+
+    // Plain query at t0 serves the flagged history.
+    let history = g
+        .retrieve(&format!("RETRIEVE * FROM ndvi_smooth WHERE AT {}", t0.0))
+        .unwrap();
+    assert!(history.is_stale(stale_obj));
+
+    // FRESH at t0: the replacement carries `moved`, which violates AT t0,
+    // so nothing current satisfies the query — a clean NoData, never an
+    // object outside the queried window.
+    let err = g
+        .retrieve(&format!(
+            "RETRIEVE * FROM ndvi_smooth WHERE AT {} FRESH",
+            t0.0
+        ))
+        .unwrap_err();
+    assert!(matches!(err, KernelError::NoData(_)), "{err}");
+    assert!(err.to_string().contains("FRESH refused"), "{err}");
+    // The same FRESH query *at the new instant* serves the replacement.
+    let out = g
+        .retrieve(&format!(
+            "RETRIEVE * FROM ndvi_smooth WHERE AT {} FRESH",
+            moved.0
+        ))
+        .unwrap();
+    assert!(!out.any_stale());
+    assert!(out.objects.iter().all(|o| o.id != stale_obj));
+}
+
+/// Stale hits whose producer cannot be re-fired automatically (here: a
+/// query-driven interpolation) are excluded from a FRESH answer instead
+/// of failing the whole query; current co-hits are still served.
+#[test]
+fn fresh_excludes_non_refirable_stale_hits() {
+    let (mut g, early, late) = smooth_kernel("");
+    // Interpolate ndvi halfway between the two snapshots.
+    let t_mid = AbsTime((instant(0).0 + instant(3).0) / 2);
+    let interp = g
+        .retrieve(&format!("RETRIEVE * FROM ndvi WHERE AT {} DERIVE", t_mid.0))
+        .unwrap();
+    assert_eq!(interp.method, QueryMethod::Interpolated);
+    let interp_obj = interp.objects[0].id;
+    // Mutate a bracketing snapshot: the interpolation is stale history.
+    g.update_object(
+        early,
+        vec![(
+            "data",
+            Value::image(Image::filled(4, 4, PixType::Float8, 7.0)),
+        )],
+    )
+    .unwrap();
+    assert!(g.is_stale(interp_obj));
+
+    // Plain retrieval serves it, flagged.
+    let history = g
+        .retrieve(&format!("RETRIEVE * FROM ndvi WHERE AT {}", t_mid.0))
+        .unwrap();
+    assert!(history.is_stale(interp_obj));
+
+    // FRESH over a window covering the interpolation AND a base snapshot:
+    // the stale interpolation is refused, the current snapshot is served,
+    // and the query does not collapse with NotAutoFirable.
+    let out = g
+        .retrieve(&format!(
+            "RETRIEVE * FROM ndvi WHERE BETWEEN {} AND {} FRESH",
+            t_mid.0,
+            instant(3).0
+        ))
+        .unwrap();
+    assert!(!out.any_stale());
+    assert!(out.objects.iter().any(|o| o.id == late));
+    assert!(out.objects.iter().all(|o| o.id != interp_obj));
+
+    // FRESH pinned to the interpolation instant alone: everything is
+    // refused, and the error says so instead of surfacing NotAutoFirable.
+    let err = g
+        .retrieve(&format!("RETRIEVE * FROM ndvi WHERE AT {} FRESH", t_mid.0))
+        .unwrap_err();
+    assert!(matches!(err, KernelError::NoData(_)), "{err}");
+    assert!(
+        err.to_string().contains("cannot be re-fired automatically"),
+        "{err}"
+    );
+}
+
+/// Concept-wide predicates need agreeing attribute types across member
+/// classes — a silent cross-type mismatch must be a definition-time error.
+#[test]
+fn concept_predicates_require_agreeing_attr_types() {
+    let mut g = Gaea::in_memory();
+    let prog = parse(
+        r#"
+CLASS a_obs ( ATTRIBUTES: val = int4; )
+CLASS b_obs ( ATTRIBUTES: val = float8; )
+DEFINE CONCEPT readings ( MEMBERS: a_obs, b_obs; )
+"#,
+    )
+    .unwrap();
+    lower_program(&mut g, &prog).unwrap();
+    let err = g
+        .retrieve("RETRIEVE * FROM readings WHERE val > 3")
+        .unwrap_err();
+    assert!(err.to_string().contains("agreeing types"), "{err}");
+    // The kernel guards the hand-built path too: an Int4 constant cannot
+    // silently compare against b_obs's float8 column.
+    let q = Query::concept("readings").filter("val", AttrCmp::Gt, Value::Int4(3));
+    let err = g.query(&q).unwrap_err();
+    assert!(
+        err.to_string().contains("against a"),
+        "type mismatch must error, not match nothing: {err}"
+    );
+}
+
+// ----------------------------------------------------------------------
+// Lowering error surface
+// ----------------------------------------------------------------------
+
+#[test]
+fn lowering_rejects_bad_statements_cleanly() {
+    let (mut g, _, _) = smooth_kernel("");
+    // Unknown target.
+    let err = g.retrieve("RETRIEVE * FROM nowhere").unwrap_err();
+    assert!(matches!(err, KernelError::NotFound { .. }), "{err}");
+    // Unknown cost vocabulary.
+    let err = g
+        .retrieve("RETRIEVE * FROM ndvi DERIVE COST cheapest")
+        .unwrap_err();
+    assert!(err.to_string().contains("oldest"), "{err}");
+    // Unknown attribute in WHERE and in the projection.
+    let err = g
+        .retrieve("RETRIEVE * FROM ndvi WHERE bogus = 1")
+        .unwrap_err();
+    assert!(err.to_string().contains("bogus"), "{err}");
+    let err = g.retrieve("RETRIEVE bogus FROM ndvi").unwrap_err();
+    assert!(err.to_string().contains("bogus"), "{err}");
+    // Type mismatch between literal and attribute.
+    let err = g
+        .retrieve("RETRIEVE * FROM ndvi WHERE data = 3")
+        .unwrap_err();
+    assert!(err.to_string().contains("does not fit"), "{err}");
+    // Malformed dates.
+    let err = g
+        .retrieve("RETRIEVE * FROM ndvi WHERE AT \"1986-13-99\"")
+        .unwrap_err();
+    assert!(err.to_string().contains("1986-13-99"), "{err}");
+    // Duplicate clauses.
+    let err = g
+        .retrieve("RETRIEVE * FROM ndvi WHERE AT 5 AND BETWEEN 1 AND 2")
+        .unwrap_err();
+    assert!(err.to_string().contains("duplicate"), "{err}");
+    // Syntax errors surface with the offending token underlined.
+    let err = g
+        .retrieve("RETRIEVE * FROM ndvi WHERE AT nope")
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains('^'), "underline missing: {msg}");
+    assert!(msg.contains("nope"), "{msg}");
+    // RETRIEVE statements cannot be lowered as definitions.
+    let prog = parse("RETRIEVE * FROM ndvi").unwrap();
+    let err = lower_program(&mut g, &prog).unwrap_err();
+    assert!(err.to_string().contains("Gaea::retrieve"), "{err}");
+}
+
+/// Dates lower onto exact instants: a stored snapshot is retrievable by
+/// its calendar day.
+#[test]
+fn date_literals_resolve_to_instants() {
+    let mut g = obs_kernel(&[(1, 0, 0, 0)]);
+    // instant(0) is 1988-01-01.
+    let out = g
+        .retrieve("RETRIEVE * FROM obs WHERE AT \"1988-01-01\"")
+        .unwrap();
+    assert_eq!(out.objects.len(), 1);
+    let err = g
+        .retrieve("RETRIEVE * FROM obs WHERE AT \"1988-01-02\"")
+        .unwrap_err();
+    assert!(matches!(err, KernelError::NoData(_)));
+}

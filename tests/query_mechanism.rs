@@ -199,6 +199,142 @@ fn window_queries_skip_interpolation() {
 }
 
 #[test]
+fn stale_step1_hit_refires_under_fresh_and_serves_history_without() {
+    // Derive a smooth object, then mutate its input: the stored
+    // derivation is history. Step 1 must keep serving it (flagged) for a
+    // plain query, and a FRESH query must re-fire it through step 3's
+    // refresh machinery instead.
+    let mut g = kernel();
+    let times = store_series(&mut g, 3);
+    let derived = g
+        .query(
+            &Query::class("ndvi_smooth")
+                .over(africa())
+                .at(times[0])
+                .with_strategy(QueryStrategy::PreferDerivation),
+        )
+        .unwrap();
+    let stale_obj = derived.objects[0].id;
+    let src = g.task(derived.tasks[0]).unwrap().inputs["src"][0];
+    g.update_object(
+        src,
+        vec![("data", derived.objects[0].attr("data").unwrap().clone())],
+    )
+    .unwrap();
+    assert!(g.is_stale(stale_obj));
+
+    // Plain retrieval: history served, staleness flagged, nothing fired.
+    let history = g
+        .query(&Query::class("ndvi_smooth").over(africa()).at(times[0]))
+        .unwrap();
+    assert_eq!(history.method, QueryMethod::Retrieved);
+    assert!(history.is_stale(stale_obj));
+    assert!(history.tasks.is_empty());
+
+    // FRESH: the stale hit is re-fired; the served set is current.
+    let fresh = g
+        .query(
+            &Query::class("ndvi_smooth")
+                .over(africa())
+                .at(times[0])
+                .fresh(),
+        )
+        .unwrap();
+    assert!(!fresh.any_stale());
+    assert!(!fresh.tasks.is_empty(), "refresh recorded a firing");
+    assert!(fresh.objects.iter().all(|o| o.id != stale_obj));
+    assert!(fresh.objects.iter().all(|o| !g.is_stale(o.id)));
+    // The old object remains on record as history.
+    assert!(g.object(stale_obj).is_ok());
+}
+
+#[test]
+fn fresh_is_a_noop_on_current_answers() {
+    let mut g = kernel();
+    let times = store_series(&mut g, 3);
+    let out = g
+        .query(&Query::class("ndvi").over(africa()).at(times[1]).fresh())
+        .unwrap();
+    assert_eq!(out.method, QueryMethod::Retrieved);
+    assert!(out.tasks.is_empty(), "nothing to refresh, nothing fired");
+}
+
+#[test]
+fn zero_binding_candidates_error_cleanly() {
+    // (1) The deriving process's input class holds no objects at all:
+    // planning stops at the missing base class with a diagnosis.
+    let mut g = kernel();
+    let err = g
+        .query(&Query::class("ndvi_smooth").with_strategy(QueryStrategy::PreferDerivation))
+        .unwrap_err();
+    assert!(matches!(err, KernelError::NoData(_)), "{err}");
+    assert!(
+        err.to_string().contains("ndvi"),
+        "diagnosis names the base: {err}"
+    );
+
+    // (2) Objects exist but the spatial window excludes every candidate.
+    let mut g = kernel();
+    store_series(&mut g, 3);
+    let amazon = GeoBox::new(-75.0, -15.0, -50.0, 5.0);
+    let err = g
+        .query(
+            &Query::class("ndvi_smooth")
+                .over(amazon)
+                .with_strategy(QueryStrategy::PreferDerivation),
+        )
+        .unwrap_err();
+    assert!(matches!(err, KernelError::NoData(_)), "{err}");
+
+    // (3) A SETOF threshold above the stored count: the plan is
+    // infeasible, diagnosed rather than panicking.
+    let mut g = kernel();
+    g.define_class(ClassSpec::derived("ndvi_stack").attr("data", TypeTag::Image))
+        .unwrap();
+    g.define_process(
+        ProcessSpec::new("stack", "ndvi_stack")
+            .setof_arg("srcs", "ndvi", 5)
+            .template(Template {
+                assertions: vec![],
+                mappings: vec![Mapping {
+                    attr: "data".into(),
+                    expr: Expr::apply("composite", vec![Expr::Arg("srcs".into())]),
+                }],
+            }),
+    )
+    .unwrap();
+    store_series(&mut g, 3); // 3 < 5
+    let err = g
+        .query(
+            &Query::class("ndvi_stack")
+                .over(africa())
+                .with_strategy(QueryStrategy::PreferDerivation),
+        )
+        .unwrap_err();
+    assert!(matches!(err, KernelError::NoData(_)), "{err}");
+
+    // (4) USING pins a process that exists but cannot bind.
+    let mut g = kernel();
+    let err = g
+        .query(
+            &Query::class("ndvi_smooth")
+                .using("smooth")
+                .with_strategy(QueryStrategy::PreferDerivation),
+        )
+        .unwrap_err();
+    assert!(matches!(err, KernelError::NoData(_)), "{err}");
+    // And a USING process that does not exist fails fast, before stages.
+    let err = g
+        .query(
+            &Query::class("ndvi_smooth")
+                .using("phantom")
+                .with_strategy(QueryStrategy::PreferDerivation),
+        )
+        .unwrap_err();
+    assert!(matches!(err, KernelError::NotFound { .. }), "{err}");
+}
+
+#[test]
 fn spatial_windows_filter_retrieval() {
     let mut g = kernel();
     store_series(&mut g, 2);
