@@ -41,6 +41,13 @@ pub struct Catalog {
     /// after a load.
     #[serde(skip)]
     produced_by: BTreeMap<ObjectId, TaskId>,
+    /// Reverse index process → its recorded tasks, in task-id order (ids
+    /// are allocated monotonically, so append order *is* id order). The
+    /// query mechanism's dedup walk and the scheduler's impact analysis
+    /// consult this instead of scanning the whole task map. Not
+    /// serialized — rebuilt via [`Catalog::rebuild_task_index`].
+    #[serde(skip)]
+    tasks_by_process: BTreeMap<ProcessId, Vec<TaskId>>,
     /// Logical clock for task ordering.
     pub next_seq: u64,
 }
@@ -112,6 +119,10 @@ impl Catalog {
             // object's real producer.
             self.produced_by.entry(*out).or_insert(task.id);
         }
+        self.tasks_by_process
+            .entry(task.process)
+            .or_default()
+            .push(task.id);
         self.tasks.insert(task.id, task);
     }
 
@@ -124,20 +135,45 @@ impl Catalog {
                 self.produced_by.remove(out);
             }
         }
+        if let Some(ids) = self.tasks_by_process.get_mut(&task.process) {
+            ids.retain(|t| *t != id);
+            if ids.is_empty() {
+                self.tasks_by_process.remove(&task.process);
+            }
+        }
         Some(task)
     }
 
-    /// Rebuild the object → producing-task index from the task map. Called
-    /// after deserializing a catalog (the index is not persisted).
+    /// Rebuild the object → producing-task and process → tasks indexes
+    /// from the task map. Called after deserializing a catalog (the
+    /// indexes are not persisted).
     pub fn rebuild_task_index(&mut self) {
         self.produced_by.clear();
-        // Iterate in id order so the earliest producer wins, exactly as
-        // incremental `add_task` maintenance would have left it.
+        self.tasks_by_process.clear();
+        // Iterate in id order so the earliest producer wins and the
+        // per-process lists come out id-sorted, exactly as incremental
+        // `add_task` maintenance would have left them.
         for (id, task) in &self.tasks {
             for out in &task.outputs {
                 self.produced_by.entry(*out).or_insert(*id);
             }
+            self.tasks_by_process
+                .entry(task.process)
+                .or_default()
+                .push(*id);
         }
+    }
+
+    /// Recorded tasks of one process, in task-id (= recording) order.
+    /// O(log n + answers) through the per-process index — the query
+    /// mechanism's duplicate-derivation walk runs this per firing, and
+    /// used to scan every task on record instead.
+    pub fn tasks_of_process(&self, pid: ProcessId) -> impl Iterator<Item = &Task> {
+        self.tasks_by_process
+            .get(&pid)
+            .into_iter()
+            .flatten()
+            .filter_map(|id| self.tasks.get(id))
     }
 
     /// Allocate the next task sequence number.

@@ -10,11 +10,21 @@
 //! non-applicative processes and interactive processes refuse automatic
 //! firing (the former are recorded via manual tasks, the latter driven
 //! through interactive sessions).
+//!
+//! Every firing is staged as **prepare / commit**: [`prepare_firing`] is
+//! read-only over the store and catalog (validate bindings, load inputs,
+//! check guards, evaluate the template, fingerprint input versions) and
+//! returns a [`PreparedFiring`]; [`apply_result`] materializes the
+//! output object and the task record. [`run_process`] composes the two
+//! back to back, so serial execution is one unchanged code path — and
+//! the `gaea-sched` wave executor can run many prepares concurrently on
+//! shared `&Database` / `&Catalog` borrows while only the cheap commits
+//! serialize.
 
 use crate::catalog::Catalog;
 use crate::error::{KernelError, KernelResult};
 use crate::external::{ExternalInputs, ExternalRegistry};
-use crate::ids::{ObjectId, ProcessId, TaskId};
+use crate::ids::{ClassId, ObjectId, ProcessId, TaskId};
 use crate::object::DataObject;
 use crate::schema::{ClassDef, ProcessDef, ProcessKind, StepSource};
 use crate::task::{Task, TaskKind};
@@ -23,6 +33,10 @@ use gaea_adt::{OperatorRegistry, Value};
 use gaea_store::{Database, Tuple};
 use std::collections::BTreeMap;
 
+/// Owned input bindings of one firing: argument name → chosen objects,
+/// in declared argument order.
+pub type Bindings = Vec<(String, Vec<ObjectId>)>;
+
 /// Result of firing a process.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskRun {
@@ -30,6 +44,141 @@ pub struct TaskRun {
     pub task: TaskId,
     /// Objects generated for the output class.
     pub outputs: Vec<ObjectId>,
+}
+
+/// A firing that has been computed but not yet committed: the output of
+/// the read-only [`prepare_firing`] stage, consumed by [`apply_result`].
+///
+/// Everything expensive — input loading, guard checking, template (or
+/// external-site) evaluation — already happened; what remains is the
+/// store insert and the task record. Prepared firings are `Send`, so a
+/// `gaea-sched` worker can compute one on a borrowed snapshot and hand
+/// it to the committing thread.
+#[derive(Debug, Clone)]
+pub struct PreparedFiring {
+    pub(crate) process: ProcessId,
+    pub(crate) process_name: String,
+    pub(crate) output_class: ClassId,
+    pub(crate) bindings: Vec<(String, Vec<ObjectId>)>,
+    pub(crate) attrs: BTreeMap<String, Value>,
+    pub(crate) input_versions: BTreeMap<ObjectId, u64>,
+    pub(crate) params: BTreeMap<String, Value>,
+    pub(crate) kind: TaskKind,
+}
+
+impl PreparedFiring {
+    /// The process this firing instantiates.
+    pub fn process(&self) -> ProcessId {
+        self.process
+    }
+
+    /// The chosen input bindings, in declared argument order.
+    pub fn bindings(&self) -> &[(String, Vec<ObjectId>)] {
+        &self.bindings
+    }
+}
+
+/// Can [`prepare_firing`] stage this process definition? True for plain
+/// primitives and external processes — the kinds whose evaluation is a
+/// pure function of loaded inputs. Compounds expand into a step network
+/// with intermediate materialization, and interactive / non-applicative
+/// processes need a scientist, so they all fire through the serial path.
+pub fn is_preparable(def: &ProcessDef) -> bool {
+    match &def.kind {
+        ProcessKind::Primitive => !def.is_interactive(),
+        ProcessKind::External { .. } => true,
+        ProcessKind::Compound(_) | ProcessKind::NonApplicative { .. } => false,
+    }
+}
+
+/// Stage 1 of a firing — read-only: validate the bindings, load the
+/// inputs, check every guard assertion, evaluate the template (or
+/// dispatch to the external site), validate the computed output
+/// attributes against the output class, and fingerprint the input
+/// versions. Nothing in the store or catalog changes; concurrent
+/// prepares over shared borrows are safe.
+///
+/// Only preparable processes ([`is_preparable`]) are accepted; compound,
+/// interactive and non-applicative processes return
+/// [`KernelError::NotAutoFirable`].
+pub fn prepare_firing(
+    db: &Database,
+    catalog: &Catalog,
+    registry: &OperatorRegistry,
+    externals: &ExternalRegistry,
+    pid: ProcessId,
+    bindings: &[(String, Vec<ObjectId>)],
+) -> KernelResult<PreparedFiring> {
+    let def = catalog.process(pid)?;
+    match &def.kind {
+        ProcessKind::Primitive => {
+            if def.is_interactive() {
+                return Err(KernelError::NotAutoFirable {
+                    process: def.name.clone(),
+                    reason: format!(
+                        "declares {} interaction point(s); drive it through an interactive session",
+                        def.interactions.len()
+                    ),
+                });
+            }
+            prepare_primitive(
+                db,
+                catalog,
+                registry,
+                def,
+                bindings,
+                &NO_PARAMS,
+                TaskKind::Primitive,
+            )
+        }
+        ProcessKind::External { site } => {
+            prepare_external(db, catalog, registry, externals, def, site, bindings)
+        }
+        ProcessKind::Compound(_) => Err(KernelError::NotAutoFirable {
+            process: def.name.clone(),
+            reason: "compound processes expand into a step network with intermediate \
+                     materialization; fire them through the serial path"
+                .into(),
+        }),
+        ProcessKind::NonApplicative { procedure } => Err(KernelError::NotAutoFirable {
+            process: def.name.clone(),
+            reason: format!("non-applicative procedure ({procedure}); record its tasks manually"),
+        }),
+    }
+}
+
+/// Stage 2 of a firing — the commit: materialize the prepared output
+/// object and append the task record. This is the only part of a firing
+/// that writes, and it is cheap (one insert, one task append); the wave
+/// executor serializes exactly this.
+pub fn apply_result(
+    db: &mut Database,
+    catalog: &mut Catalog,
+    prepared: PreparedFiring,
+    user: &str,
+) -> KernelResult<TaskRun> {
+    let out_class = catalog.class(prepared.output_class)?.clone();
+    let obj = insert_object(db, catalog, &out_class, &prepared.attrs)?;
+    let task_id = TaskId(db.allocate_oid());
+    let seq = catalog.next_task_seq();
+    let task = Task {
+        id: task_id,
+        process: prepared.process,
+        process_name: prepared.process_name,
+        inputs: prepared.bindings.into_iter().collect(),
+        input_versions: prepared.input_versions,
+        outputs: vec![obj],
+        params: prepared.params,
+        seq,
+        user: user.into(),
+        kind: prepared.kind,
+        children: vec![],
+    };
+    catalog.add_task(task);
+    Ok(TaskRun {
+        task: task_id,
+        outputs: vec![obj],
+    })
 }
 
 /// The MVCC fingerprint of a binding set: each distinct input object
@@ -277,19 +426,45 @@ pub(crate) fn load_bindings(
     Ok(bound)
 }
 
-/// Validate computed output attributes and materialize the object + task.
-#[allow(clippy::too_many_arguments)]
-fn materialize_output(
-    db: &mut Database,
-    catalog: &mut Catalog,
+/// Bind-stage admission check, read-only and cheap relative to a full
+/// prepare: validate the bindings and evaluate the template's guard
+/// assertions over the loaded inputs — nothing else. The query
+/// mechanism's parallel fire stage uses this to *choose* bindings
+/// serially (guards decide admissibility) before the expensive mapping
+/// evaluation fans out to workers.
+pub(crate) fn check_guards(
+    db: &Database,
+    catalog: &Catalog,
+    registry: &OperatorRegistry,
     def: &ProcessDef,
     bindings: &[(String, Vec<ObjectId>)],
-    attrs: &BTreeMap<String, Value>,
-    user: &str,
-    params: &BTreeMap<String, Value>,
+) -> KernelResult<()> {
+    validate_bindings(catalog, def, bindings)?;
+    let bound = load_bindings(db, catalog, def, bindings)?;
+    let ctx = EvalContext {
+        bindings: &bound,
+        registry,
+        params: &NO_PARAMS,
+    };
+    ctx.check_assertions(&def.name, &def.template)
+}
+
+/// Validate computed output attributes against the output class and
+/// assemble the [`PreparedFiring`]. The input fingerprint is taken here,
+/// at prepare time: a firing never mutates its own inputs, and commits
+/// of *other* firings only bump versions of objects they create, so the
+/// fingerprint is identical whether the commit happens immediately
+/// (serial mode) or after the rest of a wave prepared.
+fn finish_prepared(
+    db: &Database,
+    catalog: &Catalog,
+    def: &ProcessDef,
+    bindings: &[(String, Vec<ObjectId>)],
+    attrs: BTreeMap<String, Value>,
+    params: BTreeMap<String, Value>,
     kind: TaskKind,
-) -> KernelResult<TaskRun> {
-    let out_class = catalog.class(def.output)?.clone();
+) -> KernelResult<PreparedFiring> {
+    let out_class = catalog.class(def.output)?;
     for key in attrs.keys() {
         if out_class.attr(key).is_none() {
             return Err(KernelError::Schema(format!(
@@ -298,39 +473,45 @@ fn materialize_output(
             )));
         }
     }
-    // Fingerprint the inputs *before* materializing the output: the
-    // output insert bumps the store clock, but the inputs' own versions
-    // are untouched by the firing, so order only matters for clarity.
-    let input_versions = input_versions_of(db, bindings);
-    let obj = insert_object(db, catalog, &out_class, attrs)?;
-    let task_id = TaskId(db.allocate_oid());
-    let seq = catalog.next_task_seq();
-    let task = Task {
-        id: task_id,
+    Ok(PreparedFiring {
         process: def.id,
         process_name: def.name.clone(),
-        inputs: bindings
-            .iter()
-            .map(|(n, objs)| (n.clone(), objs.clone()))
-            .collect(),
-        input_versions,
-        outputs: vec![obj],
-        params: params.clone(),
-        seq,
-        user: user.into(),
+        output_class: def.output,
+        bindings: bindings.to_vec(),
+        attrs,
+        input_versions: input_versions_of(db, bindings),
+        params,
         kind,
-        children: vec![],
-    };
-    catalog.add_task(task);
-    Ok(TaskRun {
-        task: task_id,
-        outputs: vec![obj],
     })
 }
 
-/// Fire a primitive process's template. `params` carries the scientist's
-/// interaction answers (empty for plain primitives); `kind` distinguishes
-/// plain from interactive firings on the recorded task.
+/// Prepare a primitive process's template evaluation. `params` carries
+/// the scientist's interaction answers (empty for plain primitives);
+/// `kind` distinguishes plain from interactive firings on the recorded
+/// task.
+pub(crate) fn prepare_primitive(
+    db: &Database,
+    catalog: &Catalog,
+    registry: &OperatorRegistry,
+    def: &ProcessDef,
+    bindings: &[(String, Vec<ObjectId>)],
+    params: &BTreeMap<String, Value>,
+    kind: TaskKind,
+) -> KernelResult<PreparedFiring> {
+    validate_bindings(catalog, def, bindings)?;
+    let bound = load_bindings(db, catalog, def, bindings)?;
+    // Evaluate the template (guards first — Figure 3's assertions).
+    let ctx = EvalContext {
+        bindings: &bound,
+        registry,
+        params,
+    };
+    ctx.check_assertions(&def.name, &def.template)?;
+    let attrs = ctx.eval_mappings(&def.template)?;
+    finish_prepared(db, catalog, def, bindings, attrs, params.clone(), kind)
+}
+
+/// Fire a primitive process's template: prepare + commit, back to back.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_primitive(
     db: &mut Database,
@@ -342,31 +523,23 @@ pub(crate) fn run_primitive(
     params: &BTreeMap<String, Value>,
     kind: TaskKind,
 ) -> KernelResult<TaskRun> {
-    validate_bindings(catalog, def, bindings)?;
-    let bound = load_bindings(db, catalog, def, bindings)?;
-    // Evaluate the template (guards first — Figure 3's assertions).
-    let ctx = EvalContext {
-        bindings: &bound,
-        registry,
-        params,
-    };
-    ctx.check_assertions(&def.name, &def.template)?;
-    let attrs = ctx.eval_mappings(&def.template)?;
-    materialize_output(db, catalog, def, bindings, &attrs, user, params, kind)
+    let prepared = prepare_primitive(db, catalog, registry, def, bindings, params, kind)?;
+    apply_result(db, catalog, prepared, user)
 }
 
-/// Fire an external process: local guards, remote mapping (§5 extension).
-#[allow(clippy::too_many_arguments)]
-fn run_external(
-    db: &mut Database,
-    catalog: &mut Catalog,
+/// Prepare an external firing: local guards, remote mapping (§5
+/// extension). The site round-trip happens here, in the read-only
+/// stage, so remote latency parallelizes across a wave like local
+/// template evaluation does.
+fn prepare_external(
+    db: &Database,
+    catalog: &Catalog,
     registry: &OperatorRegistry,
     externals: &ExternalRegistry,
     def: &ProcessDef,
     site_name: &str,
     bindings: &[(String, Vec<ObjectId>)],
-    user: &str,
-) -> KernelResult<TaskRun> {
+) -> KernelResult<PreparedFiring> {
     validate_bindings(catalog, def, bindings)?;
     let bound = load_bindings(db, catalog, def, bindings)?;
     // Guard rules are metadata constraints on the inputs; they are always
@@ -393,16 +566,31 @@ fn run_external(
     let attrs = site.execute(def, &inputs)?;
     let mut params = BTreeMap::new();
     params.insert("site".to_string(), Value::Text(site_name.to_string()));
-    materialize_output(
+    finish_prepared(
         db,
         catalog,
         def,
         bindings,
-        &attrs,
-        user,
-        &params,
+        attrs,
+        params,
         TaskKind::External,
     )
+}
+
+/// Fire an external process: prepare (incl. the site round-trip) + commit.
+#[allow(clippy::too_many_arguments)]
+fn run_external(
+    db: &mut Database,
+    catalog: &mut Catalog,
+    registry: &OperatorRegistry,
+    externals: &ExternalRegistry,
+    def: &ProcessDef,
+    site_name: &str,
+    bindings: &[(String, Vec<ObjectId>)],
+    user: &str,
+) -> KernelResult<TaskRun> {
+    let prepared = prepare_external(db, catalog, registry, externals, def, site_name, bindings)?;
+    apply_result(db, catalog, prepared, user)
 }
 
 /// Undo a recorded task: delete its output objects and drop the record

@@ -28,6 +28,7 @@
 
 use crate::ids::{ObjectId, ProcessId, TaskId};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Counters describing cache effectiveness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -239,6 +240,87 @@ impl DerivedCache {
         }
         self.invalidations += removed as u64;
         removed
+    }
+}
+
+/// Thread-shareable handle on a [`DerivedCache`]: `Arc<RwLock<…>>` with
+/// the cache's own API surface, so every kernel call site reads the same
+/// whether the kernel is serial or a `gaea-sched` wave is running.
+///
+/// Cloning shares the underlying cache (it is a handle, not a copy);
+/// [`super::Gaea::cache_handle`] hands one out so scheduler workers — and
+/// tests — can look up, insert and invalidate concurrently. All methods
+/// take `&self`; lock poisoning is absorbed (`PoisonError::into_inner`)
+/// because every mutation keeps the cache structurally consistent — a
+/// panicked worker mid-`insert` at worst loses that one memo entry, and
+/// the version validators re-falsify anything questionable on lookup.
+#[derive(Debug, Clone, Default)]
+pub struct SharedCache {
+    inner: Arc<RwLock<DerivedCache>>,
+}
+
+impl SharedCache {
+    /// A fresh, disabled cache behind a new shared handle.
+    pub fn new() -> SharedCache {
+        SharedCache::default()
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, DerivedCache> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, DerivedCache> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Is the cache consulted at all?
+    pub fn enabled(&self) -> bool {
+        self.read().enabled()
+    }
+
+    /// Enable or disable (see [`DerivedCache::set_enabled`]).
+    pub fn set_enabled(&self, on: bool) {
+        self.write().set_enabled(on);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.read().stats()
+    }
+
+    /// Look up a memoized firing under the write lock (a hit bumps
+    /// counters; a rejected entry is evicted). See
+    /// `DerivedCache::lookup_where`.
+    pub fn lookup_where<F>(
+        &self,
+        hash: u64,
+        canonical: &str,
+        valid: F,
+    ) -> Option<(TaskId, Vec<ObjectId>)>
+    where
+        F: FnOnce(&[(ObjectId, u64)], &[(ObjectId, u64)]) -> bool,
+    {
+        self.write().lookup_where(hash, canonical, valid)
+    }
+
+    /// Record a firing's result (no-op while disabled). See
+    /// `DerivedCache::insert`.
+    pub fn insert(
+        &self,
+        hash: u64,
+        canonical: String,
+        task: TaskId,
+        inputs: Vec<(ObjectId, u64)>,
+        outputs: Vec<(ObjectId, u64)>,
+    ) {
+        self.write().insert(hash, canonical, task, inputs, outputs);
+    }
+
+    /// Invalidate every entry linked to `oid` through the cache's
+    /// derivation edges; returns the number of entries removed. See
+    /// `DerivedCache::invalidate_object`.
+    pub fn invalidate_object(&self, oid: ObjectId) -> usize {
+        self.write().invalidate_object(oid)
     }
 }
 

@@ -21,7 +21,7 @@
 use super::cache::DerivedCache;
 use super::Gaea;
 use crate::catalog::Catalog;
-use crate::derivation::executor::{self, TaskRun};
+use crate::derivation::executor::{self, PreparedFiring, TaskRun};
 use crate::error::{KernelError, KernelResult};
 use crate::ids::{ObjectId, ProcessId, TaskId};
 use crate::interact::InteractiveSession;
@@ -36,6 +36,18 @@ use std::collections::BTreeMap;
 /// Staleness memo shared across the classification of many objects (one
 /// query may flag dozens of hits whose derivations share ancestors).
 pub(crate) type StaleMemo = BTreeMap<ObjectId, bool>;
+
+/// Outcome of consulting the derived-result cache before a firing
+/// ([`Gaea::probe_cache`]): shared by the serial executor path and the
+/// scheduler's commit step so both treat memoization identically.
+pub(crate) enum CacheProbe {
+    /// Memoization is off; fire and record nothing.
+    Disabled,
+    /// No valid entry; fire, then record under this canonical key.
+    Miss { hash: u64, canonical: String },
+    /// A validated entry answered the firing.
+    Hit(TaskRun),
+}
 
 /// Is `obj` a stale derived object? Base objects (no producing task) are
 /// never stale — a mutated base object *is* the current truth. A derived
@@ -314,7 +326,15 @@ impl Gaea {
             }
             owned.push((arg.name.clone(), fresh));
         }
-        let run = self.run_process_owned(task.process, owned)?;
+        // Duplicate guard: an identical current derivation may already be
+        // on record — e.g. an earlier refresh call re-derived this shared
+        // upstream along another path of a diamond. Reuse it instead of
+        // re-firing, so each distinct derivation happens exactly once
+        // however many refresh calls reach it.
+        let run = match self.reuse_current_firing(task.process, &owned) {
+            Some(run) => run,
+            None => self.run_process_owned(task.process, owned)?,
+        };
         refreshed.insert(obj, run.clone());
         Ok(run)
     }
@@ -352,28 +372,10 @@ impl Gaea {
         pid: ProcessId,
         owned: Vec<(String, Vec<ObjectId>)>,
     ) -> KernelResult<TaskRun> {
-        let key = if self.cache.enabled() {
-            let (hash, canonical) = DerivedCache::canonical_key(pid, &owned);
-            let db = &self.db;
-            let catalog = &self.catalog;
-            let hit = self
-                .cache
-                .lookup_where(hash, &canonical, |inputs, outputs| {
-                    let mut memo = StaleMemo::new();
-                    inputs
-                        .iter()
-                        .chain(outputs)
-                        .all(|(o, v)| db.object_version(o.0) == *v)
-                        && !inputs
-                            .iter()
-                            .any(|(o, _)| object_is_stale(db, catalog, *o, &mut memo))
-                });
-            if let Some((task, outputs)) = hit {
-                return Ok(TaskRun { task, outputs });
-            }
-            Some((hash, canonical))
-        } else {
-            None
+        let key = match self.probe_cache(pid, &owned) {
+            CacheProbe::Hit(run) => return Ok(run),
+            CacheProbe::Miss { hash, canonical } => Some((hash, canonical)),
+            CacheProbe::Disabled => None,
         };
         let run = executor::run_process(
             &mut self.db,
@@ -385,18 +387,125 @@ impl Gaea {
             &self.user.clone(),
         )?;
         if let Some((hash, canonical)) = key {
-            let inputs: Vec<(ObjectId, u64)> = owned
-                .iter()
-                .flat_map(|(_, o)| o.iter().copied())
-                .map(|o| (o, self.db.object_version(o.0)))
-                .collect();
-            let outputs: Vec<(ObjectId, u64)> = run
-                .outputs
-                .iter()
-                .map(|o| (*o, self.db.object_version(o.0)))
-                .collect();
-            self.cache
-                .insert(hash, canonical, run.task, inputs, outputs);
+            self.record_cache(hash, canonical, &owned, &run);
+        }
+        Ok(run)
+    }
+
+    /// An identical *current* prior derivation of `pid` on exactly these
+    /// bindings, if [`Gaea::reuse_tasks`] allows reusing it — the
+    /// refresh machinery's duplicate guard. Without this check, two
+    /// refresh calls whose stale chains share an upstream (the diamond
+    /// case split across calls, or a `FRESH` query looping over several
+    /// stale hits) would each re-fire the shared derivation once per
+    /// path, recording duplicate tasks. Priors whose outputs were
+    /// deleted do not count (a refresh must re-materialize them), and
+    /// stale priors are history, not answers.
+    pub(crate) fn reuse_current_firing(
+        &self,
+        pid: ProcessId,
+        owned: &[(String, Vec<ObjectId>)],
+    ) -> Option<TaskRun> {
+        if !self.reuse_tasks {
+            return None;
+        }
+        let key = super::query::dedup_key_for(pid, owned);
+        // Several records can share one key (a stale derivation and its
+        // later re-fire bind identically when only input *versions*
+        // drifted): any current, still-stored match answers.
+        let mut memo = StaleMemo::new();
+        let task = self
+            .catalog
+            .tasks_of_process(pid)
+            .filter(|t| t.dedup_key() == key)
+            .find(|t| {
+                t.outputs
+                    .iter()
+                    .all(|o| self.catalog.class_of_object(*o).is_ok())
+                    && !task_is_stale(&self.db, &self.catalog, t, &mut memo)
+            })?;
+        Some(TaskRun {
+            task: task.id,
+            outputs: task.outputs.clone(),
+        })
+    }
+
+    /// Consult the derived-result cache for a firing of `pid` on `owned`
+    /// bindings: a validated hit (every recorded input/output version
+    /// still matches the live counters and no input is a stale derived
+    /// object), or the canonical key to record under after firing.
+    pub(crate) fn probe_cache(
+        &self,
+        pid: ProcessId,
+        owned: &[(String, Vec<ObjectId>)],
+    ) -> CacheProbe {
+        if !self.cache.enabled() {
+            return CacheProbe::Disabled;
+        }
+        let (hash, canonical) = DerivedCache::canonical_key(pid, owned);
+        let db = &self.db;
+        let catalog = &self.catalog;
+        let hit = self
+            .cache
+            .lookup_where(hash, &canonical, |inputs, outputs| {
+                let mut memo = StaleMemo::new();
+                inputs
+                    .iter()
+                    .chain(outputs)
+                    .all(|(o, v)| db.object_version(o.0) == *v)
+                    && !inputs
+                        .iter()
+                        .any(|(o, _)| object_is_stale(db, catalog, *o, &mut memo))
+            });
+        match hit {
+            Some((task, outputs)) => CacheProbe::Hit(TaskRun { task, outputs }),
+            None => CacheProbe::Miss { hash, canonical },
+        }
+    }
+
+    /// Memoize a completed firing under its canonical key, with the
+    /// input/output store versions observed now.
+    pub(crate) fn record_cache(
+        &mut self,
+        hash: u64,
+        canonical: String,
+        owned: &[(String, Vec<ObjectId>)],
+        run: &TaskRun,
+    ) {
+        let inputs: Vec<(ObjectId, u64)> = owned
+            .iter()
+            .flat_map(|(_, o)| o.iter().copied())
+            .map(|o| (o, self.db.object_version(o.0)))
+            .collect();
+        let outputs: Vec<(ObjectId, u64)> = run
+            .outputs
+            .iter()
+            .map(|o| (*o, self.db.object_version(o.0)))
+            .collect();
+        self.cache
+            .insert(hash, canonical, run.task, inputs, outputs);
+    }
+
+    /// Commit a [`PreparedFiring`] computed by a scheduler worker — the
+    /// serialized tail of [`Gaea::run_process_owned`]: consult the memo
+    /// (an identical *current* derivation recorded meanwhile is reused
+    /// instead of duplicated), otherwise materialize the prepared output
+    /// and record the firing in the cache.
+    pub(crate) fn commit_prepared(&mut self, prepared: PreparedFiring) -> KernelResult<TaskRun> {
+        let key = match self.probe_cache(prepared.process, &prepared.bindings) {
+            CacheProbe::Hit(run) => return Ok(run),
+            CacheProbe::Miss { hash, canonical } => Some((hash, canonical)),
+            CacheProbe::Disabled => None,
+        };
+        let owned = prepared.bindings.clone();
+        let run = executor::apply_result(
+            &mut self.db,
+            &mut self.catalog,
+            prepared,
+            &self.user.clone(),
+        )?;
+        if let Some((hash, canonical)) = key {
+            self.record_cache(hash, canonical, &owned, &run);
         }
         Ok(run)
     }

@@ -31,20 +31,23 @@
 pub mod cache;
 pub mod ddl;
 pub mod exec;
+pub mod parallel;
 pub mod provenance;
 pub mod query;
 
 #[cfg(test)]
 mod tests;
 
-pub use cache::{CacheStats, DerivedCache};
+pub use cache::{CacheStats, DerivedCache, SharedCache};
 pub use ddl::{ClassSpec, ProcessSpec};
+pub use parallel::RefreshReport;
 pub use provenance::{DriftedInput, StalenessReport, TaskCurrency};
 
 use crate::catalog::Catalog;
 use crate::error::{KernelError, KernelResult};
 use crate::external::{ExternalExecutor, ExternalRegistry};
 use gaea_adt::OperatorRegistry;
+use gaea_sched::Scheduler;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -56,8 +59,15 @@ pub struct Gaea {
     pub(crate) externals: ExternalRegistry,
     pub(crate) user: String,
     /// Memoized `(process, bindings) → outputs` results (off by default;
-    /// see [`Gaea::enable_memoization`]).
-    pub(crate) cache: DerivedCache,
+    /// see [`Gaea::enable_memoization`]), behind a thread-shareable
+    /// handle so scheduler workers memoize concurrently.
+    pub(crate) cache: SharedCache,
+    /// The derivation scheduler: how many workers wave execution
+    /// ([`Gaea::refresh_all`], [`Gaea::derive_parallel`], and the query
+    /// pipeline's parallel fire stage) may use. Defaults to the
+    /// deterministic single-threaded mode unless `GAEA_SCHED_WORKERS`
+    /// says otherwise; see [`Gaea::set_workers`].
+    pub(crate) scheduler: Scheduler,
     /// Reuse existing identical tasks instead of re-deriving (§2.1.1:
     /// "avoid unnecessary duplication of experiments"). On by default;
     /// benchmarks toggle it to measure the memoization effect.
@@ -79,7 +89,8 @@ impl Gaea {
             registry,
             externals: ExternalRegistry::new(),
             user: "scientist".into(),
-            cache: DerivedCache::new(),
+            cache: SharedCache::new(),
+            scheduler: Scheduler::from_env(),
             reuse_tasks: true,
             binding_budget: 32,
         }
@@ -152,6 +163,30 @@ impl Gaea {
         self.cache.stats()
     }
 
+    /// A thread-shareable handle on the derived-result cache. Clones
+    /// share the underlying cache, so scheduler workers (and stress
+    /// tests) can look up, insert and invalidate concurrently with the
+    /// kernel's own use.
+    pub fn cache_handle(&self) -> SharedCache {
+        self.cache.clone()
+    }
+
+    /// Set the derivation scheduler's worker count. `1` (the default,
+    /// unless the `GAEA_SCHED_WORKERS` environment variable was set when
+    /// the kernel was constructed) is the deterministic single-threaded
+    /// mode, behaviourally identical to the unscheduled executor; higher
+    /// counts let [`Gaea::refresh_all`], [`Gaea::derive_parallel`] and
+    /// the query pipeline prepare independent firings of one wave
+    /// concurrently.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.scheduler = Scheduler::new(workers);
+    }
+
+    /// Current scheduler worker count.
+    pub fn workers(&self) -> usize {
+        self.scheduler.workers()
+    }
+
     /// Save the database and catalog under `dir`.
     pub fn save(&self, dir: &Path) -> KernelResult<()> {
         gaea_store::snapshot::save(&self.db, dir)?;
@@ -183,7 +218,8 @@ impl Gaea {
             // re-registered by the application after a load.
             externals: ExternalRegistry::new(),
             user: "scientist".into(),
-            cache: DerivedCache::new(),
+            cache: SharedCache::new(),
+            scheduler: Scheduler::from_env(),
             reuse_tasks: true,
             binding_budget: 32,
         })

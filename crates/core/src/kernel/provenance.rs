@@ -151,6 +151,11 @@ impl Gaea {
     /// task records with a shared staleness memo; outputs repeated across
     /// tasks (compound umbrellas re-list their last step's) dedup through
     /// the set.
+    ///
+    /// The returned order is **deterministic: ascending OID**, and
+    /// callers may rely on it — [`Gaea::refresh_all`] seeds its
+    /// dependency DAG from this list, so the wave decomposition (and the
+    /// whole refresh schedule) is reproducible run to run.
     pub fn stale_objects(&self) -> Vec<ObjectId> {
         let mut memo = StaleMemo::new();
         let mut out = std::collections::BTreeSet::new();

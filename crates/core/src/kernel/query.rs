@@ -31,7 +31,7 @@
 //! projection prunes returned attributes after every stage has run.
 
 use super::Gaea;
-use crate::derivation::executor::{self, TaskRun};
+use crate::derivation::executor::{self, PreparedFiring, TaskRun};
 use crate::derivation::net::DerivationNet;
 use crate::error::{KernelError, KernelResult};
 use crate::ids::{ClassId, ObjectId, ProcessId, TaskId};
@@ -44,8 +44,19 @@ use crate::task::{Task, TaskKind};
 use crate::template::Template;
 use gaea_adt::{AbsTime, Value};
 use gaea_petri::backward::plan_derivation;
+use gaea_sched::{DepGraph, NodeId};
 use gaea_store::Predicate;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Outcome of the bind/fire walker for one planned firing.
+pub(crate) enum ChosenFiring {
+    /// The derivation happened (fresh firing) or an identical current
+    /// task was reused; either way a recorded task answers it.
+    Fired(TaskRun),
+    /// Bind-only mode: these bindings passed the guards and await a
+    /// prepare/commit cycle.
+    Bound(Vec<(String, Vec<ObjectId>)>),
+}
 
 impl Gaea {
     // ------------------------------------------------------------------
@@ -87,7 +98,7 @@ impl Gaea {
         for step in steps {
             let attempt = match step {
                 QueryMethod::Interpolated => self.try_interpolate(&class_names, q),
-                QueryMethod::Derived => self.try_derive(&class_names, q),
+                QueryMethod::Derived => self.try_derive(&class_names, q, false),
                 QueryMethod::Retrieved => unreachable!("retrieval ran first"),
             };
             match attempt {
@@ -426,8 +437,15 @@ impl Gaea {
     }
 
     /// Step 3: derivation — plan over the Petri net, fire the plan,
-    /// project the goal class back through retrieval.
-    fn try_derive(&mut self, classes: &[String], q: &Query) -> KernelResult<Option<QueryOutcome>> {
+    /// project the goal class back through retrieval. With `force_waves`
+    /// (or a multi-worker scheduler) a plan of two or more firings
+    /// executes through the dependency-wave fire stage.
+    fn try_derive(
+        &mut self,
+        classes: &[String],
+        q: &Query,
+        force_waves: bool,
+    ) -> KernelResult<Option<QueryOutcome>> {
         // Plan stage inputs: the net view and the stored-object marking.
         let dnet = self.plannable_net(q)?;
         let marking = self.planning_marking(&dnet, classes, q)?;
@@ -445,7 +463,7 @@ impl Gaea {
                 // Try the next member class of the concept.
                 None => continue,
             };
-            all_tasks.extend(self.fire_plan(&dnet, &plan, q)?);
+            all_tasks.extend(self.fire_plan(&dnet, &plan, q, force_waves)?);
             // Project: step 1 again over the now-extended extension.
             if let Some(outcome) = self.project_outcome(name, q, &all_tasks)? {
                 return Ok(Some(outcome));
@@ -554,7 +572,28 @@ impl Gaea {
     /// process must realize a *distinct* derivation (different inputs), so
     /// the bindings of firings already used by this plan are excluded from
     /// reuse.
+    ///
+    /// Routing: the serial loop is the default (and the only path a
+    /// single-worker scheduler ever takes — existing behaviour,
+    /// unchanged); plans with at least two firings go through the
+    /// dependency-wave stage when the scheduler has workers to use or
+    /// the caller ([`Gaea::derive_parallel`]) forces it.
     fn fire_plan(
+        &mut self,
+        dnet: &DerivationNet,
+        plan: &gaea_petri::backward::DerivationPlan,
+        q: &Query,
+        force_waves: bool,
+    ) -> KernelResult<Vec<TaskId>> {
+        if (force_waves || self.scheduler.workers() >= 2) && plan.cost() >= 2 {
+            self.fire_plan_waves(dnet, plan, q)
+        } else {
+            self.fire_plan_serial(dnet, plan, q)
+        }
+    }
+
+    /// The classic one-at-a-time fire stage.
+    fn fire_plan_serial(
         &mut self,
         dnet: &DerivationNet,
         plan: &gaea_petri::backward::DerivationPlan,
@@ -573,6 +612,138 @@ impl Gaea {
             }
         }
         Ok(tasks)
+    }
+
+    /// The scheduled fire stage: the plan's firings become a dependency
+    /// DAG (one node per firing instance; an edge wherever one firing's
+    /// output class feeds another's inputs) executed wave by wave. Per
+    /// wave, bindings are *chosen* serially — guards decide
+    /// admissibility, and each choice excludes its dedup key so
+    /// repetitions realize distinct derivations, exactly like the serial
+    /// loop — then the expensive template evaluations prepare on the
+    /// worker pool, and the results commit in node order. Reused current
+    /// tasks short-circuit in the choose phase and never hit a worker.
+    fn fire_plan_waves(
+        &mut self,
+        dnet: &DerivationNet,
+        plan: &gaea_petri::backward::DerivationPlan,
+        q: &Query,
+    ) -> KernelResult<Vec<TaskId>> {
+        let mut graph: DepGraph<ProcessId> = DepGraph::new();
+        for (tid, times) in &plan.firings {
+            let pid = dnet
+                .process_at(*tid)
+                .expect("planner only uses catalog transitions");
+            for _rep in 0..*times {
+                graph.add_node(pid);
+            }
+        }
+        for i in 0..graph.len() {
+            for j in 0..graph.len() {
+                let (pi, pj) = (*graph.payload(NodeId(i)), *graph.payload(NodeId(j)));
+                if i == j {
+                    continue;
+                }
+                if pi == pj {
+                    // Repetitions of the same process are independent —
+                    // *unless* the process feeds itself (its output class
+                    // is among its own input classes): then the serial
+                    // semantics let firing k+1 bind firing k's output, so
+                    // the repetitions must order by node id, not share a
+                    // wave.
+                    let def = self.catalog.process(pi)?;
+                    if i < j && def.args.iter().any(|a| a.class == def.output) {
+                        graph
+                            .add_edge(NodeId(i), NodeId(j))
+                            .expect("distinct nodes cannot self-loop");
+                    }
+                    continue;
+                }
+                let out_i = self.catalog.process(pi)?.output;
+                if self
+                    .catalog
+                    .process(pj)?
+                    .args
+                    .iter()
+                    .any(|a| a.class == out_i)
+                {
+                    graph
+                        .add_edge(NodeId(i), NodeId(j))
+                        .expect("distinct nodes cannot self-loop");
+                }
+            }
+        }
+        let waves = match graph.waves() {
+            Ok(w) => w,
+            // A cyclic class graph (A derives B derives A) admits no wave
+            // order; the serial loop still can consume the plan's own
+            // firing order.
+            Err(_) => return self.fire_plan_serial(dnet, plan, q),
+        };
+        let mut fired_keys: BTreeSet<String> = BTreeSet::new();
+        let mut tasks = Vec::new();
+        for wave in &waves {
+            // Choose phase (serial): admissible bindings or reused tasks.
+            let mut staged: Vec<(ProcessId, Option<executor::Bindings>)> =
+                Vec::with_capacity(wave.len());
+            for node in wave {
+                let pid = *graph.payload(*node);
+                match self.choose_or_fire(pid, q, &fired_keys, true)? {
+                    ChosenFiring::Fired(run) => {
+                        fired_keys.insert(self.catalog.task(run.task)?.dedup_key());
+                        tasks.push(run.task);
+                        staged.push((pid, None));
+                    }
+                    ChosenFiring::Bound(bindings) => {
+                        fired_keys.insert(dedup_key_for(pid, &bindings));
+                        staged.push((pid, Some(bindings)));
+                    }
+                }
+            }
+            // Prepare phase (parallel): template evaluation on workers.
+            let to_prepare: Vec<(ProcessId, executor::Bindings)> = staged
+                .iter()
+                .filter_map(|(pid, b)| b.as_ref().map(|b| (*pid, b.clone())))
+                .collect();
+            let db = &self.db;
+            let catalog = &self.catalog;
+            let registry = &self.registry;
+            let externals = &self.externals;
+            let prepared: Vec<KernelResult<PreparedFiring>> =
+                self.scheduler.map(to_prepare, |_, (pid, bindings)| {
+                    executor::prepare_firing(db, catalog, registry, externals, pid, &bindings)
+                });
+            // Commit phase (serial, node order).
+            let mut prepared = prepared.into_iter();
+            for (_, bindings) in &staged {
+                if bindings.is_some() {
+                    let prep = prepared.next().expect("one prepare per bound node")?;
+                    let run = self.commit_prepared(prep)?;
+                    tasks.push(run.task);
+                }
+            }
+        }
+        Ok(tasks)
+    }
+
+    /// Force the derivation step of the query mechanism through the
+    /// scheduled fire stage: plan over the Petri net, execute the plan's
+    /// dependency waves on the worker pool (whatever
+    /// [`Gaea::workers`] currently is — with one worker this is the
+    /// deterministic in-order schedule), and project the goal class back
+    /// through retrieval. Unlike [`Gaea::query`] it never serves stored
+    /// answers first — it exists to *make* the derivation happen, with
+    /// the plan's independent firings running side by side.
+    pub fn derive_parallel(&mut self, q: &Query) -> KernelResult<QueryOutcome> {
+        let class_names = self.target_classes(q)?;
+        self.validate_query(&class_names, q)?;
+        match self.try_derive(&class_names, q, true)? {
+            Some(outcome) => self.finish_outcome(outcome, q),
+            None => Err(KernelError::NoData(format!(
+                "classes {class_names:?}: the derivation plan fired but extent transfer \
+                 did not match the query"
+            ))),
+        }
     }
 
     /// Project stage: serve the derived answer through retrieval, exactly
@@ -716,15 +887,34 @@ impl Gaea {
         q: &Query,
         exclude: &BTreeSet<String>,
     ) -> KernelResult<TaskRun> {
+        match self.choose_or_fire(pid, q, exclude, false)? {
+            ChosenFiring::Fired(run) => Ok(run),
+            ChosenFiring::Bound(_) => unreachable!("fire mode never defers a binding"),
+        }
+    }
+
+    /// The bind/fire walker behind [`Gaea::fire_with_chosen_bindings`]
+    /// and the wave stage's choose phase. Both modes walk the same
+    /// bounded candidate product with the same exclusion, degeneracy and
+    /// prior-task classification rules; they differ only in what happens
+    /// to an admissible fresh binding — fire mode executes it on the
+    /// spot, bind-only mode checks the guards and hands the bindings
+    /// back for a scheduled prepare/commit.
+    fn choose_or_fire(
+        &mut self,
+        pid: ProcessId,
+        q: &Query,
+        exclude: &BTreeSet<String>,
+        bind_only: bool,
+    ) -> KernelResult<ChosenFiring> {
         let def = self.catalog.process(pid)?.clone();
         // Bind stage: admissible selections per argument.
         let candidates = self.binding_candidates(&def, q)?;
-        // Keys of identical prior derivations.
+        // Keys of identical prior derivations (the per-process task
+        // index iterates in task-id order, same as the old full scan).
         let used_keys: BTreeSet<String> = self
             .catalog
-            .tasks
-            .values()
-            .filter(|t| t.process == pid)
+            .tasks_of_process(pid)
             .map(|t| t.dedup_key())
             .collect();
         // Walk the (bounded) cartesian product.
@@ -763,34 +953,56 @@ impl Gaea {
                     // least must not be duplicated), a *stale* one is
                     // history only — re-firing it is not duplication, it is
                     // the refresh the mutated inputs call for.
-                    let prior_current: Option<(TaskId, Vec<ObjectId>, bool)> =
-                        if used_keys.contains(&key) {
-                            self.catalog
-                                .tasks
-                                .values()
-                                .find(|t| t.dedup_key() == key)
-                                .map(|t| {
-                                    let mut memo = super::exec::StaleMemo::new();
-                                    let stale = super::exec::task_is_stale(
-                                        &self.db,
-                                        &self.catalog,
-                                        t,
-                                        &mut memo,
-                                    );
-                                    (t.id, t.outputs.clone(), !stale)
-                                })
-                        } else {
-                            None
-                        };
+                    let prior_current: Option<(TaskId, Vec<ObjectId>, bool)> = if used_keys
+                        .contains(&key)
+                    {
+                        // Several records can share one key (a stale
+                        // derivation and its re-fire bind identically
+                        // when only input versions drifted): prefer a
+                        // *current* match — reusable — over the first.
+                        let mut memo = super::exec::StaleMemo::new();
+                        let matches: Vec<&Task> = self
+                            .catalog
+                            .tasks_of_process(pid)
+                            .filter(|t| t.dedup_key() == key)
+                            .collect();
+                        matches
+                            .iter()
+                            .find(|t| {
+                                !super::exec::task_is_stale(&self.db, &self.catalog, t, &mut memo)
+                            })
+                            .map(|t| (t.id, t.outputs.clone(), true))
+                            .or_else(|| matches.first().map(|t| (t.id, t.outputs.clone(), false)))
+                    } else {
+                        None
+                    };
                     match prior_current {
                         Some((task, outputs, true)) => {
                             if self.reuse_tasks {
                                 // Memoization: an identical current task
                                 // exists; reuse it.
-                                return Ok(TaskRun { task, outputs });
+                                return Ok(ChosenFiring::Fired(TaskRun { task, outputs }));
                             }
                             // Reuse is off but the derivation exists and is
                             // current: avoid repeating it; next binding.
+                        }
+                        _ if bind_only => {
+                            // No prior task, or the prior is stale: the
+                            // guards alone decide admissibility here; the
+                            // mapping evaluation belongs to the workers.
+                            match executor::check_guards(
+                                &self.db,
+                                &self.catalog,
+                                &self.registry,
+                                &def,
+                                &bindings,
+                            ) {
+                                Ok(()) => return Ok(ChosenFiring::Bound(bindings)),
+                                Err(e @ KernelError::AssertionFailed { .. }) => {
+                                    last_err = Some(e); // guard rejected: next binding
+                                }
+                                Err(other) => return Err(other),
+                            }
                         }
                         _ => {
                             // No prior task, or the prior is stale.
@@ -804,7 +1016,7 @@ impl Gaea {
                                 &owned,
                                 &self.user.clone(),
                             ) {
-                                Ok(run) => return Ok(run),
+                                Ok(run) => return Ok(ChosenFiring::Fired(run)),
                                 Err(e @ KernelError::AssertionFailed { .. }) => {
                                     last_err = Some(e); // guard rejected: next binding
                                 }
@@ -838,7 +1050,7 @@ impl Gaea {
     }
 }
 
-fn dedup_key_for(pid: ProcessId, bindings: &[(String, Vec<ObjectId>)]) -> String {
+pub(crate) fn dedup_key_for(pid: ProcessId, bindings: &[(String, Vec<ObjectId>)]) -> String {
     // Must agree byte-for-byte with `Task::dedup_key`, which iterates the
     // recorded inputs in arg-name order with ids sorted (set semantics).
     let mut by_arg: BTreeMap<&str, Vec<u64>> = BTreeMap::new();

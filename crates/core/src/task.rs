@@ -35,6 +35,17 @@ pub enum TaskKind {
     Manual,
 }
 
+impl TaskKind {
+    /// Can the system re-fire a task of this kind on its own? `false`
+    /// for manual tasks (the procedure happened outside the system) and
+    /// interpolations (query-driven — re-issue the query instead); the
+    /// refresh machinery reports such derivations as skipped rather
+    /// than re-firing them.
+    pub fn auto_firable(&self) -> bool {
+        !matches!(self, TaskKind::Manual | TaskKind::Interpolation)
+    }
+}
+
 /// One derivation record.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Task {

@@ -1,0 +1,242 @@
+//! The dependency DAG: payload-carrying nodes, edges, topological waves.
+//!
+//! A [`DepGraph`] is deliberately minimal: nodes are appended (never
+//! removed), edges point from a prerequisite to its dependent, and the
+//! single query that matters is [`DepGraph::waves`] — Kahn levelling
+//! into antichains. Determinism is structural: node ids are insertion
+//! order, every wave lists its nodes in ascending id order, and the
+//! wave decomposition is a pure function of the edge set.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Index of a node in a [`DepGraph`] (insertion order, dense from 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The graph contains a dependency cycle: no wave decomposition exists.
+/// Derivation nets are acyclic by construction, so hitting this means
+/// the caller fed the scheduler corrupted metadata — the offending
+/// nodes are listed so the caller can report *which* firings are stuck.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleError {
+    /// Nodes left with unsatisfied prerequisites after levelling.
+    pub stuck: Vec<NodeId>,
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dependency cycle: {} node(s) can never become ready ({})",
+            self.stuck.len(),
+            self.stuck
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+/// A dependency DAG over payloads of type `P`.
+#[derive(Debug, Clone)]
+pub struct DepGraph<P> {
+    payloads: Vec<P>,
+    /// `dependents[i]` — nodes that must wait for node `i`.
+    dependents: Vec<BTreeSet<usize>>,
+    /// `prerequisites[i]` — nodes node `i` waits for.
+    prerequisites: Vec<BTreeSet<usize>>,
+}
+
+impl<P> Default for DepGraph<P> {
+    fn default() -> DepGraph<P> {
+        DepGraph::new()
+    }
+}
+
+impl<P> DepGraph<P> {
+    /// An empty graph.
+    pub fn new() -> DepGraph<P> {
+        DepGraph {
+            payloads: Vec::new(),
+            dependents: Vec::new(),
+            prerequisites: Vec::new(),
+        }
+    }
+
+    /// Append a node; its id is the number of nodes added before it.
+    pub fn add_node(&mut self, payload: P) -> NodeId {
+        self.payloads.push(payload);
+        self.dependents.push(BTreeSet::new());
+        self.prerequisites.push(BTreeSet::new());
+        NodeId(self.payloads.len() - 1)
+    }
+
+    /// Declare that `dependent` must run after `prerequisite`.
+    /// Self-edges are rejected (a firing cannot feed itself); duplicate
+    /// edges are idempotent.
+    pub fn add_edge(&mut self, prerequisite: NodeId, dependent: NodeId) -> Result<(), CycleError> {
+        if prerequisite == dependent {
+            return Err(CycleError {
+                stuck: vec![dependent],
+            });
+        }
+        assert!(
+            prerequisite.0 < self.payloads.len() && dependent.0 < self.payloads.len(),
+            "edge references unknown node"
+        );
+        self.dependents[prerequisite.0].insert(dependent.0);
+        self.prerequisites[dependent.0].insert(prerequisite.0);
+        Ok(())
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.payloads.is_empty()
+    }
+
+    /// Payload of a node.
+    pub fn payload(&self, id: NodeId) -> &P {
+        &self.payloads[id.0]
+    }
+
+    /// Nodes that must run before `id`, in id order.
+    pub fn prerequisites_of(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.prerequisites[id.0].iter().map(|i| NodeId(*i))
+    }
+
+    /// Nodes that wait for `id`, in id order.
+    pub fn dependents_of(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.dependents[id.0].iter().map(|i| NodeId(*i))
+    }
+
+    /// Kahn levelling into waves: wave 0 holds every node without
+    /// prerequisites; wave *k+1* holds every node whose last unfinished
+    /// prerequisite sits in wave *k*. Nodes within a wave are mutually
+    /// independent (no edge connects them) and listed in ascending id
+    /// order, so executing waves front to back — and a wave's nodes in
+    /// the returned order — is a deterministic topological execution.
+    pub fn waves(&self) -> Result<Vec<Vec<NodeId>>, CycleError> {
+        let n = self.payloads.len();
+        let mut remaining: Vec<usize> = self.prerequisites.iter().map(|p| p.len()).collect();
+        let mut done = 0usize;
+        let mut waves: Vec<Vec<NodeId>> = Vec::new();
+        let mut frontier: Vec<usize> = (0..n).filter(|i| remaining[*i] == 0).collect();
+        while !frontier.is_empty() {
+            done += frontier.len();
+            let mut next: Vec<usize> = Vec::new();
+            for i in &frontier {
+                for dep in &self.dependents[*i] {
+                    remaining[*dep] -= 1;
+                    if remaining[*dep] == 0 {
+                        next.push(*dep);
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            waves.push(frontier.into_iter().map(NodeId).collect());
+            frontier = next;
+        }
+        if done != n {
+            return Err(CycleError {
+                stuck: (0..n).filter(|i| remaining[*i] > 0).map(NodeId).collect(),
+            });
+        }
+        Ok(waves)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> DepGraph<usize> {
+        let mut g = DepGraph::new();
+        for i in 0..n {
+            g.add_node(i);
+        }
+        for (a, b) in edges {
+            g.add_edge(NodeId(*a), NodeId(*b)).unwrap();
+        }
+        g
+    }
+
+    fn ids(waves: &[Vec<NodeId>]) -> Vec<Vec<usize>> {
+        waves
+            .iter()
+            .map(|w| w.iter().map(|n| n.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn empty_graph_has_no_waves() {
+        let g: DepGraph<()> = DepGraph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.waves().unwrap(), Vec::<Vec<NodeId>>::new());
+    }
+
+    #[test]
+    fn independent_nodes_form_one_wave() {
+        let g = graph(4, &[]);
+        assert_eq!(ids(&g.waves().unwrap()), vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn diamond_levels_into_three_waves() {
+        // 0 -> {1, 2} -> 3: the diamond must put 1 and 2 side by side.
+        let g = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_eq!(ids(&g.waves().unwrap()), vec![vec![0], vec![1, 2], vec![3]]);
+    }
+
+    #[test]
+    fn chain_is_one_node_per_wave() {
+        let g = graph(3, &[(0, 1), (1, 2)]);
+        assert_eq!(ids(&g.waves().unwrap()), vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_idempotent() {
+        let g = graph(2, &[(0, 1), (0, 1), (0, 1)]);
+        assert_eq!(ids(&g.waves().unwrap()), vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn self_edge_is_rejected() {
+        let mut g = graph(1, &[]);
+        assert!(g.add_edge(NodeId(0), NodeId(0)).is_err());
+    }
+
+    #[test]
+    fn cycle_reports_the_stuck_nodes() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 1), (0, 3)]);
+        let err = g.waves().unwrap_err();
+        assert_eq!(err.stuck, vec![NodeId(1), NodeId(2)]);
+        assert!(err.to_string().contains("n1"));
+    }
+
+    #[test]
+    fn waves_are_deterministic_regardless_of_edge_insertion_order() {
+        let a = graph(5, &[(0, 2), (1, 2), (2, 3), (2, 4)]);
+        let b = graph(5, &[(2, 4), (2, 3), (1, 2), (0, 2)]);
+        assert_eq!(ids(&a.waves().unwrap()), ids(&b.waves().unwrap()));
+        assert_eq!(
+            ids(&a.waves().unwrap()),
+            vec![vec![0, 1], vec![2], vec![3, 4]]
+        );
+    }
+}

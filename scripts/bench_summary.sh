@@ -1,31 +1,42 @@
 #!/usr/bin/env bash
-# Produce a machine-readable summary of the q6 invalidation benchmarks.
+# Produce a machine-readable summary of one criterion bench target.
 #
-# Runs the q6_memoization bench once (the workspace-local criterion
-# harness is already configured for short runs: 10 samples, ~1 s windows)
-# with GAEA_BENCH_JSON pointed at a JSONL trail, then condenses the
-# `invalidation_*` scenarios — cached hit, update_object invalidation at
-# several recorded-history sizes, and the invalidate-then-re-derive cycle
-# — into a single JSON document for the CI artifact trail.
+# Runs the named bench once (the workspace-local criterion harness is
+# already configured for short runs: 10 samples, ~1 s windows) with
+# GAEA_BENCH_JSON pointed at a JSONL trail, then condenses the scenarios
+# whose id starts with the given prefix into a single JSON document for
+# the CI artifact trail.
 #
-# Usage: scripts/bench_summary.sh [output.json]
+# Usage: scripts/bench_summary.sh [bench] [id-prefix] [output.json]
+#
+# Defaults preserve the original q6 invocation:
+#   scripts/bench_summary.sh                       # q6 invalidation rows
+#   scripts/bench_summary.sh q8_parallel refresh_all BENCH_q8_parallel.json
 set -euo pipefail
 
-out="${1:-BENCH_q6_invalidation.json}"
+bench="${1:-q6_memoization}"
+prefix="${2:-invalidation}"
+# The historical zero-argument invocation wrote BENCH_q6_invalidation.json;
+# keep that artifact name stable for tooling that predates the arguments.
+if [ "$bench" = "q6_memoization" ] && [ "$prefix" = "invalidation" ]; then
+    out="${3:-BENCH_q6_invalidation.json}"
+else
+    out="${3:-BENCH_${bench}.json}"
+fi
 jsonl="$(mktemp)"
 trap 'rm -f "$jsonl"' EXIT
 
-GAEA_BENCH_JSON="$jsonl" cargo bench --bench q6_memoization >/dev/null
+GAEA_BENCH_JSON="$jsonl" cargo bench --bench "$bench" >/dev/null
 
-scenarios="$(grep '"id":"invalidation' "$jsonl" | sed 's/^/    /' | sed '$!s/$/,/' || true)"
+scenarios="$(grep "\"id\":\"$prefix" "$jsonl" | sed 's/^/    /' | sed '$!s/$/,/' || true)"
 if [ -z "$scenarios" ]; then
-    echo "bench_summary: no invalidation scenarios captured" >&2
+    echo "bench_summary: no \"$prefix\" scenarios captured from $bench" >&2
     exit 1
 fi
 
 {
     echo '{'
-    echo '  "bench": "q6_memoization",'
+    echo "  \"bench\": \"$bench\","
     echo "  \"commit\": \"${GITHUB_SHA:-unknown}\","
     echo "  \"timestamp\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
     echo '  "unit": "ns",'

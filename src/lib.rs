@@ -40,6 +40,7 @@ pub use gaea_core as core;
 pub use gaea_lang as lang;
 pub use gaea_petri as petri;
 pub use gaea_raster as raster;
+pub use gaea_sched as sched;
 pub use gaea_store as store;
 pub use gaea_workload as workload;
 

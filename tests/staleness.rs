@@ -524,3 +524,84 @@ fn staleness_survives_save_and_load() {
     assert!(!back.is_stale(refreshed.outputs[0]));
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// Regression (diamond across refresh calls): two derivations share one
+/// stale upstream; refreshing each sink in its own `refresh_object`
+/// call must re-derive the shared upstream exactly once, not once per
+/// path. Before the refresh path consulted `reuse_tasks`, the second
+/// call re-fired P20 again — an identical current derivation already
+/// recorded by the first call — duplicating the experiment.
+#[test]
+fn refresh_object_rederives_a_diamond_shared_upstream_once_across_calls() {
+    let mut g = refine_kernel();
+    g.define_class(ClassSpec::derived("refined2").attr("numclass", TypeTag::Int4))
+        .unwrap();
+    g.define_process(
+        ProcessSpec::new("REFINE2", "refined2")
+            .arg("src", "landcover")
+            .template(Template {
+                assertions: vec![],
+                mappings: vec![Mapping {
+                    attr: "numclass".into(),
+                    expr: Expr::proj("src", "numclass"),
+                }],
+            }),
+    )
+    .unwrap();
+    let bands: Vec<ObjectId> = (0..3)
+        .map(|i| insert_band(&mut g, i as f64, jan86()))
+        .collect();
+    let lc = g.run_process("P20", &[("bands", bands.clone())]).unwrap();
+    let r1 = g
+        .run_process("REFINE", &[("src", lc.outputs.clone())])
+        .unwrap();
+    let r2 = g
+        .run_process("REFINE2", &[("src", lc.outputs.clone())])
+        .unwrap();
+
+    touch_band(&mut g, bands[0], 3.0);
+    let p20_count = |g: &Gaea| {
+        g.catalog()
+            .tasks
+            .values()
+            .filter(|t| t.process_name == "P20")
+            .count()
+    };
+    assert_eq!(p20_count(&g), 1);
+    let f1 = g.refresh_object(r1.outputs[0]).unwrap();
+    assert_eq!(p20_count(&g), 2, "first call re-derives the upstream");
+    let f2 = g.refresh_object(r2.outputs[0]).unwrap();
+    assert_eq!(
+        p20_count(&g),
+        2,
+        "second call reuses the now-current upstream instead of re-firing"
+    );
+    // Both sinks rebound to the same fresh landcover.
+    let t1 = g.task(f1.task).unwrap().clone();
+    let t2 = g.task(f2.task).unwrap().clone();
+    assert_eq!(t1.inputs["src"], t2.inputs["src"]);
+    assert!(!g.is_stale(f1.outputs[0]));
+    assert!(!g.is_stale(f2.outputs[0]));
+}
+
+/// `stale_objects()` is documented to return ascending-OID order, and
+/// `refresh_all` relies on it for a reproducible schedule.
+#[test]
+fn stale_objects_is_oid_sorted_and_repeatable() {
+    let mut g = refine_kernel();
+    let bands: Vec<ObjectId> = (0..3)
+        .map(|i| insert_band(&mut g, i as f64, jan86()))
+        .collect();
+    let lc = g.run_process("P20", &[("bands", bands.clone())]).unwrap();
+    let refined = g
+        .run_process("REFINE", &[("src", lc.outputs.clone())])
+        .unwrap();
+    touch_band(&mut g, bands[2], 5.0);
+
+    let stale = g.stale_objects();
+    let mut sorted = stale.clone();
+    sorted.sort();
+    assert_eq!(stale, sorted, "ascending OID order");
+    assert_eq!(stale, vec![lc.outputs[0], refined.outputs[0]]);
+    assert_eq!(g.stale_objects(), stale, "repeatable call to call");
+}
