@@ -23,7 +23,7 @@
 
 use crate::catalog::Catalog;
 use crate::error::{KernelError, KernelResult};
-use crate::external::{ExternalInputs, ExternalRegistry};
+use crate::external::{ExternalExecutor, ExternalInputs, ExternalRegistry};
 use crate::ids::{ClassId, ObjectId, ProcessId, TaskId};
 use crate::object::DataObject;
 use crate::schema::{ClassDef, ProcessDef, ProcessKind, StepSource};
@@ -32,6 +32,7 @@ use crate::template::{Binding, EvalContext, NO_PARAMS};
 use gaea_adt::{OperatorRegistry, Value};
 use gaea_store::{Database, Tuple};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Owned input bindings of one firing: argument name → chosen objects,
 /// in declared argument order.
@@ -179,6 +180,96 @@ pub fn apply_result(
         task: task_id,
         outputs: vec![obj],
     })
+}
+
+/// A firing staged for *background* execution: everything that needs
+/// the store, the catalog or the operator registry already happened on
+/// the submitting thread; what remains is self-contained and `Send`, so
+/// a detached job worker can run it with no borrow of the kernel at
+/// all. Produced by [`stage_firing`], consumed by
+/// [`StagedFiring::execute`] on the worker; the resulting
+/// [`PreparedFiring`] then commits through the ordinary serialized path,
+/// making a background firing's committed state identical to a
+/// synchronous run's.
+pub enum StagedFiring {
+    /// A primitive firing: template evaluation is local and cheap, so it
+    /// already ran at staging time — the job is born ready to commit.
+    Ready(Box<PreparedFiring>),
+    /// An external firing (§5): the guards ran locally at staging time;
+    /// the remote round-trip — the part that takes minutes — is deferred
+    /// to the worker.
+    Remote(Box<StagedExternal>),
+}
+
+impl StagedFiring {
+    /// Run the blocking tail of the firing (for [`StagedFiring::Remote`],
+    /// the site round-trip plus output validation; for
+    /// [`StagedFiring::Ready`], nothing). Everything needed is owned, so
+    /// this is safe to call from any thread.
+    pub fn execute(self) -> KernelResult<PreparedFiring> {
+        match self {
+            StagedFiring::Ready(prepared) => Ok(*prepared),
+            StagedFiring::Remote(staged) => staged.execute(),
+        }
+    }
+}
+
+/// The deferred half of an external firing: the site handle, the loaded
+/// inputs, and the cloned definitions the output validation needs. See
+/// [`StagedFiring`].
+pub struct StagedExternal {
+    site: Arc<dyn ExternalExecutor>,
+    site_name: String,
+    def: ProcessDef,
+    out_class: ClassDef,
+    inputs: ExternalInputs,
+    bindings: Bindings,
+    /// Input versions are fingerprinted at *staging* time: the worker
+    /// computes over the inputs as loaded then, so a mutation racing the
+    /// round-trip correctly leaves the committed task classified stale.
+    input_versions: BTreeMap<ObjectId, u64>,
+}
+
+impl StagedExternal {
+    /// Ship the inputs to the site and assemble the prepared firing from
+    /// its answer. Runs on the job worker; no kernel borrows.
+    pub fn execute(self) -> KernelResult<PreparedFiring> {
+        let attrs = self.site.execute(&self.def, &self.inputs)?;
+        let mut params = BTreeMap::new();
+        params.insert("site".to_string(), Value::Text(self.site_name));
+        assemble_prepared(
+            &self.def,
+            &self.out_class,
+            &self.bindings,
+            attrs,
+            self.input_versions,
+            params,
+            TaskKind::External,
+        )
+    }
+}
+
+/// Stage a firing for background execution: the read-only, kernel-bound
+/// part of [`prepare_firing`] runs now (validate + load + guards, and
+/// for primitives the whole template evaluation); what returns is
+/// self-contained. Accepts the same process kinds as [`prepare_firing`]
+/// and rejects the rest identically.
+pub fn stage_firing(
+    db: &Database,
+    catalog: &Catalog,
+    registry: &OperatorRegistry,
+    externals: &ExternalRegistry,
+    pid: ProcessId,
+    bindings: &[(String, Vec<ObjectId>)],
+) -> KernelResult<StagedFiring> {
+    let def = catalog.process(pid)?;
+    match &def.kind {
+        ProcessKind::External { site } => Ok(StagedFiring::Remote(Box::new(stage_external(
+            db, catalog, registry, externals, def, site, bindings,
+        )?))),
+        _ => prepare_firing(db, catalog, registry, externals, pid, bindings)
+            .map(|p| StagedFiring::Ready(Box::new(p))),
+    }
 }
 
 /// The MVCC fingerprint of a binding set: each distinct input object
@@ -450,21 +541,19 @@ pub(crate) fn check_guards(
 }
 
 /// Validate computed output attributes against the output class and
-/// assemble the [`PreparedFiring`]. The input fingerprint is taken here,
-/// at prepare time: a firing never mutates its own inputs, and commits
-/// of *other* firings only bump versions of objects they create, so the
-/// fingerprint is identical whether the commit happens immediately
-/// (serial mode) or after the rest of a wave prepared.
-fn finish_prepared(
-    db: &Database,
-    catalog: &Catalog,
+/// assemble the [`PreparedFiring`]. Takes the output class and input
+/// fingerprint by value/reference rather than looking them up, so the
+/// catalog-free tail of a staged external firing can call it from a job
+/// worker.
+fn assemble_prepared(
     def: &ProcessDef,
+    out_class: &ClassDef,
     bindings: &[(String, Vec<ObjectId>)],
     attrs: BTreeMap<String, Value>,
+    input_versions: BTreeMap<ObjectId, u64>,
     params: BTreeMap<String, Value>,
     kind: TaskKind,
 ) -> KernelResult<PreparedFiring> {
-    let out_class = catalog.class(def.output)?;
     for key in attrs.keys() {
         if out_class.attr(key).is_none() {
             return Err(KernelError::Schema(format!(
@@ -479,10 +568,36 @@ fn finish_prepared(
         output_class: def.output,
         bindings: bindings.to_vec(),
         attrs,
-        input_versions: input_versions_of(db, bindings),
+        input_versions,
         params,
         kind,
     })
+}
+
+/// [`assemble_prepared`] with the output class resolved from the catalog
+/// and the input fingerprint taken now, at prepare time: a firing never
+/// mutates its own inputs, and commits of *other* firings only bump
+/// versions of objects they create, so the fingerprint is identical
+/// whether the commit happens immediately (serial mode) or after the
+/// rest of a wave prepared.
+fn finish_prepared(
+    db: &Database,
+    catalog: &Catalog,
+    def: &ProcessDef,
+    bindings: &[(String, Vec<ObjectId>)],
+    attrs: BTreeMap<String, Value>,
+    params: BTreeMap<String, Value>,
+    kind: TaskKind,
+) -> KernelResult<PreparedFiring> {
+    assemble_prepared(
+        def,
+        catalog.class(def.output)?,
+        bindings,
+        attrs,
+        input_versions_of(db, bindings),
+        params,
+        kind,
+    )
 }
 
 /// Prepare a primitive process's template evaluation. `params` carries
@@ -527,11 +642,15 @@ pub(crate) fn run_primitive(
     apply_result(db, catalog, prepared, user)
 }
 
-/// Prepare an external firing: local guards, remote mapping (§5
-/// extension). The site round-trip happens here, in the read-only
-/// stage, so remote latency parallelizes across a wave like local
-/// template evaluation does.
-fn prepare_external(
+/// Stage an external firing (§5 extension): validate, load, check the
+/// guards — "guard rules are metadata constraints on the inputs; they
+/// are always evaluated locally, before anything is shipped" — resolve
+/// the site, and package the round-trip for whoever executes it (the
+/// caller, inline, for a synchronous firing; a job worker for an
+/// asynchronous one). The site must be reachable *now*; a site that
+/// goes down between staging and execution fails the execution instead.
+#[allow(clippy::too_many_arguments)]
+fn stage_external(
     db: &Database,
     catalog: &Catalog,
     registry: &OperatorRegistry,
@@ -539,11 +658,9 @@ fn prepare_external(
     def: &ProcessDef,
     site_name: &str,
     bindings: &[(String, Vec<ObjectId>)],
-) -> KernelResult<PreparedFiring> {
+) -> KernelResult<StagedExternal> {
     validate_bindings(catalog, def, bindings)?;
     let bound = load_bindings(db, catalog, def, bindings)?;
-    // Guard rules are metadata constraints on the inputs; they are always
-    // evaluated locally, before anything is shipped.
     let ctx = EvalContext {
         bindings: &bound,
         registry,
@@ -555,7 +672,8 @@ fn prepare_external(
         .ok_or_else(|| KernelError::SiteUnavailable {
             site: site_name.to_string(),
             process: def.name.clone(),
-        })?;
+        })?
+        .clone();
     let mut inputs: ExternalInputs = BTreeMap::new();
     for (name, binding) in &bound {
         inputs.insert(
@@ -563,18 +681,32 @@ fn prepare_external(
             binding.objects().into_iter().cloned().collect(),
         );
     }
-    let attrs = site.execute(def, &inputs)?;
-    let mut params = BTreeMap::new();
-    params.insert("site".to_string(), Value::Text(site_name.to_string()));
-    finish_prepared(
-        db,
-        catalog,
-        def,
-        bindings,
-        attrs,
-        params,
-        TaskKind::External,
-    )
+    Ok(StagedExternal {
+        site,
+        site_name: site_name.to_string(),
+        def: def.clone(),
+        out_class: catalog.class(def.output)?.clone(),
+        inputs,
+        bindings: bindings.to_vec(),
+        input_versions: input_versions_of(db, bindings),
+    })
+}
+
+/// Prepare an external firing: local guards, remote mapping. The site
+/// round-trip happens here, in the read-only stage, so remote latency
+/// parallelizes across a wave like local template evaluation does —
+/// stage ∘ execute, the same two halves a background job runs on
+/// different threads.
+fn prepare_external(
+    db: &Database,
+    catalog: &Catalog,
+    registry: &OperatorRegistry,
+    externals: &ExternalRegistry,
+    def: &ProcessDef,
+    site_name: &str,
+    bindings: &[(String, Vec<ObjectId>)],
+) -> KernelResult<PreparedFiring> {
+    stage_external(db, catalog, registry, externals, def, site_name, bindings)?.execute()
 }
 
 /// Fire an external process: prepare (incl. the site round-trip) + commit.

@@ -39,6 +39,13 @@ pub enum KernelError {
     /// The process cannot be fired automatically: it is non-applicative
     /// (§5) or awaits scientist interaction (§4.3).
     NotAutoFirable { process: String, reason: String },
+    /// The exact derivation is already in flight as a background job
+    /// (another session submitted it); await or cancel that job instead
+    /// of firing a duplicate.
+    DerivationPending {
+        process: String,
+        job: gaea_sched::JobId,
+    },
     /// An interactive session was finished before every declared
     /// interaction was answered.
     InteractionPending { process: String, param: String },
@@ -77,6 +84,13 @@ impl fmt::Display for KernelError {
                 write!(
                     f,
                     "process {process} cannot be fired automatically: {reason}"
+                )
+            }
+            KernelError::DerivationPending { process, job } => {
+                write!(
+                    f,
+                    "process {process}: this derivation is already in flight as \
+                     background {job}; await or cancel it instead of re-firing"
                 )
             }
             KernelError::InteractionPending { process, param } => {

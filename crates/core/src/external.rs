@@ -26,7 +26,7 @@ use crate::schema::ProcessDef;
 use gaea_adt::Value;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Inputs shipped to a site: loaded objects per argument name.
@@ -102,15 +102,23 @@ impl fmt::Debug for ExternalRegistry {
 pub type SiteFn =
     dyn Fn(&ProcessDef, &ExternalInputs) -> KernelResult<BTreeMap<String, Value>> + Send + Sync;
 
-/// A simulated remote site: a named function plus a reachability switch.
+/// A simulated remote site: a named function plus a reachability switch
+/// and an injectable latency.
 ///
 /// This is the substitution for the paper's envisioned remote services
 /// (which did not exist in 1993 either): it exercises the identical kernel
 /// code path — local guard checking, input shipping, output validation,
-/// task recording — with the network replaced by a function call.
+/// task recording — with the network replaced by a function call. The
+/// latency knob ([`SimulatedSite::with_latency`]) stands in for the
+/// round-trip a real §5 site would cost, so tests and benchmarks can
+/// drive the asynchronous job machinery against realistically slow
+/// executions without a network.
 pub struct SimulatedSite {
     name: String,
     up: AtomicBool,
+    /// Simulated round-trip time in milliseconds, slept before the body
+    /// runs on every execution.
+    latency_ms: AtomicU64,
     body: Box<SiteFn>,
 }
 
@@ -126,6 +134,7 @@ impl SimulatedSite {
         SimulatedSite {
             name: name.into(),
             up: AtomicBool::new(true),
+            latency_ms: AtomicU64::new(0),
             body: Box::new(body),
         }
     }
@@ -138,6 +147,23 @@ impl SimulatedSite {
     /// Toggle reachability (failure injection).
     pub fn set_reachable(&self, up: bool) {
         self.up.store(up, Ordering::SeqCst);
+    }
+
+    /// Builder form of [`SimulatedSite::set_latency`].
+    pub fn with_latency(self, round_trip: std::time::Duration) -> SimulatedSite {
+        self.set_latency(round_trip);
+        self
+    }
+
+    /// Simulate a remote round-trip: every execution sleeps this long
+    /// before the body runs (millisecond granularity). The sleep happens
+    /// on whatever thread executes the firing — a background job worker
+    /// under `Gaea::submit_derivation`, the caller under a synchronous
+    /// firing — which is exactly the contrast the async-jobs tests and
+    /// the `q9_async` benchmark measure.
+    pub fn set_latency(&self, round_trip: std::time::Duration) {
+        self.latency_ms
+            .store(round_trip.as_millis() as u64, Ordering::SeqCst);
     }
 }
 
@@ -152,6 +178,10 @@ impl ExternalExecutor for SimulatedSite {
                 site: self.name.clone(),
                 process: def.name.clone(),
             });
+        }
+        let ms = self.latency_ms.load(Ordering::SeqCst);
+        if ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
         }
         (self.body)(def, inputs)
     }
@@ -223,6 +253,25 @@ mod tests {
         // Reachable again after the outage.
         site.set_reachable(true);
         assert!(site.execute(&def, &BTreeMap::new()).is_ok());
+    }
+
+    #[test]
+    fn latency_is_injectable_and_adjustable() {
+        let site = const_site();
+        let def = external_def("nasa_eos");
+        site.set_latency(std::time::Duration::from_millis(30));
+        let start = std::time::Instant::now();
+        site.execute(&def, &BTreeMap::new()).unwrap();
+        assert!(
+            start.elapsed() >= std::time::Duration::from_millis(30),
+            "latency sleep must precede the body"
+        );
+        site.set_latency(std::time::Duration::ZERO);
+        assert!(site.execute(&def, &BTreeMap::new()).is_ok());
+        // Builder form composes.
+        let slow = SimulatedSite::new("x", |_, _| Ok(BTreeMap::new()))
+            .with_latency(std::time::Duration::from_millis(1));
+        assert!(slow.execute(&external_def("x"), &BTreeMap::new()).is_ok());
     }
 
     #[test]

@@ -246,8 +246,12 @@ impl Gaea {
     /// unchanged.
     ///
     /// Errors: base objects have no producing process; manual
-    /// (non-applicative) tasks cannot be re-fired by the system; and
-    /// interpolation tasks are query-driven — re-issue the query instead.
+    /// (non-applicative) tasks cannot be re-fired by the system;
+    /// interpolation tasks are query-driven — re-issue the query
+    /// instead; and a re-derivation that is already in flight as a
+    /// background job is refused with
+    /// [`KernelError::DerivationPending`] rather than fired twice —
+    /// await (or cancel) the named job.
     pub fn refresh_object(&mut self, obj: ObjectId) -> KernelResult<TaskRun> {
         let mut refreshed = BTreeMap::new();
         self.refresh_object_inner(obj, &mut refreshed)
@@ -333,7 +337,21 @@ impl Gaea {
         // however many refresh calls reach it.
         let run = match self.reuse_current_firing(task.process, &owned) {
             Some(run) => run,
-            None => self.run_process_owned(task.process, owned)?,
+            None => {
+                // In-flight guard: a background job may already be
+                // computing exactly this re-derivation (submitting a
+                // stale goal is the documented background-refresh
+                // pattern). Re-firing would repeat the remote round-trip
+                // and block the session on it — refuse with the job to
+                // await instead, like the query walker does.
+                let def = self.catalog.process(task.process)?;
+                let key = super::query::dedup_key_for(def, &owned);
+                let process = def.name.clone();
+                if let Some(job) = self.jobs_in_flight_keys().get(&key) {
+                    return Err(KernelError::DerivationPending { process, job: *job });
+                }
+                self.run_process_owned(task.process, owned)?
+            }
         };
         refreshed.insert(obj, run.clone());
         Ok(run)
@@ -409,7 +427,8 @@ impl Gaea {
         if !self.reuse_tasks {
             return None;
         }
-        let key = super::query::dedup_key_for(pid, owned);
+        let def = self.catalog.process(pid).ok()?;
+        let key = super::query::dedup_key_for(def, owned);
         // Several records can share one key (a stale derivation and its
         // later re-fire bind identically when only input *versions*
         // drifted): any current, still-stored match answers.

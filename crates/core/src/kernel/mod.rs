@@ -24,6 +24,11 @@
 //! * [`provenance`] — the §2.1.1/§4.2 history services: lineage trees,
 //!   experiment recording and reproduction, duplicate detection, DOT
 //!   export, and version-drift reports ([`Gaea::staleness_report`]).
+//! * [`jobs`] — §5 asynchronous derivation: [`Gaea::submit_derivation`]
+//!   runs external-site round-trips on background workers and commits
+//!   their task records when the results arrive, so interactive queries
+//!   never block on a remote process; in-flight jobs are visible to the
+//!   query and refresh machinery as pending derivations.
 //!
 //! This file holds only the struct, its constructors/accessors, and
 //! catalog persistence; every behavioural method lives in its layer.
@@ -31,6 +36,7 @@
 pub mod cache;
 pub mod ddl;
 pub mod exec;
+pub mod jobs;
 pub mod parallel;
 pub mod provenance;
 pub mod query;
@@ -40,6 +46,7 @@ mod tests;
 
 pub use cache::{CacheStats, DerivedCache, SharedCache};
 pub use ddl::{ClassSpec, ProcessSpec};
+pub use jobs::{JobId, JobStatus};
 pub use parallel::RefreshReport;
 pub use provenance::{DriftedInput, StalenessReport, TaskCurrency};
 
@@ -68,6 +75,10 @@ pub struct Gaea {
     /// deterministic single-threaded mode unless `GAEA_SCHED_WORKERS`
     /// says otherwise; see [`Gaea::set_workers`].
     pub(crate) scheduler: Scheduler,
+    /// Background derivation jobs (§5 non-blocking external firings):
+    /// the long-lived worker pool plus per-job records. Runtime state,
+    /// like registered sites — not persisted. See [`Gaea::submit_derivation`].
+    pub(crate) jobs: jobs::JobManager,
     /// Reuse existing identical tasks instead of re-deriving (§2.1.1:
     /// "avoid unnecessary duplication of experiments"). On by default;
     /// benchmarks toggle it to measure the memoization effect.
@@ -91,6 +102,7 @@ impl Gaea {
             user: "scientist".into(),
             cache: SharedCache::new(),
             scheduler: Scheduler::from_env(),
+            jobs: jobs::JobManager::new(),
             reuse_tasks: true,
             binding_budget: 32,
         }
@@ -220,6 +232,8 @@ impl Gaea {
             user: "scientist".into(),
             cache: SharedCache::new(),
             scheduler: Scheduler::from_env(),
+            // Jobs are runtime state: a loaded kernel starts with none.
+            jobs: jobs::JobManager::new(),
             reuse_tasks: true,
             binding_budget: 32,
         })

@@ -19,6 +19,8 @@
 //! whole machinery degenerates to an in-order loop.
 
 use super::exec::StaleMemo;
+use super::jobs::JobId;
+use super::query::dedup_key_for;
 use super::Gaea;
 use crate::derivation::executor::{self, TaskRun};
 use crate::error::{KernelError, KernelResult};
@@ -42,6 +44,13 @@ pub struct RefreshReport {
     /// query-driven interpolations), or an input could not be brought
     /// current first.
     pub skipped: Vec<(ObjectId, String)>,
+    /// Stale objects whose re-derivation is already *in flight* as a
+    /// background job ([`Gaea::submit_derivation`]): the wave stage must
+    /// not fire a duplicate, so they are reported here with the job to
+    /// await. A job that commits before the refresh starts is instead
+    /// picked up as a reused current derivation (it appears in
+    /// [`RefreshReport::runs`]).
+    pub pending: Vec<(ObjectId, JobId)>,
     /// Number of dependency waves the schedule executed.
     pub waves: usize,
 }
@@ -64,6 +73,9 @@ enum Staged {
     /// An identical current derivation is already on record (a prior
     /// refresh re-fired it): reused, not duplicated.
     Reused(TaskRun),
+    /// The identical re-derivation is already in flight as a background
+    /// job; recorded in [`RefreshReport::pending`], never re-fired.
+    Pending(JobId),
     /// Cannot be re-fired; recorded in [`RefreshReport::skipped`].
     Blocked(String),
 }
@@ -91,6 +103,10 @@ impl Gaea {
     /// waves already committed in place (each is a complete, current
     /// derivation).
     pub fn refresh_all(&mut self) -> KernelResult<RefreshReport> {
+        // Commit finished background jobs first: a job that already
+        // produced a fresh derivation turns its stale object into a
+        // reuse, not a re-fire.
+        self.pump_jobs();
         let mut report = RefreshReport::default();
         let (graph, skipped) = self.build_refresh_graph()?;
         report.skipped = skipped;
@@ -181,11 +197,13 @@ impl Gaea {
         report: &mut RefreshReport,
     ) -> KernelResult<()> {
         // Phase 1 (serial): bind each node — replacements first, current
-        // inputs as they are.
+        // inputs as they are. Derivations already in flight as background
+        // jobs stage as Pending and never reach a worker.
+        let in_flight = self.jobs_in_flight_keys();
         let mut staged: Vec<(NodeId, Staged)> = Vec::with_capacity(wave.len());
         for node in wave {
             let task = graph.payload(*node);
-            let stage = self.stage_refresh_node(task, &report.replacements)?;
+            let stage = self.stage_refresh_node(task, &report.replacements, &in_flight)?;
             staged.push((*node, stage));
         }
         // Phase 2 (parallel): read-only prepares on the worker pool.
@@ -223,6 +241,12 @@ impl Gaea {
                     }
                     continue;
                 }
+                Staged::Pending(job) => {
+                    for out in &task.outputs {
+                        report.pending.push((*out, *job));
+                    }
+                    continue;
+                }
                 Staged::Prepare(_) => {
                     let prep = prepared_by_index
                         .remove(&i)
@@ -246,10 +270,13 @@ impl Gaea {
     /// run's fresh derivations where available, reused as they are when
     /// still current, and blocking the node when neither holds (the
     /// input's producer was skipped or is base data that disappeared).
+    /// A node whose resolved bindings match an in-flight background job
+    /// stages as [`Staged::Pending`] — the job owns that derivation.
     fn stage_refresh_node(
         &self,
         task: &Task,
         replacements: &BTreeMap<ObjectId, ObjectId>,
+        in_flight: &BTreeMap<String, JobId>,
     ) -> KernelResult<Staged> {
         let def = self.catalog.process(task.process)?;
         let mut owned: Vec<(String, Vec<ObjectId>)> = Vec::with_capacity(def.args.len());
@@ -281,6 +308,11 @@ impl Gaea {
         }
         if let Some(run) = self.reuse_current_firing(task.process, &owned) {
             return Ok(Staged::Reused(run));
+        }
+        // Checked regardless of `reuse_tasks`: re-firing a derivation a
+        // background job is about to commit would always duplicate it.
+        if let Some(job) = in_flight.get(&dedup_key_for(def, &owned)) {
+            return Ok(Staged::Pending(*job));
         }
         Ok(if executor::is_preparable(def) {
             Staged::Prepare(owned)

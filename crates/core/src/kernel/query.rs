@@ -56,6 +56,12 @@ pub(crate) enum ChosenFiring {
     /// Bind-only mode: these bindings passed the guards and await a
     /// prepare/commit cycle.
     Bound(Vec<(String, Vec<ObjectId>)>),
+    /// The identical derivation is already in flight as a background
+    /// job ([`Gaea::submit_derivation`]); firing it again would record
+    /// a duplicate. Synchronous callers surface this as
+    /// [`KernelError::DerivationPending`]; a duplicate submission
+    /// dedups to the id.
+    Pending(super::jobs::JobId),
 }
 
 impl Gaea {
@@ -73,6 +79,9 @@ impl Gaea {
     pub fn query(&mut self, q: &Query) -> KernelResult<QueryOutcome> {
         let class_names = self.target_classes(q)?;
         self.validate_query(&class_names, q)?;
+        // Commit any finished background jobs first: their outputs are
+        // stored data this very query may retrieve.
+        self.pump_jobs();
         // Step 1: direct retrieval.
         let hits = self.retrieve(&class_names, q)?;
         if !hits.is_empty() {
@@ -83,9 +92,33 @@ impl Gaea {
                     method: QueryMethod::Retrieved,
                     tasks: vec![],
                     stale,
+                    pending: vec![],
                 },
                 q,
             );
+        }
+        // `DERIVE ASYNC`: nothing stored answers the query — submit the
+        // derivation as a background job and return its id instead of
+        // blocking on the (possibly minutes-long) firing.
+        if q.async_submit {
+            let job = self.submit_derivation(q)?;
+            // This query's own job leads; other in-flight jobs of the
+            // target classes follow, honouring `pending`'s contract
+            // (the submission may also have resolved instantly through
+            // reuse, in which case only the listing here names it).
+            let mut pending = vec![job];
+            pending.extend(
+                self.pending_jobs_for(&class_names)
+                    .into_iter()
+                    .filter(|other| *other != job),
+            );
+            return Ok(QueryOutcome {
+                objects: vec![],
+                method: QueryMethod::Submitted,
+                tasks: vec![],
+                stale: vec![],
+                pending,
+            });
         }
         let steps: &[QueryMethod] = match q.strategy {
             QueryStrategy::RetrieveOnly => &[],
@@ -100,6 +133,7 @@ impl Gaea {
                 QueryMethod::Interpolated => self.try_interpolate(&class_names, q),
                 QueryMethod::Derived => self.try_derive(&class_names, q, false),
                 QueryMethod::Retrieved => unreachable!("retrieval ran first"),
+                QueryMethod::Submitted => unreachable!("async submission returned above"),
             };
             match attempt {
                 Ok(Some(outcome)) => return self.finish_outcome(outcome, q),
@@ -123,7 +157,7 @@ impl Gaea {
     /// constant's own type* — a cross-type comparison would silently
     /// match nothing — projections must name known attributes, and a
     /// pinned `USING` process must exist and produce a target class.
-    fn validate_query(&self, classes: &[String], q: &Query) -> KernelResult<()> {
+    pub(crate) fn validate_query(&self, classes: &[String], q: &Query) -> KernelResult<()> {
         for name in classes {
             let def = self.catalog.class_by_name(name)?;
             for pred in &q.attr_preds {
@@ -232,10 +266,14 @@ impl Gaea {
                 obj.attrs.retain(|name, _| q.projection.contains(name));
             }
         }
+        // Surface every in-flight background derivation of a target
+        // class: the answer may be about to grow (or to replace a stale
+        // hit), and the caller can await the listed jobs.
+        outcome.pending = self.pending_jobs_for(&self.target_classes(q)?);
         Ok(outcome)
     }
 
-    fn target_classes(&self, q: &Query) -> KernelResult<Vec<String>> {
+    pub(crate) fn target_classes(&self, q: &Query) -> KernelResult<Vec<String>> {
         Ok(match &q.target {
             QueryTarget::Class(name) => {
                 vec![self.catalog.class_by_name(name)?.name.clone()]
@@ -403,6 +441,7 @@ impl Gaea {
                 method: QueryMethod::Interpolated,
                 tasks: vec![task_id],
                 stale,
+                pending: vec![],
             }));
         }
         Ok(None)
@@ -481,7 +520,7 @@ impl Gaea {
     /// query additionally removes every *other* producer of `p`'s output
     /// class, so the plan can only reach the goal through the pinned
     /// process (intermediate derivations stay open).
-    fn plannable_net(&self, q: &Query) -> KernelResult<DerivationNet> {
+    pub(crate) fn plannable_net(&self, q: &Query) -> KernelResult<DerivationNet> {
         let pinned: Option<(ClassId, ProcessId)> = match &q.using_process {
             Some(name) => {
                 let def = self.catalog.process_by_name(name)?;
@@ -508,7 +547,7 @@ impl Gaea {
     /// predicate applies (an object at the wrong instant does not satisfy
     /// the goal, so it must not make the planner believe the goal is
     /// already stored).
-    fn planning_marking(
+    pub(crate) fn planning_marking(
         &self,
         dnet: &DerivationNet,
         targets: &[String],
@@ -534,7 +573,7 @@ impl Gaea {
 
     /// Plan stage, part 3: backward-chain from the goal class to a firing
     /// plan. `None` means the net cannot reach the goal from the marking.
-    fn derivation_plan(
+    pub(crate) fn derivation_plan(
         &self,
         dnet: &DerivationNet,
         marking: &gaea_petri::marking::Marking,
@@ -695,8 +734,17 @@ impl Gaea {
                         staged.push((pid, None));
                     }
                     ChosenFiring::Bound(bindings) => {
-                        fired_keys.insert(dedup_key_for(pid, &bindings));
+                        fired_keys.insert(dedup_key_for(self.catalog.process(pid)?, &bindings));
                         staged.push((pid, Some(bindings)));
+                    }
+                    // A background job is already realizing this firing;
+                    // the plan cannot complete synchronously without
+                    // duplicating it.
+                    ChosenFiring::Pending(job) => {
+                        return Err(KernelError::DerivationPending {
+                            process: self.catalog.process(pid)?.name.clone(),
+                            job,
+                        })
                     }
                 }
             }
@@ -737,6 +785,7 @@ impl Gaea {
     pub fn derive_parallel(&mut self, q: &Query) -> KernelResult<QueryOutcome> {
         let class_names = self.target_classes(q)?;
         self.validate_query(&class_names, q)?;
+        self.pump_jobs();
         match self.try_derive(&class_names, q, true)? {
             Some(outcome) => self.finish_outcome(outcome, q),
             None => Err(KernelError::NoData(format!(
@@ -767,6 +816,7 @@ impl Gaea {
             method: QueryMethod::Derived,
             tasks: tasks.to_vec(),
             stale,
+            pending: vec![],
         }))
     }
 
@@ -890,17 +940,28 @@ impl Gaea {
         match self.choose_or_fire(pid, q, exclude, false)? {
             ChosenFiring::Fired(run) => Ok(run),
             ChosenFiring::Bound(_) => unreachable!("fire mode never defers a binding"),
+            ChosenFiring::Pending(job) => Err(KernelError::DerivationPending {
+                process: self.catalog.process(pid)?.name.clone(),
+                job,
+            }),
         }
     }
 
-    /// The bind/fire walker behind [`Gaea::fire_with_chosen_bindings`]
-    /// and the wave stage's choose phase. Both modes walk the same
-    /// bounded candidate product with the same exclusion, degeneracy and
-    /// prior-task classification rules; they differ only in what happens
-    /// to an admissible fresh binding — fire mode executes it on the
-    /// spot, bind-only mode checks the guards and hands the bindings
-    /// back for a scheduled prepare/commit.
-    fn choose_or_fire(
+    /// The bind/fire walker behind [`Gaea::fire_with_chosen_bindings`],
+    /// the wave stage's choose phase and [`Gaea::submit_derivation`]'s
+    /// binding step. All modes walk the same bounded candidate product
+    /// with the same exclusion, degeneracy and prior-task classification
+    /// rules; they differ only in what happens to an admissible fresh
+    /// binding — fire mode executes it on the spot, bind-only mode
+    /// checks the guards and hands the bindings back for a scheduled
+    /// prepare/commit (or a background job).
+    ///
+    /// A binding identical to an *in-flight* background job is treated
+    /// like an identical current prior task: with [`Gaea::reuse_tasks`]
+    /// on it short-circuits to [`ChosenFiring::Pending`] (the caller
+    /// attaches to — or refuses to duplicate — the job); with reuse off
+    /// the binding is skipped and the walk continues.
+    pub(crate) fn choose_or_fire(
         &mut self,
         pid: ProcessId,
         q: &Query,
@@ -908,6 +969,8 @@ impl Gaea {
         bind_only: bool,
     ) -> KernelResult<ChosenFiring> {
         let def = self.catalog.process(pid)?.clone();
+        // Derivations other sessions already launched: never double-fire.
+        let in_flight = self.jobs_in_flight_keys();
         // Bind stage: admissible selections per argument.
         let candidates = self.binding_candidates(&def, q)?;
         // Keys of identical prior derivations (the per-process task
@@ -943,7 +1006,7 @@ impl Gaea {
                 }
             }
             if !degenerate {
-                let key = dedup_key_for(pid, &bindings);
+                let key = dedup_key_for(&def, &bindings);
                 if exclude.contains(&key) {
                     // This derivation was already consumed by the current
                     // plan; a repetition must find different inputs.
@@ -985,6 +1048,17 @@ impl Gaea {
                             }
                             // Reuse is off but the derivation exists and is
                             // current: avoid repeating it; next binding.
+                        }
+                        _ if in_flight.contains_key(&key) => {
+                            if self.reuse_tasks {
+                                // A background job is already deriving
+                                // exactly this; attach instead of
+                                // duplicating (the task record arrives
+                                // when the job commits).
+                                return Ok(ChosenFiring::Pending(in_flight[&key]));
+                            }
+                            // Reuse off: skip the in-flight derivation
+                            // like a current prior; next binding.
                         }
                         _ if bind_only => {
                             // No prior task, or the prior is stale: the
@@ -1050,24 +1124,19 @@ impl Gaea {
     }
 }
 
-pub(crate) fn dedup_key_for(pid: ProcessId, bindings: &[(String, Vec<ObjectId>)]) -> String {
-    // Must agree byte-for-byte with `Task::dedup_key`, which iterates the
-    // recorded inputs in arg-name order with ids sorted (set semantics).
-    let mut by_arg: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
-    for (arg, objs) in bindings {
-        let mut ids: Vec<u64> = objs.iter().map(|o| o.raw()).collect();
-        ids.sort_unstable();
-        by_arg.insert(arg.as_str(), ids);
+/// The dedup key a fresh firing of `def` on `bindings` *would* record —
+/// byte-compatible with `Task::dedup_key` (both delegate to
+/// `task::dedup_key_parts`), including the parameters the executor
+/// stamps on the task: an external firing records its `site`, so the
+/// prospective key carries it too. Without that agreement, recorded
+/// external derivations would never match the walker's keys and every
+/// reuse/dedup layer (prior-task reuse, in-flight job dedup, refresh
+/// duplicate guards) would silently re-fire them.
+pub(crate) fn dedup_key_for(def: &ProcessDef, bindings: &[(String, Vec<ObjectId>)]) -> String {
+    let inputs: BTreeMap<String, Vec<ObjectId>> = bindings.iter().cloned().collect();
+    let mut params: BTreeMap<String, Value> = BTreeMap::new();
+    if let ProcessKind::External { site } = &def.kind {
+        params.insert("site".to_string(), Value::Text(site.clone()));
     }
-    let mut key = format!("p{}", pid.raw());
-    for (arg, ids) in by_arg {
-        key.push_str(&format!(
-            ";{arg}={}",
-            ids.iter()
-                .map(|id| id.to_string())
-                .collect::<Vec<_>>()
-                .join(",")
-        ));
-    }
-    key
+    crate::task::dedup_key_parts(def.id, &inputs, &params)
 }

@@ -10,6 +10,7 @@
 use crate::ids::{ObjectId, TaskId};
 use crate::object::DataObject;
 use gaea_adt::{AbsTime, GeoBox, TimeRange, Value};
+use gaea_sched::JobId;
 use serde::{Deserialize, Serialize};
 
 /// What the query targets.
@@ -148,6 +149,15 @@ pub struct Query {
     /// instead of being served as history with a staleness flag.
     #[serde(default)]
     pub fresh: bool,
+    /// Submit the step-3 derivation as a background job instead of
+    /// firing it synchronously (`DERIVE ASYNC`). When retrieval finds no
+    /// stored answer, the query returns [`QueryMethod::Submitted`] with
+    /// the [`JobId`] in [`QueryOutcome::pending`] — the §5 contract for
+    /// external processes that take minutes: the task record is written
+    /// when the result arrives, and the session stays responsive
+    /// meanwhile.
+    #[serde(default)]
+    pub async_submit: bool,
 }
 
 impl Query {
@@ -163,6 +173,7 @@ impl Query {
             using_process: None,
             cost: None,
             fresh: false,
+            async_submit: false,
         }
     }
 
@@ -228,6 +239,13 @@ impl Query {
         self.fresh = true;
         self
     }
+
+    /// Submit the derivation as a background job (`DERIVE ASYNC`)
+    /// instead of blocking on it; see [`Query::async_submit`].
+    pub fn submit_async(mut self) -> Query {
+        self.async_submit = true;
+        self
+    }
 }
 
 /// Which of the three steps ultimately answered the query.
@@ -239,6 +257,11 @@ pub enum QueryMethod {
     Interpolated,
     /// Step 3: computed through a derivation plan.
     Derived,
+    /// Step 3, deferred: the derivation was submitted as a background
+    /// job (`DERIVE ASYNC`) whose id is in [`QueryOutcome::pending`];
+    /// nothing was computed yet. Await the job and re-issue the query to
+    /// read the answer.
+    Submitted,
 }
 
 /// Query result.
@@ -258,6 +281,14 @@ pub struct QueryOutcome {
     /// so callers can decide to [`crate::kernel::Gaea::refresh_object`]
     /// them. Always empty for freshly computed answers.
     pub stale: Vec<ObjectId>,
+    /// Background derivation jobs relevant to this answer: every
+    /// in-flight job whose output class is among the query's targets —
+    /// derivations another session already launched, visible here
+    /// instead of being silently double-fired — and, for a
+    /// [`QueryMethod::Submitted`] outcome, the job this query itself
+    /// submitted. Poll or await them via `Gaea::job_status` /
+    /// `Gaea::await_job`.
+    pub pending: Vec<JobId>,
 }
 
 impl QueryOutcome {
@@ -331,5 +362,13 @@ mod tests {
         let q: Query = serde_json::from_str(json).unwrap();
         assert!(q.attr_preds.is_empty() && q.projection.is_empty());
         assert!(q.using_process.is_none() && q.cost.is_none() && !q.fresh);
+        assert!(!q.async_submit, "pre-async queries fire synchronously");
+    }
+
+    #[test]
+    fn async_builder_composes() {
+        let q = Query::class("remote_out").submit_async();
+        assert!(q.async_submit);
+        assert!(!Query::class("remote_out").async_submit);
     }
 }

@@ -103,29 +103,43 @@ impl Task {
     /// different derivation (the paper's rule that different parameters
     /// mean different processes extends to interaction answers).
     pub fn dedup_key(&self) -> String {
-        use std::hash::{Hash, Hasher};
-        let mut key = format!("p{}", self.process.raw());
-        for (arg, objs) in &self.inputs {
-            // `SETOF` bindings are sets, so the key sorts ids — the same
-            // canonical form `DerivedCache::canonical_key` uses, keeping
-            // every dedup layer's notion of derivation identity aligned.
-            let mut ids: Vec<u64> = objs.iter().map(|o| o.raw()).collect();
-            ids.sort_unstable();
-            key.push_str(&format!(
-                ";{arg}={}",
-                ids.iter()
-                    .map(|id| id.to_string())
-                    .collect::<Vec<_>>()
-                    .join(",")
-            ));
-        }
-        for (k, v) in &self.params {
-            let mut h = std::collections::hash_map::DefaultHasher::new();
-            v.hash(&mut h);
-            key.push_str(&format!(";{k}:{}:{:016x}", v.type_tag(), h.finish()));
-        }
-        key
+        dedup_key_parts(self.process, &self.inputs, &self.params)
     }
+}
+
+/// The canonical derivation-identity key over explicit parts — the one
+/// implementation behind [`Task::dedup_key`] and the kernel's
+/// *prospective* firing keys (`kernel::query::dedup_key_for`), which
+/// must agree byte for byte: a prospective key built from the params a
+/// fresh firing *would* record (e.g. an external process's `site`)
+/// matches the key of the task that firing then records.
+pub fn dedup_key_parts(
+    process: ProcessId,
+    inputs: &BTreeMap<String, Vec<ObjectId>>,
+    params: &BTreeMap<String, Value>,
+) -> String {
+    use std::hash::{Hash, Hasher};
+    let mut key = format!("p{}", process.raw());
+    for (arg, objs) in inputs {
+        // `SETOF` bindings are sets, so the key sorts ids — the same
+        // canonical form `DerivedCache::canonical_key` uses, keeping
+        // every dedup layer's notion of derivation identity aligned.
+        let mut ids: Vec<u64> = objs.iter().map(|o| o.raw()).collect();
+        ids.sort_unstable();
+        key.push_str(&format!(
+            ";{arg}={}",
+            ids.iter()
+                .map(|id| id.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        ));
+    }
+    for (k, v) in params {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        v.hash(&mut h);
+        key.push_str(&format!(";{k}:{}:{:016x}", v.type_tag(), h.finish()));
+    }
+    key
 }
 
 impl fmt::Display for Task {

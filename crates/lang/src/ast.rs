@@ -159,9 +159,13 @@ pub enum WhereItem {
 }
 
 /// The optional `DERIVE` clause: permit step-3 computation, optionally
-/// pinning the goal's producing process and/or the bind-stage cost hint.
+/// asynchronously, optionally pinning the goal's producing process
+/// and/or the bind-stage cost hint.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct DeriveClause {
+    /// `ASYNC` — submit the derivation as a background job instead of
+    /// blocking the statement on it; the query answers with the job id.
+    pub is_async: bool,
     /// `USING process` — pin the producer of the goal class.
     pub using: Option<String>,
     /// `COST oldest|newest`, kept as the raw keyword (validated during
@@ -174,7 +178,7 @@ pub struct DeriveClause {
 /// ```text
 /// RETRIEVE <projection> FROM <class-or-concept>
 ///   [WHERE <clause> [AND <clause>]*]
-///   [DERIVE [USING <process>] [COST <hint>]]
+///   [DERIVE [ASYNC] [USING <process>] [COST <hint>]]
 ///   [FRESH]
 /// ```
 #[derive(Debug, Clone, PartialEq)]

@@ -52,7 +52,7 @@
 //! ```text
 //! RETRIEVE data, numclass FROM landcover
 //!   WHERE numclass = 12 AND WITHIN(-20, -35, 55, 38) AND AT "1986-01-15"
-//!   DERIVE USING P20 COST newest
+//!   DERIVE [ASYNC] USING P20 COST newest
 //!   FRESH
 //! ```
 //!
@@ -60,11 +60,13 @@
 //! compiles it to a [`gaea_core::Query`] plan, and the [`Retrieve`]
 //! extension trait packages both as `gaea.retrieve("RETRIEVE …")`.
 //! Without a `DERIVE` clause a statement only retrieves; `DERIVE` permits
-//! computation (derivation preferred), `USING` pins the goal's producing
-//! process, `COST oldest|newest` overrides the bind stage's candidate
-//! ordering (processes may declare their own default with a `COST`
-//! section), and `FRESH` re-fires stale answers instead of serving them
-//! as flagged history.
+//! computation (derivation preferred), `DERIVE ASYNC` submits the
+//! derivation as a background job — the statement returns the job id
+//! immediately instead of blocking on a slow external site — `USING`
+//! pins the goal's producing process, `COST oldest|newest` overrides the
+//! bind stage's candidate ordering (processes may declare their own
+//! default with a `COST` section), and `FRESH` re-fires stale answers
+//! instead of serving them as flagged history.
 
 pub mod ast;
 pub mod lex;

@@ -25,7 +25,7 @@ use gaea_core::query::{
 };
 use gaea_core::schema::{ClassDef, ClassKind};
 use gaea_core::template::{CmpOp, Expr, Mapping, Template};
-use gaea_core::{ClassId, ConceptId, KernelError, KernelResult, ProcessId};
+use gaea_core::{ClassId, ConceptId, JobId, KernelError, KernelResult, ProcessId};
 
 /// Everything a lowering registered.
 #[derive(Debug, Default)]
@@ -276,7 +276,9 @@ fn coerce_literal(class: &str, attr: &str, tag: &TypeTag, lit: &LitValue) -> Ker
 ///   selection, and attribute predicates with type-coerced literals;
 /// * no `DERIVE` clause means retrieval only — the statement never
 ///   computes; `DERIVE` permits step-2/3 with derivation preferred,
-///   `USING` pins the goal's producer, `COST` overrides the bind order;
+///   `ASYNC` submits the derivation as a background job (the statement
+///   answers with the job id instead of blocking), `USING` pins the
+///   goal's producer, `COST` overrides the bind order;
 /// * `FRESH` refuses stale answers (stale hits are re-fired).
 pub fn lower_query(gaea: &Gaea, item: &RetrieveItem) -> KernelResult<Query> {
     let catalog = gaea.catalog();
@@ -369,6 +371,7 @@ pub fn lower_query(gaea: &Gaea, item: &RetrieveItem) -> KernelResult<Query> {
     q.projection = item.projection.clone();
     if let Some(derive) = &item.derive {
         q.strategy = QueryStrategy::PreferDerivation;
+        q.async_submit = derive.is_async;
         q.using_process = derive.using.clone();
         if let Some(cost) = &derive.cost {
             q.cost = Some(parse_cost_hint(cost)?);
@@ -397,8 +400,18 @@ pub trait Retrieve {
     fn compile_retrieve(&self, src: &str) -> KernelResult<Query>;
 
     /// Parse, lower and execute a `RETRIEVE` statement through the
-    /// three-step query mechanism (plan / bind / fire / project).
+    /// three-step query mechanism (plan / bind / fire / project). A
+    /// `DERIVE ASYNC` statement that retrieval cannot answer submits its
+    /// derivation as a background job and returns a
+    /// [`gaea_core::QueryMethod::Submitted`] outcome carrying the job id
+    /// in `pending`.
     fn retrieve(&mut self, src: &str) -> KernelResult<QueryOutcome>;
+
+    /// Parse and lower a `RETRIEVE … DERIVE` statement, then submit its
+    /// derivation as a background job unconditionally (`ASYNC` implied)
+    /// — the handle-first form of the asynchronous surface: no step-1
+    /// retrieval, just the [`JobId`] to poll or await.
+    fn retrieve_job(&mut self, src: &str) -> KernelResult<JobId>;
 }
 
 impl Retrieve for Gaea {
@@ -411,6 +424,11 @@ impl Retrieve for Gaea {
     fn retrieve(&mut self, src: &str) -> KernelResult<QueryOutcome> {
         let q = self.compile_retrieve(src)?;
         self.query(&q)
+    }
+
+    fn retrieve_job(&mut self, src: &str) -> KernelResult<JobId> {
+        let q = self.compile_retrieve(src)?;
+        self.submit_derivation(&q)
     }
 }
 

@@ -555,6 +555,12 @@ impl Parser {
         }
         let derive = if self.at_keyword("DERIVE") {
             self.bump();
+            let is_async = if self.at_keyword("ASYNC") {
+                self.bump();
+                true
+            } else {
+                false
+            };
             let using = if self.at_keyword("USING") {
                 self.bump();
                 Some(self.expect_ident()?)
@@ -567,7 +573,11 @@ impl Parser {
             } else {
                 None
             };
-            Some(DeriveClause { using, cost })
+            Some(DeriveClause {
+                is_async,
+                using,
+                cost,
+            })
         } else {
             None
         };
@@ -1008,6 +1018,25 @@ DEFINE CONCEPT vegetation_change (
             .unwrap();
         assert_eq!(item.where_clauses.len(), 2);
         assert_eq!(item.derive, Some(DeriveClause::default()));
+    }
+
+    #[test]
+    fn retrieve_derive_async_parses_in_clause_order() {
+        let item =
+            parse_query("RETRIEVE * FROM landcover DERIVE ASYNC USING P20 COST newest").unwrap();
+        let derive = item.derive.unwrap();
+        assert!(derive.is_async);
+        assert_eq!(derive.using.as_deref(), Some("P20"));
+        assert_eq!(derive.cost.as_deref(), Some("newest"));
+        // Bare ASYNC and its absence both parse.
+        let bare = parse_query("RETRIEVE * FROM landcover DERIVE ASYNC").unwrap();
+        assert!(bare.derive.unwrap().is_async);
+        let sync = parse_query("RETRIEVE * FROM landcover DERIVE").unwrap();
+        assert!(!sync.derive.unwrap().is_async);
+        // An identifier named like the keyword in another position is
+        // not swallowed: USING binds the next ident, ASYNC must precede.
+        let using_first = parse_query("RETRIEVE * FROM landcover DERIVE USING P20").unwrap();
+        assert!(!using_first.derive.unwrap().is_async);
     }
 
     #[test]

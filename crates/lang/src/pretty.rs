@@ -68,6 +68,9 @@ pub fn pretty_retrieve(r: &RetrieveItem) -> String {
     }
     if let Some(derive) = &r.derive {
         out.push_str(" DERIVE");
+        if derive.is_async {
+            out.push_str(" ASYNC");
+        }
         if let Some(using) = &derive.using {
             write!(out, " USING {using}").expect("write to string");
         }
@@ -267,6 +270,11 @@ DEFINE CONCEPT veg (
         let printed = pretty_retrieve(&item);
         assert!(printed.contains("2.0"), "{printed}");
         assert_eq!(crate::parser::parse_query(&printed).unwrap(), item);
+        // DERIVE ASYNC round-trips in canonical clause order.
+        let src = "RETRIEVE * FROM landcover DERIVE ASYNC USING P20 COST newest";
+        let item = crate::parser::parse_query(src).unwrap();
+        assert_eq!(pretty_retrieve(&item), src);
+        assert_eq!(crate::parser::parse_query(src).unwrap(), item);
     }
 
     #[test]

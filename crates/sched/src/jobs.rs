@@ -1,0 +1,638 @@
+//! The background job pool: long-lived workers for firings that take
+//! minutes, not microseconds.
+//!
+//! [`Scheduler::map`](crate::Scheduler::map) is a *wave* primitive: the
+//! caller blocks until every item of the wave is done, which is exactly
+//! right for CPU-bound template evaluation and exactly wrong for the
+//! paper's §5 external processes — remote sites that "write the task
+//! record when the result arrives", minutes later. A [`JobPool`] is the
+//! complement: work is *submitted* and the caller returns immediately
+//! with a [`JobId`]; detached worker threads (spawned lazily, up to a
+//! configurable cap) run the job bodies; callers poll
+//! ([`JobPool::phase`] / [`JobPool::status`]), block with a deadline
+//! ([`JobPool::wait_terminal`]), or abandon ([`JobPool::cancel`]).
+//!
+//! The state machine every job walks:
+//!
+//! ```text
+//! Queued ──▶ Running ──▶ Done(T) | Failed(err)
+//!    │          │
+//!    └──────────┴──────▶ Cancelled
+//! ```
+//!
+//! Cancellation is cooperative: a queued job is unscheduled outright; a
+//! running job cannot be interrupted mid-flight (the worker may be deep
+//! in a remote round-trip), so its eventual result is *discarded* and
+//! the status stays `Cancelled`. Cancelling a job that already reached a
+//! terminal state is a clean no-op. A worker panic is caught and
+//! recorded as `Failed`, never poisoning the pool.
+//!
+//! The pool knows nothing about databases: `T` is whatever the caller
+//! wants back from a completed body (the kernel uses its prepared-firing
+//! type, committing it on the caller's thread — the pool never writes).
+//! Job ids are *caller-assigned* so the caller can keep richer records
+//! keyed by the same id, including entries that never reach the pool
+//! (e.g. a submission answered by an already-recorded derivation).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Environment variable consulted by [`JobPool::from_env`]: the maximum
+/// number of background job workers (default
+/// [`DEFAULT_JOB_WORKERS`]).
+pub const JOB_WORKERS_ENV: &str = "GAEA_JOB_WORKERS";
+
+/// Default worker cap of [`JobPool::from_env`] when the environment does
+/// not say otherwise. Job workers spend their lives blocked on remote
+/// round-trips, so (unlike the CPU-bound wave pool) more workers than
+/// cores is harmless; four covers the common "a handful of slow sites"
+/// case without turning every kernel into a thread farm.
+pub const DEFAULT_JOB_WORKERS: usize = 4;
+
+/// Identifier of a background job. Assigned by the *caller* of
+/// [`JobPool::submit`] (dense from 1 in the kernel), so one id namespace
+/// can also cover submissions that resolve without ever entering the
+/// pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// Status of a background job, payload included. `T` is the job body's
+/// success value (cloned out on [`JobPool::status`]; use
+/// [`JobPool::phase`] when the payload is not needed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus<T> {
+    /// Submitted, not yet picked up by a worker.
+    Queued,
+    /// A worker is executing the body.
+    Running,
+    /// The body returned a value. Terminal.
+    Done(T),
+    /// The body returned an error or panicked. Terminal.
+    Failed(String),
+    /// Cancelled before a result was kept (a queued job never ran; a
+    /// running job's eventual result was discarded). Terminal.
+    Cancelled,
+}
+
+impl<T> JobStatus<T> {
+    /// Has the job reached a state it can never leave?
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobStatus::Done(_) | JobStatus::Failed(_) | JobStatus::Cancelled
+        )
+    }
+
+    /// The payload-free view of this status.
+    pub fn phase(&self) -> JobPhase {
+        match self {
+            JobStatus::Queued => JobPhase::Queued,
+            JobStatus::Running => JobPhase::Running,
+            JobStatus::Done(_) => JobPhase::Done,
+            JobStatus::Failed(_) => JobPhase::Failed,
+            JobStatus::Cancelled => JobPhase::Cancelled,
+        }
+    }
+}
+
+/// [`JobStatus`] without the payload: cheap to copy, cheap to query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// See [`JobStatus::Queued`].
+    Queued,
+    /// See [`JobStatus::Running`].
+    Running,
+    /// See [`JobStatus::Done`].
+    Done,
+    /// See [`JobStatus::Failed`].
+    Failed,
+    /// See [`JobStatus::Cancelled`].
+    Cancelled,
+}
+
+impl JobPhase {
+    /// Has the job reached a state it can never leave?
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobPhase::Done | JobPhase::Failed | JobPhase::Cancelled
+        )
+    }
+}
+
+/// A job body: runs on a worker thread, owns everything it needs.
+type Work<T> = Box<dyn FnOnce() -> Result<T, String> + Send + 'static>;
+
+struct PoolState<T> {
+    /// Ids awaiting a worker, submission order.
+    queue: VecDeque<JobId>,
+    /// Bodies of queued jobs (removed when picked up or cancelled).
+    bodies: BTreeMap<JobId, Work<T>>,
+    /// Status of every job ever submitted.
+    status: BTreeMap<JobId, JobStatus<T>>,
+    /// Worker threads currently alive.
+    live_workers: usize,
+    /// Worker threads currently blocked waiting for work.
+    idle_workers: usize,
+    /// Cap on `live_workers`; see [`JobPool::set_max_workers`].
+    max_workers: usize,
+    /// Set by [`JobPool`]'s `Drop`: workers exit instead of waiting.
+    shutdown: bool,
+}
+
+struct PoolShared<T> {
+    state: Mutex<PoolState<T>>,
+    cv: Condvar,
+}
+
+/// A pool of long-lived background workers executing submitted job
+/// bodies. See the module docs for the state machine and semantics.
+///
+/// Workers are spawned lazily on submission (never more than the cap)
+/// and *detached*: dropping the pool cancels every still-queued job and
+/// signals shutdown, but does not join workers — a worker stuck in a
+/// remote call must not hang the owner's teardown. Detached workers
+/// only hold the shared state alive, nothing of the owner's.
+pub struct JobPool<T: Send + 'static> {
+    shared: Arc<PoolShared<T>>,
+}
+
+impl<T: Send + 'static> JobPool<T> {
+    /// A pool allowing up to `max_workers` concurrent jobs (clamped to
+    /// ≥ 1). No threads are spawned until the first submission.
+    pub fn new(max_workers: usize) -> JobPool<T> {
+        JobPool {
+            shared: Arc::new(PoolShared {
+                state: Mutex::new(PoolState {
+                    queue: VecDeque::new(),
+                    bodies: BTreeMap::new(),
+                    status: BTreeMap::new(),
+                    live_workers: 0,
+                    idle_workers: 0,
+                    max_workers: max_workers.max(1),
+                    shutdown: false,
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Worker cap from the `GAEA_JOB_WORKERS` environment variable,
+    /// defaulting to [`DEFAULT_JOB_WORKERS`]. Like
+    /// [`Scheduler::from_env`](crate::Scheduler::from_env), a malformed
+    /// value never changes behaviour — it is reported on stderr and the
+    /// default used.
+    pub fn from_env() -> JobPool<T> {
+        JobPool::new(crate::pool::env_workers(
+            JOB_WORKERS_ENV,
+            DEFAULT_JOB_WORKERS,
+            "job worker(s)",
+        ))
+    }
+
+    /// The current worker cap.
+    pub fn max_workers(&self) -> usize {
+        self.lock().max_workers
+    }
+
+    /// Adjust the worker cap (clamped to ≥ 1). Takes effect on future
+    /// submissions; already-spawned workers above a lowered cap finish
+    /// their current jobs and stay available.
+    pub fn set_max_workers(&self, max_workers: usize) {
+        self.lock().max_workers = max_workers.max(1);
+    }
+
+    /// Worker threads currently alive (spawned so far, ≤ cap).
+    pub fn live_workers(&self) -> usize {
+        self.lock().live_workers
+    }
+
+    /// Submit a job body under a caller-assigned id. The body runs on a
+    /// background worker; the submission returns immediately.
+    ///
+    /// # Panics
+    /// If `id` was already submitted — ids identify jobs for their whole
+    /// lifetime, so reuse would corrupt the status map.
+    pub fn submit(&self, id: JobId, work: impl FnOnce() -> Result<T, String> + Send + 'static) {
+        let spawn = {
+            let mut state = self.lock();
+            assert!(
+                !state.status.contains_key(&id),
+                "job id {id} submitted twice"
+            );
+            state.status.insert(id, JobStatus::Queued);
+            state.bodies.insert(id, Box::new(work));
+            state.queue.push_back(id);
+            // Spawn a worker unless an idle one will pick this up (or the
+            // cap is reached). Workers outlive their first job; the pool
+            // converges on min(cap, peak concurrent jobs) threads.
+            let spawn = state.idle_workers == 0 && state.live_workers < state.max_workers;
+            if spawn {
+                state.live_workers += 1;
+            }
+            spawn
+        };
+        if spawn {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || worker_loop(shared));
+        }
+        self.shared.cv.notify_all();
+    }
+
+    /// The job's payload-free phase (`None` for an id never submitted).
+    pub fn phase(&self, id: JobId) -> Option<JobPhase> {
+        self.lock().status.get(&id).map(JobStatus::phase)
+    }
+
+    /// The job's status, payload cloned out (`None` for an id never
+    /// submitted).
+    pub fn status(&self, id: JobId) -> Option<JobStatus<T>>
+    where
+        T: Clone,
+    {
+        self.lock().status.get(&id).cloned()
+    }
+
+    /// Consume a `Done` job: its payload is moved out and the pool
+    /// forgets the entry entirely, so completed results do not
+    /// accumulate for the pool's lifetime — the owner keeps its own
+    /// record of what the result became. Ids that are unknown or not
+    /// `Done` are left untouched and return `None`.
+    pub fn take_done(&self, id: JobId) -> Option<T> {
+        let mut state = self.lock();
+        if !matches!(state.status.get(&id), Some(JobStatus::Done(_))) {
+            return None;
+        }
+        match state.status.remove(&id) {
+            Some(JobStatus::Done(value)) => Some(value),
+            _ => unreachable!("checked Done under the same lock"),
+        }
+    }
+
+    /// Cancel a job: a queued body is dropped unrun; a running body's
+    /// eventual result is discarded. Returns `true` when this call moved
+    /// the job to `Cancelled`, `false` when the job was already terminal
+    /// (cancel-after-done is a clean no-op) or the id is unknown.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let mut state = self.lock();
+        let cancelled = match state.status.get(&id) {
+            Some(JobStatus::Queued) => {
+                state.queue.retain(|q| *q != id);
+                state.bodies.remove(&id);
+                state.status.insert(id, JobStatus::Cancelled);
+                true
+            }
+            Some(JobStatus::Running) => {
+                state.status.insert(id, JobStatus::Cancelled);
+                true
+            }
+            _ => false,
+        };
+        drop(state);
+        if cancelled {
+            self.shared.cv.notify_all();
+        }
+        cancelled
+    }
+
+    /// Block until the job reaches a terminal state or `timeout`
+    /// elapses, returning the status as of the return (which is
+    /// therefore *not* necessarily terminal). `None` for an id never
+    /// submitted.
+    pub fn wait_terminal(&self, id: JobId, timeout: Duration) -> Option<JobStatus<T>>
+    where
+        T: Clone,
+    {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.lock();
+        loop {
+            match state.status.get(&id) {
+                None => return None,
+                Some(s) if s.is_terminal() => return Some(s.clone()),
+                Some(_) => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return state.status.get(&id).cloned();
+            }
+            let (next, _) = self
+                .shared
+                .cv
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            state = next;
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolState<T>> {
+        lock_state(&self.shared)
+    }
+}
+
+impl<T: Send + 'static> Drop for JobPool<T> {
+    fn drop(&mut self) {
+        let mut state = self.lock();
+        state.shutdown = true;
+        // Queued bodies will never run: resolve them so no job is left in
+        // a non-terminal state forever.
+        while let Some(id) = state.queue.pop_front() {
+            state.bodies.remove(&id);
+            state.status.insert(id, JobStatus::Cancelled);
+        }
+        drop(state);
+        self.shared.cv.notify_all();
+        // Workers are detached on purpose: one blocked in a remote call
+        // must not hang the owner's teardown. They exit at the next
+        // shutdown check and only keep the shared state alive.
+    }
+}
+
+/// Lock the pool state, absorbing poisoning: every mutation of the state
+/// is a handful of map/queue operations that cannot leave it half-done,
+/// and job bodies run *outside* the lock, so a panicking thread (a
+/// worker body, or an asserting caller) never leaves the maps
+/// inconsistent — recovering the guard is sound and keeps one bad job
+/// from wedging the pool (and its owner's `Drop`).
+fn lock_state<T>(shared: &PoolShared<T>) -> std::sync::MutexGuard<'_, PoolState<T>> {
+    match shared.state.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn worker_loop<T: Send + 'static>(shared: Arc<PoolShared<T>>) {
+    loop {
+        let (id, work) = {
+            let mut state = lock_state(&shared);
+            loop {
+                if state.shutdown {
+                    state.live_workers -= 1;
+                    return;
+                }
+                if let Some(id) = state.queue.pop_front() {
+                    let work = state
+                        .bodies
+                        .remove(&id)
+                        .expect("queued job carries its body");
+                    state.status.insert(id, JobStatus::Running);
+                    break (id, work);
+                }
+                state.idle_workers += 1;
+                let (next, _) = shared
+                    .cv
+                    .wait_timeout(state, Duration::from_millis(200))
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                state = next;
+                state.idle_workers -= 1;
+            }
+        };
+        // Run the body outside the lock; a panic becomes Failed, never a
+        // poisoned pool.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(work))
+            .unwrap_or_else(|panic| Err(format!("job body panicked: {}", panic_text(&*panic))));
+        let mut state = lock_state(&shared);
+        match state.status.get(&id) {
+            // Cancelled while running: the result is discarded.
+            Some(JobStatus::Cancelled) => {}
+            _ => {
+                let status = match result {
+                    Ok(v) => JobStatus::Done(v),
+                    Err(e) => JobStatus::Failed(e),
+                };
+                state.status.insert(id, status);
+            }
+        }
+        drop(state);
+        shared.cv.notify_all();
+    }
+}
+
+fn panic_text(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string payload"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    /// A job body that blocks until the returned sender releases it —
+    /// the deterministic stand-in for a slow remote site.
+    fn gated_job(
+        value: u64,
+    ) -> (
+        impl FnOnce() -> Result<u64, String> + Send,
+        mpsc::Sender<()>,
+    ) {
+        let (tx, rx) = mpsc::channel::<()>();
+        (
+            move || {
+                let _ = rx.recv();
+                Ok(value)
+            },
+            tx,
+        )
+    }
+
+    #[test]
+    fn submit_runs_to_done() {
+        let pool: JobPool<u64> = JobPool::new(2);
+        pool.submit(JobId(1), || Ok(42));
+        let status = pool.wait_terminal(JobId(1), Duration::from_secs(5));
+        assert_eq!(status, Some(JobStatus::Done(42)));
+        assert_eq!(pool.phase(JobId(1)), Some(JobPhase::Done));
+    }
+
+    #[test]
+    fn error_body_fails() {
+        let pool: JobPool<u64> = JobPool::new(1);
+        pool.submit(JobId(1), || Err("site melted".into()));
+        let status = pool.wait_terminal(JobId(1), Duration::from_secs(5));
+        assert_eq!(status, Some(JobStatus::Failed("site melted".into())));
+    }
+
+    #[test]
+    fn panic_becomes_failed_and_pool_survives() {
+        let pool: JobPool<u64> = JobPool::new(1);
+        pool.submit(JobId(1), || panic!("boom"));
+        let status = pool.wait_terminal(JobId(1), Duration::from_secs(5));
+        match status {
+            Some(JobStatus::Failed(msg)) => assert!(msg.contains("boom"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The worker that caught the panic still serves new jobs.
+        pool.submit(JobId(2), || Ok(7));
+        assert_eq!(
+            pool.wait_terminal(JobId(2), Duration::from_secs(5)),
+            Some(JobStatus::Done(7))
+        );
+    }
+
+    #[test]
+    fn cancel_queued_never_runs() {
+        let pool: JobPool<u64> = JobPool::new(1);
+        let (gate_body, gate) = gated_job(1);
+        pool.submit(JobId(1), gate_body);
+        // One worker is busy; the second job must be Queued.
+        while pool.phase(JobId(1)) == Some(JobPhase::Queued) {
+            std::thread::yield_now();
+        }
+        let ran = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let ran2 = Arc::clone(&ran);
+        pool.submit(JobId(2), move || {
+            ran2.store(true, std::sync::atomic::Ordering::SeqCst);
+            Ok(2)
+        });
+        assert_eq!(pool.phase(JobId(2)), Some(JobPhase::Queued));
+        assert!(pool.cancel(JobId(2)));
+        assert_eq!(pool.phase(JobId(2)), Some(JobPhase::Cancelled));
+        gate.send(()).unwrap();
+        assert_eq!(
+            pool.wait_terminal(JobId(1), Duration::from_secs(5)),
+            Some(JobStatus::Done(1))
+        );
+        assert!(!ran.load(std::sync::atomic::Ordering::SeqCst));
+        assert_eq!(pool.phase(JobId(2)), Some(JobPhase::Cancelled));
+    }
+
+    #[test]
+    fn cancel_running_discards_the_result() {
+        let pool: JobPool<u64> = JobPool::new(1);
+        let (body, gate) = gated_job(9);
+        pool.submit(JobId(1), body);
+        while pool.phase(JobId(1)) != Some(JobPhase::Running) {
+            std::thread::yield_now();
+        }
+        assert!(pool.cancel(JobId(1)));
+        gate.send(()).unwrap();
+        // The worker finishes the body but must not overwrite Cancelled.
+        pool.submit(JobId(2), || Ok(2));
+        pool.wait_terminal(JobId(2), Duration::from_secs(5));
+        assert_eq!(pool.status(JobId(1)), Some(JobStatus::Cancelled));
+    }
+
+    #[test]
+    fn cancel_after_terminal_is_a_noop() {
+        let pool: JobPool<u64> = JobPool::new(1);
+        pool.submit(JobId(1), || Ok(5));
+        pool.wait_terminal(JobId(1), Duration::from_secs(5));
+        assert!(!pool.cancel(JobId(1)));
+        assert_eq!(pool.status(JobId(1)), Some(JobStatus::Done(5)));
+        assert!(!pool.cancel(JobId(99)), "unknown ids cancel to false");
+    }
+
+    #[test]
+    fn wait_timeout_returns_current_nonterminal_status() {
+        let pool: JobPool<u64> = JobPool::new(1);
+        let (body, gate) = gated_job(3);
+        pool.submit(JobId(1), body);
+        let status = pool.wait_terminal(JobId(1), Duration::from_millis(30));
+        assert!(matches!(
+            status,
+            Some(JobStatus::Queued) | Some(JobStatus::Running)
+        ));
+        gate.send(()).unwrap();
+        assert_eq!(
+            pool.wait_terminal(JobId(1), Duration::from_secs(5)),
+            Some(JobStatus::Done(3))
+        );
+    }
+
+    #[test]
+    fn workers_spawn_lazily_up_to_the_cap() {
+        let pool: JobPool<u64> = JobPool::new(2);
+        assert_eq!(pool.live_workers(), 0, "no threads before first submit");
+        let (b1, g1) = gated_job(1);
+        let (b2, g2) = gated_job(2);
+        let (b3, g3) = gated_job(3);
+        pool.submit(JobId(1), b1);
+        pool.submit(JobId(2), b2);
+        pool.submit(JobId(3), b3);
+        assert!(pool.live_workers() <= 2, "cap respected");
+        for g in [g1, g2, g3] {
+            g.send(()).unwrap();
+        }
+        for id in [1, 2, 3] {
+            assert!(matches!(
+                pool.wait_terminal(JobId(id), Duration::from_secs(5)),
+                Some(JobStatus::Done(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn take_done_moves_the_payload_and_forgets_the_job() {
+        let pool: JobPool<u64> = JobPool::new(1);
+        pool.submit(JobId(1), || Ok(11));
+        pool.wait_terminal(JobId(1), Duration::from_secs(5));
+        assert_eq!(pool.take_done(JobId(1)), Some(11));
+        // Consumed: the pool no longer tracks the job at all.
+        assert_eq!(pool.phase(JobId(1)), None);
+        assert_eq!(pool.take_done(JobId(1)), None);
+        // Non-Done jobs are left untouched.
+        pool.submit(JobId(2), || Err("x".into()));
+        pool.wait_terminal(JobId(2), Duration::from_secs(5));
+        assert_eq!(pool.take_done(JobId(2)), None);
+        assert_eq!(pool.phase(JobId(2)), Some(JobPhase::Failed));
+        let (body, _gate) = gated_job(3);
+        pool.submit(JobId(3), body);
+        assert_eq!(pool.take_done(JobId(3)), None, "in-flight jobs stay");
+        assert!(pool.phase(JobId(3)).is_some());
+    }
+
+    #[test]
+    fn duplicate_id_panics() {
+        let pool: JobPool<u64> = JobPool::new(1);
+        pool.submit(JobId(7), || Ok(1));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.submit(JobId(7), || Ok(2));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn drop_cancels_queued_jobs_without_hanging() {
+        let pool: JobPool<u64> = JobPool::new(1);
+        let (body, _gate) = gated_job(1); // never released
+        pool.submit(JobId(1), body);
+        while pool.phase(JobId(1)) != Some(JobPhase::Running) {
+            std::thread::yield_now();
+        }
+        pool.submit(JobId(2), || Ok(2));
+        // Dropping must return promptly even though job 1 is stuck in its
+        // "remote call" forever; job 2 is resolved as Cancelled first.
+        drop(pool);
+    }
+
+    #[test]
+    fn unknown_ids_answer_none() {
+        let pool: JobPool<u64> = JobPool::new(1);
+        assert_eq!(pool.phase(JobId(1)), None);
+        assert_eq!(pool.status(JobId(1)), None);
+        assert_eq!(pool.wait_terminal(JobId(1), Duration::from_millis(1)), None);
+    }
+
+    #[test]
+    fn max_workers_is_clamped_and_adjustable() {
+        let pool: JobPool<u64> = JobPool::new(0);
+        assert_eq!(pool.max_workers(), 1);
+        pool.set_max_workers(8);
+        assert_eq!(pool.max_workers(), 8);
+        pool.set_max_workers(0);
+        assert_eq!(pool.max_workers(), 1);
+    }
+}

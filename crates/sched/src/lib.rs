@@ -20,7 +20,15 @@
 //!   single-threaded mode is behaviourally identical to not having a
 //!   scheduler at all.
 //!
-//! The kernel drives the two together in a *prepare / commit* split:
+//! * [`JobPool`] — the asynchronous complement to the wave pool:
+//!   long-lived background workers for firings that take minutes
+//!   (§5 external sites), driven through a submit / poll / await /
+//!   cancel surface with the `Queued → Running → Done | Failed |
+//!   Cancelled` state machine. The kernel's `Gaea::submit_derivation`
+//!   rides on it; the pool itself never touches the store — workers
+//!   compute results, the owner commits them.
+//!
+//! The kernel drives the wave pieces together in a *prepare / commit* split:
 //! for each wave it `map`s a read-only prepare step over the wave's
 //! firings (workers share `&Database` / `&Catalog` snapshots) and then
 //! commits the results serially, in node order, before the next wave's
@@ -28,10 +36,12 @@
 //! only the cheap store/catalog writes serialize.
 
 pub mod graph;
+pub mod jobs;
 pub mod pool;
 
 pub use graph::{CycleError, DepGraph, NodeId};
-pub use pool::Scheduler;
+pub use jobs::{JobId, JobPhase, JobPool, JobStatus, DEFAULT_JOB_WORKERS, JOB_WORKERS_ENV};
+pub use pool::{parse_workers, Scheduler};
 
 /// Environment variable consulted by [`Scheduler::from_env`]: the number
 /// of workers the kernel's scheduler starts with (default 1, i.e. the

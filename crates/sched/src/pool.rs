@@ -16,6 +16,40 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Read a worker count from environment variable `var`, falling back to
+/// `fallback` when unset — and, *loudly*, when malformed: the parse
+/// error is reported on stderr (naming `what` is being configured) so a
+/// typo'd deployment does not silently run at the default, but
+/// misconfiguration never changes behaviour. Shared by
+/// [`Scheduler::from_env`] and `JobPool::from_env`.
+pub(crate) fn env_workers(var: &str, fallback: usize, what: &str) -> usize {
+    match std::env::var(var) {
+        Ok(v) => match parse_workers(&v) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("gaea-sched: ignoring {var}={v:?}: {e}; defaulting to {fallback} {what}");
+                fallback
+            }
+        },
+        Err(_) => fallback,
+    }
+}
+
+/// Parse a worker-count specification (the value of `GAEA_SCHED_WORKERS`
+/// or `GAEA_JOB_WORKERS`): a positive integer, surrounding whitespace
+/// allowed. Zero, negatives and non-numbers are errors — worker counts
+/// opt *into* parallelism, so there is no meaningful zero.
+pub fn parse_workers(spec: &str) -> Result<usize, String> {
+    let trimmed = spec.trim();
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err("worker count must be a positive integer, got 0".into()),
+        Ok(n) => Ok(n),
+        Err(e) => Err(format!(
+            "worker count must be a positive integer, got {trimmed:?} ({e})"
+        )),
+    }
+}
+
 /// A fixed-size worker pool. Cheap to construct (threads are scoped per
 /// [`Scheduler::map`] call, not kept alive), cheap to copy around.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,17 +78,14 @@ impl Scheduler {
     }
 
     /// Worker count from the `GAEA_SCHED_WORKERS` environment variable,
-    /// defaulting to the sequential scheduler when unset, empty, or
-    /// unparsable — misconfiguration must never change behaviour, only
-    /// a valid positive count opts into parallelism.
+    /// defaulting to the sequential scheduler when unset — and when the
+    /// value is malformed: misconfiguration must never change behaviour,
+    /// only a valid positive count opts into parallelism. A malformed
+    /// value is no longer swallowed silently, though — the parse error is
+    /// reported on stderr so a typo'd deployment does not quietly run
+    /// single-threaded forever.
     pub fn from_env() -> Scheduler {
-        match std::env::var(crate::WORKERS_ENV) {
-            Ok(v) => match v.trim().parse::<usize>() {
-                Ok(n) if n >= 1 => Scheduler::new(n),
-                _ => Scheduler::sequential(),
-            },
-            Err(_) => Scheduler::sequential(),
-        }
+        Scheduler::new(env_workers(crate::WORKERS_ENV, 1, "wave worker"))
     }
 
     /// Number of workers a `map` call may use.
@@ -189,6 +220,24 @@ mod tests {
         let s = Scheduler::new(4);
         assert_eq!(s.map(Vec::<u8>::new(), |_, x| x), Vec::<u8>::new());
         assert_eq!(s.map(vec![7u8], |i, x| x + i as u8), vec![7]);
+    }
+
+    #[test]
+    fn worker_specs_parse_or_explain() {
+        assert_eq!(parse_workers("4"), Ok(4));
+        assert_eq!(parse_workers(" 2 "), Ok(2), "whitespace tolerated");
+        // The satellite cases: every malformed spec yields a diagnostic
+        // instead of a silent fallback (from_env still falls back — but
+        // loudly).
+        for bad in ["0", "-1", "abc", "", "1.5"] {
+            let err = parse_workers(bad).unwrap_err();
+            assert!(
+                err.contains("positive integer"),
+                "spec {bad:?} must explain itself, got {err:?}"
+            );
+        }
+        assert!(parse_workers("-1").unwrap_err().contains("-1"));
+        assert!(parse_workers("abc").unwrap_err().contains("abc"));
     }
 
     #[test]

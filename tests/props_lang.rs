@@ -255,8 +255,16 @@ fn where_item() -> impl Strategy<Value = WhereItem> {
 }
 
 fn derive_clause() -> impl Strategy<Value = DeriveClause> {
-    (prop::option::of(ident()), prop::option::of(cost_keyword()))
-        .prop_map(|(using, cost)| DeriveClause { using, cost })
+    (
+        any::<bool>(),
+        prop::option::of(ident()),
+        prop::option::of(cost_keyword()),
+    )
+        .prop_map(|(is_async, using, cost)| DeriveClause {
+            is_async,
+            using,
+            cost,
+        })
 }
 
 fn retrieve_item() -> impl Strategy<Value = RetrieveItem> {

@@ -1,0 +1,157 @@
+//! Property-based tests on the `gaea-sched` scheduler substrate.
+//!
+//! The kernel's parallel execution rides on two invariants this suite
+//! pins down over random inputs: [`DepGraph::waves`] is a correct,
+//! deterministic topological levelling (every edge respected, waves
+//! id-sorted, every node exactly once, cycles always detected), and
+//! [`Scheduler::map`] returns results in input order at every worker
+//! count. CI runs the suite at `PROPTEST_CASES=256`.
+
+use gaea::sched::{DepGraph, NodeId, Scheduler};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A random DAG shape: `n` nodes plus raw node pairs that become
+/// forward edges `(min, max)` — always acyclic by construction.
+fn dag_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (1usize..24).prop_flat_map(|n| (Just(n), prop::collection::vec((0..n, 0..n), 0..64)))
+}
+
+fn build_dag(n: usize, pairs: &[(usize, usize)]) -> (DepGraph<usize>, Vec<(usize, usize)>) {
+    let mut g: DepGraph<usize> = DepGraph::new();
+    for i in 0..n {
+        g.add_node(i);
+    }
+    let mut edges = Vec::new();
+    for (a, b) in pairs {
+        if a == b {
+            continue; // self-edges are rejected by construction
+        }
+        let (lo, hi) = (*a.min(b), *a.max(b));
+        g.add_edge(NodeId(lo), NodeId(hi)).unwrap();
+        edges.push((lo, hi));
+    }
+    (g, edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Wave levelling of a random acyclic graph: every edge's
+    /// prerequisite sits in a strictly earlier wave, every wave is
+    /// id-sorted, and the waves partition the node set exactly.
+    #[test]
+    fn waves_respect_every_edge_and_partition_the_nodes(
+        (n, pairs) in dag_strategy()
+    ) {
+        let (g, edges) = build_dag(n, &pairs);
+        let waves = g.waves().expect("forward edges cannot cycle");
+        // Wave index per node.
+        let mut wave_of = vec![usize::MAX; n];
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        for (w, wave) in waves.iter().enumerate() {
+            // Id-sorted within the wave.
+            let ids: Vec<usize> = wave.iter().map(|x| x.0).collect();
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&ids, &sorted, "wave {} not id-sorted", w);
+            for id in ids {
+                prop_assert!(seen.insert(id), "node {} appears twice", id);
+                wave_of[id] = w;
+            }
+        }
+        prop_assert_eq!(seen.len(), n, "every node is levelled exactly once");
+        for (a, b) in edges {
+            prop_assert!(
+                wave_of[a] < wave_of[b],
+                "edge {}→{} violated: waves {} vs {}",
+                a, b, wave_of[a], wave_of[b]
+            );
+        }
+    }
+
+    /// The wave decomposition is a pure function of the edge set:
+    /// inserting the same edges in any order yields identical waves.
+    #[test]
+    fn waves_are_insertion_order_independent(
+        (n, pairs) in dag_strategy(),
+        seed in any::<u64>()
+    ) {
+        let (g, edges) = build_dag(n, &pairs);
+        // Re-insert the edges in a seed-shuffled order.
+        let mut shuffled = edges.clone();
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            shuffled.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let mut h: DepGraph<usize> = DepGraph::new();
+        for i in 0..n {
+            h.add_node(i);
+        }
+        for (a, b) in shuffled {
+            h.add_edge(NodeId(a), NodeId(b)).unwrap();
+        }
+        prop_assert_eq!(g.waves().unwrap(), h.waves().unwrap());
+    }
+
+    /// Injecting a directed cycle into an otherwise random DAG always
+    /// fails wave levelling, and the stuck set names cycle members.
+    #[test]
+    fn cycle_injection_always_errors(
+        (n, pairs) in dag_strategy(),
+        cycle_len in 2usize..6
+    ) {
+        let n = n.max(2);
+        let cycle_len = cycle_len.min(n);
+        let mut g: DepGraph<usize> = DepGraph::new();
+        for i in 0..n {
+            g.add_node(i);
+        }
+        for (a, b) in &pairs {
+            if a == b {
+                continue;
+            }
+            let (lo, hi) = (*a.min(b), *a.max(b));
+            if hi < n {
+                g.add_edge(NodeId(lo), NodeId(hi)).unwrap();
+            }
+        }
+        // Close a cycle over the first `cycle_len` nodes: forward chain
+        // plus the back edge.
+        for i in 0..cycle_len - 1 {
+            g.add_edge(NodeId(i), NodeId(i + 1)).unwrap();
+        }
+        g.add_edge(NodeId(cycle_len - 1), NodeId(0)).unwrap();
+        let err = g.waves().expect_err("a cycle admits no wave order");
+        prop_assert!(!err.stuck.is_empty());
+        // Every cycle member is stuck (possibly with its dependents).
+        for i in 0..cycle_len {
+            prop_assert!(
+                err.stuck.contains(&NodeId(i)),
+                "cycle member {} missing from stuck set {:?}",
+                i, err.stuck
+            );
+        }
+    }
+
+    /// `Scheduler::map` output order equals input order at 1/2/4/8
+    /// workers, for arbitrary inputs — the invariant the kernel's
+    /// "committed state is identical at any worker count" claim rides on.
+    #[test]
+    fn map_output_order_is_input_order_at_any_worker_count(
+        items in prop::collection::vec(any::<i64>(), 0..96)
+    ) {
+        let expected: Vec<(usize, i64)> = items
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, x)| (i, x.wrapping_mul(31).rotate_left(7)))
+            .collect();
+        for workers in [1usize, 2, 4, 8] {
+            let got = Scheduler::new(workers)
+                .map(items.clone(), |i, x| (i, x.wrapping_mul(31).rotate_left(7)));
+            prop_assert_eq!(&got, &expected, "workers={}", workers);
+        }
+    }
+}
