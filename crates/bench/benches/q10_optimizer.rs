@@ -1,0 +1,122 @@
+//! Q10 — cost-based access paths vs full scans on a 100k-object extent.
+//!
+//! The optimizer's claim is quantitative: a selective equality should
+//! answer ≥100× faster through the ordered index than through a heap
+//! walk, and a `WITHIN` window ≥10× faster through the uniform grid —
+//! both including the residual re-check that keeps indexed answers
+//! identical to heap answers. This target measures exactly those pairs
+//! on one 100 000-tuple relation, plus the predicate-compilation
+//! micro-costs that justify compiling once per scan (name→position
+//! resolution out of the per-tuple loop).
+//!
+//! Summarized for the CI artifact trail via `scripts/bench_summary.sh`
+//! and the `GAEA_BENCH_JSON` hook.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gaea_adt::{GeoBox, TypeTag, Value};
+use gaea_bench::configure;
+use gaea_store::{Database, Field, Predicate, Schema, Tuple};
+use std::hint::black_box;
+
+const N: i32 = 100_000;
+/// Distinct `val` keys: equality selects ~N/1000 = 100 rows (0.1%).
+const KEYS: i32 = 1_000;
+/// Scene edge; extents tile a ~3160-unit square, so a 30-unit window
+/// covers ~0.01% of the plane.
+const EDGE: f64 = 8.0;
+
+fn extent(i: i32) -> GeoBox {
+    let x = f64::from(i % 316) * 10.0;
+    let y = f64::from((i / 316) % 316) * 10.0;
+    GeoBox::new(x, y, x + EDGE, y + EDGE)
+}
+
+/// 100k tuples with an ordered index on `val` and a grid on `ext` —
+/// the same access paths the kernel auto-creates past the threshold.
+fn filled_db() -> Database {
+    let mut db = Database::new();
+    let schema = Schema::new(vec![
+        Field::required("val", TypeTag::Int4),
+        Field::required("ext", TypeTag::GeoBox),
+    ])
+    .expect("schema");
+    db.create_relation("objects", schema).expect("relation");
+    for i in 0..N {
+        db.insert(
+            "objects",
+            Tuple::new(vec![Value::Int4(i % KEYS), Value::GeoBox(extent(i))]),
+        )
+        .expect("insert");
+    }
+    let rel = db.relation_mut("objects").expect("relation");
+    rel.create_index("val").expect("index");
+    rel.create_grid("ext", EDGE).expect("grid");
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let db = filled_db();
+    let rel = db.relation("objects").expect("relation");
+    let schema = rel.schema();
+    let eq = Predicate::Eq("val".into(), Value::Int4(KEYS / 2));
+    let window = GeoBox::new(1000.0, 1000.0, 1030.0, 1030.0);
+    let within = Predicate::BoxOverlaps("ext".into(), window);
+
+    let mut group = c.benchmark_group("q10_optimizer");
+    configure(&mut group);
+
+    // Selective equality: heap walk vs index lookup + residual re-check
+    // (the full driving-path discipline the kernel's scan_class applies).
+    group.bench_with_input(BenchmarkId::new("opt_eq_full_scan", N), &N, |b, _| {
+        b.iter(|| black_box(rel.scan_oids(&eq).expect("scan")))
+    });
+    group.bench_with_input(BenchmarkId::new("opt_eq_index", N), &N, |b, _| {
+        let compiled = eq.compile(schema).expect("compile");
+        b.iter(|| {
+            let mut oids = rel
+                .index_lookup("val", &Value::Int4(KEYS / 2))
+                .expect("lookup");
+            oids.retain(|oid| rel.get(*oid).map(|t| compiled.matches(t)).unwrap_or(false));
+            oids.sort_unstable();
+            black_box(oids)
+        })
+    });
+
+    // Spatial window: heap walk vs grid probe + residual re-check.
+    group.bench_with_input(BenchmarkId::new("opt_within_full_scan", N), &N, |b, _| {
+        b.iter(|| black_box(rel.scan_oids(&within).expect("scan")))
+    });
+    group.bench_with_input(BenchmarkId::new("opt_within_grid", N), &N, |b, _| {
+        let compiled = within.compile(schema).expect("compile");
+        b.iter(|| {
+            let mut oids = rel.grid_probe("ext", &window).expect("probe");
+            oids.retain(|oid| rel.get(*oid).map(|t| compiled.matches(t)).unwrap_or(false));
+            black_box(oids)
+        })
+    });
+
+    // Predicate compilation: the once-per-scan cost, vs what per-tuple
+    // name resolution adds over a full heap pass.
+    let conj = eq.clone().and(within.clone());
+    group.bench_with_input(BenchmarkId::new("opt_compile_once", N), &N, |b, _| {
+        b.iter(|| black_box(conj.compile(schema).expect("compile")))
+    });
+    group.bench_with_input(BenchmarkId::new("opt_match_compiled", N), &N, |b, _| {
+        let compiled = conj.compile(schema).expect("compile");
+        b.iter(|| black_box(rel.iter().filter(|(_, t)| compiled.matches(t)).count()))
+    });
+    group.bench_with_input(BenchmarkId::new("opt_match_uncompiled", N), &N, |b, _| {
+        b.iter(|| {
+            black_box(
+                rel.iter()
+                    .filter(|(_, t)| conj.matches(schema, t).unwrap_or(false))
+                    .count(),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -228,6 +228,26 @@ impl Gaea {
         }
     }
 
+    /// Define an access path on one class attribute (`DEFINE INDEX attr
+    /// ON class`): GeoBox-tagged attributes get a spatial grid, everything
+    /// else an ordered index. Explicit definition ignores the
+    /// auto-indexing size threshold and is idempotent — re-defining an
+    /// existing path is a no-op, matching the auto-indexer's behaviour.
+    pub fn define_index(&mut self, class: &str, attr: &str) -> KernelResult<()> {
+        let def = self.catalog.class_by_name(class)?.clone();
+        let Some(adef) = def.attr(attr) else {
+            return Err(KernelError::Schema(format!(
+                "DEFINE INDEX names unknown attribute {attr:?} of class {class}"
+            )));
+        };
+        if adef.tag == gaea_adt::TypeTag::GeoBox {
+            self.ensure_grid(&def, attr)?;
+        } else {
+            self.ensure_index(&def, attr)?;
+        }
+        Ok(())
+    }
+
     /// Define a concept over existing classes with optional ISA parents.
     pub fn define_concept(
         &mut self,

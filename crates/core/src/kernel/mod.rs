@@ -33,6 +33,7 @@
 //! This file holds only the struct, its constructors/accessors, and
 //! catalog persistence; every behavioural method lives in its layer.
 
+pub mod access;
 pub mod cache;
 pub mod ddl;
 pub mod exec;
@@ -44,6 +45,7 @@ pub mod query;
 #[cfg(test)]
 mod tests;
 
+pub use access::AUTO_INDEX_THRESHOLD;
 pub use cache::{CacheStats, DerivedCache, SharedCache};
 pub use ddl::{ClassSpec, ProcessSpec};
 pub use jobs::{JobId, JobStatus};

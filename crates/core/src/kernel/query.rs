@@ -37,7 +37,8 @@ use crate::error::{KernelError, KernelResult};
 use crate::ids::{ClassId, ObjectId, ProcessId, TaskId};
 use crate::object::{DataObject, SPATIAL_ATTR, TEMPORAL_ATTR};
 use crate::query::{
-    AttrCmp, Query, QueryMethod, QueryOutcome, QueryStrategy, QueryTarget, TimeSel,
+    AccessPath, AttrCmp, Query, QueryMethod, QueryOutcome, QueryStrategy, QueryTarget, ScanPlan,
+    TimeSel,
 };
 use crate::schema::{ClassDef, ProcessArg, ProcessDef, ProcessKind};
 use crate::task::{Task, TaskKind};
@@ -45,7 +46,7 @@ use crate::template::Template;
 use gaea_adt::{AbsTime, Value};
 use gaea_petri::backward::plan_derivation;
 use gaea_sched::{DepGraph, NodeId};
-use gaea_store::Predicate;
+use gaea_store::{Oid, Predicate};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Outcome of the bind/fire walker for one planned firing.
@@ -79,11 +80,14 @@ impl Gaea {
     pub fn query(&mut self, q: &Query) -> KernelResult<QueryOutcome> {
         let class_names = self.target_classes(q)?;
         self.validate_query(&class_names, q)?;
+        // Optimizer: give the query's predicate-hot attributes index or
+        // grid access paths on every large-enough target extent.
+        self.ensure_access_paths(&class_names, q)?;
         // Commit any finished background jobs first: their outputs are
         // stored data this very query may retrieve.
         self.pump_jobs();
         // Step 1: direct retrieval.
-        let hits = self.retrieve(&class_names, q)?;
+        let (hits, plans) = self.retrieve(&class_names, q)?;
         if !hits.is_empty() {
             let stale = self.flag_stale(&hits);
             return self.finish_outcome(
@@ -93,6 +97,7 @@ impl Gaea {
                     tasks: vec![],
                     stale,
                     pending: vec![],
+                    plans,
                 },
                 q,
             );
@@ -118,6 +123,7 @@ impl Gaea {
                 tasks: vec![],
                 stale: vec![],
                 pending,
+                plans: vec![],
             });
         }
         let steps: &[QueryMethod] = match q.strategy {
@@ -186,6 +192,14 @@ impl Gaea {
                     )));
                 }
             }
+            if let Some(ob) = &q.order_by {
+                if def.attr(&ob.attr).is_none() {
+                    return Err(KernelError::Schema(format!(
+                        "query orders by unknown attribute {:?} of class {}",
+                        ob.attr, def.name
+                    )));
+                }
+            }
         }
         if let Some(pname) = &q.using_process {
             let pdef = self.catalog.process_by_name(pname)?;
@@ -238,8 +252,9 @@ impl Gaea {
                     }
                     excluded.insert(oid);
                 }
-                let hits: Vec<DataObject> = self
-                    .retrieve(&class_names, q)?
+                let (retrieved, plans) = self.retrieve(&class_names, q)?;
+                outcome.plans = plans;
+                let hits: Vec<DataObject> = retrieved
                     .into_iter()
                     .filter(|o| !excluded.contains(&o.id))
                     .collect();
@@ -260,6 +275,24 @@ impl Gaea {
                     }
                 )));
             }
+        }
+        // ORDER BY / LIMIT: canonical (value, id) order — `None`
+        // attributes sort first, descending reverses the value order but
+        // ids still break ties ascending — then the cutoff. A LIMIT
+        // prunes the staleness flags to the surviving objects.
+        if let Some(ob) = &q.order_by {
+            outcome.objects.sort_by(|a, b| {
+                let ord = a.attr(&ob.attr).cmp(&b.attr(&ob.attr));
+                let ord = if ob.desc { ord.reverse() } else { ord };
+                ord.then(a.id.cmp(&b.id))
+            });
+        }
+        if let Some(limit) = q.limit {
+            outcome
+                .objects
+                .truncate(usize::try_from(limit).unwrap_or(usize::MAX));
+            let kept: BTreeSet<ObjectId> = outcome.objects.iter().map(|o| o.id).collect();
+            outcome.stale.retain(|id| kept.contains(id));
         }
         if !q.projection.is_empty() {
             for obj in &mut outcome.objects {
@@ -317,16 +350,93 @@ impl Gaea {
         pred
     }
 
-    fn retrieve(&self, classes: &[String], q: &Query) -> KernelResult<Vec<DataObject>> {
+    /// Step-1 retrieval through the optimizer: each class extent scans
+    /// via [`Gaea::scan_class`] (cheapest index/grid path, full-predicate
+    /// residual re-check), returning the hits plus one EXPLAIN record
+    /// per scanned extent.
+    fn retrieve(
+        &self,
+        classes: &[String],
+        q: &Query,
+    ) -> KernelResult<(Vec<DataObject>, Vec<ScanPlan>)> {
+        if let Some(short) = self.retrieve_ordered_limit(classes, q)? {
+            return Ok(short);
+        }
         let mut out = Vec::new();
+        let mut plans = Vec::new();
         for name in classes {
             let def = self.catalog.class_by_name(name)?;
             let pred = self.retrieval_predicate(def, q);
-            for (oid, _) in self.db.scan(&def.relation_name(), &pred)? {
+            let (oids, plan) = self.scan_class(def, &pred)?;
+            plans.push(plan);
+            for oid in oids {
                 out.push(self.object(ObjectId(oid))?);
             }
         }
-        Ok(out)
+        Ok((out, plans))
+    }
+
+    /// `ORDER BY attr LIMIT n` over a single class whose order attribute
+    /// carries an index walks [`gaea_store::OrderedIndex::sorted_oids`]
+    /// in query order and stops as soon as `n` rows matched — plus every
+    /// remaining tie of the boundary key, so the exact
+    /// (value, id)-ordered top-N survives [`Gaea::finish_outcome`]'s
+    /// final sort-and-truncate. `FRESH` queries skip the short-circuit:
+    /// the refusal loop must see the full answer to classify it.
+    fn retrieve_ordered_limit(
+        &self,
+        classes: &[String],
+        q: &Query,
+    ) -> KernelResult<Option<(Vec<DataObject>, Vec<ScanPlan>)>> {
+        let (Some(ob), Some(limit)) = (&q.order_by, q.limit) else {
+            return Ok(None);
+        };
+        if classes.len() != 1 || q.fresh || limit == 0 {
+            return Ok(None);
+        }
+        let def = self.catalog.class_by_name(&classes[0])?;
+        let rel = self.db.relation(&def.relation_name())?;
+        let Ok(pos) = rel.schema().position(&ob.attr) else {
+            return Ok(None);
+        };
+        let Some(idx) = rel.index_for(pos) else {
+            return Ok(None);
+        };
+        let pred = self.retrieval_predicate(def, q);
+        let compiled = pred.compile(rel.schema())?;
+        let mut oids: Vec<Oid> = Vec::new();
+        // Key of the limit-th matched row: the walk continues through
+        // its ties and stops at the first different key.
+        let mut boundary: Option<Value> = None;
+        for oid in idx.sorted_oids(ob.desc) {
+            let Ok(tuple) = rel.get(oid) else { continue };
+            if !compiled.matches(tuple) {
+                continue;
+            }
+            if let Some(b) = &boundary {
+                if tuple.get(pos) != b {
+                    break;
+                }
+                oids.push(oid);
+            } else {
+                oids.push(oid);
+                if oids.len() as u64 >= limit {
+                    boundary = Some(tuple.get(pos).clone());
+                }
+            }
+        }
+        let objects = oids
+            .into_iter()
+            .map(|oid| self.object(ObjectId(oid)))
+            .collect::<KernelResult<Vec<_>>>()?;
+        let plan = ScanPlan {
+            class: def.name.clone(),
+            path: AccessPath::IndexOrdered {
+                attr: ob.attr.clone(),
+            },
+            estimated_rows: limit,
+        };
+        Ok(Some((objects, vec![plan])))
     }
 
     /// Classify retrieved objects against the store's version counters;
@@ -365,7 +475,8 @@ impl Gaea {
             };
             let pred = self.retrieval_predicate(&def, &spatial_query);
             let mut snaps: Vec<DataObject> = Vec::new();
-            for (oid, _) in self.db.scan(&def.relation_name(), &pred)? {
+            let (snap_oids, _plan) = self.scan_class(&def, &pred)?;
+            for oid in snap_oids {
                 let obj = self.object(ObjectId(oid))?;
                 if obj.timestamp().is_some() && obj.attr("data").is_some() {
                     snaps.push(obj);
@@ -442,6 +553,7 @@ impl Gaea {
                 tasks: vec![task_id],
                 stale,
                 pending: vec![],
+                plans: vec![],
             }));
         }
         Ok(None)
@@ -565,7 +677,9 @@ impl Gaea {
                     _ => Predicate::True,
                 }
             };
-            let n = self.db.scan(&def.relation_name(), &pred)?.len() as u64;
+            // Cardinality only: the planned access path counts OIDs
+            // without materializing (or cloning) a single tuple.
+            let n = self.count_class(def, &pred)?;
             counts.insert(*cid, n);
         }
         Ok(dnet.marking(&counts))
@@ -785,6 +899,7 @@ impl Gaea {
     pub fn derive_parallel(&mut self, q: &Query) -> KernelResult<QueryOutcome> {
         let class_names = self.target_classes(q)?;
         self.validate_query(&class_names, q)?;
+        self.ensure_access_paths(&class_names, q)?;
         self.pump_jobs();
         match self.try_derive(&class_names, q, true)? {
             Some(outcome) => self.finish_outcome(outcome, q),
@@ -806,7 +921,7 @@ impl Gaea {
         q: &Query,
         tasks: &[TaskId],
     ) -> KernelResult<Option<QueryOutcome>> {
-        let hits = self.retrieve(&[class.to_string()], q)?;
+        let (hits, plans) = self.retrieve(&[class.to_string()], q)?;
         if hits.is_empty() {
             return Ok(None);
         }
@@ -817,6 +932,7 @@ impl Gaea {
             tasks: tasks.to_vec(),
             stale,
             pending: vec![],
+            plans,
         }))
     }
 
@@ -876,7 +992,8 @@ impl Gaea {
                 _ => Predicate::True,
             };
             let mut pool = Vec::new();
-            for (oid, _) in self.db.scan(&class.relation_name(), &pred)? {
+            let (pool_oids, _plan) = self.scan_class(&class, &pred)?;
+            for oid in pool_oids {
                 pool.push(self.object(ObjectId(oid))?);
             }
             pool.sort_by(|x, y| ts_order(x.timestamp(), y.timestamp()).then(x.id.cmp(&y.id)));

@@ -103,6 +103,16 @@ impl CostHint {
     }
 }
 
+/// Result ordering (`ORDER BY attr [ASC|DESC]`): sort returned objects
+/// by one attribute's value order before projection and `LIMIT`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrderBy {
+    /// Attribute to sort by (extents included under their reserved names).
+    pub attr: String,
+    /// Descending instead of the default ascending.
+    pub desc: bool,
+}
+
 /// Step ordering (the paper's "prioritized according to the user's needs").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum QueryStrategy {
@@ -158,6 +168,16 @@ pub struct Query {
     /// meanwhile.
     #[serde(default)]
     pub async_submit: bool,
+    /// Sort returned objects by an attribute (`ORDER BY attr [ASC|DESC]`),
+    /// applied to step-1 answers before projection and `LIMIT`. Ties
+    /// break by object id ascending, matching index iteration order.
+    #[serde(default)]
+    pub order_by: Option<OrderBy>,
+    /// Keep at most this many objects (`LIMIT n`), applied after
+    /// ordering. Index-ordered scans short-circuit once the limit is
+    /// reached.
+    #[serde(default)]
+    pub limit: Option<u64>,
 }
 
 impl Query {
@@ -174,6 +194,8 @@ impl Query {
             cost: None,
             fresh: false,
             async_submit: false,
+            order_by: None,
+            limit: None,
         }
     }
 
@@ -246,6 +268,21 @@ impl Query {
         self.async_submit = true;
         self
     }
+
+    /// Sort returned objects by an attribute (`ORDER BY`).
+    pub fn order_by(mut self, attr: &str, desc: bool) -> Query {
+        self.order_by = Some(OrderBy {
+            attr: attr.into(),
+            desc,
+        });
+        self
+    }
+
+    /// Keep at most `n` objects (`LIMIT n`).
+    pub fn limit(mut self, n: u64) -> Query {
+        self.limit = Some(n);
+        self
+    }
 }
 
 /// Which of the three steps ultimately answered the query.
@@ -262,6 +299,57 @@ pub enum QueryMethod {
     /// nothing was computed yet. Await the job and re-issue the query to
     /// read the answer.
     Submitted,
+}
+
+/// The access path the optimizer chose for one class scan — the
+/// EXPLAIN-visible half of the cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AccessPath {
+    /// Walk the whole heap, evaluating the compiled predicate per tuple.
+    FullScan,
+    /// Drive from an ordered-index point lookup on `attr`.
+    IndexEq { attr: String },
+    /// Drive from an ordered-index range scan on `attr` (Lt/Gt/BETWEEN).
+    IndexRange { attr: String },
+    /// Drive from a spatial-grid probe on `attr` (`WITHIN`).
+    GridProbe { attr: String },
+    /// Walk an index in key order for `ORDER BY`, short-circuiting at
+    /// `LIMIT`.
+    IndexOrdered { attr: String },
+}
+
+impl std::fmt::Display for AccessPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessPath::FullScan => write!(f, "full scan"),
+            AccessPath::IndexEq { attr } => write!(f, "index eq({attr})"),
+            AccessPath::IndexRange { attr } => write!(f, "index range({attr})"),
+            AccessPath::GridProbe { attr } => write!(f, "grid probe({attr})"),
+            AccessPath::IndexOrdered { attr } => write!(f, "index ordered({attr})"),
+        }
+    }
+}
+
+/// One class scan the optimizer planned while answering a query: the
+/// chosen driving path and the cost estimate that won it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScanPlan {
+    /// The scanned class.
+    pub class: String,
+    /// Chosen driving access path (residual predicates always re-filter).
+    pub path: AccessPath,
+    /// Estimated rows the driving path yields (the cost used to pick it).
+    pub estimated_rows: u64,
+}
+
+impl std::fmt::Display for ScanPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} via {} (~{} rows)",
+            self.class, self.path, self.estimated_rows
+        )
+    }
 }
 
 /// Query result.
@@ -289,6 +377,10 @@ pub struct QueryOutcome {
     /// submitted. Poll or await them via `Gaea::job_status` /
     /// `Gaea::await_job`.
     pub pending: Vec<JobId>,
+    /// The access paths the optimizer chose for the step-1 class scans
+    /// (EXPLAIN output): one entry per scanned class extent. Empty when
+    /// the answer never scanned a class (e.g. a submitted job).
+    pub plans: Vec<ScanPlan>,
 }
 
 impl QueryOutcome {
@@ -363,6 +455,38 @@ mod tests {
         assert!(q.attr_preds.is_empty() && q.projection.is_empty());
         assert!(q.using_process.is_none() && q.cost.is_none() && !q.fresh);
         assert!(!q.async_submit, "pre-async queries fire synchronously");
+        assert!(q.order_by.is_none() && q.limit.is_none());
+    }
+
+    #[test]
+    fn order_and_limit_builders_compose() {
+        let q = Query::class("landcover")
+            .order_by("numclass", true)
+            .limit(5);
+        assert_eq!(
+            q.order_by,
+            Some(OrderBy {
+                attr: "numclass".into(),
+                desc: true
+            })
+        );
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn plans_display_for_explain() {
+        let plan = ScanPlan {
+            class: "landcover".into(),
+            path: AccessPath::IndexEq {
+                attr: "numclass".into(),
+            },
+            estimated_rows: 3,
+        };
+        assert_eq!(
+            plan.to_string(),
+            "landcover via index eq(numclass) (~3 rows)"
+        );
+        assert_eq!(AccessPath::FullScan.to_string(), "full scan");
     }
 
     #[test]

@@ -22,6 +22,18 @@ pub enum Item {
     /// `RETRIEVE ... FROM ... [WHERE ...]` — a query, not a definition;
     /// executed through `Gaea::retrieve`, never lowered into the catalog.
     Retrieve(RetrieveItem),
+    /// `DEFINE INDEX attr ON class` — declare an access path on one
+    /// class attribute (ordered index, or spatial grid for box attrs).
+    Index(IndexItem),
+}
+
+/// A `DEFINE INDEX` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexItem {
+    /// Indexed attribute name.
+    pub attr: String,
+    /// Class whose extent carries the index.
+    pub class: String,
 }
 
 /// A class definition.
@@ -173,6 +185,15 @@ pub struct DeriveClause {
     pub cost: Option<String>,
 }
 
+/// The `ORDER BY` clause: one attribute, ascending unless `DESC`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    /// Ordering attribute name.
+    pub attr: String,
+    /// `DESC` present? (the canonical surface omits `ASC`).
+    pub desc: bool,
+}
+
 /// A `RETRIEVE` statement:
 ///
 /// ```text
@@ -180,6 +201,8 @@ pub struct DeriveClause {
 ///   [WHERE <clause> [AND <clause>]*]
 ///   [DERIVE [ASYNC] [USING <process>] [COST <hint>]]
 ///   [FRESH]
+///   [ORDER BY <attr> [ASC|DESC]]
+///   [LIMIT <n>]
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct RetrieveItem {
@@ -194,4 +217,10 @@ pub struct RetrieveItem {
     pub derive: Option<DeriveClause>,
     /// `FRESH` — refuse stale answers; re-fire them instead.
     pub fresh: bool,
+    /// `ORDER BY attr [ASC|DESC]` — sort the answer (ties break by
+    /// object id ascending).
+    pub order_by: Option<OrderByItem>,
+    /// `LIMIT n` — keep only the first `n` objects of the (ordered)
+    /// answer.
+    pub limit: Option<u64>,
 }

@@ -21,7 +21,7 @@ use crate::parser::parse_query;
 use gaea_adt::{AbsTime, GeoBox, TimeRange, TypeTag, Value};
 use gaea_core::kernel::{ClassSpec, Gaea, ProcessSpec};
 use gaea_core::query::{
-    AttrPred, CostHint, Query, QueryOutcome, QueryStrategy, QueryTarget, TimeSel,
+    AttrPred, CostHint, OrderBy, Query, QueryOutcome, QueryStrategy, QueryTarget, TimeSel,
 };
 use gaea_core::schema::{ClassDef, ClassKind};
 use gaea_core::template::{CmpOp, Expr, Mapping, Template};
@@ -36,6 +36,8 @@ pub struct Lowered {
     pub processes: Vec<ProcessId>,
     /// Concepts in definition order.
     pub concepts: Vec<ConceptId>,
+    /// `DEFINE INDEX` declarations in definition order: (class, attr).
+    pub indexes: Vec<(String, String)>,
 }
 
 /// Lower a whole program into the kernel. Programs are definitions;
@@ -69,6 +71,13 @@ pub fn lower_program(gaea: &mut Gaea, program: &Program) -> KernelResult<Lowered
     for item in &program.items {
         if let Item::Concept(c) = item {
             out.concepts.push(lower_concept(gaea, c)?);
+        }
+    }
+    // Pass 4: index declarations (classes must exist by now).
+    for item in &program.items {
+        if let Item::Index(ix) = item {
+            gaea.define_index(&ix.class, &ix.attr)?;
+            out.indexes.push((ix.class.clone(), ix.attr.clone()));
         }
     }
     Ok(out)
@@ -378,6 +387,15 @@ pub fn lower_query(gaea: &Gaea, item: &RetrieveItem) -> KernelResult<Query> {
         }
     }
     q.fresh = item.fresh;
+    // ORDER BY attribute existence is checked per target class by the
+    // kernel's own query validation, before any stage runs.
+    if let Some(ob) = &item.order_by {
+        q.order_by = Some(OrderBy {
+            attr: ob.attr.clone(),
+            desc: ob.desc,
+        });
+    }
+    q.limit = item.limit;
     Ok(q)
 }
 

@@ -1,8 +1,8 @@
 //! Recursive-descent parser for the Gaea definition and query language.
 
 use crate::ast::{
-    ArgItem, ClassItem, ConceptItem, DeriveClause, Item, LitValue, ProcessItem, Program,
-    RetrieveItem, TimeLit, WhereItem,
+    ArgItem, ClassItem, ConceptItem, DeriveClause, IndexItem, Item, LitValue, OrderByItem,
+    ProcessItem, Program, RetrieveItem, TimeLit, WhereItem,
 };
 use crate::lex::{lex, LexError, Token, TokenKind};
 use gaea_adt::Value;
@@ -184,8 +184,11 @@ impl Parser {
                     } else if self.at_keyword("CONCEPT") {
                         self.bump();
                         items.push(Item::Concept(self.concept_item()?));
+                    } else if self.at_keyword("INDEX") {
+                        self.bump();
+                        items.push(Item::Index(self.index_item()?));
                     } else {
-                        return self.err("expected PROCESS or CONCEPT after DEFINE");
+                        return self.err("expected PROCESS, CONCEPT or INDEX after DEFINE");
                     }
                 }
                 TokenKind::Ident(s) if s == "RETRIEVE" => {
@@ -517,6 +520,15 @@ impl Parser {
         Ok(item)
     }
 
+    /// `DEFINE INDEX attr ON class` (keywords `DEFINE INDEX` already
+    /// eaten): declare an access path on one class attribute.
+    fn index_item(&mut self) -> Result<IndexItem, ParseError> {
+        let attr = self.expect_ident()?;
+        self.expect_keyword("ON")?;
+        let class = self.expect_ident()?;
+        Ok(IndexItem { attr, class })
+    }
+
     // ------------------------------------------------------------------
     // Queries (`RETRIEVE`, keyword already eaten)
     // ------------------------------------------------------------------
@@ -587,12 +599,48 @@ impl Parser {
         } else {
             false
         };
+        let order_by = if self.at_keyword("ORDER") {
+            self.bump();
+            self.expect_keyword("BY")?;
+            let attr = self.expect_ident()?;
+            let desc = if self.at_keyword("DESC") {
+                self.bump();
+                true
+            } else {
+                if self.at_keyword("ASC") {
+                    self.bump();
+                }
+                false
+            };
+            Some(OrderByItem { attr, desc })
+        } else {
+            None
+        };
+        let limit = if self.at_keyword("LIMIT") {
+            self.bump();
+            self.skip_comments();
+            match *self.peek_kind() {
+                TokenKind::Int(n) if n >= 0 => {
+                    self.bump();
+                    Some(n as u64)
+                }
+                ref other => {
+                    return self.err(format!(
+                        "expected a non-negative integer after LIMIT, found {other}"
+                    ))
+                }
+            }
+        } else {
+            None
+        };
         Ok(RetrieveItem {
             projection,
             target,
             where_clauses,
             derive,
             fresh,
+            order_by,
+            limit,
         })
     }
 
@@ -924,7 +972,7 @@ DEFINE CONCEPT vegetation_change (
         let err = parse("CLASS x ( BOGUS: )").unwrap_err();
         assert!(err.message.contains("BOGUS"));
         let err = parse("DEFINE WIDGET w ()").unwrap_err();
-        assert!(err.message.contains("PROCESS or CONCEPT"));
+        assert!(err.message.contains("PROCESS, CONCEPT or INDEX"));
         let err = parse("42").unwrap_err();
         assert!(err.message.contains("top level"));
         // Lex-level failures surface too ('+' is not a token).

@@ -5,7 +5,8 @@
 //! `RETRIEVE` statements alike.
 
 use crate::ast::{
-    ClassItem, ConceptItem, Item, LitValue, ProcessItem, Program, RetrieveItem, TimeLit, WhereItem,
+    ClassItem, ConceptItem, IndexItem, Item, LitValue, ProcessItem, Program, RetrieveItem, TimeLit,
+    WhereItem,
 };
 use gaea_core::query::AttrCmp;
 use std::fmt::Write as _;
@@ -25,6 +26,7 @@ pub fn pretty_program(prog: &Program) -> String {
                 out.push_str(&pretty_retrieve(r));
                 out.push('\n');
             }
+            Item::Index(ix) => pretty_index(&mut out, ix),
         }
     }
     out
@@ -81,7 +83,20 @@ pub fn pretty_retrieve(r: &RetrieveItem) -> String {
     if r.fresh {
         out.push_str(" FRESH");
     }
+    if let Some(ob) = &r.order_by {
+        write!(out, " ORDER BY {}", ob.attr).expect("write to string");
+        if ob.desc {
+            out.push_str(" DESC");
+        }
+    }
+    if let Some(limit) = r.limit {
+        write!(out, " LIMIT {limit}").expect("write to string");
+    }
     out
+}
+
+fn pretty_index(out: &mut String, ix: &IndexItem) {
+    writeln!(out, "DEFINE INDEX {} ON {}", ix.attr, ix.class).expect("write to string");
 }
 
 /// Render a literal so it re-lexes to the same [`LitValue`]: floats with

@@ -1,0 +1,61 @@
+//! Spatial-grid tuning: pick a cell size for a uniform grid over a set
+//! of scene extents.
+//!
+//! The store's `GridIndex` is exact for any cell size, but probe cost is
+//! not: cells much smaller than a typical extent register every scene in
+//! many cells, cells much larger degenerate toward a full scan. The
+//! heuristic here is the classic one for uniform grids over roughly
+//! equal-sized rectangles: cell edge ≈ the median extent edge, so a
+//! typical scene lands in 1–4 cells and a scene-sized window probes a
+//! handful.
+
+use gaea_adt::GeoBox;
+
+/// Suggest a grid cell size for extents like the ones given: the median
+/// box edge length (over both axes), clamped to a positive value.
+/// Returns 1.0 for an empty or fully degenerate sample.
+pub fn suggest_cell_size(extents: &[GeoBox]) -> f64 {
+    let mut edges: Vec<f64> = extents
+        .iter()
+        .flat_map(|b| [b.xmax - b.xmin, b.ymax - b.ymin])
+        .filter(|e| e.is_finite() && *e > 0.0)
+        .collect();
+    if edges.is_empty() {
+        return 1.0;
+    }
+    edges.sort_by(|a, b| a.partial_cmp(b).expect("finite edges"));
+    edges[edges.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_edge_of_uniform_scenes() {
+        let scenes: Vec<GeoBox> = (0..10)
+            .map(|i| GeoBox::new(i as f64 * 10.0, 0.0, i as f64 * 10.0 + 2.0, 3.0))
+            .collect();
+        let cell = suggest_cell_size(&scenes);
+        // Edges are 2.0 and 3.0; median is one of them.
+        assert!((2.0..=3.0).contains(&cell));
+    }
+
+    #[test]
+    fn degenerate_inputs_fall_back() {
+        assert_eq!(suggest_cell_size(&[]), 1.0);
+        let points = vec![GeoBox::new(1.0, 1.0, 1.0, 1.0)];
+        assert_eq!(suggest_cell_size(&points), 1.0);
+    }
+
+    #[test]
+    fn mixed_sizes_pick_middle() {
+        let boxes = vec![
+            GeoBox::new(0.0, 0.0, 1.0, 1.0),
+            GeoBox::new(0.0, 0.0, 100.0, 100.0),
+            GeoBox::new(0.0, 0.0, 10.0, 10.0),
+        ];
+        let cell = suggest_cell_size(&boxes);
+        assert_eq!(cell, 10.0);
+    }
+}

@@ -28,6 +28,7 @@ pub mod classify;
 pub mod composite;
 pub mod convert;
 pub mod eigen;
+pub mod grid;
 pub mod interp;
 pub mod ndvi;
 pub mod ops;
@@ -41,6 +42,7 @@ pub use change::{img_diff, img_ratio};
 pub use classify::{kmeans_classify, KMeansOutcome};
 pub use composite::composite;
 pub use eigen::{jacobi_eigen, EigenDecomposition};
+pub use grid::suggest_cell_size;
 pub use ndvi::ndvi;
 pub use ops::register_raster_ops;
 pub use pca::{pca, spca, PcaOutcome};

@@ -1,23 +1,30 @@
 //! The database: named relations plus a shared OID allocator.
 
 use crate::error::{StoreError, StoreResult};
+use crate::grid::GridIndex;
 use crate::heap::Heap;
 use crate::index::OrderedIndex;
 use crate::oid::{Oid, OidAllocator};
 use crate::predicate::Predicate;
 use crate::schema::Schema;
+use crate::stats::{ColumnStats, TableStats};
 use crate::tuple::Tuple;
 use crate::txn::Txn;
 use crate::version::{StoreSnapshot, VersionMap};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-/// One typed relation: schema + heap + eagerly maintained indexes.
+/// One typed relation: schema + heap + eagerly maintained indexes,
+/// spatial grids, and optimizer statistics.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Relation {
     schema: Schema,
     heap: Heap,
     indexes: Vec<OrderedIndex>,
+    #[serde(default)]
+    grids: Vec<GridIndex>,
+    #[serde(default)]
+    stats: TableStats,
 }
 
 impl Relation {
@@ -27,6 +34,8 @@ impl Relation {
             schema,
             heap: Heap::new(),
             indexes: Vec::new(),
+            grids: Vec::new(),
+            stats: TableStats::default(),
         }
     }
 
@@ -48,10 +57,20 @@ impl Relation {
     /// Insert a validated tuple under `oid`.
     pub(crate) fn insert(&mut self, oid: Oid, tuple: Tuple) -> StoreResult<()> {
         self.schema.validate(&tuple)?;
+        // Heap first: a duplicate-OID failure must not leave stale
+        // index or grid entries behind.
+        self.heap.insert(oid, tuple)?;
+        let tuple = self.heap.get(oid).expect("just inserted");
         for idx in &mut self.indexes {
             idx.insert(tuple.get(idx.column).clone(), oid);
         }
-        self.heap.insert(oid, tuple)
+        for grid in &mut self.grids {
+            if let Some(b) = tuple.get(grid.column).as_geobox() {
+                grid.insert(&b, oid);
+            }
+        }
+        self.refresh_stats();
+        Ok(())
     }
 
     /// Point lookup.
@@ -70,30 +89,74 @@ impl Relation {
         for idx in &mut self.indexes {
             idx.remove(tuple.get(idx.column), oid);
         }
+        for grid in &mut self.grids {
+            if let Some(b) = tuple.get(grid.column).as_geobox() {
+                grid.remove(&b, oid);
+            }
+        }
+        self.refresh_stats();
         Ok(tuple)
     }
 
     /// Update, returning the old tuple.
     pub(crate) fn update(&mut self, oid: Oid, tuple: Tuple) -> StoreResult<Tuple> {
         self.schema.validate(&tuple)?;
-        // Maintain indexes: remove old keys, insert new.
+        // Maintain indexes and grids: remove old keys, insert new.
         let old = self.heap.get(oid)?.clone();
         for idx in &mut self.indexes {
             idx.remove(old.get(idx.column), oid);
             idx.insert(tuple.get(idx.column).clone(), oid);
         }
-        self.heap.update(oid, tuple)
+        for grid in &mut self.grids {
+            if let Some(b) = old.get(grid.column).as_geobox() {
+                grid.remove(&b, oid);
+            }
+            if let Some(b) = tuple.get(grid.column).as_geobox() {
+                grid.insert(&b, oid);
+            }
+        }
+        let out = self.heap.update(oid, tuple);
+        self.refresh_stats();
+        out
     }
 
-    /// Predicate scan in storage order.
+    /// Predicate scan in storage order. The predicate is compiled to
+    /// column positions once, so evaluation does no per-tuple string
+    /// lookups.
     pub fn scan(&self, pred: &Predicate) -> StoreResult<Vec<(Oid, &Tuple)>> {
+        let compiled = pred.compile(&self.schema)?;
         let mut out = Vec::new();
         for (oid, tuple) in self.heap.iter() {
-            if pred.matches(&self.schema, tuple)? {
+            if compiled.matches(tuple) {
                 out.push((oid, tuple));
             }
         }
         Ok(out)
+    }
+
+    /// OID-only predicate scan in storage order — no tuple clones, for
+    /// cardinality checks and access-path candidate sets.
+    pub fn scan_oids(&self, pred: &Predicate) -> StoreResult<Vec<Oid>> {
+        let compiled = pred.compile(&self.schema)?;
+        let mut out = Vec::new();
+        for (oid, tuple) in self.heap.iter() {
+            if compiled.matches(tuple) {
+                out.push(oid);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Count matching tuples without materializing anything.
+    pub fn count(&self, pred: &Predicate) -> StoreResult<u64> {
+        let compiled = pred.compile(&self.schema)?;
+        let mut n = 0u64;
+        for (_, tuple) in self.heap.iter() {
+            if compiled.matches(tuple) {
+                n += 1;
+            }
+        }
+        Ok(n)
     }
 
     /// Full iteration.
@@ -114,7 +177,94 @@ impl Relation {
             idx.insert(tuple.get(pos).clone(), oid);
         }
         self.indexes.push(idx);
+        self.refresh_stats();
         Ok(())
+    }
+
+    /// Create a uniform spatial grid on a GeoBox column (backfills
+    /// existing tuples; non-box values are simply not registered).
+    pub fn create_grid(&mut self, column: &str, cell: f64) -> StoreResult<()> {
+        let pos = self.schema.position(column)?;
+        if self.grids.iter().any(|g| g.column == pos) {
+            return Err(StoreError::IndexError(format!(
+                "grid on {column} already exists"
+            )));
+        }
+        let mut grid = GridIndex::new(pos, cell);
+        for (oid, tuple) in self.heap.iter() {
+            if let Some(b) = tuple.get(pos).as_geobox() {
+                grid.insert(&b, oid);
+            }
+        }
+        self.grids.push(grid);
+        Ok(())
+    }
+
+    /// The ordered index on a column position, if one exists.
+    pub fn index_for(&self, pos: usize) -> Option<&OrderedIndex> {
+        self.indexes.iter().find(|i| i.column == pos)
+    }
+
+    /// The spatial grid on a column position, if one exists.
+    pub fn grid_for(&self, pos: usize) -> Option<&GridIndex> {
+        self.grids.iter().find(|g| g.column == pos)
+    }
+
+    /// All spatial grids on this relation.
+    pub fn grids(&self) -> impl Iterator<Item = &GridIndex> {
+        self.grids.iter()
+    }
+
+    /// Rebuild the grid on a column position with a new cell size —
+    /// used when the tuned size has gone stale (e.g. a grid created on
+    /// a then-empty extent whose fallback cell is now dwarfed by the
+    /// stored boxes, pushing everything onto the oversize list).
+    pub fn retune_grid(&mut self, pos: usize, cell: f64) -> StoreResult<()> {
+        let Some(slot) = self.grids.iter_mut().find(|g| g.column == pos) else {
+            return Err(StoreError::IndexError(format!(
+                "no grid on column position {pos}"
+            )));
+        };
+        let mut grid = GridIndex::new(pos, cell);
+        for (oid, tuple) in self.heap.iter() {
+            if let Some(b) = tuple.get(pos).as_geobox() {
+                grid.insert(&b, oid);
+            }
+        }
+        *slot = grid;
+        Ok(())
+    }
+
+    /// Candidate OIDs for a spatial window through the grid on `column`.
+    /// Candidates may be false positives; re-filter with the real
+    /// intersection predicate.
+    pub fn grid_probe(&self, column: &str, window: &gaea_adt::GeoBox) -> StoreResult<Vec<Oid>> {
+        let pos = self.schema.position(column)?;
+        let grid = self
+            .grid_for(pos)
+            .ok_or_else(|| StoreError::IndexError(format!("no grid on {column}")))?;
+        Ok(grid.probe(window))
+    }
+
+    /// Optimizer statistics (cardinality + per-indexed-column figures).
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// Recompute stats from the heap and indexes. Cheap: every figure
+    /// is already maintained by the index B-trees.
+    fn refresh_stats(&mut self) {
+        self.stats.rows = self.heap.len() as u64;
+        self.stats.columns = self
+            .indexes
+            .iter()
+            .map(|idx| ColumnStats {
+                column: idx.column,
+                distinct: idx.distinct_keys() as u64,
+                min: idx.min_key().cloned(),
+                max: idx.max_key().cloned(),
+            })
+            .collect();
     }
 
     /// Exact-match lookup through an index, if one exists on the column.
@@ -144,7 +294,8 @@ impl Relation {
         Ok(idx.range(lo, hi))
     }
 
-    /// Rebuild heap OID map and all indexes (after snapshot load).
+    /// Rebuild heap OID map, all indexes, grids, and stats (after
+    /// snapshot load).
     pub(crate) fn rebuild(&mut self) {
         self.heap.rebuild_index();
         let columns: Vec<usize> = self.indexes.iter().map(|i| i.column).collect();
@@ -156,6 +307,18 @@ impl Relation {
             }
             self.indexes.push(idx);
         }
+        let grid_specs: Vec<(usize, f64)> = self.grids.iter().map(|g| (g.column, g.cell)).collect();
+        self.grids.clear();
+        for (pos, cell) in grid_specs {
+            let mut grid = GridIndex::new(pos, cell);
+            for (oid, tuple) in self.heap.iter() {
+                if let Some(b) = tuple.get(pos).as_geobox() {
+                    grid.insert(&b, oid);
+                }
+            }
+            self.grids.push(grid);
+        }
+        self.refresh_stats();
     }
 }
 
@@ -289,6 +452,16 @@ impl Database {
             .into_iter()
             .map(|(oid, t)| (oid, t.clone()))
             .collect())
+    }
+
+    /// OID-only predicate scan — no tuple clones.
+    pub fn scan_oids(&self, rel: &str, pred: &Predicate) -> StoreResult<Vec<Oid>> {
+        self.relation(rel)?.scan_oids(pred)
+    }
+
+    /// Count matching tuples without materializing or cloning anything.
+    pub fn count(&self, rel: &str, pred: &Predicate) -> StoreResult<u64> {
+        self.relation(rel)?.count(pred)
     }
 
     /// Begin an undo-logged transaction. Uncommitted transactions roll back
@@ -523,6 +696,58 @@ mod tests {
         db.drop_relation("landcover").unwrap();
         assert!(db.object_version(a) > before.0);
         assert!(db.object_version(b) > before.1);
+    }
+
+    #[test]
+    fn retune_grid_rebuilds_with_new_cell() {
+        let mut db = Database::new();
+        db.create_relation(
+            "scenes",
+            Schema::new(vec![Field::required("ext", TypeTag::GeoBox)]).unwrap(),
+        )
+        .unwrap();
+        // Grid created while empty: fallback cell 1.0.
+        db.relation_mut("scenes")
+            .unwrap()
+            .create_grid("ext", 1.0)
+            .unwrap();
+        let boxed = |x: f64| {
+            Tuple::new(vec![Value::GeoBox(gaea_adt::GeoBox::new(
+                x,
+                0.0,
+                x + 8.0,
+                8.0,
+            ))])
+        };
+        let oids: Vec<Oid> = (0..10)
+            .map(|i| db.insert("scenes", boxed(i as f64 * 10.0)).unwrap())
+            .collect();
+        // 8×8 boxes span 81 unit cells — all of them went oversize.
+        let rel = db.relation("scenes").unwrap();
+        assert_eq!(rel.grid_for(0).unwrap().oversize_len(), 10);
+        // Retuned to the data's scale, probes narrow again and stay
+        // maintained by subsequent mutations.
+        db.relation_mut("scenes")
+            .unwrap()
+            .retune_grid(0, 8.0)
+            .unwrap();
+        let rel = db.relation("scenes").unwrap();
+        assert_eq!(rel.grid_for(0).unwrap().oversize_len(), 0);
+        // Probes over-approximate (cell sharing) but must narrow well
+        // below the extent and cover the true hit.
+        let window = gaea_adt::GeoBox::new(20.0, 1.0, 23.0, 4.0);
+        let probe = rel.grid_probe("ext", &window).unwrap();
+        assert!(probe.contains(&oids[2]), "{probe:?}");
+        assert!(probe.len() <= 3, "{probe:?}");
+        let late = db.insert("scenes", boxed(21.0)).unwrap();
+        let rel = db.relation("scenes").unwrap();
+        assert!(rel.grid_probe("ext", &window).unwrap().contains(&late));
+        // A position without a grid refuses to retune.
+        assert!(db
+            .relation_mut("scenes")
+            .unwrap()
+            .retune_grid(5, 8.0)
+            .is_err());
     }
 
     #[test]

@@ -68,6 +68,33 @@ impl OrderedIndex {
         self.map.len()
     }
 
+    /// Smallest indexed key, if any.
+    pub fn min_key(&self) -> Option<&Value> {
+        self.map.keys().next()
+    }
+
+    /// Largest indexed key, if any.
+    pub fn max_key(&self) -> Option<&Value> {
+        self.map.keys().next_back()
+    }
+
+    /// All OIDs in key order (ascending or descending). Within one key,
+    /// OIDs come out in insertion order either way — ties are resolved by
+    /// the caller, so reversing the key walk must not reverse ties.
+    pub fn sorted_oids(&self, desc: bool) -> Vec<Oid> {
+        let mut out = Vec::with_capacity(self.len());
+        if desc {
+            for oids in self.map.values().rev() {
+                out.extend_from_slice(oids);
+            }
+        } else {
+            for oids in self.map.values() {
+                out.extend_from_slice(oids);
+            }
+        }
+        out
+    }
+
     /// Total registered entries.
     pub fn len(&self) -> usize {
         self.map.values().map(Vec::len).sum()
@@ -131,5 +158,21 @@ mod tests {
         let mut idx = OrderedIndex::new(0);
         idx.remove(&Value::Int4(1), Oid(1));
         assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn min_max_and_sorted_walks() {
+        let mut idx = OrderedIndex::new(0);
+        assert!(idx.min_key().is_none());
+        assert!(idx.max_key().is_none());
+        idx.insert(Value::Int4(5), Oid(2));
+        idx.insert(Value::Int4(1), Oid(3));
+        idx.insert(Value::Int4(5), Oid(4));
+        idx.insert(Value::Int4(9), Oid(1));
+        assert_eq!(idx.min_key(), Some(&Value::Int4(1)));
+        assert_eq!(idx.max_key(), Some(&Value::Int4(9)));
+        assert_eq!(idx.sorted_oids(false), vec![Oid(3), Oid(2), Oid(4), Oid(1)]);
+        // Descending reverses keys but keeps within-key insertion order.
+        assert_eq!(idx.sorted_oids(true), vec![Oid(1), Oid(2), Oid(4), Oid(3)]);
     }
 }

@@ -9,7 +9,9 @@
 //! * slotted [`heap::Heap`] pages with free-list reuse,
 //! * predicate scans ([`predicate::Predicate`]) including spatial/temporal
 //!   overlap — the retrieval primitives §2.1.5 step 1 needs,
-//! * ordered secondary [`index::OrderedIndex`]es,
+//! * ordered secondary [`index::OrderedIndex`]es plus uniform-grid
+//!   spatial [`grid::GridIndex`]es and per-relation optimizer
+//!   [`stats::TableStats`] maintained on every mutation,
 //! * undo-log [`txn::Txn`] transactions (rollback restores exactly the
 //!   pre-transaction state),
 //! * whole-database [`snapshot`] persistence (JSON manifest; image payloads
@@ -25,21 +27,25 @@
 
 pub mod db;
 pub mod error;
+pub mod grid;
 pub mod heap;
 pub mod index;
 pub mod oid;
 pub mod predicate;
 pub mod schema;
 pub mod snapshot;
+pub mod stats;
 pub mod tuple;
 pub mod txn;
 pub mod version;
 
 pub use db::{Database, Relation};
 pub use error::{StoreError, StoreResult};
+pub use grid::GridIndex;
 pub use oid::Oid;
-pub use predicate::Predicate;
+pub use predicate::{CompiledPredicate, Predicate};
 pub use schema::{Field, Schema};
+pub use stats::{ColumnStats, TableStats};
 pub use tuple::Tuple;
 pub use txn::Txn;
 pub use version::StoreSnapshot;

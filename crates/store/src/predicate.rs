@@ -82,6 +82,105 @@ impl Predicate {
             Predicate::Not(p) => !p.matches(schema, tuple)?,
         })
     }
+
+    /// Resolve every column name against `schema` once, producing a
+    /// position-bound form whose evaluation is infallible and does no
+    /// string lookups. Scans compile a predicate once and evaluate the
+    /// compiled form per tuple.
+    pub fn compile(&self, schema: &Schema) -> StoreResult<CompiledPredicate> {
+        Ok(match self {
+            Predicate::True => CompiledPredicate::True,
+            Predicate::Eq(col, v) => CompiledPredicate::Eq(schema.position(col)?, v.clone()),
+            Predicate::NotNull(col) => CompiledPredicate::NotNull(schema.position(col)?),
+            Predicate::Lt(col, v) => CompiledPredicate::Lt(schema.position(col)?, v.clone()),
+            Predicate::Gt(col, v) => CompiledPredicate::Gt(schema.position(col)?, v.clone()),
+            Predicate::BoxOverlaps(col, b) => {
+                CompiledPredicate::BoxOverlaps(schema.position(col)?, *b)
+            }
+            Predicate::TimeIn(col, r) => CompiledPredicate::TimeIn(schema.position(col)?, *r),
+            Predicate::And(a, b) => {
+                CompiledPredicate::And(Box::new(a.compile(schema)?), Box::new(b.compile(schema)?))
+            }
+            Predicate::Or(a, b) => {
+                CompiledPredicate::Or(Box::new(a.compile(schema)?), Box::new(b.compile(schema)?))
+            }
+            Predicate::Not(p) => CompiledPredicate::Not(Box::new(p.compile(schema)?)),
+        })
+    }
+
+    /// Flatten the top-level conjunction into its conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Predicate> {
+        let mut out = Vec::new();
+        fn walk<'a>(p: &'a Predicate, out: &mut Vec<&'a Predicate>) {
+            match p {
+                Predicate::And(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                Predicate::True => {}
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+/// A [`Predicate`] with every column name pre-resolved to its schema
+/// position. Evaluation is infallible (column resolution errors were
+/// surfaced at compile time) and touches no strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledPredicate {
+    /// Always true (full scan).
+    True,
+    /// Column position equals a constant.
+    Eq(usize, Value),
+    /// Column position is not null.
+    NotNull(usize),
+    /// Column position < constant (nulls never match).
+    Lt(usize, Value),
+    /// Column position > constant (nulls never match).
+    Gt(usize, Value),
+    /// Box column intersects the given box.
+    BoxOverlaps(usize, GeoBox),
+    /// Abstime column falls inside the range.
+    TimeIn(usize, TimeRange),
+    /// Conjunction.
+    And(Box<CompiledPredicate>, Box<CompiledPredicate>),
+    /// Disjunction.
+    Or(Box<CompiledPredicate>, Box<CompiledPredicate>),
+    /// Negation.
+    Not(Box<CompiledPredicate>),
+}
+
+impl CompiledPredicate {
+    /// Evaluate against a tuple of the schema this was compiled for.
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        match self {
+            CompiledPredicate::True => true,
+            CompiledPredicate::Eq(pos, v) => tuple.get(*pos) == v,
+            CompiledPredicate::NotNull(pos) => !tuple.get(*pos).is_null(),
+            CompiledPredicate::Lt(pos, v) => {
+                let field = tuple.get(*pos);
+                !field.is_null() && field < v
+            }
+            CompiledPredicate::Gt(pos, v) => {
+                let field = tuple.get(*pos);
+                !field.is_null() && field > v
+            }
+            CompiledPredicate::BoxOverlaps(pos, query) => match tuple.get(*pos).as_geobox() {
+                Some(b) => b.intersects(query),
+                None => false,
+            },
+            CompiledPredicate::TimeIn(pos, range) => match tuple.get(*pos).as_abstime() {
+                Some(t) => range.contains(t),
+                None => false,
+            },
+            CompiledPredicate::And(a, b) => a.matches(tuple) && b.matches(tuple),
+            CompiledPredicate::Or(a, b) => a.matches(tuple) || b.matches(tuple),
+            CompiledPredicate::Not(p) => !p.matches(tuple),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -200,5 +299,65 @@ mod tests {
         assert!(Predicate::Eq("no_such".into(), Value::Int4(0))
             .matches(&s, &t)
             .is_err());
+    }
+
+    #[test]
+    fn compiled_agrees_with_interpreted() {
+        let s = schema();
+        let t = tuple();
+        let sahara = GeoBox::new(-15.0, 15.0, 35.0, 32.0);
+        let jan86 = TimeRange::new(
+            AbsTime::from_ymd(1986, 1, 1).unwrap(),
+            AbsTime::from_ymd(1986, 1, 31).unwrap(),
+        );
+        let preds = vec![
+            Predicate::True,
+            Predicate::Eq("area".into(), Value::Char16("africa".into())),
+            Predicate::Eq("area".into(), Value::Char16("asia".into())),
+            Predicate::NotNull("numclass".into()),
+            Predicate::Lt("numclass".into(), Value::Int4(100)),
+            Predicate::Gt("numclass".into(), Value::Int4(5)),
+            Predicate::BoxOverlaps("spatialextent".into(), sahara),
+            Predicate::BoxOverlaps("area".into(), sahara),
+            Predicate::TimeIn("timestamp".into(), jan86),
+            Predicate::Eq("area".into(), Value::Char16("africa".into()))
+                .and(Predicate::NotNull("numclass".into())),
+            Predicate::Eq("area".into(), Value::Char16("africa".into()))
+                .or(Predicate::NotNull("numclass".into())),
+            Predicate::NotNull("numclass".into()).negate(),
+        ];
+        for p in preds {
+            let compiled = p.compile(&s).unwrap();
+            assert_eq!(
+                compiled.matches(&t),
+                p.matches(&s, &t).unwrap(),
+                "compiled and interpreted forms disagree on {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn compile_surfaces_missing_columns() {
+        let s = schema();
+        assert!(Predicate::Eq("no_such".into(), Value::Int4(0))
+            .compile(&s)
+            .is_err());
+        assert!(Predicate::True
+            .and(Predicate::NotNull("no_such".into()))
+            .compile(&s)
+            .is_err());
+    }
+
+    #[test]
+    fn conjuncts_flatten_nested_ands() {
+        let p = Predicate::Eq("a".into(), Value::Int4(1))
+            .and(Predicate::NotNull("b".into()).and(Predicate::True));
+        let cs = p.conjuncts();
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0], &Predicate::Eq("a".into(), Value::Int4(1)));
+        assert_eq!(cs[1], &Predicate::NotNull("b".into()));
+        // Or is opaque: kept whole.
+        let q = Predicate::True.or(Predicate::NotNull("b".into()));
+        assert_eq!(q.conjuncts().len(), 1);
     }
 }

@@ -33,9 +33,11 @@ struct Manifest {
     versions: VersionMap,
 }
 
-/// Current format: 2 (v1 + persisted version counters). v1 manifests
-/// still load; their counters start fresh.
-const SNAPSHOT_VERSION: u32 = 2;
+/// Current format: 3 (v2 + per-relation optimizer stats and grid
+/// declarations). v1/v2 manifests still load: missing counters start
+/// fresh, missing stats/grids default empty and are recomputed by the
+/// post-load rebuild.
+const SNAPSHOT_VERSION: u32 = 3;
 
 /// Write the database to `dir/manifest.json` (creates `dir` if needed).
 pub fn save(db: &Database, dir: &Path) -> StoreResult<()> {
@@ -176,6 +178,67 @@ mod tests {
         .unwrap();
         let db = load(&dir).unwrap();
         assert_eq!(db.version_clock(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v2_manifest_without_stats_or_grids_loads() {
+        // A v2-era relation body has no "grids" or "stats" keys; both
+        // must default empty and be recomputed by the post-load rebuild.
+        let dir = tempdir("v2");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("manifest.json"),
+            concat!(
+                r#"{"version":2,"next_oid":3,"relations":{"objects":{"#,
+                r#""schema":{"fields":[{"name":"v","tag":"Int4","nullable":false}]},"#,
+                r#""heap":{"slots":[[1,{"values":[{"Int4":7}]}],[2,{"values":[{"Int4":9}]}]],"free":[],"len":2},"#,
+                r#""indexes":[{"column":0}]}}}"#,
+            ),
+        )
+        .unwrap();
+        let back = load(&dir).unwrap();
+        let rel = back.relation("objects").unwrap();
+        assert_eq!(rel.stats().rows, 2);
+        assert_eq!(rel.stats().column(0).unwrap().distinct, 2);
+        assert_eq!(
+            rel.index_lookup("v", &Value::Int4(7)).unwrap(),
+            vec![crate::oid::Oid(1)]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_and_grids_survive_round_trip() {
+        let mut db = Database::new();
+        db.create_relation(
+            "extents",
+            Schema::new(vec![Field::required("ext", TypeTag::GeoBox)]).unwrap(),
+        )
+        .unwrap();
+        let rel = db.relation_mut("extents").unwrap();
+        rel.create_index("ext").unwrap();
+        rel.create_grid("ext", 10.0).unwrap();
+        let oid = db
+            .insert(
+                "extents",
+                Tuple::new(vec![Value::GeoBox(gaea_adt::GeoBox::new(
+                    0.0, 0.0, 5.0, 5.0,
+                ))]),
+            )
+            .unwrap();
+        let dir = tempdir("sg");
+        save(&db, &dir).unwrap();
+        let back = load(&dir).unwrap();
+        let rel = back.relation("extents").unwrap();
+        assert_eq!(rel.stats().rows, 1);
+        // Grid declaration persisted and cells were rebuilt from the heap.
+        let probe = rel.grid_for(0).unwrap();
+        assert_eq!(probe.cell, 10.0);
+        assert_eq!(
+            probe.probe(&gaea_adt::GeoBox::new(1.0, 1.0, 2.0, 2.0)),
+            vec![oid]
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

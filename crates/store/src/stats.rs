@@ -1,0 +1,146 @@
+//! Per-relation statistics for cost-based access-path selection.
+//!
+//! The optimizer needs three things to price a scan: the relation's
+//! cardinality, and per-indexed-column distinct counts and min/max
+//! bounds for selectivity interpolation. Stats are refreshed eagerly on
+//! every mutation (cheap: each figure falls out of the already-maintained
+//! [`crate::index::OrderedIndex`] B-trees) and persist in the snapshot
+//! manifest alongside the relation.
+
+use gaea_adt::Value;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics for one indexed column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Column position in the relation schema.
+    pub column: usize,
+    /// Number of distinct indexed keys.
+    pub distinct: u64,
+    /// Smallest indexed key.
+    pub min: Option<Value>,
+    /// Largest indexed key.
+    pub max: Option<Value>,
+}
+
+/// Per-relation statistics: cardinality plus one [`ColumnStats`] entry
+/// per ordered index.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Live tuple count.
+    pub rows: u64,
+    /// Stats per indexed column, in index-creation order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Stats for a column position, if that column is indexed.
+    pub fn column(&self, pos: usize) -> Option<&ColumnStats> {
+        self.columns.iter().find(|c| c.column == pos)
+    }
+
+    /// Estimated rows matching `column = key`: rows / distinct, the
+    /// uniform-frequency assumption. Falls back to `rows` when the
+    /// column is unindexed or empty.
+    pub fn eq_estimate(&self, pos: usize) -> u64 {
+        match self.column(pos) {
+            Some(c) if c.distinct > 0 => self.rows.div_ceil(c.distinct),
+            _ => self.rows,
+        }
+    }
+
+    /// Estimated fraction of the key domain covered by `[lo, hi]`,
+    /// interpolated against the column's min/max. `None` bounds are
+    /// open. Falls back to 1.0 (no information) when the column is
+    /// unindexed, empty, or not numerically interpolable.
+    pub fn range_fraction(&self, pos: usize, lo: Option<&Value>, hi: Option<&Value>) -> f64 {
+        let Some(c) = self.column(pos) else {
+            return 1.0;
+        };
+        let (Some(min), Some(max)) = (
+            c.min.as_ref().and_then(value_as_f64),
+            c.max.as_ref().and_then(value_as_f64),
+        ) else {
+            return 1.0;
+        };
+        let width = max - min;
+        if width <= 0.0 {
+            return 1.0;
+        }
+        let lo = lo.and_then(value_as_f64).unwrap_or(min).max(min);
+        let hi = hi.and_then(value_as_f64).unwrap_or(max).min(max);
+        ((hi - lo) / width).clamp(0.0, 1.0)
+    }
+
+    /// Estimated rows matching a range predicate on `pos`.
+    pub fn range_estimate(&self, pos: usize, lo: Option<&Value>, hi: Option<&Value>) -> u64 {
+        let frac = self.range_fraction(pos, lo, hi);
+        ((self.rows as f64) * frac).ceil() as u64
+    }
+}
+
+/// Numeric view of a value for selectivity interpolation.
+fn value_as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int4(i) => Some(*i as f64),
+        Value::Float8(f) => Some(*f),
+        other => other.as_abstime().map(|t| t.0 as f64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> TableStats {
+        TableStats {
+            rows: 100,
+            columns: vec![ColumnStats {
+                column: 1,
+                distinct: 10,
+                min: Some(Value::Int4(0)),
+                max: Some(Value::Int4(100)),
+            }],
+        }
+    }
+
+    #[test]
+    fn eq_estimate_divides_by_distinct() {
+        let s = stats();
+        assert_eq!(s.eq_estimate(1), 10);
+        // Unindexed column: no information, assume full scan.
+        assert_eq!(s.eq_estimate(0), 100);
+    }
+
+    #[test]
+    fn range_estimate_interpolates() {
+        let s = stats();
+        assert_eq!(
+            s.range_estimate(1, Some(&Value::Int4(0)), Some(&Value::Int4(50))),
+            50
+        );
+        assert_eq!(s.range_estimate(1, Some(&Value::Int4(90)), None), 10);
+        // Out-of-domain ranges clamp to zero.
+        assert_eq!(
+            s.range_estimate(1, Some(&Value::Int4(200)), Some(&Value::Int4(300))),
+            0
+        );
+        // Unindexed: full scan.
+        assert_eq!(s.range_estimate(0, None, None), 100);
+    }
+
+    #[test]
+    fn degenerate_domains_fall_back() {
+        let s = TableStats {
+            rows: 7,
+            columns: vec![ColumnStats {
+                column: 0,
+                distinct: 1,
+                min: Some(Value::Int4(5)),
+                max: Some(Value::Int4(5)),
+            }],
+        };
+        assert_eq!(s.range_estimate(0, Some(&Value::Int4(0)), None), 7);
+        assert_eq!(s.eq_estimate(0), 7);
+    }
+}

@@ -5,8 +5,8 @@
 use gaea::core::query::AttrCmp;
 use gaea::core::template::{CmpOp, Expr};
 use gaea::lang::ast::{
-    ArgItem, ClassItem, ConceptItem, DeriveClause, InteractionItem, Item, LitValue, ProcessItem,
-    Program, RetrieveItem, TimeLit, WhereItem,
+    ArgItem, ClassItem, ConceptItem, DeriveClause, IndexItem, InteractionItem, Item, LitValue,
+    OrderByItem, ProcessItem, Program, RetrieveItem, TimeLit, WhereItem,
 };
 use gaea::lang::{parse, parse_query, pretty_program, pretty_retrieve};
 use proptest::prelude::*;
@@ -267,6 +267,10 @@ fn derive_clause() -> impl Strategy<Value = DeriveClause> {
         })
 }
 
+fn order_by_item() -> impl Strategy<Value = OrderByItem> {
+    (ident(), any::<bool>()).prop_map(|(attr, desc)| OrderByItem { attr, desc })
+}
+
 fn retrieve_item() -> impl Strategy<Value = RetrieveItem> {
     (
         prop::collection::vec(ident(), 0..4), // empty renders as `*`
@@ -274,16 +278,24 @@ fn retrieve_item() -> impl Strategy<Value = RetrieveItem> {
         prop::collection::vec(where_item(), 0..4),
         prop::option::of(derive_clause()),
         any::<bool>(),
+        prop::option::of(order_by_item()),
+        prop::option::of(0u64..1000),
     )
         .prop_map(
-            |(projection, target, where_clauses, derive, fresh)| RetrieveItem {
+            |(projection, target, where_clauses, derive, fresh, order_by, limit)| RetrieveItem {
                 projection,
                 target,
                 where_clauses,
                 derive,
                 fresh,
+                order_by,
+                limit,
             },
         )
+}
+
+fn index_item() -> impl Strategy<Value = IndexItem> {
+    (ident(), ident()).prop_map(|(attr, class)| IndexItem { attr, class })
 }
 
 fn program() -> impl Strategy<Value = Program> {
@@ -293,6 +305,7 @@ fn program() -> impl Strategy<Value = Program> {
             process_item().prop_map(Item::Process),
             concept_item().prop_map(Item::Concept),
             retrieve_item().prop_map(Item::Retrieve),
+            index_item().prop_map(Item::Index),
         ],
         1..5,
     )

@@ -1,7 +1,7 @@
 //! Property-based tests on the storage substrate: CRUD model checking,
 //! transaction rollback exactness, index/scan agreement.
 
-use gaea::adt::{TypeTag, Value};
+use gaea::adt::{GeoBox, TypeTag, Value};
 use gaea::store::{Database, Field, Oid, Predicate, Schema, Tuple};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -33,6 +33,48 @@ fn db() -> Database {
 
 fn tuple(v: i32) -> Tuple {
     Tuple::new(vec![Value::Int4(v)])
+}
+
+/// A relation of GeoBox extents with a uniform spatial grid attached.
+fn geo_db(cell: f64) -> Database {
+    let mut db = Database::new();
+    db.create_relation(
+        "extents",
+        Schema::new(vec![Field::required("ext", TypeTag::GeoBox)]).unwrap(),
+    )
+    .unwrap();
+    db.relation_mut("extents")
+        .unwrap()
+        .create_grid("ext", cell)
+        .unwrap();
+    db
+}
+
+fn boxed(x: f64, y: f64, w: f64, h: f64) -> Tuple {
+    Tuple::new(vec![Value::GeoBox(GeoBox::new(x, y, x + w, y + h))])
+}
+
+#[derive(Debug, Clone)]
+enum GeoOp {
+    Insert(f64, f64, f64, f64),
+    Delete(usize),
+    Update(usize, f64, f64, f64, f64),
+}
+
+fn geo_op_strategy() -> impl Strategy<Value = GeoOp> {
+    let coords = (
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        0.0f64..60.0,
+        0.0f64..60.0,
+    );
+    prop_oneof![
+        coords
+            .clone()
+            .prop_map(|(x, y, w, h)| GeoOp::Insert(x, y, w, h)),
+        (0usize..32).prop_map(GeoOp::Delete),
+        ((0usize..32), coords).prop_map(|(i, (x, y, w, h))| GeoOp::Update(i, x, y, w, h)),
+    ]
 }
 
 proptest! {
@@ -146,6 +188,199 @@ proptest! {
                 oids
             };
             prop_assert_eq!(via_index, via_scan);
+        }
+    }
+
+    /// Index-backed access agrees with the heap scan after an arbitrary
+    /// mutation sequence: equality lookups, ordered range walks and the
+    /// maintained statistics all reflect exactly the live rows.
+    #[test]
+    fn index_scan_equals_heap_scan_under_mutation(
+        ops in prop::collection::vec(op_strategy(), 0..64),
+        probe in -60i32..60,
+    ) {
+        let mut db = db();
+        db.relation_mut("objects").unwrap().create_index("v").unwrap();
+        let mut live: Vec<Oid> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert(v) => live.push(db.insert("objects", tuple(v % 50)).unwrap()),
+                Op::Delete(i) => {
+                    if live.is_empty() { continue; }
+                    let oid = live[i % live.len()];
+                    db.delete("objects", oid).unwrap();
+                    live.retain(|o| *o != oid);
+                }
+                Op::Update(i, v) => {
+                    if live.is_empty() { continue; }
+                    db.update("objects", live[i % live.len()], tuple(v % 50)).unwrap();
+                }
+            }
+        }
+        let rel = db.relation("objects").unwrap();
+        // Equality: index lookup ≡ heap scan, for hit and miss keys alike.
+        let mut via_index = rel.index_lookup("v", &Value::Int4(probe)).unwrap();
+        via_index.sort();
+        let mut via_scan = rel
+            .scan_oids(&Predicate::Eq("v".into(), Value::Int4(probe)))
+            .unwrap();
+        via_scan.sort();
+        prop_assert_eq!(via_index, via_scan);
+        // Range: an inclusive index range ≡ the heap rows it brackets.
+        let pos = rel.schema().position("v").unwrap();
+        let idx = rel.index_for(pos).unwrap();
+        let (lo, hi) = (Value::Int4(probe - 10), Value::Int4(probe + 10));
+        let mut ranged = idx.range(Some(&lo), Some(&hi));
+        ranged.sort();
+        let mut manual: Vec<Oid> = rel
+            .iter()
+            .filter(|(_, t)| {
+                let v = t.get(pos);
+                *v >= lo && *v <= hi
+            })
+            .map(|(oid, _)| oid)
+            .collect();
+        manual.sort();
+        prop_assert_eq!(ranged, manual);
+        // Statistics track the mutations exactly.
+        prop_assert_eq!(rel.stats().rows, live.len() as u64);
+        let distinct: std::collections::BTreeSet<&Value> =
+            rel.iter().map(|(_, t)| t.get(pos)).collect();
+        prop_assert_eq!(
+            rel.stats().column(pos).unwrap().distinct,
+            distinct.len() as u64
+        );
+    }
+
+    /// The spatial grid is exact: probing a window and re-filtering by
+    /// true intersection returns precisely the heap rows whose boxes
+    /// overlap it, under arbitrary insert/delete/update interleavings.
+    #[test]
+    fn grid_probe_agrees_with_heap_scan(
+        cell in 1.0f64..30.0,
+        ops in prop::collection::vec(geo_op_strategy(), 0..48),
+        wx in -120.0f64..120.0,
+        wy in -120.0f64..120.0,
+        ww in 0.0f64..80.0,
+        wh in 0.0f64..80.0,
+    ) {
+        let mut db = geo_db(cell);
+        let mut live: Vec<Oid> = Vec::new();
+        for op in ops {
+            match op {
+                GeoOp::Insert(x, y, w, h) => {
+                    live.push(db.insert("extents", boxed(x, y, w, h)).unwrap());
+                }
+                GeoOp::Delete(i) => {
+                    if live.is_empty() { continue; }
+                    let oid = live[i % live.len()];
+                    db.delete("extents", oid).unwrap();
+                    live.retain(|o| *o != oid);
+                }
+                GeoOp::Update(i, x, y, w, h) => {
+                    if live.is_empty() { continue; }
+                    db.update("extents", live[i % live.len()], boxed(x, y, w, h)).unwrap();
+                }
+            }
+        }
+        let window = GeoBox::new(wx, wy, wx + ww, wy + wh);
+        let rel = db.relation("extents").unwrap();
+        let pos = rel.schema().position("ext").unwrap();
+        // Candidates, then the exact residual filter the kernel applies.
+        let mut via_grid: Vec<Oid> = rel
+            .grid_probe("ext", &window)
+            .unwrap()
+            .into_iter()
+            .filter(|oid| {
+                rel.get(*oid)
+                    .unwrap()
+                    .get(pos)
+                    .as_geobox()
+                    .is_some_and(|b| b.intersects(&window))
+            })
+            .collect();
+        via_grid.sort();
+        let mut via_scan = rel
+            .scan_oids(&Predicate::BoxOverlaps("ext".into(), window))
+            .unwrap();
+        via_scan.sort();
+        prop_assert_eq!(via_grid, via_scan);
+    }
+
+    /// The serde-skipped index maps, grid cells and statistics all
+    /// rebuild on snapshot load: every access path answers identically
+    /// before and after a save/load round trip.
+    #[test]
+    fn access_paths_rebuild_after_snapshot(
+        values in prop::collection::vec(-30i32..30, 1..32),
+        geo_ops in prop::collection::vec(geo_op_strategy(), 1..24),
+    ) {
+        let mut db = geo_db(8.0);
+        db.create_relation(
+            "objects",
+            Schema::new(vec![Field::required("v", TypeTag::Int4)]).unwrap(),
+        )
+        .unwrap();
+        db.relation_mut("objects").unwrap().create_index("v").unwrap();
+        for v in &values {
+            db.insert("objects", tuple(*v)).unwrap();
+        }
+        let mut live: Vec<Oid> = Vec::new();
+        for op in &geo_ops {
+            match op {
+                GeoOp::Insert(x, y, w, h) => {
+                    live.push(db.insert("extents", boxed(*x, *y, *w, *h)).unwrap());
+                }
+                GeoOp::Delete(i) => {
+                    if live.is_empty() { continue; }
+                    let oid = live[i % live.len()];
+                    db.delete("extents", oid).unwrap();
+                    live.retain(|o| *o != oid);
+                }
+                GeoOp::Update(i, x, y, w, h) => {
+                    if live.is_empty() { continue; }
+                    db.update("extents", live[i % live.len()], boxed(*x, *y, *w, *h)).unwrap();
+                }
+            }
+        }
+        let dir = std::env::temp_dir().join(format!(
+            "gaea-prop-paths-{}-{}-{}",
+            std::process::id(),
+            values.len(),
+            geo_ops.len()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        gaea::store::snapshot::save(&db, &dir).unwrap();
+        let back = gaea::store::snapshot::load(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        // Ordered index: identical lookups for every probed key.
+        for key in -30i32..30 {
+            let mut before = db
+                .relation("objects").unwrap()
+                .index_lookup("v", &Value::Int4(key)).unwrap();
+            before.sort();
+            let mut after = back
+                .relation("objects").unwrap()
+                .index_lookup("v", &Value::Int4(key)).unwrap();
+            after.sort();
+            prop_assert_eq!(before, after);
+        }
+        // Grid: identical probes over a window sweep.
+        for step in 0..4 {
+            let o = -100.0 + step as f64 * 50.0;
+            let window = GeoBox::new(o, o, o + 70.0, o + 70.0);
+            let mut before = db.relation("extents").unwrap().grid_probe("ext", &window).unwrap();
+            before.sort();
+            let mut after = back.relation("extents").unwrap().grid_probe("ext", &window).unwrap();
+            after.sort();
+            prop_assert_eq!(before, after);
+        }
+        // Statistics recompute to the same summary.
+        for name in ["objects", "extents"] {
+            prop_assert_eq!(
+                db.relation(name).unwrap().stats(),
+                back.relation(name).unwrap().stats()
+            );
         }
     }
 

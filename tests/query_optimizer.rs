@@ -1,0 +1,511 @@
+//! The cost-based optimizer end to end: auto-created access paths,
+//! `DEFINE INDEX` DDL, EXPLAIN plans on outcomes, `ORDER BY` / `LIMIT`
+//! semantics, and the indexed ≡ full-scan equivalence the residual
+//! re-check guarantees.
+//!
+//! The acceptance property: a kernel whose extent crossed
+//! [`AUTO_INDEX_THRESHOLD`] answers every query through index or grid
+//! paths with *exactly* the object set a below-threshold (full-scan)
+//! kernel returns over the same logical data.
+
+use gaea::adt::{AbsTime, GeoBox, TimeRange, TypeTag, Value};
+use gaea::core::external::SimulatedSite;
+use gaea::core::kernel::{ClassSpec, Gaea, ProcessSpec, AUTO_INDEX_THRESHOLD};
+use gaea::core::query::{AccessPath, AttrCmp};
+use gaea::core::{ObjectId, Query, QueryMethod, QueryStrategy};
+use gaea::lang::{lower_program, parse, Retrieve as _};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+const TAGS: [&str; 3] = ["alpha", "beta", "gamma"];
+
+fn instant(k: usize) -> AbsTime {
+    AbsTime(AbsTime::from_ymd(1988, 1, 1).unwrap().0 + k as i64 * 2_592_000)
+}
+
+/// Stored extents: disjoint 8°-wide grid cells along the equator.
+fn cell(i: usize) -> GeoBox {
+    let x = (i % 16) as f64 * 10.0;
+    GeoBox::new(x, 0.0, x + 8.0, 8.0)
+}
+
+/// One observation: (val, tag index, cell index, instant index).
+type ObsSpec = (i32, usize, usize, usize);
+
+/// Deterministic pseudo-random specs, enough to cross the threshold.
+fn obs_specs(n: usize) -> Vec<ObsSpec> {
+    (0..n)
+        .map(|i| {
+            let h = i.wrapping_mul(2654435761) >> 7;
+            ((h % 40) as i32, h % 3, (h / 3) % 16, (h / 5) % 10)
+        })
+        .collect()
+}
+
+fn obs_kernel(specs: &[ObsSpec]) -> (Gaea, Vec<ObjectId>) {
+    let mut g = Gaea::in_memory();
+    g.define_class(
+        ClassSpec::base("obs")
+            .attr("val", TypeTag::Int4)
+            .attr("tag", TypeTag::Char16),
+    )
+    .unwrap();
+    let mut ids = Vec::with_capacity(specs.len());
+    for (val, tag, cell_i, time_i) in specs {
+        ids.push(
+            g.insert_object(
+                "obs",
+                vec![
+                    ("val", Value::Int4(*val)),
+                    ("tag", Value::Char16(TAGS[*tag % 3].into())),
+                    ("spatialextent", Value::GeoBox(cell(*cell_i))),
+                    ("timestamp", Value::AbsTime(instant(*time_i))),
+                ],
+            )
+            .unwrap(),
+        );
+    }
+    (g, ids)
+}
+
+/// The heap-scan model: which stored specs satisfy the query.
+fn model_ids(
+    specs: &[ObsSpec],
+    ids: &[ObjectId],
+    val: Option<(AttrCmp, i32)>,
+    tag: Option<usize>,
+    window: Option<GeoBox>,
+    time: Option<(usize, usize)>,
+) -> Vec<u64> {
+    let mut out: Vec<u64> = specs
+        .iter()
+        .zip(ids)
+        .filter(|((v, t, c, k), _)| {
+            val.is_none_or(|(cmp, rhs)| match cmp {
+                AttrCmp::Eq => *v == rhs,
+                AttrCmp::Lt => *v < rhs,
+                AttrCmp::Gt => *v > rhs,
+            }) && tag.is_none_or(|want| *t % 3 == want % 3)
+                && window.is_none_or(|w| cell(*c).intersects(&w))
+                && time.is_none_or(|(a, b)| {
+                    let t = instant(*k);
+                    instant(a.min(b)) <= t && t <= instant(a.max(b))
+                })
+        })
+        .map(|(_, id)| id.raw())
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn outcome_ids(out: &gaea::core::QueryOutcome) -> Vec<u64> {
+    let mut ids: Vec<u64> = out.objects.iter().map(|o| o.id.raw()).collect();
+    ids.sort_unstable();
+    ids
+}
+
+fn big_n() -> usize {
+    AUTO_INDEX_THRESHOLD as usize + 44
+}
+
+// ----------------------------------------------------------------------
+// Acceptance: indexed ≡ full scan
+// ----------------------------------------------------------------------
+
+/// A below-threshold kernel answers by full scan; an above-threshold
+/// kernel over the same logical prefix (plus padding no predicate can
+/// match) answers by index — the ids must agree exactly.
+#[test]
+fn indexed_kernel_equals_full_scan_kernel() {
+    let shared = obs_specs(60);
+    let (mut small, small_ids) = obs_kernel(&shared);
+    let (mut big, big_ids) = obs_kernel(&shared);
+    assert_eq!(small_ids, big_ids, "identical insertion order, same oids");
+    for _ in 0..big_n() {
+        big.insert_object(
+            "obs",
+            vec![
+                ("val", Value::Int4(1000)),
+                ("tag", Value::Char16("padding".into())),
+                (
+                    "spatialextent",
+                    Value::GeoBox(GeoBox::new(500.0, 500.0, 501.0, 501.0)),
+                ),
+                ("timestamp", Value::AbsTime(instant(99))),
+            ],
+        )
+        .unwrap();
+    }
+    for q in [
+        Query::class("obs")
+            .with_strategy(QueryStrategy::RetrieveOnly)
+            .filter("val", AttrCmp::Eq, Value::Int4(7)),
+        Query::class("obs")
+            .with_strategy(QueryStrategy::RetrieveOnly)
+            .filter("val", AttrCmp::Lt, Value::Int4(9)),
+        Query::class("obs")
+            .with_strategy(QueryStrategy::RetrieveOnly)
+            .filter("tag", AttrCmp::Eq, Value::Char16("beta".into()))
+            .filter("val", AttrCmp::Gt, Value::Int4(30)),
+        Query::class("obs")
+            .with_strategy(QueryStrategy::RetrieveOnly)
+            .over(GeoBox::new(15.0, -2.0, 42.0, 10.0))
+            .filter("val", AttrCmp::Lt, Value::Int4(100)),
+        Query::class("obs")
+            .with_strategy(QueryStrategy::RetrieveOnly)
+            .during(TimeRange::new(instant(2), instant(5)))
+            .filter("val", AttrCmp::Lt, Value::Int4(100)),
+    ] {
+        let by_scan = small.query(&q).map(|o| outcome_ids(&o));
+        let by_index = big.query(&q).map(|o| outcome_ids(&o));
+        match (by_scan, by_index) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "{q:?}"),
+            (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string(), "{q:?}"),
+            (a, b) => panic!("paths diverged on {q:?}: {a:?} vs {b:?}"),
+        }
+        // The big kernel really used an index or grid, not a full scan.
+        let plan = &big.query(&q).unwrap().plans[0];
+        assert!(
+            !matches!(plan.path, AccessPath::FullScan),
+            "expected an indexed path, got {plan}"
+        );
+        // The small kernel stayed below the auto-index threshold.
+        let plan = &small.query(&q).unwrap().plans[0];
+        assert!(matches!(plan.path, AccessPath::FullScan), "got {plan}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Over an above-threshold extent, every generated conjunction of
+    /// value/tag/spatial/temporal predicates answers through the
+    /// optimizer with exactly the model's (heap-semantics) object set.
+    #[test]
+    fn optimizer_answers_match_heap_model(
+        val in prop::option::of((
+            prop_oneof![Just(AttrCmp::Eq), Just(AttrCmp::Lt), Just(AttrCmp::Gt)],
+            0i32..40,
+        )),
+        tag in prop::option::of(0usize..3),
+        win in prop::option::of(0usize..16),
+        time in prop::option::of((0usize..10, 0usize..10)),
+    ) {
+        let specs = obs_specs(big_n());
+        let (mut g, ids) = obs_kernel(&specs);
+        let mut q = Query::class("obs").with_strategy(QueryStrategy::RetrieveOnly);
+        if let Some((cmp, rhs)) = val {
+            q = q.filter("val", cmp, Value::Int4(rhs));
+        }
+        if let Some(t) = tag {
+            q = q.filter("tag", AttrCmp::Eq, Value::Char16(TAGS[t].into()));
+        }
+        let window = win.map(|j| {
+            let x = (j % 16) as f64 * 10.0;
+            GeoBox::new(x - 5.0, -2.0, x + 12.0, 10.0)
+        });
+        if let Some(w) = window {
+            q = q.over(w);
+        }
+        if let Some((a, b)) = time {
+            q = q.during(TimeRange::new(instant(a.min(b)), instant(a.max(b))));
+        }
+        let expected = model_ids(&specs, &ids, val, tag, window, time);
+        match g.query(&q) {
+            Ok(out) => {
+                prop_assert_eq!(outcome_ids(&out), expected);
+                prop_assert_eq!(out.plans.len(), 1);
+            }
+            Err(e) => prop_assert!(
+                expected.is_empty(),
+                "query failed with {e} but the model matches {expected:?}"
+            ),
+        }
+        // Second run answers from the now-built access paths, same set.
+        if !expected.is_empty() {
+            prop_assert_eq!(outcome_ids(&g.query(&q).unwrap()), expected);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// EXPLAIN plans
+// ----------------------------------------------------------------------
+
+#[test]
+fn plans_surface_the_chosen_access_path() {
+    let specs = obs_specs(big_n());
+    let (mut g, _ids) = obs_kernel(&specs);
+    let eq = Query::class("obs")
+        .with_strategy(QueryStrategy::RetrieveOnly)
+        .filter("val", AttrCmp::Eq, Value::Int4(11));
+    let out = g.query(&eq).unwrap();
+    assert!(
+        matches!(&out.plans[0].path, AccessPath::IndexEq { attr } if attr == "val"),
+        "{}",
+        out.plans[0]
+    );
+    assert!(
+        out.plans[0].estimated_rows < specs.len() as u64,
+        "equality estimate must undercut the full extent"
+    );
+    let lt = Query::class("obs")
+        .with_strategy(QueryStrategy::RetrieveOnly)
+        .filter("val", AttrCmp::Lt, Value::Int4(4));
+    let out = g.query(&lt).unwrap();
+    assert!(
+        matches!(&out.plans[0].path, AccessPath::IndexRange { attr } if attr == "val"),
+        "{}",
+        out.plans[0]
+    );
+    let spatial = Query::class("obs")
+        .with_strategy(QueryStrategy::RetrieveOnly)
+        .over(GeoBox::new(20.0, 1.0, 23.0, 4.0));
+    let out = g.query(&spatial).unwrap();
+    assert!(
+        matches!(&out.plans[0].path, AccessPath::GridProbe { attr } if attr == "spatialextent"),
+        "{}",
+        out.plans[0]
+    );
+    // An unfiltered query stays a full scan, and its estimate is the
+    // maintained row count — the statistics follow the extent.
+    let all = Query::class("obs").with_strategy(QueryStrategy::RetrieveOnly);
+    let out = g.query(&all).unwrap();
+    assert!(matches!(out.plans[0].path, AccessPath::FullScan));
+    assert_eq!(out.plans[0].estimated_rows, specs.len() as u64);
+    // The Display form is the EXPLAIN line.
+    let line = out.plans[0].to_string();
+    assert!(line.contains("obs") && line.contains("full scan"), "{line}");
+}
+
+#[test]
+fn small_extents_stay_unindexed() {
+    let specs = obs_specs(40);
+    let (mut g, _ids) = obs_kernel(&specs);
+    let q = Query::class("obs")
+        .with_strategy(QueryStrategy::RetrieveOnly)
+        .filter("val", AttrCmp::Eq, Value::Int4(specs[0].0));
+    let out = g.query(&q).unwrap();
+    assert!(
+        matches!(out.plans[0].path, AccessPath::FullScan),
+        "below-threshold extents must not pay index maintenance: {}",
+        out.plans[0]
+    );
+}
+
+// ----------------------------------------------------------------------
+// ORDER BY / LIMIT
+// ----------------------------------------------------------------------
+
+/// The answer is sorted by the attribute (ids break ties ascending),
+/// the limit keeps the top of that order, and the index-ordered
+/// short-circuit agrees with the sort-everything path.
+#[test]
+fn order_by_and_limit_shape_the_answer() {
+    let specs = obs_specs(big_n());
+    let (mut g, _ids) = obs_kernel(&specs);
+    let full = g
+        .retrieve("RETRIEVE * FROM obs WHERE val > 5 ORDER BY val DESC")
+        .unwrap();
+    let vals: Vec<i32> = full
+        .objects
+        .iter()
+        .map(|o| o.attr("val").and_then(Value::as_i64).unwrap() as i32)
+        .collect();
+    assert!(vals.windows(2).all(|w| w[0] >= w[1]), "descending order");
+    for w in full.objects.windows(2) {
+        let (a, b) = (&w[0], &w[1]);
+        if a.attr("val") == b.attr("val") {
+            assert!(a.id < b.id, "ties break by object id ascending");
+        }
+    }
+    let limited = g
+        .retrieve("RETRIEVE * FROM obs WHERE val > 5 ORDER BY val DESC LIMIT 7")
+        .unwrap();
+    assert_eq!(limited.objects.len(), 7);
+    let full_ids: Vec<u64> = full.objects.iter().take(7).map(|o| o.id.raw()).collect();
+    let lim_ids: Vec<u64> = limited.objects.iter().map(|o| o.id.raw()).collect();
+    assert_eq!(lim_ids, full_ids, "short-circuit ≡ sort-everything");
+    assert!(
+        matches!(&limited.plans[0].path, AccessPath::IndexOrdered { attr } if attr == "val"),
+        "{}",
+        limited.plans[0]
+    );
+    // LIMIT 0 is a legal, empty answer.
+    let none = g
+        .retrieve("RETRIEVE * FROM obs ORDER BY val LIMIT 0")
+        .unwrap();
+    assert!(none.objects.is_empty());
+    assert_eq!(none.method, QueryMethod::Retrieved);
+    // ORDER BY on an unknown attribute is rejected before any stage.
+    let err = g
+        .retrieve("RETRIEVE * FROM obs ORDER BY bogus LIMIT 3")
+        .unwrap_err();
+    assert!(err.to_string().contains("bogus"), "{err}");
+}
+
+/// Below the threshold no index exists: ORDER BY / LIMIT run through
+/// the plain sort path and produce the same shape.
+#[test]
+fn order_by_limit_work_without_indexes() {
+    let specs = obs_specs(50);
+    let (mut g, _ids) = obs_kernel(&specs);
+    let out = g
+        .retrieve("RETRIEVE * FROM obs ORDER BY val LIMIT 5")
+        .unwrap();
+    assert_eq!(out.objects.len(), 5);
+    let vals: Vec<i32> = out
+        .objects
+        .iter()
+        .map(|o| o.attr("val").and_then(Value::as_i64).unwrap() as i32)
+        .collect();
+    assert!(vals.windows(2).all(|w| w[0] <= w[1]), "ascending order");
+    let mut sorted = specs.iter().map(|(v, ..)| *v).collect::<Vec<_>>();
+    sorted.sort_unstable();
+    assert_eq!(vals, sorted[..5].to_vec());
+}
+
+// ----------------------------------------------------------------------
+// DEFINE INDEX DDL
+// ----------------------------------------------------------------------
+
+/// `DEFINE INDEX` forces access paths below the auto threshold — the
+/// ordered index for scalars, the spatial grid for box attributes —
+/// and is idempotent.
+#[test]
+fn define_index_ddl_forces_access_paths() {
+    let mut g = Gaea::in_memory();
+    let prog = parse(
+        r#"
+CLASS obs ( // small, hand-indexed extent
+  ATTRIBUTES:
+    val = int4;
+  SPATIAL EXTENT:
+    spatialextent = box;
+  TEMPORAL EXTENT:
+    timestamp = abstime;
+)
+DEFINE INDEX val ON obs
+DEFINE INDEX spatialextent ON obs
+"#,
+    )
+    .unwrap();
+    let lowered = lower_program(&mut g, &prog).unwrap();
+    assert_eq!(
+        lowered.indexes,
+        vec![
+            ("obs".to_string(), "val".to_string()),
+            ("obs".to_string(), "spatialextent".to_string())
+        ]
+    );
+    for i in 0..30 {
+        g.insert_object(
+            "obs",
+            vec![
+                ("val", Value::Int4(i % 5)),
+                ("spatialextent", Value::GeoBox(cell(i as usize))),
+                ("timestamp", Value::AbsTime(instant(i as usize % 4))),
+            ],
+        )
+        .unwrap();
+    }
+    let out = g.retrieve("RETRIEVE * FROM obs WHERE val = 2").unwrap();
+    assert!(
+        matches!(&out.plans[0].path, AccessPath::IndexEq { attr } if attr == "val"),
+        "explicit DDL ignores the size threshold: {}",
+        out.plans[0]
+    );
+    assert_eq!(out.objects.len(), 6);
+    let out = g
+        .retrieve("RETRIEVE * FROM obs WHERE WITHIN(20, 1, 23, 4) AND val < 100")
+        .unwrap();
+    assert!(
+        matches!(&out.plans[0].path, AccessPath::GridProbe { attr } if attr == "spatialextent"),
+        "{}",
+        out.plans[0]
+    );
+    // Idempotent, and unknown attributes error.
+    g.define_index("obs", "val").unwrap();
+    let err = g.define_index("obs", "bogus").unwrap_err();
+    assert!(err.to_string().contains("bogus"), "{err}");
+}
+
+// ----------------------------------------------------------------------
+// Stats and indexes through refresh_all and background-job commits
+// ----------------------------------------------------------------------
+
+fn doubling_site() -> Arc<SimulatedSite> {
+    Arc::new(SimulatedSite::new("site", |_def, inputs| {
+        let v = inputs["x"][0]
+            .attr("v")
+            .and_then(Value::as_i64)
+            .unwrap_or(0);
+        let mut out = BTreeMap::new();
+        out.insert("v".to_string(), Value::Int4((v as i32) * 2));
+        Ok(out)
+    }))
+}
+
+/// Derivations committed by background-job pumps and `refresh_all`
+/// re-firings go through the same store mutations as everything else,
+/// so the explicit index on the output class keeps answering exactly
+/// and the maintained row statistics follow the extent.
+#[test]
+fn stats_and_indexes_survive_refresh_and_job_commits() {
+    let mut g = Gaea::in_memory();
+    g.define_class(ClassSpec::base("obs").attr("v", TypeTag::Int4))
+        .unwrap();
+    g.define_class(ClassSpec::derived("out").attr("v", TypeTag::Int4))
+        .unwrap();
+    g.define_external_process(ProcessSpec::new("REMOTE", "out").arg("x", "obs"), "site")
+        .unwrap();
+    g.register_site("site", doubling_site());
+    g.define_index("out", "v").unwrap();
+    let src = g
+        .insert_object("obs", vec![("v", Value::Int4(10))])
+        .unwrap();
+    // Background job: submit, await, then query the committed result.
+    // (At one row the planner rightly keeps the heap walk — an index
+    // cannot beat it — so only the answer is asserted here.)
+    let job = g.retrieve_job("RETRIEVE * FROM out DERIVE").unwrap();
+    g.await_job(job, Duration::from_secs(10)).unwrap();
+    let q20 = Query::class("out")
+        .with_strategy(QueryStrategy::RetrieveOnly)
+        .filter("v", AttrCmp::Eq, Value::Int4(20));
+    let out = g.query(&q20).unwrap();
+    assert_eq!(out.objects.len(), 1, "job-committed object answers");
+    // Mutate the input, refresh: the re-derived object must be indexed
+    // too, and with two distinct keys the index now beats the heap for
+    // both the job-committed and the refresh-committed object.
+    g.update_object(src, vec![("v", Value::Int4(21))]).unwrap();
+    let report = g.refresh_all().unwrap();
+    assert_eq!(report.refreshed(), 1);
+    let q42 = Query::class("out")
+        .with_strategy(QueryStrategy::RetrieveOnly)
+        .filter("v", AttrCmp::Eq, Value::Int4(42));
+    let out = g.query(&q42).unwrap();
+    assert_eq!(out.objects.len(), 1, "refresh-committed object is indexed");
+    assert!(
+        matches!(&out.plans[0].path, AccessPath::IndexEq { attr } if attr == "v"),
+        "{}",
+        out.plans[0]
+    );
+    let out = g.query(&q20).unwrap();
+    assert_eq!(out.objects.len(), 1, "job-committed object is indexed");
+    assert!(
+        matches!(&out.plans[0].path, AccessPath::IndexEq { attr } if attr == "v"),
+        "{}",
+        out.plans[0]
+    );
+    // Statistics followed every commit path: the full-scan estimate is
+    // the true extent size.
+    let all = Query::class("out").with_strategy(QueryStrategy::RetrieveOnly);
+    let out = g.query(&all).unwrap();
+    assert_eq!(
+        out.plans[0].estimated_rows as usize,
+        g.count_objects("out").unwrap()
+    );
+    assert_eq!(out.objects.len(), g.count_objects("out").unwrap());
+}
