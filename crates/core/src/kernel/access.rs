@@ -18,6 +18,7 @@
 //! grid, tuned by `gaea_raster::suggest_cell_size`) — or explicitly, via
 //! the `DEFINE INDEX attr ON class` DDL.
 
+use super::durability::Event;
 use super::Gaea;
 use crate::error::KernelResult;
 use crate::query::{AccessPath, Query, ScanPlan};
@@ -328,6 +329,11 @@ impl Gaea {
                 self.db
                     .relation_mut(&def.relation_name())?
                     .retune_grid(pos, cell)?;
+                self.wal_append(Event::RetuneGrid {
+                    rel: def.relation_name(),
+                    pos,
+                    cell,
+                })?;
             }
         }
         Ok(())
@@ -341,6 +347,12 @@ impl Gaea {
             return Ok(false);
         }
         rel.create_index(attr)?;
+        // Access paths are physical state a snapshot carries but the log
+        // must re-create — queries create them, so queries journal too.
+        self.wal_append(Event::CreateIndex {
+            rel: def.relation_name(),
+            attr: attr.to_string(),
+        })?;
         Ok(true)
     }
 
@@ -361,6 +373,13 @@ impl Gaea {
         self.db
             .relation_mut(&def.relation_name())?
             .create_grid(attr, cell)?;
+        // The journal records the cell chosen from the live sample, so
+        // replay rebuilds the identical grid instead of re-sampling.
+        self.wal_append(Event::CreateGrid {
+            rel: def.relation_name(),
+            attr: attr.to_string(),
+            cell,
+        })?;
         Ok(true)
     }
 }

@@ -9,6 +9,7 @@
 //! and then write catalog records. Nothing here executes: execution
 //! belongs to [`super::exec`], planning to [`super::query`].
 
+use super::durability::Event;
 use super::Gaea;
 use crate::error::{KernelError, KernelResult};
 use crate::ids::{ClassId, ConceptId, ProcessId};
@@ -218,8 +219,12 @@ impl Gaea {
         self.db
             .create_relation(&def.relation_name(), def.storage_schema())?;
         let rel = def.relation_name();
+        let logged = def.clone();
         match self.catalog.add_class(def) {
-            Ok(()) => Ok(id),
+            Ok(()) => {
+                self.wal_append(Event::DefineClass { def: logged })?;
+                Ok(id)
+            }
             Err(e) => {
                 // Roll the relation back so a failed definition leaves no junk.
                 let _ = self.db.drop_relation(&rel);
@@ -265,13 +270,15 @@ impl Gaea {
             parent_ids.push(self.catalog.concept_by_name(p)?.id);
         }
         let id = ConceptId(self.db.allocate_oid());
-        self.catalog.add_concept(Concept {
+        let concept = Concept {
             id,
             name: name.into(),
             members: member_ids,
             parents: parent_ids,
             doc: doc.into(),
-        })?;
+        };
+        self.catalog.add_concept(concept.clone())?;
+        self.wal_append(Event::DefineConcept { def: concept })?;
         Ok(id)
     }
 
@@ -279,6 +286,17 @@ impl Gaea {
     /// and is derived, argument classes exist, template argument references
     /// are declared, and mapped attributes exist on the output class.
     pub fn define_process(&mut self, spec: ProcessSpec) -> KernelResult<ProcessId> {
+        let id = self.define_process_unlogged(spec)?;
+        self.wal_append(Event::DefineProcess {
+            def: self.catalog.process(id)?.clone(),
+        })?;
+        Ok(id)
+    }
+
+    /// [`Gaea::define_process`] without the event-log append — the
+    /// external-process path rewrites the definition's kind after this
+    /// and must journal the *final* definition exactly once.
+    fn define_process_unlogged(&mut self, spec: ProcessSpec) -> KernelResult<ProcessId> {
         let output = self.catalog.class_by_name(&spec.output)?;
         if !output.is_derived() {
             return Err(KernelError::Schema(format!(
@@ -416,16 +434,21 @@ impl Gaea {
                 spec.name
             )));
         }
-        // Reuse the primitive validation, then rewrite the kind.
+        // Reuse the primitive validation, then rewrite the kind. The
+        // journal append happens after the rewrite, so replay sees the
+        // final (external) definition.
         let site = site.to_string();
         let name = spec.name.clone();
-        let id = self.define_process(spec)?;
+        let id = self.define_process_unlogged(spec)?;
         let def = self
             .catalog
             .processes
             .get_mut(&id)
             .unwrap_or_else(|| unreachable!("process {name} was just defined"));
         def.kind = ProcessKind::External { site };
+        self.wal_append(Event::DefineProcess {
+            def: self.catalog.process(id)?.clone(),
+        })?;
         Ok(id)
     }
 
@@ -459,7 +482,7 @@ impl Gaea {
             });
         }
         let id = ProcessId(self.db.allocate_oid());
-        self.catalog.add_process(ProcessDef {
+        let def = ProcessDef {
             id,
             name: name.into(),
             output: output_id,
@@ -471,7 +494,9 @@ impl Gaea {
             interactions: vec![],
             cost: None,
             doc: doc.into(),
-        })?;
+        };
+        self.catalog.add_process(def.clone())?;
+        self.wal_append(Event::DefineProcess { def })?;
         Ok(id)
     }
 
@@ -562,7 +587,7 @@ impl Gaea {
             return Err(KernelError::Schema(format!("compound {name} has no steps")));
         }
         let id = ProcessId(self.db.allocate_oid());
-        self.catalog.add_process(ProcessDef {
+        let def = ProcessDef {
             id,
             name: name.into(),
             output: output_id,
@@ -572,7 +597,9 @@ impl Gaea {
             interactions: vec![],
             cost: None,
             doc: doc.into(),
-        })?;
+        };
+        self.catalog.add_process(def.clone())?;
+        self.wal_append(Event::DefineProcess { def })?;
         Ok(id)
     }
 }

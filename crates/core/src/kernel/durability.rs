@@ -1,0 +1,615 @@
+//! Durability: the kernel's write-ahead event log and crash recovery.
+//!
+//! A kernel opened with [`Gaea::open`] records every committed mutation
+//! as one logged event in a [`gaea_store::wal`] file before the call
+//! that made it returns:
+//!
+//! * DDL — class/concept/process/experiment definitions, plus the
+//!   access paths the optimizer creates mid-query (index, grid, grid
+//!   re-tune): queries mutate physical state, so they log too;
+//! * object CRUD — insert/update/delete with the full tuple;
+//! * task commits — every way a task enters the history (firing,
+//!   compound wave, manual record, interactive finish, interpolation)
+//!   logs one `TaskCommit` carrying the new task records and the output
+//!   objects they materialized;
+//! * job lifecycle — background submissions (`JobSubmit`, with the
+//!   recorded bindings) and their resolution (`JobResolved`), so
+//!   in-flight derivations survive a restart and re-stage.
+//!
+//! Every event envelope also carries the version-clock ticks since the
+//! previous event (drained from the store's bump journal — including
+//! ticks from *failed* operations, which have no event of their own)
+//! and the OID allocator high-water mark. Replay therefore restores
+//! store, catalog, version counters and allocator to serde-identical
+//! state: reopen-after-crash equals the last logged event, and a clean
+//! drop (which flushes residual ticks as a `VersionAdvance`) equals the
+//! live kernel exactly.
+//!
+//! Periodic snapshots (`manifest v4`, carrying the log watermark) fold
+//! the log into a `snap-<seq>/` directory, flip the `CURRENT` pointer
+//! atomically, and truncate the log; unresolved job submissions ride in
+//! the snapshot's `jobs.json`. Crashing anywhere in that sequence is
+//! safe: before the pointer flip the old snapshot + full log recover,
+//! after it the watermark makes re-replaying the untruncated log a
+//! no-op. See `scripts/crash_matrix.sh` for the fault-injection lane
+//! that drives aborts through all three boundaries.
+
+use super::{jobs, Gaea, SharedCache};
+use crate::catalog::Catalog;
+use crate::error::{KernelError, KernelResult};
+use crate::experiment::Experiment;
+use crate::external::ExternalRegistry;
+use crate::ids::{ClassId, ObjectId, ProcessId, TaskId};
+use crate::schema::{ClassDef, Concept, ProcessDef};
+use crate::task::Task;
+use gaea_adt::OperatorRegistry;
+use gaea_sched::{JobId, Scheduler};
+use gaea_store::wal::WalWriter;
+use gaea_store::{Oid, StoreError, Tuple};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::ops::Bound;
+use std::path::{Path, PathBuf};
+
+/// A firing's recorded bindings: argument name → input objects, as
+/// journaled with job submissions and replayed at recovery.
+pub(crate) type RecordedBindings = Vec<(String, Vec<ObjectId>)>;
+
+/// Journaled submissions awaiting resolution, keyed by job id —
+/// accumulated from the snapshot's `jobs.json` plus replayed
+/// `JobSubmit`/`JobResolved` events.
+type PendingJobs = BTreeMap<u64, (ProcessId, RecordedBindings)>;
+
+fn codec_err(e: impl std::fmt::Display) -> KernelError {
+    KernelError::Store(StoreError::Codec(e.to_string()))
+}
+
+fn io_err(e: impl std::fmt::Display) -> KernelError {
+    KernelError::Store(StoreError::Io(e.to_string()))
+}
+
+/// Tuning knobs for a durable kernel ([`Gaea::open_with`]).
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilityOptions {
+    /// Fsync the log every N events (group commit). 1 — the default —
+    /// syncs every event: nothing acknowledged is lost even to a power
+    /// cut. Larger values batch the sync; a *process* crash still loses
+    /// nothing (the OS holds every appended byte), a machine crash may
+    /// lose up to N-1 tail events — never a torn prefix.
+    pub fsync_every: u64,
+    /// Take a snapshot (and truncate the log) every N events; 0 disables
+    /// automatic snapshots ([`Gaea::checkpoint`] remains available).
+    pub snapshot_every: u64,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> DurabilityOptions {
+        DurabilityOptions {
+            fsync_every: 1,
+            snapshot_every: 1024,
+        }
+    }
+}
+
+/// What recovery did when a durable kernel opened ([`Gaea::recovery_stats`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Log events replayed on top of the snapshot.
+    pub events_replayed: u64,
+    /// Journaled in-flight job submissions recovered for re-staging.
+    pub jobs_restaged: u64,
+    /// The snapshot's truncation watermark (sequence number of the last
+    /// event already folded into it; 0 = no snapshot, full replay).
+    pub snapshot_seq: u64,
+    /// Bytes dropped from the log tail (a record torn by the crash).
+    pub wal_dropped_bytes: u64,
+    /// True when the drop was a checksum/length failure rather than a
+    /// clean torn tail.
+    pub wal_corrupt: bool,
+}
+
+/// One committed mutation, as recorded in the log.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) enum Event {
+    DefineClass {
+        def: ClassDef,
+    },
+    DefineConcept {
+        def: Concept,
+    },
+    DefineProcess {
+        def: ProcessDef,
+    },
+    DefineExperiment {
+        def: Experiment,
+    },
+    /// Ordered index created (DDL or the optimizer's auto-indexer).
+    CreateIndex {
+        rel: String,
+        attr: String,
+    },
+    /// Spatial grid created, with the cell size chosen live — replay
+    /// reuses it rather than re-sampling, for determinism.
+    CreateGrid {
+        rel: String,
+        attr: String,
+        cell: f64,
+    },
+    /// Grid rebuilt at a new cell size.
+    RetuneGrid {
+        rel: String,
+        pos: usize,
+        cell: f64,
+    },
+    InsertObject {
+        rel: String,
+        class: ClassId,
+        oid: u64,
+        tuple: Tuple,
+    },
+    UpdateObject {
+        rel: String,
+        oid: u64,
+        tuple: Tuple,
+    },
+    DeleteObject {
+        rel: String,
+        oid: u64,
+    },
+    /// One commit's worth of new history: the task records (compound
+    /// steps and their umbrella together) plus the output objects they
+    /// materialized.
+    TaskCommit {
+        objects: Vec<NewObject>,
+        tasks: Vec<Task>,
+    },
+    /// A background derivation was submitted; the bindings re-stage it
+    /// after a restart.
+    JobSubmit {
+        job: u64,
+        process: ProcessId,
+        bindings: Vec<(String, Vec<ObjectId>)>,
+    },
+    /// The submission committed, failed its commit, or was cancelled —
+    /// either way it must not re-stage.
+    JobResolved {
+        job: u64,
+    },
+    /// No content — carries version ticks left over from failed or
+    /// rolled-back operations (see the envelope's `bumps`).
+    VersionAdvance,
+}
+
+/// An object materialized by a task commit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct NewObject {
+    rel: String,
+    class: ClassId,
+    oid: u64,
+    tuple: Tuple,
+}
+
+/// The envelope around each logged event: its sequence number, the OID
+/// allocator high-water mark after the event, and every version-clock
+/// tick since the previous event (in order — including ticks from
+/// failed operations that no event accounts for).
+#[derive(Debug, Serialize, Deserialize)]
+struct LoggedEvent {
+    seq: u64,
+    next_oid: u64,
+    bumps: Vec<(String, Vec<u64>)>,
+    event: Event,
+}
+
+/// An unresolved job submission as persisted in a snapshot's
+/// `jobs.json` — checkpoint truncates the log, so pending submissions
+/// must ride in the snapshot to survive it.
+#[derive(Debug, Serialize, Deserialize)]
+struct JournaledJob {
+    job: u64,
+    process: ProcessId,
+    bindings: Vec<(String, Vec<ObjectId>)>,
+}
+
+/// The durable half of an open kernel: log writer, directory layout,
+/// event sequencing and snapshot cadence.
+pub(crate) struct Durability {
+    dir: PathBuf,
+    wal: WalWriter,
+    /// Sequence number of the last logged event (monotone across
+    /// truncations; snapshots record it as their watermark).
+    seq: u64,
+    /// Events appended since the last snapshot.
+    since_snapshot: u64,
+    options: DurabilityOptions,
+}
+
+/// High-water marks captured before a multi-object commit
+/// ([`Gaea::wal_mark`]): everything in the catalog beyond them when the
+/// commit succeeds is that commit's delta, logged as one `TaskCommit`
+/// (plus `DefineProcess` for lazily-registered processes).
+pub(crate) struct WalMark {
+    task_high: Option<TaskId>,
+    process_high: Option<ProcessId>,
+}
+
+impl Gaea {
+    /// Open (or create) a durable kernel rooted at `dir` with default
+    /// [`DurabilityOptions`]. Recovery replays the log over the latest
+    /// snapshot; [`Gaea::recovery_stats`] reports what it did.
+    pub fn open(dir: &Path) -> KernelResult<Gaea> {
+        Self::open_with(dir, DurabilityOptions::default())
+    }
+
+    /// [`Gaea::open`] with explicit group-commit and snapshot cadence.
+    pub fn open_with(dir: &Path, options: DurabilityOptions) -> KernelResult<Gaea> {
+        fs::create_dir_all(dir).map_err(io_err)?;
+        // 1. The latest durable snapshot, if any. CURRENT names the
+        //    snapshot directory and is flipped atomically by checkpoint,
+        //    so whatever it points at is complete.
+        let mut pending = PendingJobs::new();
+        let (db, mut catalog, watermark) = match fs::read_to_string(dir.join("CURRENT")) {
+            Ok(name) => {
+                let snap = dir.join(name.trim());
+                let (db, wal_seq) = gaea_store::snapshot::load_with_wal_seq(&snap)?;
+                let raw = fs::read_to_string(snap.join("catalog.json")).map_err(io_err)?;
+                let catalog: Catalog = serde_json::from_str(&raw).map_err(codec_err)?;
+                if let Ok(raw) = fs::read_to_string(snap.join("jobs.json")) {
+                    let jobs: Vec<JournaledJob> = serde_json::from_str(&raw).map_err(codec_err)?;
+                    for j in jobs {
+                        pending.insert(j.job, (j.process, j.bindings));
+                    }
+                }
+                (db, catalog, wal_seq)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                (gaea_store::Database::new(), Catalog::default(), 0)
+            }
+            Err(e) => return Err(io_err(e)),
+        };
+        catalog.rebuild_task_index();
+        let mut registry = OperatorRegistry::with_builtins();
+        gaea_raster::register_raster_ops(&mut registry)
+            .expect("raster operator registration is internally consistent");
+        let mut g = Gaea {
+            db,
+            catalog,
+            registry,
+            externals: ExternalRegistry::new(),
+            user: "scientist".into(),
+            cache: SharedCache::new(),
+            scheduler: Scheduler::from_env(),
+            jobs: jobs::JobManager::new(),
+            reuse_tasks: true,
+            binding_budget: 32,
+            durability: None,
+            recovery: None,
+        };
+        // 2. Replay the log's valid prefix over the snapshot, skipping
+        //    events the snapshot already contains (a crash during
+        //    truncation leaves them in the log; the watermark makes the
+        //    second application a no-op by never running it).
+        let wal_path = dir.join("wal.log");
+        let scan = gaea_store::wal::read_wal(&wal_path).map_err(io_err)?;
+        let mut last_seq = watermark;
+        let mut events_replayed = 0u64;
+        let mut max_job = pending.keys().next_back().copied().unwrap_or(0);
+        for record in &scan.records {
+            let logged: LoggedEvent = serde_json::from_slice(record).map_err(codec_err)?;
+            if logged.seq <= watermark {
+                continue;
+            }
+            replay_event(&mut g, &logged.event, &mut pending, &mut max_job)?;
+            g.db.replay_bumps(&logged.bumps);
+            g.db.resume_oids(logged.next_oid);
+            last_seq = logged.seq;
+            events_replayed += 1;
+        }
+        // 3. Recovered in-flight submissions become job records again,
+        //    queued for re-staging (their sites are not registered yet;
+        //    `register_site` and the job pump retry).
+        let jobs_restaged = pending.len() as u64;
+        for (job, (pid, bindings)) in pending {
+            let def = g.catalog.process(pid)?;
+            let record = jobs::JobRecord {
+                output_class: g.catalog.class(def.output)?.name.clone(),
+                dedup_key: super::query::dedup_key_for(def, &bindings),
+                committed: None,
+                commit_error: None,
+                process: pid,
+                bindings,
+                cancelled: false,
+            };
+            g.jobs.records.insert(JobId(job), record);
+            g.jobs.recovered.insert(JobId(job));
+        }
+        g.jobs.resume_ids(max_job);
+        // 4. Arm the log for new events: version ticks journal from here
+        //    on, and the writer opens at the valid prefix (dropping any
+        //    torn tail).
+        g.db.enable_version_journal();
+        let wal =
+            WalWriter::open(&wal_path, scan.valid_len, options.fsync_every).map_err(io_err)?;
+        g.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            wal,
+            seq: last_seq,
+            since_snapshot: events_replayed,
+            options,
+        });
+        g.restage_recovered_jobs();
+        g.recovery = Some(RecoveryStats {
+            events_replayed,
+            jobs_restaged,
+            snapshot_seq: watermark,
+            wal_dropped_bytes: scan.dropped_bytes,
+            wal_corrupt: scan.corrupt,
+        });
+        Ok(g)
+    }
+
+    /// What recovery did when this kernel opened; `None` for in-memory
+    /// and snapshot-loaded kernels.
+    pub fn recovery_stats(&self) -> Option<&RecoveryStats> {
+        self.recovery.as_ref()
+    }
+
+    /// Is this kernel writing a log?
+    pub(crate) fn wal_enabled(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Append one event (no-op for non-durable kernels), draining the
+    /// version-tick journal into its envelope and snapshotting when the
+    /// cadence says so.
+    pub(crate) fn wal_append(&mut self, event: Event) -> KernelResult<()> {
+        self.wal_append_inner(event, true)
+    }
+
+    fn wal_append_inner(&mut self, event: Event, may_snapshot: bool) -> KernelResult<()> {
+        if self.durability.is_none() {
+            return Ok(());
+        }
+        let bumps = self.db.take_version_journal();
+        let next_oid = self.db.next_oid();
+        let d = self.durability.as_mut().expect("checked above");
+        d.seq += 1;
+        let logged = LoggedEvent {
+            seq: d.seq,
+            next_oid,
+            bumps,
+            event,
+        };
+        let payload = serde_json::to_vec(&logged).map_err(codec_err)?;
+        d.wal.append(&payload).map_err(io_err)?;
+        d.since_snapshot += 1;
+        if may_snapshot
+            && d.options.snapshot_every > 0
+            && d.since_snapshot >= d.options.snapshot_every
+        {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Capture the catalog high-water marks before a commit that may add
+    /// tasks (and lazily-registered processes). `None` when not durable.
+    pub(crate) fn wal_mark(&self) -> Option<WalMark> {
+        self.durability.as_ref()?;
+        Some(WalMark {
+            task_high: self.catalog.tasks.keys().next_back().copied(),
+            process_high: self.catalog.processes.keys().next_back().copied(),
+        })
+    }
+
+    /// Log everything the catalog gained past `mark`: new processes as
+    /// `DefineProcess`, new tasks plus their (deduplicated) output
+    /// objects as one `TaskCommit`. Failed commits never reach here, and
+    /// compensated compound steps were removed from the catalog before
+    /// this runs — only surviving history is logged.
+    pub(crate) fn wal_commit_delta(&mut self, mark: Option<WalMark>) -> KernelResult<()> {
+        let Some(mark) = mark else {
+            return Ok(());
+        };
+        let new_procs: Vec<ProcessDef> = match mark.process_high {
+            Some(high) => self
+                .catalog
+                .processes
+                .range((Bound::Excluded(high), Bound::Unbounded))
+                .map(|(_, d)| d.clone())
+                .collect(),
+            None => self.catalog.processes.values().cloned().collect(),
+        };
+        for def in new_procs {
+            self.wal_append(Event::DefineProcess { def })?;
+        }
+        let new_tasks: Vec<Task> = match mark.task_high {
+            Some(high) => self
+                .catalog
+                .tasks
+                .range((Bound::Excluded(high), Bound::Unbounded))
+                .map(|(_, t)| t.clone())
+                .collect(),
+            None => self.catalog.tasks.values().cloned().collect(),
+        };
+        if new_tasks.is_empty() {
+            return Ok(());
+        }
+        // A compound umbrella re-lists its last step's outputs; dedup so
+        // each object is materialized once on replay.
+        let mut seen = BTreeSet::new();
+        let mut objects = Vec::new();
+        for task in &new_tasks {
+            for out in &task.outputs {
+                if !seen.insert(*out) {
+                    continue;
+                }
+                let class = self.catalog.class_of_object(*out)?;
+                let rel = self.catalog.class(class)?.relation_name();
+                let tuple = self.db.get(&rel, out.0)?.clone();
+                objects.push(NewObject {
+                    rel,
+                    class,
+                    oid: out.raw(),
+                    tuple,
+                });
+            }
+        }
+        self.wal_append(Event::TaskCommit {
+            objects,
+            tasks: new_tasks,
+        })
+    }
+
+    /// Take a snapshot now and truncate the log. The sequence is
+    /// crash-safe at every boundary: residual version ticks are flushed
+    /// into the log first; the snapshot directory (store manifest with
+    /// the log watermark, catalog, unresolved job submissions) is
+    /// written completely before the `CURRENT` pointer flips to it in
+    /// one atomic rename; and a crash after the flip but before the
+    /// truncation just re-skips the already-folded events on reopen.
+    pub fn checkpoint(&mut self) -> KernelResult<()> {
+        if self.durability.is_none() {
+            return Ok(());
+        }
+        // Ticks from failed operations must not sit in the journal across
+        // the snapshot boundary: the snapshot's counters already include
+        // them, so attaching them to a later event would double-apply on
+        // replay. Flush them as their own event first.
+        if self.db.version_journal_pending() {
+            self.wal_append_inner(Event::VersionAdvance, false)?;
+        }
+        let catalog_json = serde_json::to_string(&self.catalog).map_err(codec_err)?;
+        let jobs: Vec<JournaledJob> = self
+            .jobs
+            .unresolved_submissions()
+            .into_iter()
+            .map(|(job, process, bindings)| JournaledJob {
+                job,
+                process,
+                bindings,
+            })
+            .collect();
+        let jobs_json = serde_json::to_string(&jobs).map_err(codec_err)?;
+        let d = self.durability.as_mut().expect("checked above");
+        d.wal.sync().map_err(io_err)?;
+        let snap_name = format!("snap-{}", d.seq);
+        let snap_dir = d.dir.join(&snap_name);
+        gaea_store::snapshot::save_with_wal_seq(&self.db, &snap_dir, d.seq)?;
+        fs::write(snap_dir.join("catalog.json"), catalog_json).map_err(io_err)?;
+        fs::write(snap_dir.join("jobs.json"), jobs_json).map_err(io_err)?;
+        let tmp = d.dir.join("CURRENT.tmp");
+        fs::write(&tmp, &snap_name).map_err(io_err)?;
+        fs::rename(&tmp, d.dir.join("CURRENT")).map_err(io_err)?;
+        // Fault-injection boundary: the snapshot is authoritative but the
+        // log still holds its events.
+        d.wal.crash_before_truncate();
+        d.wal.truncate().map_err(io_err)?;
+        d.since_snapshot = 0;
+        // Superseded snapshots are garbage once CURRENT moved on.
+        if let Ok(entries) = fs::read_dir(&d.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with("snap-") && name != snap_name {
+                    let _ = fs::remove_dir_all(entry.path());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush residual version ticks into the log and fsync it — the
+    /// clean-shutdown tail, also called by `Drop`. After this, replay
+    /// reconstructs the version counters *exactly* (not just up to the
+    /// last logged event).
+    pub fn flush_wal(&mut self) -> KernelResult<()> {
+        if self.durability.is_none() {
+            return Ok(());
+        }
+        if self.db.version_journal_pending() {
+            self.wal_append_inner(Event::VersionAdvance, false)?;
+        }
+        let d = self.durability.as_mut().expect("checked above");
+        d.wal.sync().map_err(io_err)
+    }
+}
+
+impl Drop for Gaea {
+    fn drop(&mut self) {
+        // Best-effort clean-shutdown flush; a crash skips this and
+        // recovery still lands on the last logged event.
+        let _ = self.flush_wal();
+    }
+}
+
+/// Apply one replayed event to the reconstructing kernel. Content goes
+/// through the store's non-bumping replay entry points — the version
+/// history is replayed separately from each envelope's tick journal.
+fn replay_event(
+    g: &mut Gaea,
+    event: &Event,
+    pending: &mut PendingJobs,
+    max_job: &mut u64,
+) -> KernelResult<()> {
+    match event {
+        Event::DefineClass { def } => {
+            g.db.create_relation(&def.relation_name(), def.storage_schema())?;
+            g.catalog.add_class(def.clone())?;
+        }
+        Event::DefineConcept { def } => g.catalog.add_concept(def.clone())?,
+        Event::DefineProcess { def } => g.catalog.add_process(def.clone())?,
+        Event::DefineExperiment { def } => g.catalog.add_experiment(def.clone())?,
+        Event::CreateIndex { rel, attr } => {
+            g.db.relation_mut(rel)?.create_index(attr)?;
+        }
+        Event::CreateGrid { rel, attr, cell } => {
+            g.db.relation_mut(rel)?.create_grid(attr, *cell)?;
+        }
+        Event::RetuneGrid { rel, pos, cell } => {
+            g.db.relation_mut(rel)?.retune_grid(*pos, *cell)?;
+        }
+        Event::InsertObject {
+            rel,
+            class,
+            oid,
+            tuple,
+        } => {
+            g.db.replay_insert(rel, Oid(*oid), tuple.clone())?;
+            g.catalog.object_class.insert(ObjectId(Oid(*oid)), *class);
+        }
+        Event::UpdateObject { rel, oid, tuple } => {
+            g.db.replay_update(rel, Oid(*oid), tuple.clone())?;
+        }
+        Event::DeleteObject { rel, oid } => {
+            g.db.replay_delete(rel, Oid(*oid))?;
+            g.catalog.object_class.remove(&ObjectId(Oid(*oid)));
+        }
+        Event::TaskCommit { objects, tasks } => {
+            for obj in objects {
+                g.db.replay_insert(&obj.rel, Oid(obj.oid), obj.tuple.clone())?;
+                g.catalog
+                    .object_class
+                    .insert(ObjectId(Oid(obj.oid)), obj.class);
+            }
+            for task in tasks {
+                g.catalog.add_task(task.clone());
+            }
+        }
+        Event::JobSubmit {
+            job,
+            process,
+            bindings,
+        } => {
+            pending.insert(*job, (*process, bindings.clone()));
+            *max_job = (*max_job).max(*job);
+        }
+        Event::JobResolved { job } => {
+            pending.remove(job);
+            *max_job = (*max_job).max(*job);
+        }
+        Event::VersionAdvance => {}
+    }
+    Ok(())
+}

@@ -19,6 +19,7 @@
 //! object's producing process to bring it current again.
 
 use super::cache::DerivedCache;
+use super::durability::Event;
 use super::Gaea;
 use crate::catalog::Catalog;
 use crate::derivation::executor::{self, PreparedFiring, TaskRun};
@@ -109,7 +110,18 @@ impl Gaea {
         let def = self.catalog.class_by_name(class)?.clone();
         let map: BTreeMap<String, Value> =
             attrs.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
-        executor::insert_object(&mut self.db, &mut self.catalog, &def, &map)
+        let oid = executor::insert_object(&mut self.db, &mut self.catalog, &def, &map)?;
+        if self.wal_enabled() {
+            let rel = def.relation_name();
+            let tuple = self.db.get(&rel, oid.0)?.clone();
+            self.wal_append(Event::InsertObject {
+                rel,
+                class: def.id,
+                oid: oid.raw(),
+                tuple,
+            })?;
+        }
+        Ok(oid)
     }
 
     /// Load a stored object.
@@ -163,6 +175,15 @@ impl Gaea {
         }
         executor::update_object(&mut self.db, &self.catalog, &class, oid, &merged)?;
         self.cache.invalidate_object(oid);
+        if self.wal_enabled() {
+            let rel = class.relation_name();
+            let tuple = self.db.get(&rel, oid.0)?.clone();
+            self.wal_append(Event::UpdateObject {
+                rel,
+                oid: oid.raw(),
+                tuple,
+            })?;
+        }
         Ok(())
     }
 
@@ -208,6 +229,10 @@ impl Gaea {
         self.db.delete(&class.relation_name(), oid.0)?;
         self.catalog.object_class.remove(&oid);
         self.cache.invalidate_object(oid);
+        self.wal_append(Event::DeleteObject {
+            rel: class.relation_name(),
+            oid: oid.raw(),
+        })?;
         Ok(obj)
     }
 
@@ -395,6 +420,7 @@ impl Gaea {
             CacheProbe::Miss { hash, canonical } => Some((hash, canonical)),
             CacheProbe::Disabled => None,
         };
+        let mark = self.wal_mark();
         let run = executor::run_process(
             &mut self.db,
             &mut self.catalog,
@@ -407,6 +433,7 @@ impl Gaea {
         if let Some((hash, canonical)) = key {
             self.record_cache(hash, canonical, &owned, &run);
         }
+        self.wal_commit_delta(mark)?;
         Ok(run)
     }
 
@@ -517,6 +544,7 @@ impl Gaea {
             CacheProbe::Disabled => None,
         };
         let owned = prepared.bindings.clone();
+        let mark = self.wal_mark();
         let run = executor::apply_result(
             &mut self.db,
             &mut self.catalog,
@@ -526,6 +554,7 @@ impl Gaea {
         if let Some((hash, canonical)) = key {
             self.record_cache(hash, canonical, &owned, &run);
         }
+        self.wal_commit_delta(mark)?;
         Ok(run)
     }
 
@@ -560,6 +589,8 @@ impl Gaea {
             .into_iter()
             .map(|(k, v)| (k.to_string(), v))
             .collect();
+        // The inserted output rides in the task's commit delta below.
+        let mark = self.wal_mark();
         let obj = executor::insert_object(&mut self.db, &mut self.catalog, &out_class, &attrs)?;
         let task_id = TaskId(self.db.allocate_oid());
         let seq = self.catalog.next_task_seq();
@@ -580,6 +611,7 @@ impl Gaea {
             kind: TaskKind::Manual,
             children: vec![],
         });
+        self.wal_commit_delta(mark)?;
         Ok(TaskRun {
             task: task_id,
             outputs: vec![obj],
@@ -645,7 +677,8 @@ impl Gaea {
                 param: point.param.clone(),
             });
         }
-        executor::run_primitive(
+        let mark = self.wal_mark();
+        let run = executor::run_primitive(
             &mut self.db,
             &mut self.catalog,
             &self.registry,
@@ -654,7 +687,9 @@ impl Gaea {
             &self.user.clone(),
             &session.supplied,
             TaskKind::Interactive,
-        )
+        )?;
+        self.wal_commit_delta(mark)?;
+        Ok(run)
     }
 
     /// Task record by id.

@@ -28,13 +28,19 @@
 //!   objects it covers as pending instead of re-firing them.
 //!
 //! Jobs are runtime state, like registered sites: they are not
-//! persisted by [`Gaea::save`] and do not survive [`Gaea::load`].
+//! persisted by [`Gaea::save`] and do not survive [`Gaea::load`]. A
+//! *durable* kernel ([`Gaea::open`]) is different: submissions are
+//! journaled in the write-ahead event log with their bindings, so
+//! unresolved jobs survive a crash — recovery holds them until their
+//! site is re-registered, then re-stages and re-runs them (see
+//! [`super::durability`]).
 
+use super::durability::{Event, RecordedBindings};
 use super::query::dedup_key_for;
 use super::Gaea;
 use crate::derivation::executor::{self, PreparedFiring, TaskRun};
 use crate::error::{KernelError, KernelResult};
-use crate::ids::{ProcessId, TaskId};
+use crate::ids::{ObjectId, ProcessId, TaskId};
 use crate::query::Query;
 use gaea_sched::{jobs as sched_jobs, JobPhase, JobPool};
 use std::collections::{BTreeMap, BTreeSet};
@@ -97,11 +103,20 @@ pub(crate) struct JobRecord {
     pub(crate) committed: Option<TaskRun>,
     /// Set if the commit itself failed.
     pub(crate) commit_error: Option<String>,
+    /// The submitted process — with `bindings`, enough to re-stage the
+    /// firing after a restart.
+    pub(crate) process: ProcessId,
+    /// The chosen input bindings, as journaled at submission.
+    pub(crate) bindings: Vec<(String, Vec<ObjectId>)>,
+    /// Cancelled before anything committed (terminal; kept so a
+    /// journal-recovered job cancelled before re-staging still reports
+    /// its status).
+    pub(crate) cancelled: bool,
 }
 
 impl JobRecord {
     /// Has the kernel resolved this job (committed or commit-failed)?
-    fn resolved(&self) -> bool {
+    pub(crate) fn resolved(&self) -> bool {
         self.committed.is_some() || self.commit_error.is_some()
     }
 }
@@ -110,6 +125,10 @@ impl JobRecord {
 pub(crate) struct JobManager {
     pub(crate) pool: JobPool<PreparedFiring>,
     pub(crate) records: BTreeMap<JobId, JobRecord>,
+    /// Submissions recovered from the event log but not yet re-staged
+    /// (typically: their external site is not registered again yet).
+    /// Restaging moves an id from here into the pool.
+    pub(crate) recovered: BTreeSet<JobId>,
     next_id: u64,
 }
 
@@ -118,6 +137,7 @@ impl JobManager {
         JobManager {
             pool: JobPool::from_env(),
             records: BTreeMap::new(),
+            recovered: BTreeSet::new(),
             next_id: 1,
         }
     }
@@ -126,6 +146,21 @@ impl JobManager {
         let id = JobId(self.next_id);
         self.next_id += 1;
         id
+    }
+
+    /// Never reallocate an id the journal has already seen.
+    pub(crate) fn resume_ids(&mut self, max_seen: u64) {
+        self.next_id = self.next_id.max(max_seen + 1);
+    }
+
+    /// The submissions a snapshot must carry: journaled jobs that are
+    /// neither resolved nor cancelled, in id order.
+    pub(crate) fn unresolved_submissions(&self) -> Vec<(u64, ProcessId, RecordedBindings)> {
+        self.records
+            .iter()
+            .filter(|(_, r)| !r.resolved() && !r.cancelled)
+            .map(|(id, r)| (id.0, r.process, r.bindings.clone()))
+            .collect()
     }
 }
 
@@ -241,15 +276,22 @@ impl Gaea {
             // born Done with the recorded task.
             ChosenFiring::Fired(run) => {
                 let task = self.catalog.task(run.task)?;
+                let bindings = task.inputs.clone().into_iter().collect();
+                let dedup_key = task.dedup_key();
                 let def = self.catalog.process(pid)?;
                 let record = JobRecord {
                     output_class: self.catalog.class(def.output)?.name.clone(),
-                    dedup_key: task.dedup_key(),
+                    dedup_key,
                     committed: Some(run),
                     commit_error: None,
+                    process: pid,
+                    bindings,
+                    cancelled: false,
                 };
                 let id = self.jobs.allocate();
                 self.jobs.records.insert(id, record);
+                // Born resolved: nothing to journal — a restart has the
+                // reused task on the books already.
                 Ok(id)
             }
             ChosenFiring::Bound(bindings) => {
@@ -267,12 +309,22 @@ impl Gaea {
                     dedup_key: dedup_key_for(def, &bindings),
                     committed: None,
                     commit_error: None,
+                    process: pid,
+                    bindings: bindings.clone(),
+                    cancelled: false,
                 };
                 let id = self.jobs.allocate();
                 self.jobs.records.insert(id, record);
                 self.jobs
                     .pool
                     .submit(id, move || staged.execute().map_err(|e| e.to_string()));
+                // Journal the submission (with its bindings) so a crash
+                // before the result commits re-stages it on reopen.
+                self.wal_append(Event::JobSubmit {
+                    job: id.0,
+                    process: pid,
+                    bindings,
+                })?;
                 Ok(id)
             }
         }
@@ -287,6 +339,9 @@ impl Gaea {
     /// query/refresh entry points, so finished results become visible
     /// wherever the kernel next looks.
     pub(crate) fn pump_jobs(&mut self) {
+        // Journal-recovered submissions whose site has come back re-enter
+        // the pool first, so this pump (or a later one) can commit them.
+        self.restage_recovered_jobs();
         let unresolved: Vec<JobId> = self
             .jobs
             .records
@@ -317,6 +372,45 @@ impl Gaea {
                 Ok(run) => record.committed = Some(run),
                 Err(e) => record.commit_error = Some(e.to_string()),
             }
+            // Resolve the submission in the journal. Best-effort: if the
+            // append fails the job merely re-stages on the next reopen,
+            // where task reuse dedups it against the committed result.
+            let _ = self.wal_append(Event::JobResolved { job: id.0 });
+        }
+    }
+
+    /// Try to re-stage every journal-recovered submission whose
+    /// prerequisites are back (in particular: its external site). Jobs
+    /// that still cannot stage stay journaled and are retried at the
+    /// next pump or [`Gaea::register_site`]; re-running them is safe
+    /// because task reuse resolves a re-staged duplicate to the already
+    /// committed record.
+    pub(crate) fn restage_recovered_jobs(&mut self) {
+        if self.jobs.recovered.is_empty() {
+            return;
+        }
+        let ids: Vec<JobId> = self.jobs.recovered.iter().copied().collect();
+        for id in ids {
+            let record = self
+                .jobs
+                .records
+                .get(&id)
+                .expect("recovered ids have records");
+            let pid = record.process;
+            let Ok(staged) = executor::stage_firing(
+                &self.db,
+                &self.catalog,
+                &self.registry,
+                &self.externals,
+                pid,
+                &record.bindings,
+            ) else {
+                continue;
+            };
+            self.jobs.recovered.remove(&id);
+            self.jobs
+                .pool
+                .submit(id, move || staged.execute().map_err(|e| e.to_string()));
         }
     }
 
@@ -348,6 +442,10 @@ impl Gaea {
             }
             Some(sched_jobs::JobStatus::Failed(e)) => JobStatus::Failed(e),
             Some(sched_jobs::JobStatus::Cancelled) => JobStatus::Cancelled,
+            // Cancelled before (re-)entering the pool.
+            None if record.cancelled => JobStatus::Cancelled,
+            // Journal-recovered, awaiting its site to re-stage: queued.
+            None if self.jobs.recovered.contains(&id) => JobStatus::Queued,
             // Reuse-resolved records never enter the pool; they were
             // handled above via `committed`.
             None => unreachable!("job record without commit state or pool entry"),
@@ -389,10 +487,29 @@ impl Gaea {
             kind: "job",
             id: id.0,
         })?;
-        if !record.resolved() && !self.jobs.pool.cancel(id) {
-            // The worker finished between the pump and the cancel: the
-            // result is already owed a commit — land it, then report.
-            self.pump_jobs();
+        if !record.resolved() {
+            if self.jobs.recovered.remove(&id) {
+                // Journal-recovered and never re-staged: nothing is
+                // running. Mark it cancelled and resolve it in the log so
+                // a reopen does not resurrect it.
+                self.jobs
+                    .records
+                    .get_mut(&id)
+                    .expect("checked above")
+                    .cancelled = true;
+                self.wal_append(Event::JobResolved { job: id.0 })?;
+            } else if self.jobs.pool.cancel(id) {
+                self.jobs
+                    .records
+                    .get_mut(&id)
+                    .expect("checked above")
+                    .cancelled = true;
+                self.wal_append(Event::JobResolved { job: id.0 })?;
+            } else {
+                // The worker finished between the pump and the cancel: the
+                // result is already owed a commit — land it, then report.
+                self.pump_jobs();
+            }
         }
         self.job_status_now(id)
     }
@@ -435,6 +552,12 @@ impl Gaea {
             if record.resolved() {
                 continue;
             }
+            // A journal-recovered submission awaiting its site is just as
+            // in-flight as a pooled one.
+            if self.jobs.recovered.contains(id) {
+                keys.entry(record.dedup_key.clone()).or_insert(*id);
+                continue;
+            }
             match self.jobs.pool.phase(*id) {
                 Some(JobPhase::Queued) | Some(JobPhase::Running) | Some(JobPhase::Done) => {
                     keys.entry(record.dedup_key.clone()).or_insert(*id);
@@ -455,10 +578,11 @@ impl Gaea {
             .filter(|(id, r)| {
                 !r.resolved()
                     && classes.contains(&r.output_class)
-                    && matches!(
-                        self.jobs.pool.phase(**id),
-                        Some(JobPhase::Queued) | Some(JobPhase::Running) | Some(JobPhase::Done)
-                    )
+                    && (self.jobs.recovered.contains(id)
+                        || matches!(
+                            self.jobs.pool.phase(**id),
+                            Some(JobPhase::Queued) | Some(JobPhase::Running) | Some(JobPhase::Done)
+                        ))
             })
             .map(|(id, _)| *id)
             .collect()

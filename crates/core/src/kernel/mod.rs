@@ -36,6 +36,7 @@
 pub mod access;
 pub mod cache;
 pub mod ddl;
+pub mod durability;
 pub mod exec;
 pub mod jobs;
 pub mod parallel;
@@ -48,6 +49,7 @@ mod tests;
 pub use access::AUTO_INDEX_THRESHOLD;
 pub use cache::{CacheStats, DerivedCache, SharedCache};
 pub use ddl::{ClassSpec, ProcessSpec};
+pub use durability::{DurabilityOptions, RecoveryStats};
 pub use jobs::{JobId, JobStatus};
 pub use parallel::RefreshReport;
 pub use provenance::{DriftedInput, StalenessReport, TaskCurrency};
@@ -87,6 +89,12 @@ pub struct Gaea {
     pub reuse_tasks: bool,
     /// Budget of alternative input bindings tried per process firing.
     pub binding_budget: usize,
+    /// The write-ahead event log, when this kernel was opened durably
+    /// ([`Gaea::open`]); `None` for in-memory and snapshot-loaded
+    /// kernels, which pay zero logging overhead. See [`durability`].
+    pub(crate) durability: Option<durability::Durability>,
+    /// What recovery did when this kernel opened durably.
+    pub(crate) recovery: Option<durability::RecoveryStats>,
 }
 
 impl Gaea {
@@ -107,15 +115,20 @@ impl Gaea {
             jobs: jobs::JobManager::new(),
             reuse_tasks: true,
             binding_budget: 32,
+            durability: None,
+            recovery: None,
         }
     }
 
     /// Register (or replace) an external execution site (§5 extension).
     /// Sites describe the *current environment*, not the catalog: they are
     /// not persisted by [`Gaea::save`] and must be re-registered after
-    /// [`Gaea::load`].
+    /// [`Gaea::load`] or [`Gaea::open`] — registering is also the moment
+    /// journaled in-flight jobs recovered by [`Gaea::open`] get their
+    /// site back, so they re-stage here.
     pub fn register_site(&mut self, name: &str, site: Arc<dyn ExternalExecutor>) {
         self.externals.register(name, site);
+        self.restage_recovered_jobs();
     }
 
     /// Remove an external site registration.
@@ -238,6 +251,8 @@ impl Gaea {
             jobs: jobs::JobManager::new(),
             reuse_tasks: true,
             binding_budget: 32,
+            durability: None,
+            recovery: None,
         })
     }
 }

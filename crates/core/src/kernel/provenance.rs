@@ -184,13 +184,15 @@ impl Gaea {
             self.catalog.task(*t)?;
         }
         let id = ExperimentId(self.db.allocate_oid());
-        self.catalog.add_experiment(Experiment {
+        let experiment = Experiment {
             id,
             name: name.into(),
             description: description.into(),
             user: self.user.clone(),
             tasks,
-        })?;
+        };
+        self.catalog.add_experiment(experiment.clone())?;
+        self.wal_append(super::durability::Event::DefineExperiment { def: experiment })?;
         Ok(id)
     }
 

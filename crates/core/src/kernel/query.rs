@@ -517,6 +517,9 @@ impl Gaea {
             let mut attrs = earlier.attrs.clone();
             attrs.insert("data".into(), Value::image(img));
             attrs.insert(TEMPORAL_ATTR.into(), Value::AbsTime(t));
+            // The inserted object and the lazily-registered interpolation
+            // process ride in the task's commit delta below.
+            let mark = self.wal_mark();
             let obj = executor::insert_object(&mut self.db, &mut self.catalog, &def, &attrs)?;
             let pid = self.interpolation_process(&def)?;
             let task_id = TaskId(self.db.allocate_oid());
@@ -542,6 +545,7 @@ impl Gaea {
                 kind: TaskKind::Interpolation,
                 children: vec![],
             });
+            self.wal_commit_delta(mark)?;
             // The interpolation is fresh, but its bracketing snapshots may
             // themselves be stale derivations — classify like step 1 does,
             // so the same object answers consistently however it is served.
@@ -1198,6 +1202,7 @@ impl Gaea {
                         _ => {
                             // No prior task, or the prior is stale.
                             let owned: Vec<(String, Vec<ObjectId>)> = bindings;
+                            let mark = self.wal_mark();
                             match executor::run_process(
                                 &mut self.db,
                                 &mut self.catalog,
@@ -1207,7 +1212,10 @@ impl Gaea {
                                 &owned,
                                 &self.user.clone(),
                             ) {
-                                Ok(run) => return Ok(ChosenFiring::Fired(run)),
+                                Ok(run) => {
+                                    self.wal_commit_delta(mark)?;
+                                    return Ok(ChosenFiring::Fired(run));
+                                }
                                 Err(e @ KernelError::AssertionFailed { .. }) => {
                                     last_err = Some(e); // guard rejected: next binding
                                 }

@@ -475,6 +475,63 @@ impl Database {
         self.allocator.peek()
     }
 
+    /// The next OID this database would allocate. Recorded by the
+    /// write-ahead log so replay can restore the allocator exactly.
+    pub fn next_oid(&self) -> u64 {
+        self.allocator.peek()
+    }
+
+    /// Advance the allocator so the next allocation is `next_oid` — a
+    /// no-op if the allocator is already at or past it. WAL replay calls
+    /// this per logged event; the allocator only ever moves forward.
+    pub fn resume_oids(&mut self, next_oid: u64) {
+        if next_oid > self.allocator.peek() {
+            self.allocator = OidAllocator::resume_after(next_oid - 1);
+        }
+    }
+
+    /// Start recording every version tick (see
+    /// [`VersionMap`]-level journaling). Durable databases only.
+    pub fn enable_version_journal(&mut self) {
+        self.versions.enable_journal();
+    }
+
+    /// Drain version ticks recorded since the last take.
+    pub fn take_version_journal(&mut self) -> Vec<(String, Vec<u64>)> {
+        self.versions.take_journal()
+    }
+
+    /// True when un-drained version ticks are pending.
+    pub fn version_journal_pending(&self) -> bool {
+        self.versions.journal_pending()
+    }
+
+    /// Replay a journaled version tick without bumping or re-journaling.
+    pub fn replay_bumps(&mut self, bumps: &[(String, Vec<u64>)]) {
+        for (rel, oids) in bumps {
+            self.versions.apply_recorded(rel, oids);
+        }
+    }
+
+    /// WAL replay: insert a tuple under its logged OID with no version
+    /// bump — the clock history is replayed separately from the journal.
+    pub fn replay_insert(&mut self, rel: &str, oid: Oid, tuple: Tuple) -> StoreResult<()> {
+        self.relation_mut(rel)?.insert(oid, tuple)?;
+        Ok(())
+    }
+
+    /// WAL replay: update in place, no version bump.
+    pub fn replay_update(&mut self, rel: &str, oid: Oid, tuple: Tuple) -> StoreResult<()> {
+        self.relation_mut(rel)?.update(oid, tuple)?;
+        Ok(())
+    }
+
+    /// WAL replay: delete, no version bump.
+    pub fn replay_delete(&mut self, rel: &str, oid: Oid) -> StoreResult<()> {
+        self.relation_mut(rel)?.delete(oid)?;
+        Ok(())
+    }
+
     /// Restore from snapshot parts.
     pub(crate) fn from_parts(
         relations: BTreeMap<String, Relation>,

@@ -15,7 +15,10 @@
 //! * undo-log [`txn::Txn`] transactions (rollback restores exactly the
 //!   pre-transaction state),
 //! * whole-database [`snapshot`] persistence (JSON manifest; image payloads
-//!   ride along through serde), and
+//!   ride along through serde),
+//! * an append-only, checksummed [`wal`] (length-prefixed records, group
+//!   commit with fsync batching, torn-tail-tolerant scan) — the durable
+//!   substrate under the kernel's event log, and
 //! * MVCC [`version`] counters: every mutation stamps the touched object
 //!   and relation with a fresh logical-clock value, so consumers can
 //!   validate memoized derived results in O(1) per input instead of
@@ -38,6 +41,7 @@ pub mod stats;
 pub mod tuple;
 pub mod txn;
 pub mod version;
+pub mod wal;
 
 pub use db::{Database, Relation};
 pub use error::{StoreError, StoreResult};
@@ -49,3 +53,4 @@ pub use stats::{ColumnStats, TableStats};
 pub use tuple::Tuple;
 pub use txn::Txn;
 pub use version::StoreSnapshot;
+pub use wal::{read_wal, WalScan, WalWriter};

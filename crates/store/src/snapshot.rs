@@ -31,22 +31,37 @@ struct Manifest {
     /// counters — conservative, since nothing recorded against them yet).
     #[serde(default)]
     versions: VersionMap,
+    /// WAL truncation watermark (format v4): sequence number of the last
+    /// logged event this snapshot already contains. On recovery, replay
+    /// skips log events at or below it — which makes a crash *during*
+    /// log truncation harmless, since re-replaying the untruncated log
+    /// is then a no-op. 0 for snapshots taken outside a WAL session
+    /// (and for v1–v3 manifests).
+    #[serde(default)]
+    wal_seq: u64,
 }
 
-/// Current format: 3 (v2 + per-relation optimizer stats and grid
-/// declarations). v1/v2 manifests still load: missing counters start
-/// fresh, missing stats/grids default empty and are recomputed by the
-/// post-load rebuild.
-const SNAPSHOT_VERSION: u32 = 3;
+/// Current format: 4 (v3 + the WAL truncation watermark). v1–v3
+/// manifests still load: missing counters start fresh, missing
+/// stats/grids default empty and are recomputed by the post-load
+/// rebuild, and a missing watermark is 0 (replay everything).
+const SNAPSHOT_VERSION: u32 = 4;
 
 /// Write the database to `dir/manifest.json` (creates `dir` if needed).
 pub fn save(db: &Database, dir: &Path) -> StoreResult<()> {
+    save_with_wal_seq(db, dir, 0)
+}
+
+/// Like [`save`], stamping the manifest with the WAL sequence number of
+/// the last event already folded into this snapshot.
+pub fn save_with_wal_seq(db: &Database, dir: &Path, wal_seq: u64) -> StoreResult<()> {
     fs::create_dir_all(dir)?;
     let manifest = Manifest {
         version: SNAPSHOT_VERSION,
         next_oid: db.allocator_peek(),
         relations: db.relations().clone(),
         versions: db.versions().clone(),
+        wal_seq,
     };
     let json = serde_json::to_string(&manifest).map_err(|e| StoreError::Codec(e.to_string()))?;
     // Write-then-rename for atomicity against torn writes.
@@ -59,6 +74,12 @@ pub fn save(db: &Database, dir: &Path) -> StoreResult<()> {
 
 /// Load a database from `dir/manifest.json`.
 pub fn load(dir: &Path) -> StoreResult<Database> {
+    Ok(load_with_wal_seq(dir)?.0)
+}
+
+/// Like [`load`], also returning the manifest's WAL truncation
+/// watermark (0 for pre-v4 manifests).
+pub fn load_with_wal_seq(dir: &Path) -> StoreResult<(Database, u64)> {
     let raw = fs::read_to_string(dir.join("manifest.json"))?;
     let manifest: Manifest =
         serde_json::from_str(&raw).map_err(|e| StoreError::Codec(e.to_string()))?;
@@ -68,10 +89,9 @@ pub fn load(dir: &Path) -> StoreResult<Database> {
             manifest.version
         )));
     }
-    Ok(Database::from_parts(
-        manifest.relations,
-        manifest.next_oid,
-        manifest.versions,
+    Ok((
+        Database::from_parts(manifest.relations, manifest.next_oid, manifest.versions),
+        manifest.wal_seq,
     ))
 }
 

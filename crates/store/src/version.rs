@@ -33,6 +33,13 @@ pub struct VersionMap {
     /// OID → clock value of its last mutation. Entries are never removed:
     /// deletion is a mutation like any other.
     objects: BTreeMap<u64, u64>,
+    /// When enabled (durable databases only), every tick is also recorded
+    /// here as `(relation, stamped oids)` so a write-ahead log can replay
+    /// the exact clock history — including bumps from rolled-back or
+    /// failed operations that no logged event otherwise accounts for.
+    /// Runtime-only: never serialized, absent after deserialization.
+    #[serde(skip)]
+    journal: Option<Vec<(String, Vec<u64>)>>,
 }
 
 impl VersionMap {
@@ -46,14 +53,56 @@ impl VersionMap {
                 self.relations.insert(rel.to_string(), self.clock);
             }
         }
+        if let Some(journal) = self.journal.as_mut() {
+            journal.push((rel.to_string(), vec![oid.0]));
+        }
     }
 
     /// Advance the clock and stamp every given oid plus the relation —
     /// used when a whole relation is dropped.
     pub(crate) fn bump_all(&mut self, rel: &str, oids: impl Iterator<Item = Oid>) {
         self.clock += 1;
+        let mut stamped = Vec::new();
         for oid in oids {
             self.objects.insert(oid.0, self.clock);
+            stamped.push(oid.0);
+        }
+        self.relations.insert(rel.to_string(), self.clock);
+        if let Some(journal) = self.journal.as_mut() {
+            journal.push((rel.to_string(), stamped));
+        }
+    }
+
+    /// Start journaling ticks (idempotent). Only durable databases pay
+    /// the recording cost; everyone else keeps `journal = None`.
+    pub(crate) fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Vec::new());
+        }
+    }
+
+    /// Drain the recorded ticks since the last take (empty when
+    /// journaling is off).
+    pub(crate) fn take_journal(&mut self) -> Vec<(String, Vec<u64>)> {
+        self.journal
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// True when journaling is on and ticks have accumulated since the
+    /// last [`VersionMap::take_journal`].
+    pub(crate) fn journal_pending(&self) -> bool {
+        self.journal.as_ref().is_some_and(|j| !j.is_empty())
+    }
+
+    /// Replay one recorded tick exactly as [`VersionMap::bump_all`]
+    /// applied it — one clock advance, stamping `oids` and `rel` — but
+    /// without re-journaling it.
+    pub(crate) fn apply_recorded(&mut self, rel: &str, oids: &[u64]) {
+        self.clock += 1;
+        for &oid in oids {
+            self.objects.insert(oid, self.clock);
         }
         self.relations.insert(rel.to_string(), self.clock);
     }
@@ -151,5 +200,31 @@ mod tests {
         assert_eq!(v.object(Oid(1)), 2);
         assert_eq!(v.object(Oid(2)), 2);
         assert_eq!(v.relation("r"), 2);
+    }
+
+    #[test]
+    fn journal_replay_reproduces_the_exact_counters() {
+        let mut live = VersionMap::default();
+        live.enable_journal();
+        live.bump("r", Oid(1));
+        live.bump_all("s", [Oid(2), Oid(3)].into_iter());
+        live.bump("r", Oid(1));
+        live.bump_all("t", std::iter::empty());
+        assert!(live.journal_pending());
+        let ticks = live.take_journal();
+        assert!(!live.journal_pending());
+        assert_eq!(ticks.len(), 4);
+
+        let mut replayed = VersionMap::default();
+        for (rel, oids) in &ticks {
+            replayed.apply_recorded(rel, oids);
+        }
+        assert_eq!(replayed.clock(), live.clock());
+        for oid in [1, 2, 3] {
+            assert_eq!(replayed.object(Oid(oid)), live.object(Oid(oid)));
+        }
+        for rel in ["r", "s", "t"] {
+            assert_eq!(replayed.relation(rel), live.relation(rel));
+        }
     }
 }

@@ -1,0 +1,383 @@
+//! Append-only, checksummed write-ahead log.
+//!
+//! The durable substrate under the kernel's event log: a single file of
+//! length-prefixed, CRC-checked records,
+//!
+//! ```text
+//! ┌────────────┬────────────┬────────────────────┐
+//! │ len: u32   │ crc32: u32 │ payload (len bytes)│  … repeated
+//! │ little-end │ IEEE, LE   │                    │
+//! └────────────┴────────────┴────────────────────┘
+//! ```
+//!
+//! The writer appends whole records and offers *group commit*: every
+//! append is written (and therefore survives a process crash — the OS
+//! holds the bytes), but the expensive `fsync` only runs every
+//! `fsync_every` records, trading a bounded window of machine-crash
+//! loss for throughput. [`read_wal`] scans back the longest valid prefix
+//! and reports exactly what it dropped: a torn tail (a record cut short
+//! by a crash mid-append) truncates cleanly, a checksum mismatch marks
+//! the log corrupt from that point on — either way every record before
+//! the damage is recovered.
+//!
+//! Crash injection for the fault-matrix CI lane lives here too
+//! (`CrashInjector`): `GAEA_CRASH_POINT={append,fsync,truncate}` plus
+//! `GAEA_CRASH_AFTER=<n-events>` abort the process mid-commit at the
+//! named boundary, which is how `scripts/crash_matrix.sh` manufactures
+//! the torn tails this module must survive.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Records larger than this are treated as corruption by the reader — a
+/// length prefix this big is a damaged header, not data.
+const MAX_RECORD: u32 = 1 << 30;
+
+/// CRC32 (IEEE 802.3, reflected) lookup table, built at compile time —
+/// the workspace vendors no checksum crate, and 256 u32s are cheap.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Where an injected crash fires, relative to one record append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CrashPoint {
+    /// Mid-append: half the record's bytes reach the file, then abort —
+    /// the torn-tail case recovery must truncate.
+    Append,
+    /// After the record is written (the OS has it) but before the
+    /// batch `fsync` — the group-commit boundary.
+    Fsync,
+    /// During snapshot truncation: after the snapshot pointer flipped,
+    /// before the log is actually truncated.
+    Truncate,
+}
+
+/// Fault injection armed from the environment: `GAEA_CRASH_POINT` names
+/// the boundary, `GAEA_CRASH_AFTER=<n>` lets `n` events commit normally
+/// first. Disarmed (the common case) when either variable is absent.
+#[derive(Debug)]
+struct CrashInjector {
+    point: Option<CrashPoint>,
+    after: u64,
+}
+
+impl CrashInjector {
+    fn from_env() -> CrashInjector {
+        let point = match std::env::var("GAEA_CRASH_POINT").as_deref() {
+            Ok("append") => Some(CrashPoint::Append),
+            Ok("fsync") => Some(CrashPoint::Fsync),
+            Ok("truncate") => Some(CrashPoint::Truncate),
+            _ => None,
+        };
+        let after = std::env::var("GAEA_CRASH_AFTER")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        CrashInjector { point, after }
+    }
+
+    /// Should the crash fire at `point`, given `events` appended so far?
+    fn armed(&self, point: CrashPoint, events: u64) -> bool {
+        self.point == Some(point) && events >= self.after
+    }
+}
+
+/// Append half of WAL I/O: group-committed record writes.
+pub struct WalWriter {
+    file: File,
+    /// `fsync` every N appends; 1 = sync every event.
+    fsync_every: u64,
+    /// Appends since the last sync.
+    unsynced: u64,
+    /// Records appended over this writer's lifetime (crash-injection
+    /// event counter).
+    appended: u64,
+    injector: CrashInjector,
+}
+
+impl WalWriter {
+    /// Open (creating if absent) the log at `path` for appending,
+    /// truncating it to `valid_len` first — the caller just scanned the
+    /// file with [`read_wal`] and `valid_len` is the end of the last
+    /// intact record; anything beyond it is a torn tail to drop.
+    pub fn open(path: &Path, valid_len: u64, fsync_every: u64) -> std::io::Result<WalWriter> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        file.set_len(valid_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        Ok(WalWriter {
+            file,
+            fsync_every: fsync_every.max(1),
+            unsynced: 0,
+            appended: 0,
+            injector: CrashInjector::from_env(),
+        })
+    }
+
+    /// Append one record. The bytes are written to the OS immediately
+    /// (a process crash after `append` returns loses nothing); the
+    /// durable `fsync` runs once per `fsync_every` appends.
+    pub fn append(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        let mut record = Vec::with_capacity(8 + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&crc32(payload).to_le_bytes());
+        record.extend_from_slice(payload);
+        if self.injector.armed(CrashPoint::Append, self.appended) {
+            // Torn-tail injection: half the record reaches the file.
+            let half = 8 + payload.len() / 2;
+            self.file.write_all(&record[..half])?;
+            let _ = self.file.sync_data();
+            std::process::abort();
+        }
+        self.file.write_all(&record)?;
+        self.appended += 1;
+        self.unsynced += 1;
+        if self.injector.armed(CrashPoint::Fsync, self.appended) {
+            // The record is in the OS but the batch sync has not run —
+            // the group-commit window a machine crash could lose.
+            std::process::abort();
+        }
+        if self.unsynced >= self.fsync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Force the pending batch to disk.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        if self.unsynced > 0 {
+            self.file.sync_data()?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Abort here if the injector is armed on the truncation boundary —
+    /// called by the snapshot path after flipping its pointer, before
+    /// [`WalWriter::truncate`].
+    pub fn crash_before_truncate(&self) {
+        if self.injector.armed(CrashPoint::Truncate, self.appended) {
+            std::process::abort();
+        }
+    }
+
+    /// Reset the log to empty — the snapshot that supersedes its events
+    /// is durably on disk.
+    pub fn truncate(&mut self) -> std::io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Records appended over this writer's lifetime.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+}
+
+/// Result of scanning a log file: every intact record plus an exact
+/// account of what (if anything) was dropped.
+#[derive(Debug, Default)]
+pub struct WalScan {
+    /// Payloads of the valid prefix, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// File offset where the valid prefix ends — open the writer at this
+    /// length to drop the damage.
+    pub valid_len: u64,
+    /// Bytes beyond the valid prefix (0 for a clean log).
+    pub dropped_bytes: u64,
+    /// True when the damage was a checksum mismatch or absurd length
+    /// (bit rot / interleaved write), not just a crash-torn tail.
+    pub corrupt: bool,
+}
+
+/// Scan the log at `path`, recovering the longest valid record prefix.
+/// A missing file is an empty, clean log. The scan stops at the first
+/// record that is cut short (torn tail) or fails its checksum
+/// (corruption); everything before it is returned.
+pub fn read_wal(path: &Path) -> std::io::Result<WalScan> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(WalScan::default()),
+        Err(e) => return Err(e),
+    }
+    let mut scan = WalScan::default();
+    let total = bytes.len();
+    let mut pos = 0usize;
+    while pos + 8 <= total {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_RECORD {
+            scan.corrupt = true;
+            break;
+        }
+        let end = pos + 8 + len as usize;
+        if end > total {
+            // Torn tail: the record started but the crash cut it short.
+            break;
+        }
+        let payload = &bytes[pos + 8..end];
+        if crc32(payload) != crc {
+            scan.corrupt = true;
+            break;
+        }
+        scan.records.push(payload.to_vec());
+        pos = end;
+    }
+    scan.valid_len = pos as u64;
+    scan.dropped_bytes = (total - pos) as u64;
+    Ok(scan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn temp(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gaea-wal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.log")
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_read_round_trip() {
+        let path = temp("rt");
+        let mut w = WalWriter::open(&path, 0, 1).unwrap();
+        w.append(b"alpha").unwrap();
+        w.append(b"").unwrap();
+        w.append(b"gamma-gamma").unwrap();
+        let scan = read_wal(&path).unwrap();
+        assert_eq!(
+            scan.records,
+            vec![b"alpha".to_vec(), vec![], b"gamma-gamma".to_vec()]
+        );
+        assert_eq!(scan.dropped_bytes, 0);
+        assert!(!scan.corrupt);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let path = temp("torn");
+        let mut w = WalWriter::open(&path, 0, 1).unwrap();
+        w.append(b"keep-me").unwrap();
+        w.append(b"doomed-record").unwrap();
+        drop(w);
+        // Cut the last record short, as a crash mid-append would.
+        let len = fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 5).unwrap();
+        let scan = read_wal(&path).unwrap();
+        assert_eq!(scan.records, vec![b"keep-me".to_vec()]);
+        assert!(scan.dropped_bytes > 0);
+        assert!(!scan.corrupt, "a torn tail is a crash, not corruption");
+        // Reopening at valid_len drops the tail; new appends land clean.
+        let mut w = WalWriter::open(&path, scan.valid_len, 1).unwrap();
+        w.append(b"after-recovery").unwrap();
+        let scan = read_wal(&path).unwrap();
+        assert_eq!(
+            scan.records,
+            vec![b"keep-me".to_vec(), b"after-recovery".to_vec()]
+        );
+        assert_eq!(scan.dropped_bytes, 0);
+    }
+
+    #[test]
+    fn checksum_corruption_is_detected_and_stops_the_scan() {
+        let path = temp("crc");
+        let mut w = WalWriter::open(&path, 0, 1).unwrap();
+        w.append(b"good").unwrap();
+        w.append(b"flipped").unwrap();
+        w.append(b"unreachable").unwrap();
+        drop(w);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one payload byte of the second record.
+        let second_payload = 8 + 4 + 8;
+        bytes[second_payload] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let scan = read_wal(&path).unwrap();
+        assert_eq!(scan.records, vec![b"good".to_vec()]);
+        assert!(scan.corrupt);
+        assert!(scan.dropped_bytes > 0);
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_clean_log() {
+        let path = temp("none");
+        let scan = read_wal(&path).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.valid_len, 0);
+        assert!(!scan.corrupt);
+    }
+
+    #[test]
+    fn truncate_resets_the_log() {
+        let path = temp("trunc");
+        let mut w = WalWriter::open(&path, 0, 8).unwrap();
+        for i in 0..5 {
+            w.append(format!("e{i}").as_bytes()).unwrap();
+        }
+        w.truncate().unwrap();
+        w.append(b"fresh").unwrap();
+        w.sync().unwrap();
+        let scan = read_wal(&path).unwrap();
+        assert_eq!(scan.records, vec![b"fresh".to_vec()]);
+    }
+
+    #[test]
+    fn absurd_length_prefix_reads_as_corruption() {
+        let path = temp("len");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let scan = read_wal(&path).unwrap();
+        assert!(scan.records.is_empty());
+        assert!(scan.corrupt);
+    }
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Fault-injection matrix for the durability tentpole (CI `crash` job).
+#
+# For every crash point the store's injector knows —
+#   append    abort mid log append (a torn record on disk)
+#   fsync     abort at a group-commit batch boundary, before the sync
+#   truncate  abort during snapshot truncation, snapshot written but
+#             the log not yet clipped
+# — and several arming positions, run the deterministic workload in
+# examples/crash_harness.rs until the injected abort kills the process,
+# then reopen and verify the recovered state is the exact committed
+# prefix. Finally re-run the workload to completion on the recovered
+# directory and verify again: recovery must leave a store you can keep
+# writing to, not just read.
+#
+# Usage: scripts/crash_matrix.sh  (run from the repo root)
+
+set -u
+
+HARNESS="target/release/examples/crash_harness"
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+failures=0
+
+echo "building crash harness..."
+cargo build --release --example crash_harness --quiet || exit 1
+
+# The fsync lane batches group commit (GAEA_FSYNC_EVERY=4) so the
+# armed sync really is a batch boundary; the other lanes sync every
+# event, the strictest setting.
+fsync_batch() {
+    case "$1" in
+        fsync) echo 4 ;;
+        *) echo 1 ;;
+    esac
+}
+
+run_case() {
+    local point="$1" after="$2"
+    local dir="$SCRATCH/$point-$after"
+    local batch
+    batch="$(fsync_batch "$point")"
+    rm -rf "$dir"
+
+    # Phase 1: the workload must NOT survive — the injector aborts it.
+    if GAEA_CRASH_POINT="$point" GAEA_CRASH_AFTER="$after" \
+       GAEA_FSYNC_EVERY="$batch" "$HARNESS" workload "$dir" >/dev/null 2>&1; then
+        echo "FAIL [$point/$after]: workload completed, injector never fired"
+        failures=$((failures + 1))
+        return
+    fi
+
+    # Phase 2: recovery must reconstruct the committed prefix.
+    if ! GAEA_FSYNC_EVERY="$batch" "$HARNESS" verify "$dir"; then
+        echo "FAIL [$point/$after]: recovery verification failed"
+        failures=$((failures + 1))
+        return
+    fi
+
+    # Phase 3: the recovered store stays writable — finish the workload
+    # with injection off, then verify once more.
+    if ! GAEA_FSYNC_EVERY="$batch" "$HARNESS" workload "$dir" >/dev/null; then
+        echo "FAIL [$point/$after]: post-recovery workload failed"
+        failures=$((failures + 1))
+        return
+    fi
+    if ! GAEA_FSYNC_EVERY="$batch" "$HARNESS" verify "$dir" >/dev/null; then
+        echo "FAIL [$point/$after]: post-recovery verification failed"
+        failures=$((failures + 1))
+        return
+    fi
+    echo "ok   [$point/$after]"
+}
+
+for point in append fsync truncate; do
+    for after in 1 5 9 17; do
+        run_case "$point" "$after"
+    done
+done
+
+if [ "$failures" -ne 0 ]; then
+    echo "crash matrix: $failures case(s) failed"
+    exit 1
+fi
+echo "crash matrix: all cases recovered cleanly"

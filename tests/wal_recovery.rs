@@ -1,0 +1,325 @@
+//! Crash recovery end to end (durability tentpole): a durable kernel
+//! reopened after losing its process reconstructs the exact pre-crash
+//! state — including *in-flight derivation jobs*, whose journaled
+//! submissions re-stage and complete after restart, committing task
+//! records byte-identical to a run that never crashed.
+//!
+//! The gated-site idiom mirrors `tests/async_jobs.rs`: the "crash"
+//! happens while every submitted firing is provably still blocked at
+//! the remote site, so nothing has committed yet and everything must
+//! come back from the job journal alone.
+
+use gaea::adt::{AbsTime, TypeTag, Value};
+use gaea::core::external::SimulatedSite;
+use gaea::core::kernel::{ClassSpec, DurabilityOptions, Gaea, JobStatus, ProcessSpec};
+use gaea::core::{JobId, KernelError, KernelResult};
+use gaea::lang::Retrieve as _;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+static DIRS: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let n = DIRS.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("gaea-walrec-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn day(d: u32) -> AbsTime {
+    AbsTime::from_ymd(1986, 1, d).unwrap()
+}
+
+/// The remote mapping `v → 2·v` shared by every site here.
+fn double_v(
+    inputs: &gaea::core::external::ExternalInputs,
+) -> KernelResult<BTreeMap<String, Value>> {
+    let v = inputs["x"][0]
+        .attr("v")
+        .and_then(Value::as_i64)
+        .unwrap_or(0);
+    let mut out = BTreeMap::new();
+    out.insert("v".to_string(), Value::Int4((v as i32) * 2));
+    Ok(out)
+}
+
+/// A site that blocks on a channel until released — the firing a crash
+/// interrupts.
+fn gated_site() -> (Arc<SimulatedSite>, Sender<()>) {
+    let (tx, rx) = channel::<()>();
+    let rx = Mutex::new(rx);
+    let site = Arc::new(SimulatedSite::new("slow_site", move |_def, inputs| {
+        rx.lock()
+            .expect("gate receiver lock")
+            .recv()
+            .map_err(|_| KernelError::Template("site gate dropped".into()))?;
+        double_v(inputs)
+    }));
+    (site, tx)
+}
+
+/// A site that answers immediately.
+fn free_site() -> Arc<SimulatedSite> {
+    Arc::new(SimulatedSite::new("slow_site", |_def, inputs| {
+        double_v(inputs)
+    }))
+}
+
+/// Schema + data every test uses: `n_obs` timestamped observations and
+/// the external `REMOTE: obs → remote_out` at `slow_site`.
+fn populate(g: &mut Gaea, site: Arc<SimulatedSite>, n_obs: u32) {
+    g.define_class(ClassSpec::base("obs").attr("v", TypeTag::Int4))
+        .unwrap();
+    g.define_class(ClassSpec::derived("remote_out").attr("v", TypeTag::Int4))
+        .unwrap();
+    g.define_external_process(
+        ProcessSpec::new("REMOTE", "remote_out").arg("x", "obs"),
+        "slow_site",
+    )
+    .unwrap();
+    g.register_site("slow_site", site);
+    for i in 0..n_obs {
+        g.insert_object(
+            "obs",
+            vec![
+                ("v", Value::Int4(10 + i as i32)),
+                ("timestamp", Value::AbsTime(day(1 + i))),
+            ],
+        )
+        .unwrap();
+    }
+}
+
+/// The committed REMOTE task records, in sequence order, as JSON — the
+/// "byte-identical" yardstick.
+fn remote_tasks_json(g: &Gaea) -> Vec<String> {
+    let pid = g.catalog().process_by_name("REMOTE").unwrap().id;
+    let mut tasks: Vec<_> = g.catalog().tasks_of_process(pid).collect();
+    tasks.sort_by_key(|t| t.seq);
+    tasks
+        .iter()
+        .map(|t| serde_json::to_string(t).unwrap())
+        .collect()
+}
+
+fn submit_n(g: &mut Gaea, n: u32) -> Vec<JobId> {
+    (1..=n)
+        .map(|d| {
+            g.retrieve_job(&format!(
+                "RETRIEVE * FROM remote_out WHERE AT \"1986-01-0{d}\" DERIVE ASYNC"
+            ))
+            .unwrap()
+        })
+        .collect()
+}
+
+fn await_all(g: &mut Gaea, jobs: &[JobId]) {
+    for id in jobs {
+        match g.await_job(*id, Duration::from_secs(10)).unwrap() {
+            JobStatus::Done(_) => {}
+            other => panic!("job {id:?} did not complete: {other:?}"),
+        }
+    }
+}
+
+/// Serialize the persistent state via [`Gaea::save`].
+fn state_digest(g: &Gaea, tag: &str) -> (String, String) {
+    let scratch = fresh_dir(tag);
+    g.save(&scratch).unwrap();
+    let manifest = std::fs::read_to_string(scratch.join("manifest.json")).unwrap();
+    let catalog = std::fs::read_to_string(scratch.join("catalog.json")).unwrap();
+    let _ = std::fs::remove_dir_all(&scratch);
+    (manifest, catalog)
+}
+
+fn options() -> DurabilityOptions {
+    DurabilityOptions {
+        fsync_every: 1,
+        snapshot_every: 0,
+    }
+}
+
+// ----------------------------------------------------------------------
+// The acceptance scenario: jobs survive a restart
+// ----------------------------------------------------------------------
+
+/// Submit N derivations against a gated site, drop the kernel with all
+/// N still in flight, reopen: all N re-stage from the job journal and
+/// complete, and the committed task records are identical to a run
+/// that never crashed.
+#[test]
+fn in_flight_jobs_restage_and_commit_identically_after_restart() {
+    const N: u32 = 3;
+    let dir = fresh_dir("jobs");
+    let (site, gate) = gated_site();
+    let mut g = Gaea::open_with(&dir, options()).unwrap();
+    populate(&mut g, site, N);
+    // One job worker on every kernel in this test: execution (and so
+    // commit seq assignment) follows submission order deterministically,
+    // which is what makes the byte-for-byte comparison below valid.
+    g.set_job_workers(1);
+    let jobs = submit_n(&mut g, N);
+    assert_eq!(remote_tasks_json(&g).len(), 0, "nothing committed yet");
+    drop(g); // the "crash": every firing still blocked at the site
+    drop(gate);
+
+    let mut g = Gaea::open_with(&dir, options()).unwrap();
+    let stats = g.recovery_stats().unwrap().clone();
+    assert_eq!(stats.jobs_restaged, N as u64);
+    // Until the site is re-registered the recovered jobs wait, queued.
+    let listed = g.jobs();
+    assert_eq!(listed.len(), N as usize);
+    for (id, status) in &listed {
+        assert!(
+            matches!(status, JobStatus::Queued),
+            "job {id:?} should be queued before the site returns, got {status:?}"
+        );
+    }
+    g.set_job_workers(1);
+    g.register_site("slow_site", free_site());
+    await_all(&mut g, &jobs);
+    let recovered = remote_tasks_json(&g);
+    assert_eq!(recovered.len(), N as usize);
+
+    // Twin run: same schema, same submissions, no crash.
+    let mut t = Gaea::in_memory();
+    populate(&mut t, free_site(), N);
+    t.set_job_workers(1);
+    let twin_jobs = submit_n(&mut t, N);
+    await_all(&mut t, &twin_jobs);
+    assert_eq!(
+        recovered,
+        remote_tasks_json(&t),
+        "recovered task records must be byte-identical to the uncrashed run"
+    );
+    drop(g);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A checkpoint taken while jobs are in flight carries the pending
+/// submissions into the snapshot: truncating the log cannot lose them.
+#[test]
+fn checkpoint_preserves_pending_jobs_across_truncation() {
+    const N: u32 = 2;
+    let dir = fresh_dir("ckpt-jobs");
+    let (site, gate) = gated_site();
+    let mut g = Gaea::open_with(&dir, options()).unwrap();
+    populate(&mut g, site, N);
+    let jobs = submit_n(&mut g, N);
+    g.checkpoint().unwrap(); // truncates the log; jobs move to jobs.json
+    drop(g);
+    drop(gate);
+
+    let mut g = Gaea::open_with(&dir, options()).unwrap();
+    let stats = g.recovery_stats().unwrap().clone();
+    assert!(
+        stats.snapshot_seq > 0,
+        "checkpoint must have advanced the watermark"
+    );
+    assert_eq!(stats.events_replayed, 0, "the log was truncated");
+    assert_eq!(stats.jobs_restaged, N as u64);
+    g.register_site("slow_site", free_site());
+    await_all(&mut g, &jobs);
+    assert_eq!(remote_tasks_json(&g).len(), N as usize);
+    drop(g);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Cancelling a recovered job resolves it durably: it does not come
+/// back on the next restart.
+#[test]
+fn cancelled_recovered_jobs_stay_cancelled() {
+    let dir = fresh_dir("cancel");
+    let (site, gate) = gated_site();
+    let mut g = Gaea::open_with(&dir, options()).unwrap();
+    populate(&mut g, site, 2);
+    let jobs = submit_n(&mut g, 2);
+    drop(g);
+    drop(gate);
+
+    let mut g = Gaea::open_with(&dir, options()).unwrap();
+    assert_eq!(g.recovery_stats().unwrap().jobs_restaged, 2);
+    // Cancel the first before any site comes back.
+    assert_eq!(g.cancel_job(jobs[0]).unwrap(), JobStatus::Cancelled);
+    drop(g);
+
+    let mut g = Gaea::open_with(&dir, options()).unwrap();
+    assert_eq!(
+        g.recovery_stats().unwrap().jobs_restaged,
+        1,
+        "the cancelled job must not be restaged again"
+    );
+    g.register_site("slow_site", free_site());
+    await_all(&mut g, &jobs[1..]);
+    drop(g);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ----------------------------------------------------------------------
+// Synchronous lifecycle: external firings, queries, restarts
+// ----------------------------------------------------------------------
+
+/// External definitions and query-driven external firings replay: a
+/// kernel that defined an external process, fired it synchronously
+/// through the query pipeline, and was restarted is serde-identical to
+/// its live self — and keeps working after the restart.
+#[test]
+fn synchronous_external_firings_replay_exactly() {
+    let dir = fresh_dir("sync");
+    let mut g = Gaea::open_with(&dir, options()).unwrap();
+    populate(&mut g, free_site(), 2);
+    // Fire through the query pipeline (choose_or_fire commit path).
+    let out = g.retrieve("RETRIEVE * FROM remote_out DERIVE").unwrap();
+    assert!(!out.objects.is_empty());
+    let fired = remote_tasks_json(&g).len();
+    assert!(fired > 0, "the DERIVE query must have committed a firing");
+    let before = state_digest(&g, "sync-live");
+    drop(g);
+
+    let mut g = Gaea::open_with(&dir, options()).unwrap();
+    assert_eq!(state_digest(&g, "sync-replayed"), before);
+    assert_eq!(remote_tasks_json(&g).len(), fired);
+    // The replayed catalog still drives new work: re-register the site
+    // and derive against fresh data.
+    g.register_site("slow_site", free_site());
+    let new_obs = g
+        .insert_object(
+            "obs",
+            vec![
+                ("v", Value::Int4(40)),
+                ("timestamp", Value::AbsTime(day(9))),
+            ],
+        )
+        .unwrap();
+    g.run_process("REMOTE", &[("x", vec![new_obs])]).unwrap();
+    assert!(
+        remote_tasks_json(&g).len() > fired,
+        "the replayed catalog must still drive new derivations"
+    );
+    drop(g);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Recovery stats on a clean, snapshot-less reopen count every event
+/// and report an intact log.
+#[test]
+fn recovery_stats_report_clean_replay() {
+    let dir = fresh_dir("stats");
+    let mut g = Gaea::open_with(&dir, options()).unwrap();
+    populate(&mut g, free_site(), 2);
+    drop(g);
+    let g = Gaea::open_with(&dir, options()).unwrap();
+    let stats = g.recovery_stats().unwrap();
+    // 3 definitions + 2 inserts.
+    assert_eq!(stats.events_replayed, 5);
+    assert_eq!(stats.jobs_restaged, 0);
+    assert_eq!(stats.snapshot_seq, 0);
+    assert_eq!(stats.wal_dropped_bytes, 0);
+    assert!(!stats.wal_corrupt);
+    drop(g);
+    let _ = std::fs::remove_dir_all(&dir);
+}
