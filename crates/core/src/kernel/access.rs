@@ -207,38 +207,49 @@ pub(crate) fn plan_relation_scan(rel: &Relation, class: &str, pred: &Predicate) 
     }
 }
 
+/// Plan and run one class-extent scan against any database — the live
+/// store or a [`gaea_store::PinnedStore`] view — returning matching OIDs
+/// in ascending order plus the EXPLAIN record. Indexed paths re-filter
+/// every candidate with the full compiled predicate, so the answer set
+/// is identical to a heap scan's.
+pub(crate) fn scan_class_in(
+    db: &gaea_store::Database,
+    def: &ClassDef,
+    pred: &Predicate,
+) -> KernelResult<(Vec<Oid>, ScanPlan)> {
+    let rel = db.relation(&def.relation_name())?;
+    let planned = plan_relation_scan(rel, &def.name, pred);
+    let oids = match planned.oids {
+        Some(cands) => {
+            let compiled = pred.compile(rel.schema())?;
+            let mut out: Vec<Oid> = cands
+                .into_iter()
+                .filter(|oid| rel.get(*oid).map(|t| compiled.matches(t)).unwrap_or(false))
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            out
+        }
+        None => {
+            let mut out = rel.scan_oids(pred)?;
+            // Heap order is storage order; normalize to OID order so
+            // every path answers identically.
+            out.sort_unstable();
+            out
+        }
+    };
+    Ok((oids, planned.plan))
+}
+
 impl Gaea {
-    /// Plan and run one class-extent scan, returning matching OIDs in
-    /// ascending order plus the EXPLAIN record. Indexed paths re-filter
-    /// every candidate with the full compiled predicate, so the answer
-    /// set is identical to a heap scan's.
+    /// Plan and run one class-extent scan over the live store. See
+    /// [`scan_class_in`].
     pub(crate) fn scan_class(
         &self,
         def: &ClassDef,
         pred: &Predicate,
     ) -> KernelResult<(Vec<Oid>, ScanPlan)> {
-        let rel = self.db.relation(&def.relation_name())?;
-        let planned = plan_relation_scan(rel, &def.name, pred);
-        let oids = match planned.oids {
-            Some(cands) => {
-                let compiled = pred.compile(rel.schema())?;
-                let mut out: Vec<Oid> = cands
-                    .into_iter()
-                    .filter(|oid| rel.get(*oid).map(|t| compiled.matches(t)).unwrap_or(false))
-                    .collect();
-                out.sort_unstable();
-                out.dedup();
-                out
-            }
-            None => {
-                let mut out = rel.scan_oids(pred)?;
-                // Heap order is storage order; normalize to OID order so
-                // every path answers identically.
-                out.sort_unstable();
-                out
-            }
-        };
-        Ok((oids, planned.plan))
+        scan_class_in(&self.db, def, pred)
     }
 
     /// Count a class extent under a predicate through the planned access

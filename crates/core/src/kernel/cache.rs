@@ -171,6 +171,16 @@ impl DerivedCache {
         if !self.enabled {
             return;
         }
+        // Replacing an entry under the same hash (a re-recorded firing,
+        // or a genuine 64-bit collision) must unlink the *old* entry's
+        // reverse-index edges first: a blind overwrite would leave
+        // `by_input`/`by_output` sets pointing at a hash that now names
+        // a different derivation, so eager invalidation of the old
+        // entry's inputs would evict the new entry (over-invalidation)
+        // and the dangling sets would never be reclaimed.
+        if self.entries.contains_key(&hash) {
+            self.remove_entry(hash);
+        }
         for (input, _) in &inputs {
             self.by_input.entry(*input).or_default().insert(hash);
         }
@@ -237,6 +247,14 @@ impl DerivedCache {
                 removed += 1;
                 queue.extend(entry.outputs.iter().map(|(o, _)| *o));
             }
+            // Every key linked to `dirty` was just processed, so its
+            // reverse-index sets are spent. Dropping them here (rather
+            // than trusting `remove_entry`'s per-key unlink) also sweeps
+            // *dangling* keys — links a writer that panicked between
+            // linking and publishing its entry left behind, which name
+            // no entry and would otherwise accumulate forever.
+            self.by_input.remove(&dirty);
+            self.by_output.remove(&dirty);
         }
         self.invalidations += removed as u64;
         removed
@@ -406,6 +424,53 @@ mod tests {
         // Gone for good: the next lookup is a plain miss.
         assert!(cache.lookup_where(h, &c, |_, _| true).is_none());
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn replacing_a_hash_collision_unlinks_the_old_entry() {
+        // Two different canonicals forced under one hash: the second
+        // insert must fully retire the first entry's reverse-index
+        // edges, or invalidating the *old* entry's input would evict
+        // the new entry and leave dangling sets behind.
+        let mut cache = DerivedCache::new();
+        cache.set_enabled(true);
+        let h = 0xdead_beef;
+        cache.insert(
+            h,
+            "old-canonical".into(),
+            TaskId(Oid(500)),
+            versioned(&[1]),
+            versioned(&[10]),
+        );
+        cache.insert(
+            h,
+            "new-canonical".into(),
+            TaskId(Oid(501)),
+            versioned(&[2]),
+            versioned(&[20]),
+        );
+        // Invalidating the old entry's input touches nothing now.
+        assert_eq!(cache.invalidate_object(oid(1)), 0);
+        let hit = cache.lookup_where(h, "new-canonical", |_, _| true);
+        assert_eq!(hit, Some((TaskId(Oid(501)), vec![oid(20)])));
+        // And the new entry still invalidates through its own edges.
+        assert_eq!(cache.invalidate_object(oid(2)), 1);
+        assert!(cache
+            .lookup_where(h, "new-canonical", |_, _| true)
+            .is_none());
+    }
+
+    #[test]
+    fn invalidation_sweeps_dangling_reverse_index_links() {
+        // Simulate the half-applied state a writer panicking mid-insert
+        // leaves behind: reverse-index links published, entry not yet.
+        let mut cache = DerivedCache::new();
+        cache.set_enabled(true);
+        cache.by_input.entry(oid(1)).or_default().insert(0x1111);
+        cache.by_output.entry(oid(1)).or_default().insert(0x2222);
+        assert_eq!(cache.invalidate_object(oid(1)), 0);
+        assert!(cache.by_input.is_empty());
+        assert!(cache.by_output.is_empty());
     }
 
     #[test]

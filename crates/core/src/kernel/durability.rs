@@ -536,6 +536,22 @@ impl Gaea {
     }
 }
 
+impl Gaea {
+    /// Consume the kernel with a **checked** clean shutdown: flush the
+    /// residual version ticks and fsync the log, surfacing any error.
+    ///
+    /// `Drop` performs the same flush best-effort (an error there has no
+    /// one to report to); operator-facing shutdown paths — the server's
+    /// graceful stop in particular — must use `close` instead so an
+    /// fsync failure reaches the operator and the process can exit
+    /// nonzero rather than silently discarding the durable tail.
+    pub fn close(mut self) -> KernelResult<()> {
+        self.flush_wal()
+        // Drop re-flushes; with the journal drained and the log synced
+        // that is a no-op sync.
+    }
+}
+
 impl Drop for Gaea {
     fn drop(&mut self) {
         // Best-effort clean-shutdown flush; a crash skips this and

@@ -420,6 +420,25 @@ impl Gaea {
         self.job_status_now(id)
     }
 
+    /// Every job the kernel knows, with its status *right now* (no
+    /// pumping, `&self`) and its output class — what a snapshot-pinned
+    /// [`super::readonly::ReadView`] freezes as its job board. Finished
+    /// results the kernel has not committed yet report `Running`, exactly
+    /// like [`Gaea::job_status`] would after its pump found nothing.
+    pub(crate) fn job_board(&self) -> Vec<super::readonly::PinnedJob> {
+        self.jobs
+            .records
+            .iter()
+            .map(|(id, record)| super::readonly::PinnedJob {
+                id: *id,
+                status: self
+                    .job_status_now(*id)
+                    .expect("listed record always has a status"),
+                output_class: record.output_class.clone(),
+            })
+            .collect()
+    }
+
     /// Status without pumping (the caller just pumped).
     fn job_status_now(&self, id: JobId) -> KernelResult<JobStatus> {
         let record = self.jobs.records.get(&id).ok_or(KernelError::NoSuchId {

@@ -42,6 +42,8 @@ pub mod jobs;
 pub mod parallel;
 pub mod provenance;
 pub mod query;
+pub mod readonly;
+pub mod session;
 
 #[cfg(test)]
 mod tests;
@@ -53,6 +55,8 @@ pub use durability::{DurabilityOptions, RecoveryStats};
 pub use jobs::{JobId, JobStatus};
 pub use parallel::RefreshReport;
 pub use provenance::{DriftedInput, StalenessReport, TaskCurrency};
+pub use readonly::{PinnedJob, ReadView};
+pub use session::SharedKernel;
 
 use crate::catalog::Catalog;
 use crate::error::{KernelError, KernelResult};

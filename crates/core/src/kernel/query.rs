@@ -164,54 +164,7 @@ impl Gaea {
     /// match nothing — projections must name known attributes, and a
     /// pinned `USING` process must exist and produce a target class.
     pub(crate) fn validate_query(&self, classes: &[String], q: &Query) -> KernelResult<()> {
-        for name in classes {
-            let def = self.catalog.class_by_name(name)?;
-            for pred in &q.attr_preds {
-                let Some(attr) = def.attr(&pred.attr) else {
-                    return Err(KernelError::Schema(format!(
-                        "query predicate on unknown attribute {:?} of class {}",
-                        pred.attr, def.name
-                    )));
-                };
-                if attr.tag != pred.value.type_tag() {
-                    return Err(KernelError::Schema(format!(
-                        "query predicate compares attribute {:?} of class {} ({}) \
-                         against a {} constant",
-                        pred.attr,
-                        def.name,
-                        attr.tag,
-                        pred.value.type_tag()
-                    )));
-                }
-            }
-            for attr in &q.projection {
-                if def.attr(attr).is_none() {
-                    return Err(KernelError::Schema(format!(
-                        "query projects unknown attribute {attr:?} of class {}",
-                        def.name
-                    )));
-                }
-            }
-            if let Some(ob) = &q.order_by {
-                if def.attr(&ob.attr).is_none() {
-                    return Err(KernelError::Schema(format!(
-                        "query orders by unknown attribute {:?} of class {}",
-                        ob.attr, def.name
-                    )));
-                }
-            }
-        }
-        if let Some(pname) = &q.using_process {
-            let pdef = self.catalog.process_by_name(pname)?;
-            let out = self.catalog.class(pdef.output)?;
-            if !classes.contains(&out.name) {
-                return Err(KernelError::Schema(format!(
-                    "USING process {pname} derives class {}, not the query target {classes:?}",
-                    out.name
-                )));
-            }
-        }
-        Ok(())
+        validate_query_in(&self.catalog, classes, q)
     }
 
     /// Final stage shared by every step: honour `FRESH`, then apply the
@@ -276,29 +229,7 @@ impl Gaea {
                 )));
             }
         }
-        // ORDER BY / LIMIT: canonical (value, id) order — `None`
-        // attributes sort first, descending reverses the value order but
-        // ids still break ties ascending — then the cutoff. A LIMIT
-        // prunes the staleness flags to the surviving objects.
-        if let Some(ob) = &q.order_by {
-            outcome.objects.sort_by(|a, b| {
-                let ord = a.attr(&ob.attr).cmp(&b.attr(&ob.attr));
-                let ord = if ob.desc { ord.reverse() } else { ord };
-                ord.then(a.id.cmp(&b.id))
-            });
-        }
-        if let Some(limit) = q.limit {
-            outcome
-                .objects
-                .truncate(usize::try_from(limit).unwrap_or(usize::MAX));
-            let kept: BTreeSet<ObjectId> = outcome.objects.iter().map(|o| o.id).collect();
-            outcome.stale.retain(|id| kept.contains(id));
-        }
-        if !q.projection.is_empty() {
-            for obj in &mut outcome.objects {
-                obj.attrs.retain(|name, _| q.projection.contains(name));
-            }
-        }
+        order_limit_project(&mut outcome, q);
         // Surface every in-flight background derivation of a target
         // class: the answer may be about to grow (or to replace a stale
         // hit), and the caller can await the listed jobs.
@@ -307,73 +238,21 @@ impl Gaea {
     }
 
     pub(crate) fn target_classes(&self, q: &Query) -> KernelResult<Vec<String>> {
-        Ok(match &q.target {
-            QueryTarget::Class(name) => {
-                vec![self.catalog.class_by_name(name)?.name.clone()]
-            }
-            QueryTarget::Concept(name) => self
-                .catalog
-                .concept_member_classes(name)?
-                .iter()
-                .map(|c| c.name.clone())
-                .collect(),
-        })
+        target_classes_in(&self.catalog, q)
     }
 
     fn retrieval_predicate(&self, class: &ClassDef, q: &Query) -> Predicate {
-        let mut pred = Predicate::True;
-        if let (Some(bbox), true) = (q.spatial, class.has_spatial) {
-            pred = pred.and(Predicate::BoxOverlaps(SPATIAL_ATTR.into(), bbox));
-        }
-        if class.has_temporal {
-            match q.time {
-                Some(TimeSel::At(t)) => {
-                    pred = pred.and(Predicate::Eq(TEMPORAL_ATTR.into(), Value::AbsTime(t)));
-                }
-                Some(TimeSel::In(r)) => {
-                    pred = pred.and(Predicate::TimeIn(TEMPORAL_ATTR.into(), r));
-                }
-                None => {}
-            }
-        }
-        // Declarative WHERE predicates (validated against the class by
-        // `validate_query`) filter step-1 retrieval and, through
-        // `planning_marking`, keep the planner from counting goal objects
-        // that cannot satisfy the query.
-        for ap in &q.attr_preds {
-            pred = pred.and(match ap.cmp {
-                AttrCmp::Eq => Predicate::Eq(ap.attr.clone(), ap.value.clone()),
-                AttrCmp::Lt => Predicate::Lt(ap.attr.clone(), ap.value.clone()),
-                AttrCmp::Gt => Predicate::Gt(ap.attr.clone(), ap.value.clone()),
-            });
-        }
-        pred
+        retrieval_predicate_for(class, q)
     }
 
-    /// Step-1 retrieval through the optimizer: each class extent scans
-    /// via [`Gaea::scan_class`] (cheapest index/grid path, full-predicate
-    /// residual re-check), returning the hits plus one EXPLAIN record
-    /// per scanned extent.
+    /// Step-1 retrieval through the optimizer over the live store. See
+    /// [`retrieve_in`].
     fn retrieve(
         &self,
         classes: &[String],
         q: &Query,
     ) -> KernelResult<(Vec<DataObject>, Vec<ScanPlan>)> {
-        if let Some(short) = self.retrieve_ordered_limit(classes, q)? {
-            return Ok(short);
-        }
-        let mut out = Vec::new();
-        let mut plans = Vec::new();
-        for name in classes {
-            let def = self.catalog.class_by_name(name)?;
-            let pred = self.retrieval_predicate(def, q);
-            let (oids, plan) = self.scan_class(def, &pred)?;
-            plans.push(plan);
-            for oid in oids {
-                out.push(self.object(ObjectId(oid))?);
-            }
-        }
-        Ok((out, plans))
+        retrieve_in(&self.db, &self.catalog, classes, q)
     }
 
     /// `ORDER BY attr LIMIT n` over a single class whose order attribute
@@ -383,71 +262,10 @@ impl Gaea {
     /// (value, id)-ordered top-N survives [`Gaea::finish_outcome`]'s
     /// final sort-and-truncate. `FRESH` queries skip the short-circuit:
     /// the refusal loop must see the full answer to classify it.
-    fn retrieve_ordered_limit(
-        &self,
-        classes: &[String],
-        q: &Query,
-    ) -> KernelResult<Option<(Vec<DataObject>, Vec<ScanPlan>)>> {
-        let (Some(ob), Some(limit)) = (&q.order_by, q.limit) else {
-            return Ok(None);
-        };
-        if classes.len() != 1 || q.fresh || limit == 0 {
-            return Ok(None);
-        }
-        let def = self.catalog.class_by_name(&classes[0])?;
-        let rel = self.db.relation(&def.relation_name())?;
-        let Ok(pos) = rel.schema().position(&ob.attr) else {
-            return Ok(None);
-        };
-        let Some(idx) = rel.index_for(pos) else {
-            return Ok(None);
-        };
-        let pred = self.retrieval_predicate(def, q);
-        let compiled = pred.compile(rel.schema())?;
-        let mut oids: Vec<Oid> = Vec::new();
-        // Key of the limit-th matched row: the walk continues through
-        // its ties and stops at the first different key.
-        let mut boundary: Option<Value> = None;
-        for oid in idx.sorted_oids(ob.desc) {
-            let Ok(tuple) = rel.get(oid) else { continue };
-            if !compiled.matches(tuple) {
-                continue;
-            }
-            if let Some(b) = &boundary {
-                if tuple.get(pos) != b {
-                    break;
-                }
-                oids.push(oid);
-            } else {
-                oids.push(oid);
-                if oids.len() as u64 >= limit {
-                    boundary = Some(tuple.get(pos).clone());
-                }
-            }
-        }
-        let objects = oids
-            .into_iter()
-            .map(|oid| self.object(ObjectId(oid)))
-            .collect::<KernelResult<Vec<_>>>()?;
-        let plan = ScanPlan {
-            class: def.name.clone(),
-            path: AccessPath::IndexOrdered {
-                attr: ob.attr.clone(),
-            },
-            estimated_rows: limit,
-        };
-        Ok(Some((objects, vec![plan])))
-    }
-
     /// Classify retrieved objects against the store's version counters;
-    /// returns the stale subset. One staleness memo is shared across all
-    /// hits (their derivations typically share ancestors).
+    /// returns the stale subset. See [`flag_stale_in`].
     fn flag_stale(&self, hits: &[DataObject]) -> Vec<ObjectId> {
-        let mut memo = super::exec::StaleMemo::new();
-        hits.iter()
-            .filter(|o| super::exec::object_is_stale(&self.db, &self.catalog, o.id, &mut memo))
-            .map(|o| o.id)
-            .collect()
+        flag_stale_in(&self.db, &self.catalog, hits)
     }
 
     /// Step 2: temporal interpolation. Applicable when the query pins an
@@ -1264,4 +1082,253 @@ pub(crate) fn dedup_key_for(def: &ProcessDef, bindings: &[(String, Vec<ObjectId>
         params.insert("site".to_string(), Value::Text(site.clone()));
     }
     crate::task::dedup_key_parts(def.id, &inputs, &params)
+}
+
+// ----------------------------------------------------------------------
+// Catalog/store-parameterized query primitives.
+//
+// Everything below is the read-only half of the query mechanism, factored
+// free of `&Gaea` so it runs identically against the live store and
+// against a pinned [`gaea_store::PinnedStore`] view
+// ([`super::readonly::ReadView`]). The `Gaea` methods above delegate here.
+// ----------------------------------------------------------------------
+
+/// Resolve a query's target (class or concept) to concrete class names.
+pub(crate) fn target_classes_in(
+    catalog: &crate::catalog::Catalog,
+    q: &Query,
+) -> KernelResult<Vec<String>> {
+    Ok(match &q.target {
+        QueryTarget::Class(name) => {
+            vec![catalog.class_by_name(name)?.name.clone()]
+        }
+        QueryTarget::Concept(name) => catalog
+            .concept_member_classes(name)?
+            .iter()
+            .map(|c| c.name.clone())
+            .collect(),
+    })
+}
+
+/// Validate the declarative parts of a query against a catalog. See
+/// [`Gaea::validate_query`] for the contract.
+pub(crate) fn validate_query_in(
+    catalog: &crate::catalog::Catalog,
+    classes: &[String],
+    q: &Query,
+) -> KernelResult<()> {
+    for name in classes {
+        let def = catalog.class_by_name(name)?;
+        for pred in &q.attr_preds {
+            let Some(attr) = def.attr(&pred.attr) else {
+                return Err(KernelError::Schema(format!(
+                    "query predicate on unknown attribute {:?} of class {}",
+                    pred.attr, def.name
+                )));
+            };
+            if attr.tag != pred.value.type_tag() {
+                return Err(KernelError::Schema(format!(
+                    "query predicate compares attribute {:?} of class {} ({}) \
+                     against a {} constant",
+                    pred.attr,
+                    def.name,
+                    attr.tag,
+                    pred.value.type_tag()
+                )));
+            }
+        }
+        for attr in &q.projection {
+            if def.attr(attr).is_none() {
+                return Err(KernelError::Schema(format!(
+                    "query projects unknown attribute {attr:?} of class {}",
+                    def.name
+                )));
+            }
+        }
+        if let Some(ob) = &q.order_by {
+            if def.attr(&ob.attr).is_none() {
+                return Err(KernelError::Schema(format!(
+                    "query orders by unknown attribute {:?} of class {}",
+                    ob.attr, def.name
+                )));
+            }
+        }
+    }
+    if let Some(pname) = &q.using_process {
+        let pdef = catalog.process_by_name(pname)?;
+        let out = catalog.class(pdef.output)?;
+        if !classes.contains(&out.name) {
+            return Err(KernelError::Schema(format!(
+                "USING process {pname} derives class {}, not the query target {classes:?}",
+                out.name
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The step-1 retrieval predicate a query induces on one target class:
+/// spatial overlap and temporal selection (when the class carries the
+/// extents) joined with the declarative WHERE conjuncts.
+pub(crate) fn retrieval_predicate_for(class: &ClassDef, q: &Query) -> Predicate {
+    let mut pred = Predicate::True;
+    if let (Some(bbox), true) = (q.spatial, class.has_spatial) {
+        pred = pred.and(Predicate::BoxOverlaps(SPATIAL_ATTR.into(), bbox));
+    }
+    if class.has_temporal {
+        match q.time {
+            Some(TimeSel::At(t)) => {
+                pred = pred.and(Predicate::Eq(TEMPORAL_ATTR.into(), Value::AbsTime(t)));
+            }
+            Some(TimeSel::In(r)) => {
+                pred = pred.and(Predicate::TimeIn(TEMPORAL_ATTR.into(), r));
+            }
+            None => {}
+        }
+    }
+    // Declarative WHERE predicates (validated against the class by
+    // `validate_query_in`) filter step-1 retrieval and, through
+    // `planning_marking`, keep the planner from counting goal objects
+    // that cannot satisfy the query.
+    for ap in &q.attr_preds {
+        pred = pred.and(match ap.cmp {
+            AttrCmp::Eq => Predicate::Eq(ap.attr.clone(), ap.value.clone()),
+            AttrCmp::Lt => Predicate::Lt(ap.attr.clone(), ap.value.clone()),
+            AttrCmp::Gt => Predicate::Gt(ap.attr.clone(), ap.value.clone()),
+        });
+    }
+    pred
+}
+
+/// Step-1 retrieval through the optimizer: each class extent scans via
+/// [`super::access::scan_class_in`] (cheapest index/grid path,
+/// full-predicate residual re-check), returning the hits plus one
+/// EXPLAIN record per scanned extent.
+pub(crate) fn retrieve_in(
+    db: &gaea_store::Database,
+    catalog: &crate::catalog::Catalog,
+    classes: &[String],
+    q: &Query,
+) -> KernelResult<(Vec<DataObject>, Vec<ScanPlan>)> {
+    if let Some(short) = retrieve_ordered_limit_in(db, catalog, classes, q)? {
+        return Ok(short);
+    }
+    let mut out = Vec::new();
+    let mut plans = Vec::new();
+    for name in classes {
+        let def = catalog.class_by_name(name)?;
+        let pred = retrieval_predicate_for(def, q);
+        let (oids, plan) = super::access::scan_class_in(db, def, &pred)?;
+        plans.push(plan);
+        for oid in oids {
+            out.push(executor::load_object(db, catalog, ObjectId(oid))?);
+        }
+    }
+    Ok((out, plans))
+}
+
+/// `ORDER BY attr LIMIT n` over a single class whose order attribute
+/// carries an index walks [`gaea_store::index::OrderedIndex::sorted_oids`]
+/// in query order and stops as soon as `n` rows matched — plus every
+/// remaining tie of the boundary key, so the exact (value, id)-ordered
+/// top-N survives the final sort-and-truncate in [`order_limit_project`].
+/// `FRESH` queries skip the short-circuit: the refusal loop must see the
+/// full answer to classify it.
+fn retrieve_ordered_limit_in(
+    db: &gaea_store::Database,
+    catalog: &crate::catalog::Catalog,
+    classes: &[String],
+    q: &Query,
+) -> KernelResult<Option<(Vec<DataObject>, Vec<ScanPlan>)>> {
+    let (Some(ob), Some(limit)) = (&q.order_by, q.limit) else {
+        return Ok(None);
+    };
+    if classes.len() != 1 || q.fresh || limit == 0 {
+        return Ok(None);
+    }
+    let def = catalog.class_by_name(&classes[0])?;
+    let rel = db.relation(&def.relation_name())?;
+    let Ok(pos) = rel.schema().position(&ob.attr) else {
+        return Ok(None);
+    };
+    let Some(idx) = rel.index_for(pos) else {
+        return Ok(None);
+    };
+    let pred = retrieval_predicate_for(def, q);
+    let compiled = pred.compile(rel.schema())?;
+    let mut oids: Vec<Oid> = Vec::new();
+    // Key of the limit-th matched row: the walk continues through
+    // its ties and stops at the first different key.
+    let mut boundary: Option<Value> = None;
+    for oid in idx.sorted_oids(ob.desc) {
+        let Ok(tuple) = rel.get(oid) else { continue };
+        if !compiled.matches(tuple) {
+            continue;
+        }
+        if let Some(b) = &boundary {
+            if tuple.get(pos) != b {
+                break;
+            }
+            oids.push(oid);
+        } else {
+            oids.push(oid);
+            if oids.len() as u64 >= limit {
+                boundary = Some(tuple.get(pos).clone());
+            }
+        }
+    }
+    let objects = oids
+        .into_iter()
+        .map(|oid| executor::load_object(db, catalog, ObjectId(oid)))
+        .collect::<KernelResult<Vec<_>>>()?;
+    let plan = ScanPlan {
+        class: def.name.clone(),
+        path: AccessPath::IndexOrdered {
+            attr: ob.attr.clone(),
+        },
+        estimated_rows: limit,
+    };
+    Ok(Some((objects, vec![plan])))
+}
+
+/// Classify retrieved objects against a store's version counters;
+/// returns the stale subset. One staleness memo is shared across all
+/// hits (their derivations typically share ancestors).
+pub(crate) fn flag_stale_in(
+    db: &gaea_store::Database,
+    catalog: &crate::catalog::Catalog,
+    hits: &[DataObject],
+) -> Vec<ObjectId> {
+    let mut memo = super::exec::StaleMemo::new();
+    hits.iter()
+        .filter(|o| super::exec::object_is_stale(db, catalog, o.id, &mut memo))
+        .map(|o| o.id)
+        .collect()
+}
+
+/// The answer-shaping tail every outcome passes through: ORDER BY in
+/// canonical (value, id) order — `None` attributes sort first,
+/// descending reverses the value order but ids still break ties
+/// ascending — then the LIMIT cutoff (which prunes the staleness flags
+/// to the surviving objects), then the projection.
+pub(crate) fn order_limit_project(outcome: &mut QueryOutcome, q: &Query) {
+    if let Some(ob) = &q.order_by {
+        outcome.objects.sort_by(|a, b| {
+            let ord = a.attr(&ob.attr).cmp(&b.attr(&ob.attr));
+            let ord = if ob.desc { ord.reverse() } else { ord };
+            ord.then(a.id.cmp(&b.id))
+        });
+    }
+    if let Some(limit) = q.limit {
+        outcome
+            .objects
+            .truncate(usize::try_from(limit).unwrap_or(usize::MAX));
+        let kept: BTreeSet<ObjectId> = outcome.objects.iter().map(|o| o.id).collect();
+        outcome.stale.retain(|id| kept.contains(id));
+    }
+    if !q.projection.is_empty() {
+        for obj in &mut outcome.objects {
+            obj.attrs.retain(|name, _| q.projection.contains(name));
+        }
+    }
 }

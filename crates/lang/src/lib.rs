@@ -78,6 +78,6 @@ pub use ast::{
     ClassItem, ConceptItem, DeriveClause, Item, LitValue, ProcessItem, Program, RetrieveItem,
     TimeLit, WhereItem,
 };
-pub use lower::{lower_program, lower_query, Retrieve};
+pub use lower::{compile_query, lower_program, lower_query, lower_query_catalog, Retrieve};
 pub use parser::{parse, parse_query, ParseError};
 pub use pretty::{pretty_program, pretty_retrieve};

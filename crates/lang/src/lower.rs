@@ -19,6 +19,7 @@ use crate::ast::{
 };
 use crate::parser::parse_query;
 use gaea_adt::{AbsTime, GeoBox, TimeRange, TypeTag, Value};
+use gaea_core::catalog::Catalog;
 use gaea_core::kernel::{ClassSpec, Gaea, ProcessSpec};
 use gaea_core::query::{
     AttrPred, CostHint, OrderBy, Query, QueryOutcome, QueryStrategy, QueryTarget, TimeSel,
@@ -290,7 +291,15 @@ fn coerce_literal(class: &str, attr: &str, tag: &TypeTag, lit: &LitValue) -> Ker
 ///   goal's producer, `COST` overrides the bind order;
 /// * `FRESH` refuses stale answers (stale hits are re-fired).
 pub fn lower_query(gaea: &Gaea, item: &RetrieveItem) -> KernelResult<Query> {
-    let catalog = gaea.catalog();
+    lower_query_catalog(gaea.catalog(), item)
+}
+
+/// [`lower_query`] against a bare [`Catalog`] — the form snapshot-pinned
+/// readers need: a server session compiling a statement onto a
+/// [`gaea_core::kernel::ReadView`] resolves names against the *pinned*
+/// catalog, not the live kernel's, so a concurrent `CLASS` definition
+/// can never make a read see a class its data snapshot predates.
+pub fn lower_query_catalog(catalog: &Catalog, item: &RetrieveItem) -> KernelResult<Query> {
     let (target, classes): (QueryTarget, Vec<&ClassDef>) =
         if let Ok(def) = catalog.class_by_name(&item.target) {
             (QueryTarget::Class(item.target.clone()), vec![def])
@@ -399,6 +408,17 @@ pub fn lower_query(gaea: &Gaea, item: &RetrieveItem) -> KernelResult<Query> {
     Ok(q)
 }
 
+/// Parse and lower one `RETRIEVE` statement against a bare [`Catalog`]:
+/// [`parse_query`] + [`lower_query_catalog`], with the same
+/// syntax-error shape as [`Retrieve::compile_retrieve`]. This is the
+/// whole compile pipeline a snapshot-pinned reader needs — no kernel
+/// handle, no mutability.
+pub fn compile_query(catalog: &Catalog, src: &str) -> KernelResult<Query> {
+    let item = parse_query(src)
+        .map_err(|e| KernelError::Schema(format!("RETRIEVE syntax: {}", e.underline(src))))?;
+    lower_query_catalog(catalog, &item)
+}
+
 /// The `RETRIEVE … WHERE …` façade on [`Gaea`].
 ///
 /// Defined here (rather than on the kernel directly) because the parser
@@ -434,9 +454,7 @@ pub trait Retrieve {
 
 impl Retrieve for Gaea {
     fn compile_retrieve(&self, src: &str) -> KernelResult<Query> {
-        let item = parse_query(src)
-            .map_err(|e| KernelError::Schema(format!("RETRIEVE syntax: {}", e.underline(src))))?;
-        lower_query(self, &item)
+        compile_query(self.catalog(), src)
     }
 
     fn retrieve(&mut self, src: &str) -> KernelResult<QueryOutcome> {

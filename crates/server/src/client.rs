@@ -1,0 +1,201 @@
+//! A blocking client for the wire protocol — one connection, one
+//! session. Used by the workload driver, the benchmarks, and tests;
+//! small enough to double as protocol documentation.
+
+use crate::protocol::{
+    read_frame, write_frame, FrameError, Request, Response, ServerStats, WireJobStatus,
+    WireOutcome, FRAME_REQUEST, FRAME_RESPONSE,
+};
+use gaea_adt::Value;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Errors a client call can surface.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed or framed garbage.
+    Frame(FrameError),
+    /// The server answered [`Response::Error`] (kernel errors, refused
+    /// admission, protocol violations it could still report).
+    Server(String),
+    /// The server answered with a response of the wrong shape.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "{e}"),
+            ClientError::Server(m) => write!(f, "server: {m}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> ClientError {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Frame(FrameError::Io(e))
+    }
+}
+
+/// One connected, admitted session.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    session: u64,
+}
+
+impl Client {
+    /// Connect and perform the `Hello` → `Welcome` handshake. A server
+    /// at capacity answers the handshake with an error
+    /// ([`ClientError::Server`]).
+    pub fn connect(addr: &str, client_name: &str) -> Result<Client, ClientError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        write_frame(
+            &mut stream,
+            FRAME_REQUEST,
+            &Request::Hello {
+                client: client_name.to_string(),
+            },
+        )?;
+        match read_frame::<_, Response>(&mut stream, FRAME_RESPONSE)? {
+            Response::Welcome { session } => Ok(Client { stream, session }),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// The server-assigned session id.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Bound how long one call may wait for its response.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, FRAME_REQUEST, req)?;
+        Ok(read_frame(&mut self.stream, FRAME_RESPONSE)?)
+    }
+
+    /// Run a `RETRIEVE` statement.
+    pub fn retrieve(&mut self, src: &str) -> Result<WireOutcome, ClientError> {
+        match self.round_trip(&Request::Retrieve { src: src.into() })? {
+            Response::Outcome(o) => Ok(o),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Register a definition program; returns (classes, processes,
+    /// concepts) counts.
+    pub fn define(&mut self, src: &str) -> Result<(usize, usize, usize), ClientError> {
+        match self.round_trip(&Request::Define { src: src.into() })? {
+            Response::Defined {
+                classes,
+                processes,
+                concepts,
+            } => Ok((classes, processes, concepts)),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Insert one object; returns its raw OID.
+    pub fn insert(&mut self, class: &str, attrs: Vec<(String, Value)>) -> Result<u64, ClientError> {
+        match self.round_trip(&Request::Insert {
+            class: class.into(),
+            attrs,
+        })? {
+            Response::Inserted { oid } => Ok(oid),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Update one object's attributes.
+    pub fn update(&mut self, oid: u64, attrs: Vec<(String, Value)>) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Update { oid, attrs })? {
+            Response::Updated => Ok(()),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// A background job's status.
+    pub fn job_status(&mut self, id: u64) -> Result<WireJobStatus, ClientError> {
+        match self.round_trip(&Request::JobStatus { id })? {
+            Response::Job { status, .. } => Ok(status),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Wait (server-side) for a job to resolve, bounded by `timeout`.
+    pub fn await_job(&mut self, id: u64, timeout: Duration) -> Result<WireJobStatus, ClientError> {
+        match self.round_trip(&Request::AwaitJob {
+            id,
+            timeout_ms: timeout.as_millis() as u64,
+        })? {
+            Response::Job { status, .. } => Ok(status),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Cancel a job.
+    pub fn cancel_job(&mut self, id: u64) -> Result<WireJobStatus, ClientError> {
+        match self.round_trip(&Request::CancelJob { id })? {
+            Response::Job { status, .. } => Ok(status),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Server counters.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Close the session cleanly.
+    pub fn goodbye(mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Goodbye)? {
+            Response::Bye => Ok(()),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn shutdown_server(mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # gaea-server — the multi-session network front-end
+//!
+//! The paper's Gaea is a multi-user scientific DBMS; this crate is the
+//! seam that turns the embedded kernel into one: a TCP server speaking
+//! a length-prefixed JSON protocol ([`protocol`]), a session registry
+//! with admission control and idle timeouts ([`server`]), and a
+//! blocking client ([`client`]).
+//!
+//! The concurrency contract is the kernel's
+//! [`gaea_core::kernel::SharedKernel`]: read-only statements execute on
+//! snapshot-pinned [`gaea_core::kernel::ReadView`]s without blocking
+//! behind commits or each other; mutating statements serialize on the
+//! single commit path the WAL has always assumed. Shutdown drains every
+//! session and finishes with a **checked** WAL flush whose failure is
+//! the process's exit status.
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{Request, Response, ServerStats, WireJobStatus, WireOutcome};
+pub use server::{Server, ServerConfig, ServerHandle, ServerReport};

@@ -1,0 +1,518 @@
+//! The multi-session server runtime: accept loop, session registry,
+//! admission control, and the read-vs-commit statement split.
+//!
+//! One [`gaea_core::kernel::SharedKernel`] serves every session:
+//!
+//! * statements the protocol classifies as **read-only** (plain
+//!   `RETRIEVE`, `JobStatus` for a pinned job, `Stats`, `Ping`) run on
+//!   an `Arc<ReadView>` pinned per statement — concurrent readers never
+//!   wait for the kernel mutex, so a writer mid-commit never stalls
+//!   them;
+//! * everything that can mutate (definitions, inserts, updates,
+//!   `RETRIEVE … DERIVE`/`FRESH`, job submit/cancel) funnels through
+//!   [`SharedKernel::exec`] — the same single serialized commit path the
+//!   WAL has always assumed.
+//!
+//! **Admission control**: at most `max_sessions` concurrent sessions; a
+//! connection over the limit is answered with one `Error` frame and
+//! closed (counted, never queued — the client can back off and retry).
+//! Each admitted session is bounded by an idle timeout (a session that
+//! sends nothing for that long is disconnected) and a statement budget.
+//!
+//! **Shutdown** (wire `Shutdown`, or [`ServerHandle::shutdown`]): the
+//! accept loop stops admitting, every live session's socket is shut
+//! down to unblock pending reads, session threads are joined, and the
+//! kernel is torn down with a **checked** WAL flush —
+//! [`Gaea::close`] — whose error is the server's exit status, not a
+//! swallowed `Drop`.
+
+use crate::protocol::{
+    read_frame, write_frame, FrameError, Request, Response, ServerStats, WireJobStatus,
+    WireOutcome, FRAME_REQUEST, FRAME_RESPONSE,
+};
+use gaea_core::kernel::{Gaea, ReadView, SharedKernel};
+use gaea_core::{JobId, KernelError};
+use gaea_lang::{compile_query, lower_program, parse};
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Admission ceiling: concurrent sessions beyond this are refused.
+    pub max_sessions: usize,
+    /// A session silent for this long is disconnected.
+    pub idle_timeout: Duration,
+    /// Per-session statement budget; exceeding it closes the session.
+    pub max_statements: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_sessions: 64,
+            idle_timeout: Duration::from_secs(30),
+            max_statements: 1_000_000,
+        }
+    }
+}
+
+/// What one server run observed, returned by [`Server::run`] after a
+/// graceful shutdown.
+#[derive(Debug)]
+pub struct ServerReport {
+    /// Final counters (the same numbers `Stats` serves).
+    pub stats: ServerStats,
+    /// Result of the shutdown's checked WAL flush. `Err` means the
+    /// durable tail could not be synced — operators must treat the exit
+    /// as failed even though every session drained cleanly.
+    pub wal_flush: Result<(), KernelError>,
+}
+
+/// Shared mutable server state (everything session threads touch).
+struct ServerState {
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    sessions_opened: AtomicU64,
+    sessions_refused: AtomicU64,
+    reads_pinned: AtomicU64,
+    writes_serialized: AtomicU64,
+    protocol_errors: AtomicU64,
+    /// Live sessions: id → the accepted stream's clone, kept so shutdown
+    /// can unblock a session parked in a read.
+    live: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ServerState {
+    fn stats(&self, clock: u64) -> ServerStats {
+        ServerStats {
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            sessions_refused: self.sessions_refused.load(Ordering::Relaxed),
+            sessions_live: self
+                .live
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len() as u64,
+            reads_pinned: self.reads_pinned.load(Ordering::Relaxed),
+            writes_serialized: self.writes_serialized.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            clock,
+        }
+    }
+}
+
+/// A handle for stopping a running server from another thread (tests,
+/// signal bridges). Cloneable; all clones address the same server.
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// Request shutdown: equivalent to a wire `Shutdown` request.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::Release);
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    kernel: Arc<SharedKernel>,
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) over a kernel.
+    pub fn bind(kernel: Gaea, addr: &str, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            kernel: SharedKernel::new(kernel),
+            listener,
+            state: Arc::new(ServerState {
+                config,
+                shutdown: AtomicBool::new(false),
+                sessions_opened: AtomicU64::new(0),
+                sessions_refused: AtomicU64::new(0),
+                reads_pinned: AtomicU64::new(0),
+                writes_serialized: AtomicU64::new(0),
+                protocol_errors: AtomicU64::new(0),
+                live: Mutex::new(HashMap::new()),
+            }),
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A shutdown handle usable from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Serve until shutdown is requested, then drain and tear down.
+    /// See the module docs for the full shutdown contract.
+    pub fn run(self) -> ServerReport {
+        let Server {
+            kernel,
+            listener,
+            state,
+        } = self;
+        let mut workers: Vec<JoinHandle<()>> = Vec::new();
+        let mut next_session: u64 = 1;
+
+        while !state.shutdown.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let admitted = {
+                        let live = state.live.lock().unwrap_or_else(PoisonError::into_inner);
+                        live.len() < state.config.max_sessions
+                    };
+                    if !admitted {
+                        state.sessions_refused.fetch_add(1, Ordering::Relaxed);
+                        let mut s = stream;
+                        let _ = write_frame(
+                            &mut s,
+                            FRAME_RESPONSE,
+                            &Response::Error {
+                                message: "admission refused: server at max sessions".into(),
+                            },
+                        );
+                        continue;
+                    }
+                    let id = next_session;
+                    next_session += 1;
+                    state.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                    if let Ok(clone) = stream.try_clone() {
+                        state
+                            .live
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .insert(id, clone);
+                    }
+                    let kernel = Arc::clone(&kernel);
+                    let state2 = Arc::clone(&state);
+                    workers.push(std::thread::spawn(move || {
+                        serve_session(id, stream, &kernel, &state2);
+                        state2
+                            .live
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .remove(&id);
+                    }));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+
+        // Drain: unblock every session parked in a read, then join.
+        drop(listener);
+        {
+            let live = state.live.lock().unwrap_or_else(PoisonError::into_inner);
+            for stream in live.values() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+
+        // Checked teardown: the sessions are gone, so this handle is the
+        // last one and `close` runs the checked flush.
+        let clock = kernel.pin().clock();
+        let wal_flush = match kernel.close() {
+            Ok(r) => r,
+            Err(_still_shared) => Err(KernelError::Schema(
+                "server teardown raced a live kernel handle; WAL flush unchecked".into(),
+            )),
+        };
+        ServerReport {
+            stats: state.stats(clock),
+            wal_flush,
+        }
+    }
+}
+
+/// Serve one session until it says goodbye, errors, idles out, exhausts
+/// its statement budget, or the server shuts down.
+fn serve_session(id: u64, mut stream: TcpStream, kernel: &SharedKernel, state: &ServerState) {
+    let _ = stream.set_read_timeout(Some(state.config.idle_timeout));
+    let _ = stream.set_nodelay(true);
+
+    // The handshake: exactly one Hello, answered with Welcome.
+    match read_frame::<_, Request>(&mut stream, FRAME_REQUEST) {
+        Ok(Request::Hello { .. }) => {
+            if write_frame(
+                &mut stream,
+                FRAME_RESPONSE,
+                &Response::Welcome { session: id },
+            )
+            .is_err()
+            {
+                return;
+            }
+        }
+        Ok(_) => {
+            state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = write_frame(
+                &mut stream,
+                FRAME_RESPONSE,
+                &Response::Error {
+                    message: "protocol: the first request must be Hello".into(),
+                },
+            );
+            return;
+        }
+        Err(e) => {
+            note_read_failure(&e, state);
+            return;
+        }
+    }
+
+    let mut statements: u64 = 0;
+    loop {
+        if state.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let req = match read_frame::<_, Request>(&mut stream, FRAME_REQUEST) {
+            Ok(r) => r,
+            Err(e) => {
+                note_read_failure(&e, state);
+                if matches!(e, FrameError::Protocol(_)) {
+                    let _ = write_frame(
+                        &mut stream,
+                        FRAME_RESPONSE,
+                        &Response::Error {
+                            message: format!("{e}; closing session"),
+                        },
+                    );
+                }
+                return;
+            }
+        };
+        statements += 1;
+        if statements > state.config.max_statements {
+            let _ = write_frame(
+                &mut stream,
+                FRAME_RESPONSE,
+                &Response::Error {
+                    message: "session statement budget exhausted".into(),
+                },
+            );
+            return;
+        }
+        let (resp, done) = answer(req, kernel, state);
+        if write_frame(&mut stream, FRAME_RESPONSE, &resp).is_err() || done {
+            return;
+        }
+    }
+}
+
+/// Tally a failed read: timeouts and EOFs are session lifecycle, not
+/// protocol errors; undecodable frames are.
+fn note_read_failure(e: &FrameError, state: &ServerState) {
+    match e {
+        FrameError::Protocol(_) => {
+            state.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        FrameError::Io(_) => {}
+    }
+}
+
+/// Execute one statement. Returns the response and whether the session
+/// ends after sending it.
+fn answer(req: Request, kernel: &SharedKernel, state: &ServerState) -> (Response, bool) {
+    match req {
+        Request::Hello { .. } => (
+            Response::Error {
+                message: "protocol: Hello is only valid as the first request".into(),
+            },
+            true,
+        ),
+        Request::Retrieve { src } => (retrieve(&src, kernel, state), false),
+        Request::Define { src } => {
+            state.writes_serialized.fetch_add(1, Ordering::Relaxed);
+            let out = kernel.exec(|g| {
+                let program = parse(&src).map_err(|e| {
+                    KernelError::Schema(format!("definition syntax: {}", e.underline(&src)))
+                })?;
+                lower_program(g, &program)
+            });
+            (
+                match out {
+                    Ok(l) => Response::Defined {
+                        classes: l.classes.len(),
+                        processes: l.processes.len(),
+                        concepts: l.concepts.len(),
+                    },
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                },
+                false,
+            )
+        }
+        Request::Insert { class, attrs } => {
+            state.writes_serialized.fetch_add(1, Ordering::Relaxed);
+            let out = kernel.exec(|g| {
+                let borrowed: Vec<(&str, gaea_adt::Value)> =
+                    attrs.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+                g.insert_object(&class, borrowed)
+            });
+            (
+                match out {
+                    Ok(oid) => Response::Inserted { oid: oid.raw() },
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                },
+                false,
+            )
+        }
+        Request::Update { oid, attrs } => {
+            state.writes_serialized.fetch_add(1, Ordering::Relaxed);
+            let out = kernel.exec(|g| {
+                let borrowed: Vec<(&str, gaea_adt::Value)> =
+                    attrs.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+                g.update_object(gaea_core::ObjectId(gaea_store::Oid(oid)), borrowed)
+            });
+            (
+                match out {
+                    Ok(()) => Response::Updated,
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                },
+                false,
+            )
+        }
+        Request::JobStatus { id } => {
+            // Pinned first — the snapshot-isolation read path; a job the
+            // pinned board predates falls back to one short serialized
+            // statement.
+            let jid = JobId(id);
+            let view = kernel.pin();
+            if let Some(status) = view.job_status(jid) {
+                state.reads_pinned.fetch_add(1, Ordering::Relaxed);
+                return (
+                    Response::Job {
+                        id,
+                        status: WireJobStatus::from(status),
+                    },
+                    false,
+                );
+            }
+            state.writes_serialized.fetch_add(1, Ordering::Relaxed);
+            let out = kernel.exec(|g| g.job_status(jid));
+            (
+                match out {
+                    Ok(status) => Response::Job {
+                        id,
+                        status: WireJobStatus::from(status),
+                    },
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                },
+                false,
+            )
+        }
+        Request::AwaitJob { id, timeout_ms } => {
+            // Poll with short serialized statements; never park a thread
+            // inside the kernel lock waiting for a worker.
+            let jid = JobId(id);
+            let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+            loop {
+                state.writes_serialized.fetch_add(1, Ordering::Relaxed);
+                match kernel.exec(|g| g.job_status(jid)) {
+                    Ok(status) => {
+                        let wire = WireJobStatus::from(status);
+                        if wire.is_terminal() || Instant::now() >= deadline {
+                            return (Response::Job { id, status: wire }, false);
+                        }
+                    }
+                    Err(e) => {
+                        return (
+                            Response::Error {
+                                message: e.to_string(),
+                            },
+                            false,
+                        )
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        Request::CancelJob { id } => {
+            state.writes_serialized.fetch_add(1, Ordering::Relaxed);
+            let out = kernel.exec(|g| g.cancel_job(JobId(id)));
+            (
+                match out {
+                    Ok(status) => Response::Job {
+                        id,
+                        status: WireJobStatus::from(status),
+                    },
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                },
+                false,
+            )
+        }
+        Request::Stats => {
+            state.reads_pinned.fetch_add(1, Ordering::Relaxed);
+            let clock = kernel.pin().clock();
+            (Response::Stats(state.stats(clock)), false)
+        }
+        Request::Ping => (Response::Pong, false),
+        Request::Goodbye => (Response::Bye, true),
+        Request::Shutdown => {
+            state.shutdown.store(true, Ordering::Release);
+            (Response::ShuttingDown, true)
+        }
+    }
+}
+
+/// A `RETRIEVE` statement: compile against the pinned catalog, then run
+/// read-only plans on the pinned view and computing plans serialized.
+fn retrieve(src: &str, kernel: &SharedKernel, state: &ServerState) -> Response {
+    let view = kernel.pin();
+    let q = match compile_query(view.catalog(), src) {
+        Ok(q) => q,
+        Err(e) => {
+            return Response::Error {
+                message: e.to_string(),
+            }
+        }
+    };
+    if ReadView::is_read_only(&q) {
+        state.reads_pinned.fetch_add(1, Ordering::Relaxed);
+        match view.query(&q) {
+            Ok(outcome) => Response::Outcome(WireOutcome::from_outcome(outcome, view.clock())),
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        }
+    } else {
+        state.writes_serialized.fetch_add(1, Ordering::Relaxed);
+        match kernel.exec(|g| g.query(&q).map(|o| (o, g.store_clock()))) {
+            Ok((outcome, clock)) => Response::Outcome(WireOutcome::from_outcome(outcome, clock)),
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        }
+    }
+}

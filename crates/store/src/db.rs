@@ -549,6 +549,21 @@ impl Database {
         db
     }
 
+    /// Pin a snapshot-isolated read view: an immutable deep copy of every
+    /// relation plus the version counters frozen at the same instant
+    /// ([`crate::view::PinnedStore`]). Taken through `&self` under the
+    /// owner's borrow discipline, so the copy is of one committed state,
+    /// never a half-applied mutation. The copy's journal is off — a view
+    /// replays nothing into any WAL.
+    pub fn pin(&self) -> crate::view::PinnedStore {
+        let db = Database {
+            relations: self.relations.clone(),
+            allocator: OidAllocator::resume_after(self.allocator.peek().saturating_sub(1)),
+            versions: self.versions.clone_counters(),
+        };
+        crate::view::PinnedStore::new(db, self.store_snapshot())
+    }
+
     /// Snapshot parts (relation map).
     pub(crate) fn relations(&self) -> &BTreeMap<String, Relation> {
         &self.relations

@@ -41,6 +41,7 @@ pub mod stats;
 pub mod tuple;
 pub mod txn;
 pub mod version;
+pub mod view;
 pub mod wal;
 
 pub use db::{Database, Relation};
@@ -53,4 +54,5 @@ pub use stats::{ColumnStats, TableStats};
 pub use tuple::Tuple;
 pub use txn::Txn;
 pub use version::StoreSnapshot;
+pub use view::PinnedStore;
 pub use wal::{read_wal, WalScan, WalWriter};

@@ -122,6 +122,18 @@ impl VersionMap {
         self.relations.get(rel).copied().unwrap_or(0)
     }
 
+    /// A copy of the counters with journaling off — what a pinned read
+    /// view freezes. The live map may be mid-journal (ticks not yet
+    /// drained into the WAL); the copy must never re-log them.
+    pub(crate) fn clone_counters(&self) -> VersionMap {
+        VersionMap {
+            clock: self.clock,
+            relations: self.relations.clone(),
+            objects: self.objects.clone(),
+            journal: None,
+        }
+    }
+
     /// A point-in-time copy of the counters.
     pub(crate) fn snapshot(&self) -> StoreSnapshot {
         StoreSnapshot {

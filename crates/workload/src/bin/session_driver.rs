@@ -1,0 +1,74 @@
+//! `session-driver` — hammer a running `gaea-server` with K concurrent
+//! reader sessions and print a JSON latency/error report.
+//!
+//! ```text
+//! session-driver --addr 127.0.0.1:7878 --sessions 16 --reads 50
+//! session-driver --addr … --writer            # readers race a writer
+//! session-driver --addr … --shutdown          # …then stop the server
+//! ```
+//!
+//! Exit status: 0 when every statement succeeded, 1 when any errored —
+//! CI's `server` job treats a nonzero exit (or a nonzero `"errors"`
+//! field) as a broken concurrency seam. With `--shutdown` the driver
+//! sends a graceful `Shutdown` over the wire after the run, so a shell
+//! script can wait for the server process and inspect its exit status.
+
+use gaea_workload::driver::{drive, DriveSpec};
+use std::process::ExitCode;
+
+fn parse_args() -> Result<(DriveSpec, bool), String> {
+    let mut spec = DriveSpec::default();
+    let mut shutdown = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => spec.addr = value("--addr")?,
+            "--sessions" => {
+                spec.sessions = value("--sessions")?
+                    .parse()
+                    .map_err(|e| format!("--sessions: {e}"))?
+            }
+            "--reads" => {
+                spec.reads_per_session = value("--reads")?
+                    .parse()
+                    .map_err(|e| format!("--reads: {e}"))?
+            }
+            "--query" => spec.query = value("--query")?,
+            "--writer" => spec.writer = true,
+            "--writer-class" => spec.writer_class = value("--writer-class")?,
+            "--shutdown" => shutdown = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok((spec, shutdown))
+}
+
+fn main() -> ExitCode {
+    let (spec, shutdown) = match parse_args() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("session-driver: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = drive(&spec);
+    println!("{}", report.to_json());
+    let mut code = ExitCode::SUCCESS;
+    if report.errors > 0 || report.reads == 0 {
+        eprintln!(
+            "session-driver: {} errors across {} reads",
+            report.errors, report.reads
+        );
+        code = ExitCode::FAILURE;
+    }
+    if shutdown {
+        let stop = gaea_server::Client::connect(&spec.addr, "driver-shutdown")
+            .and_then(|c| c.shutdown_server());
+        if let Err(e) = stop {
+            eprintln!("session-driver: shutdown request failed: {e}");
+            code = ExitCode::FAILURE;
+        }
+    }
+    code
+}

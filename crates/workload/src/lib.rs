@@ -8,11 +8,13 @@
 //! desert examples, the full Figure 2 schema, and random derivation DAGs
 //! for planner scaling experiments.
 
+pub mod driver;
 pub mod figure2;
 pub mod randdag;
 pub mod scene;
 pub mod series;
 
+pub use driver::{drive, DriveReport, DriveSpec};
 pub use figure2::build_figure2_schema;
 pub use randdag::{random_derivation_catalog, RandDagSpec};
 pub use scene::{SceneSpec, SyntheticScene};

@@ -1,6 +1,6 @@
 //! Fault-injection harness for the durability CI lane.
 //!
-//! Two subcommands over a durable kernel directory:
+//! Three subcommands over a durable kernel directory:
 //!
 //! * `workload <dir>` — open (or reopen) the kernel at `<dir>` and
 //!   commit a deterministic batch of events: sequential `obs {v: i}`
@@ -9,6 +9,14 @@
 //!   {append,fsync,truncate}` and `GAEA_CRASH_AFTER=<n>` set, the
 //!   store's crash injector aborts the process mid-commit — that *is*
 //!   the test. `GAEA_FSYNC_EVERY=<n>` sets the group-commit batch.
+//! * `shutdown <dir>` — the workload followed by an explicit *checked*
+//!   close ([`Gaea::close`]): run with a large `GAEA_FSYNC_EVERY` the
+//!   batch tail is unsynced until that final flush, so a clean exit
+//!   plus `dropped_bytes=0` on verify proves shutdown really synced.
+//!   A flush failure surfaces as a nonzero exit with the error printed
+//!   — never a silent best-effort `Drop`. With `GAEA_CRASH_POINT=fsync`
+//!   armed the abort fires before the close can flush, and recovery
+//!   must still reconstruct the committed prefix.
 //! * `verify <dir>` — reopen with injection off and check the
 //!   recovered state is a clean prefix of the workload: `obs` values
 //!   are exactly `0..n` with no gap and no phantom, every `dbl` object
@@ -113,6 +121,25 @@ fn workload(dir: &Path) -> KernelResult<()> {
     Ok(())
 }
 
+/// The workload plus an explicit checked close — the graceful-shutdown
+/// path the server takes, minus the sockets.
+fn shutdown(dir: &Path) -> KernelResult<()> {
+    let mut g = open(dir)?;
+    define_schema(&mut g)?;
+    let start = g.objects_of("obs")?.len() as i32;
+    for i in start..start + BATCH {
+        let oid = g.insert_object("obs", vec![("v", Value::Int4(i))])?;
+        if i % 5 == 0 {
+            g.run_process("COPY", &[("x", vec![oid])])?;
+        }
+    }
+    // The checked flush: with group commit batched, the log tail is
+    // only durable after this succeeds. Its error is the exit status.
+    g.close()?;
+    println!("SHUTDOWN CLEAN obs={}", start + BATCH);
+    Ok(())
+}
+
 fn verify(dir: &Path) -> KernelResult<()> {
     let g = open(dir)?;
     let stats = g
@@ -165,12 +192,13 @@ fn main() -> ExitCode {
     let (cmd, dir) = match args.as_slice() {
         [_, cmd, dir] => (cmd.as_str(), Path::new(dir)),
         _ => {
-            eprintln!("usage: crash_harness <workload|verify> <dir>");
+            eprintln!("usage: crash_harness <workload|shutdown|verify> <dir>");
             return ExitCode::from(2);
         }
     };
     let result = match cmd {
         "workload" => workload(dir),
+        "shutdown" => shutdown(dir),
         "verify" => verify(dir),
         _ => {
             eprintln!("unknown subcommand {cmd}");

@@ -72,11 +72,70 @@ run_case() {
     echo "ok   [$point/$after]"
 }
 
+# The shutdown lane: the server's graceful-exit contract. With a large
+# group-commit batch the log tail stays unsynced until the explicit
+# checked close — so a clean `shutdown` run must report zero dropped
+# bytes on verify, and an armed fsync crash (firing before the close
+# can flush) must still recover to the committed prefix and then shut
+# down clean on the retry.
+run_shutdown_case() {
+    local dir="$SCRATCH/shutdown"
+    rm -rf "$dir"
+
+    # Clean path: checked close syncs the whole unsynced tail.
+    if ! GAEA_FSYNC_EVERY=64 "$HARNESS" shutdown "$dir" >/dev/null; then
+        echo "FAIL [shutdown/clean]: checked close did not exit clean"
+        failures=$((failures + 1))
+        return
+    fi
+    local out
+    if ! out="$(GAEA_FSYNC_EVERY=64 "$HARNESS" verify "$dir")"; then
+        echo "FAIL [shutdown/clean]: verification failed"
+        failures=$((failures + 1))
+        return
+    fi
+    case "$out" in
+        *"dropped_bytes=0"*) ;;
+        *)
+            echo "FAIL [shutdown/clean]: checked close left unsynced tail: $out"
+            failures=$((failures + 1))
+            return
+            ;;
+    esac
+    echo "ok   [shutdown/clean]"
+
+    # Crash path: the abort fires mid-batch, before the close can flush.
+    if GAEA_CRASH_POINT=fsync GAEA_CRASH_AFTER=9 GAEA_FSYNC_EVERY=64 \
+       "$HARNESS" shutdown "$dir" >/dev/null 2>&1; then
+        echo "FAIL [shutdown/fsync-9]: shutdown survived, injector never fired"
+        failures=$((failures + 1))
+        return
+    fi
+    if ! GAEA_FSYNC_EVERY=64 "$HARNESS" verify "$dir"; then
+        echo "FAIL [shutdown/fsync-9]: recovery verification failed"
+        failures=$((failures + 1))
+        return
+    fi
+    # The recovered store must still shut down clean.
+    if ! GAEA_FSYNC_EVERY=64 "$HARNESS" shutdown "$dir" >/dev/null; then
+        echo "FAIL [shutdown/fsync-9]: post-recovery checked close failed"
+        failures=$((failures + 1))
+        return
+    fi
+    if ! GAEA_FSYNC_EVERY=64 "$HARNESS" verify "$dir" >/dev/null; then
+        echo "FAIL [shutdown/fsync-9]: post-recovery verification failed"
+        failures=$((failures + 1))
+        return
+    fi
+    echo "ok   [shutdown/fsync-9]"
+}
+
 for point in append fsync truncate; do
     for after in 1 5 9 17; do
         run_case "$point" "$after"
     done
 done
+run_shutdown_case
 
 if [ "$failures" -ne 0 ]; then
     echo "crash matrix: $failures case(s) failed"

@@ -21,6 +21,8 @@
 //!   mechanism, lineage and experiment management (§2).
 //! * [`lang`] — the `CLASS` / `DEFINE PROCESS` definition language from the
 //!   paper's listings.
+//! * [`server`] — the multi-session network front-end: length-prefixed
+//!   wire protocol, admission control, snapshot-isolation reads.
 //! * [`baseline`] — an IDRISI/GRASS-style file-based comparator (§4.1).
 //! * [`workload`] — synthetic Landsat-TM scenes, NDVI series, and the full
 //!   Figure 2 schema.
@@ -41,6 +43,7 @@ pub use gaea_lang as lang;
 pub use gaea_petri as petri;
 pub use gaea_raster as raster;
 pub use gaea_sched as sched;
+pub use gaea_server as server;
 pub use gaea_store as store;
 pub use gaea_workload as workload;
 

@@ -1,0 +1,177 @@
+//! Poison-absorption audit for the shared derivation cache.
+//!
+//! `SharedCache` deliberately absorbs `RwLock` poisoning
+//! (`PoisonError::into_inner`): a panicked writer must not wedge every
+//! scheduler worker behind a poisoned lock. That policy is only sound if
+//! every state a panic can leave behind is one subsequent readers handle
+//! correctly — no stale hit served from a half-applied eviction, no
+//! entry that can never be invalidated again. These tests hammer exactly
+//! that seam: a writer panics while holding the cache's write lock (the
+//! lookup validator is the externally reachable panic point), concurrent
+//! sessions keep going, and the cache must keep answering consistently.
+
+use gaea::core::kernel::SharedCache;
+use gaea::core::{ObjectId, ProcessId, TaskId};
+use gaea::store::Oid;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+fn oid(n: u64) -> ObjectId {
+    ObjectId(Oid(n))
+}
+
+fn key(pid: u64, input: u64) -> (u64, String) {
+    gaea::core::kernel::DerivedCache::canonical_key(
+        ProcessId(Oid(pid)),
+        &[("x".into(), vec![oid(input)])],
+    )
+}
+
+/// A writer that panics while holding the write lock leaves the lock
+/// usable and the entry it was validating intact: the next lookup sees
+/// either the full entry or no entry — never a half-applied eviction
+/// served as a hit.
+#[test]
+fn a_panicking_writer_leaves_the_cache_consistent() {
+    let cache = SharedCache::new();
+    cache.set_enabled(true);
+    let (h, c) = key(7, 1);
+    cache.insert(
+        h,
+        c.clone(),
+        TaskId(Oid(500)),
+        vec![(oid(1), 3)],
+        vec![(oid(10), 4)],
+    );
+
+    // The validator runs under the cache's write lock; panicking inside
+    // it is the panic-mid-write case the poison-absorption policy must
+    // survive.
+    let blown = catch_unwind(AssertUnwindSafe(|| {
+        cache.lookup_where(h, &c, |_, _| panic!("validator blew up mid-write"));
+    }));
+    assert!(blown.is_err());
+
+    // The lock is not wedged and the entry is whole: a permissive
+    // validator gets the recorded task and outputs back exactly.
+    let hit = cache.lookup_where(h, &c, |ins, outs| {
+        assert_eq!(ins, [(oid(1), 3)]);
+        assert_eq!(outs, [(oid(10), 4)]);
+        true
+    });
+    assert_eq!(hit, Some((TaskId(Oid(500)), vec![oid(10)])));
+
+    // And the entry is still reachable through its reverse-index edges.
+    assert_eq!(cache.invalidate_object(oid(1)), 1);
+    assert!(cache.lookup_where(h, &c, |_, _| true).is_none());
+}
+
+/// Hammer: writers inserting/replacing/invalidating, one thread
+/// repeatedly panicking mid-validation, readers checking every hit for
+/// internal consistency. Afterwards the cache still round-trips inserts
+/// and invalidations exactly.
+#[test]
+fn hammered_cache_survives_repeated_mid_write_panics() {
+    let cache = SharedCache::new();
+    cache.set_enabled(true);
+    let panics = Arc::new(AtomicU64::new(0));
+
+    let mut handles = Vec::new();
+
+    // Writers: insert and replace entries over a small key space so
+    // same-hash replacement (the re-linking path) is exercised too.
+    for w in 0..2u64 {
+        let cache = cache.clone();
+        handles.push(thread::spawn(move || {
+            for i in 0..400u64 {
+                let input = i % 8;
+                let (h, c) = key(7 + w, input);
+                cache.insert(
+                    h,
+                    c,
+                    TaskId(Oid(1000 + i)),
+                    vec![(oid(input), i)],
+                    vec![(oid(100 + input), i)],
+                );
+                if i % 16 == 0 {
+                    cache.invalidate_object(oid(input));
+                }
+            }
+        }));
+    }
+
+    // The saboteur: panics while holding the write lock, over and over.
+    {
+        let cache = cache.clone();
+        let panics = Arc::clone(&panics);
+        handles.push(thread::spawn(move || {
+            for i in 0..200u64 {
+                // A private key space nothing else invalidates, re-inserted
+                // every round, so the panicking validator always fires.
+                let (h, c) = key(55, i % 8);
+                cache.insert(
+                    h,
+                    c.clone(),
+                    TaskId(Oid(7000 + i)),
+                    vec![(oid(500 + i % 8), i)],
+                    vec![(oid(600 + i % 8), i)],
+                );
+                let blown = catch_unwind(AssertUnwindSafe(|| {
+                    cache.lookup_where(h, &c, |_, _| panic!("sabotage"));
+                }));
+                if blown.is_err() {
+                    panics.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+
+    // Readers: every hit must be internally consistent — the recorded
+    // versions agree with each other and the returned outputs match the
+    // entry's output list (both drawn from the same task's insert, so a
+    // torn entry would break the equality).
+    for _ in 0..2 {
+        let cache = cache.clone();
+        handles.push(thread::spawn(move || {
+            for i in 0..400u64 {
+                let input = i % 8;
+                let (h, c) = key(8, input);
+                if let Some((task, outs)) = cache.lookup_where(h, &c, |ins, recorded| {
+                    assert_eq!(ins.len(), 1);
+                    assert_eq!(recorded.len(), 1);
+                    assert_eq!(ins[0].1, recorded[0].1);
+                    true
+                }) {
+                    assert!(task.0 .0 >= 1000);
+                    assert_eq!(outs, vec![oid(100 + input)]);
+                }
+            }
+        }));
+    }
+
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(panics.load(Ordering::Relaxed), 200);
+
+    // Post-hammer: the cache still behaves like a fresh one for a new
+    // entry — insert, hit, invalidate, miss.
+    let (h, c) = key(99, 42);
+    cache.insert(
+        h,
+        c.clone(),
+        TaskId(Oid(9000)),
+        vec![(oid(42), 1)],
+        vec![(oid(142), 1)],
+    );
+    assert_eq!(
+        cache.lookup_where(h, &c, |_, _| true),
+        Some((TaskId(Oid(9000)), vec![oid(142)]))
+    );
+    assert_eq!(cache.invalidate_object(oid(42)), 1);
+    assert!(cache.lookup_where(h, &c, |_, _| true).is_none());
+    let stats = cache.stats();
+    assert!(stats.invalidations >= 1);
+}
