@@ -66,15 +66,23 @@ impl SharedKernel {
     /// The epilogue publishes a fresh [`ReadView`] when the commit clock
     /// moved and a reader asked for one, then updates the shared clock.
     /// A panic inside `f` is caught so the locks are released unpoisoned,
-    /// then rethrown on this thread.
+    /// then rethrown on this thread — and nothing is published on that
+    /// path: a panicked statement may have half-applied state, and a
+    /// published view must only ever be a committed prefix. The previous
+    /// view and clock stay in place until the next successful statement.
     pub fn exec<R>(&self, f: impl FnOnce(&mut Gaea) -> R) -> R {
         let mut g = self.kernel.lock().unwrap_or_else(PoisonError::into_inner);
         let out = catch_unwind(AssertUnwindSafe(|| f(&mut g)));
-        self.publish_if_wanted(&g);
-        drop(g);
         match out {
-            Ok(r) => r,
-            Err(panic) => resume_unwind(panic),
+            Ok(r) => {
+                self.publish_if_wanted(&g);
+                drop(g);
+                r
+            }
+            Err(panic) => {
+                drop(g);
+                resume_unwind(panic)
+            }
         }
     }
 
@@ -190,6 +198,27 @@ mod tests {
         // Both paths still work.
         k.exec(|g| g.insert_object("obs", vec![("v", Value::Int4(3))]).unwrap());
         assert_eq!(k.pin().query(&q_obs()).unwrap().objects.len(), 2);
+    }
+
+    #[test]
+    fn a_panic_mid_statement_never_publishes_the_partial_state() {
+        let k = shared();
+        let before = k.pin();
+        let panicked = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            k.exec(|g| {
+                // Half a statement lands, then the statement dies: the
+                // store clock moved, but nothing committed logically.
+                g.insert_object("obs", vec![("v", Value::Int4(99))])
+                    .unwrap();
+                panic!("mid-statement");
+            });
+        }));
+        assert!(panicked.is_err());
+        // The partial state was not published: a fresh pin still serves
+        // the last committed prefix, at the same clock.
+        let after = k.pin();
+        assert_eq!(after.clock(), before.clock());
+        assert_eq!(after.query(&q_obs()).unwrap().objects.len(), 1);
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //!   port 0 picks an ephemeral port, printed on stdout).
 //! * `--data DIR` / `--mem` — durable kernel rooted at `DIR` (WAL +
 //!   snapshots) or an in-memory kernel. Exactly one; default `--mem`.
-//! * `--max-sessions N`, `--idle-ms N`, `--max-statements N` — session
-//!   registry limits.
+//! * `--max-sessions N`, `--idle-ms N`, `--max-statements N`,
+//!   `--max-await-ms N` — session registry limits.
+//! * `--allow-remote-shutdown` — honor the wire `Shutdown` request from
+//!   non-loopback peers (default: loopback only).
 //! * `--seed` — define a small demo schema (`obs {v}`) and a few rows
 //!   before serving, so a fresh server answers queries immediately.
 //! * `--check` — do not serve: open the kernel, print its recovery
@@ -72,6 +74,14 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--max-statements: {e}"))?
             }
+            "--max-await-ms" => {
+                args.config.max_await = Duration::from_millis(
+                    value("--max-await-ms")?
+                        .parse()
+                        .map_err(|e| format!("--max-await-ms: {e}"))?,
+                )
+            }
+            "--allow-remote-shutdown" => args.config.allow_remote_shutdown = true,
             "--seed" => args.seed = true,
             "--check" => args.check = true,
             other => return Err(format!("unknown flag {other:?}")),

@@ -70,7 +70,9 @@ pub enum Request {
     /// Close this session cleanly.
     Goodbye,
     /// Ask the server to shut down: stop admitting, drain sessions,
-    /// checked-flush the WAL.
+    /// checked-flush the WAL. Honored only from loopback peers unless
+    /// the server was configured with `allow_remote_shutdown`; refused
+    /// requests get an `Error` frame and the session is closed.
     Shutdown,
 }
 

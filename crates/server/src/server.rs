@@ -24,7 +24,10 @@
 //! down to unblock pending reads, session threads are joined, and the
 //! kernel is torn down with a **checked** WAL flush —
 //! [`Gaea::close`] — whose error is the server's exit status, not a
-//! swallowed `Drop`.
+//! swallowed `Drop`. The wire request is honored only from loopback
+//! peers unless [`ServerConfig::allow_remote_shutdown`] is set: any
+//! admitted client being able to stop the server is fine on 127.0.0.1
+//! and dangerous the moment an operator binds a routable address.
 
 use crate::protocol::{
     read_frame, write_frame, FrameError, Request, Response, ServerStats, WireJobStatus,
@@ -50,6 +53,13 @@ pub struct ServerConfig {
     pub idle_timeout: Duration,
     /// Per-session statement budget; exceeding it closes the session.
     pub max_statements: u64,
+    /// Server-side ceiling on one `AwaitJob`'s wait; a client-supplied
+    /// `timeout_ms` above this is clamped, never trusted.
+    pub max_await: Duration,
+    /// Honor the wire `Shutdown` request from non-loopback peers.
+    /// Off by default: anyone who can connect could otherwise stop the
+    /// server the moment it binds a non-loopback address.
+    pub allow_remote_shutdown: bool,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +68,8 @@ impl Default for ServerConfig {
             max_sessions: 64,
             idle_timeout: Duration::from_secs(30),
             max_statements: 1_000_000,
+            max_await: Duration::from_secs(10),
+            allow_remote_shutdown: false,
         }
     }
 }
@@ -203,12 +215,11 @@ impl Server {
                     let kernel = Arc::clone(&kernel);
                     let state2 = Arc::clone(&state);
                     workers.push(std::thread::spawn(move || {
+                        // Drop guard: the admission slot is released even
+                        // if serve_session panics — a wedged statement
+                        // must not consume `max_sessions` permanently.
+                        let _slot = SlotGuard { state: &state2, id };
                         serve_session(id, stream, &kernel, &state2);
-                        state2
-                            .live
-                            .lock()
-                            .unwrap_or_else(PoisonError::into_inner)
-                            .remove(&id);
                     }));
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -246,11 +257,35 @@ impl Server {
     }
 }
 
+/// Releases a session's admission slot on scope exit — including panic
+/// unwinds — so `sessions_live` and the `max_sessions` ceiling stay
+/// correct no matter how the session thread dies.
+struct SlotGuard<'a> {
+    state: &'a ServerState,
+    id: u64,
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.state
+            .live
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&self.id);
+    }
+}
+
 /// Serve one session until it says goodbye, errors, idles out, exhausts
 /// its statement budget, or the server shuts down.
 fn serve_session(id: u64, mut stream: TcpStream, kernel: &SharedKernel, state: &ServerState) {
     let _ = stream.set_read_timeout(Some(state.config.idle_timeout));
     let _ = stream.set_nodelay(true);
+    // Trust boundary for `Shutdown`: loopback peers only, unless the
+    // operator opted in. An unknowable peer is treated as remote.
+    let peer_is_loopback = stream
+        .peer_addr()
+        .map(|a| a.ip().is_loopback())
+        .unwrap_or(false);
 
     // The handshake: exactly one Hello, answered with Welcome.
     match read_frame::<_, Request>(&mut stream, FRAME_REQUEST) {
@@ -314,7 +349,7 @@ fn serve_session(id: u64, mut stream: TcpStream, kernel: &SharedKernel, state: &
             );
             return;
         }
-        let (resp, done) = answer(req, kernel, state);
+        let (resp, done) = answer(req, kernel, state, peer_is_loopback);
         if write_frame(&mut stream, FRAME_RESPONSE, &resp).is_err() || done {
             return;
         }
@@ -333,8 +368,14 @@ fn note_read_failure(e: &FrameError, state: &ServerState) {
 }
 
 /// Execute one statement. Returns the response and whether the session
-/// ends after sending it.
-fn answer(req: Request, kernel: &SharedKernel, state: &ServerState) -> (Response, bool) {
+/// ends after sending it. `peer_is_loopback` gates `Shutdown` (see
+/// [`ServerConfig::allow_remote_shutdown`]).
+fn answer(
+    req: Request,
+    kernel: &SharedKernel,
+    state: &ServerState,
+    peer_is_loopback: bool,
+) -> (Response, bool) {
     match req {
         Request::Hello { .. } => (
             Response::Error {
@@ -432,15 +473,31 @@ fn answer(req: Request, kernel: &SharedKernel, state: &ServerState) -> (Response
         }
         Request::AwaitJob { id, timeout_ms } => {
             // Poll with short serialized statements; never park a thread
-            // inside the kernel lock waiting for a worker.
+            // inside the kernel lock waiting for a worker. One counter
+            // tick per request, not per poll — the stat counts client
+            // statements on the commit path, not poll cycles.
             let jid = JobId(id);
-            let deadline = Instant::now() + Duration::from_millis(timeout_ms);
+            state.writes_serialized.fetch_add(1, Ordering::Relaxed);
+            // The client's timeout is a request, not a contract: clamp
+            // to the server's ceiling, and add to `now` checked so a
+            // hostile u64::MAX can never panic past the slot guard.
+            let timeout = Duration::from_millis(timeout_ms).min(state.config.max_await);
+            let deadline = Instant::now()
+                .checked_add(timeout)
+                .unwrap_or_else(Instant::now);
             loop {
-                state.writes_serialized.fetch_add(1, Ordering::Relaxed);
                 match kernel.exec(|g| g.job_status(jid)) {
                     Ok(status) => {
                         let wire = WireJobStatus::from(status);
-                        if wire.is_terminal() || Instant::now() >= deadline {
+                        // Shutdown ends the wait early with the current
+                        // (possibly non-terminal) status: this thread is
+                        // not parked in a read, so the drain's socket
+                        // shutdown can't unblock it — it must notice on
+                        // its own or `Server::run`'s join hangs.
+                        if wire.is_terminal()
+                            || Instant::now() >= deadline
+                            || state.shutdown.load(Ordering::Acquire)
+                        {
                             return (Response::Job { id, status: wire }, false);
                         }
                     }
@@ -480,6 +537,16 @@ fn answer(req: Request, kernel: &SharedKernel, state: &ServerState) -> (Response
         Request::Ping => (Response::Pong, false),
         Request::Goodbye => (Response::Bye, true),
         Request::Shutdown => {
+            if !peer_is_loopback && !state.config.allow_remote_shutdown {
+                return (
+                    Response::Error {
+                        message: "shutdown refused: only loopback peers may stop the \
+                                  server (start with allow_remote_shutdown to change)"
+                            .into(),
+                    },
+                    true,
+                );
+            }
             state.shutdown.store(true, Ordering::Release);
             (Response::ShuttingDown, true)
         }
@@ -514,5 +581,93 @@ fn retrieve(src: &str, kernel: &SharedKernel, state: &ServerState) -> Response {
                 message: e.to_string(),
             },
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bare_state(config: ServerConfig) -> ServerState {
+        ServerState {
+            config,
+            shutdown: AtomicBool::new(false),
+            sessions_opened: AtomicU64::new(0),
+            sessions_refused: AtomicU64::new(0),
+            reads_pinned: AtomicU64::new(0),
+            writes_serialized: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            live: Mutex::new(HashMap::new()),
+        }
+    }
+
+    #[test]
+    fn the_slot_guard_releases_on_panic() {
+        let state = Arc::new(bare_state(ServerConfig::default()));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        state
+            .live
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(7, stream);
+        let s2 = Arc::clone(&state);
+        let worker = std::thread::spawn(move || {
+            let _slot = SlotGuard { state: &s2, id: 7 };
+            panic!("session blew up mid-statement");
+        });
+        assert!(worker.join().is_err());
+        // The admission slot came back even though the session panicked.
+        assert_eq!(state.stats(0).sessions_live, 0);
+    }
+
+    #[test]
+    fn shutdown_is_refused_for_remote_peers_by_default() {
+        let kernel = SharedKernel::new(Gaea::in_memory());
+        let state = bare_state(ServerConfig::default());
+
+        let (resp, done) = answer(Request::Shutdown, &kernel, &state, false);
+        assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+        assert!(done);
+        assert!(!state.shutdown.load(Ordering::Acquire));
+
+        // Loopback peers are trusted.
+        let (resp, _) = answer(Request::Shutdown, &kernel, &state, true);
+        assert!(matches!(resp, Response::ShuttingDown));
+        assert!(state.shutdown.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn remote_shutdown_is_honored_when_opted_in() {
+        let kernel = SharedKernel::new(Gaea::in_memory());
+        let state = bare_state(ServerConfig {
+            allow_remote_shutdown: true,
+            ..ServerConfig::default()
+        });
+        let (resp, _) = answer(Request::Shutdown, &kernel, &state, false);
+        assert!(matches!(resp, Response::ShuttingDown));
+        assert!(state.shutdown.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn a_hostile_await_timeout_cannot_panic_the_deadline() {
+        // u64::MAX milliseconds used to overflow `Instant + Duration`
+        // and panic the session thread; now it clamps to `max_await`.
+        let kernel = SharedKernel::new(Gaea::in_memory());
+        let state = bare_state(ServerConfig::default());
+        let (resp, done) = answer(
+            Request::AwaitJob {
+                id: 999,
+                timeout_ms: u64::MAX,
+            },
+            &kernel,
+            &state,
+            true,
+        );
+        // Unknown job: the first poll errors — fast, no panic, no hang.
+        assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+        assert!(!done);
+        // One statement, one counter tick — not one per poll cycle.
+        assert_eq!(state.writes_serialized.load(Ordering::Relaxed), 1);
     }
 }

@@ -234,6 +234,44 @@ fn async_jobs_round_trip_over_the_wire() {
 }
 
 #[test]
+fn a_hostile_await_timeout_neither_panics_nor_leaks_the_slot() {
+    let h = start(
+        seeded_kernel(),
+        ServerConfig {
+            max_sessions: 1,
+            ..ServerConfig::default()
+        },
+    );
+    {
+        let mut c = Client::connect(&h.addr, "hostile").unwrap();
+        // u64::MAX ms once overflowed the server's deadline arithmetic,
+        // panicking the session thread past the slot release. Now it is
+        // clamped; the unknown job errors fast either way.
+        match c.await_job(999, Duration::from_millis(u64::MAX)) {
+            Err(ClientError::Server(_)) => {}
+            other => panic!("expected unknown-job error, got {other:?}"),
+        }
+        c.goodbye().unwrap();
+    }
+    // The only admission slot is free again — a leaked slot would make
+    // every reconnect bounce off admission control forever.
+    let mut again = None;
+    for _ in 0..100 {
+        match Client::connect(&h.addr, "again") {
+            Ok(c) => {
+                again = Some(c);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    let mut c = again.expect("slot released after hostile await");
+    c.ping().unwrap();
+    c.shutdown_server().unwrap();
+    h.thread.join().unwrap();
+}
+
+#[test]
 fn idle_sessions_are_disconnected() {
     let h = start(
         seeded_kernel(),
