@@ -15,7 +15,7 @@
 //! CI condenses the rows into `BENCH_q11_wal.json` via
 //! `scripts/bench_summary.sh q11_wal wal_`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use gaea_adt::{TypeTag, Value};
 use gaea_core::kernel::{ClassSpec, DurabilityOptions, Gaea};
 use std::hint::black_box;
@@ -106,4 +106,13 @@ fn bench(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    // GAEA_METRICS_JSON: dump the process-wide metrics snapshot so
+    // scripts/bench_summary.sh can merge the counters behind the
+    // latency numbers into the published artifact.
+    if let Some(path) = gaea_obs::dump_snapshot_to_env_path() {
+        println!("metrics snapshot written to {path}");
+    }
+}

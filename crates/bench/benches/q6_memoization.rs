@@ -15,7 +15,7 @@
 //! and the full invalidate-then-re-derive cycle. CI condenses these three
 //! into `BENCH_q6_invalidation.json` (see `scripts/bench_summary.sh`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use gaea_adt::{AbsTime, Image, PixType, Value};
 use gaea_bench::{africa, configure, figure2_kernel, jan86, store_scene};
 use gaea_core::kernel::Gaea;
@@ -222,4 +222,13 @@ fn bench(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    // GAEA_METRICS_JSON: dump the process-wide metrics snapshot so
+    // scripts/bench_summary.sh can merge the counters behind the
+    // latency numbers into the published artifact.
+    if let Some(path) = gaea_obs::dump_snapshot_to_env_path() {
+        println!("metrics snapshot written to {path}");
+    }
+}

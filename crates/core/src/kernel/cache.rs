@@ -138,21 +138,27 @@ impl DerivedCache {
     where
         F: FnOnce(&[(ObjectId, u64)], &[(ObjectId, u64)]) -> bool,
     {
+        let m = gaea_obs::metrics();
         match self.entries.get(&hash) {
             Some(e) if e.canonical == canonical => {
                 if valid(&e.inputs, &e.outputs) {
                     self.hits += 1;
+                    m.cache_hits.inc();
                     Some((e.task, e.outputs.iter().map(|(o, _)| *o).collect()))
                 } else {
                     // Falsified since it was recorded: drop it and miss.
                     self.remove_entry(hash);
                     self.invalidations += 1;
                     self.misses += 1;
+                    m.cache_evictions.inc();
+                    m.cache_misses.inc();
+                    m.cache_entries.set(self.entries.len() as u64);
                     None
                 }
             }
             _ => {
                 self.misses += 1;
+                m.cache_misses.inc();
                 None
             }
         }
@@ -196,6 +202,9 @@ impl DerivedCache {
                 outputs,
             },
         );
+        gaea_obs::metrics()
+            .cache_entries
+            .set(self.entries.len() as u64);
     }
 
     /// Remove one entry and unlink it from the reverse indexes.
@@ -257,6 +266,9 @@ impl DerivedCache {
             self.by_output.remove(&dirty);
         }
         self.invalidations += removed as u64;
+        let m = gaea_obs::metrics();
+        m.cache_evictions.add(removed as u64);
+        m.cache_entries.set(self.entries.len() as u64);
         removed
     }
 }

@@ -109,6 +109,20 @@ pub struct RecoveryStats {
     pub wal_corrupt: bool,
 }
 
+/// Mirror durable-state facts into the global metrics registry, so live
+/// introspection (the server's `Stats` request) sees the current
+/// truncation watermark without a kernel handle. Called when a durable
+/// kernel opens and again whenever [`Gaea::checkpoint`] moves the
+/// watermark.
+fn publish_recovery_gauges(stats: &RecoveryStats) {
+    let m = gaea_obs::metrics();
+    m.recovery_events_replayed.set(stats.events_replayed);
+    m.recovery_jobs_restaged.set(stats.jobs_restaged);
+    m.recovery_snapshot_seq.set(stats.snapshot_seq);
+    m.recovery_wal_dropped_bytes.set(stats.wal_dropped_bytes);
+    m.recovery_wal_corrupt.set(stats.wal_corrupt as u64);
+}
+
 /// One committed mutation, as recorded in the log.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) enum Event {
@@ -339,13 +353,15 @@ impl Gaea {
             options,
         });
         g.restage_recovered_jobs();
-        g.recovery = Some(RecoveryStats {
+        let stats = RecoveryStats {
             events_replayed,
             jobs_restaged,
             snapshot_seq: watermark,
             wal_dropped_bytes: scan.dropped_bytes,
             wal_corrupt: scan.corrupt,
-        });
+        };
+        publish_recovery_gauges(&stats);
+        g.recovery = Some(stats);
         Ok(g)
     }
 
@@ -507,6 +523,7 @@ impl Gaea {
         d.wal.crash_before_truncate();
         d.wal.truncate().map_err(io_err)?;
         d.since_snapshot = 0;
+        let snap_seq = d.seq;
         // Superseded snapshots are garbage once CURRENT moved on.
         if let Ok(entries) = fs::read_dir(&d.dir) {
             for entry in entries.flatten() {
@@ -517,6 +534,16 @@ impl Gaea {
                 }
             }
         }
+        // The truncation watermark moved: recovery-era stats that kept
+        // reporting the *open-time* snapshot would be stale from here on,
+        // so refresh the durable-state view (and its gauges) in place.
+        // The torn-tail fields describe a log segment the truncation just
+        // retired, so they reset alongside the watermark.
+        let stats = self.recovery.get_or_insert_with(RecoveryStats::default);
+        stats.snapshot_seq = snap_seq;
+        stats.wal_dropped_bytes = 0;
+        stats.wal_corrupt = false;
+        publish_recovery_gauges(stats);
         Ok(())
     }
 

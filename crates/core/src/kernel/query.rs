@@ -78,18 +78,46 @@ impl Gaea {
     /// [`QueryOutcome::stale`] so the caller can
     /// [`Gaea::refresh_object`](super::Gaea::refresh_object) them.
     pub fn query(&mut self, q: &Query) -> KernelResult<QueryOutcome> {
-        let class_names = self.target_classes(q)?;
-        self.validate_query(&class_names, q)?;
-        // Optimizer: give the query's predicate-hot attributes index or
-        // grid access paths on every large-enough target extent.
-        self.ensure_access_paths(&class_names, q)?;
-        // Commit any finished background jobs first: their outputs are
-        // stored data this very query may retrieve.
-        self.pump_jobs();
+        // One observability trace per statement: the stage spans opened
+        // below become the outcome's `EXPLAIN ANALYZE` profile, and slow
+        // traces are retained in the process-wide ring.
+        let tracer = gaea_obs::start_trace("query", q.target.name());
+        let mut result = self.query_stages(q);
+        if let Ok(outcome) = &mut result {
+            if let Some(trace) = tracer.finish() {
+                crate::query::apply_trace(outcome, &trace);
+            }
+        }
+        result
+    }
+
+    /// The staged body of [`Gaea::query`], running inside the statement
+    /// trace (a failed statement still finalizes the trace through the
+    /// guard's drop).
+    fn query_stages(&mut self, q: &Query) -> KernelResult<QueryOutcome> {
+        let class_names = {
+            let _plan = gaea_obs::span("plan");
+            let class_names = self.target_classes(q)?;
+            self.validate_query(&class_names, q)?;
+            // Optimizer: give the query's predicate-hot attributes index or
+            // grid access paths on every large-enough target extent.
+            self.ensure_access_paths(&class_names, q)?;
+            // Commit any finished background jobs first: their outputs are
+            // stored data this very query may retrieve.
+            self.pump_jobs();
+            class_names
+        };
         // Step 1: direct retrieval.
-        let (hits, plans) = self.retrieve(&class_names, q)?;
-        if !hits.is_empty() {
+        let (hits, plans, stale) = {
+            let _retrieve = gaea_obs::span("retrieve");
+            let (hits, plans) = self.retrieve(&class_names, q)?;
+            for p in &plans {
+                gaea_obs::note("path", p.to_string());
+            }
             let stale = self.flag_stale(&hits);
+            (hits, plans, stale)
+        };
+        if !hits.is_empty() {
             return self.finish_outcome(
                 QueryOutcome {
                     objects: hits,
@@ -98,6 +126,7 @@ impl Gaea {
                     stale,
                     pending: vec![],
                     plans,
+                    profile: None,
                 },
                 q,
             );
@@ -106,6 +135,7 @@ impl Gaea {
         // derivation as a background job and return its id instead of
         // blocking on the (possibly minutes-long) firing.
         if q.async_submit {
+            let _submit = gaea_obs::span("submit");
             let job = self.submit_derivation(q)?;
             // This query's own job leads; other in-flight jobs of the
             // target classes follow, honouring `pending`'s contract
@@ -124,6 +154,7 @@ impl Gaea {
                 stale: vec![],
                 pending,
                 plans: vec![],
+                profile: None,
             });
         }
         let steps: &[QueryMethod] = match q.strategy {
@@ -136,8 +167,14 @@ impl Gaea {
         let mut failures: Vec<String> = Vec::new();
         for step in steps {
             let attempt = match step {
-                QueryMethod::Interpolated => self.try_interpolate(&class_names, q),
-                QueryMethod::Derived => self.try_derive(&class_names, q, false),
+                QueryMethod::Interpolated => {
+                    let _interpolate = gaea_obs::span("interpolate");
+                    self.try_interpolate(&class_names, q)
+                }
+                QueryMethod::Derived => {
+                    let _derive = gaea_obs::span("derive");
+                    self.try_derive(&class_names, q, false)
+                }
                 QueryMethod::Retrieved => unreachable!("retrieval ran first"),
                 QueryMethod::Submitted => unreachable!("async submission returned above"),
             };
@@ -185,6 +222,7 @@ impl Gaea {
         mut outcome: QueryOutcome,
         q: &Query,
     ) -> KernelResult<QueryOutcome> {
+        let _project = gaea_obs::span("project");
         if q.fresh && !outcome.stale.is_empty() {
             let class_names = self.target_classes(q)?;
             // History that must not be served again: refreshed (replaced)
@@ -376,6 +414,7 @@ impl Gaea {
                 stale,
                 pending: vec![],
                 plans: vec![],
+                profile: None,
             }));
         }
         Ok(None)
@@ -420,25 +459,41 @@ impl Gaea {
         force_waves: bool,
     ) -> KernelResult<Option<QueryOutcome>> {
         // Plan stage inputs: the net view and the stored-object marking.
-        let dnet = self.plannable_net(q)?;
-        let marking = self.planning_marking(&dnet, classes, q)?;
+        let (dnet, marking) = {
+            let _plan = gaea_obs::span("plan");
+            let dnet = self.plannable_net(q)?;
+            let marking = self.planning_marking(&dnet, classes, q)?;
+            (dnet, marking)
+        };
         let mut all_tasks = Vec::new();
         for name in classes {
             let def = self.catalog.class_by_name(name)?.clone();
-            let plan = match self.derivation_plan(&dnet, &marking, &def)? {
-                Some(p) => p,
-                None if classes.len() == 1 => {
-                    return Err(KernelError::DerivationImpossible(format!(
-                        "class {name}: missing base data in {:?}",
-                        self.missing_base_classes(&dnet, &marking, &def)
-                    )))
+            let plan = {
+                let _plan = gaea_obs::span("plan");
+                match self.derivation_plan(&dnet, &marking, &def)? {
+                    Some(p) => {
+                        gaea_obs::note("firings", p.cost().to_string());
+                        p
+                    }
+                    None if classes.len() == 1 => {
+                        return Err(KernelError::DerivationImpossible(format!(
+                            "class {name}: missing base data in {:?}",
+                            self.missing_base_classes(&dnet, &marking, &def)
+                        )))
+                    }
+                    // Try the next member class of the concept.
+                    None => continue,
                 }
-                // Try the next member class of the concept.
-                None => continue,
             };
-            all_tasks.extend(self.fire_plan(&dnet, &plan, q, force_waves)?);
+            all_tasks.extend({
+                let _fire = gaea_obs::span("fire");
+                self.fire_plan(&dnet, &plan, q, force_waves)?
+            });
             // Project: step 1 again over the now-extended extension.
-            if let Some(outcome) = self.project_outcome(name, q, &all_tasks)? {
+            if let Some(outcome) = {
+                let _project = gaea_obs::span("project");
+                self.project_outcome(name, q, &all_tasks)?
+            } {
                 return Ok(Some(outcome));
             }
             // The derivation ran but extent transfer did not match the
@@ -658,6 +713,7 @@ impl Gaea {
         let mut fired_keys: BTreeSet<String> = BTreeSet::new();
         let mut tasks = Vec::new();
         for wave in &waves {
+            gaea_obs::note("wave_width", wave.len().to_string());
             // Choose phase (serial): admissible bindings or reused tasks.
             let mut staged: Vec<(ProcessId, Option<executor::Bindings>)> =
                 Vec::with_capacity(wave.len());
@@ -719,17 +775,34 @@ impl Gaea {
     /// answers first — it exists to *make* the derivation happen, with
     /// the plan's independent firings running side by side.
     pub fn derive_parallel(&mut self, q: &Query) -> KernelResult<QueryOutcome> {
-        let class_names = self.target_classes(q)?;
-        self.validate_query(&class_names, q)?;
-        self.ensure_access_paths(&class_names, q)?;
-        self.pump_jobs();
-        match self.try_derive(&class_names, q, true)? {
-            Some(outcome) => self.finish_outcome(outcome, q),
-            None => Err(KernelError::NoData(format!(
-                "classes {class_names:?}: the derivation plan fired but extent transfer \
-                 did not match the query"
-            ))),
+        let tracer = gaea_obs::start_trace("derive_parallel", q.target.name());
+        let mut result = (|| {
+            let class_names = {
+                let _plan = gaea_obs::span("plan");
+                let class_names = self.target_classes(q)?;
+                self.validate_query(&class_names, q)?;
+                self.ensure_access_paths(&class_names, q)?;
+                self.pump_jobs();
+                class_names
+            };
+            let derived = {
+                let _derive = gaea_obs::span("derive");
+                self.try_derive(&class_names, q, true)?
+            };
+            match derived {
+                Some(outcome) => self.finish_outcome(outcome, q),
+                None => Err(KernelError::NoData(format!(
+                    "classes {class_names:?}: the derivation plan fired but extent transfer \
+                     did not match the query"
+                ))),
+            }
+        })();
+        if let Ok(outcome) = &mut result {
+            if let Some(trace) = tracer.finish() {
+                crate::query::apply_trace(outcome, &trace);
+            }
         }
+        result
     }
 
     /// Project stage: serve the derived answer through retrieval, exactly
@@ -755,6 +828,7 @@ impl Gaea {
             stale,
             pending: vec![],
             plans,
+            profile: None,
         }))
     }
 
@@ -911,7 +985,10 @@ impl Gaea {
         // Derivations other sessions already launched: never double-fire.
         let in_flight = self.jobs_in_flight_keys();
         // Bind stage: admissible selections per argument.
-        let candidates = self.binding_candidates(&def, q)?;
+        let candidates = {
+            let _bind = gaea_obs::span("bind");
+            self.binding_candidates(&def, q)?
+        };
         // Keys of identical prior derivations (the per-process task
         // index iterates in task-id order, same as the old full scan).
         let used_keys: BTreeSet<String> = self

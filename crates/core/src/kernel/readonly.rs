@@ -91,6 +91,19 @@ impl ReadView {
     /// refused with [`KernelError::Schema`]; route it through the
     /// serialized commit path instead.
     pub fn query(&self, q: &Query) -> KernelResult<QueryOutcome> {
+        let tracer = gaea_obs::start_trace("query", q.target.name());
+        let mut result = self.query_stages(q);
+        if let Ok(outcome) = &mut result {
+            if let Some(trace) = tracer.finish() {
+                crate::query::apply_trace(outcome, &trace);
+            }
+        }
+        result
+    }
+
+    /// The staged body of [`ReadView::query`], one span per pipeline
+    /// stage so the tracer's depth-1 laps tile the statement.
+    fn query_stages(&self, q: &Query) -> KernelResult<QueryOutcome> {
         if !Self::is_read_only(q) {
             return Err(KernelError::Schema(
                 "query needs the commit path (DERIVE/FRESH/ASYNC): \
@@ -98,16 +111,28 @@ impl ReadView {
                     .into(),
             ));
         }
-        let classes = qexec::target_classes_in(&self.catalog, q)?;
-        qexec::validate_query_in(&self.catalog, &classes, q)?;
-        let (hits, plans) = qexec::retrieve_in(self.store.db(), &self.catalog, &classes, q)?;
+        let classes = {
+            let _plan = gaea_obs::span("plan");
+            let classes = qexec::target_classes_in(&self.catalog, q)?;
+            qexec::validate_query_in(&self.catalog, &classes, q)?;
+            classes
+        };
+        let (hits, plans, stale) = {
+            let _retrieve = gaea_obs::span("retrieve");
+            let (hits, plans) = qexec::retrieve_in(self.store.db(), &self.catalog, &classes, q)?;
+            for p in &plans {
+                gaea_obs::note("path", p.to_string());
+            }
+            let stale = qexec::flag_stale_in(self.store.db(), &self.catalog, &hits);
+            (hits, plans, stale)
+        };
         if hits.is_empty() {
             return Err(KernelError::NoData(format!(
                 "classes {classes:?} hold no matching objects; \
                  strategy forbids computation"
             )));
         }
-        let stale = qexec::flag_stale_in(self.store.db(), &self.catalog, &hits);
+        let _project = gaea_obs::span("project");
         let mut outcome = QueryOutcome {
             objects: hits,
             method: QueryMethod::Retrieved,
@@ -115,6 +140,7 @@ impl ReadView {
             stale,
             pending: vec![],
             plans,
+            profile: None,
         };
         qexec::order_limit_project(&mut outcome, q);
         outcome.pending = self.pending_jobs_for(&classes);

@@ -71,6 +71,7 @@ impl SharedKernel {
     /// published view must only ever be a committed prefix. The previous
     /// view and clock stay in place until the next successful statement.
     pub fn exec<R>(&self, f: impl FnOnce(&mut Gaea) -> R) -> R {
+        gaea_obs::metrics().kernel_execs.inc();
         let mut g = self.kernel.lock().unwrap_or_else(PoisonError::into_inner);
         let out = catch_unwind(AssertUnwindSafe(|| f(&mut g)));
         match out {
@@ -91,6 +92,7 @@ impl SharedKernel {
     /// landed) commit by one publish cycle, but it is always *some*
     /// committed prefix — exactly the snapshot-isolation contract.
     pub fn pin(&self) -> Arc<ReadView> {
+        gaea_obs::metrics().kernel_pins.inc();
         let view = {
             let guard = self.view.lock().unwrap_or_else(PoisonError::into_inner);
             Arc::clone(&guard)

@@ -24,6 +24,15 @@ pub enum QueryTarget {
     Concept(String),
 }
 
+impl QueryTarget {
+    /// The targeted class or concept name (trace labels, diagnostics).
+    pub fn name(&self) -> &str {
+        match self {
+            QueryTarget::Class(n) | QueryTarget::Concept(n) => n,
+        }
+    }
+}
+
 /// Temporal selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TimeSel {
@@ -352,6 +361,73 @@ impl std::fmt::Display for ScanPlan {
     }
 }
 
+/// Wall time of one pipeline stage inside a statement (EXPLAIN ANALYZE
+/// row). Stage names are the span names the kernel opens: `plan`,
+/// `retrieve`, `interpolate`, `derive`, `project` at the top level,
+/// with nested spans (`bind`, `fire`, …) at `depth > 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage (span) name.
+    pub stage: String,
+    /// Nesting depth: 1 = direct stage of the statement, deeper values
+    /// are sub-stages of the stage preceding them.
+    pub depth: u16,
+    /// Wall time spent inside the stage, microseconds.
+    pub wall_us: u64,
+    /// Annotations attached while the stage ran (e.g. the chosen access
+    /// path, wave widths).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub notes: Vec<(String, String)>,
+}
+
+/// Per-statement execution profile: the `EXPLAIN ANALYZE` surface.
+///
+/// Built from the statement's observability trace: `total_us` is the
+/// end-to-end wall time and the depth-1 entries of `stages` are
+/// contiguous laps over the statement body, so their sum tracks
+/// `total_us` closely (the acceptance bound is ±10%).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct QueryProfile {
+    /// End-to-end statement wall time, microseconds.
+    pub total_us: u64,
+    /// Per-stage timings in completion order (see [`StageTiming`]).
+    pub stages: Vec<StageTiming>,
+}
+
+impl QueryProfile {
+    /// Flatten a finished observability trace into the wire-facing
+    /// profile.
+    pub fn from_trace(trace: &gaea_obs::Trace) -> QueryProfile {
+        QueryProfile {
+            total_us: trace.total_us,
+            stages: trace
+                .spans
+                .iter()
+                .map(|s| StageTiming {
+                    stage: s.name.to_string(),
+                    depth: s.depth,
+                    wall_us: s.wall_us,
+                    notes: s
+                        .notes
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.clone()))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Sum of the top-level (depth-1) stage wall times — the number the
+    /// ±10% acceptance bound compares against [`QueryProfile::total_us`].
+    pub fn stage_sum_us(&self) -> u64 {
+        self.stages
+            .iter()
+            .filter(|s| s.depth == 1)
+            .map(|s| s.wall_us)
+            .sum()
+    }
+}
+
 /// Query result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryOutcome {
@@ -381,6 +457,34 @@ pub struct QueryOutcome {
     /// (EXPLAIN output): one entry per scanned class extent. Empty when
     /// the answer never scanned a class (e.g. a submitted job).
     pub plans: Vec<ScanPlan>,
+    /// Per-stage wall times of this statement (`EXPLAIN ANALYZE`
+    /// output), filled by the kernel entry points. `None` only for
+    /// outcomes assembled outside a traced statement.
+    pub profile: Option<QueryProfile>,
+}
+
+/// Fold a finished statement trace into an outcome: feed the per-stage
+/// latency histograms of the process-wide registry and attach the
+/// wire-facing [`QueryProfile`]. Shared by the live-kernel and
+/// pinned-snapshot query entry points.
+pub(crate) fn apply_trace(outcome: &mut QueryOutcome, trace: &gaea_obs::Trace) {
+    let m = gaea_obs::metrics();
+    for s in &trace.spans {
+        let h = match (s.name, s.depth) {
+            ("plan", 1) => Some(&m.stage_plan_us),
+            ("retrieve", 1) => Some(&m.stage_retrieve_us),
+            ("interpolate", 1) => Some(&m.stage_interpolate_us),
+            ("derive", 1) => Some(&m.stage_derive_us),
+            ("project", 1) => Some(&m.stage_project_us),
+            ("bind", _) => Some(&m.stage_bind_us),
+            ("fire", d) if d > 1 => Some(&m.stage_fire_us),
+            _ => None,
+        };
+        if let Some(h) = h {
+            h.record(s.wall_us);
+        }
+    }
+    outcome.profile = Some(QueryProfile::from_trace(trace));
 }
 
 impl QueryOutcome {

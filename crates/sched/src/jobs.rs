@@ -231,6 +231,8 @@ impl<T: Send + 'static> JobPool<T> {
             state.status.insert(id, JobStatus::Queued);
             state.bodies.insert(id, Box::new(work));
             state.queue.push_back(id);
+            gaea_obs::metrics().jobs_submitted.inc();
+            gaea_obs::metrics().jobs_queue_depth.add(1);
             // Spawn a worker unless an idle one will pick this up (or the
             // cap is reached). Workers outlive their first job; the pool
             // converges on min(cap, peak concurrent jobs) threads.
@@ -288,10 +290,13 @@ impl<T: Send + 'static> JobPool<T> {
                 state.queue.retain(|q| *q != id);
                 state.bodies.remove(&id);
                 state.status.insert(id, JobStatus::Cancelled);
+                gaea_obs::metrics().jobs_queue_depth.sub(1);
+                gaea_obs::metrics().jobs_cancelled.inc();
                 true
             }
             Some(JobStatus::Running) => {
                 state.status.insert(id, JobStatus::Cancelled);
+                gaea_obs::metrics().jobs_cancelled.inc();
                 true
             }
             _ => false,
@@ -346,6 +351,8 @@ impl<T: Send + 'static> Drop for JobPool<T> {
         while let Some(id) = state.queue.pop_front() {
             state.bodies.remove(&id);
             state.status.insert(id, JobStatus::Cancelled);
+            gaea_obs::metrics().jobs_queue_depth.sub(1);
+            gaea_obs::metrics().jobs_cancelled.inc();
         }
         drop(state);
         self.shared.cv.notify_all();
@@ -383,6 +390,7 @@ fn worker_loop<T: Send + 'static>(shared: Arc<PoolShared<T>>) {
                         .remove(&id)
                         .expect("queued job carries its body");
                     state.status.insert(id, JobStatus::Running);
+                    gaea_obs::metrics().jobs_queue_depth.sub(1);
                     break (id, work);
                 }
                 state.idle_workers += 1;
@@ -404,8 +412,14 @@ fn worker_loop<T: Send + 'static>(shared: Arc<PoolShared<T>>) {
             Some(JobStatus::Cancelled) => {}
             _ => {
                 let status = match result {
-                    Ok(v) => JobStatus::Done(v),
-                    Err(e) => JobStatus::Failed(e),
+                    Ok(v) => {
+                        gaea_obs::metrics().jobs_completed.inc();
+                        JobStatus::Done(v)
+                    }
+                    Err(e) => {
+                        gaea_obs::metrics().jobs_failed.inc();
+                        JobStatus::Failed(e)
+                    }
                 };
                 state.status.insert(id, status);
             }

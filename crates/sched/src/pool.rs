@@ -114,7 +114,10 @@ impl Scheduler {
         R: Send,
         F: Fn(usize, I) -> R + Sync,
     {
+        let m = gaea_obs::metrics();
+        m.sched_workers.set(self.workers as u64);
         if self.workers <= 1 || items.len() <= 1 {
+            m.sched_serial_maps.inc();
             return items
                 .into_iter()
                 .enumerate()
@@ -123,6 +126,8 @@ impl Scheduler {
         }
         let n = items.len();
         let threads = self.workers.min(n);
+        m.sched_parallel_maps.inc();
+        m.sched_wave_width.record(n as u64);
         // Hand items out through a cursor over pre-parked slots: workers
         // claim the next index, take the item, and deposit the result in
         // the slot of the same index — input order survives any finish

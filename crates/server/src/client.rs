@@ -4,7 +4,7 @@
 
 use crate::protocol::{
     read_frame, write_frame, FrameError, Request, Response, ServerStats, WireJobStatus,
-    WireOutcome, FRAME_REQUEST, FRAME_RESPONSE,
+    WireOutcome, WireTrace, FRAME_REQUEST, FRAME_RESPONSE,
 };
 use gaea_adt::Value;
 use std::net::TcpStream;
@@ -167,6 +167,15 @@ impl Client {
     pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
         match self.round_trip(&Request::Stats)? {
             Response::Stats(s) => Ok(s),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Recently retained query traces (the server's slow-query ring).
+    pub fn traces(&mut self) -> Result<Vec<WireTrace>, ClientError> {
+        match self.round_trip(&Request::Trace)? {
+            Response::Traces(t) => Ok(t),
             Response::Error { message } => Err(ClientError::Server(message)),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }

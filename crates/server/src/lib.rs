@@ -19,5 +19,5 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{Client, ClientError};
-pub use protocol::{Request, Response, ServerStats, WireJobStatus, WireOutcome};
+pub use protocol::{Request, Response, ServerStats, WireJobStatus, WireOutcome, WireTrace};
 pub use server::{Server, ServerConfig, ServerHandle, ServerReport};

@@ -27,8 +27,9 @@
 //! flush; 1 when the flush failed (the durable tail may be incomplete)
 //! or `--check` found a dirty log.
 
-use gaea_adt::{TypeTag, Value};
-use gaea_core::kernel::{ClassSpec, Gaea};
+use gaea_adt::{AbsTime, GeoBox, Image, PixType, TypeTag, Value};
+use gaea_core::kernel::{ClassSpec, Gaea, ProcessSpec};
+use gaea_core::template::{Expr, Mapping, Template};
 use gaea_server::{Server, ServerConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -106,6 +107,63 @@ fn seed(g: &mut Gaea) -> Result<(), String> {
             g.insert_object("obs", vec![("v", Value::Int4(v))])
                 .map_err(|e| format!("seed insert: {e}"))?;
         }
+    }
+    // A tiny derivation pipeline (field --P_smooth--> smooth), fired
+    // twice with memoization on, so a fresh server's live introspection
+    // reports the derived-result cache in action (one miss, one hit)
+    // rather than a wall of zeros.
+    if g.catalog().class_by_name("field").is_err() {
+        g.define_class(ClassSpec::base("field").attr("data", TypeTag::Image))
+            .map_err(|e| format!("seed class: {e}"))?;
+        g.define_class(ClassSpec::derived("smooth").attr("data", TypeTag::Image))
+            .map_err(|e| format!("seed class: {e}"))?;
+        let template = Template {
+            assertions: vec![],
+            mappings: vec![
+                Mapping {
+                    attr: "data".into(),
+                    expr: Expr::Arg("f".into()),
+                },
+                Mapping {
+                    attr: "spatialextent".into(),
+                    expr: Expr::proj("f", "spatialextent"),
+                },
+                Mapping {
+                    attr: "timestamp".into(),
+                    expr: Expr::proj("f", "timestamp"),
+                },
+            ],
+        };
+        g.define_process(
+            ProcessSpec::new("P_smooth", "smooth")
+                .arg("f", "field")
+                .template(template),
+        )
+        .map_err(|e| format!("seed process: {e}"))?;
+        let f = g
+            .insert_object(
+                "field",
+                vec![
+                    (
+                        "data",
+                        Value::image(Image::filled(4, 4, PixType::Float8, 1.0)),
+                    ),
+                    (
+                        "spatialextent",
+                        Value::GeoBox(GeoBox::new(-20.0, -35.0, 55.0, 38.0)),
+                    ),
+                    (
+                        "timestamp",
+                        Value::AbsTime(AbsTime::from_ymd(1986, 1, 15).map_err(|e| e.to_string())?),
+                    ),
+                ],
+            )
+            .map_err(|e| format!("seed insert: {e}"))?;
+        g.enable_memoization(true);
+        g.run_process("P_smooth", &[("f", vec![f])])
+            .map_err(|e| format!("seed derive: {e}"))?;
+        g.run_process("P_smooth", &[("f", vec![f])])
+            .map_err(|e| format!("seed derive: {e}"))?;
     }
     Ok(())
 }

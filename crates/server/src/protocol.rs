@@ -18,9 +18,10 @@
 //! to stay in sync.
 
 use gaea_adt::Value;
-use gaea_core::query::ScanPlan;
+use gaea_core::query::{QueryProfile, ScanPlan};
 use gaea_core::{DataObject, ObjectId, QueryMethod, QueryOutcome, TaskId};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 
 /// Frame kind byte: client → server.
@@ -63,8 +64,12 @@ pub enum Request {
     AwaitJob { id: u64, timeout_ms: u64 },
     /// Cancel a queued or running job. Always serialized.
     CancelJob { id: u64 },
-    /// Server counters (sessions, statement mix, protocol errors).
+    /// Server counters (sessions, statement mix, protocol errors) plus
+    /// the process-wide metrics snapshot.
     Stats,
+    /// Recently retained query traces (the slow-query ring), newest
+    /// last.
+    Trace,
     /// Liveness probe.
     Ping,
     /// Close this session cleanly.
@@ -97,6 +102,8 @@ pub enum Response {
     Job { id: u64, status: WireJobStatus },
     /// Server counters.
     Stats(ServerStats),
+    /// Retained query traces, oldest first.
+    Traces(Vec<WireTrace>),
     /// Liveness answer.
     Pong,
     /// Session closed at the client's request.
@@ -129,6 +136,11 @@ pub struct WireOutcome {
     /// Commit clock of the state that answered — for a pinned read, the
     /// snapshot's clock; for a serialized statement, the clock after it.
     pub clock: u64,
+    /// Per-stage wall-clock profile of the statement (EXPLAIN
+    /// ANALYZE-style), when the executing path was traced. Absent on
+    /// frames from servers predating the field.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub profile: Option<QueryProfile>,
 }
 
 impl WireOutcome {
@@ -142,6 +154,7 @@ impl WireOutcome {
             pending: o.pending.iter().map(|j| j.0).collect(),
             plans: o.plans,
             clock,
+            profile: o.profile,
         }
     }
 }
@@ -183,7 +196,7 @@ impl From<gaea_core::kernel::JobStatus> for WireJobStatus {
 }
 
 /// Server-wide counters, as served by [`Request::Stats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ServerStats {
     /// Sessions admitted over the server's lifetime.
     pub sessions_opened: u64,
@@ -199,6 +212,70 @@ pub struct ServerStats {
     pub protocol_errors: u64,
     /// The kernel's commit clock at answer time.
     pub clock: u64,
+    /// The process-wide metrics snapshot (`gaea_obs`), flat key → value.
+    /// Empty on frames from servers predating the field.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub metrics: BTreeMap<String, u64>,
+}
+
+/// One retained query trace (the `gaea_obs` slow-query ring) across the
+/// wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireTrace {
+    /// Root span name (`query`, `derive_parallel`, …).
+    pub root: String,
+    /// Statement label — the target class or concept name.
+    pub label: String,
+    /// Total wall time of the statement, microseconds.
+    pub total_us: u64,
+    /// Annotations attached to the trace root.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub notes: Vec<(String, String)>,
+    /// Closed spans in completion order.
+    pub spans: Vec<WireSpan>,
+}
+
+/// One closed span of a [`WireTrace`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireSpan {
+    /// Stage name (`plan`, `retrieve`, `bind`, `fire`, …).
+    pub name: String,
+    /// Nesting depth below the root (stages are 1).
+    pub depth: u16,
+    /// Span wall time, microseconds.
+    pub wall_us: u64,
+    /// Annotations attached to this span.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub notes: Vec<(String, String)>,
+}
+
+impl From<&gaea_obs::Trace> for WireTrace {
+    fn from(t: &gaea_obs::Trace) -> WireTrace {
+        WireTrace {
+            root: t.root.to_string(),
+            label: t.label.clone(),
+            total_us: t.total_us,
+            notes: t
+                .notes
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            spans: t
+                .spans
+                .iter()
+                .map(|s| WireSpan {
+                    name: s.name.to_string(),
+                    depth: s.depth,
+                    wall_us: s.wall_us,
+                    notes: s
+                        .notes
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.clone()))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
 }
 
 /// Errors reading or writing frames.

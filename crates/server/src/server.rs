@@ -31,7 +31,7 @@
 
 use crate::protocol::{
     read_frame, write_frame, FrameError, Request, Response, ServerStats, WireJobStatus,
-    WireOutcome, FRAME_REQUEST, FRAME_RESPONSE,
+    WireOutcome, WireTrace, FRAME_REQUEST, FRAME_RESPONSE,
 };
 use gaea_core::kernel::{Gaea, ReadView, SharedKernel};
 use gaea_core::{JobId, KernelError};
@@ -102,6 +102,15 @@ struct ServerState {
 
 impl ServerState {
     fn stats(&self, clock: u64) -> ServerStats {
+        // One answer carries both tiers of observability: the server's
+        // own session/statement counters and the process-wide metrics
+        // registry (WAL, cache, scheduler, query histograms).
+        let metrics = gaea_obs::metrics()
+            .snapshot()
+            .entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
         ServerStats {
             sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
             sessions_refused: self.sessions_refused.load(Ordering::Relaxed),
@@ -114,6 +123,7 @@ impl ServerState {
             writes_serialized: self.writes_serialized.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             clock,
+            metrics,
         }
     }
 }
@@ -533,6 +543,15 @@ fn answer(
             state.reads_pinned.fetch_add(1, Ordering::Relaxed);
             let clock = kernel.pin().clock();
             (Response::Stats(state.stats(clock)), false)
+        }
+        Request::Trace => {
+            // Introspection only — never touches the kernel lock.
+            state.reads_pinned.fetch_add(1, Ordering::Relaxed);
+            let traces = gaea_obs::recent_traces()
+                .iter()
+                .map(WireTrace::from)
+                .collect();
+            (Response::Traces(traces), false)
         }
         Request::Ping => (Response::Pong, false),
         Request::Goodbye => (Response::Bye, true),

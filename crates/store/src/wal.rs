@@ -164,6 +164,7 @@ impl WalWriter {
         self.file.write_all(&record)?;
         self.appended += 1;
         self.unsynced += 1;
+        gaea_obs::metrics().wal_appends.inc();
         if self.injector.armed(CrashPoint::Fsync, self.appended) {
             // The record is in the OS but the batch sync has not run —
             // the group-commit window a machine crash could lose.
@@ -179,6 +180,9 @@ impl WalWriter {
     pub fn sync(&mut self) -> std::io::Result<()> {
         if self.unsynced > 0 {
             self.file.sync_data()?;
+            let m = gaea_obs::metrics();
+            m.wal_fsyncs.inc();
+            m.wal_batch.record(self.unsynced);
             self.unsynced = 0;
         }
         Ok(())

@@ -5,6 +5,7 @@
 //! session-driver --addr 127.0.0.1:7878 --sessions 16 --reads 50
 //! session-driver --addr … --writer            # readers race a writer
 //! session-driver --addr … --shutdown          # …then stop the server
+//! session-driver --addr … --stats             # print live server stats
 //! ```
 //!
 //! Exit status: 0 when every statement succeeded, 1 when any errored —
@@ -16,9 +17,10 @@
 use gaea_workload::driver::{drive, DriveSpec};
 use std::process::ExitCode;
 
-fn parse_args() -> Result<(DriveSpec, bool), String> {
+fn parse_args() -> Result<(DriveSpec, bool, bool), String> {
     let mut spec = DriveSpec::default();
     let mut shutdown = false;
+    let mut stats_only = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -38,20 +40,50 @@ fn parse_args() -> Result<(DriveSpec, bool), String> {
             "--writer" => spec.writer = true,
             "--writer-class" => spec.writer_class = value("--writer-class")?,
             "--shutdown" => shutdown = true,
+            "--stats" => stats_only = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    Ok((spec, shutdown))
+    Ok((spec, shutdown, stats_only))
+}
+
+/// `--stats`: one `Stats` round-trip, printed as sorted `key: value`
+/// lines (server counters first, then the process-wide metrics
+/// snapshot) so shell scripts can grep single keys.
+fn print_stats(addr: &str) -> Result<(), gaea_server::ClientError> {
+    let mut c = gaea_server::Client::connect(addr, "driver-stats")?;
+    let s = c.stats()?;
+    println!("clock: {}", s.clock);
+    println!("protocol_errors: {}", s.protocol_errors);
+    println!("reads_pinned: {}", s.reads_pinned);
+    println!("sessions_live: {}", s.sessions_live);
+    println!("sessions_opened: {}", s.sessions_opened);
+    println!("sessions_refused: {}", s.sessions_refused);
+    println!("writes_serialized: {}", s.writes_serialized);
+    for (k, v) in &s.metrics {
+        println!("{k}: {v}");
+    }
+    let _ = c.goodbye();
+    Ok(())
 }
 
 fn main() -> ExitCode {
-    let (spec, shutdown) = match parse_args() {
+    let (spec, shutdown, stats_only) = match parse_args() {
         Ok(s) => s,
         Err(e) => {
             eprintln!("session-driver: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if stats_only {
+        return match print_stats(&spec.addr) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("session-driver: stats request failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let report = drive(&spec);
     println!("{}", report.to_json());
     let mut code = ExitCode::SUCCESS;

@@ -7,11 +7,18 @@
 # whose id starts with the given prefix into a single JSON document for
 # the CI artifact trail.
 #
-# Usage: scripts/bench_summary.sh [bench] [id-prefix] [output.json]
+# Usage: scripts/bench_summary.sh [bench] [id-prefix] [output.json] [metrics.json]
 #
 # Defaults preserve the original q6 invocation:
 #   scripts/bench_summary.sh                       # q6 invalidation rows
 #   scripts/bench_summary.sh q8_parallel refresh_all BENCH_q8_parallel.json
+#
+# The optional fourth argument is a gaea_obs metrics snapshot (the flat
+# JSON object `MetricsRegistry::snapshot().to_json()` emits, e.g. via
+# GAEA_METRICS_JSON on a bench run): selected counters — WAL appends and
+# fsyncs, cache hits/misses and the derived hit rate — are merged into
+# the published document under a "metrics" key, so the artifact trail
+# records the I/O and cache behaviour behind the latency numbers.
 set -euo pipefail
 
 bench="${1:-q6_memoization}"
@@ -47,3 +54,27 @@ fi
 } >"$out"
 
 echo "bench_summary: wrote $out ($(grep -c '"id"' "$out") scenarios)"
+
+metrics="${4:-}"
+if [ -n "$metrics" ]; then
+    if [ ! -f "$metrics" ]; then
+        echo "bench_summary: metrics snapshot $metrics not found" >&2
+        exit 1
+    fi
+    python3 - "$out" "$metrics" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+snap = json.load(open(sys.argv[2]))
+keys = ("wal_appends", "wal_fsyncs", "cache_hits", "cache_misses", "cache_evictions")
+sel = {k: snap[k] for k in keys if k in snap}
+hits, misses = snap.get("cache_hits", 0), snap.get("cache_misses", 0)
+lookups = hits + misses
+sel["cache_hit_rate"] = round(hits / lookups, 4) if lookups else 0.0
+doc["metrics"] = sel
+with open(sys.argv[1], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"bench_summary: merged {len(sel)} metric(s) from {sys.argv[2]}")
+EOF
+fi

@@ -3,8 +3,11 @@
 #
 # Default mode: build the release `gaea-server` and `session_driver`,
 # start a durable server on an ephemeral port, drive K=16 reader
-# sessions racing a continuous writer for a bounded run, then shut the
-# server down over the wire. The run fails on any protocol or statement
+# sessions racing a continuous writer for a bounded run, scrape the
+# live `--stats` introspection endpoint mid-run (mandatory keys —
+# sessions_live, reads_pinned, wal_appends, cache hit/miss — must be
+# present, and the workload-driven ones nonzero), then shut the server
+# down over the wire. The run fails on any protocol or statement
 # error, on a nonzero server exit (the checked WAL flush is part of the
 # exit status), or if `gaea-server --check` finds the log dirty after
 # shutdown.
@@ -87,10 +90,52 @@ if [ -z "$ADDR" ]; then
 fi
 echo "server up at $ADDR (pid $SERVER_PID)"
 
-# K=16 readers racing a continuous writer, then a graceful wire
-# shutdown. The driver exits nonzero on any statement error.
-if ! "$DRIVER" --addr "$ADDR" --sessions 16 --reads 50 --writer --shutdown; then
+# K=16 readers racing a continuous writer, backgrounded so the live
+# stats endpoint can be scraped mid-run. The driver exits nonzero on
+# any statement error.
+"$DRIVER" --addr "$ADDR" --sessions 16 --reads 50 --writer &
+DRIVER_PID=$!
+
+# Mid-run introspection: one Stats round-trip must answer with the
+# session counters and the process-wide metrics registry merged in.
+STATS=""
+for _ in $(seq 1 50); do
+    if STATS="$("$DRIVER" --addr "$ADDR" --stats)"; then
+        break
+    fi
+    STATS=""
+    sleep 0.1
+done
+if [ -z "$STATS" ]; then
+    echo "FAIL: could not scrape --stats from the live server"
+    kill "$DRIVER_PID" 2>/dev/null
+    exit 1
+fi
+printf '%s\n' "$STATS" | sed 's/^/stats: /'
+for key in sessions_live reads_pinned wal_appends cache_hits cache_misses; do
+    if ! printf '%s\n' "$STATS" | grep -q "^$key: "; then
+        echo "FAIL: --stats output is missing mandatory key \"$key\""
+        kill "$DRIVER_PID" 2>/dev/null
+        exit 1
+    fi
+done
+for key in reads_pinned wal_appends cache_hits cache_misses; do
+    if printf '%s\n' "$STATS" | grep -q "^$key: 0$"; then
+        echo "FAIL: --stats reports $key = 0 under a live workload"
+        kill "$DRIVER_PID" 2>/dev/null
+        exit 1
+    fi
+done
+echo "stats scrape: ok (mandatory keys present and nonzero)"
+
+if ! wait "$DRIVER_PID"; then
     echo "FAIL: session driver reported errors"
+    exit 1
+fi
+
+# Graceful wire shutdown (one more tiny session, then Shutdown).
+if ! "$DRIVER" --addr "$ADDR" --sessions 1 --reads 1 --shutdown; then
+    echo "FAIL: shutdown driver reported errors"
     exit 1
 fi
 

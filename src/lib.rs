@@ -23,6 +23,8 @@
 //!   paper's listings.
 //! * [`server`] — the multi-session network front-end: length-prefixed
 //!   wire protocol, admission control, snapshot-isolation reads.
+//! * [`obs`] — the observability layer underneath everything: the
+//!   process-wide metrics registry and the structured span tracer.
 //! * [`baseline`] — an IDRISI/GRASS-style file-based comparator (§4.1).
 //! * [`workload`] — synthetic Landsat-TM scenes, NDVI series, and the full
 //!   Figure 2 schema.
@@ -40,6 +42,7 @@ pub use gaea_adt as adt;
 pub use gaea_baseline as baseline;
 pub use gaea_core as core;
 pub use gaea_lang as lang;
+pub use gaea_obs as obs;
 pub use gaea_petri as petri;
 pub use gaea_raster as raster;
 pub use gaea_sched as sched;

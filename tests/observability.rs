@@ -1,0 +1,172 @@
+//! The observability layer end to end: the golden snapshot key set, the
+//! `EXPLAIN ANALYZE`-style `QueryOutcome::profile` on both the live and
+//! the wire query paths, the server's `Stats`/`Trace` introspection
+//! requests, and the checkpoint-time refresh of the recovery gauges.
+
+use gaea::adt::{TypeTag, Value};
+use gaea::core::kernel::{ClassSpec, DurabilityOptions, Gaea};
+use gaea::core::Query;
+use gaea::obs::MetricsRegistry;
+use gaea::server::{Client, Server, ServerConfig};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static DIRS: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let n = DIRS.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("gaea-obs-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn seeded_kernel() -> Gaea {
+    let mut g = Gaea::in_memory();
+    g.define_class(ClassSpec::base("obs").attr("v", TypeTag::Int4))
+        .unwrap();
+    for v in 0..64 {
+        g.insert_object("obs", vec![("v", Value::Int4(v))]).unwrap();
+    }
+    g
+}
+
+/// The profile's depth-1 stages are contiguous laps over the statement
+/// body, so their sum tracks the end-to-end wall time. The acceptance
+/// bound is ±10%; a small absolute slack keeps sub-100µs statements
+/// (where one clock tick is a large fraction) from flaking.
+fn assert_stage_sum_close(total_us: u64, stage_sum_us: u64) {
+    let diff = total_us.abs_diff(stage_sum_us);
+    assert!(
+        diff * 10 <= total_us || diff <= 50,
+        "stage sum {stage_sum_us}µs vs total {total_us}µs is outside ±10% (+50µs slack)"
+    );
+}
+
+/// Golden-file guard: the snapshot key names and their order are the
+/// crate's compatibility surface (dashboards and `bench_summary.sh`
+/// parse them). Adding an instrument means updating
+/// `tests/golden/metrics_keys.txt` in the same change — deliberately.
+#[test]
+fn snapshot_keys_match_the_golden_file() {
+    let golden: Vec<&str> = include_str!("golden/metrics_keys.txt")
+        .lines()
+        .filter(|l| !l.is_empty())
+        .collect();
+    let live = MetricsRegistry::new().snapshot().keys();
+    assert_eq!(
+        live, golden,
+        "MetricsRegistry::snapshot() keys drifted from tests/golden/metrics_keys.txt"
+    );
+}
+
+/// Every traced statement carries an `EXPLAIN ANALYZE`-style profile
+/// whose stage laps account for the total wall time.
+#[test]
+fn live_query_profile_accounts_for_total_wall_time() {
+    let mut g = seeded_kernel();
+    let out = g.query(&Query::class("obs")).unwrap();
+    let profile = out.profile.expect("traced statement must carry a profile");
+    let stages: Vec<&str> = profile.stages.iter().map(|s| s.stage.as_str()).collect();
+    assert!(stages.contains(&"plan"), "stages: {stages:?}");
+    assert!(stages.contains(&"retrieve"), "stages: {stages:?}");
+    assert!(stages.contains(&"project"), "stages: {stages:?}");
+    assert_stage_sum_close(profile.total_us, profile.stage_sum_us());
+}
+
+/// The acceptance path: a server-side RETRIEVE returns its per-stage
+/// profile over the wire, and the introspection requests answer — the
+/// Stats metrics map carries the mandatory keys, the Trace ring holds
+/// the statement just run.
+#[test]
+fn server_retrieve_returns_profile_and_introspection_answers() {
+    let server = Server::bind(seeded_kernel(), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let thread = std::thread::spawn(move || server.run());
+
+    let mut c = Client::connect(&addr, "obs-test").unwrap();
+    let out = c.retrieve("RETRIEVE * FROM obs WHERE v < 8").unwrap();
+    assert_eq!(out.objects.len(), 8);
+    let profile = out.profile.expect("wire outcome must carry the profile");
+    assert!(!profile.stages.is_empty());
+    assert_stage_sum_close(profile.total_us, profile.stage_sum_us());
+
+    // Stats: session counters plus the full process-wide metrics map.
+    let stats = c.stats().unwrap();
+    assert!(stats.sessions_live >= 1);
+    assert!(stats.reads_pinned >= 1);
+    for key in [
+        "queries_total",
+        "query_us_p99",
+        "cache_hits",
+        "cache_misses",
+        "wal_appends",
+        "kernel_pins",
+    ] {
+        assert!(stats.metrics.contains_key(key), "missing metrics key {key}");
+    }
+    assert!(stats.metrics["queries_total"] >= 1);
+    assert!(stats.metrics["kernel_pins"] >= 1);
+
+    // Trace: the ring retains the RETRIEVE (threshold defaults to 0 =
+    // keep everything) with its stage spans.
+    let traces = c.traces().unwrap();
+    assert!(
+        traces.iter().any(|t| t.root == "query"),
+        "trace ring should hold the statement just run: {traces:?}"
+    );
+
+    c.shutdown_server().unwrap();
+    let report = thread.join().unwrap();
+    assert!(report.wal_flush.is_ok());
+}
+
+/// Regression (PR 9 bugfix): `recovery_stats()` used to be computed at
+/// open and never refreshed, so a checkpoint left it describing a log
+/// segment that no longer existed. It now advances with every
+/// checkpoint, and the registry gauges advance with it.
+#[test]
+fn checkpoint_refreshes_recovery_stats_and_gauges() {
+    let dir = fresh_dir("ckpt");
+    let mut g = Gaea::open_with(
+        &dir,
+        DurabilityOptions {
+            fsync_every: 1,
+            snapshot_every: 0,
+        },
+    )
+    .unwrap();
+    g.define_class(ClassSpec::base("obs").attr("v", TypeTag::Int4))
+        .unwrap();
+    for v in 0..4 {
+        g.insert_object("obs", vec![("v", Value::Int4(v))]).unwrap();
+    }
+    assert_eq!(
+        g.recovery_stats().unwrap().snapshot_seq,
+        0,
+        "no snapshot exists before the first checkpoint"
+    );
+
+    g.checkpoint().unwrap();
+    let first = g.recovery_stats().unwrap().clone();
+    assert!(
+        first.snapshot_seq > 0,
+        "checkpoint must advance the in-process snapshot watermark: {first:?}"
+    );
+    assert_eq!(first.wal_dropped_bytes, 0);
+    assert!(!first.wal_corrupt);
+    assert_eq!(
+        gaea::obs::metrics().recovery_snapshot_seq.get(),
+        first.snapshot_seq,
+        "the registry gauge tracks the refreshed stats"
+    );
+
+    // Another write and another checkpoint move the watermark again.
+    g.insert_object("obs", vec![("v", Value::Int4(99))])
+        .unwrap();
+    g.checkpoint().unwrap();
+    let second = g.recovery_stats().unwrap().snapshot_seq;
+    assert!(second > first.snapshot_seq, "{second} vs {first:?}");
+
+    drop(g);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,87 @@
+//! Property-based tests on the `gaea-obs` observability substrate.
+//!
+//! The metrics registry's histograms are log-bucketed (one power-of-two
+//! bucket per bit length), so a reported percentile is the *bucket
+//! upper bound* of the true order statistic — never a different bucket.
+//! This suite pins that contract against a sorted-vector oracle over
+//! random samples, plus the bucket geometry itself (monotone,
+//! exhaustive, ceil is the largest member of its bucket). CI runs the
+//! suite at `PROPTEST_CASES=256`.
+
+use gaea::obs::{bucket_ceil, bucket_index, Histogram, HIST_BUCKETS};
+use proptest::prelude::*;
+
+/// Nearest-rank percentile over a sorted slice — the oracle the
+/// bucketed histogram is compared against.
+fn oracle_percentile(sorted: &[u64], pct: u32) -> u64 {
+    assert!(!sorted.is_empty());
+    let n = sorted.len() as u64;
+    let rank = (u64::from(pct) * n).div_ceil(100).clamp(1, n);
+    sorted[rank as usize - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every recorded value lands in the bucket whose ceiling covers
+    /// it, and the reported percentile shares a bucket with the exact
+    /// nearest-rank order statistic — the histogram's whole error
+    /// contract (≤ 2× in value, exact in bucket).
+    #[test]
+    fn percentiles_agree_with_the_sorted_oracle_bucketwise(
+        mut samples in prop::collection::vec(0u64..1u64 << 48, 1..512),
+        pct_choice in 0usize..7,
+    ) {
+        let pct = [1u32, 25, 50, 90, 95, 99, 100][pct_choice];
+        let h = Histogram::new();
+        for s in &samples {
+            h.record(*s);
+        }
+        samples.sort_unstable();
+        let exact = oracle_percentile(&samples, pct);
+        let got = h.percentile(pct);
+        prop_assert_eq!(
+            bucket_index(got),
+            bucket_index(exact),
+            "p{} reported {} (bucket {}), oracle {} (bucket {})",
+            pct, got, bucket_index(got), exact, bucket_index(exact)
+        );
+        // The report is the bucket ceiling, so it never undershoots the
+        // exact statistic and never exceeds its bucket's upper bound.
+        prop_assert!(got >= exact);
+        prop_assert_eq!(got, bucket_ceil(bucket_index(exact)));
+    }
+
+    /// Count and sum aggregate exactly (they are plain atomics, no
+    /// bucketing error).
+    #[test]
+    fn count_and_sum_are_exact(
+        samples in prop::collection::vec(0u64..1u64 << 32, 0..256),
+    ) {
+        let h = Histogram::new();
+        for s in &samples {
+            h.record(*s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+    }
+
+    /// Bucket geometry: the index is monotone in the value, always in
+    /// range, and each bucket's ceiling is the largest value mapping to
+    /// that bucket.
+    #[test]
+    fn bucket_geometry_is_monotone_and_exhaustive(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < HIST_BUCKETS);
+        prop_assert!(v <= bucket_ceil(i));
+        if v > 0 {
+            prop_assert!(bucket_index(v - 1) <= i);
+            // The ceiling is in the same bucket as the value…
+            prop_assert_eq!(bucket_index(bucket_ceil(i)), i);
+        }
+        // …and the next value after the ceiling is in a later bucket.
+        if let Some(next) = bucket_ceil(i).checked_add(1) {
+            prop_assert_eq!(bucket_index(next), i + 1);
+        }
+    }
+}
