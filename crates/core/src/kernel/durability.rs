@@ -25,14 +25,30 @@
 //! drop (which flushes residual ticks as a `VersionAdvance`) equals the
 //! live kernel exactly.
 //!
+//! Records are encoded by `kernel/wal_codec.rs` — binary v1
+//! by default, with per-record format dispatch so pre-codec JSON logs
+//! (and logs that switch codecs mid-stream) replay unchanged.
+//!
 //! Periodic snapshots (`manifest v4`, carrying the log watermark) fold
 //! the log into a `snap-<seq>/` directory, flip the `CURRENT` pointer
 //! atomically, and truncate the log; unresolved job submissions ride in
-//! the snapshot's `jobs.json`. Crashing anywhere in that sequence is
-//! safe: before the pointer flip the old snapshot + full log recover,
-//! after it the watermark makes re-replaying the untruncated log a
-//! no-op. See `scripts/crash_matrix.sh` for the fault-injection lane
-//! that drives aborts through all three boundaries.
+//! the snapshot's `jobs.json`. By default the fold runs *off* the
+//! commit path: the committing thread clones the database state
+//! ([`gaea_store::snapshot::capture_with_wal_seq`]) and hands it to a
+//! detached compactor thread that writes the snapshot to a `snap-*.tmp`
+//! side directory and flips `CURRENT`, while commits keep appending;
+//! the committing thread later truncates exactly the covered log prefix
+//! ([`WalWriter::truncate_prefix`]) when it observes the fold finished
+//! ([`Gaea::poll_compaction`]). [`Gaea::checkpoint`] remains the
+//! synchronous fallback, and every flush/close boundary settles an
+//! in-flight fold first.
+//!
+//! Crashing anywhere in either sequence is safe: before the pointer
+//! flip the old snapshot + full log recover (half-written `snap-*.tmp`
+//! directories are swept on open), after it the watermark makes
+//! re-replaying the untruncated log a no-op. See
+//! `scripts/crash_matrix.sh` for the fault-injection lane that drives
+//! aborts through every boundary, background ones included.
 
 use super::{jobs, Gaea, SharedCache};
 use crate::catalog::Catalog;
@@ -44,13 +60,16 @@ use crate::schema::{ClassDef, Concept, ProcessDef};
 use crate::task::Task;
 use gaea_adt::OperatorRegistry;
 use gaea_sched::{JobId, Scheduler};
+use gaea_store::snapshot::Capture;
 use gaea_store::wal::WalWriter;
-use gaea_store::{Oid, StoreError, Tuple};
+use gaea_store::{CrashPoint, CrashSwitch, Oid, StoreError, Tuple};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
+use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A firing's recorded bindings: argument name → input objects, as
 /// journaled with job submissions and replayed at recovery.
@@ -69,6 +88,23 @@ fn io_err(e: impl std::fmt::Display) -> KernelError {
     KernelError::Store(StoreError::Io(e.to_string()))
 }
 
+/// Record encoding for new log appends ([`DurabilityOptions::codec`]).
+///
+/// Decoding never consults this knob — every record carries its format
+/// in its first byte, so a log written under one codec (or several,
+/// across reopens) replays identically under any setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WalCodec {
+    /// Bare `serde_json` envelopes, byte-identical to logs written
+    /// before the binary codec existed — the compatibility setting.
+    Json,
+    /// Versioned binary records (format byte 1): varint envelope,
+    /// raw little-endian runs for raster/matrix payloads. Smaller and
+    /// several times faster to replay; the default.
+    #[default]
+    Binary,
+}
+
 /// Tuning knobs for a durable kernel ([`Gaea::open_with`]).
 #[derive(Debug, Clone, Copy)]
 pub struct DurabilityOptions {
@@ -81,6 +117,15 @@ pub struct DurabilityOptions {
     /// Take a snapshot (and truncate the log) every N events; 0 disables
     /// automatic snapshots ([`Gaea::checkpoint`] remains available).
     pub snapshot_every: u64,
+    /// Encoding for newly appended records (replay handles any mix).
+    pub codec: WalCodec,
+    /// Run cadence-triggered snapshots on a background compactor thread
+    /// (the default): the committing call pays a state clone, not the
+    /// serialization and I/O, and the log prefix the snapshot covers is
+    /// truncated once the fold is observed complete. `false` folds
+    /// synchronously on the committing thread, exactly like an explicit
+    /// [`Gaea::checkpoint`].
+    pub background_compaction: bool,
 }
 
 impl Default for DurabilityOptions {
@@ -88,6 +133,8 @@ impl Default for DurabilityOptions {
         DurabilityOptions {
             fsync_every: 1,
             snapshot_every: 1024,
+            codec: WalCodec::Binary,
+            background_compaction: true,
         }
     }
 }
@@ -198,10 +245,10 @@ pub(crate) enum Event {
 /// An object materialized by a task commit.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct NewObject {
-    rel: String,
-    class: ClassId,
-    oid: u64,
-    tuple: Tuple,
+    pub(crate) rel: String,
+    pub(crate) class: ClassId,
+    pub(crate) oid: u64,
+    pub(crate) tuple: Tuple,
 }
 
 /// The envelope around each logged event: its sequence number, the OID
@@ -209,11 +256,11 @@ pub(crate) struct NewObject {
 /// tick since the previous event (in order — including ticks from
 /// failed operations that no event accounts for).
 #[derive(Debug, Serialize, Deserialize)]
-struct LoggedEvent {
-    seq: u64,
-    next_oid: u64,
-    bumps: Vec<(String, Vec<u64>)>,
-    event: Event,
+pub(crate) struct LoggedEvent {
+    pub(crate) seq: u64,
+    pub(crate) next_oid: u64,
+    pub(crate) bumps: Vec<(String, Vec<u64>)>,
+    pub(crate) event: Event,
 }
 
 /// An unresolved job submission as persisted in a snapshot's
@@ -224,6 +271,20 @@ struct JournaledJob {
     job: u64,
     process: ProcessId,
     bindings: Vec<(String, Vec<ObjectId>)>,
+}
+
+/// A background snapshot fold in flight: the compactor thread owns the
+/// captured state and writes/flips on its own; the committing thread
+/// keeps what it needs to finish — the watermark, the log prefix the
+/// capture covered, and the handle to join.
+struct InflightCompaction {
+    handle: JoinHandle<Result<(), String>>,
+    /// Watermark sequence the snapshot will carry (`snap-<seq>`).
+    seq: u64,
+    /// Log length at capture time — the prefix to truncate on success.
+    covered: u64,
+    /// When the fold was submitted (total fold latency metric).
+    started: Instant,
 }
 
 /// The durable half of an open kernel: log writer, directory layout,
@@ -237,6 +298,8 @@ pub(crate) struct Durability {
     /// Events appended since the last snapshot.
     since_snapshot: u64,
     options: DurabilityOptions,
+    /// At most one background fold runs at a time.
+    inflight: Option<InflightCompaction>,
 }
 
 /// High-water marks captured before a multi-object commit
@@ -259,6 +322,12 @@ impl Gaea {
     /// [`Gaea::open`] with explicit group-commit and snapshot cadence.
     pub fn open_with(dir: &Path, options: DurabilityOptions) -> KernelResult<Gaea> {
         fs::create_dir_all(dir).map_err(io_err)?;
+        // 0. Sweep wreckage of a fold that crashed mid-write: half-built
+        //    `snap-*.tmp` side directories, an unrenamed `CURRENT.tmp`,
+        //    and complete `snap-*` directories `CURRENT` never flipped
+        //    to (a crash between the directory rename and the pointer
+        //    flip). None of them are authoritative — `CURRENT` is.
+        sweep_stale_snapshots(dir);
         // 1. The latest durable snapshot, if any. CURRENT names the
         //    snapshot directory and is flipped atomically by checkpoint,
         //    so whatever it points at is complete.
@@ -310,7 +379,7 @@ impl Gaea {
         let mut events_replayed = 0u64;
         let mut max_job = pending.keys().next_back().copied().unwrap_or(0);
         for record in &scan.records {
-            let logged: LoggedEvent = serde_json::from_slice(record).map_err(codec_err)?;
+            let logged = super::wal_codec::decode_logged(record)?;
             if logged.seq <= watermark {
                 continue;
             }
@@ -351,6 +420,7 @@ impl Gaea {
             seq: last_seq,
             since_snapshot: events_replayed,
             options,
+            inflight: None,
         });
         g.restage_recovered_jobs();
         let stats = RecoveryStats {
@@ -397,14 +467,23 @@ impl Gaea {
             bumps,
             event,
         };
-        let payload = serde_json::to_vec(&logged).map_err(codec_err)?;
+        let payload = super::wal_codec::encode_logged(&logged, d.options.codec)?;
         d.wal.append(&payload).map_err(io_err)?;
         d.since_snapshot += 1;
-        if may_snapshot
-            && d.options.snapshot_every > 0
-            && d.since_snapshot >= d.options.snapshot_every
-        {
-            self.checkpoint()?;
+        if may_snapshot {
+            // A finished background fold hands its prefix truncation back
+            // to this (the committing) thread before the cadence check,
+            // so a due snapshot never queues behind a completed one.
+            self.poll_compaction()?;
+            let d = self.durability.as_ref().expect("checked above");
+            let opts = d.options;
+            if opts.snapshot_every > 0 && d.since_snapshot >= opts.snapshot_every {
+                if opts.background_compaction {
+                    self.begin_background_compaction()?;
+                } else {
+                    self.checkpoint()?;
+                }
+            }
         }
         Ok(())
     }
@@ -478,17 +557,9 @@ impl Gaea {
         })
     }
 
-    /// Take a snapshot now and truncate the log. The sequence is
-    /// crash-safe at every boundary: residual version ticks are flushed
-    /// into the log first; the snapshot directory (store manifest with
-    /// the log watermark, catalog, unresolved job submissions) is
-    /// written completely before the `CURRENT` pointer flips to it in
-    /// one atomic rename; and a crash after the flip but before the
-    /// truncation just re-skips the already-folded events on reopen.
-    pub fn checkpoint(&mut self) -> KernelResult<()> {
-        if self.durability.is_none() {
-            return Ok(());
-        }
+    /// Flush pending version ticks and serialize the sidecar state every
+    /// snapshot needs: the catalog and the unresolved job submissions.
+    fn snapshot_sidecars(&mut self) -> KernelResult<(String, String)> {
         // Ticks from failed operations must not sit in the journal across
         // the snapshot boundary: the snapshot's counters already include
         // them, so attaching them to a later event would double-apply on
@@ -508,58 +579,272 @@ impl Gaea {
             })
             .collect();
         let jobs_json = serde_json::to_string(&jobs).map_err(codec_err)?;
-        let d = self.durability.as_mut().expect("checked above");
-        d.wal.sync().map_err(io_err)?;
-        let snap_name = format!("snap-{}", d.seq);
-        let snap_dir = d.dir.join(&snap_name);
-        gaea_store::snapshot::save_with_wal_seq(&self.db, &snap_dir, d.seq)?;
-        fs::write(snap_dir.join("catalog.json"), catalog_json).map_err(io_err)?;
-        fs::write(snap_dir.join("jobs.json"), jobs_json).map_err(io_err)?;
-        let tmp = d.dir.join("CURRENT.tmp");
-        fs::write(&tmp, &snap_name).map_err(io_err)?;
-        fs::rename(&tmp, d.dir.join("CURRENT")).map_err(io_err)?;
-        // Fault-injection boundary: the snapshot is authoritative but the
-        // log still holds its events.
-        d.wal.crash_before_truncate();
-        d.wal.truncate().map_err(io_err)?;
-        d.since_snapshot = 0;
-        let snap_seq = d.seq;
-        // Superseded snapshots are garbage once CURRENT moved on.
-        if let Ok(entries) = fs::read_dir(&d.dir) {
-            for entry in entries.flatten() {
-                let name = entry.file_name();
-                let name = name.to_string_lossy();
-                if name.starts_with("snap-") && name != snap_name {
-                    let _ = fs::remove_dir_all(entry.path());
-                }
-            }
-        }
-        // The truncation watermark moved: recovery-era stats that kept
-        // reporting the *open-time* snapshot would be stale from here on,
-        // so refresh the durable-state view (and its gauges) in place.
-        // The torn-tail fields describe a log segment the truncation just
-        // retired, so they reset alongside the watermark.
+        Ok((catalog_json, jobs_json))
+    }
+
+    /// The truncation watermark moved: recovery-era stats that kept
+    /// reporting the *open-time* snapshot would be stale from here on,
+    /// so refresh the durable-state view (and its gauges) in place. The
+    /// torn-tail fields describe a log segment the truncation just
+    /// retired, so they reset alongside the watermark.
+    fn refresh_watermark_stats(&mut self, snap_seq: u64) {
         let stats = self.recovery.get_or_insert_with(RecoveryStats::default);
         stats.snapshot_seq = snap_seq;
         stats.wal_dropped_bytes = 0;
         stats.wal_corrupt = false;
         publish_recovery_gauges(stats);
+    }
+
+    /// Take a snapshot now, synchronously, and truncate the log — the
+    /// explicit fallback to background compaction (any fold already in
+    /// flight is settled first, so at most one runs at a time). The
+    /// sequence is crash-safe at every boundary: residual version ticks
+    /// are flushed into the log first; the snapshot directory (store
+    /// manifest with the log watermark, catalog, unresolved job
+    /// submissions) is written completely and renamed into place before
+    /// the `CURRENT` pointer flips to it in one atomic rename; and a
+    /// crash after the flip but before the truncation just re-skips the
+    /// already-folded events on reopen.
+    pub fn checkpoint(&mut self) -> KernelResult<()> {
+        if self.durability.is_none() {
+            return Ok(());
+        }
+        self.settle_compaction()?;
+        let (catalog_json, jobs_json) = self.snapshot_sidecars()?;
+        let d = self.durability.as_mut().expect("checked above");
+        d.wal.sync().map_err(io_err)?;
+        let snap_seq = d.seq;
+        let started = Instant::now();
+        let capture = gaea_store::snapshot::capture_with_wal_seq(&self.db, snap_seq);
+        let d = self.durability.as_mut().expect("checked above");
+        write_snapshot(
+            &d.dir,
+            snap_seq,
+            &capture,
+            &catalog_json,
+            &jobs_json,
+            d.wal.crash_switch(),
+        )
+        .map_err(io_err)?;
+        // Fault-injection boundaries: the snapshot is authoritative but
+        // the log still holds its events.
+        d.wal.crash_point(CrashPoint::PostFlipPreTruncate);
+        d.wal.crash_point(CrashPoint::Truncate);
+        d.wal.truncate().map_err(io_err)?;
+        d.since_snapshot = 0;
+        let m = gaea_obs::metrics();
+        m.wal_compactions.inc();
+        m.wal_compaction_us
+            .record(started.elapsed().as_micros() as u64);
+        gc_snapshots(&d.dir, snap_seq);
+        self.refresh_watermark_stats(snap_seq);
+        Ok(())
+    }
+
+    /// Start folding the log into a snapshot on a background compactor
+    /// thread. The committing thread pays a state clone; the worker
+    /// writes the snapshot to a `snap-<seq>.tmp` side directory, renames
+    /// it into place and flips `CURRENT`. The log is *not* touched here —
+    /// [`Gaea::poll_compaction`] truncates the covered prefix once the
+    /// fold is observed complete. No-op while a fold is already running.
+    pub(crate) fn begin_background_compaction(&mut self) -> KernelResult<()> {
+        let Some(d) = self.durability.as_ref() else {
+            return Ok(());
+        };
+        if d.inflight.is_some() {
+            return Ok(());
+        }
+        let (catalog_json, jobs_json) = self.snapshot_sidecars()?;
+        let d = self.durability.as_mut().expect("checked above");
+        // Everything the snapshot will claim must be durable before the
+        // pointer can flip to it.
+        d.wal.sync().map_err(io_err)?;
+        let seq = d.seq;
+        let covered = d.wal.log_len();
+        let capture = gaea_store::snapshot::capture_with_wal_seq(&self.db, seq);
+        let d = self.durability.as_mut().expect("checked above");
+        let dir = d.dir.clone();
+        let switch = d.wal.crash_switch();
+        let started = Instant::now();
+        let handle = std::thread::Builder::new()
+            .name("gaea-compactor".into())
+            .spawn(move || {
+                write_snapshot(&dir, seq, &capture, &catalog_json, &jobs_json, switch)
+                    .map_err(|e| e.to_string())
+            })
+            .map_err(io_err)?;
+        d.inflight = Some(InflightCompaction {
+            handle,
+            seq,
+            covered,
+            started,
+        });
+        d.since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Finish a *completed* background fold, if any: truncate the log
+    /// prefix its snapshot covers and retire superseded snapshots.
+    /// Returns immediately (without blocking) while the fold is still
+    /// running — safe to call from any commit or idle point; the session
+    /// layer calls it after every statement.
+    pub fn poll_compaction(&mut self) -> KernelResult<()> {
+        let finished = self
+            .durability
+            .as_ref()
+            .and_then(|d| d.inflight.as_ref())
+            .is_some_and(|i| i.handle.is_finished());
+        if finished {
+            self.finish_compaction()?;
+        }
+        Ok(())
+    }
+
+    /// Block until any in-flight fold is finished and folded into the
+    /// log — the settling barrier before a synchronous checkpoint, a
+    /// flush, or shutdown (which also makes armed snapshot-side crash
+    /// points deterministic: the abort fires before a clean exit).
+    fn settle_compaction(&mut self) -> KernelResult<()> {
+        if self
+            .durability
+            .as_ref()
+            .is_some_and(|d| d.inflight.is_some())
+        {
+            self.finish_compaction()?;
+        }
+        Ok(())
+    }
+
+    /// Join the in-flight fold (blocking if needed) and complete it on
+    /// this thread: prefix truncation, snapshot GC, watermark refresh. A
+    /// failed fold is reported and absorbed — the log simply keeps
+    /// growing until the next cadence point or an explicit checkpoint.
+    fn finish_compaction(&mut self) -> KernelResult<()> {
+        let d = self.durability.as_mut().expect("caller checked");
+        let Some(inflight) = d.inflight.take() else {
+            return Ok(());
+        };
+        let InflightCompaction {
+            handle,
+            seq,
+            covered,
+            started,
+        } = inflight;
+        let result = handle
+            .join()
+            .unwrap_or_else(|_| Err("compactor thread panicked".into()));
+        let m = gaea_obs::metrics();
+        if let Err(e) = result {
+            m.wal_compactions_failed.inc();
+            eprintln!(
+                "gaea: background log compaction (snap-{seq}) failed: {e}; \
+                 log retained, checkpoint() remains available"
+            );
+            return Ok(());
+        }
+        // The snapshot is authoritative; the log still holds the covered
+        // prefix plus everything committed while the fold ran. Drop
+        // exactly the prefix. The legacy `truncate` point names the same
+        // boundary (snapshot durable, log not yet clipped), so it fires
+        // here too — the crash matrix's truncate lanes cover whichever
+        // fold path the kernel is configured for.
+        d.wal.crash_point(CrashPoint::PostFlipPreTruncate);
+        d.wal.crash_point(CrashPoint::Truncate);
+        d.wal.truncate_prefix(covered).map_err(io_err)?;
+        m.wal_compactions.inc();
+        m.wal_compaction_us
+            .record(started.elapsed().as_micros() as u64);
+        gc_snapshots(&d.dir, seq);
+        self.refresh_watermark_stats(seq);
         Ok(())
     }
 
     /// Flush residual version ticks into the log and fsync it — the
-    /// clean-shutdown tail, also called by `Drop`. After this, replay
-    /// reconstructs the version counters *exactly* (not just up to the
-    /// last logged event).
+    /// clean-shutdown tail, also called by `Drop`. Settles any in-flight
+    /// background fold first. After this, replay reconstructs the
+    /// version counters *exactly* (not just up to the last logged
+    /// event).
     pub fn flush_wal(&mut self) -> KernelResult<()> {
         if self.durability.is_none() {
             return Ok(());
         }
+        self.settle_compaction()?;
         if self.db.version_journal_pending() {
             self.wal_append_inner(Event::VersionAdvance, false)?;
         }
         let d = self.durability.as_mut().expect("checked above");
         d.wal.sync().map_err(io_err)
+    }
+}
+
+/// Write one complete snapshot — store manifest (from a pre-cloned
+/// [`Capture`]), catalog, unresolved jobs — into `snap-<seq>.tmp`,
+/// rename it to `snap-<seq>`, and flip `CURRENT` to it. Runs on the
+/// committing thread (synchronous [`Gaea::checkpoint`]) or the
+/// background compactor; the crash switch fires the snapshot-side
+/// fault-injection points in whichever thread that is.
+fn write_snapshot(
+    dir: &Path,
+    seq: u64,
+    capture: &Capture,
+    catalog_json: &str,
+    jobs_json: &str,
+    switch: CrashSwitch,
+) -> Result<(), String> {
+    let io = |e: &dyn std::fmt::Display| format!("snapshot write: {e}");
+    let snap_name = format!("snap-{seq}");
+    let tmp = dir.join(format!("{snap_name}.tmp"));
+    let _ = fs::remove_dir_all(&tmp);
+    gaea_store::snapshot::write_capture(capture, &tmp).map_err(|e| io(&e))?;
+    // Fault-injection boundary: the side directory holds the manifest
+    // but not yet the sidecars — recovery must ignore it wholesale.
+    switch.fire_if_armed(CrashPoint::SnapshotWrite, seq);
+    fs::write(tmp.join("catalog.json"), catalog_json).map_err(|e| io(&e))?;
+    fs::write(tmp.join("jobs.json"), jobs_json).map_err(|e| io(&e))?;
+    let fin = dir.join(&snap_name);
+    let _ = fs::remove_dir_all(&fin);
+    fs::rename(&tmp, &fin).map_err(|e| io(&e))?;
+    // Fault-injection boundary: the snapshot directory is complete but
+    // `CURRENT` still names the old one.
+    switch.fire_if_armed(CrashPoint::ManifestFlip, seq);
+    let cur_tmp = dir.join("CURRENT.tmp");
+    fs::write(&cur_tmp, &snap_name).map_err(|e| io(&e))?;
+    fs::rename(&cur_tmp, dir.join("CURRENT")).map_err(|e| io(&e))?;
+    Ok(())
+}
+
+/// Remove snapshot directories superseded once `CURRENT` names
+/// `snap-<keep_seq>` (and any stale `snap-*.tmp` side directories).
+fn gc_snapshots(dir: &Path, keep_seq: u64) {
+    let keep = format!("snap-{keep_seq}");
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("snap-") && name != keep {
+                let _ = fs::remove_dir_all(entry.path());
+            }
+        }
+    }
+}
+
+/// Open-time sweep: delete every snapshot artifact `CURRENT` does not
+/// name — half-written `snap-*.tmp` side directories, an unrenamed
+/// `CURRENT.tmp`, and complete-but-never-flipped `snap-*` directories
+/// left by a crash inside a fold.
+fn sweep_stale_snapshots(dir: &Path) {
+    let current = fs::read_to_string(dir.join("CURRENT"))
+        .map(|s| s.trim().to_string())
+        .unwrap_or_default();
+    let _ = fs::remove_file(dir.join("CURRENT.tmp"));
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("snap-") && name != current {
+                let _ = fs::remove_dir_all(entry.path());
+            }
+        }
     }
 }
 

@@ -44,6 +44,7 @@ pub mod provenance;
 pub mod query;
 pub mod readonly;
 pub mod session;
+mod wal_codec;
 
 #[cfg(test)]
 mod tests;
@@ -51,7 +52,7 @@ mod tests;
 pub use access::AUTO_INDEX_THRESHOLD;
 pub use cache::{CacheStats, DerivedCache, SharedCache};
 pub use ddl::{ClassSpec, ProcessSpec};
-pub use durability::{DurabilityOptions, RecoveryStats};
+pub use durability::{DurabilityOptions, RecoveryStats, WalCodec};
 pub use jobs::{JobId, JobStatus};
 pub use parallel::RefreshReport;
 pub use provenance::{DriftedInput, StalenessReport, TaskCurrency};

@@ -76,6 +76,12 @@ impl SharedKernel {
         let out = catch_unwind(AssertUnwindSafe(|| f(&mut g)));
         match out {
             Ok(r) => {
+                // Fold a finished background log compaction back in while
+                // the commit lock is already held — server sessions have
+                // no other single-writer point to hand the truncation to.
+                if let Err(e) = g.poll_compaction() {
+                    eprintln!("gaea: deferred log compaction finish failed: {e}");
+                }
                 self.publish_if_wanted(&g);
                 drop(g);
                 r

@@ -204,6 +204,17 @@ pub struct MetricsRegistry {
     pub wal_fsyncs: Counter,
     /// Records per group-commit batch (recorded at each fsync).
     pub wal_batch: Histogram,
+    /// Log compactions completed (snapshot written off the commit path
+    /// or by a synchronous checkpoint, pointer flipped, prefix dropped).
+    pub wal_compactions: Counter,
+    /// Background compactions whose snapshot write failed (the log is
+    /// untouched; the cadence retries).
+    pub wal_compactions_failed: Counter,
+    /// Wall time of one snapshot write + pointer flip, µs — off the
+    /// commit path for background compactions.
+    pub wal_compaction_us: Histogram,
+    /// Log bytes dropped by prefix truncation after a compaction.
+    pub wal_compaction_trunc_bytes: Counter,
 
     // ---- derivation scheduler ----
     /// `Scheduler::map` calls that fanned out to worker threads.
@@ -296,6 +307,10 @@ impl MetricsRegistry {
             wal_appends: Counter::new(),
             wal_fsyncs: Counter::new(),
             wal_batch: Histogram::new(),
+            wal_compactions: Counter::new(),
+            wal_compactions_failed: Counter::new(),
+            wal_compaction_us: Histogram::new(),
+            wal_compaction_trunc_bytes: Counter::new(),
             sched_parallel_maps: Counter::new(),
             sched_serial_maps: Counter::new(),
             sched_wave_width: Histogram::new(),
@@ -349,6 +364,15 @@ impl MetricsRegistry {
         hist(&mut entries, "wal_batch", &self.wal_batch);
 
         let mut c = |k: &'static str, v: u64| entries.push((k, v));
+        c("wal_compactions", self.wal_compactions.get());
+        c("wal_compactions_failed", self.wal_compactions_failed.get());
+        hist(&mut entries, "wal_compaction_us", &self.wal_compaction_us);
+
+        let mut c = |k: &'static str, v: u64| entries.push((k, v));
+        c(
+            "wal_compaction_trunc_bytes",
+            self.wal_compaction_trunc_bytes.get(),
+        );
         c("sched_parallel_maps", self.sched_parallel_maps.get());
         c("sched_serial_maps", self.sched_serial_maps.get());
         hist(&mut entries, "sched_wave_width", &self.sched_wave_width);
@@ -486,6 +510,13 @@ fn hist_keys(name: &'static str) -> [&'static str; 5] {
             "wal_batch_p50",
             "wal_batch_p95",
             "wal_batch_p99",
+        ],
+        "wal_compaction_us" => [
+            "wal_compaction_us_count",
+            "wal_compaction_us_sum",
+            "wal_compaction_us_p50",
+            "wal_compaction_us_p95",
+            "wal_compaction_us_p99",
         ],
         "sched_wave_width" => [
             "sched_wave_width_count",

@@ -1,0 +1,528 @@
+//! Binary encoding primitives for the WAL record codec.
+//!
+//! The kernel's event log moved from per-record `serde_json` envelopes
+//! to a compact binary format (see `gaea-core`'s `wal_codec`); this
+//! module is the byte-level substrate both sides share: LEB128 varints,
+//! zigzag signed integers, fixed-width little-endian floats,
+//! length-prefixed strings — plus full codecs for the store types that
+//! dominate log payloads, [`Tuple`] and [`Value`] (raster buffers and
+//! matrices encode as raw little-endian runs instead of JSON digit
+//! arrays, which is where the bulk of the replay win comes from).
+//!
+//! Decoding is defensive throughout: every read is bounds-checked,
+//! varints are capped at 10 bytes, and declared lengths are validated
+//! against the remaining input before any allocation — a corrupt (but
+//! CRC-valid, e.g. truncated-then-extended) record must fail with a
+//! [`StoreError::Codec`], never a panic or an absurd allocation.
+
+use crate::error::{StoreError, StoreResult};
+use crate::tuple::Tuple;
+use gaea_adt::{AbsTime, GeoBox, Image, Matrix, PixType, PixelBuffer, Value, VectorD};
+
+fn err(msg: impl Into<String>) -> StoreError {
+    StoreError::Codec(msg.into())
+}
+
+// ----------------------------------------------------------------------
+// Encoder
+// ----------------------------------------------------------------------
+
+/// Append-only binary encoder over a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Fresh encoder with a capacity hint.
+    pub fn with_capacity(cap: usize) -> Enc {
+        Enc {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// One raw byte (format/tag bytes).
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// LEB128 unsigned varint: ≤ 1 byte for values < 128, which covers
+    /// most sequence deltas, arities and tags in practice.
+    pub fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Zigzag-mapped signed varint (small magnitudes of either sign
+    /// stay short).
+    pub fn svarint(&mut self, v: i64) {
+        self.varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// Fixed 4-byte little-endian float.
+    pub fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Fixed 8-byte little-endian float.
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.varint(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+// ----------------------------------------------------------------------
+// Decoder
+// ----------------------------------------------------------------------
+
+/// Bounds-checked binary decoder over a byte slice.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Decode from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Every byte consumed?
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> StoreResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(err(format!(
+                "binary record truncated: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// One raw byte.
+    pub fn u8(&mut self) -> StoreResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// LEB128 unsigned varint (rejects encodings past 10 bytes).
+    pub fn varint(&mut self) -> StoreResult<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift >= 64 {
+                return Err(err("varint overflows u64"));
+            }
+            v |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Zigzag-mapped signed varint.
+    pub fn svarint(&mut self) -> StoreResult<i64> {
+        let z = self.varint()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    /// A declared element count, validated against the bytes actually
+    /// left (`min_bytes` = smallest possible encoding per element) so a
+    /// corrupt length can never drive a huge allocation.
+    pub fn len(&mut self, min_bytes: usize) -> StoreResult<usize> {
+        let n = self.varint()?;
+        let need = (n as u128) * (min_bytes.max(1) as u128);
+        if need > self.remaining() as u128 {
+            return Err(err(format!(
+                "declared length {n} exceeds remaining {} bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    /// Fixed 4-byte little-endian float.
+    pub fn f32(&mut self) -> StoreResult<f32> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Fixed 8-byte little-endian float.
+    pub fn f64(&mut self) -> StoreResult<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Length-prefixed raw bytes.
+    pub fn bytes(&mut self) -> StoreResult<&'a [u8]> {
+        let n = self.len(1)?;
+        self.take(n)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> StoreResult<String> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec()).map_err(|e| err(format!("invalid UTF-8 in record: {e}")))
+    }
+}
+
+// ----------------------------------------------------------------------
+// Value / Tuple codec
+// ----------------------------------------------------------------------
+
+const V_NULL: u8 = 0;
+const V_BOOL: u8 = 1;
+const V_INT2: u8 = 2;
+const V_INT4: u8 = 3;
+const V_FLOAT4: u8 = 4;
+const V_FLOAT8: u8 = 5;
+const V_CHAR16: u8 = 6;
+const V_TEXT: u8 = 7;
+const V_ABSTIME: u8 = 8;
+const V_GEOBOX: u8 = 9;
+const V_IMAGE: u8 = 10;
+const V_MATRIX: u8 = 11;
+const V_VECTOR: u8 = 12;
+const V_OBJREF: u8 = 13;
+const V_SET: u8 = 14;
+
+fn pixtype_tag(pt: PixType) -> u8 {
+    match pt {
+        PixType::Char => 0,
+        PixType::Int2 => 1,
+        PixType::Int4 => 2,
+        PixType::Float4 => 3,
+        PixType::Float8 => 4,
+    }
+}
+
+fn pixtype_from_tag(tag: u8) -> StoreResult<PixType> {
+    Ok(match tag {
+        0 => PixType::Char,
+        1 => PixType::Int2,
+        2 => PixType::Int4,
+        3 => PixType::Float4,
+        4 => PixType::Float8,
+        other => return Err(err(format!("unknown pixel-type tag {other}"))),
+    })
+}
+
+/// Encode one [`Value`]: a variant tag byte followed by the payload.
+/// Bulk numeric payloads (image buffers, matrices, vectors) are raw
+/// little-endian runs — the binary codec's main advantage over JSON's
+/// per-digit rendering.
+pub fn encode_value(e: &mut Enc, v: &Value) {
+    match v {
+        Value::Null => e.u8(V_NULL),
+        Value::Bool(b) => {
+            e.u8(V_BOOL);
+            e.u8(u8::from(*b));
+        }
+        Value::Int2(n) => {
+            e.u8(V_INT2);
+            e.svarint(i64::from(*n));
+        }
+        Value::Int4(n) => {
+            e.u8(V_INT4);
+            e.svarint(i64::from(*n));
+        }
+        Value::Float4(f) => {
+            e.u8(V_FLOAT4);
+            e.f32(*f);
+        }
+        Value::Float8(f) => {
+            e.u8(V_FLOAT8);
+            e.f64(*f);
+        }
+        Value::Char16(s) => {
+            e.u8(V_CHAR16);
+            e.str(s);
+        }
+        Value::Text(s) => {
+            e.u8(V_TEXT);
+            e.str(s);
+        }
+        Value::AbsTime(t) => {
+            e.u8(V_ABSTIME);
+            e.svarint(t.0);
+        }
+        Value::GeoBox(b) => {
+            e.u8(V_GEOBOX);
+            e.f64(b.xmin);
+            e.f64(b.ymin);
+            e.f64(b.xmax);
+            e.f64(b.ymax);
+        }
+        Value::Image(img) => {
+            e.u8(V_IMAGE);
+            e.varint(u64::from(img.nrow()));
+            e.varint(u64::from(img.ncol()));
+            e.u8(pixtype_tag(img.pixtype()));
+            match img.buffer() {
+                PixelBuffer::U8(d) => e.buf.extend_from_slice(d),
+                PixelBuffer::I16(d) => d
+                    .iter()
+                    .for_each(|x| e.buf.extend_from_slice(&x.to_le_bytes())),
+                PixelBuffer::I32(d) => d
+                    .iter()
+                    .for_each(|x| e.buf.extend_from_slice(&x.to_le_bytes())),
+                PixelBuffer::F32(d) => d
+                    .iter()
+                    .for_each(|x| e.buf.extend_from_slice(&x.to_le_bytes())),
+                PixelBuffer::F64(d) => d
+                    .iter()
+                    .for_each(|x| e.buf.extend_from_slice(&x.to_le_bytes())),
+            }
+        }
+        Value::Matrix(m) => {
+            e.u8(V_MATRIX);
+            e.varint(m.rows() as u64);
+            e.varint(m.cols() as u64);
+            m.data().iter().for_each(|x| e.f64(*x));
+        }
+        Value::Vector(v) => {
+            e.u8(V_VECTOR);
+            e.varint(v.data().len() as u64);
+            v.data().iter().for_each(|x| e.f64(*x));
+        }
+        Value::ObjRef(oid) => {
+            e.u8(V_OBJREF);
+            e.varint(*oid);
+        }
+        Value::Set(items) => {
+            e.u8(V_SET);
+            e.varint(items.len() as u64);
+            for item in items {
+                encode_value(e, item);
+            }
+        }
+    }
+}
+
+/// Decode one [`Value`] written by [`encode_value`].
+pub fn decode_value(d: &mut Dec<'_>) -> StoreResult<Value> {
+    Ok(match d.u8()? {
+        V_NULL => Value::Null,
+        V_BOOL => Value::Bool(d.u8()? != 0),
+        V_INT2 => {
+            Value::Int2(i16::try_from(d.svarint()?).map_err(|_| err("int2 value out of range"))?)
+        }
+        V_INT4 => {
+            Value::Int4(i32::try_from(d.svarint()?).map_err(|_| err("int4 value out of range"))?)
+        }
+        V_FLOAT4 => Value::Float4(d.f32()?),
+        V_FLOAT8 => Value::Float8(d.f64()?),
+        V_CHAR16 => Value::Char16(d.str()?),
+        V_TEXT => Value::Text(d.str()?),
+        V_ABSTIME => Value::AbsTime(AbsTime(d.svarint()?)),
+        V_GEOBOX => Value::GeoBox(GeoBox {
+            xmin: d.f64()?,
+            ymin: d.f64()?,
+            xmax: d.f64()?,
+            ymax: d.f64()?,
+        }),
+        V_IMAGE => {
+            let nrow = u32::try_from(d.varint()?).map_err(|_| err("image nrow out of range"))?;
+            let ncol = u32::try_from(d.varint()?).map_err(|_| err("image ncol out of range"))?;
+            let pt = pixtype_from_tag(d.u8()?)?;
+            let n = (nrow as usize)
+                .checked_mul(ncol as usize)
+                .ok_or_else(|| err("image shape overflows"))?;
+            let width = match pt {
+                PixType::Char => 1,
+                PixType::Int2 => 2,
+                PixType::Int4 | PixType::Float4 => 4,
+                PixType::Float8 => 8,
+            };
+            if d.remaining() < n * width {
+                return Err(err("image payload truncated"));
+            }
+            let buf = match pt {
+                PixType::Char => PixelBuffer::U8(d.take(n)?.to_vec()),
+                PixType::Int2 => PixelBuffer::I16(
+                    d.take(n * 2)?
+                        .chunks_exact(2)
+                        .map(|c| i16::from_le_bytes(c.try_into().unwrap()))
+                        .collect(),
+                ),
+                PixType::Int4 => PixelBuffer::I32(
+                    d.take(n * 4)?
+                        .chunks_exact(4)
+                        .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+                        .collect(),
+                ),
+                PixType::Float4 => PixelBuffer::F32(
+                    d.take(n * 4)?
+                        .chunks_exact(4)
+                        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                        .collect(),
+                ),
+                PixType::Float8 => PixelBuffer::F64(
+                    d.take(n * 8)?
+                        .chunks_exact(8)
+                        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                        .collect(),
+                ),
+            };
+            Value::image(Image::new(nrow, ncol, buf).map_err(|e| err(e.to_string()))?)
+        }
+        V_MATRIX => {
+            let rows = d.varint()? as usize;
+            let cols = d.varint()? as usize;
+            let n = rows
+                .checked_mul(cols)
+                .filter(|n| n * 8 <= d.remaining())
+                .ok_or_else(|| err("matrix payload truncated"))?;
+            let mut data = Vec::with_capacity(n);
+            for _ in 0..n {
+                data.push(d.f64()?);
+            }
+            Value::matrix(Matrix::from_rows(rows, cols, data).map_err(|e| err(e.to_string()))?)
+        }
+        V_VECTOR => {
+            let n = d.len(8)?;
+            let mut data = Vec::with_capacity(n);
+            for _ in 0..n {
+                data.push(d.f64()?);
+            }
+            Value::vector(VectorD::new(data))
+        }
+        V_OBJREF => Value::ObjRef(d.varint()?),
+        V_SET => {
+            let n = d.len(1)?;
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(decode_value(d)?);
+            }
+            Value::Set(items)
+        }
+        other => return Err(err(format!("unknown value tag {other}"))),
+    })
+}
+
+/// Encode a [`Tuple`] as arity + values.
+pub fn encode_tuple(e: &mut Enc, t: &Tuple) {
+    e.varint(t.arity() as u64);
+    for v in t.values() {
+        encode_value(e, v);
+    }
+}
+
+/// Decode a [`Tuple`] written by [`encode_tuple`].
+pub fn decode_tuple(d: &mut Dec<'_>) -> StoreResult<Tuple> {
+    let n = d.len(1)?;
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(decode_value(d)?);
+    }
+    Ok(Tuple::new(values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: Value) {
+        let mut e = Enc::default();
+        encode_value(&mut e, &v);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(decode_value(&mut d).unwrap(), v);
+        assert!(d.is_empty(), "decoder must consume exactly what it wrote");
+    }
+
+    #[test]
+    fn every_value_variant_round_trips() {
+        round_trip(Value::Null);
+        round_trip(Value::Bool(true));
+        round_trip(Value::Int2(-1234));
+        round_trip(Value::Int4(i32::MIN));
+        round_trip(Value::Float4(3.25));
+        round_trip(Value::Float8(-0.0));
+        round_trip(Value::Char16("L7-scene".into()));
+        round_trip(Value::Text("αβγ — utf8 survives".into()));
+        round_trip(Value::AbsTime(AbsTime(-86_400)));
+        round_trip(Value::GeoBox(GeoBox::new(-20.0, -35.0, 55.0, 38.0)));
+        round_trip(Value::image(Image::from_f64(2, 3, vec![0.5; 6]).unwrap()));
+        round_trip(Value::image(
+            Image::new(1, 4, PixelBuffer::I16(vec![-5, 0, 7, 32_000])).unwrap(),
+        ));
+        round_trip(Value::matrix(
+            Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap(),
+        ));
+        round_trip(Value::vector(VectorD::new(vec![0.25, -9.5])));
+        round_trip(Value::ObjRef(u64::MAX));
+        round_trip(Value::Set(vec![
+            Value::Int4(1),
+            Value::Set(vec![Value::Text("nested".into())]),
+        ]));
+    }
+
+    #[test]
+    fn tuples_round_trip_and_varints_cover_the_range() {
+        let t = Tuple::new(vec![Value::Int4(7), Value::Text("x".into()), Value::Null]);
+        let mut e = Enc::default();
+        encode_tuple(&mut e, &t);
+        let bytes = e.into_bytes();
+        assert_eq!(decode_tuple(&mut Dec::new(&bytes)).unwrap(), t);
+
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX] {
+            let mut e = Enc::default();
+            e.varint(v);
+            let bytes = e.into_bytes();
+            assert_eq!(Dec::new(&bytes).varint().unwrap(), v);
+        }
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX] {
+            let mut e = Enc::default();
+            e.svarint(v);
+            let bytes = e.into_bytes();
+            assert_eq!(Dec::new(&bytes).svarint().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn corrupt_input_errors_instead_of_panicking() {
+        // Truncated payloads, absurd lengths, unknown tags.
+        assert!(decode_value(&mut Dec::new(&[])).is_err());
+        assert!(decode_value(&mut Dec::new(&[99])).is_err());
+        assert!(decode_value(&mut Dec::new(&[V_FLOAT8, 1, 2])).is_err());
+        // Declared string length far past the buffer.
+        assert!(decode_value(&mut Dec::new(&[V_TEXT, 0xFF, 0xFF, 0xFF, 0x7F, b'a'])).is_err());
+        // A varint that never terminates within 10 bytes.
+        let unterminated = [0x80u8; 11];
+        assert!(Dec::new(&unterminated).varint().is_err());
+    }
+}

@@ -28,6 +28,7 @@
 //! behaviour: the kernel only ever touches the store through these
 //! interfaces.
 
+pub mod codec;
 pub mod db;
 pub mod error;
 pub mod grid;
@@ -55,4 +56,4 @@ pub use tuple::Tuple;
 pub use txn::Txn;
 pub use version::StoreSnapshot;
 pub use view::PinnedStore;
-pub use wal::{read_wal, WalScan, WalWriter};
+pub use wal::{read_wal, CrashPoint, CrashSwitch, WalScan, WalWriter};

@@ -19,7 +19,7 @@ use std::fs;
 use std::path::Path;
 
 /// Serialized snapshot body.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Manifest {
     /// Format version for forward compatibility.
     version: u32,
@@ -47,6 +47,45 @@ struct Manifest {
 /// rebuild, and a missing watermark is 0 (replay everything).
 const SNAPSHOT_VERSION: u32 = 4;
 
+/// Database state cloned out for a deferred snapshot write.
+///
+/// Background log compaction splits a snapshot in two: the committing
+/// thread pays only this clone (heap payloads are `Arc`-shared, so the
+/// deep cost is tuple vectors and index maps, not raster bytes), and a
+/// worker thread pays the serialization and file I/O via
+/// [`write_capture`] while commits keep appending to the log.
+#[derive(Debug, Clone)]
+pub struct Capture {
+    manifest: Manifest,
+}
+
+/// Clone the database state a snapshot at `wal_seq` would persist.
+pub fn capture_with_wal_seq(db: &Database, wal_seq: u64) -> Capture {
+    Capture {
+        manifest: Manifest {
+            version: SNAPSHOT_VERSION,
+            next_oid: db.allocator_peek(),
+            relations: db.relations().clone(),
+            versions: db.versions().clone(),
+            wal_seq,
+        },
+    }
+}
+
+/// Serialize a [`Capture`] to `dir/manifest.json` (creates `dir` if
+/// needed). Callable from any thread.
+pub fn write_capture(capture: &Capture, dir: &Path) -> StoreResult<()> {
+    fs::create_dir_all(dir)?;
+    let json =
+        serde_json::to_string(&capture.manifest).map_err(|e| StoreError::Codec(e.to_string()))?;
+    // Write-then-rename for atomicity against torn writes.
+    let tmp = dir.join("manifest.json.tmp");
+    let fin = dir.join("manifest.json");
+    fs::write(&tmp, json)?;
+    fs::rename(&tmp, &fin)?;
+    Ok(())
+}
+
 /// Write the database to `dir/manifest.json` (creates `dir` if needed).
 pub fn save(db: &Database, dir: &Path) -> StoreResult<()> {
     save_with_wal_seq(db, dir, 0)
@@ -55,21 +94,7 @@ pub fn save(db: &Database, dir: &Path) -> StoreResult<()> {
 /// Like [`save`], stamping the manifest with the WAL sequence number of
 /// the last event already folded into this snapshot.
 pub fn save_with_wal_seq(db: &Database, dir: &Path, wal_seq: u64) -> StoreResult<()> {
-    fs::create_dir_all(dir)?;
-    let manifest = Manifest {
-        version: SNAPSHOT_VERSION,
-        next_oid: db.allocator_peek(),
-        relations: db.relations().clone(),
-        versions: db.versions().clone(),
-        wal_seq,
-    };
-    let json = serde_json::to_string(&manifest).map_err(|e| StoreError::Codec(e.to_string()))?;
-    // Write-then-rename for atomicity against torn writes.
-    let tmp = dir.join("manifest.json.tmp");
-    let fin = dir.join("manifest.json");
-    fs::write(&tmp, json)?;
-    fs::rename(&tmp, &fin)?;
-    Ok(())
+    write_capture(&capture_with_wal_seq(db, wal_seq), dir)
 }
 
 /// Load a database from `dir/manifest.json`.

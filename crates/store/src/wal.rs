@@ -21,13 +21,17 @@
 //! the damage is recovered.
 //!
 //! Crash injection for the fault-matrix CI lane lives here too
-//! (`CrashInjector`): `GAEA_CRASH_POINT={append,fsync,truncate}` plus
+//! ([`CrashSwitch`]): `GAEA_CRASH_POINT={append,fsync,truncate,`
+//! `snapshot-write,manifest-flip,post-flip-pre-truncate}` plus
 //! `GAEA_CRASH_AFTER=<n-events>` abort the process mid-commit at the
 //! named boundary, which is how `scripts/crash_matrix.sh` manufactures
-//! the torn tails this module must survive.
+//! the torn tails and half-written snapshots this module (and the
+//! kernel's compactor above it) must survive. The snapshot-side points
+//! fire in whatever thread is writing the snapshot — including the
+//! background compactor's worker.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// Records larger than this are treated as corruption by the reader — a
@@ -65,9 +69,10 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
-/// Where an injected crash fires, relative to one record append.
+/// Where an injected crash fires, relative to one record append or one
+/// snapshot-writing sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum CrashPoint {
+pub enum CrashPoint {
     /// Mid-append: half the record's bytes reach the file, then abort —
     /// the torn-tail case recovery must truncate.
     Append,
@@ -77,35 +82,86 @@ enum CrashPoint {
     /// During snapshot truncation: after the snapshot pointer flipped,
     /// before the log is actually truncated.
     Truncate,
+    /// Mid snapshot write: the side directory holds a half-written
+    /// snapshot, the manifest pointer still names the old one.
+    SnapshotWrite,
+    /// The snapshot directory is complete but the `CURRENT` pointer has
+    /// not flipped to it yet.
+    ManifestFlip,
+    /// The pointer flipped, the log still holds the covered prefix —
+    /// the boundary background compaction adds between flip and prefix
+    /// truncation.
+    PostFlipPreTruncate,
+}
+
+impl CrashPoint {
+    /// Parse the `GAEA_CRASH_POINT` spelling of a boundary.
+    pub fn parse(spec: &str) -> Result<CrashPoint, String> {
+        Ok(match spec {
+            "append" => CrashPoint::Append,
+            "fsync" => CrashPoint::Fsync,
+            "truncate" => CrashPoint::Truncate,
+            "snapshot-write" => CrashPoint::SnapshotWrite,
+            "manifest-flip" => CrashPoint::ManifestFlip,
+            "post-flip-pre-truncate" => CrashPoint::PostFlipPreTruncate,
+            other => {
+                return Err(format!(
+                    "unknown crash point {other:?} (valid: append, fsync, truncate, \
+                     snapshot-write, manifest-flip, post-flip-pre-truncate)"
+                ))
+            }
+        })
+    }
 }
 
 /// Fault injection armed from the environment: `GAEA_CRASH_POINT` names
 /// the boundary, `GAEA_CRASH_AFTER=<n>` lets `n` events commit normally
 /// first. Disarmed (the common case) when either variable is absent.
-#[derive(Debug)]
-struct CrashInjector {
+///
+/// A malformed `GAEA_CRASH_POINT` is rejected *loudly*: the typo is
+/// reported on stderr and the injector stays disarmed, so a
+/// crash-matrix lane with `fsnyc` fails its "workload must crash"
+/// phase with a diagnostic instead of silently testing nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashSwitch {
     point: Option<CrashPoint>,
     after: u64,
 }
 
-impl CrashInjector {
-    fn from_env() -> CrashInjector {
-        let point = match std::env::var("GAEA_CRASH_POINT").as_deref() {
-            Ok("append") => Some(CrashPoint::Append),
-            Ok("fsync") => Some(CrashPoint::Fsync),
-            Ok("truncate") => Some(CrashPoint::Truncate),
-            _ => None,
+impl CrashSwitch {
+    /// Arm from `GAEA_CRASH_POINT` / `GAEA_CRASH_AFTER`.
+    pub fn from_env() -> CrashSwitch {
+        let point = match std::env::var("GAEA_CRASH_POINT") {
+            Ok(v) => match CrashPoint::parse(&v) {
+                Ok(p) => Some(p),
+                Err(e) => {
+                    eprintln!(
+                        "gaea-store: ignoring GAEA_CRASH_POINT={v:?}: {e}; injector disarmed"
+                    );
+                    None
+                }
+            },
+            Err(_) => None,
         };
         let after = std::env::var("GAEA_CRASH_AFTER")
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(0);
-        CrashInjector { point, after }
+        CrashSwitch { point, after }
     }
 
-    /// Should the crash fire at `point`, given `events` appended so far?
-    fn armed(&self, point: CrashPoint, events: u64) -> bool {
+    /// Should the crash fire at `point`, given `events` committed so far?
+    pub fn armed(&self, point: CrashPoint, events: u64) -> bool {
         self.point == Some(point) && events >= self.after
+    }
+
+    /// Abort the process if armed at `point` — callable from any thread
+    /// (the background compactor fires the snapshot-side points from
+    /// its worker).
+    pub fn fire_if_armed(&self, point: CrashPoint, events: u64) {
+        if self.armed(point, events) {
+            std::process::abort();
+        }
     }
 }
 
@@ -119,7 +175,11 @@ pub struct WalWriter {
     /// Records appended over this writer's lifetime (crash-injection
     /// event counter).
     appended: u64,
-    injector: CrashInjector,
+    /// Current log length in bytes (valid prefix at open + every
+    /// record appended since) — the offset background compaction
+    /// records as "the prefix this snapshot covers".
+    len: u64,
+    injector: CrashSwitch,
 }
 
 impl WalWriter {
@@ -127,6 +187,11 @@ impl WalWriter {
     /// truncating it to `valid_len` first — the caller just scanned the
     /// file with [`read_wal`] and `valid_len` is the end of the last
     /// intact record; anything beyond it is a torn tail to drop.
+    ///
+    /// A `valid_len` *larger* than the file is rejected: `set_len`
+    /// would silently extend the log with zero bytes that the next
+    /// scan reads as a corrupt record, so a stale scan (or swapped
+    /// paths) surfaces as an error here instead.
     pub fn open(path: &Path, valid_len: u64, fsync_every: u64) -> std::io::Result<WalWriter> {
         let file = OpenOptions::new()
             .read(true)
@@ -134,6 +199,16 @@ impl WalWriter {
             .create(true)
             .truncate(false)
             .open(path)?;
+        let actual = file.metadata()?.len();
+        if valid_len > actual {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "wal valid prefix {valid_len} exceeds file length {actual} — \
+                     stale scan or wrong path; refusing to zero-extend the log"
+                ),
+            ));
+        }
         file.set_len(valid_len)?;
         let mut file = file;
         file.seek(SeekFrom::End(0))?;
@@ -142,7 +217,8 @@ impl WalWriter {
             fsync_every: fsync_every.max(1),
             unsynced: 0,
             appended: 0,
-            injector: CrashInjector::from_env(),
+            len: valid_len,
+            injector: CrashSwitch::from_env(),
         })
     }
 
@@ -164,6 +240,7 @@ impl WalWriter {
         self.file.write_all(&record)?;
         self.appended += 1;
         self.unsynced += 1;
+        self.len += record.len() as u64;
         gaea_obs::metrics().wal_appends.inc();
         if self.injector.armed(CrashPoint::Fsync, self.appended) {
             // The record is in the OS but the batch sync has not run —
@@ -188,13 +265,17 @@ impl WalWriter {
         Ok(())
     }
 
-    /// Abort here if the injector is armed on the truncation boundary —
-    /// called by the snapshot path after flipping its pointer, before
-    /// [`WalWriter::truncate`].
-    pub fn crash_before_truncate(&self) {
-        if self.injector.armed(CrashPoint::Truncate, self.appended) {
-            std::process::abort();
-        }
+    /// Abort here if the injector is armed at `point` — the snapshot
+    /// path fires the flip/truncate boundaries through this, using the
+    /// writer's append counter as the arming clock.
+    pub fn crash_point(&self, point: CrashPoint) {
+        self.injector.fire_if_armed(point, self.appended);
+    }
+
+    /// This writer's crash injector — the background compactor clones
+    /// it into its worker so the snapshot-side points fire there too.
+    pub fn crash_switch(&self) -> CrashSwitch {
+        self.injector
     }
 
     /// Reset the log to empty — the snapshot that supersedes its events
@@ -204,12 +285,51 @@ impl WalWriter {
         self.file.seek(SeekFrom::Start(0))?;
         self.file.sync_data()?;
         self.unsynced = 0;
+        self.len = 0;
+        Ok(())
+    }
+
+    /// Drop exactly the first `prefix` bytes of the log, keeping every
+    /// record appended after them — the background-compaction finish:
+    /// the snapshot covers the prefix, commits that landed while it was
+    /// being written stay in the log. The surviving suffix is rewritten
+    /// to the front of the file and synced.
+    pub fn truncate_prefix(&mut self, prefix: u64) -> std::io::Result<()> {
+        if prefix > self.len {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "wal prefix truncation at {prefix} past the log length {}",
+                    self.len
+                ),
+            ));
+        }
+        if prefix == self.len {
+            return self.truncate();
+        }
+        let mut suffix = Vec::with_capacity((self.len - prefix) as usize);
+        self.file.seek(SeekFrom::Start(prefix))?;
+        self.file.read_to_end(&mut suffix)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&suffix)?;
+        self.file.set_len(suffix.len() as u64)?;
+        self.file.sync_data()?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.unsynced = 0;
+        self.len = suffix.len() as u64;
+        gaea_obs::metrics().wal_compaction_trunc_bytes.add(prefix);
         Ok(())
     }
 
     /// Records appended over this writer's lifetime.
     pub fn appended(&self) -> u64 {
         self.appended
+    }
+
+    /// Current log length in bytes (valid prefix at open plus every
+    /// record appended since).
+    pub fn log_len(&self) -> u64 {
+        self.len
     }
 }
 
@@ -234,39 +354,45 @@ pub struct WalScan {
 /// record that is cut short (torn tail) or fails its checksum
 /// (corruption); everything before it is returned.
 pub fn read_wal(path: &Path) -> std::io::Result<WalScan> {
-    let mut bytes = Vec::new();
-    match File::open(path) {
-        Ok(mut f) => {
-            f.read_to_end(&mut bytes)?;
+    let (file, total) = match File::open(path) {
+        Ok(f) => {
+            let total = f.metadata()?.len();
+            (f, total)
         }
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(WalScan::default()),
         Err(e) => return Err(e),
-    }
+    };
+    // Stream record by record instead of slurping the file: replay of a
+    // long log holds each payload exactly once (in `records`), never a
+    // second full copy of the raw log.
+    let mut reader = BufReader::with_capacity(1 << 16, file);
     let mut scan = WalScan::default();
-    let total = bytes.len();
-    let mut pos = 0usize;
+    let mut pos = 0u64;
+    let mut header = [0u8; 8];
     while pos + 8 <= total {
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        reader.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
         if len > MAX_RECORD {
             scan.corrupt = true;
             break;
         }
-        let end = pos + 8 + len as usize;
+        let end = pos + 8 + u64::from(len);
         if end > total {
             // Torn tail: the record started but the crash cut it short.
             break;
         }
-        let payload = &bytes[pos + 8..end];
-        if crc32(payload) != crc {
+        let mut payload = vec![0u8; len as usize];
+        reader.read_exact(&mut payload)?;
+        if crc32(&payload) != crc {
             scan.corrupt = true;
             break;
         }
-        scan.records.push(payload.to_vec());
+        scan.records.push(payload);
         pos = end;
     }
-    scan.valid_len = pos as u64;
-    scan.dropped_bytes = (total - pos) as u64;
+    scan.valid_len = pos;
+    scan.dropped_bytes = total - pos;
     Ok(scan)
 }
 
@@ -371,6 +497,51 @@ mod tests {
         w.sync().unwrap();
         let scan = read_wal(&path).unwrap();
         assert_eq!(scan.records, vec![b"fresh".to_vec()]);
+    }
+
+    #[test]
+    fn prefix_truncation_keeps_the_suffix() {
+        let path = temp("prefix");
+        let mut w = WalWriter::open(&path, 0, 1).unwrap();
+        w.append(b"folded-1").unwrap();
+        w.append(b"folded-2").unwrap();
+        let covered = w.log_len();
+        w.append(b"survivor-a").unwrap();
+        w.truncate_prefix(covered).unwrap();
+        // Appending keeps working after the rewrite.
+        w.append(b"survivor-b").unwrap();
+        let scan = read_wal(&path).unwrap();
+        assert_eq!(
+            scan.records,
+            vec![b"survivor-a".to_vec(), b"survivor-b".to_vec()]
+        );
+        assert!(!scan.corrupt);
+        assert_eq!(scan.dropped_bytes, 0);
+        // Truncating the whole log is the full reset.
+        let all = w.log_len();
+        w.truncate_prefix(all).unwrap();
+        assert_eq!(read_wal(&path).unwrap().records.len(), 0);
+        // A prefix past the end is an error, not a zero-extend.
+        assert!(w.truncate_prefix(10).is_err());
+    }
+
+    #[test]
+    fn open_rejects_a_valid_len_past_the_file() {
+        let path = temp("clamp");
+        let mut w = WalWriter::open(&path, 0, 1).unwrap();
+        w.append(b"short-log").unwrap();
+        drop(w);
+        let len = fs::metadata(&path).unwrap().len();
+        // A stale scan claiming more valid bytes than exist must not
+        // silently extend the file with zeros.
+        let err = match WalWriter::open(&path, len + 32, 1) {
+            Ok(_) => panic!("zero-extending open must fail"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert_eq!(fs::metadata(&path).unwrap().len(), len);
+        // The exact length still opens.
+        assert!(WalWriter::open(&path, len, 1).is_ok());
     }
 
     #[test]

@@ -5,9 +5,13 @@
 //! * `workload <dir>` — open (or reopen) the kernel at `<dir>` and
 //!   commit a deterministic batch of events: sequential `obs {v: i}`
 //!   inserts interleaved with `COPY` firings and updates, with
-//!   automatic snapshots every 8 events. With `GAEA_CRASH_POINT=
-//!   {append,fsync,truncate}` and `GAEA_CRASH_AFTER=<n>` set, the
-//!   store's crash injector aborts the process mid-commit — that *is*
+//!   automatic snapshots every 8 events (folded by the background
+//!   compactor, as in production). With `GAEA_CRASH_POINT={append,
+//!   fsync,truncate,snapshot-write,manifest-flip,
+//!   post-flip-pre-truncate}` and `GAEA_CRASH_AFTER=<n>` set, the
+//!   store's crash injector aborts the process mid-commit (or mid
+//!   background compaction — drop settles the compactor, so an armed
+//!   worker-side point always fires before a clean exit) — that *is*
 //!   the test. `GAEA_FSYNC_EVERY=<n>` sets the group-commit batch.
 //! * `shutdown <dir>` — the workload followed by an explicit *checked*
 //!   close ([`Gaea::close`]): run with a large `GAEA_FSYNC_EVERY` the
@@ -50,6 +54,7 @@ fn open(dir: &Path) -> KernelResult<Gaea> {
         DurabilityOptions {
             fsync_every,
             snapshot_every: 8,
+            ..Default::default()
         },
     )
 }

@@ -6,6 +6,12 @@
 #   fsync     abort at a group-commit batch boundary, before the sync
 #   truncate  abort during snapshot truncation, snapshot written but
 #             the log not yet clipped
+#   snapshot-write          abort on the background compactor thread
+#                           mid snapshot write (half-written snap-*.tmp)
+#   manifest-flip           abort with the snapshot complete but the
+#                           CURRENT pointer still naming the old one
+#   post-flip-pre-truncate  abort after the pointer flipped but before
+#                           the covered log prefix is clipped
 # — and several arming positions, run the deterministic workload in
 # examples/crash_harness.rs until the injected abort kills the process,
 # then reopen and verify the recovered state is the exact committed
@@ -132,6 +138,18 @@ run_shutdown_case() {
 
 for point in append fsync truncate; do
     for after in 1 5 9 17; do
+        run_case "$point" "$after"
+    done
+done
+
+# Background-compaction lanes. The worker-side points (snapshot-write,
+# manifest-flip) fire on the compactor thread; post-flip-pre-truncate
+# fires at the commit-thread hand-off that clips the covered prefix.
+# The injector clock is the event sequence at compaction time and the
+# harness snapshots every 8 events, so the positions select which
+# compaction in the run aborts.
+for point in snapshot-write manifest-flip post-flip-pre-truncate; do
+    for after in 1 9 17; do
         run_case "$point" "$after"
     done
 done

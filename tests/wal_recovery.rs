@@ -140,6 +140,7 @@ fn options() -> DurabilityOptions {
     DurabilityOptions {
         fsync_every: 1,
         snapshot_every: 0,
+        ..Default::default()
     }
 }
 
@@ -300,6 +301,124 @@ fn synchronous_external_firings_replay_exactly() {
         remote_tasks_json(&g).len() > fired,
         "the replayed catalog must still drive new derivations"
     );
+    drop(g);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ----------------------------------------------------------------------
+// Background log compaction
+// ----------------------------------------------------------------------
+
+/// Cadence-triggered folds run on the background compactor: commits
+/// keep landing while the fold is in flight, the covered prefix is
+/// clipped at the next poll, and a reopen replays only the tail on top
+/// of the flipped snapshot.
+#[test]
+fn background_compaction_folds_the_log_behind_live_commits() {
+    let dir = fresh_dir("bg");
+    let opts = DurabilityOptions {
+        fsync_every: 1,
+        snapshot_every: 4,
+        ..Default::default()
+    };
+    assert!(
+        opts.background_compaction,
+        "background folding must be the default"
+    );
+    let folds_before = gaea::obs::metrics().wal_compactions.get();
+    let mut g = Gaea::open_with(&dir, opts).unwrap();
+    g.define_class(ClassSpec::base("obs").attr("v", TypeTag::Int4).no_extents())
+        .unwrap();
+    // Commit across several compaction cadences: the commit path only
+    // hands work to the folder and polls — it never waits for it.
+    for i in 0..40 {
+        g.insert_object("obs", vec![("v", Value::Int4(i))]).unwrap();
+    }
+    g.flush_wal().unwrap(); // settles any in-flight fold
+    assert!(
+        gaea::obs::metrics().wal_compactions.get() > folds_before,
+        "the cadence must have run at least one background fold"
+    );
+    let before = state_digest(&g, "bg-live");
+    drop(g);
+
+    let g = Gaea::open_with(&dir, opts).unwrap();
+    let stats = g.recovery_stats().unwrap().clone();
+    assert!(
+        stats.snapshot_seq > 0,
+        "background folds must advance the watermark"
+    );
+    assert!(
+        stats.events_replayed < 41,
+        "the folded prefix must not replay (replayed {})",
+        stats.events_replayed
+    );
+    assert!(!stats.wal_corrupt);
+    assert_eq!(state_digest(&g, "bg-replayed"), before);
+    drop(g);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An explicit `checkpoint()` settles whatever fold is in flight before
+/// taking its own synchronous snapshot — afterwards the log is empty
+/// and a reopen replays nothing.
+#[test]
+fn checkpoint_settles_an_inflight_background_fold() {
+    let dir = fresh_dir("bg-ckpt");
+    let opts = DurabilityOptions {
+        fsync_every: 1,
+        snapshot_every: 4,
+        ..Default::default()
+    };
+    let mut g = Gaea::open_with(&dir, opts).unwrap();
+    g.define_class(ClassSpec::base("obs").attr("v", TypeTag::Int4).no_extents())
+        .unwrap();
+    for i in 0..6 {
+        g.insert_object("obs", vec![("v", Value::Int4(i))]).unwrap();
+    }
+    // A fold is (very likely) in flight from the cadence; checkpoint
+    // must fold it in, then truncate everything.
+    g.checkpoint().unwrap();
+    let before = state_digest(&g, "bg-ckpt-live");
+    drop(g);
+
+    let g = Gaea::open_with(&dir, opts).unwrap();
+    let stats = g.recovery_stats().unwrap().clone();
+    assert_eq!(stats.events_replayed, 0, "checkpoint must clip the log");
+    assert!(stats.snapshot_seq > 0);
+    assert_eq!(state_digest(&g, "bg-ckpt-replayed"), before);
+    drop(g);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With `background_compaction: false` the cadence falls back to the
+/// synchronous `checkpoint()` path — same watermark semantics, no
+/// worker thread.
+#[test]
+fn synchronous_fallback_still_folds_on_cadence() {
+    let dir = fresh_dir("sync-fold");
+    let opts = DurabilityOptions {
+        fsync_every: 1,
+        snapshot_every: 4,
+        background_compaction: false,
+        ..Default::default()
+    };
+    let mut g = Gaea::open_with(&dir, opts).unwrap();
+    g.define_class(ClassSpec::base("obs").attr("v", TypeTag::Int4).no_extents())
+        .unwrap();
+    for i in 0..10 {
+        g.insert_object("obs", vec![("v", Value::Int4(i))]).unwrap();
+    }
+    let before = state_digest(&g, "sync-fold-live");
+    drop(g);
+
+    let g = Gaea::open_with(&dir, opts).unwrap();
+    let stats = g.recovery_stats().unwrap().clone();
+    assert!(
+        stats.snapshot_seq > 0,
+        "the synchronous fallback must advance the watermark on cadence"
+    );
+    assert_eq!(state_digest(&g, "sync-fold-replayed"), before);
     drop(g);
     let _ = std::fs::remove_dir_all(&dir);
 }
