@@ -38,7 +38,8 @@
 //! detached compactor thread that writes the snapshot to a `snap-*.tmp`
 //! side directory and flips `CURRENT`, while commits keep appending;
 //! the committing thread later truncates exactly the covered log prefix
-//! ([`WalWriter::truncate_prefix`]) when it observes the fold finished
+//! ([`WalWriter::truncate_prefix`] — an atomic stage-and-rename clip,
+//! never an in-place rewrite) when it observes the fold finished
 //! ([`Gaea::poll_compaction`]). [`Gaea::checkpoint`] remains the
 //! synchronous fallback, and every flush/close boundary settles an
 //! in-flight fold first.
@@ -832,10 +833,18 @@ fn gc_snapshots(dir: &Path, keep_seq: u64) {
 /// name — half-written `snap-*.tmp` side directories, an unrenamed
 /// `CURRENT.tmp`, and complete-but-never-flipped `snap-*` directories
 /// left by a crash inside a fold.
+///
+/// Only a *missing* `CURRENT` means "no authoritative snapshot". Any
+/// other read failure (permissions, I/O error) is transient doubt —
+/// sweeping then could delete the snapshot the pointer still names, so
+/// the sweep skips entirely and lets open surface the real error when
+/// it reads `CURRENT` itself.
 fn sweep_stale_snapshots(dir: &Path) {
-    let current = fs::read_to_string(dir.join("CURRENT"))
-        .map(|s| s.trim().to_string())
-        .unwrap_or_default();
+    let current = match fs::read_to_string(dir.join("CURRENT")) {
+        Ok(s) => s.trim().to_string(),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(_) => return,
+    };
     let _ = fs::remove_file(dir.join("CURRENT.tmp"));
     if let Ok(entries) = fs::read_dir(dir) {
         for entry in entries.flatten() {

@@ -138,13 +138,15 @@ impl<'a> Dec<'a> {
         Ok(self.take(1)?[0])
     }
 
-    /// LEB128 unsigned varint (rejects encodings past 10 bytes).
+    /// LEB128 unsigned varint (rejects encodings past 10 bytes, and a
+    /// 10th byte carrying bits beyond bit 63 — an overflowing value
+    /// must fail loudly, not silently drop its high bits).
     pub fn varint(&mut self) -> StoreResult<u64> {
         let mut v = 0u64;
         let mut shift = 0u32;
         loop {
             let byte = self.u8()?;
-            if shift >= 64 {
+            if shift >= 64 || (shift == 63 && byte & 0x7E != 0) {
                 return Err(err("varint overflows u64"));
             }
             v |= u64::from(byte & 0x7F) << shift;
@@ -367,7 +369,11 @@ pub fn decode_value(d: &mut Dec<'_>) -> StoreResult<Value> {
                 PixType::Int4 | PixType::Float4 => 4,
                 PixType::Float8 => 8,
             };
-            if d.remaining() < n * width {
+            // The byte size needs its own checked multiply: a pixel
+            // count that survives `nrow * ncol` can still overflow
+            // `n * width`, which must read as corruption — not a
+            // wrapped-to-small value that passes the remaining check.
+            if n.checked_mul(width).is_none_or(|b| b > d.remaining()) {
                 return Err(err("image payload truncated"));
             }
             let buf = match pt {
@@ -404,7 +410,7 @@ pub fn decode_value(d: &mut Dec<'_>) -> StoreResult<Value> {
             let cols = d.varint()? as usize;
             let n = rows
                 .checked_mul(cols)
-                .filter(|n| n * 8 <= d.remaining())
+                .filter(|n| n.checked_mul(8).is_some_and(|b| b <= d.remaining()))
                 .ok_or_else(|| err("matrix payload truncated"))?;
             let mut data = Vec::with_capacity(n);
             for _ in 0..n {
@@ -524,5 +530,41 @@ mod tests {
         // A varint that never terminates within 10 bytes.
         let unterminated = [0x80u8; 11];
         assert!(Dec::new(&unterminated).varint().is_err());
+    }
+
+    #[test]
+    fn overflowing_varint_is_rejected_not_wrapped() {
+        // u64::MAX is the largest legal 10-byte encoding: nine 0xFF
+        // continuation bytes plus a final 0x01.
+        let max = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01];
+        assert_eq!(Dec::new(&max).varint().unwrap(), u64::MAX);
+        // Any other bit in the 10th byte lands past bit 63 — decoding
+        // must error, not silently discard the overflow.
+        for last in [0x02u8, 0x03, 0x7E, 0x7F] {
+            let over = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, last];
+            assert!(
+                Dec::new(&over).varint().is_err(),
+                "10th byte {last:#04x} overflows u64 and must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_declared_shapes_error_instead_of_overflowing_the_byte_size() {
+        // Matrix: rows * cols fits usize but n * 8 wraps past u64 —
+        // must be a codec error, never a panic or absurd allocation.
+        let mut e = Enc::default();
+        e.u8(V_MATRIX);
+        e.varint(1u64 << 61);
+        e.varint(1);
+        assert!(decode_value(&mut Dec::new(&e.into_bytes())).is_err());
+        // Image: u32::MAX² pixels survives the count multiply, but the
+        // 8-byte-per-pixel Float8 byte size wraps.
+        let mut e = Enc::default();
+        e.u8(V_IMAGE);
+        e.varint(u64::from(u32::MAX));
+        e.varint(u64::from(u32::MAX));
+        e.u8(4); // Float8
+        assert!(decode_value(&mut Dec::new(&e.into_bytes())).is_err());
     }
 }

@@ -22,17 +22,18 @@
 //!
 //! Crash injection for the fault-matrix CI lane lives here too
 //! ([`CrashSwitch`]): `GAEA_CRASH_POINT={append,fsync,truncate,`
-//! `snapshot-write,manifest-flip,post-flip-pre-truncate}` plus
-//! `GAEA_CRASH_AFTER=<n-events>` abort the process mid-commit at the
-//! named boundary, which is how `scripts/crash_matrix.sh` manufactures
-//! the torn tails and half-written snapshots this module (and the
-//! kernel's compactor above it) must survive. The snapshot-side points
-//! fire in whatever thread is writing the snapshot — including the
-//! background compactor's worker.
+//! `snapshot-write,manifest-flip,post-flip-pre-truncate,`
+//! `truncate-rewrite}` plus `GAEA_CRASH_AFTER=<n-events>` abort the
+//! process mid-commit at the named boundary, which is how
+//! `scripts/crash_matrix.sh` manufactures the torn tails and
+//! half-written snapshots this module (and the kernel's compactor
+//! above it) must survive. The snapshot-side points fire in whatever
+//! thread is writing the snapshot — including the background
+//! compactor's worker.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Records larger than this are treated as corruption by the reader — a
 /// length prefix this big is a damaged header, not data.
@@ -92,6 +93,10 @@ pub enum CrashPoint {
     /// the boundary background compaction adds between flip and prefix
     /// truncation.
     PostFlipPreTruncate,
+    /// Mid prefix clip: the surviving suffix is durable in the sibling
+    /// clip file, but the rename over the live log has not happened —
+    /// the log still holds the full covered-prefix + suffix bytes.
+    TruncateRewrite,
 }
 
 impl CrashPoint {
@@ -104,10 +109,12 @@ impl CrashPoint {
             "snapshot-write" => CrashPoint::SnapshotWrite,
             "manifest-flip" => CrashPoint::ManifestFlip,
             "post-flip-pre-truncate" => CrashPoint::PostFlipPreTruncate,
+            "truncate-rewrite" => CrashPoint::TruncateRewrite,
             other => {
                 return Err(format!(
                     "unknown crash point {other:?} (valid: append, fsync, truncate, \
-                     snapshot-write, manifest-flip, post-flip-pre-truncate)"
+                     snapshot-write, manifest-flip, post-flip-pre-truncate, \
+                     truncate-rewrite)"
                 ))
             }
         })
@@ -165,9 +172,30 @@ impl CrashSwitch {
     }
 }
 
+/// Sibling path the prefix clip stages its suffix in (`wal.log.clip`):
+/// written and synced first, then renamed over the live log so the clip
+/// is atomic — a crash leaves either the full old log or the clean
+/// suffix, never a half-rewritten mix.
+fn clip_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".clip");
+    PathBuf::from(os)
+}
+
+/// Fsync the directory containing `path`, making a just-completed
+/// rename durable.
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(parent)?.sync_all()
+}
+
 /// Append half of WAL I/O: group-committed record writes.
 pub struct WalWriter {
     file: File,
+    path: PathBuf,
     /// `fsync` every N appends; 1 = sync every event.
     fsync_every: u64,
     /// Appends since the last sync.
@@ -193,6 +221,10 @@ impl WalWriter {
     /// scan reads as a corrupt record, so a stale scan (or swapped
     /// paths) surfaces as an error here instead.
     pub fn open(path: &Path, valid_len: u64, fsync_every: u64) -> std::io::Result<WalWriter> {
+        // A stale clip file is wreckage of a prefix truncation that
+        // crashed before its rename — the live log is still whole, so
+        // the staged suffix is redundant and must not shadow it.
+        let _ = std::fs::remove_file(clip_path(path));
         let file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -214,6 +246,7 @@ impl WalWriter {
         file.seek(SeekFrom::End(0))?;
         Ok(WalWriter {
             file,
+            path: path.to_path_buf(),
             fsync_every: fsync_every.max(1),
             unsynced: 0,
             appended: 0,
@@ -292,8 +325,14 @@ impl WalWriter {
     /// Drop exactly the first `prefix` bytes of the log, keeping every
     /// record appended after them — the background-compaction finish:
     /// the snapshot covers the prefix, commits that landed while it was
-    /// being written stay in the log. The surviving suffix is rewritten
-    /// to the front of the file and synced.
+    /// being written stay in the log.
+    ///
+    /// The clip is crash-atomic: the surviving suffix is staged in a
+    /// sibling `*.clip` file and synced, then renamed over the live log
+    /// (directory fsynced) — never an in-place rewrite. A crash at any
+    /// point leaves either the full old log (the snapshot watermark
+    /// makes re-replaying the covered prefix a no-op) or the clean
+    /// suffix; stale clip files are swept by [`WalWriter::open`].
     pub fn truncate_prefix(&mut self, prefix: u64) -> std::io::Result<()> {
         if prefix > self.len {
             return Err(std::io::Error::new(
@@ -304,17 +343,36 @@ impl WalWriter {
                 ),
             ));
         }
+        if prefix == 0 {
+            return Ok(());
+        }
         if prefix == self.len {
             return self.truncate();
         }
         let mut suffix = Vec::with_capacity((self.len - prefix) as usize);
         self.file.seek(SeekFrom::Start(prefix))?;
         self.file.read_to_end(&mut suffix)?;
-        self.file.seek(SeekFrom::Start(0))?;
-        self.file.write_all(&suffix)?;
-        self.file.set_len(suffix.len() as u64)?;
-        self.file.sync_data()?;
-        self.file.seek(SeekFrom::End(0))?;
+        let clip = clip_path(&self.path);
+        {
+            let mut staged = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&clip)?;
+            staged.write_all(&suffix)?;
+            staged.sync_data()?;
+        }
+        // Fault-injection boundary: the suffix is durable in the clip
+        // file but the live log is untouched — the window the old
+        // in-place rewrite could corrupt.
+        self.injector
+            .fire_if_armed(CrashPoint::TruncateRewrite, self.appended);
+        std::fs::rename(&clip, &self.path)?;
+        sync_parent_dir(&self.path)?;
+        // The old handle points at the now-unlinked inode; reopen.
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        self.file = file;
         self.unsynced = 0;
         self.len = suffix.len() as u64;
         gaea_obs::metrics().wal_compaction_trunc_bytes.add(prefix);
@@ -517,12 +575,38 @@ mod tests {
         );
         assert!(!scan.corrupt);
         assert_eq!(scan.dropped_bytes, 0);
+        // The staged clip file never outlives a successful rewrite.
+        assert!(!clip_path(&path).exists());
+        // A zero prefix is a no-op, not a pointless rewrite.
+        let before = w.log_len();
+        w.truncate_prefix(0).unwrap();
+        assert_eq!(w.log_len(), before);
         // Truncating the whole log is the full reset.
         let all = w.log_len();
         w.truncate_prefix(all).unwrap();
         assert_eq!(read_wal(&path).unwrap().records.len(), 0);
         // A prefix past the end is an error, not a zero-extend.
         assert!(w.truncate_prefix(10).is_err());
+    }
+
+    #[test]
+    fn stale_clip_file_is_swept_on_open() {
+        let path = temp("clip");
+        let mut w = WalWriter::open(&path, 0, 1).unwrap();
+        w.append(b"live-record").unwrap();
+        drop(w);
+        // A crash between staging the clip and renaming it leaves the
+        // sibling file behind; the live log is authoritative and reopen
+        // must discard the stale suffix.
+        fs::write(clip_path(&path), b"half-finished clip").unwrap();
+        let scan = read_wal(&path).unwrap();
+        let w = WalWriter::open(&path, scan.valid_len, 1).unwrap();
+        assert!(!clip_path(&path).exists());
+        drop(w);
+        assert_eq!(
+            read_wal(&path).unwrap().records,
+            vec![b"live-record".to_vec()]
+        );
     }
 
     #[test]

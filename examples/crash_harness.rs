@@ -8,7 +8,8 @@
 //!   automatic snapshots every 8 events (folded by the background
 //!   compactor, as in production). With `GAEA_CRASH_POINT={append,
 //!   fsync,truncate,snapshot-write,manifest-flip,
-//!   post-flip-pre-truncate}` and `GAEA_CRASH_AFTER=<n>` set, the
+//!   post-flip-pre-truncate,truncate-rewrite}` and
+//!   `GAEA_CRASH_AFTER=<n>` set, the
 //!   store's crash injector aborts the process mid-commit (or mid
 //!   background compaction — drop settles the compactor, so an armed
 //!   worker-side point always fires before a clean exit) — that *is*

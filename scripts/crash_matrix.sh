@@ -12,6 +12,9 @@
 #                           CURRENT pointer still naming the old one
 #   post-flip-pre-truncate  abort after the pointer flipped but before
 #                           the covered log prefix is clipped
+#   truncate-rewrite        abort mid prefix clip: the surviving suffix
+#                           is staged in wal.log.clip but the rename
+#                           over the live log has not happened
 # — and several arming positions, run the deterministic workload in
 # examples/crash_harness.rs until the injected abort kills the process,
 # then reopen and verify the recovered state is the exact committed
@@ -144,11 +147,13 @@ done
 
 # Background-compaction lanes. The worker-side points (snapshot-write,
 # manifest-flip) fire on the compactor thread; post-flip-pre-truncate
-# fires at the commit-thread hand-off that clips the covered prefix.
-# The injector clock is the event sequence at compaction time and the
-# harness snapshots every 8 events, so the positions select which
-# compaction in the run aborts.
-for point in snapshot-write manifest-flip post-flip-pre-truncate; do
+# and truncate-rewrite fire at the commit-thread hand-off that clips
+# the covered prefix (truncate-rewrite inside the clip itself, with
+# the suffix staged but the rename not yet done). The injector clock
+# is the event sequence at compaction time and the harness snapshots
+# every 8 events, so the positions select which compaction in the run
+# aborts.
+for point in snapshot-write manifest-flip post-flip-pre-truncate truncate-rewrite; do
     for after in 1 9 17; do
         run_case "$point" "$after"
     done

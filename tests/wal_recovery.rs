@@ -423,6 +423,30 @@ fn synchronous_fallback_still_folds_on_cadence() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The open-time sweep only treats a *missing* `CURRENT` as "no
+/// authoritative snapshot". Any other read failure must skip the sweep
+/// entirely — deleting `snap-*` directories while the pointer is merely
+/// unreadable would destroy the snapshot it still names.
+#[test]
+fn unreadable_current_pointer_never_triggers_the_snapshot_sweep() {
+    let dir = fresh_dir("sweep-guard");
+    std::fs::create_dir_all(&dir).unwrap();
+    // CURRENT exists but cannot be read as a file (read_to_string fails
+    // with a non-NotFound error) — a stand-in for EACCES/EIO.
+    std::fs::create_dir(dir.join("CURRENT")).unwrap();
+    let snap = dir.join("snap-7");
+    std::fs::create_dir(&snap).unwrap();
+    std::fs::write(snap.join("MANIFEST"), b"authoritative bytes").unwrap();
+
+    let err = Gaea::open_with(&dir, options());
+    assert!(err.is_err(), "open must surface the unreadable CURRENT");
+    assert!(
+        snap.join("MANIFEST").exists(),
+        "a transient CURRENT read failure must not sweep snap-* dirs"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Recovery stats on a clean, snapshot-less reopen count every event
 /// and report an intact log.
 #[test]
